@@ -1,0 +1,444 @@
+// Benchmarks regenerating every experiment of the reproduction (E1–E10 of
+// DESIGN.md / EXPERIMENTS.md) plus the figure scenarios and the hot-path
+// micro-benchmarks. Run all of them with:
+//
+//	go test -bench=. -benchmem
+//
+// Each experiment benchmark executes a reduced-size configuration of the
+// corresponding runner (the full tables come from cmd/experiments) and
+// reports the experiment's headline metric via b.ReportMetric.
+package causalshare_test
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"causalshare/internal/causal"
+	"causalshare/internal/core"
+	"causalshare/internal/experiments"
+	"causalshare/internal/graph"
+	"causalshare/internal/group"
+	"causalshare/internal/message"
+	"causalshare/internal/shareddata"
+	"causalshare/internal/sim"
+	"causalshare/internal/total"
+	"causalshare/internal/transport"
+	"causalshare/internal/vclock"
+)
+
+// tableCell extracts a float metric from an experiment table.
+func tableCell(tbl experiments.Table, row int, col string) float64 {
+	for i, c := range tbl.Columns {
+		if c == col {
+			v, err := strconv.ParseFloat(strings.TrimSuffix(tbl.Rows[row][i], "x"), 64)
+			if err != nil {
+				return 0
+			}
+			return v
+		}
+	}
+	return 0
+}
+
+// BenchmarkCommutativeFractionSweep regenerates E1 (Table: latency vs f).
+func BenchmarkCommutativeFractionSweep(b *testing.B) {
+	cfg := experiments.DefaultE1()
+	cfg.Ops = 600
+	cfg.Fractions = []float64{0, 0.9, 1.0}
+	var tbl experiments.Table
+	for i := 0; i < b.N; i++ {
+		tbl = experiments.RunE1(cfg)
+	}
+	last := len(tbl.Rows) - 1
+	b.ReportMetric(tableCell(tbl, 1, "causal mean ms"), "causal_ms_at_f0.9")
+	b.ReportMetric(tableCell(tbl, 1, "merge mean ms"), "totalorder_ms_at_f0.9")
+	b.ReportMetric(tableCell(tbl, last, "causal mean ms"), "causal_ms_at_f1.0")
+}
+
+// BenchmarkGroupSizeSweep regenerates E2 (Table: latency vs n).
+func BenchmarkGroupSizeSweep(b *testing.B) {
+	cfg := experiments.DefaultE2()
+	cfg.Ops = 400
+	cfg.Sizes = []int{2, 8, 16}
+	var tbl experiments.Table
+	for i := 0; i < b.N; i++ {
+		tbl = experiments.RunE2(cfg)
+	}
+	last := len(tbl.Rows) - 1
+	b.ReportMetric(tableCell(tbl, last, "causal mean ms"), "causal_ms_n16")
+	b.ReportMetric(tableCell(tbl, last, "merge mean ms"), "totalorder_ms_n16")
+}
+
+// BenchmarkStablePointCadence regenerates E3 (Table: read latency vs
+// activity size f_gamma).
+func BenchmarkStablePointCadence(b *testing.B) {
+	cfg := experiments.DefaultE3()
+	cfg.Cycles = 25
+	cfg.ActivitySz = []int{1, 20}
+	cfg.Reads = 150
+	var tbl experiments.Table
+	for i := 0; i < b.N; i++ {
+		tbl = experiments.RunE3(cfg)
+	}
+	b.ReportMetric(tableCell(tbl, 0, "read mean ms"), "read_ms_fg1")
+	b.ReportMetric(tableCell(tbl, 1, "read mean ms"), "read_ms_fg20")
+}
+
+// BenchmarkAgreementOverhead regenerates E4 (Table: explicit agreement
+// messages per sync point vs free local stable points).
+func BenchmarkAgreementOverhead(b *testing.B) {
+	cfg := experiments.E4Config{Sizes: []int{3, 8}, SyncPoints: 20}
+	var tbl experiments.Table
+	for i := 0; i < b.N; i++ {
+		tbl = experiments.RunE4(cfg)
+	}
+	b.ReportMetric(tableCell(tbl, 1, "explicit msgs/sync"), "explicit_msgs_per_sync_n8")
+	b.ReportMetric(0, "stablepoint_msgs_per_sync")
+}
+
+// BenchmarkQueryContextProtocol regenerates E5 (Table: discard rate and
+// asynchrony win of the §5.2 application-specific protocol).
+func BenchmarkQueryContextProtocol(b *testing.B) {
+	cfg := experiments.DefaultE5()
+	cfg.Queries = 400
+	cfg.UpdateRates = []float64{0.05, 0.3}
+	var tbl experiments.Table
+	for i := 0; i < b.N; i++ {
+		tbl = experiments.RunE5(cfg)
+	}
+	b.ReportMetric(tableCell(tbl, 0, "discard %"), "discard_pct_low_upd")
+	b.ReportMetric(tableCell(tbl, 0, "asynchrony win"), "asynchrony_win_x")
+}
+
+// BenchmarkBufferOccupancy regenerates E6 (Table: buffer occupancy,
+// OSend vs CBCAST, vs jitter).
+func BenchmarkBufferOccupancy(b *testing.B) {
+	cfg := experiments.DefaultE6()
+	cfg.Ops = 500
+	cfg.Jitters = []float64{20}
+	var tbl experiments.Table
+	for i := 0; i < b.N; i++ {
+		tbl = experiments.RunE6(cfg)
+	}
+	b.ReportMetric(tableCell(tbl, 0, "osend max buf"), "osend_maxbuf_20ms")
+	b.ReportMetric(tableCell(tbl, 0, "cbcast max buf"), "cbcast_maxbuf_20ms")
+}
+
+// BenchmarkWireOverhead regenerates E7 (Table: ordering metadata bytes vs
+// group size).
+func BenchmarkWireOverhead(b *testing.B) {
+	cfg := experiments.DefaultE7()
+	var tbl experiments.Table
+	for i := 0; i < b.N; i++ {
+		tbl = experiments.RunE7(cfg)
+	}
+	last := len(tbl.Rows) - 1
+	b.ReportMetric(tableCell(tbl, last, "osend dep bytes"), "osend_bytes_n64")
+	b.ReportMetric(tableCell(tbl, last, "cbcast clock bytes"), "cbcast_bytes_n64")
+}
+
+// BenchmarkConcurrencyDegree regenerates E8 (Table: §5.1 card-game
+// concurrency under relaxed vs strict ordering).
+func BenchmarkConcurrencyDegree(b *testing.B) {
+	cfg := experiments.E8Config{Players: []int{4, 8}, K: 2, LinCap: 20000}
+	var tbl experiments.Table
+	for i := 0; i < b.N; i++ {
+		tbl = experiments.RunE8(cfg)
+	}
+	b.ReportMetric(tableCell(tbl, 1, "relaxed width"), "relaxed_width_8p")
+}
+
+// BenchmarkLockCycles regenerates E9 (Table: §6.2 arbitration rotation
+// latency) on the live stack.
+func BenchmarkLockCycles(b *testing.B) {
+	cfg := experiments.E9Config{Sizes: []int{3}, Rotations: 2}
+	var tbl experiments.Table
+	for i := 0; i < b.N; i++ {
+		tbl = experiments.RunE9(cfg)
+	}
+	b.ReportMetric(tableCell(tbl, 0, "rotation mean ms"), "rotation_ms_n3")
+	b.ReportMetric(tableCell(tbl, 0, "frames/grant"), "frames_per_grant_n3")
+}
+
+// BenchmarkAblations regenerates E10 (Table: design ablations).
+func BenchmarkAblations(b *testing.B) {
+	cfg := experiments.DefaultE10()
+	cfg.Ops = 400
+	cfg.Probes = 60
+	cfg.Heartbeats = []float64{2, 10}
+	var tbl experiments.Table
+	for i := 0; i < b.N; i++ {
+		tbl = experiments.RunE10(cfg)
+	}
+	b.ReportMetric(tableCell(tbl, 0, "mean ms"), "merge_ms")
+	b.ReportMetric(tableCell(tbl, 1, "mean ms"), "sequencer_ms")
+}
+
+// BenchmarkItemScoping regenerates E11 (Table: §5.1 item-granularity
+// commutativity vs global overwrite serialization).
+func BenchmarkItemScoping(b *testing.B) {
+	cfg := experiments.DefaultE11()
+	cfg.Writes = 120
+	cfg.Keys = []int{1, 8}
+	var tbl experiments.Table
+	for i := 0; i < b.N; i++ {
+		tbl = experiments.RunE11(cfg)
+	}
+	b.ReportMetric(tableCell(tbl, 1, "naive mean ms"), "naive_ms_8keys")
+	b.ReportMetric(tableCell(tbl, 1, "scoped mean ms"), "scoped_ms_8keys")
+	b.ReportMetric(tableCell(tbl, 1, "scoped width"), "scoped_width_8keys")
+}
+
+// BenchmarkFig2SyncPoint runs the Figure 2 scenario — mk -> ||{m1',m2'}
+// -> mj' — on the live stack, measuring the full cycle to the
+// synchronization point at all members.
+func BenchmarkFig2SyncPoint(b *testing.B) {
+	ids := []string{"ai", "aj", "ak"}
+	grp := group.MustNew("fig2", ids)
+	net := transport.NewChanNet(transport.FaultModel{})
+	defer func() { _ = net.Close() }()
+	replicas := make(map[string]*core.Replica)
+	engines := make(map[string]*causal.OSend)
+	for _, id := range ids {
+		rep, err := core.NewReplica(core.ReplicaConfig{
+			Self: id, Initial: shareddata.NewCounter(0), Apply: shareddata.ApplyCounter,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		conn, err := net.Attach(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng, err := causal.NewOSend(causal.OSendConfig{
+			Self: id, Group: grp, Conn: conn, Deliver: rep.Deliver,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		replicas[id] = rep
+		engines[id] = eng
+	}
+	defer func() {
+		for _, e := range engines {
+			_ = e.Close()
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seq := uint64(i + 1)
+		mk := message.Message{Label: message.Label{Origin: "ak", Seq: seq}, Kind: message.KindNonCommutative, Op: "set"}
+		m1 := message.Message{Label: message.Label{Origin: "ai", Seq: 2 * seq}, Deps: message.After(mk.Label), Kind: message.KindCommutative, Op: "inc"}
+		m2 := message.Message{Label: message.Label{Origin: "aj", Seq: seq}, Deps: message.After(mk.Label), Kind: message.KindCommutative, Op: "inc"}
+		mj := message.Message{Label: message.Label{Origin: "ai", Seq: 2*seq + 1}, Deps: message.After(m1.Label, m2.Label), Kind: message.KindRead, Op: "rd"}
+		if err := engines["ak"].Broadcast(mk); err != nil {
+			b.Fatal(err)
+		}
+		if err := engines["ai"].Broadcast(m1); err != nil {
+			b.Fatal(err)
+		}
+		if err := engines["aj"].Broadcast(m2); err != nil {
+			b.Fatal(err)
+		}
+		if err := engines["ai"].Broadcast(mj); err != nil {
+			b.Fatal(err)
+		}
+		want := uint64(2 * (i + 1))
+		for _, rep := range replicas {
+			for rep.Cycle() < want {
+				time.Sleep(50 * time.Microsecond)
+			}
+		}
+	}
+}
+
+// BenchmarkASend measures live total-order layer throughput (Figure 4's
+// interposed function), one ordered broadcast per iteration across three
+// members, sequencer variant.
+func BenchmarkASend(b *testing.B) {
+	ids := []string{"a", "bb", "c"}
+	grp := group.MustNew("asend", ids)
+	net := transport.NewChanNet(transport.FaultModel{})
+	defer func() { _ = net.Close() }()
+	delivered := make(chan struct{}, 1024)
+	stacks := buildTotalStacks(b, grp, net, ids, delivered)
+	defer func() {
+		for _, s := range stacks.close {
+			s()
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stacks.asend[0]("op", nil); err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < len(ids); j++ {
+			<-delivered
+		}
+	}
+}
+
+type totalStacks struct {
+	asend []func(op string, body []byte) (message.Label, error)
+	close []func()
+}
+
+// newSequencer builds a total.Sequencer instance for one member.
+func newSequencer(id string, grp *group.Group, deliver causal.DeliverFunc) (*total.Sequencer, error) {
+	return total.NewSequencer(total.Config{Self: id, Group: grp, Deliver: deliver})
+}
+
+func buildTotalStacks(b *testing.B, grp *group.Group, net transport.Network, ids []string, delivered chan struct{}) totalStacks {
+	b.Helper()
+	var out totalStacks
+	for _, id := range ids {
+		sq, err := newSequencer(id, grp, func(message.Message) {
+			delivered <- struct{}{}
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		conn, err := net.Attach(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng, err := causal.NewOSend(causal.OSendConfig{
+			Self: id, Group: grp, Conn: conn, Deliver: sq.Ingest,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sq.Bind(eng)
+		sqCopy := sq
+		engCopy := eng
+		out.asend = append(out.asend, func(op string, body []byte) (message.Label, error) {
+			return sqCopy.ASend(op, message.KindNonCommutative, body, message.Unconstrained())
+		})
+		out.close = append(out.close, func() {
+			_ = sqCopy.Close()
+			_ = engCopy.Close()
+		})
+	}
+	return out
+}
+
+// Micro-benchmarks of the hot paths.
+
+func BenchmarkVectorClockCompare(b *testing.B) {
+	x, y := vclock.New(), vclock.New()
+	for i := 0; i < 16; i++ {
+		id := fmt.Sprintf("m%02d", i)
+		x.Set(id, uint64(i))
+		y.Set(id, uint64(16-i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = x.Compare(y)
+	}
+}
+
+func BenchmarkMessageCodec(b *testing.B) {
+	m := message.Message{
+		Label: message.Label{Origin: "node-07~cli", Seq: 123456},
+		Deps: message.After(
+			message.Label{Origin: "node-01~cli", Seq: 42},
+			message.Label{Origin: "node-02~cli", Seq: 57},
+		),
+		Kind: message.KindCommutative,
+		Op:   "inc",
+		Body: []byte("payload-bytes"),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := m.MarshalBinary()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var got message.Message
+		if err := got.UnmarshalBinary(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGraphTopoSort(b *testing.B) {
+	g := graph.New()
+	var prevCycle []message.Label
+	for c := 0; c < 50; c++ {
+		closer := message.Label{Origin: "nc", Seq: uint64(c + 1)}
+		var body []message.Label
+		for k := 0; k < 10; k++ {
+			l := message.Label{Origin: fmt.Sprintf("c%d", k), Seq: uint64(c + 1)}
+			deps := prevCycle
+			if err := g.AddEdges(l, deps); err != nil {
+				b.Fatal(err)
+			}
+			body = append(body, l)
+		}
+		if err := g.AddEdges(closer, body); err != nil {
+			b.Fatal(err)
+		}
+		prevCycle = []message.Label{closer}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.TopoSort(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOSendDeliveryRuleSim(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := sim.New(int64(i) + 1)
+		net := sim.NewNet(s, sim.NetModel{MaxLatency: sim.Duration(2 * time.Millisecond)})
+		cluster := sim.NewCausalCluster(s, net, sim.RuleOSend, 5, nil)
+		fe, err := core.NewComposer("bench~cli")
+		if err != nil {
+			b.Fatal(err)
+		}
+		for k := 0; k < 200; k++ {
+			kind := message.KindCommutative
+			op := "inc"
+			if k%10 == 9 {
+				kind = message.KindNonCommutative
+				op = "set"
+			}
+			m, err := fe.Compose(op, kind, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			k := k
+			s.At(sim.Time(k)*sim.Duration(100*time.Microsecond), func() {
+				cluster.Broadcast(k%5, m)
+			})
+		}
+		s.Run(0)
+	}
+}
+
+func BenchmarkReplicaDeliver(b *testing.B) {
+	rep, err := core.NewReplica(core.ReplicaConfig{
+		Self: "r", Initial: shareddata.NewCounter(0), Apply: shareddata.ApplyCounter,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kind := message.KindCommutative
+		op := "inc"
+		if i%20 == 19 {
+			kind = message.KindNonCommutative
+			op = "set"
+		}
+		rep.Deliver(message.Message{
+			Label: message.Label{Origin: "x", Seq: uint64(i + 1)},
+			Kind:  kind,
+			Op:    op,
+		})
+	}
+}

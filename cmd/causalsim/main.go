@@ -1,0 +1,201 @@
+// Command causalsim runs a live replicated-counter scenario on the real
+// stack (front-end protocol → causal broadcast engine → in-process faulty
+// network → replicas) and reports the stable-point audit plus engine
+// metrics. It is the quickest way to see the paper's headline property:
+// replicas disagree mid-activity and provably agree at every stable
+// point, with zero agreement traffic.
+//
+// Usage:
+//
+//	causalsim [-n 5] [-cycles 20] [-fgamma 20] [-engine osend|cbcast]
+//	          [-drop 0.1] [-jitter 5ms] [-seed 7]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"causalshare/internal/causal"
+	"causalshare/internal/core"
+	"causalshare/internal/group"
+	"causalshare/internal/obs"
+	"causalshare/internal/shareddata"
+	"causalshare/internal/transport"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "causalsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("causalsim", flag.ContinueOnError)
+	n := fs.Int("n", 5, "group size")
+	cycles := fs.Int("cycles", 20, "causal activities to run")
+	fgamma := fs.Int("fgamma", 20, "commutative operations per activity")
+	engine := fs.String("engine", "osend", "causal engine: osend or cbcast")
+	drop := fs.Float64("drop", 0.1, "frame drop probability")
+	jitter := fs.Duration("jitter", 5*time.Millisecond, "max network latency")
+	seed := fs.Int64("seed", 7, "fault model seed")
+	dot := fs.Bool("dot", false, "print the extracted dependency graph in Graphviz dot syntax")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ids := make([]string, *n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("r%02d", i)
+	}
+	grp, err := group.New("counter", ids)
+	if err != nil {
+		return err
+	}
+	net := transport.NewChanNet(transport.FaultModel{
+		DropProb: *drop,
+		MaxDelay: *jitter,
+		Seed:     *seed,
+	})
+	defer func() { _ = net.Close() }()
+
+	trace := obs.NewTrace()
+	replicas := make(map[string]*core.Replica, *n)
+	var engines []causal.Broadcaster
+	defer func() {
+		for _, e := range engines {
+			_ = e.Close()
+		}
+	}()
+	for _, id := range ids {
+		rep, err := core.NewReplica(core.ReplicaConfig{
+			Self:    id,
+			Initial: shareddata.NewCounter(0),
+			Apply:   shareddata.ApplyCounter,
+		})
+		if err != nil {
+			return err
+		}
+		replicas[id] = rep
+		conn, err := net.Attach(id)
+		if err != nil {
+			return err
+		}
+		deliver := trace.Observer(id, rep.Deliver)
+		var eng causal.Broadcaster
+		switch *engine {
+		case "osend":
+			eng, err = causal.NewOSend(causal.OSendConfig{
+				Self: id, Group: grp, Conn: conn, Deliver: deliver,
+				Patience: 10 * time.Millisecond,
+			})
+		case "cbcast":
+			eng, err = causal.NewCBCast(causal.CBCastConfig{
+				Self: id, Group: grp, Conn: conn, Deliver: deliver,
+				Patience: 10 * time.Millisecond,
+			})
+		default:
+			return fmt.Errorf("unknown engine %q", *engine)
+		}
+		if err != nil {
+			return err
+		}
+		engines = append(engines, eng)
+	}
+
+	fe, err := core.NewFrontEnd("cli", engines[0])
+	if err != nil {
+		return err
+	}
+	total := 0
+	start := time.Now()
+	for c := 0; c < *cycles; c++ {
+		for k := 0; k < *fgamma; k++ {
+			op := shareddata.Inc()
+			if k%2 == 1 {
+				op = shareddata.Dec()
+			}
+			if _, err := fe.Submit(op.Op, op.Kind, op.Body); err != nil {
+				return err
+			}
+			total++
+		}
+		rd := shareddata.Read()
+		if _, err := fe.Submit(rd.Op, rd.Kind, rd.Body); err != nil {
+			return err
+		}
+		total++
+	}
+
+	// Wait for every replica to apply everything.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		done := true
+		for _, rep := range replicas {
+			if rep.Applied() < uint64(total) {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("replicas did not converge within 30s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	elapsed := time.Since(start)
+
+	histories := make(map[string][]core.StablePoint, *n)
+	for id, rep := range replicas {
+		histories[id] = rep.StablePoints()
+	}
+	audit := obs.AuditStablePoints(histories)
+	if err := trace.VerifyAll(); err != nil {
+		return fmt.Errorf("causal delivery violated: %w", err)
+	}
+	delivered, err := trace.SameDeliverySet()
+	if err != nil {
+		return fmt.Errorf("delivery sets diverged: %w", err)
+	}
+	g, err := trace.ExtractGraph()
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("scenario: %d replicas, %d activities x %d commutative ops, engine=%s drop=%.0f%% jitter=%s\n",
+		*n, *cycles, *fgamma, *engine, *drop*100, *jitter)
+	fmt.Printf("ran in %s; %d messages delivered at every replica\n", elapsed.Round(time.Millisecond), delivered)
+	fmt.Printf("causal delivery: OK at every replica (every OccursAfter respected)\n")
+	fmt.Printf("stable points audited: %d, agreement: %v\n", audit.Points, audit.Consistent())
+	if !audit.Consistent() {
+		fmt.Printf("divergence: %s\n", audit.Divergence)
+	}
+	fmt.Printf("extracted stable graph: %d nodes, mean antichain width %.2f\n", g.Len(), g.MeanWidth())
+	if *dot {
+		fmt.Println(g.DOT("causalsim"))
+	}
+	report, err := core.AnalyzeTrace(trace.Sequence(ids[0]), shareddata.ApplyCounter, shareddata.NewCounter(0), 720)
+	if err != nil {
+		return fmt.Errorf("trace analysis: %w", err)
+	}
+	fmt.Printf("trace analysis: %d activities (mean size %.1f), transition-preserving: %v\n",
+		report.Activities, report.MeanActivitySize, report.Conforms())
+	st, cycle := replicas[ids[0]].ReadStable()
+	fmt.Printf("final stable state at cycle %d: %s\n", cycle, st.Digest())
+	netStats := net.Stats()
+	fmt.Printf("network: sent=%d delivered=%d dropped=%d duplicated=%d\n",
+		netStats.Sent, netStats.Delivered, netStats.Dropped, netStats.Duplicated)
+	if o, ok := engines[0].(*causal.OSend); ok {
+		m := o.Metrics()
+		fmt.Printf("engine[%s]: delivered=%d maxBuffered=%d duplicates=%d fetches=%d\n",
+			ids[0], m.Delivered, m.MaxBuffered, m.Duplicates, m.Fetches)
+	}
+	if audit.Consistent() {
+		fmt.Printf("RESULT: all %d replicas agreed at every one of %d stable points with zero agreement messages\n",
+			*n, audit.Points)
+	}
+	return nil
+}

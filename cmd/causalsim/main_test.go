@@ -1,0 +1,36 @@
+package main
+
+import "testing"
+
+func TestRunSmallScenario(t *testing.T) {
+	args := []string{"-n", "3", "-cycles", "3", "-fgamma", "4", "-drop", "0.05", "-jitter", "2ms"}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCBCastEngine(t *testing.T) {
+	args := []string{"-n", "3", "-cycles", "2", "-fgamma", "3", "-engine", "cbcast", "-drop", "0"}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDotOutput(t *testing.T) {
+	args := []string{"-n", "2", "-cycles", "1", "-fgamma", "2", "-drop", "0", "-dot"}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownEngine(t *testing.T) {
+	if err := run([]string{"-engine", "bogus"}); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

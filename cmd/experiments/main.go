@@ -1,0 +1,52 @@
+// Command experiments regenerates every table of the paper reproduction
+// (experiments E1–E10 of DESIGN.md / EXPERIMENTS.md).
+//
+// Usage:
+//
+//	experiments            # run everything
+//	experiments E1 E7      # run selected experiments
+//	experiments -list      # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"causalshare/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	list := fs.Bool("list", false, "list experiment ids and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	runners := experiments.All()
+	ids := experiments.IDs()
+	if *list {
+		for _, id := range ids {
+			fmt.Println(id)
+		}
+		return nil
+	}
+	selected := fs.Args()
+	if len(selected) == 0 {
+		selected = ids
+	}
+	for _, id := range selected {
+		runner, ok := runners[id]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (use -list)", id)
+		}
+		fmt.Println(runner())
+	}
+	return nil
+}

@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestRunSmallArbitration(t *testing.T) {
+	if err := run([]string{"-n", "3", "-rotations", "2", "-jitter", "1ms"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

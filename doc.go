@@ -1,0 +1,15 @@
+// Package causalshare reproduces K. Ravindran & K. Shah, "Causal
+// Broadcasting and Consistency of Distributed Shared Data" (ICDCS 1994):
+// a model that ties the consistency of replicated shared data to the
+// causal ordering of the data-access messages, so that replicas agree at
+// application-chosen stable points without running agreement protocols.
+//
+// The implementation lives under internal/ (see DESIGN.md for the full
+// inventory): explicit-dependency causal broadcast (OSend) with a
+// vector-clock CBCAST baseline, the ASend total-ordering layer, the §6.1
+// replicated-data access protocol with stable-point detection, the §6.2
+// decentralized lock arbitration, replicated data types, comparison
+// baselines, a deterministic simulator, and the E1–E10 experiment
+// harness. Runnable entry points are under cmd/ and examples/; the
+// benchmarks in bench_test.go regenerate every experiment table.
+package causalshare

@@ -1,0 +1,143 @@
+// Cardgame: the paper's §5.1 multiplayer card game. Players share a
+// common data space (the table) in a window system and play in a relaxed
+// order: player l's action depends not on the immediately preceding
+// player but on player k's card two seats back —
+//
+//	card_k -> card_l, with ||{card_(k+1) ... card_(l-1)}
+//
+// — so consecutive plays are concurrent and the broadcast layer may
+// deliver them in different orders at different workstations, raising
+// concurrency, while every declared dependency is still respected
+// everywhere.
+//
+// Run with: go run ./examples/cardgame
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"causalshare/internal/causal"
+	"causalshare/internal/group"
+	"causalshare/internal/message"
+	"causalshare/internal/obs"
+	"causalshare/internal/transport"
+)
+
+const lookback = 2 // player l waits for player l-2's card
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cardgame:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	players := []string{"north", "east", "south", "west"}
+	grp, err := group.New("table", players)
+	if err != nil {
+		return err
+	}
+	net := transport.NewChanNet(transport.FaultModel{MaxDelay: 6 * time.Millisecond, Seed: 21})
+	defer func() { _ = net.Close() }()
+
+	trace := obs.NewTrace()
+	engines := make(map[string]*causal.OSend)
+	defer func() {
+		for _, e := range engines {
+			_ = e.Close()
+		}
+	}()
+	for _, id := range players {
+		conn, err := net.Attach(id)
+		if err != nil {
+			return err
+		}
+		eng, err := causal.NewOSend(causal.OSendConfig{
+			Self: id, Group: grp, Conn: conn,
+			Deliver:  trace.Observer(id, nil),
+			Patience: 20 * time.Millisecond,
+		})
+		if err != nil {
+			return err
+		}
+		engines[id] = eng
+	}
+
+	// Two rounds of play. Play i (0-based) depends on play i-lookback.
+	cards := []string{"7♠", "9♦", "Q♥", "2♣", "K♠", "3♦", "A♥", "J♣"}
+	labels := make([]message.Label, len(cards))
+	for i, card := range cards {
+		player := players[i%len(players)]
+		labels[i] = message.Label{Origin: player, Seq: uint64(i/len(players) + 1)}
+		var deps message.OccursAfter
+		if i-lookback >= 0 {
+			deps = message.After(labels[i-lookback])
+		}
+		m := message.Message{
+			Label: labels[i],
+			Deps:  deps,
+			Kind:  message.KindCommutative,
+			Op:    "play",
+			Body:  []byte(card),
+		}
+		if err := engines[player].Broadcast(m); err != nil {
+			return err
+		}
+	}
+
+	// Wait until every window shows all eight cards.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		done := true
+		for _, id := range players {
+			if len(trace.Sequence(id)) < len(cards) {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("windows did not converge")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if err := trace.VerifyAll(); err != nil {
+		return fmt.Errorf("a window violated a declared dependency: %w", err)
+	}
+	divergent := false
+	ref := trace.Sequence(players[0])
+	for _, id := range players {
+		seq := trace.Sequence(id)
+		fmt.Printf("%s's window saw: ", id)
+		for i, m := range seq {
+			if i > 0 {
+				fmt.Print(" ")
+			}
+			fmt.Print(string(m.Body))
+			if m.Label != ref[i].Label {
+				divergent = true
+			}
+		}
+		fmt.Println()
+	}
+	g, err := trace.ExtractGraph()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dependency graph: %d plays, mean antichain width %.2f (1.00 would be strict turns)\n",
+		g.Len(), g.MeanWidth())
+	fmt.Printf("admissible schedules under the relaxed order: %d (strict turn-taking admits 1)\n",
+		g.CountLinearizations(0))
+	if divergent {
+		fmt.Println("windows displayed different interleavings — allowed, because the relaxed order declares consecutive plays concurrent")
+	} else {
+		fmt.Println("windows happened to agree this run; rerun with another seed to see interleavings diverge")
+	}
+	fmt.Println("every declared dependency (card_k -> card_l) held at every window")
+	return nil
+}

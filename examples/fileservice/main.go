@@ -1,0 +1,132 @@
+// Fileservice: the paper's opening example — "a distributed file service
+// may be implemented by a group of servers, with each server maintaining
+// a local copy of files and exchanging messages with other servers to
+// update the various file copies in response to client requests."
+//
+// Writes to the same file must be ordered; writes to different files
+// affect disjoint subsets of the shared data and are concurrent (§5.1).
+// The item-scoped front-end expresses exactly that: same-file writes
+// chain by OccursAfter, cross-file writes race freely, and a snapshot
+// Sync closes the activity so every server agrees on all file contents.
+//
+// Run with: go run ./examples/fileservice
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"causalshare/internal/causal"
+	"causalshare/internal/core"
+	"causalshare/internal/group"
+	"causalshare/internal/shareddata"
+	"causalshare/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fileservice:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	servers := []string{"fs1", "fs2", "fs3"}
+	grp, err := group.New("files", servers)
+	if err != nil {
+		return err
+	}
+	// Heavy jitter: cross-file writes will arrive in wildly different
+	// orders at the three servers.
+	net := transport.NewChanNet(transport.FaultModel{MaxDelay: 6 * time.Millisecond, Seed: 9})
+	defer func() { _ = net.Close() }()
+
+	replicas := make(map[string]*core.Replica)
+	var engines []*causal.OSend
+	defer func() {
+		for _, e := range engines {
+			_ = e.Close()
+		}
+	}()
+	for _, id := range servers {
+		rep, err := core.NewReplica(core.ReplicaConfig{
+			Self:    id,
+			Initial: shareddata.NewKVStore(),
+			Apply:   shareddata.ApplyKV,
+		})
+		if err != nil {
+			return err
+		}
+		conn, err := net.Attach(id)
+		if err != nil {
+			return err
+		}
+		eng, err := causal.NewOSend(causal.OSendConfig{
+			Self: id, Group: grp, Conn: conn, Deliver: rep.Deliver,
+		})
+		if err != nil {
+			return err
+		}
+		replicas[id] = rep
+		engines = append(engines, eng)
+	}
+
+	// One client writes three revisions of each of three files. Per-file
+	// order matters (rev3 must win); cross-file order does not.
+	fe, err := core.NewItemFrontEnd("editor", engines[0])
+	if err != nil {
+		return err
+	}
+	files := []string{"README", "Makefile", "main.go"}
+	total := uint64(0)
+	for rev := 1; rev <= 3; rev++ {
+		for _, file := range files {
+			op := shareddata.Put(file, fmt.Sprintf("%s@rev%d", file, rev))
+			if _, err := fe.SubmitScoped(op.Op, file, op.Body); err != nil {
+				return err
+			}
+			total++
+		}
+	}
+	if _, err := fe.Sync("snapshot", nil); err != nil {
+		return err
+	}
+	total++
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		done := true
+		for _, rep := range replicas {
+			if rep.Applied() < total {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("servers did not converge")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	for _, id := range servers {
+		st, cycle := replicas[id].ReadStable()
+		kv, ok := st.(*shareddata.KVStore)
+		if !ok {
+			return fmt.Errorf("unexpected state type %T", st)
+		}
+		fmt.Printf("server %s at snapshot %d:\n", id, cycle)
+		for _, file := range files {
+			content, _ := kv.Str(file)
+			fmt.Printf("  %-8s -> %s\n", file, content)
+		}
+		if len(replicas[id].StablePoints()) != 1 {
+			return fmt.Errorf("server %s saw %d stable points, want 1 (only the snapshot closes)",
+				id, len(replicas[id].StablePoints()))
+		}
+	}
+	fmt.Println("nine cross-file writes ran concurrently (no per-write ordering rounds); per-file order held and all servers agree at the snapshot")
+	return nil
+}

@@ -1,0 +1,194 @@
+// Lockservice: a replicated bank ledger protected by the paper's §6.2
+// decentralized lock arbitration. Three tellers at different sites update
+// a shared account balance; each update requires the page lock, which
+// rotates by totally ordered LOCK/TFR messages and a deterministic
+// arbiter — no lock server anywhere. The final balance is identical at
+// every site and equals the serial sum.
+//
+// Run with: go run ./examples/lockservice
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"causalshare/internal/causal"
+	"causalshare/internal/group"
+	"causalshare/internal/lockarb"
+	"causalshare/internal/message"
+	"causalshare/internal/total"
+	"causalshare/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "lockservice:", err)
+		os.Exit(1)
+	}
+}
+
+type site struct {
+	id      string
+	arbiter *lockarb.Arbiter
+	layer   *total.Sequencer
+	engine  *causal.OSend
+
+	mu      sync.Mutex
+	balance int64
+	applied int
+}
+
+// applyDeposit processes a totally ordered deposit at this site.
+func (s *site) applyDeposit(amount int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.balance += amount
+	s.applied++
+}
+
+func run() error {
+	tellers := []string{"berlin", "madrid", "tokyo"}
+	grp, err := group.New("ledger", tellers)
+	if err != nil {
+		return err
+	}
+	net := transport.NewChanNet(transport.FaultModel{MaxDelay: 2 * time.Millisecond, Seed: 5})
+	defer func() { _ = net.Close() }()
+
+	sites := make(map[string]*site)
+	defer func() {
+		for _, s := range sites {
+			_ = s.layer.Close()
+			_ = s.engine.Close()
+		}
+	}()
+	for _, id := range tellers {
+		st := &site{id: id}
+		sq, err := total.NewSequencer(total.Config{
+			Self: id, Group: grp,
+			Deliver: func(m message.Message) {
+				switch m.Op {
+				case "deposit":
+					var amount int64
+					for _, b := range m.Body {
+						amount = amount*10 + int64(b-'0')
+					}
+					st.applyDeposit(amount)
+				default:
+					st.arbiter.Ingest(m)
+				}
+			},
+		})
+		if err != nil {
+			return err
+		}
+		conn, err := net.Attach(id)
+		if err != nil {
+			return err
+		}
+		eng, err := causal.NewOSend(causal.OSendConfig{
+			Self: id, Group: grp, Conn: conn, Deliver: sq.Ingest,
+		})
+		if err != nil {
+			return err
+		}
+		sq.Bind(eng)
+		arb, err := lockarb.NewArbiter(lockarb.Config{Self: id, Group: grp, Layer: sq})
+		if err != nil {
+			return err
+		}
+		st.arbiter = arb
+		st.layer = sq
+		st.engine = eng
+		sites[id] = st
+	}
+	for _, id := range tellers {
+		if err := sites[id].arbiter.Start(); err != nil {
+			return err
+		}
+	}
+
+	// Each teller deposits three times, holding the page lock across the
+	// read-modify-write (here a single ordered deposit message).
+	deposits := map[string][]int64{
+		"berlin": {100, 40, 7},
+		"madrid": {250, 3, 90},
+		"tokyo":  {11, 600, 25},
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, len(tellers))
+	for _, id := range tellers {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			for _, amount := range deposits[id] {
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				cycle, err := sites[id].arbiter.Acquire(ctx)
+				if err != nil {
+					cancel()
+					errs <- fmt.Errorf("%s: %w", id, err)
+					return
+				}
+				if _, err := sites[id].layer.ASend("deposit", message.KindNonCommutative,
+					[]byte(fmt.Sprintf("%d", amount)), message.Unconstrained()); err != nil {
+					cancel()
+					errs <- err
+					return
+				}
+				fmt.Printf("  %s deposited %d under the page lock (cycle S%d)\n", id, amount, cycle)
+				if err := sites[id].arbiter.Release(); err != nil {
+					cancel()
+					errs <- err
+					return
+				}
+				cancel()
+			}
+		}(id)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return err
+	}
+
+	// Wait for every site to apply all nine deposits.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		done := true
+		for _, s := range sites {
+			s.mu.Lock()
+			if s.applied < 9 {
+				done = false
+			}
+			s.mu.Unlock()
+		}
+		if done {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	var want int64
+	for _, ds := range deposits {
+		for _, d := range ds {
+			want += d
+		}
+	}
+	allAgree := true
+	for _, id := range tellers {
+		s := sites[id]
+		s.mu.Lock()
+		fmt.Printf("site %s ledger balance: %d\n", id, s.balance)
+		if s.balance != want {
+			allAgree = false
+		}
+		s.mu.Unlock()
+	}
+	if allAgree {
+		fmt.Printf("RESULT: every site holds the serial balance %d — mutual exclusion by decentralized arbitration, no lock server\n", want)
+	}
+	return nil
+}

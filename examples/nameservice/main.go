@@ -1,0 +1,167 @@
+// Nameservice: the paper's §5.2 loosely coupled name service. Resolutions
+// (qry) and registrations (upd) are generated spontaneously — no causal
+// relations are declared — so replicas may interleave them differently.
+// Each query carries context (the update count its issuing site had
+// seen); a replica whose update count disagrees marks the result
+// inconsistent so the application discards it, exactly the paper's
+// application-specific consistency check.
+//
+// The example engineers the paper's own scenario: two queries race a
+// second update. At the site where upd2 overtakes a query issued before
+// it, the context disagrees and that query is discarded; sites that
+// processed in issue order answer it.
+//
+// Run with: go run ./examples/nameservice
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"causalshare/internal/causal"
+	"causalshare/internal/core"
+	"causalshare/internal/group"
+	"causalshare/internal/message"
+	"causalshare/internal/shareddata"
+	"causalshare/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "nameservice:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	servers := []string{"ns1", "ns2"}
+	grp, err := group.New("names", servers)
+	if err != nil {
+		return err
+	}
+	// A perfect network: we inject the racy interleaving explicitly by
+	// delivering messages to local replicas in different orders.
+	net := transport.NewChanNet(transport.FaultModel{})
+	defer func() { _ = net.Close() }()
+
+	replicas := make(map[string]*core.Replica)
+	engines := make(map[string]*causal.OSend)
+	defer func() {
+		for _, e := range engines {
+			_ = e.Close()
+		}
+	}()
+	for _, id := range servers {
+		rep, err := core.NewReplica(core.ReplicaConfig{
+			Self:    id,
+			Initial: shareddata.NewRegistry(),
+			Apply:   shareddata.ApplyRegistry,
+		})
+		if err != nil {
+			return err
+		}
+		conn, err := net.Attach(id)
+		if err != nil {
+			return err
+		}
+		eng, err := causal.NewOSend(causal.OSendConfig{
+			Self: id, Group: grp, Conn: conn, Deliver: rep.Deliver,
+		})
+		if err != nil {
+			return err
+		}
+		replicas[id] = rep
+		engines[id] = eng
+	}
+
+	// Spontaneous operations: each is broadcast with OccursAfter(NULL) —
+	// no causal constraints, exactly the loose §5.2 regime. upd1 from
+	// ns1; then, concurrently, queries from both sites and upd2.
+	send := func(from string, seq uint64, op shareddata.RegistryOp) (message.Label, error) {
+		label := message.Label{Origin: from, Seq: seq}
+		m := message.Message{Label: label, Kind: op.Kind, Op: op.Op, Body: op.Body}
+		return label, engines[from].Broadcast(m)
+	}
+
+	// upd1 binds printer -> hallway. Both sites see it.
+	if _, err := send("ns1", 1, shareddata.Upd("printer", "hallway")); err != nil {
+		return err
+	}
+	waitApplied(replicas, 1)
+
+	// Both queries are issued having seen exactly 1 update (context = 1).
+	qry1, err := coreQuery(engines, "ns1", 2, replicas["ns1"])
+	if err != nil {
+		return err
+	}
+	// upd2 races with qry2: ns2's copy processes upd2 first.
+	if _, err := send("ns2", 1, shareddata.Upd("printer", "basement")); err != nil {
+		return err
+	}
+	waitApplied(replicas, 3)
+	qry2, err := coreQuery(engines, "ns1", 3, replicas["ns1"]) // context may now be stale at some site
+	if err != nil {
+		return err
+	}
+	waitApplied(replicas, 4)
+
+	for _, id := range servers {
+		st := replicas[id].ReadNow()
+		reg, ok := st.(*shareddata.Registry)
+		if !ok {
+			return fmt.Errorf("unexpected state type %T", st)
+		}
+		fmt.Printf("server %s: printer -> %v, updates=%d, discarded=%d\n",
+			id, lookup(reg, "printer"), reg.Updates(), reg.Discarded())
+		for i, q := range []message.Label{qry1, qry2} {
+			if res, ok := reg.Result(q); ok {
+				status := fmt.Sprintf("answered %q", res.Value)
+				if res.Discarded {
+					status = "DISCARDED (context mismatch: updates intervened)"
+				}
+				fmt.Printf("  qry%d %v: %s\n", i+1, q, status)
+			}
+		}
+	}
+	fmt.Println("the context check lets servers detect exactly which query results an intervening update could have made inconsistent — no ordering protocol needed")
+	return nil
+}
+
+// coreQuery issues a query whose context is the issuing site's current
+// update count, as the §5.2 protocol prescribes.
+func coreQuery(engines map[string]*causal.OSend, from string, seq uint64, local *core.Replica) (message.Label, error) {
+	st := local.ReadNow()
+	reg, ok := st.(*shareddata.Registry)
+	if !ok {
+		return message.Nil, fmt.Errorf("unexpected state type %T", st)
+	}
+	op := shareddata.Qry("printer", reg.Updates())
+	label := message.Label{Origin: from, Seq: seq}
+	m := message.Message{Label: label, Kind: op.Kind, Op: op.Op, Body: op.Body}
+	return label, engines[from].Broadcast(m)
+}
+
+func waitApplied(replicas map[string]*core.Replica, want uint64) {
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		done := true
+		for _, r := range replicas {
+			if r.Applied() < want {
+				done = false
+			}
+		}
+		if done {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func lookup(r *shareddata.Registry, name string) string {
+	v, ok := r.Lookup(name)
+	if !ok {
+		return "<unbound>"
+	}
+	return v
+}

@@ -1,0 +1,110 @@
+// Quickstart: a replicated shared counter in ~60 lines.
+//
+// Three replicas keep copies of an integer. A client submits commutative
+// increments/decrements and an occasional read through the front-end
+// manager, which generates the paper's OccursAfter orderings. Replicas
+// apply messages in causal order, detect stable points locally, and the
+// deferred read returns the value every replica agrees on.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"causalshare/internal/causal"
+	"causalshare/internal/core"
+	"causalshare/internal/group"
+	"causalshare/internal/shareddata"
+	"causalshare/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// 1. A group of three replicas over an in-process network that
+	// reorders frames (0–4ms jitter), like a real LAN would.
+	grp, err := group.New("counter", []string{"r1", "r2", "r3"})
+	if err != nil {
+		return err
+	}
+	net := transport.NewChanNet(transport.FaultModel{MaxDelay: 4 * time.Millisecond, Seed: 1})
+	defer func() { _ = net.Close() }()
+
+	// 2. Each replica: a counter state machine fed by a causal engine.
+	replicas := make(map[string]*core.Replica)
+	var engines []*causal.OSend
+	defer func() {
+		for _, e := range engines {
+			_ = e.Close()
+		}
+	}()
+	for _, id := range grp.Members() {
+		rep, err := core.NewReplica(core.ReplicaConfig{
+			Self:    id,
+			Initial: shareddata.NewCounter(0),
+			Apply:   shareddata.ApplyCounter,
+		})
+		if err != nil {
+			return err
+		}
+		conn, err := net.Attach(id)
+		if err != nil {
+			return err
+		}
+		eng, err := causal.NewOSend(causal.OSendConfig{
+			Self: id, Group: grp, Conn: conn, Deliver: rep.Deliver,
+		})
+		if err != nil {
+			return err
+		}
+		replicas[id] = rep
+		engines = append(engines, eng)
+	}
+
+	// 3. A client front-end co-located with r1 submits operations. inc
+	// and dec are commutative — replicas may process them in any order —
+	// and the read closes the activity, forming a stable point.
+	fe, err := core.NewFrontEnd("alice", engines[0])
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 10; i++ {
+		op := shareddata.Inc()
+		if i%3 == 2 {
+			op = shareddata.Dec()
+		}
+		if _, err := fe.Submit(op.Op, op.Kind, op.Body); err != nil {
+			return err
+		}
+	}
+	rd := shareddata.Read()
+	if _, err := fe.Submit(rd.Op, rd.Kind, rd.Body); err != nil {
+		return err
+	}
+
+	// 4. Deferred reads at every replica return the same agreed value.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for _, id := range grp.Members() {
+		st, cycle, err := replicas[id].ReadDeferred(ctx)
+		if err != nil {
+			return err
+		}
+		counter, ok := st.(*shareddata.Counter)
+		if !ok {
+			return fmt.Errorf("unexpected state type %T", st)
+		}
+		fmt.Printf("replica %s read %d at stable point %d\n", id, counter.V, cycle)
+	}
+	fmt.Println("7 increments - 3 decrements = 4, agreed everywhere with no agreement protocol")
+	return nil
+}

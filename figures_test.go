@@ -1,0 +1,420 @@
+// Figure-scenario tests: one end-to-end reproduction per figure of the
+// paper, on the live stack. These are the F1–F5 rows of DESIGN.md's
+// experiment index (unit-level variants live in the respective packages).
+package causalshare_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"causalshare/internal/causal"
+	"causalshare/internal/core"
+	"causalshare/internal/group"
+	"causalshare/internal/lockarb"
+	"causalshare/internal/message"
+	"causalshare/internal/obs"
+	"causalshare/internal/shareddata"
+	"causalshare/internal/total"
+	"causalshare/internal/transport"
+)
+
+// TestFigure1Scenario reproduces Figure 1: entities sharing a data VAL
+// through broadcast data-access messages — every access is seen by every
+// entity, and the entities converge on the same value.
+func TestFigure1Scenario(t *testing.T) {
+	ids := []string{"e1", "e2", "e3"}
+	grp := group.MustNew("fig1", ids)
+	net := transport.NewChanNet(transport.FaultModel{MaxDelay: 3 * time.Millisecond, Seed: 41})
+	defer func() { _ = net.Close() }()
+
+	trace := obs.NewTrace()
+	replicas := map[string]*core.Replica{}
+	engines := map[string]*causal.OSend{}
+	defer func() {
+		for _, e := range engines {
+			_ = e.Close()
+		}
+	}()
+	for _, id := range ids {
+		rep, err := core.NewReplica(core.ReplicaConfig{
+			Self: id, Initial: shareddata.NewCounter(0), Apply: shareddata.ApplyCounter,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn, err := net.Attach(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := causal.NewOSend(causal.OSendConfig{
+			Self: id, Group: grp, Conn: conn, Deliver: trace.Observer(id, rep.Deliver),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		replicas[id] = rep
+		engines[id] = eng
+	}
+
+	// Each entity issues one access message; all must see all three.
+	fe, err := core.NewFrontEnd("cli", engines["e1"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		op := shareddata.Inc()
+		if _, err := fe.Submit(op.Op, op.Kind, op.Body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rd := shareddata.Read()
+	if _, err := fe.Submit(rd.Op, rd.Kind, rd.Body); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		done := true
+		for _, rep := range replicas {
+			if rep.Applied() < 7 {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("entities did not converge")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if n, err := trace.SameDeliverySet(); err != nil || n != 7 {
+		t.Fatalf("delivery sets: %d, %v", n, err)
+	}
+	ref, _ := replicas["e1"].ReadStable()
+	for _, id := range ids[1:] {
+		st, _ := replicas[id].ReadStable()
+		if st.Digest() != ref.Digest() {
+			t.Errorf("entity %s VAL %s, want %s", id, st.Digest(), ref.Digest())
+		}
+	}
+}
+
+// TestFigure2Scenario reproduces Figure 2's computation R(M) =
+// mk -> ||{mi', mj'} -> mj” at full-stack level: the concurrent middle
+// messages may interleave differently per member, but all members share
+// the view when the synchronization message arrives.
+func TestFigure2Scenario(t *testing.T) {
+	ids := []string{"ai", "aj", "ak"}
+	grp := group.MustNew("fig2", ids)
+	net := transport.NewChanNet(transport.FaultModel{MaxDelay: 4 * time.Millisecond, Seed: 43})
+	defer func() { _ = net.Close() }()
+
+	replicas := map[string]*core.Replica{}
+	engines := map[string]*causal.OSend{}
+	defer func() {
+		for _, e := range engines {
+			_ = e.Close()
+		}
+	}()
+	for _, id := range ids {
+		rep, err := core.NewReplica(core.ReplicaConfig{
+			Self: id, Initial: shareddata.NewCounter(0), Apply: shareddata.ApplyCounter,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn, err := net.Attach(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := causal.NewOSend(causal.OSendConfig{
+			Self: id, Group: grp, Conn: conn, Deliver: rep.Deliver,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		replicas[id] = rep
+		engines[id] = eng
+	}
+
+	mk := message.Message{Label: message.Label{Origin: "ak", Seq: 1}, Kind: message.KindNonCommutative, Op: "set", Body: []byte("10")}
+	mi := message.Message{Label: message.Label{Origin: "ai", Seq: 1}, Deps: message.After(mk.Label), Kind: message.KindCommutative, Op: "inc"}
+	mj := message.Message{Label: message.Label{Origin: "aj", Seq: 1}, Deps: message.After(mk.Label), Kind: message.KindCommutative, Op: "dec"}
+	sync := message.Message{Label: message.Label{Origin: "aj", Seq: 2}, Deps: message.After(mi.Label, mj.Label), Kind: message.KindRead, Op: "rd"}
+	for _, step := range []struct {
+		from string
+		m    message.Message
+	}{{"ak", mk}, {"ai", mi}, {"aj", mj}, {"aj", sync}} {
+		if err := engines[step.from].Broadcast(step.m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		done := true
+		for _, rep := range replicas {
+			if rep.Cycle() < 2 {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("sync point never reached")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	histories := map[string][]core.StablePoint{}
+	for id, rep := range replicas {
+		histories[id] = rep.StablePoints()
+	}
+	audit := obs.AuditStablePoints(histories)
+	if !audit.Consistent() || audit.Points != 2 {
+		t.Fatalf("audit = %+v", audit)
+	}
+	// The agreed value: set(10), one inc, one dec -> 10.
+	st, _ := replicas["ai"].ReadStable()
+	if st.Digest() != shareddata.NewCounter(10).Digest() {
+		t.Errorf("agreed value %s, want counter:10", st.Digest())
+	}
+}
+
+// TestFigure3GraphForms reproduces Figure 3's dependency-graph forms from
+// observed executions: many-to-one (concurrent dependents) and one-to-many
+// AND-dependency, extracted via the obs tracer.
+func TestFigure3GraphForms(t *testing.T) {
+	tr := obs.NewTrace()
+	rec := tr.Observer("m", nil)
+	msgNode := message.Message{Label: message.Label{Origin: "s", Seq: 1}, Kind: message.KindNonCommutative, Op: "Msg"}
+	m1 := message.Message{Label: message.Label{Origin: "a", Seq: 1}, Deps: message.After(msgNode.Label), Kind: message.KindCommutative, Op: "m1"}
+	m2 := message.Message{Label: message.Label{Origin: "b", Seq: 1}, Deps: message.After(msgNode.Label), Kind: message.KindCommutative, Op: "m2"}
+	msg2 := message.Message{Label: message.Label{Origin: "s", Seq: 2}, Deps: message.After(m1.Label, m2.Label), Kind: message.KindNonCommutative, Op: "Msg'"}
+	for _, m := range []message.Message{msgNode, m1, m2, msg2} {
+		rec(m)
+	}
+	g, err := tr.ExtractGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Concurrent(m1.Label, m2.Label) {
+		t.Error("many-to-one dependents not concurrent")
+	}
+	if !g.HappensBefore(msgNode.Label, msg2.Label) {
+		t.Error("transitive AND-dependency lost")
+	}
+	if lin := g.CountLinearizations(0); lin != 2 {
+		t.Errorf("diamond admits %d orders, want 2", lin)
+	}
+}
+
+// TestFigure4TotalOrderLayer reproduces Figure 4: a total-ordering
+// function interposed between the causal broadcast layer and the
+// application orders spontaneously generated messages identically at all
+// members, while the application can keep using causal broadcast
+// directly underneath.
+func TestFigure4TotalOrderLayer(t *testing.T) {
+	ids := []string{"a", "b", "c"}
+	grp := group.MustNew("fig4", ids)
+	net := transport.NewChanNet(transport.FaultModel{MaxDelay: 3 * time.Millisecond, Seed: 47})
+	defer func() { _ = net.Close() }()
+
+	type member struct {
+		layer  *total.Sequencer
+		engine *causal.OSend
+		mu     sync.Mutex
+		order  []string
+	}
+	members := map[string]*member{}
+	orderSnapshot := func(mb *member) []string {
+		mb.mu.Lock()
+		defer mb.mu.Unlock()
+		return append([]string(nil), mb.order...)
+	}
+	defer func() {
+		for _, m := range members {
+			_ = m.layer.Close()
+			_ = m.engine.Close()
+		}
+	}()
+	for _, id := range ids {
+		mb := &member{}
+		sq, err := total.NewSequencer(total.Config{
+			Self: id, Group: grp,
+			Deliver: func(m message.Message) {
+				mb.mu.Lock()
+				mb.order = append(mb.order, m.Op)
+				mb.mu.Unlock()
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn, err := net.Attach(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := causal.NewOSend(causal.OSendConfig{
+			Self: id, Group: grp, Conn: conn, Deliver: sq.Ingest,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sq.Bind(eng)
+		mb.layer = sq
+		mb.engine = eng
+		members[id] = mb
+	}
+	// Spontaneous messages from every member, racing each other.
+	for i := 0; i < 5; i++ {
+		for _, id := range ids {
+			op := fmt.Sprintf("spont-%s-%d", id, i)
+			if _, err := members[id].layer.ASend(op, message.KindNonCommutative, nil, message.Unconstrained()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		done := true
+		for _, mb := range members {
+			if len(orderSnapshot(mb)) < 15 {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("total order never completed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ref := orderSnapshot(members[ids[0]])
+	for _, id := range ids[1:] {
+		got := orderSnapshot(members[id])
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("member %s order diverges at %d: %s vs %s", id, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestFigure5Arbitration reproduces Figure 5: LOCK/TFR cycles over the
+// total order; members A, B, C agree on every holder across cycles S.
+func TestFigure5Arbitration(t *testing.T) {
+	ids := []string{"A", "B", "C"}
+	grp := group.MustNew("fig5", ids)
+	net := transport.NewChanNet(transport.FaultModel{MaxDelay: 2 * time.Millisecond, Seed: 53})
+	defer func() { _ = net.Close() }()
+
+	arbiters := map[string]*lockarb.Arbiter{}
+	var logMu sync.Mutex
+	grantLogs := map[string][]string{}
+	logSnapshot := func(id string) []string {
+		logMu.Lock()
+		defer logMu.Unlock()
+		return append([]string(nil), grantLogs[id]...)
+	}
+	var closers []func()
+	defer func() {
+		for _, c := range closers {
+			c()
+		}
+	}()
+	for _, id := range ids {
+		id := id
+		var arb *lockarb.Arbiter
+		sq, err := total.NewSequencer(total.Config{
+			Self: id, Group: grp,
+			Deliver: func(m message.Message) { arb.Ingest(m) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn, err := net.Attach(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := causal.NewOSend(causal.OSendConfig{
+			Self: id, Group: grp, Conn: conn, Deliver: sq.Ingest,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sq.Bind(eng)
+		arb, err = lockarb.NewArbiter(lockarb.Config{
+			Self: id, Group: grp, Layer: sq,
+			OnGrant: func(holder string, cycle uint64) {
+				logMu.Lock()
+				grantLogs[id] = append(grantLogs[id], fmt.Sprintf("%s@%d", holder, cycle))
+				logMu.Unlock()
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		arbiters[id] = arb
+		closers = append(closers, func() { _ = sq.Close(); _ = eng.Close() })
+	}
+	for _, id := range ids {
+		if err := arbiters[id].Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Two arbitration cycles, all members requesting — sequential
+	// acquire/release per member driven from one goroutine per member.
+	done := make(chan error, len(ids))
+	for _, id := range ids {
+		go func(id string) {
+			for s := 0; s < 2; s++ {
+				ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+				if _, err := arbiters[id].Acquire(ctx); err != nil {
+					cancel()
+					done <- err
+					return
+				}
+				if err := arbiters[id].Release(); err != nil {
+					cancel()
+					done <- err
+					return
+				}
+				cancel()
+			}
+			done <- nil
+		}(id)
+	}
+	for range ids {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(logSnapshot(ids[0])) >= 6 && len(logSnapshot(ids[1])) >= 6 && len(logSnapshot(ids[2])) >= 6 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ref := logSnapshot(ids[0])
+	if len(ref) < 6 {
+		t.Fatalf("only %d grants observed", len(ref))
+	}
+	for _, id := range ids[1:] {
+		got := logSnapshot(id)
+		limit := len(ref)
+		if len(got) < limit {
+			limit = len(got)
+		}
+		for i := 0; i < limit; i++ {
+			if got[i] != ref[i] {
+				t.Fatalf("member %s grant %d = %s, want %s", id, i, got[i], ref[i])
+			}
+		}
+	}
+}

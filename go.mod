@@ -1,0 +1,3 @@
+module causalshare
+
+go 1.22

@@ -1,0 +1,265 @@
+// Package baseline implements the comparison protocols the paper's
+// approach is evaluated against:
+//
+//   - Agreement: an explicit coordinator-driven agreement round
+//     (PROPOSE → VOTE → DECIDE, 2PC-shaped) that replicas would need at
+//     every synchronization point if they could not detect stable points
+//     locally. Experiment E4 counts its messages and latency against the
+//     zero extra messages of stable-point detection.
+//   - Primary: a primary-copy protocol — all operations are forwarded to
+//     a fixed primary which serializes and rebroadcasts them. The classic
+//     alternative to decentralized ordering; used in ablations.
+//
+// Both run over the live transport substrate so their costs are measured
+// under the same conditions as the model's protocols.
+package baseline
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"causalshare/internal/group"
+	"causalshare/internal/transport"
+)
+
+// ErrClosed is returned by operations on closed protocol instances.
+var ErrClosed = errors.New("baseline: closed")
+
+// frame tags.
+const (
+	framePropose byte = iota + 1
+	frameVote
+	frameDecide
+	frameForward
+	frameApply
+)
+
+// AgreementStats counts the cost of explicit agreement rounds.
+type AgreementStats struct {
+	// Rounds is the number of completed agreements.
+	Rounds uint64
+	// Messages is the point-to-point frames those rounds used.
+	Messages uint64
+}
+
+// Coordinator drives explicit agreement rounds among a group. One member
+// is the coordinator (rank 0); it proposes a value (a state digest),
+// collects votes from all members, and broadcasts the decision. The
+// member-side logic lives in Participant.
+type Coordinator struct {
+	self string
+	grp  *group.Group
+	conn transport.Conn
+
+	mu      sync.Mutex
+	closed  bool
+	nextID  uint64
+	waiting map[uint64]*roundState
+	stats   AgreementStats
+
+	wg sync.WaitGroup
+}
+
+type roundState struct {
+	votes int
+	done  chan struct{}
+}
+
+// NewCoordinator builds the coordinator endpoint; self must be the
+// group's rank-0 member.
+func NewCoordinator(self string, grp *group.Group, conn transport.Conn) (*Coordinator, error) {
+	if grp.Rank(self) != 0 {
+		return nil, fmt.Errorf("baseline: coordinator must be rank 0, %q is rank %d", self, grp.Rank(self))
+	}
+	c := &Coordinator{
+		self: self, grp: grp, conn: conn,
+		waiting: make(map[uint64]*roundState),
+	}
+	c.wg.Add(1)
+	go c.recvLoop()
+	return c, nil
+}
+
+// Agree runs one agreement round on value, blocking until every member
+// voted and the decision is broadcast. It returns the frames the round
+// consumed.
+func (c *Coordinator) Agree(value []byte) (uint64, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return 0, ErrClosed
+	}
+	c.nextID++
+	id := c.nextID
+	st := &roundState{done: make(chan struct{})}
+	c.waiting[id] = st
+	c.mu.Unlock()
+
+	others := c.grp.Others(c.self)
+	frames := uint64(0)
+	propose := encodeRound(framePropose, id, value)
+	for _, p := range others {
+		if err := c.conn.Send(p, propose); err != nil {
+			return frames, fmt.Errorf("baseline: propose to %q: %w", p, err)
+		}
+		frames++
+	}
+	<-st.done
+	frames += uint64(len(others)) // the votes received
+	decide := encodeRound(frameDecide, id, value)
+	for _, p := range others {
+		if err := c.conn.Send(p, decide); err != nil {
+			return frames, fmt.Errorf("baseline: decide to %q: %w", p, err)
+		}
+		frames++
+	}
+	c.mu.Lock()
+	delete(c.waiting, id)
+	c.stats.Rounds++
+	c.stats.Messages += frames
+	c.mu.Unlock()
+	return frames, nil
+}
+
+// Stats returns accumulated agreement costs.
+func (c *Coordinator) Stats() AgreementStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Close stops the coordinator.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	err := c.conn.Close()
+	c.wg.Wait()
+	return err
+}
+
+func (c *Coordinator) recvLoop() {
+	defer c.wg.Done()
+	need := c.grp.Size() - 1
+	for {
+		env, err := c.conn.Recv()
+		if err != nil {
+			return
+		}
+		kind, id, _, err := decodeRound(env.Payload)
+		if err != nil || kind != frameVote {
+			continue
+		}
+		c.mu.Lock()
+		st, ok := c.waiting[id]
+		if ok {
+			st.votes++
+			if st.votes == need {
+				close(st.done)
+			}
+		}
+		c.mu.Unlock()
+	}
+}
+
+// Participant is the member-side of explicit agreement: it votes on every
+// proposal and records decisions.
+type Participant struct {
+	self string
+	conn transport.Conn
+
+	mu       sync.Mutex
+	closed   bool
+	decided  uint64
+	lastOK   []byte
+	onDecide func(id uint64, value []byte)
+
+	wg sync.WaitGroup
+}
+
+// NewParticipant builds a participant endpoint. onDecide may be nil.
+func NewParticipant(self string, conn transport.Conn, onDecide func(uint64, []byte)) *Participant {
+	p := &Participant{self: self, conn: conn, onDecide: onDecide}
+	p.wg.Add(1)
+	go p.recvLoop()
+	return p
+}
+
+// Decided returns the number of decisions observed.
+func (p *Participant) Decided() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.decided
+}
+
+// Close stops the participant.
+func (p *Participant) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	p.mu.Unlock()
+	err := p.conn.Close()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Participant) recvLoop() {
+	defer p.wg.Done()
+	for {
+		env, err := p.conn.Recv()
+		if err != nil {
+			return
+		}
+		kind, id, value, err := decodeRound(env.Payload)
+		if err != nil {
+			continue
+		}
+		switch kind {
+		case framePropose:
+			_ = p.conn.Send(env.From, encodeRound(frameVote, id, nil)) // retried by coordinator timeouts in real systems
+		case frameDecide:
+			p.mu.Lock()
+			p.decided++
+			p.lastOK = value
+			cb := p.onDecide
+			p.mu.Unlock()
+			if cb != nil {
+				cb(id, value)
+			}
+		}
+	}
+}
+
+func encodeRound(kind byte, id uint64, value []byte) []byte {
+	buf := []byte{kind}
+	buf = binary.AppendUvarint(buf, id)
+	buf = binary.AppendUvarint(buf, uint64(len(value)))
+	return append(buf, value...)
+}
+
+func decodeRound(data []byte) (byte, uint64, []byte, error) {
+	if len(data) < 1 {
+		return 0, 0, nil, fmt.Errorf("baseline: empty frame")
+	}
+	kind := data[0]
+	data = data[1:]
+	id, used := binary.Uvarint(data)
+	if used <= 0 {
+		return 0, 0, nil, fmt.Errorf("baseline: truncated round id")
+	}
+	data = data[used:]
+	n, used := binary.Uvarint(data)
+	if used <= 0 || uint64(len(data)-used) < n {
+		return 0, 0, nil, fmt.Errorf("baseline: truncated value")
+	}
+	return kind, id, data[used : used+int(n)], nil
+}

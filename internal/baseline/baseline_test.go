@@ -1,0 +1,262 @@
+package baseline
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"causalshare/internal/group"
+	"causalshare/internal/message"
+	"causalshare/internal/transport"
+)
+
+func TestCoordinatorMustBeRankZero(t *testing.T) {
+	grp := group.MustNew("g", []string{"a", "b"})
+	net := transport.NewChanNet(transport.FaultModel{})
+	defer func() { _ = net.Close() }()
+	conn, _ := net.Attach("b")
+	if _, err := NewCoordinator("b", grp, conn); err == nil {
+		t.Error("non-rank-0 coordinator accepted")
+	}
+}
+
+func TestAgreementRound(t *testing.T) {
+	ids := []string{"a", "b", "c", "d"}
+	grp := group.MustNew("g", ids)
+	net := transport.NewChanNet(transport.FaultModel{})
+	defer func() { _ = net.Close() }()
+
+	connA, _ := net.Attach("a")
+	coord, err := NewCoordinator("a", grp, connA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = coord.Close() }()
+
+	var parts []*Participant
+	decisions := make(chan []byte, 16)
+	for _, id := range ids[1:] {
+		conn, _ := net.Attach(id)
+		p := NewParticipant(id, conn, func(_ uint64, v []byte) {
+			decisions <- v
+		})
+		parts = append(parts, p)
+	}
+	defer func() {
+		for _, p := range parts {
+			_ = p.Close()
+		}
+	}()
+
+	frames, err := coord.Agree([]byte("digest-1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// n-1 proposes + n-1 votes + n-1 decides = 3(n-1) = 9.
+	if frames != 9 {
+		t.Errorf("frames = %d, want 9", frames)
+	}
+	for i := 0; i < len(ids)-1; i++ {
+		select {
+		case v := <-decisions:
+			if string(v) != "digest-1" {
+				t.Errorf("decision = %q", v)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("participant missed decision")
+		}
+	}
+	st := coord.Stats()
+	if st.Rounds != 1 || st.Messages != 9 {
+		t.Errorf("stats = %+v", st)
+	}
+	for _, p := range parts {
+		if got := p.Decided(); got != 1 {
+			t.Errorf("participant Decided = %d, want 1", got)
+		}
+	}
+}
+
+func TestAgreementScalesLinearly(t *testing.T) {
+	// E4's point: explicit agreement costs 3(n-1) frames per sync point;
+	// stable-point detection costs zero.
+	for _, n := range []int{3, 6, 9} {
+		ids := make([]string, n)
+		for i := range ids {
+			ids[i] = fmt.Sprintf("m%02d", i)
+		}
+		grp := group.MustNew("g", ids)
+		net := transport.NewChanNet(transport.FaultModel{})
+		connA, _ := net.Attach(ids[0])
+		coord, err := NewCoordinator(ids[0], grp, connA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var parts []*Participant
+		for _, id := range ids[1:] {
+			conn, _ := net.Attach(id)
+			parts = append(parts, NewParticipant(id, conn, nil))
+		}
+		frames, err := coord.Agree([]byte("x"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := uint64(3 * (n - 1)); frames != want {
+			t.Errorf("n=%d frames = %d, want %d", n, frames, want)
+		}
+		_ = coord.Close()
+		for _, p := range parts {
+			_ = p.Close()
+		}
+		_ = net.Close()
+	}
+}
+
+func TestAgreeAfterClose(t *testing.T) {
+	grp := group.MustNew("g", []string{"a", "b"})
+	net := transport.NewChanNet(transport.FaultModel{})
+	defer func() { _ = net.Close() }()
+	connA, _ := net.Attach("a")
+	coord, err := NewCoordinator("a", grp, connA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := coord.Agree([]byte("x")); err != ErrClosed {
+		t.Errorf("Agree after close = %v, want ErrClosed", err)
+	}
+}
+
+type primaryStack struct {
+	net      *transport.ChanNet
+	prims    map[string]*Primary
+	mu       sync.Mutex
+	orders   map[string][]message.Label
+	delivers map[string]int
+}
+
+func newPrimaryStack(t *testing.T, ids []string, faults transport.FaultModel) *primaryStack {
+	t.Helper()
+	grp := group.MustNew("g", ids)
+	net := transport.NewChanNet(faults)
+	s := &primaryStack{
+		net: net, prims: map[string]*Primary{},
+		orders: map[string][]message.Label{}, delivers: map[string]int{},
+	}
+	for _, id := range ids {
+		conn, err := net.Attach(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		id := id
+		p, err := NewPrimary(id, grp, conn, func(m message.Message) {
+			s.mu.Lock()
+			s.orders[id] = append(s.orders[id], m.Label)
+			s.delivers[id]++
+			s.mu.Unlock()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.prims[id] = p
+	}
+	return s
+}
+
+func (s *primaryStack) close() {
+	for _, p := range s.prims {
+		_ = p.Close()
+	}
+	_ = s.net.Close()
+}
+
+func (s *primaryStack) waitDelivered(t *testing.T, want int, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		s.mu.Lock()
+		done := len(s.delivers) > 0
+		for _, n := range s.delivers {
+			if n < want {
+				done = false
+			}
+		}
+		count := len(s.delivers)
+		s.mu.Unlock()
+		if done && count == len(s.prims) {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %d deliveries: %v", want, s.delivers)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestPrimarySequencesIdentically(t *testing.T) {
+	ids := []string{"a", "b", "c"}
+	s := newPrimaryStack(t, ids, transport.FaultModel{
+		MinDelay: 0, MaxDelay: 2 * time.Millisecond, Seed: 3,
+	})
+	defer s.close()
+
+	const per = 10
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			for k := uint64(1); k <= per; k++ {
+				m := message.Message{
+					Label: message.Label{Origin: id, Seq: k},
+					Kind:  message.KindNonCommutative,
+					Op:    "w",
+				}
+				if err := s.prims[id].Submit(m); err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+			}
+		}(i, id)
+	}
+	wg.Wait()
+	s.waitDelivered(t, len(ids)*per, 10*time.Second)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ref := s.orders[ids[0]]
+	for _, id := range ids[1:] {
+		got := s.orders[id]
+		if len(got) != len(ref) {
+			t.Fatalf("member %s delivered %d, ref %d", id, len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("member %s order diverges at %d", id, i)
+			}
+		}
+	}
+}
+
+func TestPrimaryRejectsInvalid(t *testing.T) {
+	s := newPrimaryStack(t, []string{"a", "b"}, transport.FaultModel{})
+	defer s.close()
+	if err := s.prims["a"].Submit(message.Message{}); err == nil {
+		t.Error("invalid message accepted")
+	}
+}
+
+func TestPrimarySubmitAfterClose(t *testing.T) {
+	s := newPrimaryStack(t, []string{"a", "b"}, transport.FaultModel{})
+	defer s.close()
+	_ = s.prims["b"].Close()
+	err := s.prims["b"].Submit(message.Message{
+		Label: message.Label{Origin: "b", Seq: 1},
+		Kind:  message.KindCommutative, Op: "w",
+	})
+	if err == nil {
+		t.Error("submit after close succeeded")
+	}
+}

@@ -1,0 +1,187 @@
+package baseline
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"causalshare/internal/group"
+	"causalshare/internal/message"
+	"causalshare/internal/transport"
+)
+
+// Primary is the primary-copy baseline: every operation is forwarded to
+// the group's rank-0 member, which serializes operations in arrival order
+// and rebroadcasts them with a global sequence number; members apply in
+// sequence order. Non-primary submissions cost an extra network hop, and
+// the primary is a throughput bottleneck — the trade-offs the paper's
+// decentralized model avoids.
+type Primary struct {
+	self    string
+	grp     *group.Group
+	conn    transport.Conn
+	leader  string
+	deliver func(message.Message)
+
+	mu     sync.Mutex
+	closed bool
+	// Leader state: next sequence number to assign.
+	nextAssign uint64
+	// Member state: sequence reassembly.
+	nextApply uint64
+	held      map[uint64]message.Message
+
+	wg sync.WaitGroup
+}
+
+// NewPrimary builds one member's endpoint of the primary-copy protocol.
+func NewPrimary(self string, grp *group.Group, conn transport.Conn, deliver func(message.Message)) (*Primary, error) {
+	if !grp.Contains(self) {
+		return nil, fmt.Errorf("baseline: %q is not a member", self)
+	}
+	if deliver == nil {
+		return nil, fmt.Errorf("baseline: nil deliver func")
+	}
+	p := &Primary{
+		self: self, grp: grp, conn: conn,
+		leader:     grp.Members()[0],
+		deliver:    deliver,
+		nextAssign: 1,
+		nextApply:  1,
+		held:       make(map[uint64]message.Message),
+	}
+	p.wg.Add(1)
+	go p.recvLoop()
+	return p, nil
+}
+
+// Submit sends one operation into the protocol: directly sequenced if
+// self is the primary, otherwise forwarded.
+func (p *Primary) Submit(m message.Message) error {
+	if err := m.Validate(); err != nil {
+		return fmt.Errorf("baseline: submit: %w", err)
+	}
+	data, err := m.MarshalBinary()
+	if err != nil {
+		return fmt.Errorf("baseline: encode: %w", err)
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrClosed
+	}
+	isLeader := p.self == p.leader
+	p.mu.Unlock()
+	if isLeader {
+		p.sequence(m)
+		return nil
+	}
+	if err := p.conn.Send(p.leader, append([]byte{frameForward}, data...)); err != nil {
+		return fmt.Errorf("baseline: forward: %w", err)
+	}
+	return nil
+}
+
+// sequence assigns the next global number and fans the operation out.
+func (p *Primary) sequence(m message.Message) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	seq := p.nextAssign
+	p.nextAssign++
+	p.mu.Unlock()
+	data, err := m.MarshalBinary()
+	if err != nil {
+		return
+	}
+	frame := append([]byte{frameApply}, encodeSeqFrame(seq, data)...)
+	for _, peer := range p.grp.Others(p.self) {
+		_ = p.conn.Send(peer, frame) // reliability is the transport's concern in this baseline
+	}
+	p.apply(seq, m)
+}
+
+// apply releases contiguously sequenced operations to the application.
+func (p *Primary) apply(seq uint64, m message.Message) {
+	p.mu.Lock()
+	p.held[seq] = m
+	var ready []message.Message
+	for {
+		next, ok := p.held[p.nextApply]
+		if !ok {
+			break
+		}
+		delete(p.held, p.nextApply)
+		p.nextApply++
+		ready = append(ready, next)
+	}
+	p.mu.Unlock()
+	for _, r := range ready {
+		p.deliver(r)
+	}
+}
+
+// Close stops the endpoint.
+func (p *Primary) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	p.mu.Unlock()
+	err := p.conn.Close()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Primary) recvLoop() {
+	defer p.wg.Done()
+	for {
+		env, err := p.conn.Recv()
+		if err != nil {
+			return
+		}
+		if len(env.Payload) < 1 {
+			continue
+		}
+		kind, body := env.Payload[0], env.Payload[1:]
+		switch kind {
+		case frameForward:
+			if p.self != p.leader {
+				continue
+			}
+			var m message.Message
+			if err := m.UnmarshalBinary(body); err != nil {
+				continue
+			}
+			p.sequence(m)
+		case frameApply:
+			seq, data, err := decodeSeqFrame(body)
+			if err != nil {
+				continue
+			}
+			var m message.Message
+			if err := m.UnmarshalBinary(data); err != nil {
+				continue
+			}
+			p.apply(seq, m)
+		}
+	}
+}
+
+func encodeSeqFrame(seq uint64, data []byte) []byte {
+	buf := make([]byte, 0, len(data)+binary.MaxVarintLen64)
+	buf = binary.AppendUvarint(buf, seq)
+	return append(buf, data...)
+}
+
+func decodeSeqFrame(body []byte) (uint64, []byte, error) {
+	seq, used := binary.Uvarint(body)
+	if used <= 0 {
+		return 0, nil, fmt.Errorf("baseline: truncated seq")
+	}
+	return seq, body[used:], nil
+}

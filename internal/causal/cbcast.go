@@ -1,0 +1,414 @@
+package causal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"time"
+
+	"causalshare/internal/group"
+	"causalshare/internal/message"
+	"causalshare/internal/transport"
+	"causalshare/internal/vclock"
+)
+
+// CBCastConfig parameterizes a CBCast engine.
+type CBCastConfig struct {
+	// Self is the local member id; it must be a member of Group.
+	Self string
+	// Group is the broadcast domain.
+	Group *group.Group
+	// Conn is the transport attachment for Self.
+	Conn transport.Conn
+	// Deliver receives messages in causal order.
+	Deliver DeliverFunc
+	// Patience bounds how long a buffered message waits on a vector-clock
+	// gap before the engine requests retransmission. Zero disables it.
+	Patience time.Duration
+}
+
+// CBCast is the ISIS-style causal broadcast baseline: each message
+// piggybacks the sender's vector clock and is delivered under the classic
+// causal condition (FIFO from the sender plus all causal predecessors
+// delivered). It infers causality from what the sender had observed —
+// the "incidental ordering" the paper contrasts OSend against — so it may
+// delay messages the application considers concurrent.
+type CBCast struct {
+	self     string
+	grp      *group.Group
+	conn     transport.Conn
+	deliver  DeliverFunc
+	patience time.Duration
+
+	mu        sync.Mutex
+	closed    bool
+	vc        vclock.VC // local delivery clock
+	pending   []cbEntry
+	retained  map[uint64][]byte // own frames by seq, for retransmission
+	lastFetch map[string]time.Time
+	metrics   Metrics
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+type cbEntry struct {
+	sender string
+	vc     vclock.VC
+	msg    message.Message
+	since  time.Time
+}
+
+var _ Broadcaster = (*CBCast)(nil)
+
+// NewCBCast starts an engine; its receive loop runs until Close.
+func NewCBCast(cfg CBCastConfig) (*CBCast, error) {
+	if cfg.Group == nil || !cfg.Group.Contains(cfg.Self) {
+		return nil, fmt.Errorf("causal: %q is not a member of the group", cfg.Self)
+	}
+	if cfg.Conn == nil {
+		return nil, fmt.Errorf("causal: nil conn")
+	}
+	if cfg.Deliver == nil {
+		return nil, fmt.Errorf("causal: nil deliver func")
+	}
+	e := &CBCast{
+		self:      cfg.Self,
+		grp:       cfg.Group,
+		conn:      cfg.Conn,
+		deliver:   cfg.Deliver,
+		patience:  cfg.Patience,
+		vc:        vclock.New(),
+		retained:  make(map[uint64][]byte),
+		lastFetch: make(map[string]time.Time),
+		done:      make(chan struct{}),
+	}
+	e.wg.Add(1)
+	go e.recvLoop()
+	if e.patience > 0 {
+		e.wg.Add(1)
+		go e.fetchLoop()
+	}
+	return e, nil
+}
+
+// Self implements Broadcaster.
+func (e *CBCast) Self() string { return e.self }
+
+// Broadcast implements Broadcaster. The local clock ticks, the message is
+// stamped with the post-tick clock, delivered locally (it is causally
+// ready by construction) and sent to all other members.
+func (e *CBCast) Broadcast(m message.Message) error {
+	if err := m.Validate(); err != nil {
+		return fmt.Errorf("causal: broadcast: %w", err)
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	seq := e.vc.Tick(e.self)
+	stamp := e.vc.Clone()
+	frame, err := encodeCBFrame(e.self, stamp, m)
+	if err != nil {
+		// Roll back the tick so the clock does not advance past a message
+		// that was never sent.
+		e.vc.Set(e.self, seq-1)
+		e.mu.Unlock()
+		return fmt.Errorf("causal: encode %v: %w", m.Label, err)
+	}
+	e.retained[seq] = frame
+	stampBytes, _ := stamp.MarshalBinary() // cannot fail
+	e.metrics.ControlBytes += uint64(len(stampBytes)) * uint64(e.grp.Size()-1)
+	e.metrics.Delivered++
+	e.mu.Unlock()
+
+	// Self-delivery first: a member observes its own message immediately.
+	e.deliver(m)
+	for _, peer := range e.grp.Others(e.self) {
+		if err := e.conn.Send(peer, frame); err != nil {
+			return fmt.Errorf("causal: send %v to %q: %w", m.Label, peer, err)
+		}
+	}
+	return nil
+}
+
+// Clock returns a copy of the local delivery clock.
+func (e *CBCast) Clock() vclock.VC {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.vc.Clone()
+}
+
+// Metrics returns a snapshot of the engine's counters.
+func (e *CBCast) Metrics() Metrics {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	m := e.metrics
+	m.Buffered = len(e.pending)
+	return m
+}
+
+// Close implements Broadcaster.
+func (e *CBCast) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.mu.Unlock()
+	close(e.done)
+	err := e.conn.Close()
+	e.wg.Wait()
+	return err
+}
+
+func (e *CBCast) recvLoop() {
+	defer e.wg.Done()
+	for {
+		env, err := e.conn.Recv()
+		if err != nil {
+			return
+		}
+		if len(env.Payload) == 0 {
+			continue
+		}
+		kind, body := env.Payload[0], env.Payload[1:]
+		switch kind {
+		case frameCBCastData:
+			sender, vc, m, err := decodeCBFrame(body)
+			if err != nil {
+				continue
+			}
+			e.ingest(sender, vc, m)
+		case frameCBCastFetch:
+			seq, used := binary.Uvarint(body)
+			if used <= 0 {
+				continue
+			}
+			e.serveFetch(env.From, seq)
+		case frameCBCastAdvert:
+			seq, used := binary.Uvarint(body)
+			if used <= 0 {
+				continue
+			}
+			e.handleAdvert(env.From, seq)
+		default:
+		}
+	}
+}
+
+func (e *CBCast) ingest(sender string, vc vclock.VC, m message.Message) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	if vc.Get(sender) <= e.vc.Get(sender) {
+		e.metrics.Duplicates++ // already delivered (or impossibly old)
+		e.mu.Unlock()
+		return
+	}
+	for _, p := range e.pending {
+		if p.sender == sender && p.vc.Get(sender) == vc.Get(sender) {
+			e.metrics.Duplicates++
+			e.mu.Unlock()
+			return
+		}
+	}
+	e.pending = append(e.pending, cbEntry{sender: sender, vc: vc, msg: m, since: time.Now()})
+	if len(e.pending) > e.metrics.MaxBuffered {
+		e.metrics.MaxBuffered = len(e.pending)
+	}
+	ready := e.drainLocked()
+	e.mu.Unlock()
+	for _, r := range ready {
+		e.deliver(r)
+	}
+}
+
+// drainLocked repeatedly scans the buffer delivering every causally ready
+// message until a fixpoint. Caller holds e.mu.
+func (e *CBCast) drainLocked() []message.Message {
+	var out []message.Message
+	for {
+		progress := false
+		for i := 0; i < len(e.pending); i++ {
+			p := e.pending[i]
+			if !e.vc.CausallyReady(p.vc, p.sender) {
+				continue
+			}
+			e.vc.Merge(p.vc)
+			e.metrics.Delivered++
+			out = append(out, p.msg)
+			e.pending = append(e.pending[:i], e.pending[i+1:]...)
+			progress = true
+			i--
+		}
+		if !progress {
+			return out
+		}
+	}
+}
+
+func (e *CBCast) fetchLoop() {
+	defer e.wg.Done()
+	interval := e.patience / 2
+	if interval <= 0 {
+		interval = e.patience
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-e.done:
+			return
+		case now := <-ticker.C:
+			e.fetchGaps(now)
+			e.advertise()
+		}
+	}
+}
+
+// advertise tells every peer the highest sequence number this member has
+// broadcast, so tail losses (messages no later clock ever references) are
+// detected and re-fetched.
+func (e *CBCast) advertise() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	latest := e.vc.Get(e.self)
+	e.mu.Unlock()
+	if latest == 0 {
+		return
+	}
+	frame := append([]byte{frameCBCastAdvert}, binary.AppendUvarint(nil, latest)...)
+	for _, peer := range e.grp.Others(e.self) {
+		_ = e.conn.Send(peer, frame) // best effort; re-sent next tick
+	}
+}
+
+// handleAdvert fetches the next needed sequence from a peer that claims
+// to have broadcast past our horizon for it.
+func (e *CBCast) handleAdvert(from string, latest uint64) {
+	e.mu.Lock()
+	have := e.vc.Get(from)
+	want := have + 1
+	stale := latest > have
+	if last, ok := e.lastFetch[from]; ok && time.Since(last) < e.patience {
+		stale = false
+	}
+	if stale {
+		e.lastFetch[from] = time.Now()
+		e.metrics.Fetches++
+	}
+	e.mu.Unlock()
+	if !stale {
+		return
+	}
+	frame := append([]byte{frameCBCastFetch}, binary.AppendUvarint(nil, want)...)
+	_ = e.conn.Send(from, frame) // best effort; retried next advert
+}
+
+// fetchGaps requests, from each origin a stale pending message is waiting
+// on, the next sequence number the local clock needs from that origin.
+func (e *CBCast) fetchGaps(now time.Time) {
+	type fetch struct {
+		to  string
+		seq uint64
+	}
+	var fetches []fetch
+	e.mu.Lock()
+	for _, p := range e.pending {
+		if now.Sub(p.since) < e.patience {
+			continue
+		}
+		for origin, need := range p.vc {
+			have := e.vc.Get(origin)
+			wantNext := have + 1
+			if origin == p.sender {
+				// FIFO gap: we need seqs up to need-1 before p itself.
+				if need <= wantNext {
+					continue // p is blocked on other components
+				}
+			} else if need <= have {
+				continue
+			}
+			if origin == e.self || !e.grp.Contains(origin) {
+				continue
+			}
+			if last, ok := e.lastFetch[origin]; ok && now.Sub(last) < e.patience {
+				continue
+			}
+			e.lastFetch[origin] = now
+			fetches = append(fetches, fetch{to: origin, seq: wantNext})
+			e.metrics.Fetches++
+		}
+	}
+	e.mu.Unlock()
+	for _, f := range fetches {
+		frame := append([]byte{frameCBCastFetch}, binary.AppendUvarint(nil, f.seq)...)
+		_ = e.conn.Send(f.to, frame) // best effort; retried next tick
+	}
+}
+
+func (e *CBCast) serveFetch(requester string, seq uint64) {
+	e.mu.Lock()
+	// Serve the requested seq and a few following, to heal bursts faster.
+	var frames [][]byte
+	for s := seq; s < seq+4; s++ {
+		if f, ok := e.retained[s]; ok {
+			frames = append(frames, f)
+		}
+	}
+	e.mu.Unlock()
+	for _, f := range frames {
+		_ = e.conn.Send(requester, f) // best effort
+	}
+}
+
+func encodeCBFrame(sender string, vc vclock.VC, m message.Message) ([]byte, error) {
+	mBytes, err := m.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	vcBytes, err := vc.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 0, 1+len(sender)+len(vcBytes)+len(mBytes)+12)
+	buf = append(buf, frameCBCastData)
+	buf = binary.AppendUvarint(buf, uint64(len(sender)))
+	buf = append(buf, sender...)
+	buf = binary.AppendUvarint(buf, uint64(len(vcBytes)))
+	buf = append(buf, vcBytes...)
+	buf = append(buf, mBytes...)
+	return buf, nil
+}
+
+// decodeCBFrame decodes the body of a frameCBCastData frame (tag already
+// stripped).
+func decodeCBFrame(body []byte) (string, vclock.VC, message.Message, error) {
+	var m message.Message
+	n, used := binary.Uvarint(body)
+	if used <= 0 || uint64(len(body)-used) < n {
+		return "", nil, m, frameError(frameCBCastData, fmt.Errorf("truncated sender"))
+	}
+	sender := string(body[used : used+int(n)])
+	body = body[used+int(n):]
+	vcLen, used := binary.Uvarint(body)
+	if used <= 0 || uint64(len(body)-used) < vcLen {
+		return "", nil, m, frameError(frameCBCastData, fmt.Errorf("truncated clock"))
+	}
+	var vc vclock.VC
+	if err := vc.UnmarshalBinary(body[used : used+int(vcLen)]); err != nil {
+		return "", nil, m, frameError(frameCBCastData, err)
+	}
+	if err := m.UnmarshalBinary(body[used+int(vcLen):]); err != nil {
+		return "", nil, m, frameError(frameCBCastData, err)
+	}
+	return sender, vc, m, nil
+}

@@ -1,0 +1,107 @@
+package causal
+
+import (
+	"causalshare/internal/message"
+)
+
+// deliveredSet records which labels a member has delivered, compactly.
+// Labels from one origin carry increasing sequence numbers, so per origin
+// the set is a contiguous watermark prefix plus a sparse set of
+// out-of-order deliveries above it. This keeps memory O(active window)
+// instead of O(history) — the delivered-prefix analogue of the dependency-
+// graph pruning described in DESIGN.md.
+type deliveredSet struct {
+	byOrigin map[string]*originSet
+}
+
+type originSet struct {
+	// watermark w means every seq in [1, w] is delivered.
+	watermark uint64
+	// above holds delivered seqs > watermark.
+	above map[uint64]struct{}
+}
+
+func newDeliveredSet() *deliveredSet {
+	return &deliveredSet{byOrigin: make(map[string]*originSet)}
+}
+
+// Has reports whether l was delivered.
+func (d *deliveredSet) Has(l message.Label) bool {
+	os, ok := d.byOrigin[l.Origin]
+	if !ok {
+		return false
+	}
+	if l.Seq <= os.watermark {
+		return true
+	}
+	_, ok = os.above[l.Seq]
+	return ok
+}
+
+// Add marks l delivered, advancing the origin watermark through any now-
+// contiguous sparse entries. Returns false if l was already present.
+func (d *deliveredSet) Add(l message.Label) bool {
+	os, ok := d.byOrigin[l.Origin]
+	if !ok {
+		os = &originSet{above: make(map[uint64]struct{})}
+		d.byOrigin[l.Origin] = os
+	}
+	if l.Seq <= os.watermark {
+		return false
+	}
+	if _, dup := os.above[l.Seq]; dup {
+		return false
+	}
+	os.above[l.Seq] = struct{}{}
+	for {
+		if _, next := os.above[os.watermark+1]; !next {
+			break
+		}
+		os.watermark++
+		delete(os.above, os.watermark)
+	}
+	return true
+}
+
+// Watermark returns the contiguous delivered prefix for origin: every seq
+// in [1, Watermark] is delivered. The anti-entropy protocol starts gap
+// scans here.
+func (d *deliveredSet) Watermark(origin string) uint64 {
+	os, ok := d.byOrigin[origin]
+	if !ok {
+		return 0
+	}
+	return os.watermark
+}
+
+// Watermarks returns every origin's contiguous delivered prefix. The
+// anti-entropy adverts piggyback it so peers can garbage-collect retained
+// messages that are stable (delivered everywhere).
+func (d *deliveredSet) Watermarks() map[string]uint64 {
+	out := make(map[string]uint64, len(d.byOrigin))
+	for origin, os := range d.byOrigin {
+		if os.watermark > 0 {
+			out[origin] = os.watermark
+		}
+	}
+	return out
+}
+
+// Len returns the total number of delivered labels tracked (watermark
+// prefixes count in full).
+func (d *deliveredSet) Len() int {
+	n := 0
+	for _, os := range d.byOrigin {
+		n += int(os.watermark) + len(os.above)
+	}
+	return n
+}
+
+// SparseLen returns the number of non-compacted entries, a memory metric.
+func (d *deliveredSet) SparseLen() int {
+	n := 0
+	for _, os := range d.byOrigin {
+		n += len(os.above)
+	}
+	return n
+}

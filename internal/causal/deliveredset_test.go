@@ -1,0 +1,114 @@
+package causal
+
+import (
+	"testing"
+	"testing/quick"
+
+	"causalshare/internal/message"
+)
+
+func TestDeliveredSetBasics(t *testing.T) {
+	d := newDeliveredSet()
+	l := message.Label{Origin: "a", Seq: 1}
+	if d.Has(l) {
+		t.Error("empty set reports label")
+	}
+	if !d.Add(l) {
+		t.Error("first Add returned false")
+	}
+	if d.Add(l) {
+		t.Error("second Add returned true")
+	}
+	if !d.Has(l) {
+		t.Error("added label not found")
+	}
+}
+
+func TestDeliveredSetWatermarkCompaction(t *testing.T) {
+	d := newDeliveredSet()
+	// Deliver out of order: 3, 1, 2 — watermark should end at 3 with no
+	// sparse entries.
+	for _, s := range []uint64{3, 1, 2} {
+		if !d.Add(message.Label{Origin: "a", Seq: s}) {
+			t.Fatalf("Add(%d) = false", s)
+		}
+	}
+	os := d.byOrigin["a"]
+	if os.watermark != 3 || len(os.above) != 0 {
+		t.Errorf("watermark = %d, sparse = %d; want 3, 0", os.watermark, len(os.above))
+	}
+	if d.Len() != 3 || d.SparseLen() != 0 {
+		t.Errorf("Len = %d SparseLen = %d", d.Len(), d.SparseLen())
+	}
+	// A gap keeps entries sparse.
+	d.Add(message.Label{Origin: "a", Seq: 10})
+	if d.SparseLen() != 1 {
+		t.Errorf("SparseLen after gap = %d, want 1", d.SparseLen())
+	}
+}
+
+func TestDeliveredSetPerOriginIsolation(t *testing.T) {
+	d := newDeliveredSet()
+	d.Add(message.Label{Origin: "a", Seq: 1})
+	if d.Has(message.Label{Origin: "b", Seq: 1}) {
+		t.Error("origin b contaminated by origin a")
+	}
+}
+
+func TestPropDeliveredSetMatchesNaiveSet(t *testing.T) {
+	f := func(adds []uint16) bool {
+		d := newDeliveredSet()
+		naive := make(map[message.Label]bool)
+		for _, a := range adds {
+			origin := string(rune('a' + int(a%3)))
+			l := message.Label{Origin: origin, Seq: uint64(a%32) + 1}
+			got := d.Add(l)
+			want := !naive[l]
+			naive[l] = true
+			if got != want {
+				return false
+			}
+		}
+		for l := range naive {
+			if !d.Has(l) {
+				return false
+			}
+		}
+		if d.Len() != len(naive) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropWatermarkNeverExceedsContiguousPrefix(t *testing.T) {
+	f := func(adds []uint8) bool {
+		d := newDeliveredSet()
+		present := make(map[uint64]bool)
+		for _, a := range adds {
+			s := uint64(a%16) + 1
+			d.Add(message.Label{Origin: "x", Seq: s})
+			present[s] = true
+		}
+		os, ok := d.byOrigin["x"]
+		if !ok {
+			return len(adds) == 0
+		}
+		for s := uint64(1); s <= os.watermark; s++ {
+			if !present[s] {
+				return false // watermark claims an undelivered seq
+			}
+		}
+		// Nothing contiguous may remain sparse.
+		if _, sparse := os.above[os.watermark+1]; sparse {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,102 @@
+package causal
+
+import (
+	"testing"
+
+	"causalshare/internal/message"
+	"causalshare/internal/vclock"
+)
+
+// FuzzDecodeAdvert checks the advert codec never panics and accepted
+// inputs re-encode losslessly.
+func FuzzDecodeAdvert(f *testing.F) {
+	seeds := [][2]map[string]uint64{
+		{{}, {}},
+		{{"a": 1}, {"b": 2}},
+		{{"m00~cli": 900, "m00~total": 3}, {"m01": 12}},
+	}
+	for _, s := range seeds {
+		f.Add(encodeAdvert(s[0], s[1])[1:])
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0x01})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		retained, watermarks, err := decodeAdvert(data)
+		if err != nil {
+			return
+		}
+		re := encodeAdvert(retained, watermarks)
+		r2, w2, err := decodeAdvert(re[1:])
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(r2) != len(retained) || len(w2) != len(watermarks) {
+			t.Fatalf("round trip changed sizes")
+		}
+		for k, v := range retained {
+			if r2[k] != v {
+				t.Fatalf("retained[%q] changed: %d -> %d", k, v, r2[k])
+			}
+		}
+		for k, v := range watermarks {
+			if w2[k] != v {
+				t.Fatalf("watermarks[%q] changed: %d -> %d", k, v, w2[k])
+			}
+		}
+	})
+}
+
+// FuzzDecodeLabel checks the label codec never panics and round-trips.
+func FuzzDecodeLabel(f *testing.F) {
+	f.Add(encodeLabel(nil, message.Label{Origin: "a~cli", Seq: 42}))
+	f.Add([]byte{})
+	f.Add([]byte{0x05, 'a'})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l, rest, err := decodeLabel(data)
+		if err != nil {
+			return
+		}
+		re := encodeLabel(nil, l)
+		l2, rest2, err := decodeLabel(re)
+		if err != nil || l2 != l || len(rest2) != 0 {
+			t.Fatalf("round trip failed: %v %v %v", l2, rest2, err)
+		}
+		_ = rest
+	})
+}
+
+// FuzzDecodeCBFrame checks the CBCAST frame decoder never panics.
+func FuzzDecodeCBFrame(f *testing.F) {
+	seed, err := encodeCBFrame("sender", vclock.VC{"sender": 1}, message.Message{
+		Label: message.Label{Origin: "sender", Seq: 1},
+		Kind:  message.KindCommutative,
+		Op:    "inc",
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed[1:])
+	f.Add([]byte{})
+	f.Add([]byte{0x01, 'x', 0x02})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sender, vc, m, err := decodeCBFrame(data)
+		if err != nil {
+			return
+		}
+		// Accepted frames must re-encode and re-decode consistently.
+		re, err := encodeCBFrame(sender, vc, m)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		s2, vc2, m2, err := decodeCBFrame(re[1:])
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if s2 != sender || m2.Label != m.Label || vc2.Compare(vc) != vclock.Equal {
+			t.Fatalf("round trip changed frame")
+		}
+	})
+}

@@ -1,0 +1,555 @@
+package causal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"time"
+
+	"causalshare/internal/group"
+	"causalshare/internal/message"
+	"causalshare/internal/transport"
+)
+
+// OSendConfig parameterizes an OSend engine.
+type OSendConfig struct {
+	// Self is the local member id; it must be a member of Group.
+	Self string
+	// Group is the broadcast domain (every Broadcast reaches all members).
+	Group *group.Group
+	// Conn is the transport attachment for Self.
+	Conn transport.Conn
+	// Deliver receives messages in causal order.
+	Deliver DeliverFunc
+	// Patience is how long a message may wait on a missing predecessor
+	// before the engine requests retransmission from the predecessor's
+	// origin. Zero disables retransmission (appropriate on lossless
+	// transports).
+	Patience time.Duration
+}
+
+// OSend is the paper's causal broadcast engine: ordering is driven purely
+// by the explicit OccursAfter predicates messages carry. A message is
+// delivered once every label in its predicate has been delivered locally;
+// until then it is buffered. Because the predicate is stable application
+// information, a buffered message's predecessors are guaranteed to exist,
+// so a missing one can always be re-fetched from its origin (the label
+// names it).
+type OSend struct {
+	self     string
+	grp      *group.Group
+	conn     transport.Conn
+	deliver  DeliverFunc
+	patience time.Duration
+
+	mu        sync.Mutex
+	closed    bool
+	delivered *deliveredSet
+	pending   map[message.Label]*pendingEntry
+	waiting   map[message.Label][]message.Label // missing label -> pending labels blocked on it
+	retained  map[message.Label]message.Message // own messages, for retransmission
+	lastFetch map[message.Label]time.Time
+	// peerWM holds, per peer, the delivered watermarks that peer last
+	// advertised; a retained message every peer's watermark covers is
+	// stable and garbage-collected.
+	peerWM  map[string]map[string]uint64
+	metrics Metrics
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+type pendingEntry struct {
+	msg     message.Message
+	missing map[message.Label]struct{}
+	since   time.Time
+}
+
+var _ Broadcaster = (*OSend)(nil)
+
+// NewOSend starts an engine; its receive loop runs until Close.
+func NewOSend(cfg OSendConfig) (*OSend, error) {
+	if cfg.Group == nil || !cfg.Group.Contains(cfg.Self) {
+		return nil, fmt.Errorf("causal: %q is not a member of the group", cfg.Self)
+	}
+	if cfg.Conn == nil {
+		return nil, fmt.Errorf("causal: nil conn")
+	}
+	if cfg.Deliver == nil {
+		return nil, fmt.Errorf("causal: nil deliver func")
+	}
+	e := &OSend{
+		self:      cfg.Self,
+		grp:       cfg.Group,
+		conn:      cfg.Conn,
+		deliver:   cfg.Deliver,
+		patience:  cfg.Patience,
+		delivered: newDeliveredSet(),
+		pending:   make(map[message.Label]*pendingEntry),
+		waiting:   make(map[message.Label][]message.Label),
+		retained:  make(map[message.Label]message.Message),
+		lastFetch: make(map[message.Label]time.Time),
+		peerWM:    make(map[string]map[string]uint64),
+		done:      make(chan struct{}),
+	}
+	e.wg.Add(1)
+	go e.recvLoop()
+	if e.patience > 0 {
+		e.wg.Add(1)
+		go e.fetchLoop()
+	}
+	return e, nil
+}
+
+// Self implements Broadcaster.
+func (e *OSend) Self() string { return e.self }
+
+// Broadcast implements Broadcaster. The message is retained for
+// retransmission, sent to all other members, and processed locally through
+// the same delivery logic (self-delivery in causal position).
+func (e *OSend) Broadcast(m message.Message) error {
+	if err := m.Validate(); err != nil {
+		return fmt.Errorf("causal: broadcast: %w", err)
+	}
+	data, err := m.MarshalBinary()
+	if err != nil {
+		return fmt.Errorf("causal: encode %v: %w", m.Label, err)
+	}
+	frame := append([]byte{frameOSendData}, data...)
+
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	e.retained[m.Label] = m
+	// Ordering metadata on the wire: the OccursAfter labels, once per peer.
+	meta := uint64(depsEncodedSize(m)) * uint64(e.grp.Size()-1)
+	e.metrics.ControlBytes += meta
+	e.mu.Unlock()
+
+	for _, peer := range e.grp.Others(e.self) {
+		if err := e.conn.Send(peer, frame); err != nil {
+			return fmt.Errorf("causal: send %v to %q: %w", m.Label, peer, err)
+		}
+	}
+	e.ingest(m)
+	return nil
+}
+
+// depsEncodedSize returns the exact wire size of m's ordering metadata:
+// the dependency count plus each encoded label.
+func depsEncodedSize(m message.Message) int {
+	buf := binary.AppendUvarint(nil, uint64(m.Deps.Len()))
+	for _, d := range m.Deps.Labels() {
+		buf = encodeLabel(buf, d)
+	}
+	return len(buf)
+}
+
+// Metrics returns a snapshot of the engine's counters.
+func (e *OSend) Metrics() Metrics {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	m := e.metrics
+	m.Buffered = len(e.pending)
+	m.Retained = len(e.retained)
+	return m
+}
+
+// Delivered reports whether l has been delivered locally; the stable-point
+// detector uses it.
+func (e *OSend) Delivered(l message.Label) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.delivered.Has(l)
+}
+
+// ForgetRetained drops the local retransmission copy of l (call once l is
+// known stable at all members).
+func (e *OSend) ForgetRetained(l message.Label) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delete(e.retained, l)
+}
+
+// Close implements Broadcaster.
+func (e *OSend) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.mu.Unlock()
+	close(e.done)
+	err := e.conn.Close()
+	e.wg.Wait()
+	return err
+}
+
+func (e *OSend) recvLoop() {
+	defer e.wg.Done()
+	for {
+		env, err := e.conn.Recv()
+		if err != nil {
+			return
+		}
+		if len(env.Payload) == 0 {
+			continue
+		}
+		kind, body := env.Payload[0], env.Payload[1:]
+		switch kind {
+		case frameOSendData:
+			var m message.Message
+			if err := m.UnmarshalBinary(body); err != nil {
+				continue // malformed frame; drop
+			}
+			e.ingest(m)
+		case frameOSendFetch:
+			l, rest, err := decodeLabel(body)
+			if err != nil || len(rest) != 0 {
+				continue
+			}
+			e.serveFetch(env.From, l)
+		case frameOSendAdvert:
+			retained, watermarks, err := decodeAdvert(body)
+			if err != nil {
+				continue
+			}
+			e.handleAdvert(env.From, retained, watermarks)
+		default:
+			// Unknown frame kinds are ignored for forward compatibility.
+		}
+	}
+}
+
+// ingest runs the delivery algorithm on one received (or locally
+// broadcast) message, cascading through any pending messages it releases.
+func (e *OSend) ingest(m message.Message) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	if e.delivered.Has(m.Label) {
+		e.metrics.Duplicates++
+		e.mu.Unlock()
+		return
+	}
+	if _, buffered := e.pending[m.Label]; buffered {
+		e.metrics.Duplicates++
+		e.mu.Unlock()
+		return
+	}
+	missing := make(map[message.Label]struct{})
+	for _, d := range m.Deps.Labels() {
+		if !e.delivered.Has(d) {
+			missing[d] = struct{}{}
+		}
+	}
+	var ready []message.Message
+	if len(missing) == 0 {
+		ready = e.deliverLocked(m)
+	} else {
+		e.pending[m.Label] = &pendingEntry{msg: m, missing: missing, since: time.Now()}
+		for d := range missing {
+			e.waiting[d] = append(e.waiting[d], m.Label)
+		}
+		if len(e.pending) > e.metrics.MaxBuffered {
+			e.metrics.MaxBuffered = len(e.pending)
+		}
+	}
+	e.mu.Unlock()
+	for _, r := range ready {
+		e.deliver(r)
+	}
+}
+
+// deliverLocked marks m delivered and returns, in order, m plus every
+// buffered message transitively released by it. Caller holds e.mu.
+func (e *OSend) deliverLocked(m message.Message) []message.Message {
+	var out []message.Message
+	queue := []message.Message{m}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if !e.delivered.Add(cur.Label) {
+			continue
+		}
+		e.metrics.Delivered++
+		out = append(out, cur)
+		blocked := e.waiting[cur.Label]
+		delete(e.waiting, cur.Label)
+		for _, bl := range blocked {
+			entry, ok := e.pending[bl]
+			if !ok {
+				continue
+			}
+			delete(entry.missing, cur.Label)
+			if len(entry.missing) == 0 {
+				delete(e.pending, bl)
+				queue = append(queue, entry.msg)
+			}
+		}
+	}
+	return out
+}
+
+// fetchLoop periodically requests retransmission of predecessors that
+// pending messages have been waiting on longer than the patience window.
+func (e *OSend) fetchLoop() {
+	defer e.wg.Done()
+	interval := e.patience / 2
+	if interval <= 0 {
+		interval = e.patience
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-e.done:
+			return
+		case now := <-ticker.C:
+			e.fetchMissing(now)
+			e.advertise()
+		}
+	}
+}
+
+// advertise sends every peer (a) the highest retained sequence number per
+// origin this member has broadcast under, and (b) this member's delivered
+// watermarks. Peers use (a) to detect tail losses — dropped messages that
+// no later dependency ever names — and fetch them; (b) drives stability
+// garbage collection: a retained message whose sequence every peer's
+// watermark covers can never be re-fetched, so the copy is dropped.
+// Dependency-driven fetching covers every loss that *is* referenced; the
+// adverts are the anti-entropy half of the engine's reliability.
+func (e *OSend) advertise() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	maxSeq := make(map[string]uint64)
+	for l := range e.retained {
+		if l.Seq > maxSeq[l.Origin] {
+			maxSeq[l.Origin] = l.Seq
+		}
+	}
+	wm := e.delivered.Watermarks()
+	e.mu.Unlock()
+	if len(maxSeq) == 0 && len(wm) == 0 {
+		return
+	}
+	frame := encodeAdvert(maxSeq, wm)
+	for _, peer := range e.grp.Others(e.self) {
+		_ = e.conn.Send(peer, frame) // best effort; re-sent next tick
+	}
+}
+
+// handleAdvert fetches, from the advertising member, any sequence numbers
+// it claims to retain that are neither delivered nor pending locally, and
+// garbage-collects retained messages the advertised watermarks prove
+// stable.
+func (e *OSend) handleAdvert(from string, retained, watermarks map[string]uint64) {
+	const maxFetchPerAdvert = 32
+	now := time.Now()
+	var fetches []message.Label
+	e.mu.Lock()
+	for origin, maxSeq := range retained {
+		for seq := e.delivered.Watermark(origin) + 1; seq <= maxSeq; seq++ {
+			l := message.Label{Origin: origin, Seq: seq}
+			if e.delivered.Has(l) {
+				continue
+			}
+			if _, buffered := e.pending[l]; buffered {
+				continue
+			}
+			if last, ok := e.lastFetch[l]; ok && now.Sub(last) < e.patience {
+				continue
+			}
+			e.lastFetch[l] = now
+			fetches = append(fetches, l)
+			e.metrics.Fetches++
+			if len(fetches) >= maxFetchPerAdvert {
+				break
+			}
+		}
+		if len(fetches) >= maxFetchPerAdvert {
+			break
+		}
+	}
+	e.peerWM[from] = watermarks
+	e.pruneStableLocked()
+	e.mu.Unlock()
+	for _, l := range fetches {
+		frame := append([]byte{frameOSendFetch}, encodeLabel(nil, l)...)
+		_ = e.conn.Send(from, frame) // best effort; retried next advert
+	}
+}
+
+// pruneStableLocked drops retained messages whose sequence every peer's
+// advertised watermark covers: all members delivered them, so no fetch
+// can ever name them again. Caller holds e.mu.
+func (e *OSend) pruneStableLocked() {
+	others := e.grp.Others(e.self)
+	if len(e.peerWM) < len(others) {
+		return // need evidence from every peer before anything is stable
+	}
+	for l := range e.retained {
+		stable := true
+		for _, p := range others {
+			wm, ok := e.peerWM[p]
+			if !ok || wm[l.Origin] < l.Seq {
+				stable = false
+				break
+			}
+		}
+		if stable {
+			delete(e.retained, l)
+			delete(e.lastFetch, l)
+			e.metrics.StablePruned++
+		}
+	}
+}
+
+func encodeAdvert(retained, watermarks map[string]uint64) []byte {
+	frame := []byte{frameOSendAdvert}
+	frame = appendOriginSeqMap(frame, retained)
+	frame = appendOriginSeqMap(frame, watermarks)
+	return frame
+}
+
+func appendOriginSeqMap(buf []byte, m map[string]uint64) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(m)))
+	for origin, seq := range m {
+		buf = binary.AppendUvarint(buf, uint64(len(origin)))
+		buf = append(buf, origin...)
+		buf = binary.AppendUvarint(buf, seq)
+	}
+	return buf
+}
+
+func decodeAdvert(body []byte) (retained, watermarks map[string]uint64, err error) {
+	retained, body, err = readOriginSeqMap(body)
+	if err != nil {
+		return nil, nil, err
+	}
+	watermarks, body, err = readOriginSeqMap(body)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(body) != 0 {
+		return nil, nil, fmt.Errorf("causal: %d trailing advert bytes", len(body))
+	}
+	return retained, watermarks, nil
+}
+
+func readOriginSeqMap(body []byte) (map[string]uint64, []byte, error) {
+	n, used := binary.Uvarint(body)
+	if used <= 0 {
+		return nil, nil, fmt.Errorf("causal: truncated advert count")
+	}
+	body = body[used:]
+	// Each entry takes at least 2 bytes; reject counts that cannot fit
+	// before sizing any allocation.
+	if n > uint64(len(body))/2 {
+		return nil, nil, fmt.Errorf("causal: advert count %d exceeds frame", n)
+	}
+	out := make(map[string]uint64, n)
+	for i := uint64(0); i < n; i++ {
+		ol, used := binary.Uvarint(body)
+		if used <= 0 || uint64(len(body)-used) < ol {
+			return nil, nil, fmt.Errorf("causal: truncated advert origin")
+		}
+		origin := string(body[used : used+int(ol)])
+		body = body[used+int(ol):]
+		seq, used := binary.Uvarint(body)
+		if used <= 0 {
+			return nil, nil, fmt.Errorf("causal: truncated advert seq")
+		}
+		body = body[used:]
+		out[origin] = seq
+	}
+	return out, body, nil
+}
+
+func (e *OSend) fetchMissing(now time.Time) {
+	type fetch struct {
+		to string
+		l  message.Label
+	}
+	var fetches []fetch
+	e.mu.Lock()
+	for _, entry := range e.pending {
+		if now.Sub(entry.since) < e.patience {
+			continue
+		}
+		for d := range entry.missing {
+			if last, ok := e.lastFetch[d]; ok && now.Sub(last) < e.patience {
+				continue
+			}
+			e.lastFetch[d] = now
+			to := RouteOrigin(d.Origin)
+			if to == e.self || !e.grp.Contains(to) {
+				continue
+			}
+			fetches = append(fetches, fetch{to: to, l: d})
+			e.metrics.Fetches++
+		}
+	}
+	e.mu.Unlock()
+	for _, f := range fetches {
+		frame := append([]byte{frameOSendFetch}, encodeLabel(nil, f.l)...)
+		_ = e.conn.Send(f.to, frame) // best effort; retried next tick
+	}
+}
+
+func (e *OSend) serveFetch(requester string, l message.Label) {
+	e.mu.Lock()
+	m, ok := e.retained[l]
+	e.mu.Unlock()
+	if !ok {
+		return
+	}
+	data, err := m.MarshalBinary()
+	if err != nil {
+		return
+	}
+	frame := append([]byte{frameOSendData}, data...)
+	_ = e.conn.Send(requester, frame) // best effort
+}
+
+// RouteOrigin maps a label origin to the transport id retransmission
+// requests are sent to. '~' is reserved as a namespace separator: layers
+// stacked above the engine (e.g. the total-order layer) label their
+// traffic "<member>~<layer>", and fetches route to <member>.
+func RouteOrigin(origin string) string {
+	for i := 0; i < len(origin); i++ {
+		if origin[i] == '~' {
+			return origin[:i]
+		}
+	}
+	return origin
+}
+
+func encodeLabel(buf []byte, l message.Label) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(l.Origin)))
+	buf = append(buf, l.Origin...)
+	return binary.AppendUvarint(buf, l.Seq)
+}
+
+func decodeLabel(data []byte) (message.Label, []byte, error) {
+	n, used := binary.Uvarint(data)
+	if used <= 0 || uint64(len(data)-used) < n {
+		return message.Nil, nil, fmt.Errorf("causal: truncated label origin")
+	}
+	origin := string(data[used : used+int(n)])
+	data = data[used+int(n):]
+	seq, used := binary.Uvarint(data)
+	if used <= 0 {
+		return message.Nil, nil, fmt.Errorf("causal: truncated label seq")
+	}
+	return message.Label{Origin: origin, Seq: seq}, data[used:], nil
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+
+	"causalshare/internal/graph"
+	"causalshare/internal/message"
+)
+
+// Activity is the declarative form of one processing cycle r of the §6
+// protocol:
+//
+//	rqst_nc(r-1) -> ||{rqst_c(r,k)}_{k=1..f} -> rqst_nc(r)
+//
+// Opener is rqst_nc(r-1) (Nil for the first cycle), Body the concurrent
+// commutative set, and Closer the non-commutative message that
+// establishes the stable point.
+type Activity struct {
+	Opener message.Message
+	Body   []message.Message
+	Closer message.Message
+}
+
+// Messages returns all the activity's messages keyed by label.
+func (a Activity) Messages() map[message.Label]message.Message {
+	out := make(map[message.Label]message.Message, len(a.Body)+2)
+	if !a.Opener.Label.IsNil() {
+		out[a.Opener.Label] = a.Opener
+	}
+	for _, m := range a.Body {
+		out[m.Label] = m
+	}
+	if !a.Closer.Label.IsNil() {
+		out[a.Closer.Label] = a.Closer
+	}
+	return out
+}
+
+// Graph builds the dependency graph of the activity from the messages'
+// OccursAfter predicates.
+func (a Activity) Graph() (*graph.Graph, error) {
+	g := graph.New()
+	for _, m := range a.Messages() {
+		if err := g.AddMessage(m); err != nil {
+			return nil, fmt.Errorf("core: activity graph: %w", err)
+		}
+	}
+	return g, nil
+}
+
+// Validate checks the structural shape of the cycle: every body message
+// depends on the opener (when present), and the closer depends on every
+// body message (or on the opener when the body is empty).
+func (a Activity) Validate() error {
+	if a.Closer.Label.IsNil() {
+		return fmt.Errorf("core: activity has no closer")
+	}
+	if a.Closer.Kind != message.KindNonCommutative && a.Closer.Kind != message.KindRead {
+		return fmt.Errorf("core: closer %v has kind %v", a.Closer.Label, a.Closer.Kind)
+	}
+	for _, m := range a.Body {
+		if m.Kind != message.KindCommutative {
+			return fmt.Errorf("core: body message %v has kind %v", m.Label, m.Kind)
+		}
+		if !a.Opener.Label.IsNil() && !m.Deps.Contains(a.Opener.Label) {
+			return fmt.Errorf("core: body message %v does not occur after opener %v", m.Label, a.Opener.Label)
+		}
+	}
+	if len(a.Body) == 0 {
+		if !a.Opener.Label.IsNil() && !a.Closer.Deps.Contains(a.Opener.Label) {
+			return fmt.Errorf("core: closer %v does not occur after opener %v", a.Closer.Label, a.Opener.Label)
+		}
+		return nil
+	}
+	for _, m := range a.Body {
+		if !a.Closer.Deps.Contains(m.Label) {
+			return fmt.Errorf("core: closer %v does not occur after body message %v", a.Closer.Label, m.Label)
+		}
+	}
+	return nil
+}
+
+// IsStable reports whether the activity's state transitions are
+// transition-preserving from s0 under apply — i.e. whether the closer
+// really establishes a stable point for arbitrary interleavings of the
+// body. limit bounds the linearizations examined (0 = all).
+func (a Activity) IsStable(apply Transition, s0 State, limit int) (bool, error) {
+	if err := a.Validate(); err != nil {
+		return false, err
+	}
+	g, err := a.Graph()
+	if err != nil {
+		return false, err
+	}
+	return TransitionPreserving(g, a.Messages(), apply, s0, limit)
+}

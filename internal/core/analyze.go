@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+
+	"causalshare/internal/message"
+)
+
+// DecomposeActivities splits one member's delivery sequence into the
+// causal activities of §4.1/§6.1: each non-commutative (or read) message
+// closes the activity containing every message delivered since the
+// previous closer. The trailing open activity (messages after the last
+// closer) is returned separately, since it has no stable point yet.
+func DecomposeActivities(seq []message.Message) (closed []Activity, open []message.Message) {
+	var opener message.Message
+	var body []message.Message
+	for _, m := range seq {
+		switch m.Kind {
+		case message.KindNonCommutative, message.KindRead:
+			closed = append(closed, Activity{Opener: opener, Body: body, Closer: m})
+			opener = m
+			body = nil
+		default:
+			body = append(body, m)
+		}
+	}
+	return closed, body
+}
+
+// TraceReport is the outcome of analyzing one member's delivery sequence
+// against the model.
+type TraceReport struct {
+	// Activities is the number of closed causal activities found.
+	Activities int
+	// MeanActivitySize is the average number of messages per closed
+	// activity (1 + |{Cid}| in the paper's notation).
+	MeanActivitySize float64
+	// UnstableAt lists the indices (into the closed-activity sequence) of
+	// activities whose linearizations are NOT transition-preserving —
+	// i.e. places where the protocol's "stable point" would not actually
+	// be stable. Empty means the trace fully conforms to the model.
+	UnstableAt []int
+	// OpenTail is the number of messages after the last stable point.
+	OpenTail int
+}
+
+// Conforms reports whether every closed activity was
+// transition-preserving.
+func (r TraceReport) Conforms() bool { return len(r.UnstableAt) == 0 }
+
+// AnalyzeTrace verifies one member's delivery sequence against the model:
+// it decomposes the sequence into causal activities and checks each for
+// transition-preservation under the application's transition function,
+// threading the state through activities (each closed activity's final
+// state is the next one's initial state, per §4.1's "7 may use a stable
+// point as the initial state for the next activity").
+//
+// limit bounds the linearizations examined per activity (0 = all).
+func AnalyzeTrace(seq []message.Message, apply Transition, initial State, limit int) (TraceReport, error) {
+	if initial == nil {
+		return TraceReport{}, fmt.Errorf("core: nil initial state")
+	}
+	if apply == nil {
+		return TraceReport{}, fmt.Errorf("core: nil transition function")
+	}
+	closed, open := DecomposeActivities(seq)
+	report := TraceReport{Activities: len(closed), OpenTail: len(open)}
+	state := initial.Clone()
+	totalSize := 0
+	for i, act := range closed {
+		totalSize += len(act.Body) + 1
+		stable, err := activityStableFrom(act, apply, state, limit)
+		if err != nil {
+			return report, fmt.Errorf("core: activity %d: %w", i, err)
+		}
+		if !stable {
+			report.UnstableAt = append(report.UnstableAt, i)
+		}
+		// Advance the threaded state along the observed order (any
+		// transition-preserving order gives the same result; for a
+		// non-conforming activity the observed order is still what this
+		// member actually computed).
+		for _, m := range act.Body {
+			state = apply(state, m)
+		}
+		state = apply(state, act.Closer)
+	}
+	if len(closed) > 0 {
+		report.MeanActivitySize = float64(totalSize) / float64(len(closed))
+	}
+	return report, nil
+}
+
+// activityStableFrom checks transition-preservation of an activity's body
+// and closer from a given initial state. Unlike Activity.IsStable it does
+// not require the opener to be part of the replay (the threaded state
+// already reflects it) and does not insist on the opener's dependency
+// structure (an observed trace may interleave multiple clients).
+func activityStableFrom(act Activity, apply Transition, s0 State, limit int) (bool, error) {
+	if len(act.Body) == 0 {
+		return true, nil // a lone closer is trivially stable
+	}
+	// The admissible orders of the activity: any permutation of the body
+	// followed by the closer. Pairwise commutativity of the body under
+	// every reachable intermediate state is equivalent for our transition
+	// functions and far cheaper than factorial enumeration, but the
+	// model's definition is about linearizations, so enumerate when the
+	// body is small and fall back to pairwise checks beyond that.
+	const enumerateUpTo = 6
+	if len(act.Body) <= enumerateUpTo {
+		return bodyLinearizationsPreserving(act, apply, s0, limit), nil
+	}
+	for i := range act.Body {
+		for j := i + 1; j < len(act.Body); j++ {
+			if !Commute(apply, s0, act.Body[i], act.Body[j]) {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// bodyLinearizationsPreserving enumerates permutations of the body
+// (bounded by limit when > 0) and compares final states.
+func bodyLinearizationsPreserving(act Activity, apply Transition, s0 State, limit int) bool {
+	var ref State
+	count := 0
+	ok := true
+	var rec func(remaining []message.Message, st State)
+	rec = func(remaining []message.Message, st State) {
+		if !ok || (limit > 0 && count >= limit) {
+			return
+		}
+		if len(remaining) == 0 {
+			final := apply(st.Clone(), act.Closer)
+			count++
+			if ref == nil {
+				ref = final
+				return
+			}
+			if !final.Equal(ref) {
+				ok = false
+			}
+			return
+		}
+		for i := range remaining {
+			next := apply(st.Clone(), remaining[i])
+			rest := make([]message.Message, 0, len(remaining)-1)
+			rest = append(rest, remaining[:i]...)
+			rest = append(rest, remaining[i+1:]...)
+			rec(rest, next)
+		}
+	}
+	rec(act.Body, s0.Clone())
+	return ok
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"testing"
+
+	"causalshare/internal/message"
+)
+
+func TestDecomposeActivities(t *testing.T) {
+	seq := []message.Message{
+		msg(lbl("a", 1), message.KindCommutative, "inc"),
+		msg(lbl("a", 2), message.KindCommutative, "dec"),
+		msg(lbl("a", 3), message.KindNonCommutative, "set"),
+		msg(lbl("a", 4), message.KindCommutative, "inc"),
+		msg(lbl("a", 5), message.KindRead, "rd"),
+		msg(lbl("a", 6), message.KindCommutative, "inc"),
+	}
+	closed, open := DecomposeActivities(seq)
+	if len(closed) != 2 {
+		t.Fatalf("closed activities = %d, want 2", len(closed))
+	}
+	if len(closed[0].Body) != 2 || closed[0].Closer.Label != lbl("a", 3) {
+		t.Errorf("first activity = %+v", closed[0])
+	}
+	if !closed[0].Opener.Label.IsNil() {
+		t.Errorf("first activity has phantom opener %v", closed[0].Opener.Label)
+	}
+	if closed[1].Opener.Label != lbl("a", 3) || len(closed[1].Body) != 1 {
+		t.Errorf("second activity = %+v", closed[1])
+	}
+	if len(open) != 1 || open[0].Label != lbl("a", 6) {
+		t.Errorf("open tail = %v", open)
+	}
+}
+
+func TestDecomposeEmptyAndClosersOnly(t *testing.T) {
+	closed, open := DecomposeActivities(nil)
+	if len(closed) != 0 || len(open) != 0 {
+		t.Error("empty sequence produced activities")
+	}
+	seq := []message.Message{
+		msg(lbl("a", 1), message.KindNonCommutative, "set"),
+		msg(lbl("a", 2), message.KindNonCommutative, "set"),
+	}
+	closed, open = DecomposeActivities(seq)
+	if len(closed) != 2 || len(open) != 0 {
+		t.Errorf("closers-only: %d closed, %d open", len(closed), len(open))
+	}
+	if len(closed[0].Body) != 0 || len(closed[1].Body) != 0 {
+		t.Error("closers-only activities have bodies")
+	}
+}
+
+func TestAnalyzeTraceConforming(t *testing.T) {
+	var seq []message.Message
+	n := uint64(0)
+	for c := 0; c < 3; c++ {
+		for k := 0; k < 4; k++ {
+			n++
+			op := "inc"
+			if k%2 == 1 {
+				op = "dec"
+			}
+			seq = append(seq, msg(lbl("a", n), message.KindCommutative, op))
+		}
+		n++
+		seq = append(seq, msg(lbl("a", n), message.KindRead, "rd"))
+	}
+	report, err := AnalyzeTrace(seq, applyCounter, &counterState{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Conforms() {
+		t.Errorf("conforming trace reported unstable at %v", report.UnstableAt)
+	}
+	if report.Activities != 3 || report.OpenTail != 0 {
+		t.Errorf("report = %+v", report)
+	}
+	if report.MeanActivitySize != 5 {
+		t.Errorf("MeanActivitySize = %f, want 5", report.MeanActivitySize)
+	}
+}
+
+func TestAnalyzeTraceDetectsNonCommutativeBody(t *testing.T) {
+	// "double" is mislabeled commutative: interleavings of inc and double
+	// do not commute, so the activity is not transition-preserving.
+	seq := []message.Message{
+		msg(lbl("a", 1), message.KindCommutative, "inc"),
+		msg(lbl("a", 2), message.KindCommutative, "double"),
+		msg(lbl("a", 3), message.KindRead, "rd"),
+	}
+	report, err := AnalyzeTrace(seq, applyCounter, &counterState{v: 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Conforms() {
+		t.Fatal("mislabeled operation not detected")
+	}
+	if len(report.UnstableAt) != 1 || report.UnstableAt[0] != 0 {
+		t.Errorf("UnstableAt = %v", report.UnstableAt)
+	}
+}
+
+func TestAnalyzeTraceLargeBodyPairwiseFallback(t *testing.T) {
+	// 8 commutative ops (> enumeration threshold) exercise the pairwise
+	// path; then a mislabeled op among 8 must still be caught.
+	var good []message.Message
+	for i := uint64(1); i <= 8; i++ {
+		good = append(good, msg(lbl("a", i), message.KindCommutative, "inc"))
+	}
+	good = append(good, msg(lbl("a", 9), message.KindRead, "rd"))
+	report, err := AnalyzeTrace(good, applyCounter, &counterState{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Conforms() {
+		t.Error("large commutative body reported unstable")
+	}
+
+	var bad []message.Message
+	for i := uint64(1); i <= 7; i++ {
+		bad = append(bad, msg(lbl("a", i), message.KindCommutative, "inc"))
+	}
+	bad = append(bad, msg(lbl("a", 8), message.KindCommutative, "double"))
+	bad = append(bad, msg(lbl("a", 9), message.KindRead, "rd"))
+	report, err = AnalyzeTrace(bad, applyCounter, &counterState{v: 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Conforms() {
+		t.Error("pairwise fallback missed the mislabeled operation")
+	}
+}
+
+func TestAnalyzeTraceThreadsState(t *testing.T) {
+	// The second activity's stability depends on the state left by the
+	// first (set 5, then inc/dec around a read).
+	seq := []message.Message{
+		func() message.Message {
+			m := msg(lbl("a", 1), message.KindNonCommutative, "set")
+			m.Body = []byte("5")
+			return m
+		}(),
+		msg(lbl("a", 2), message.KindCommutative, "inc"),
+		msg(lbl("a", 3), message.KindCommutative, "dec"),
+		msg(lbl("a", 4), message.KindRead, "rd"),
+	}
+	report, err := AnalyzeTrace(seq, applyCounter, &counterState{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Conforms() || report.Activities != 2 {
+		t.Errorf("report = %+v", report)
+	}
+}
+
+func TestAnalyzeTraceValidation(t *testing.T) {
+	if _, err := AnalyzeTrace(nil, nil, &counterState{}, 0); err == nil {
+		t.Error("nil transition accepted")
+	}
+	if _, err := AnalyzeTrace(nil, applyCounter, nil, 0); err == nil {
+		t.Error("nil state accepted")
+	}
+}

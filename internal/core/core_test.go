@@ -1,0 +1,533 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"causalshare/internal/graph"
+	"causalshare/internal/message"
+)
+
+// counterState is the paper's running example: an integer with
+// commutative inc/dec and a non-commutative set.
+type counterState struct {
+	v int64
+}
+
+func (c *counterState) Clone() State { return &counterState{v: c.v} }
+
+func (c *counterState) Equal(o State) bool {
+	oc, ok := o.(*counterState)
+	return ok && oc.v == c.v
+}
+
+func (c *counterState) Digest() string { return "ctr:" + strconv.FormatInt(c.v, 10) }
+
+func applyCounter(s State, m message.Message) State {
+	c, ok := s.(*counterState)
+	if !ok {
+		return s
+	}
+	switch m.Op {
+	case "inc":
+		c.v++
+	case "dec":
+		c.v--
+	case "set":
+		n, _ := strconv.ParseInt(string(m.Body), 10, 64)
+		c.v = n
+	case "double":
+		c.v *= 2
+	case "rd":
+		// reads do not change state
+	}
+	return c
+}
+
+func lbl(o string, s uint64) message.Label { return message.Label{Origin: o, Seq: s} }
+
+func msg(l message.Label, kind message.Kind, op string, deps ...message.Label) message.Message {
+	return message.Message{Label: l, Deps: message.After(deps...), Kind: kind, Op: op}
+}
+
+func TestCommute(t *testing.T) {
+	s0 := &counterState{v: 5}
+	inc := msg(lbl("a", 1), message.KindCommutative, "inc")
+	dec := msg(lbl("b", 1), message.KindCommutative, "dec")
+	double := msg(lbl("c", 1), message.KindNonCommutative, "double")
+	tests := []struct {
+		name string
+		a, b message.Message
+		want bool
+	}{
+		{"inc commutes with dec", inc, dec, true},
+		{"inc commutes with inc", inc, msg(lbl("d", 1), message.KindCommutative, "inc"), true},
+		{"inc does not commute with double", inc, double, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Commute(applyCounter, s0, tt.a, tt.b); got != tt.want {
+				t.Errorf("Commute = %v, want %v", got, tt.want)
+			}
+		})
+	}
+	if s0.v != 5 {
+		t.Errorf("Commute mutated the probe state: %d", s0.v)
+	}
+}
+
+func TestTransitionPreserving(t *testing.T) {
+	open := msg(lbl("n", 1), message.KindNonCommutative, "set")
+	open.Body = []byte("10")
+	inc := msg(lbl("a", 1), message.KindCommutative, "inc", open.Label)
+	dec := msg(lbl("b", 1), message.KindCommutative, "dec", open.Label)
+	close1 := msg(lbl("n", 2), message.KindNonCommutative, "rd", inc.Label, dec.Label)
+
+	t.Run("commutative diamond is preserving", func(t *testing.T) {
+		g := graph.New()
+		msgs := map[message.Label]message.Message{}
+		for _, m := range []message.Message{open, inc, dec, close1} {
+			if err := g.AddMessage(m); err != nil {
+				t.Fatal(err)
+			}
+			msgs[m.Label] = m
+		}
+		ok, err := TransitionPreserving(g, msgs, applyCounter, &counterState{}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Error("inc/dec diamond not transition-preserving")
+		}
+	})
+
+	t.Run("non-commutative pair is not preserving", func(t *testing.T) {
+		double := msg(lbl("c", 1), message.KindCommutative, "double", open.Label)
+		g := graph.New()
+		msgs := map[message.Label]message.Message{}
+		for _, m := range []message.Message{open, inc, double} {
+			if err := g.AddMessage(m); err != nil {
+				t.Fatal(err)
+			}
+			msgs[m.Label] = m
+		}
+		ok, err := TransitionPreserving(g, msgs, applyCounter, &counterState{}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			t.Error("inc/double reported transition-preserving")
+		}
+	})
+
+	t.Run("missing message is an error", func(t *testing.T) {
+		g := graph.New()
+		if err := g.AddMessage(inc); err != nil {
+			t.Fatal(err)
+		}
+		_, err := TransitionPreserving(g, map[message.Label]message.Message{}, applyCounter, &counterState{}, 0)
+		if err == nil {
+			t.Error("missing message not reported")
+		}
+	})
+
+	t.Run("empty graph is trivially preserving", func(t *testing.T) {
+		ok, err := TransitionPreserving(graph.New(), nil, applyCounter, &counterState{}, 0)
+		if err != nil || !ok {
+			t.Errorf("empty graph: ok=%v err=%v", ok, err)
+		}
+	})
+}
+
+// fakeBcast records broadcast messages without a network.
+type fakeBcast struct {
+	mu   sync.Mutex
+	sent []message.Message
+	fail error
+}
+
+func (f *fakeBcast) Self() string { return "fake" }
+
+func (f *fakeBcast) Broadcast(m message.Message) error {
+	if f.fail != nil {
+		return f.fail
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.sent = append(f.sent, m)
+	return nil
+}
+
+func (f *fakeBcast) Close() error { return nil }
+
+func TestNewFrontEndValidation(t *testing.T) {
+	b := &fakeBcast{}
+	if _, err := NewFrontEnd("", b); err == nil {
+		t.Error("empty id accepted")
+	}
+	if _, err := NewFrontEnd("cli~ent", b); err == nil {
+		t.Error("id with reserved '~' accepted")
+	}
+	if _, err := NewFrontEnd("client", b); err != nil {
+		t.Errorf("valid id rejected: %v", err)
+	}
+}
+
+func TestFrontEndProtocolSkeleton(t *testing.T) {
+	// Reproduces the §6.1 client() skeleton step by step.
+	b := &fakeBcast{}
+	f, err := NewFrontEnd("cli", b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1. First commutative op: no predecessor at all.
+	c1, err := f.Submit("inc", message.KindCommutative, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c1.Deps.Empty() {
+		t.Errorf("first commutative deps = %v, want empty", c1.Deps)
+	}
+	// 2. Second commutative op: still unconstrained (no Ncid yet),
+	// concurrent with c1.
+	c2, _ := f.Submit("dec", message.KindCommutative, nil)
+	if !c2.Deps.Empty() {
+		t.Errorf("second commutative deps = %v, want empty", c2.Deps)
+	}
+	// 3. Non-commutative closes the cycle: after c1 AND c2.
+	n1, _ := f.Submit("set", message.KindNonCommutative, []byte("9"))
+	if !n1.Deps.Contains(c1.Label) || !n1.Deps.Contains(c2.Label) || n1.Deps.Len() != 2 {
+		t.Errorf("closer deps = %v, want (c1 ∧ c2)", n1.Deps)
+	}
+	// 4. Commutative after the closer: ordered after Ncid only.
+	c3, _ := f.Submit("inc", message.KindCommutative, nil)
+	if c3.Deps.Len() != 1 || !c3.Deps.Contains(n1.Label) {
+		t.Errorf("post-cycle commutative deps = %v, want (n1)", c3.Deps)
+	}
+	// 5. Non-commutative with pending {Cid}: after the set, not after n1
+	// directly (transitively ordered via c3).
+	n2, _ := f.Submit("set", message.KindNonCommutative, []byte("1"))
+	if n2.Deps.Len() != 1 || !n2.Deps.Contains(c3.Label) {
+		t.Errorf("second closer deps = %v, want (c3)", n2.Deps)
+	}
+	// 6. Non-commutative with empty {Cid}: directly after the last Ncid.
+	n3, _ := f.Submit("set", message.KindNonCommutative, []byte("2"))
+	if n3.Deps.Len() != 1 || !n3.Deps.Contains(n2.Label) {
+		t.Errorf("back-to-back closer deps = %v, want (n2)", n3.Deps)
+	}
+	if got := f.Cycle(); got != 3 {
+		t.Errorf("Cycle = %d, want 3", got)
+	}
+	if len(b.sent) != 6 {
+		t.Errorf("broadcast count = %d, want 6", len(b.sent))
+	}
+}
+
+func TestFrontEndReadOrdersLikeNonCommutative(t *testing.T) {
+	f, err := NewFrontEnd("cli", &fakeBcast{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, _ := f.Submit("inc", message.KindCommutative, nil)
+	rd, _ := f.Submit("rd", message.KindRead, nil)
+	if !rd.Deps.Contains(c1.Label) {
+		t.Errorf("read deps = %v, want to contain %v (inc -> rd)", rd.Deps, c1.Label)
+	}
+	if f.PendingCommutative() != 0 {
+		t.Error("read did not close the commutative set")
+	}
+}
+
+func TestFrontEndRejectsControlKind(t *testing.T) {
+	f, err := NewFrontEnd("cli", &fakeBcast{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Submit("x", message.KindControl, nil); err == nil {
+		t.Error("KindControl accepted")
+	}
+}
+
+func TestFrontEndBroadcastFailure(t *testing.T) {
+	b := &fakeBcast{fail: fmt.Errorf("boom")}
+	f, err := NewFrontEnd("cli", b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Submit("inc", message.KindCommutative, nil); err == nil {
+		t.Error("broadcast failure not surfaced")
+	}
+}
+
+func TestFrontEndObserveCrossClient(t *testing.T) {
+	f, err := NewFrontEnd("cli1", &fakeBcast{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Another client's commutative op joins the open cycle.
+	other := msg(lbl("cli2", 1), message.KindCommutative, "inc")
+	f.Observe(other)
+	if f.PendingCommutative() != 1 {
+		t.Fatalf("observed commutative not tracked")
+	}
+	n, _ := f.Submit("set", message.KindNonCommutative, []byte("3"))
+	if !n.Deps.Contains(other.Label) {
+		t.Errorf("closer deps %v missing observed op %v", n.Deps, other.Label)
+	}
+	// Another client's closer resets the set and becomes the new Ncid.
+	f.Observe(msg(lbl("cli2", 2), message.KindCommutative, "inc"))
+	closer := msg(lbl("cli2", 3), message.KindNonCommutative, "set")
+	f.Observe(closer)
+	if f.PendingCommutative() != 0 {
+		t.Error("observed closer did not reset {Cid}")
+	}
+	c, _ := f.Submit("inc", message.KindCommutative, nil)
+	if c.Deps.Len() != 1 || !c.Deps.Contains(closer.Label) {
+		t.Errorf("post-observe commutative deps = %v, want (%v)", c.Deps, closer.Label)
+	}
+	// Own messages are not double counted.
+	f.Observe(c)
+	if f.PendingCommutative() != 1 {
+		t.Error("own message observation changed tracking")
+	}
+}
+
+func TestActivityValidate(t *testing.T) {
+	open := msg(lbl("n", 1), message.KindNonCommutative, "set")
+	c1 := msg(lbl("a", 1), message.KindCommutative, "inc", open.Label)
+	c2 := msg(lbl("b", 1), message.KindCommutative, "dec", open.Label)
+	closer := msg(lbl("n", 2), message.KindNonCommutative, "set", c1.Label, c2.Label)
+	tests := []struct {
+		name    string
+		act     Activity
+		wantErr bool
+	}{
+		{"well-formed", Activity{Opener: open, Body: []message.Message{c1, c2}, Closer: closer}, false},
+		{"no closer", Activity{Opener: open, Body: []message.Message{c1}}, true},
+		{"closer wrong kind", Activity{Closer: c1}, true},
+		{"body not commutative", Activity{
+			Opener: open,
+			Body:   []message.Message{msg(lbl("x", 1), message.KindNonCommutative, "set", open.Label)},
+			Closer: closer,
+		}, true},
+		{"body missing opener dep", Activity{
+			Opener: open,
+			Body:   []message.Message{msg(lbl("x", 1), message.KindCommutative, "inc")},
+			Closer: closer,
+		}, true},
+		{"closer missing body dep", Activity{
+			Opener: open,
+			Body:   []message.Message{c1, msg(lbl("z", 1), message.KindCommutative, "inc", open.Label)},
+			Closer: closer,
+		}, true},
+		{"empty body closer chains opener", Activity{
+			Opener: open,
+			Closer: msg(lbl("n", 2), message.KindNonCommutative, "set", open.Label),
+		}, false},
+		{"empty body closer missing opener", Activity{
+			Opener: open,
+			Closer: msg(lbl("n", 2), message.KindNonCommutative, "set"),
+		}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.act.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate() = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestActivityIsStable(t *testing.T) {
+	open := msg(lbl("n", 1), message.KindNonCommutative, "set")
+	open.Body = []byte("100")
+	mk := func(ops ...string) Activity {
+		var body []message.Message
+		var bodyLabels []message.Label
+		for i, op := range ops {
+			m := msg(lbl("c", uint64(i+1)), message.KindCommutative, op, open.Label)
+			body = append(body, m)
+			bodyLabels = append(bodyLabels, m.Label)
+		}
+		return Activity{
+			Opener: open,
+			Body:   body,
+			Closer: msg(lbl("n", 2), message.KindNonCommutative, "rd", bodyLabels...),
+		}
+	}
+	stable, err := mk("inc", "dec", "inc").IsStable(applyCounter, &counterState{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stable {
+		t.Error("inc/dec/inc activity not stable")
+	}
+	unstable, err := mk("inc", "double").IsStable(applyCounter, &counterState{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unstable {
+		t.Error("inc/double activity reported stable")
+	}
+}
+
+func TestNewReplicaValidation(t *testing.T) {
+	if _, err := NewReplica(ReplicaConfig{Self: "r", Apply: applyCounter}); err == nil {
+		t.Error("nil initial state accepted")
+	}
+	if _, err := NewReplica(ReplicaConfig{Self: "r", Initial: &counterState{}}); err == nil {
+		t.Error("nil transition accepted")
+	}
+}
+
+func TestReplicaStablePoints(t *testing.T) {
+	var stables []StablePoint
+	r, err := NewReplica(ReplicaConfig{
+		Self:    "r1",
+		Initial: &counterState{},
+		Apply:   applyCounter,
+		OnStable: func(sp StablePoint, _ State) {
+			stables = append(stables, sp)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Deliver(msg(lbl("c", 1), message.KindCommutative, "inc"))
+	r.Deliver(msg(lbl("c", 2), message.KindCommutative, "inc"))
+	if r.Cycle() != 0 {
+		t.Fatal("commutative deliveries closed a cycle")
+	}
+	r.Deliver(msg(lbl("c", 3), message.KindNonCommutative, "set")) // set with empty body -> 0
+	if r.Cycle() != 1 {
+		t.Fatal("non-commutative delivery did not close the cycle")
+	}
+	r.Deliver(msg(lbl("c", 4), message.KindCommutative, "inc"))
+	r.Deliver(msg(lbl("c", 5), message.KindRead, "rd"))
+	points := r.StablePoints()
+	if len(points) != 2 {
+		t.Fatalf("stable points = %d, want 2", len(points))
+	}
+	if points[0].ActivitySize != 3 || points[1].ActivitySize != 2 {
+		t.Errorf("activity sizes = %d,%d want 3,2", points[0].ActivitySize, points[1].ActivitySize)
+	}
+	if points[0].Digest != "ctr:0" || points[1].Digest != "ctr:1" {
+		t.Errorf("digests = %q,%q", points[0].Digest, points[1].Digest)
+	}
+	if len(stables) != 2 {
+		t.Errorf("OnStable fired %d times, want 2", len(stables))
+	}
+	if r.Applied() != 5 {
+		t.Errorf("Applied = %d, want 5", r.Applied())
+	}
+}
+
+func TestReplicaReadStableVsReadNow(t *testing.T) {
+	r, err := NewReplica(ReplicaConfig{Self: "r1", Initial: &counterState{}, Apply: applyCounter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Deliver(msg(lbl("c", 1), message.KindCommutative, "inc"))
+	now, ok := r.ReadNow().(*counterState)
+	if !ok {
+		t.Fatal("ReadNow wrong type")
+	}
+	if now.v != 1 {
+		t.Errorf("ReadNow = %d, want 1", now.v)
+	}
+	st, cycle := r.ReadStable()
+	stable, ok := st.(*counterState)
+	if !ok {
+		t.Fatal("ReadStable wrong type")
+	}
+	if stable.v != 0 || cycle != 0 {
+		t.Errorf("ReadStable = %d at cycle %d, want 0 at 0 (mid-activity)", stable.v, cycle)
+	}
+	// Mutating the returned copy must not affect the replica.
+	stable.v = 99
+	st2, _ := r.ReadStable()
+	if st2.(*counterState).v != 0 {
+		t.Error("ReadStable returned aliased state")
+	}
+}
+
+func TestReplicaDeferredRead(t *testing.T) {
+	r, err := NewReplica(ReplicaConfig{Self: "r1", Initial: &counterState{}, Apply: applyCounter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type result struct {
+		st    State
+		cycle uint64
+		err   error
+	}
+	got := make(chan result, 1)
+	go func() {
+		st, cy, err := r.ReadDeferred(context.Background())
+		got <- result{st, cy, err}
+	}()
+	time.Sleep(5 * time.Millisecond)
+	r.Deliver(msg(lbl("c", 1), message.KindCommutative, "inc"))
+	select {
+	case <-got:
+		t.Fatal("deferred read returned mid-activity")
+	case <-time.After(10 * time.Millisecond):
+	}
+	r.Deliver(msg(lbl("c", 2), message.KindNonCommutative, "set"))
+	select {
+	case res := <-got:
+		if res.err != nil {
+			t.Fatal(res.err)
+		}
+		if res.cycle != 1 {
+			t.Errorf("cycle = %d, want 1", res.cycle)
+		}
+		if res.st.Digest() != "ctr:0" {
+			t.Errorf("digest = %q", res.st.Digest())
+		}
+	case <-time.After(time.Second):
+		t.Fatal("deferred read never released at stable point")
+	}
+}
+
+func TestReplicaTrimStablePoints(t *testing.T) {
+	r, err := NewReplica(ReplicaConfig{Self: "r1", Initial: &counterState{}, Apply: applyCounter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 5; i++ {
+		r.Deliver(msg(lbl("c", i), message.KindNonCommutative, "set"))
+	}
+	if dropped := r.TrimStablePoints(2); dropped != 3 {
+		t.Fatalf("dropped = %d, want 3", dropped)
+	}
+	points := r.StablePoints()
+	if len(points) != 2 || points[0].Cycle != 4 || points[1].Cycle != 5 {
+		t.Fatalf("points after trim = %+v", points)
+	}
+	if r.Cycle() != 5 {
+		t.Errorf("Cycle = %d after trim", r.Cycle())
+	}
+	if dropped := r.TrimStablePoints(10); dropped != 0 {
+		t.Errorf("over-trim dropped %d", dropped)
+	}
+	if dropped := r.TrimStablePoints(-1); dropped != 2 {
+		t.Errorf("negative keep dropped %d, want 2", dropped)
+	}
+}
+
+func TestReplicaDeferredReadContextCancel(t *testing.T) {
+	r, err := NewReplica(ReplicaConfig{Self: "r1", Initial: &counterState{}, Apply: applyCounter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, _, err := r.ReadDeferred(ctx); err == nil {
+		t.Error("cancelled deferred read returned nil error")
+	}
+}

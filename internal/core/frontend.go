@@ -1,0 +1,174 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"causalshare/internal/causal"
+	"causalshare/internal/message"
+)
+
+// FrontEnd is the client-side manager of the generic replicated data
+// access protocol (§6.1). It classifies operations as commutative or
+// non-commutative and generates the OccursAfter ordering of the paper's
+// client() skeleton:
+//
+//   - a commutative request is ordered after the last non-commutative
+//     message (Ncid_{r-1}), making the whole commutative set {Cid}_r of a
+//     cycle pairwise concurrent;
+//   - a non-commutative request is ordered after the conjunction of the
+//     commutative set {Cid}_r (or directly after Ncid_{r-1} when the set
+//     is empty), closing cycle r:
+//     Ncid_{r-1} -> ||{Cid}_r -> Ncid_r.
+//
+// The resulting dependency graph is the same at every replica, so each
+// replica recognizes the stable points Ncid_r locally.
+//
+// A FrontEnd tracks both its own submissions and, via Observe, operations
+// it sees delivered from other clients, so several clients' requests weave
+// into one shared cycle structure. FrontEnd is safe for concurrent use.
+type FrontEnd struct {
+	bcast causal.Broadcaster
+
+	mu      sync.Mutex
+	origin  string
+	labeler *message.Labeler
+	// lastNC is the most recent non-commutative label known (own or
+	// observed): the paper's Ncid_{r-1}.
+	lastNC message.Label
+	// cids is the commutative set {Cid}_r accumulated since lastNC.
+	cids map[message.Label]struct{}
+	// cycle counts closed cycles (r).
+	cycle uint64
+}
+
+// NewFrontEnd builds a front-end for one client, co-located with the
+// member owning broadcaster b. id must be unique among the member's
+// clients and must not contain '~' (reserved for namespacing). Labels are
+// issued under the origin "<member>~<id>" so that retransmission requests
+// for this client's messages route to the member whose engine retains
+// them (see causal.RouteOrigin).
+func NewFrontEnd(id string, b causal.Broadcaster) (*FrontEnd, error) {
+	if id == "" {
+		return nil, fmt.Errorf("core: empty front-end id")
+	}
+	for i := 0; i < len(id); i++ {
+		if id[i] == '~' {
+			return nil, fmt.Errorf("core: front-end id %q contains reserved '~'", id)
+		}
+	}
+	origin := b.Self() + "~" + id
+	return &FrontEnd{
+		bcast:   b,
+		origin:  origin,
+		labeler: message.NewLabeler(origin),
+		cids:    make(map[message.Label]struct{}),
+	}, nil
+}
+
+// NewComposer returns a front-end without a broadcaster: Compose and
+// Observe work, Submit fails. The simulator and static analyses use it to
+// generate the protocol's orderings without a live stack. origin is used
+// verbatim as the label origin.
+func NewComposer(origin string) (*FrontEnd, error) {
+	if origin == "" {
+		return nil, fmt.Errorf("core: empty composer origin")
+	}
+	return &FrontEnd{
+		origin:  origin,
+		labeler: message.NewLabeler(origin),
+		cids:    make(map[message.Label]struct{}),
+	}, nil
+}
+
+// Submit classifies, orders, and broadcasts one operation, returning the
+// message sent. kind must be KindCommutative, KindNonCommutative, or
+// KindRead (reads order like non-commutative operations: the paper's
+// inc -> rd requirement).
+func (f *FrontEnd) Submit(op string, kind message.Kind, body []byte) (message.Message, error) {
+	if f.bcast == nil {
+		return message.Message{}, fmt.Errorf("core: Submit on a composer-only front-end")
+	}
+	m, err := f.compose(op, kind, body)
+	if err != nil {
+		return message.Message{}, err
+	}
+	if err := f.bcast.Broadcast(m); err != nil {
+		return message.Message{}, fmt.Errorf("core: submit %q: %w", op, err)
+	}
+	return m, nil
+}
+
+// Compose builds the ordered message without broadcasting it; the
+// simulator uses it to drive deterministic executions.
+func (f *FrontEnd) Compose(op string, kind message.Kind, body []byte) (message.Message, error) {
+	return f.compose(op, kind, body)
+}
+
+func (f *FrontEnd) compose(op string, kind message.Kind, body []byte) (message.Message, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	label := f.labeler.Next()
+	var deps message.OccursAfter
+	switch kind {
+	case message.KindCommutative:
+		// Ordered only after the cycle opener; concurrent with the rest
+		// of {Cid}_r.
+		deps = message.After(f.lastNC)
+		f.cids[label] = struct{}{}
+	case message.KindNonCommutative, message.KindRead:
+		if len(f.cids) == 0 {
+			deps = message.After(f.lastNC)
+		} else {
+			all := make([]message.Label, 0, len(f.cids))
+			for c := range f.cids {
+				all = append(all, c)
+			}
+			deps = message.After(all...)
+		}
+		f.cids = make(map[message.Label]struct{})
+		f.lastNC = label
+		f.cycle++
+	default:
+		return message.Message{}, fmt.Errorf("core: cannot submit kind %v", kind)
+	}
+	return message.Message{Label: label, Deps: deps, Kind: kind, Op: op, Body: body}, nil
+}
+
+// Observe folds a message delivered at this client's site into the cycle
+// tracking, so subsequent submissions order correctly after other clients'
+// operations. Call it from the local replica's delivery path. Own messages
+// are recognized and skipped (they were accounted at Submit).
+func (f *FrontEnd) Observe(m message.Message) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if m.Label.Origin == f.origin {
+		return // own message, accounted at Submit
+	}
+	switch m.Kind {
+	case message.KindCommutative:
+		f.cids[m.Label] = struct{}{}
+	case message.KindNonCommutative, message.KindRead:
+		// Another client closed the cycle: our pending {Cid} knowledge
+		// resets and the observed closer becomes Ncid_{r}.
+		f.cids = make(map[message.Label]struct{})
+		f.lastNC = m.Label
+		f.cycle++
+	default:
+	}
+}
+
+// Cycle returns the number of cycles closed so far (own + observed).
+func (f *FrontEnd) Cycle() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.cycle
+}
+
+// PendingCommutative returns |{Cid}_r| for the open cycle — the paper's
+// f_gamma mix observable.
+func (f *FrontEnd) PendingCommutative() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.cids)
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"causalshare/internal/message"
+	"causalshare/internal/transport"
+)
+
+func TestNewItemFrontEndValidation(t *testing.T) {
+	b := &fakeBcast{}
+	if _, err := NewItemFrontEnd("", b); err == nil {
+		t.Error("empty id accepted")
+	}
+	if _, err := NewItemFrontEnd("x~y", b); err == nil {
+		t.Error("reserved '~' accepted")
+	}
+}
+
+func TestItemFrontEndChainsPerItem(t *testing.T) {
+	f, err := NewItemFrontEnd("cli", &fakeBcast{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two writes to file "a" chain; a write to "b" is concurrent with
+	// both and anchored only to the (nil) last sync.
+	a1, err := f.SubmitScoped("put", "a", []byte("v1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a1.Deps.Empty() {
+		t.Errorf("first op deps = %v, want none", a1.Deps)
+	}
+	a2, _ := f.SubmitScoped("put", "a", []byte("v2"))
+	if a2.Deps.Len() != 1 || !a2.Deps.Contains(a1.Label) {
+		t.Errorf("same-item op deps = %v, want (a1)", a2.Deps)
+	}
+	b1, _ := f.SubmitScoped("put", "b", []byte("w"))
+	if !b1.Deps.Empty() {
+		t.Errorf("cross-item op deps = %v, want none (concurrent with a's chain)", b1.Deps)
+	}
+	if a2.Kind != message.KindCommutative || b1.Kind != message.KindCommutative {
+		t.Error("scoped operations must be globally commutative")
+	}
+	if f.OpenOps() != 3 {
+		t.Errorf("OpenOps = %d", f.OpenOps())
+	}
+}
+
+func TestItemFrontEndSyncClosesAllChains(t *testing.T) {
+	f, err := NewItemFrontEnd("cli", &fakeBcast{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, _ := f.SubmitScoped("put", "a", nil)
+	a2, _ := f.SubmitScoped("put", "a", nil)
+	b1, _ := f.SubmitScoped("put", "b", nil)
+	sync, err := f.Sync("snapshot", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sync depends on the chain tips only: a2 and b1, not a1.
+	if sync.Deps.Len() != 2 || !sync.Deps.Contains(a2.Label) || !sync.Deps.Contains(b1.Label) {
+		t.Errorf("sync deps = %v, want (a2 ∧ b1)", sync.Deps)
+	}
+	if sync.Deps.Contains(a1.Label) {
+		t.Error("sync named a covered chain interior")
+	}
+	if sync.Kind != message.KindRead {
+		t.Errorf("sync kind = %v", sync.Kind)
+	}
+	if f.Cycle() != 1 || f.OpenOps() != 0 {
+		t.Errorf("cycle=%d open=%d", f.Cycle(), f.OpenOps())
+	}
+	// The next activity anchors to the sync.
+	c1, _ := f.SubmitScoped("put", "c", nil)
+	if c1.Deps.Len() != 1 || !c1.Deps.Contains(sync.Label) {
+		t.Errorf("post-sync op deps = %v, want (sync)", c1.Deps)
+	}
+	// An empty activity's sync chains the previous sync.
+	sync2, _ := f.Sync("snapshot", nil)
+	if !sync2.Deps.Contains(c1.Label) {
+		t.Errorf("second sync deps = %v", sync2.Deps)
+	}
+	sync3, _ := f.Sync("snapshot", nil)
+	if sync3.Deps.Len() != 1 || !sync3.Deps.Contains(sync2.Label) {
+		t.Errorf("empty-activity sync deps = %v, want (sync2)", sync3.Deps)
+	}
+}
+
+func TestPropItemFrontEndStructure(t *testing.T) {
+	// For arbitrary item sequences: (a) each item's operations form a
+	// total chain; (b) operations on different items share no direct
+	// dependency; (c) the Sync covers every chain tip.
+	f := func(items []uint8) bool {
+		fe, err := NewItemComposer("p~item")
+		if err != nil {
+			return false
+		}
+		lastOf := make(map[string]message.Label)
+		var msgs []message.Message
+		for _, b := range items {
+			item := string(rune('a' + int(b)%4))
+			m := fe.ComposeScoped("put", item, nil)
+			if prev, ok := lastOf[item]; ok {
+				if m.Deps.Len() != 1 || !m.Deps.Contains(prev) {
+					return false // chain broken
+				}
+			} else if !m.Deps.Empty() {
+				return false // first op of an item must be unanchored (no sync yet)
+			}
+			lastOf[item] = m.Label
+			msgs = append(msgs, m)
+		}
+		sync := fe.ComposeSync("s", nil)
+		if len(items) == 0 {
+			return sync.Deps.Empty() // nothing issued, lastSync nil
+		}
+		if sync.Deps.Len() != len(lastOf) {
+			return false
+		}
+		for _, tip := range lastOf {
+			if !sync.Deps.Contains(tip) {
+				return false
+			}
+		}
+		_ = msgs
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestItemScopingLiveAgreement is the §5.1 payoff end to end: per-key
+// overwrites on disjoint keys stay concurrent (no global closers), yet
+// replicas agree at every Sync because same-key overwrites are chained.
+func TestItemScopingLiveAgreement(t *testing.T) {
+	ids := []string{"r1", "r2", "r3"}
+	s := newStack(t, ids, transport.FaultModel{
+		MinDelay: 0, MaxDelay: 4 * time.Millisecond, Seed: 61,
+	}, 50*time.Millisecond)
+	defer s.close(t)
+
+	// Replace the counter replicas with KV semantics via raw messages:
+	// this test drives the stack with put-style ops interpreted by the
+	// counter Apply as unknown (state-neutral), so agreement is checked
+	// on stable-point structure; the KV-level value check lives in the
+	// shareddata package. Here we assert the protocol shape: all scoped
+	// ops deliver, the Sync is the only stable point, and all replicas
+	// close it identically.
+	fe, err := NewItemFrontEnd("cli", s.engines["r1"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys, writesPerKey = 4, 5
+	total := uint64(0)
+	for w := 0; w < writesPerKey; w++ {
+		for k := 0; k < keys; k++ {
+			if _, err := fe.SubmitScoped("put", string(rune('a'+k)), []byte{byte(w)}); err != nil {
+				t.Fatal(err)
+			}
+			total++
+		}
+	}
+	if _, err := fe.Sync("snapshot", nil); err != nil {
+		t.Fatal(err)
+	}
+	total++
+	s.waitApplied(t, total, 10*time.Second)
+
+	for _, id := range ids {
+		points := s.replicas[id].StablePoints()
+		if len(points) != 1 {
+			t.Fatalf("replica %s stable points = %d, want 1 (only the Sync closes)", id, len(points))
+		}
+		if points[0].ActivitySize != int(total) {
+			t.Errorf("replica %s activity size = %d, want %d", id, points[0].ActivitySize, total)
+		}
+	}
+	ref := s.replicas[ids[0]].StablePoints()[0]
+	for _, id := range ids[1:] {
+		got := s.replicas[id].StablePoints()[0]
+		if got.Closer != ref.Closer || got.Digest != ref.Digest {
+			t.Errorf("replica %s stable point %+v, want %+v", id, got, ref)
+		}
+	}
+}

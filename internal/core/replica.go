@@ -1,0 +1,214 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"causalshare/internal/message"
+)
+
+// StablePoint records one locally detected agreement point (§4.1): the
+// state reached after processing the non-commutative message that closes
+// a causal activity. Replicas that share a front-end graph produce the
+// same sequence of StablePoint digests — that is the model's consistency
+// guarantee, checked by the obs package's auditor.
+type StablePoint struct {
+	// Cycle is the activity index r.
+	Cycle uint64
+	// Closer is the label of the non-commutative (or read) message whose
+	// processing established the point.
+	Closer message.Label
+	// Digest fingerprints the state at the point.
+	Digest string
+	// ActivitySize is the number of messages processed in the activity
+	// this point closed (1 + |{Cid}_r| in the paper's cycle notation).
+	ActivitySize int
+}
+
+// ReplicaConfig parameterizes a replica.
+type ReplicaConfig struct {
+	// Self names the replica (metrics and errors only).
+	Self string
+	// Initial is the state the replica starts from; the replica clones it.
+	Initial State
+	// Apply is the application's transition function F.
+	Apply Transition
+	// OnStable, when non-nil, is invoked after every stable point with the
+	// point record and an independent clone of the stable state. It runs
+	// on the delivery goroutine without the replica lock held.
+	OnStable func(StablePoint, State)
+}
+
+// Replica maintains one member's copy of the shared data, applying
+// messages in the causal order the broadcast layer delivers them and
+// recognizing stable points locally. Between stable points, replicas may
+// diverge (concurrent commutative messages arrive in different orders);
+// at each stable point the model guarantees agreement, so deferred reads
+// are served from stable states only. Replica is safe for concurrent use;
+// Deliver is its causal.DeliverFunc.
+type Replica struct {
+	self     string
+	apply    Transition
+	onStable func(StablePoint, State)
+
+	mu          sync.Mutex
+	state       State
+	stable      State
+	stableCycle uint64
+	applied     uint64
+	current     int // messages in the open activity
+	points      []StablePoint
+	waiters     []chan readResult
+}
+
+type readResult struct {
+	state State
+	cycle uint64
+}
+
+// NewReplica constructs a replica from cfg.
+func NewReplica(cfg ReplicaConfig) (*Replica, error) {
+	if cfg.Initial == nil {
+		return nil, fmt.Errorf("core: replica %q: nil initial state", cfg.Self)
+	}
+	if cfg.Apply == nil {
+		return nil, fmt.Errorf("core: replica %q: nil transition function", cfg.Self)
+	}
+	return &Replica{
+		self:     cfg.Self,
+		apply:    cfg.Apply,
+		onStable: cfg.OnStable,
+		state:    cfg.Initial.Clone(),
+		stable:   cfg.Initial.Clone(),
+	}, nil
+}
+
+// Deliver applies one causally delivered message. Non-commutative and read
+// messages close the open activity and establish a stable point.
+func (r *Replica) Deliver(m message.Message) {
+	r.mu.Lock()
+	r.state = r.apply(r.state, m)
+	r.applied++
+	r.current++
+	var (
+		notify   func(StablePoint, State)
+		point    StablePoint
+		snapshot State
+		waiters  []chan readResult
+	)
+	if m.Kind == message.KindNonCommutative || m.Kind == message.KindRead {
+		r.stableCycle++
+		r.stable = r.state.Clone()
+		point = StablePoint{
+			Cycle:        r.stableCycle,
+			Closer:       m.Label,
+			Digest:       r.stable.Digest(),
+			ActivitySize: r.current,
+		}
+		r.points = append(r.points, point)
+		r.current = 0
+		waiters = r.waiters
+		r.waiters = nil
+		if r.onStable != nil {
+			notify = r.onStable
+			snapshot = r.stable.Clone()
+		}
+	}
+	stableForWaiters := r.stable
+	cycle := r.stableCycle
+	r.mu.Unlock()
+
+	for _, w := range waiters {
+		w <- readResult{state: stableForWaiters.Clone(), cycle: cycle}
+	}
+	if notify != nil {
+		notify(point, snapshot)
+	}
+}
+
+// ReadDeferred returns an independent copy of the agreed state at a
+// stable point along with its cycle number — the §5.1 deferred read: "a
+// read operation on X requested at a member may be deferred to occur at
+// the next stable point so that the value returned is the same as that by
+// every other member". If the replica is mid-activity (or has seen no
+// stable point yet) the call blocks until the activity closes; if it is
+// exactly at a stable point, that point's state is returned immediately.
+func (r *Replica) ReadDeferred(ctx context.Context) (State, uint64, error) {
+	ch := make(chan readResult, 1)
+	r.mu.Lock()
+	if r.current == 0 && r.stableCycle > 0 {
+		st, cycle := r.stable.Clone(), r.stableCycle
+		r.mu.Unlock()
+		return st, cycle, nil
+	}
+	r.waiters = append(r.waiters, ch)
+	r.mu.Unlock()
+	select {
+	case res := <-ch:
+		return res.state, res.cycle, nil
+	case <-ctx.Done():
+		return nil, 0, fmt.Errorf("core: deferred read at %q: %w", r.self, ctx.Err())
+	}
+}
+
+// ReadStable returns a copy of the state at the most recent stable point
+// without waiting (the value all replicas that reached this cycle agree
+// on) and the cycle it belongs to.
+func (r *Replica) ReadStable() (State, uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stable.Clone(), r.stableCycle
+}
+
+// ReadNow returns a copy of the *current* state, which may differ across
+// replicas mid-activity. The inconsistency-window experiment (E10) uses it
+// to measure what deferred reads avoid.
+func (r *Replica) ReadNow() State {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.state.Clone()
+}
+
+// Applied returns the number of messages processed.
+func (r *Replica) Applied() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.applied
+}
+
+// Cycle returns the index of the last stable point.
+func (r *Replica) Cycle() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stableCycle
+}
+
+// StablePoints returns a copy of the stable-point history.
+func (r *Replica) StablePoints() []StablePoint {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]StablePoint(nil), r.points...)
+}
+
+// TrimStablePoints discards all but the most recent keep history entries,
+// bounding memory in long-running replicas. Cycle numbering is
+// unaffected. It returns the number of entries dropped.
+func (r *Replica) TrimStablePoints(keep int) int {
+	if keep < 0 {
+		keep = 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	drop := len(r.points) - keep
+	if drop <= 0 {
+		return 0
+	}
+	remaining := make([]StablePoint, keep)
+	copy(remaining, r.points[drop:])
+	r.points = remaining
+	return drop
+}
+
+// Self returns the replica's name.
+func (r *Replica) Self() string { return r.self }

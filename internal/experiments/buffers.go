@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+
+	"causalshare/internal/message"
+	"causalshare/internal/sim"
+	"causalshare/internal/vclock"
+)
+
+// E6Config parameterizes the buffer-occupancy experiment.
+type E6Config struct {
+	Members int
+	Ops     int
+	Jitters []float64 // MaxLatency in ms (MinLatency 0)
+	Seed    int64
+}
+
+// DefaultE6 returns the reproduction parameters.
+func DefaultE6() E6Config {
+	return E6Config{
+		Members: 8,
+		Ops:     1500,
+		Jitters: []float64{1, 5, 10, 20, 50},
+		Seed:    606,
+	}
+}
+
+// RunE6 measures delivery-buffer occupancy under increasing network
+// jitter for the paper's OSend rule versus the vector-clock CBCAST
+// baseline. Workload: every member broadcasts interleaved traffic, with
+// one member's stream chained (explicit dependencies) and the rest
+// concurrent. The claim reproduced: inferring causality from transport
+// observation (CBCAST) buffers messages the application never related —
+// OSend buffers only declared dependencies.
+func RunE6(cfg E6Config) Table {
+	t := Table{
+		ID:    "E6",
+		Title: "delivery-buffer occupancy vs network jitter",
+		Claim: "OSend orders only the application's declared relations; incidental-order engines impose constraints the application never asked for",
+		Columns: []string{
+			"jitter ms", "osend max buf", "cbcast max buf", "osend mean ms", "cbcast mean ms",
+		},
+	}
+	for _, j := range cfg.Jitters {
+		model := sim.NetModel{MinLatency: 0, MaxLatency: ms(j)}
+		var maxBuf [2]int
+		var mean [2]float64
+		for i, rule := range []sim.OrderRule{sim.RuleOSend, sim.RuleCBCast} {
+			s := sim.New(cfg.Seed)
+			net := sim.NewNet(s, model)
+			cluster := sim.NewCausalCluster(s, net, rule, cfg.Members, nil)
+			driveMixed(s, cluster, cfg.Ops, cfg.Members)
+			s.Run(0)
+			maxBuf[i] = cluster.MaxBuffered()
+			mean[i] = sim.Millis(sim.Summarize(cluster.Latencies()).Mean)
+		}
+		t.Rows = append(t.Rows, []string{
+			f2(j), itoa(maxBuf[0]), itoa(maxBuf[1]), f3(mean[0]), f3(mean[1]),
+		})
+	}
+	t.Notes = "CBCAST's buffers grow with jitter because FIFO+transitive constraints bind concurrent traffic; OSend buffers only the one declared chain"
+	return t
+}
+
+// driveMixed schedules interleaved traffic: member 0's stream is a
+// dependency chain; members 1..n-1 broadcast concurrent (unconstrained)
+// messages.
+func driveMixed(s *sim.Sim, cluster *sim.CausalCluster, ops, members int) {
+	var prev message.Label
+	for k := 0; k < ops; k++ {
+		k := k
+		member := k % members
+		label := message.Label{Origin: sim.MemberID(member) + "~w", Seq: uint64(k + 1)}
+		var deps message.OccursAfter
+		if member == 0 {
+			deps = message.After(prev)
+			prev = label
+		}
+		m := message.Message{Label: label, Deps: deps, Kind: message.KindCommutative, Op: "w"}
+		s.At(sim.Time(k)*ms(0.3), func() { cluster.Broadcast(member, m) })
+	}
+}
+
+// E7Config parameterizes the wire-overhead experiment.
+type E7Config struct {
+	Sizes    []int
+	DepsMean int
+}
+
+// DefaultE7 returns the reproduction parameters.
+func DefaultE7() E7Config {
+	return E7Config{Sizes: []int{2, 4, 8, 16, 32, 64}, DepsMean: 2}
+}
+
+// RunE7 compares the per-message ordering-metadata size of explicit
+// OccursAfter labels (OSend) against vector-clock piggybacks (CBCAST) as
+// the group grows, using the real wire encodings. The claim reproduced:
+// the explicit representation's cost tracks the application's dependency
+// degree (constant here), not the group size.
+func RunE7(cfg E7Config) Table {
+	t := Table{
+		ID:    "E7",
+		Title: "ordering metadata bytes per message vs group size",
+		Claim: "OSend carries the causal relations themselves; clock-based schemes carry O(n) state",
+		Columns: []string{
+			"n", "osend dep bytes", "cbcast clock bytes", "ratio",
+		},
+	}
+	for _, n := range cfg.Sizes {
+		// OSend: a message naming DepsMean predecessors.
+		deps := make([]message.Label, cfg.DepsMean)
+		for i := range deps {
+			deps[i] = message.Label{Origin: fmt.Sprintf("m%03d~cli", i), Seq: uint64(1000 + i)}
+		}
+		withDeps := message.Message{
+			Label: message.Label{Origin: "m000~cli", Seq: 2000},
+			Deps:  message.After(deps...),
+			Kind:  message.KindCommutative,
+			Op:    "inc",
+		}
+		noDeps := withDeps
+		noDeps.Deps = message.After()
+		osendBytes := withDeps.EncodedSize() - noDeps.EncodedSize()
+
+		// CBCAST: a fully populated vector clock over n members.
+		vc := vclock.New()
+		for i := 0; i < n; i++ {
+			vc.Set(fmt.Sprintf("m%03d", i), uint64(1000+i))
+		}
+		cbBytes := vc.EncodedSize()
+
+		t.Rows = append(t.Rows, []string{
+			itoa(n), itoa(osendBytes), itoa(cbBytes),
+			f2(float64(cbBytes) / float64(osendBytes)),
+		})
+	}
+	t.Notes = "explicit dependency metadata is constant in group size (it tracks the dependency degree); vector clocks grow linearly — the crossover is at a handful of members"
+	return t
+}

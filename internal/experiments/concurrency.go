@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+
+	"causalshare/internal/graph"
+	"causalshare/internal/message"
+)
+
+// E8Config parameterizes the concurrency-degree experiment.
+type E8Config struct {
+	Players []int
+	// K is the lookback of the card-game dependency: player l depends on
+	// player l-K's card rather than the immediately preceding player.
+	K int
+	// LinCap bounds linearization counting.
+	LinCap int
+}
+
+// DefaultE8 returns the reproduction parameters.
+func DefaultE8() E8Config {
+	return E8Config{Players: []int{3, 4, 6, 8, 12}, K: 2, LinCap: 100000}
+}
+
+// RunE8 reproduces the §5.1 multiplayer card-game analysis: when player
+// l's action depends only on player l-K's card (not the immediately
+// preceding player), the orderings relax from a strict chain to
+// ||{card_l, card_{l-1}, ...} and concurrency rises. We build both graphs
+// with the real graph machinery and report the mean antichain width (1.0
+// = fully serial) and the number of admissible schedules.
+func RunE8(cfg E8Config) Table {
+	t := Table{
+		ID:    "E8",
+		Title: "concurrency degree: relaxed card-game order vs strict turns",
+		Claim: "card_k -> card_l with ||{card_(k+1)..card_(l-1)} results in a relaxed ordering and thus higher concurrency (§5.1)",
+		Columns: []string{
+			"players", "strict width", "relaxed width", "strict schedules", "relaxed schedules",
+		},
+	}
+	for _, r := range cfg.Players {
+		strict := buildCardGraph(r, 1)
+		relaxed := buildCardGraph(r, cfg.K)
+		sLin := strict.CountLinearizations(cfg.LinCap)
+		rLin := relaxed.CountLinearizations(cfg.LinCap)
+		sLinStr, rLinStr := itoa(sLin), itoa(rLin)
+		if sLin >= cfg.LinCap {
+			sLinStr = fmt.Sprintf(">=%d", cfg.LinCap)
+		}
+		if rLin >= cfg.LinCap {
+			rLinStr = fmt.Sprintf(">=%d", cfg.LinCap)
+		}
+		t.Rows = append(t.Rows, []string{
+			itoa(r),
+			f2(strict.MeanWidth()),
+			f2(relaxed.MeanWidth()),
+			sLinStr,
+			rLinStr,
+		})
+	}
+	t.Notes = "strict turn-taking admits exactly one schedule (width 1.0); the k-lookback dependency multiplies admissible schedules and widens each layer — the relaxed ordering the paper advocates"
+	return t
+}
+
+// buildCardGraph constructs the card-play dependency graph for r players
+// over two rounds: with lookback k, play i depends on play i-k.
+func buildCardGraph(r, k int) *graph.Graph {
+	g := graph.New()
+	total := 2 * r
+	labels := make([]message.Label, total)
+	for i := 0; i < total; i++ {
+		labels[i] = message.Label{Origin: fmt.Sprintf("p%02d", i%r), Seq: uint64(i/r + 1)}
+		var deps []message.Label
+		if i-k >= 0 {
+			deps = append(deps, labels[i-k])
+		}
+		// Errors impossible: edges always point backwards in play order.
+		_ = g.AddEdges(labels[i], deps)
+	}
+	return g
+}

@@ -1,0 +1,107 @@
+// Package experiments implements the paper-reproduction harness: one
+// runner per experiment in DESIGN.md's index (E1–E10), each returning a
+// Table whose rows reproduce the corresponding claim's shape. The
+// cmd/experiments binary prints all tables; bench_test.go wraps each
+// runner in a testing.B benchmark.
+//
+// The paper (a model paper) reports no measured numbers, so EXPERIMENTS.md
+// records, per experiment, the qualitative claim from the paper next to
+// the measured rows produced here. All runners are deterministic: seeded
+// virtual-time simulation or fault-free live stacks.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one experiment's reproducible output.
+type Table struct {
+	// ID is the experiment identifier (e.g. "E1").
+	ID string
+	// Title names the experiment.
+	Title string
+	// Claim quotes or paraphrases the paper's claim being reproduced.
+	Claim string
+	// Columns are the header cells.
+	Columns []string
+	// Rows are the data cells, one slice per row.
+	Rows [][]string
+	// Notes holds the measured interpretation (who won, by what factor).
+	Notes string
+}
+
+// String renders the table with aligned columns.
+func (t Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	if t.Claim != "" {
+		fmt.Fprintf(&b, "claim: %s\n", t.Claim)
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(&b, "notes: %s\n", t.Notes)
+	}
+	return b.String()
+}
+
+// Runner produces one experiment table with default parameters.
+type Runner func() Table
+
+// All returns every experiment runner keyed by ID, for the CLI and the
+// benchmark harness.
+func All() map[string]Runner {
+	return map[string]Runner{
+		"E1":  func() Table { return RunE1(DefaultE1()) },
+		"E2":  func() Table { return RunE2(DefaultE2()) },
+		"E3":  func() Table { return RunE3(DefaultE3()) },
+		"E4":  func() Table { return RunE4(DefaultE4()) },
+		"E5":  func() Table { return RunE5(DefaultE5()) },
+		"E6":  func() Table { return RunE6(DefaultE6()) },
+		"E7":  func() Table { return RunE7(DefaultE7()) },
+		"E8":  func() Table { return RunE8(DefaultE8()) },
+		"E9":  func() Table { return RunE9(DefaultE9()) },
+		"E10": func() Table { return RunE10(DefaultE10()) },
+		"E11": func() Table { return RunE11(DefaultE11()) },
+	}
+}
+
+// IDs returns experiment ids in run order.
+func IDs() []string {
+	return []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11"}
+}
+
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string  { return fmt.Sprintf("%.3f", v) }
+func itoa(v int) string    { return fmt.Sprintf("%d", v) }
+func utoa(v uint64) string { return fmt.Sprintf("%d", v) }

@@ -1,0 +1,300 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func cell(t *testing.T, tbl Table, row int, col string) string {
+	t.Helper()
+	for i, c := range tbl.Columns {
+		if c == col {
+			return tbl.Rows[row][i]
+		}
+	}
+	t.Fatalf("table %s has no column %q (have %v)", tbl.ID, col, tbl.Columns)
+	return ""
+}
+
+func cellF(t *testing.T, tbl Table, row int, col string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(cell(t, tbl, row, col), "x"), 64)
+	if err != nil {
+		t.Fatalf("table %s row %d col %q = %q not numeric: %v", tbl.ID, row, col, cell(t, tbl, row, col), err)
+	}
+	return v
+}
+
+func TestTableString(t *testing.T) {
+	tbl := Table{
+		ID: "T", Title: "test", Claim: "c",
+		Columns: []string{"a", "bb"},
+		Rows:    [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:   "n",
+	}
+	out := tbl.String()
+	for _, want := range []string{"T — test", "claim: c", "333", "notes: n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAllRunnersRegistered(t *testing.T) {
+	all := All()
+	for _, id := range IDs() {
+		if _, ok := all[id]; !ok {
+			t.Errorf("experiment %s has no runner", id)
+		}
+	}
+	if len(all) != len(IDs()) {
+		t.Errorf("All() has %d runners, IDs() has %d", len(all), len(IDs()))
+	}
+}
+
+func TestE1Shape(t *testing.T) {
+	cfg := DefaultE1()
+	cfg.Ops = 400
+	cfg.Fractions = []float64{0, 0.9, 1.0}
+	tbl := RunE1(cfg)
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d; notes: %s", len(tbl.Rows), tbl.Notes)
+	}
+	for i := range tbl.Rows {
+		causal := cellF(t, tbl, i, "causal mean ms")
+		merge := cellF(t, tbl, i, "merge mean ms")
+		seq := cellF(t, tbl, i, "seq mean ms")
+		if causal >= merge {
+			t.Errorf("f=%s: causal %.3f not below merge %.3f", tbl.Rows[i][0], causal, merge)
+		}
+		if causal >= seq {
+			t.Errorf("f=%s: causal %.3f not below sequencer %.3f", tbl.Rows[i][0], causal, seq)
+		}
+	}
+	// Latency should fall (or at least not rise) as f grows.
+	if cellF(t, tbl, 2, "causal mean ms") > cellF(t, tbl, 0, "causal mean ms") {
+		t.Error("causal latency did not improve with commutative fraction")
+	}
+	// Frame economy: causal needs fewer frames than merge (heartbeats).
+	if cellF(t, tbl, 0, "causal frames") >= cellF(t, tbl, 0, "merge frames") {
+		t.Error("causal frames not below merge frames")
+	}
+}
+
+func TestE2Shape(t *testing.T) {
+	cfg := DefaultE2()
+	cfg.Ops = 300
+	cfg.Sizes = []int{2, 8, 16}
+	tbl := RunE2(cfg)
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d; notes: %s", len(tbl.Rows), tbl.Notes)
+	}
+	last := len(tbl.Rows) - 1
+	mergeGrowth := cellF(t, tbl, last, "merge mean ms") / cellF(t, tbl, 0, "merge mean ms")
+	causalGrowth := cellF(t, tbl, last, "causal mean ms") / cellF(t, tbl, 0, "causal mean ms")
+	if mergeGrowth <= causalGrowth {
+		t.Errorf("total ordering did not degrade faster than causal: merge %.2fx vs causal %.2fx",
+			mergeGrowth, causalGrowth)
+	}
+	// Causal must beat merge at the largest size.
+	if cellF(t, tbl, last, "causal mean ms") >= cellF(t, tbl, last, "merge mean ms") {
+		t.Error("causal not faster than total order at n=16")
+	}
+}
+
+func TestE3Shape(t *testing.T) {
+	cfg := DefaultE3()
+	cfg.Cycles = 20
+	cfg.ActivitySz = []int{0, 5, 20}
+	cfg.Reads = 100
+	tbl := RunE3(cfg)
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d; notes: %s", len(tbl.Rows), tbl.Notes)
+	}
+	prev := -1.0
+	for i := range tbl.Rows {
+		if got := cell(t, tbl, i, "agreement"); got != "AGREE" {
+			t.Fatalf("f_gamma=%s: %s", tbl.Rows[i][0], got)
+		}
+		if got := cell(t, tbl, i, "extra agree msgs"); got != "0" {
+			t.Errorf("stable points cost messages: %s", got)
+		}
+		mean := cellF(t, tbl, i, "read mean ms")
+		if mean < prev {
+			t.Errorf("read latency not monotone in activity size: %.3f after %.3f", mean, prev)
+		}
+		prev = mean
+	}
+}
+
+func TestE4Shape(t *testing.T) {
+	cfg := E4Config{Sizes: []int{3, 5}, SyncPoints: 10}
+	tbl := RunE4(cfg)
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d; notes: %s", len(tbl.Rows), tbl.Notes)
+	}
+	for i, n := range cfg.Sizes {
+		want := float64(3 * (n - 1))
+		if got := cellF(t, tbl, i, "explicit msgs/sync"); got != want {
+			t.Errorf("n=%d: msgs/sync = %.2f, want %.2f", n, got, want)
+		}
+		if got := cell(t, tbl, i, "stable-point msgs/sync"); got != "0.00" {
+			t.Errorf("stable points not free: %s", got)
+		}
+	}
+}
+
+func TestE5Shape(t *testing.T) {
+	cfg := DefaultE5()
+	cfg.Queries = 300
+	cfg.UpdateRates = []float64{0.01, 0.3}
+	tbl := RunE5(cfg)
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d; notes: %s", len(tbl.Rows), tbl.Notes)
+	}
+	lowDiscard := cellF(t, tbl, 0, "discard %")
+	highDiscard := cellF(t, tbl, 1, "discard %")
+	if highDiscard <= lowDiscard {
+		t.Errorf("discards did not grow with update rate: %.2f%% -> %.2f%%", lowDiscard, highDiscard)
+	}
+	for i := range tbl.Rows {
+		if win := cellF(t, tbl, i, "asynchrony win"); win <= 1.0 {
+			t.Errorf("row %d: loose protocol shows no asynchrony win (%.2fx)", i, win)
+		}
+		if loose := cellF(t, tbl, i, "loose qry mean ms"); loose >= cellF(t, tbl, i, "strict qry mean ms") {
+			t.Errorf("row %d: loose latency %.3f not below strict", i, loose)
+		}
+	}
+}
+
+func TestE6Shape(t *testing.T) {
+	cfg := DefaultE6()
+	cfg.Ops = 400
+	cfg.Jitters = []float64{5, 20}
+	tbl := RunE6(cfg)
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d; notes: %s", len(tbl.Rows), tbl.Notes)
+	}
+	for i := range tbl.Rows {
+		osend := cellF(t, tbl, i, "osend max buf")
+		cbcast := cellF(t, tbl, i, "cbcast max buf")
+		if cbcast <= osend {
+			t.Errorf("jitter %s: CBCAST buffer %v not above OSend %v",
+				tbl.Rows[i][0], cbcast, osend)
+		}
+	}
+}
+
+func TestE7Shape(t *testing.T) {
+	tbl := RunE7(DefaultE7())
+	if len(tbl.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	// OSend bytes constant; CBCAST bytes strictly increasing.
+	base := cell(t, tbl, 0, "osend dep bytes")
+	prev := 0.0
+	for i := range tbl.Rows {
+		if cell(t, tbl, i, "osend dep bytes") != base {
+			t.Error("OSend metadata varied with group size")
+		}
+		cb := cellF(t, tbl, i, "cbcast clock bytes")
+		if cb <= prev {
+			t.Error("CBCAST metadata not increasing with group size")
+		}
+		prev = cb
+	}
+	last := len(tbl.Rows) - 1
+	if ratio := cellF(t, tbl, last, "ratio"); ratio < 5 {
+		t.Errorf("at n=64 CBCAST/OSend ratio = %.2f, expected >> 1", ratio)
+	}
+}
+
+func TestE8Shape(t *testing.T) {
+	cfg := E8Config{Players: []int{3, 6}, K: 2, LinCap: 10000}
+	tbl := RunE8(cfg)
+	for i := range tbl.Rows {
+		if w := cellF(t, tbl, i, "strict width"); w != 1.0 {
+			t.Errorf("strict width = %.2f, want 1.0", w)
+		}
+		if w := cellF(t, tbl, i, "relaxed width"); w <= 1.0 {
+			t.Errorf("relaxed width = %.2f, want > 1", w)
+		}
+		if s := cell(t, tbl, i, "strict schedules"); s != "1" {
+			t.Errorf("strict schedules = %s, want 1", s)
+		}
+	}
+}
+
+func TestE9Shape(t *testing.T) {
+	cfg := E9Config{Sizes: []int{3}, Rotations: 2}
+	tbl := RunE9(cfg)
+	if len(tbl.Rows) != 1 {
+		t.Fatalf("rows = %d; notes: %s", len(tbl.Rows), tbl.Notes)
+	}
+	if got := cell(t, tbl, 0, "holder agreement"); got != "AGREE" {
+		t.Errorf("agreement = %s", got)
+	}
+	if grants := cellF(t, tbl, 0, "grants"); grants < 6 {
+		t.Errorf("grants = %.0f, want >= 6 (3 members x 2 rotations)", grants)
+	}
+}
+
+func TestE11Shape(t *testing.T) {
+	cfg := DefaultE11()
+	cfg.Writes = 80
+	cfg.Keys = []int{1, 8}
+	tbl := RunE11(cfg)
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d; notes: %s", len(tbl.Rows), tbl.Notes)
+	}
+	for i := range tbl.Rows {
+		if got := cell(t, tbl, i, "agreement"); got != "AGREE" {
+			t.Fatalf("row %d agreement = %s", i, got)
+		}
+		if w := cellF(t, tbl, i, "naive width"); w != 1.0 {
+			t.Errorf("naive width = %.2f, want 1.0 (all overwrites serialized)", w)
+		}
+	}
+	// With 8 keys the scoped protocol must be wider and faster than naive.
+	if cellF(t, tbl, 1, "scoped width") <= 4 {
+		t.Errorf("scoped width at 8 keys = %.2f, want near 8", cellF(t, tbl, 1, "scoped width"))
+	}
+	if cellF(t, tbl, 1, "scoped mean ms") >= cellF(t, tbl, 1, "naive mean ms") {
+		t.Error("scoped latency not below naive at 8 keys")
+	}
+}
+
+func TestE10Shape(t *testing.T) {
+	cfg := DefaultE10()
+	cfg.Ops = 300
+	cfg.Probes = 50
+	cfg.Heartbeats = []float64{1, 10}
+	tbl := RunE10(cfg)
+	var hbRows []int
+	for i, row := range tbl.Rows {
+		if row[0] == "heartbeat" {
+			hbRows = append(hbRows, i)
+		}
+	}
+	if len(hbRows) != 2 {
+		t.Fatalf("heartbeat rows = %d; notes: %s", len(hbRows), tbl.Notes)
+	}
+	fast, slow := hbRows[0], hbRows[1]
+	if cellF(t, tbl, fast, "mean ms") >= cellF(t, tbl, slow, "mean ms") {
+		t.Error("faster heartbeats did not reduce latency")
+	}
+	if cellF(t, tbl, fast, "frames") <= cellF(t, tbl, slow, "frames") {
+		t.Error("faster heartbeats did not cost more frames")
+	}
+	// The deferred-read row must claim zero divergence.
+	found := false
+	for _, row := range tbl.Rows {
+		if row[0] == "reads" && row[1] == "deferred" && strings.HasPrefix(row[4], "0%") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("deferred-read row missing or non-zero divergence")
+	}
+}

@@ -1,0 +1,28 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the dependency graph in Graphviz dot syntax, nodes and
+// edges in deterministic order. Edges point from ancestor to descendant
+// (m -> m' means m' occurs after m), matching Figure 3's orientation.
+// Useful for inspecting extracted stable graphs:
+//
+//	go run ./cmd/causalsim -dot | dot -Tsvg > graph.svg
+func (g *Graph) DOT(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=TB;\n  node [shape=box, fontsize=10];\n")
+	for _, n := range g.Nodes() {
+		fmt.Fprintf(&b, "  %q;\n", n.String())
+	}
+	for _, n := range g.Nodes() {
+		for _, s := range g.Successors(n) {
+			fmt.Fprintf(&b, "  %q -> %q;\n", n.String(), s.String())
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,47 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+
+	"causalshare/internal/message"
+)
+
+func TestDOTDeterministicAndComplete(t *testing.T) {
+	g := diamond(t)
+	first := g.DOT("fig3")
+	for i := 0; i < 5; i++ {
+		if g.DOT("fig3") != first {
+			t.Fatal("DOT output not deterministic")
+		}
+	}
+	for _, want := range []string{
+		`digraph "fig3"`,
+		`"a#1" -> "b#1"`,
+		`"a#1" -> "c#1"`,
+		`"b#1" -> "a#2"`,
+		`"c#1" -> "a#2"`,
+	} {
+		if !strings.Contains(first, want) {
+			t.Errorf("DOT missing %q:\n%s", want, first)
+		}
+	}
+	if strings.Contains(first, `"a#2" ->`) {
+		t.Error("leaf node has outgoing edge in DOT")
+	}
+}
+
+func TestDOTEmptyGraph(t *testing.T) {
+	out := New().DOT("empty")
+	if !strings.Contains(out, "digraph") || !strings.Contains(out, "}") {
+		t.Errorf("malformed empty DOT: %s", out)
+	}
+}
+
+func TestDOTIsolatedNode(t *testing.T) {
+	g := New()
+	g.AddNode(message.Label{Origin: "solo", Seq: 1})
+	if !strings.Contains(g.DOT("g"), `"solo#1";`) {
+		t.Error("isolated node missing from DOT")
+	}
+}

@@ -1,0 +1,45 @@
+package graph_test
+
+import (
+	"fmt"
+
+	"causalshare/internal/graph"
+	"causalshare/internal/message"
+)
+
+// Figure 3's dependency forms: Msg fans out to two concurrent dependents,
+// which an AND-dependent message joins back.
+func ExampleGraph() {
+	msgNode := message.Label{Origin: "s", Seq: 1}
+	m1 := message.Label{Origin: "a", Seq: 1}
+	m2 := message.Label{Origin: "b", Seq: 1}
+	join := message.Label{Origin: "s", Seq: 2}
+
+	g := graph.New()
+	_ = g.AddEdges(m1, []message.Label{msgNode})
+	_ = g.AddEdges(m2, []message.Label{msgNode})
+	_ = g.AddEdges(join, []message.Label{m1, m2})
+
+	fmt.Println("m1 || m2:", g.Concurrent(m1, m2))
+	fmt.Println("Msg ≺ join:", g.HappensBefore(msgNode, join))
+	fmt.Println("admissible orders:", g.CountLinearizations(0))
+	order, _ := g.TopoSort()
+	fmt.Println("one order:", order)
+	// Output:
+	// m1 || m2: true
+	// Msg ≺ join: true
+	// admissible orders: 2
+	// one order: [s#1 a#1 b#1 s#2]
+}
+
+func ExampleGraph_MeanWidth() {
+	g := graph.New()
+	root := message.Label{Origin: "r", Seq: 1}
+	_ = g.AddEdges(root, nil)
+	for i := uint64(1); i <= 3; i++ {
+		_ = g.AddEdges(message.Label{Origin: "c", Seq: i}, []message.Label{root})
+	}
+	fmt.Printf("%.1f\n", g.MeanWidth())
+	// Output:
+	// 2.0
+}

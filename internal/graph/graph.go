@@ -1,0 +1,445 @@
+// Package graph implements the message dependency graphs of §3 of the
+// paper: directed acyclic graphs whose nodes are message labels and whose
+// edges encode OccursAfter relations (an edge m -> m' means m' occurs
+// after m, i.e. m is an ancestor of m').
+//
+// The paper calls the graph a "stable form" of the application's causality
+// information: it is reproducible across execution instances and is the
+// object on which agreement operates (§3.2). This package supports:
+//
+//   - incremental construction from OccursAfter predicates,
+//   - cycle rejection (a cyclic "causal order" is unsatisfiable),
+//   - reachability and transitive-closure queries (the '≺' relation),
+//   - enumeration and counting of linearizations (the event sequences
+//     EvSeq_i of §4.1, used by the transition-preserving check),
+//   - concurrency-degree metrics (antichain layers) for experiment E8, and
+//   - pruning of delivered prefixes so state stays O(active window).
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"causalshare/internal/message"
+)
+
+// Graph is a mutable DAG over message labels. The zero value is not usable;
+// call New. Graph is not safe for concurrent use; the delivery engines
+// guard it with their own locks.
+type Graph struct {
+	// succ maps a label to the set of labels that occur after it.
+	succ map[message.Label]map[message.Label]struct{}
+	// pred maps a label to the set of labels it occurs after.
+	pred map[message.Label]map[message.Label]struct{}
+	// nodes tracks membership, including isolated nodes.
+	nodes map[message.Label]struct{}
+}
+
+// New returns an empty dependency graph.
+func New() *Graph {
+	return &Graph{
+		succ:  make(map[message.Label]map[message.Label]struct{}),
+		pred:  make(map[message.Label]map[message.Label]struct{}),
+		nodes: make(map[message.Label]struct{}),
+	}
+}
+
+// Len returns the number of nodes.
+func (g *Graph) Len() int { return len(g.nodes) }
+
+// Has reports whether label l is a node of the graph.
+func (g *Graph) Has(l message.Label) bool {
+	_, ok := g.nodes[l]
+	return ok
+}
+
+// AddNode inserts an isolated node if not present.
+func (g *Graph) AddNode(l message.Label) {
+	if l.IsNil() {
+		return
+	}
+	g.nodes[l] = struct{}{}
+}
+
+// AddMessage inserts the message's label with edges from each of its
+// OccursAfter dependencies (dependencies are added as nodes if new — a
+// member can learn of a predecessor from a successor's predicate before
+// the predecessor itself arrives). It fails if the edge set would create a
+// cycle, leaving the graph unchanged.
+func (g *Graph) AddMessage(m message.Message) error {
+	if err := m.Validate(); err != nil {
+		return fmt.Errorf("graph: %w", err)
+	}
+	return g.AddEdges(m.Label, m.Deps.Labels())
+}
+
+// AddEdges inserts node l with edges dep -> l for every dep. It rejects
+// additions that would create a cycle.
+func (g *Graph) AddEdges(l message.Label, deps []message.Label) error {
+	if l.IsNil() {
+		return fmt.Errorf("graph: nil label")
+	}
+	for _, d := range deps {
+		if d == l {
+			return fmt.Errorf("graph: self edge on %v", l)
+		}
+		// Adding d -> l creates a cycle iff l already reaches d.
+		if g.reaches(l, d) {
+			return fmt.Errorf("graph: edge %v -> %v closes a cycle", d, l)
+		}
+	}
+	g.AddNode(l)
+	for _, d := range deps {
+		g.AddNode(d)
+		if g.succ[d] == nil {
+			g.succ[d] = make(map[message.Label]struct{})
+		}
+		g.succ[d][l] = struct{}{}
+		if g.pred[l] == nil {
+			g.pred[l] = make(map[message.Label]struct{})
+		}
+		g.pred[l][d] = struct{}{}
+	}
+	return nil
+}
+
+// reaches reports whether there is a directed path from a to b.
+func (g *Graph) reaches(a, b message.Label) bool {
+	if a == b {
+		return true
+	}
+	if !g.Has(a) || !g.Has(b) {
+		return false
+	}
+	stack := []message.Label{a}
+	seen := map[message.Label]struct{}{a: {}}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for s := range g.succ[n] {
+			if s == b {
+				return true
+			}
+			if _, ok := seen[s]; !ok {
+				seen[s] = struct{}{}
+				stack = append(stack, s)
+			}
+		}
+	}
+	return false
+}
+
+// HappensBefore reports the transitive precedence a ≺ b (a strict path
+// from a to b exists).
+func (g *Graph) HappensBefore(a, b message.Label) bool {
+	return a != b && g.reaches(a, b)
+}
+
+// Concurrent reports whether a and b are concurrent in the graph: distinct
+// nodes with no path in either direction (the paper's ||{a, b}).
+func (g *Graph) Concurrent(a, b message.Label) bool {
+	if a == b || !g.Has(a) || !g.Has(b) {
+		return false
+	}
+	return !g.reaches(a, b) && !g.reaches(b, a)
+}
+
+// Predecessors returns the direct OccursAfter dependencies of l in
+// deterministic order.
+func (g *Graph) Predecessors(l message.Label) []message.Label {
+	return sortedSet(g.pred[l])
+}
+
+// Successors returns the direct dependents of l in deterministic order.
+func (g *Graph) Successors(l message.Label) []message.Label {
+	return sortedSet(g.succ[l])
+}
+
+// Ancestors returns every label with a path to l, in deterministic order.
+func (g *Graph) Ancestors(l message.Label) []message.Label {
+	return g.closure(l, g.pred)
+}
+
+// Descendants returns every label reachable from l, in deterministic order.
+func (g *Graph) Descendants(l message.Label) []message.Label {
+	return g.closure(l, g.succ)
+}
+
+func (g *Graph) closure(l message.Label, dir map[message.Label]map[message.Label]struct{}) []message.Label {
+	out := make(map[message.Label]struct{})
+	stack := []message.Label{l}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for next := range dir[n] {
+			if _, ok := out[next]; !ok {
+				out[next] = struct{}{}
+				stack = append(stack, next)
+			}
+		}
+	}
+	return sortedSet(out)
+}
+
+// Roots returns the nodes with no predecessors (deliverable immediately),
+// in deterministic order.
+func (g *Graph) Roots() []message.Label {
+	out := make(map[message.Label]struct{})
+	for n := range g.nodes {
+		if len(g.pred[n]) == 0 {
+			out[n] = struct{}{}
+		}
+	}
+	return sortedSet(out)
+}
+
+// Leaves returns the nodes with no successors, in deterministic order.
+func (g *Graph) Leaves() []message.Label {
+	out := make(map[message.Label]struct{})
+	for n := range g.nodes {
+		if len(g.succ[n]) == 0 {
+			out[n] = struct{}{}
+		}
+	}
+	return sortedSet(out)
+}
+
+// Nodes returns all labels in deterministic order.
+func (g *Graph) Nodes() []message.Label { return sortedSet(g.nodes) }
+
+// Remove deletes l and all its edges. Pruning delivered ancestors keeps
+// the stable graph O(active activity) rather than O(history); the
+// delivered-ancestor GC of the OSend engine uses it.
+func (g *Graph) Remove(l message.Label) {
+	for p := range g.pred[l] {
+		delete(g.succ[p], l)
+	}
+	for s := range g.succ[l] {
+		delete(g.pred[s], l)
+	}
+	delete(g.pred, l)
+	delete(g.succ, l)
+	delete(g.nodes, l)
+}
+
+// Clone returns a deep copy.
+func (g *Graph) Clone() *Graph {
+	out := New()
+	for n := range g.nodes {
+		out.nodes[n] = struct{}{}
+	}
+	for n, set := range g.succ {
+		cp := make(map[message.Label]struct{}, len(set))
+		for s := range set {
+			cp[s] = struct{}{}
+		}
+		out.succ[n] = cp
+	}
+	for n, set := range g.pred {
+		cp := make(map[message.Label]struct{}, len(set))
+		for s := range set {
+			cp[s] = struct{}{}
+		}
+		out.pred[n] = cp
+	}
+	return out
+}
+
+// TopoSort returns one deterministic linearization (Kahn's algorithm with
+// sorted tie-breaks), or an error if the graph has a cycle (possible only
+// if invariants were bypassed).
+func (g *Graph) TopoSort() ([]message.Label, error) {
+	indeg := make(map[message.Label]int, len(g.nodes))
+	for n := range g.nodes {
+		indeg[n] = len(g.pred[n])
+	}
+	var frontier []message.Label
+	for n, d := range indeg {
+		if d == 0 {
+			frontier = append(frontier, n)
+		}
+	}
+	sortLabels(frontier)
+	out := make([]message.Label, 0, len(g.nodes))
+	for len(frontier) > 0 {
+		n := frontier[0]
+		frontier = frontier[1:]
+		out = append(out, n)
+		released := make([]message.Label, 0, len(g.succ[n]))
+		for s := range g.succ[n] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				released = append(released, s)
+			}
+		}
+		sortLabels(released)
+		frontier = mergeSorted(frontier, released)
+	}
+	if len(out) != len(g.nodes) {
+		return nil, fmt.Errorf("graph: cycle among %d nodes", len(g.nodes)-len(out))
+	}
+	return out, nil
+}
+
+// Linearizations enumerates all topological orders of the graph, up to
+// limit (0 means unlimited). These are the event sequences EvSeq_1..EvSeq_L
+// of §4.1; the paper bounds L by (r+1)!. The transition-preserving check
+// replays each against the state-transition function.
+func (g *Graph) Linearizations(limit int) [][]message.Label {
+	indeg := make(map[message.Label]int, len(g.nodes))
+	for n := range g.nodes {
+		indeg[n] = len(g.pred[n])
+	}
+	var results [][]message.Label
+	current := make([]message.Label, 0, len(g.nodes))
+	var rec func()
+	rec = func() {
+		if limit > 0 && len(results) >= limit {
+			return
+		}
+		if len(current) == len(g.nodes) {
+			results = append(results, append([]message.Label(nil), current...))
+			return
+		}
+		var avail []message.Label
+		for n, d := range indeg {
+			if d == 0 {
+				avail = append(avail, n)
+			}
+		}
+		sortLabels(avail)
+		for _, n := range avail {
+			indeg[n] = -1 // mark used
+			for s := range g.succ[n] {
+				indeg[s]--
+			}
+			current = append(current, n)
+			rec()
+			current = current[:len(current)-1]
+			for s := range g.succ[n] {
+				indeg[s]++
+			}
+			indeg[n] = 0
+		}
+	}
+	rec()
+	return results
+}
+
+// CountLinearizations returns the number of topological orders, counting
+// at most limit (0 = unlimited). It shares the enumerator but avoids
+// materializing sequences.
+func (g *Graph) CountLinearizations(limit int) int {
+	indeg := make(map[message.Label]int, len(g.nodes))
+	for n := range g.nodes {
+		indeg[n] = len(g.pred[n])
+	}
+	count := 0
+	var rec func(placed int)
+	rec = func(placed int) {
+		if limit > 0 && count >= limit {
+			return
+		}
+		if placed == len(g.nodes) {
+			count++
+			return
+		}
+		for n, d := range indeg {
+			if d != 0 {
+				continue
+			}
+			indeg[n] = -1
+			for s := range g.succ[n] {
+				indeg[s]--
+			}
+			rec(placed + 1)
+			for s := range g.succ[n] {
+				indeg[s]++
+			}
+			indeg[n] = 0
+			if limit > 0 && count >= limit {
+				return
+			}
+		}
+	}
+	rec(0)
+	return count
+}
+
+// Layers partitions the nodes into antichain layers: layer i holds the
+// nodes whose longest path from a root has length i. All nodes within a
+// layer are pairwise concurrent-or-independent in depth, so the mean layer
+// width is the concurrency-degree metric of experiment E8.
+func (g *Graph) Layers() [][]message.Label {
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil
+	}
+	depth := make(map[message.Label]int, len(order))
+	maxDepth := 0
+	for _, n := range order {
+		d := 0
+		for p := range g.pred[n] {
+			if depth[p]+1 > d {
+				d = depth[p] + 1
+			}
+		}
+		depth[n] = d
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	layers := make([][]message.Label, maxDepth+1)
+	for _, n := range order {
+		layers[depth[n]] = append(layers[depth[n]], n)
+	}
+	for _, l := range layers {
+		sortLabels(l)
+	}
+	return layers
+}
+
+// MeanWidth returns the average antichain-layer width, a scalar measure of
+// how much concurrency the causal order permits (1.0 = a total order).
+func (g *Graph) MeanWidth() float64 {
+	layers := g.Layers()
+	if len(layers) == 0 {
+		return 0
+	}
+	return float64(g.Len()) / float64(len(layers))
+}
+
+func sortedSet(set map[message.Label]struct{}) []message.Label {
+	out := make([]message.Label, 0, len(set))
+	for l := range set {
+		out = append(out, l)
+	}
+	sortLabels(out)
+	return out
+}
+
+func sortLabels(ls []message.Label) {
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Less(ls[j]) })
+}
+
+// mergeSorted merges two label slices that are each sorted, preserving
+// order. Used to keep Kahn frontiers deterministic.
+func mergeSorted(a, b []message.Label) []message.Label {
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]message.Label, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i].Less(b[j]) {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}

@@ -1,0 +1,378 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"causalshare/internal/message"
+)
+
+func lbl(o string, s uint64) message.Label { return message.Label{Origin: o, Seq: s} }
+
+// diamond builds Msg -> {m1, m2} -> final: the paper's Figure 3 composed —
+// many-to-one fan-out from Msg and a one-to-many AND dependency into final.
+func diamond(t *testing.T) *Graph {
+	t.Helper()
+	g := New()
+	msg, m1, m2, fin := lbl("a", 1), lbl("b", 1), lbl("c", 1), lbl("a", 2)
+	if err := g.AddEdges(msg, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdges(m1, []message.Label{msg}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdges(m2, []message.Label{msg}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdges(fin, []message.Label{m1, m2}); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestFigure3GraphForms(t *testing.T) {
+	// Many-to-one: OccursAfter(m1', Msg); OccursAfter(m2', Msg) — m1', m2'
+	// concurrent. One-to-many: OccursAfter(Msg', m1 ∧ m2).
+	g := diamond(t)
+	msg, m1, m2, fin := lbl("a", 1), lbl("b", 1), lbl("c", 1), lbl("a", 2)
+
+	if !g.HappensBefore(msg, m1) || !g.HappensBefore(msg, m2) {
+		t.Error("Msg must precede both dependents")
+	}
+	if !g.Concurrent(m1, m2) {
+		t.Error("m1' and m2' must be concurrent (no relation specified)")
+	}
+	if !g.HappensBefore(msg, fin) {
+		t.Error("precedence must be transitive through the diamond")
+	}
+	if !g.HappensBefore(m1, fin) || !g.HappensBefore(m2, fin) {
+		t.Error("AND dependency must order fin after both m1 and m2")
+	}
+	if got := g.Roots(); len(got) != 1 || got[0] != msg {
+		t.Errorf("Roots() = %v, want [%v]", got, msg)
+	}
+	if got := g.Leaves(); len(got) != 1 || got[0] != fin {
+		t.Errorf("Leaves() = %v, want [%v]", got, fin)
+	}
+}
+
+func TestAddMessage(t *testing.T) {
+	g := New()
+	m := message.Message{
+		Label: lbl("a", 1),
+		Deps:  message.After(lbl("b", 1)),
+		Kind:  message.KindCommutative,
+		Op:    "inc",
+	}
+	if err := g.AddMessage(m); err != nil {
+		t.Fatalf("AddMessage: %v", err)
+	}
+	if !g.Has(lbl("b", 1)) {
+		t.Error("dependency label must be added as a node")
+	}
+	if !g.HappensBefore(lbl("b", 1), lbl("a", 1)) {
+		t.Error("edge from dep to message missing")
+	}
+	bad := message.Message{Label: message.Nil, Kind: message.KindRead}
+	if err := g.AddMessage(bad); err == nil {
+		t.Error("AddMessage must reject invalid messages")
+	}
+}
+
+func TestCycleRejection(t *testing.T) {
+	g := New()
+	a, b, c := lbl("a", 1), lbl("b", 1), lbl("c", 1)
+	if err := g.AddEdges(b, []message.Label{a}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdges(c, []message.Label{b}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdges(a, []message.Label{c}); err == nil {
+		t.Fatal("cycle a->b->c->a accepted")
+	}
+	// Graph must be unchanged by the failed insert.
+	if g.HappensBefore(c, a) {
+		t.Error("failed insert left a partial edge")
+	}
+	if err := g.AddEdges(a, []message.Label{a}); err == nil {
+		t.Error("self edge accepted")
+	}
+}
+
+func TestTopoSortRespectsEdges(t *testing.T) {
+	g := diamond(t)
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[message.Label]int, len(order))
+	for i, l := range order {
+		pos[l] = i
+	}
+	for _, n := range g.Nodes() {
+		for _, p := range g.Predecessors(n) {
+			if pos[p] >= pos[n] {
+				t.Errorf("%v sorted after dependent %v", p, n)
+			}
+		}
+	}
+}
+
+func TestTopoSortDeterministic(t *testing.T) {
+	g := diamond(t)
+	first, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		again, err := g.TopoSort()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range first {
+			if first[j] != again[j] {
+				t.Fatalf("run %d: order differs at %d: %v vs %v", i, j, first, again)
+			}
+		}
+	}
+}
+
+func TestLinearizations(t *testing.T) {
+	// Diamond has exactly 2 linearizations: Msg (m1 m2 | m2 m1) fin.
+	g := diamond(t)
+	lins := g.Linearizations(0)
+	if len(lins) != 2 {
+		t.Fatalf("diamond linearizations = %d, want 2", len(lins))
+	}
+	for _, lin := range lins {
+		if lin[0] != lbl("a", 1) || lin[3] != lbl("a", 2) {
+			t.Errorf("linearization %v violates diamond order", lin)
+		}
+	}
+	if got := g.CountLinearizations(0); got != 2 {
+		t.Errorf("CountLinearizations = %d, want 2", got)
+	}
+}
+
+func TestLinearizationsFactorial(t *testing.T) {
+	// The paper bounds L by (r+1)! — r fully concurrent messages after a
+	// root give exactly r! orders of the middle layer.
+	g := New()
+	root := lbl("r", 1)
+	if err := g.AddEdges(root, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 4; i++ {
+		if err := g.AddEdges(lbl("c", i), []message.Label{root}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := g.CountLinearizations(0); got != 24 {
+		t.Errorf("4 concurrent messages: %d linearizations, want 4! = 24", got)
+	}
+}
+
+func TestLinearizationsLimit(t *testing.T) {
+	g := New()
+	for i := uint64(1); i <= 6; i++ {
+		if err := g.AddEdges(lbl("c", i), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(g.Linearizations(10)); got != 10 {
+		t.Errorf("limited enumeration returned %d, want 10", got)
+	}
+	if got := g.CountLinearizations(50); got != 50 {
+		t.Errorf("limited count returned %d, want 50", got)
+	}
+}
+
+func TestAncestorsDescendants(t *testing.T) {
+	g := diamond(t)
+	msg, m1, m2, fin := lbl("a", 1), lbl("b", 1), lbl("c", 1), lbl("a", 2)
+	anc := g.Ancestors(fin)
+	if len(anc) != 3 {
+		t.Fatalf("Ancestors(fin) = %v, want 3 nodes", anc)
+	}
+	desc := g.Descendants(msg)
+	if len(desc) != 3 {
+		t.Fatalf("Descendants(msg) = %v, want 3 nodes", desc)
+	}
+	if len(g.Ancestors(msg)) != 0 || len(g.Descendants(fin)) != 0 {
+		t.Error("root has no ancestors; leaf has no descendants")
+	}
+	if len(g.Ancestors(m1)) != 1 || len(g.Descendants(m2)) != 1 {
+		t.Error("middle nodes have exactly one ancestor/descendant")
+	}
+}
+
+func TestRemovePrunes(t *testing.T) {
+	g := diamond(t)
+	msg := lbl("a", 1)
+	g.Remove(msg)
+	if g.Has(msg) {
+		t.Fatal("node still present after Remove")
+	}
+	if got := len(g.Roots()); got != 2 {
+		t.Errorf("after pruning root, Roots() = %d nodes, want 2", got)
+	}
+	for _, n := range g.Nodes() {
+		for _, p := range g.Predecessors(n) {
+			if p == msg {
+				t.Errorf("dangling edge from removed node into %v", n)
+			}
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	g := diamond(t)
+	c := g.Clone()
+	c.Remove(lbl("a", 1))
+	if !g.Has(lbl("a", 1)) {
+		t.Error("Clone shares node set")
+	}
+	if !g.HappensBefore(lbl("a", 1), lbl("b", 1)) {
+		t.Error("Clone shares edge sets")
+	}
+}
+
+func TestLayersAndWidth(t *testing.T) {
+	g := diamond(t)
+	layers := g.Layers()
+	if len(layers) != 3 {
+		t.Fatalf("diamond Layers = %d, want 3", len(layers))
+	}
+	if len(layers[1]) != 2 {
+		t.Errorf("middle layer width = %d, want 2", len(layers[1]))
+	}
+	if w := g.MeanWidth(); w < 1.3 || w > 1.4 {
+		t.Errorf("MeanWidth = %f, want 4/3", w)
+	}
+
+	// A pure chain has width exactly 1.
+	chain := New()
+	prev := message.Nil
+	for i := uint64(1); i <= 5; i++ {
+		l := lbl("x", i)
+		var deps []message.Label
+		if !prev.IsNil() {
+			deps = []message.Label{prev}
+		}
+		if err := chain.AddEdges(l, deps); err != nil {
+			t.Fatal(err)
+		}
+		prev = l
+	}
+	if w := chain.MeanWidth(); w != 1.0 {
+		t.Errorf("chain MeanWidth = %f, want 1.0", w)
+	}
+}
+
+func TestConcurrentEdgeCases(t *testing.T) {
+	g := diamond(t)
+	a := lbl("a", 1)
+	if g.Concurrent(a, a) {
+		t.Error("a node is not concurrent with itself")
+	}
+	if g.Concurrent(a, lbl("zz", 9)) {
+		t.Error("absent node cannot be concurrent")
+	}
+}
+
+// propGraph builds a random DAG by only adding edges from lower to higher
+// indices, which can never cycle.
+func propGraph(edges []uint8, n uint8) *Graph {
+	size := int(n%6) + 2
+	g := New()
+	for i := 0; i < size; i++ {
+		g.AddNode(lbl("p", uint64(i+1)))
+	}
+	for _, e := range edges {
+		from := int(e) % size
+		to := int(e/16) % size
+		if from < to {
+			// Errors impossible by construction; ignore defensively.
+			_ = g.AddEdges(lbl("p", uint64(to+1)), []message.Label{lbl("p", uint64(from+1))})
+		}
+	}
+	return g
+}
+
+func TestPropTopoSortIsValid(t *testing.T) {
+	f := func(edges []uint8, n uint8) bool {
+		g := propGraph(edges, n)
+		order, err := g.TopoSort()
+		if err != nil || len(order) != g.Len() {
+			return false
+		}
+		pos := make(map[message.Label]int)
+		for i, l := range order {
+			pos[l] = i
+		}
+		for _, node := range g.Nodes() {
+			for _, p := range g.Predecessors(node) {
+				if pos[p] >= pos[node] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropHappensBeforeIsStrictPartialOrder(t *testing.T) {
+	f := func(edges []uint8, n uint8) bool {
+		g := propGraph(edges, n)
+		nodes := g.Nodes()
+		for _, a := range nodes {
+			if g.HappensBefore(a, a) {
+				return false // irreflexive
+			}
+			for _, b := range nodes {
+				if g.HappensBefore(a, b) && g.HappensBefore(b, a) {
+					return false // antisymmetric
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropLinearizationsAllDistinctAndValid(t *testing.T) {
+	f := func(edges []uint8) bool {
+		g := propGraph(edges, 4) // <= 6 nodes keeps enumeration small
+		lins := g.Linearizations(0)
+		seen := make(map[string]bool)
+		for _, lin := range lins {
+			key := ""
+			pos := make(map[message.Label]int)
+			for i, l := range lin {
+				pos[l] = i
+				key += l.String() + "|"
+			}
+			if seen[key] {
+				return false // duplicates
+			}
+			seen[key] = true
+			for _, node := range g.Nodes() {
+				for _, p := range g.Predecessors(node) {
+					if pos[p] >= pos[node] {
+						return false
+					}
+				}
+			}
+		}
+		return len(lins) == g.CountLinearizations(0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

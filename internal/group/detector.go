@@ -1,0 +1,80 @@
+package group
+
+import (
+	"sync"
+	"time"
+)
+
+// Detector is a heartbeat failure detector: it periodically records local
+// liveness evidence for peers and times out peers whose evidence goes
+// stale. It deliberately separates *policy* (interval, timeout) from
+// *transport*: the owner feeds it heartbeats via Observe and pumps Tick
+// from whatever clock it uses, so the detector is trivially testable and
+// usable under both the live and the simulated substrate.
+type Detector struct {
+	tracker *Tracker
+	self    string
+	timeout time.Duration
+
+	mu       sync.Mutex
+	lastSeen map[string]time.Time
+}
+
+// NewDetector builds a detector for self over the tracker's group. Peers
+// whose last heartbeat is older than timeout at a Tick are marked down;
+// a fresh heartbeat marks them up again.
+func NewDetector(tracker *Tracker, self string, timeout time.Duration) *Detector {
+	d := &Detector{
+		tracker:  tracker,
+		self:     self,
+		timeout:  timeout,
+		lastSeen: make(map[string]time.Time),
+	}
+	return d
+}
+
+// Observe records a heartbeat (or any message — all traffic is liveness
+// evidence) from peer at the given time.
+func (d *Detector) Observe(peer string, at time.Time) {
+	if peer == d.self {
+		return
+	}
+	d.mu.Lock()
+	if prev, ok := d.lastSeen[peer]; !ok || at.After(prev) {
+		d.lastSeen[peer] = at
+	}
+	d.mu.Unlock()
+	d.tracker.MarkUp(peer)
+}
+
+// Tick evaluates timeouts as of now, updating the tracker. It returns the
+// peers newly suspected at this tick.
+func (d *Detector) Tick(now time.Time) []string {
+	d.mu.Lock()
+	var suspects []string
+	for peer, last := range d.lastSeen {
+		if now.Sub(last) > d.timeout {
+			suspects = append(suspects, peer)
+		}
+	}
+	d.mu.Unlock()
+	var newly []string
+	for _, p := range suspects {
+		if d.tracker.MarkDown(p) {
+			newly = append(newly, p)
+		}
+	}
+	return newly
+}
+
+// Suspicions returns the peers currently marked down in the tracker's
+// group, in deterministic order.
+func (d *Detector) Suspicions() []string {
+	var out []string
+	for _, m := range d.tracker.group.Members() {
+		if m != d.self && !d.tracker.Alive(m) {
+			out = append(out, m)
+		}
+	}
+	return out
+}

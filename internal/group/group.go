@@ -1,0 +1,198 @@
+// Package group provides the process-group abstraction the broadcast
+// layers are organized around (the paper's RPC_GRP in §6.1): a named set
+// of member entities with deterministic ordering, plus a heartbeat failure
+// detector and a local view tracker.
+//
+// The paper assumes a static group supplied by the environment ("the
+// clients and the server replicas are organized into a group"); full
+// view-agreement (virtual synchrony) is outside its model, so views here
+// are local and eventually consistent: every member converges on the same
+// membership once heartbeats stabilize, which is all the data-access
+// protocols require.
+package group
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Group is an immutable, deterministic set of member ids. The arbitration
+// protocol of §6.2 depends on every member enumerating the group in the
+// same order; Group guarantees that by keeping members sorted.
+type Group struct {
+	name    string
+	members []string
+	index   map[string]int
+}
+
+// New constructs a group from its member ids. Duplicates are rejected; the
+// member list is defensively copied and sorted.
+func New(name string, members []string) (*Group, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("group %q: no members", name)
+	}
+	sorted := append([]string(nil), members...)
+	sort.Strings(sorted)
+	index := make(map[string]int, len(sorted))
+	for i, m := range sorted {
+		if _, dup := index[m]; dup {
+			return nil, fmt.Errorf("group %q: duplicate member %q", name, m)
+		}
+		index[m] = i
+	}
+	return &Group{name: name, members: sorted, index: index}, nil
+}
+
+// MustNew is New but panics on error; for tests and literals with known-
+// good member lists.
+func MustNew(name string, members []string) *Group {
+	g, err := New(name, members)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Name returns the group's name.
+func (g *Group) Name() string { return g.name }
+
+// Size returns the number of members.
+func (g *Group) Size() int { return len(g.members) }
+
+// Members returns the member ids in deterministic (sorted) order. The
+// returned slice must not be mutated.
+func (g *Group) Members() []string { return g.members }
+
+// Contains reports whether id is a member.
+func (g *Group) Contains(id string) bool {
+	_, ok := g.index[id]
+	return ok
+}
+
+// Rank returns id's position in the deterministic order, or -1 if not a
+// member. The lock-arbitration protocol uses ranks to rotate lock
+// ownership identically at every member.
+func (g *Group) Rank(id string) int {
+	i, ok := g.index[id]
+	if !ok {
+		return -1
+	}
+	return i
+}
+
+// Others returns all members except self, in deterministic order.
+func (g *Group) Others(self string) []string {
+	out := make([]string, 0, len(g.members)-1)
+	for _, m := range g.members {
+		if m != self {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Next returns the member after id in the deterministic cyclic order. The
+// arbitration sequence of §6.2 walks the group this way.
+func (g *Group) Next(id string) (string, error) {
+	i, ok := g.index[id]
+	if !ok {
+		return "", fmt.Errorf("group %q: %q is not a member", g.name, id)
+	}
+	return g.members[(i+1)%len(g.members)], nil
+}
+
+// View is a snapshot of which members a process currently believes alive.
+type View struct {
+	// Seq increments on every membership change observed locally.
+	Seq uint64
+	// Alive lists the live members in deterministic order.
+	Alive []string
+}
+
+// Tracker maintains a local view over a group: members start alive and are
+// marked down/up by the failure detector (or by the application on
+// explicit leave/join). Tracker is safe for concurrent use.
+type Tracker struct {
+	group *Group
+
+	mu    sync.Mutex
+	seq   uint64
+	down  map[string]struct{}
+	watch []chan View
+}
+
+// NewTracker returns a tracker with every group member alive.
+func NewTracker(g *Group) *Tracker {
+	return &Tracker{group: g, down: make(map[string]struct{})}
+}
+
+// View returns the current local view.
+func (t *Tracker) View() View {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.viewLocked()
+}
+
+func (t *Tracker) viewLocked() View {
+	alive := make([]string, 0, t.group.Size())
+	for _, m := range t.group.Members() {
+		if _, dead := t.down[m]; !dead {
+			alive = append(alive, m)
+		}
+	}
+	return View{Seq: t.seq, Alive: alive}
+}
+
+// Alive reports whether id is currently believed alive.
+func (t *Tracker) Alive(id string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_, dead := t.down[id]
+	return t.group.Contains(id) && !dead
+}
+
+// MarkDown records id as failed. Returns true if this changed the view.
+func (t *Tracker) MarkDown(id string) bool { return t.mark(id, true) }
+
+// MarkUp records id as recovered. Returns true if this changed the view.
+func (t *Tracker) MarkUp(id string) bool { return t.mark(id, false) }
+
+func (t *Tracker) mark(id string, down bool) bool {
+	if !t.group.Contains(id) {
+		return false
+	}
+	t.mu.Lock()
+	_, isDown := t.down[id]
+	if down == isDown {
+		t.mu.Unlock()
+		return false
+	}
+	if down {
+		t.down[id] = struct{}{}
+	} else {
+		delete(t.down, id)
+	}
+	t.seq++
+	v := t.viewLocked()
+	watchers := append([]chan View(nil), t.watch...)
+	t.mu.Unlock()
+	for _, w := range watchers {
+		select {
+		case w <- v:
+		default: // stale watcher; it will observe the next change
+		}
+	}
+	return true
+}
+
+// Watch returns a channel receiving view snapshots on every change. The
+// channel has capacity one and is never closed; a slow consumer misses
+// intermediate views but always eventually sees the latest.
+func (t *Tracker) Watch() <-chan View {
+	ch := make(chan View, 1)
+	t.mu.Lock()
+	t.watch = append(t.watch, ch)
+	t.mu.Unlock()
+	return ch
+}

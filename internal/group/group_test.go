@@ -1,0 +1,229 @@
+package group
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNewValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		members []string
+		wantErr bool
+	}{
+		{"valid", []string{"a", "b"}, false},
+		{"single", []string{"solo"}, false},
+		{"empty", nil, true},
+		{"duplicate", []string{"a", "a"}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := New("g", tt.members)
+			if (err != nil) != tt.wantErr {
+				t.Errorf("New(%v) error = %v, wantErr %v", tt.members, err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestMembersSortedAndCopied(t *testing.T) {
+	src := []string{"c", "a", "b"}
+	g := MustNew("g", src)
+	want := []string{"a", "b", "c"}
+	for i, m := range g.Members() {
+		if m != want[i] {
+			t.Fatalf("Members()[%d] = %q, want %q", i, m, want[i])
+		}
+	}
+	src[0] = "zzz" // mutating the input must not affect the group
+	if g.Members()[2] != "c" {
+		t.Error("group aliased caller's slice")
+	}
+}
+
+func TestRankAndContains(t *testing.T) {
+	g := MustNew("g", []string{"b", "a", "c"})
+	tests := []struct {
+		id   string
+		rank int
+	}{
+		{"a", 0}, {"b", 1}, {"c", 2}, {"ghost", -1},
+	}
+	for _, tt := range tests {
+		if got := g.Rank(tt.id); got != tt.rank {
+			t.Errorf("Rank(%q) = %d, want %d", tt.id, got, tt.rank)
+		}
+		if got := g.Contains(tt.id); got != (tt.rank >= 0) {
+			t.Errorf("Contains(%q) = %v", tt.id, got)
+		}
+	}
+}
+
+func TestOthers(t *testing.T) {
+	g := MustNew("g", []string{"a", "b", "c"})
+	others := g.Others("b")
+	if len(others) != 2 || others[0] != "a" || others[1] != "c" {
+		t.Errorf("Others(b) = %v", others)
+	}
+	if got := g.Others("not-member"); len(got) != 3 {
+		t.Errorf("Others(non-member) = %v, want all members", got)
+	}
+}
+
+func TestNextCycles(t *testing.T) {
+	g := MustNew("g", []string{"a", "b", "c"})
+	cur := "a"
+	seen := []string{}
+	for i := 0; i < 6; i++ {
+		next, err := g.Next(cur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen = append(seen, next)
+		cur = next
+	}
+	want := []string{"b", "c", "a", "b", "c", "a"}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("cycle = %v, want %v", seen, want)
+		}
+	}
+	if _, err := g.Next("ghost"); err == nil {
+		t.Error("Next(non-member) succeeded")
+	}
+}
+
+func TestPropNextVisitsAllMembers(t *testing.T) {
+	f := func(n uint8) bool {
+		size := int(n%8) + 1
+		members := make([]string, size)
+		for i := range members {
+			members[i] = string(rune('a' + i))
+		}
+		g := MustNew("g", members)
+		seen := map[string]bool{}
+		cur := members[0]
+		for i := 0; i < size; i++ {
+			seen[cur] = true
+			var err error
+			cur, err = g.Next(cur)
+			if err != nil {
+				return false
+			}
+		}
+		return len(seen) == size && cur == members[0]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTrackerViews(t *testing.T) {
+	g := MustNew("g", []string{"a", "b", "c"})
+	tr := NewTracker(g)
+	v := tr.View()
+	if v.Seq != 0 || len(v.Alive) != 3 {
+		t.Fatalf("initial view = %+v", v)
+	}
+	if !tr.MarkDown("b") {
+		t.Fatal("MarkDown(b) reported no change")
+	}
+	if tr.MarkDown("b") {
+		t.Error("second MarkDown(b) reported change")
+	}
+	v = tr.View()
+	if v.Seq != 1 || len(v.Alive) != 2 || v.Alive[0] != "a" || v.Alive[1] != "c" {
+		t.Fatalf("view after failure = %+v", v)
+	}
+	if !tr.MarkUp("b") {
+		t.Fatal("MarkUp(b) reported no change")
+	}
+	if v := tr.View(); v.Seq != 2 || len(v.Alive) != 3 {
+		t.Fatalf("view after recovery = %+v", v)
+	}
+	if tr.MarkDown("outsider") {
+		t.Error("MarkDown of non-member changed view")
+	}
+}
+
+func TestTrackerAlive(t *testing.T) {
+	g := MustNew("g", []string{"a", "b"})
+	tr := NewTracker(g)
+	if !tr.Alive("a") {
+		t.Error("member not alive initially")
+	}
+	if tr.Alive("ghost") {
+		t.Error("non-member reported alive")
+	}
+	tr.MarkDown("a")
+	if tr.Alive("a") {
+		t.Error("down member reported alive")
+	}
+}
+
+func TestTrackerWatch(t *testing.T) {
+	g := MustNew("g", []string{"a", "b"})
+	tr := NewTracker(g)
+	w := tr.Watch()
+	tr.MarkDown("a")
+	select {
+	case v := <-w:
+		if len(v.Alive) != 1 || v.Alive[0] != "b" {
+			t.Errorf("watched view = %+v", v)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no view delivered to watcher")
+	}
+	// A slow watcher must not block changes: perform several without reads.
+	tr.MarkUp("a")
+	tr.MarkDown("b")
+	tr.MarkDown("a") // would deadlock if watch sends were blocking
+}
+
+func TestDetectorTimeouts(t *testing.T) {
+	g := MustNew("g", []string{"a", "b", "c"})
+	tr := NewTracker(g)
+	d := NewDetector(tr, "a", 100*time.Millisecond)
+	t0 := time.Unix(1000, 0)
+
+	d.Observe("b", t0)
+	d.Observe("c", t0)
+	if newly := d.Tick(t0.Add(50 * time.Millisecond)); len(newly) != 0 {
+		t.Fatalf("premature suspicion: %v", newly)
+	}
+	d.Observe("b", t0.Add(80*time.Millisecond)) // b refreshes, c does not
+	newly := d.Tick(t0.Add(150 * time.Millisecond))
+	if len(newly) != 1 || newly[0] != "c" {
+		t.Fatalf("newly suspected = %v, want [c]", newly)
+	}
+	if got := d.Suspicions(); len(got) != 1 || got[0] != "c" {
+		t.Fatalf("Suspicions = %v", got)
+	}
+	// Recovery: a fresh heartbeat clears the suspicion.
+	d.Observe("c", t0.Add(200*time.Millisecond))
+	if !tr.Alive("c") {
+		t.Error("recovered peer still down")
+	}
+	// Repeat suspicion is not "newly" reported twice without recovery.
+	d.Tick(t0.Add(500 * time.Millisecond))
+	if again := d.Tick(t0.Add(600 * time.Millisecond)); len(again) != 0 {
+		t.Errorf("repeat tick re-reported suspicions: %v", again)
+	}
+}
+
+func TestDetectorIgnoresSelfAndStaleEvidence(t *testing.T) {
+	g := MustNew("g", []string{"a", "b"})
+	tr := NewTracker(g)
+	d := NewDetector(tr, "a", time.Second)
+	t0 := time.Unix(2000, 0)
+	d.Observe("a", t0) // self-heartbeat ignored
+	if len(d.lastSeen) != 0 {
+		t.Error("self heartbeat recorded")
+	}
+	d.Observe("b", t0.Add(10*time.Second))
+	d.Observe("b", t0) // out-of-order older evidence must not regress
+	if d.lastSeen["b"] != t0.Add(10*time.Second) {
+		t.Error("stale evidence overwrote fresher heartbeat")
+	}
+}

@@ -1,0 +1,102 @@
+package group
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"causalshare/internal/transport"
+)
+
+// hbSuffix is the transport-id namespace of the heartbeat plane; it uses
+// the same '~' convention as the broadcast layers, so heartbeat traffic
+// never collides with engine traffic on the same network.
+const hbSuffix = "~hb"
+
+// Runner drives a heartbeat failure detector over a live network: it
+// attaches a dedicated heartbeat endpoint, broadcasts liveness frames
+// every interval, folds received frames into the detector, and ticks
+// timeouts. Membership changes surface through the shared Tracker.
+type Runner struct {
+	self     string
+	tracker  *Tracker
+	detector *Detector
+	conn     transport.Conn
+	interval time.Duration
+
+	done     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// StartRunner attaches the heartbeat endpoint for self and starts the
+// send/receive/tick loops. timeout should be several multiples of
+// interval to tolerate scheduling jitter.
+func StartRunner(tracker *Tracker, self string, net transport.Network, interval, timeout time.Duration) (*Runner, error) {
+	if !tracker.group.Contains(self) {
+		return nil, fmt.Errorf("group: %q is not a member", self)
+	}
+	if interval <= 0 || timeout <= interval {
+		return nil, fmt.Errorf("group: need 0 < interval (%v) < timeout (%v)", interval, timeout)
+	}
+	conn, err := net.Attach(self + hbSuffix)
+	if err != nil {
+		return nil, fmt.Errorf("group: attach heartbeat plane: %w", err)
+	}
+	r := &Runner{
+		self:     self,
+		tracker:  tracker,
+		detector: NewDetector(tracker, self, timeout),
+		conn:     conn,
+		interval: interval,
+		done:     make(chan struct{}),
+	}
+	r.wg.Add(2)
+	go r.beatLoop()
+	go r.recvLoop()
+	return r, nil
+}
+
+// Detector exposes the underlying detector (suspicion queries).
+func (r *Runner) Detector() *Detector { return r.detector }
+
+// Close stops heartbeating and detaches the endpoint. The tracker keeps
+// its last view; peers will suspect this member after their timeouts.
+func (r *Runner) Close() error {
+	r.stopOnce.Do(func() { close(r.done) })
+	err := r.conn.Close()
+	r.wg.Wait()
+	return err
+}
+
+func (r *Runner) beatLoop() {
+	defer r.wg.Done()
+	ticker := time.NewTicker(r.interval)
+	defer ticker.Stop()
+	frame := []byte(r.self)
+	for {
+		select {
+		case <-r.done:
+			return
+		case <-ticker.C:
+			for _, peer := range r.tracker.group.Others(r.self) {
+				_ = r.conn.Send(peer+hbSuffix, frame) // loss tolerated by timeout slack
+			}
+			r.detector.Tick(time.Now())
+		}
+	}
+}
+
+func (r *Runner) recvLoop() {
+	defer r.wg.Done()
+	for {
+		env, err := r.conn.Recv()
+		if err != nil {
+			return
+		}
+		peer := string(env.Payload)
+		if r.tracker.group.Contains(peer) {
+			r.detector.Observe(peer, time.Now())
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package group
+
+import (
+	"testing"
+	"time"
+
+	"causalshare/internal/transport"
+)
+
+func startCluster(t *testing.T, ids []string, net transport.Network, interval, timeout time.Duration) (map[string]*Tracker, map[string]*Runner) {
+	t.Helper()
+	grp := MustNew("g", ids)
+	trackers := make(map[string]*Tracker, len(ids))
+	runners := make(map[string]*Runner, len(ids))
+	for _, id := range ids {
+		tr := NewTracker(grp)
+		r, err := StartRunner(tr, id, net, interval, timeout)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trackers[id] = tr
+		runners[id] = r
+	}
+	return trackers, runners
+}
+
+func waitAlive(t *testing.T, tr *Tracker, peer string, want bool, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if tr.Alive(peer) == want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("peer %s alive=%v never observed (want %v)", peer, tr.Alive(peer), want)
+}
+
+func TestRunnerValidation(t *testing.T) {
+	grp := MustNew("g", []string{"a"})
+	tr := NewTracker(grp)
+	net := transport.NewChanNet(transport.FaultModel{})
+	defer func() { _ = net.Close() }()
+	if _, err := StartRunner(tr, "ghost", net, time.Millisecond, 10*time.Millisecond); err == nil {
+		t.Error("non-member accepted")
+	}
+	if _, err := StartRunner(tr, "a", net, 0, 10*time.Millisecond); err == nil {
+		t.Error("zero interval accepted")
+	}
+	if _, err := StartRunner(tr, "a", net, 10*time.Millisecond, 5*time.Millisecond); err == nil {
+		t.Error("timeout below interval accepted")
+	}
+}
+
+func TestRunnersKeepEachOtherAlive(t *testing.T) {
+	net := transport.NewChanNet(transport.FaultModel{})
+	defer func() { _ = net.Close() }()
+	ids := []string{"a", "b", "c"}
+	trackers, runners := startCluster(t, ids, net, 2*time.Millisecond, 20*time.Millisecond)
+	defer func() {
+		for _, r := range runners {
+			_ = r.Close()
+		}
+	}()
+	time.Sleep(60 * time.Millisecond) // several timeout windows
+	for _, id := range ids {
+		for _, peer := range ids {
+			if !trackers[id].Alive(peer) {
+				t.Errorf("%s believes %s dead despite heartbeats", id, peer)
+			}
+		}
+	}
+}
+
+func TestRunnerDetectsFailureAndRecovery(t *testing.T) {
+	net := transport.NewChanNet(transport.FaultModel{})
+	defer func() { _ = net.Close() }()
+	ids := []string{"a", "b", "c"}
+	trackers, runners := startCluster(t, ids, net, 2*time.Millisecond, 20*time.Millisecond)
+	defer func() {
+		for id, r := range runners {
+			if id != "c" {
+				_ = r.Close()
+			}
+		}
+	}()
+
+	time.Sleep(30 * time.Millisecond) // heartbeats established
+	if err := runners["c"].Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitAlive(t, trackers["a"], "c", false, 2*time.Second)
+	waitAlive(t, trackers["b"], "c", false, 2*time.Second)
+	if got := runners["a"].Detector().Suspicions(); len(got) != 1 || got[0] != "c" {
+		t.Errorf("a's suspicions = %v", got)
+	}
+
+	// c restarts: a fresh runner re-attaches the heartbeat endpoint and
+	// the peers mark it up again.
+	restarted, err := StartRunner(trackers["c"], "c", net, 2*time.Millisecond, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = restarted.Close() }()
+	waitAlive(t, trackers["a"], "c", true, 2*time.Second)
+	waitAlive(t, trackers["b"], "c", true, 2*time.Second)
+}
+
+func TestRunnerDetectsPartition(t *testing.T) {
+	net := transport.NewChanNet(transport.FaultModel{})
+	defer func() { _ = net.Close() }()
+	ids := []string{"a", "b"}
+	trackers, runners := startCluster(t, ids, net, 2*time.Millisecond, 20*time.Millisecond)
+	defer func() {
+		for _, r := range runners {
+			_ = r.Close()
+		}
+	}()
+	time.Sleep(30 * time.Millisecond)
+	net.Partition("a"+hbSuffix, "b"+hbSuffix, true)
+	waitAlive(t, trackers["a"], "b", false, 2*time.Second)
+	waitAlive(t, trackers["b"], "a", false, 2*time.Second)
+	net.Heal()
+	waitAlive(t, trackers["a"], "b", true, 2*time.Second)
+	waitAlive(t, trackers["b"], "a", true, 2*time.Second)
+}

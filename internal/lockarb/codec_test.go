@@ -1,0 +1,49 @@
+package lockarb
+
+import "testing"
+
+func TestLockCodecRoundTrip(t *testing.T) {
+	tests := []struct {
+		member string
+		cycle  uint64
+		want   bool
+	}{
+		{"m00", 1, true},
+		{"node-with-long-name", 900, false},
+		{"", 0, true},
+	}
+	for _, tt := range tests {
+		data := encodeLock(tt.member, tt.cycle, tt.want)
+		member, cycle, want, err := decodeLock(data)
+		if err != nil {
+			t.Fatalf("decodeLock(%q): %v", tt.member, err)
+		}
+		if member != tt.member || cycle != tt.cycle || want != tt.want {
+			t.Errorf("round trip = %q,%d,%v want %q,%d,%v",
+				member, cycle, want, tt.member, tt.cycle, tt.want)
+		}
+	}
+}
+
+func TestLockCodecErrors(t *testing.T) {
+	valid := encodeLock("abc", 7, true)
+	cases := [][]byte{nil, valid[:1], valid[:len(valid)-1], append(append([]byte{}, valid...), 1)}
+	for _, data := range cases {
+		if _, _, _, err := decodeLock(data); err == nil {
+			t.Errorf("decodeLock accepted malformed %x", data)
+		}
+	}
+}
+
+func TestTFRCodecErrors(t *testing.T) {
+	if _, _, err := decodeTFR(nil); err == nil {
+		t.Error("decodeTFR accepted empty input")
+	}
+	if _, _, err := decodeTFR([]byte{0x05}); err == nil {
+		t.Error("decodeTFR accepted input missing index")
+	}
+	cycle, k, err := decodeTFR([]byte{0x05, 0x02})
+	if err != nil || cycle != 5 || k != 2 {
+		t.Errorf("decodeTFR = %d, %d, %v", cycle, k, err)
+	}
+}

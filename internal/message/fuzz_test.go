@@ -1,0 +1,64 @@
+package message
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshalBinary checks the codec never panics on arbitrary input
+// and that anything it accepts re-encodes to the same bytes (canonical
+// form round-trip).
+func FuzzUnmarshalBinary(f *testing.F) {
+	seeds := []Message{
+		{Label: Label{"a", 1}, Kind: KindCommutative, Op: "inc"},
+		{
+			Label: Label{"frontend~cli", 900},
+			Deps:  After(Label{"a", 1}, Label{"b", 77}),
+			Kind:  KindNonCommutative,
+			Op:    "upd",
+			Body:  []byte("key=value"),
+		},
+		{Label: Label{"x", 1}, Kind: KindRead, Op: "rd", Body: []byte{0, 255}},
+	}
+	for _, m := range seeds {
+		data, err := m.MarshalBinary()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m Message
+		if err := m.UnmarshalBinary(data); err != nil {
+			return // rejected input is fine; panics are not
+		}
+		// Accepted input must be structurally valid, and the normalized
+		// form must be a fixpoint: encode(decode(x)) decodes to the same
+		// message and re-encodes to identical bytes.
+		if err := m.Validate(); err != nil {
+			t.Fatalf("decoder accepted invalid message: %v", err)
+		}
+		canon, err := m.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		var again Message
+		if err := again.UnmarshalBinary(canon); err != nil {
+			t.Fatalf("canonical form rejected: %v", err)
+		}
+		canon2, err := again.MarshalBinary()
+		if err != nil {
+			t.Fatalf("second encode failed: %v", err)
+		}
+		if !bytes.Equal(canon, canon2) {
+			t.Fatalf("canonical form not a fixpoint:\n1: %x\n2: %x", canon, canon2)
+		}
+		if again.Label != m.Label || again.Op != m.Op || again.Kind != m.Kind ||
+			!bytes.Equal(again.Body, m.Body) || again.Deps.String() != m.Deps.String() {
+			t.Fatalf("round trip changed message: %v vs %v", m, again)
+		}
+	})
+}

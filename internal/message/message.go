@@ -1,0 +1,350 @@
+// Package message defines the application-level messages M exchanged by
+// entities of a distributed computation, and the explicit causal-ordering
+// metadata the paper's OSend primitive attaches to them.
+//
+// A message carries:
+//
+//   - a globally unique Label (its node identity in the dependency graph),
+//   - an OccursAfter predicate naming the labels it causally depends on
+//     (the AND-dependency of relation (3) in the paper: Msg may be
+//     processed only after m1 ∧ m2 ∧ ...),
+//   - an operation Kind (commutative / non-commutative / read / control),
+//     which the consistency layer uses to recognize causal activities and
+//     stable points, and
+//   - an opaque payload interpreted by the application's state-transition
+//     function.
+//
+// The package also provides a compact, deterministic binary codec used by
+// the transport substrate and by the wire-overhead experiment (E7).
+package message
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Label identifies a message uniquely across the whole computation. The
+// paper's front-end managers generate labels of the form (origin, sequence);
+// concatenating the originating entity's id with a local sequence number
+// guarantees global uniqueness without coordination.
+type Label struct {
+	// Origin is the id of the entity that generated the message.
+	Origin string
+	// Seq is the origin-local sequence number, starting at 1.
+	Seq uint64
+}
+
+// Nil is the zero Label; OccursAfter(Nil) corresponds to the paper's
+// OccursAfter(NULL) — no ordering constraint.
+var Nil Label
+
+// IsNil reports whether l is the null label.
+func (l Label) IsNil() bool { return l == Nil }
+
+// String renders the label as origin#seq.
+func (l Label) String() string {
+	if l.IsNil() {
+		return "∅"
+	}
+	return fmt.Sprintf("%s#%d", l.Origin, l.Seq)
+}
+
+// Less orders labels deterministically (origin, then seq). All members sort
+// label sets identically, which the total-order layer depends on.
+func (l Label) Less(o Label) bool {
+	if l.Origin != o.Origin {
+		return l.Origin < o.Origin
+	}
+	return l.Seq < o.Seq
+}
+
+// Kind classifies an operation with respect to the shared data, which is
+// the information the paper's generic access protocol (§6) embeds in the
+// causal order.
+type Kind int
+
+const (
+	// KindCommutative marks operations whose linearizations are
+	// transition-preserving (inc/dec in the paper's running example):
+	// replicas may process a set of them in any order.
+	KindCommutative Kind = iota + 1
+	// KindNonCommutative marks operations that close a causal activity and
+	// constitute stable points (the paper's rqst_nc).
+	KindNonCommutative
+	// KindRead marks read operations; under deferred-read consistency a
+	// replica answers them only at the next stable point.
+	KindRead
+	// KindControl marks protocol-internal messages (membership, lock
+	// transfer advice, acknowledgements).
+	KindControl
+)
+
+var kindNames = map[Kind]string{
+	KindCommutative:    "commutative",
+	KindNonCommutative: "non-commutative",
+	KindRead:           "read",
+	KindControl:        "control",
+}
+
+// String returns a human-readable name for the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Valid reports whether k is one of the defined kinds.
+func (k Kind) Valid() bool {
+	_, ok := kindNames[k]
+	return ok
+}
+
+// OccursAfter is the ordering predicate of the OSend primitive: the
+// conjunction (AND) of labels that must all have been processed locally
+// before the carrying message may be processed. An empty predicate is the
+// paper's OccursAfter(NULL).
+type OccursAfter struct {
+	deps []Label
+}
+
+// After constructs a predicate from the given labels. Nil labels are
+// dropped, duplicates collapse, and the result is kept sorted so equal
+// predicates have equal representations.
+func After(labels ...Label) OccursAfter {
+	deps := make([]Label, 0, len(labels))
+	seen := make(map[Label]struct{}, len(labels))
+	for _, l := range labels {
+		if l.IsNil() {
+			continue
+		}
+		if _, dup := seen[l]; dup {
+			continue
+		}
+		seen[l] = struct{}{}
+		deps = append(deps, l)
+	}
+	sort.Slice(deps, func(i, j int) bool { return deps[i].Less(deps[j]) })
+	return OccursAfter{deps: deps}
+}
+
+// Unconstrained is the empty predicate, OccursAfter(NULL).
+func Unconstrained() OccursAfter { return OccursAfter{} }
+
+// Empty reports whether the predicate names no dependencies.
+func (p OccursAfter) Empty() bool { return len(p.deps) == 0 }
+
+// Labels returns the dependency labels in deterministic order. The returned
+// slice must not be mutated.
+func (p OccursAfter) Labels() []Label { return p.deps }
+
+// Len returns the number of dependencies.
+func (p OccursAfter) Len() int { return len(p.deps) }
+
+// Contains reports whether the predicate names l.
+func (p OccursAfter) Contains(l Label) bool {
+	i := sort.Search(len(p.deps), func(i int) bool { return !p.deps[i].Less(l) })
+	return i < len(p.deps) && p.deps[i] == l
+}
+
+// SatisfiedBy reports whether every dependency is present in delivered,
+// i.e. the carrying message is deliverable at a member whose delivered set
+// is given.
+func (p OccursAfter) SatisfiedBy(delivered func(Label) bool) bool {
+	for _, d := range p.deps {
+		if !delivered(d) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the predicate as (a#1 ∧ b#2) or ∅.
+func (p OccursAfter) String() string {
+	if p.Empty() {
+		return "∅"
+	}
+	parts := make([]string, len(p.deps))
+	for i, d := range p.deps {
+		parts[i] = d.String()
+	}
+	return "(" + strings.Join(parts, " ∧ ") + ")"
+}
+
+// Message is one application-level broadcast: payload plus the causal
+// metadata OSend attaches. Messages are immutable once sent; the transport
+// copies the struct by value and payloads by reference, so applications
+// must not mutate payload bytes after sending.
+type Message struct {
+	// Label is the message's identity and graph node.
+	Label Label
+	// Deps is the OccursAfter predicate: all named labels must be
+	// processed before this message.
+	Deps OccursAfter
+	// Kind classifies the operation for the consistency layer.
+	Kind Kind
+	// Op names the application operation (e.g. "inc", "rd", "upd").
+	Op string
+	// Body is the opaque application payload.
+	Body []byte
+}
+
+// String renders a compact one-line description for traces.
+func (m Message) String() string {
+	return fmt.Sprintf("%s %s %q after %s", m.Label, m.Kind, m.Op, m.Deps)
+}
+
+// Validate checks structural well-formedness: a real label, a valid kind,
+// and no self-dependency.
+func (m Message) Validate() error {
+	if m.Label.IsNil() {
+		return fmt.Errorf("message: nil label")
+	}
+	if !m.Kind.Valid() {
+		return fmt.Errorf("message %s: invalid kind %d", m.Label, int(m.Kind))
+	}
+	if m.Deps.Contains(m.Label) {
+		return fmt.Errorf("message %s: depends on itself", m.Label)
+	}
+	return nil
+}
+
+// appendString appends a uvarint-length-prefixed string.
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func readString(data []byte) (string, []byte, error) {
+	l, used := binary.Uvarint(data)
+	if used <= 0 || uint64(len(data)-used) < l {
+		return "", nil, fmt.Errorf("message: truncated string")
+	}
+	return string(data[used : used+int(l)]), data[used+int(l):], nil
+}
+
+func appendLabel(buf []byte, l Label) []byte {
+	buf = appendString(buf, l.Origin)
+	return binary.AppendUvarint(buf, l.Seq)
+}
+
+func readLabel(data []byte) (Label, []byte, error) {
+	origin, rest, err := readString(data)
+	if err != nil {
+		return Nil, nil, err
+	}
+	seq, used := binary.Uvarint(rest)
+	if used <= 0 {
+		return Nil, nil, fmt.Errorf("message: truncated label seq")
+	}
+	return Label{Origin: origin, Seq: seq}, rest[used:], nil
+}
+
+// MarshalBinary encodes the message with the compact codec. Equal messages
+// produce identical bytes.
+func (m Message) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 0, 32+len(m.Body)+16*m.Deps.Len())
+	buf = appendLabel(buf, m.Label)
+	buf = binary.AppendUvarint(buf, uint64(m.Deps.Len()))
+	for _, d := range m.Deps.Labels() {
+		buf = appendLabel(buf, d)
+	}
+	buf = binary.AppendUvarint(buf, uint64(m.Kind))
+	buf = appendString(buf, m.Op)
+	buf = binary.AppendUvarint(buf, uint64(len(m.Body)))
+	buf = append(buf, m.Body...)
+	return buf, nil
+}
+
+// UnmarshalBinary decodes a message encoded by MarshalBinary, replacing m.
+func (m *Message) UnmarshalBinary(data []byte) error {
+	label, rest, err := readLabel(data)
+	if err != nil {
+		return err
+	}
+	nDeps, used := binary.Uvarint(rest)
+	if used <= 0 {
+		return fmt.Errorf("message: truncated dep count")
+	}
+	rest = rest[used:]
+	// Every dependency takes at least 2 bytes on the wire, so a count
+	// exceeding the remaining bytes is malformed; reject it before it can
+	// size an allocation (fuzzing found multi-terabyte counts here).
+	if nDeps > uint64(len(rest))/2 {
+		return fmt.Errorf("message: dep count %d exceeds frame", nDeps)
+	}
+	deps := make([]Label, 0, nDeps)
+	for i := uint64(0); i < nDeps; i++ {
+		var d Label
+		d, rest, err = readLabel(rest)
+		if err != nil {
+			return fmt.Errorf("message: dep %d: %w", i, err)
+		}
+		deps = append(deps, d)
+	}
+	kind, used := binary.Uvarint(rest)
+	if used <= 0 {
+		return fmt.Errorf("message: truncated kind")
+	}
+	rest = rest[used:]
+	op, rest, err := readString(rest)
+	if err != nil {
+		return fmt.Errorf("message: op: %w", err)
+	}
+	bodyLen, used := binary.Uvarint(rest)
+	if used <= 0 || uint64(len(rest)-used) < bodyLen {
+		return fmt.Errorf("message: truncated body")
+	}
+	rest = rest[used:]
+	var body []byte
+	if bodyLen > 0 {
+		body = make([]byte, bodyLen)
+		copy(body, rest[:bodyLen])
+	}
+	if len(rest[bodyLen:]) != 0 {
+		return fmt.Errorf("message: %d trailing bytes", len(rest[bodyLen:]))
+	}
+	*m = Message{
+		Label: label,
+		Deps:  After(deps...),
+		Kind:  Kind(kind),
+		Op:    op,
+		Body:  body,
+	}
+	return m.Validate()
+}
+
+// EncodedSize returns the number of bytes MarshalBinary would produce; the
+// wire-overhead experiment (E7) compares it across ordering mechanisms.
+func (m Message) EncodedSize() int {
+	b, _ := m.MarshalBinary() // cannot fail
+	return len(b)
+}
+
+// Labeler hands out monotonically increasing labels for one origin. It is
+// not safe for concurrent use; each entity owns one.
+type Labeler struct {
+	origin string
+	next   uint64
+}
+
+// NewLabeler returns a labeler for the given origin entity.
+func NewLabeler(origin string) *Labeler {
+	return &Labeler{origin: origin}
+}
+
+// Next returns a fresh label.
+func (g *Labeler) Next() Label {
+	g.next++
+	return Label{Origin: g.origin, Seq: g.next}
+}
+
+// Last returns the most recently issued label, or Nil if none.
+func (g *Labeler) Last() Label {
+	if g.next == 0 {
+		return Nil
+	}
+	return Label{Origin: g.origin, Seq: g.next}
+}

@@ -1,0 +1,314 @@
+package message
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestLabelString(t *testing.T) {
+	tests := []struct {
+		label Label
+		want  string
+	}{
+		{Nil, "∅"},
+		{Label{"a", 1}, "a#1"},
+		{Label{"node-7", 42}, "node-7#42"},
+	}
+	for _, tt := range tests {
+		if got := tt.label.String(); got != tt.want {
+			t.Errorf("String(%v) = %q, want %q", tt.label, got, tt.want)
+		}
+	}
+}
+
+func TestLabelLess(t *testing.T) {
+	tests := []struct {
+		a, b Label
+		want bool
+	}{
+		{Label{"a", 1}, Label{"b", 1}, true},
+		{Label{"a", 2}, Label{"a", 3}, true},
+		{Label{"b", 1}, Label{"a", 9}, false},
+		{Label{"a", 1}, Label{"a", 1}, false},
+	}
+	for _, tt := range tests {
+		if got := tt.a.Less(tt.b); got != tt.want {
+			t.Errorf("(%v).Less(%v) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestAfterNormalizes(t *testing.T) {
+	p := After(Label{"b", 2}, Nil, Label{"a", 1}, Label{"b", 2}, Label{"a", 3})
+	want := []Label{{"a", 1}, {"a", 3}, {"b", 2}}
+	got := p.Labels()
+	if len(got) != len(want) {
+		t.Fatalf("Labels() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Labels()[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if p.String() != "(a#1 ∧ a#3 ∧ b#2)" {
+		t.Errorf("String() = %q", p.String())
+	}
+}
+
+func TestUnconstrained(t *testing.T) {
+	p := Unconstrained()
+	if !p.Empty() || p.Len() != 0 {
+		t.Fatalf("Unconstrained not empty: %v", p)
+	}
+	if !p.SatisfiedBy(func(Label) bool { return false }) {
+		t.Error("empty predicate must always be satisfied")
+	}
+	if p.String() != "∅" {
+		t.Errorf("String() = %q", p.String())
+	}
+	if After(Nil).Len() != 0 {
+		t.Error("After(Nil) must be empty (OccursAfter(NULL))")
+	}
+}
+
+func TestContains(t *testing.T) {
+	p := After(Label{"a", 1}, Label{"c", 3})
+	for _, l := range p.Labels() {
+		if !p.Contains(l) {
+			t.Errorf("Contains(%v) = false for member", l)
+		}
+	}
+	for _, l := range []Label{{"a", 2}, {"b", 1}, {"d", 9}, Nil} {
+		if p.Contains(l) {
+			t.Errorf("Contains(%v) = true for non-member", l)
+		}
+	}
+}
+
+func TestSatisfiedBy(t *testing.T) {
+	p := After(Label{"a", 1}, Label{"b", 2})
+	delivered := map[Label]bool{{Origin: "a", Seq: 1}: true}
+	if p.SatisfiedBy(func(l Label) bool { return delivered[l] }) {
+		t.Error("predicate satisfied with missing dependency")
+	}
+	delivered[Label{"b", 2}] = true
+	if !p.SatisfiedBy(func(l Label) bool { return delivered[l] }) {
+		t.Error("predicate unsatisfied with all dependencies delivered")
+	}
+}
+
+func TestKind(t *testing.T) {
+	for _, k := range []Kind{KindCommutative, KindNonCommutative, KindRead, KindControl} {
+		if !k.Valid() {
+			t.Errorf("%v reported invalid", k)
+		}
+	}
+	if Kind(0).Valid() || Kind(99).Valid() {
+		t.Error("out-of-range kinds reported valid")
+	}
+	if KindRead.String() != "read" {
+		t.Errorf("KindRead.String() = %q", KindRead.String())
+	}
+}
+
+func TestValidate(t *testing.T) {
+	valid := Message{Label: Label{"a", 1}, Kind: KindCommutative, Op: "inc"}
+	tests := []struct {
+		name    string
+		mutate  func(*Message)
+		wantErr bool
+	}{
+		{"valid", func(*Message) {}, false},
+		{"nil label", func(m *Message) { m.Label = Nil }, true},
+		{"bad kind", func(m *Message) { m.Kind = 0 }, true},
+		{"self dependency", func(m *Message) { m.Deps = After(m.Label) }, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			m := valid
+			tt.mutate(&m)
+			if err := m.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate() error = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	tests := []Message{
+		{Label: Label{"a", 1}, Kind: KindCommutative, Op: "inc"},
+		{
+			Label: Label{"frontend-3", 900},
+			Deps:  After(Label{"a", 1}, Label{"b", 77}),
+			Kind:  KindNonCommutative,
+			Op:    "upd",
+			Body:  []byte("key=value"),
+		},
+		{Label: Label{"x", 1}, Kind: KindRead, Op: "rd", Body: []byte{0, 1, 2, 255}},
+		{Label: Label{"", 5}, Kind: KindControl, Op: ""},
+	}
+	for i, m := range tests {
+		data, err := m.MarshalBinary()
+		if err != nil {
+			t.Fatalf("case %d: MarshalBinary: %v", i, err)
+		}
+		var got Message
+		if err := got.UnmarshalBinary(data); err != nil {
+			t.Fatalf("case %d: UnmarshalBinary: %v", i, err)
+		}
+		if got.Label != m.Label || got.Kind != m.Kind || got.Op != m.Op ||
+			!bytes.Equal(got.Body, m.Body) || got.Deps.String() != m.Deps.String() {
+			t.Errorf("case %d: round trip mismatch: %v -> %v", i, m, got)
+		}
+	}
+}
+
+func TestMarshalDeterministic(t *testing.T) {
+	m := Message{
+		Label: Label{"a", 1},
+		Deps:  After(Label{"c", 3}, Label{"b", 2}),
+		Kind:  KindCommutative,
+		Op:    "inc",
+	}
+	a, _ := m.MarshalBinary()
+	b, _ := m.MarshalBinary()
+	if !bytes.Equal(a, b) {
+		t.Error("repeated encodings differ")
+	}
+	// Same deps in a different construction order must encode identically.
+	m2 := m
+	m2.Deps = After(Label{"b", 2}, Label{"c", 3})
+	c, _ := m2.MarshalBinary()
+	if !bytes.Equal(a, c) {
+		t.Error("dep construction order leaked into encoding")
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	valid, _ := (Message{
+		Label: Label{"abc", 7},
+		Deps:  After(Label{"p", 1}),
+		Kind:  KindRead,
+		Op:    "rd",
+		Body:  []byte("xyz"),
+	}).MarshalBinary()
+	tests := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"truncated head", valid[:1]},
+		{"truncated deps", valid[:6]},
+		{"truncated body", valid[:len(valid)-2]},
+		{"trailing bytes", append(append([]byte{}, valid...), 1)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var m Message
+			if err := m.UnmarshalBinary(tt.data); err == nil {
+				t.Errorf("UnmarshalBinary succeeded on %s", tt.name)
+			}
+		})
+	}
+	t.Run("decoded invalid kind", func(t *testing.T) {
+		bad := Message{Label: Label{"a", 1}, Kind: Kind(50), Op: "x"}
+		data, _ := bad.MarshalBinary()
+		var m Message
+		if err := m.UnmarshalBinary(data); err == nil {
+			t.Error("decoding message with invalid kind must fail Validate")
+		}
+	})
+}
+
+func TestLabeler(t *testing.T) {
+	g := NewLabeler("srv")
+	if g.Last() != Nil {
+		t.Fatalf("fresh labeler Last = %v, want Nil", g.Last())
+	}
+	for want := uint64(1); want <= 3; want++ {
+		l := g.Next()
+		if l.Origin != "srv" || l.Seq != want {
+			t.Fatalf("Next() = %v, want srv#%d", l, want)
+		}
+		if g.Last() != l {
+			t.Fatalf("Last() = %v after issuing %v", g.Last(), l)
+		}
+	}
+}
+
+func TestLabelersIndependent(t *testing.T) {
+	a, b := NewLabeler("a"), NewLabeler("b")
+	seen := make(map[Label]bool)
+	for i := 0; i < 100; i++ {
+		for _, l := range []Label{a.Next(), b.Next()} {
+			if seen[l] {
+				t.Fatalf("duplicate label %v", l)
+			}
+			seen[l] = true
+		}
+	}
+}
+
+func propLabel(origin uint8, seq uint8) Label {
+	return Label{Origin: fmt.Sprintf("p%d", origin%4), Seq: uint64(seq%8) + 1}
+}
+
+func TestPropAfterIdempotent(t *testing.T) {
+	f := func(o1, s1, o2, s2 uint8) bool {
+		a, b := propLabel(o1, s1), propLabel(o2, s2)
+		p1 := After(a, b)
+		p2 := After(p1.Labels()...)
+		return p1.String() == p2.String()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropAfterOrderInsensitive(t *testing.T) {
+	f := func(o1, s1, o2, s2, o3, s3 uint8) bool {
+		a, b, c := propLabel(o1, s1), propLabel(o2, s2), propLabel(o3, s3)
+		return After(a, b, c).String() == After(c, a, b).String()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropRoundTrip(t *testing.T) {
+	f := func(o1, s1, o2, s2 uint8, body []byte, op string) bool {
+		m := Message{
+			Label: propLabel(o1, s1),
+			Deps:  After(propLabel(o2, s2)),
+			Kind:  KindCommutative,
+			Op:    op,
+			Body:  body,
+		}
+		if m.Deps.Contains(m.Label) {
+			return true // skip self-dep inputs; Validate rejects them by design
+		}
+		data, err := m.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var got Message
+		if err := got.UnmarshalBinary(data); err != nil {
+			return false
+		}
+		return got.Label == m.Label && got.Op == m.Op && bytes.Equal(got.Body, m.Body)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodedSizeGrowsWithDeps(t *testing.T) {
+	base := Message{Label: Label{"a", 1}, Kind: KindCommutative, Op: "inc"}
+	small := base.EncodedSize()
+	base.Deps = After(Label{"b", 1}, Label{"c", 1}, Label{"d", 1})
+	if base.EncodedSize() <= small {
+		t.Errorf("EncodedSize with deps %d <= without %d", base.EncodedSize(), small)
+	}
+}

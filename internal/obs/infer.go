@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"causalshare/internal/graph"
+	"causalshare/internal/message"
+)
+
+// InferFromObservation approximates the application's causal order from
+// delivery sequences alone, without reading OccursAfter predicates — the
+// §3.2 observation mode for engines (ISIS CBCAST, x-Kernel Psync) whose
+// messages carry no explicit relations. A pair m ≺ m' is inferred when m
+// precedes m' in *every* member's sequence: orderings that hold at all
+// members across the observed execution are the stable part; pairs that
+// interleave differently somewhere are demonstrably concurrent.
+//
+// The result is conservative in one direction only: every truly
+// *declared* dependency appears (causal delivery enforces it at every
+// member), but accidental agreements — pairs that happened to arrive in
+// the same order everywhere this run — are indistinguishable from real
+// dependencies without more executions. The paper calls this "the
+// potential linearization of partial orders on messages by the physical
+// communication system"; intersecting more execution instances shrinks
+// the inferred graph toward the true stable form.
+//
+// Only messages delivered at every member participate. The inferred graph
+// contains an edge per covering pair (transitive reduction is not
+// applied; use graph queries, which are closure-based, rather than edge
+// counts).
+func (t *Trace) InferFromObservation() (*graph.Graph, error) {
+	members := t.Members()
+	g := graph.New()
+	if len(members) == 0 {
+		return g, nil
+	}
+	// Collect positions per member; restrict to the common label set.
+	positions := make([]map[message.Label]int, len(members))
+	for i, mb := range members {
+		seq := t.Sequence(mb)
+		pos := make(map[message.Label]int, len(seq))
+		for idx, m := range seq {
+			pos[m.Label] = idx
+		}
+		positions[i] = pos
+	}
+	common := make([]message.Label, 0, len(positions[0]))
+	for l := range positions[0] {
+		everywhere := true
+		for _, pos := range positions[1:] {
+			if _, ok := pos[l]; !ok {
+				everywhere = false
+				break
+			}
+		}
+		if everywhere {
+			common = append(common, l)
+		}
+	}
+	for _, l := range common {
+		g.AddNode(l)
+	}
+	// m -> m' iff m precedes m' at every member. Edges always point from
+	// earlier to later in member 0's order, so no cycle can arise.
+	for _, a := range common {
+		for _, b := range common {
+			if a == b || positions[0][a] >= positions[0][b] {
+				continue
+			}
+			before := true
+			for _, pos := range positions[1:] {
+				if pos[a] >= pos[b] {
+					before = false
+					break
+				}
+			}
+			if before {
+				if err := g.AddEdges(b, []message.Label{a}); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return g, nil
+}

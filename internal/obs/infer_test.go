@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"testing"
+
+	"causalshare/internal/message"
+)
+
+func TestInferFromObservationEmpty(t *testing.T) {
+	g, err := NewTrace().InferFromObservation()
+	if err != nil || g.Len() != 0 {
+		t.Fatalf("empty trace: %d nodes, %v", g.Len(), err)
+	}
+}
+
+func TestInferRecoversStableOrder(t *testing.T) {
+	// m1 before m2 at every member -> inferred dependency. m2/m3 swap
+	// between members -> inferred concurrent.
+	tr := NewTrace()
+	m1, m2, m3 := msg(lbl("a", 1)), msg(lbl("b", 1)), msg(lbl("c", 1))
+	a := tr.Observer("a", nil)
+	b := tr.Observer("b", nil)
+	a(m1)
+	a(m2)
+	a(m3)
+	b(m1)
+	b(m3)
+	b(m2)
+	g, err := tr.InferFromObservation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.HappensBefore(m1.Label, m2.Label) || !g.HappensBefore(m1.Label, m3.Label) {
+		t.Error("stable precedence not inferred")
+	}
+	if !g.Concurrent(m2.Label, m3.Label) {
+		t.Error("observed interleaving divergence not classified concurrent")
+	}
+}
+
+func TestInferSupersetOfDeclaredOrder(t *testing.T) {
+	// Causal delivery guarantees declared deps hold at every member, so
+	// the inferred graph must contain every declared relation (it may add
+	// accidental ones).
+	tr := NewTrace()
+	m1 := msg(lbl("a", 1))
+	m2 := msg(lbl("b", 1), m1.Label)
+	m3 := msg(lbl("c", 1), m2.Label)
+	orders := [][]message.Message{
+		{m1, m2, m3},
+		{m1, m2, m3},
+		{m1, m2, m3},
+	}
+	for i, seq := range orders {
+		obs := tr.Observer(string(rune('x'+i)), nil)
+		for _, m := range seq {
+			obs(m)
+		}
+	}
+	g, err := tr.InferFromObservation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	declared, err := tr.ExtractGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range declared.Nodes() {
+		for _, p := range declared.Predecessors(n) {
+			if !g.HappensBefore(p, n) {
+				t.Errorf("declared %v -> %v missing from inferred graph", p, n)
+			}
+		}
+	}
+}
+
+func TestInferRestrictsToCommonMessages(t *testing.T) {
+	tr := NewTrace()
+	m1, m2 := msg(lbl("a", 1)), msg(lbl("b", 1))
+	a := tr.Observer("a", nil)
+	b := tr.Observer("b", nil)
+	a(m1)
+	a(m2)
+	b(m1) // b never saw m2 (still in flight)
+	g, err := tr.InferFromObservation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Has(m2.Label) {
+		t.Error("message absent at a member included in inference")
+	}
+	if !g.Has(m1.Label) {
+		t.Error("common message missing")
+	}
+}
+
+func TestInferSingleMemberIsTotalOrder(t *testing.T) {
+	// With one observer everything it saw is "stable", i.e. a chain.
+	tr := NewTrace()
+	a := tr.Observer("a", nil)
+	msgs := []message.Message{msg(lbl("a", 1)), msg(lbl("b", 1)), msg(lbl("c", 1))}
+	for _, m := range msgs {
+		a(m)
+	}
+	g, err := tr.InferFromObservation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.CountLinearizations(0); got != 1 {
+		t.Errorf("single-member inference admits %d orders, want 1", got)
+	}
+}

@@ -1,0 +1,201 @@
+// Package obs provides execution observation: trace capture of delivered
+// messages, extraction of the stable-form dependency graph from an
+// observed execution (§3.2 of the paper), verification that a delivery
+// sequence respected its causal constraints, and auditing of cross-
+// replica agreement at stable points.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"causalshare/internal/core"
+	"causalshare/internal/graph"
+	"causalshare/internal/message"
+)
+
+// Delivery is one observed delivery event.
+type Delivery struct {
+	Member string
+	Msg    message.Message
+	Index  int // position in the member's delivery sequence
+}
+
+// Trace records deliveries across members. It is safe for concurrent use;
+// wrap each member's DeliverFunc with Observer.
+type Trace struct {
+	mu   sync.Mutex
+	byMb map[string][]message.Message
+}
+
+// NewTrace returns an empty trace.
+func NewTrace() *Trace {
+	return &Trace{byMb: make(map[string][]message.Message)}
+}
+
+// Observer returns a DeliverFunc wrapper that records member's deliveries
+// before forwarding to next (next may be nil).
+func (t *Trace) Observer(member string, next func(message.Message)) func(message.Message) {
+	return func(m message.Message) {
+		t.mu.Lock()
+		t.byMb[member] = append(t.byMb[member], m)
+		t.mu.Unlock()
+		if next != nil {
+			next(m)
+		}
+	}
+}
+
+// Members returns the observed member ids in sorted order.
+func (t *Trace) Members() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]string, 0, len(t.byMb))
+	for m := range t.byMb {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Sequence returns a copy of member's delivery sequence.
+func (t *Trace) Sequence(member string) []message.Message {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]message.Message(nil), t.byMb[member]...)
+}
+
+// ExtractGraph rebuilds the stable-form message dependency graph from the
+// union of observed deliveries — the §3.2 observation that the graph is
+// "extractable by observing execution behaviour in terms of messages
+// exchanged". Because OccursAfter predicates travel with the messages,
+// the extracted graph is identical no matter which member's trace it is
+// built from.
+func (t *Trace) ExtractGraph() (*graph.Graph, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	g := graph.New()
+	seen := make(map[message.Label]bool)
+	for _, seq := range t.byMb {
+		for _, m := range seq {
+			if seen[m.Label] {
+				continue
+			}
+			seen[m.Label] = true
+			if err := g.AddMessage(m); err != nil {
+				return nil, fmt.Errorf("obs: extract: %w", err)
+			}
+		}
+	}
+	return g, nil
+}
+
+// VerifyCausalDelivery checks that member's observed sequence satisfies
+// every OccursAfter predicate: each dependency was delivered earlier in
+// the same sequence. It returns the first violation found.
+func (t *Trace) VerifyCausalDelivery(member string) error {
+	seq := t.Sequence(member)
+	delivered := make(map[message.Label]bool, len(seq))
+	for i, m := range seq {
+		for _, d := range m.Deps.Labels() {
+			if !delivered[d] {
+				return fmt.Errorf("obs: member %s delivered %v at %d before its dependency %v",
+					member, m.Label, i, d)
+			}
+		}
+		delivered[m.Label] = true
+	}
+	return nil
+}
+
+// VerifyAll runs VerifyCausalDelivery for every member.
+func (t *Trace) VerifyAll() error {
+	for _, m := range t.Members() {
+		if err := t.VerifyCausalDelivery(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SameDeliverySet checks every member delivered the same set of labels
+// (ignoring order) and returns the members' common size, or an error
+// naming the first divergence.
+func (t *Trace) SameDeliverySet() (int, error) {
+	members := t.Members()
+	if len(members) == 0 {
+		return 0, nil
+	}
+	ref := make(map[message.Label]bool)
+	for _, m := range t.Sequence(members[0]) {
+		ref[m.Label] = true
+	}
+	for _, mb := range members[1:] {
+		seq := t.Sequence(mb)
+		if len(seq) != len(ref) {
+			return 0, fmt.Errorf("obs: member %s delivered %d messages, member %s delivered %d",
+				mb, len(seq), members[0], len(ref))
+		}
+		for _, m := range seq {
+			if !ref[m.Label] {
+				return 0, fmt.Errorf("obs: member %s delivered %v unseen at %s", mb, m.Label, members[0])
+			}
+		}
+	}
+	return len(ref), nil
+}
+
+// AuditReport is the outcome of comparing replicas' stable-point
+// histories.
+type AuditReport struct {
+	// Points is the number of stable points every replica agrees on.
+	Points int
+	// Divergence describes the first disagreement ("" when consistent).
+	Divergence string
+}
+
+// Consistent reports whether no divergence was found.
+func (r AuditReport) Consistent() bool { return r.Divergence == "" }
+
+// AuditStablePoints compares stable-point histories across replicas: at
+// every index up to the shortest history, the closing label and state
+// digest must match. This is the paper's agreement guarantee made
+// checkable.
+func AuditStablePoints(histories map[string][]core.StablePoint) AuditReport {
+	members := make([]string, 0, len(histories))
+	for m := range histories {
+		members = append(members, m)
+	}
+	sort.Strings(members)
+	if len(members) == 0 {
+		return AuditReport{}
+	}
+	shortest := len(histories[members[0]])
+	for _, m := range members[1:] {
+		if len(histories[m]) < shortest {
+			shortest = len(histories[m])
+		}
+	}
+	ref := histories[members[0]]
+	for i := 0; i < shortest; i++ {
+		for _, m := range members[1:] {
+			got := histories[m][i]
+			if got.Closer != ref[i].Closer {
+				return AuditReport{
+					Points: i,
+					Divergence: fmt.Sprintf("stable point %d: %s closed by %v, %s closed by %v",
+						i, members[0], ref[i].Closer, m, got.Closer),
+				}
+			}
+			if got.Digest != ref[i].Digest {
+				return AuditReport{
+					Points: i,
+					Divergence: fmt.Sprintf("stable point %d (%v): %s digest %s, %s digest %s",
+						i, ref[i].Closer, members[0], ref[i].Digest, m, got.Digest),
+				}
+			}
+		}
+	}
+	return AuditReport{Points: shortest}
+}

@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"causalshare/internal/core"
+	"causalshare/internal/message"
+)
+
+func lbl(o string, s uint64) message.Label { return message.Label{Origin: o, Seq: s} }
+
+func msg(l message.Label, deps ...message.Label) message.Message {
+	return message.Message{Label: l, Deps: message.After(deps...), Kind: message.KindCommutative, Op: "op"}
+}
+
+func TestTraceRecordsAndForwards(t *testing.T) {
+	tr := NewTrace()
+	forwarded := 0
+	obs := tr.Observer("a", func(message.Message) { forwarded++ })
+	obs(msg(lbl("x", 1)))
+	obs(msg(lbl("x", 2)))
+	if forwarded != 2 {
+		t.Errorf("forwarded = %d", forwarded)
+	}
+	if got := tr.Sequence("a"); len(got) != 2 {
+		t.Errorf("sequence = %v", got)
+	}
+	// nil next must not panic.
+	tr.Observer("b", nil)(msg(lbl("y", 1)))
+	if m := tr.Members(); len(m) != 2 || m[0] != "a" || m[1] != "b" {
+		t.Errorf("Members = %v", m)
+	}
+}
+
+func TestExtractGraph(t *testing.T) {
+	tr := NewTrace()
+	a := tr.Observer("a", nil)
+	b := tr.Observer("b", nil)
+	m1 := msg(lbl("x", 1))
+	m2 := msg(lbl("y", 1), m1.Label)
+	// Both members deliver both messages (different order is fine).
+	a(m1)
+	a(m2)
+	b(m1)
+	b(m2)
+	g, err := tr.ExtractGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 2 {
+		t.Fatalf("graph has %d nodes", g.Len())
+	}
+	if !g.HappensBefore(m1.Label, m2.Label) {
+		t.Error("extracted graph lost the dependency")
+	}
+}
+
+func TestVerifyCausalDelivery(t *testing.T) {
+	tr := NewTrace()
+	m1 := msg(lbl("x", 1))
+	m2 := msg(lbl("y", 1), m1.Label)
+	good := tr.Observer("good", nil)
+	good(m1)
+	good(m2)
+	if err := tr.VerifyCausalDelivery("good"); err != nil {
+		t.Errorf("valid sequence rejected: %v", err)
+	}
+	bad := tr.Observer("bad", nil)
+	bad(m2)
+	bad(m1)
+	if err := tr.VerifyCausalDelivery("bad"); err == nil {
+		t.Error("causal violation not detected")
+	}
+	if err := tr.VerifyAll(); err == nil {
+		t.Error("VerifyAll missed the bad member")
+	}
+}
+
+func TestSameDeliverySet(t *testing.T) {
+	tr := NewTrace()
+	m1, m2 := msg(lbl("x", 1)), msg(lbl("y", 1))
+	a := tr.Observer("a", nil)
+	b := tr.Observer("b", nil)
+	a(m1)
+	a(m2)
+	b(m2)
+	b(m1) // different order, same set
+	n, err := tr.SameDeliverySet()
+	if err != nil || n != 2 {
+		t.Fatalf("SameDeliverySet = %d, %v", n, err)
+	}
+	c := tr.Observer("c", nil)
+	c(m1) // missing m2
+	if _, err := tr.SameDeliverySet(); err == nil {
+		t.Error("set divergence not detected")
+	}
+}
+
+func TestSameDeliverySetEmpty(t *testing.T) {
+	n, err := NewTrace().SameDeliverySet()
+	if n != 0 || err != nil {
+		t.Errorf("empty trace: %d, %v", n, err)
+	}
+}
+
+func TestAuditStablePoints(t *testing.T) {
+	pt := func(c uint64, closer message.Label, digest string) core.StablePoint {
+		return core.StablePoint{Cycle: c, Closer: closer, Digest: digest}
+	}
+	l1, l2 := lbl("n", 1), lbl("n", 2)
+
+	t.Run("consistent", func(t *testing.T) {
+		r := AuditStablePoints(map[string][]core.StablePoint{
+			"a": {pt(1, l1, "d1"), pt(2, l2, "d2")},
+			"b": {pt(1, l1, "d1"), pt(2, l2, "d2")},
+		})
+		if !r.Consistent() || r.Points != 2 {
+			t.Errorf("report = %+v", r)
+		}
+	})
+
+	t.Run("digest divergence", func(t *testing.T) {
+		r := AuditStablePoints(map[string][]core.StablePoint{
+			"a": {pt(1, l1, "d1")},
+			"b": {pt(1, l1, "DIFFERENT")},
+		})
+		if r.Consistent() {
+			t.Fatal("divergence missed")
+		}
+		if !strings.Contains(r.Divergence, "digest") {
+			t.Errorf("divergence message = %q", r.Divergence)
+		}
+	})
+
+	t.Run("closer divergence", func(t *testing.T) {
+		r := AuditStablePoints(map[string][]core.StablePoint{
+			"a": {pt(1, l1, "d1")},
+			"b": {pt(1, l2, "d1")},
+		})
+		if r.Consistent() {
+			t.Fatal("closer divergence missed")
+		}
+	})
+
+	t.Run("prefix comparison", func(t *testing.T) {
+		r := AuditStablePoints(map[string][]core.StablePoint{
+			"a": {pt(1, l1, "d1"), pt(2, l2, "d2")},
+			"b": {pt(1, l1, "d1")}, // shorter history: only prefix audited
+		})
+		if !r.Consistent() || r.Points != 1 {
+			t.Errorf("report = %+v", r)
+		}
+	})
+
+	t.Run("empty", func(t *testing.T) {
+		if r := AuditStablePoints(nil); !r.Consistent() || r.Points != 0 {
+			t.Errorf("report = %+v", r)
+		}
+	})
+}

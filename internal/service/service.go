@@ -1,0 +1,204 @@
+// Package service bundles the layers of the model into a deployable unit:
+// a Site is one member's full stack — transport attachment, causal
+// broadcast engine, replica state machine, failure-detection heartbeats,
+// and a client front-end — and a Cluster constructs and tears down a
+// whole group of them. Examples and integration tests that do not need
+// custom wiring use this instead of assembling the layers by hand.
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"causalshare/internal/causal"
+	"causalshare/internal/core"
+	"causalshare/internal/group"
+	"causalshare/internal/message"
+	"causalshare/internal/obs"
+	"causalshare/internal/transport"
+)
+
+// Options configures a Cluster. Zero values get sensible defaults.
+type Options struct {
+	// Engine selects the causal broadcast engine: "osend" (default) or
+	// "cbcast".
+	Engine string
+	// Patience is the engine's retransmission window; defaults to 10ms.
+	// It matters only on lossy networks.
+	Patience time.Duration
+	// Heartbeat, when positive, starts a failure-detection plane with
+	// this interval (timeout is 8x the interval).
+	Heartbeat time.Duration
+	// Trace, when true, records every delivery for later analysis.
+	Trace bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Engine == "" {
+		o.Engine = "osend"
+	}
+	if o.Patience == 0 {
+		o.Patience = 10 * time.Millisecond
+	}
+	return o
+}
+
+// Site is one member's full stack.
+type Site struct {
+	// ID is the member id.
+	ID string
+	// Replica is the local state machine.
+	Replica *core.Replica
+	// Engine is the causal broadcast engine (Broadcast for raw messages).
+	Engine causal.Broadcaster
+	// FrontEnd generates §6.1 orderings for this site's clients.
+	FrontEnd *core.FrontEnd
+	// Items generates §5.1 item-scoped orderings.
+	Items *core.ItemFrontEnd
+	// Tracker holds the local membership view (nil without heartbeats).
+	Tracker *group.Tracker
+
+	runner *group.Runner
+}
+
+// Cluster is a group of Sites over one network.
+type Cluster struct {
+	// Group is the membership.
+	Group *group.Group
+	// Net is the underlying network.
+	Net transport.Network
+	// Sites maps member id to its stack.
+	Sites map[string]*Site
+	// Trace records deliveries when Options.Trace was set (else nil).
+	Trace *obs.Trace
+}
+
+// New builds a cluster of len(ids) sites over net. initial and apply
+// define the replicated state machine; each replica clones initial.
+func New(name string, ids []string, net transport.Network, initial core.State, apply core.Transition, opts Options) (*Cluster, error) {
+	opts = opts.withDefaults()
+	grp, err := group.New(name, ids)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{Group: grp, Net: net, Sites: make(map[string]*Site, len(ids))}
+	if opts.Trace {
+		c.Trace = obs.NewTrace()
+	}
+	for _, id := range ids {
+		site, err := c.buildSite(id, initial, apply, opts)
+		if err != nil {
+			_ = c.Close()
+			return nil, err
+		}
+		c.Sites[id] = site
+	}
+	return c, nil
+}
+
+func (c *Cluster) buildSite(id string, initial core.State, apply core.Transition, opts Options) (*Site, error) {
+	rep, err := core.NewReplica(core.ReplicaConfig{Self: id, Initial: initial, Apply: apply})
+	if err != nil {
+		return nil, err
+	}
+	conn, err := c.Net.Attach(id)
+	if err != nil {
+		return nil, err
+	}
+	site := &Site{ID: id, Replica: rep}
+	// The engine's receive loop may deliver before the front-end below is
+	// constructed; publish it through an atomic pointer so early
+	// deliveries simply skip observation.
+	var fePtr atomic.Pointer[core.FrontEnd]
+	deliver := causal.DeliverFunc(func(m message.Message) {
+		if fe := fePtr.Load(); fe != nil {
+			fe.Observe(m)
+		}
+		rep.Deliver(m)
+	})
+	if c.Trace != nil {
+		deliver = c.Trace.Observer(id, deliver)
+	}
+	switch opts.Engine {
+	case "osend":
+		site.Engine, err = causal.NewOSend(causal.OSendConfig{
+			Self: id, Group: c.Group, Conn: conn, Deliver: deliver, Patience: opts.Patience,
+		})
+	case "cbcast":
+		site.Engine, err = causal.NewCBCast(causal.CBCastConfig{
+			Self: id, Group: c.Group, Conn: conn, Deliver: deliver, Patience: opts.Patience,
+		})
+	default:
+		_ = conn.Close()
+		return nil, fmt.Errorf("service: unknown engine %q", opts.Engine)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if site.FrontEnd, err = core.NewFrontEnd("fe", site.Engine); err != nil {
+		return nil, err
+	}
+	fePtr.Store(site.FrontEnd)
+	if site.Items, err = core.NewItemFrontEnd("it", site.Engine); err != nil {
+		return nil, err
+	}
+	if opts.Heartbeat > 0 {
+		site.Tracker = group.NewTracker(c.Group)
+		site.runner, err = group.StartRunner(site.Tracker, id, c.Net, opts.Heartbeat, 8*opts.Heartbeat)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return site, nil
+}
+
+// WaitApplied blocks until every site applied at least n messages or the
+// timeout passes.
+func (c *Cluster) WaitApplied(n uint64, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		done := true
+		for _, s := range c.Sites {
+			if s.Replica.Applied() < n {
+				done = false
+			}
+		}
+		if done {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			var counts []string
+			for id, s := range c.Sites {
+				counts = append(counts, fmt.Sprintf("%s=%d", id, s.Replica.Applied()))
+			}
+			return fmt.Errorf("service: timed out waiting for %d applies (%v)", n, counts)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Audit compares all sites' stable-point histories.
+func (c *Cluster) Audit() obs.AuditReport {
+	histories := make(map[string][]core.StablePoint, len(c.Sites))
+	for id, s := range c.Sites {
+		histories[id] = s.Replica.StablePoints()
+	}
+	return obs.AuditStablePoints(histories)
+}
+
+// Close tears down every site and the network, joining errors.
+func (c *Cluster) Close() error {
+	var errs []error
+	for _, s := range c.Sites {
+		if s.runner != nil {
+			errs = append(errs, s.runner.Close())
+		}
+		if s.Engine != nil {
+			errs = append(errs, s.Engine.Close())
+		}
+	}
+	errs = append(errs, c.Net.Close())
+	return errors.Join(errs...)
+}

@@ -1,0 +1,209 @@
+package service
+
+import (
+	"testing"
+	"time"
+
+	"causalshare/internal/message"
+	"causalshare/internal/shareddata"
+	"causalshare/internal/transport"
+)
+
+func TestClusterLifecycle(t *testing.T) {
+	for _, engine := range []string{"osend", "cbcast"} {
+		t.Run(engine, func(t *testing.T) {
+			net := transport.NewChanNet(transport.FaultModel{
+				MaxDelay: 3 * time.Millisecond, Seed: 7,
+			})
+			c, err := New("svc", []string{"a", "b", "c"}, net,
+				shareddata.NewCounter(0), shareddata.ApplyCounter,
+				Options{Engine: engine, Trace: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer func() {
+				if err := c.Close(); err != nil {
+					t.Errorf("close: %v", err)
+				}
+			}()
+
+			fe := c.Sites["a"].FrontEnd
+			for i := 0; i < 9; i++ {
+				op := shareddata.Inc()
+				if _, err := fe.Submit(op.Op, op.Kind, op.Body); err != nil {
+					t.Fatal(err)
+				}
+			}
+			rd := shareddata.Read()
+			if _, err := fe.Submit(rd.Op, rd.Kind, rd.Body); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.WaitApplied(10, 10*time.Second); err != nil {
+				t.Fatal(err)
+			}
+			report := c.Audit()
+			if !report.Consistent() || report.Points != 1 {
+				t.Fatalf("audit = %+v", report)
+			}
+			if err := c.Trace.VerifyAll(); err != nil {
+				t.Fatal(err)
+			}
+			st, _ := c.Sites["b"].Replica.ReadStable()
+			if st.Digest() != shareddata.NewCounter(9).Digest() {
+				t.Errorf("stable state = %s", st.Digest())
+			}
+		})
+	}
+}
+
+func TestClusterMultiSiteFrontEndsWeave(t *testing.T) {
+	net := transport.NewChanNet(transport.FaultModel{MaxDelay: 2 * time.Millisecond, Seed: 3})
+	c, err := New("svc", []string{"x", "y"}, net,
+		shareddata.NewCounter(0), shareddata.ApplyCounter, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+
+	// Site x submits commutative ops; site y closes the cycle. y's
+	// front-end observes x's ops via the wired Observe hook, so its
+	// closer names them (after they arrived at y).
+	op := shareddata.Inc()
+	for i := 0; i < 4; i++ {
+		if _, err := c.Sites["x"].FrontEnd.Submit(op.Op, op.Kind, op.Body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.WaitApplied(4, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	rd := shareddata.Read()
+	closer, err := c.Sites["y"].FrontEnd.Submit(rd.Op, rd.Kind, rd.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if closer.Deps.Len() != 4 {
+		t.Errorf("closer deps = %v, want the 4 observed incs", closer.Deps)
+	}
+	if err := c.WaitApplied(5, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if report := c.Audit(); !report.Consistent() {
+		t.Fatalf("audit = %+v", report)
+	}
+}
+
+func TestClusterWithHeartbeats(t *testing.T) {
+	net := transport.NewChanNet(transport.FaultModel{})
+	c, err := New("svc", []string{"a", "b"}, net,
+		shareddata.NewCounter(0), shareddata.ApplyCounter,
+		Options{Heartbeat: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	time.Sleep(30 * time.Millisecond)
+	for _, id := range []string{"a", "b"} {
+		if c.Sites[id].Tracker == nil {
+			t.Fatalf("site %s has no tracker", id)
+		}
+		for _, peer := range []string{"a", "b"} {
+			if !c.Sites[id].Tracker.Alive(peer) {
+				t.Errorf("site %s believes %s dead", id, peer)
+			}
+		}
+	}
+}
+
+func TestClusterItemFrontEnd(t *testing.T) {
+	net := transport.NewChanNet(transport.FaultModel{MaxDelay: 2 * time.Millisecond, Seed: 11})
+	c, err := New("svc", []string{"a", "b"}, net,
+		shareddata.NewKVStore(), shareddata.ApplyKV, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	items := c.Sites["a"].Items
+	put := shareddata.Put("f1", "v1")
+	if _, err := items.SubmitScoped(put.Op, "f1", put.Body); err != nil {
+		t.Fatal(err)
+	}
+	put2 := shareddata.Put("f2", "v2")
+	if _, err := items.SubmitScoped(put2.Op, "f2", put2.Body); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := items.Sync("snap", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitApplied(3, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if report := c.Audit(); !report.Consistent() || report.Points != 1 {
+		t.Fatalf("audit = %+v", report)
+	}
+}
+
+func TestClusterRejectsBadConfig(t *testing.T) {
+	net := transport.NewChanNet(transport.FaultModel{})
+	defer func() { _ = net.Close() }()
+	if _, err := New("svc", nil, net, shareddata.NewCounter(0), shareddata.ApplyCounter, Options{}); err == nil {
+		t.Error("empty member list accepted")
+	}
+	if _, err := New("svc", []string{"a"}, net, shareddata.NewCounter(0), shareddata.ApplyCounter,
+		Options{Engine: "bogus"}); err == nil {
+		t.Error("unknown engine accepted")
+	}
+}
+
+func TestClusterOverTCP(t *testing.T) {
+	net := transport.NewTCPNet()
+	c, err := New("svc", []string{"a", "b", "c"}, net,
+		shareddata.NewCounter(0), shareddata.ApplyCounter, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	fe := c.Sites["c"].FrontEnd
+	op := shareddata.Inc()
+	for i := 0; i < 5; i++ {
+		if _, err := fe.Submit(op.Op, op.Kind, op.Body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rd := shareddata.Read()
+	if _, err := fe.Submit(rd.Op, rd.Kind, rd.Body); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitApplied(6, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if report := c.Audit(); !report.Consistent() {
+		t.Fatalf("audit over TCP = %+v", report)
+	}
+}
+
+func TestClusterRawBroadcast(t *testing.T) {
+	net := transport.NewChanNet(transport.FaultModel{})
+	c, err := New("svc", []string{"a", "b"}, net,
+		shareddata.NewCounter(0), shareddata.ApplyCounter, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	m := message.Message{
+		Label: message.Label{Origin: "a", Seq: 1},
+		Kind:  message.KindNonCommutative,
+		Op:    shareddata.OpSet,
+		Body:  []byte("41"),
+	}
+	if err := c.Sites["a"].Engine.Broadcast(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitApplied(1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := c.Sites["b"].Replica.ReadStable()
+	if st.Digest() != shareddata.NewCounter(41).Digest() {
+		t.Errorf("state = %s", st.Digest())
+	}
+}

@@ -1,0 +1,111 @@
+// Package shareddata provides replicated data types built on the core
+// model, one per motivating example in the paper:
+//
+//   - Counter — the running integer example of §2.2: commutative inc/dec,
+//     non-commutative set, reads ordered after increments.
+//   - Registry — the §5.2 name service: upd/qry operations with the
+//     context-carrying query protocol that detects and discards
+//     inconsistent query results at the application level.
+//   - KVStore — a keyed store mixing commutative per-key deltas with
+//     non-commutative puts and deletes.
+//   - Document — the §5.2/[11] conferencing example: a design document
+//     with commutative annotations and non-commutative edits.
+//
+// Each type supplies a core.State implementation, the transition function
+// F, and operation constructors that choose the message.Kind the §6.1
+// front-end protocol needs.
+package shareddata
+
+import (
+	"fmt"
+	"strconv"
+
+	"causalshare/internal/core"
+	"causalshare/internal/message"
+)
+
+// Counter is the paper's shared integer. inc and dec are commutative
+// (transition-preserving in any interleaving); set is not and closes
+// causal activities.
+type Counter struct {
+	// V is the counter value.
+	V int64
+}
+
+var _ core.State = (*Counter)(nil)
+
+// NewCounter returns a counter state starting at v.
+func NewCounter(v int64) *Counter { return &Counter{V: v} }
+
+// Clone implements core.State.
+func (c *Counter) Clone() core.State { return &Counter{V: c.V} }
+
+// Equal implements core.State.
+func (c *Counter) Equal(o core.State) bool {
+	oc, ok := o.(*Counter)
+	return ok && oc.V == c.V
+}
+
+// Digest implements core.State.
+func (c *Counter) Digest() string { return "counter:" + strconv.FormatInt(c.V, 10) }
+
+// Counter operation names.
+const (
+	OpInc = "inc"
+	OpDec = "dec"
+	OpSet = "set"
+	OpRd  = "rd"
+)
+
+// CounterOp describes one counter operation ready for FrontEnd.Submit.
+type CounterOp struct {
+	Op   string
+	Kind message.Kind
+	Body []byte
+}
+
+// Inc returns the commutative increment operation.
+func Inc() CounterOp { return CounterOp{Op: OpInc, Kind: message.KindCommutative} }
+
+// Dec returns the commutative decrement operation.
+func Dec() CounterOp { return CounterOp{Op: OpDec, Kind: message.KindCommutative} }
+
+// Set returns the non-commutative assignment operation.
+func Set(v int64) CounterOp {
+	return CounterOp{
+		Op:   OpSet,
+		Kind: message.KindNonCommutative,
+		Body: []byte(strconv.FormatInt(v, 10)),
+	}
+}
+
+// Read returns the read operation ("a rd operation cannot be concurrent
+// with an inc/dec operation" — it closes the activity).
+func Read() CounterOp { return CounterOp{Op: OpRd, Kind: message.KindRead} }
+
+// ApplyCounter is the transition function F for Counter states. Unknown
+// operations leave the state unchanged (a conservative default that keeps
+// replicas in lock-step even if a foreign message leaks in).
+func ApplyCounter(s core.State, m message.Message) core.State {
+	c, ok := s.(*Counter)
+	if !ok {
+		return s
+	}
+	switch m.Op {
+	case OpInc:
+		c.V++
+	case OpDec:
+		c.V--
+	case OpSet:
+		v, err := strconv.ParseInt(string(m.Body), 10, 64)
+		if err == nil {
+			c.V = v
+		}
+	case OpRd:
+		// Reads do not change state; they only close the activity.
+	}
+	return c
+}
+
+// String renders the counter for logs.
+func (c *Counter) String() string { return fmt.Sprintf("Counter(%d)", c.V) }

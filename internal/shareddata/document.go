@@ -1,0 +1,204 @@
+package shareddata
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"strings"
+
+	"causalshare/internal/core"
+	"causalshare/internal/message"
+)
+
+// Document is the distributed-conferencing example (§5.2, reference [11]):
+// a shared design document that participants collaboratively annotate
+// from their workstations. Annotations are commutative — they accumulate
+// as a set, so any interleaving is transition-preserving — while editing
+// a section and publishing a revision are non-commutative.
+//
+// Annotations are stored keyed by the annotating message's label, which
+// makes the set identical at every replica regardless of arrival order
+// (the deterministic-digest requirement of core.State).
+type Document struct {
+	// sections maps section name to its current text.
+	sections map[string]string
+	// notes maps section name to its annotation set, keyed by the label
+	// of the message that added each note.
+	notes map[string]map[message.Label]string
+	// revision increments on every publish.
+	revision uint64
+}
+
+var _ core.State = (*Document)(nil)
+
+// NewDocument returns an empty document.
+func NewDocument() *Document {
+	return &Document{
+		sections: make(map[string]string),
+		notes:    make(map[string]map[message.Label]string),
+	}
+}
+
+// Clone implements core.State.
+func (d *Document) Clone() core.State {
+	out := NewDocument()
+	out.revision = d.revision
+	for s, txt := range d.sections {
+		out.sections[s] = txt
+	}
+	for s, ns := range d.notes {
+		cp := make(map[message.Label]string, len(ns))
+		for l, n := range ns {
+			cp[l] = n
+		}
+		out.notes[s] = cp
+	}
+	return out
+}
+
+// Equal implements core.State.
+func (d *Document) Equal(o core.State) bool {
+	od, ok := o.(*Document)
+	if !ok || d.revision != od.revision ||
+		len(d.sections) != len(od.sections) || len(d.notes) != len(od.notes) {
+		return false
+	}
+	for s, txt := range d.sections {
+		if od.sections[s] != txt {
+			return false
+		}
+	}
+	for s, ns := range d.notes {
+		ons, ok := od.notes[s]
+		if !ok || len(ns) != len(ons) {
+			return false
+		}
+		for l, n := range ns {
+			if ons[l] != n {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Digest implements core.State.
+func (d *Document) Digest() string {
+	h := fnv.New64a()
+	secs := make([]string, 0, len(d.sections))
+	for s := range d.sections {
+		secs = append(secs, s)
+	}
+	sort.Strings(secs)
+	for _, s := range secs {
+		_, _ = h.Write([]byte(s))
+		_, _ = h.Write([]byte{0})
+		_, _ = h.Write([]byte(d.sections[s]))
+		_, _ = h.Write([]byte{0})
+	}
+	noteSecs := make([]string, 0, len(d.notes))
+	for s := range d.notes {
+		noteSecs = append(noteSecs, s)
+	}
+	sort.Strings(noteSecs)
+	for _, s := range noteSecs {
+		ns := d.notes[s]
+		labels := make([]message.Label, 0, len(ns))
+		for l := range ns {
+			labels = append(labels, l)
+		}
+		sort.Slice(labels, func(i, j int) bool { return labels[i].Less(labels[j]) })
+		for _, l := range labels {
+			_, _ = h.Write([]byte(l.String()))
+			_, _ = h.Write([]byte(ns[l]))
+			_, _ = h.Write([]byte{2})
+		}
+	}
+	return "doc:r" + strconv.FormatUint(d.revision, 10) + ":" + strconv.FormatUint(h.Sum64(), 16)
+}
+
+// Section returns the text of a section.
+func (d *Document) Section(name string) (string, bool) {
+	t, ok := d.sections[name]
+	return t, ok
+}
+
+// Notes returns the annotations on a section, sorted by annotating label.
+func (d *Document) Notes(section string) []string {
+	ns := d.notes[section]
+	labels := make([]message.Label, 0, len(ns))
+	for l := range ns {
+		labels = append(labels, l)
+	}
+	sort.Slice(labels, func(i, j int) bool { return labels[i].Less(labels[j]) })
+	out := make([]string, len(labels))
+	for i, l := range labels {
+		out[i] = ns[l]
+	}
+	return out
+}
+
+// Revision returns the publish count.
+func (d *Document) Revision() uint64 { return d.revision }
+
+// Document operation names.
+const (
+	OpAnnotate = "annotate"
+	OpEdit     = "edit"
+	OpPublish  = "publish"
+)
+
+// DocOp describes one document operation.
+type DocOp struct {
+	Op   string
+	Kind message.Kind
+	Body []byte
+}
+
+// Annotate returns a commutative annotation on section.
+func Annotate(section, note string) DocOp {
+	return DocOp{Op: OpAnnotate, Kind: message.KindCommutative, Body: []byte(section + "\x00" + note)}
+}
+
+// Edit returns a non-commutative rewrite of a section's text. It clears
+// the section's annotations (they referred to the old text).
+func Edit(section, text string) DocOp {
+	return DocOp{Op: OpEdit, Kind: message.KindNonCommutative, Body: []byte(section + "\x00" + text)}
+}
+
+// Publish returns a non-commutative revision bump — the conference's
+// synchronization point.
+func Publish() DocOp {
+	return DocOp{Op: OpPublish, Kind: message.KindNonCommutative}
+}
+
+// ApplyDocument is the transition function F for Document states.
+func ApplyDocument(s core.State, m message.Message) core.State {
+	d, ok := s.(*Document)
+	if !ok {
+		return s
+	}
+	switch m.Op {
+	case OpAnnotate:
+		section, note, ok := strings.Cut(string(m.Body), "\x00")
+		if !ok {
+			return d
+		}
+		ns := d.notes[section]
+		if ns == nil {
+			ns = make(map[message.Label]string)
+			d.notes[section] = ns
+		}
+		ns[m.Label] = note
+	case OpEdit:
+		section, text, ok := strings.Cut(string(m.Body), "\x00")
+		if !ok {
+			return d
+		}
+		d.sections[section] = text
+		delete(d.notes, section)
+	case OpPublish:
+		d.revision++
+	}
+	return d
+}

@@ -1,0 +1,168 @@
+package shareddata
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"strings"
+
+	"causalshare/internal/core"
+	"causalshare/internal/message"
+)
+
+// KVStore is a keyed store that mixes commutative and non-commutative
+// operations per key, demonstrating the paper's observation that stable
+// points "relate to decomposition of the data into distinct items and
+// scoping out the effects of messages on these items":
+//
+//   - Add(key, delta) is commutative: additions to the same numeric cell
+//     are transition-preserving in any order.
+//   - Put(key, value) and Del(key) are non-commutative: they overwrite
+//     and must close causal activities.
+type KVStore struct {
+	nums map[string]int64
+	strs map[string]string
+}
+
+var _ core.State = (*KVStore)(nil)
+
+// NewKVStore returns an empty store.
+func NewKVStore() *KVStore {
+	return &KVStore{nums: make(map[string]int64), strs: make(map[string]string)}
+}
+
+// Clone implements core.State.
+func (k *KVStore) Clone() core.State {
+	out := &KVStore{
+		nums: make(map[string]int64, len(k.nums)),
+		strs: make(map[string]string, len(k.strs)),
+	}
+	for key, v := range k.nums {
+		out.nums[key] = v
+	}
+	for key, v := range k.strs {
+		out.strs[key] = v
+	}
+	return out
+}
+
+// Equal implements core.State.
+func (k *KVStore) Equal(o core.State) bool {
+	ok2, ok := o.(*KVStore)
+	if !ok || len(k.nums) != len(ok2.nums) || len(k.strs) != len(ok2.strs) {
+		return false
+	}
+	for key, v := range k.nums {
+		if ok2.nums[key] != v {
+			return false
+		}
+	}
+	for key, v := range k.strs {
+		if ok2.strs[key] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Digest implements core.State.
+func (k *KVStore) Digest() string {
+	h := fnv.New64a()
+	numKeys := make([]string, 0, len(k.nums))
+	for key := range k.nums {
+		numKeys = append(numKeys, key)
+	}
+	sort.Strings(numKeys)
+	for _, key := range numKeys {
+		_, _ = h.Write([]byte(key))
+		_, _ = h.Write([]byte(strconv.FormatInt(k.nums[key], 10)))
+		_, _ = h.Write([]byte{0})
+	}
+	strKeys := make([]string, 0, len(k.strs))
+	for key := range k.strs {
+		strKeys = append(strKeys, key)
+	}
+	sort.Strings(strKeys)
+	for _, key := range strKeys {
+		_, _ = h.Write([]byte(key))
+		_, _ = h.Write([]byte(k.strs[key]))
+		_, _ = h.Write([]byte{1})
+	}
+	return "kv:" + strconv.FormatUint(h.Sum64(), 16)
+}
+
+// Num returns the numeric cell for key.
+func (k *KVStore) Num(key string) int64 { return k.nums[key] }
+
+// Str returns the string cell for key.
+func (k *KVStore) Str(key string) (string, bool) {
+	v, ok := k.strs[key]
+	return v, ok
+}
+
+// Len returns the total number of populated cells.
+func (k *KVStore) Len() int { return len(k.nums) + len(k.strs) }
+
+// KVStore operation names.
+const (
+	OpAdd = "add"
+	OpPut = "put"
+	OpDel = "del"
+)
+
+// KVOp describes one store operation.
+type KVOp struct {
+	Op   string
+	Kind message.Kind
+	Body []byte
+}
+
+// Add returns a commutative delta on key's numeric cell.
+func Add(key string, delta int64) KVOp {
+	return KVOp{
+		Op:   OpAdd,
+		Kind: message.KindCommutative,
+		Body: []byte(key + "\x00" + strconv.FormatInt(delta, 10)),
+	}
+}
+
+// Put returns a non-commutative overwrite of key's string cell.
+func Put(key, value string) KVOp {
+	return KVOp{Op: OpPut, Kind: message.KindNonCommutative, Body: []byte(key + "\x00" + value)}
+}
+
+// Del returns a non-commutative delete of key (both cells).
+func Del(key string) KVOp {
+	return KVOp{Op: OpDel, Kind: message.KindNonCommutative, Body: []byte(key)}
+}
+
+// ApplyKV is the transition function F for KVStore states.
+func ApplyKV(s core.State, m message.Message) core.State {
+	k, ok := s.(*KVStore)
+	if !ok {
+		return s
+	}
+	switch m.Op {
+	case OpAdd:
+		key, d, ok := strings.Cut(string(m.Body), "\x00")
+		if !ok {
+			return k
+		}
+		delta, err := strconv.ParseInt(d, 10, 64)
+		if err != nil {
+			return k
+		}
+		k.nums[key] += delta
+	case OpPut:
+		key, v, ok := strings.Cut(string(m.Body), "\x00")
+		if !ok {
+			return k
+		}
+		k.strs[key] = v
+	case OpDel:
+		key := string(m.Body)
+		delete(k.nums, key)
+		delete(k.strs, key)
+	}
+	return k
+}

@@ -1,0 +1,214 @@
+package shareddata
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"strings"
+
+	"causalshare/internal/core"
+	"causalshare/internal/message"
+)
+
+// Registry is the §5.2 name-service example: a name → value map accessed
+// with upd (update/registration) and qry (query/resolution) operations.
+//
+// In loosely coupled deployments, upd and qry are generated spontaneously
+// (no declarable causal relations), so replicas may interleave them
+// differently and a query may return different values at different
+// members. The paper's application-specific remedy: the query carries
+// context information — here, the number of updates the issuing site had
+// seen — and a replica processing a query whose context disagrees with
+// its own update count marks the result inconsistent so the application
+// discards it.
+//
+// Registry records query outcomes in the state itself (values keyed by
+// query label), which keeps the type a pure core.State: two replicas that
+// processed the same message sequence agree bit-for-bit, including on
+// which queries were discarded.
+type Registry struct {
+	entries map[string]string
+	// updates counts upd operations processed — the context a query is
+	// checked against.
+	updates uint64
+	// results maps query labels to outcomes.
+	results map[message.Label]QueryResult
+	// discarded counts inconsistent queries (experiment E5's observable).
+	discarded uint64
+}
+
+// QueryResult is the outcome of one qry operation at this replica.
+type QueryResult struct {
+	// Value is the resolved value ("" when the name is unbound).
+	Value string
+	// Discarded reports that the query's context disagreed with the
+	// replica's update count and the result must not be used.
+	Discarded bool
+}
+
+var _ core.State = (*Registry)(nil)
+
+// NewRegistry returns an empty registry state.
+func NewRegistry() *Registry {
+	return &Registry{
+		entries: make(map[string]string),
+		results: make(map[message.Label]QueryResult),
+	}
+}
+
+// Clone implements core.State.
+func (r *Registry) Clone() core.State {
+	out := &Registry{
+		entries:   make(map[string]string, len(r.entries)),
+		updates:   r.updates,
+		results:   make(map[message.Label]QueryResult, len(r.results)),
+		discarded: r.discarded,
+	}
+	for k, v := range r.entries {
+		out.entries[k] = v
+	}
+	for k, v := range r.results {
+		out.results[k] = v
+	}
+	return out
+}
+
+// Equal implements core.State.
+func (r *Registry) Equal(o core.State) bool {
+	or, ok := o.(*Registry)
+	if !ok {
+		return false
+	}
+	if r.updates != or.updates || r.discarded != or.discarded ||
+		len(r.entries) != len(or.entries) || len(r.results) != len(or.results) {
+		return false
+	}
+	for k, v := range r.entries {
+		if or.entries[k] != v {
+			return false
+		}
+	}
+	for k, v := range r.results {
+		if or.results[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Digest implements core.State.
+func (r *Registry) Digest() string {
+	h := fnv.New64a()
+	keys := make([]string, 0, len(r.entries))
+	for k := range r.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		_, _ = h.Write([]byte(k))
+		_, _ = h.Write([]byte{0})
+		_, _ = h.Write([]byte(r.entries[k]))
+		_, _ = h.Write([]byte{0})
+	}
+	labels := make([]message.Label, 0, len(r.results))
+	for l := range r.results {
+		labels = append(labels, l)
+	}
+	sort.Slice(labels, func(i, j int) bool { return labels[i].Less(labels[j]) })
+	for _, l := range labels {
+		res := r.results[l]
+		fmt.Fprintf(h, "%s|%s|%t;", l, res.Value, res.Discarded)
+	}
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], r.updates<<1|r.discarded&1)
+	_, _ = h.Write(buf[:])
+	return "registry:" + strconv.FormatUint(h.Sum64(), 16)
+}
+
+// Lookup returns the current binding for name.
+func (r *Registry) Lookup(name string) (string, bool) {
+	v, ok := r.entries[name]
+	return v, ok
+}
+
+// Result returns the recorded outcome of a query message.
+func (r *Registry) Result(l message.Label) (QueryResult, bool) {
+	res, ok := r.results[l]
+	return res, ok
+}
+
+// Updates returns the number of upd operations processed.
+func (r *Registry) Updates() uint64 { return r.updates }
+
+// Discarded returns the number of queries rejected by the context check.
+func (r *Registry) Discarded() uint64 { return r.discarded }
+
+// Registry operation names.
+const (
+	OpUpd = "upd"
+	OpQry = "qry"
+)
+
+// RegistryOp describes one registry operation.
+type RegistryOp struct {
+	Op   string
+	Kind message.Kind
+	Body []byte
+}
+
+// Upd returns a non-commutative registration binding name to value.
+func Upd(name, value string) RegistryOp {
+	return RegistryOp{
+		Op:   OpUpd,
+		Kind: message.KindNonCommutative,
+		Body: []byte(name + "\x00" + value),
+	}
+}
+
+// Qry returns a commutative query for name, carrying the issuing site's
+// update count seenUpdates as its consistency context.
+func Qry(name string, seenUpdates uint64) RegistryOp {
+	return RegistryOp{
+		Op:   OpQry,
+		Kind: message.KindCommutative,
+		Body: []byte(name + "\x00" + strconv.FormatUint(seenUpdates, 10)),
+	}
+}
+
+// ApplyRegistry is the transition function F for Registry states.
+func ApplyRegistry(s core.State, m message.Message) core.State {
+	r, ok := s.(*Registry)
+	if !ok {
+		return s
+	}
+	switch m.Op {
+	case OpUpd:
+		name, value, ok := strings.Cut(string(m.Body), "\x00")
+		if !ok {
+			return r
+		}
+		r.entries[name] = value
+		r.updates++
+	case OpQry:
+		name, ctx, ok := strings.Cut(string(m.Body), "\x00")
+		if !ok {
+			return r
+		}
+		seen, err := strconv.ParseUint(ctx, 10, 64)
+		if err != nil {
+			return r
+		}
+		res := QueryResult{Value: r.entries[name]}
+		// The context check of §5.2: if updates happened between the
+		// query's issue and its processing here, members may disagree on
+		// the answer — discard.
+		if seen != r.updates {
+			res.Discarded = true
+			r.discarded++
+		}
+		r.results[m.Label] = res
+	}
+	return r
+}

@@ -1,0 +1,244 @@
+package shareddata
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"causalshare/internal/core"
+	"causalshare/internal/message"
+	"causalshare/internal/obs"
+	"causalshare/internal/sim"
+)
+
+// replicate runs ops through a simulated 4-member causal cluster with the
+// §6.1 front-end composing the orderings, and returns the replicas for
+// auditing. ops supplies (op name, kind, body) triples in issue order.
+func replicate(t *testing.T, seed int64, initial core.State, apply core.Transition, ops []opSpec) []*core.Replica {
+	t.Helper()
+	const members = 4
+	s := sim.New(seed)
+	net := sim.NewNet(s, sim.NetModel{MinLatency: 0, MaxLatency: sim.Duration(8 * time.Millisecond)})
+	replicas := make([]*core.Replica, members)
+	for i := range replicas {
+		rep, err := core.NewReplica(core.ReplicaConfig{
+			Self:    sim.MemberID(i),
+			Initial: initial,
+			Apply:   apply,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		replicas[i] = rep
+	}
+	cluster := sim.NewCausalCluster(s, net, sim.RuleOSend, members, func(m int, msg message.Message, _ sim.Time) {
+		replicas[m].Deliver(msg)
+	})
+	fe, err := core.NewComposer("t~cli")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, op := range ops {
+		i, op := i, op
+		s.At(sim.Time(i)*sim.Duration(300*time.Microsecond), func() {
+			m, err := fe.Compose(op.name, op.kind, op.body)
+			if err != nil {
+				t.Errorf("compose %q: %v", op.name, err)
+				return
+			}
+			cluster.Broadcast(i%members, m)
+		})
+	}
+	s.Run(0)
+	if cluster.Undelivered() != 0 {
+		t.Fatalf("undelivered messages: %d", cluster.Undelivered())
+	}
+	return replicas
+}
+
+type opSpec struct {
+	name string
+	kind message.Kind
+	body []byte
+}
+
+func spec(op interface {
+	opFields() (string, message.Kind, []byte)
+}) opSpec {
+	n, k, b := op.opFields()
+	return opSpec{name: n, kind: k, body: b}
+}
+
+func (o CounterOp) opFields() (string, message.Kind, []byte)  { return o.Op, o.Kind, o.Body }
+func (o RegistryOp) opFields() (string, message.Kind, []byte) { return o.Op, o.Kind, o.Body }
+func (o KVOp) opFields() (string, message.Kind, []byte)       { return o.Op, o.Kind, o.Body }
+func (o DocOp) opFields() (string, message.Kind, []byte)      { return o.Op, o.Kind, o.Body }
+
+func auditReplicas(t *testing.T, replicas []*core.Replica, wantCycles int) {
+	t.Helper()
+	histories := make(map[string][]core.StablePoint, len(replicas))
+	for _, r := range replicas {
+		histories[r.Self()] = r.StablePoints()
+	}
+	report := obs.AuditStablePoints(histories)
+	if !report.Consistent() {
+		t.Fatalf("stable-point divergence: %s", report.Divergence)
+	}
+	if report.Points != wantCycles {
+		t.Fatalf("audited %d stable points, want %d", report.Points, wantCycles)
+	}
+}
+
+func TestCounterReplicationAgreesAtStablePoints(t *testing.T) {
+	var ops []opSpec
+	for c := 0; c < 8; c++ {
+		for k := 0; k < 5; k++ {
+			if k%2 == 0 {
+				ops = append(ops, spec(Inc()))
+			} else {
+				ops = append(ops, spec(Dec()))
+			}
+		}
+		ops = append(ops, spec(Read()))
+	}
+	replicas := replicate(t, 91, NewCounter(0), ApplyCounter, ops)
+	auditReplicas(t, replicas, 8)
+	st, _ := replicas[0].ReadStable()
+	want := NewCounter(8 * 1) // per cycle: 3 inc, 2 dec
+	if !st.Equal(want) {
+		t.Errorf("final stable state %s, want %s", st.Digest(), want.Digest())
+	}
+}
+
+func TestKVStoreReplicationAgreesAtStablePoints(t *testing.T) {
+	var ops []opSpec
+	for c := 0; c < 6; c++ {
+		for k := 0; k < 4; k++ {
+			ops = append(ops, spec(Add(fmt.Sprintf("k%d", k%2), int64(k+1))))
+		}
+		ops = append(ops, spec(Put("rev", fmt.Sprintf("r%d", c))))
+	}
+	replicas := replicate(t, 92, NewKVStore(), ApplyKV, ops)
+	auditReplicas(t, replicas, 6)
+	st, _ := replicas[0].ReadStable()
+	kv, ok := st.(*KVStore)
+	if !ok {
+		t.Fatalf("state type %T", st)
+	}
+	if got, _ := kv.Str("rev"); got != "r5" {
+		t.Errorf("rev = %q, want r5", got)
+	}
+	// Each cycle adds 1+3 to k0 and 2+4 to k1.
+	if kv.Num("k0") != 6*4 || kv.Num("k1") != 6*6 {
+		t.Errorf("k0=%d k1=%d, want 24, 36", kv.Num("k0"), kv.Num("k1"))
+	}
+}
+
+func TestDocumentReplicationAgreesAtStablePoints(t *testing.T) {
+	var ops []opSpec
+	ops = append(ops, spec(Edit("intro", "draft")))
+	for k := 0; k < 6; k++ {
+		ops = append(ops, spec(Annotate("intro", fmt.Sprintf("note-%d", k))))
+	}
+	ops = append(ops, spec(Publish()))
+	replicas := replicate(t, 93, NewDocument(), ApplyDocument, ops)
+	auditReplicas(t, replicas, 2)
+	st, _ := replicas[0].ReadStable()
+	doc, ok := st.(*Document)
+	if !ok {
+		t.Fatalf("state type %T", st)
+	}
+	if doc.Revision() != 1 || len(doc.Notes("intro")) != 6 {
+		t.Errorf("revision=%d notes=%d", doc.Revision(), len(doc.Notes("intro")))
+	}
+}
+
+// TestKVItemScopedReplication exercises the §5.1 item-granularity
+// protocol: per-key puts (normally global closers) stay concurrent across
+// keys because same-key puts are chained by OccursAfter and cross-key
+// puts commute. Every replica must agree on all last-writer values at the
+// Sync despite heavy cross-key reordering.
+func TestKVItemScopedReplication(t *testing.T) {
+	const members = 4
+	s := sim.New(95)
+	net := sim.NewNet(s, sim.NetModel{MinLatency: 0, MaxLatency: sim.Duration(10 * time.Millisecond)})
+	replicas := make([]*core.Replica, members)
+	for i := range replicas {
+		rep, err := core.NewReplica(core.ReplicaConfig{
+			Self:    sim.MemberID(i),
+			Initial: NewKVStore(),
+			Apply:   ApplyKV,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		replicas[i] = rep
+	}
+	cluster := sim.NewCausalCluster(s, net, sim.RuleOSend, members, func(m int, msg message.Message, _ sim.Time) {
+		replicas[m].Deliver(msg)
+	})
+	fe, err := core.NewItemComposer("t~item")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys, writes = 3, 8
+	k := 0
+	for w := 0; w < writes; w++ {
+		for key := 0; key < keys; key++ {
+			op := Put(fmt.Sprintf("k%d", key), fmt.Sprintf("v%d", w))
+			m := fe.ComposeScoped(op.Op, fmt.Sprintf("k%d", key), op.Body)
+			k++
+			kk := k
+			s.At(sim.Time(kk)*sim.Duration(200*time.Microsecond), func() {
+				cluster.Broadcast(kk%members, m)
+			})
+		}
+	}
+	syncMsg := fe.ComposeSync("snapshot", nil)
+	k++
+	kk := k
+	s.At(sim.Time(kk)*sim.Duration(200*time.Microsecond), func() {
+		cluster.Broadcast(0, syncMsg)
+	})
+	s.Run(0)
+	if cluster.Undelivered() != 0 {
+		t.Fatalf("undelivered: %d", cluster.Undelivered())
+	}
+	auditReplicas(t, replicas, 1)
+	st, _ := replicas[0].ReadStable()
+	kv, ok := st.(*KVStore)
+	if !ok {
+		t.Fatalf("state type %T", st)
+	}
+	for key := 0; key < keys; key++ {
+		if v, _ := kv.Str(fmt.Sprintf("k%d", key)); v != fmt.Sprintf("v%d", writes-1) {
+			t.Errorf("k%d = %q, want last writer v%d", key, v, writes-1)
+		}
+	}
+}
+
+func TestRegistryReplicationStrictModeNeverDiscards(t *testing.T) {
+	// In strict mode queries are reads ordered after updates; the context
+	// always matches and every replica agrees at each read.
+	var ops []opSpec
+	for c := 0; c < 5; c++ {
+		ops = append(ops, spec(Upd("svc", fmt.Sprintf("v%d", c))))
+		// Context = c+1 updates seen (queries follow the update in the
+		// causal order, so every replica has applied exactly c+1).
+		q := Qry("svc", uint64(c+1))
+		ops = append(ops, opSpec{name: q.Op, kind: message.KindRead, body: q.Body})
+	}
+	replicas := replicate(t, 94, NewRegistry(), ApplyRegistry, ops)
+	auditReplicas(t, replicas, 10) // every upd and qry closes a cycle
+	st, _ := replicas[0].ReadStable()
+	reg, ok := st.(*Registry)
+	if !ok {
+		t.Fatalf("state type %T", st)
+	}
+	if reg.Discarded() != 0 {
+		t.Errorf("strict mode discarded %d queries", reg.Discarded())
+	}
+	if v, _ := reg.Lookup("svc"); v != "v4" {
+		t.Errorf("final binding %q", v)
+	}
+}

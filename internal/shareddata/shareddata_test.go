@@ -1,0 +1,381 @@
+package shareddata
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"causalshare/internal/core"
+	"causalshare/internal/message"
+)
+
+func lbl(o string, s uint64) message.Label { return message.Label{Origin: o, Seq: s} }
+
+func mkMsg(l message.Label, op string, kind message.Kind, body []byte) message.Message {
+	return message.Message{Label: l, Kind: kind, Op: op, Body: body}
+}
+
+func opMsg(l message.Label, op string, kind message.Kind, body []byte) message.Message {
+	return mkMsg(l, op, kind, body)
+}
+
+// applyOps runs a sequence of (op-constructor output, label) pairs.
+func applyCounterOps(s *Counter, ops ...CounterOp) *Counter {
+	st := core.State(s)
+	for i, op := range ops {
+		st = ApplyCounter(st, opMsg(lbl("t", uint64(i+1)), op.Op, op.Kind, op.Body))
+	}
+	c, _ := st.(*Counter)
+	return c
+}
+
+func TestCounterOps(t *testing.T) {
+	c := applyCounterOps(NewCounter(0), Inc(), Inc(), Dec())
+	if c.V != 1 {
+		t.Errorf("V = %d, want 1", c.V)
+	}
+	c = applyCounterOps(c, Set(42), Inc())
+	if c.V != 43 {
+		t.Errorf("V = %d, want 43", c.V)
+	}
+	c = applyCounterOps(c, Read())
+	if c.V != 43 {
+		t.Errorf("read changed state: %d", c.V)
+	}
+}
+
+func TestCounterKinds(t *testing.T) {
+	tests := []struct {
+		op   CounterOp
+		want message.Kind
+	}{
+		{Inc(), message.KindCommutative},
+		{Dec(), message.KindCommutative},
+		{Set(1), message.KindNonCommutative},
+		{Read(), message.KindRead},
+	}
+	for _, tt := range tests {
+		if tt.op.Kind != tt.want {
+			t.Errorf("%s kind = %v, want %v", tt.op.Op, tt.op.Kind, tt.want)
+		}
+	}
+}
+
+func TestCounterStateContract(t *testing.T) {
+	c := NewCounter(7)
+	cl, ok := c.Clone().(*Counter)
+	if !ok {
+		t.Fatal("Clone wrong type")
+	}
+	cl.V = 8
+	if c.V != 7 {
+		t.Error("Clone aliased state")
+	}
+	if !c.Equal(NewCounter(7)) || c.Equal(NewCounter(8)) {
+		t.Error("Equal broken")
+	}
+	if c.Digest() != NewCounter(7).Digest() {
+		t.Error("equal states, different digests")
+	}
+	if c.Digest() == NewCounter(8).Digest() {
+		t.Error("different states, same digest")
+	}
+	if c.Equal(NewRegistry()) {
+		t.Error("cross-type Equal returned true")
+	}
+}
+
+func TestCounterMalformedSetIgnored(t *testing.T) {
+	c := NewCounter(5)
+	st := ApplyCounter(c, mkMsg(lbl("t", 1), OpSet, message.KindNonCommutative, []byte("notanumber")))
+	if st.(*Counter).V != 5 {
+		t.Error("malformed set changed state")
+	}
+	st = ApplyCounter(st, mkMsg(lbl("t", 2), "unknown-op", message.KindCommutative, nil))
+	if st.(*Counter).V != 5 {
+		t.Error("unknown op changed state")
+	}
+}
+
+func TestPropIncDecCommute(t *testing.T) {
+	f := func(start int64, ops []bool) bool {
+		// Apply in given order and reversed; totals must match.
+		fwd := core.State(NewCounter(start))
+		rev := core.State(NewCounter(start))
+		for i, isInc := range ops {
+			op := Dec()
+			if isInc {
+				op = Inc()
+			}
+			fwd = ApplyCounter(fwd, opMsg(lbl("p", uint64(i+1)), op.Op, op.Kind, op.Body))
+		}
+		for i := len(ops) - 1; i >= 0; i-- {
+			op := Dec()
+			if ops[i] {
+				op = Inc()
+			}
+			rev = ApplyCounter(rev, opMsg(lbl("p", uint64(i+1)), op.Op, op.Kind, op.Body))
+		}
+		return fwd.Equal(rev)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCounterCommuteViaCore(t *testing.T) {
+	s0 := NewCounter(3)
+	inc := opMsg(lbl("a", 1), OpInc, message.KindCommutative, nil)
+	dec := opMsg(lbl("b", 1), OpDec, message.KindCommutative, nil)
+	set := opMsg(lbl("c", 1), OpSet, message.KindNonCommutative, []byte("9"))
+	if !core.Commute(ApplyCounter, s0, inc, dec) {
+		t.Error("inc/dec should commute")
+	}
+	if core.Commute(ApplyCounter, s0, inc, set) {
+		t.Error("inc/set should not commute")
+	}
+}
+
+func TestRegistryUpdQry(t *testing.T) {
+	r := NewRegistry()
+	st := core.State(r)
+	upd := Upd("printer", "host-a")
+	st = ApplyRegistry(st, opMsg(lbl("s", 1), upd.Op, upd.Kind, upd.Body))
+	reg := st.(*Registry)
+	if v, ok := reg.Lookup("printer"); !ok || v != "host-a" {
+		t.Fatalf("Lookup = %q, %v", v, ok)
+	}
+	if reg.Updates() != 1 {
+		t.Fatalf("Updates = %d", reg.Updates())
+	}
+	// Query with matching context succeeds.
+	q1 := Qry("printer", 1)
+	qLbl := lbl("c", 1)
+	st = ApplyRegistry(st, opMsg(qLbl, q1.Op, q1.Kind, q1.Body))
+	res, ok := st.(*Registry).Result(qLbl)
+	if !ok || res.Discarded || res.Value != "host-a" {
+		t.Fatalf("query result = %+v, %v", res, ok)
+	}
+	// Query with stale context is discarded.
+	q2 := Qry("printer", 0)
+	q2Lbl := lbl("c", 2)
+	st = ApplyRegistry(st, opMsg(q2Lbl, q2.Op, q2.Kind, q2.Body))
+	res, ok = st.(*Registry).Result(q2Lbl)
+	if !ok || !res.Discarded {
+		t.Fatalf("stale query not discarded: %+v", res)
+	}
+	if st.(*Registry).Discarded() != 1 {
+		t.Errorf("Discarded = %d, want 1", st.(*Registry).Discarded())
+	}
+}
+
+func TestRegistryScenarioFromPaper(t *testing.T) {
+	// §5.2: member A sees upd1 qry1 qry2 upd2 — both queries return the
+	// same value. Member B sees upd1 qry1 upd2 qry2 — qry2's context
+	// disagrees and must be discarded.
+	upd1, upd2 := Upd("n", "v1"), Upd("n", "v2")
+	qry1, qry2 := Qry("n", 1), Qry("n", 1) // both issued having seen upd1
+	l := func(i uint64) message.Label { return lbl("m", i) }
+
+	a := core.State(NewRegistry())
+	a = ApplyRegistry(a, opMsg(l(1), upd1.Op, upd1.Kind, upd1.Body))
+	a = ApplyRegistry(a, opMsg(l(2), qry1.Op, qry1.Kind, qry1.Body))
+	a = ApplyRegistry(a, opMsg(l(3), qry2.Op, qry2.Kind, qry2.Body))
+	a = ApplyRegistry(a, opMsg(l(4), upd2.Op, upd2.Kind, upd2.Body))
+	ra := a.(*Registry)
+	for _, ql := range []message.Label{l(2), l(3)} {
+		res, _ := ra.Result(ql)
+		if res.Discarded || res.Value != "v1" {
+			t.Errorf("member A: query %v = %+v, want consistent v1", ql, res)
+		}
+	}
+
+	b := core.State(NewRegistry())
+	b = ApplyRegistry(b, opMsg(l(1), upd1.Op, upd1.Kind, upd1.Body))
+	b = ApplyRegistry(b, opMsg(l(2), qry1.Op, qry1.Kind, qry1.Body))
+	b = ApplyRegistry(b, opMsg(l(4), upd2.Op, upd2.Kind, upd2.Body))
+	b = ApplyRegistry(b, opMsg(l(3), qry2.Op, qry2.Kind, qry2.Body))
+	rb := b.(*Registry)
+	res1, _ := rb.Result(l(2))
+	if res1.Discarded || res1.Value != "v1" {
+		t.Errorf("member B: qry1 = %+v, want consistent v1", res1)
+	}
+	res2, _ := rb.Result(l(3))
+	if !res2.Discarded {
+		t.Errorf("member B: qry2 = %+v, want discarded (context mismatch)", res2)
+	}
+}
+
+func TestRegistryStateContract(t *testing.T) {
+	r := NewRegistry()
+	st := ApplyRegistry(r, opMsg(lbl("s", 1), OpUpd, message.KindNonCommutative, []byte("a\x00b")))
+	cl := st.Clone()
+	if !st.Equal(cl) || st.Digest() != cl.Digest() {
+		t.Fatal("clone not equal to original")
+	}
+	ApplyRegistry(cl, opMsg(lbl("s", 2), OpUpd, message.KindNonCommutative, []byte("c\x00d")))
+	if st.Equal(cl) {
+		t.Error("mutating clone affected original or Equal broken")
+	}
+	if st.Digest() == cl.Digest() {
+		t.Error("different registries share a digest")
+	}
+	// Malformed bodies are ignored.
+	before := st.Digest()
+	st = ApplyRegistry(st, opMsg(lbl("s", 3), OpUpd, message.KindNonCommutative, []byte("nozero")))
+	st = ApplyRegistry(st, opMsg(lbl("s", 4), OpQry, message.KindCommutative, []byte("n\x00notanum")))
+	if st.Digest() != before {
+		t.Error("malformed operations changed state")
+	}
+}
+
+func TestKVStoreOps(t *testing.T) {
+	k := core.State(NewKVStore())
+	add := Add("hits", 3)
+	k = ApplyKV(k, opMsg(lbl("a", 1), add.Op, add.Kind, add.Body))
+	add2 := Add("hits", -1)
+	k = ApplyKV(k, opMsg(lbl("a", 2), add2.Op, add2.Kind, add2.Body))
+	put := Put("owner", "alice")
+	k = ApplyKV(k, opMsg(lbl("a", 3), put.Op, put.Kind, put.Body))
+	kv := k.(*KVStore)
+	if kv.Num("hits") != 2 {
+		t.Errorf("hits = %d, want 2", kv.Num("hits"))
+	}
+	if v, ok := kv.Str("owner"); !ok || v != "alice" {
+		t.Errorf("owner = %q, %v", v, ok)
+	}
+	if kv.Len() != 2 {
+		t.Errorf("Len = %d, want 2", kv.Len())
+	}
+	del := Del("hits")
+	k = ApplyKV(k, opMsg(lbl("a", 4), del.Op, del.Kind, del.Body))
+	if k.(*KVStore).Num("hits") != 0 || k.(*KVStore).Len() != 1 {
+		t.Error("del did not clear the cell")
+	}
+}
+
+func TestPropKVAddsCommute(t *testing.T) {
+	f := func(deltas []int8) bool {
+		fwd := core.State(NewKVStore())
+		rev := core.State(NewKVStore())
+		key := func(i int) string { return fmt.Sprintf("k%d", i%3) }
+		for i, d := range deltas {
+			op := Add(key(i), int64(d))
+			fwd = ApplyKV(fwd, opMsg(lbl("p", uint64(i+1)), op.Op, op.Kind, op.Body))
+		}
+		for i := len(deltas) - 1; i >= 0; i-- {
+			op := Add(key(i), int64(deltas[i]))
+			rev = ApplyKV(rev, opMsg(lbl("p", uint64(i+1)), op.Op, op.Kind, op.Body))
+		}
+		return fwd.Equal(rev) && fwd.Digest() == rev.Digest()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKVStoreStateContract(t *testing.T) {
+	k := NewKVStore()
+	op := Add("x", 5)
+	st := ApplyKV(k, opMsg(lbl("a", 1), op.Op, op.Kind, op.Body))
+	cl := st.Clone()
+	op2 := Add("x", 1)
+	ApplyKV(cl, opMsg(lbl("a", 2), op2.Op, op2.Kind, op2.Body))
+	if st.(*KVStore).Num("x") != 5 {
+		t.Error("clone aliased numeric map")
+	}
+	if st.Equal(cl) {
+		t.Error("Equal missed difference")
+	}
+}
+
+func TestDocumentOps(t *testing.T) {
+	d := core.State(NewDocument())
+	edit := Edit("intro", "first draft")
+	d = ApplyDocument(d, opMsg(lbl("w", 1), edit.Op, edit.Kind, edit.Body))
+	a1 := Annotate("intro", "typo in line 2")
+	d = ApplyDocument(d, opMsg(lbl("p1", 1), a1.Op, a1.Kind, a1.Body))
+	a2 := Annotate("intro", "cite the survey")
+	d = ApplyDocument(d, opMsg(lbl("p2", 1), a2.Op, a2.Kind, a2.Body))
+	doc := d.(*Document)
+	if txt, _ := doc.Section("intro"); txt != "first draft" {
+		t.Errorf("section = %q", txt)
+	}
+	if notes := doc.Notes("intro"); len(notes) != 2 {
+		t.Errorf("notes = %v", notes)
+	}
+	pub := Publish()
+	d = ApplyDocument(d, opMsg(lbl("w", 2), pub.Op, pub.Kind, pub.Body))
+	if d.(*Document).Revision() != 1 {
+		t.Errorf("revision = %d", d.(*Document).Revision())
+	}
+	// Edit clears stale annotations.
+	edit2 := Edit("intro", "second draft")
+	d = ApplyDocument(d, opMsg(lbl("w", 3), edit2.Op, edit2.Kind, edit2.Body))
+	if notes := d.(*Document).Notes("intro"); len(notes) != 0 {
+		t.Errorf("stale notes survived edit: %v", notes)
+	}
+}
+
+func TestPropAnnotationsCommute(t *testing.T) {
+	f := func(order []uint8) bool {
+		// Build a fixed annotation set, apply in two different orders.
+		msgs := make([]message.Message, 6)
+		for i := range msgs {
+			op := Annotate(fmt.Sprintf("s%d", i%2), fmt.Sprintf("note-%d", i))
+			msgs[i] = opMsg(lbl(fmt.Sprintf("p%d", i), 1), op.Op, op.Kind, op.Body)
+		}
+		perm := make([]message.Message, len(msgs))
+		copy(perm, msgs)
+		for i, o := range order {
+			j := int(o) % len(perm)
+			perm[i%len(perm)], perm[j] = perm[j], perm[i%len(perm)]
+		}
+		a, b := core.State(NewDocument()), core.State(NewDocument())
+		for _, m := range msgs {
+			a = ApplyDocument(a, m)
+		}
+		for _, m := range perm {
+			b = ApplyDocument(b, m)
+		}
+		return a.Equal(b) && a.Digest() == b.Digest()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDocumentStateContract(t *testing.T) {
+	d := NewDocument()
+	a := Annotate("s", "n")
+	st := ApplyDocument(d, opMsg(lbl("p", 1), a.Op, a.Kind, a.Body))
+	cl := st.Clone()
+	b := Annotate("s", "m")
+	ApplyDocument(cl, opMsg(lbl("p", 2), b.Op, b.Kind, b.Body))
+	if len(st.(*Document).Notes("s")) != 1 {
+		t.Error("clone aliased notes map")
+	}
+	if st.Equal(cl) || st.Digest() == cl.Digest() {
+		t.Error("difference not detected")
+	}
+}
+
+func TestActivityStabilityAcrossTypes(t *testing.T) {
+	// Every declared-commutative operation set must form a stable causal
+	// activity; mixing in a non-commutative op as body must not.
+	opener := opMsg(lbl("n", 1), OpSet, message.KindNonCommutative, []byte("0"))
+	incA := opMsg(lbl("a", 1), OpInc, message.KindCommutative, nil)
+	incA.Deps = message.After(opener.Label)
+	decB := opMsg(lbl("b", 1), OpDec, message.KindCommutative, nil)
+	decB.Deps = message.After(opener.Label)
+	closer := opMsg(lbl("n", 2), OpRd, message.KindRead, nil)
+	closer.Deps = message.After(incA.Label, decB.Label)
+	act := core.Activity{Opener: opener, Body: []message.Message{incA, decB}, Closer: closer}
+	stable, err := act.IsStable(ApplyCounter, NewCounter(0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stable {
+		t.Error("counter inc/dec activity not stable")
+	}
+}

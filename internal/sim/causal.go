@@ -1,0 +1,250 @@
+package sim
+
+import (
+	"fmt"
+
+	"causalshare/internal/message"
+	"causalshare/internal/vclock"
+)
+
+// OrderRule selects which causal delivery rule a simulated cluster runs.
+type OrderRule int
+
+const (
+	// RuleOSend delivers a message once all labels in its OccursAfter
+	// predicate are delivered — the paper's explicit-dependency rule.
+	RuleOSend OrderRule = iota + 1
+	// RuleCBCast delivers under the vector-clock causal condition — the
+	// ISIS-style baseline, which also enforces FIFO per sender and any
+	// incidental causality the sender had observed.
+	RuleCBCast
+)
+
+// String names the rule for experiment tables.
+func (r OrderRule) String() string {
+	switch r {
+	case RuleOSend:
+		return "osend"
+	case RuleCBCast:
+		return "cbcast"
+	default:
+		return fmt.Sprintf("OrderRule(%d)", int(r))
+	}
+}
+
+// DeliverFunc receives deliveries at simulated members.
+type DeliverFunc func(member int, m message.Message, at Time)
+
+// CausalCluster simulates n members running one causal delivery rule over
+// a latency-modelled network. It records per-delivery latency and buffer
+// occupancy — the observables of experiments E1/E6/E7.
+type CausalCluster struct {
+	sim  *Sim
+	net  *Net
+	rule OrderRule
+	n    int
+	onDl DeliverFunc
+
+	nodes []*causalNode
+	// sentAt records broadcast times for latency measurement.
+	sentAt map[message.Label]Time
+	// latencies collects (deliver - send) samples across members.
+	latencies []Time
+	// control accumulates ordering-metadata bytes (deps or clocks).
+	control uint64
+}
+
+type causalNode struct {
+	id string
+	// OSend rule state.
+	delivered map[message.Label]bool
+	pending   map[message.Label]*simPending
+	waiting   map[message.Label][]message.Label
+	// CBCast rule state.
+	vc     vclock.VC
+	buffer []cbPending
+	// metrics
+	maxBuffered int
+}
+
+type simPending struct {
+	msg     message.Message
+	missing map[message.Label]struct{}
+}
+
+type cbPending struct {
+	sender string
+	stamp  vclock.VC
+	msg    message.Message
+}
+
+// NewCausalCluster builds a cluster of n members. onDeliver may be nil.
+func NewCausalCluster(s *Sim, net *Net, rule OrderRule, n int, onDeliver DeliverFunc) *CausalCluster {
+	c := &CausalCluster{
+		sim: s, net: net, rule: rule, n: n, onDl: onDeliver,
+		sentAt: make(map[message.Label]Time),
+	}
+	for i := 0; i < n; i++ {
+		c.nodes = append(c.nodes, &causalNode{
+			id:        memberID(i),
+			delivered: make(map[message.Label]bool),
+			pending:   make(map[message.Label]*simPending),
+			waiting:   make(map[message.Label][]message.Label),
+			vc:        vclock.New(),
+		})
+	}
+	return c
+}
+
+// memberID formats the id of member i.
+func memberID(i int) string { return fmt.Sprintf("n%03d", i) }
+
+// MemberID exposes the simulated member naming for workloads.
+func MemberID(i int) string { return memberID(i) }
+
+// Broadcast sends m from member `from` to every member. Self-delivery is
+// immediate (subject to the ordering rule); remote deliveries follow
+// sampled latencies.
+func (c *CausalCluster) Broadcast(from int, m message.Message) {
+	c.sentAt[m.Label] = c.sim.Now()
+	switch c.rule {
+	case RuleOSend:
+		c.control += uint64(len(m.Deps.Labels())) * 12 * uint64(c.n-1)
+		c.arriveOSend(from, m)
+		for i := 0; i < c.n; i++ {
+			if i == from {
+				continue
+			}
+			i := i
+			c.net.Send(m.EncodedSize(), func() { c.arriveOSend(i, m) })
+		}
+	case RuleCBCast:
+		node := c.nodes[from]
+		node.vc.Tick(node.id)
+		stamp := node.vc.Clone()
+		c.control += uint64(stamp.EncodedSize()) * uint64(c.n-1)
+		c.deliverAt(from, m)
+		for i := 0; i < c.n; i++ {
+			if i == from {
+				continue
+			}
+			i := i
+			c.net.Send(m.EncodedSize()+stamp.EncodedSize(), func() {
+				c.arriveCBCast(i, node.id, stamp, m)
+			})
+		}
+	}
+}
+
+func (c *CausalCluster) arriveOSend(member int, m message.Message) {
+	node := c.nodes[member]
+	if node.delivered[m.Label] {
+		return
+	}
+	if _, dup := node.pending[m.Label]; dup {
+		return
+	}
+	missing := make(map[message.Label]struct{})
+	for _, d := range m.Deps.Labels() {
+		if !node.delivered[d] {
+			missing[d] = struct{}{}
+		}
+	}
+	if len(missing) > 0 {
+		node.pending[m.Label] = &simPending{msg: m, missing: missing}
+		for d := range missing {
+			node.waiting[d] = append(node.waiting[d], m.Label)
+		}
+		if len(node.pending) > node.maxBuffered {
+			node.maxBuffered = len(node.pending)
+		}
+		return
+	}
+	queue := []message.Message{m}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if node.delivered[cur.Label] {
+			continue
+		}
+		node.delivered[cur.Label] = true
+		c.deliverAt(member, cur)
+		blocked := node.waiting[cur.Label]
+		delete(node.waiting, cur.Label)
+		for _, bl := range blocked {
+			p, ok := node.pending[bl]
+			if !ok {
+				continue
+			}
+			delete(p.missing, cur.Label)
+			if len(p.missing) == 0 {
+				delete(node.pending, bl)
+				queue = append(queue, p.msg)
+			}
+		}
+	}
+}
+
+func (c *CausalCluster) arriveCBCast(member int, sender string, stamp vclock.VC, m message.Message) {
+	node := c.nodes[member]
+	node.buffer = append(node.buffer, cbPending{sender: sender, stamp: stamp, msg: m})
+	if len(node.buffer) > node.maxBuffered {
+		node.maxBuffered = len(node.buffer)
+	}
+	for {
+		progress := false
+		for i := 0; i < len(node.buffer); i++ {
+			p := node.buffer[i]
+			if !node.vc.CausallyReady(p.stamp, p.sender) {
+				continue
+			}
+			node.vc.Merge(p.stamp)
+			node.buffer = append(node.buffer[:i], node.buffer[i+1:]...)
+			c.deliverAt(member, p.msg)
+			progress = true
+			i--
+		}
+		if !progress {
+			return
+		}
+	}
+}
+
+func (c *CausalCluster) deliverAt(member int, m message.Message) {
+	if sent, ok := c.sentAt[m.Label]; ok {
+		c.latencies = append(c.latencies, c.sim.Now()-sent)
+	}
+	if c.onDl != nil {
+		c.onDl(member, m, c.sim.Now())
+	}
+}
+
+// Latencies returns all delivery-latency samples.
+func (c *CausalCluster) Latencies() []Time { return c.latencies }
+
+// MaxBuffered returns the highest buffer occupancy any member reached.
+func (c *CausalCluster) MaxBuffered() int {
+	out := 0
+	for _, n := range c.nodes {
+		if n.maxBuffered > out {
+			out = n.maxBuffered
+		}
+	}
+	return out
+}
+
+// ControlBytes returns accumulated ordering-metadata bytes.
+func (c *CausalCluster) ControlBytes() uint64 { return c.control }
+
+// Size returns the member count.
+func (c *CausalCluster) Size() int { return c.n }
+
+// Undelivered returns the number of (member, message) deliveries still
+// buffered — it must be zero after a drained run.
+func (c *CausalCluster) Undelivered() int {
+	out := 0
+	for _, n := range c.nodes {
+		out += len(n.pending) + len(n.buffer)
+	}
+	return out
+}

@@ -1,0 +1,54 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Summary holds order statistics over a set of virtual-time samples.
+type Summary struct {
+	Count int
+	Mean  Time
+	P50   Time
+	P95   Time
+	P99   Time
+	Max   Time
+}
+
+// Summarize computes order statistics; it copies the input before sorting.
+func Summarize(samples []Time) Summary {
+	if len(samples) == 0 {
+		return Summary{}
+	}
+	sorted := append([]Time(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum Time
+	for _, s := range sorted {
+		sum += s
+	}
+	pct := func(p float64) Time {
+		i := int(p * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	return Summary{
+		Count: len(sorted),
+		Mean:  sum / Time(len(sorted)),
+		P50:   pct(0.50),
+		P95:   pct(0.95),
+		P99:   pct(0.99),
+		Max:   sorted[len(sorted)-1],
+	}
+}
+
+// String renders the summary with millisecond precision for tables.
+func (s Summary) String() string {
+	ms := func(t Time) string {
+		return fmt.Sprintf("%.3fms", float64(t)/float64(time.Millisecond))
+	}
+	return fmt.Sprintf("n=%d mean=%s p50=%s p95=%s p99=%s max=%s",
+		s.Count, ms(s.Mean), ms(s.P50), ms(s.P95), ms(s.P99), ms(s.Max))
+}
+
+// Millis converts a virtual time to float milliseconds for table output.
+func Millis(t Time) float64 { return float64(t) / float64(time.Millisecond) }

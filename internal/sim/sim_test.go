@@ -1,0 +1,307 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"causalshare/internal/message"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := New(1)
+	var got []int
+	s.At(30, func() { got = append(got, 3) })
+	s.At(10, func() { got = append(got, 1) })
+	s.At(20, func() { got = append(got, 2) })
+	s.Run(0)
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if s.Now() != 30 {
+		t.Errorf("Now = %d, want 30", s.Now())
+	}
+}
+
+func TestEqualTimesFIFO(t *testing.T) {
+	s := New(1)
+	var got []int
+	for i := 0; i < 5; i++ {
+		i := i
+		s.At(100, func() { got = append(got, i) })
+	}
+	s.Run(0)
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("equal-time events out of schedule order: %v", got)
+		}
+	}
+}
+
+func TestRunLimit(t *testing.T) {
+	s := New(1)
+	count := 0
+	for i := Time(1); i <= 10; i++ {
+		s.At(i*10, func() { count++ })
+	}
+	if n := s.Run(50); n != 5 || count != 5 {
+		t.Fatalf("Run(50) processed %d (count %d), want 5", n, count)
+	}
+	if n := s.Run(0); n != 5 || count != 10 {
+		t.Fatalf("Run(0) processed %d (count %d), want remaining 5", n, count)
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := New(1)
+	hits := 0
+	var rec func(depth int)
+	rec = func(depth int) {
+		hits++
+		if depth < 5 {
+			s.After(10, func() { rec(depth + 1) })
+		}
+	}
+	s.At(0, func() { rec(0) })
+	s.Run(0)
+	if hits != 6 {
+		t.Errorf("hits = %d, want 6", hits)
+	}
+	if s.Now() != 50 {
+		t.Errorf("Now = %d, want 50", s.Now())
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() []Time {
+		s := New(42)
+		net := NewNet(s, NetModel{MinLatency: Duration(time.Millisecond), MaxLatency: Duration(5 * time.Millisecond)})
+		cluster := NewCausalCluster(s, net, RuleOSend, 4, nil)
+		for i := uint64(1); i <= 50; i++ {
+			i := i
+			s.At(Time(i)*Duration(100*time.Microsecond), func() {
+				cluster.Broadcast(int(i)%4, message.Message{
+					Label: message.Label{Origin: MemberID(int(i) % 4), Seq: i},
+					Kind:  message.KindCommutative,
+					Op:    "inc",
+				})
+			})
+		}
+		s.Run(0)
+		return cluster.Latencies()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("sample counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at sample %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestCausalClusterOSendRespectsDeps(t *testing.T) {
+	s := New(7)
+	net := NewNet(s, NetModel{MinLatency: 0, MaxLatency: Duration(10 * time.Millisecond)})
+	type dl struct {
+		member int
+		label  message.Label
+	}
+	var deliveries []dl
+	cluster := NewCausalCluster(s, net, RuleOSend, 3, func(m int, msg message.Message, _ Time) {
+		deliveries = append(deliveries, dl{m, msg.Label})
+	})
+	m1 := message.Message{Label: message.Label{Origin: MemberID(0), Seq: 1}, Kind: message.KindNonCommutative, Op: "w"}
+	m2 := message.Message{
+		Label: message.Label{Origin: MemberID(1), Seq: 1},
+		Deps:  message.After(m1.Label),
+		Kind:  message.KindNonCommutative,
+		Op:    "w",
+	}
+	// Broadcast the dependent first: the rule must still order m1 first
+	// at every member.
+	s.At(0, func() { cluster.Broadcast(1, m2) })
+	s.At(1, func() { cluster.Broadcast(0, m1) })
+	s.Run(0)
+	if cluster.Undelivered() != 0 {
+		t.Fatalf("undelivered = %d", cluster.Undelivered())
+	}
+	pos := map[int]map[string]int{}
+	for i, d := range deliveries {
+		if pos[d.member] == nil {
+			pos[d.member] = map[string]int{}
+		}
+		pos[d.member][d.label.String()] = i
+	}
+	for m := 0; m < 3; m++ {
+		if pos[m][m1.Label.String()] > pos[m][m2.Label.String()] {
+			t.Errorf("member %d delivered dependent before dependency", m)
+		}
+	}
+}
+
+func TestCausalClusterCBCastFIFO(t *testing.T) {
+	s := New(11)
+	net := NewNet(s, NetModel{MinLatency: 0, MaxLatency: Duration(10 * time.Millisecond)})
+	var seqs []uint64
+	cluster := NewCausalCluster(s, net, RuleCBCast, 2, func(m int, msg message.Message, _ Time) {
+		if m == 1 {
+			seqs = append(seqs, msg.Label.Seq)
+		}
+	})
+	for i := uint64(1); i <= 20; i++ {
+		i := i
+		s.At(Time(i), func() {
+			cluster.Broadcast(0, message.Message{
+				Label: message.Label{Origin: MemberID(0), Seq: i},
+				Kind:  message.KindCommutative,
+				Op:    "inc",
+			})
+		})
+	}
+	s.Run(0)
+	if len(seqs) != 20 {
+		t.Fatalf("member 1 delivered %d messages", len(seqs))
+	}
+	for i, q := range seqs {
+		if q != uint64(i+1) {
+			t.Fatalf("FIFO violated: %v", seqs)
+		}
+	}
+	if cluster.Undelivered() != 0 {
+		t.Errorf("undelivered = %d", cluster.Undelivered())
+	}
+}
+
+func TestCausalClusterBuffersUnderReordering(t *testing.T) {
+	// A dependency chain over a high-jitter network must produce nonzero
+	// buffering under both rules.
+	for _, rule := range []OrderRule{RuleOSend, RuleCBCast} {
+		s := New(13)
+		net := NewNet(s, NetModel{MinLatency: 0, MaxLatency: Duration(20 * time.Millisecond)})
+		cluster := NewCausalCluster(s, net, rule, 3, nil)
+		var prev message.Label
+		for i := uint64(1); i <= 30; i++ {
+			i := i
+			deps := message.After(prev)
+			label := message.Label{Origin: MemberID(0), Seq: i}
+			s.At(Time(i), func() {
+				cluster.Broadcast(0, message.Message{
+					Label: label, Deps: deps, Kind: message.KindNonCommutative, Op: "w",
+				})
+			})
+			prev = label
+		}
+		s.Run(0)
+		if cluster.Undelivered() != 0 {
+			t.Errorf("%v: undelivered = %d", rule, cluster.Undelivered())
+		}
+		if cluster.MaxBuffered() == 0 {
+			t.Errorf("%v: no buffering under 20ms jitter (model inert)", rule)
+		}
+		if len(cluster.Latencies()) != 3*30 {
+			t.Errorf("%v: latency samples = %d, want 90", rule, len(cluster.Latencies()))
+		}
+	}
+}
+
+func TestTotalClusterIdenticalOrder(t *testing.T) {
+	for _, mode := range []TotalMode{ModeMerge, ModeSequencer} {
+		s := New(17)
+		net := NewNet(s, NetModel{MinLatency: 0, MaxLatency: Duration(5 * time.Millisecond)})
+		const n = 4
+		orders := make([][]string, n)
+		var cluster *TotalCluster
+		cluster = NewTotalCluster(s, net, mode, n, Duration(2*time.Millisecond), func(m int, msg message.Message, _ Time) {
+			orders[m] = append(orders[m], msg.Label.String())
+		})
+		for i := uint64(1); i <= 40; i++ {
+			i := i
+			member := int(i) % n
+			s.At(Time(i)*Duration(200*time.Microsecond), func() {
+				cluster.ASend(member, message.Message{
+					Label: message.Label{Origin: MemberID(member) + "~t", Seq: i},
+					Kind:  message.KindNonCommutative,
+					Op:    "w",
+				})
+			})
+		}
+		// Run long enough for heartbeats to flush the merge holdback.
+		s.Run(Duration(2 * time.Second))
+		for m := 0; m < n; m++ {
+			if len(orders[m]) != 40 {
+				t.Fatalf("%v: member %d delivered %d of 40 (undelivered %d)",
+					mode, m, len(orders[m]), cluster.Undelivered())
+			}
+		}
+		for m := 1; m < n; m++ {
+			for i := range orders[0] {
+				if orders[m][i] != orders[0][i] {
+					t.Fatalf("%v: member %d order diverges at %d: %s vs %s",
+						mode, m, i, orders[m][i], orders[0][i])
+				}
+			}
+		}
+	}
+}
+
+func TestTotalClusterSequencerNoHeartbeats(t *testing.T) {
+	s := New(19)
+	net := NewNet(s, NetModel{MinLatency: 0, MaxLatency: Duration(2 * time.Millisecond)})
+	delivered := 0
+	cluster := NewTotalCluster(s, net, ModeSequencer, 3, 0, func(int, message.Message, Time) {
+		delivered++
+	})
+	cluster.ASend(2, message.Message{
+		Label: message.Label{Origin: MemberID(2) + "~t", Seq: 1},
+		Kind:  message.KindNonCommutative, Op: "w",
+	})
+	s.Run(0)
+	if delivered != 3 {
+		t.Errorf("delivered = %d, want 3 (no heartbeats needed)", delivered)
+	}
+	if cluster.HeartbeatFrames() != 0 {
+		t.Errorf("sequencer injected heartbeats")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	if s := Summarize(nil); s.Count != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+	samples := make([]Time, 100)
+	for i := range samples {
+		samples[i] = Time(i + 1)
+	}
+	s := Summarize(samples)
+	if s.Count != 100 || s.Max != 100 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.P50 < 49 || s.P50 > 52 {
+		t.Errorf("P50 = %d", s.P50)
+	}
+	if s.Mean != 50 { // (1+..+100)/100 = 50.5 truncated
+		t.Errorf("Mean = %d", s.Mean)
+	}
+	// Input must not be mutated (sorted copy).
+	reversed := []Time{3, 1, 2}
+	Summarize(reversed)
+	if reversed[0] != 3 {
+		t.Error("Summarize mutated input")
+	}
+}
+
+func TestNetCountsFrames(t *testing.T) {
+	s := New(23)
+	net := NewNet(s, NetModel{})
+	ran := 0
+	net.Send(100, func() { ran++ })
+	net.Send(50, func() { ran++ })
+	s.Run(0)
+	if net.Frames() != 2 || net.Bytes() != 150 || ran != 2 {
+		t.Errorf("frames=%d bytes=%d ran=%d", net.Frames(), net.Bytes(), ran)
+	}
+}

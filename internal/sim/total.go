@@ -1,0 +1,327 @@
+package sim
+
+import (
+	"sort"
+
+	"causalshare/internal/message"
+	"causalshare/internal/vclock"
+)
+
+// TotalMode selects the simulated total-order mechanism.
+type TotalMode int
+
+const (
+	// ModeMerge is the decentralized deterministic merge (Lamport stamps
+	// + horizons), total.Orderer's rule.
+	ModeMerge TotalMode = iota + 1
+	// ModeSequencer is the fixed-sequencer rule, total.Sequencer's.
+	ModeSequencer
+)
+
+// String names the mode for experiment tables.
+func (m TotalMode) String() string {
+	switch m {
+	case ModeMerge:
+		return "merge"
+	case ModeSequencer:
+		return "sequencer"
+	default:
+		return "unknown"
+	}
+}
+
+// TotalCluster simulates n members running a total-order layer over the
+// latency-modelled network. FIFO per sender is assumed (the live layer
+// enforces it by self-chaining; the simulator delivers each sender's
+// frames in send order by construction of per-pair FIFO queues).
+//
+// With hbEvery > 0 (merge mode) the heartbeat self-reschedules forever,
+// so drive the simulator with Run(limit), not Run(0).
+type TotalCluster struct {
+	sim  *Sim
+	net  *Net
+	mode TotalMode
+	n    int
+	onDl DeliverFunc
+	// HeartbeatEvery, when > 0, injects liveness stamps for ModeMerge.
+	hbEvery Time
+
+	nodes     []*totalNode
+	clock     []vclock.Lamport // per member Lamport clock
+	seqNext   uint64           // sequencer: next global seq
+	sendSeq   []uint64         // per member FIFO send counter
+	hbSeq     uint64           // heartbeat label counter
+	sentAt    map[message.Label]Time
+	latencies []Time
+	hbFrames  uint64
+}
+
+type totalNode struct {
+	id       string
+	horizon  map[string]uint64
+	holdback []simStamped
+	// fifo enforces per-sender in-order processing of arriving frames.
+	fifoNext map[string]uint64
+	fifoHold map[string][]simArrival
+	// sequencer state
+	seqOf       map[uint64]message.Label
+	data        map[message.Label]message.Message
+	nextDeliver uint64
+	maxHoldback int
+}
+
+type simStamped struct {
+	stamp vclock.Stamp
+	msg   message.Message
+	hb    bool
+}
+
+type simArrival struct {
+	sender  string
+	sendSeq uint64
+	stamp   uint64
+	msg     message.Message
+	hb      bool
+}
+
+// NewTotalCluster builds a simulated total-order cluster.
+func NewTotalCluster(s *Sim, net *Net, mode TotalMode, n int, hbEvery Time, onDeliver DeliverFunc) *TotalCluster {
+	c := &TotalCluster{
+		sim: s, net: net, mode: mode, n: n, onDl: onDeliver, hbEvery: hbEvery,
+		clock:   make([]vclock.Lamport, n),
+		sendSeq: make([]uint64, n),
+		sentAt:  make(map[message.Label]Time),
+	}
+	for i := 0; i < n; i++ {
+		c.nodes = append(c.nodes, &totalNode{
+			id:          memberID(i),
+			horizon:     make(map[string]uint64),
+			fifoNext:    make(map[string]uint64),
+			fifoHold:    make(map[string][]simArrival),
+			seqOf:       make(map[uint64]message.Label),
+			data:        make(map[message.Label]message.Message),
+			nextDeliver: 1,
+		})
+	}
+	if mode == ModeMerge && hbEvery > 0 {
+		for i := 0; i < n; i++ {
+			c.scheduleHeartbeat(i)
+		}
+	}
+	return c
+}
+
+func (c *TotalCluster) scheduleHeartbeat(member int) {
+	c.sim.After(c.hbEvery, func() {
+		c.heartbeat(member)
+		c.scheduleHeartbeat(member)
+	})
+}
+
+func (c *TotalCluster) heartbeat(member int) {
+	c.hbSeq++
+	m := message.Message{
+		Label: message.Label{Origin: memberID(member) + "~hb", Seq: c.hbSeq},
+		Kind:  message.KindControl,
+		Op:    "hb",
+	}
+	c.hbFrames += uint64(c.n - 1)
+	c.send(member, m, true)
+}
+
+// ASend broadcasts m from member for totally ordered delivery.
+func (c *TotalCluster) ASend(member int, m message.Message) {
+	c.sentAt[m.Label] = c.sim.Now()
+	c.send(member, m, false)
+}
+
+func (c *TotalCluster) send(member int, m message.Message, hb bool) {
+	sender := memberID(member)
+	stamp := c.clock[member].Tick()
+	c.sendSeq[member]++
+	seq := c.sendSeq[member]
+	for i := 0; i < c.n; i++ {
+		arr := simArrival{sender: sender, sendSeq: seq, stamp: stamp, msg: m, hb: hb}
+		if i == member {
+			c.arrive(i, arr)
+			continue
+		}
+		i := i
+		c.net.Send(m.EncodedSize()+10, func() { c.arrive(i, arr) })
+	}
+}
+
+// arrive enforces per-sender FIFO, then feeds the ordering rule.
+func (c *TotalCluster) arrive(member int, a simArrival) {
+	node := c.nodes[member]
+	next := node.fifoNext[a.sender] + 1
+	if a.sendSeq != next {
+		node.fifoHold[a.sender] = append(node.fifoHold[a.sender], a)
+		return
+	}
+	c.process(member, a)
+	node.fifoNext[a.sender] = a.sendSeq
+	// Release any held successors in seq order.
+	for {
+		held := node.fifoHold[a.sender]
+		want := node.fifoNext[a.sender] + 1
+		found := -1
+		for i, h := range held {
+			if h.sendSeq == want {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			return
+		}
+		h := held[found]
+		node.fifoHold[a.sender] = append(held[:found], held[found+1:]...)
+		c.process(member, h)
+		node.fifoNext[a.sender] = h.sendSeq
+	}
+}
+
+func (c *TotalCluster) process(member int, a simArrival) {
+	node := c.nodes[member]
+	if a.stamp > node.horizon[a.sender] {
+		node.horizon[a.sender] = a.stamp
+	}
+	// Witness the stamp so this member's future sends order after what it
+	// has seen (Lamport's rule, matching the live Orderer).
+	if a.sender != node.id {
+		c.clock[member].Witness(a.stamp)
+	}
+	switch c.mode {
+	case ModeMerge:
+		entry := simStamped{
+			stamp: vclock.Stamp{Time: a.stamp, Proc: a.sender},
+			msg:   a.msg,
+			hb:    a.hb,
+		}
+		i := sort.Search(len(node.holdback), func(i int) bool {
+			return entry.stamp.Less(node.holdback[i].stamp)
+		})
+		node.holdback = append(node.holdback, simStamped{})
+		copy(node.holdback[i+1:], node.holdback[i:])
+		node.holdback[i] = entry
+		if len(node.holdback) > node.maxHoldback {
+			node.maxHoldback = len(node.holdback)
+		}
+		c.releaseMerge(member)
+	case ModeSequencer:
+		if a.hb {
+			return
+		}
+		c.processSequencer(member, a)
+	}
+}
+
+func (c *TotalCluster) releaseMerge(member int) {
+	node := c.nodes[member]
+	for len(node.holdback) > 0 {
+		head := node.holdback[0]
+		stable := true
+		for i := 0; i < c.n; i++ {
+			p := memberID(i)
+			if p == head.stamp.Proc {
+				continue
+			}
+			if node.horizon[p] < head.stamp.Time {
+				stable = false
+				break
+			}
+		}
+		if !stable {
+			return
+		}
+		node.holdback = node.holdback[1:]
+		if !head.hb {
+			c.deliverAt(member, head.msg)
+		}
+	}
+}
+
+func (c *TotalCluster) processSequencer(member int, a simArrival) {
+	node := c.nodes[member]
+	node.data[a.msg.Label] = a.msg
+	if len(node.data) > node.maxHoldback {
+		node.maxHoldback = len(node.data)
+	}
+	if member == 0 { // rank-0 member is the sequencer
+		c.seqNext++
+		seq := c.seqNext
+		label := a.msg.Label
+		// ORDER broadcast: one frame to every other member.
+		for i := 1; i < c.n; i++ {
+			i := i
+			c.net.Send(16, func() { c.applyOrder(i, seq, label) })
+		}
+		c.applyOrder(0, seq, label)
+	}
+	c.releaseSequencer(member)
+}
+
+func (c *TotalCluster) applyOrder(member int, seq uint64, label message.Label) {
+	c.nodes[member].seqOf[seq] = label
+	c.releaseSequencer(member)
+}
+
+func (c *TotalCluster) releaseSequencer(member int) {
+	node := c.nodes[member]
+	for {
+		label, ok := node.seqOf[node.nextDeliver]
+		if !ok {
+			return
+		}
+		m, ok := node.data[label]
+		if !ok {
+			return
+		}
+		delete(node.seqOf, node.nextDeliver)
+		delete(node.data, label)
+		node.nextDeliver++
+		c.deliverAt(member, m)
+	}
+}
+
+func (c *TotalCluster) deliverAt(member int, m message.Message) {
+	if sent, ok := c.sentAt[m.Label]; ok {
+		c.latencies = append(c.latencies, c.sim.Now()-sent)
+	}
+	if c.onDl != nil {
+		c.onDl(member, m, c.sim.Now())
+	}
+}
+
+// Latencies returns all delivery-latency samples.
+func (c *TotalCluster) Latencies() []Time { return c.latencies }
+
+// MaxHoldback returns the deepest holdback any member reached.
+func (c *TotalCluster) MaxHoldback() int {
+	out := 0
+	for _, n := range c.nodes {
+		if n.maxHoldback > out {
+			out = n.maxHoldback
+		}
+	}
+	return out
+}
+
+// HeartbeatFrames returns the liveness frames injected (merge mode).
+func (c *TotalCluster) HeartbeatFrames() uint64 { return c.hbFrames }
+
+// Undelivered returns buffered-but-undelivered entries after a run; it
+// must be zero once heartbeats or traffic flush the holdback.
+func (c *TotalCluster) Undelivered() int {
+	out := 0
+	for _, n := range c.nodes {
+		for _, h := range n.holdback {
+			if !h.hb {
+				out++
+			}
+		}
+		out += len(n.data)
+	}
+	return out
+}

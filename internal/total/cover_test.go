@@ -1,0 +1,150 @@
+package total
+
+import (
+	"testing"
+
+	"causalshare/internal/group"
+	"causalshare/internal/message"
+)
+
+func TestOrdererPendingAndDeliveredCounters(t *testing.T) {
+	// Drive the orderer directly through Ingest (no network): a message
+	// from member b sits in holdback until member c's horizon passes it.
+	grp := group.MustNew("g", []string{"a", "b", "c"})
+	delivered := 0
+	o, err := New(Config{Self: "a", Group: grp, Deliver: func(message.Message) { delivered++ }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = o.Close() }()
+	ingest := func(member string, seq, stamp uint64, hb bool) {
+		op := "work"
+		if hb {
+			op = opHeartbeat
+		}
+		o.Ingest(message.Message{
+			Label: message.Label{Origin: member + labelSuffix, Seq: seq},
+			Kind:  message.KindNonCommutative,
+			Op:    op,
+			Body:  wrapBody(stamp, nil),
+		})
+	}
+	ingest("b", 1, 5, false)
+	if got := o.Pending(); got != 1 {
+		t.Fatalf("Pending = %d, want 1 (no horizons from a or c yet)", got)
+	}
+	if o.Delivered() != 0 || delivered != 0 {
+		t.Fatal("released before stability")
+	}
+	ingest("c", 1, 9, true) // c's horizon passes 5; a's (self) still behind
+	if o.Delivered() != 0 {
+		t.Fatal("released without self horizon")
+	}
+	ingest("a", 1, 9, true) // self heartbeat loops back, horizon passes 5
+	if o.Delivered() != 1 || delivered != 1 {
+		t.Fatalf("Delivered = %d (cb %d), want 1", o.Delivered(), delivered)
+	}
+	if got := o.Pending(); got > 2 {
+		t.Errorf("Pending = %d after release", got)
+	}
+}
+
+func TestOrdererIgnoresForeignAndMalformed(t *testing.T) {
+	grp := group.MustNew("g", []string{"a", "b"})
+	o, err := New(Config{Self: "a", Group: grp, Deliver: func(message.Message) {
+		t.Error("foreign traffic delivered")
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = o.Close() }()
+	// Not a total-layer label.
+	o.Ingest(message.Message{Label: message.Label{Origin: "b", Seq: 1}, Kind: message.KindCommutative, Op: "x"})
+	// Total-layer label of a non-member.
+	o.Ingest(message.Message{Label: message.Label{Origin: "zz" + labelSuffix, Seq: 1}, Kind: message.KindControl, Op: "x"})
+	// Malformed body (no stamp).
+	o.Ingest(message.Message{Label: message.Label{Origin: "b" + labelSuffix, Seq: 1}, Kind: message.KindControl, Op: "x"})
+	if o.Pending() != 0 {
+		t.Errorf("Pending = %d after garbage", o.Pending())
+	}
+}
+
+func TestSequencerPendingCounter(t *testing.T) {
+	grp := group.MustNew("g", []string{"a", "b"})
+	// Self is b (not the leader), so data waits for an ORDER that never
+	// comes in this direct-drive test.
+	s, err := NewSequencer(Config{Self: "b", Group: grp, Deliver: func(message.Message) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = s.Close() }()
+	s.Ingest(message.Message{
+		Label: message.Label{Origin: "a" + seqLabelSuffix, Seq: 1},
+		Kind:  message.KindNonCommutative,
+		Op:    "w",
+	})
+	if got := s.Pending(); got != 1 {
+		t.Fatalf("Pending = %d, want 1", got)
+	}
+	if s.Delivered() != 0 {
+		t.Fatal("delivered without sequencing")
+	}
+}
+
+func TestSeqMemberOfLabel(t *testing.T) {
+	grp := group.MustNew("g", []string{"alpha", "beta"})
+	tests := []struct {
+		origin string
+		member string
+		ok     bool
+	}{
+		{"alpha" + seqLabelSuffix, "alpha", true},
+		{"beta" + seqLabelSuffix, "beta", true},
+		{"gamma" + seqLabelSuffix, "", false}, // not a member
+		{"alpha", "", false},                  // no suffix
+		{seqLabelSuffix, "", false},           // empty member
+		{"alpha~total", "", false},            // wrong suffix
+	}
+	for _, tt := range tests {
+		member, ok := seqMemberOfLabel(grp, message.Label{Origin: tt.origin, Seq: 1})
+		if ok != tt.ok || member != tt.member {
+			t.Errorf("seqMemberOfLabel(%q) = %q, %v; want %q, %v",
+				tt.origin, member, ok, tt.member, tt.ok)
+		}
+	}
+}
+
+func TestMemberOfLabel(t *testing.T) {
+	grp := group.MustNew("g", []string{"alpha"})
+	if m, ok := memberOfLabel(grp, message.Label{Origin: "alpha" + labelSuffix, Seq: 1}); !ok || m != "alpha" {
+		t.Errorf("memberOfLabel = %q, %v", m, ok)
+	}
+	for _, origin := range []string{"alpha", "x" + labelSuffix, labelSuffix, "alpha~seq"} {
+		if _, ok := memberOfLabel(grp, message.Label{Origin: origin, Seq: 1}); ok {
+			t.Errorf("memberOfLabel accepted %q", origin)
+		}
+	}
+}
+
+func TestDecodeOrderErrors(t *testing.T) {
+	valid := encodeOrder(7, message.Label{Origin: "a~seq", Seq: 3})
+	seq, l, err := decodeOrder(valid)
+	if err != nil || seq != 7 || l.Seq != 3 {
+		t.Fatalf("decodeOrder(valid) = %d, %v, %v", seq, l, err)
+	}
+	for _, data := range [][]byte{nil, valid[:1], valid[:3], valid[:len(valid)-1]} {
+		if _, _, err := decodeOrder(data); err == nil {
+			t.Errorf("decodeOrder accepted truncated input %x", data)
+		}
+	}
+}
+
+func TestUnwrapBodyErrors(t *testing.T) {
+	if _, _, err := unwrapBody(nil); err == nil {
+		t.Error("empty body accepted")
+	}
+	stamp, rest, err := unwrapBody(wrapBody(42, []byte("xy")))
+	if err != nil || stamp != 42 || string(rest) != "xy" {
+		t.Errorf("unwrap = %d, %q, %v", stamp, rest, err)
+	}
+}

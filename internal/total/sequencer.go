@@ -1,0 +1,252 @@
+package total
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"causalshare/internal/causal"
+	"causalshare/internal/group"
+	"causalshare/internal/message"
+)
+
+// seqLabelSuffix namespaces sequencer traffic.
+const seqLabelSuffix = "~seq"
+
+// Sequencer is the fixed-sequencer implementation of ASend: the group's
+// rank-0 member assigns a global sequence number to every data message it
+// delivers, announcing it with an ORDER broadcast that causally depends on
+// the data message itself. Members deliver data messages in sequence-
+// number order. Compared with Orderer it costs one extra broadcast per
+// message but needs no heartbeats and holds back only unsequenced data.
+type Sequencer struct {
+	self    string
+	grp     *group.Group
+	leader  string
+	deliver causal.DeliverFunc
+
+	mu       sync.Mutex
+	closed   bool
+	bcast    causal.Broadcaster
+	labeler  *message.Labeler
+	lastSent message.Label
+	// Data messages received but not yet deliverable, by label.
+	data map[message.Label]message.Message
+	// seqOf maps assigned sequence numbers to data labels.
+	seqOf map[uint64]message.Label
+	// nextAssign is the leader's next sequence number to hand out.
+	nextAssign uint64
+	// nextDeliver is the next sequence number to release locally.
+	nextDeliver uint64
+	delivered   uint64
+}
+
+// NewSequencer constructs a sequencer-layer instance for self. The leader
+// is the group's rank-0 member at every instance, so no election is
+// needed. Bind must be called before the first ASend.
+func NewSequencer(cfg Config) (*Sequencer, error) {
+	if cfg.Group == nil || !cfg.Group.Contains(cfg.Self) {
+		return nil, fmt.Errorf("total: %q is not a member of the group", cfg.Self)
+	}
+	if cfg.Deliver == nil {
+		return nil, fmt.Errorf("total: nil deliver func")
+	}
+	return &Sequencer{
+		self:        cfg.Self,
+		grp:         cfg.Group,
+		leader:      cfg.Group.Members()[0],
+		deliver:     cfg.Deliver,
+		labeler:     message.NewLabeler(cfg.Self + seqLabelSuffix),
+		data:        make(map[message.Label]message.Message),
+		seqOf:       make(map[uint64]message.Label),
+		nextAssign:  1,
+		nextDeliver: 1,
+	}, nil
+}
+
+// Bind attaches the underlying causal broadcaster.
+func (s *Sequencer) Bind(b causal.Broadcaster) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.bcast = b
+}
+
+// ASend broadcasts an operation for totally ordered delivery.
+func (s *Sequencer) ASend(op string, kind message.Kind, body []byte, after message.OccursAfter) (message.Label, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return message.Nil, ErrClosed
+	}
+	if s.bcast == nil {
+		s.mu.Unlock()
+		return message.Nil, fmt.Errorf("total: ASend before Bind")
+	}
+	label := s.labeler.Next()
+	deps := append([]message.Label{s.lastSent}, after.Labels()...)
+	s.lastSent = label
+	b := s.bcast
+	s.mu.Unlock()
+
+	m := message.Message{
+		Label: label,
+		Deps:  message.After(deps...),
+		Kind:  kind,
+		Op:    op,
+		Body:  body,
+	}
+	if err := b.Broadcast(m); err != nil {
+		return message.Nil, fmt.Errorf("total: %w", err)
+	}
+	return label, nil
+}
+
+// Ingest is the DeliverFunc to register with the underlying causal engine.
+func (s *Sequencer) Ingest(m message.Message) {
+	if m.Op == opOrder {
+		seq, label, err := decodeOrder(m.Body)
+		if err != nil {
+			return
+		}
+		s.ingestOrder(seq, label)
+		return
+	}
+	if _, ok := seqMemberOfLabel(s.grp, m.Label); !ok {
+		return // foreign traffic
+	}
+	s.ingestData(m)
+}
+
+func (s *Sequencer) ingestData(m message.Message) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	if _, dup := s.data[m.Label]; dup {
+		s.mu.Unlock()
+		return
+	}
+	s.data[m.Label] = m
+	var announce []message.Message
+	if s.self == s.leader {
+		seq := s.nextAssign
+		s.nextAssign++
+		chain := s.lastSent
+		label := s.labeler.Next()
+		s.lastSent = label
+		announce = append(announce, message.Message{
+			Label: label,
+			// The ORDER message causally depends on the data message it
+			// sequences, so no member can see the assignment first.
+			Deps: message.After(chain, m.Label),
+			Kind: message.KindControl,
+			Op:   opOrder,
+			Body: encodeOrder(seq, m.Label),
+		})
+	}
+	ready := s.releaseLocked()
+	b := s.bcast
+	s.mu.Unlock()
+	for _, r := range ready {
+		s.deliver(r)
+	}
+	for _, a := range announce {
+		_ = b.Broadcast(a) // leader retries are the causal layer's concern
+	}
+}
+
+func (s *Sequencer) ingestOrder(seq uint64, label message.Label) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.seqOf[seq] = label
+	ready := s.releaseLocked()
+	s.mu.Unlock()
+	for _, r := range ready {
+		s.deliver(r)
+	}
+}
+
+// releaseLocked delivers the contiguous sequenced prefix. Caller holds mu.
+func (s *Sequencer) releaseLocked() []message.Message {
+	var out []message.Message
+	for {
+		label, ok := s.seqOf[s.nextDeliver]
+		if !ok {
+			return out
+		}
+		m, ok := s.data[label]
+		if !ok {
+			return out // data not yet here (only possible pre-Bind races)
+		}
+		delete(s.seqOf, s.nextDeliver)
+		delete(s.data, label)
+		s.nextDeliver++
+		s.delivered++
+		out = append(out, m)
+	}
+}
+
+// Pending returns the number of unreleased data messages.
+func (s *Sequencer) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.data)
+}
+
+// Delivered returns the number of messages delivered in total order.
+func (s *Sequencer) Delivered() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.delivered
+}
+
+// Close marks the layer closed. The underlying broadcaster is caller-owned.
+func (s *Sequencer) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	return nil
+}
+
+func encodeOrder(seq uint64, l message.Label) []byte {
+	buf := binary.AppendUvarint(nil, seq)
+	buf = binary.AppendUvarint(buf, uint64(len(l.Origin)))
+	buf = append(buf, l.Origin...)
+	return binary.AppendUvarint(buf, l.Seq)
+}
+
+func decodeOrder(data []byte) (uint64, message.Label, error) {
+	seq, used := binary.Uvarint(data)
+	if used <= 0 {
+		return 0, message.Nil, fmt.Errorf("total: truncated order seq")
+	}
+	data = data[used:]
+	n, used := binary.Uvarint(data)
+	if used <= 0 || uint64(len(data)-used) < n {
+		return 0, message.Nil, fmt.Errorf("total: truncated order origin")
+	}
+	origin := string(data[used : used+int(n)])
+	data = data[used+int(n):]
+	ls, used := binary.Uvarint(data)
+	if used <= 0 {
+		return 0, message.Nil, fmt.Errorf("total: truncated order label seq")
+	}
+	return seq, message.Label{Origin: origin, Seq: ls}, nil
+}
+
+// seqMemberOfLabel recovers the member id from a sequencer-layer label.
+func seqMemberOfLabel(g *group.Group, l message.Label) (string, bool) {
+	const n = len(seqLabelSuffix)
+	if len(l.Origin) <= n || l.Origin[len(l.Origin)-n:] != seqLabelSuffix {
+		return "", false
+	}
+	member := l.Origin[:len(l.Origin)-n]
+	if !g.Contains(member) {
+		return "", false
+	}
+	return member, true
+}

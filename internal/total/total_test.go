@@ -1,0 +1,553 @@
+package total
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"causalshare/internal/causal"
+	"causalshare/internal/group"
+	"causalshare/internal/message"
+	"causalshare/internal/transport"
+)
+
+type collector struct {
+	mu   sync.Mutex
+	msgs []message.Message
+}
+
+func (c *collector) deliver(m message.Message) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.msgs = append(c.msgs, m)
+}
+
+func (c *collector) snapshot() []message.Message {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]message.Message(nil), c.msgs...)
+}
+
+// layer abstracts Orderer vs Sequencer for shared contract tests.
+type layer interface {
+	Bind(causal.Broadcaster)
+	Ingest(message.Message)
+	ASend(op string, kind message.Kind, body []byte, after message.OccursAfter) (message.Label, error)
+	Pending() int
+	Delivered() uint64
+	Close() error
+}
+
+type totalStack struct {
+	ids     []string
+	net     *transport.ChanNet
+	layers  map[string]layer
+	cols    map[string]*collector
+	engines map[string]*causal.OSend
+}
+
+func (s *totalStack) close(t *testing.T) {
+	t.Helper()
+	for _, l := range s.layers {
+		if err := l.Close(); err != nil {
+			t.Errorf("layer close: %v", err)
+		}
+	}
+	for _, e := range s.engines {
+		if err := e.Close(); err != nil {
+			t.Errorf("engine close: %v", err)
+		}
+	}
+	_ = s.net.Close()
+}
+
+// flush pumps heartbeats (Orderer) until every member delivered want
+// messages or the deadline passes.
+func (s *totalStack) flush(t *testing.T, want uint64, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		done := true
+		for _, l := range s.layers {
+			if l.Delivered() < want {
+				done = false
+			}
+		}
+		if done {
+			return
+		}
+		if time.Now().After(deadline) {
+			for id, l := range s.layers {
+				t.Logf("member %s delivered %d pending %d", id, l.Delivered(), l.Pending())
+			}
+			t.Fatalf("timed out waiting for %d total-order deliveries", want)
+		}
+		for _, l := range s.layers {
+			if o, ok := l.(*Orderer); ok {
+				_ = o.Heartbeat()
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func newStack(t *testing.T, kind string, ids []string, faults transport.FaultModel) *totalStack {
+	t.Helper()
+	grp := group.MustNew("g", ids)
+	net := transport.NewChanNet(faults)
+	s := &totalStack{
+		ids: ids, net: net,
+		layers:  map[string]layer{},
+		cols:    map[string]*collector{},
+		engines: map[string]*causal.OSend{},
+	}
+	for _, id := range ids {
+		col := &collector{}
+		var l layer
+		var err error
+		cfg := Config{Self: id, Group: grp, Deliver: col.deliver}
+		switch kind {
+		case "orderer":
+			l, err = New(cfg)
+		case "sequencer":
+			l, err = NewSequencer(cfg)
+		default:
+			t.Fatalf("unknown layer kind %q", kind)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn, err := net.Attach(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		patience := 20 * time.Millisecond
+		if faults.DropProb == 0 {
+			patience = 0
+		}
+		eng, err := causal.NewOSend(causal.OSendConfig{
+			Self: id, Group: grp, Conn: conn, Deliver: l.Ingest, Patience: patience,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		l.Bind(eng)
+		s.layers[id] = l
+		s.cols[id] = col
+		s.engines[id] = eng
+	}
+	return s
+}
+
+func layerKinds() []string { return []string{"orderer", "sequencer"} }
+
+func assertIdenticalOrder(t *testing.T, s *totalStack, want int) {
+	t.Helper()
+	var ref []message.Message
+	for _, id := range s.ids {
+		got := s.cols[id].snapshot()
+		if len(got) != want {
+			t.Fatalf("member %s delivered %d, want %d", id, len(got), want)
+		}
+		if ref == nil {
+			ref = got
+			continue
+		}
+		for i := range ref {
+			if got[i].Label != ref[i].Label {
+				t.Fatalf("member %s order diverges at %d: %v vs %v",
+					id, i, got[i].Label, ref[i].Label)
+			}
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	grp := group.MustNew("g", []string{"a"})
+	cb := func(message.Message) {}
+	for _, kind := range layerKinds() {
+		t.Run(kind, func(t *testing.T) {
+			bad := []Config{
+				{Self: "x", Group: grp, Deliver: cb},
+				{Self: "a", Deliver: cb},
+				{Self: "a", Group: grp},
+			}
+			for i, cfg := range bad {
+				var err error
+				if kind == "orderer" {
+					_, err = New(cfg)
+				} else {
+					_, err = NewSequencer(cfg)
+				}
+				if err == nil {
+					t.Errorf("config %d accepted", i)
+				}
+			}
+		})
+	}
+}
+
+func TestASendBeforeBindFails(t *testing.T) {
+	grp := group.MustNew("g", []string{"a"})
+	for _, kind := range layerKinds() {
+		t.Run(kind, func(t *testing.T) {
+			cfg := Config{Self: "a", Group: grp, Deliver: func(message.Message) {}}
+			var l layer
+			var err error
+			if kind == "orderer" {
+				l, err = New(cfg)
+			} else {
+				l, err = NewSequencer(cfg)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := l.ASend("x", message.KindCommutative, nil, message.Unconstrained()); err == nil {
+				t.Error("ASend before Bind succeeded")
+			}
+		})
+	}
+}
+
+func TestIdenticalTotalOrderUnderReordering(t *testing.T) {
+	for _, kind := range layerKinds() {
+		t.Run(kind, func(t *testing.T) {
+			ids := []string{"a", "b", "c"}
+			s := newStack(t, kind, ids, transport.FaultModel{
+				MinDelay: 0, MaxDelay: 4 * time.Millisecond, Seed: 7,
+			})
+			defer s.close(t)
+			const perMember = 15
+			var wg sync.WaitGroup
+			for _, id := range ids {
+				wg.Add(1)
+				go func(id string) {
+					defer wg.Done()
+					for i := 0; i < perMember; i++ {
+						op := fmt.Sprintf("op-%s-%d", id, i)
+						if _, err := s.layers[id].ASend(op, message.KindNonCommutative, nil, message.Unconstrained()); err != nil {
+							t.Errorf("ASend: %v", err)
+							return
+						}
+					}
+				}(id)
+			}
+			wg.Wait()
+			want := uint64(len(ids) * perMember)
+			s.flush(t, want, 10*time.Second)
+			assertIdenticalOrder(t, s, int(want))
+		})
+	}
+}
+
+func TestIdenticalTotalOrderUnderLoss(t *testing.T) {
+	for _, kind := range layerKinds() {
+		t.Run(kind, func(t *testing.T) {
+			ids := []string{"a", "b", "c"}
+			s := newStack(t, kind, ids, transport.FaultModel{
+				DropProb: 0.15, MinDelay: 0, MaxDelay: 2 * time.Millisecond, Seed: 13,
+			})
+			defer s.close(t)
+			const perMember = 8
+			for _, id := range ids {
+				for i := 0; i < perMember; i++ {
+					op := fmt.Sprintf("op-%s-%d", id, i)
+					if _, err := s.layers[id].ASend(op, message.KindNonCommutative, nil, message.Unconstrained()); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			want := uint64(len(ids) * perMember)
+			s.flush(t, want, 20*time.Second)
+			assertIdenticalOrder(t, s, int(want))
+		})
+	}
+}
+
+func TestQuietMemberDoesNotStall(t *testing.T) {
+	// Member c never ASends. With the orderer, heartbeats must release
+	// deliveries; with the sequencer, no heartbeats are needed at all.
+	for _, kind := range layerKinds() {
+		t.Run(kind, func(t *testing.T) {
+			ids := []string{"a", "b", "c"}
+			s := newStack(t, kind, ids, transport.FaultModel{})
+			defer s.close(t)
+			for i := 0; i < 5; i++ {
+				if _, err := s.layers["a"].ASend("w", message.KindNonCommutative, nil, message.Unconstrained()); err != nil {
+					t.Fatal(err)
+				}
+			}
+			s.flush(t, 5, 5*time.Second)
+			assertIdenticalOrder(t, s, 5)
+		})
+	}
+}
+
+func TestBodyAndOpPreserved(t *testing.T) {
+	for _, kind := range layerKinds() {
+		t.Run(kind, func(t *testing.T) {
+			ids := []string{"a", "b"}
+			s := newStack(t, kind, ids, transport.FaultModel{})
+			defer s.close(t)
+			body := []byte{1, 2, 3, 250}
+			if _, err := s.layers["a"].ASend("lock", message.KindControl, body, message.Unconstrained()); err != nil {
+				t.Fatal(err)
+			}
+			s.flush(t, 1, 5*time.Second)
+			got := s.cols["b"].snapshot()
+			if got[0].Op != "lock" {
+				t.Errorf("Op = %q", got[0].Op)
+			}
+			if string(got[0].Body) != string(body) {
+				t.Errorf("Body = %v, want %v", got[0].Body, body)
+			}
+			if got[0].Kind != message.KindControl {
+				t.Errorf("Kind = %v", got[0].Kind)
+			}
+		})
+	}
+}
+
+func TestHeartbeatsFilteredFromApplication(t *testing.T) {
+	ids := []string{"a", "b"}
+	s := newStack(t, "orderer", ids, transport.FaultModel{})
+	defer s.close(t)
+	o, ok := s.layers["a"].(*Orderer)
+	if !ok {
+		t.Fatal("layer not an Orderer")
+	}
+	for i := 0; i < 10; i++ {
+		if err := o.Heartbeat(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.layers["b"].ASend("real", message.KindCommutative, nil, message.Unconstrained()); err != nil {
+		t.Fatal(err)
+	}
+	s.flush(t, 1, 5*time.Second)
+	for _, id := range ids {
+		for _, m := range s.cols[id].snapshot() {
+			if m.Op == opHeartbeat {
+				t.Errorf("member %s saw heartbeat", id)
+			}
+		}
+	}
+}
+
+func TestOrdererAutoHeartbeat(t *testing.T) {
+	ids := []string{"a", "b"}
+	grp := group.MustNew("g", ids)
+	net := transport.NewChanNet(transport.FaultModel{})
+	defer func() { _ = net.Close() }()
+	cols := map[string]*collector{}
+	var layers []*Orderer
+	var engines []*causal.OSend
+	for _, id := range ids {
+		col := &collector{}
+		cols[id] = col
+		o, err := New(Config{
+			Self: id, Group: grp, Deliver: col.deliver,
+			HeartbeatEvery: 5 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn, err := net.Attach(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := causal.NewOSend(causal.OSendConfig{
+			Self: id, Group: grp, Conn: conn, Deliver: o.Ingest,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		o.Bind(eng)
+		layers = append(layers, o)
+		engines = append(engines, eng)
+	}
+	defer func() {
+		for _, o := range layers {
+			_ = o.Close()
+		}
+		for _, e := range engines {
+			_ = e.Close()
+		}
+	}()
+	if _, err := layers[0].ASend("w", message.KindNonCommutative, nil, message.Unconstrained()); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if len(cols["a"].snapshot()) == 1 && len(cols["b"].snapshot()) == 1 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("auto-heartbeats never released the message")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestASendAfterClose(t *testing.T) {
+	for _, kind := range layerKinds() {
+		t.Run(kind, func(t *testing.T) {
+			s := newStack(t, kind, []string{"a", "b"}, transport.FaultModel{})
+			l := s.layers["a"]
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := l.ASend("x", message.KindCommutative, nil, message.Unconstrained()); err != ErrClosed {
+				t.Errorf("ASend after Close = %v, want ErrClosed", err)
+			}
+			_ = s.layers["b"].Close()
+			for _, e := range s.engines {
+				_ = e.Close()
+			}
+			_ = s.net.Close()
+		})
+	}
+}
+
+func TestForeignTrafficIgnored(t *testing.T) {
+	// Application messages sent directly through the causal layer must not
+	// disturb the total layer.
+	ids := []string{"a", "b"}
+	s := newStack(t, "orderer", ids, transport.FaultModel{})
+	defer s.close(t)
+	app := message.Message{
+		Label: message.Label{Origin: "a", Seq: 1},
+		Kind:  message.KindCommutative,
+		Op:    "direct",
+	}
+	if err := s.engines["a"].Broadcast(app); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.layers["a"].ASend("ordered", message.KindNonCommutative, nil, message.Unconstrained()); err != nil {
+		t.Fatal(err)
+	}
+	s.flush(t, 1, 5*time.Second)
+	for _, id := range ids {
+		got := s.cols[id].snapshot()
+		if len(got) != 1 || got[0].Op != "ordered" {
+			t.Errorf("member %s total deliveries = %v", id, got)
+		}
+	}
+}
+
+// TestOrdererOverCBCast runs the total layer on the vector-clock engine:
+// CBCAST provides FIFO natively, so the self-chained dependencies are
+// redundant but harmless, and the merge still agrees.
+func TestOrdererOverCBCast(t *testing.T) {
+	ids := []string{"a", "b", "c"}
+	grp := group.MustNew("g", ids)
+	net := transport.NewChanNet(transport.FaultModel{
+		MinDelay: 0, MaxDelay: 3 * time.Millisecond, Seed: 29,
+	})
+	defer func() { _ = net.Close() }()
+	cols := map[string]*collector{}
+	layers := map[string]*Orderer{}
+	var engines []*causal.CBCast
+	defer func() {
+		for _, l := range layers {
+			_ = l.Close()
+		}
+		for _, e := range engines {
+			_ = e.Close()
+		}
+	}()
+	for _, id := range ids {
+		col := &collector{}
+		cols[id] = col
+		o, err := New(Config{Self: id, Group: grp, Deliver: col.deliver})
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn, err := net.Attach(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := causal.NewCBCast(causal.CBCastConfig{
+			Self: id, Group: grp, Conn: conn, Deliver: o.Ingest,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		o.Bind(eng)
+		layers[id] = o
+		engines = append(engines, eng)
+	}
+	const perMember = 10
+	for _, id := range ids {
+		for i := 0; i < perMember; i++ {
+			op := fmt.Sprintf("op-%s-%d", id, i)
+			if _, err := layers[id].ASend(op, message.KindNonCommutative, nil, message.Unconstrained()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	want := len(ids) * perMember
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		done := true
+		for _, l := range layers {
+			if l.Delivered() < uint64(want) {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("total order over CBCAST never completed")
+		}
+		for _, l := range layers {
+			_ = l.Heartbeat()
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	ref := cols[ids[0]].snapshot()
+	for _, id := range ids[1:] {
+		got := cols[id].snapshot()
+		for i := range ref {
+			if got[i].Label != ref[i].Label {
+				t.Fatalf("member %s diverges at %d over CBCAST", id, i)
+			}
+		}
+	}
+}
+
+func TestMixedRegimeCausalConstraintRespected(t *testing.T) {
+	// The paper's ASend({m}, OccursAfter(Msg)): a totally ordered message
+	// can still carry an explicit causal ancestor. Every member must
+	// ingest the ancestor before the ordered message is even considered.
+	ids := []string{"a", "b", "c"}
+	s := newStack(t, "orderer", ids, transport.FaultModel{
+		MinDelay: 0, MaxDelay: 3 * time.Millisecond, Seed: 21,
+	})
+	defer s.close(t)
+
+	ancestor := message.Message{
+		Label: message.Label{Origin: "a", Seq: 1},
+		Kind:  message.KindNonCommutative,
+		Op:    "Msg",
+	}
+	var seen sync.Map
+	// Wrap collectors to record when the ancestor arrives at each member
+	// relative to the ordered message: the causal engine delivers both, so
+	// check via engine delivery state instead.
+	if err := s.engines["a"].Broadcast(ancestor); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.layers["b"].ASend("after-msg", message.KindNonCommutative, nil, message.After(ancestor.Label)); err != nil {
+		t.Fatal(err)
+	}
+	s.flush(t, 1, 5*time.Second)
+	for _, id := range ids {
+		if !s.engines[id].Delivered(ancestor.Label) {
+			t.Errorf("member %s released ordered message without its causal ancestor", id)
+		}
+		seen.Store(id, true)
+	}
+}

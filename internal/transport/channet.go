@@ -1,0 +1,303 @@
+package transport
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stats counts frame-level events, for the overhead experiments.
+type Stats struct {
+	Sent       uint64
+	Delivered  uint64
+	Dropped    uint64
+	Duplicated uint64
+}
+
+// ChanNet is an in-process Network built on goroutines and channels. One
+// dispatcher goroutine applies the fault model and releases frames to
+// per-connection mailboxes in delay order.
+type ChanNet struct {
+	faults FaultModel
+	dice   *faultDice
+	parts  *partitionSet
+
+	mu     sync.Mutex
+	conns  map[string]*chanConn
+	closed bool
+
+	// dispatcher state
+	queue    deliveryHeap
+	wake     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	sent, delivered, dropped, duplicated atomic.Uint64
+}
+
+var _ Network = (*ChanNet)(nil)
+
+// NewChanNet constructs a network with the given fault model. A zero
+// FaultModel yields instant lossless delivery.
+func NewChanNet(faults FaultModel) *ChanNet {
+	n := &ChanNet{
+		faults: faults,
+		dice:   newFaultDice(faults.Seed),
+		parts:  newPartitionSet(),
+		conns:  make(map[string]*chanConn),
+		wake:   make(chan struct{}, 1),
+		done:   make(chan struct{}),
+	}
+	if n.delayed() {
+		n.wg.Add(1)
+		go n.dispatch()
+	}
+	return n
+}
+
+func (n *ChanNet) delayed() bool {
+	return n.faults.MinDelay > 0 || n.faults.MaxDelay > 0
+}
+
+// Attach implements Network.
+func (n *ChanNet) Attach(id string) (Conn, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	if _, dup := n.conns[id]; dup {
+		return nil, fmt.Errorf("transport: id %q already attached", id)
+	}
+	c := &chanConn{id: id, net: n, box: newMailbox()}
+	n.conns[id] = c
+	return c, nil
+}
+
+// IDs implements Network.
+func (n *ChanNet) IDs() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, 0, len(n.conns))
+	for id := range n.conns {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Partition blocks (or with block=false, heals) traffic between a and b in
+// both directions. Frames in flight are unaffected.
+func (n *ChanNet) Partition(a, b string, block bool) { n.parts.set(a, b, block) }
+
+// Heal removes all partitions.
+func (n *ChanNet) Heal() { n.parts.clear() }
+
+// Stats returns a snapshot of frame counters.
+func (n *ChanNet) Stats() Stats {
+	return Stats{
+		Sent:       n.sent.Load(),
+		Delivered:  n.delivered.Load(),
+		Dropped:    n.dropped.Load(),
+		Duplicated: n.duplicated.Load(),
+	}
+}
+
+// Close implements Network.
+func (n *ChanNet) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	conns := make([]*chanConn, 0, len(n.conns))
+	for _, c := range n.conns {
+		conns = append(conns, c)
+	}
+	n.mu.Unlock()
+	n.stopOnce.Do(func() { close(n.done) })
+	n.wg.Wait()
+	for _, c := range conns {
+		c.box.close()
+	}
+	return nil
+}
+
+func (n *ChanNet) send(from, to string, payload []byte) error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrClosed
+	}
+	dst, ok := n.conns[to]
+	n.mu.Unlock()
+	if !ok {
+		return &ErrUnknownPeer{ID: to}
+	}
+	n.sent.Add(1)
+	if n.parts.isBlocked(from, to) {
+		n.dropped.Add(1)
+		return nil // partitions drop silently, like a real network
+	}
+	drop, delay, dup, dupDelay := n.dice.roll(n.faults)
+	if drop {
+		n.dropped.Add(1)
+		return nil
+	}
+	body := make([]byte, len(payload))
+	copy(body, payload)
+	env := Envelope{From: from, To: to, Payload: body}
+	if !n.delayed() {
+		n.deliver(dst, env)
+		if dup {
+			n.duplicated.Add(1)
+			n.deliver(dst, env)
+		}
+		return nil
+	}
+	now := time.Now()
+	n.schedule(delivery{at: now.Add(delay), dst: dst, env: env})
+	if dup {
+		n.duplicated.Add(1)
+		n.schedule(delivery{at: now.Add(dupDelay), dst: dst, env: env})
+	}
+	return nil
+}
+
+func (n *ChanNet) deliver(dst *chanConn, env Envelope) {
+	if dst.box.put(env) {
+		n.delivered.Add(1)
+	}
+}
+
+type delivery struct {
+	at  time.Time
+	dst *chanConn
+	env Envelope
+	seq uint64 // tie-break so equal-time frames keep schedule order
+}
+
+type deliveryHeap struct {
+	items []delivery
+	seq   uint64
+}
+
+func (h *deliveryHeap) Len() int { return len(h.items) }
+func (h *deliveryHeap) Less(i, j int) bool {
+	if !h.items[i].at.Equal(h.items[j].at) {
+		return h.items[i].at.Before(h.items[j].at)
+	}
+	return h.items[i].seq < h.items[j].seq
+}
+func (h *deliveryHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *deliveryHeap) Push(x any) {
+	d, ok := x.(delivery)
+	if !ok {
+		return
+	}
+	h.seq++
+	d.seq = h.seq
+	h.items = append(h.items, d)
+}
+func (h *deliveryHeap) Pop() any {
+	old := h.items
+	n := len(old)
+	item := old[n-1]
+	h.items = old[:n-1]
+	return item
+}
+
+func (n *ChanNet) schedule(d delivery) {
+	n.mu.Lock()
+	heap.Push(&n.queue, d)
+	n.mu.Unlock()
+	select {
+	case n.wake <- struct{}{}:
+	default:
+	}
+}
+
+// dispatch releases scheduled deliveries when due. It is the only goroutine
+// that pops the heap.
+func (n *ChanNet) dispatch() {
+	defer n.wg.Done()
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	for {
+		n.mu.Lock()
+		var wait time.Duration = -1
+		for n.queue.Len() > 0 {
+			head := n.queue.items[0]
+			d := time.Until(head.at)
+			if d > 0 {
+				wait = d
+				break
+			}
+			popped, ok := heap.Pop(&n.queue).(delivery)
+			n.mu.Unlock()
+			if ok {
+				n.deliver(popped.dst, popped.env)
+			}
+			n.mu.Lock()
+		}
+		n.mu.Unlock()
+
+		if wait < 0 {
+			select {
+			case <-n.wake:
+			case <-n.done:
+				return
+			}
+			continue
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(wait)
+		select {
+		case <-timer.C:
+		case <-n.wake:
+		case <-n.done:
+			return
+		}
+	}
+}
+
+// chanConn is ChanNet's Conn.
+type chanConn struct {
+	id  string
+	net *ChanNet
+	box *mailbox
+
+	closeOnce sync.Once
+}
+
+var _ Conn = (*chanConn)(nil)
+
+func (c *chanConn) LocalID() string { return c.id }
+
+func (c *chanConn) Send(to string, payload []byte) error {
+	return c.net.send(c.id, to, payload)
+}
+
+func (c *chanConn) Recv() (Envelope, error) { return c.box.get() }
+
+// Pending returns the number of frames waiting in the inbox; the buffer-
+// occupancy experiment samples it.
+func (c *chanConn) Pending() int { return c.box.len() }
+
+func (c *chanConn) Close() error {
+	c.closeOnce.Do(func() {
+		c.box.close()
+		c.net.mu.Lock()
+		delete(c.net.conns, c.id)
+		c.net.mu.Unlock()
+	})
+	return nil
+}

@@ -1,0 +1,104 @@
+package transport
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// FaultModel describes the adversarial behaviour the network injects. The
+// zero value is a perfect network: instant, lossless, FIFO.
+type FaultModel struct {
+	// MinDelay and MaxDelay bound the uniformly sampled per-frame latency.
+	// Unequal delays across frames produce reordering, which is what
+	// forces the causal layers to buffer (experiment E6).
+	MinDelay time.Duration
+	MaxDelay time.Duration
+	// DropProb is the probability a frame is silently discarded.
+	DropProb float64
+	// DupProb is the probability a frame is delivered twice (the second
+	// copy with an independently sampled delay).
+	DupProb float64
+	// Seed fixes the fault RNG so runs are reproducible. Zero means 1.
+	Seed int64
+}
+
+// faultDice wraps a seeded RNG behind a mutex so concurrent senders share
+// one reproducible random stream.
+type faultDice struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func newFaultDice(seed int64) *faultDice {
+	if seed == 0 {
+		seed = 1
+	}
+	return &faultDice{rng: rand.New(rand.NewSource(seed))}
+}
+
+// roll samples the fate of one frame: whether it is dropped, how long it is
+// delayed, and whether a duplicate (with its own delay) is produced.
+func (d *faultDice) roll(m FaultModel) (drop bool, delay time.Duration, dup bool, dupDelay time.Duration) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if m.DropProb > 0 && d.rng.Float64() < m.DropProb {
+		return true, 0, false, 0
+	}
+	delay = sampleDelay(d.rng, m)
+	if m.DupProb > 0 && d.rng.Float64() < m.DupProb {
+		dup = true
+		dupDelay = sampleDelay(d.rng, m)
+	}
+	return false, delay, dup, dupDelay
+}
+
+func sampleDelay(rng *rand.Rand, m FaultModel) time.Duration {
+	if m.MaxDelay <= m.MinDelay {
+		return m.MinDelay
+	}
+	return m.MinDelay + time.Duration(rng.Int63n(int64(m.MaxDelay-m.MinDelay)))
+}
+
+// partitionSet tracks symmetric unreachability between id pairs.
+type partitionSet struct {
+	mu      sync.RWMutex
+	blocked map[[2]string]struct{}
+}
+
+func newPartitionSet() *partitionSet {
+	return &partitionSet{blocked: make(map[[2]string]struct{})}
+}
+
+func pairKey(a, b string) [2]string {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+// set blocks or unblocks the pair (a, b) in both directions.
+func (p *partitionSet) set(a, b string, block bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if block {
+		p.blocked[pairKey(a, b)] = struct{}{}
+	} else {
+		delete(p.blocked, pairKey(a, b))
+	}
+}
+
+// isBlocked reports whether frames between a and b are discarded.
+func (p *partitionSet) isBlocked(a, b string) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	_, ok := p.blocked[pairKey(a, b)]
+	return ok
+}
+
+// clear removes all partitions (heal).
+func (p *partitionSet) clear() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.blocked = make(map[[2]string]struct{})
+}

@@ -1,0 +1,118 @@
+// Package transport provides the network substrates the broadcast layers
+// run on. The paper assumes a distributed-OS kernel communication facility;
+// we substitute two interchangeable implementations behind one interface:
+//
+//   - ChanNet: an in-process network built on goroutines and channels with
+//     a seeded fault model (latency, reordering, loss, duplication,
+//     partitions). It exercises exactly the delivery-buffer logic a kernel
+//     layer would, deterministically enough for tests.
+//   - TCPNet: a real TCP loopback network with length-prefixed framing,
+//     proving the stack runs over actual sockets.
+//
+// Deterministic discrete-event execution for benchmarks lives in package
+// sim; this package is the *live* substrate used by examples and
+// integration tests.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrClosed is returned by operations on a closed network or connection.
+var ErrClosed = errors.New("transport: closed")
+
+// ErrUnknownPeer is returned when sending to an id that never attached.
+type ErrUnknownPeer struct{ ID string }
+
+func (e *ErrUnknownPeer) Error() string {
+	return fmt.Sprintf("transport: unknown peer %q", e.ID)
+}
+
+// Envelope is one point-to-point frame: an opaque payload plus addressing.
+type Envelope struct {
+	From    string
+	To      string
+	Payload []byte
+}
+
+// Conn is one node's attachment to a network. Implementations are safe for
+// concurrent use.
+type Conn interface {
+	// LocalID returns the id this connection was attached under.
+	LocalID() string
+	// Send enqueues a frame to the named peer. Delivery is asynchronous
+	// and — depending on the fault model — may be delayed, reordered,
+	// duplicated, or dropped. Send never blocks on the receiver.
+	Send(to string, payload []byte) error
+	// Recv blocks until a frame arrives or the connection closes, in
+	// which case it returns ErrClosed.
+	Recv() (Envelope, error)
+	// Close detaches the node. Pending inbound frames are discarded.
+	Close() error
+}
+
+// Network is a set of attachable endpoints.
+type Network interface {
+	// Attach registers id and returns its connection. Attaching the same
+	// id twice is an error.
+	Attach(id string) (Conn, error)
+	// IDs returns the currently attached ids in unspecified order.
+	IDs() []string
+	// Close tears down the network and all connections.
+	Close() error
+}
+
+// mailbox is an unbounded FIFO queue with blocking receive. Senders never
+// block, so a slow receiver cannot stall the network dispatcher.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []Envelope
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) put(e Envelope) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return false
+	}
+	m.queue = append(m.queue, e)
+	m.cond.Signal()
+	return true
+}
+
+func (m *mailbox) get() (Envelope, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.queue) == 0 && !m.closed {
+		m.cond.Wait()
+	}
+	if len(m.queue) == 0 {
+		return Envelope{}, ErrClosed
+	}
+	e := m.queue[0]
+	m.queue = m.queue[1:]
+	return e, nil
+}
+
+func (m *mailbox) close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	m.cond.Broadcast()
+}
+
+func (m *mailbox) len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.queue)
+}

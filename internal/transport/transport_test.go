@@ -1,0 +1,388 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// networks returns a constructor per implementation so every contract test
+// runs against both substrates.
+func networks() map[string]func() Network {
+	return map[string]func() Network{
+		"chan": func() Network { return NewChanNet(FaultModel{}) },
+		"tcp":  func() Network { return NewTCPNet() },
+	}
+}
+
+func TestAttachAndIDs(t *testing.T) {
+	for name, mk := range networks() {
+		t.Run(name, func(t *testing.T) {
+			n := mk()
+			defer func() { _ = n.Close() }()
+			for _, id := range []string{"a", "b", "c"} {
+				if _, err := n.Attach(id); err != nil {
+					t.Fatalf("Attach(%q): %v", id, err)
+				}
+			}
+			if got := len(n.IDs()); got != 3 {
+				t.Errorf("IDs() returned %d ids, want 3", got)
+			}
+			if _, err := n.Attach("a"); err == nil {
+				t.Error("duplicate Attach succeeded")
+			}
+		})
+	}
+}
+
+func TestSendRecvRoundTrip(t *testing.T) {
+	for name, mk := range networks() {
+		t.Run(name, func(t *testing.T) {
+			n := mk()
+			defer func() { _ = n.Close() }()
+			a, err := n.Attach("a")
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := n.Attach("b")
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := []byte("hello shared data")
+			if err := a.Send("b", want); err != nil {
+				t.Fatalf("Send: %v", err)
+			}
+			env, err := b.Recv()
+			if err != nil {
+				t.Fatalf("Recv: %v", err)
+			}
+			if env.From != "a" || env.To != "b" || string(env.Payload) != string(want) {
+				t.Errorf("got envelope %+v", env)
+			}
+		})
+	}
+}
+
+func TestSendToUnknownPeer(t *testing.T) {
+	for name, mk := range networks() {
+		t.Run(name, func(t *testing.T) {
+			n := mk()
+			defer func() { _ = n.Close() }()
+			a, err := n.Attach("a")
+			if err != nil {
+				t.Fatal(err)
+			}
+			err = a.Send("ghost", []byte("x"))
+			var unknown *ErrUnknownPeer
+			if err == nil {
+				t.Fatal("Send to unknown peer succeeded")
+			}
+			if ok := asUnknownPeer(err, &unknown); !ok || unknown.ID != "ghost" {
+				t.Errorf("error = %v, want ErrUnknownPeer{ghost}", err)
+			}
+		})
+	}
+}
+
+func asUnknownPeer(err error, target **ErrUnknownPeer) bool {
+	u, ok := err.(*ErrUnknownPeer)
+	if ok {
+		*target = u
+	}
+	return ok
+}
+
+func TestFIFOWithoutFaults(t *testing.T) {
+	for name, mk := range networks() {
+		t.Run(name, func(t *testing.T) {
+			n := mk()
+			defer func() { _ = n.Close() }()
+			a, err := n.Attach("a")
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := n.Attach("b")
+			if err != nil {
+				t.Fatal(err)
+			}
+			const count = 200
+			for i := 0; i < count; i++ {
+				if err := a.Send("b", []byte(fmt.Sprintf("%d", i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := 0; i < count; i++ {
+				env, err := b.Recv()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if string(env.Payload) != fmt.Sprintf("%d", i) {
+					t.Fatalf("frame %d out of order: got %q", i, env.Payload)
+				}
+			}
+		})
+	}
+}
+
+func TestRecvAfterCloseReturnsErrClosed(t *testing.T) {
+	for name, mk := range networks() {
+		t.Run(name, func(t *testing.T) {
+			n := mk()
+			defer func() { _ = n.Close() }()
+			a, err := n.Attach("a")
+			if err != nil {
+				t.Fatal(err)
+			}
+			done := make(chan error, 1)
+			go func() {
+				_, err := a.Recv()
+				done <- err
+			}()
+			time.Sleep(10 * time.Millisecond)
+			if err := a.Close(); err != nil {
+				t.Fatal(err)
+			}
+			select {
+			case err := <-done:
+				if err != ErrClosed {
+					t.Errorf("Recv error = %v, want ErrClosed", err)
+				}
+			case <-time.After(2 * time.Second):
+				t.Fatal("Recv did not unblock on Close")
+			}
+		})
+	}
+}
+
+func TestConcurrentSenders(t *testing.T) {
+	for name, mk := range networks() {
+		t.Run(name, func(t *testing.T) {
+			n := mk()
+			defer func() { _ = n.Close() }()
+			dst, err := n.Attach("dst")
+			if err != nil {
+				t.Fatal(err)
+			}
+			const senders, per = 8, 50
+			conns := make([]Conn, senders)
+			for i := range conns {
+				conns[i], err = n.Attach(fmt.Sprintf("s%d", i))
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			var wg sync.WaitGroup
+			for _, c := range conns {
+				wg.Add(1)
+				go func(c Conn) {
+					defer wg.Done()
+					for j := 0; j < per; j++ {
+						if err := c.Send("dst", []byte("m")); err != nil {
+							t.Errorf("send: %v", err)
+							return
+						}
+					}
+				}(c)
+			}
+			wg.Wait()
+			for i := 0; i < senders*per; i++ {
+				if _, err := dst.Recv(); err != nil {
+					t.Fatalf("Recv %d: %v", i, err)
+				}
+			}
+		})
+	}
+}
+
+func TestChanNetDrop(t *testing.T) {
+	n := NewChanNet(FaultModel{DropProb: 1.0, Seed: 7})
+	defer func() { _ = n.Close() }()
+	a, _ := n.Attach("a")
+	if _, err := n.Attach("b"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := a.Send("b", []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := n.Stats()
+	if s.Dropped != 50 || s.Delivered != 0 {
+		t.Errorf("Stats = %+v, want all 50 dropped", s)
+	}
+}
+
+func TestChanNetDuplicate(t *testing.T) {
+	n := NewChanNet(FaultModel{DupProb: 1.0, Seed: 7})
+	defer func() { _ = n.Close() }()
+	a, _ := n.Attach("a")
+	b, _ := n.Attach("b")
+	if err := a.Send("b", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		env, err := b.Recv()
+		if err != nil {
+			t.Fatalf("copy %d: %v", i, err)
+		}
+		if string(env.Payload) != "x" {
+			t.Fatalf("copy %d payload %q", i, env.Payload)
+		}
+	}
+	if s := n.Stats(); s.Duplicated != 1 {
+		t.Errorf("Duplicated = %d, want 1", s.Duplicated)
+	}
+}
+
+func TestChanNetPartition(t *testing.T) {
+	n := NewChanNet(FaultModel{})
+	defer func() { _ = n.Close() }()
+	a, _ := n.Attach("a")
+	b, _ := n.Attach("b")
+	n.Partition("a", "b", true)
+	if err := a.Send("b", []byte("lost")); err != nil {
+		t.Fatal(err)
+	}
+	n.Heal()
+	if err := a.Send("b", []byte("found")); err != nil {
+		t.Fatal(err)
+	}
+	env, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(env.Payload) != "found" {
+		t.Errorf("got %q through partition, want only post-heal frame", env.Payload)
+	}
+	if s := n.Stats(); s.Dropped != 1 {
+		t.Errorf("Dropped = %d, want 1", s.Dropped)
+	}
+}
+
+func TestChanNetDelayedDeliveryReorders(t *testing.T) {
+	// Deterministic seed; wide delay window guarantees some inversion
+	// across 40 frames.
+	n := NewChanNet(FaultModel{MinDelay: 0, MaxDelay: 20 * time.Millisecond, Seed: 42})
+	defer func() { _ = n.Close() }()
+	a, _ := n.Attach("a")
+	b, _ := n.Attach("b")
+	const count = 40
+	for i := 0; i < count; i++ {
+		if err := a.Send("b", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := make([]int, 0, count)
+	for i := 0; i < count; i++ {
+		env, err := b.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, int(env.Payload[0]))
+	}
+	inversions := 0
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			inversions++
+		}
+	}
+	if inversions == 0 {
+		t.Error("random-latency network produced no reordering; fault model inert")
+	}
+	seen := make(map[int]bool)
+	for _, v := range got {
+		seen[v] = true
+	}
+	if len(seen) != count {
+		t.Errorf("lost frames: delivered %d distinct of %d", len(seen), count)
+	}
+}
+
+func TestChanNetDelayedCloseStopsDispatcher(t *testing.T) {
+	n := NewChanNet(FaultModel{MinDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond, Seed: 1})
+	a, _ := n.Attach("a")
+	if _, err := n.Attach("b"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		_ = a.Send("b", []byte("x"))
+	}
+	done := make(chan struct{})
+	go func() {
+		_ = n.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close hung with frames in flight")
+	}
+	if err := a.Send("b", []byte("x")); err != ErrClosed {
+		t.Errorf("Send after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestChanNetPending(t *testing.T) {
+	n := NewChanNet(FaultModel{})
+	defer func() { _ = n.Close() }()
+	a, _ := n.Attach("a")
+	bConn, _ := n.Attach("b")
+	b, ok := bConn.(*chanConn)
+	if !ok {
+		t.Fatal("Attach did not return *chanConn")
+	}
+	for i := 0; i < 5; i++ {
+		if err := a.Send("b", []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := b.Pending(); got != 5 {
+		t.Errorf("Pending = %d, want 5", got)
+	}
+}
+
+func TestTCPNetLargeFrame(t *testing.T) {
+	n := NewTCPNet()
+	defer func() { _ = n.Close() }()
+	a, _ := n.Attach("a")
+	b, _ := n.Attach("b")
+	big := make([]byte, 1<<16)
+	for i := range big {
+		big[i] = byte(i * 31)
+	}
+	if err := a.Send("b", big); err != nil {
+		t.Fatal(err)
+	}
+	env, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(env.Payload) != len(big) {
+		t.Fatalf("payload length %d, want %d", len(env.Payload), len(big))
+	}
+	for i := range big {
+		if env.Payload[i] != big[i] {
+			t.Fatalf("payload corrupt at byte %d", i)
+		}
+	}
+}
+
+func TestSendPayloadNotAliased(t *testing.T) {
+	n := NewChanNet(FaultModel{})
+	defer func() { _ = n.Close() }()
+	a, _ := n.Attach("a")
+	b, _ := n.Attach("b")
+	buf := []byte("original")
+	if err := a.Send("b", buf); err != nil {
+		t.Fatal(err)
+	}
+	copy(buf, "mutated!")
+	env, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(env.Payload) != "original" {
+		t.Errorf("delivered payload %q aliased sender buffer", env.Payload)
+	}
+}

@@ -1,0 +1,59 @@
+package vclock
+
+import "testing"
+
+func TestOrderingString(t *testing.T) {
+	tests := []struct {
+		o    Ordering
+		want string
+	}{
+		{Equal, "="}, {Before, "<"}, {After, ">"}, {Concurrent, "||"},
+		{Ordering(99), "Ordering(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.o.String(); got != tt.want {
+			t.Errorf("String(%d) = %q, want %q", int(tt.o), got, tt.want)
+		}
+	}
+}
+
+func TestGetSet(t *testing.T) {
+	v := New()
+	if v.Get("a") != 0 {
+		t.Error("missing component not zero")
+	}
+	v.Set("a", 7)
+	if v.Get("a") != 7 {
+		t.Errorf("Get = %d after Set(7)", v.Get("a"))
+	}
+}
+
+func TestHappensBeforeAndConcurrentWith(t *testing.T) {
+	a := VC{"p": 1}
+	b := VC{"p": 2}
+	c := VC{"q": 1}
+	if !a.HappensBefore(b) || b.HappensBefore(a) {
+		t.Error("HappensBefore broken")
+	}
+	if !a.ConcurrentWith(c) || a.ConcurrentWith(b) {
+		t.Error("ConcurrentWith broken")
+	}
+}
+
+func TestEncodedSize(t *testing.T) {
+	small := VC{"a": 1}
+	big := VC{"a": 1, "bb": 2, "ccc": 3}
+	if small.EncodedSize() <= 0 {
+		t.Error("EncodedSize not positive")
+	}
+	if big.EncodedSize() <= small.EncodedSize() {
+		t.Error("EncodedSize not growing with entries")
+	}
+	data, err := big.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.EncodedSize() != len(data) {
+		t.Errorf("EncodedSize = %d, marshal length = %d", big.EncodedSize(), len(data))
+	}
+}

@@ -1,0 +1,39 @@
+package vclock_test
+
+import (
+	"fmt"
+
+	"causalshare/internal/vclock"
+)
+
+func ExampleVC_Compare() {
+	send := vclock.New()
+	send.Tick("p1") // p1 sends m
+
+	recv := vclock.New()
+	recv.Merge(send)
+	recv.Tick("p2") // p2's event after delivering m
+
+	other := vclock.New()
+	other.Tick("p3") // independent event
+
+	fmt.Println(send.Compare(recv))
+	fmt.Println(send.Compare(other))
+	// Output:
+	// <
+	// ||
+}
+
+func ExampleVC_CausallyReady() {
+	local := vclock.VC{"s": 1, "p": 2}
+	next := vclock.VC{"s": 2, "p": 2}    // s's next message, deps seen
+	tooNew := vclock.VC{"s": 3, "p": 2}  // FIFO gap
+	missing := vclock.VC{"s": 2, "q": 1} // unseen causal predecessor
+	fmt.Println(local.CausallyReady(next, "s"))
+	fmt.Println(local.CausallyReady(tooNew, "s"))
+	fmt.Println(local.CausallyReady(missing, "s"))
+	// Output:
+	// true
+	// false
+	// false
+}

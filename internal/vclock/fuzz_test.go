@@ -1,0 +1,45 @@
+package vclock
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzVCUnmarshal checks the clock codec never panics on arbitrary bytes
+// and that accepted inputs normalize to a stable canonical encoding.
+func FuzzVCUnmarshal(f *testing.F) {
+	for _, vc := range []VC{{}, {"a": 1}, {"node-1": 42, "node-2": 7}, {"x": 1 << 62}} {
+		data, err := vc.MarshalBinary()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x80})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var v VC
+		if err := v.UnmarshalBinary(data); err != nil {
+			return
+		}
+		canon, err := v.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		var again VC
+		if err := again.UnmarshalBinary(canon); err != nil {
+			t.Fatalf("canonical form rejected: %v", err)
+		}
+		if again.Compare(v) != Equal {
+			t.Fatalf("round trip changed clock: %v vs %v", v, again)
+		}
+		canon2, err := again.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(canon, canon2) {
+			t.Fatalf("canonical form not a fixpoint")
+		}
+	})
+}

@@ -1,0 +1,59 @@
+package vclock
+
+import "sync"
+
+// Lamport is a scalar logical clock (Lamport 1978). It is consistent with
+// happens-before — if a -> b then L(a) < L(b) — but, unlike a vector clock,
+// cannot distinguish concurrency from precedence. The total-order layer
+// (package total) uses Lamport timestamps with a deterministic process-id
+// tie-break to impose an identical order at all members.
+//
+// Lamport is safe for concurrent use. The zero value is ready to use.
+type Lamport struct {
+	mu  sync.Mutex
+	now uint64
+}
+
+// Now returns the current clock value without advancing it.
+func (l *Lamport) Now() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.now
+}
+
+// Tick advances the clock for a local event and returns the new value.
+func (l *Lamport) Tick() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.now++
+	return l.now
+}
+
+// Witness incorporates a timestamp observed on an incoming message:
+// the clock jumps past it and ticks. Returns the new value.
+func (l *Lamport) Witness(t uint64) uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if t > l.now {
+		l.now = t
+	}
+	l.now++
+	return l.now
+}
+
+// Stamp is a totally ordered (time, process) pair. Stamps from distinct
+// processes are never equal, so sorting by Stamp yields the same sequence
+// at every member — the property ASend relies on.
+type Stamp struct {
+	Time uint64
+	Proc string
+}
+
+// Less reports whether s orders strictly before o: first by Time, ties
+// broken by Proc.
+func (s Stamp) Less(o Stamp) bool {
+	if s.Time != o.Time {
+		return s.Time < o.Time
+	}
+	return s.Proc < o.Proc
+}

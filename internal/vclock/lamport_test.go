@@ -1,0 +1,120 @@
+package vclock
+
+import (
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestLamportTick(t *testing.T) {
+	var l Lamport
+	if l.Now() != 0 {
+		t.Fatalf("zero-value clock Now = %d, want 0", l.Now())
+	}
+	for want := uint64(1); want <= 5; want++ {
+		if got := l.Tick(); got != want {
+			t.Fatalf("Tick = %d, want %d", got, want)
+		}
+	}
+}
+
+func TestLamportWitness(t *testing.T) {
+	tests := []struct {
+		name    string
+		initial uint64
+		seen    uint64
+		want    uint64
+	}{
+		{"witness ahead", 2, 10, 11},
+		{"witness behind", 10, 2, 11},
+		{"witness equal", 5, 5, 6},
+		{"witness zero", 0, 0, 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var l Lamport
+			for i := uint64(0); i < tt.initial; i++ {
+				l.Tick()
+			}
+			if got := l.Witness(tt.seen); got != tt.want {
+				t.Errorf("Witness(%d) from %d = %d, want %d", tt.seen, tt.initial, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestLamportConcurrentUse(t *testing.T) {
+	var l Lamport
+	const goroutines, ticks = 8, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < ticks; j++ {
+				l.Tick()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := l.Now(); got != goroutines*ticks {
+		t.Fatalf("after %d concurrent ticks Now = %d", goroutines*ticks, got)
+	}
+}
+
+func TestStampLess(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Stamp
+		want bool
+	}{
+		{"time orders first", Stamp{1, "z"}, Stamp{2, "a"}, true},
+		{"proc breaks ties", Stamp{3, "a"}, Stamp{3, "b"}, true},
+		{"equal is not less", Stamp{3, "a"}, Stamp{3, "a"}, false},
+		{"reverse", Stamp{4, "a"}, Stamp{3, "a"}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.Less(tt.b); got != tt.want {
+				t.Errorf("(%v).Less(%v) = %v, want %v", tt.a, tt.b, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestPropStampTotalOrder(t *testing.T) {
+	mk := func(t uint8, p bool) Stamp {
+		proc := "a"
+		if p {
+			proc = "b"
+		}
+		return Stamp{Time: uint64(t % 4), Proc: proc}
+	}
+	// Trichotomy: exactly one of a<b, b<a, a==b.
+	f := func(t1 uint8, p1 bool, t2 uint8, p2 bool) bool {
+		a, b := mk(t1, p1), mk(t2, p2)
+		lt, gt, eq := a.Less(b), b.Less(a), a == b
+		count := 0
+		for _, v := range []bool{lt, gt, eq} {
+			if v {
+				count++
+			}
+		}
+		return count == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStampSortDeterministic(t *testing.T) {
+	stamps := []Stamp{{2, "b"}, {1, "c"}, {2, "a"}, {1, "a"}}
+	want := []Stamp{{1, "a"}, {1, "c"}, {2, "a"}, {2, "b"}}
+	sort.Slice(stamps, func(i, j int) bool { return stamps[i].Less(stamps[j]) })
+	for i := range want {
+		if stamps[i] != want[i] {
+			t.Fatalf("sorted[%d] = %v, want %v", i, stamps[i], want[i])
+		}
+	}
+}

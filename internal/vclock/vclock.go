@@ -1,0 +1,265 @@
+// Package vclock implements logical clocks for tracking the causal
+// precedence of events in a distributed computation.
+//
+// The paper's causal relations R(M) are Lamport "happens before" relations
+// on messages (Ravindran & Shah, §2.1). Two clock families are provided:
+//
+//   - VC, a vector clock that characterizes happens-before exactly: for
+//     events a and b, a -> b iff VC(a) < VC(b), and a || b iff the clocks
+//     are incomparable.
+//   - Lamport, a scalar clock that is consistent with happens-before
+//     (a -> b implies L(a) < L(b)) but cannot detect concurrency.
+//
+// The vector-clock CBCAST baseline in package causal piggybacks a VC on
+// every broadcast; the paper's OSend engine instead carries explicit
+// dependency labels, and package causal's benchmarks compare the two.
+package vclock
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Ordering is the outcome of comparing two vector clocks.
+type Ordering int
+
+// Possible results of VC.Compare. Equal means identical component-wise;
+// Before/After are strict happens-before relations; Concurrent means the
+// clocks are incomparable (neither dominates).
+const (
+	Equal Ordering = iota + 1
+	Before
+	After
+	Concurrent
+)
+
+// String returns the conventional symbol for the ordering.
+func (o Ordering) String() string {
+	switch o {
+	case Equal:
+		return "="
+	case Before:
+		return "<"
+	case After:
+		return ">"
+	case Concurrent:
+		return "||"
+	default:
+		return fmt.Sprintf("Ordering(%d)", int(o))
+	}
+}
+
+// VC is a vector clock: a map from process identifier to the number of
+// events that process has locally stamped. The zero value (nil map) is a
+// valid clock representing "no events observed"; all methods treat missing
+// entries as zero.
+type VC map[string]uint64
+
+// New returns an empty vector clock.
+func New() VC { return make(VC) }
+
+// Clone returns a deep copy of the clock. Clone of nil returns an empty,
+// non-nil clock so the caller may mutate it.
+func (v VC) Clone() VC {
+	out := make(VC, len(v))
+	for k, n := range v {
+		out[k] = n
+	}
+	return out
+}
+
+// Get returns the component for process id (zero if absent).
+func (v VC) Get(id string) uint64 { return v[id] }
+
+// Set assigns the component for process id.
+func (v VC) Set(id string, n uint64) { v[id] = n }
+
+// Tick increments the component for process id and returns the new value.
+// It is the event-stamping operation performed when a process sends a
+// message.
+func (v VC) Tick(id string) uint64 {
+	v[id]++
+	return v[id]
+}
+
+// Merge sets each component of v to the maximum of v's and o's components.
+// It is the receive-side operation of the vector-clock algorithm.
+func (v VC) Merge(o VC) {
+	for k, n := range o {
+		if n > v[k] {
+			v[k] = n
+		}
+	}
+}
+
+// Merged returns a new clock that is the component-wise maximum of v and o.
+func (v VC) Merged(o VC) VC {
+	out := v.Clone()
+	out.Merge(o)
+	return out
+}
+
+// Compare classifies the relation between v and o.
+func (v VC) Compare(o VC) Ordering {
+	vLess, oLess := false, false
+	for k, n := range v {
+		switch m := o[k]; {
+		case n < m:
+			vLess = true
+		case n > m:
+			oLess = true
+		}
+	}
+	for k, m := range o {
+		if _, ok := v[k]; !ok && m > 0 {
+			vLess = true
+		}
+	}
+	switch {
+	case vLess && oLess:
+		return Concurrent
+	case vLess:
+		return Before
+	case oLess:
+		return After
+	default:
+		return Equal
+	}
+}
+
+// HappensBefore reports whether v < o (strict causal precedence).
+func (v VC) HappensBefore(o VC) bool { return v.Compare(o) == Before }
+
+// ConcurrentWith reports whether v || o.
+func (v VC) ConcurrentWith(o VC) bool { return v.Compare(o) == Concurrent }
+
+// Dominates reports whether v >= o component-wise, i.e. every event o has
+// seen is also reflected in v. Unlike Compare it is not strict: a clock
+// dominates itself.
+func (v VC) Dominates(o VC) bool {
+	c := v.Compare(o)
+	return c == Equal || c == After
+}
+
+// CausallyReady reports whether a message stamped with clock msg from
+// process sender may be delivered at a process whose delivery clock is v,
+// under the CBCAST delivery rule (Birman, Schiper & Stephenson):
+//
+//	msg[sender] == v[sender]+1, and
+//	msg[k] <= v[k] for every k != sender.
+//
+// The first condition enforces FIFO from the sender; the second enforces
+// that every message the sender had delivered before sending has also been
+// delivered locally.
+func (v VC) CausallyReady(msg VC, sender string) bool {
+	for k, n := range msg {
+		if k == sender {
+			if n != v[k]+1 {
+				return false
+			}
+			continue
+		}
+		if n > v[k] {
+			return false
+		}
+	}
+	// A message with no component for its own sender is malformed for
+	// delivery purposes: FIFO position 0 never equals v[sender]+1 >= 1.
+	if _, ok := msg[sender]; !ok {
+		return false
+	}
+	return true
+}
+
+// Sum returns the total number of events reflected in the clock. It is a
+// cheap monotone progress measure used by the simulator's metrics.
+func (v VC) Sum() uint64 {
+	var s uint64
+	for _, n := range v {
+		s += n
+	}
+	return s
+}
+
+// String renders the clock deterministically as {a:1 b:3}.
+func (v VC) String() string {
+	ids := make([]string, 0, len(v))
+	for k := range v {
+		ids = append(ids, k)
+	}
+	sort.Strings(ids)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, id := range ids {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s:%d", id, v[id])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// MarshalBinary encodes the clock as a length-prefixed list of
+// (id, counter) pairs in sorted id order, so equal clocks have equal
+// encodings.
+func (v VC) MarshalBinary() ([]byte, error) {
+	ids := make([]string, 0, len(v))
+	for k := range v {
+		ids = append(ids, k)
+	}
+	sort.Strings(ids)
+	buf := make([]byte, 0, 4+len(v)*16)
+	buf = binary.AppendUvarint(buf, uint64(len(ids)))
+	for _, id := range ids {
+		buf = binary.AppendUvarint(buf, uint64(len(id)))
+		buf = append(buf, id...)
+		buf = binary.AppendUvarint(buf, v[id])
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary decodes a clock previously encoded with MarshalBinary,
+// replacing v's contents.
+func (v *VC) UnmarshalBinary(data []byte) error {
+	n, used := binary.Uvarint(data)
+	if used <= 0 {
+		return fmt.Errorf("vclock: truncated count")
+	}
+	data = data[used:]
+	// Every entry takes at least 2 bytes on the wire; reject counts that
+	// cannot fit before sizing any allocation.
+	if n > uint64(len(data))/2 {
+		return fmt.Errorf("vclock: entry count %d exceeds input", n)
+	}
+	out := make(VC, n)
+	for i := uint64(0); i < n; i++ {
+		l, used := binary.Uvarint(data)
+		if used <= 0 || uint64(len(data)-used) < l {
+			return fmt.Errorf("vclock: truncated id at entry %d", i)
+		}
+		id := string(data[used : used+int(l)])
+		data = data[used+int(l):]
+		c, used := binary.Uvarint(data)
+		if used <= 0 {
+			return fmt.Errorf("vclock: truncated counter for %q", id)
+		}
+		data = data[used:]
+		out[id] = c
+	}
+	if len(data) != 0 {
+		return fmt.Errorf("vclock: %d trailing bytes", len(data))
+	}
+	*v = out
+	return nil
+}
+
+// EncodedSize returns the number of bytes MarshalBinary would produce.
+// The wire-overhead experiment (E7) uses it to compare vector-clock
+// piggyback size against explicit OSend dependency labels.
+func (v VC) EncodedSize() int {
+	b, _ := v.MarshalBinary() // cannot fail
+	return len(b)
+}

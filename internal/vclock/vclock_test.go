@@ -1,0 +1,283 @@
+package vclock
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCompareTable(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b VC
+		want Ordering
+	}{
+		{"both empty", VC{}, VC{}, Equal},
+		{"nil vs empty", nil, VC{}, Equal},
+		{"identical", VC{"a": 1, "b": 2}, VC{"a": 1, "b": 2}, Equal},
+		{"strictly before", VC{"a": 1}, VC{"a": 2}, Before},
+		{"strictly after", VC{"a": 3}, VC{"a": 2}, After},
+		{"before with extra id", VC{"a": 1}, VC{"a": 1, "b": 1}, Before},
+		{"after with extra id", VC{"a": 1, "b": 1}, VC{"a": 1}, After},
+		{"concurrent simple", VC{"a": 1}, VC{"b": 1}, Concurrent},
+		{"concurrent crossed", VC{"a": 2, "b": 1}, VC{"a": 1, "b": 2}, Concurrent},
+		{"zero entries ignored", VC{"a": 1, "b": 0}, VC{"a": 1}, Equal},
+		{"missing vs zero", VC{}, VC{"a": 0}, Equal},
+		{"empty before nonempty", VC{}, VC{"a": 1}, Before},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.Compare(tt.b); got != tt.want {
+				t.Errorf("Compare(%v, %v) = %v, want %v", tt.a, tt.b, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCompareAntisymmetry(t *testing.T) {
+	inverse := map[Ordering]Ordering{
+		Equal: Equal, Before: After, After: Before, Concurrent: Concurrent,
+	}
+	pairs := []struct{ a, b VC }{
+		{VC{"a": 1}, VC{"a": 2}},
+		{VC{"a": 1}, VC{"b": 1}},
+		{VC{"a": 1, "b": 2}, VC{"a": 1, "b": 2}},
+		{VC{"a": 5, "c": 1}, VC{"a": 5, "b": 9}},
+	}
+	for _, p := range pairs {
+		ab, ba := p.a.Compare(p.b), p.b.Compare(p.a)
+		if inverse[ab] != ba {
+			t.Errorf("Compare(%v,%v)=%v but Compare(%v,%v)=%v", p.a, p.b, ab, p.b, p.a, ba)
+		}
+	}
+}
+
+func TestTickMergeSemantics(t *testing.T) {
+	a, b := New(), New()
+	a.Tick("p1")         // p1 event 1
+	stamped := a.Clone() // message m carries {p1:1}
+	b.Merge(stamped)     // p2 receives m
+	b.Tick("p2")         // p2 event after m
+	if got := stamped.Compare(b); got != Before {
+		t.Fatalf("message clock should precede receiver's post-event clock, got %v", got)
+	}
+	c := New()
+	c.Tick("p3") // independent event at p3
+	if got := stamped.Compare(c); got != Concurrent {
+		t.Fatalf("independent events should be concurrent, got %v", got)
+	}
+}
+
+func TestCausallyReady(t *testing.T) {
+	tests := []struct {
+		name   string
+		local  VC
+		msg    VC
+		sender string
+		want   bool
+	}{
+		{"first from sender", VC{}, VC{"s": 1}, "s", true},
+		{"fifo gap", VC{}, VC{"s": 2}, "s", false},
+		{"fifo next", VC{"s": 3}, VC{"s": 4}, "s", true},
+		{"fifo duplicate", VC{"s": 3}, VC{"s": 3}, "s", false},
+		{"missing causal predecessor", VC{}, VC{"s": 1, "p": 1}, "s", false},
+		{"predecessor satisfied", VC{"p": 1}, VC{"s": 1, "p": 1}, "s", true},
+		{"predecessor over-satisfied", VC{"p": 5}, VC{"s": 1, "p": 1}, "s", true},
+		{"no sender component", VC{}, VC{"p": 1}, "s", false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.local.CausallyReady(tt.msg, tt.sender); got != tt.want {
+				t.Errorf("CausallyReady(%v, %v, %q) = %v, want %v",
+					tt.local, tt.msg, tt.sender, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	a := VC{"x": 1}
+	b := a.Clone()
+	b.Tick("x")
+	if a["x"] != 1 {
+		t.Fatalf("Clone aliased underlying map: a=%v", a)
+	}
+	var nilVC VC
+	c := nilVC.Clone()
+	c.Tick("y") // must not panic
+	if c["y"] != 1 {
+		t.Fatalf("Clone of nil not usable: %v", c)
+	}
+}
+
+func TestDominates(t *testing.T) {
+	a := VC{"a": 2, "b": 1}
+	if !a.Dominates(a.Clone()) {
+		t.Error("clock must dominate itself")
+	}
+	if !a.Dominates(VC{"a": 1}) {
+		t.Error("superset clock must dominate subset")
+	}
+	if a.Dominates(VC{"c": 1}) {
+		t.Error("must not dominate clock with unseen component")
+	}
+}
+
+func TestStringDeterministic(t *testing.T) {
+	v := VC{"b": 2, "a": 1, "c": 3}
+	want := "{a:1 b:2 c:3}"
+	for i := 0; i < 10; i++ {
+		if got := v.String(); got != want {
+			t.Fatalf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	tests := []VC{
+		{},
+		{"a": 1},
+		{"node-1": 42, "node-2": 7, "": 3},
+		{"x": 1<<63 + 5},
+	}
+	for _, v := range tests {
+		data, err := v.MarshalBinary()
+		if err != nil {
+			t.Fatalf("MarshalBinary(%v): %v", v, err)
+		}
+		var got VC
+		if err := got.UnmarshalBinary(data); err != nil {
+			t.Fatalf("UnmarshalBinary(%v): %v", v, err)
+		}
+		if got.Compare(v) != Equal || len(got) != len(v) {
+			t.Errorf("round trip of %v produced %v", v, got)
+		}
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	valid, _ := VC{"abc": 9}.MarshalBinary()
+	tests := []struct {
+		name string
+		data []byte
+	}{
+		{"empty input", nil},
+		{"truncated id", valid[:2]},
+		{"truncated counter", valid[:len(valid)-1]},
+		{"trailing garbage", append(append([]byte{}, valid...), 0xFF)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var v VC
+			if err := v.UnmarshalBinary(tt.data); err == nil {
+				t.Errorf("UnmarshalBinary(%x) succeeded, want error", tt.data)
+			}
+		})
+	}
+}
+
+// propVC converts the fuzz input into a small clock over a bounded id space
+// so comparisons exercise overlapping components.
+func propVC(xs []uint8) VC {
+	ids := []string{"a", "b", "c", "d"}
+	v := New()
+	for i, x := range xs {
+		if i >= len(ids) {
+			break
+		}
+		if x%2 == 0 {
+			v[ids[i]] = uint64(x / 2)
+		}
+	}
+	return v
+}
+
+func TestPropMergeIsLUB(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		a, b := propVC(xs), propVC(ys)
+		m := a.Merged(b)
+		return m.Dominates(a) && m.Dominates(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropMergeCommutative(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		a, b := propVC(xs), propVC(ys)
+		return a.Merged(b).Compare(b.Merged(a)) == Equal
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropMergeIdempotent(t *testing.T) {
+	f := func(xs []uint8) bool {
+		a := propVC(xs)
+		return a.Merged(a).Compare(a) == Equal
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropCompareConsistentWithDominates(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		a, b := propVC(xs), propVC(ys)
+		switch a.Compare(b) {
+		case Before:
+			return b.Dominates(a) && !a.Dominates(b)
+		case After:
+			return a.Dominates(b) && !b.Dominates(a)
+		case Equal:
+			return a.Dominates(b) && b.Dominates(a)
+		case Concurrent:
+			return !a.Dominates(b) && !b.Dominates(a)
+		}
+		return false
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropMarshalRoundTrip(t *testing.T) {
+	f := func(xs []uint8) bool {
+		v := propVC(xs)
+		data, err := v.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var got VC
+		if err := got.UnmarshalBinary(data); err != nil {
+			return false
+		}
+		return got.Compare(v) == Equal
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropTransitivity(t *testing.T) {
+	f := func(xs, ys, zs []uint8) bool {
+		a, b, c := propVC(xs), propVC(ys), propVC(zs)
+		if a.Compare(b) == Before && b.Compare(c) == Before {
+			return a.Compare(c) == Before
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSum(t *testing.T) {
+	if got := (VC{"a": 2, "b": 3}).Sum(); got != 5 {
+		t.Errorf("Sum = %d, want 5", got)
+	}
+	if got := (VC{}).Sum(); got != 0 {
+		t.Errorf("Sum of empty = %d, want 0", got)
+	}
+}
