@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: check build test race vet bench fuzz
+
+## check: the tier-1 gate — vet, build, and race-test everything.
+check: vet build race
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+## bench: regenerate the hot-path numbers (allocs/op included) into
+## BENCH_hotpath.json.
+bench:
+	$(GO) test -bench=Fanout -benchmem -run '^$$' -json . | tee BENCH_hotpath.json
+
+fuzz:
+	$(GO) test -fuzz=FuzzUnmarshalBinary -fuzztime=30s ./internal/message/

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -326,6 +327,102 @@ func buildTotalStacks(b *testing.B, grp *group.Group, net transport.Network, ids
 }
 
 // Micro-benchmarks of the hot paths.
+
+// benchMessage is a representative mid-size message for codec benchmarks:
+// two dependencies and a small payload, matching the E-series workloads.
+func benchMessage() message.Message {
+	return message.Message{
+		Label: message.Label{Origin: "node-07~cli", Seq: 123456},
+		Deps: message.After(
+			message.Label{Origin: "node-01~cli", Seq: 42},
+			message.Label{Origin: "node-02~cli", Seq: 57},
+		),
+		Kind: message.KindCommutative,
+		Op:   "inc",
+		Body: []byte("payload-bytes"),
+	}
+}
+
+// BenchmarkMarshal measures one-way encode cost and allocs/op.
+func BenchmarkMarshal(b *testing.B) {
+	m := benchMessage()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.MarshalBinary(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUnmarshal measures one-way decode cost and allocs/op.
+func BenchmarkUnmarshal(b *testing.B) {
+	data, err := benchMessage().MarshalBinary()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var got message.Message
+		if err := got.UnmarshalBinary(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBroadcastFanout measures the full send→transport→deliver
+// pipeline: one OSend sender broadcasting dependency-free messages to an
+// n-member group over a perfect ChanNet, timed until every member has
+// delivered every message. allocs/op covers the whole fan-out, which is
+// what the zero-allocation work targets.
+func BenchmarkBroadcastFanout(b *testing.B) {
+	for _, n := range []int{2, 8, 16} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			ids := make([]string, n)
+			for i := range ids {
+				ids[i] = fmt.Sprintf("m%02d", i)
+			}
+			grp := group.MustNew("fanout", ids)
+			net := transport.NewChanNet(transport.FaultModel{})
+			defer func() { _ = net.Close() }()
+			var delivered atomic.Uint64
+			engines := make([]*causal.OSend, 0, n)
+			for _, id := range ids {
+				conn, err := net.Attach(id)
+				if err != nil {
+					b.Fatal(err)
+				}
+				eng, err := causal.NewOSend(causal.OSendConfig{
+					Self: id, Group: grp, Conn: conn,
+					Deliver: func(message.Message) { delivered.Add(1) },
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				engines = append(engines, eng)
+			}
+			defer func() {
+				for _, e := range engines {
+					_ = e.Close()
+				}
+			}()
+			lab := message.NewLabeler(ids[0])
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m := message.Message{Label: lab.Next(), Kind: message.KindCommutative, Op: "inc"}
+				if err := engines[0].Broadcast(m); err != nil {
+					b.Fatal(err)
+				}
+			}
+			target := uint64(n) * uint64(b.N)
+			for delivered.Load() < target {
+				time.Sleep(20 * time.Microsecond)
+			}
+		})
+	}
+}
 
 func BenchmarkVectorClockCompare(b *testing.B) {
 	x, y := vclock.New(), vclock.New()

@@ -36,6 +36,7 @@ type CBCastConfig struct {
 type CBCast struct {
 	self     string
 	grp      *group.Group
+	others   []string // cached fan-out targets (the group is immutable)
 	conn     transport.Conn
 	deliver  DeliverFunc
 	patience time.Duration
@@ -75,6 +76,7 @@ func NewCBCast(cfg CBCastConfig) (*CBCast, error) {
 	e := &CBCast{
 		self:      cfg.Self,
 		grp:       cfg.Group,
+		others:    cfg.Group.Others(cfg.Self),
 		conn:      cfg.Conn,
 		deliver:   cfg.Deliver,
 		patience:  cfg.Patience,
@@ -125,10 +127,14 @@ func (e *CBCast) Broadcast(m message.Message) error {
 
 	// Self-delivery first: a member observes its own message immediately.
 	e.deliver(m)
-	for _, peer := range e.grp.Others(e.self) {
-		if err := e.conn.Send(peer, frame); err != nil {
-			return fmt.Errorf("causal: send %v to %q: %w", m.Label, peer, err)
-		}
+	// The frame is retained above for retransmission and never mutated, so
+	// every destination shares the one encoding. StaticFrame keeps it out
+	// of the pools: its lifetime is the retention window, not the send.
+	f := transport.StaticFrame(frame)
+	err = transport.Multicast(e.conn, e.others, f)
+	f.Release()
+	if err != nil {
+		return fmt.Errorf("causal: send %v: %w", m.Label, err)
 	}
 	return nil
 }
@@ -166,36 +172,58 @@ func (e *CBCast) Close() error {
 
 func (e *CBCast) recvLoop() {
 	defer e.wg.Done()
+	dec := message.NewDecoder()
+	if br, ok := e.conn.(transport.BatchRecver); ok {
+		var batch []transport.Envelope
+		for {
+			var err error
+			batch, err = br.RecvBatch(batch)
+			if err != nil {
+				return
+			}
+			for i := range batch {
+				e.handleFrame(dec, &batch[i])
+				batch[i].Release()
+			}
+		}
+	}
 	for {
 		env, err := e.conn.Recv()
 		if err != nil {
 			return
 		}
-		if len(env.Payload) == 0 {
-			continue
+		e.handleFrame(dec, &env)
+		env.Release()
+	}
+}
+
+// handleFrame dispatches one inbound frame. The envelope's payload is only
+// valid for the duration of the call (the caller releases the frame).
+func (e *CBCast) handleFrame(dec *message.Decoder, env *transport.Envelope) {
+	if len(env.Payload) == 0 {
+		return
+	}
+	kind, body := env.Payload[0], env.Payload[1:]
+	switch kind {
+	case frameCBCastData:
+		sender, vc, m, err := decodeCBFrame(dec, body)
+		if err != nil {
+			return
 		}
-		kind, body := env.Payload[0], env.Payload[1:]
-		switch kind {
-		case frameCBCastData:
-			sender, vc, m, err := decodeCBFrame(body)
-			if err != nil {
-				continue
-			}
-			e.ingest(sender, vc, m)
-		case frameCBCastFetch:
-			seq, used := binary.Uvarint(body)
-			if used <= 0 {
-				continue
-			}
-			e.serveFetch(env.From, seq)
-		case frameCBCastAdvert:
-			seq, used := binary.Uvarint(body)
-			if used <= 0 {
-				continue
-			}
-			e.handleAdvert(env.From, seq)
-		default:
+		e.ingest(sender, vc, m)
+	case frameCBCastFetch:
+		seq, used := binary.Uvarint(body)
+		if used <= 0 {
+			return
 		}
+		e.serveFetch(env.From, seq)
+	case frameCBCastAdvert:
+		seq, used := binary.Uvarint(body)
+		if used <= 0 {
+			return
+		}
+		e.handleAdvert(env.From, seq)
+	default:
 	}
 }
 
@@ -286,9 +314,9 @@ func (e *CBCast) advertise() {
 		return
 	}
 	frame := append([]byte{frameCBCastAdvert}, binary.AppendUvarint(nil, latest)...)
-	for _, peer := range e.grp.Others(e.self) {
-		_ = e.conn.Send(peer, frame) // best effort; re-sent next tick
-	}
+	f := transport.StaticFrame(frame)
+	_ = transport.Multicast(e.conn, e.others, f) // best effort; re-sent next tick
+	f.Release()
 }
 
 // handleAdvert fetches the next needed sequence from a peer that claims
@@ -371,27 +399,22 @@ func (e *CBCast) serveFetch(requester string, seq uint64) {
 }
 
 func encodeCBFrame(sender string, vc vclock.VC, m message.Message) ([]byte, error) {
-	mBytes, err := m.MarshalBinary()
-	if err != nil {
-		return nil, err
-	}
 	vcBytes, err := vc.MarshalBinary()
 	if err != nil {
 		return nil, err
 	}
-	buf := make([]byte, 0, 1+len(sender)+len(vcBytes)+len(mBytes)+12)
+	buf := make([]byte, 0, 1+len(sender)+len(vcBytes)+m.EncodedSize()+12)
 	buf = append(buf, frameCBCastData)
 	buf = binary.AppendUvarint(buf, uint64(len(sender)))
 	buf = append(buf, sender...)
 	buf = binary.AppendUvarint(buf, uint64(len(vcBytes)))
 	buf = append(buf, vcBytes...)
-	buf = append(buf, mBytes...)
-	return buf, nil
+	return m.AppendBinary(buf)
 }
 
 // decodeCBFrame decodes the body of a frameCBCastData frame (tag already
-// stripped).
-func decodeCBFrame(body []byte) (string, vclock.VC, message.Message, error) {
+// stripped). The decoder interns the recurring strings across frames.
+func decodeCBFrame(dec *message.Decoder, body []byte) (string, vclock.VC, message.Message, error) {
 	var m message.Message
 	n, used := binary.Uvarint(body)
 	if used <= 0 || uint64(len(body)-used) < n {
@@ -407,7 +430,7 @@ func decodeCBFrame(body []byte) (string, vclock.VC, message.Message, error) {
 	if err := vc.UnmarshalBinary(body[used : used+int(vcLen)]); err != nil {
 		return "", nil, m, frameError(frameCBCastData, err)
 	}
-	if err := m.UnmarshalBinary(body[used+int(vcLen):]); err != nil {
+	if err := dec.Decode(&m, body[used+int(vcLen):]); err != nil {
 		return "", nil, m, frameError(frameCBCastData, err)
 	}
 	return sender, vc, m, nil

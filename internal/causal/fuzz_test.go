@@ -82,7 +82,7 @@ func FuzzDecodeCBFrame(f *testing.F) {
 	f.Add([]byte{0x01, 'x', 0x02})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		sender, vc, m, err := decodeCBFrame(data)
+		sender, vc, m, err := decodeCBFrame(message.NewDecoder(), data)
 		if err != nil {
 			return
 		}
@@ -91,7 +91,7 @@ func FuzzDecodeCBFrame(f *testing.F) {
 		if err != nil {
 			t.Fatalf("re-encode failed: %v", err)
 		}
-		s2, vc2, m2, err := decodeCBFrame(re[1:])
+		s2, vc2, m2, err := decodeCBFrame(message.NewDecoder(), re[1:])
 		if err != nil {
 			t.Fatalf("re-decode failed: %v", err)
 		}

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"causalshare/internal/group"
@@ -35,25 +36,52 @@ type OSendConfig struct {
 // information, a buffered message's predecessors are guaranteed to exist,
 // so a missing one can always be re-fetched from its origin (the label
 // names it).
+//
+// Locking is split so the two halves of the hot path never contend: the
+// Broadcast path touches only retainMu (retransmission state), the
+// delivery path only deliverMu (buffering state), and the delivered set
+// sits behind its own read-mostly lock so stable-point detectors can poll
+// Delivered without slowing either path. Counters are atomics. The lock
+// hierarchy is deliverMu | retainMu → deliveredMu; deliverMu and retainMu
+// are never held together.
 type OSend struct {
 	self     string
 	grp      *group.Group
+	others   []string // cached fan-out targets (the group is immutable)
 	conn     transport.Conn
 	deliver  DeliverFunc
 	patience time.Duration
 
-	mu        sync.Mutex
-	closed    bool
-	delivered *deliveredSet
-	pending   map[message.Label]*pendingEntry
-	waiting   map[message.Label][]message.Label // missing label -> pending labels blocked on it
-	retained  map[message.Label]message.Message // own messages, for retransmission
+	closed atomic.Bool
+
+	// deliveredMu guards the delivered-label set, the engine's most read
+	// structure (every ingest probes it, stable-point detectors poll it).
+	deliveredMu sync.RWMutex
+	delivered   *deliveredSet
+
+	// deliverMu guards the delivery buffer and its scratch space.
+	deliverMu   sync.Mutex
+	pending     map[message.Label]*pendingEntry
+	waiting     map[message.Label][]message.Label // missing label -> pending labels blocked on it
+	maxBuffered int
+	cascade     []message.Message   // BFS scratch for deliverLocked
+	readyFree   [][]message.Message // recycled ready batches
+
+	// retainMu guards retransmission state: own messages kept for
+	// re-fetch, fetch rate-limiting, and peer watermarks.
+	retainMu  sync.Mutex
+	retained  map[message.Label]message.Message
 	lastFetch map[message.Label]time.Time
 	// peerWM holds, per peer, the delivered watermarks that peer last
 	// advertised; a retained message every peer's watermark covers is
 	// stable and garbage-collected.
-	peerWM  map[string]map[string]uint64
-	metrics Metrics
+	peerWM map[string]map[string]uint64
+
+	nDelivered    atomic.Uint64
+	nDuplicates   atomic.Uint64
+	nFetches      atomic.Uint64
+	nControlBytes atomic.Uint64
+	nStablePruned atomic.Uint64
 
 	done chan struct{}
 	wg   sync.WaitGroup
@@ -81,6 +109,7 @@ func NewOSend(cfg OSendConfig) (*OSend, error) {
 	e := &OSend{
 		self:      cfg.Self,
 		grp:       cfg.Group,
+		others:    cfg.Group.Others(cfg.Self),
 		conn:      cfg.Conn,
 		deliver:   cfg.Deliver,
 		patience:  cfg.Patience,
@@ -104,84 +133,94 @@ func NewOSend(cfg OSendConfig) (*OSend, error) {
 // Self implements Broadcaster.
 func (e *OSend) Self() string { return e.self }
 
-// Broadcast implements Broadcaster. The message is retained for
-// retransmission, sent to all other members, and processed locally through
-// the same delivery logic (self-delivery in causal position).
+// Broadcast implements Broadcaster. The message is encoded exactly once
+// into a pooled frame that every destination shares (the transport fans
+// it out without per-peer copies), retained for retransmission, and
+// processed locally through the same delivery logic (self-delivery in
+// causal position).
 func (e *OSend) Broadcast(m message.Message) error {
 	if err := m.Validate(); err != nil {
 		return fmt.Errorf("causal: broadcast: %w", err)
 	}
-	data, err := m.MarshalBinary()
-	if err != nil {
-		return fmt.Errorf("causal: encode %v: %w", m.Label, err)
-	}
-	frame := append([]byte{frameOSendData}, data...)
-
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
+	if e.closed.Load() {
 		return ErrClosed
 	}
-	e.retained[m.Label] = m
-	// Ordering metadata on the wire: the OccursAfter labels, once per peer.
-	meta := uint64(depsEncodedSize(m)) * uint64(e.grp.Size()-1)
-	e.metrics.ControlBytes += meta
-	e.mu.Unlock()
+	f := transport.NewFrame(1 + m.EncodedSize())
+	f.B = append(f.B, frameOSendData)
+	var err error
+	f.B, err = m.AppendBinary(f.B)
+	if err != nil {
+		f.Release()
+		return fmt.Errorf("causal: encode %v: %w", m.Label, err)
+	}
 
-	for _, peer := range e.grp.Others(e.self) {
-		if err := e.conn.Send(peer, frame); err != nil {
-			return fmt.Errorf("causal: send %v to %q: %w", m.Label, peer, err)
-		}
+	e.retainMu.Lock()
+	e.retained[m.Label] = m
+	e.retainMu.Unlock()
+	// Ordering metadata on the wire: the OccursAfter labels, once per peer.
+	e.nControlBytes.Add(uint64(m.Deps.EncodedSize()) * uint64(len(e.others)))
+
+	err = transport.Multicast(e.conn, e.others, f)
+	f.Release()
+	if err != nil {
+		return fmt.Errorf("causal: send %v: %w", m.Label, err)
 	}
 	e.ingest(m)
 	return nil
 }
 
-// depsEncodedSize returns the exact wire size of m's ordering metadata:
-// the dependency count plus each encoded label.
-func depsEncodedSize(m message.Message) int {
-	buf := binary.AppendUvarint(nil, uint64(m.Deps.Len()))
-	for _, d := range m.Deps.Labels() {
-		buf = encodeLabel(buf, d)
-	}
-	return len(buf)
-}
-
 // Metrics returns a snapshot of the engine's counters.
 func (e *OSend) Metrics() Metrics {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	m := e.metrics
+	m := Metrics{
+		Delivered:    e.nDelivered.Load(),
+		Duplicates:   e.nDuplicates.Load(),
+		Fetches:      e.nFetches.Load(),
+		ControlBytes: e.nControlBytes.Load(),
+		StablePruned: e.nStablePruned.Load(),
+	}
+	e.deliverMu.Lock()
 	m.Buffered = len(e.pending)
+	m.MaxBuffered = e.maxBuffered
+	e.deliverMu.Unlock()
+	e.retainMu.Lock()
 	m.Retained = len(e.retained)
+	e.retainMu.Unlock()
 	return m
 }
 
 // Delivered reports whether l has been delivered locally; the stable-point
-// detector uses it.
+// detector polls it, so it takes only a read lock on the delivered set.
 func (e *OSend) Delivered(l message.Label) bool {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.delivered.Has(l)
+	return e.deliveredHas(l)
+}
+
+func (e *OSend) deliveredHas(l message.Label) bool {
+	e.deliveredMu.RLock()
+	ok := e.delivered.Has(l)
+	e.deliveredMu.RUnlock()
+	return ok
+}
+
+func (e *OSend) deliveredAdd(l message.Label) bool {
+	e.deliveredMu.Lock()
+	ok := e.delivered.Add(l)
+	e.deliveredMu.Unlock()
+	return ok
 }
 
 // ForgetRetained drops the local retransmission copy of l (call once l is
 // known stable at all members).
 func (e *OSend) ForgetRetained(l message.Label) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.retainMu.Lock()
 	delete(e.retained, l)
+	e.retainMu.Unlock()
 }
 
 // Close implements Broadcaster.
 func (e *OSend) Close() error {
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
+	if e.closed.Swap(true) {
 		return nil
 	}
-	e.closed = true
-	e.mu.Unlock()
 	close(e.done)
 	err := e.conn.Close()
 	e.wg.Wait()
@@ -190,96 +229,144 @@ func (e *OSend) Close() error {
 
 func (e *OSend) recvLoop() {
 	defer e.wg.Done()
+	dec := message.NewDecoder()
+	if br, ok := e.conn.(transport.BatchRecver); ok {
+		var batch []transport.Envelope
+		for {
+			var err error
+			batch, err = br.RecvBatch(batch)
+			if err != nil {
+				return
+			}
+			for i := range batch {
+				e.handleFrame(dec, &batch[i])
+				batch[i].Release()
+			}
+		}
+	}
 	for {
 		env, err := e.conn.Recv()
 		if err != nil {
 			return
 		}
-		if len(env.Payload) == 0 {
-			continue
-		}
-		kind, body := env.Payload[0], env.Payload[1:]
-		switch kind {
-		case frameOSendData:
-			var m message.Message
-			if err := m.UnmarshalBinary(body); err != nil {
-				continue // malformed frame; drop
-			}
-			e.ingest(m)
-		case frameOSendFetch:
-			l, rest, err := decodeLabel(body)
-			if err != nil || len(rest) != 0 {
-				continue
-			}
-			e.serveFetch(env.From, l)
-		case frameOSendAdvert:
-			retained, watermarks, err := decodeAdvert(body)
-			if err != nil {
-				continue
-			}
-			e.handleAdvert(env.From, retained, watermarks)
-		default:
-			// Unknown frame kinds are ignored for forward compatibility.
-		}
+		e.handleFrame(dec, &env)
+		env.Release()
 	}
+}
+
+// handleFrame dispatches one inbound frame. The envelope's payload is only
+// valid for the duration of the call (the caller releases the frame).
+func (e *OSend) handleFrame(dec *message.Decoder, env *transport.Envelope) {
+	if len(env.Payload) == 0 {
+		return
+	}
+	kind, body := env.Payload[0], env.Payload[1:]
+	switch kind {
+	case frameOSendData:
+		var m message.Message
+		if err := dec.Decode(&m, body); err != nil {
+			return // malformed frame; drop
+		}
+		e.ingest(m)
+	case frameOSendFetch:
+		l, rest, err := decodeLabel(body)
+		if err != nil || len(rest) != 0 {
+			return
+		}
+		e.serveFetch(env.From, l)
+	case frameOSendAdvert:
+		retained, watermarks, err := decodeAdvert(body)
+		if err != nil {
+			return
+		}
+		e.handleAdvert(env.From, retained, watermarks)
+	default:
+		// Unknown frame kinds are ignored for forward compatibility.
+	}
+}
+
+// takeReadyLocked pops a recycled delivery batch. Caller holds deliverMu.
+func (e *OSend) takeReadyLocked() []message.Message {
+	if n := len(e.readyFree); n > 0 {
+		buf := e.readyFree[n-1]
+		e.readyFree = e.readyFree[:n-1]
+		return buf
+	}
+	return nil
+}
+
+// putReady recycles a delivery batch once its messages are handed out.
+func (e *OSend) putReady(buf []message.Message) {
+	clear(buf)
+	e.deliverMu.Lock()
+	e.readyFree = append(e.readyFree, buf[:0])
+	e.deliverMu.Unlock()
 }
 
 // ingest runs the delivery algorithm on one received (or locally
 // broadcast) message, cascading through any pending messages it releases.
 func (e *OSend) ingest(m message.Message) {
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
+	if e.closed.Load() {
 		return
 	}
-	if e.delivered.Has(m.Label) {
-		e.metrics.Duplicates++
-		e.mu.Unlock()
+	e.deliverMu.Lock()
+	if e.deliveredHas(m.Label) {
+		e.nDuplicates.Add(1)
+		e.deliverMu.Unlock()
 		return
 	}
 	if _, buffered := e.pending[m.Label]; buffered {
-		e.metrics.Duplicates++
-		e.mu.Unlock()
+		e.nDuplicates.Add(1)
+		e.deliverMu.Unlock()
 		return
 	}
-	missing := make(map[message.Label]struct{})
+	// The common case has every predecessor delivered; allocate the
+	// missing-set only when something actually is missing.
+	var missing map[message.Label]struct{}
 	for _, d := range m.Deps.Labels() {
-		if !e.delivered.Has(d) {
+		if !e.deliveredHas(d) {
+			if missing == nil {
+				missing = make(map[message.Label]struct{}, m.Deps.Len())
+			}
 			missing[d] = struct{}{}
 		}
 	}
-	var ready []message.Message
-	if len(missing) == 0 {
-		ready = e.deliverLocked(m)
-	} else {
+	if missing != nil {
 		e.pending[m.Label] = &pendingEntry{msg: m, missing: missing, since: time.Now()}
 		for d := range missing {
 			e.waiting[d] = append(e.waiting[d], m.Label)
 		}
-		if len(e.pending) > e.metrics.MaxBuffered {
-			e.metrics.MaxBuffered = len(e.pending)
+		if len(e.pending) > e.maxBuffered {
+			e.maxBuffered = len(e.pending)
 		}
+		e.deliverMu.Unlock()
+		return
 	}
-	e.mu.Unlock()
+	ready := e.deliverLocked(e.takeReadyLocked(), m)
+	e.deliverMu.Unlock()
 	for _, r := range ready {
 		e.deliver(r)
 	}
+	e.pruneFetched(ready)
+	e.putReady(ready)
 }
 
-// deliverLocked marks m delivered and returns, in order, m plus every
-// buffered message transitively released by it. Caller holds e.mu.
-func (e *OSend) deliverLocked(m message.Message) []message.Message {
-	var out []message.Message
-	queue := []message.Message{m}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		if !e.delivered.Add(cur.Label) {
+// deliverLocked marks m delivered and appends, in order, m plus every
+// buffered message transitively released by it to out. Caller holds
+// deliverMu.
+func (e *OSend) deliverLocked(out []message.Message, m message.Message) []message.Message {
+	queue := append(e.cascade[:0], m)
+	for i := 0; i < len(queue); i++ {
+		cur := queue[i]
+		if !e.deliveredAdd(cur.Label) {
 			continue
 		}
-		e.metrics.Delivered++
+		e.nDelivered.Add(1)
 		out = append(out, cur)
-		blocked := e.waiting[cur.Label]
+		blocked, ok := e.waiting[cur.Label]
+		if !ok {
+			continue
+		}
 		delete(e.waiting, cur.Label)
 		for _, bl := range blocked {
 			entry, ok := e.pending[bl]
@@ -293,7 +380,22 @@ func (e *OSend) deliverLocked(m message.Message) []message.Message {
 			}
 		}
 	}
+	clear(queue)
+	e.cascade = queue[:0]
 	return out
+}
+
+// pruneFetched drops fetch rate-limit entries for labels that just got
+// delivered, so the lastFetch map tracks only live gaps instead of
+// growing with history.
+func (e *OSend) pruneFetched(ready []message.Message) {
+	e.retainMu.Lock()
+	if len(e.lastFetch) != 0 {
+		for i := range ready {
+			delete(e.lastFetch, ready[i].Label)
+		}
+	}
+	e.retainMu.Unlock()
 }
 
 // fetchLoop periodically requests retransmission of predecessors that
@@ -313,8 +415,31 @@ func (e *OSend) fetchLoop() {
 		case now := <-ticker.C:
 			e.fetchMissing(now)
 			e.advertise()
+			e.pruneFetchState()
 		}
 	}
+}
+
+// pruneFetchState sweeps fetch rate-limit entries that can never be acted
+// on again: labels already delivered (covered elsewhere but also swept
+// here for entries created by adverts that raced a delivery) and labels
+// whose retransmission route left the group.
+func (e *OSend) pruneFetchState() {
+	e.retainMu.Lock()
+	for l := range e.lastFetch {
+		if e.deliveredHas(l) || !e.grp.Contains(RouteOrigin(l.Origin)) {
+			delete(e.lastFetch, l)
+		}
+	}
+	e.retainMu.Unlock()
+}
+
+// fetchBacklog reports the number of tracked fetch rate-limit entries
+// (test hook for the pruning regression tests).
+func (e *OSend) fetchBacklog() int {
+	e.retainMu.Lock()
+	defer e.retainMu.Unlock()
+	return len(e.lastFetch)
 }
 
 // advertise sends every peer (a) the highest retained sequence number per
@@ -326,26 +451,27 @@ func (e *OSend) fetchLoop() {
 // Dependency-driven fetching covers every loss that *is* referenced; the
 // adverts are the anti-entropy half of the engine's reliability.
 func (e *OSend) advertise() {
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
+	if e.closed.Load() {
 		return
 	}
+	e.retainMu.Lock()
 	maxSeq := make(map[string]uint64)
 	for l := range e.retained {
 		if l.Seq > maxSeq[l.Origin] {
 			maxSeq[l.Origin] = l.Seq
 		}
 	}
+	e.retainMu.Unlock()
+	e.deliveredMu.RLock()
 	wm := e.delivered.Watermarks()
-	e.mu.Unlock()
+	e.deliveredMu.RUnlock()
 	if len(maxSeq) == 0 && len(wm) == 0 {
 		return
 	}
 	frame := encodeAdvert(maxSeq, wm)
-	for _, peer := range e.grp.Others(e.self) {
-		_ = e.conn.Send(peer, frame) // best effort; re-sent next tick
-	}
+	f := transport.StaticFrame(frame)
+	_ = transport.Multicast(e.conn, e.others, f) // best effort; re-sent next tick
+	f.Release()
 }
 
 // handleAdvert fetches, from the advertising member, any sequence numbers
@@ -355,51 +481,63 @@ func (e *OSend) advertise() {
 func (e *OSend) handleAdvert(from string, retained, watermarks map[string]uint64) {
 	const maxFetchPerAdvert = 32
 	now := time.Now()
-	var fetches []message.Label
-	e.mu.Lock()
+	var candidates []message.Label
+scan:
 	for origin, maxSeq := range retained {
-		for seq := e.delivered.Watermark(origin) + 1; seq <= maxSeq; seq++ {
+		for seq := e.deliveredWatermark(origin) + 1; seq <= maxSeq; seq++ {
 			l := message.Label{Origin: origin, Seq: seq}
-			if e.delivered.Has(l) {
+			if e.deliveredHas(l) || e.isPending(l) {
 				continue
 			}
-			if _, buffered := e.pending[l]; buffered {
-				continue
-			}
-			if last, ok := e.lastFetch[l]; ok && now.Sub(last) < e.patience {
-				continue
-			}
-			e.lastFetch[l] = now
-			fetches = append(fetches, l)
-			e.metrics.Fetches++
-			if len(fetches) >= maxFetchPerAdvert {
-				break
+			candidates = append(candidates, l)
+			if len(candidates) >= maxFetchPerAdvert {
+				break scan
 			}
 		}
-		if len(fetches) >= maxFetchPerAdvert {
-			break
+	}
+	var fetches []message.Label
+	e.retainMu.Lock()
+	for _, l := range candidates {
+		if last, ok := e.lastFetch[l]; ok && now.Sub(last) < e.patience {
+			continue
 		}
+		e.lastFetch[l] = now
+		fetches = append(fetches, l)
+		e.nFetches.Add(1)
 	}
 	e.peerWM[from] = watermarks
 	e.pruneStableLocked()
-	e.mu.Unlock()
+	e.retainMu.Unlock()
 	for _, l := range fetches {
 		frame := append([]byte{frameOSendFetch}, encodeLabel(nil, l)...)
 		_ = e.conn.Send(from, frame) // best effort; retried next advert
 	}
 }
 
+func (e *OSend) deliveredWatermark(origin string) uint64 {
+	e.deliveredMu.RLock()
+	wm := e.delivered.Watermark(origin)
+	e.deliveredMu.RUnlock()
+	return wm
+}
+
+func (e *OSend) isPending(l message.Label) bool {
+	e.deliverMu.Lock()
+	_, ok := e.pending[l]
+	e.deliverMu.Unlock()
+	return ok
+}
+
 // pruneStableLocked drops retained messages whose sequence every peer's
 // advertised watermark covers: all members delivered them, so no fetch
-// can ever name them again. Caller holds e.mu.
+// can ever name them again. Caller holds retainMu.
 func (e *OSend) pruneStableLocked() {
-	others := e.grp.Others(e.self)
-	if len(e.peerWM) < len(others) {
+	if len(e.peerWM) < len(e.others) {
 		return // need evidence from every peer before anything is stable
 	}
 	for l := range e.retained {
 		stable := true
-		for _, p := range others {
+		for _, p := range e.others {
 			wm, ok := e.peerWM[p]
 			if !ok || wm[l.Origin] < l.Seq {
 				stable = false
@@ -409,7 +547,7 @@ func (e *OSend) pruneStableLocked() {
 		if stable {
 			delete(e.retained, l)
 			delete(e.lastFetch, l)
-			e.metrics.StablePruned++
+			e.nStablePruned.Add(1)
 		}
 	}
 }
@@ -480,26 +618,32 @@ func (e *OSend) fetchMissing(now time.Time) {
 		to string
 		l  message.Label
 	}
-	var fetches []fetch
-	e.mu.Lock()
+	var candidates []fetch
+	e.deliverMu.Lock()
 	for _, entry := range e.pending {
 		if now.Sub(entry.since) < e.patience {
 			continue
 		}
 		for d := range entry.missing {
-			if last, ok := e.lastFetch[d]; ok && now.Sub(last) < e.patience {
-				continue
-			}
-			e.lastFetch[d] = now
 			to := RouteOrigin(d.Origin)
 			if to == e.self || !e.grp.Contains(to) {
 				continue
 			}
-			fetches = append(fetches, fetch{to: to, l: d})
-			e.metrics.Fetches++
+			candidates = append(candidates, fetch{to: to, l: d})
 		}
 	}
-	e.mu.Unlock()
+	e.deliverMu.Unlock()
+	var fetches []fetch
+	e.retainMu.Lock()
+	for _, c := range candidates {
+		if last, ok := e.lastFetch[c.l]; ok && now.Sub(last) < e.patience {
+			continue
+		}
+		e.lastFetch[c.l] = now
+		fetches = append(fetches, c)
+		e.nFetches.Add(1)
+	}
+	e.retainMu.Unlock()
 	for _, f := range fetches {
 		frame := append([]byte{frameOSendFetch}, encodeLabel(nil, f.l)...)
 		_ = e.conn.Send(f.to, frame) // best effort; retried next tick
@@ -507,18 +651,22 @@ func (e *OSend) fetchMissing(now time.Time) {
 }
 
 func (e *OSend) serveFetch(requester string, l message.Label) {
-	e.mu.Lock()
+	e.retainMu.Lock()
 	m, ok := e.retained[l]
-	e.mu.Unlock()
+	e.retainMu.Unlock()
 	if !ok {
 		return
 	}
-	data, err := m.MarshalBinary()
+	f := transport.NewFrame(1 + m.EncodedSize())
+	f.B = append(f.B, frameOSendData)
+	var err error
+	f.B, err = m.AppendBinary(f.B)
 	if err != nil {
+		f.Release()
 		return
 	}
-	frame := append([]byte{frameOSendData}, data...)
-	_ = e.conn.Send(requester, frame) // best effort
+	_ = e.conn.Send(requester, f.B) // best effort
+	f.Release()
 }
 
 // RouteOrigin maps a label origin to the transport id retransmission

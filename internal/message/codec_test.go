@@ -1,0 +1,191 @@
+package message
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+// TestPropEncodedSizeExact pins the arithmetic size computation to the
+// codec: for generated messages, EncodedSize must equal the encoded length
+// exactly, so MarshalBinary's single allocation is always right-sized.
+func TestPropEncodedSizeExact(t *testing.T) {
+	f := func(o1, s1, o2, s2, o3, s3 uint8, body []byte, op string) bool {
+		m := Message{
+			Label: propLabel(o1, s1),
+			Deps:  After(propLabel(o2, s2), propLabel(o3, s3)),
+			Kind:  KindNonCommutative,
+			Op:    op,
+			Body:  body,
+		}
+		data, err := m.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		return m.EncodedSize() == len(data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEncodedSizeExactExtremes covers the sizes the quick generator rarely
+// hits: multi-byte varints for sequence numbers, body lengths, and kinds.
+func TestEncodedSizeExactExtremes(t *testing.T) {
+	msgs := []Message{
+		{Label: Label{"a", 1}, Kind: KindCommutative, Op: ""},
+		{Label: Label{"a", 1 << 62}, Kind: KindControl, Op: "x"},
+		{
+			Label: Label{"origin-with-a-long-name", 128},
+			Deps:  After(Label{"b", 127}, Label{"b", 128}, Label{"c", 1 << 40}),
+			Kind:  KindRead,
+			Op:    "rd",
+			Body:  make([]byte, 300),
+		},
+	}
+	for _, m := range msgs {
+		data, err := m.MarshalBinary()
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if got, want := m.EncodedSize(), len(data); got != want {
+			t.Errorf("%v: EncodedSize = %d, encoded length = %d", m, got, want)
+		}
+	}
+}
+
+// TestAppendBinaryInPlace checks AppendBinary extends a caller's buffer
+// without reallocating when capacity suffices — the property the engines
+// rely on to encode directly into pooled, tag-prefixed frames.
+func TestAppendBinaryInPlace(t *testing.T) {
+	m := Message{
+		Label: Label{"a", 9},
+		Deps:  After(Label{"b", 3}),
+		Kind:  KindCommutative,
+		Op:    "inc",
+		Body:  []byte("payload"),
+	}
+	buf := make([]byte, 1, 1+m.EncodedSize())
+	buf[0] = 0xAB // frame tag a caller would have written
+	out, err := m.AppendBinary(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &out[0] != &buf[0] {
+		t.Error("AppendBinary reallocated despite sufficient capacity")
+	}
+	if out[0] != 0xAB {
+		t.Error("AppendBinary clobbered the prefix")
+	}
+	want, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out[1:], want) {
+		t.Error("AppendBinary output differs from MarshalBinary")
+	}
+}
+
+// TestDecoderMatchesUnmarshal checks Decode and UnmarshalBinary agree on
+// every field.
+func TestDecoderMatchesUnmarshal(t *testing.T) {
+	msgs := []Message{
+		{Label: Label{"a", 1}, Kind: KindCommutative, Op: "inc"},
+		{
+			Label: Label{"frontend~cli", 900},
+			Deps:  After(Label{"a", 1}, Label{"b", 77}),
+			Kind:  KindNonCommutative,
+			Op:    "upd",
+			Body:  []byte("key=value"),
+		},
+	}
+	dec := NewDecoder()
+	for _, m := range msgs {
+		data, err := m.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var plain, pooled Message
+		if err := plain.UnmarshalBinary(data); err != nil {
+			t.Fatal(err)
+		}
+		if err := dec.Decode(&pooled, data); err != nil {
+			t.Fatal(err)
+		}
+		if pooled.Label != plain.Label || pooled.Kind != plain.Kind ||
+			pooled.Op != plain.Op || !bytes.Equal(pooled.Body, plain.Body) ||
+			pooled.Deps.String() != plain.Deps.String() {
+			t.Errorf("Decode = %v, UnmarshalBinary = %v", pooled, plain)
+		}
+	}
+}
+
+// TestDecoderDoesNotAliasInput scribbles over the wire buffer after
+// decoding; the message must be unaffected, since engines release pooled
+// frames immediately after decode.
+func TestDecoderDoesNotAliasInput(t *testing.T) {
+	m := Message{
+		Label: Label{"a", 2},
+		Deps:  After(Label{"b", 1}),
+		Kind:  KindCommutative,
+		Op:    "inc",
+		Body:  []byte("hello"),
+	}
+	data, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := NewDecoder()
+	var got Message
+	if err := dec.Decode(&got, data); err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		data[i] = 0xFF
+	}
+	if got.Label != m.Label || got.Op != m.Op || !bytes.Equal(got.Body, m.Body) ||
+		got.Deps.String() != m.Deps.String() {
+		t.Errorf("decoded message aliases its input buffer: %v", got)
+	}
+}
+
+// TestDecoderSteadyStateAllocs pins the receive path's allocation budget:
+// once the decoder's intern table is warm, a dependency-free empty-body
+// message decodes with zero allocations, and each dependency-carrying
+// message costs only its one dependency-slice allocation.
+func TestDecoderSteadyStateAllocs(t *testing.T) {
+	depFree := Message{Label: Label{"member-7", 42}, Kind: KindCommutative, Op: "inc"}
+	data, err := depFree.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := NewDecoder()
+	var out Message
+	if err := dec.Decode(&out, data); err != nil { // warm the intern table
+		t.Fatal(err)
+	}
+	if got := testing.AllocsPerRun(200, func() {
+		if err := dec.Decode(&out, data); err != nil {
+			t.Fatal(err)
+		}
+	}); got != 0 {
+		t.Errorf("dep-free decode allocates %v times per op, want 0", got)
+	}
+
+	withDeps := depFree
+	withDeps.Deps = After(Label{"member-3", 41})
+	data2, err := withDeps.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dec.Decode(&out, data2); err != nil {
+		t.Fatal(err)
+	}
+	if got := testing.AllocsPerRun(200, func() {
+		if err := dec.Decode(&out, data2); err != nil {
+			t.Fatal(err)
+		}
+	}); got > 1 {
+		t.Errorf("single-dep decode allocates %v times per op, want <= 1", got)
+	}
+}

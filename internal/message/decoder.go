@@ -1,0 +1,154 @@
+package message
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// maxIntern bounds the decoder's string table. Origins and operation names
+// are drawn from small vocabularies (group members × layers, a handful of
+// ops), so the cap is generous; past it the decoder degrades gracefully to
+// plain allocation.
+const maxIntern = 4096
+
+// Decoder decodes messages while interning the strings that repeat across
+// frames — label origins and operation names. In a broadcast group both
+// vocabularies are tiny and every frame repeats them, so a long-lived
+// decoder makes the steady-state receive path allocation-free for
+// dependency-light messages.
+//
+// A Decoder is not safe for concurrent use; each receive loop owns one.
+type Decoder struct {
+	intern map[string]string
+	// deps is a scratch slice reused across Decode calls for the initial
+	// dependency parse; the final slice handed to the message is freshly
+	// cut only when the message actually has dependencies.
+	deps []Label
+}
+
+// NewDecoder returns an empty decoder.
+func NewDecoder() *Decoder {
+	return &Decoder{intern: make(map[string]string, 64)}
+}
+
+// str returns b as a string, interned when the decoder has one. The map
+// lookup with a converted key compiles to a no-allocation probe.
+func (d *Decoder) str(b []byte) string {
+	if d == nil {
+		return string(b)
+	}
+	if s, ok := d.intern[string(b)]; ok {
+		return s
+	}
+	s := string(b)
+	if len(d.intern) < maxIntern {
+		d.intern[s] = s
+	}
+	return s
+}
+
+// Decode decodes one MarshalBinary frame into m. It is equivalent to
+// m.UnmarshalBinary(data) but amortizes string and slice allocations.
+// The decoded message never aliases data, so callers may recycle the
+// buffer immediately.
+func (d *Decoder) Decode(m *Message, data []byte) error {
+	return decodeMessage(m, data, d)
+}
+
+func readStringIn(data []byte, d *Decoder) (string, []byte, error) {
+	l, used := binary.Uvarint(data)
+	if used <= 0 || uint64(len(data)-used) < l {
+		return "", nil, fmt.Errorf("message: truncated string")
+	}
+	return d.str(data[used : used+int(l)]), data[used+int(l):], nil
+}
+
+func readLabelIn(data []byte, d *Decoder) (Label, []byte, error) {
+	origin, rest, err := readStringIn(data, d)
+	if err != nil {
+		return Nil, nil, err
+	}
+	seq, used := binary.Uvarint(rest)
+	if used <= 0 {
+		return Nil, nil, fmt.Errorf("message: truncated label seq")
+	}
+	return Label{Origin: origin, Seq: seq}, rest[used:], nil
+}
+
+// decodeMessage is the codec's single decode path; d may be nil.
+func decodeMessage(m *Message, data []byte, d *Decoder) error {
+	label, rest, err := readLabelIn(data, d)
+	if err != nil {
+		return err
+	}
+	nDeps, used := binary.Uvarint(rest)
+	if used <= 0 {
+		return fmt.Errorf("message: truncated dep count")
+	}
+	rest = rest[used:]
+	// Every dependency takes at least 2 bytes on the wire, so a count
+	// exceeding the remaining bytes is malformed; reject it before it can
+	// size an allocation (fuzzing found multi-terabyte counts here).
+	if nDeps > uint64(len(rest))/2 {
+		return fmt.Errorf("message: dep count %d exceeds frame", nDeps)
+	}
+	var scratch []Label
+	if d != nil {
+		scratch = d.deps[:0]
+	} else {
+		scratch = make([]Label, 0, nDeps)
+	}
+	canonical := true // sorted, unique, nil-free — true for our own encodes
+	for i := uint64(0); i < nDeps; i++ {
+		var dep Label
+		dep, rest, err = readLabelIn(rest, d)
+		if err != nil {
+			return fmt.Errorf("message: dep %d: %w", i, err)
+		}
+		if dep.IsNil() || (i > 0 && !scratch[i-1].Less(dep)) {
+			canonical = false
+		}
+		scratch = append(scratch, dep)
+	}
+	if d != nil {
+		d.deps = scratch[:0]
+	}
+	kind, used := binary.Uvarint(rest)
+	if used <= 0 {
+		return fmt.Errorf("message: truncated kind")
+	}
+	rest = rest[used:]
+	op, rest, err := readStringIn(rest, d)
+	if err != nil {
+		return fmt.Errorf("message: op: %w", err)
+	}
+	bodyLen, used := binary.Uvarint(rest)
+	if used <= 0 || uint64(len(rest)-used) < bodyLen {
+		return fmt.Errorf("message: truncated body")
+	}
+	rest = rest[used:]
+	var body []byte
+	if bodyLen > 0 {
+		body = make([]byte, bodyLen)
+		copy(body, rest[:bodyLen])
+	}
+	if len(rest[bodyLen:]) != 0 {
+		return fmt.Errorf("message: %d trailing bytes", len(rest[bodyLen:]))
+	}
+	var deps OccursAfter
+	if len(scratch) > 0 {
+		if canonical {
+			deps = afterSorted(append([]Label(nil), scratch...))
+		} else {
+			deps = After(scratch...) // foreign encoder: normalize
+		}
+	}
+	*m = Message{
+		Label: label,
+		Deps:  deps,
+		Kind:  Kind(kind),
+		Op:    op,
+		Body:  body,
+	}
+	return m.Validate()
+}

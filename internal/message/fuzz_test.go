@@ -56,6 +56,20 @@ func FuzzUnmarshalBinary(f *testing.F) {
 		if !bytes.Equal(canon, canon2) {
 			t.Fatalf("canonical form not a fixpoint:\n1: %x\n2: %x", canon, canon2)
 		}
+		// The arithmetic size must match the real encoding exactly, for
+		// every message the codec can produce.
+		if m.EncodedSize() != len(canon) {
+			t.Fatalf("EncodedSize = %d, encoded length = %d", m.EncodedSize(), len(canon))
+		}
+		// The pooled decoder must agree with the plain one byte for byte.
+		var viaDec Message
+		if err := NewDecoder().Decode(&viaDec, data); err != nil {
+			t.Fatalf("Decoder rejected input UnmarshalBinary accepted: %v", err)
+		}
+		if viaDec.Label != m.Label || viaDec.Op != m.Op || viaDec.Kind != m.Kind ||
+			!bytes.Equal(viaDec.Body, m.Body) || viaDec.Deps.String() != m.Deps.String() {
+			t.Fatalf("Decoder disagrees with UnmarshalBinary: %v vs %v", viaDec, m)
+		}
 		if again.Label != m.Label || again.Op != m.Op || again.Kind != m.Kind ||
 			!bytes.Equal(again.Body, m.Body) || again.Deps.String() != m.Deps.String() {
 			t.Fatalf("round trip changed message: %v vs %v", m, again)

@@ -114,21 +114,34 @@ type OccursAfter struct {
 // dropped, duplicates collapse, and the result is kept sorted so equal
 // predicates have equal representations.
 func After(labels ...Label) OccursAfter {
+	if len(labels) == 0 {
+		return OccursAfter{}
+	}
 	deps := make([]Label, 0, len(labels))
-	seen := make(map[Label]struct{}, len(labels))
+	// Predicates are small (a handful of predecessors); insertion with a
+	// linear dedup scan avoids the map a set-based build would allocate.
 	for _, l := range labels {
 		if l.IsNil() {
 			continue
 		}
-		if _, dup := seen[l]; dup {
+		i := sort.Search(len(deps), func(i int) bool { return !deps[i].Less(l) })
+		if i < len(deps) && deps[i] == l {
 			continue
 		}
-		seen[l] = struct{}{}
-		deps = append(deps, l)
+		deps = append(deps, Label{})
+		copy(deps[i+1:], deps[i:])
+		deps[i] = l
 	}
-	sort.Slice(deps, func(i, j int) bool { return deps[i].Less(deps[j]) })
+	if len(deps) == 0 {
+		return OccursAfter{}
+	}
 	return OccursAfter{deps: deps}
 }
+
+// afterSorted wraps an already sorted, deduplicated, nil-free label slice
+// without copying. The decoder uses it for wire data that is canonical by
+// construction; callers must verify sortedness first.
+func afterSorted(deps []Label) OccursAfter { return OccursAfter{deps: deps} }
 
 // Unconstrained is the empty predicate, OccursAfter(NULL).
 func Unconstrained() OccursAfter { return OccursAfter{} }
@@ -217,35 +230,22 @@ func appendString(buf []byte, s string) []byte {
 	return append(buf, s...)
 }
 
-func readString(data []byte) (string, []byte, error) {
-	l, used := binary.Uvarint(data)
-	if used <= 0 || uint64(len(data)-used) < l {
-		return "", nil, fmt.Errorf("message: truncated string")
-	}
-	return string(data[used : used+int(l)]), data[used+int(l):], nil
-}
-
 func appendLabel(buf []byte, l Label) []byte {
 	buf = appendString(buf, l.Origin)
 	return binary.AppendUvarint(buf, l.Seq)
 }
 
-func readLabel(data []byte) (Label, []byte, error) {
-	origin, rest, err := readString(data)
-	if err != nil {
-		return Nil, nil, err
-	}
-	seq, used := binary.Uvarint(rest)
-	if used <= 0 {
-		return Nil, nil, fmt.Errorf("message: truncated label seq")
-	}
-	return Label{Origin: origin, Seq: seq}, rest[used:], nil
+// MarshalBinary encodes the message with the compact codec. Equal messages
+// produce identical bytes. The buffer is sized exactly via EncodedSize, so
+// encoding costs a single allocation.
+func (m Message) MarshalBinary() ([]byte, error) {
+	return m.AppendBinary(make([]byte, 0, m.EncodedSize()))
 }
 
-// MarshalBinary encodes the message with the compact codec. Equal messages
-// produce identical bytes.
-func (m Message) MarshalBinary() ([]byte, error) {
-	buf := make([]byte, 0, 32+len(m.Body)+16*m.Deps.Len())
+// AppendBinary appends the compact encoding of m to buf and returns the
+// extended slice. It never reallocates when buf has EncodedSize() spare
+// capacity, which lets callers encode into pooled or prefixed buffers.
+func (m Message) AppendBinary(buf []byte) ([]byte, error) {
 	buf = appendLabel(buf, m.Label)
 	buf = binary.AppendUvarint(buf, uint64(m.Deps.Len()))
 	for _, d := range m.Deps.Labels() {
@@ -254,73 +254,53 @@ func (m Message) MarshalBinary() ([]byte, error) {
 	buf = binary.AppendUvarint(buf, uint64(m.Kind))
 	buf = appendString(buf, m.Op)
 	buf = binary.AppendUvarint(buf, uint64(len(m.Body)))
-	buf = append(buf, m.Body...)
-	return buf, nil
+	return append(buf, m.Body...), nil
 }
 
 // UnmarshalBinary decodes a message encoded by MarshalBinary, replacing m.
+// Engines with a long-lived receive loop should prefer Decoder.Decode,
+// which additionally interns the recurring strings.
 func (m *Message) UnmarshalBinary(data []byte) error {
-	label, rest, err := readLabel(data)
-	if err != nil {
-		return err
-	}
-	nDeps, used := binary.Uvarint(rest)
-	if used <= 0 {
-		return fmt.Errorf("message: truncated dep count")
-	}
-	rest = rest[used:]
-	// Every dependency takes at least 2 bytes on the wire, so a count
-	// exceeding the remaining bytes is malformed; reject it before it can
-	// size an allocation (fuzzing found multi-terabyte counts here).
-	if nDeps > uint64(len(rest))/2 {
-		return fmt.Errorf("message: dep count %d exceeds frame", nDeps)
-	}
-	deps := make([]Label, 0, nDeps)
-	for i := uint64(0); i < nDeps; i++ {
-		var d Label
-		d, rest, err = readLabel(rest)
-		if err != nil {
-			return fmt.Errorf("message: dep %d: %w", i, err)
-		}
-		deps = append(deps, d)
-	}
-	kind, used := binary.Uvarint(rest)
-	if used <= 0 {
-		return fmt.Errorf("message: truncated kind")
-	}
-	rest = rest[used:]
-	op, rest, err := readString(rest)
-	if err != nil {
-		return fmt.Errorf("message: op: %w", err)
-	}
-	bodyLen, used := binary.Uvarint(rest)
-	if used <= 0 || uint64(len(rest)-used) < bodyLen {
-		return fmt.Errorf("message: truncated body")
-	}
-	rest = rest[used:]
-	var body []byte
-	if bodyLen > 0 {
-		body = make([]byte, bodyLen)
-		copy(body, rest[:bodyLen])
-	}
-	if len(rest[bodyLen:]) != 0 {
-		return fmt.Errorf("message: %d trailing bytes", len(rest[bodyLen:]))
-	}
-	*m = Message{
-		Label: label,
-		Deps:  After(deps...),
-		Kind:  Kind(kind),
-		Op:    op,
-		Body:  body,
-	}
-	return m.Validate()
+	return decodeMessage(m, data, nil)
 }
 
-// EncodedSize returns the number of bytes MarshalBinary would produce; the
-// wire-overhead experiment (E7) compares it across ordering mechanisms.
+// uvarintLen returns the number of bytes binary.AppendUvarint emits for x.
+func uvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}
+
+// labelEncodedSize returns the wire size of one label.
+func labelEncodedSize(l Label) int {
+	return uvarintLen(uint64(len(l.Origin))) + len(l.Origin) + uvarintLen(l.Seq)
+}
+
+// EncodedSize returns the wire size of the predicate as MarshalBinary
+// embeds it: the dependency count plus each encoded label. The causal
+// engines use it to account ordering metadata without encoding anything.
+func (p OccursAfter) EncodedSize() int {
+	n := uvarintLen(uint64(len(p.deps)))
+	for _, d := range p.deps {
+		n += labelEncodedSize(d)
+	}
+	return n
+}
+
+// EncodedSize returns the number of bytes MarshalBinary would produce,
+// computed arithmetically without encoding anything. The wire-overhead
+// experiment (E7) compares it across ordering mechanisms, and MarshalBinary
+// uses it to right-size its single allocation.
 func (m Message) EncodedSize() int {
-	b, _ := m.MarshalBinary() // cannot fail
-	return len(b)
+	n := labelEncodedSize(m.Label)
+	n += m.Deps.EncodedSize()
+	n += uvarintLen(uint64(m.Kind))
+	n += uvarintLen(uint64(len(m.Op))) + len(m.Op)
+	n += uvarintLen(uint64(len(m.Body))) + len(m.Body)
+	return n
 }
 
 // Labeler hands out monotonically increasing labels for one origin. It is

@@ -213,7 +213,8 @@ func (s *Sequencer) Close() error {
 }
 
 func encodeOrder(seq uint64, l message.Label) []byte {
-	buf := binary.AppendUvarint(nil, seq)
+	size := uvarintLen(seq) + uvarintLen(uint64(len(l.Origin))) + len(l.Origin) + uvarintLen(l.Seq)
+	buf := binary.AppendUvarint(make([]byte, 0, size), seq)
 	buf = binary.AppendUvarint(buf, uint64(len(l.Origin)))
 	buf = append(buf, l.Origin...)
 	return binary.AppendUvarint(buf, l.Seq)

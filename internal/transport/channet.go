@@ -16,24 +16,23 @@ type Stats struct {
 	Duplicated uint64
 }
 
-// ChanNet is an in-process Network built on goroutines and channels. One
-// dispatcher goroutine applies the fault model and releases frames to
-// per-connection mailboxes in delay order.
+// ChanNet is an in-process Network built on goroutines and channels.
+// Destinations are fully independent: each connection owns its mailbox
+// and, when the fault model delays frames, its own delay scheduler. A
+// scheduler releases every due frame in one batch, so a burst of ready
+// deliveries costs one mailbox lock and one receiver wakeup instead of
+// one of each per frame. There is no global dispatch goroutine and no
+// cross-destination lock on the send path: senders resolve the
+// destination through an atomic snapshot of the attachment table.
 type ChanNet struct {
 	faults FaultModel
 	dice   *faultDice
 	parts  *partitionSet
 
-	mu     sync.Mutex
+	mu     sync.Mutex // guards attach/detach mutations
 	conns  map[string]*chanConn
-	closed bool
-
-	// dispatcher state
-	queue    deliveryHeap
-	wake     chan struct{}
-	done     chan struct{}
-	stopOnce sync.Once
-	wg       sync.WaitGroup
+	snap   atomic.Value // map[string]*chanConn, read by senders
+	closed atomic.Bool
 
 	sent, delivered, dropped, duplicated atomic.Uint64
 }
@@ -48,13 +47,8 @@ func NewChanNet(faults FaultModel) *ChanNet {
 		dice:   newFaultDice(faults.Seed),
 		parts:  newPartitionSet(),
 		conns:  make(map[string]*chanConn),
-		wake:   make(chan struct{}, 1),
-		done:   make(chan struct{}),
 	}
-	if n.delayed() {
-		n.wg.Add(1)
-		go n.dispatch()
-	}
+	n.snap.Store(map[string]*chanConn{})
 	return n
 }
 
@@ -62,18 +56,42 @@ func (n *ChanNet) delayed() bool {
 	return n.faults.MinDelay > 0 || n.faults.MaxDelay > 0
 }
 
+// publishLocked refreshes the sender-visible attachment snapshot. Caller
+// holds n.mu.
+func (n *ChanNet) publishLocked() {
+	m := make(map[string]*chanConn, len(n.conns))
+	for id, c := range n.conns {
+		m[id] = c
+	}
+	n.snap.Store(m)
+}
+
+// lookup resolves a destination without locking.
+func (n *ChanNet) lookup(id string) (*chanConn, bool) {
+	m, ok := n.snap.Load().(map[string]*chanConn)
+	if !ok {
+		return nil, false
+	}
+	c, ok := m[id]
+	return c, ok
+}
+
 // Attach implements Network.
 func (n *ChanNet) Attach(id string) (Conn, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if n.closed {
+	if n.closed.Load() {
 		return nil, ErrClosed
 	}
 	if _, dup := n.conns[id]; dup {
 		return nil, fmt.Errorf("transport: id %q already attached", id)
 	}
 	c := &chanConn{id: id, net: n, box: newMailbox()}
+	if n.delayed() {
+		c.sched = newDestSched(c)
+	}
 	n.conns[id] = c
+	n.publishLocked()
 	return c, nil
 }
 
@@ -108,61 +126,86 @@ func (n *ChanNet) Stats() Stats {
 // Close implements Network.
 func (n *ChanNet) Close() error {
 	n.mu.Lock()
-	if n.closed {
+	if n.closed.Swap(true) {
 		n.mu.Unlock()
 		return nil
 	}
-	n.closed = true
 	conns := make([]*chanConn, 0, len(n.conns))
 	for _, c := range n.conns {
 		conns = append(conns, c)
 	}
 	n.mu.Unlock()
-	n.stopOnce.Do(func() { close(n.done) })
-	n.wg.Wait()
 	for _, c := range conns {
-		c.box.close()
+		c.stop()
 	}
 	return nil
 }
 
-func (n *ChanNet) send(from, to string, payload []byte) error {
-	n.mu.Lock()
-	if n.closed {
-		n.mu.Unlock()
-		return ErrClosed
-	}
-	dst, ok := n.conns[to]
-	n.mu.Unlock()
-	if !ok {
-		return &ErrUnknownPeer{ID: to}
-	}
+// route decides one frame's fate and hands it (and a possible duplicate)
+// to the destination. env.frame references must already be owned by env.
+func (n *ChanNet) route(dst *chanConn, env Envelope) {
 	n.sent.Add(1)
-	if n.parts.isBlocked(from, to) {
+	if n.parts.isBlocked(env.From, env.To) {
 		n.dropped.Add(1)
-		return nil // partitions drop silently, like a real network
+		env.Release()
+		return // partitions drop silently, like a real network
 	}
 	drop, delay, dup, dupDelay := n.dice.roll(n.faults)
 	if drop {
 		n.dropped.Add(1)
-		return nil
+		env.Release()
+		return
 	}
-	body := make([]byte, len(payload))
-	copy(body, payload)
-	env := Envelope{From: from, To: to, Payload: body}
-	if !n.delayed() {
-		n.deliver(dst, env)
-		if dup {
-			n.duplicated.Add(1)
-			n.deliver(dst, env)
-		}
-		return nil
-	}
-	now := time.Now()
-	n.schedule(delivery{at: now.Add(delay), dst: dst, env: env})
+	var dupEnv Envelope
 	if dup {
 		n.duplicated.Add(1)
-		n.schedule(delivery{at: now.Add(dupDelay), dst: dst, env: env})
+		dupEnv = env
+		if dupEnv.frame != nil {
+			dupEnv.frame.Retain()
+		}
+	}
+	if dst.sched == nil {
+		n.deliver(dst, env)
+		if dup {
+			n.deliver(dst, dupEnv)
+		}
+		return
+	}
+	now := time.Now()
+	dst.sched.schedule(delivery{at: now.Add(delay), env: env})
+	if dup {
+		dst.sched.schedule(delivery{at: now.Add(dupDelay), env: dupEnv})
+	}
+}
+
+func (n *ChanNet) send(from, to string, payload []byte) error {
+	if n.closed.Load() {
+		return ErrClosed
+	}
+	dst, ok := n.lookup(to)
+	if !ok {
+		return &ErrUnknownPeer{ID: to}
+	}
+	// Unicast sends copy: the caller keeps ownership of payload.
+	body := make([]byte, len(payload))
+	copy(body, payload)
+	n.route(dst, Envelope{From: from, To: to, Payload: body})
+	return nil
+}
+
+// sendFrame fans one immutable frame out to every destination with no
+// copies: every queued envelope shares f's bytes and holds one reference.
+func (n *ChanNet) sendFrame(from string, tos []string, f *Frame) error {
+	if n.closed.Load() {
+		return ErrClosed
+	}
+	for _, to := range tos {
+		dst, ok := n.lookup(to)
+		if !ok {
+			return &ErrUnknownPeer{ID: to}
+		}
+		f.Retain()
+		n.route(dst, Envelope{From: from, To: to, Payload: f.B, frame: f})
 	}
 	return nil
 }
@@ -170,12 +213,25 @@ func (n *ChanNet) send(from, to string, payload []byte) error {
 func (n *ChanNet) deliver(dst *chanConn, env Envelope) {
 	if dst.box.put(env) {
 		n.delivered.Add(1)
+	} else {
+		env.Release()
+	}
+}
+
+// deliverBatch releases a scheduler batch into the mailbox in one lock
+// acquisition.
+func (n *ChanNet) deliverBatch(dst *chanConn, envs []Envelope) {
+	if dst.box.putAll(envs) {
+		n.delivered.Add(uint64(len(envs)))
+	} else {
+		for i := range envs {
+			envs[i].Release()
+		}
 	}
 }
 
 type delivery struct {
 	at  time.Time
-	dst *chanConn
 	env Envelope
 	seq uint64 // tie-break so equal-time frames keep schedule order
 }
@@ -206,49 +262,89 @@ func (h *deliveryHeap) Pop() any {
 	old := h.items
 	n := len(old)
 	item := old[n-1]
+	old[n-1] = delivery{}
 	h.items = old[:n-1]
 	return item
 }
 
-func (n *ChanNet) schedule(d delivery) {
-	n.mu.Lock()
-	heap.Push(&n.queue, d)
-	n.mu.Unlock()
+// destSched is one destination's delay scheduler: a private heap drained
+// by a private goroutine, so scheduling traffic for one receiver never
+// contends with any other destination. Due deliveries are coalesced into
+// one mailbox batch.
+type destSched struct {
+	dst  *chanConn
+	mu   sync.Mutex
+	heap deliveryHeap
+	wake chan struct{}
+	done chan struct{}
+	wg   sync.WaitGroup
+
+	batch []Envelope // dispatcher-owned scratch
+}
+
+func newDestSched(dst *chanConn) *destSched {
+	s := &destSched{
+		dst:  dst,
+		wake: make(chan struct{}, 1),
+		done: make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.run()
+	return s
+}
+
+func (s *destSched) schedule(d delivery) {
+	s.mu.Lock()
+	heap.Push(&s.heap, d)
+	s.mu.Unlock()
 	select {
-	case n.wake <- struct{}{}:
+	case s.wake <- struct{}{}:
 	default:
 	}
 }
 
-// dispatch releases scheduled deliveries when due. It is the only goroutine
-// that pops the heap.
-func (n *ChanNet) dispatch() {
-	defer n.wg.Done()
+func (s *destSched) stop() {
+	close(s.done)
+	s.wg.Wait()
+	// Drop whatever never became due.
+	s.mu.Lock()
+	for _, d := range s.heap.items {
+		d.env.Release()
+	}
+	s.heap.items = nil
+	s.mu.Unlock()
+}
+
+// run releases scheduled deliveries when due, batching everything that is
+// ready at each wakeup into a single mailbox append.
+func (s *destSched) run() {
+	defer s.wg.Done()
 	timer := time.NewTimer(time.Hour)
 	defer timer.Stop()
 	for {
-		n.mu.Lock()
+		s.mu.Lock()
+		s.batch = s.batch[:0]
 		var wait time.Duration = -1
-		for n.queue.Len() > 0 {
-			head := n.queue.items[0]
-			d := time.Until(head.at)
+		for s.heap.Len() > 0 {
+			d := time.Until(s.heap.items[0].at)
 			if d > 0 {
 				wait = d
 				break
 			}
-			popped, ok := heap.Pop(&n.queue).(delivery)
-			n.mu.Unlock()
+			popped, ok := heap.Pop(&s.heap).(delivery)
 			if ok {
-				n.deliver(popped.dst, popped.env)
+				s.batch = append(s.batch, popped.env)
 			}
-			n.mu.Lock()
 		}
-		n.mu.Unlock()
+		s.mu.Unlock()
+		if len(s.batch) > 0 {
+			s.dst.net.deliverBatch(s.dst, s.batch)
+		}
 
 		if wait < 0 {
 			select {
-			case <-n.wake:
-			case <-n.done:
+			case <-s.wake:
+			case <-s.done:
 				return
 			}
 			continue
@@ -262,8 +358,8 @@ func (n *ChanNet) dispatch() {
 		timer.Reset(wait)
 		select {
 		case <-timer.C:
-		case <-n.wake:
-		case <-n.done:
+		case <-s.wake:
+		case <-s.done:
 			return
 		}
 	}
@@ -271,14 +367,19 @@ func (n *ChanNet) dispatch() {
 
 // chanConn is ChanNet's Conn.
 type chanConn struct {
-	id  string
-	net *ChanNet
-	box *mailbox
+	id    string
+	net   *ChanNet
+	box   *mailbox
+	sched *destSched // nil when the fault model has no delay
 
 	closeOnce sync.Once
 }
 
-var _ Conn = (*chanConn)(nil)
+var (
+	_ Conn        = (*chanConn)(nil)
+	_ FrameSender = (*chanConn)(nil)
+	_ BatchRecver = (*chanConn)(nil)
+)
 
 func (c *chanConn) LocalID() string { return c.id }
 
@@ -286,18 +387,40 @@ func (c *chanConn) Send(to string, payload []byte) error {
 	return c.net.send(c.id, to, payload)
 }
 
+// SendFrame implements FrameSender: one encode, n zero-copy deliveries.
+func (c *chanConn) SendFrame(tos []string, f *Frame) error {
+	return c.net.sendFrame(c.id, tos, f)
+}
+
 func (c *chanConn) Recv() (Envelope, error) { return c.box.get() }
+
+// RecvBatch implements BatchRecver.
+func (c *chanConn) RecvBatch(buf []Envelope) ([]Envelope, error) {
+	return c.box.getBatch(buf)
+}
 
 // Pending returns the number of frames waiting in the inbox; the buffer-
 // occupancy experiment samples it.
 func (c *chanConn) Pending() int { return c.box.len() }
 
-func (c *chanConn) Close() error {
+// stop shuts the connection's scheduler and mailbox down without touching
+// the attachment table (used by network Close, which already holds it).
+func (c *chanConn) stop() {
 	c.closeOnce.Do(func() {
+		if c.sched != nil {
+			c.sched.stop()
+		}
 		c.box.close()
-		c.net.mu.Lock()
-		delete(c.net.conns, c.id)
-		c.net.mu.Unlock()
 	})
+}
+
+func (c *chanConn) Close() error {
+	c.stop()
+	c.net.mu.Lock()
+	if _, ok := c.net.conns[c.id]; ok {
+		delete(c.net.conns, c.id)
+		c.net.publishLocked()
+	}
+	c.net.mu.Unlock()
 	return nil
 }

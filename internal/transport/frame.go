@@ -1,0 +1,138 @@
+package transport
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Frame is an immutable, reference-counted wire frame shared across a
+// broadcast fan-out. The sending engine encodes a message once into a
+// frame, hands the same frame to every destination via SendFrame /
+// Multicast, and the last holder to Release it returns the buffer to a
+// size-classed pool.
+//
+// Ownership rules (see DESIGN.md "Hot path & batching"):
+//
+//   - NewFrame returns a frame the caller owns with one reference. The
+//     caller may append to B until the frame is first handed to a
+//     transport; from then on the bytes are immutable.
+//   - Every transport hop that queues the frame takes its own reference
+//     (Retain) and releases it when its consumer is done; the sender
+//     releases its construction reference after the fan-out.
+//   - Receivers get the frame via Envelope and call Envelope.Release once
+//     they no longer need Payload. Decoded messages must not alias the
+//     frame (the message codec copies), so Release immediately after
+//     decode is always safe.
+//   - A frame that must live indefinitely (e.g. a retransmission cache)
+//     is wrapped with StaticFrame, whose Release is a no-op.
+//
+// Forgetting a Release leaks nothing — the garbage collector still
+// reclaims the buffer — it only forgoes reuse. A double Release is a
+// bug: the buffer may be recycled while still referenced.
+type Frame struct {
+	// B is the frame's bytes. Append-build it before the first send;
+	// treat it as read-only afterwards.
+	B []byte
+
+	refs   atomic.Int32
+	pooled bool
+}
+
+// frameClasses are the pooled buffer capacities. Broadcast frames are
+// dominated by small control and data messages, so the ladder starts low;
+// anything above the top class is allocated directly and never pooled.
+var frameClasses = [...]int{256, 1 << 10, 4 << 10, 16 << 10, 64 << 10}
+
+var framePools [len(frameClasses)]sync.Pool
+
+// classFor returns the pool index whose capacity fits n, or -1 if n
+// exceeds the largest class.
+func classFor(n int) int {
+	for i, c := range frameClasses {
+		if n <= c {
+			return i
+		}
+	}
+	return -1
+}
+
+// NewFrame returns a frame with zero length, capacity at least n, and one
+// reference owned by the caller.
+func NewFrame(n int) *Frame {
+	ci := classFor(n)
+	if ci < 0 {
+		f := &Frame{B: make([]byte, 0, n)}
+		f.refs.Store(1)
+		return f
+	}
+	if v := framePools[ci].Get(); v != nil {
+		f, ok := v.(*Frame)
+		if ok {
+			f.B = f.B[:0]
+			f.refs.Store(1)
+			return f
+		}
+	}
+	f := &Frame{B: make([]byte, 0, frameClasses[ci]), pooled: true}
+	f.refs.Store(1)
+	return f
+}
+
+// StaticFrame wraps an existing byte slice in an unpooled frame whose
+// Release never recycles the bytes. Use it to fan out buffers that outlive
+// the send (retransmission caches).
+func StaticFrame(b []byte) *Frame {
+	f := &Frame{B: b}
+	f.refs.Store(1)
+	return f
+}
+
+// Retain adds a reference.
+func (f *Frame) Retain() { f.refs.Add(1) }
+
+// Release drops a reference; the last release returns a pooled frame's
+// buffer for reuse. Calling Release on a nil frame is a no-op.
+func (f *Frame) Release() {
+	if f == nil {
+		return
+	}
+	if f.refs.Add(-1) != 0 {
+		return
+	}
+	if !f.pooled {
+		return
+	}
+	ci := classFor(cap(f.B))
+	if ci < 0 || cap(f.B) != frameClasses[ci] {
+		return // foreign capacity; let the GC have it
+	}
+	framePools[ci].Put(f)
+}
+
+// FrameSender is implemented by connections that can fan one immutable
+// frame out to many peers without re-encoding or per-peer copies.
+type FrameSender interface {
+	// SendFrame enqueues f's bytes to every named peer. The call takes
+	// its own references; the caller keeps (and eventually releases) its
+	// construction reference. Unknown peers fail the whole call.
+	SendFrame(tos []string, f *Frame) error
+}
+
+// Multicast sends f's bytes to every peer, sharing the frame when the
+// connection supports it and falling back to per-peer Send (which copies)
+// otherwise. Either way the message was encoded exactly once, by the
+// caller. Multicast does not consume the caller's reference.
+func Multicast(c Conn, tos []string, f *Frame) error {
+	if len(tos) == 0 {
+		return nil
+	}
+	if fs, ok := c.(FrameSender); ok {
+		return fs.SendFrame(tos, f)
+	}
+	for _, to := range tos {
+		if err := c.Send(to, f.B); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,220 @@
+package transport
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestClassFor(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{0, 0}, {1, 0}, {256, 0}, {257, 1}, {1 << 10, 1},
+		{4 << 10, 2}, {16 << 10, 3}, {64 << 10, 4}, {64<<10 + 1, -1},
+	}
+	for _, c := range cases {
+		if got := classFor(c.n); got != c.want {
+			t.Errorf("classFor(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestFrameReuseAfterRelease(t *testing.T) {
+	// Drain the pool's influence by working with one frame: a released
+	// frame must come back from NewFrame with length 0 and full class
+	// capacity, regardless of whether it is the very same object (pools
+	// may drop entries at any time).
+	f := NewFrame(100)
+	f.B = append(f.B, "hello"...)
+	if cap(f.B) != 256 {
+		t.Fatalf("cap = %d, want class capacity 256", cap(f.B))
+	}
+	f.Release()
+	g := NewFrame(100)
+	if len(g.B) != 0 {
+		t.Errorf("recycled frame has len %d, want 0", len(g.B))
+	}
+	if cap(g.B) < 100 {
+		t.Errorf("recycled frame has cap %d, want >= 100", cap(g.B))
+	}
+	g.Release()
+}
+
+func TestFrameRefCounting(t *testing.T) {
+	f := NewFrame(10)
+	f.B = append(f.B, 1, 2, 3)
+	f.Retain() // second holder
+	f.Release()
+	// One reference remains; the bytes must still be intact and the frame
+	// must not have been recycled into a concurrent NewFrame.
+	if !bytes.Equal(f.B, []byte{1, 2, 3}) {
+		t.Fatalf("frame bytes corrupted after partial release: %v", f.B)
+	}
+	f.Release()
+}
+
+func TestOversizedFrameUnpooled(t *testing.T) {
+	n := frameClasses[len(frameClasses)-1] + 1
+	f := NewFrame(n)
+	if f.pooled {
+		t.Error("oversized frame marked pooled")
+	}
+	if cap(f.B) < n {
+		t.Errorf("cap = %d, want >= %d", cap(f.B), n)
+	}
+	f.Release() // must not panic or poison any pool
+}
+
+func TestStaticFrameKeepsBytes(t *testing.T) {
+	b := []byte("retained for retransmission")
+	f := StaticFrame(b)
+	f.Retain()
+	f.Release()
+	f.Release()
+	if !bytes.Equal(b, []byte("retained for retransmission")) {
+		t.Error("StaticFrame release touched the caller's bytes")
+	}
+	// The slice must never enter a pool: NewFrame after full release must
+	// not hand the static bytes to another caller.
+	g := NewFrame(len(b))
+	if len(g.B) != 0 {
+		t.Errorf("pool handed out a non-empty buffer (len %d)", len(g.B))
+	}
+	g.Release()
+}
+
+// TestMulticastSharesEncoding checks the fallback path of Multicast (a
+// Conn with no FrameSender) still encodes once: every peer receives the
+// same backing array.
+func TestMulticastSharesEncoding(t *testing.T) {
+	c := &captureConn{}
+	f := StaticFrame([]byte("once"))
+	if err := Multicast(c, []string{"a", "b", "c"}, f); err != nil {
+		t.Fatal(err)
+	}
+	f.Release()
+	if len(c.payloads) != 3 {
+		t.Fatalf("sent %d frames, want 3", len(c.payloads))
+	}
+	for i := 1; i < len(c.payloads); i++ {
+		if &c.payloads[i][0] != &c.payloads[0][0] {
+			t.Error("Multicast re-encoded per peer: backing arrays differ")
+		}
+	}
+}
+
+// captureConn is a minimal Conn that records sent payload slices.
+type captureConn struct{ payloads [][]byte }
+
+func (c *captureConn) LocalID() string { return "cap" }
+func (c *captureConn) Send(to string, payload []byte) error {
+	c.payloads = append(c.payloads, payload)
+	return nil
+}
+func (c *captureConn) Recv() (Envelope, error) { return Envelope{}, ErrClosed }
+func (c *captureConn) Close() error            { return nil }
+
+// TestSendFrameFanout checks ChanNet's zero-copy fan-out: every receiver
+// observes the same bytes, and the envelopes share the frame's backing
+// array rather than holding copies.
+func TestSendFrameFanout(t *testing.T) {
+	n := NewChanNet(FaultModel{})
+	defer func() { _ = n.Close() }()
+	src, err := n.Attach("src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	peers := make([]Conn, 3)
+	ids := make([]string, 3)
+	for i := range peers {
+		ids[i] = fmt.Sprintf("r%d", i)
+		peers[i], err = n.Attach(ids[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	f := NewFrame(16)
+	f.B = append(f.B, "fanout-frame"...)
+	first := &f.B[0]
+	fs, ok := src.(FrameSender)
+	if !ok {
+		t.Fatal("chanConn does not implement FrameSender")
+	}
+	if err := fs.SendFrame(ids, f); err != nil {
+		t.Fatal(err)
+	}
+	f.Release()
+	for i, p := range peers {
+		env, err := p.Recv()
+		if err != nil {
+			t.Fatalf("peer %d: %v", i, err)
+		}
+		if string(env.Payload) != "fanout-frame" {
+			t.Fatalf("peer %d got %q", i, env.Payload)
+		}
+		if &env.Payload[0] != first {
+			t.Errorf("peer %d received a copy, want shared backing array", i)
+		}
+		env.Release()
+	}
+}
+
+// TestRecvBatchDrainsQueue checks RecvBatch returns everything queued in
+// one call, in order.
+func TestRecvBatchDrainsQueue(t *testing.T) {
+	n := NewChanNet(FaultModel{})
+	defer func() { _ = n.Close() }()
+	a, _ := n.Attach("a")
+	b, _ := n.Attach("b")
+	for i := 0; i < 5; i++ {
+		if err := a.Send("b", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	br, ok := b.(BatchRecver)
+	if !ok {
+		t.Fatal("chanConn does not implement BatchRecver")
+	}
+	var got []Envelope
+	deadline := time.Now().Add(2 * time.Second)
+	for len(got) < 5 {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out with %d frames", len(got))
+		}
+		batch, err := br.RecvBatch(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, batch...)
+	}
+	for i, env := range got {
+		if env.Payload[0] != byte(i) {
+			t.Fatalf("frame %d carries %d, want FIFO order", i, env.Payload[0])
+		}
+	}
+}
+
+// TestRecvBatchReusesBuffer checks the caller's buffer is reused across
+// calls instead of reallocated.
+func TestRecvBatchReusesBuffer(t *testing.T) {
+	n := NewChanNet(FaultModel{})
+	defer func() { _ = n.Close() }()
+	a, _ := n.Attach("a")
+	b, _ := n.Attach("b")
+	br := b.(BatchRecver)
+	buf := make([]Envelope, 0, 8)
+	for round := 0; round < 3; round++ {
+		if err := a.Send("b", []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		out, err := br.RecvBatch(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) >= 1 && cap(out) == cap(buf) && cap(buf) > 0 {
+			buf = out // same backing array handed back
+			continue
+		}
+		buf = out
+	}
+}

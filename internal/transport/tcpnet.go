@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // TCPNet is a Network over real TCP loopback sockets. Every attached node
@@ -15,17 +16,43 @@ import (
 // TCPNet provides reliable FIFO per sender-receiver pair (TCP semantics),
 // so it exhibits less reordering than ChanNet with faults; integration
 // tests use it to prove the broadcast stack runs over actual sockets.
+//
+// With a positive FlushWindow each outbound peer gathers small frames in a
+// write buffer that a per-peer flusher drains in one Write (a writev-style
+// batch), trading up to one window of latency for far fewer syscalls under
+// load. The default window of zero keeps every Send a synchronous single
+// write.
 type TCPNet struct {
+	cfg    TCPConfig
 	mu     sync.Mutex
 	nodes  map[string]*tcpConn
 	closed bool
 }
 
+// TCPConfig tunes a TCPNet.
+type TCPConfig struct {
+	// FlushWindow is how long a peer writer may gather frames before
+	// flushing them in one write. Zero (the default) makes every Send
+	// write synchronously and report write errors directly; a positive
+	// window batches, and write errors surface on a later Send to the
+	// same peer.
+	FlushWindow time.Duration
+}
+
+// flushBytes caps how much a peer buffer may gather before the sender
+// flushes inline regardless of the window.
+const flushBytes = 64 << 10
+
 var _ Network = (*TCPNet)(nil)
 
-// NewTCPNet constructs an empty TCP loopback network.
-func NewTCPNet() *TCPNet {
-	return &TCPNet{nodes: make(map[string]*tcpConn)}
+// NewTCPNet constructs an empty TCP loopback network with synchronous
+// (unbatched) writes.
+func NewTCPNet() *TCPNet { return NewTCPNetWithConfig(TCPConfig{}) }
+
+// NewTCPNetWithConfig constructs an empty TCP loopback network with the
+// given tuning.
+func NewTCPNetWithConfig(cfg TCPConfig) *TCPNet {
+	return &TCPNet{cfg: cfg, nodes: make(map[string]*tcpConn)}
 }
 
 // Attach implements Network: it starts a listener for id.
@@ -47,7 +74,7 @@ func (n *TCPNet) Attach(id string) (Conn, error) {
 		net:     n,
 		ln:      ln,
 		box:     newMailbox(),
-		peers:   make(map[string]net.Conn),
+		peers:   make(map[string]*tcpPeer),
 		inbound: make(map[net.Conn]struct{}),
 	}
 	c.wg.Add(1)
@@ -96,6 +123,141 @@ func (n *TCPNet) addrOf(id string) (string, bool) {
 	return c.ln.Addr().String(), true
 }
 
+// tcpPeer is one outbound connection plus its gather buffer and flusher.
+type tcpPeer struct {
+	conn net.Conn
+
+	// writeMu serializes writes to conn; buffer swaps happen inside it so
+	// chunk order equals write order (per-pair FIFO).
+	writeMu sync.Mutex
+
+	mu      sync.Mutex
+	pending []byte // frames gathered since the last flush
+	spare   []byte // recycled buffer for the next gather
+	err     error  // sticky asynchronous write error
+
+	kick     chan struct{} // signals the flusher that pending is non-empty
+	done     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+func newTCPPeer(conn net.Conn, window time.Duration) *tcpPeer {
+	p := &tcpPeer{conn: conn}
+	if window > 0 {
+		p.kick = make(chan struct{}, 1)
+		p.done = make(chan struct{})
+		p.wg.Add(1)
+		go p.flushLoop(window)
+	}
+	return p
+}
+
+// appendWireFrame appends one length-prefixed frame to buf.
+func appendWireFrame(buf []byte, from string, payload []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(from)))
+	buf = append(buf, from...)
+	buf = binary.AppendUvarint(buf, uint64(len(payload)))
+	return append(buf, payload...)
+}
+
+// enqueue gathers one frame for the flusher. It reports whether the
+// caller should flush inline because the buffer ran past flushBytes.
+func (p *tcpPeer) enqueue(from string, payload []byte) (inline bool, err error) {
+	p.mu.Lock()
+	if p.err != nil {
+		err = p.err
+		p.mu.Unlock()
+		return false, err
+	}
+	wasEmpty := len(p.pending) == 0
+	p.pending = appendWireFrame(p.pending, from, payload)
+	inline = len(p.pending) >= flushBytes
+	p.mu.Unlock()
+	if wasEmpty && !inline {
+		select {
+		case p.kick <- struct{}{}:
+		default:
+		}
+	}
+	return inline, nil
+}
+
+// flush writes everything gathered so far in one Write call.
+func (p *tcpPeer) flush() error {
+	p.writeMu.Lock()
+	defer p.writeMu.Unlock()
+	p.mu.Lock()
+	buf := p.pending
+	p.pending = p.spare[:0]
+	p.spare = nil
+	p.mu.Unlock()
+	if len(buf) == 0 {
+		p.mu.Lock()
+		if p.spare == nil {
+			p.spare = buf
+		}
+		p.mu.Unlock()
+		return nil
+	}
+	_, err := p.conn.Write(buf)
+	p.mu.Lock()
+	p.spare = buf[:0]
+	if err != nil && p.err == nil {
+		p.err = err
+	}
+	p.mu.Unlock()
+	return err
+}
+
+func (p *tcpPeer) flushLoop(window time.Duration) {
+	defer p.wg.Done()
+	timer := time.NewTimer(window)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+	for {
+		select {
+		case <-p.kick:
+		case <-p.done:
+			_ = p.flush()
+			return
+		}
+		timer.Reset(window)
+		select {
+		case <-timer.C:
+		case <-p.done:
+			timer.Stop()
+			_ = p.flush()
+			return
+		}
+		_ = p.flush()
+	}
+}
+
+// write sends one frame synchronously (no gather window), using a pooled
+// buffer so the combined header+payload costs no allocation.
+func (p *tcpPeer) write(from string, payload []byte) error {
+	f := NewFrame(len(from) + len(payload) + 2*binary.MaxVarintLen64)
+	f.B = appendWireFrame(f.B, from, payload)
+	p.writeMu.Lock()
+	_, err := p.conn.Write(f.B)
+	p.writeMu.Unlock()
+	f.Release()
+	return err
+}
+
+func (p *tcpPeer) stop() {
+	p.stopOnce.Do(func() {
+		if p.done != nil {
+			close(p.done)
+			p.wg.Wait()
+		}
+		_ = p.conn.Close()
+	})
+}
+
 // tcpConn is TCPNet's Conn.
 type tcpConn struct {
 	id  string
@@ -104,7 +266,7 @@ type tcpConn struct {
 	box *mailbox
 
 	mu      sync.Mutex
-	peers   map[string]net.Conn   // outbound connection cache
+	peers   map[string]*tcpPeer   // outbound connection cache
 	inbound map[net.Conn]struct{} // accepted connections, closed on Close
 	wg      sync.WaitGroup
 
@@ -112,7 +274,11 @@ type tcpConn struct {
 	closeErr  error
 }
 
-var _ Conn = (*tcpConn)(nil)
+var (
+	_ Conn        = (*tcpConn)(nil)
+	_ FrameSender = (*tcpConn)(nil)
+	_ BatchRecver = (*tcpConn)(nil)
+)
 
 func (c *tcpConn) LocalID() string { return c.id }
 
@@ -155,30 +321,65 @@ func (c *tcpConn) readLoop(conn net.Conn) {
 	}
 }
 
-func (c *tcpConn) Send(to string, payload []byte) error {
-	conn, err := c.peer(to)
+// sendOne routes one frame to a peer through the configured write path.
+func (c *tcpConn) sendOne(to string, payload []byte) error {
+	p, err := c.peer(to)
 	if err != nil {
 		return err
 	}
-	frame := make([]byte, 0, len(c.id)+len(payload)+16)
-	frame = binary.AppendUvarint(frame, uint64(len(c.id)))
-	frame = append(frame, c.id...)
-	frame = binary.AppendUvarint(frame, uint64(len(payload)))
-	frame = append(frame, payload...)
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, err := conn.Write(frame); err != nil {
-		delete(c.peers, to) // force re-dial next time
+	if c.net.cfg.FlushWindow <= 0 {
+		if err := p.write(c.id, payload); err != nil {
+			c.dropPeer(to, p)
+			return fmt.Errorf("transport: write to %q: %w", to, err)
+		}
+		return nil
+	}
+	inline, err := p.enqueue(c.id, payload)
+	if err != nil {
+		c.dropPeer(to, p)
 		return fmt.Errorf("transport: write to %q: %w", to, err)
+	}
+	if inline {
+		if err := p.flush(); err != nil {
+			c.dropPeer(to, p)
+			return fmt.Errorf("transport: write to %q: %w", to, err)
+		}
 	}
 	return nil
 }
 
-func (c *tcpConn) peer(to string) (net.Conn, error) {
+func (c *tcpConn) Send(to string, payload []byte) error {
+	return c.sendOne(to, payload)
+}
+
+// SendFrame implements FrameSender. TCP cannot share user-space buffers
+// with the kernel, but the frame is still encoded exactly once: each
+// peer's copy goes straight into that peer's gather buffer (or a pooled
+// write buffer), never through a per-destination re-encode.
+func (c *tcpConn) SendFrame(tos []string, f *Frame) error {
+	for _, to := range tos {
+		if err := c.sendOne(to, f.B); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// dropPeer forces a re-dial on the next send after a write error.
+func (c *tcpConn) dropPeer(to string, p *tcpPeer) {
 	c.mu.Lock()
-	if conn, ok := c.peers[to]; ok {
+	if c.peers[to] == p {
+		delete(c.peers, to)
+	}
+	c.mu.Unlock()
+	p.stop()
+}
+
+func (c *tcpConn) peer(to string) (*tcpPeer, error) {
+	c.mu.Lock()
+	if p, ok := c.peers[to]; ok {
 		c.mu.Unlock()
-		return conn, nil
+		return p, nil
 	}
 	c.mu.Unlock()
 	addr, ok := c.net.addrOf(to)
@@ -190,25 +391,33 @@ func (c *tcpConn) peer(to string) (net.Conn, error) {
 		return nil, fmt.Errorf("transport: dial %q: %w", to, err)
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if existing, ok := c.peers[to]; ok {
+		c.mu.Unlock()
 		_ = conn.Close()
 		return existing, nil
 	}
-	c.peers[to] = conn
-	return conn, nil
+	p := newTCPPeer(conn, c.net.cfg.FlushWindow)
+	c.peers[to] = p
+	c.mu.Unlock()
+	return p, nil
 }
 
 func (c *tcpConn) Recv() (Envelope, error) { return c.box.get() }
+
+// RecvBatch implements BatchRecver.
+func (c *tcpConn) RecvBatch(buf []Envelope) ([]Envelope, error) {
+	return c.box.getBatch(buf)
+}
 
 func (c *tcpConn) Close() error {
 	c.closeOnce.Do(func() {
 		c.closeErr = c.ln.Close()
 		c.mu.Lock()
-		for _, conn := range c.peers {
-			_ = conn.Close()
+		peers := make([]*tcpPeer, 0, len(c.peers))
+		for _, p := range c.peers {
+			peers = append(peers, p)
 		}
-		c.peers = make(map[string]net.Conn)
+		c.peers = make(map[string]*tcpPeer)
 		// Closing accepted connections unblocks their readLoops; without
 		// this, Close deadlocks whenever a peer that dialed us closes
 		// after us.
@@ -216,6 +425,9 @@ func (c *tcpConn) Close() error {
 			_ = conn.Close()
 		}
 		c.mu.Unlock()
+		for _, p := range peers {
+			p.stop()
+		}
 		c.box.close()
 		c.net.mu.Lock()
 		delete(c.net.nodes, c.id)

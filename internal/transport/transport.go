@@ -35,6 +35,21 @@ type Envelope struct {
 	From    string
 	To      string
 	Payload []byte
+
+	// frame, when non-nil, is the pooled broadcast frame backing Payload.
+	// The receiver owns one reference and returns it with Release.
+	frame *Frame
+}
+
+// Release returns the envelope's backing frame (if any) to its pool.
+// Call it once Payload is no longer needed; decoded messages never alias
+// the payload, so releasing right after decode is safe. Release is
+// idempotent on the same Envelope value and a no-op for unpooled frames.
+func (e *Envelope) Release() {
+	if e.frame != nil {
+		e.frame.Release()
+		e.frame = nil
+	}
 }
 
 // Conn is one node's attachment to a network. Implementations are safe for
@@ -53,6 +68,17 @@ type Conn interface {
 	Close() error
 }
 
+// BatchRecver is implemented by connections that can drain every queued
+// inbound frame in one call, amortizing wakeups and lock traffic across a
+// burst. Receive loops should prefer it when available.
+type BatchRecver interface {
+	// RecvBatch blocks until at least one frame is available (or the
+	// connection closes, returning ErrClosed), then returns all queued
+	// frames appended to buf[:0]. The returned slice is only valid until
+	// the next RecvBatch call with the same buf.
+	RecvBatch(buf []Envelope) ([]Envelope, error)
+}
+
 // Network is a set of attachable endpoints.
 type Network interface {
 	// Attach registers id and returns its connection. Attaching the same
@@ -65,11 +91,14 @@ type Network interface {
 }
 
 // mailbox is an unbounded FIFO queue with blocking receive. Senders never
-// block, so a slow receiver cannot stall the network dispatcher.
+// block, so a slow receiver cannot stall the network dispatcher. The queue
+// is head-indexed so steady-state traffic cycles through one backing array
+// instead of reallocating as the slice head advances.
 type mailbox struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	queue  []Envelope
+	head   int
 	closed bool
 }
 
@@ -90,29 +119,78 @@ func (m *mailbox) put(e Envelope) bool {
 	return true
 }
 
+// putAll enqueues a batch under one lock acquisition, signalling once.
+func (m *mailbox) putAll(envs []Envelope) bool {
+	if len(envs) == 0 {
+		return true
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return false
+	}
+	m.queue = append(m.queue, envs...)
+	m.cond.Signal()
+	return true
+}
+
+// resetLocked recycles the backing array once the queue drains. Consumed
+// slots are zeroed so the mailbox does not pin released frames.
+func (m *mailbox) resetLocked() {
+	if m.head == len(m.queue) {
+		clear(m.queue)
+		m.queue = m.queue[:0]
+		m.head = 0
+	}
+}
+
 func (m *mailbox) get() (Envelope, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for len(m.queue) == 0 && !m.closed {
+	for m.head == len(m.queue) && !m.closed {
 		m.cond.Wait()
 	}
-	if len(m.queue) == 0 {
+	if m.head == len(m.queue) {
 		return Envelope{}, ErrClosed
 	}
-	e := m.queue[0]
-	m.queue = m.queue[1:]
+	e := m.queue[m.head]
+	m.queue[m.head] = Envelope{}
+	m.head++
+	m.resetLocked()
 	return e, nil
+}
+
+// getBatch blocks for at least one frame, then drains the whole queue into
+// buf[:0] in one lock acquisition.
+func (m *mailbox) getBatch(buf []Envelope) ([]Envelope, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for m.head == len(m.queue) && !m.closed {
+		m.cond.Wait()
+	}
+	if m.head == len(m.queue) {
+		return nil, ErrClosed
+	}
+	buf = append(buf[:0], m.queue[m.head:]...)
+	m.head = len(m.queue)
+	m.resetLocked()
+	return buf, nil
 }
 
 func (m *mailbox) close() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.closed = true
+	for i := m.head; i < len(m.queue); i++ {
+		m.queue[i].Release()
+	}
+	m.queue = nil
+	m.head = 0
 	m.cond.Broadcast()
 }
 
 func (m *mailbox) len() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return len(m.queue)
+	return len(m.queue) - m.head
 }
