@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test race vet bench fuzz
+.PHONY: check build test race vet bench bench-smoke fuzz
 
 ## check: the tier-1 gate — vet, build, and race-test everything.
 check: vet build race
@@ -21,6 +21,14 @@ vet:
 ## BENCH_hotpath.json.
 bench:
 	$(GO) test -bench=Fanout -benchmem -run '^$$' -json . | tee BENCH_hotpath.json
+
+## bench-smoke: run the fan-out benchmark (telemetry enabled) at a fixed
+## iteration count and fail if any variant reports >0 allocs/op. CI runs
+## this so the zero-allocation hot path cannot silently regress.
+bench-smoke:
+	$(GO) test -bench=Fanout -benchmem -run '^$$' -benchtime=100000x . | tee /tmp/bench-smoke.out
+	@awk '/allocs\/op/ { if ($$(NF-1) + 0 > 0) { print "FAIL: " $$1 " reports " $$(NF-1) " allocs/op (want 0)"; bad = 1 } } END { exit bad }' /tmp/bench-smoke.out
+	@echo "bench-smoke: 0 allocs/op on every fan-out variant"
 
 fuzz:
 	$(GO) test -fuzz=FuzzUnmarshalBinary -fuzztime=30s ./internal/message/

@@ -25,6 +25,7 @@ import (
 	"causalshare/internal/message"
 	"causalshare/internal/shareddata"
 	"causalshare/internal/sim"
+	"causalshare/internal/telemetry"
 	"causalshare/internal/total"
 	"causalshare/internal/transport"
 	"causalshare/internal/vclock"
@@ -375,7 +376,10 @@ func BenchmarkUnmarshal(b *testing.B) {
 // pipeline: one OSend sender broadcasting dependency-free messages to an
 // n-member group over a perfect ChanNet, timed until every member has
 // delivered every message. allocs/op covers the whole fan-out, which is
-// what the zero-allocation work targets.
+// what the zero-allocation work targets. Telemetry is ENABLED (shared
+// registry across transport and engines, no event ring) so the reported
+// allocs/op also guards the instruments' zero-allocation property — the
+// CI bench smoke fails the build if this benchmark reports >0 allocs/op.
 func BenchmarkBroadcastFanout(b *testing.B) {
 	for _, n := range []int{2, 8, 16} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
@@ -384,7 +388,8 @@ func BenchmarkBroadcastFanout(b *testing.B) {
 				ids[i] = fmt.Sprintf("m%02d", i)
 			}
 			grp := group.MustNew("fanout", ids)
-			net := transport.NewChanNet(transport.FaultModel{})
+			reg := telemetry.NewRegistry()
+			net := transport.NewChanNetObserved(transport.FaultModel{}, reg)
 			defer func() { _ = net.Close() }()
 			var delivered atomic.Uint64
 			engines := make([]*causal.OSend, 0, n)
@@ -395,7 +400,8 @@ func BenchmarkBroadcastFanout(b *testing.B) {
 				}
 				eng, err := causal.NewOSend(causal.OSendConfig{
 					Self: id, Group: grp, Conn: conn,
-					Deliver: func(message.Message) { delivered.Add(1) },
+					Deliver:   func(message.Message) { delivered.Add(1) },
+					Telemetry: reg,
 				})
 				if err != nil {
 					b.Fatal(err)

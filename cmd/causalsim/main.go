@@ -22,6 +22,7 @@ import (
 	"causalshare/internal/group"
 	"causalshare/internal/obs"
 	"causalshare/internal/shareddata"
+	"causalshare/internal/telemetry"
 	"causalshare/internal/transport"
 )
 
@@ -42,8 +43,21 @@ func run(args []string) error {
 	jitter := fs.Duration("jitter", 5*time.Millisecond, "max network latency")
 	seed := fs.Int64("seed", 7, "fault model seed")
 	dot := fs.Bool("dot", false, "print the extracted dependency graph in Graphviz dot syntax")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /vars and /trace on this address during the run (e.g. :9090)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	reg := telemetry.NewRegistry()
+	ring := telemetry.NewRing(4096)
+	transport.RegisterPoolMetrics(reg)
+	if *metricsAddr != "" {
+		srv, err := telemetry.Serve(*metricsAddr, reg, ring)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = srv.Close() }()
+		fmt.Printf("telemetry: serving http://%s/metrics\n", srv.Addr())
 	}
 
 	ids := make([]string, *n)
@@ -54,11 +68,11 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	net := transport.NewChanNet(transport.FaultModel{
+	net := transport.NewChanNetObserved(transport.FaultModel{
 		DropProb: *drop,
 		MaxDelay: *jitter,
 		Seed:     *seed,
-	})
+	}, reg)
 	defer func() { _ = net.Close() }()
 
 	trace := obs.NewTrace()
@@ -71,9 +85,11 @@ func run(args []string) error {
 	}()
 	for _, id := range ids {
 		rep, err := core.NewReplica(core.ReplicaConfig{
-			Self:    id,
-			Initial: shareddata.NewCounter(0),
-			Apply:   shareddata.ApplyCounter,
+			Self:      id,
+			Initial:   shareddata.NewCounter(0),
+			Apply:     shareddata.ApplyCounter,
+			Telemetry: reg,
+			Trace:     ring,
 		})
 		if err != nil {
 			return err
@@ -89,12 +105,15 @@ func run(args []string) error {
 		case "osend":
 			eng, err = causal.NewOSend(causal.OSendConfig{
 				Self: id, Group: grp, Conn: conn, Deliver: deliver,
-				Patience: 10 * time.Millisecond,
+				Patience:  10 * time.Millisecond,
+				Telemetry: reg,
+				Trace:     ring,
 			})
 		case "cbcast":
 			eng, err = causal.NewCBCast(causal.CBCastConfig{
 				Self: id, Group: grp, Conn: conn, Deliver: deliver,
-				Patience: 10 * time.Millisecond,
+				Patience:  10 * time.Millisecond,
+				Telemetry: reg,
 			})
 		default:
 			return fmt.Errorf("unknown engine %q", *engine)
@@ -188,6 +207,10 @@ func run(args []string) error {
 	netStats := net.Stats()
 	fmt.Printf("network: sent=%d delivered=%d dropped=%d duplicated=%d\n",
 		netStats.Sent, netStats.Delivered, netStats.Dropped, netStats.Duplicated)
+	snap := reg.Snapshot()
+	fmt.Printf("telemetry: frames_sent=%d causal_delivered=%d stable_points=%d trace_events=%d (of %d recorded)\n",
+		snap.Get("transport_frames_sent_total"), snap.Get("causal_osend_delivered_total"),
+		snap.Get("core_stable_points_total"), ring.Len(), ring.Len()+int(ring.Dropped()))
 	if o, ok := engines[0].(*causal.OSend); ok {
 		m := o.Metrics()
 		fmt.Printf("engine[%s]: delivered=%d maxBuffered=%d duplicates=%d fetches=%d\n",

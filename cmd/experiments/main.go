@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"causalshare/internal/experiments"
+	"causalshare/internal/telemetry"
 )
 
 func main() {
@@ -26,8 +27,19 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	list := fs.Bool("list", false, "list experiment ids and exit")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /vars and /trace on this address while experiments run (e.g. :9090)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *metricsAddr != "" {
+		reg := telemetry.NewRegistry()
+		experiments.SetTelemetry(reg)
+		srv, err := telemetry.Serve(*metricsAddr, reg, nil)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = srv.Close() }()
+		fmt.Printf("telemetry: serving http://%s/metrics\n", srv.Addr())
 	}
 	runners := experiments.All()
 	ids := experiments.IDs()

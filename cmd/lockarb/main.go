@@ -20,6 +20,7 @@ import (
 	"causalshare/internal/group"
 	"causalshare/internal/lockarb"
 	"causalshare/internal/message"
+	"causalshare/internal/telemetry"
 	"causalshare/internal/total"
 	"causalshare/internal/transport"
 )
@@ -36,8 +37,20 @@ func run(args []string) error {
 	n := fs.Int("n", 3, "group size")
 	rotations := fs.Int("rotations", 3, "full acquire/release rotations")
 	jitter := fs.Duration("jitter", 2*time.Millisecond, "max network latency")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /vars and /trace on this address during the run (e.g. :9090)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	reg := telemetry.NewRegistry()
+	ring := telemetry.NewRing(2048)
+	if *metricsAddr != "" {
+		srv, err := telemetry.Serve(*metricsAddr, reg, ring)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = srv.Close() }()
+		fmt.Printf("telemetry: serving http://%s/metrics\n", srv.Addr())
 	}
 
 	ids := make([]string, *n)
@@ -48,7 +61,7 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	net := transport.NewChanNet(transport.FaultModel{MaxDelay: *jitter, Seed: 11})
+	net := transport.NewChanNetObserved(transport.FaultModel{MaxDelay: *jitter, Seed: 11}, reg)
 	defer func() { _ = net.Close() }()
 
 	var mu sync.Mutex
@@ -70,7 +83,8 @@ func run(args []string) error {
 		var arb *lockarb.Arbiter
 		sq, err := total.NewSequencer(total.Config{
 			Self: id, Group: grp,
-			Deliver: func(m message.Message) { arb.Ingest(m) },
+			Deliver:   func(m message.Message) { arb.Ingest(m) },
+			Telemetry: reg,
 		})
 		if err != nil {
 			return err
@@ -81,7 +95,9 @@ func run(args []string) error {
 		}
 		eng, err := causal.NewOSend(causal.OSendConfig{
 			Self: id, Group: grp, Conn: conn, Deliver: sq.Ingest,
-			Patience: 10 * time.Millisecond,
+			Patience:  10 * time.Millisecond,
+			Telemetry: reg,
+			Trace:     ring,
 		})
 		if err != nil {
 			return err
@@ -175,6 +191,10 @@ func run(args []string) error {
 		}
 	}
 	fmt.Printf("grant sequence (as observed by %s): %v\n", ids[0], ref)
+	snap := reg.Snapshot()
+	fmt.Printf("telemetry: frames_sent=%d causal_delivered=%d total_delivered=%d sequencer_assigned=%d\n",
+		snap.Get("transport_frames_sent_total"), snap.Get("causal_osend_delivered_total"),
+		snap.Get("total_delivered_total"), snap.Get("total_sequencer_assigned_total"))
 	if agree {
 		fmt.Printf("RESULT: all %d members observed the identical holder sequence — deterministic arbitration reached consensus with no arbiter\n", *n)
 	}

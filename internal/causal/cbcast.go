@@ -8,6 +8,7 @@ import (
 
 	"causalshare/internal/group"
 	"causalshare/internal/message"
+	"causalshare/internal/telemetry"
 	"causalshare/internal/transport"
 	"causalshare/internal/vclock"
 )
@@ -25,6 +26,9 @@ type CBCastConfig struct {
 	// Patience bounds how long a buffered message waits on a vector-clock
 	// gap before the engine requests retransmission. Zero disables it.
 	Patience time.Duration
+	// Telemetry, when non-nil, registers the engine's causal_cbcast_*
+	// instruments there; the legacy Metrics struct is kept either way.
+	Telemetry *telemetry.Registry
 }
 
 // CBCast is the ISIS-style causal broadcast baseline: each message
@@ -48,6 +52,7 @@ type CBCast struct {
 	retained  map[uint64][]byte // own frames by seq, for retransmission
 	lastFetch map[string]time.Time
 	metrics   Metrics
+	ins       cbcastInstruments
 
 	done chan struct{}
 	wg   sync.WaitGroup
@@ -81,6 +86,7 @@ func NewCBCast(cfg CBCastConfig) (*CBCast, error) {
 		deliver:   cfg.Deliver,
 		patience:  cfg.Patience,
 		vc:        vclock.New(),
+		ins:       newCBCastInstruments(cfg.Telemetry),
 		retained:  make(map[uint64][]byte),
 		lastFetch: make(map[string]time.Time),
 		done:      make(chan struct{}),
@@ -123,6 +129,8 @@ func (e *CBCast) Broadcast(m message.Message) error {
 	stampBytes, _ := stamp.MarshalBinary() // cannot fail
 	e.metrics.ControlBytes += uint64(len(stampBytes)) * uint64(e.grp.Size()-1)
 	e.metrics.Delivered++
+	e.ins.controlBytes.Add(uint64(len(stampBytes)) * uint64(e.grp.Size()-1))
+	e.ins.delivered.Inc()
 	e.mu.Unlock()
 
 	// Self-delivery first: a member observes its own message immediately.
@@ -235,12 +243,14 @@ func (e *CBCast) ingest(sender string, vc vclock.VC, m message.Message) {
 	}
 	if vc.Get(sender) <= e.vc.Get(sender) {
 		e.metrics.Duplicates++ // already delivered (or impossibly old)
+		e.ins.duplicates.Inc()
 		e.mu.Unlock()
 		return
 	}
 	for _, p := range e.pending {
 		if p.sender == sender && p.vc.Get(sender) == vc.Get(sender) {
 			e.metrics.Duplicates++
+			e.ins.duplicates.Inc()
 			e.mu.Unlock()
 			return
 		}
@@ -249,7 +259,9 @@ func (e *CBCast) ingest(sender string, vc vclock.VC, m message.Message) {
 	if len(e.pending) > e.metrics.MaxBuffered {
 		e.metrics.MaxBuffered = len(e.pending)
 	}
+	e.ins.pendingMax.SetMax(int64(len(e.pending)))
 	ready := e.drainLocked()
+	e.ins.pendingDepth.Set(int64(len(e.pending)))
 	e.mu.Unlock()
 	for _, r := range ready {
 		e.deliver(r)
@@ -269,6 +281,7 @@ func (e *CBCast) drainLocked() []message.Message {
 			}
 			e.vc.Merge(p.vc)
 			e.metrics.Delivered++
+			e.ins.delivered.Inc()
 			out = append(out, p.msg)
 			e.pending = append(e.pending[:i], e.pending[i+1:]...)
 			progress = true
@@ -332,6 +345,7 @@ func (e *CBCast) handleAdvert(from string, latest uint64) {
 	if stale {
 		e.lastFetch[from] = time.Now()
 		e.metrics.Fetches++
+		e.ins.fetches.Inc()
 	}
 	e.mu.Unlock()
 	if !stale {
@@ -374,6 +388,7 @@ func (e *CBCast) fetchGaps(now time.Time) {
 			e.lastFetch[origin] = now
 			fetches = append(fetches, fetch{to: origin, seq: wantNext})
 			e.metrics.Fetches++
+			e.ins.fetches.Inc()
 		}
 	}
 	e.mu.Unlock()

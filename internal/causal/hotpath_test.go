@@ -2,6 +2,7 @@ package causal
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -9,6 +10,7 @@ import (
 
 	"causalshare/internal/group"
 	"causalshare/internal/message"
+	"causalshare/internal/telemetry"
 	"causalshare/internal/transport"
 )
 
@@ -184,6 +186,67 @@ func TestOSendLastFetchPrunedWhenOriginLeaves(t *testing.T) {
 	}
 	if _, ok := e.lastFetch[live]; !ok {
 		t.Fatal("sweep removed a live fetch entry")
+	}
+}
+
+// TestOSendTelemetrySteadyStateAllocs pins the telemetry overhead budget:
+// with a registry, a trace ring, and an observed transport all enabled, a
+// steady-state broadcast (frame pooled, retained map not growing, every
+// member delivering) must stay at 0 allocs/op. Counter increments, gauge
+// stores, histogram observations, and ring records are all on the
+// measured path.
+func TestOSendTelemetrySteadyStateAllocs(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	ring := telemetry.NewRing(1024)
+	net := transport.NewChanNetObserved(transport.FaultModel{}, reg)
+	defer func() { _ = net.Close() }()
+	ids := []string{"a", "b"}
+	grp := group.MustNew("g", ids)
+
+	var delivered atomic.Uint64
+	engines := make([]*OSend, 0, len(ids))
+	for _, id := range ids {
+		conn, err := net.Attach(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := NewOSend(OSendConfig{
+			Self: id, Group: grp, Conn: conn,
+			Deliver:   func(message.Message) { delivered.Add(1) },
+			Telemetry: reg,
+			Trace:     ring,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		engines = append(engines, e)
+	}
+	defer func() {
+		for _, e := range engines {
+			_ = e.Close()
+		}
+	}()
+
+	lab := message.NewLabeler("a")
+	send := func() {
+		m := message.Message{Label: lab.Next(), Kind: message.KindCommutative, Op: "inc"}
+		if err := engines[0].Broadcast(m); err != nil {
+			t.Error(err)
+			return
+		}
+		// Keep the retained map at steady size so the measurement sees the
+		// long-run regime, not map growth.
+		engines[0].ForgetRetained(m.Label)
+		want := uint64(len(ids)) * lab.Last().Seq
+		for delivered.Load() < want {
+			runtime.Gosched() // AllocsPerRun pins GOMAXPROCS to 1
+		}
+	}
+	for i := 0; i < 200; i++ {
+		send() // warm the frame pool, decoder interning, and batch buffers
+	}
+	if n := testing.AllocsPerRun(500, send); n != 0 {
+		t.Fatalf("telemetry-enabled broadcast = %.1f allocs/op, want 0", n)
 	}
 }
 

@@ -1,0 +1,75 @@
+package causal
+
+import "causalshare/internal/telemetry"
+
+// osendInstruments are OSend's registry-backed instruments. Engines given
+// the same registry share (and therefore aggregate) them; an engine built
+// without a registry gets a private one so its Snapshot and Metrics views
+// stay per-engine.
+type osendInstruments struct {
+	delivered     *telemetry.Counter
+	duplicates    *telemetry.Counter
+	fetches       *telemetry.Counter
+	controlBytes  *telemetry.Counter
+	stablePruned  *telemetry.Counter
+	pendingDepth  *telemetry.Gauge
+	pendingMax    *telemetry.Gauge
+	retainedDepth *telemetry.Gauge
+	depWait       *telemetry.Histogram
+	broadcastLat  *telemetry.Histogram
+}
+
+func newOSendInstruments(reg *telemetry.Registry) osendInstruments {
+	return osendInstruments{
+		delivered: reg.Counter("causal_osend_delivered_total",
+			"Messages delivered in causal order."),
+		duplicates: reg.Counter("causal_osend_duplicates_total",
+			"Received messages discarded as already delivered or buffered."),
+		fetches: reg.Counter("causal_osend_fetches_total",
+			"Retransmission requests issued for missing predecessors."),
+		controlBytes: reg.Counter("causal_osend_control_bytes_total",
+			"Ordering metadata bytes placed on the wire (OccursAfter labels, once per peer)."),
+		stablePruned: reg.Counter("causal_osend_stable_pruned_total",
+			"Retained messages garbage-collected after every peer's watermark covered them."),
+		pendingDepth: reg.Gauge("causal_osend_pending_depth",
+			"Messages currently buffered awaiting a missing predecessor."),
+		pendingMax: reg.Gauge("causal_osend_pending_depth_max",
+			"High-water mark of the pending buffer."),
+		retainedDepth: reg.Gauge("causal_osend_retained_depth",
+			"Own messages retained for retransmission."),
+		depWait: reg.Histogram("causal_osend_dep_wait_seconds",
+			"Time a buffered message waited on missing predecessors before delivery.",
+			telemetry.DurationBuckets),
+		broadcastLat: reg.Histogram("causal_osend_delivery_seconds",
+			"Broadcast-call-to-local-self-delivery latency (encode, fan-out, ingest).",
+			telemetry.DurationBuckets),
+	}
+}
+
+// cbcastInstruments are CBCast's registry-backed instruments, nil (no-op)
+// when the engine was built without a registry.
+type cbcastInstruments struct {
+	delivered    *telemetry.Counter
+	duplicates   *telemetry.Counter
+	fetches      *telemetry.Counter
+	controlBytes *telemetry.Counter
+	pendingDepth *telemetry.Gauge
+	pendingMax   *telemetry.Gauge
+}
+
+func newCBCastInstruments(reg *telemetry.Registry) cbcastInstruments {
+	return cbcastInstruments{
+		delivered: reg.Counter("causal_cbcast_delivered_total",
+			"Messages delivered in causal order (vector-clock condition)."),
+		duplicates: reg.Counter("causal_cbcast_duplicates_total",
+			"Received messages discarded as duplicates."),
+		fetches: reg.Counter("causal_cbcast_fetches_total",
+			"Retransmission requests issued for vector-clock gaps."),
+		controlBytes: reg.Counter("causal_cbcast_control_bytes_total",
+			"Ordering metadata bytes placed on the wire (vector clocks, once per peer)."),
+		pendingDepth: reg.Gauge("causal_cbcast_pending_depth",
+			"Messages currently buffered awaiting vector-clock readiness."),
+		pendingMax: reg.Gauge("causal_cbcast_pending_depth_max",
+			"High-water mark of the holdback buffer."),
+	}
+}

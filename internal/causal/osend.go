@@ -9,6 +9,7 @@ import (
 
 	"causalshare/internal/group"
 	"causalshare/internal/message"
+	"causalshare/internal/telemetry"
 	"causalshare/internal/transport"
 )
 
@@ -27,6 +28,14 @@ type OSendConfig struct {
 	// origin. Zero disables retransmission (appropriate on lossless
 	// transports).
 	Patience time.Duration
+	// Telemetry is the registry the engine registers its instruments on.
+	// Engines sharing a registry aggregate their counters; when nil the
+	// engine creates a private registry, so Snapshot (and the Metrics
+	// compatibility view) stay per-engine.
+	Telemetry *telemetry.Registry
+	// Trace, when non-nil, receives send/deliver/defer/fetch events. A nil
+	// ring disables tracing at zero cost.
+	Trace *telemetry.Ring
 }
 
 // OSend is the paper's causal broadcast engine: ordering is driven purely
@@ -77,11 +86,12 @@ type OSend struct {
 	// stable and garbage-collected.
 	peerWM map[string]map[string]uint64
 
-	nDelivered    atomic.Uint64
-	nDuplicates   atomic.Uint64
-	nFetches      atomic.Uint64
-	nControlBytes atomic.Uint64
-	nStablePruned atomic.Uint64
+	// reg is the registry ins was registered on (shared or private); trace
+	// is the optional event ring. Instruments and rings are nil-safe, so
+	// the hot paths update them unconditionally.
+	reg   *telemetry.Registry
+	ins   osendInstruments
+	trace *telemetry.Ring
 
 	done chan struct{}
 	wg   sync.WaitGroup
@@ -106,6 +116,10 @@ func NewOSend(cfg OSendConfig) (*OSend, error) {
 	if cfg.Deliver == nil {
 		return nil, fmt.Errorf("causal: nil deliver func")
 	}
+	reg := cfg.Telemetry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
 	e := &OSend{
 		self:      cfg.Self,
 		grp:       cfg.Group,
@@ -113,6 +127,9 @@ func NewOSend(cfg OSendConfig) (*OSend, error) {
 		conn:      cfg.Conn,
 		deliver:   cfg.Deliver,
 		patience:  cfg.Patience,
+		reg:       reg,
+		ins:       newOSendInstruments(reg),
+		trace:     cfg.Trace,
 		delivered: newDeliveredSet(),
 		pending:   make(map[message.Label]*pendingEntry),
 		waiting:   make(map[message.Label][]message.Label),
@@ -145,6 +162,7 @@ func (e *OSend) Broadcast(m message.Message) error {
 	if e.closed.Load() {
 		return ErrClosed
 	}
+	t0 := time.Now()
 	f := transport.NewFrame(1 + m.EncodedSize())
 	f.B = append(f.B, frameOSendData)
 	var err error
@@ -156,9 +174,11 @@ func (e *OSend) Broadcast(m message.Message) error {
 
 	e.retainMu.Lock()
 	e.retained[m.Label] = m
+	e.ins.retainedDepth.Set(int64(len(e.retained)))
 	e.retainMu.Unlock()
 	// Ordering metadata on the wire: the OccursAfter labels, once per peer.
-	e.nControlBytes.Add(uint64(m.Deps.EncodedSize()) * uint64(len(e.others)))
+	e.ins.controlBytes.Add(uint64(m.Deps.EncodedSize()) * uint64(len(e.others)))
+	e.trace.Record(telemetry.EventSend, e.self, m.Label.Origin, m.Label.Seq, 0)
 
 	err = transport.Multicast(e.conn, e.others, f)
 	f.Release()
@@ -166,17 +186,27 @@ func (e *OSend) Broadcast(m message.Message) error {
 		return fmt.Errorf("causal: send %v: %w", m.Label, err)
 	}
 	e.ingest(m)
+	e.ins.broadcastLat.ObserveSince(t0)
 	return nil
 }
 
-// Metrics returns a snapshot of the engine's counters.
+// Snapshot returns the engine's registry snapshot — the one snapshot
+// shape shared by every instrumented layer. When the engine was built
+// with a shared registry the snapshot covers everything registered on it.
+func (e *OSend) Snapshot() telemetry.Snapshot { return e.reg.Snapshot() }
+
+// Metrics is the thin compatibility view over Snapshot, preserving the
+// legacy per-engine counter struct. With a shared registry the counter
+// fields aggregate across every engine on it; the buffer-depth fields are
+// always this engine's own.
 func (e *OSend) Metrics() Metrics {
+	s := e.reg.Snapshot()
 	m := Metrics{
-		Delivered:    e.nDelivered.Load(),
-		Duplicates:   e.nDuplicates.Load(),
-		Fetches:      e.nFetches.Load(),
-		ControlBytes: e.nControlBytes.Load(),
-		StablePruned: e.nStablePruned.Load(),
+		Delivered:    s.Get("causal_osend_delivered_total"),
+		Duplicates:   s.Get("causal_osend_duplicates_total"),
+		Fetches:      s.Get("causal_osend_fetches_total"),
+		ControlBytes: s.Get("causal_osend_control_bytes_total"),
+		StablePruned: s.Get("causal_osend_stable_pruned_total"),
 	}
 	e.deliverMu.Lock()
 	m.Buffered = len(e.pending)
@@ -213,6 +243,7 @@ func (e *OSend) deliveredAdd(l message.Label) bool {
 func (e *OSend) ForgetRetained(l message.Label) {
 	e.retainMu.Lock()
 	delete(e.retained, l)
+	e.ins.retainedDepth.Set(int64(len(e.retained)))
 	e.retainMu.Unlock()
 }
 
@@ -311,12 +342,12 @@ func (e *OSend) ingest(m message.Message) {
 	}
 	e.deliverMu.Lock()
 	if e.deliveredHas(m.Label) {
-		e.nDuplicates.Add(1)
+		e.ins.duplicates.Inc()
 		e.deliverMu.Unlock()
 		return
 	}
 	if _, buffered := e.pending[m.Label]; buffered {
-		e.nDuplicates.Add(1)
+		e.ins.duplicates.Inc()
 		e.deliverMu.Unlock()
 		return
 	}
@@ -336,13 +367,21 @@ func (e *OSend) ingest(m message.Message) {
 		for d := range missing {
 			e.waiting[d] = append(e.waiting[d], m.Label)
 		}
-		if len(e.pending) > e.maxBuffered {
-			e.maxBuffered = len(e.pending)
+		depth := len(e.pending)
+		if depth > e.maxBuffered {
+			e.maxBuffered = depth
 		}
 		e.deliverMu.Unlock()
+		e.ins.pendingDepth.Set(int64(depth))
+		e.ins.pendingMax.SetMax(int64(depth))
+		e.trace.Record(telemetry.EventDefer, e.self, m.Label.Origin, m.Label.Seq, int64(depth))
 		return
 	}
 	ready := e.deliverLocked(e.takeReadyLocked(), m)
+	if len(ready) > 1 {
+		// The cascade drained buffered messages; refresh the depth gauge.
+		e.ins.pendingDepth.Set(int64(len(e.pending)))
+	}
 	e.deliverMu.Unlock()
 	for _, r := range ready {
 		e.deliver(r)
@@ -361,7 +400,8 @@ func (e *OSend) deliverLocked(out []message.Message, m message.Message) []messag
 		if !e.deliveredAdd(cur.Label) {
 			continue
 		}
-		e.nDelivered.Add(1)
+		e.ins.delivered.Inc()
+		e.trace.Record(telemetry.EventDeliver, e.self, cur.Label.Origin, cur.Label.Seq, 0)
 		out = append(out, cur)
 		blocked, ok := e.waiting[cur.Label]
 		if !ok {
@@ -376,6 +416,7 @@ func (e *OSend) deliverLocked(out []message.Message, m message.Message) []messag
 			delete(entry.missing, cur.Label)
 			if len(entry.missing) == 0 {
 				delete(e.pending, bl)
+				e.ins.depWait.ObserveSince(entry.since)
 				queue = append(queue, entry.msg)
 			}
 		}
@@ -503,7 +544,8 @@ scan:
 		}
 		e.lastFetch[l] = now
 		fetches = append(fetches, l)
-		e.nFetches.Add(1)
+		e.ins.fetches.Inc()
+		e.trace.Record(telemetry.EventFetch, e.self, l.Origin, l.Seq, 0)
 	}
 	e.peerWM[from] = watermarks
 	e.pruneStableLocked()
@@ -547,9 +589,10 @@ func (e *OSend) pruneStableLocked() {
 		if stable {
 			delete(e.retained, l)
 			delete(e.lastFetch, l)
-			e.nStablePruned.Add(1)
+			e.ins.stablePruned.Inc()
 		}
 	}
+	e.ins.retainedDepth.Set(int64(len(e.retained)))
 }
 
 func encodeAdvert(retained, watermarks map[string]uint64) []byte {
@@ -641,7 +684,8 @@ func (e *OSend) fetchMissing(now time.Time) {
 		}
 		e.lastFetch[c.l] = now
 		fetches = append(fetches, c)
-		e.nFetches.Add(1)
+		e.ins.fetches.Inc()
+		e.trace.Record(telemetry.EventFetch, e.self, c.l.Origin, c.l.Seq, 0)
 	}
 	e.retainMu.Unlock()
 	for _, f := range fetches {

@@ -1,0 +1,32 @@
+package core
+
+import "causalshare/internal/telemetry"
+
+// coreInstruments are the replica's registry-backed instruments; all nil
+// no-ops when the replica was built without a registry. Replicas sharing a
+// registry aggregate.
+type coreInstruments struct {
+	applied        *telemetry.Counter
+	stablePoints   *telemetry.Counter
+	stableInterval *telemetry.Histogram
+	deferredWait   *telemetry.Histogram
+	activitySize   *telemetry.Histogram
+}
+
+func newCoreInstruments(reg *telemetry.Registry) coreInstruments {
+	return coreInstruments{
+		applied: reg.Counter("core_applied_total",
+			"Messages applied to replica state."),
+		stablePoints: reg.Counter("core_stable_points_total",
+			"Stable points established (activities closed)."),
+		stableInterval: reg.Histogram("core_stable_interval_seconds",
+			"Wall time between consecutive local stable points (stable-point latency).",
+			telemetry.DurationBuckets),
+		deferredWait: reg.Histogram("core_deferred_read_wait_seconds",
+			"Time a deferred read blocked until the next stable point.",
+			telemetry.DurationBuckets),
+		activitySize: reg.Histogram("core_activity_size",
+			"Messages processed per causal activity (1 + |{Cid}_r|).",
+			telemetry.CountBuckets),
+	}
+}

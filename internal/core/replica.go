@@ -4,8 +4,10 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"causalshare/internal/message"
+	"causalshare/internal/telemetry"
 )
 
 // StablePoint records one locally detected agreement point (§4.1): the
@@ -38,6 +40,11 @@ type ReplicaConfig struct {
 	// point record and an independent clone of the stable state. It runs
 	// on the delivery goroutine without the replica lock held.
 	OnStable func(StablePoint, State)
+	// Telemetry, when non-nil, registers the replica's core_* instruments
+	// there; replicas sharing a registry aggregate.
+	Telemetry *telemetry.Registry
+	// Trace, when non-nil, receives an EventStable record per stable point.
+	Trace *telemetry.Ring
 }
 
 // Replica maintains one member's copy of the shared data, applying
@@ -51,6 +58,8 @@ type Replica struct {
 	self     string
 	apply    Transition
 	onStable func(StablePoint, State)
+	ins      coreInstruments
+	trace    *telemetry.Ring
 
 	mu          sync.Mutex
 	state       State
@@ -58,6 +67,7 @@ type Replica struct {
 	stableCycle uint64
 	applied     uint64
 	current     int // messages in the open activity
+	lastStable  time.Time
 	points      []StablePoint
 	waiters     []chan readResult
 }
@@ -76,11 +86,14 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 		return nil, fmt.Errorf("core: replica %q: nil transition function", cfg.Self)
 	}
 	return &Replica{
-		self:     cfg.Self,
-		apply:    cfg.Apply,
-		onStable: cfg.OnStable,
-		state:    cfg.Initial.Clone(),
-		stable:   cfg.Initial.Clone(),
+		self:       cfg.Self,
+		apply:      cfg.Apply,
+		onStable:   cfg.OnStable,
+		ins:        newCoreInstruments(cfg.Telemetry),
+		trace:      cfg.Trace,
+		state:      cfg.Initial.Clone(),
+		stable:     cfg.Initial.Clone(),
+		lastStable: time.Now(),
 	}, nil
 }
 
@@ -91,6 +104,7 @@ func (r *Replica) Deliver(m message.Message) {
 	r.state = r.apply(r.state, m)
 	r.applied++
 	r.current++
+	r.ins.applied.Inc()
 	var (
 		notify   func(StablePoint, State)
 		point    StablePoint
@@ -107,6 +121,12 @@ func (r *Replica) Deliver(m message.Message) {
 			ActivitySize: r.current,
 		}
 		r.points = append(r.points, point)
+		now := time.Now()
+		r.ins.stablePoints.Inc()
+		r.ins.stableInterval.Observe(now.Sub(r.lastStable).Seconds())
+		r.ins.activitySize.Observe(float64(r.current))
+		r.lastStable = now
+		r.trace.Record(telemetry.EventStable, r.self, m.Label.Origin, m.Label.Seq, int64(r.stableCycle))
 		r.current = 0
 		waiters = r.waiters
 		r.waiters = nil
@@ -140,12 +160,15 @@ func (r *Replica) ReadDeferred(ctx context.Context) (State, uint64, error) {
 	if r.current == 0 && r.stableCycle > 0 {
 		st, cycle := r.stable.Clone(), r.stableCycle
 		r.mu.Unlock()
+		r.ins.deferredWait.Observe(0)
 		return st, cycle, nil
 	}
 	r.waiters = append(r.waiters, ch)
 	r.mu.Unlock()
+	t0 := time.Now()
 	select {
 	case res := <-ch:
+		r.ins.deferredWait.ObserveSince(t0)
 		return res.state, res.cycle, nil
 	case <-ctx.Done():
 		return nil, 0, fmt.Errorf("core: deferred read at %q: %w", r.self, ctx.Err())

@@ -13,7 +13,28 @@ package experiments
 import (
 	"fmt"
 	"strings"
+
+	"causalshare/internal/telemetry"
 )
+
+// sharedReg, when set via SetTelemetry, is the registry live-stack runners
+// register their instruments on, so a cmd/experiments -metrics-addr
+// endpoint exposes layer counters while experiments run. Runners that
+// report per-run snapshots fall back to a private registry when unset.
+var sharedReg *telemetry.Registry
+
+// SetTelemetry installs a registry for live-stack runners to share. Call
+// it before running experiments; nil restores private per-run registries.
+func SetTelemetry(reg *telemetry.Registry) { sharedReg = reg }
+
+// runnerRegistry returns the shared registry, or a fresh private one so a
+// runner always has somewhere to register and snapshot from.
+func runnerRegistry() *telemetry.Registry {
+	if sharedReg != nil {
+		return sharedReg
+	}
+	return telemetry.NewRegistry()
+}
 
 // Table is one experiment's reproducible output.
 type Table struct {
@@ -29,6 +50,9 @@ type Table struct {
 	Rows [][]string
 	// Notes holds the measured interpretation (who won, by what factor).
 	Notes string
+	// Telemetry, when non-empty, is a compact registry snapshot captured
+	// after the run (live-stack experiments only).
+	Telemetry string
 }
 
 // String renders the table with aligned columns.
@@ -71,6 +95,9 @@ func (t Table) String() string {
 	}
 	if t.Notes != "" {
 		fmt.Fprintf(&b, "notes: %s\n", t.Notes)
+	}
+	if t.Telemetry != "" {
+		fmt.Fprintf(&b, "telemetry: %s\n", t.Telemetry)
 	}
 	return b.String()
 }

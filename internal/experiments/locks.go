@@ -42,27 +42,29 @@ func RunE9(cfg E9Config) Table {
 		},
 	}
 	for _, n := range cfg.Sizes {
-		row, err := runLockRotation(n, cfg.Rotations)
+		row, tel, err := runLockRotation(n, cfg.Rotations)
 		if err != nil {
 			t.Notes = "error: " + err.Error()
 			return t
 		}
 		t.Rows = append(t.Rows, row)
+		t.Telemetry = tel // last size's registry snapshot
 	}
 	t.Notes = "every member's grant log is identical (deterministic arbitration over the total order); frame cost is the ordered LOCK/TFR broadcasts only"
 	return t
 }
 
-func runLockRotation(n, rotations int) ([]string, error) {
+func runLockRotation(n, rotations int) ([]string, string, error) {
 	ids := make([]string, n)
 	for i := range ids {
 		ids[i] = fmt.Sprintf("m%02d", i)
 	}
 	grp, err := group.New("g", ids)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
-	net := transport.NewChanNet(transport.FaultModel{})
+	reg := runnerRegistry()
+	net := transport.NewChanNetObserved(transport.FaultModel{}, reg)
 	defer func() { _ = net.Close() }()
 
 	arbiters := make(map[string]*lockarb.Arbiter, n)
@@ -83,20 +85,22 @@ func runLockRotation(n, rotations int) ([]string, error) {
 		var arb *lockarb.Arbiter
 		sq, err := total.NewSequencer(total.Config{
 			Self: id, Group: grp,
-			Deliver: func(m message.Message) { arb.Ingest(m) },
+			Deliver:   func(m message.Message) { arb.Ingest(m) },
+			Telemetry: reg,
 		})
 		if err != nil {
-			return nil, err
+			return nil, "", err
 		}
 		conn, err := net.Attach(id)
 		if err != nil {
-			return nil, err
+			return nil, "", err
 		}
 		eng, err := causal.NewOSend(causal.OSendConfig{
 			Self: id, Group: grp, Conn: conn, Deliver: sq.Ingest,
+			Telemetry: reg,
 		})
 		if err != nil {
-			return nil, err
+			return nil, "", err
 		}
 		sq.Bind(eng)
 		arb, err = lockarb.NewArbiter(lockarb.Config{
@@ -108,7 +112,7 @@ func runLockRotation(n, rotations int) ([]string, error) {
 			},
 		})
 		if err != nil {
-			return nil, err
+			return nil, "", err
 		}
 		arbiters[id] = arb
 		engines = append(engines, eng)
@@ -116,7 +120,7 @@ func runLockRotation(n, rotations int) ([]string, error) {
 	}
 	for _, id := range ids {
 		if err := arbiters[id].Start(); err != nil {
-			return nil, err
+			return nil, "", err
 		}
 	}
 
@@ -126,11 +130,11 @@ func runLockRotation(n, rotations int) ([]string, error) {
 			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 			if _, err := arbiters[id].Acquire(ctx); err != nil {
 				cancel()
-				return nil, fmt.Errorf("rotation %d at %s: %w", r, id, err)
+				return nil, "", fmt.Errorf("rotation %d at %s: %w", r, id, err)
 			}
 			if err := arbiters[id].Release(); err != nil {
 				cancel()
-				return nil, err
+				return nil, "", err
 			}
 			cancel()
 		}
@@ -162,5 +166,5 @@ func runLockRotation(n, rotations int) ([]string, error) {
 		utoa(grants),
 		f2(float64(frames) / float64(grants)),
 		agreement,
-	}, nil
+	}, reg.Snapshot().Compact(), nil
 }

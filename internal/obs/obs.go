@@ -24,14 +24,39 @@ type Delivery struct {
 
 // Trace records deliveries across members. It is safe for concurrent use;
 // wrap each member's DeliverFunc with Observer.
+//
+// A trace from NewTrace retains every delivery — unbounded memory, which
+// short verification runs want (no evidence is lost). Long-running
+// observed executions should use NewBoundedTrace, which keeps only the
+// most recent deliveries per member (ring semantics) and makes the
+// verifiers best-effort over the retained window.
 type Trace struct {
 	mu   sync.Mutex
-	byMb map[string][]message.Message
+	cap  int // per-member retained deliveries; 0 means unbounded
+	byMb map[string]*memberLog
 }
 
-// NewTrace returns an empty trace.
+// memberLog is one member's delivery record: append-only when the trace is
+// unbounded, a fixed ring that overwrites the oldest entry otherwise.
+type memberLog struct {
+	buf  []message.Message
+	next uint64 // total deliveries ever observed
+}
+
+// NewTrace returns an empty unbounded trace: every delivery is retained.
 func NewTrace() *Trace {
-	return &Trace{byMb: make(map[string][]message.Message)}
+	return &Trace{byMb: make(map[string]*memberLog)}
+}
+
+// NewBoundedTrace returns a trace retaining at most perMember deliveries
+// for each member (minimum 1); older entries are overwritten in ring
+// fashion and counted by Dropped. Verification over a truncated trace is
+// best-effort: see VerifyCausalDelivery.
+func NewBoundedTrace(perMember int) *Trace {
+	if perMember < 1 {
+		perMember = 1
+	}
+	return &Trace{cap: perMember, byMb: make(map[string]*memberLog)}
 }
 
 // Observer returns a DeliverFunc wrapper that records member's deliveries
@@ -39,12 +64,34 @@ func NewTrace() *Trace {
 func (t *Trace) Observer(member string, next func(message.Message)) func(message.Message) {
 	return func(m message.Message) {
 		t.mu.Lock()
-		t.byMb[member] = append(t.byMb[member], m)
+		l := t.byMb[member]
+		if l == nil {
+			l = &memberLog{}
+			t.byMb[member] = l
+		}
+		if t.cap > 0 && len(l.buf) == t.cap {
+			l.buf[l.next%uint64(t.cap)] = m
+		} else {
+			l.buf = append(l.buf, m)
+		}
+		l.next++
 		t.mu.Unlock()
 		if next != nil {
 			next(m)
 		}
 	}
+}
+
+// Dropped returns how many of member's deliveries have been overwritten
+// (always 0 for unbounded traces).
+func (t *Trace) Dropped(member string) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	l := t.byMb[member]
+	if l == nil || t.cap == 0 || l.next <= uint64(t.cap) {
+		return 0
+	}
+	return l.next - uint64(t.cap)
 }
 
 // Members returns the observed member ids in sorted order.
@@ -59,11 +106,22 @@ func (t *Trace) Members() []string {
 	return out
 }
 
-// Sequence returns a copy of member's delivery sequence.
+// Sequence returns a copy of member's retained delivery sequence, oldest
+// first.
 func (t *Trace) Sequence(member string) []message.Message {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return append([]message.Message(nil), t.byMb[member]...)
+	l := t.byMb[member]
+	if l == nil {
+		return nil
+	}
+	if t.cap == 0 || l.next <= uint64(t.cap) {
+		return append([]message.Message(nil), l.buf...)
+	}
+	start := l.next % uint64(t.cap)
+	out := make([]message.Message, 0, len(l.buf))
+	out = append(out, l.buf[start:]...)
+	return append(out, l.buf[:start]...)
 }
 
 // ExtractGraph rebuilds the stable-form message dependency graph from the
@@ -77,8 +135,8 @@ func (t *Trace) ExtractGraph() (*graph.Graph, error) {
 	defer t.mu.Unlock()
 	g := graph.New()
 	seen := make(map[message.Label]bool)
-	for _, seq := range t.byMb {
-		for _, m := range seq {
+	for _, l := range t.byMb {
+		for _, m := range l.buf {
 			if seen[m.Label] {
 				continue
 			}
@@ -94,17 +152,33 @@ func (t *Trace) ExtractGraph() (*graph.Graph, error) {
 // VerifyCausalDelivery checks that member's observed sequence satisfies
 // every OccursAfter predicate: each dependency was delivered earlier in
 // the same sequence. It returns the first violation found.
+//
+// On a bounded trace that has dropped entries for member, the check is
+// best-effort: a dependency absent from the retained window is assumed to
+// have been delivered in the truncated prefix. An inversion visible
+// inside the window (dependency retained but at a later index) is still
+// reported.
 func (t *Trace) VerifyCausalDelivery(member string) error {
 	seq := t.Sequence(member)
-	delivered := make(map[message.Label]bool, len(seq))
+	truncated := t.Dropped(member) > 0
+	pos := make(map[message.Label]int, len(seq))
+	for i, m := range seq {
+		if _, dup := pos[m.Label]; !dup {
+			pos[m.Label] = i
+		}
+	}
 	for i, m := range seq {
 		for _, d := range m.Deps.Labels() {
-			if !delivered[d] {
-				return fmt.Errorf("obs: member %s delivered %v at %d before its dependency %v",
-					member, m.Label, i, d)
+			j, retained := pos[d]
+			if retained && j < i {
+				continue
 			}
+			if !retained && truncated {
+				continue // plausibly delivered in the dropped prefix
+			}
+			return fmt.Errorf("obs: member %s delivered %v at %d before its dependency %v",
+				member, m.Label, i, d)
 		}
-		delivered[m.Label] = true
 	}
 	return nil
 }

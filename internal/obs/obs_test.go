@@ -159,3 +159,91 @@ func TestAuditStablePoints(t *testing.T) {
 		}
 	})
 }
+
+func TestBoundedTraceRingAndDropped(t *testing.T) {
+	tr := NewBoundedTrace(3)
+	obs := tr.Observer("a", nil)
+	for s := uint64(1); s <= 5; s++ {
+		obs(msg(lbl("x", s)))
+	}
+	seq := tr.Sequence("a")
+	if len(seq) != 3 {
+		t.Fatalf("retained %d messages, want 3", len(seq))
+	}
+	for i, want := range []uint64{3, 4, 5} {
+		if seq[i].Label.Seq != want {
+			t.Errorf("seq[%d] = %v, want x/%d (oldest-first)", i, seq[i].Label, want)
+		}
+	}
+	if d := tr.Dropped("a"); d != 2 {
+		t.Errorf("Dropped = %d, want 2", d)
+	}
+	if d := tr.Dropped("nobody"); d != 0 {
+		t.Errorf("Dropped(unknown) = %d, want 0", d)
+	}
+	// Unbounded traces never drop.
+	ub := NewTrace()
+	o := ub.Observer("a", nil)
+	for s := uint64(1); s <= 5; s++ {
+		o(msg(lbl("x", s)))
+	}
+	if d := ub.Dropped("a"); d != 0 {
+		t.Errorf("unbounded Dropped = %d, want 0", d)
+	}
+	if got := len(ub.Sequence("a")); got != 5 {
+		t.Errorf("unbounded retained %d, want 5", got)
+	}
+}
+
+func TestBoundedTraceMinimumCapacity(t *testing.T) {
+	tr := NewBoundedTrace(0)
+	obs := tr.Observer("a", nil)
+	obs(msg(lbl("x", 1)))
+	obs(msg(lbl("x", 2)))
+	if seq := tr.Sequence("a"); len(seq) != 1 || seq[0].Label.Seq != 2 {
+		t.Errorf("sequence = %v, want just x/2", seq)
+	}
+	if d := tr.Dropped("a"); d != 1 {
+		t.Errorf("Dropped = %d, want 1", d)
+	}
+}
+
+func TestBoundedTraceBestEffortVerify(t *testing.T) {
+	m1 := msg(lbl("x", 1))
+	m2 := msg(lbl("y", 1), m1.Label)
+	m3 := msg(lbl("z", 1), m2.Label)
+
+	// The dependency of the window's oldest message was overwritten; the
+	// verifier must assume it was delivered in the truncated prefix.
+	tr := NewBoundedTrace(2)
+	obs := tr.Observer("a", nil)
+	obs(m1)
+	obs(m2)
+	obs(m3)
+	if err := tr.VerifyCausalDelivery("a"); err != nil {
+		t.Errorf("truncated-but-valid sequence rejected: %v", err)
+	}
+
+	// An inversion visible inside the retained window is still reported,
+	// even with drops recorded.
+	inv := NewBoundedTrace(2)
+	o := inv.Observer("a", nil)
+	o(msg(lbl("f", 1))) // filler, overwritten below
+	o(m2)
+	o(m1) // m2's dependency delivered after m2, both retained
+	if inv.Dropped("a") != 1 {
+		t.Fatalf("Dropped = %d, want 1", inv.Dropped("a"))
+	}
+	if err := inv.VerifyCausalDelivery("a"); err == nil {
+		t.Error("in-window inversion not detected on truncated trace")
+	}
+
+	// Without drops a bounded trace verifies strictly: a missing
+	// dependency is a violation, not a presumed-truncated one.
+	strict := NewBoundedTrace(8)
+	s := strict.Observer("a", nil)
+	s(m2)
+	if err := strict.VerifyCausalDelivery("a"); err == nil {
+		t.Error("missing dependency accepted with no drops recorded")
+	}
+}

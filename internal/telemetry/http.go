@@ -1,0 +1,133 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// WriteText renders a snapshot in the Prometheus text exposition format
+// (version 0.0.4): HELP/TYPE comments, plain series for counters and
+// gauges, cumulative le-labelled series plus _sum/_count for histograms.
+func WriteText(b *strings.Builder, s Snapshot) {
+	for _, c := range s.Counters {
+		writeHeader(b, c.Name, c.Help, "counter")
+		fmt.Fprintf(b, "%s %d\n", c.Name, c.Value)
+	}
+	for _, g := range s.Gauges {
+		writeHeader(b, g.Name, g.Help, "gauge")
+		fmt.Fprintf(b, "%s %d\n", g.Name, g.Value)
+	}
+	for _, h := range s.Histograms {
+		writeHeader(b, h.Name, h.Help, "histogram")
+		var cum uint64
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			fmt.Fprintf(b, "%s_bucket{le=%q} %d\n", h.Name, formatBound(bound), cum)
+		}
+		fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", h.Name, h.Count)
+		fmt.Fprintf(b, "%s_sum %s\n", h.Name, strconv.FormatFloat(h.Sum, 'g', -1, 64))
+		fmt.Fprintf(b, "%s_count %d\n", h.Name, h.Count)
+	}
+}
+
+func writeHeader(b *strings.Builder, name, help, kind string) {
+	if help != "" {
+		fmt.Fprintf(b, "# HELP %s %s\n", name, help)
+	}
+	fmt.Fprintf(b, "# TYPE %s %s\n", name, kind)
+}
+
+func formatBound(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler serves reg in Prometheus text format.
+func Handler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		var b strings.Builder
+		WriteText(&b, reg.Snapshot())
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = w.Write([]byte(b.String()))
+	})
+}
+
+// JSONHandler serves reg as an expvar-style JSON snapshot.
+func JSONHandler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(reg.Snapshot())
+	})
+}
+
+// traceEvent is the JSON shape of one ring event.
+type traceEvent struct {
+	AtNanos int64  `json:"at_ns"`
+	Kind    string `json:"kind"`
+	Member  string `json:"member,omitempty"`
+	Origin  string `json:"origin,omitempty"`
+	Seq     uint64 `json:"seq,omitempty"`
+	Value   int64  `json:"value,omitempty"`
+}
+
+// TraceHandler serves the ring's retained events as JSON, oldest first.
+func TraceHandler(ring *Ring) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		events := ring.Snapshot()
+		out := struct {
+			Dropped uint64       `json:"dropped"`
+			Events  []traceEvent `json:"events"`
+		}{Dropped: ring.Dropped(), Events: make([]traceEvent, 0, len(events))}
+		for _, e := range events {
+			out.Events = append(out.Events, traceEvent{
+				AtNanos: int64(e.At), Kind: e.Kind.String(),
+				Member: e.Member, Origin: e.Origin, Seq: e.Seq, Value: e.Value,
+			})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(out)
+	})
+}
+
+// Server is a running exposition endpoint.
+type Server struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// Serve starts an HTTP server on addr exposing:
+//
+//	/metrics  Prometheus text
+//	/vars     JSON snapshot
+//	/trace    event-ring dump (404 when ring is nil)
+//
+// Pass addr ":0" to bind an ephemeral port; Addr reports the bound
+// address. The caller owns the returned server and must Close it.
+func Serve(addr string, reg *Registry, ring *Ring) (*Server, error) {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(reg))
+	mux.Handle("/vars", JSONHandler(reg))
+	if ring != nil {
+		mux.Handle("/trace", TraceHandler(ring))
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	s := &Server{srv: &http.Server{Handler: mux}, ln: ln}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server.
+func (s *Server) Close() error { return s.srv.Close() }

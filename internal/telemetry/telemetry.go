@@ -1,0 +1,457 @@
+// Package telemetry is the runtime observability layer shared by every
+// tier of the stack (transport → causal → total → core). It provides:
+//
+//   - A metrics Registry of pre-registered instruments — atomic counters,
+//     gauges, fixed-bucket histograms, and snapshot-time func metrics —
+//     whose update paths allocate nothing and take no locks, so the
+//     broadcast hot path can be instrumented without giving up its
+//     zero-allocation property (BenchmarkBroadcastFanout stays 0
+//     allocs/op with a live registry attached).
+//   - A fixed-size event Ring tracer (ring.go) recording send / deliver /
+//     defer / stable-point events with monotonic timestamps.
+//   - HTTP exposition (http.go): a Prometheus-text /metrics handler, an
+//     expvar-style JSON snapshot handler, and a trace dump.
+//
+// Design rules:
+//
+//   - Registration is idempotent: asking for an instrument name that
+//     already exists returns the existing instrument, so layers sharing
+//     one registry (several engines over one network) aggregate into the
+//     same series. Registering a name under a different instrument kind
+//     panics (a programming error, caught in tests).
+//   - Every instrument is nil-safe: methods on a nil *Counter, *Gauge,
+//     *Histogram or *Ring are no-ops, and every Registry accessor on a
+//     nil *Registry returns nil. A layer holds plain instrument fields
+//     and never branches on "telemetry enabled".
+//   - Reads are snapshot-on-read: Snapshot copies every value under the
+//     registration lock; writers never wait on readers.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Registry holds a process's (or one subsystem's) instruments. The zero
+// value is not usable; construct with NewRegistry. A nil *Registry is a
+// valid "telemetry disabled" registry: every accessor returns a nil
+// instrument whose methods are no-ops.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	funcs      map[string]funcMetric
+}
+
+type funcMetric struct {
+	help    string
+	counter func() uint64 // counter-kind when non-nil
+	gauge   func() int64  // gauge-kind when non-nil
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+		funcs:      make(map[string]funcMetric),
+	}
+}
+
+// validName enforces the Prometheus metric-name charset
+// [a-zA-Z_][a-zA-Z0-9_]* without pulling in regexp.
+func validName(name string) bool {
+	if len(name) == 0 {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c == '_', 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z':
+		case '0' <= c && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// checkNameLocked panics when name is malformed or already registered
+// under a different kind. Caller holds r.mu; have is the map being
+// registered into (so re-registration in the same kind passes).
+func (r *Registry) checkNameLocked(name, kind string) {
+	if !validName(name) {
+		panic(fmt.Sprintf("telemetry: invalid instrument name %q", name))
+	}
+	for k, m := range map[string]bool{
+		"counter":   r.counters[name] != nil,
+		"gauge":     r.gauges[name] != nil,
+		"histogram": r.histograms[name] != nil,
+		"func":      hasFunc(r.funcs, name),
+	} {
+		if m && k != kind {
+			panic(fmt.Sprintf("telemetry: %q already registered as a %s", name, k))
+		}
+	}
+}
+
+func hasFunc(m map[string]funcMetric, name string) bool {
+	_, ok := m[name]
+	return ok
+}
+
+// Counter registers (or returns the existing) monotonically increasing
+// counter. Nil registry → nil counter (no-op instrument).
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	r.checkNameLocked(name, "counter")
+	c := &Counter{help: help}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge registers (or returns the existing) gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	r.checkNameLocked(name, "gauge")
+	g := &Gauge{help: help}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram registers (or returns the existing) fixed-bucket histogram.
+// buckets are cumulative upper bounds in increasing order; an implicit
+// +Inf bucket is appended. Re-registration returns the existing histogram
+// regardless of the buckets argument, so sharing layers must agree on
+// bucket ladders (they do: the package-level ladders below).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.histograms[name]; ok {
+		return h
+	}
+	r.checkNameLocked(name, "histogram")
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("telemetry: histogram %q buckets not increasing", name))
+		}
+	}
+	h := &Histogram{
+		help:   help,
+		bounds: append([]float64(nil), buckets...),
+		counts: make([]atomic.Uint64, len(buckets)+1),
+	}
+	r.histograms[name] = h
+	return h
+}
+
+// CounterFunc registers a counter whose value is read by fn at snapshot
+// time — for pre-existing atomics (e.g. the process-wide frame pool) that
+// should stay where they are. First registration wins.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.funcs[name]; ok {
+		return
+	}
+	r.checkNameLocked(name, "func")
+	r.funcs[name] = funcMetric{help: help, counter: fn}
+}
+
+// GaugeFunc registers a gauge whose value is read by fn at snapshot time.
+// First registration wins.
+func (r *Registry) GaugeFunc(name, help string, fn func() int64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.funcs[name]; ok {
+		return
+	}
+	r.checkNameLocked(name, "func")
+	r.funcs[name] = funcMetric{help: help, gauge: fn}
+}
+
+// Counter is a monotonically increasing atomic counter. All methods are
+// safe on a nil receiver.
+type Counter struct {
+	v    atomic.Uint64
+	help string
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value. All methods are safe on a nil
+// receiver.
+type Gauge struct {
+	v    atomic.Int64
+	help string
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// SetMax raises the gauge to v if v is greater (high-water marks).
+func (g *Gauge) SetMax(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket cumulative histogram. Observe is lock-free
+// and allocation-free: a linear scan over the (small, pre-registered)
+// bucket ladder plus three atomic adds. All methods are safe on a nil
+// receiver.
+type Histogram struct {
+	help   string
+	bounds []float64       // upper bounds, increasing; +Inf implicit
+	counts []atomic.Uint64 // len(bounds)+1
+	count  atomic.Uint64
+	sum    atomic.Uint64 // math.Float64bits of the running sum
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the seconds elapsed since t0 — the duration helper
+// every latency instrument uses.
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(time.Since(t0).Seconds())
+}
+
+// Count returns the number of samples observed (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the running sample sum (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Bucket ladders shared across the stack, so instruments registered from
+// different layers into one registry agree.
+var (
+	// DurationBuckets spans 10µs..2.5s — delivery latencies, dependency
+	// waits, stable-point intervals.
+	DurationBuckets = []float64{
+		10e-6, 25e-6, 50e-6, 100e-6, 250e-6, 500e-6,
+		1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3, 250e-3, 500e-3,
+		1, 2.5,
+	}
+	// CountBuckets spans 1..4096 — batch sizes, buffer depths.
+	CountBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096}
+	// ByteBuckets spans 64B..1MiB — flush-window occupancy, frame sizes.
+	ByteBuckets = []float64{64, 256, 1024, 4096, 16384, 65536, 262144, 1048576}
+)
+
+// CounterSnapshot is one counter's value at snapshot time.
+type CounterSnapshot struct {
+	Name  string `json:"name"`
+	Help  string `json:"help,omitempty"`
+	Value uint64 `json:"value"`
+}
+
+// GaugeSnapshot is one gauge's value at snapshot time.
+type GaugeSnapshot struct {
+	Name  string `json:"name"`
+	Help  string `json:"help,omitempty"`
+	Value int64  `json:"value"`
+}
+
+// HistogramSnapshot is one histogram's state at snapshot time.
+type HistogramSnapshot struct {
+	Name string `json:"name"`
+	Help string `json:"help,omitempty"`
+	// Bounds are the bucket upper bounds; Counts has one extra entry for
+	// the +Inf bucket. Counts are per-bucket (not cumulative).
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Count  uint64    `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+// Snapshot is a consistent-enough copy of a registry: each instrument is
+// read atomically (the set of instruments is fixed under the lock, values
+// are concurrent reads). It is the one snapshot shape every layer's
+// metrics API returns.
+type Snapshot struct {
+	Counters   []CounterSnapshot   `json:"counters"`
+	Gauges     []GaugeSnapshot     `json:"gauges"`
+	Histograms []HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot reads every instrument. Nil registry → zero snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var s Snapshot
+	for name, c := range r.counters {
+		s.Counters = append(s.Counters, CounterSnapshot{Name: name, Help: c.help, Value: c.Value()})
+	}
+	for name, g := range r.gauges {
+		s.Gauges = append(s.Gauges, GaugeSnapshot{Name: name, Help: g.help, Value: g.Value()})
+	}
+	for name, f := range r.funcs {
+		if f.counter != nil {
+			s.Counters = append(s.Counters, CounterSnapshot{Name: name, Help: f.help, Value: f.counter()})
+		} else {
+			s.Gauges = append(s.Gauges, GaugeSnapshot{Name: name, Help: f.help, Value: f.gauge()})
+		}
+	}
+	for name, h := range r.histograms {
+		hs := HistogramSnapshot{
+			Name:   name,
+			Help:   h.help,
+			Bounds: append([]float64(nil), h.bounds...),
+			Counts: make([]uint64, len(h.counts)),
+			Count:  h.Count(),
+			Sum:    h.Sum(),
+		}
+		for i := range h.counts {
+			hs.Counts[i] = h.counts[i].Load()
+		}
+		s.Histograms = append(s.Histograms, hs)
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}
+
+// Get returns the named counter value from the snapshot (0 when absent),
+// for tests and table rendering.
+func (s Snapshot) Get(name string) uint64 {
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// Compact renders the snapshot as one line of name=value pairs (counters
+// and gauges; histograms contribute name_count), for experiment tables
+// and CLI summaries.
+func (s Snapshot) Compact() string {
+	var b []byte
+	app := func(name string, v any) {
+		if len(b) > 0 {
+			b = append(b, ' ')
+		}
+		b = fmt.Appendf(b, "%s=%v", name, v)
+	}
+	for _, c := range s.Counters {
+		app(c.Name, c.Value)
+	}
+	for _, g := range s.Gauges {
+		app(g.Name, g.Value)
+	}
+	for _, h := range s.Histograms {
+		app(h.Name+"_count", h.Count)
+	}
+	return string(b)
+}

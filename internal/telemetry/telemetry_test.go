@@ -1,0 +1,240 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total", "requests")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("depth", "queue depth")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+	g.SetMax(3)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("SetMax lowered the gauge to %d", got)
+	}
+	g.SetMax(11)
+	if got := g.Value(); got != 11 {
+		t.Fatalf("SetMax = %d, want 11", got)
+	}
+}
+
+func TestRegistrationIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "")
+	b := r.Counter("x_total", "different help ignored")
+	if a != b {
+		t.Fatal("re-registration returned a different counter")
+	}
+	h1 := r.Histogram("lat", "", DurationBuckets)
+	h2 := r.Histogram("lat", "", CountBuckets)
+	if h1 != h2 {
+		t.Fatal("re-registration returned a different histogram")
+	}
+}
+
+func TestKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering a gauge under a counter name did not panic")
+		}
+	}()
+	r.Gauge("x", "")
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	for _, name := range []string{"", "1abc", "a-b", "a b", "a.b"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("name %q did not panic", name)
+				}
+			}()
+			r.Counter(name, "")
+		}()
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("sizes", "", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 2, 10, 11, 1000} {
+		h.Observe(v)
+	}
+	s := r.Snapshot()
+	if len(s.Histograms) != 1 {
+		t.Fatalf("snapshot has %d histograms", len(s.Histograms))
+	}
+	hs := s.Histograms[0]
+	// per-bucket: (<=1): 0.5,1 → 2; (<=10): 2,10 → 2; (<=100): 11 → 1; +Inf: 1000 → 1
+	want := []uint64{2, 2, 1, 1}
+	for i, w := range want {
+		if hs.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (%v)", i, hs.Counts[i], w, hs.Counts)
+		}
+	}
+	if hs.Count != 6 {
+		t.Fatalf("count = %d, want 6", hs.Count)
+	}
+	if math.Abs(hs.Sum-1024.5) > 1e-9 {
+		t.Fatalf("sum = %v, want 1024.5", hs.Sum)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x", "")
+	g := r.Gauge("y", "")
+	h := r.Histogram("z", "", CountBuckets)
+	var ring *Ring
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	g.SetMax(9)
+	h.Observe(1)
+	h.ObserveSince(time.Now())
+	ring.Record(EventSend, "m", "o", 1, 0)
+	r.CounterFunc("f", "", func() uint64 { return 1 })
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || ring.Len() != 0 {
+		t.Fatal("nil instruments retained state")
+	}
+	if s := r.Snapshot(); len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Fatal("nil registry produced a non-empty snapshot")
+	}
+}
+
+func TestFuncMetrics(t *testing.T) {
+	r := NewRegistry()
+	v := uint64(41)
+	r.CounterFunc("pool_hits_total", "", func() uint64 { return v })
+	r.GaugeFunc("live", "", func() int64 { return 7 })
+	v = 42
+	s := r.Snapshot()
+	if got := s.Get("pool_hits_total"); got != 42 {
+		t.Fatalf("func counter = %d, want 42", got)
+	}
+	found := false
+	for _, g := range s.Gauges {
+		if g.Name == "live" && g.Value == 7 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("func gauge missing from snapshot: %+v", s.Gauges)
+	}
+}
+
+// TestUpdateAllocs pins the hot-path budget: counter increments, gauge
+// stores, histogram observations, and ring records must not allocate.
+func TestUpdateAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h_seconds", "", DurationBuckets)
+	ring := NewRing(64)
+	t0 := time.Now()
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(4)
+		g.SetMax(9)
+		h.Observe(0.001)
+		h.ObserveSince(t0)
+		ring.Record(EventDeliver, "member", "origin", 9, 1)
+	}); n != 0 {
+		t.Fatalf("instrument updates allocate %.1f allocs/op, want 0", n)
+	}
+}
+
+func TestConcurrentUpdatesAndSnapshots(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	h := r.Histogram("h", "", CountBuckets)
+	ring := NewRing(32)
+	var wg sync.WaitGroup
+	const writers, per = 8, 2000
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				h.Observe(float64(i % 100))
+				ring.Record(EventSend, "m", "o", uint64(i), 0)
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			_ = r.Snapshot()
+			_ = ring.Snapshot()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := c.Value(); got != writers*per {
+		t.Fatalf("counter = %d, want %d", got, writers*per)
+	}
+	if got := h.Count(); got != writers*per {
+		t.Fatalf("histogram count = %d, want %d", got, writers*per)
+	}
+	if got := ring.Dropped() + uint64(ring.Len()); got != writers*per {
+		t.Fatalf("ring dropped+len = %d, want %d", got, writers*per)
+	}
+}
+
+func TestRingOrderAndOverwrite(t *testing.T) {
+	ring := NewRing(4)
+	for i := uint64(1); i <= 6; i++ {
+		ring.Record(EventDeliver, "m", "o", i, 0)
+	}
+	evs := ring.Snapshot()
+	if len(evs) != 4 {
+		t.Fatalf("ring retained %d events, want 4", len(evs))
+	}
+	for i, e := range evs {
+		if want := uint64(i + 3); e.Seq != want {
+			t.Fatalf("event %d seq = %d, want %d", i, e.Seq, want)
+		}
+	}
+	if ring.Dropped() != 2 {
+		t.Fatalf("dropped = %d, want 2", ring.Dropped())
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].At < evs[i-1].At {
+			t.Fatal("event timestamps are not monotonic")
+		}
+	}
+}
+
+func TestCompact(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "").Add(2)
+	r.Gauge("a_depth", "").Set(3)
+	r.Histogram("lat", "", CountBuckets).Observe(1)
+	got := r.Snapshot().Compact()
+	for _, want := range []string{"b_total=2", "a_depth=3", "lat_count=1"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("Compact() = %q, missing %q", got, want)
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package total
+
+import "causalshare/internal/telemetry"
+
+// totalInstruments are the layer's registry-backed instruments, shared by
+// both ASend implementations (instances on one registry aggregate). All
+// fields are nil no-ops when the layer was built without a registry.
+type totalInstruments struct {
+	delivered    *telemetry.Counter
+	assigned     *telemetry.Counter
+	lag          *telemetry.Gauge
+	pendingDepth *telemetry.Gauge
+	holdback     *telemetry.Gauge
+	heartbeats   *telemetry.Counter
+	orderBytes   *telemetry.Counter
+	wrapBytes    *telemetry.Counter
+}
+
+func newTotalInstruments(reg *telemetry.Registry) totalInstruments {
+	return totalInstruments{
+		delivered: reg.Counter("total_delivered_total",
+			"Messages delivered to the application in the agreed total order."),
+		assigned: reg.Counter("total_sequencer_assigned_total",
+			"Sequence numbers the leader has assigned."),
+		lag: reg.Gauge("total_sequencer_lag",
+			"Assigned-but-undelivered span at this member (nextAssign - nextDeliver)."),
+		pendingDepth: reg.Gauge("total_pending_depth",
+			"Data messages held back awaiting their sequence number."),
+		holdback: reg.Gauge("total_holdback_depth",
+			"Stamped messages held back awaiting horizon stability."),
+		heartbeats: reg.Counter("total_heartbeats_total",
+			"Liveness stamps broadcast by this member."),
+		orderBytes: reg.Counter("total_order_bytes_total",
+			"Bytes of ORDER announcements the leader broadcast."),
+		wrapBytes: reg.Counter("total_order_wrap_bytes_total",
+			"Lamport-stamp bytes prepended to application bodies (order-wrap overhead)."),
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"causalshare/internal/causal"
 	"causalshare/internal/group"
 	"causalshare/internal/message"
+	"causalshare/internal/telemetry"
 	"causalshare/internal/vclock"
 )
 
@@ -26,6 +27,9 @@ type Config struct {
 	// heartbeating to explicit Heartbeat calls (deterministic tests and
 	// the simulator drive it manually).
 	HeartbeatEvery time.Duration
+	// Telemetry, when non-nil, registers the layer's total_* instruments
+	// there; instances sharing a registry aggregate.
+	Telemetry *telemetry.Registry
 }
 
 // Orderer is the decentralized deterministic-merge implementation of
@@ -49,6 +53,7 @@ type Orderer struct {
 	horizon map[string]uint64
 	// delivered counts messages handed to the application.
 	delivered uint64
+	ins       totalInstruments
 
 	done     chan struct{}
 	stopOnce sync.Once
@@ -76,6 +81,7 @@ func New(cfg Config) (*Orderer, error) {
 		grp:     cfg.Group,
 		deliver: cfg.Deliver,
 		labeler: message.NewLabeler(cfg.Self + labelSuffix),
+		ins:     newTotalInstruments(cfg.Telemetry),
 		horizon: make(map[string]uint64, cfg.Group.Size()),
 		done:    make(chan struct{}),
 	}
@@ -123,6 +129,7 @@ func (o *Orderer) ASend(op string, kind message.Kind, body []byte, after message
 		Op:    op,
 		Body:  wrapBody(stamp, body),
 	}
+	o.ins.wrapBytes.Add(uint64(uvarintLen(stamp)))
 	if err := b.Broadcast(m); err != nil {
 		return message.Nil, fmt.Errorf("total: %w", err)
 	}
@@ -155,6 +162,8 @@ func (o *Orderer) Heartbeat() error {
 		Op:    opHeartbeat,
 		Body:  wrapBody(stamp, nil),
 	}
+	o.ins.heartbeats.Inc()
+	o.ins.wrapBytes.Add(uint64(uvarintLen(stamp)))
 	if err := b.Broadcast(m); err != nil {
 		return fmt.Errorf("total: heartbeat: %w", err)
 	}
@@ -199,6 +208,7 @@ func (o *Orderer) Ingest(m message.Message) {
 	copy(o.holdback[i+1:], o.holdback[i:])
 	o.holdback[i] = entry
 	ready := o.releaseLocked()
+	o.ins.holdback.Set(int64(len(o.holdback)))
 	o.mu.Unlock()
 	for _, r := range ready {
 		o.deliver(r)
@@ -217,6 +227,7 @@ func (o *Orderer) releaseLocked() []message.Message {
 		o.holdback = o.holdback[1:]
 		if !head.hb {
 			o.delivered++
+			o.ins.delivered.Inc()
 			out = append(out, head.msg)
 		}
 	}

@@ -39,6 +39,7 @@ type Sequencer struct {
 	// nextDeliver is the next sequence number to release locally.
 	nextDeliver uint64
 	delivered   uint64
+	ins         totalInstruments
 }
 
 // NewSequencer constructs a sequencer-layer instance for self. The leader
@@ -57,6 +58,7 @@ func NewSequencer(cfg Config) (*Sequencer, error) {
 		leader:      cfg.Group.Members()[0],
 		deliver:     cfg.Deliver,
 		labeler:     message.NewLabeler(cfg.Self + seqLabelSuffix),
+		ins:         newTotalInstruments(cfg.Telemetry),
 		data:        make(map[message.Label]message.Message),
 		seqOf:       make(map[uint64]message.Label),
 		nextAssign:  1,
@@ -135,6 +137,9 @@ func (s *Sequencer) ingestData(m message.Message) {
 		chain := s.lastSent
 		label := s.labeler.Next()
 		s.lastSent = label
+		body := encodeOrder(seq, m.Label)
+		s.ins.assigned.Inc()
+		s.ins.orderBytes.Add(uint64(len(body)))
 		announce = append(announce, message.Message{
 			Label: label,
 			// The ORDER message causally depends on the data message it
@@ -142,10 +147,11 @@ func (s *Sequencer) ingestData(m message.Message) {
 			Deps: message.After(chain, m.Label),
 			Kind: message.KindControl,
 			Op:   opOrder,
-			Body: encodeOrder(seq, m.Label),
+			Body: body,
 		})
 	}
 	ready := s.releaseLocked()
+	s.observeLocked()
 	b := s.bcast
 	s.mu.Unlock()
 	for _, r := range ready {
@@ -163,7 +169,13 @@ func (s *Sequencer) ingestOrder(seq uint64, label message.Label) {
 		return
 	}
 	s.seqOf[seq] = label
+	if seq >= s.nextAssign {
+		// Followers learn the leader's assignment frontier from ORDER
+		// announcements, so their lag gauge tracks the same span.
+		s.nextAssign = seq + 1
+	}
 	ready := s.releaseLocked()
+	s.observeLocked()
 	s.mu.Unlock()
 	for _, r := range ready {
 		s.deliver(r)
@@ -186,8 +198,15 @@ func (s *Sequencer) releaseLocked() []message.Message {
 		delete(s.data, label)
 		s.nextDeliver++
 		s.delivered++
+		s.ins.delivered.Inc()
 		out = append(out, m)
 	}
+}
+
+// observeLocked refreshes the layer gauges. Caller holds mu.
+func (s *Sequencer) observeLocked() {
+	s.ins.lag.Set(int64(s.nextAssign - s.nextDeliver))
+	s.ins.pendingDepth.Set(int64(len(s.data)))
 }
 
 // Pending returns the number of unreleased data messages.

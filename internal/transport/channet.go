@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"causalshare/internal/telemetry"
 )
 
 // Stats counts frame-level events, for the overhead experiments.
@@ -28,6 +30,7 @@ type ChanNet struct {
 	faults FaultModel
 	dice   *faultDice
 	parts  *partitionSet
+	ins    *netInstruments
 
 	mu     sync.Mutex // guards attach/detach mutations
 	conns  map[string]*chanConn
@@ -42,10 +45,17 @@ var _ Network = (*ChanNet)(nil)
 // NewChanNet constructs a network with the given fault model. A zero
 // FaultModel yields instant lossless delivery.
 func NewChanNet(faults FaultModel) *ChanNet {
+	return NewChanNetObserved(faults, nil)
+}
+
+// NewChanNetObserved is NewChanNet with transport instruments registered on
+// reg. A nil registry yields no-op instruments and an identical hot path.
+func NewChanNetObserved(faults FaultModel, reg *telemetry.Registry) *ChanNet {
 	n := &ChanNet{
 		faults: faults,
 		dice:   newFaultDice(faults.Seed),
 		parts:  newPartitionSet(),
+		ins:    newNetInstruments(reg),
 		conns:  make(map[string]*chanConn),
 	}
 	n.snap.Store(map[string]*chanConn{})
@@ -145,20 +155,27 @@ func (n *ChanNet) Close() error {
 // to the destination. env.frame references must already be owned by env.
 func (n *ChanNet) route(dst *chanConn, env Envelope) {
 	n.sent.Add(1)
+	n.ins.framesSent.Inc()
 	if n.parts.isBlocked(env.From, env.To) {
 		n.dropped.Add(1)
+		n.ins.partitionDropped.Inc()
 		env.Release()
 		return // partitions drop silently, like a real network
 	}
 	drop, delay, dup, dupDelay := n.dice.roll(n.faults)
 	if drop {
 		n.dropped.Add(1)
+		n.ins.faultDropped.Inc()
 		env.Release()
 		return
+	}
+	if delay > 0 {
+		n.ins.faultDelayed.Inc()
 	}
 	var dupEnv Envelope
 	if dup {
 		n.duplicated.Add(1)
+		n.ins.faultDuplicated.Inc()
 		dupEnv = env
 		if dupEnv.frame != nil {
 			dupEnv.frame.Retain()
@@ -213,6 +230,7 @@ func (n *ChanNet) sendFrame(from string, tos []string, f *Frame) error {
 func (n *ChanNet) deliver(dst *chanConn, env Envelope) {
 	if dst.box.put(env) {
 		n.delivered.Add(1)
+		n.ins.framesDelivered.Inc()
 	} else {
 		env.Release()
 	}
@@ -223,6 +241,7 @@ func (n *ChanNet) deliver(dst *chanConn, env Envelope) {
 func (n *ChanNet) deliverBatch(dst *chanConn, envs []Envelope) {
 	if dst.box.putAll(envs) {
 		n.delivered.Add(uint64(len(envs)))
+		n.ins.framesDelivered.Add(uint64(len(envs)))
 	} else {
 		for i := range envs {
 			envs[i].Release()
@@ -396,7 +415,11 @@ func (c *chanConn) Recv() (Envelope, error) { return c.box.get() }
 
 // RecvBatch implements BatchRecver.
 func (c *chanConn) RecvBatch(buf []Envelope) ([]Envelope, error) {
-	return c.box.getBatch(buf)
+	envs, err := c.box.getBatch(buf)
+	if err == nil {
+		c.net.ins.recvBatch.Observe(float64(len(envs)))
+	}
+	return envs, err
 }
 
 // Pending returns the number of frames waiting in the inbox; the buffer-

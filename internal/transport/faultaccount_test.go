@@ -1,0 +1,172 @@
+package transport
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"causalshare/internal/telemetry"
+)
+
+// replayFaults re-rolls the fault dice with the same seed the network will
+// use and returns the exact expected drop/dup/delay counts for n sends
+// issued by a single sequential sender.
+func replayFaults(m FaultModel, n int) (drops, dups, delayed uint64) {
+	d := newFaultDice(m.Seed)
+	for i := 0; i < n; i++ {
+		drop, delay, dup, _ := d.roll(m)
+		if drop {
+			drops++
+			continue
+		}
+		if dup {
+			dups++
+		}
+		if delay > 0 {
+			delayed++
+		}
+	}
+	return
+}
+
+func checkFaultCounters(t *testing.T, reg *telemetry.Registry, sent, drops, dups, delayed uint64) {
+	t.Helper()
+	s := reg.Snapshot()
+	for _, c := range []struct {
+		name string
+		want uint64
+	}{
+		{"transport_frames_sent_total", sent},
+		{"transport_fault_dropped_total", drops},
+		{"transport_fault_duplicated_total", dups},
+		{"transport_fault_delayed_total", delayed},
+		{"transport_frames_delivered_total", sent - drops + dups},
+	} {
+		if got := s.Get(c.name); got != c.want {
+			t.Errorf("%s = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+// waitForCount polls until counter reaches want and stays there, or fails.
+func waitForCount(t *testing.T, counter *atomic.Uint64, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for counter.Load() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("received %d frames, want %d", counter.Load(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond) // grace: catch spurious extras
+	if got := counter.Load(); got != want {
+		t.Fatalf("received %d frames, want exactly %d", got, want)
+	}
+}
+
+var faultAccountModel = FaultModel{
+	MinDelay: 0,
+	MaxDelay: 2 * time.Millisecond,
+	DropProb: 0.2,
+	DupProb:  0.15,
+	Seed:     42,
+}
+
+// TestFaultAccountingChanNet asserts the telemetry counters report the
+// injected faults exactly: a sequential sender makes the dice rolls
+// deterministic, so an independent replay predicts every count.
+func TestFaultAccountingChanNet(t *testing.T) {
+	const n = 400
+	drops, dups, delayed := replayFaults(faultAccountModel, n)
+
+	reg := telemetry.NewRegistry()
+	net := NewChanNetObserved(faultAccountModel, reg)
+	defer func() { _ = net.Close() }()
+	sender, err := net.Attach("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recver, err := net.Attach("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var received atomic.Uint64
+	go func() {
+		for {
+			env, err := recver.Recv()
+			if err != nil {
+				return
+			}
+			env.Release()
+			received.Add(1)
+		}
+	}()
+
+	payload := []byte("frame")
+	for i := 0; i < n; i++ {
+		if err := sender.Send("b", payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitForCount(t, &received, n-drops+dups)
+	checkFaultCounters(t, reg, n, drops, dups, delayed)
+}
+
+// TestFaultAccountingTCPNet is the same exact-count assertion over real
+// loopback sockets, exercising the TCP send-path fault injection.
+func TestFaultAccountingTCPNet(t *testing.T) {
+	const n = 400
+	drops, dups, delayed := replayFaults(faultAccountModel, n)
+
+	reg := telemetry.NewRegistry()
+	net := NewTCPNetWithConfig(TCPConfig{Faults: faultAccountModel, Telemetry: reg})
+	defer func() { _ = net.Close() }()
+	sender, err := net.Attach("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recver, err := net.Attach("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var received atomic.Uint64
+	go func() {
+		for {
+			env, err := recver.Recv()
+			if err != nil {
+				return
+			}
+			env.Release()
+			received.Add(1)
+		}
+	}()
+
+	payload := []byte("frame")
+	for i := 0; i < n; i++ {
+		if err := sender.Send("b", payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitForCount(t, &received, n-drops+dups)
+	checkFaultCounters(t, reg, n, drops, dups, delayed)
+}
+
+func TestFramePoolStats(t *testing.T) {
+	h0, m0 := PoolStats()
+	f := NewFrame(128)
+	f.Release()
+	g := NewFrame(128)
+	g.Release()
+	h1, m1 := PoolStats()
+	if h1+m1 <= h0+m0 {
+		t.Fatalf("pool counters did not advance: %d+%d -> %d+%d", h0, m0, h1, m1)
+	}
+	reg := telemetry.NewRegistry()
+	RegisterPoolMetrics(reg)
+	s := reg.Snapshot()
+	if got := s.Get("transport_frame_pool_hits_total"); got < h1 {
+		t.Fatalf("registered pool hits %d below PoolStats value %d", got, h1)
+	}
+}

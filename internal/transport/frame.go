@@ -3,6 +3,8 @@ package transport
 import (
 	"sync"
 	"sync/atomic"
+
+	"causalshare/internal/telemetry"
 )
 
 // Frame is an immutable, reference-counted wire frame shared across a
@@ -45,6 +47,28 @@ var frameClasses = [...]int{256, 1 << 10, 4 << 10, 16 << 10, 64 << 10}
 
 var framePools [len(frameClasses)]sync.Pool
 
+// Pool reuse counters are process-wide package atomics (the pools are);
+// RegisterPoolMetrics exposes them on a registry via snapshot-time reads.
+var framePoolHits, framePoolMisses atomic.Uint64
+
+// PoolStats reports how many NewFrame calls were served from a pool (hits)
+// versus freshly allocated (misses, including oversize unpooled frames).
+func PoolStats() (hits, misses uint64) {
+	return framePoolHits.Load(), framePoolMisses.Load()
+}
+
+// RegisterPoolMetrics registers counters for the process-wide frame pool on
+// reg. Values are read at snapshot time, so the frame hot path pays only
+// its existing atomics.
+func RegisterPoolMetrics(reg *telemetry.Registry) {
+	reg.CounterFunc("transport_frame_pool_hits_total",
+		"Frames served from a size-classed pool.",
+		func() uint64 { return framePoolHits.Load() })
+	reg.CounterFunc("transport_frame_pool_misses_total",
+		"Frames freshly allocated (pool empty or oversize).",
+		func() uint64 { return framePoolMisses.Load() })
+}
+
 // classFor returns the pool index whose capacity fits n, or -1 if n
 // exceeds the largest class.
 func classFor(n int) int {
@@ -61,6 +85,7 @@ func classFor(n int) int {
 func NewFrame(n int) *Frame {
 	ci := classFor(n)
 	if ci < 0 {
+		framePoolMisses.Add(1)
 		f := &Frame{B: make([]byte, 0, n)}
 		f.refs.Store(1)
 		return f
@@ -68,11 +93,13 @@ func NewFrame(n int) *Frame {
 	if v := framePools[ci].Get(); v != nil {
 		f, ok := v.(*Frame)
 		if ok {
+			framePoolHits.Add(1)
 			f.B = f.B[:0]
 			f.refs.Store(1)
 			return f
 		}
 	}
+	framePoolMisses.Add(1)
 	f := &Frame{B: make([]byte, 0, frameClasses[ci]), pooled: true}
 	f.refs.Store(1)
 	return f

@@ -1,0 +1,45 @@
+package transport
+
+import "causalshare/internal/telemetry"
+
+// netInstruments groups the transport-layer instruments. Built from a
+// possibly-nil registry: every field is then a nil instrument whose
+// methods are no-ops, so the send and delivery paths update them
+// unconditionally without branching on "telemetry enabled".
+type netInstruments struct {
+	framesSent       *telemetry.Counter
+	framesDelivered  *telemetry.Counter
+	faultDropped     *telemetry.Counter
+	faultDuplicated  *telemetry.Counter
+	faultDelayed     *telemetry.Counter
+	partitionDropped *telemetry.Counter
+	recvBatch        *telemetry.Histogram
+	flushes          *telemetry.Counter
+	flushBytes       *telemetry.Histogram
+	flushFrames      *telemetry.Histogram
+}
+
+func newNetInstruments(reg *telemetry.Registry) *netInstruments {
+	return &netInstruments{
+		framesSent: reg.Counter("transport_frames_sent_total",
+			"Frames handed to the network send path (before fault injection)."),
+		framesDelivered: reg.Counter("transport_frames_delivered_total",
+			"Frames placed in a destination mailbox."),
+		faultDropped: reg.Counter("transport_fault_dropped_total",
+			"Frames discarded by the fault model's drop probability."),
+		faultDuplicated: reg.Counter("transport_fault_duplicated_total",
+			"Frames the fault model delivered twice."),
+		faultDelayed: reg.Counter("transport_fault_delayed_total",
+			"Primary frames given a positive fault-model delay."),
+		partitionDropped: reg.Counter("transport_partition_dropped_total",
+			"Frames discarded because the sender-receiver pair is partitioned."),
+		recvBatch: reg.Histogram("transport_recv_batch_size",
+			"Envelopes drained per RecvBatch call.", telemetry.CountBuckets),
+		flushes: reg.Counter("transport_tcp_flushes_total",
+			"Gather-buffer flushes on TCP peer connections."),
+		flushBytes: reg.Histogram("transport_tcp_flush_bytes",
+			"Bytes written per TCP gather-buffer flush.", telemetry.ByteBuckets),
+		flushFrames: reg.Histogram("transport_tcp_flush_frames",
+			"Frames coalesced per TCP gather-buffer flush (window occupancy).", telemetry.CountBuckets),
+	}
+}

@@ -7,6 +7,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"causalshare/internal/telemetry"
 )
 
 // TCPNet is a Network over real TCP loopback sockets. Every attached node
@@ -24,6 +26,9 @@ import (
 // write.
 type TCPNet struct {
 	cfg    TCPConfig
+	dice   *faultDice
+	faulty bool
+	ins    *netInstruments
 	mu     sync.Mutex
 	nodes  map[string]*tcpConn
 	closed bool
@@ -37,6 +42,16 @@ type TCPConfig struct {
 	// window batches, and write errors surface on a later Send to the
 	// same peer.
 	FlushWindow time.Duration
+
+	// Faults injects drop/dup/delay at the send path, before any bytes hit
+	// the socket, using the same FaultModel and dice as ChanNet. Delayed
+	// and duplicated frames are re-sent on their own goroutines, so a
+	// positive delay (or a duplicate) breaks TCP's per-pair FIFO ordering —
+	// which is the point: it forces the causal layer to buffer.
+	Faults FaultModel
+
+	// Telemetry, when non-nil, registers the transport instruments there.
+	Telemetry *telemetry.Registry
 }
 
 // flushBytes caps how much a peer buffer may gather before the sender
@@ -52,7 +67,13 @@ func NewTCPNet() *TCPNet { return NewTCPNetWithConfig(TCPConfig{}) }
 // NewTCPNetWithConfig constructs an empty TCP loopback network with the
 // given tuning.
 func NewTCPNetWithConfig(cfg TCPConfig) *TCPNet {
-	return &TCPNet{cfg: cfg, nodes: make(map[string]*tcpConn)}
+	return &TCPNet{
+		cfg:    cfg,
+		dice:   newFaultDice(cfg.Faults.Seed),
+		faulty: cfg.Faults != FaultModel{},
+		ins:    newNetInstruments(cfg.Telemetry),
+		nodes:  make(map[string]*tcpConn),
+	}
 }
 
 // Attach implements Network: it starts a listener for id.
@@ -126,15 +147,17 @@ func (n *TCPNet) addrOf(id string) (string, bool) {
 // tcpPeer is one outbound connection plus its gather buffer and flusher.
 type tcpPeer struct {
 	conn net.Conn
+	ins  *netInstruments
 
 	// writeMu serializes writes to conn; buffer swaps happen inside it so
 	// chunk order equals write order (per-pair FIFO).
 	writeMu sync.Mutex
 
-	mu      sync.Mutex
-	pending []byte // frames gathered since the last flush
-	spare   []byte // recycled buffer for the next gather
-	err     error  // sticky asynchronous write error
+	mu       sync.Mutex
+	pending  []byte // frames gathered since the last flush
+	nframes  int    // frames in pending (flush-window occupancy)
+	spare    []byte // recycled buffer for the next gather
+	err      error  // sticky asynchronous write error
 
 	kick     chan struct{} // signals the flusher that pending is non-empty
 	done     chan struct{}
@@ -142,8 +165,8 @@ type tcpPeer struct {
 	wg       sync.WaitGroup
 }
 
-func newTCPPeer(conn net.Conn, window time.Duration) *tcpPeer {
-	p := &tcpPeer{conn: conn}
+func newTCPPeer(conn net.Conn, window time.Duration, ins *netInstruments) *tcpPeer {
+	p := &tcpPeer{conn: conn, ins: ins}
 	if window > 0 {
 		p.kick = make(chan struct{}, 1)
 		p.done = make(chan struct{})
@@ -172,6 +195,7 @@ func (p *tcpPeer) enqueue(from string, payload []byte) (inline bool, err error) 
 	}
 	wasEmpty := len(p.pending) == 0
 	p.pending = appendWireFrame(p.pending, from, payload)
+	p.nframes++
 	inline = len(p.pending) >= flushBytes
 	p.mu.Unlock()
 	if wasEmpty && !inline {
@@ -189,7 +213,9 @@ func (p *tcpPeer) flush() error {
 	defer p.writeMu.Unlock()
 	p.mu.Lock()
 	buf := p.pending
+	nframes := p.nframes
 	p.pending = p.spare[:0]
+	p.nframes = 0
 	p.spare = nil
 	p.mu.Unlock()
 	if len(buf) == 0 {
@@ -200,6 +226,9 @@ func (p *tcpPeer) flush() error {
 		p.mu.Unlock()
 		return nil
 	}
+	p.ins.flushes.Inc()
+	p.ins.flushBytes.Observe(float64(len(buf)))
+	p.ins.flushFrames.Observe(float64(nframes))
 	_, err := p.conn.Write(buf)
 	p.mu.Lock()
 	p.spare = buf[:0]
@@ -318,11 +347,46 @@ func (c *tcpConn) readLoop(conn net.Conn) {
 		if !c.box.put(Envelope{From: from, To: c.id, Payload: body}) {
 			return
 		}
+		c.net.ins.framesDelivered.Inc()
 	}
 }
 
-// sendOne routes one frame to a peer through the configured write path.
+// sendOne routes one frame to a peer, rolling the fault dice first. A
+// dropped frame succeeds silently (like a real network); duplicated and
+// delayed frames are transmitted later from their own copies.
 func (c *tcpConn) sendOne(to string, payload []byte) error {
+	c.net.ins.framesSent.Inc()
+	if c.net.faulty {
+		drop, delay, dup, dupDelay := c.net.dice.roll(c.net.cfg.Faults)
+		if drop {
+			c.net.ins.faultDropped.Inc()
+			return nil
+		}
+		if dup {
+			c.net.ins.faultDuplicated.Inc()
+			c.transmitCopyAfter(to, payload, dupDelay)
+		}
+		if delay > 0 {
+			c.net.ins.faultDelayed.Inc()
+			c.transmitCopyAfter(to, payload, delay)
+			return nil
+		}
+	}
+	return c.transmit(to, payload)
+}
+
+// transmitCopyAfter schedules an owned copy of payload for transmission
+// after d. Errors on the deferred path are swallowed: from the causal
+// layer's perspective the frame was simply lost, which the fault model
+// already permits.
+func (c *tcpConn) transmitCopyAfter(to string, payload []byte, d time.Duration) {
+	body := make([]byte, len(payload))
+	copy(body, payload)
+	time.AfterFunc(d, func() { _ = c.transmit(to, body) })
+}
+
+// transmit pushes one frame to a peer through the configured write path.
+func (c *tcpConn) transmit(to string, payload []byte) error {
 	p, err := c.peer(to)
 	if err != nil {
 		return err
@@ -396,7 +460,7 @@ func (c *tcpConn) peer(to string) (*tcpPeer, error) {
 		_ = conn.Close()
 		return existing, nil
 	}
-	p := newTCPPeer(conn, c.net.cfg.FlushWindow)
+	p := newTCPPeer(conn, c.net.cfg.FlushWindow, c.net.ins)
 	c.peers[to] = p
 	c.mu.Unlock()
 	return p, nil
@@ -406,7 +470,11 @@ func (c *tcpConn) Recv() (Envelope, error) { return c.box.get() }
 
 // RecvBatch implements BatchRecver.
 func (c *tcpConn) RecvBatch(buf []Envelope) ([]Envelope, error) {
-	return c.box.getBatch(buf)
+	envs, err := c.box.getBatch(buf)
+	if err == nil {
+		c.net.ins.recvBatch.Observe(float64(len(envs)))
+	}
+	return envs, err
 }
 
 func (c *tcpConn) Close() error {

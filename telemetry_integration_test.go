@@ -1,0 +1,176 @@
+// Integration test for the runtime telemetry layer: a live four-layer
+// stack (transport → causal → total → core) shares one registry and one
+// event ring, and the HTTP exposition endpoints serve instruments from
+// every layer.
+package causalshare_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"causalshare/internal/causal"
+	"causalshare/internal/core"
+	"causalshare/internal/group"
+	"causalshare/internal/message"
+	"causalshare/internal/shareddata"
+	"causalshare/internal/telemetry"
+	"causalshare/internal/total"
+	"causalshare/internal/transport"
+)
+
+func TestMetricsEndpointServesAllLayers(t *testing.T) {
+	const n = 3
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("m%02d", i)
+	}
+	grp := group.MustNew("itest", ids)
+	reg := telemetry.NewRegistry()
+	ring := telemetry.NewRing(1024)
+	net := transport.NewChanNetObserved(transport.FaultModel{}, reg)
+	defer func() { _ = net.Close() }()
+
+	replicas := make([]*core.Replica, 0, n)
+	var engines []*causal.OSend
+	var layers []*total.Sequencer
+	defer func() {
+		for _, l := range layers {
+			_ = l.Close()
+		}
+		for _, e := range engines {
+			_ = e.Close()
+		}
+	}()
+	for _, id := range ids {
+		rep, err := core.NewReplica(core.ReplicaConfig{
+			Self:      id,
+			Initial:   shareddata.NewCounter(0),
+			Apply:     shareddata.ApplyCounter,
+			Telemetry: reg,
+			Trace:     ring,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sq, err := total.NewSequencer(total.Config{
+			Self: id, Group: grp, Deliver: rep.Deliver, Telemetry: reg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn, err := net.Attach(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := causal.NewOSend(causal.OSendConfig{
+			Self: id, Group: grp, Conn: conn, Deliver: sq.Ingest,
+			Telemetry: reg, Trace: ring,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sq.Bind(eng)
+		replicas = append(replicas, rep)
+		engines = append(engines, eng)
+		layers = append(layers, sq)
+	}
+
+	// Drive an activity through the full stack: commutative ops then a
+	// read, which closes the activity and establishes a stable point.
+	const ops = 8
+	for i := 0; i < ops-1; i++ {
+		op := shareddata.Inc()
+		if _, err := layers[0].ASend(op.Op, op.Kind, op.Body, message.After()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rd := shareddata.Read()
+	if _, err := layers[0].ASend(rd.Op, rd.Kind, rd.Body, message.After()); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		done := true
+		for _, rep := range replicas {
+			if rep.Applied() < ops {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("replicas did not converge")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	srv, err := telemetry.Serve("127.0.0.1:0", reg, ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() { _ = resp.Body.Close() }()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	text := get("/metrics")
+	// One instrument per layer must appear in Prometheus exposition form.
+	for _, name := range []string{
+		"transport_frames_sent_total",      // transport
+		"causal_osend_delivered_total",     // causal
+		"total_delivered_total",            // total order
+		"core_stable_points_total",         // core
+		"causal_osend_delivery_seconds",    // a histogram, exercises _bucket output
+		"total_sequencer_assigned_total",   // sequencer-specific
+		"core_stable_interval_seconds_sum", // histogram sum line
+	} {
+		if !strings.Contains(text, name) {
+			t.Errorf("/metrics missing %s", name)
+		}
+	}
+	if !strings.Contains(text, "# TYPE transport_frames_sent_total counter") {
+		t.Error("/metrics missing TYPE comment for counter")
+	}
+	if !strings.Contains(text, `le="+Inf"`) {
+		t.Error("/metrics missing +Inf histogram bucket")
+	}
+
+	var snap telemetry.Snapshot
+	if err := json.Unmarshal([]byte(get("/vars")), &snap); err != nil {
+		t.Fatalf("/vars is not a JSON snapshot: %v", err)
+	}
+	if snap.Get("transport_frames_sent_total") == 0 {
+		t.Error("/vars shows zero frames sent after live traffic")
+	}
+	if snap.Get("core_stable_points_total") != n {
+		t.Errorf("core_stable_points_total = %d, want %d (one per replica)",
+			snap.Get("core_stable_points_total"), n)
+	}
+
+	trace := get("/trace")
+	for _, kind := range []string{"send", "deliver", "stable"} {
+		if !strings.Contains(trace, kind) {
+			t.Errorf("/trace missing %q events", kind)
+		}
+	}
+}
