@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test race vet bench bench-smoke fuzz
+.PHONY: check build test race vet bench bench-smoke fuzz chaos
 
 ## check: the tier-1 gate — vet, build, and race-test everything.
 check: vet build race
@@ -32,3 +32,9 @@ bench-smoke:
 
 fuzz:
 	$(GO) test -fuzz=FuzzUnmarshalBinary -fuzztime=30s ./internal/message/
+
+## chaos: run every failover/chaos scenario three times over — the seeded
+## schedules must reproduce bit-identically, so a flake here is a real
+## nondeterminism bug, not noise.
+chaos:
+	$(GO) test -run 'Chaos|Failover' -count=3 ./...

@@ -1,0 +1,416 @@
+// Failover variants of the figure scenarios: the same end-to-end
+// reproductions as figures_test.go, but with sequencer failover armed and
+// the epoch-0 leader crashed in the middle of the activity. Each test
+// checks that the paper's guarantee survives the succession: every member
+// still sees every access, stable points still agree, the total order is
+// still identical at all survivors. The exhaustive crash/rejoin coverage
+// lives in internal/chaos and internal/sim; these pin the user-visible
+// figure semantics specifically.
+package causalshare_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"causalshare/internal/causal"
+	"causalshare/internal/core"
+	"causalshare/internal/group"
+	"causalshare/internal/message"
+	"causalshare/internal/obs"
+	"causalshare/internal/shareddata"
+	"causalshare/internal/telemetry"
+	"causalshare/internal/total"
+	"causalshare/internal/transport"
+)
+
+const (
+	foFailTimeout = 50 * time.Millisecond
+	foStep        = 2 * time.Millisecond
+)
+
+type foMember struct {
+	id    string
+	seq   *total.Sequencer
+	eng   *causal.OSend
+	rep   *core.Replica
+	alive bool
+
+	mu    sync.Mutex
+	order []string
+}
+
+func (m *foMember) deliver(msg message.Message) {
+	m.mu.Lock()
+	m.order = append(m.order, msg.Op+":"+string(msg.Body))
+	m.mu.Unlock()
+	if m.rep != nil {
+		m.rep.Deliver(msg)
+	}
+}
+
+func (m *foMember) orderSnapshot() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]string(nil), m.order...)
+}
+
+type foStack struct {
+	t       *testing.T
+	net     *transport.ChanNet
+	reg     *telemetry.Registry
+	members []*foMember
+	byID    map[string]*foMember
+}
+
+// newFailoverStack brings up the full live stack (replica over sequencer
+// over causal broadcast over ChanNet) with failover armed. Heartbeats and
+// detector ticks are pumped by the test driver, not a background ticker,
+// so the crash point is deterministic relative to the workload.
+func newFailoverStack(t *testing.T, ids []string, seed int64, withReplica bool) *foStack {
+	t.Helper()
+	st := &foStack{
+		t:    t,
+		net:  transport.NewChanNet(transport.FaultModel{MaxDelay: 2 * time.Millisecond, Seed: seed}),
+		reg:  telemetry.NewRegistry(),
+		byID: map[string]*foMember{},
+	}
+	grp := group.MustNew("fig-failover", ids)
+	for _, id := range ids {
+		mb := &foMember{id: id, alive: true}
+		if withReplica {
+			rep, err := core.NewReplica(core.ReplicaConfig{
+				Self: id, Initial: shareddata.NewCounter(0), Apply: shareddata.ApplyCounter,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			mb.rep = rep
+		}
+		sq, err := total.NewSequencer(total.Config{
+			Self: id, Group: grp,
+			Deliver:     mb.deliver,
+			FailTimeout: foFailTimeout,
+			Telemetry:   st.reg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn, err := st.net.Attach(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := causal.NewOSend(causal.OSendConfig{
+			Self: id, Group: grp, Conn: conn,
+			Deliver: sq.Ingest, Patience: 10 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sq.Bind(eng)
+		mb.seq = sq
+		mb.eng = eng
+		st.members = append(st.members, mb)
+		st.byID[id] = mb
+	}
+	t.Cleanup(func() {
+		for _, mb := range st.members {
+			_ = mb.seq.Close()
+			_ = mb.eng.Close()
+		}
+		_ = st.net.Close()
+	})
+	return st
+}
+
+// crash freezes a member exactly as the chaos harness does: isolate it at
+// the transport and stop pumping it.
+func (s *foStack) crash(id string) {
+	s.net.Isolate(id)
+	s.byID[id].alive = false
+}
+
+// pumpUntil drives heartbeats and detector ticks on the live members at
+// Step granularity until cond holds or the deadline passes.
+func (s *foStack) pumpUntil(timeout time.Duration, cond func() bool) bool {
+	s.t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		if cond() {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		now := time.Now()
+		for _, mb := range s.members {
+			if !mb.alive {
+				continue
+			}
+			_ = mb.seq.Heartbeat()
+			mb.seq.Tick(now)
+		}
+		time.Sleep(foStep)
+	}
+}
+
+// survivorsElected reports whether every live member moved past epoch 0.
+func (s *foStack) survivorsElected() bool {
+	for _, mb := range s.members {
+		if mb.alive && mb.seq.Epoch() == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// TestFigure1FailoverScenario replays Figure 1 across a leader crash:
+// entities share a counter through broadcast data-access messages; the
+// sequencer (epoch-0 leader e1) dies halfway through the access stream
+// issued by a surviving entity, and the survivors must still each see
+// every access and agree on the value.
+func TestFigure1FailoverScenario(t *testing.T) {
+	ids := []string{"e1", "e2", "e3"}
+	st := newFailoverStack(t, ids, 61, true)
+	submitter := st.byID["e2"]
+
+	submit := func(n int) {
+		for i := 0; i < n; i++ {
+			op := shareddata.Inc()
+			if _, err := submitter.seq.ASend(op.Op, op.Kind, op.Body, message.After()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	applied := func(want uint64) func() bool {
+		return func() bool {
+			for _, mb := range st.members {
+				if mb.alive && mb.rep.Applied() < want {
+					return false
+				}
+			}
+			return true
+		}
+	}
+
+	submit(3)
+	if !st.pumpUntil(5*time.Second, applied(3)) {
+		t.Fatal("pre-crash accesses never reached all entities")
+	}
+	st.crash("e1") // the epoch-0 sequencer
+	submit(3)
+	rd := shareddata.Read()
+	if _, err := submitter.seq.ASend(rd.Op, rd.Kind, rd.Body, message.After()); err != nil {
+		t.Fatal(err)
+	}
+	if !st.pumpUntil(10*time.Second, applied(7)) {
+		t.Fatal("entities did not converge after the leader crash")
+	}
+	if !st.survivorsElected() {
+		t.Fatal("survivors still on epoch 0")
+	}
+	ref, _ := st.byID["e2"].rep.ReadStable()
+	if ref.Digest() != shareddata.NewCounter(6).Digest() {
+		t.Errorf("VAL %s, want counter:6", ref.Digest())
+	}
+	st3, _ := st.byID["e3"].rep.ReadStable()
+	if st3.Digest() != ref.Digest() {
+		t.Errorf("entity e3 VAL %s, want %s", st3.Digest(), ref.Digest())
+	}
+}
+
+// TestFigure2FailoverDiamond replays Figure 2's computation R(M) with the
+// leader crashing between the opening write and the concurrent middle:
+// mk -> CRASH(leader) -> ||{mi', mj'} -> mj''. The survivors must reach
+// the synchronization point and share the view there, exactly as in the
+// fault-free figure.
+func TestFigure2FailoverDiamond(t *testing.T) {
+	ids := []string{"ai", "aj", "ak"}
+	st := newFailoverStack(t, ids, 67, true)
+
+	set := shareddata.Set(10)
+	lk, err := st.byID["ak"].seq.ASend(set.Op, set.Kind, set.Body, message.After())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.pumpUntil(5*time.Second, func() bool {
+		for _, mb := range st.members {
+			if mb.alive && mb.rep.Applied() < 1 {
+				return false
+			}
+		}
+		return true
+	}) {
+		t.Fatal("opening write never delivered")
+	}
+
+	st.crash("ai") // epoch-0 leader dies before the concurrent middle
+	inc, dec := shareddata.Inc(), shareddata.Dec()
+	li, err := st.byID["aj"].seq.ASend(inc.Op, inc.Kind, inc.Body, message.After(lk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lj, err := st.byID["ak"].seq.ASend(dec.Op, dec.Kind, dec.Body, message.After(lk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd := shareddata.Read()
+	if _, err := st.byID["aj"].seq.ASend(rd.Op, rd.Kind, rd.Body, message.After(li, lj)); err != nil {
+		t.Fatal(err)
+	}
+
+	if !st.pumpUntil(10*time.Second, func() bool {
+		for _, mb := range st.members {
+			if mb.alive && mb.rep.Cycle() < 2 {
+				return false
+			}
+		}
+		return true
+	}) {
+		t.Fatal("sync point never reached after the leader crash")
+	}
+	histories := map[string][]core.StablePoint{}
+	for _, mb := range st.members {
+		if mb.alive {
+			histories[mb.id] = mb.rep.StablePoints()
+		}
+	}
+	audit := obs.AuditStablePoints(histories)
+	if !audit.Consistent() || audit.Points < 2 {
+		t.Fatalf("audit = %+v", audit)
+	}
+	val, _ := st.byID["aj"].rep.ReadStable()
+	if val.Digest() != shareddata.NewCounter(10).Digest() {
+		t.Errorf("agreed value %s, want counter:10", val.Digest())
+	}
+}
+
+// TestFigure4FailoverTotalOrder replays Figure 4 with the ordering
+// function's host crashing mid-stream: spontaneous messages race from
+// every member, the leader dies after the first rounds, and the
+// interposed layer must keep ordering the rest identically at the
+// survivors under the successor epoch.
+func TestFigure4FailoverTotalOrder(t *testing.T) {
+	ids := []string{"a", "b", "c"}
+	st := newFailoverStack(t, ids, 71, false)
+
+	send := func(id string, i int) {
+		op := fmt.Sprintf("spont-%s-%d", id, i)
+		if _, err := st.byID[id].seq.ASend(op, message.KindNonCommutative, nil, message.Unconstrained()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		for _, id := range ids {
+			send(id, i)
+		}
+	}
+	if !st.pumpUntil(5*time.Second, func() bool {
+		for _, mb := range st.members {
+			if len(mb.orderSnapshot()) < 6 {
+				return false
+			}
+		}
+		return true
+	}) {
+		t.Fatal("pre-crash rounds never ordered")
+	}
+	st.crash("a")
+	for i := 2; i < 5; i++ {
+		for _, id := range ids[1:] {
+			send(id, i)
+		}
+	}
+	if !st.pumpUntil(10*time.Second, func() bool {
+		for _, mb := range st.members[1:] {
+			if len(mb.orderSnapshot()) < 12 {
+				return false
+			}
+		}
+		return true
+	}) {
+		t.Fatal("post-crash spontaneous messages never ordered")
+	}
+	if !st.survivorsElected() {
+		t.Fatal("survivors still on epoch 0")
+	}
+	if got := st.reg.Snapshot().Get("total_elections_total"); got == 0 {
+		t.Fatal("no election recorded in telemetry")
+	}
+	// Identical total order at the survivors, at full length.
+	refOrder := st.byID["b"].orderSnapshot()
+	gotOrder := st.byID["c"].orderSnapshot()
+	if len(refOrder) != len(gotOrder) {
+		t.Fatalf("survivors delivered %d vs %d", len(refOrder), len(gotOrder))
+	}
+	for i := range refOrder {
+		if refOrder[i] != gotOrder[i] {
+			t.Fatalf("survivor orders diverge at %d: %s vs %s", i, refOrder[i], gotOrder[i])
+		}
+	}
+	if st.byID["b"].seq.Epoch() != st.byID["c"].seq.Epoch() {
+		t.Fatal("survivors disagree on the epoch")
+	}
+}
+
+// TestFigure5FailoverDigests is the digest variant of Figure 5: instead of
+// the LOCK/TFR cycle, every member races order-sensitive writes (the
+// primitive the arbitration protocol is built on) while the leader
+// crashes. Identical final digests at the survivors prove they applied
+// the racing non-commutative writes in one agreed order — the property
+// that makes the Figure 5 arbitration sound across a succession.
+func TestFigure5FailoverDigests(t *testing.T) {
+	ids := []string{"A", "B", "C"}
+	st := newFailoverStack(t, ids, 73, true)
+
+	round := func(members []string, base int64) {
+		for j, id := range members {
+			op := shareddata.Set(base + int64(j))
+			if _, err := st.byID[id].seq.ASend(op.Op, op.Kind, op.Body, message.After()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	applied := func(want uint64) func() bool {
+		return func() bool {
+			for _, mb := range st.members {
+				if mb.alive && mb.rep.Applied() < want {
+					return false
+				}
+			}
+			return true
+		}
+	}
+	round(ids, 100)
+	if !st.pumpUntil(5*time.Second, applied(3)) {
+		t.Fatal("pre-crash writes never applied")
+	}
+	st.crash("A")
+	round(ids[1:], 200)
+	round(ids[1:], 300)
+	if !st.pumpUntil(10*time.Second, applied(7)) {
+		t.Fatal("post-crash writes never applied at the survivors")
+	}
+	if !st.survivorsElected() {
+		t.Fatal("survivors still on epoch 0")
+	}
+	refState, refCycle := st.byID["B"].rep.ReadStable()
+	gotState, gotCycle := st.byID["C"].rep.ReadStable()
+	if refCycle != gotCycle {
+		t.Fatalf("stable cycles diverge: %d vs %d", refCycle, gotCycle)
+	}
+	if refState.Digest() != gotState.Digest() {
+		t.Fatalf("survivor digests diverge: %s vs %s", refState.Digest(), gotState.Digest())
+	}
+	// And the digest history agrees position-for-position, not just at the
+	// end: racing writes are order-sensitive, so this is the total order.
+	histories := map[string][]core.StablePoint{}
+	for _, mb := range st.members[1:] {
+		histories[mb.id] = mb.rep.StablePoints()
+	}
+	audit := obs.AuditStablePoints(histories)
+	if !audit.Consistent() {
+		t.Fatalf("stable-point audit = %+v", audit)
+	}
+}

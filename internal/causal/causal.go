@@ -82,6 +82,8 @@ const (
 	frameCBCastFetch
 	frameOSendAdvert
 	frameCBCastAdvert
+	frameOSendSyncReq
+	frameOSendSyncResp
 )
 
 func frameError(kind byte, err error) error {

@@ -142,7 +142,10 @@ func (e *CBCast) Broadcast(m message.Message) error {
 	err = transport.Multicast(e.conn, e.others, f)
 	f.Release()
 	if err != nil {
-		return fmt.Errorf("causal: send %v: %w", m.Label, err)
+		// Per-peer delivery is best-effort: the message was delivered
+		// locally and retained, and the anti-entropy adverts re-offer it,
+		// so a crashed peer must not fail the broadcast for the rest.
+		e.ins.sendErrors.Inc()
 	}
 	return nil
 }

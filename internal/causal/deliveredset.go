@@ -63,6 +63,35 @@ func (d *deliveredSet) Add(l message.Label) bool {
 	return true
 }
 
+// Seed advances origin's watermark to at least seq, treating everything up
+// to it as already delivered. A rejoining member seeds the watermarks its
+// peers advertise so pre-crash history is never re-delivered; sparse
+// entries the new watermark covers are compacted away. Seeding backwards
+// is a no-op.
+func (d *deliveredSet) Seed(origin string, seq uint64) {
+	os, ok := d.byOrigin[origin]
+	if !ok {
+		os = &originSet{above: make(map[uint64]struct{})}
+		d.byOrigin[origin] = os
+	}
+	if seq <= os.watermark {
+		return
+	}
+	os.watermark = seq
+	for s := range os.above {
+		if s <= os.watermark {
+			delete(os.above, s)
+		}
+	}
+	for {
+		if _, next := os.above[os.watermark+1]; !next {
+			break
+		}
+		os.watermark++
+		delete(os.above, os.watermark)
+	}
+}
+
 // Watermark returns the contiguous delivered prefix for origin: every seq
 // in [1, Watermark] is delivered. The anti-entropy protocol starts gap
 // scans here.

@@ -15,6 +15,7 @@ type osendInstruments struct {
 	pendingDepth  *telemetry.Gauge
 	pendingMax    *telemetry.Gauge
 	retainedDepth *telemetry.Gauge
+	sendErrors    *telemetry.Counter
 	depWait       *telemetry.Histogram
 	broadcastLat  *telemetry.Histogram
 }
@@ -37,6 +38,8 @@ func newOSendInstruments(reg *telemetry.Registry) osendInstruments {
 			"High-water mark of the pending buffer."),
 		retainedDepth: reg.Gauge("causal_osend_retained_depth",
 			"Own messages retained for retransmission."),
+		sendErrors: reg.Counter("causal_osend_send_errors_total",
+			"Best-effort fan-outs where at least one peer was unreachable."),
 		depWait: reg.Histogram("causal_osend_dep_wait_seconds",
 			"Time a buffered message waited on missing predecessors before delivery.",
 			telemetry.DurationBuckets),
@@ -53,6 +56,7 @@ type cbcastInstruments struct {
 	duplicates   *telemetry.Counter
 	fetches      *telemetry.Counter
 	controlBytes *telemetry.Counter
+	sendErrors   *telemetry.Counter
 	pendingDepth *telemetry.Gauge
 	pendingMax   *telemetry.Gauge
 }
@@ -67,6 +71,8 @@ func newCBCastInstruments(reg *telemetry.Registry) cbcastInstruments {
 			"Retransmission requests issued for vector-clock gaps."),
 		controlBytes: reg.Counter("causal_cbcast_control_bytes_total",
 			"Ordering metadata bytes placed on the wire (vector clocks, once per peer)."),
+		sendErrors: reg.Counter("causal_cbcast_send_errors_total",
+			"Best-effort fan-outs where at least one peer was unreachable."),
 		pendingDepth: reg.Gauge("causal_cbcast_pending_depth",
 			"Messages currently buffered awaiting vector-clock readiness."),
 		pendingMax: reg.Gauge("causal_cbcast_pending_depth_max",

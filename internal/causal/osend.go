@@ -36,6 +36,12 @@ type OSendConfig struct {
 	// Trace, when non-nil, receives send/deliver/defer/fetch events. A nil
 	// ring disables tracing at zero cost.
 	Trace *telemetry.Ring
+	// OnSync, when non-nil, is invoked after a state-sync response from a
+	// peer has been applied: the peer's delivered watermarks have been
+	// seeded locally and fetches for the retained tail issued. A rejoining
+	// member uses it to learn how far the group had progressed while it was
+	// down. The callback runs on the engine's receive goroutine.
+	OnSync func(from string, watermarks map[string]uint64)
 }
 
 // OSend is the paper's causal broadcast engine: ordering is driven purely
@@ -60,6 +66,7 @@ type OSend struct {
 	conn     transport.Conn
 	deliver  DeliverFunc
 	patience time.Duration
+	onSync   func(from string, watermarks map[string]uint64)
 
 	closed atomic.Bool
 
@@ -127,6 +134,7 @@ func NewOSend(cfg OSendConfig) (*OSend, error) {
 		conn:      cfg.Conn,
 		deliver:   cfg.Deliver,
 		patience:  cfg.Patience,
+		onSync:    cfg.OnSync,
 		reg:       reg,
 		ins:       newOSendInstruments(reg),
 		trace:     cfg.Trace,
@@ -183,7 +191,11 @@ func (e *OSend) Broadcast(m message.Message) error {
 	err = transport.Multicast(e.conn, e.others, f)
 	f.Release()
 	if err != nil {
-		return fmt.Errorf("causal: send %v: %w", m.Label, err)
+		// Per-peer delivery is best-effort: the message is retained for
+		// retransmission and the anti-entropy adverts re-offer it, so a
+		// crashed or partitioned peer must not fail the broadcast for the
+		// rest — and the sender still observes its own message.
+		e.ins.sendErrors.Inc()
 	}
 	e.ingest(m)
 	e.ins.broadcastLat.ObserveSince(t0)
@@ -245,6 +257,123 @@ func (e *OSend) ForgetRetained(l message.Label) {
 	delete(e.retained, l)
 	e.ins.retainedDepth.Set(int64(len(e.retained)))
 	e.retainMu.Unlock()
+}
+
+// Frontier returns the engine's delivered watermarks: per origin, every
+// sequence in [1, Frontier[origin]] has been delivered locally. A peer
+// serving a rejoin snapshot pairs this with the total layer's SyncState.
+func (e *OSend) Frontier() map[string]uint64 {
+	e.deliveredMu.RLock()
+	defer e.deliveredMu.RUnlock()
+	return e.delivered.Watermarks()
+}
+
+// SeedFrontier marks every sequence up to wm[origin] as already delivered,
+// per origin. A rejoining member seeds the frontiers its peers report so
+// pre-crash history — whose effects it recovers through the state
+// snapshot, not re-delivery — is treated as old news; buffered messages
+// whose missing predecessors the seed covered deliver immediately.
+func (e *OSend) SeedFrontier(wm map[string]uint64) {
+	e.deliveredMu.Lock()
+	for origin, seq := range wm {
+		e.delivered.Seed(origin, seq)
+	}
+	e.deliveredMu.Unlock()
+	e.releaseSeeded()
+}
+
+// releaseSeeded re-checks the holdback buffer after a frontier seed:
+// dependencies the seed covered are satisfied, and fully satisfied
+// messages deliver with their usual cascade.
+func (e *OSend) releaseSeeded() {
+	e.deliverMu.Lock()
+	var freed []message.Message
+	for l, entry := range e.pending {
+		for d := range entry.missing {
+			if e.deliveredHas(d) {
+				delete(entry.missing, d)
+			}
+		}
+		if len(entry.missing) == 0 {
+			delete(e.pending, l)
+			e.ins.depWait.ObserveSince(entry.since)
+			freed = append(freed, entry.msg)
+		}
+	}
+	for d := range e.waiting {
+		if e.deliveredHas(d) {
+			delete(e.waiting, d)
+		}
+	}
+	var ready []message.Message
+	if len(freed) != 0 {
+		ready = e.takeReadyLocked()
+		for _, m := range freed {
+			ready = e.deliverLocked(ready, m)
+		}
+		e.ins.pendingDepth.Set(int64(len(e.pending)))
+	}
+	e.deliverMu.Unlock()
+	for _, r := range ready {
+		e.deliver(r)
+	}
+	if ready != nil {
+		e.pruneFetched(ready)
+		e.putReady(ready)
+	}
+}
+
+// RequestSync asks every peer for a state-sync snapshot (their delivered
+// watermarks plus the retained tail they can serve). Responses arrive as
+// sync frames handled on the receive goroutine: tail fetches are issued
+// and the OnSync callback (if any) invoked. Responses deliberately do NOT
+// seed the delivered frontier — by the time one arrives the peer's
+// watermarks may have advanced past messages whose effects the caller's
+// resume snapshot predates, and seeding would skip them silently. Seeding
+// is the caller's job via SeedFrontier, read consistently with whatever
+// layer snapshot it resumes from. The fan-out is best-effort; callers
+// re-invoke if no response arrives.
+func (e *OSend) RequestSync() error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	f := transport.StaticFrame([]byte{frameOSendSyncReq})
+	err := transport.Multicast(e.conn, e.others, f)
+	f.Release()
+	return err
+}
+
+// serveSync answers a rejoining peer's sync request with this member's
+// retained tail (highest retained seq per origin) and delivered
+// watermarks — the advert payload, sent unicast under the sync-resp tag so
+// the requester knows it may seed the watermarks rather than merely prune.
+func (e *OSend) serveSync(requester string) {
+	e.retainMu.Lock()
+	maxSeq := make(map[string]uint64, len(e.retained))
+	for l := range e.retained {
+		if l.Seq > maxSeq[l.Origin] {
+			maxSeq[l.Origin] = l.Seq
+		}
+	}
+	e.retainMu.Unlock()
+	e.deliveredMu.RLock()
+	wm := e.delivered.Watermarks()
+	e.deliveredMu.RUnlock()
+	frame := []byte{frameOSendSyncResp}
+	frame = appendOriginSeqMap(frame, maxSeq)
+	frame = appendOriginSeqMap(frame, wm)
+	_ = e.conn.Send(requester, frame) // best effort; requester retries
+}
+
+// handleSyncResp applies one peer's snapshot through the normal advert
+// path: the retained tail above the local (seeded) watermark is fetched
+// and stability bookkeeping stays current. It never seeds the delivered
+// frontier itself — see RequestSync for why.
+func (e *OSend) handleSyncResp(from string, retained, watermarks map[string]uint64) {
+	e.handleAdvert(from, retained, watermarks)
+	if e.onSync != nil {
+		e.onSync(from, watermarks)
+	}
 }
 
 // Close implements Broadcaster.
@@ -311,6 +440,17 @@ func (e *OSend) handleFrame(dec *message.Decoder, env *transport.Envelope) {
 			return
 		}
 		e.handleAdvert(env.From, retained, watermarks)
+	case frameOSendSyncReq:
+		if len(body) != 0 {
+			return
+		}
+		e.serveSync(env.From)
+	case frameOSendSyncResp:
+		retained, watermarks, err := decodeAdvert(body)
+		if err != nil {
+			return
+		}
+		e.handleSyncResp(env.From, retained, watermarks)
 	default:
 		// Unknown frame kinds are ignored for forward compatibility.
 	}

@@ -1,0 +1,346 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"causalshare/internal/obs"
+	"causalshare/internal/telemetry"
+	"causalshare/internal/transport"
+)
+
+// netCloser is what the tests need from a transport: the harness surface
+// plus shutdown.
+type netCloser interface {
+	Net
+	Close() error
+}
+
+func makeNet(t *testing.T, kind string) netCloser {
+	t.Helper()
+	switch kind {
+	case "channet":
+		return transport.NewChanNet(transport.FaultModel{})
+	case "tcpnet":
+		return transport.NewTCPNet()
+	default:
+		t.Fatalf("unknown net kind %q", kind)
+		return nil
+	}
+}
+
+func netKinds() []string { return []string{"channet", "tcpnet"} }
+
+func chaosOptions(net Net, members []string, sched Schedule) Options {
+	return Options{
+		Members:        members,
+		Net:            net,
+		Schedule:       sched,
+		SendsPerMember: 25,
+		Step:           2 * time.Millisecond,
+		FailTimeout:    60 * time.Millisecond,
+		Patience:       12 * time.Millisecond,
+		Timeout:        15 * time.Second,
+	}
+}
+
+// survivors returns the ids of members that are alive and never rejoined
+// (their logs cover the whole run).
+func survivors(res *Result) []string {
+	var out []string
+	for id, m := range res.Members {
+		if m.Alive && !m.Rejoined {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func assertSurvivorAgreement(t *testing.T, res *Result) {
+	t.Helper()
+	ids := survivors(res)
+	if len(ids) < 2 {
+		t.Fatalf("want at least 2 uninterrupted survivors, got %v", ids)
+	}
+	var ref *MemberResult
+	var refID string
+	for _, id := range ids {
+		m := res.Members[id]
+		if ref == nil {
+			ref, refID = m, id
+			continue
+		}
+		if len(m.Order) != len(ref.Order) {
+			t.Fatalf("survivor %s delivered %d, %s delivered %d",
+				refID, len(ref.Order), id, len(m.Order))
+		}
+		if m.Digest != ref.Digest {
+			t.Fatalf("survivor digests diverge: %s=%x %s=%x", refID, ref.Digest, id, m.Digest)
+		}
+		for i := range ref.Order {
+			if m.Order[i] != ref.Order[i] {
+				t.Fatalf("survivor order diverges at %d: %s=%q %s=%q",
+					i, refID, ref.Order[i], id, m.Order[i])
+			}
+		}
+	}
+}
+
+// auditAll runs the obs total-order audit over every member's log,
+// aligning rejoined members at their snapshot frontier.
+func auditAll(t *testing.T, res *Result) {
+	t.Helper()
+	orders := make(map[string][]string)
+	offsets := make(map[string]uint64)
+	for id, m := range res.Members {
+		orders[id] = m.Order
+		offsets[id] = m.ResumedAt
+	}
+	if rep := obs.AuditTotalOrder(orders, offsets); !rep.Consistent() {
+		t.Fatalf("total-order audit: %s", rep.Divergence)
+	}
+}
+
+// TestLeaderCrashConverges is the tentpole scenario: kill the initial
+// (rank-0) sequencer mid-activity and require every survivor to converge
+// to the identical total order and digest — on both transports, and
+// reproducibly across three consecutive runs of the same schedule.
+func TestLeaderCrashConverges(t *testing.T) {
+	members := []string{"a", "b", "c", "d"}
+	sched := KillLeader(members, 40*time.Millisecond)
+	for _, kind := range netKinds() {
+		t.Run(kind, func(t *testing.T) {
+			for run := 0; run < 3; run++ {
+				net := makeNet(t, kind)
+				reg := telemetry.NewRegistry()
+				opts := chaosOptions(net, members, sched)
+				opts.Telemetry = reg
+				res, err := Run(opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !res.Converged {
+					t.Fatalf("run %d: no convergence within %v", run, opts.Timeout)
+				}
+				assertSurvivorAgreement(t, res)
+				auditAll(t, res)
+				for _, id := range survivors(res) {
+					if res.Members[id].Epoch == 0 {
+						t.Errorf("run %d: survivor %s never left epoch 0", run, id)
+					}
+				}
+				if res.Members["a"].Alive {
+					t.Errorf("run %d: crashed leader reported alive", run)
+				}
+				// Survivors keep delivering after the crash: three members
+				// complete their full quota past the takeover.
+				want := 0
+				for _, id := range survivors(res) {
+					want += res.Members[id].Sent
+				}
+				if got := len(res.Members[survivors(res)[0]].Order); got < want {
+					t.Errorf("run %d: survivors delivered %d < %d own sends", run, got, want)
+				}
+				snap := reg.Snapshot()
+				if snap.Get("total_elections_total") == 0 {
+					t.Error("total_elections_total not incremented")
+				}
+				assertFailoverLatencyObserved(t, snap)
+				_ = net.Close()
+			}
+		})
+	}
+}
+
+func assertFailoverLatencyObserved(t *testing.T, snap telemetry.Snapshot) {
+	t.Helper()
+	for _, h := range snap.Histograms {
+		if h.Name == "total_failover_latency_seconds" {
+			if h.Count == 0 {
+				t.Error("total_failover_latency_seconds has no observations")
+			}
+			return
+		}
+	}
+	t.Error("total_failover_latency_seconds not registered")
+}
+
+// TestLeaderCrashStallsWithoutFailover pins the pre-failover behavior:
+// with FailTimeout zero (the legacy fixed-sequencer mode) the same
+// schedule never converges — survivors' data waits forever for a sequence
+// number from the dead leader.
+func TestLeaderCrashStallsWithoutFailover(t *testing.T) {
+	members := []string{"a", "b", "c", "d"}
+	net := makeNet(t, "channet")
+	defer func() { _ = net.Close() }()
+	opts := chaosOptions(net, members, KillLeader(members, 30*time.Millisecond))
+	opts.FailTimeout = 0
+	opts.Timeout = 1200 * time.Millisecond
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Fatal("legacy fixed-sequencer mode converged past a leader crash")
+	}
+	for _, id := range survivors(res) {
+		m := res.Members[id]
+		if m.Sent == 0 {
+			continue
+		}
+		// Survivors sent their quota but none of the post-crash messages
+		// were sequenced.
+		if len(m.Order) >= m.Sent*len(members) {
+			t.Fatalf("survivor %s delivered %d messages despite a dead sequencer", id, len(m.Order))
+		}
+	}
+}
+
+// TestCrashRejoinCatchesUp crashes a follower, lets the group advance,
+// rejoins it from a snapshot, and requires the rejoined member to track
+// the group's frontier again — with its post-rejoin suffix position-
+// consistent with the uninterrupted survivors.
+func TestCrashRejoinCatchesUp(t *testing.T) {
+	members := []string{"a", "b", "c", "d"}
+	sched := Schedule{Actions: []Action{
+		{At: 30 * time.Millisecond, Crash: "c"},
+		{At: 150 * time.Millisecond, Recover: "c"},
+	}}
+	for _, kind := range netKinds() {
+		t.Run(kind, func(t *testing.T) {
+			net := makeNet(t, kind)
+			defer func() { _ = net.Close() }()
+			res, err := Run(chaosOptions(net, members, sched))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Converged {
+				t.Fatal("no convergence after rejoin")
+			}
+			assertSurvivorAgreement(t, res)
+			auditAll(t, res)
+			mc := res.Members["c"]
+			if !mc.Alive || !mc.Rejoined {
+				t.Fatalf("member c: alive=%v rejoined=%v", mc.Alive, mc.Rejoined)
+			}
+			if mc.ResumedAt == 0 || len(mc.Order) == 0 {
+				t.Fatalf("rejoined member delivered nothing (resumedAt=%d)", mc.ResumedAt)
+			}
+			// The rejoined suffix must end exactly at the agreed frontier.
+			if got := mc.ResumedAt + uint64(len(mc.Order)); got != res.Frontier {
+				t.Fatalf("rejoined member stops at %d, frontier is %d", got, res.Frontier)
+			}
+		})
+	}
+}
+
+// TestLeaderCrashWithRejoin crashes the leader AND rejoins it later: the
+// old leader must come back as a follower of the new epoch and converge.
+func TestLeaderCrashWithRejoin(t *testing.T) {
+	members := []string{"a", "b", "c", "d"}
+	sched := Schedule{Actions: []Action{
+		{At: 40 * time.Millisecond, Crash: "a"},
+		{At: 220 * time.Millisecond, Recover: "a"},
+	}}
+	net := makeNet(t, "channet")
+	defer func() { _ = net.Close() }()
+	res, err := Run(chaosOptions(net, members, sched))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("no convergence after leader rejoin")
+	}
+	assertSurvivorAgreement(t, res)
+	auditAll(t, res)
+	ma := res.Members["a"]
+	if !ma.Alive || !ma.Rejoined {
+		t.Fatalf("member a: alive=%v rejoined=%v", ma.Alive, ma.Rejoined)
+	}
+	if ma.Epoch == 0 {
+		t.Error("rejoined ex-leader still at epoch 0")
+	}
+}
+
+// TestRandomScheduleInvariants checks the generator's safety envelope
+// over many seeds: monotone action times, never more than a strict
+// minority down, the settle gap between a crash and its recovery, and the
+// last member never crashed.
+func TestRandomScheduleInvariants(t *testing.T) {
+	members := []string{"a", "b", "c", "d", "e"}
+	horizon := 500 * time.Millisecond
+	settle := horizon / 6
+	for seed := int64(0); seed < 200; seed++ {
+		sched := RandomSchedule(seed, members, horizon, 6)
+		crashedAt := make(map[string]time.Duration)
+		last := time.Duration(-1)
+		for _, a := range sched.Actions {
+			if a.At < last {
+				t.Fatalf("seed %d: actions out of order: %v", seed, sched.Actions)
+			}
+			last = a.At
+			switch {
+			case a.Crash != "":
+				if a.Crash == members[len(members)-1] {
+					t.Fatalf("seed %d: crashed the spare member", seed)
+				}
+				if _, down := crashedAt[a.Crash]; down {
+					t.Fatalf("seed %d: crashed %s twice", seed, a.Crash)
+				}
+				crashedAt[a.Crash] = a.At
+				if len(crashedAt) > (len(members)-1)/2 {
+					t.Fatalf("seed %d: majority down at %v", seed, a.At)
+				}
+			case a.Recover != "":
+				at, down := crashedAt[a.Recover]
+				if !down {
+					t.Fatalf("seed %d: recovered live member %s", seed, a.Recover)
+				}
+				if a.At < at+settle {
+					t.Fatalf("seed %d: recovery of %s before settle gap", seed, a.Recover)
+				}
+				delete(crashedAt, a.Recover)
+			default:
+				t.Fatalf("seed %d: empty action", seed)
+			}
+		}
+	}
+}
+
+// TestRandomScheduleDeterministic pins reproducibility: the same seed
+// always yields the identical schedule.
+func TestRandomScheduleDeterministic(t *testing.T) {
+	members := []string{"a", "b", "c", "d", "e"}
+	a := RandomSchedule(42, members, 500*time.Millisecond, 6)
+	b := RandomSchedule(42, members, 500*time.Millisecond, 6)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different schedules:\n%v\n%v", a.Actions, b.Actions)
+	}
+	c := RandomSchedule(43, members, 500*time.Millisecond, 6)
+	if reflect.DeepEqual(a.Actions, c.Actions) && len(a.Actions) > 0 {
+		t.Fatal("different seeds produced identical non-trivial schedules")
+	}
+}
+
+// TestRandomChaosConverges runs generated schedules end to end on the
+// live stack and audits the result.
+func TestRandomChaosConverges(t *testing.T) {
+	members := []string{"a", "b", "c", "d", "e"}
+	for _, seed := range []int64{7, 21} {
+		sched := RandomSchedule(seed, members, 400*time.Millisecond, 4)
+		net := makeNet(t, "channet")
+		opts := chaosOptions(net, members, sched)
+		opts.SendsPerMember = 30
+		res, err := Run(opts)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !res.Converged {
+			t.Fatalf("seed %d: no convergence (schedule %v)", seed, sched.Actions)
+		}
+		assertSurvivorAgreement(t, res)
+		auditAll(t, res)
+		_ = net.Close()
+	}
+}

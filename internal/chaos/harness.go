@@ -1,0 +1,420 @@
+package chaos
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"causalshare/internal/causal"
+	"causalshare/internal/group"
+	"causalshare/internal/message"
+	"causalshare/internal/telemetry"
+	"causalshare/internal/total"
+	"causalshare/internal/transport"
+)
+
+// Net is the transport surface the harness drives; both ChanNet and TCPNet
+// satisfy it, so every scenario runs unchanged over in-process channels and
+// real loopback sockets.
+type Net interface {
+	Attach(id string) (transport.Conn, error)
+	Isolate(id string)
+	Restore(id string)
+}
+
+// Options parameterizes one chaos run.
+type Options struct {
+	Members  []string
+	Net      Net
+	Schedule Schedule
+	// SendsPerMember is each member's data-message quota; a member paused
+	// by a crash resumes the remainder of its quota after rejoining.
+	SendsPerMember int
+	// Step is the driver's pump granularity (send pacing, heartbeat and
+	// failure-detector cadence). Defaults to 2ms.
+	Step time.Duration
+	// FailTimeout arms sequencer failover; zero reproduces the pre-failover
+	// fixed-sequencer behavior, where a leader crash stalls the run.
+	FailTimeout time.Duration
+	// Patience drives the causal layer's anti-entropy (fetch + advert)
+	// loop; rejoin catch-up needs it positive.
+	Patience time.Duration
+	// Timeout bounds the run; hitting it reports Converged == false.
+	Timeout time.Duration
+	// Telemetry, when non-nil, is shared by every layer instance, so the
+	// run's counters (elections, re-proposals, failover latency) aggregate.
+	Telemetry *telemetry.Registry
+	// Trace, when non-nil, receives every member's epoch/election events.
+	Trace *telemetry.Ring
+}
+
+// MemberResult is one member's view at the end of the run.
+type MemberResult struct {
+	// Order is the member's delivered data messages, in its total order.
+	// For a rejoined member this is the post-rejoin suffix only.
+	Order []string
+	// Digest is an order-sensitive hash of Order.
+	Digest uint64
+	// Epoch is the member's final leadership epoch.
+	Epoch uint64
+	// ResumedAt is the global sequence number of Order's first position
+	// (1 unless the member rejoined from a snapshot).
+	ResumedAt uint64
+	// Alive reports whether the member was up when the run ended.
+	Alive bool
+	// Rejoined reports whether the member crashed and rejoined at least once.
+	Rejoined bool
+	// Sent is how many of the member's quota it actually broadcast.
+	Sent int
+}
+
+// Result is the outcome of one chaos run.
+type Result struct {
+	Members map[string]*MemberResult
+	// Converged reports that, after the last scheduled action and the last
+	// send, every live member reached the same delivery frontier with an
+	// empty holdback and held there.
+	Converged bool
+	// Frontier is the agreed next-deliver sequence at convergence.
+	Frontier uint64
+	// Recovery holds one measured duration per leader crash: from the
+	// crash action until every surviving member moved past the crashed
+	// leader's epoch. It spans the full detection window plus the election
+	// round, which neither the schedule nor the failover-latency histogram
+	// (suspicion to completion only) captures on its own.
+	Recovery []time.Duration
+	Elapsed  time.Duration
+}
+
+// orderLog collects one incarnation's delivered data messages.
+type orderLog struct {
+	mu      sync.Mutex
+	entries []string
+}
+
+func (l *orderLog) deliver(m message.Message) {
+	l.mu.Lock()
+	l.entries = append(l.entries, string(m.Body))
+	l.mu.Unlock()
+}
+
+func (l *orderLog) snapshot() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]string(nil), l.entries...)
+}
+
+// Digest hashes a delivered order, position-sensitively.
+func Digest(order []string) uint64 {
+	h := fnv.New64a()
+	for _, e := range order {
+		_, _ = h.Write([]byte(e))
+		_, _ = h.Write([]byte{0})
+	}
+	return h.Sum64()
+}
+
+type node struct {
+	id        string
+	seq       *total.Sequencer
+	eng       *causal.OSend
+	log       *orderLog
+	alive     bool
+	rejoined  bool
+	resumedAt uint64
+	sent      int
+}
+
+type cluster struct {
+	opts  Options
+	grp   *group.Group
+	nodes []*node
+	byID  map[string]*node
+}
+
+// Run executes one chaos schedule to completion (convergence or timeout)
+// and reports every member's final view. The driver is single-threaded:
+// sends, heartbeats, detector ticks, and fault actions are all applied
+// from one loop at Step granularity, so a schedule perturbs a run at
+// well-defined points even though the stack underneath is concurrent.
+func Run(opts Options) (*Result, error) {
+	if len(opts.Members) < 3 {
+		return nil, fmt.Errorf("chaos: need at least 3 members, got %d", len(opts.Members))
+	}
+	if opts.Step <= 0 {
+		opts.Step = 2 * time.Millisecond
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 15 * time.Second
+	}
+	c := &cluster{
+		opts: opts,
+		grp:  group.MustNew("chaos", opts.Members),
+		byID: make(map[string]*node),
+	}
+	for _, id := range opts.Members {
+		n := &node{id: id, alive: true, resumedAt: 1}
+		if err := c.start(n, nil, nil, 0); err != nil {
+			c.stopAll()
+			return nil, err
+		}
+		c.nodes = append(c.nodes, n)
+		c.byID[id] = n
+	}
+	defer c.stopAll()
+
+	actions := append([]Action(nil), opts.Schedule.Actions...)
+	begin := time.Now()
+	res := &Result{Members: make(map[string]*MemberResult)}
+	stableFor := 0
+	// Recovery clock: armed when a schedule action kills the member
+	// leading the highest epoch any node has reached, stopped when every
+	// survivor has moved past that epoch.
+	var crashedAt time.Time
+	var crashedEpoch uint64
+	for {
+		elapsed := time.Since(begin)
+		if elapsed > opts.Timeout {
+			break
+		}
+		for len(actions) > 0 && actions[0].At <= elapsed {
+			a := actions[0]
+			actions = actions[1:]
+			switch {
+			case a.Crash != "":
+				if epoch := c.maxEpoch(); crashedAt.IsZero() && c.leaderOf(epoch) == a.Crash {
+					crashedAt = time.Now()
+					crashedEpoch = epoch
+				}
+				c.crash(c.byID[a.Crash])
+			case a.Recover != "":
+				if err := c.rejoin(c.byID[a.Recover]); err != nil {
+					return nil, fmt.Errorf("chaos: %v: %w", a, err)
+				}
+			}
+		}
+		if !crashedAt.IsZero() && c.allPastEpoch(crashedEpoch) {
+			res.Recovery = append(res.Recovery, time.Since(crashedAt))
+			crashedAt = time.Time{}
+		}
+		now := time.Now()
+		for _, n := range c.nodes {
+			if !n.alive {
+				continue
+			}
+			if n.sent < opts.SendsPerMember {
+				body := fmt.Sprintf("%s/%d", n.id, n.sent)
+				if _, err := n.seq.ASend("chaos.op", message.KindNonCommutative, []byte(body), message.After()); err == nil {
+					n.sent++
+				}
+			}
+			_ = n.seq.Heartbeat()
+			n.seq.Tick(now)
+		}
+		if len(actions) == 0 && c.allSent() {
+			if f, ok := c.settled(); ok {
+				stableFor++
+				if stableFor >= 3 {
+					res.Converged = true
+					res.Frontier = f
+					break
+				}
+			} else {
+				stableFor = 0
+			}
+		}
+		time.Sleep(opts.Step)
+	}
+	res.Elapsed = time.Since(begin)
+	for _, n := range c.nodes {
+		order := n.log.snapshot()
+		res.Members[n.id] = &MemberResult{
+			Order:     order,
+			Digest:    Digest(order),
+			Epoch:     n.seq.Epoch(),
+			ResumedAt: n.resumedAt,
+			Alive:     n.alive,
+			Rejoined:  n.rejoined,
+			Sent:      n.sent,
+		}
+	}
+	return res, nil
+}
+
+// start brings up a (possibly resumed) incarnation of n.
+func (c *cluster) start(n *node, snap *total.SyncSnapshot, wm map[string]uint64, lastLabel uint64) error {
+	conn, err := c.opts.Net.Attach(n.id)
+	if err != nil {
+		return err
+	}
+	n.log = &orderLog{}
+	seqr, err := total.NewSequencer(total.Config{
+		Self:        n.id,
+		Group:       c.grp,
+		Deliver:     n.log.deliver,
+		FailTimeout: c.opts.FailTimeout,
+		Telemetry:   c.opts.Telemetry,
+		Trace:       c.opts.Trace,
+	})
+	if err != nil {
+		_ = conn.Close()
+		return err
+	}
+	eng, err := causal.NewOSend(causal.OSendConfig{
+		Self:      n.id,
+		Group:     c.grp,
+		Conn:      conn,
+		Deliver:   seqr.Ingest,
+		Patience:  c.opts.Patience,
+		Telemetry: c.opts.Telemetry,
+		Trace:     c.opts.Trace,
+	})
+	if err != nil {
+		_ = seqr.Close()
+		_ = conn.Close()
+		return err
+	}
+	seqr.Bind(eng)
+	if snap != nil {
+		eng.SeedFrontier(wm)
+		seqr.Resume(*snap, lastLabel)
+		// Pull the retained tail above the seeded watermark immediately;
+		// the periodic adverts would get there too, just later.
+		_ = eng.RequestSync()
+	}
+	n.seq = seqr
+	n.eng = eng
+	return nil
+}
+
+// crash freezes a member: partition it away and stop pumping it. Its
+// engines stay allocated (a frozen process still holds memory) but no
+// frame crosses the network boundary in either direction and its clocks
+// stop, which is indistinguishable from a crash to every peer.
+func (c *cluster) crash(n *node) {
+	if n == nil || !n.alive {
+		return
+	}
+	c.opts.Net.Isolate(n.id)
+	n.alive = false
+}
+
+// rejoin tears the frozen incarnation down and starts a fresh one from a
+// live peer's snapshot: merged causal watermarks seed the new engine's
+// frontier (watermarks first, sequencer snapshot second — see
+// total.SyncState), and the member's own label chain resumes above the
+// highest sequence any live peer delivered from it, so its new traffic is
+// not mistaken for pre-crash duplicates.
+func (c *cluster) rejoin(n *node) error {
+	if n == nil || n.alive {
+		return nil
+	}
+	_ = n.seq.Close()
+	_ = n.eng.Close() // closes the old conn, detaching it from the net
+	c.opts.Net.Restore(n.id)
+
+	var donor *node
+	wm := make(map[string]uint64)
+	for _, m := range c.nodes {
+		if !m.alive {
+			continue
+		}
+		if donor == nil {
+			donor = m
+		}
+		for origin, seq := range m.eng.Frontier() {
+			if seq > wm[origin] {
+				wm[origin] = seq
+			}
+		}
+	}
+	if donor == nil {
+		return fmt.Errorf("no live peer to rejoin %s from", n.id)
+	}
+	snap := donor.seq.SyncState()
+	if err := c.start(n, &snap, wm, wm[total.SeqOrigin(n.id)]); err != nil {
+		return err
+	}
+	n.alive = true
+	n.rejoined = true
+	n.resumedAt = snap.NextDeliver
+	return nil
+}
+
+// leaderOf maps an epoch to the member leading it (the protocol's
+// deterministic succession order).
+func (c *cluster) leaderOf(epoch uint64) string {
+	return c.opts.Members[int(epoch%uint64(len(c.opts.Members)))]
+}
+
+// maxEpoch returns the highest epoch any live node has reached.
+func (c *cluster) maxEpoch() uint64 {
+	var max uint64
+	for _, n := range c.nodes {
+		if n.alive {
+			if e := n.seq.Epoch(); e > max {
+				max = e
+			}
+		}
+	}
+	return max
+}
+
+// allPastEpoch reports whether every live node has adopted an epoch above
+// the given one — i.e. the succession after that epoch's leader completed
+// everywhere that can observe it.
+func (c *cluster) allPastEpoch(epoch uint64) bool {
+	for _, n := range c.nodes {
+		if n.alive && n.seq.Epoch() <= epoch {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *cluster) allSent() bool {
+	for _, n := range c.nodes {
+		if n.alive && n.sent < c.opts.SendsPerMember {
+			return false
+		}
+	}
+	return true
+}
+
+// settled reports whether every live member sits at the same delivery
+// frontier with an empty sequencer holdback. On a lossless transport with
+// anti-entropy armed, a frontier that agrees everywhere after the last
+// send is a fixpoint: no data message can still be on its way to a
+// sequence number.
+func (c *cluster) settled() (uint64, bool) {
+	var frontier uint64
+	first := true
+	for _, n := range c.nodes {
+		if !n.alive {
+			continue
+		}
+		snap := n.seq.SyncState()
+		if n.seq.Pending() != 0 {
+			return 0, false
+		}
+		if first {
+			frontier = snap.NextDeliver
+			first = false
+		} else if snap.NextDeliver != frontier {
+			return 0, false
+		}
+	}
+	return frontier, !first
+}
+
+func (c *cluster) stopAll() {
+	for _, n := range c.nodes {
+		if n.seq != nil {
+			_ = n.seq.Close()
+		}
+		if n.eng != nil {
+			_ = n.eng.Close()
+		}
+	}
+}

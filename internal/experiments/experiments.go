@@ -120,12 +120,13 @@ func All() map[string]Runner {
 		"E9":  func() Table { return RunE9(DefaultE9()) },
 		"E10": func() Table { return RunE10(DefaultE10()) },
 		"E11": func() Table { return RunE11(DefaultE11()) },
+		"E12": func() Table { return RunE12(DefaultE12()) },
 	}
 }
 
 // IDs returns experiment ids in run order.
 func IDs() []string {
-	return []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11"}
+	return []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"}
 }
 
 func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }

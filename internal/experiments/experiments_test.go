@@ -4,6 +4,7 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 )
 
 func cell(t *testing.T, tbl Table, row int, col string) string {
@@ -296,5 +297,37 @@ func TestE10Shape(t *testing.T) {
 	}
 	if !found {
 		t.Error("deferred-read row missing or non-zero divergence")
+	}
+}
+
+func TestE12Shape(t *testing.T) {
+	cfg := DefaultE12()
+	cfg.Heartbeats = []time.Duration{2 * time.Millisecond, 8 * time.Millisecond}
+	cfg.SendsPerMember = 10
+	tbl := RunE12(cfg)
+	if strings.HasPrefix(tbl.Notes, "error:") {
+		t.Fatal(tbl.Notes)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(tbl.Rows))
+	}
+	for i := range tbl.Rows {
+		if got := cell(t, tbl, i, "converged"); got != "yes" {
+			t.Errorf("row %d converged = %q", i, got)
+		}
+		if cellF(t, tbl, i, "elections") == 0 {
+			t.Errorf("row %d recorded no election", i)
+		}
+		if cellF(t, tbl, i, "recovery ms") <= 0 {
+			t.Errorf("row %d recovery latency not measured", i)
+		}
+		if cellF(t, tbl, i, "election ms") <= 0 {
+			t.Errorf("row %d election round not measured", i)
+		}
+	}
+	// A wider detection window must cost more recovery latency.
+	if cellF(t, tbl, 0, "recovery ms") >= cellF(t, tbl, 1, "recovery ms") {
+		t.Errorf("recovery latency did not grow with the heartbeat interval: %s vs %s",
+			cell(t, tbl, 0, "recovery ms"), cell(t, tbl, 1, "recovery ms"))
 	}
 }

@@ -33,6 +33,33 @@ func NewDetector(tracker *Tracker, self string, timeout time.Duration) *Detector
 	return d
 }
 
+// Prime seeds liveness evidence for every peer that has none yet, as of
+// the given time. Tick only times out peers it has evidence for, so a
+// detector that is never primed will not suspect a member that stayed
+// silent from the start; owners that need "silent since boot" to count as
+// failure (the sequencer failover protocol does) call Prime at startup.
+func (d *Detector) Prime(at time.Time) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, p := range d.tracker.group.Members() {
+		if p == d.self {
+			continue
+		}
+		if _, ok := d.lastSeen[p]; !ok {
+			d.lastSeen[p] = at
+		}
+	}
+}
+
+// Forget drops the liveness evidence recorded for peer, so a member that
+// crashed and later rejoins is judged only on post-rejoin traffic rather
+// than being re-suspected off a stale timestamp.
+func (d *Detector) Forget(peer string) {
+	d.mu.Lock()
+	delete(d.lastSeen, peer)
+	d.mu.Unlock()
+}
+
 // Observe records a heartbeat (or any message — all traffic is liveness
 // evidence) from peer at the given time.
 func (d *Detector) Observe(peer string, at time.Time) {

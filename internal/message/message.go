@@ -328,3 +328,14 @@ func (g *Labeler) Last() Label {
 	}
 	return Label{Origin: g.origin, Seq: g.next}
 }
+
+// Resume fast-forwards the labeler so the next label is last+1. A member
+// that crashed and rejoins must resume above the sequence its peers have
+// already delivered for this origin, or every new label would be dropped
+// as a duplicate; peers' delivered watermarks supply last. Resuming
+// backwards is a no-op.
+func (g *Labeler) Resume(last uint64) {
+	if last > g.next {
+		g.next = last
+	}
+}

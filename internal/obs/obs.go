@@ -273,3 +273,50 @@ func AuditStablePoints(histories map[string][]core.StablePoint) AuditReport {
 	}
 	return AuditReport{Points: shortest}
 }
+
+// AuditTotalOrder checks totally ordered delivery logs for position
+// consistency: no two members may disagree about which entry occupies any
+// global sequence position both of them delivered. offsets gives the
+// global position of each member's first log entry (1 for a member that
+// delivered from the start; a member that rejoined from a snapshot starts
+// at the snapshot's delivery frontier and contributes only its suffix).
+// A nil offsets treats every log as starting at position 1. The report's
+// Points field counts the distinct global positions corroborated by at
+// least two members.
+func AuditTotalOrder(orders map[string][]string, offsets map[string]uint64) AuditReport {
+	members := make([]string, 0, len(orders))
+	for m := range orders {
+		members = append(members, m)
+	}
+	sort.Strings(members)
+	// at[p] is the first (member, entry) observed for global position p.
+	type claim struct {
+		member string
+		entry  string
+	}
+	at := make(map[uint64]claim)
+	corroborated := make(map[uint64]bool)
+	for _, m := range members {
+		start := uint64(1)
+		if offsets != nil && offsets[m] > 0 {
+			start = offsets[m]
+		}
+		for i, entry := range orders[m] {
+			p := start + uint64(i)
+			prev, seen := at[p]
+			if !seen {
+				at[p] = claim{member: m, entry: entry}
+				continue
+			}
+			if prev.entry != entry {
+				return AuditReport{
+					Points: len(corroborated),
+					Divergence: fmt.Sprintf("position %d: %s delivered %q, %s delivered %q",
+						p, prev.member, prev.entry, m, entry),
+				}
+			}
+			corroborated[p] = true
+		}
+	}
+	return AuditReport{Points: len(corroborated)}
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"causalshare/internal/causal"
+	"causalshare/internal/chaos"
 	"causalshare/internal/group"
 	"causalshare/internal/message"
 	"causalshare/internal/transport"
@@ -141,6 +142,81 @@ func TestSimMatchesLiveEngines(t *testing.T) {
 		}
 		for _, e := range engines {
 			_ = e.Close()
+		}
+		_ = net.Close()
+	}
+}
+
+// TestChaosCrossValidatesSimAgainstLive runs the same seeded crash/rejoin
+// schedules through the simulated failover rule and the live stack (chaos
+// harness over ChanNet) and checks that both uphold the protocol's
+// guarantees: convergence after the faults drain, identical totals among
+// uninterrupted survivors, and position consistency everywhere. Delivered
+// orders are not compared message-for-message across the two — assignment
+// order is a function of timing, which the two executions model
+// differently on purpose; the invariants are what the rule promises.
+func TestChaosCrossValidatesSimAgainstLive(t *testing.T) {
+	const n, quota = 5, 20
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = MemberID(i)
+	}
+	for _, seed := range []int64{7, 21, 33} {
+		sched := chaos.RandomSchedule(seed, ids, 400*time.Millisecond, 4)
+
+		// Simulated run of the schedule.
+		r := runSimFailover(seed, n, quota, sched, Duration(1500*time.Millisecond))
+		checkFailoverInvariants(t, seed, r)
+
+		// Live run of the identical schedule.
+		net := transport.NewChanNet(transport.FaultModel{})
+		res, err := chaos.Run(chaos.Options{
+			Members:        ids,
+			Net:            net,
+			Schedule:       sched,
+			SendsPerMember: quota,
+			Step:           2 * time.Millisecond,
+			FailTimeout:    60 * time.Millisecond,
+			Patience:       12 * time.Millisecond,
+			Timeout:        15 * time.Second,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: live run: %v", seed, err)
+		}
+		if !res.Converged {
+			t.Fatalf("seed %d: live stack did not converge on schedule %v", seed, sched.Actions)
+		}
+
+		// Both executions must agree about which members end the run down
+		// (that is schedule-determined) ...
+		for i, id := range ids {
+			if simDown, liveDown := r.cluster.IsDown(i), !res.Members[id].Alive; simDown != liveDown {
+				t.Fatalf("seed %d: member %s down=%v in sim, down=%v live", seed, id, simDown, liveDown)
+			}
+		}
+		// ... and the live survivors must agree with each other just as the
+		// simulated ones do.
+		var ref []string
+		for _, id := range ids {
+			m := res.Members[id]
+			if !m.Alive || m.Rejoined {
+				continue
+			}
+			if ref == nil {
+				ref = m.Order
+				continue
+			}
+			if len(m.Order) != len(ref) {
+				t.Fatalf("seed %d: live survivors delivered %d vs %d", seed, len(m.Order), len(ref))
+			}
+			for i := range ref {
+				if m.Order[i] != ref[i] {
+					t.Fatalf("seed %d: live survivors diverge at %d", seed, i)
+				}
+			}
+		}
+		if ref == nil {
+			t.Fatalf("seed %d: no uninterrupted live survivor", seed)
 		}
 		_ = net.Close()
 	}

@@ -1,0 +1,201 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"causalshare/internal/chaos"
+	"causalshare/internal/message"
+)
+
+// simFailoverRun drives a seeded crash/recover schedule through the
+// simulated sequencer cluster with failover armed and collects every
+// member's delivered label sequence.
+type simFailoverRun struct {
+	cluster *TotalCluster
+	orders  [][]message.Label
+	sent    int
+	n       int
+}
+
+// runSimFailover executes sched over n members, each trying to broadcast
+// quota data messages at a fixed cadence (paused while down, resumed
+// after recovery). The run is pure virtual time: equal seeds give
+// bitwise-identical outcomes.
+func runSimFailover(seed int64, n, quota int, sched chaos.Schedule, limit Time) *simFailoverRun {
+	s := New(seed)
+	net := NewNet(s, NetModel{
+		MinLatency: Duration(500 * time.Microsecond),
+		MaxLatency: Duration(3 * time.Millisecond),
+	})
+	r := &simFailoverRun{orders: make([][]message.Label, n), n: n}
+	r.cluster = NewTotalCluster(s, net, ModeSequencer, n, 0, func(m int, msg message.Message, _ Time) {
+		r.orders[m] = append(r.orders[m], msg.Label)
+	})
+	r.cluster.SetFailover(Duration(20 * time.Millisecond))
+
+	idx := make(map[string]int, n)
+	for i := 0; i < n; i++ {
+		idx[memberID(i)] = i
+	}
+	for _, a := range sched.Actions {
+		a := a
+		s.At(Duration(a.At), func() {
+			switch {
+			case a.Crash != "":
+				r.cluster.Crash(idx[a.Crash])
+			case a.Recover != "":
+				r.cluster.Recover(idx[a.Recover])
+			}
+		})
+	}
+	for m := 0; m < n; m++ {
+		m := m
+		var pump func(k int)
+		pump = func(k int) {
+			if k >= quota {
+				return
+			}
+			s.After(Duration(3*time.Millisecond), func() {
+				if !r.cluster.IsDown(m) {
+					r.cluster.ASend(m, message.Message{
+						Label: message.Label{Origin: memberID(m) + "~t", Seq: uint64(k + 1)},
+						Kind:  message.KindNonCommutative,
+						Op:    "w",
+					})
+					r.sent++
+					k++
+				}
+				pump(k)
+			})
+		}
+		pump(0)
+	}
+	s.Run(limit)
+	return r
+}
+
+// checkFailoverInvariants asserts the satellite properties on one run:
+// contiguous sequence numbers per member (no duplicate, no skip), prefix
+// consistency across every member, and full agreement at full length
+// among the members up at the end.
+func checkFailoverInvariants(t *testing.T, seed int64, r *simFailoverRun) {
+	t.Helper()
+	for m := 0; m < r.n; m++ {
+		if got, want := uint64(len(r.orders[m])), r.cluster.NextDeliver(m)-1; got != want {
+			t.Fatalf("seed %d: member %d delivered %d entries but frontier says %d (skipped or duplicated seq)",
+				seed, m, got, want)
+		}
+		seen := make(map[message.Label]bool, len(r.orders[m]))
+		for _, l := range r.orders[m] {
+			if seen[l] {
+				t.Fatalf("seed %d: member %d delivered %v twice", seed, m, l)
+			}
+			seen[l] = true
+		}
+	}
+	// Prefix consistency: any two members agree on every position both
+	// delivered.
+	for m := 1; m < r.n; m++ {
+		short := r.orders[0]
+		if len(r.orders[m]) < len(short) {
+			short = r.orders[m]
+		}
+		for i := range short {
+			if r.orders[0][i] != r.orders[m][i] {
+				t.Fatalf("seed %d: members 0 and %d diverge at position %d: %v vs %v",
+					seed, m, i, r.orders[0][i], r.orders[m][i])
+			}
+		}
+	}
+	// Members up at the end converge on everything accepted into the run.
+	for m := 0; m < r.n; m++ {
+		if r.cluster.IsDown(m) {
+			continue
+		}
+		if len(r.orders[m]) != r.sent {
+			t.Fatalf("seed %d: live member %d delivered %d of %d accepted sends",
+				seed, m, len(r.orders[m]), r.sent)
+		}
+	}
+}
+
+// TestPropSequencerFailoverConverges runs 120 seeded random crash/recover
+// schedules through the simulated failover protocol and checks the
+// ordering invariants on each: survivors converge to the identical total
+// order, nobody duplicates or skips a sequence number, and every log is a
+// prefix of the longest.
+func TestPropSequencerFailoverConverges(t *testing.T) {
+	const n, quota = 5, 20
+	members := make([]string, n)
+	for i := range members {
+		members[i] = memberID(i)
+	}
+	leaderCrashes := 0
+	for seed := int64(1); seed <= 120; seed++ {
+		sched := chaos.RandomSchedule(seed, members, 400*time.Millisecond, 4)
+		r := runSimFailover(seed, n, quota, sched, Duration(1500*time.Millisecond))
+		checkFailoverInvariants(t, seed, r)
+		for _, a := range sched.Actions {
+			if a.Crash == memberID(0) {
+				leaderCrashes++
+				if r.cluster.Elections() == 0 {
+					t.Fatalf("seed %d: leader crashed (%v) but no takeover happened", seed, sched.Actions)
+				}
+				break
+			}
+		}
+	}
+	if leaderCrashes == 0 {
+		t.Fatal("no generated schedule ever crashed the initial leader; property coverage too weak")
+	}
+}
+
+// TestSimFailoverFencesStaleLeader pins the fencing path: a leader that
+// crashes, misses a takeover, and recovers must adopt the successor's
+// epoch from the replayed frames instead of resuming as a second leader.
+func TestSimFailoverFencesStaleLeader(t *testing.T) {
+	const n, quota = 5, 15
+	members := make([]string, n)
+	for i := range members {
+		members[i] = memberID(i)
+	}
+	sched := chaos.Schedule{Actions: []chaos.Action{
+		{At: 20 * time.Millisecond, Crash: memberID(0)},
+		{At: 200 * time.Millisecond, Recover: memberID(0)},
+	}}
+	r := runSimFailover(3, n, quota, sched, Duration(1500*time.Millisecond))
+	checkFailoverInvariants(t, 3, r)
+	if r.cluster.Elections() == 0 {
+		t.Fatal("no takeover after leader crash")
+	}
+	if got := r.cluster.Epoch(0); got == 0 {
+		t.Fatal("recovered ex-leader still believes it leads epoch 0")
+	}
+	if r.cluster.Epoch(0) != r.cluster.Epoch(1) {
+		t.Fatalf("epochs diverge after recovery: %d vs %d", r.cluster.Epoch(0), r.cluster.Epoch(1))
+	}
+}
+
+// TestSimFailoverDeterministic pins reproducibility of the whole chaos
+// run, not just the schedule: same seed, same delivered orders.
+func TestSimFailoverDeterministic(t *testing.T) {
+	const n, quota = 5, 15
+	members := make([]string, n)
+	for i := range members {
+		members[i] = memberID(i)
+	}
+	sched := chaos.RandomSchedule(9, members, 400*time.Millisecond, 4)
+	a := runSimFailover(9, n, quota, sched, Duration(1500*time.Millisecond))
+	b := runSimFailover(9, n, quota, sched, Duration(1500*time.Millisecond))
+	for m := 0; m < n; m++ {
+		if len(a.orders[m]) != len(b.orders[m]) {
+			t.Fatalf("member %d: %d vs %d deliveries across identical runs", m, len(a.orders[m]), len(b.orders[m]))
+		}
+		for i := range a.orders[m] {
+			if a.orders[m][i] != b.orders[m][i] {
+				t.Fatalf("member %d diverges at %d across identical runs", m, i)
+			}
+		}
+	}
+}

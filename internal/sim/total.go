@@ -36,7 +36,16 @@ func (m TotalMode) String() string {
 // frames in send order by construction of per-pair FIFO queues).
 //
 // With hbEvery > 0 (merge mode) the heartbeat self-reschedules forever,
-// so drive the simulator with Run(limit), not Run(0).
+// so drive the simulator with Run(limit), not Run(0). The same applies
+// once SetFailover arms the liveness beacons.
+//
+// Crash/Recover model member failure as park-and-replay: frames addressed
+// to a down member queue at its network interface and replay, in arrival
+// order, the instant it recovers — the simulation analogue of the live
+// rejoin path, where the causal layer's retention and the sequencer
+// snapshot reconstruct exactly the missed history. A down member
+// originates nothing (its ASends are dropped, its beacons and detection
+// ticks skip).
 type TotalCluster struct {
 	sim  *Sim
 	net  *Net
@@ -48,12 +57,20 @@ type TotalCluster struct {
 
 	nodes     []*totalNode
 	clock     []vclock.Lamport // per member Lamport clock
-	seqNext   uint64           // sequencer: next global seq
 	sendSeq   []uint64         // per member FIFO send counter
 	hbSeq     uint64           // heartbeat label counter
 	sentAt    map[message.Label]Time
 	latencies []Time
 	hbFrames  uint64
+
+	// failover state (ModeSequencer; see SetFailover)
+	failover  bool
+	detect    Time
+	down      []bool
+	parked    [][]func()
+	replaying bool
+	elections uint64
+	fenced    uint64
 }
 
 type totalNode struct {
@@ -65,8 +82,14 @@ type totalNode struct {
 	fifoHold map[string][]simArrival
 	// sequencer state
 	seqOf       map[uint64]message.Label
+	assignEpoch map[uint64]uint64
+	seqByLabel  map[message.Label]uint64
 	data        map[message.Label]message.Message
 	nextDeliver uint64
+	nextAssign  uint64
+	maxSeqSeen  uint64
+	epoch       uint64
+	lastHeard   map[string]Time
 	maxHoldback int
 }
 
@@ -91,6 +114,8 @@ func NewTotalCluster(s *Sim, net *Net, mode TotalMode, n int, hbEvery Time, onDe
 		clock:   make([]vclock.Lamport, n),
 		sendSeq: make([]uint64, n),
 		sentAt:  make(map[message.Label]Time),
+		down:    make([]bool, n),
+		parked:  make([][]func(), n),
 	}
 	for i := 0; i < n; i++ {
 		c.nodes = append(c.nodes, &totalNode{
@@ -99,8 +124,12 @@ func NewTotalCluster(s *Sim, net *Net, mode TotalMode, n int, hbEvery Time, onDe
 			fifoNext:    make(map[string]uint64),
 			fifoHold:    make(map[string][]simArrival),
 			seqOf:       make(map[uint64]message.Label),
+			assignEpoch: make(map[uint64]uint64),
+			seqByLabel:  make(map[message.Label]uint64),
 			data:        make(map[message.Label]message.Message),
 			nextDeliver: 1,
+			nextAssign:  1,
+			lastHeard:   make(map[string]Time),
 		})
 	}
 	if mode == ModeMerge && hbEvery > 0 {
@@ -113,7 +142,9 @@ func NewTotalCluster(s *Sim, net *Net, mode TotalMode, n int, hbEvery Time, onDe
 
 func (c *TotalCluster) scheduleHeartbeat(member int) {
 	c.sim.After(c.hbEvery, func() {
-		c.heartbeat(member)
+		if !c.down[member] {
+			c.heartbeat(member)
+		}
 		c.scheduleHeartbeat(member)
 	})
 }
@@ -129,8 +160,14 @@ func (c *TotalCluster) heartbeat(member int) {
 	c.send(member, m, true)
 }
 
-// ASend broadcasts m from member for totally ordered delivery.
+// ASend broadcasts m from member for totally ordered delivery. A down
+// member's send is dropped (a crashed process originates nothing);
+// drivers pause a member's workload while it is down and resume the
+// remainder after Recover.
 func (c *TotalCluster) ASend(member int, m message.Message) {
+	if c.down[member] {
+		return
+	}
 	c.sentAt[m.Label] = c.sim.Now()
 	c.send(member, m, false)
 }
@@ -147,8 +184,22 @@ func (c *TotalCluster) send(member int, m message.Message, hb bool) {
 			continue
 		}
 		i := i
-		c.net.Send(m.EncodedSize()+10, func() { c.arrive(i, arr) })
+		c.sendTo(i, m.EncodedSize()+10, func() { c.arrive(i, arr) })
 	}
+}
+
+// sendTo schedules a frame for member, parking it if the member is down;
+// parked frames replay in arrival order on Recover.
+func (c *TotalCluster) sendTo(member, size int, fn func()) {
+	c.net.Send(size, func() { c.admit(member, fn) })
+}
+
+func (c *TotalCluster) admit(member int, fn func()) {
+	if c.down[member] {
+		c.parked[member] = append(c.parked[member], fn)
+		return
+	}
+	fn()
 }
 
 // arrive enforces per-sender FIFO, then feeds the ordering rule.
@@ -184,6 +235,7 @@ func (c *TotalCluster) arrive(member int, a simArrival) {
 
 func (c *TotalCluster) process(member int, a simArrival) {
 	node := c.nodes[member]
+	node.lastHeard[a.sender] = c.sim.Now()
 	if a.stamp > node.horizon[a.sender] {
 		node.horizon[a.sender] = a.stamp
 	}
@@ -242,28 +294,87 @@ func (c *TotalCluster) releaseMerge(member int) {
 	}
 }
 
+// leaderIdx maps an epoch to the member leading it: epoch 0 is the rank-0
+// fixed sequencer, each succession advances one slot in group order —
+// total.Sequencer's rule.
+func (c *TotalCluster) leaderIdx(epoch uint64) int {
+	return int(epoch % uint64(c.n))
+}
+
 func (c *TotalCluster) processSequencer(member int, a simArrival) {
 	node := c.nodes[member]
 	node.data[a.msg.Label] = a.msg
 	if len(node.data) > node.maxHoldback {
 		node.maxHoldback = len(node.data)
 	}
-	if member == 0 { // rank-0 member is the sequencer
-		c.seqNext++
-		seq := c.seqNext
-		label := a.msg.Label
-		// ORDER broadcast: one frame to every other member.
-		for i := 1; i < c.n; i++ {
-			i := i
-			c.net.Send(16, func() { c.applyOrder(i, seq, label) })
+	// Assignment is the epoch leader's job. During a recovery replay the
+	// member's epoch may still be stale (the frame that catches it up is
+	// later in the parked queue), so sequencing waits until the replay has
+	// drained — Recover assigns any leftover unassigned holdback after.
+	if !c.replaying && c.leaderIdx(node.epoch) == member {
+		if _, assigned := node.seqByLabel[a.msg.Label]; !assigned {
+			c.assignAndAnnounce(member, a.msg.Label)
 		}
-		c.applyOrder(0, seq, label)
 	}
 	c.releaseSequencer(member)
 }
 
-func (c *TotalCluster) applyOrder(member int, seq uint64, label message.Label) {
-	c.nodes[member].seqOf[seq] = label
+// assignAndAnnounce hands label the leader's next sequence number under
+// its current epoch and broadcasts the ORDER.
+func (c *TotalCluster) assignAndAnnounce(member int, label message.Label) {
+	node := c.nodes[member]
+	seq := node.nextAssign
+	node.nextAssign++
+	c.announceOrder(member, seq, label)
+}
+
+// announceOrder broadcasts ORDER(epoch, seq, label) from member and
+// applies it locally.
+func (c *TotalCluster) announceOrder(member int, seq uint64, label message.Label) {
+	node := c.nodes[member]
+	epoch := node.epoch
+	from := node.id
+	for i := 0; i < c.n; i++ {
+		if i == member {
+			continue
+		}
+		i := i
+		c.sendTo(i, 16, func() { c.applyOrder(i, from, epoch, seq, label) })
+	}
+	c.applyOrder(member, from, epoch, seq, label)
+}
+
+// applyOrder is the receiver side of an ORDER announcement: stale epochs
+// are fenced, higher epochs adopted, and an epoch conflict on one sequence
+// number resolves toward the higher epoch (the displaced label returns to
+// the unassigned pool) — total.Sequencer's merge rule.
+func (c *TotalCluster) applyOrder(member int, from string, epoch, seq uint64, label message.Label) {
+	node := c.nodes[member]
+	node.lastHeard[from] = c.sim.Now()
+	if epoch < node.epoch {
+		c.fenced++
+		return
+	}
+	if epoch > node.epoch {
+		node.epoch = epoch
+	}
+	if seq > node.maxSeqSeen {
+		node.maxSeqSeen = seq
+	}
+	if seq < node.nextDeliver {
+		return // already delivered; a re-proposal repeating history
+	}
+	if old, ok := node.seqOf[seq]; ok {
+		if node.assignEpoch[seq] > epoch {
+			return
+		}
+		if old != label {
+			delete(node.seqByLabel, old)
+		}
+	}
+	node.seqOf[seq] = label
+	node.assignEpoch[seq] = epoch
+	node.seqByLabel[label] = seq
 	c.releaseSequencer(member)
 }
 
@@ -278,12 +389,208 @@ func (c *TotalCluster) releaseSequencer(member int) {
 		if !ok {
 			return
 		}
-		delete(node.seqOf, node.nextDeliver)
+		// With failover armed the assignment is retained for takeover
+		// re-proposal (the live layer prunes at the min alive frontier; the
+		// simulation keeps everything — memory is not the model here).
+		if !c.failover {
+			delete(node.seqOf, node.nextDeliver)
+		}
 		delete(node.data, label)
 		node.nextDeliver++
 		c.deliverAt(member, m)
 	}
 }
+
+// SetFailover arms heartbeat-timeout leader succession for ModeSequencer:
+// every member beacons its epoch, suspects peers silent longer than
+// detect, and the next live member in epoch order takes over. detect must
+// comfortably exceed the network's MaxLatency — takeover assumes the dead
+// leader's in-flight ORDER announcements have drained, which is also the
+// live protocol's election-window assumption (there enforced by the
+// ELECT/ACK round trip). Call before Run; the beacons self-reschedule
+// forever, so drive the simulation with Run(limit).
+func (c *TotalCluster) SetFailover(detect Time) {
+	if c.failover || detect <= 0 {
+		return
+	}
+	c.failover = true
+	c.detect = detect
+	for i := 0; i < c.n; i++ {
+		c.scheduleBeacon(i)
+		c.scheduleDetect(i)
+	}
+}
+
+func (c *TotalCluster) scheduleBeacon(member int) {
+	c.sim.After(c.detect/3, func() {
+		if !c.down[member] {
+			c.beacon(member)
+		}
+		c.scheduleBeacon(member)
+	})
+}
+
+// beacon broadcasts member's liveness and epoch (the SEQHB analogue).
+func (c *TotalCluster) beacon(member int) {
+	node := c.nodes[member]
+	epoch := node.epoch
+	from := node.id
+	c.hbFrames += uint64(c.n - 1)
+	for i := 0; i < c.n; i++ {
+		if i == member {
+			continue
+		}
+		i := i
+		c.sendTo(i, 8, func() { c.applyBeacon(i, from, epoch) })
+	}
+}
+
+func (c *TotalCluster) applyBeacon(member int, from string, epoch uint64) {
+	node := c.nodes[member]
+	node.lastHeard[from] = c.sim.Now()
+	if epoch > node.epoch {
+		node.epoch = epoch
+	}
+}
+
+func (c *TotalCluster) scheduleDetect(member int) {
+	c.sim.After(c.detect/3, func() {
+		if !c.down[member] {
+			c.maybeTakeover(member)
+		}
+		c.scheduleDetect(member)
+	})
+}
+
+// aliveAt reports whether member currently believes peer is live.
+func (c *TotalCluster) aliveAt(member, peer int) bool {
+	if member == peer {
+		return true
+	}
+	node := c.nodes[member]
+	return node.lastHeard[memberID(peer)]+c.detect >= c.sim.Now()
+}
+
+// maybeTakeover runs member's failure detection: if the current epoch's
+// leader is suspected and every interposed successor is too, member adopts
+// the first epoch it leads, re-proposes its retained assignments under the
+// new epoch (laggards may have fenced the dead leader's announcements),
+// and sequences the unassigned holdback in deterministic label order —
+// total.Sequencer's election completion, minus the ELECT/ACK round trip
+// the quorum guard needs on a real network.
+func (c *TotalCluster) maybeTakeover(member int) {
+	node := c.nodes[member]
+	if c.leaderIdx(node.epoch) == member {
+		return
+	}
+	if c.aliveAt(member, c.leaderIdx(node.epoch)) {
+		return
+	}
+	et := node.epoch + 1
+	for c.leaderIdx(et) != member && !c.aliveAt(member, c.leaderIdx(et)) {
+		et++
+	}
+	if c.leaderIdx(et) != member {
+		return // a live predecessor in epoch order campaigns instead
+	}
+	node.epoch = et
+	c.elections++
+	if node.maxSeqSeen+1 > node.nextAssign {
+		node.nextAssign = node.maxSeqSeen + 1
+	}
+	if node.nextDeliver > node.nextAssign {
+		node.nextAssign = node.nextDeliver
+	}
+	seqs := make([]uint64, 0, len(node.seqOf))
+	for seq := range node.seqOf {
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for _, seq := range seqs {
+		c.announceOrder(member, seq, node.seqOf[seq])
+	}
+	c.assignUnassigned(member)
+	c.beacon(member) // announce the new epoch promptly
+}
+
+// assignUnassigned sequences every holdback message without an assignment,
+// in (origin, seq) label order — the deterministic tiebreak shared with
+// the live election re-proposal.
+func (c *TotalCluster) assignUnassigned(member int) {
+	node := c.nodes[member]
+	unassigned := make([]message.Label, 0, len(node.data))
+	for l := range node.data {
+		if _, ok := node.seqByLabel[l]; !ok {
+			unassigned = append(unassigned, l)
+		}
+	}
+	sort.Slice(unassigned, func(i, j int) bool {
+		if unassigned[i].Origin != unassigned[j].Origin {
+			return unassigned[i].Origin < unassigned[j].Origin
+		}
+		return unassigned[i].Seq < unassigned[j].Seq
+	})
+	for _, l := range unassigned {
+		c.assignAndAnnounce(member, l)
+	}
+}
+
+// Crash marks member down: it originates nothing and frames addressed to
+// it park at its interface until Recover.
+func (c *TotalCluster) Crash(member int) {
+	c.down[member] = true
+}
+
+// Recover brings a down member back: its parked frames replay in arrival
+// order (the simulation analogue of live rejoin catch-up), and if the
+// member still leads its — possibly replay-updated — epoch it sequences
+// whatever holdback accumulated unassigned.
+func (c *TotalCluster) Recover(member int) {
+	if !c.down[member] {
+		return
+	}
+	c.down[member] = false
+	q := c.parked[member]
+	c.parked[member] = nil
+	c.replaying = true
+	for _, fn := range q {
+		fn()
+	}
+	c.replaying = false
+	node := c.nodes[member]
+	if c.mode == ModeSequencer && c.leaderIdx(node.epoch) == member {
+		c.assignUnassigned(member)
+	}
+}
+
+// IsDown reports whether member is currently crashed.
+func (c *TotalCluster) IsDown(member int) bool { return c.down[member] }
+
+// Epoch returns member's current leadership epoch.
+func (c *TotalCluster) Epoch(member int) uint64 { return c.nodes[member].epoch }
+
+// AliveView returns the peers member currently believes live (self
+// included), in member order. Meaningful once SetFailover armed beacons.
+func (c *TotalCluster) AliveView(member int) []string {
+	var out []string
+	for i := 0; i < c.n; i++ {
+		if c.aliveAt(member, i) {
+			out = append(out, memberID(i))
+		}
+	}
+	return out
+}
+
+// Elections returns how many takeovers completed across the cluster.
+func (c *TotalCluster) Elections() uint64 { return c.elections }
+
+// Fenced returns how many stale-epoch ORDER announcements receivers
+// dropped.
+func (c *TotalCluster) Fenced() uint64 { return c.fenced }
+
+// NextDeliver returns member's delivery frontier (the next global
+// sequence number it will deliver).
+func (c *TotalCluster) NextDeliver(member int) uint64 { return c.nodes[member].nextDeliver }
 
 func (c *TotalCluster) deliverAt(member int, m message.Message) {
 	if sent, ok := c.sentAt[m.Label]; ok {
@@ -308,7 +615,8 @@ func (c *TotalCluster) MaxHoldback() int {
 	return out
 }
 
-// HeartbeatFrames returns the liveness frames injected (merge mode).
+// HeartbeatFrames returns the liveness frames injected (merge-mode
+// heartbeats and failover beacons).
 func (c *TotalCluster) HeartbeatFrames() uint64 { return c.hbFrames }
 
 // Undelivered returns buffered-but-undelivered entries after a run; it

@@ -22,6 +22,11 @@ const (
 	EventDrop
 	// EventFetch: a retransmission request was issued.
 	EventFetch
+	// EventEpoch: the total-order layer adopted a new epoch (Seq = epoch).
+	EventEpoch
+	// EventElect: a leader election completed at the new leader
+	// (Seq = epoch, Value = re-proposed assignments).
+	EventElect
 )
 
 // String returns the kind's wire/debug name.
@@ -39,6 +44,10 @@ func (k EventKind) String() string {
 		return "drop"
 	case EventFetch:
 		return "fetch"
+	case EventEpoch:
+		return "epoch"
+	case EventElect:
+		return "elect"
 	default:
 		return "unknown"
 	}

@@ -127,13 +127,13 @@ func TestMemberOfLabel(t *testing.T) {
 }
 
 func TestDecodeOrderErrors(t *testing.T) {
-	valid := encodeOrder(7, message.Label{Origin: "a~seq", Seq: 3})
-	seq, l, err := decodeOrder(valid)
-	if err != nil || seq != 7 || l.Seq != 3 {
-		t.Fatalf("decodeOrder(valid) = %d, %v, %v", seq, l, err)
+	valid := encodeOrder(2, 7, message.Label{Origin: "a~seq", Seq: 3})
+	epoch, seq, l, err := decodeOrder(valid)
+	if err != nil || epoch != 2 || seq != 7 || l.Seq != 3 {
+		t.Fatalf("decodeOrder(valid) = %d, %d, %v, %v", epoch, seq, l, err)
 	}
 	for _, data := range [][]byte{nil, valid[:1], valid[:3], valid[:len(valid)-1]} {
-		if _, _, err := decodeOrder(data); err == nil {
+		if _, _, _, err := decodeOrder(data); err == nil {
 			t.Errorf("decodeOrder accepted truncated input %x", data)
 		}
 	}

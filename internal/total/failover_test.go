@@ -1,0 +1,288 @@
+package total
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"causalshare/internal/group"
+	"causalshare/internal/message"
+	"causalshare/internal/telemetry"
+)
+
+// loopBcast is a Broadcaster stub for surgical sequencer tests: it records
+// every broadcast and, when loop is set, synchronously self-delivers it
+// back into the sequencer (the causal engine's self-delivery contract,
+// minus the network).
+type loopBcast struct {
+	self string
+	mu   sync.Mutex
+	sent []message.Message
+	loop *Sequencer
+}
+
+func (b *loopBcast) Self() string { return b.self }
+func (b *loopBcast) Close() error { return nil }
+
+func (b *loopBcast) Broadcast(m message.Message) error {
+	b.mu.Lock()
+	b.sent = append(b.sent, m)
+	loop := b.loop
+	b.mu.Unlock()
+	if loop != nil {
+		loop.Ingest(m)
+	}
+	return nil
+}
+
+func (b *loopBcast) ops(op string) []message.Message {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var out []message.Message
+	for _, m := range b.sent {
+		if m.Op == op {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+func newFailoverSequencer(t *testing.T, self string, cfg Config) (*Sequencer, *loopBcast, *telemetry.Registry) {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	cfg.Self = self
+	cfg.Group = group.MustNew("g", []string{"a", "b", "c"})
+	cfg.Telemetry = reg
+	if cfg.Deliver == nil {
+		cfg.Deliver = func(message.Message) {}
+	}
+	s, err := NewSequencer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	b := &loopBcast{self: self}
+	s.Bind(b)
+	return s, b, reg
+}
+
+// control fabricates a control-plane message as another member would send
+// it (its own sequencer-layer label chain).
+func control(member string, seq uint64, op string, body []byte) message.Message {
+	return message.Message{
+		Label: message.Label{Origin: SeqOrigin(member), Seq: seq},
+		Kind:  message.KindControl,
+		Op:    op,
+		Body:  body,
+	}
+}
+
+// TestFencingDropsStaleEpochs pins the fence: once a member has adopted a
+// higher epoch, ORDER announcements from a deposed leader are counted and
+// ignored.
+func TestFencingDropsStaleEpochs(t *testing.T) {
+	s, _, reg := newFailoverSequencer(t, "b", Config{FailTimeout: time.Minute})
+	// Adopt epoch 2 via an ORDER from its leader "c".
+	s.Ingest(control("c", 1, opOrder, encodeOrder(2, 1, message.Label{Origin: "a~seq", Seq: 9})))
+	if got := s.Epoch(); got != 2 {
+		t.Fatalf("epoch = %d, want 2", got)
+	}
+	// The deposed epoch-0 leader "a" announces seq 2: must be fenced.
+	s.Ingest(control("a", 1, opOrder, encodeOrder(0, 2, message.Label{Origin: "a~seq", Seq: 10})))
+	if got := reg.Snapshot().Get("total_order_fenced_total"); got != 1 {
+		t.Fatalf("total_order_fenced_total = %d, want 1", got)
+	}
+	if s.Epoch() != 2 {
+		t.Fatal("stale ORDER moved the epoch")
+	}
+	// A stale ELECT and a stale ACK are fenced too.
+	s.Ingest(control("a", 2, opElect, encodeElect(0)))
+	s.Ingest(control("a", 3, opAck, encodeAck(1, 1, nil)))
+	if got := reg.Snapshot().Get("total_order_fenced_total"); got != 3 {
+		t.Fatalf("total_order_fenced_total = %d, want 3", got)
+	}
+}
+
+// TestQuorumGuardBlocksSoloElection pins the split-brain guard: a member
+// that suspects everyone (it is the one partitioned away) starts a
+// campaign but must not complete it on its own ack alone.
+func TestQuorumGuardBlocksSoloElection(t *testing.T) {
+	s, b, reg := newFailoverSequencer(t, "b", Config{FailTimeout: 20 * time.Millisecond})
+	// Never ingest anything: every peer times out, including leader "a".
+	time.Sleep(40 * time.Millisecond)
+	s.Tick(time.Now())
+	if got := s.Epoch(); got != 1 {
+		t.Fatalf("epoch = %d, want campaign at 1", got)
+	}
+	if got := reg.Snapshot().Get("total_elections_total"); got != 1 {
+		t.Fatalf("total_elections_total = %d, want 1", got)
+	}
+	if got := len(b.ops(opElect)); got == 0 {
+		t.Fatal("no ELECT broadcast")
+	}
+	// With only its own ack (1 of 3 members) the campaign must hang: no
+	// re-proposal ORDER, no failover-latency observation.
+	if got := len(b.ops(opOrder)); got != 0 {
+		t.Fatalf("solo campaign completed: %d ORDER broadcasts", got)
+	}
+	for _, h := range reg.Snapshot().Histograms {
+		if h.Name == "total_failover_latency_seconds" && h.Count != 0 {
+			t.Fatal("solo campaign observed failover latency")
+		}
+	}
+}
+
+// TestElectionCompletesAndReproposes drives a full succession at the
+// candidate: leader "a" goes silent, "b" campaigns for epoch 1, the ack
+// from the one other live member completes it (2 of 3 is a majority), and
+// the retained assignment from the dead leader is re-announced under the
+// new epoch.
+func TestElectionCompletesAndReproposes(t *testing.T) {
+	s, b, reg := newFailoverSequencer(t, "b", Config{FailTimeout: 25 * time.Millisecond})
+	dataLabel := message.Label{Origin: "c~seq", Seq: 5}
+	// The old leader assigned seq 1 before dying; "b" retains it (no data
+	// yet, so it is not delivered).
+	s.Ingest(control("a", 1, opOrder, encodeOrder(0, 1, dataLabel)))
+	time.Sleep(50 * time.Millisecond)
+	// "c" is still alive (fresh traffic), "a" is not.
+	s.Ingest(control("c", 1, opSeqHB, encodeSeqHB(0, 1)))
+	s.Tick(time.Now())
+	if s.Epoch() != 1 {
+		t.Fatalf("epoch = %d, want 1", s.Epoch())
+	}
+	// c acks the campaign: quorum (b, c) reached, election completes.
+	s.Ingest(control("c", 2, opAck, encodeAck(1, 1, nil)))
+	orders := b.ops(opOrder)
+	if len(orders) != 1 {
+		t.Fatalf("want 1 re-proposal ORDER, got %d", len(orders))
+	}
+	epoch, seq, label, err := decodeOrder(orders[0].Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 1 || seq != 1 || label != dataLabel {
+		t.Fatalf("re-proposal = (%d,%d,%v), want (1,1,%v)", epoch, seq, label, dataLabel)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Get("total_reproposed_total"); got != 1 {
+		t.Fatalf("total_reproposed_total = %d, want 1", got)
+	}
+	found := false
+	for _, h := range snap.Histograms {
+		if h.Name == "total_failover_latency_seconds" {
+			found = true
+			if h.Count == 0 {
+				t.Fatal("failover latency not observed at election completion")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("total_failover_latency_seconds not registered")
+	}
+}
+
+// TestMaxPendingBoundsHoldback pins the follower holdback bound: beyond
+// MaxPending, undeliverable data is dropped and counted instead of
+// growing the map without limit.
+func TestMaxPendingBoundsHoldback(t *testing.T) {
+	s, _, reg := newFailoverSequencer(t, "b", Config{MaxPending: 3})
+	for i := uint64(1); i <= 5; i++ {
+		s.Ingest(message.Message{
+			Label: message.Label{Origin: SeqOrigin("c"), Seq: i},
+			Kind:  message.KindNonCommutative,
+			Op:    "app.op",
+			Body:  []byte("x"),
+		})
+	}
+	if got := s.Pending(); got != 3 {
+		t.Fatalf("Pending() = %d, want 3", got)
+	}
+	if got := reg.Snapshot().Get("total_pending_dropped_total"); got != 2 {
+		t.Fatalf("total_pending_dropped_total = %d, want 2", got)
+	}
+}
+
+// TestResumeAssignsSnapshotHoldback pins the rejoin stall fix: a member
+// that resumes a snapshot whose epoch it leads must sequence the
+// snapshot's unassigned holdback itself — those data messages were
+// delivered group-wide before the snapshot and will never re-enter
+// through the causal layer.
+func TestResumeAssignsSnapshotHoldback(t *testing.T) {
+	var delivered []message.Message
+	s, b, _ := newFailoverSequencer(t, "b", Config{
+		FailTimeout: time.Minute,
+		Deliver:     func(m message.Message) { delivered = append(delivered, m) },
+	})
+	b.loop = s // self-delivery, so its own ORDERs come back
+	d1 := message.Message{Label: message.Label{Origin: "a~seq", Seq: 7}, Op: "app.op", Body: []byte("1")}
+	d2 := message.Message{Label: message.Label{Origin: "c~seq", Seq: 4}, Op: "app.op", Body: []byte("2")}
+	snap := SyncSnapshot{
+		Epoch:       1, // leaderOf(1) == "b"
+		NextDeliver: 3,
+		Data:        []message.Message{d1, d2},
+	}
+	s.Resume(snap, 9)
+	if got := s.Epoch(); got != 1 {
+		t.Fatalf("epoch = %d, want 1", got)
+	}
+	if got := len(b.ops(opOrder)); got != 2 {
+		t.Fatalf("want 2 ORDER broadcasts for the unassigned holdback, got %d", got)
+	}
+	if len(delivered) != 2 {
+		t.Fatalf("want both holdback messages delivered, got %d", len(delivered))
+	}
+	// Deterministic label order: a~seq/7 before c~seq/4, at seqs 3 and 4.
+	if string(delivered[0].Body) != "1" || string(delivered[1].Body) != "2" {
+		t.Fatalf("holdback sequenced out of label order: %q, %q", delivered[0].Body, delivered[1].Body)
+	}
+	if got := s.Pending(); got != 0 {
+		t.Fatalf("Pending() = %d after resume, want 0", got)
+	}
+	// The resumed labeler must continue above the watermark peers hold.
+	l, err := s.ASend("app.op", message.KindNonCommutative, []byte("new"), message.After())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Seq <= 9 {
+		t.Fatalf("post-resume label %d not above resumed watermark 9", l.Seq)
+	}
+}
+
+// TestResumeAsFollowerWaits pins the complementary case: a resumed member
+// that does NOT lead the snapshot epoch must not sequence anything — that
+// is the live leader's job.
+func TestResumeAsFollowerWaits(t *testing.T) {
+	s, b, _ := newFailoverSequencer(t, "c", Config{FailTimeout: time.Minute})
+	snap := SyncSnapshot{
+		Epoch:       1, // leaderOf(1) == "b", not "c"
+		NextDeliver: 3,
+		Data: []message.Message{
+			{Label: message.Label{Origin: "a~seq", Seq: 7}, Op: "app.op", Body: []byte("1")},
+		},
+	}
+	s.Resume(snap, 0)
+	if got := len(b.ops(opOrder)); got != 0 {
+		t.Fatalf("resumed follower broadcast %d ORDERs", got)
+	}
+	if got := s.Pending(); got != 1 {
+		t.Fatalf("Pending() = %d, want 1 (held for the leader)", got)
+	}
+}
+
+// TestTickNoopWithoutFailover pins the legacy mode: FailTimeout zero means
+// no detector, no elections, no broadcasts from Tick — a dead leader
+// stalls the group (the chaos suite demonstrates the stall end to end).
+func TestTickNoopWithoutFailover(t *testing.T) {
+	s, b, reg := newFailoverSequencer(t, "b", Config{})
+	time.Sleep(10 * time.Millisecond)
+	s.Tick(time.Now())
+	if got := len(b.ops(opElect)); got != 0 {
+		t.Fatalf("Tick campaigned with failover disabled (%d ELECTs)", got)
+	}
+	if got := s.Epoch(); got != 0 {
+		t.Fatalf("epoch = %d, want 0", got)
+	}
+	if got := reg.Snapshot().Get("total_elections_total"); got != 0 {
+		t.Fatalf("total_elections_total = %d, want 0", got)
+	}
+}

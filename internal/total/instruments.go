@@ -6,14 +6,26 @@ import "causalshare/internal/telemetry"
 // both ASend implementations (instances on one registry aggregate). All
 // fields are nil no-ops when the layer was built without a registry.
 type totalInstruments struct {
-	delivered    *telemetry.Counter
-	assigned     *telemetry.Counter
-	lag          *telemetry.Gauge
-	pendingDepth *telemetry.Gauge
-	holdback     *telemetry.Gauge
-	heartbeats   *telemetry.Counter
-	orderBytes   *telemetry.Counter
-	wrapBytes    *telemetry.Counter
+	delivered      *telemetry.Counter
+	assigned       *telemetry.Counter
+	lag            *telemetry.Gauge
+	pendingDepth   *telemetry.Gauge
+	holdback       *telemetry.Gauge
+	heartbeats     *telemetry.Counter
+	orderBytes     *telemetry.Counter
+	wrapBytes      *telemetry.Counter
+	epoch          *telemetry.Gauge
+	elections      *telemetry.Counter
+	failoverLat    *telemetry.Histogram
+	fenced         *telemetry.Counter
+	reproposed     *telemetry.Counter
+	pendingDropped *telemetry.Counter
+}
+
+// failoverBuckets spans detector timeouts from sub-millisecond test
+// configs to multi-second production ones.
+var failoverBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5,
 }
 
 func newTotalInstruments(reg *telemetry.Registry) totalInstruments {
@@ -34,5 +46,18 @@ func newTotalInstruments(reg *telemetry.Registry) totalInstruments {
 			"Bytes of ORDER announcements the leader broadcast."),
 		wrapBytes: reg.Counter("total_order_wrap_bytes_total",
 			"Lamport-stamp bytes prepended to application bodies (order-wrap overhead)."),
+		epoch: reg.Gauge("total_epoch",
+			"Current sequencer leadership epoch at this member."),
+		elections: reg.Counter("total_elections_total",
+			"Leader-succession campaigns this member started."),
+		failoverLat: reg.Histogram("total_failover_latency_seconds",
+			"Leader suspicion to election completion at the new leader.",
+			failoverBuckets),
+		fenced: reg.Counter("total_order_fenced_total",
+			"Stale-epoch ORDER/ELECT/ACK announcements dropped by fencing."),
+		reproposed: reg.Counter("total_reproposed_total",
+			"Retained assignments re-announced under a new epoch after election."),
+		pendingDropped: reg.Counter("total_pending_dropped_total",
+			"Data messages dropped at the MaxPending holdback bound."),
 	}
 }

@@ -25,12 +25,33 @@ type Config struct {
 	// HeartbeatEvery, when positive, starts a ticker that broadcasts a
 	// liveness stamp so quiet members do not stall delivery. Zero leaves
 	// heartbeating to explicit Heartbeat calls (deterministic tests and
-	// the simulator drive it manually).
+	// the simulator drive it manually). For the Sequencer the same ticker
+	// also pumps the failure detector (Tick).
 	HeartbeatEvery time.Duration
+	// FailTimeout, when positive, arms sequencer failover: a leader whose
+	// traffic goes silent for longer than FailTimeout is suspected and the
+	// next live member in group order campaigns for the succeeding epoch.
+	// Zero disables failover entirely (the pre-failover fixed-sequencer
+	// behavior: a leader crash stalls total order). It should be several
+	// multiples of HeartbeatEvery. Ignored by the Orderer.
+	FailTimeout time.Duration
+	// MaxPending bounds the sequencer's holdback of data messages awaiting
+	// a sequence number. With a dead leader and failover disabled the
+	// holdback would otherwise grow without limit; at the bound further
+	// data messages are dropped (counted in total_pending_dropped_total),
+	// sacrificing liveness for bounded memory. Zero selects
+	// DefaultMaxPending; negative means unbounded. Ignored by the Orderer.
+	MaxPending int
 	// Telemetry, when non-nil, registers the layer's total_* instruments
 	// there; instances sharing a registry aggregate.
 	Telemetry *telemetry.Registry
+	// Trace, when non-nil, receives epoch/election events (Sequencer only).
+	Trace *telemetry.Ring
 }
+
+// DefaultMaxPending is the sequencer holdback bound used when
+// Config.MaxPending is zero.
+const DefaultMaxPending = 8192
 
 // Orderer is the decentralized deterministic-merge implementation of
 // ASend. All members observe the same set of stamped messages (causal

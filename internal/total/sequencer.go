@@ -1,50 +1,110 @@
 package total
 
 import (
-	"encoding/binary"
 	"fmt"
+	"sort"
 	"sync"
+	"time"
 
 	"causalshare/internal/causal"
 	"causalshare/internal/group"
 	"causalshare/internal/message"
+	"causalshare/internal/telemetry"
 )
 
 // seqLabelSuffix namespaces sequencer traffic.
 const seqLabelSuffix = "~seq"
 
-// Sequencer is the fixed-sequencer implementation of ASend: the group's
-// rank-0 member assigns a global sequence number to every data message it
-// delivers, announcing it with an ORDER broadcast that causally depends on
-// the data message itself. Members deliver data messages in sequence-
-// number order. Compared with Orderer it costs one extra broadcast per
-// message but needs no heartbeats and holds back only unsequenced data.
+// SeqOrigin returns the label origin the sequencer layer uses for member's
+// traffic. Rejoin harnesses need it to look up the member's delivered
+// watermark at live peers when resuming the member's label chain.
+func SeqOrigin(member string) string { return member + seqLabelSuffix }
+
+// Sequencer is the fixed-sequencer implementation of ASend, extended with
+// epoch-based leader succession. The leader of epoch e is the group's
+// member at rank e mod n; epoch 0 therefore reproduces the paper's fixed
+// rank-0 sequencer. The leader assigns a global sequence number to every
+// data message it delivers, announcing it with an ORDER broadcast that
+// causally depends on the data message itself; members deliver data
+// messages in sequence-number order.
+//
+// Failover (armed by Config.FailTimeout > 0) works as follows:
+//
+//   - Every member broadcasts SEQHB beacons carrying its epoch and
+//     delivery frontier; all sequencer-layer traffic feeds a heartbeat
+//     failure detector.
+//   - When a member suspects the current leader, it computes the next
+//     epoch e' > e whose leader it believes alive. If that leader is
+//     itself, it adopts e' and broadcasts ELECT(e'); otherwise it waits
+//     for that member's campaign.
+//   - A member receiving ELECT(e') with e' >= its epoch adopts e' and
+//     answers with ACK(e', frontier, retained assignments). Every ORDER
+//     carries the epoch it was assigned under, and members retain
+//     assignments (even delivered ones) until every live peer's frontier
+//     passes them, so the acks reconstruct all ordering knowledge any
+//     survivor holds.
+//   - Once every member alive in the candidate's view has acked, the
+//     candidate merges the assignments (higher epoch wins per sequence
+//     number), re-broadcasts them under the new epoch so every survivor
+//     can fill gaps, and assigns fresh sequence numbers to still-
+//     unsequenced holdback messages in deterministic label order.
+//   - ORDER/ELECT/ACK messages from older epochs are fenced (dropped),
+//     so a partitioned stale leader cannot split the order; on seeing the
+//     higher epoch it demotes itself.
+//
+// The protocol tolerates crash failures under an eventually accurate
+// detector. It does not resurrect assignments every survivor missed (a
+// message only the dead leader sequenced is re-proposed with a fresh
+// number), which preserves the invariant the chaos suite checks: all
+// survivors deliver the identical total order. See DESIGN.md §8.
 type Sequencer struct {
-	self    string
-	grp     *group.Group
-	leader  string
-	deliver causal.DeliverFunc
+	self        string
+	grp         *group.Group
+	deliver     causal.DeliverFunc
+	failTimeout time.Duration
+	maxPending  int
+	tracker     *group.Tracker
+	detector    *group.Detector
 
 	mu       sync.Mutex
 	closed   bool
 	bcast    causal.Broadcaster
 	labeler  *message.Labeler
 	lastSent message.Label
+	// epoch is the current leadership epoch; leaderOf(epoch) assigns.
+	epoch uint64
+	// electing is true while self campaigns for epoch.
+	electing  bool
+	acked     map[string]bool
+	suspectAt time.Time
+	lastElect time.Time
 	// Data messages received but not yet deliverable, by label.
 	data map[message.Label]message.Message
-	// seqOf maps assigned sequence numbers to data labels.
-	seqOf map[uint64]message.Label
+	// seqOf maps assigned sequence numbers to data labels (with the epoch
+	// of the assignment). With failover armed, delivered assignments are
+	// retained until pruneAssignedLocked proves every live peer delivered
+	// them; without it they are dropped on delivery as before.
+	seqOf      map[uint64]seqAssign
+	seqByLabel map[message.Label]uint64
+	// frontier[p] is the highest delivery frontier (nextDeliver) peer p
+	// has reported via SEQHB or ACK.
+	frontier map[string]uint64
 	// nextAssign is the leader's next sequence number to hand out.
 	nextAssign uint64
 	// nextDeliver is the next sequence number to release locally.
 	nextDeliver uint64
 	delivered   uint64
 	ins         totalInstruments
+	trace       *telemetry.Ring
+
+	done     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
 }
 
-// NewSequencer constructs a sequencer-layer instance for self. The leader
-// is the group's rank-0 member at every instance, so no election is
-// needed. Bind must be called before the first ASend.
+// NewSequencer constructs a sequencer-layer instance for self. Bind must
+// be called before the first ASend. With cfg.FailTimeout == 0 the epoch
+// never advances and the rank-0 member is the fixed leader.
 func NewSequencer(cfg Config) (*Sequencer, error) {
 	if cfg.Group == nil || !cfg.Group.Contains(cfg.Self) {
 		return nil, fmt.Errorf("total: %q is not a member of the group", cfg.Self)
@@ -52,18 +112,38 @@ func NewSequencer(cfg Config) (*Sequencer, error) {
 	if cfg.Deliver == nil {
 		return nil, fmt.Errorf("total: nil deliver func")
 	}
-	return &Sequencer{
+	maxPending := cfg.MaxPending
+	if maxPending == 0 {
+		maxPending = DefaultMaxPending
+	}
+	s := &Sequencer{
 		self:        cfg.Self,
 		grp:         cfg.Group,
-		leader:      cfg.Group.Members()[0],
 		deliver:     cfg.Deliver,
+		failTimeout: cfg.FailTimeout,
+		maxPending:  maxPending,
 		labeler:     message.NewLabeler(cfg.Self + seqLabelSuffix),
 		ins:         newTotalInstruments(cfg.Telemetry),
+		trace:       cfg.Trace,
 		data:        make(map[message.Label]message.Message),
-		seqOf:       make(map[uint64]message.Label),
+		seqOf:       make(map[uint64]seqAssign),
+		seqByLabel:  make(map[message.Label]uint64),
+		frontier:    make(map[string]uint64),
 		nextAssign:  1,
 		nextDeliver: 1,
-	}, nil
+		done:        make(chan struct{}),
+	}
+	if cfg.FailTimeout > 0 {
+		s.tracker = group.NewTracker(cfg.Group)
+		s.detector = group.NewDetector(s.tracker, cfg.Self, cfg.FailTimeout)
+		s.detector.Prime(time.Now())
+	}
+	s.ins.epoch.Set(0)
+	if cfg.HeartbeatEvery > 0 {
+		s.wg.Add(1)
+		go s.heartbeatLoop(cfg.HeartbeatEvery)
+	}
+	return s, nil
 }
 
 // Bind attaches the underlying causal broadcaster.
@@ -71,6 +151,138 @@ func (s *Sequencer) Bind(b causal.Broadcaster) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.bcast = b
+}
+
+// leaderOf maps an epoch to its leader deterministically; every member
+// agrees on the mapping without communication.
+func (s *Sequencer) leaderOf(epoch uint64) string {
+	members := s.grp.Members()
+	return members[epoch%uint64(len(members))]
+}
+
+// Epoch returns the current leadership epoch.
+func (s *Sequencer) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// Leader returns the member currently believed to lead.
+func (s *Sequencer) Leader() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.leaderOf(s.epoch)
+}
+
+// IsLeader reports whether self leads the current epoch (and is not
+// mid-election).
+func (s *Sequencer) IsLeader() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.leaderOf(s.epoch) == s.self && !s.electing
+}
+
+// SyncSnapshot is the sequencer state a rejoining member copies from one
+// live peer. Beyond the epoch and delivery frontier it carries the peer's
+// retained undelivered assignments and its holdback of causally-delivered
+// but not-yet-sequenced data: the rejoiner seeds its causal engine with
+// the peer's delivered watermarks, so ORDER and data messages the peer
+// absorbed before the snapshot would otherwise be skipped as old news and
+// the rejoiner would stall at the first sequence number they cover.
+type SyncSnapshot struct {
+	Epoch       uint64
+	NextDeliver uint64
+	Assigns     []SyncAssign
+	Data        []message.Message
+}
+
+// SyncAssign is one retained (seq -> label) assignment with the epoch it
+// was made under.
+type SyncAssign struct {
+	Seq   uint64
+	Epoch uint64
+	Label message.Label
+}
+
+// SyncState exposes the snapshot a rejoining member needs to resume. The
+// rejoin harness reads the peer's causal frontier FIRST and SyncState
+// second: holdback entries the peer gains in between carry labels above
+// the frontier and reach the rejoiner through the normal fetch path, while
+// the reverse order can lose a message into the seeded watermark.
+func (s *Sequencer) SyncState() SyncSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := SyncSnapshot{Epoch: s.epoch, NextDeliver: s.nextDeliver}
+	for seq, a := range s.seqOf {
+		if seq >= s.nextDeliver {
+			snap.Assigns = append(snap.Assigns, SyncAssign{Seq: seq, Epoch: a.epoch, Label: a.label})
+		}
+	}
+	sort.Slice(snap.Assigns, func(i, j int) bool { return snap.Assigns[i].Seq < snap.Assigns[j].Seq })
+	for _, m := range s.data {
+		snap.Data = append(snap.Data, m)
+	}
+	sort.Slice(snap.Data, func(i, j int) bool {
+		if snap.Data[i].Label.Origin != snap.Data[j].Label.Origin {
+			return snap.Data[i].Label.Origin < snap.Data[j].Label.Origin
+		}
+		return snap.Data[i].Label.Seq < snap.Data[j].Label.Seq
+	})
+	return snap
+}
+
+// Resume fast-forwards a freshly constructed instance to a snapshot taken
+// from a live peer. History below the snapshot frontier was applied to the
+// restored application state out of band and is never re-delivered here.
+// lastLabel is the highest sequencer-layer label sequence any live peer
+// has delivered from this member (the maximum delivered watermark for the
+// "<self>~seq" origin across live peers), so new control traffic is not
+// mistaken for duplicates of pre-crash messages. Call it after Bind and
+// before any ASend.
+func (s *Sequencer) Resume(snap SyncSnapshot, lastLabel uint64) {
+	s.mu.Lock()
+	if snap.Epoch > s.epoch {
+		s.setEpochLocked(snap.Epoch)
+	}
+	if snap.NextDeliver > s.nextDeliver {
+		s.nextDeliver = snap.NextDeliver
+	}
+	if snap.NextDeliver > s.nextAssign {
+		s.nextAssign = snap.NextDeliver
+	}
+	for _, a := range snap.Assigns {
+		s.mergeAssignLocked(a.Epoch, a.Seq, a.Label)
+	}
+	for _, m := range snap.Data {
+		if _, dup := s.data[m.Label]; !dup {
+			s.data[m.Label] = m
+		}
+	}
+	s.labeler.Resume(lastLabel)
+	if s.lastSent.IsNil() {
+		s.lastSent = s.labeler.Last()
+	}
+	// If this member leads the resumed epoch, sequencing the snapshot's
+	// unassigned holdback is its job — the seeded causal frontier means
+	// those data messages were delivered group-wide long ago and will
+	// never re-enter through ingestData, so nothing else would assign
+	// them. Same deterministic label order as the election re-proposal.
+	var orders []message.Message
+	if s.bcast != nil && s.leaderOf(s.epoch) == s.self && !s.electing {
+		for _, l := range s.unassignedCausalLocked() {
+			orders = append(orders, s.assignLocked(l))
+		}
+	}
+	b := s.bcast
+	ready := s.releaseLocked()
+	s.observeLocked()
+	s.mu.Unlock()
+	for _, m := range orders {
+		_ = b.Broadcast(m)
+	}
+	for _, m := range ready {
+		s.deliver(m)
+	}
 }
 
 // ASend broadcasts an operation for totally ordered delivery.
@@ -103,20 +315,279 @@ func (s *Sequencer) ASend(op string, kind message.Kind, body []byte, after messa
 	return label, nil
 }
 
+// controlLocked mints a control message on the layer's self-chain. Caller
+// holds mu and must broadcast the message after unlocking.
+func (s *Sequencer) controlLocked(op string, body []byte, extra ...message.Label) message.Message {
+	label := s.labeler.Next()
+	deps := append([]message.Label{s.lastSent}, extra...)
+	s.lastSent = label
+	return message.Message{
+		Label: label,
+		Deps:  message.After(deps...),
+		Kind:  message.KindControl,
+		Op:    op,
+		Body:  body,
+	}
+}
+
+// Heartbeat broadcasts a SEQHB beacon (epoch + delivery frontier). With
+// failover armed it is the leader-liveness signal and the carrier for
+// retained-assignment pruning; the heartbeat loop calls it, deterministic
+// tests drive it manually.
+func (s *Sequencer) Heartbeat() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	if s.bcast == nil {
+		s.mu.Unlock()
+		return fmt.Errorf("total: Heartbeat before Bind")
+	}
+	body := encodeSeqHB(s.epoch, s.nextDeliver)
+	m := s.controlLocked(opSeqHB, body)
+	b := s.bcast
+	s.ins.heartbeats.Inc()
+	s.ins.wrapBytes.Add(uint64(len(body)))
+	s.mu.Unlock()
+	if err := b.Broadcast(m); err != nil {
+		return fmt.Errorf("total: heartbeat: %w", err)
+	}
+	return nil
+}
+
+// Tick evaluates failure detection and election progress as of now. The
+// heartbeat loop pumps it; deterministic tests call it directly. It is a
+// no-op when failover is disabled.
+func (s *Sequencer) Tick(now time.Time) {
+	if s.detector == nil {
+		return
+	}
+	s.detector.Tick(now)
+	var out []message.Message
+	s.mu.Lock()
+	if s.closed || s.bcast == nil {
+		s.mu.Unlock()
+		return
+	}
+	b := s.bcast
+	leader := s.leaderOf(s.epoch)
+	if !s.electing && leader != s.self && !s.tracker.Alive(leader) {
+		et := s.epoch + 1
+		for s.leaderOf(et) != s.self && !s.tracker.Alive(s.leaderOf(et)) {
+			et++
+		}
+		if s.leaderOf(et) == s.self {
+			out = append(out, s.startElectionLocked(et, now))
+		}
+		// Otherwise the live member leading et campaigns; if it too is
+		// dead the detector will shrink the view and a later Tick
+		// re-derives the candidate.
+	}
+	if s.electing {
+		// A member that died mid-election shrinks the alive set, which may
+		// complete the count; a lost ELECT is re-broadcast.
+		if msgs := s.maybeCompleteElectionLocked(now); msgs != nil {
+			out = append(out, msgs...)
+		} else if now.Sub(s.lastElect) > s.failTimeout {
+			s.lastElect = now
+			out = append(out, s.controlLocked(opElect, encodeElect(s.epoch)))
+		}
+	}
+	s.mu.Unlock()
+	for _, m := range out {
+		_ = b.Broadcast(m)
+	}
+}
+
+// startElectionLocked adopts the target epoch and mints the ELECT
+// announcement. Caller holds mu and broadcasts the returned message.
+func (s *Sequencer) startElectionLocked(epoch uint64, now time.Time) message.Message {
+	s.setEpochLocked(epoch)
+	s.electing = true
+	s.acked = map[string]bool{s.self: true}
+	s.suspectAt = now
+	s.lastElect = now
+	s.ins.elections.Inc()
+	return s.controlLocked(opElect, encodeElect(epoch))
+}
+
+// setEpochLocked adopts a strictly higher epoch, cancelling any inferior
+// campaign. Caller holds mu.
+func (s *Sequencer) setEpochLocked(epoch uint64) {
+	s.epoch = epoch
+	s.electing = false
+	s.acked = nil
+	s.ins.epoch.Set(int64(epoch))
+	s.trace.Record(telemetry.EventEpoch, s.self, "", epoch, 0)
+}
+
+// maybeCompleteElectionLocked finishes the campaign once every member
+// alive in the local view has acked AND the ackers (self included) form a
+// strict majority of the group, returning the re-proposal ORDER broadcasts
+// (nil while still waiting). The quorum clause is the split-brain guard: a
+// fully partitioned member suspects everyone, campaigns, and — with only
+// its own ack — would otherwise complete a solo election and sequence its
+// holdback on a divergent branch. With the quorum it stays electing until
+// it is reconnected, at which point the majority's acks (or a higher
+// epoch) resolve the campaign safely. Caller holds mu.
+func (s *Sequencer) maybeCompleteElectionLocked(now time.Time) []message.Message {
+	for _, m := range s.tracker.View().Alive {
+		if !s.acked[m] {
+			return nil
+		}
+	}
+	if len(s.acked) <= len(s.grp.Members())/2 {
+		return nil
+	}
+	s.electing = false
+	s.ins.failoverLat.ObserveSince(s.suspectAt)
+
+	// Re-propose every retained assignment not yet delivered by all
+	// survivors under the new epoch, so any survivor missing an ORDER can
+	// fill the gap, then sequence the unassigned holdback deterministically.
+	floor := s.minAliveFrontierLocked()
+	seqs := make([]uint64, 0, len(s.seqOf))
+	for seq := range s.seqOf {
+		if seq >= floor {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	out := make([]message.Message, 0, len(seqs))
+	for _, seq := range seqs {
+		a := s.seqOf[seq]
+		a.epoch = s.epoch
+		s.seqOf[seq] = a
+		out = append(out, s.orderAnnouncementLocked(seq, a.label))
+		s.ins.reproposed.Inc()
+	}
+	for _, l := range s.unassignedCausalLocked() {
+		out = append(out, s.assignLocked(l))
+	}
+	s.trace.Record(telemetry.EventElect, s.self, "", s.epoch, int64(len(seqs)))
+	s.acked = nil
+	return out
+}
+
+// unassignedCausalLocked returns the holdback labels without a sequence
+// number in a deterministic order that respects the messages' declared
+// dependencies: a topological order over the dep edges inside the set,
+// picking the smallest (origin, seq) label among the ready ones at each
+// step. Plain label order is not enough — holdback from different origins
+// can be causally related (a sync message reading concurrent writes), and
+// assigning the successor a smaller sequence number would make the total
+// order contradict the causal order the layer below guarantees. Deps on
+// labels outside the set were sequenced or delivered already and count as
+// satisfied. Caller holds mu.
+func (s *Sequencer) unassignedCausalLocked() []message.Label {
+	pending := make([]message.Label, 0, len(s.data))
+	inSet := make(map[message.Label]bool, len(s.data))
+	for l := range s.data {
+		if _, ok := s.seqByLabel[l]; !ok {
+			pending = append(pending, l)
+			inSet[l] = true
+		}
+	}
+	sort.Slice(pending, func(i, j int) bool {
+		if pending[i].Origin != pending[j].Origin {
+			return pending[i].Origin < pending[j].Origin
+		}
+		return pending[i].Seq < pending[j].Seq
+	})
+	out := make([]message.Label, 0, len(pending))
+	done := make(map[message.Label]bool, len(pending))
+	for len(out) < len(pending) {
+		progressed := false
+		for _, l := range pending {
+			if done[l] {
+				continue
+			}
+			ready := true
+			for _, d := range s.data[l].Deps.Labels() {
+				if inSet[d] && !done[d] {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				done[l] = true
+				out = append(out, l)
+				progressed = true
+				break // restart: smallest ready label first, deterministically
+			}
+		}
+		if !progressed {
+			// A dependency cycle cannot arise from honest labelers; if one
+			// does, fall back to label order rather than stalling the epoch.
+			for _, l := range pending {
+				if !done[l] {
+					done[l] = true
+					out = append(out, l)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// assignLocked hands l the next sequence number under the current epoch
+// and mints its ORDER announcement. Caller holds mu.
+func (s *Sequencer) assignLocked(l message.Label) message.Message {
+	seq := s.nextAssign
+	s.nextAssign++
+	s.seqOf[seq] = seqAssign{label: l, epoch: s.epoch}
+	s.seqByLabel[l] = seq
+	s.ins.assigned.Inc()
+	return s.orderAnnouncementLocked(seq, l)
+}
+
+// orderAnnouncementLocked mints ORDER(epoch, seq, l). The announcement
+// causally depends on the data message it sequences, so no member can see
+// the assignment first. Caller holds mu.
+func (s *Sequencer) orderAnnouncementLocked(seq uint64, l message.Label) message.Message {
+	body := encodeOrder(s.epoch, seq, l)
+	s.ins.orderBytes.Add(uint64(len(body)))
+	return s.controlLocked(opOrder, body, l)
+}
+
 // Ingest is the DeliverFunc to register with the underlying causal engine.
 func (s *Sequencer) Ingest(m message.Message) {
-	if m.Op == opOrder {
-		seq, label, err := decodeOrder(m.Body)
+	member, ok := seqMemberOfLabel(s.grp, m.Label)
+	if !ok {
+		return // foreign traffic
+	}
+	if s.detector != nil && member != s.self {
+		s.detector.Observe(member, time.Now())
+	}
+	switch m.Op {
+	case opOrder:
+		epoch, seq, label, err := decodeOrder(m.Body)
 		if err != nil {
 			return
 		}
-		s.ingestOrder(seq, label)
-		return
+		s.ingestOrder(epoch, seq, label)
+	case opSeqHB:
+		epoch, nd, err := decodeSeqHB(m.Body)
+		if err != nil {
+			return
+		}
+		s.ingestSeqHB(member, epoch, nd)
+	case opElect:
+		epoch, err := decodeElect(m.Body)
+		if err != nil {
+			return
+		}
+		s.ingestElect(member, epoch)
+	case opAck:
+		epoch, nd, assigns, err := decodeAck(m.Body)
+		if err != nil {
+			return
+		}
+		s.ingestAck(member, epoch, nd, assigns)
+	default:
+		s.ingestData(m)
 	}
-	if _, ok := seqMemberOfLabel(s.grp, m.Label); !ok {
-		return // foreign traffic
-	}
-	s.ingestData(m)
 }
 
 func (s *Sequencer) ingestData(m message.Message) {
@@ -129,26 +600,23 @@ func (s *Sequencer) ingestData(m message.Message) {
 		s.mu.Unlock()
 		return
 	}
+	if s.maxPending > 0 && len(s.data) >= s.maxPending {
+		// Holdback bound: without it a dead leader (failover disabled, or
+		// mid-election backlog) grows this map without limit. Dropping
+		// stalls this member at the dropped message's sequence number if
+		// one is ever assigned — bounded memory is bought with liveness,
+		// which the failover path restores by draining the queue.
+		s.ins.pendingDropped.Inc()
+		s.observeLocked()
+		s.mu.Unlock()
+		return
+	}
 	s.data[m.Label] = m
 	var announce []message.Message
-	if s.self == s.leader {
-		seq := s.nextAssign
-		s.nextAssign++
-		chain := s.lastSent
-		label := s.labeler.Next()
-		s.lastSent = label
-		body := encodeOrder(seq, m.Label)
-		s.ins.assigned.Inc()
-		s.ins.orderBytes.Add(uint64(len(body)))
-		announce = append(announce, message.Message{
-			Label: label,
-			// The ORDER message causally depends on the data message it
-			// sequences, so no member can see the assignment first.
-			Deps: message.After(chain, m.Label),
-			Kind: message.KindControl,
-			Op:   opOrder,
-			Body: body,
-		})
+	if s.leaderOf(s.epoch) == s.self && !s.electing {
+		if _, assigned := s.seqByLabel[m.Label]; !assigned {
+			announce = append(announce, s.assignLocked(m.Label))
+		}
 	}
 	ready := s.releaseLocked()
 	s.observeLocked()
@@ -162,18 +630,57 @@ func (s *Sequencer) ingestData(m message.Message) {
 	}
 }
 
-func (s *Sequencer) ingestOrder(seq uint64, label message.Label) {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return
+// mergeAssignLocked records (seq -> label) made under epoch, resolving
+// conflicts in favor of the higher epoch. Caller holds mu.
+func (s *Sequencer) mergeAssignLocked(epoch, seq uint64, label message.Label) {
+	if seq < s.nextDeliver {
+		if _, ok := s.seqOf[seq]; !ok {
+			return // already delivered and pruned
+		}
 	}
-	s.seqOf[seq] = label
+	if old, ok := s.seqByLabel[label]; ok && old != seq {
+		if s.seqOf[old].epoch > epoch {
+			return // newer assignment for this label elsewhere
+		}
+		delete(s.seqOf, old)
+		delete(s.seqByLabel, label)
+	}
+	if existing, ok := s.seqOf[seq]; ok {
+		if existing.label == label {
+			if epoch > existing.epoch {
+				s.seqOf[seq] = seqAssign{label: label, epoch: epoch}
+			}
+			return
+		}
+		if existing.epoch >= epoch {
+			return // keep the same-or-newer conflicting assignment
+		}
+		delete(s.seqByLabel, existing.label)
+	}
+	s.seqOf[seq] = seqAssign{label: label, epoch: epoch}
+	s.seqByLabel[label] = seq
 	if seq >= s.nextAssign {
 		// Followers learn the leader's assignment frontier from ORDER
 		// announcements, so their lag gauge tracks the same span.
 		s.nextAssign = seq + 1
 	}
+}
+
+func (s *Sequencer) ingestOrder(epoch, seq uint64, label message.Label) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	if epoch < s.epoch {
+		s.ins.fenced.Inc()
+		s.mu.Unlock()
+		return
+	}
+	if epoch > s.epoch {
+		s.setEpochLocked(epoch)
+	}
+	s.mergeAssignLocked(epoch, seq, label)
 	ready := s.releaseLocked()
 	s.observeLocked()
 	s.mu.Unlock()
@@ -182,25 +689,149 @@ func (s *Sequencer) ingestOrder(seq uint64, label message.Label) {
 	}
 }
 
+func (s *Sequencer) ingestSeqHB(from string, epoch, nextDeliver uint64) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	if epoch > s.epoch {
+		s.setEpochLocked(epoch)
+	}
+	if nextDeliver > s.frontier[from] {
+		s.frontier[from] = nextDeliver
+	}
+	s.pruneAssignedLocked()
+	s.mu.Unlock()
+}
+
+func (s *Sequencer) ingestElect(from string, epoch uint64) {
+	s.mu.Lock()
+	if s.closed || from == s.self {
+		s.mu.Unlock()
+		return
+	}
+	if epoch < s.epoch || s.leaderOf(epoch) != from {
+		s.ins.fenced.Inc()
+		s.mu.Unlock()
+		return
+	}
+	if epoch > s.epoch {
+		s.setEpochLocked(epoch)
+	}
+	ack := s.controlLocked(opAck, encodeAck(epoch, s.nextDeliver, s.seqOf))
+	b := s.bcast
+	s.mu.Unlock()
+	if b != nil {
+		_ = b.Broadcast(ack)
+	}
+}
+
+func (s *Sequencer) ingestAck(from string, epoch, nextDeliver uint64, assigns map[uint64]seqAssign) {
+	var out []message.Message
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	if epoch < s.epoch {
+		s.ins.fenced.Inc()
+		s.mu.Unlock()
+		return
+	}
+	if epoch > s.epoch {
+		// An ack for a campaign we have not seen the ELECT of yet; adopt
+		// the epoch, the ELECT will still be answered when it arrives.
+		s.setEpochLocked(epoch)
+	}
+	if nextDeliver > s.frontier[from] {
+		s.frontier[from] = nextDeliver
+	}
+	seqs := make([]uint64, 0, len(assigns))
+	for seq := range assigns {
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for _, seq := range seqs {
+		a := assigns[seq]
+		s.mergeAssignLocked(a.epoch, seq, a.label)
+	}
+	if s.electing && s.epoch == epoch && s.leaderOf(epoch) == s.self {
+		s.acked[from] = true
+		out = s.maybeCompleteElectionLocked(time.Now())
+	}
+	ready := s.releaseLocked()
+	s.observeLocked()
+	b := s.bcast
+	s.mu.Unlock()
+	for _, r := range ready {
+		s.deliver(r)
+	}
+	for _, m := range out {
+		_ = b.Broadcast(m)
+	}
+}
+
 // releaseLocked delivers the contiguous sequenced prefix. Caller holds mu.
 func (s *Sequencer) releaseLocked() []message.Message {
+	retain := s.failTimeout > 0
 	var out []message.Message
 	for {
-		label, ok := s.seqOf[s.nextDeliver]
+		a, ok := s.seqOf[s.nextDeliver]
 		if !ok {
 			return out
 		}
-		m, ok := s.data[label]
+		m, ok := s.data[a.label]
 		if !ok {
-			return out // data not yet here (only possible pre-Bind races)
+			return out // data not yet here (a merged assignment outran it)
 		}
-		delete(s.seqOf, s.nextDeliver)
-		delete(s.data, label)
+		if !retain {
+			delete(s.seqOf, s.nextDeliver)
+			delete(s.seqByLabel, a.label)
+		}
+		delete(s.data, a.label)
 		s.nextDeliver++
 		s.delivered++
 		s.ins.delivered.Inc()
 		out = append(out, m)
 	}
+}
+
+// pruneAssignedLocked drops retained assignments every live peer's
+// reported frontier has passed; they can never be needed for a
+// re-proposal again. A rejoining member resumes from a snapshot rather
+// than from old ORDERs, so dead members do not block pruning. Caller
+// holds mu.
+func (s *Sequencer) pruneAssignedLocked() {
+	if s.failTimeout <= 0 {
+		return
+	}
+	floor := s.minAliveFrontierLocked()
+	for seq, a := range s.seqOf {
+		if seq < floor && seq < s.nextDeliver {
+			delete(s.seqOf, seq)
+			delete(s.seqByLabel, a.label)
+		}
+	}
+}
+
+// minAliveFrontierLocked returns the lowest delivery frontier across self
+// and every peer currently believed alive (0 if some live peer has not
+// reported yet). Caller holds mu.
+func (s *Sequencer) minAliveFrontierLocked() uint64 {
+	floor := s.nextDeliver
+	for _, p := range s.grp.Members() {
+		if p == s.self {
+			continue
+		}
+		if s.tracker != nil && !s.tracker.Alive(p) {
+			continue
+		}
+		if s.frontier[p] < floor {
+			floor = s.frontier[p]
+		}
+	}
+	return floor
 }
 
 // observeLocked refreshes the layer gauges. Caller holds mu.
@@ -223,39 +854,30 @@ func (s *Sequencer) Delivered() uint64 {
 	return s.delivered
 }
 
-// Close marks the layer closed. The underlying broadcaster is caller-owned.
+// Close stops the heartbeat loop and marks the layer closed. The
+// underlying broadcaster is caller-owned.
 func (s *Sequencer) Close() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.closed = true
+	s.mu.Unlock()
+	s.stopOnce.Do(func() { close(s.done) })
+	s.wg.Wait()
 	return nil
 }
 
-func encodeOrder(seq uint64, l message.Label) []byte {
-	size := uvarintLen(seq) + uvarintLen(uint64(len(l.Origin))) + len(l.Origin) + uvarintLen(l.Seq)
-	buf := binary.AppendUvarint(make([]byte, 0, size), seq)
-	buf = binary.AppendUvarint(buf, uint64(len(l.Origin)))
-	buf = append(buf, l.Origin...)
-	return binary.AppendUvarint(buf, l.Seq)
-}
-
-func decodeOrder(data []byte) (uint64, message.Label, error) {
-	seq, used := binary.Uvarint(data)
-	if used <= 0 {
-		return 0, message.Nil, fmt.Errorf("total: truncated order seq")
+func (s *Sequencer) heartbeatLoop(every time.Duration) {
+	defer s.wg.Done()
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case now := <-ticker.C:
+			_ = s.Heartbeat() // best effort; retried next tick
+			s.Tick(now)
+		}
 	}
-	data = data[used:]
-	n, used := binary.Uvarint(data)
-	if used <= 0 || uint64(len(data)-used) < n {
-		return 0, message.Nil, fmt.Errorf("total: truncated order origin")
-	}
-	origin := string(data[used : used+int(n)])
-	data = data[used+int(n):]
-	ls, used := binary.Uvarint(data)
-	if used <= 0 {
-		return 0, message.Nil, fmt.Errorf("total: truncated order label seq")
-	}
-	return seq, message.Label{Origin: origin, Seq: ls}, nil
 }
 
 // seqMemberOfLabel recovers the member id from a sequencer-layer label.

@@ -37,6 +37,21 @@ const opHeartbeat = "__total.hb"
 // opOrder is the Op of sequencer ordering announcements.
 const opOrder = "__total.order"
 
+// opSeqHB is the Op of sequencer-layer liveness beacons. They carry the
+// sender's epoch and delivery frontier: the epoch lets lagging members
+// adopt the current leadership, the frontier drives retained-assignment
+// pruning and lets a rejoining member fast-forward.
+const opSeqHB = "__total.seqhb"
+
+// opElect is the Op a succession candidate broadcasts to claim a new
+// epoch. Receivers that accept the claim answer with opAck.
+const opElect = "__total.elect"
+
+// opAck is the Op of election acknowledgements: the acker's delivery
+// frontier plus every retained sequence assignment, so the candidate can
+// merge the group's ordering knowledge before re-proposing.
+const opAck = "__total.ack"
+
 // labelSuffix namespaces the layer's labeler away from application labels
 // issued by the same member.
 const labelSuffix = "~total"

@@ -1,0 +1,159 @@
+package total
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"causalshare/internal/message"
+)
+
+// Sequencer control-plane wire formats. All are uvarint-packed like the
+// message codec; every format leads with the sender's epoch so stale-
+// leader traffic can be fenced before any state is touched.
+//
+//	ORDER  = epoch seq originLen origin labelSeq
+//	ELECT  = epoch
+//	ACK    = epoch nextDeliver count (seq assignEpoch originLen origin labelSeq)*
+//	SEQHB  = epoch nextDeliver
+
+// seqAssign is one sequence-number assignment with the epoch it was made
+// (or last re-proposed) under. Higher epochs win on merge.
+type seqAssign struct {
+	label message.Label
+	epoch uint64
+}
+
+func appendLabel(buf []byte, l message.Label) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(l.Origin)))
+	buf = append(buf, l.Origin...)
+	return binary.AppendUvarint(buf, l.Seq)
+}
+
+func readLabel(data []byte) (message.Label, []byte, error) {
+	n, used := binary.Uvarint(data)
+	if used <= 0 || uint64(len(data)-used) < n {
+		return message.Nil, nil, fmt.Errorf("total: truncated label origin")
+	}
+	origin := string(data[used : used+int(n)])
+	data = data[used+int(n):]
+	seq, used := binary.Uvarint(data)
+	if used <= 0 {
+		return message.Nil, nil, fmt.Errorf("total: truncated label seq")
+	}
+	return message.Label{Origin: origin, Seq: seq}, data[used:], nil
+}
+
+func encodeOrder(epoch, seq uint64, l message.Label) []byte {
+	size := uvarintLen(epoch) + uvarintLen(seq) +
+		uvarintLen(uint64(len(l.Origin))) + len(l.Origin) + uvarintLen(l.Seq)
+	buf := binary.AppendUvarint(make([]byte, 0, size), epoch)
+	buf = binary.AppendUvarint(buf, seq)
+	return appendLabel(buf, l)
+}
+
+func decodeOrder(data []byte) (epoch, seq uint64, l message.Label, err error) {
+	epoch, used := binary.Uvarint(data)
+	if used <= 0 {
+		return 0, 0, message.Nil, fmt.Errorf("total: truncated order epoch")
+	}
+	data = data[used:]
+	seq, used = binary.Uvarint(data)
+	if used <= 0 {
+		return 0, 0, message.Nil, fmt.Errorf("total: truncated order seq")
+	}
+	l, rest, err := readLabel(data[used:])
+	if err != nil {
+		return 0, 0, message.Nil, err
+	}
+	if len(rest) != 0 {
+		return 0, 0, message.Nil, fmt.Errorf("total: %d trailing order bytes", len(rest))
+	}
+	return epoch, seq, l, nil
+}
+
+func encodeElect(epoch uint64) []byte {
+	return binary.AppendUvarint(make([]byte, 0, uvarintLen(epoch)), epoch)
+}
+
+func decodeElect(data []byte) (uint64, error) {
+	epoch, used := binary.Uvarint(data)
+	if used <= 0 || used != len(data) {
+		return 0, fmt.Errorf("total: malformed elect body")
+	}
+	return epoch, nil
+}
+
+func encodeAck(epoch, nextDeliver uint64, assigns map[uint64]seqAssign) []byte {
+	buf := binary.AppendUvarint(nil, epoch)
+	buf = binary.AppendUvarint(buf, nextDeliver)
+	buf = binary.AppendUvarint(buf, uint64(len(assigns)))
+	for seq, a := range assigns {
+		buf = binary.AppendUvarint(buf, seq)
+		buf = binary.AppendUvarint(buf, a.epoch)
+		buf = appendLabel(buf, a.label)
+	}
+	return buf
+}
+
+func decodeAck(data []byte) (epoch, nextDeliver uint64, assigns map[uint64]seqAssign, err error) {
+	epoch, used := binary.Uvarint(data)
+	if used <= 0 {
+		return 0, 0, nil, fmt.Errorf("total: truncated ack epoch")
+	}
+	data = data[used:]
+	nextDeliver, used = binary.Uvarint(data)
+	if used <= 0 {
+		return 0, 0, nil, fmt.Errorf("total: truncated ack frontier")
+	}
+	data = data[used:]
+	count, used := binary.Uvarint(data)
+	if used <= 0 {
+		return 0, 0, nil, fmt.Errorf("total: truncated ack count")
+	}
+	data = data[used:]
+	// Every entry takes at least 4 bytes; reject counts that cannot fit
+	// before sizing any allocation.
+	if count > uint64(len(data))/4 {
+		return 0, 0, nil, fmt.Errorf("total: ack count %d exceeds body", count)
+	}
+	assigns = make(map[uint64]seqAssign, count)
+	for i := uint64(0); i < count; i++ {
+		seq, used := binary.Uvarint(data)
+		if used <= 0 {
+			return 0, 0, nil, fmt.Errorf("total: truncated ack seq")
+		}
+		data = data[used:]
+		aEpoch, used := binary.Uvarint(data)
+		if used <= 0 {
+			return 0, 0, nil, fmt.Errorf("total: truncated ack assign epoch")
+		}
+		var l message.Label
+		l, data, err = readLabel(data[used:])
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		assigns[seq] = seqAssign{label: l, epoch: aEpoch}
+	}
+	if len(data) != 0 {
+		return 0, 0, nil, fmt.Errorf("total: %d trailing ack bytes", len(data))
+	}
+	return epoch, nextDeliver, assigns, nil
+}
+
+func encodeSeqHB(epoch, nextDeliver uint64) []byte {
+	buf := binary.AppendUvarint(make([]byte, 0, uvarintLen(epoch)+uvarintLen(nextDeliver)), epoch)
+	return binary.AppendUvarint(buf, nextDeliver)
+}
+
+func decodeSeqHB(data []byte) (epoch, nextDeliver uint64, err error) {
+	epoch, used := binary.Uvarint(data)
+	if used <= 0 {
+		return 0, 0, fmt.Errorf("total: truncated seqhb epoch")
+	}
+	data = data[used:]
+	nextDeliver, used = binary.Uvarint(data)
+	if used <= 0 || used != len(data) {
+		return 0, 0, fmt.Errorf("total: malformed seqhb body")
+	}
+	return epoch, nextDeliver, nil
+}

@@ -1,0 +1,166 @@
+package total
+
+import (
+	"testing"
+
+	"causalshare/internal/message"
+)
+
+func TestOrderRoundTrip(t *testing.T) {
+	cases := []struct {
+		epoch, seq uint64
+		label      message.Label
+	}{
+		{0, 1, message.Label{Origin: "a~seq", Seq: 1}},
+		{3, 900, message.Label{Origin: "member-with-long-name~seq", Seq: 1 << 40}},
+		{1 << 60, 1 << 62, message.Label{Origin: "x", Seq: 7}},
+	}
+	for _, c := range cases {
+		body := encodeOrder(c.epoch, c.seq, c.label)
+		epoch, seq, l, err := decodeOrder(body)
+		if err != nil {
+			t.Fatalf("decodeOrder(%v): %v", c, err)
+		}
+		if epoch != c.epoch || seq != c.seq || l != c.label {
+			t.Fatalf("round trip changed (%d,%d,%v) -> (%d,%d,%v)", c.epoch, c.seq, c.label, epoch, seq, l)
+		}
+	}
+}
+
+func TestOrderDecodeRejectsTruncation(t *testing.T) {
+	body := encodeOrder(5, 77, message.Label{Origin: "abc~seq", Seq: 9})
+	for cut := 0; cut < len(body); cut++ {
+		if _, _, _, err := decodeOrder(body[:cut]); err == nil {
+			t.Fatalf("decodeOrder accepted %d of %d bytes", cut, len(body))
+		}
+	}
+	if _, _, _, err := decodeOrder(append(body, 0)); err == nil {
+		t.Fatal("decodeOrder accepted trailing byte")
+	}
+}
+
+func TestElectRoundTrip(t *testing.T) {
+	for _, epoch := range []uint64{0, 1, 127, 128, 1 << 50} {
+		got, err := decodeElect(encodeElect(epoch))
+		if err != nil {
+			t.Fatalf("epoch %d: %v", epoch, err)
+		}
+		if got != epoch {
+			t.Fatalf("epoch changed %d -> %d", epoch, got)
+		}
+	}
+	if _, err := decodeElect(nil); err == nil {
+		t.Fatal("decodeElect accepted empty body")
+	}
+	if _, err := decodeElect([]byte{0x01, 0x02}); err == nil {
+		t.Fatal("decodeElect accepted trailing byte")
+	}
+}
+
+func TestAckRoundTrip(t *testing.T) {
+	assigns := map[uint64]seqAssign{
+		12: {label: message.Label{Origin: "a~seq", Seq: 40}, epoch: 1},
+		13: {label: message.Label{Origin: "b~seq", Seq: 2}, epoch: 2},
+		99: {label: message.Label{Origin: "c~seq", Seq: 7}, epoch: 0},
+	}
+	body := encodeAck(2, 12, assigns)
+	epoch, nd, got, err := decodeAck(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 2 || nd != 12 {
+		t.Fatalf("header changed: epoch=%d nd=%d", epoch, nd)
+	}
+	if len(got) != len(assigns) {
+		t.Fatalf("assign count changed %d -> %d", len(assigns), len(got))
+	}
+	for seq, a := range assigns {
+		if got[seq] != a {
+			t.Fatalf("assign %d changed %v -> %v", seq, a, got[seq])
+		}
+	}
+}
+
+func TestAckDecodeRejectsOversizedCount(t *testing.T) {
+	// epoch=0 nd=0 count=huge with no entries must be rejected before any
+	// allocation is sized from the count.
+	body := []byte{0x00, 0x00, 0xFF, 0xFF, 0xFF, 0x7F}
+	if _, _, _, err := decodeAck(body); err == nil {
+		t.Fatal("decodeAck accepted an oversized count")
+	}
+}
+
+func TestSeqHBRoundTrip(t *testing.T) {
+	for _, c := range [][2]uint64{{0, 0}, {4, 1000}, {1 << 55, 1 << 30}} {
+		epoch, nd, err := decodeSeqHB(encodeSeqHB(c[0], c[1]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if epoch != c[0] || nd != c[1] {
+			t.Fatalf("round trip changed %v -> (%d,%d)", c, epoch, nd)
+		}
+	}
+	if _, _, err := decodeSeqHB([]byte{0x01}); err == nil {
+		t.Fatal("decodeSeqHB accepted truncated body")
+	}
+}
+
+// FuzzOrderEpochDecode drives every sequencer control-plane decoder with
+// arbitrary bytes: none may panic, and any accepted input must survive an
+// encode/decode round trip value-for-value. (Byte identity is not
+// required: binary.Uvarint tolerates non-minimal varint encodings, so two
+// byte strings can decode to one value.)
+func FuzzOrderEpochDecode(f *testing.F) {
+	f.Add(encodeOrder(0, 1, message.Label{Origin: "a~seq", Seq: 1}))
+	f.Add(encodeOrder(3, 900, message.Label{Origin: "m00~seq", Seq: 1 << 33}))
+	f.Add(encodeAck(2, 12, map[uint64]seqAssign{
+		5: {label: message.Label{Origin: "b~seq", Seq: 2}, epoch: 1},
+	}))
+	f.Add(encodeElect(7))
+	f.Add(encodeSeqHB(1, 44))
+	f.Add(wrapBody(9, []byte("payload")))
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if epoch, seq, l, err := decodeOrder(data); err == nil {
+			e2, s2, l2, err := decodeOrder(encodeOrder(epoch, seq, l))
+			if err != nil || e2 != epoch || s2 != seq || l2 != l {
+				t.Fatalf("order round trip changed (%d,%d,%v): %v", epoch, seq, l, err)
+			}
+		}
+		if epoch, nd, assigns, err := decodeAck(data); err == nil {
+			// Map iteration makes ACK byte order non-canonical; a decode of
+			// the re-encoding must agree field-for-field instead.
+			e2, n2, a2, err := decodeAck(encodeAck(epoch, nd, assigns))
+			if err != nil {
+				t.Fatalf("ack re-decode failed: %v", err)
+			}
+			if e2 != epoch || n2 != nd || len(a2) != len(assigns) {
+				t.Fatal("ack round trip changed header or size")
+			}
+			for seq, a := range assigns {
+				if a2[seq] != a {
+					t.Fatalf("ack assign %d changed", seq)
+				}
+			}
+		}
+		if epoch, err := decodeElect(data); err == nil {
+			if e2, err := decodeElect(encodeElect(epoch)); err != nil || e2 != epoch {
+				t.Fatalf("elect round trip changed %d: %v", epoch, err)
+			}
+		}
+		if epoch, nd, err := decodeSeqHB(data); err == nil {
+			e2, n2, err := decodeSeqHB(encodeSeqHB(epoch, nd))
+			if err != nil || e2 != epoch || n2 != nd {
+				t.Fatalf("seqhb round trip changed (%d,%d): %v", epoch, nd, err)
+			}
+		}
+		if stamp, body, err := unwrapBody(data); err == nil {
+			s2, b2, err := unwrapBody(wrapBody(stamp, body))
+			if err != nil || s2 != stamp || string(b2) != string(body) {
+				t.Fatalf("wrapBody round trip changed stamp %d: %v", stamp, err)
+			}
+		}
+	})
+}

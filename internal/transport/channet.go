@@ -123,6 +123,28 @@ func (n *ChanNet) Partition(a, b string, block bool) { n.parts.set(a, b, block) 
 // Heal removes all partitions.
 func (n *ChanNet) Heal() { n.parts.clear() }
 
+// Isolate partitions id away from every currently attached peer — the
+// chaos harness's crash model: the process keeps running (its state and
+// conn survive) but no frame crosses in either direction, exactly what a
+// crashed or fully partitioned member looks like to the rest.
+func (n *ChanNet) Isolate(id string) {
+	for _, other := range n.IDs() {
+		if other != id {
+			n.parts.set(id, other, true)
+		}
+	}
+}
+
+// Restore removes every partition involving id (rejoin/heal of one
+// member) without touching partitions between other pairs.
+func (n *ChanNet) Restore(id string) {
+	for _, other := range n.IDs() {
+		if other != id {
+			n.parts.set(id, other, false)
+		}
+	}
+}
+
 // Stats returns a snapshot of frame counters.
 func (n *ChanNet) Stats() Stats {
 	return Stats{
@@ -212,19 +234,25 @@ func (n *ChanNet) send(from, to string, payload []byte) error {
 
 // sendFrame fans one immutable frame out to every destination with no
 // copies: every queued envelope shares f's bytes and holds one reference.
+// The fan-out is best-effort: an unknown (detached, crashed) peer does not
+// stop delivery to the rest.
 func (n *ChanNet) sendFrame(from string, tos []string, f *Frame) error {
 	if n.closed.Load() {
 		return ErrClosed
 	}
+	var first error
 	for _, to := range tos {
 		dst, ok := n.lookup(to)
 		if !ok {
-			return &ErrUnknownPeer{ID: to}
+			if first == nil {
+				first = &ErrUnknownPeer{ID: to}
+			}
+			continue
 		}
 		f.Retain()
 		n.route(dst, Envelope{From: from, To: to, Payload: f.B, frame: f})
 	}
-	return nil
+	return first
 }
 
 func (n *ChanNet) deliver(dst *chanConn, env Envelope) {

@@ -141,7 +141,10 @@ func (f *Frame) Release() {
 type FrameSender interface {
 	// SendFrame enqueues f's bytes to every named peer. The call takes
 	// its own references; the caller keeps (and eventually releases) its
-	// construction reference. Unknown peers fail the whole call.
+	// construction reference. The fan-out is best-effort: a peer that is
+	// unknown or unreachable (crashed, partitioned) does not stop
+	// delivery to the rest; the first per-peer error is returned after
+	// every destination was attempted.
 	SendFrame(tos []string, f *Frame) error
 }
 
@@ -149,6 +152,11 @@ type FrameSender interface {
 // connection supports it and falling back to per-peer Send (which copies)
 // otherwise. Either way the message was encoded exactly once, by the
 // caller. Multicast does not consume the caller's reference.
+//
+// The fan-out is best-effort: every destination is attempted even when
+// some fail (a crashed member must not sever the survivors), and the
+// first per-peer error is returned for accounting. The causal layer's
+// anti-entropy recovers any loss to peers that come back.
 func Multicast(c Conn, tos []string, f *Frame) error {
 	if len(tos) == 0 {
 		return nil
@@ -156,10 +164,11 @@ func Multicast(c Conn, tos []string, f *Frame) error {
 	if fs, ok := c.(FrameSender); ok {
 		return fs.SendFrame(tos, f)
 	}
+	var first error
 	for _, to := range tos {
-		if err := c.Send(to, f.B); err != nil {
-			return err
+		if err := c.Send(to, f.B); err != nil && first == nil {
+			first = err
 		}
 	}
-	return nil
+	return first
 }

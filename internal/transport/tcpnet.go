@@ -29,6 +29,7 @@ type TCPNet struct {
 	dice   *faultDice
 	faulty bool
 	ins    *netInstruments
+	parts  *partitionSet
 	mu     sync.Mutex
 	nodes  map[string]*tcpConn
 	closed bool
@@ -72,7 +73,36 @@ func NewTCPNetWithConfig(cfg TCPConfig) *TCPNet {
 		dice:   newFaultDice(cfg.Faults.Seed),
 		faulty: cfg.Faults != FaultModel{},
 		ins:    newNetInstruments(cfg.Telemetry),
+		parts:  newPartitionSet(),
 		nodes:  make(map[string]*tcpConn),
+	}
+}
+
+// Partition blocks (or with block=false, heals) traffic between a and b in
+// both directions. Frames already written to a socket are unaffected; the
+// block is enforced on the send path, before any bytes hit the wire, so
+// it works identically to ChanNet's for the chaos harness.
+func (n *TCPNet) Partition(a, b string, block bool) { n.parts.set(a, b, block) }
+
+// Heal removes all partitions.
+func (n *TCPNet) Heal() { n.parts.clear() }
+
+// Isolate partitions id away from every currently attached peer (the
+// chaos harness's crash model; see ChanNet.Isolate).
+func (n *TCPNet) Isolate(id string) {
+	for _, other := range n.IDs() {
+		if other != id {
+			n.parts.set(id, other, true)
+		}
+	}
+}
+
+// Restore removes every partition involving id.
+func (n *TCPNet) Restore(id string) {
+	for _, other := range n.IDs() {
+		if other != id {
+			n.parts.set(id, other, false)
+		}
 	}
 }
 
@@ -356,6 +386,10 @@ func (c *tcpConn) readLoop(conn net.Conn) {
 // delayed frames are transmitted later from their own copies.
 func (c *tcpConn) sendOne(to string, payload []byte) error {
 	c.net.ins.framesSent.Inc()
+	if c.net.parts.isBlocked(c.id, to) {
+		c.net.ins.partitionDropped.Inc()
+		return nil // partitions drop silently, like a real network
+	}
 	if c.net.faulty {
 		drop, delay, dup, dupDelay := c.net.dice.roll(c.net.cfg.Faults)
 		if drop {
@@ -420,13 +454,16 @@ func (c *tcpConn) Send(to string, payload []byte) error {
 // with the kernel, but the frame is still encoded exactly once: each
 // peer's copy goes straight into that peer's gather buffer (or a pooled
 // write buffer), never through a per-destination re-encode.
+// Best-effort fan-out: a dead peer's dial or write error must not sever
+// the live ones; the first error is returned after all were attempted.
 func (c *tcpConn) SendFrame(tos []string, f *Frame) error {
+	var first error
 	for _, to := range tos {
-		if err := c.sendOne(to, f.B); err != nil {
-			return err
+		if err := c.sendOne(to, f.B); err != nil && first == nil {
+			first = err
 		}
 	}
-	return nil
+	return first
 }
 
 // dropPeer forces a re-dial on the next send after a write error.
