@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test race vet bench bench-smoke fuzz chaos
+.PHONY: check build test race vet bench bench-smoke bench-trace fuzz chaos audit
 
 ## check: the tier-1 gate — vet, build, and race-test everything.
 check: vet build race
@@ -30,6 +30,12 @@ bench-smoke:
 	@awk '/allocs\/op/ { if ($$(NF-1) + 0 > 0) { print "FAIL: " $$1 " reports " $$(NF-1) " allocs/op (want 0)"; bad = 1 } } END { exit bad }' /tmp/bench-smoke.out
 	@echo "bench-smoke: 0 allocs/op on every fan-out variant"
 
+## bench-trace: regenerate the E13 tracing-overhead numbers (fan-out
+## pipeline with the collector off / sampled / always-on) into
+## BENCH_trace.json.
+bench-trace:
+	$(GO) test -bench=FanoutTraced -benchmem -run '^$$' -json . | tee BENCH_trace.json
+
 fuzz:
 	$(GO) test -fuzz=FuzzUnmarshalBinary -fuzztime=30s ./internal/message/
 
@@ -38,3 +44,14 @@ fuzz:
 ## nondeterminism bug, not noise.
 chaos:
 	$(GO) test -run 'Chaos|Failover' -count=3 ./...
+
+## audit: the consistency gate — every chaos seed and figure scenario runs
+## with the online trace auditor attached (their tests fail on any
+## violation), then causaltrace replays a fresh seeded chaos schedule and
+## exits non-zero unless the run converged with zero online and offline
+## violations.
+audit:
+	$(GO) test -run 'Chaos|Failover|Figure' ./...
+	$(GO) run ./cmd/causaltrace -seed 7 -audit
+	$(GO) run ./cmd/causaltrace -seed 21 -n 4 -sends 12 -audit
+	@echo "audit: converged with zero causal-order violations"

@@ -27,6 +27,7 @@ import (
 	"causalshare/internal/sim"
 	"causalshare/internal/telemetry"
 	"causalshare/internal/total"
+	ctrace "causalshare/internal/trace"
 	"causalshare/internal/transport"
 	"causalshare/internal/vclock"
 )
@@ -425,6 +426,95 @@ func BenchmarkBroadcastFanout(b *testing.B) {
 			target := uint64(n) * uint64(b.N)
 			for delivered.Load() < target {
 				time.Sleep(20 * time.Microsecond)
+			}
+		})
+	}
+}
+
+// BenchmarkBroadcastFanoutTraced repeats the fan-out pipeline with the
+// causal trace collector attached in the three operating modes of E13:
+// off (nil tracer through the same config path), head-based sampling of
+// one activity in sixteen, and always-on. The "Fanout" name keeps it
+// under the CI bench-smoke zero-alloc gate: steady-state tracing must
+// not allocate, which the bounded store's pooling provides once the
+// eviction queue has cycled — the pre-timer warmup drives it past
+// MaxTraces so the timed region only ever reuses pooled records.
+func BenchmarkBroadcastFanoutTraced(b *testing.B) {
+	const n = 8
+	const maxTraces = 64
+	modes := []struct {
+		name   string
+		traced bool
+		sample int
+	}{
+		{name: "off", traced: false},
+		{name: "sampled16", traced: true, sample: 16},
+		{name: "always", traced: true, sample: 1},
+	}
+	for _, mode := range modes {
+		b.Run("mode="+mode.name, func(b *testing.B) {
+			ids := make([]string, n)
+			for i := range ids {
+				ids[i] = fmt.Sprintf("m%02d", i)
+			}
+			grp := group.MustNew("fanout", ids)
+			reg := telemetry.NewRegistry()
+			var col *ctrace.Collector
+			if mode.traced {
+				col = ctrace.NewCollector(ctrace.Config{
+					MaxTraces:   maxTraces,
+					SampleEvery: mode.sample,
+					Telemetry:   reg,
+				})
+			}
+			net := transport.NewChanNetObserved(transport.FaultModel{}, reg)
+			defer func() { _ = net.Close() }()
+			var delivered atomic.Uint64
+			engines := make([]*causal.OSend, 0, n)
+			for _, id := range ids {
+				conn, err := net.Attach(id)
+				if err != nil {
+					b.Fatal(err)
+				}
+				eng, err := causal.NewOSend(causal.OSendConfig{
+					Self: id, Group: grp, Conn: conn,
+					Deliver:   func(message.Message) { delivered.Add(1) },
+					Telemetry: reg,
+					Tracer:    col.Tracer(id),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				engines = append(engines, eng)
+			}
+			defer func() {
+				for _, e := range engines {
+					_ = e.Close()
+				}
+			}()
+			lab := message.NewLabeler(ids[0])
+			send := func(count int) {
+				start := delivered.Load()
+				for i := 0; i < count; i++ {
+					m := message.Message{Label: lab.Next(), Kind: message.KindCommutative, Op: "inc"}
+					if err := engines[0].Broadcast(m); err != nil {
+						b.Fatal(err)
+					}
+				}
+				target := start + uint64(n)*uint64(count)
+				for delivered.Load() < target {
+					time.Sleep(20 * time.Microsecond)
+				}
+			}
+			// Warm past the trace-store bound so the timed region runs
+			// entirely on recycled trace and span records.
+			send(3 * maxTraces)
+			b.ReportAllocs()
+			b.ResetTimer()
+			send(b.N)
+			b.StopTimer()
+			if col != nil && col.ViolationCount() != 0 {
+				b.Fatalf("audit flagged the fan-out: %v", col.Violations())
 			}
 		})
 	}

@@ -1,0 +1,151 @@
+// Command causaltrace replays a seeded chaos schedule on the live stack
+// with the causal trace collector attached, then reports what the tracer
+// saw: per-activity critical paths (the declared dependency chain that
+// bounded each activity's end-to-end latency), the realized dependency
+// DAG in Graphviz form, and everything the online consistency auditor
+// caught. With -audit the process exits non-zero when the run converged
+// with violations (or failed to converge), which is what `make audit`
+// gates CI on.
+//
+// Usage:
+//
+//	causaltrace [-seed 7] [-n 5] [-sends 20] [-horizon 400ms] [-actions 4]
+//	            [-top 5] [-dot] [-audit] [-sample 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"causalshare/internal/chaos"
+	"causalshare/internal/telemetry"
+	"causalshare/internal/trace"
+	"causalshare/internal/transport"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "causaltrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("causaltrace", flag.ContinueOnError)
+	seed := fs.Int64("seed", 7, "chaos schedule seed")
+	n := fs.Int("n", 5, "group size (minimum 3)")
+	sends := fs.Int("sends", 20, "data messages per member")
+	horizon := fs.Duration("horizon", 400*time.Millisecond, "schedule horizon")
+	actions := fs.Int("actions", 4, "crash/recover actions in the schedule")
+	failTimeout := fs.Duration("failtimeout", 60*time.Millisecond, "sequencer failover timeout")
+	top := fs.Int("top", 5, "activities to report, slowest first (0 = all)")
+	dot := fs.Bool("dot", false, "print each reported activity's DAG in Graphviz dot syntax")
+	audit := fs.Bool("audit", false, "exit non-zero on any consistency violation or non-convergence")
+	sample := fs.Int("sample", 1, "trace one in every N activities (head-based)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *n < 3 {
+		return fmt.Errorf("need at least 3 members, got %d", *n)
+	}
+
+	members := make([]string, *n)
+	for i := range members {
+		members[i] = fmt.Sprintf("m%02d", i)
+	}
+	reg := telemetry.NewRegistry()
+	col := trace.NewCollector(trace.Config{Telemetry: reg, SampleEvery: *sample})
+	net := transport.NewChanNet(transport.FaultModel{})
+	defer func() { _ = net.Close() }()
+
+	sched := chaos.RandomSchedule(*seed, members, *horizon, *actions)
+	fmt.Printf("schedule seed=%d horizon=%v actions=%d\n", *seed, *horizon, len(sched.Actions))
+	for _, a := range sched.Actions {
+		fmt.Printf("  %v\n", a)
+	}
+
+	res, err := chaos.Run(chaos.Options{
+		Members:        members,
+		Net:            net,
+		Schedule:       sched,
+		SendsPerMember: *sends,
+		FailTimeout:    *failTimeout,
+		Patience:       12 * time.Millisecond,
+		Telemetry:      reg,
+		Collector:      col,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nrun: converged=%v frontier=%d elapsed=%v recoveries=%d\n",
+		res.Converged, res.Frontier, res.Elapsed.Round(time.Millisecond), len(res.Recovery))
+
+	report(col, *top, *dot)
+
+	// Offline pass over the merged traces, complementing the online audit.
+	var offline []trace.Violation
+	for _, v := range col.Traces() {
+		offline = append(offline, v.VerifyEdges()...)
+	}
+	fmt.Printf("\naudit: online=%d offline=%d\n", res.Violations, len(offline))
+	for _, v := range res.ViolationLog {
+		fmt.Printf("  online  %s\n", v)
+	}
+	for _, v := range offline {
+		fmt.Printf("  offline %s\n", v)
+	}
+	if *audit {
+		if !res.Converged {
+			return fmt.Errorf("run did not converge (seed %d)", *seed)
+		}
+		if res.Violations > 0 || len(offline) > 0 {
+			return fmt.Errorf("%d online / %d offline consistency violations (seed %d)",
+				res.Violations, len(offline), *seed)
+		}
+	}
+	return nil
+}
+
+// report prints the slowest activities with their critical paths.
+func report(col *trace.Collector, top int, dot bool) {
+	views := col.Traces()
+	type scored struct {
+		view trace.TraceView
+		dur  time.Duration
+	}
+	ranked := make([]scored, 0, len(views))
+	for _, v := range views {
+		path := v.CriticalPath()
+		if len(path) == 0 {
+			continue
+		}
+		ranked = append(ranked, scored{view: v, dur: path[len(path)-1].Completed})
+	}
+	sort.Slice(ranked, func(i, j int) bool { return ranked[i].dur > ranked[j].dur })
+	if top > 0 && len(ranked) > top {
+		ranked = ranked[:top]
+	}
+	fmt.Printf("\nactivities: %d traced, reporting %d (slowest first)\n", len(views), len(ranked))
+	for _, r := range ranked {
+		v := r.view
+		fmt.Printf("\ntrace %d origin=%s spans=%d", v.ID, v.Origin, len(v.Spans))
+		if v.Parent != 0 {
+			fmt.Printf(" parent=%d", v.Parent)
+		}
+		fmt.Println()
+		for i, step := range v.CriticalPath() {
+			wait := ""
+			if step.Wait > 0 {
+				wait = fmt.Sprintf("  (holdback %v)", step.Wait.Round(time.Microsecond))
+			}
+			fmt.Printf("  %2d. %-16s %-16s done@%v%s\n", i+1, step.Label, step.Kind,
+				step.Completed.Round(time.Microsecond), wait)
+		}
+		if dot {
+			fmt.Println(v.DOT())
+		}
+	}
+}

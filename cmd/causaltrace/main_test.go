@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+// TestRunAuditedReplay smoke-tests the full CLI path: a small seeded
+// chaos replay with the auditor required clean.
+func TestRunAuditedReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replays a live chaos run")
+	}
+	if err := run([]string{"-seed", "21", "-n", "4", "-sends", "6", "-top", "1", "-dot", "-audit"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunRejectsTinyGroup pins the argument validation.
+func TestRunRejectsTinyGroup(t *testing.T) {
+	if err := run([]string{"-n", "2"}); err == nil {
+		t.Fatal("accepted a 2-member group")
+	}
+}

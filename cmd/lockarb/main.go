@@ -22,6 +22,7 @@ import (
 	"causalshare/internal/message"
 	"causalshare/internal/telemetry"
 	"causalshare/internal/total"
+	"causalshare/internal/trace"
 	"causalshare/internal/transport"
 )
 
@@ -44,13 +45,14 @@ func run(args []string) error {
 
 	reg := telemetry.NewRegistry()
 	ring := telemetry.NewRing(2048)
+	col := trace.NewCollector(trace.Config{Telemetry: reg, Ring: ring})
 	if *metricsAddr != "" {
-		srv, err := telemetry.Serve(*metricsAddr, reg, ring)
+		srv, err := telemetry.Serve(*metricsAddr, reg, ring, trace.Routes(col)...)
 		if err != nil {
 			return err
 		}
 		defer func() { _ = srv.Close() }()
-		fmt.Printf("telemetry: serving http://%s/metrics\n", srv.Addr())
+		fmt.Printf("telemetry: serving http://%s/metrics (trace index at /trace/)\n", srv.Addr())
 	}
 
 	ids := make([]string, *n)
@@ -85,6 +87,7 @@ func run(args []string) error {
 			Self: id, Group: grp,
 			Deliver:   func(m message.Message) { arb.Ingest(m) },
 			Telemetry: reg,
+			Tracer:    col.Tracer(id),
 		})
 		if err != nil {
 			return err
@@ -98,6 +101,7 @@ func run(args []string) error {
 			Patience:  10 * time.Millisecond,
 			Telemetry: reg,
 			Trace:     ring,
+			Tracer:    col.Tracer(id),
 		})
 		if err != nil {
 			return err
@@ -195,8 +199,11 @@ func run(args []string) error {
 	fmt.Printf("telemetry: frames_sent=%d causal_delivered=%d total_delivered=%d sequencer_assigned=%d\n",
 		snap.Get("transport_frames_sent_total"), snap.Get("causal_osend_delivered_total"),
 		snap.Get("total_delivered_total"), snap.Get("total_sequencer_assigned_total"))
+	if v := col.ViolationCount(); v != 0 {
+		return fmt.Errorf("trace audit caught %d consistency violations: %v", v, col.Violations())
+	}
 	if agree {
-		fmt.Printf("RESULT: all %d members observed the identical holder sequence — deterministic arbitration reached consensus with no arbiter\n", *n)
+		fmt.Printf("RESULT: all %d members observed the identical holder sequence — deterministic arbitration reached consensus with no arbiter (trace audit clean)\n", *n)
 	}
 	return nil
 }

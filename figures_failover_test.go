@@ -22,6 +22,7 @@ import (
 	"causalshare/internal/shareddata"
 	"causalshare/internal/telemetry"
 	"causalshare/internal/total"
+	"causalshare/internal/trace"
 	"causalshare/internal/transport"
 )
 
@@ -60,6 +61,7 @@ type foStack struct {
 	t       *testing.T
 	net     *transport.ChanNet
 	reg     *telemetry.Registry
+	audit   *trace.Collector
 	members []*foMember
 	byID    map[string]*foMember
 }
@@ -71,17 +73,20 @@ type foStack struct {
 func newFailoverStack(t *testing.T, ids []string, seed int64, withReplica bool) *foStack {
 	t.Helper()
 	st := &foStack{
-		t:    t,
-		net:  transport.NewChanNet(transport.FaultModel{MaxDelay: 2 * time.Millisecond, Seed: seed}),
-		reg:  telemetry.NewRegistry(),
-		byID: map[string]*foMember{},
+		t:     t,
+		net:   transport.NewChanNet(transport.FaultModel{MaxDelay: 2 * time.Millisecond, Seed: seed}),
+		reg:   telemetry.NewRegistry(),
+		audit: trace.NewCollector(trace.Config{}),
+		byID:  map[string]*foMember{},
 	}
 	grp := group.MustNew("fig-failover", ids)
 	for _, id := range ids {
 		mb := &foMember{id: id, alive: true}
+		spans := st.audit.Tracer(id)
 		if withReplica {
 			rep, err := core.NewReplica(core.ReplicaConfig{
 				Self: id, Initial: shareddata.NewCounter(0), Apply: shareddata.ApplyCounter,
+				Tracer: spans,
 			})
 			if err != nil {
 				t.Fatal(err)
@@ -93,6 +98,7 @@ func newFailoverStack(t *testing.T, ids []string, seed int64, withReplica bool) 
 			Deliver:     mb.deliver,
 			FailTimeout: foFailTimeout,
 			Telemetry:   st.reg,
+			Tracer:      spans,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -104,6 +110,7 @@ func newFailoverStack(t *testing.T, ids []string, seed int64, withReplica bool) 
 		eng, err := causal.NewOSend(causal.OSendConfig{
 			Self: id, Group: grp, Conn: conn,
 			Deliver: sq.Ingest, Patience: 10 * time.Millisecond,
+			Tracer: spans,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -120,6 +127,9 @@ func newFailoverStack(t *testing.T, ids []string, seed int64, withReplica bool) 
 			_ = mb.eng.Close()
 		}
 		_ = st.net.Close()
+		if n := st.audit.ViolationCount(); n != 0 {
+			t.Errorf("online trace audit caught %d violations: %v", n, st.audit.Violations())
+		}
 	})
 	return st
 }

@@ -18,8 +18,18 @@ import (
 	"causalshare/internal/obs"
 	"causalshare/internal/shareddata"
 	"causalshare/internal/total"
+	ctrace "causalshare/internal/trace"
 	"causalshare/internal/transport"
 )
+
+// assertAuditClean fails the test if the online trace auditor caught any
+// consistency violation during the scenario.
+func assertAuditClean(t *testing.T, col *ctrace.Collector) {
+	t.Helper()
+	if n := col.ViolationCount(); n != 0 {
+		t.Errorf("online trace audit caught %d violations: %v", n, col.Violations())
+	}
+}
 
 // TestFigure1Scenario reproduces Figure 1: entities sharing a data VAL
 // through broadcast data-access messages — every access is seen by every
@@ -31,6 +41,7 @@ func TestFigure1Scenario(t *testing.T) {
 	defer func() { _ = net.Close() }()
 
 	trace := obs.NewTrace()
+	col := ctrace.NewCollector(ctrace.Config{})
 	replicas := map[string]*core.Replica{}
 	engines := map[string]*causal.OSend{}
 	defer func() {
@@ -41,6 +52,7 @@ func TestFigure1Scenario(t *testing.T) {
 	for _, id := range ids {
 		rep, err := core.NewReplica(core.ReplicaConfig{
 			Self: id, Initial: shareddata.NewCounter(0), Apply: shareddata.ApplyCounter,
+			Tracer: col.Tracer(id),
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -51,6 +63,7 @@ func TestFigure1Scenario(t *testing.T) {
 		}
 		eng, err := causal.NewOSend(causal.OSendConfig{
 			Self: id, Group: grp, Conn: conn, Deliver: trace.Observer(id, rep.Deliver),
+			Tracer: col.Tracer(id),
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -101,6 +114,7 @@ func TestFigure1Scenario(t *testing.T) {
 			t.Errorf("entity %s VAL %s, want %s", id, st.Digest(), ref.Digest())
 		}
 	}
+	assertAuditClean(t, col)
 }
 
 // TestFigure2Scenario reproduces Figure 2's computation R(M) =
@@ -113,6 +127,7 @@ func TestFigure2Scenario(t *testing.T) {
 	net := transport.NewChanNet(transport.FaultModel{MaxDelay: 4 * time.Millisecond, Seed: 43})
 	defer func() { _ = net.Close() }()
 
+	col := ctrace.NewCollector(ctrace.Config{})
 	replicas := map[string]*core.Replica{}
 	engines := map[string]*causal.OSend{}
 	defer func() {
@@ -123,6 +138,7 @@ func TestFigure2Scenario(t *testing.T) {
 	for _, id := range ids {
 		rep, err := core.NewReplica(core.ReplicaConfig{
 			Self: id, Initial: shareddata.NewCounter(0), Apply: shareddata.ApplyCounter,
+			Tracer: col.Tracer(id),
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -133,6 +149,7 @@ func TestFigure2Scenario(t *testing.T) {
 		}
 		eng, err := causal.NewOSend(causal.OSendConfig{
 			Self: id, Group: grp, Conn: conn, Deliver: rep.Deliver,
+			Tracer: col.Tracer(id),
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -182,6 +199,7 @@ func TestFigure2Scenario(t *testing.T) {
 	if st.Digest() != shareddata.NewCounter(10).Digest() {
 		t.Errorf("agreed value %s, want counter:10", st.Digest())
 	}
+	assertAuditClean(t, col)
 }
 
 // TestFigure3GraphForms reproduces Figure 3's dependency-graph forms from
@@ -190,12 +208,17 @@ func TestFigure2Scenario(t *testing.T) {
 func TestFigure3GraphForms(t *testing.T) {
 	tr := obs.NewTrace()
 	rec := tr.Observer("m", nil)
+	col := ctrace.NewCollector(ctrace.Config{})
+	spans := col.Tracer("m")
 	msgNode := message.Message{Label: message.Label{Origin: "s", Seq: 1}, Kind: message.KindNonCommutative, Op: "Msg"}
 	m1 := message.Message{Label: message.Label{Origin: "a", Seq: 1}, Deps: message.After(msgNode.Label), Kind: message.KindCommutative, Op: "m1"}
 	m2 := message.Message{Label: message.Label{Origin: "b", Seq: 1}, Deps: message.After(msgNode.Label), Kind: message.KindCommutative, Op: "m2"}
 	msg2 := message.Message{Label: message.Label{Origin: "s", Seq: 2}, Deps: message.After(m1.Label, m2.Label), Kind: message.KindNonCommutative, Op: "Msg'"}
-	for _, m := range []message.Message{msgNode, m1, m2, msg2} {
-		rec(m)
+	for _, m := range []*message.Message{&msgNode, &m1, &m2, &msg2} {
+		m.Span = col.Tracer(m.Label.Origin).Broadcast(*m)
+		rec(*m)
+		spans.Enqueue(*m)
+		spans.Deliver(*m)
 	}
 	g, err := tr.ExtractGraph()
 	if err != nil {
@@ -210,6 +233,7 @@ func TestFigure3GraphForms(t *testing.T) {
 	if lin := g.CountLinearizations(0); lin != 2 {
 		t.Errorf("diamond admits %d orders, want 2", lin)
 	}
+	assertAuditClean(t, col)
 }
 
 // TestFigure4TotalOrderLayer reproduces Figure 4: a total-ordering
@@ -241,6 +265,7 @@ func TestFigure4TotalOrderLayer(t *testing.T) {
 			_ = m.engine.Close()
 		}
 	}()
+	col := ctrace.NewCollector(ctrace.Config{})
 	for _, id := range ids {
 		mb := &member{}
 		sq, err := total.NewSequencer(total.Config{
@@ -250,6 +275,7 @@ func TestFigure4TotalOrderLayer(t *testing.T) {
 				mb.order = append(mb.order, m.Op)
 				mb.mu.Unlock()
 			},
+			Tracer: col.Tracer(id),
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -260,6 +286,7 @@ func TestFigure4TotalOrderLayer(t *testing.T) {
 		}
 		eng, err := causal.NewOSend(causal.OSendConfig{
 			Self: id, Group: grp, Conn: conn, Deliver: sq.Ingest,
+			Tracer: col.Tracer(id),
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -303,6 +330,7 @@ func TestFigure4TotalOrderLayer(t *testing.T) {
 			}
 		}
 	}
+	assertAuditClean(t, col)
 }
 
 // TestFigure5Arbitration reproduces Figure 5: LOCK/TFR cycles over the
@@ -327,12 +355,14 @@ func TestFigure5Arbitration(t *testing.T) {
 			c()
 		}
 	}()
+	col := ctrace.NewCollector(ctrace.Config{})
 	for _, id := range ids {
 		id := id
 		var arb *lockarb.Arbiter
 		sq, err := total.NewSequencer(total.Config{
 			Self: id, Group: grp,
 			Deliver: func(m message.Message) { arb.Ingest(m) },
+			Tracer:  col.Tracer(id),
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -343,6 +373,7 @@ func TestFigure5Arbitration(t *testing.T) {
 		}
 		eng, err := causal.NewOSend(causal.OSendConfig{
 			Self: id, Group: grp, Conn: conn, Deliver: sq.Ingest,
+			Tracer: col.Tracer(id),
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -417,4 +448,5 @@ func TestFigure5Arbitration(t *testing.T) {
 			}
 		}
 	}
+	assertAuditClean(t, col)
 }

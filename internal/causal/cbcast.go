@@ -1,14 +1,17 @@
 package causal
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
+	"runtime/pprof"
 	"sync"
 	"time"
 
 	"causalshare/internal/group"
 	"causalshare/internal/message"
 	"causalshare/internal/telemetry"
+	"causalshare/internal/trace"
 	"causalshare/internal/transport"
 	"causalshare/internal/vclock"
 )
@@ -29,6 +32,11 @@ type CBCastConfig struct {
 	// Telemetry, when non-nil, registers the engine's causal_cbcast_*
 	// instruments there; the legacy Metrics struct is kept either way.
 	Telemetry *telemetry.Registry
+	// Tracer, when non-nil, records span lifecycles into the group's
+	// trace.Collector. CBCast messages usually declare no dependencies, so
+	// the audit checks are vacuous, but span context still propagates and
+	// the latency breakdown still applies.
+	Tracer *trace.Tracer
 }
 
 // CBCast is the ISIS-style causal broadcast baseline: each message
@@ -53,6 +61,7 @@ type CBCast struct {
 	lastFetch map[string]time.Time
 	metrics   Metrics
 	ins       cbcastInstruments
+	spans     *trace.Tracer
 
 	done chan struct{}
 	wg   sync.WaitGroup
@@ -87,6 +96,7 @@ func NewCBCast(cfg CBCastConfig) (*CBCast, error) {
 		patience:  cfg.Patience,
 		vc:        vclock.New(),
 		ins:       newCBCastInstruments(cfg.Telemetry),
+		spans:     cfg.Tracer,
 		retained:  make(map[uint64][]byte),
 		lastFetch: make(map[string]time.Time),
 		done:      make(chan struct{}),
@@ -115,6 +125,8 @@ func (e *CBCast) Broadcast(m message.Message) error {
 		e.mu.Unlock()
 		return ErrClosed
 	}
+	// Span assignment precedes encoding so the frame carries the trailer.
+	m.Span = e.spans.Broadcast(m)
 	seq := e.vc.Tick(e.self)
 	stamp := e.vc.Clone()
 	frame, err := encodeCBFrame(e.self, stamp, m)
@@ -134,6 +146,8 @@ func (e *CBCast) Broadcast(m message.Message) error {
 	e.mu.Unlock()
 
 	// Self-delivery first: a member observes its own message immediately.
+	e.spans.Enqueue(m)
+	e.spans.Deliver(m)
 	e.deliver(m)
 	// The frame is retained above for retransmission and never mutated, so
 	// every destination shares the one encoding. StaticFrame keeps it out
@@ -183,29 +197,32 @@ func (e *CBCast) Close() error {
 
 func (e *CBCast) recvLoop() {
 	defer e.wg.Done()
-	dec := message.NewDecoder()
-	if br, ok := e.conn.(transport.BatchRecver); ok {
-		var batch []transport.Envelope
+	// Label the delivery goroutine for CPU/goroutine profile attribution.
+	pprof.Do(context.Background(), pprof.Labels("loop", "cbcast-recv", "member", e.self), func(context.Context) {
+		dec := message.NewDecoder()
+		if br, ok := e.conn.(transport.BatchRecver); ok {
+			var batch []transport.Envelope
+			for {
+				var err error
+				batch, err = br.RecvBatch(batch)
+				if err != nil {
+					return
+				}
+				for i := range batch {
+					e.handleFrame(dec, &batch[i])
+					batch[i].Release()
+				}
+			}
+		}
 		for {
-			var err error
-			batch, err = br.RecvBatch(batch)
+			env, err := e.conn.Recv()
 			if err != nil {
 				return
 			}
-			for i := range batch {
-				e.handleFrame(dec, &batch[i])
-				batch[i].Release()
-			}
+			e.handleFrame(dec, &env)
+			env.Release()
 		}
-	}
-	for {
-		env, err := e.conn.Recv()
-		if err != nil {
-			return
-		}
-		e.handleFrame(dec, &env)
-		env.Release()
-	}
+	})
 }
 
 // handleFrame dispatches one inbound frame. The envelope's payload is only
@@ -258,6 +275,7 @@ func (e *CBCast) ingest(sender string, vc vclock.VC, m message.Message) {
 			return
 		}
 	}
+	e.spans.Enqueue(m)
 	e.pending = append(e.pending, cbEntry{sender: sender, vc: vc, msg: m, since: time.Now()})
 	if len(e.pending) > e.metrics.MaxBuffered {
 		e.metrics.MaxBuffered = len(e.pending)
@@ -285,6 +303,7 @@ func (e *CBCast) drainLocked() []message.Message {
 			e.vc.Merge(p.vc)
 			e.metrics.Delivered++
 			e.ins.delivered.Inc()
+			e.spans.Deliver(p.msg)
 			out = append(out, p.msg)
 			e.pending = append(e.pending[:i], e.pending[i+1:]...)
 			progress = true

@@ -1,8 +1,10 @@
 package causal
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -10,6 +12,7 @@ import (
 	"causalshare/internal/group"
 	"causalshare/internal/message"
 	"causalshare/internal/telemetry"
+	"causalshare/internal/trace"
 	"causalshare/internal/transport"
 )
 
@@ -36,6 +39,11 @@ type OSendConfig struct {
 	// Trace, when non-nil, receives send/deliver/defer/fetch events. A nil
 	// ring disables tracing at zero cost.
 	Trace *telemetry.Ring
+	// Tracer, when non-nil, records causal span lifecycles (send → enqueue
+	// → holdback wait → deliver) into the group's trace.Collector and runs
+	// the online causal-order audit on every delivery. Nil disables span
+	// tracing; messages then carry no span context.
+	Tracer *trace.Tracer
 	// OnSync, when non-nil, is invoked after a state-sync response from a
 	// peer has been applied: the peer's delivered watermarks have been
 	// seeded locally and fetches for the retained tail issued. A rejoining
@@ -99,6 +107,7 @@ type OSend struct {
 	reg   *telemetry.Registry
 	ins   osendInstruments
 	trace *telemetry.Ring
+	spans *trace.Tracer
 
 	done chan struct{}
 	wg   sync.WaitGroup
@@ -138,6 +147,7 @@ func NewOSend(cfg OSendConfig) (*OSend, error) {
 		reg:       reg,
 		ins:       newOSendInstruments(reg),
 		trace:     cfg.Trace,
+		spans:     cfg.Tracer,
 		delivered: newDeliveredSet(),
 		pending:   make(map[message.Label]*pendingEntry),
 		waiting:   make(map[message.Label][]message.Label),
@@ -171,6 +181,9 @@ func (e *OSend) Broadcast(m message.Message) error {
 		return ErrClosed
 	}
 	t0 := time.Now()
+	// Span assignment must precede frame sizing: a traced message carries
+	// its span context as a trailer, and EncodedSize accounts for it.
+	m.Span = e.spans.Broadcast(m)
 	f := transport.NewFrame(1 + m.EncodedSize())
 	f.B = append(f.B, frameOSendData)
 	var err error
@@ -279,6 +292,9 @@ func (e *OSend) SeedFrontier(wm map[string]uint64) {
 		e.delivered.Seed(origin, seq)
 	}
 	e.deliveredMu.Unlock()
+	// The auditor must learn the watermarks before the release pass below
+	// delivers anything that depends on seeded history.
+	e.spans.SeedDelivered(wm)
 	e.releaseSeeded()
 }
 
@@ -389,29 +405,33 @@ func (e *OSend) Close() error {
 
 func (e *OSend) recvLoop() {
 	defer e.wg.Done()
-	dec := message.NewDecoder()
-	if br, ok := e.conn.(transport.BatchRecver); ok {
-		var batch []transport.Envelope
+	// Label the delivery goroutine so CPU/goroutine profiles attribute
+	// holdback and cascade work to the owning member.
+	pprof.Do(context.Background(), pprof.Labels("loop", "osend-recv", "member", e.self), func(context.Context) {
+		dec := message.NewDecoder()
+		if br, ok := e.conn.(transport.BatchRecver); ok {
+			var batch []transport.Envelope
+			for {
+				var err error
+				batch, err = br.RecvBatch(batch)
+				if err != nil {
+					return
+				}
+				for i := range batch {
+					e.handleFrame(dec, &batch[i])
+					batch[i].Release()
+				}
+			}
+		}
 		for {
-			var err error
-			batch, err = br.RecvBatch(batch)
+			env, err := e.conn.Recv()
 			if err != nil {
 				return
 			}
-			for i := range batch {
-				e.handleFrame(dec, &batch[i])
-				batch[i].Release()
-			}
+			e.handleFrame(dec, &env)
+			env.Release()
 		}
-	}
-	for {
-		env, err := e.conn.Recv()
-		if err != nil {
-			return
-		}
-		e.handleFrame(dec, &env)
-		env.Release()
-	}
+	})
 }
 
 // handleFrame dispatches one inbound frame. The envelope's payload is only
@@ -491,6 +511,7 @@ func (e *OSend) ingest(m message.Message) {
 		e.deliverMu.Unlock()
 		return
 	}
+	e.spans.Enqueue(m)
 	// The common case has every predecessor delivered; allocate the
 	// missing-set only when something actually is missing.
 	var missing map[message.Label]struct{}
@@ -542,6 +563,7 @@ func (e *OSend) deliverLocked(out []message.Message, m message.Message) []messag
 		}
 		e.ins.delivered.Inc()
 		e.trace.Record(telemetry.EventDeliver, e.self, cur.Label.Origin, cur.Label.Seq, 0)
+		e.spans.Deliver(cur)
 		out = append(out, cur)
 		blocked, ok := e.waiting[cur.Label]
 		if !ok {
@@ -554,6 +576,10 @@ func (e *OSend) deliverLocked(out []message.Message, m message.Message) []messag
 				continue
 			}
 			delete(entry.missing, cur.Label)
+			if e.spans != nil {
+				// Attribute the holdback wait to the edge that just resolved.
+				e.spans.DepResolved(bl, cur.Label, time.Since(entry.since))
+			}
 			if len(entry.missing) == 0 {
 				delete(e.pending, bl)
 				e.ins.depWait.ObserveSince(entry.since)

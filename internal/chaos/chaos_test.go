@@ -7,6 +7,7 @@ import (
 
 	"causalshare/internal/obs"
 	"causalshare/internal/telemetry"
+	"causalshare/internal/trace"
 	"causalshare/internal/transport"
 )
 
@@ -42,6 +43,9 @@ func chaosOptions(net Net, members []string, sched Schedule) Options {
 		FailTimeout:    60 * time.Millisecond,
 		Patience:       12 * time.Millisecond,
 		Timeout:        15 * time.Second,
+		// Every chaos run carries the online consistency auditor; auditAll
+		// requires it reported nothing.
+		Collector: trace.NewCollector(trace.Config{}),
 	}
 }
 
@@ -99,6 +103,9 @@ func auditAll(t *testing.T, res *Result) {
 	}
 	if rep := obs.AuditTotalOrder(orders, offsets); !rep.Consistent() {
 		t.Fatalf("total-order audit: %s", rep.Divergence)
+	}
+	if res.Violations != 0 {
+		t.Fatalf("online trace audit caught %d violations: %v", res.Violations, res.ViolationLog)
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"causalshare/internal/message"
 	"causalshare/internal/telemetry"
 	"causalshare/internal/total"
+	"causalshare/internal/trace"
 	"causalshare/internal/transport"
 )
 
@@ -47,6 +48,11 @@ type Options struct {
 	Telemetry *telemetry.Registry
 	// Trace, when non-nil, receives every member's epoch/election events.
 	Trace *telemetry.Ring
+	// Collector, when non-nil, attaches a causal trace tracer to every
+	// member incarnation (including rejoined ones) and runs the online
+	// consistency audit over the whole run; Result.Violations reports what
+	// it caught.
+	Collector *trace.Collector
 }
 
 // MemberResult is one member's view at the end of the run.
@@ -85,6 +91,10 @@ type Result struct {
 	// (suspicion to completion only) captures on its own.
 	Recovery []time.Duration
 	Elapsed  time.Duration
+	// Violations is the online auditor's total (0 without a Collector);
+	// ViolationLog holds its bounded snapshots for failure messages.
+	Violations   uint64
+	ViolationLog []trace.Violation
 }
 
 // orderLog collects one incarnation's delivered data messages.
@@ -227,6 +237,8 @@ func Run(opts Options) (*Result, error) {
 		time.Sleep(opts.Step)
 	}
 	res.Elapsed = time.Since(begin)
+	res.Violations = opts.Collector.ViolationCount()
+	res.ViolationLog = opts.Collector.Violations()
 	for _, n := range c.nodes {
 		order := n.log.snapshot()
 		res.Members[n.id] = &MemberResult{
@@ -249,6 +261,7 @@ func (c *cluster) start(n *node, snap *total.SyncSnapshot, wm map[string]uint64,
 		return err
 	}
 	n.log = &orderLog{}
+	spans := c.opts.Collector.Tracer(n.id)
 	seqr, err := total.NewSequencer(total.Config{
 		Self:        n.id,
 		Group:       c.grp,
@@ -256,6 +269,7 @@ func (c *cluster) start(n *node, snap *total.SyncSnapshot, wm map[string]uint64,
 		FailTimeout: c.opts.FailTimeout,
 		Telemetry:   c.opts.Telemetry,
 		Trace:       c.opts.Trace,
+		Tracer:      spans,
 	})
 	if err != nil {
 		_ = conn.Close()
@@ -269,6 +283,7 @@ func (c *cluster) start(n *node, snap *total.SyncSnapshot, wm map[string]uint64,
 		Patience:  c.opts.Patience,
 		Telemetry: c.opts.Telemetry,
 		Trace:     c.opts.Trace,
+		Tracer:    spans,
 	})
 	if err != nil {
 		_ = seqr.Close()

@@ -8,6 +8,7 @@ import (
 
 	"causalshare/internal/message"
 	"causalshare/internal/telemetry"
+	"causalshare/internal/trace"
 )
 
 // StablePoint records one locally detected agreement point (§4.1): the
@@ -45,6 +46,9 @@ type ReplicaConfig struct {
 	Telemetry *telemetry.Registry
 	// Trace, when non-nil, receives an EventStable record per stable point.
 	Trace *telemetry.Ring
+	// Tracer, when non-nil, records span apply/stable events on the causal
+	// trace collector and feeds its stable-point and deferred-read audits.
+	Tracer *trace.Tracer
 }
 
 // Replica maintains one member's copy of the shared data, applying
@@ -60,6 +64,7 @@ type Replica struct {
 	onStable func(StablePoint, State)
 	ins      coreInstruments
 	trace    *telemetry.Ring
+	spans    *trace.Tracer
 
 	mu          sync.Mutex
 	state       State
@@ -91,6 +96,7 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 		onStable:   cfg.OnStable,
 		ins:        newCoreInstruments(cfg.Telemetry),
 		trace:      cfg.Trace,
+		spans:      cfg.Tracer,
 		state:      cfg.Initial.Clone(),
 		stable:     cfg.Initial.Clone(),
 		lastStable: time.Now(),
@@ -105,6 +111,7 @@ func (r *Replica) Deliver(m message.Message) {
 	r.applied++
 	r.current++
 	r.ins.applied.Inc()
+	r.spans.Apply(m.Label)
 	var (
 		notify   func(StablePoint, State)
 		point    StablePoint
@@ -127,6 +134,7 @@ func (r *Replica) Deliver(m message.Message) {
 		r.ins.activitySize.Observe(float64(r.current))
 		r.lastStable = now
 		r.trace.Record(telemetry.EventStable, r.self, m.Label.Origin, m.Label.Seq, int64(r.stableCycle))
+		r.spans.Stable(m.Label, r.stableCycle, point.Digest)
 		r.current = 0
 		waiters = r.waiters
 		r.waiters = nil
@@ -161,14 +169,20 @@ func (r *Replica) ReadDeferred(ctx context.Context) (State, uint64, error) {
 		st, cycle := r.stable.Clone(), r.stableCycle
 		r.mu.Unlock()
 		r.ins.deferredWait.Observe(0)
+		r.spans.ReadServed(cycle, cycle)
 		return st, cycle, nil
 	}
+	// Mid-activity (or before the first stable point) the read must wait
+	// for at least the next cycle; that is the boundary the trace auditor
+	// checks the served cycle against.
+	boundary := r.stableCycle + 1
 	r.waiters = append(r.waiters, ch)
 	r.mu.Unlock()
 	t0 := time.Now()
 	select {
 	case res := <-ch:
 		r.ins.deferredWait.ObserveSince(t0)
+		r.spans.ReadServed(res.cycle, boundary)
 		return res.state, res.cycle, nil
 	case <-ctx.Done():
 		return nil, 0, fmt.Errorf("core: deferred read at %q: %w", r.self, ctx.Err())

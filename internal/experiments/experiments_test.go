@@ -331,3 +331,40 @@ func TestE12Shape(t *testing.T) {
 			cell(t, tbl, 0, "recovery ms"), cell(t, tbl, 1, "recovery ms"))
 	}
 }
+
+func TestE13Shape(t *testing.T) {
+	cfg := DefaultE13()
+	cfg.Ops = 400
+	cfg.Rotations = 2
+	tbl := RunE13(cfg)
+	if strings.HasPrefix(tbl.Notes, "error:") {
+		t.Fatal(tbl.Notes)
+	}
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6 (2 workloads x 3 modes)", len(tbl.Rows))
+	}
+	for i := range tbl.Rows {
+		if cellF(t, tbl, i, "us/op") <= 0 {
+			t.Errorf("row %d measured no latency", i)
+		}
+		mode := cell(t, tbl, i, "mode")
+		if mode == "off" {
+			if got := cell(t, tbl, i, "traces"); got != "-" {
+				t.Errorf("row %d: off mode reported collector counters: %q", i, got)
+			}
+			continue
+		}
+		// Traced modes must account for their spans and audit clean.
+		if cellF(t, tbl, i, "spans") <= 0 {
+			t.Errorf("row %d (%s) recorded no spans", i, mode)
+		}
+		if got := cell(t, tbl, i, "violations"); got != "0" {
+			t.Errorf("row %d (%s) audit violations = %s, want 0", i, mode, got)
+		}
+	}
+	// Sampling must trace strictly fewer activities than always-on.
+	if cellF(t, tbl, 1, "traces") >= cellF(t, tbl, 2, "traces") {
+		t.Errorf("sampled mode traced %s activities, always-on %s — sampling had no effect",
+			cell(t, tbl, 1, "traces"), cell(t, tbl, 2, "traces"))
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"causalshare/internal/lockarb"
 	"causalshare/internal/message"
 	"causalshare/internal/total"
+	"causalshare/internal/trace"
 	"causalshare/internal/transport"
 )
 
@@ -42,7 +43,7 @@ func RunE9(cfg E9Config) Table {
 		},
 	}
 	for _, n := range cfg.Sizes {
-		row, tel, err := runLockRotation(n, cfg.Rotations)
+		row, tel, _, err := runLockRotation(n, cfg.Rotations, nil)
 		if err != nil {
 			t.Notes = "error: " + err.Error()
 			return t
@@ -54,14 +55,18 @@ func RunE9(cfg E9Config) Table {
 	return t
 }
 
-func runLockRotation(n, rotations int) ([]string, string, error) {
+// runLockRotation drives the arbitration workload once and reports the
+// E9 row plus the raw per-rotation latency (E13 reuses the latter for
+// its tracing-overhead sweep). col, when non-nil, attaches a causal
+// trace collector to every layer of the stack.
+func runLockRotation(n, rotations int, col *trace.Collector) ([]string, string, float64, error) {
 	ids := make([]string, n)
 	for i := range ids {
 		ids[i] = fmt.Sprintf("m%02d", i)
 	}
 	grp, err := group.New("g", ids)
 	if err != nil {
-		return nil, "", err
+		return nil, "", 0, err
 	}
 	reg := runnerRegistry()
 	net := transport.NewChanNetObserved(transport.FaultModel{}, reg)
@@ -87,20 +92,22 @@ func runLockRotation(n, rotations int) ([]string, string, error) {
 			Self: id, Group: grp,
 			Deliver:   func(m message.Message) { arb.Ingest(m) },
 			Telemetry: reg,
+			Tracer:    col.Tracer(id),
 		})
 		if err != nil {
-			return nil, "", err
+			return nil, "", 0, err
 		}
 		conn, err := net.Attach(id)
 		if err != nil {
-			return nil, "", err
+			return nil, "", 0, err
 		}
 		eng, err := causal.NewOSend(causal.OSendConfig{
 			Self: id, Group: grp, Conn: conn, Deliver: sq.Ingest,
 			Telemetry: reg,
+			Tracer:    col.Tracer(id),
 		})
 		if err != nil {
-			return nil, "", err
+			return nil, "", 0, err
 		}
 		sq.Bind(eng)
 		arb, err = lockarb.NewArbiter(lockarb.Config{
@@ -112,7 +119,7 @@ func runLockRotation(n, rotations int) ([]string, string, error) {
 			},
 		})
 		if err != nil {
-			return nil, "", err
+			return nil, "", 0, err
 		}
 		arbiters[id] = arb
 		engines = append(engines, eng)
@@ -120,7 +127,7 @@ func runLockRotation(n, rotations int) ([]string, string, error) {
 	}
 	for _, id := range ids {
 		if err := arbiters[id].Start(); err != nil {
-			return nil, "", err
+			return nil, "", 0, err
 		}
 	}
 
@@ -130,11 +137,11 @@ func runLockRotation(n, rotations int) ([]string, string, error) {
 			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 			if _, err := arbiters[id].Acquire(ctx); err != nil {
 				cancel()
-				return nil, "", fmt.Errorf("rotation %d at %s: %w", r, id, err)
+				return nil, "", 0, fmt.Errorf("rotation %d at %s: %w", r, id, err)
 			}
 			if err := arbiters[id].Release(); err != nil {
 				cancel()
-				return nil, "", err
+				return nil, "", 0, err
 			}
 			cancel()
 		}
@@ -159,12 +166,12 @@ func runLockRotation(n, rotations int) ([]string, string, error) {
 			}
 		}
 	}
-	rotationMs := float64(elapsed.Milliseconds()) / float64(rotations)
+	rotationMs := float64(elapsed.Microseconds()) / 1000 / float64(rotations)
 	return []string{
 		itoa(n),
 		f2(rotationMs),
 		utoa(grants),
 		f2(float64(frames) / float64(grants)),
 		agreement,
-	}, reg.Snapshot().Compact(), nil
+	}, reg.Snapshot().Compact(), rotationMs, nil
 }

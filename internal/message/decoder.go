@@ -132,8 +132,12 @@ func decodeMessage(m *Message, data []byte, d *Decoder) error {
 		body = make([]byte, bodyLen)
 		copy(body, rest[:bodyLen])
 	}
-	if len(rest[bodyLen:]) != 0 {
-		return fmt.Errorf("message: %d trailing bytes", len(rest[bodyLen:]))
+	// Anything after the body is an optional trailer block (span context
+	// today, unknown length-skippable records tomorrow). Pre-trace frames
+	// end exactly at the body, so the loop body never runs for them.
+	span, err := decodeTrailers(rest[bodyLen:], d)
+	if err != nil {
+		return err
 	}
 	var deps OccursAfter
 	if len(scratch) > 0 {
@@ -149,6 +153,7 @@ func decodeMessage(m *Message, data []byte, d *Decoder) error {
 		Kind:  Kind(kind),
 		Op:    op,
 		Body:  body,
+		Span:  span,
 	}
 	return m.Validate()
 }

@@ -202,6 +202,10 @@ type Message struct {
 	Op string
 	// Body is the opaque application payload.
 	Body []byte
+	// Span is the optional causal-trace context. An invalid (zero) context
+	// costs no wire bytes; a valid one rides in a trailer after the body,
+	// so pre-trace decoders and encoders interoperate cleanly.
+	Span SpanContext
 }
 
 // String renders a compact one-line description for traces.
@@ -254,7 +258,8 @@ func (m Message) AppendBinary(buf []byte) ([]byte, error) {
 	buf = binary.AppendUvarint(buf, uint64(m.Kind))
 	buf = appendString(buf, m.Op)
 	buf = binary.AppendUvarint(buf, uint64(len(m.Body)))
-	return append(buf, m.Body...), nil
+	buf = append(buf, m.Body...)
+	return appendSpanTrailer(buf, m.Span), nil
 }
 
 // UnmarshalBinary decodes a message encoded by MarshalBinary, replacing m.
@@ -300,6 +305,7 @@ func (m Message) EncodedSize() int {
 	n += uvarintLen(uint64(m.Kind))
 	n += uvarintLen(uint64(len(m.Op))) + len(m.Op)
 	n += uvarintLen(uint64(len(m.Body))) + len(m.Body)
+	n += m.Span.encodedSize()
 	return n
 }
 

@@ -1,0 +1,108 @@
+package message
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// SpanContext is the compact causal-trace context a message carries on the
+// wire: the activity's trace id plus the member that started the trace.
+// Together with the message's own Label it names one span in the realized
+// dependency DAG, so the per-message wire cost is O(1) — two uvarints and
+// one short string — independent of the dependency count (vector-clock
+// schemes pay O(n) here).
+//
+// The context rides in an optional trailer after the message body (see
+// AppendBinary), so frames encoded by pre-trace builds decode unchanged and
+// frames with a span decode on old builds that tolerate trailers.
+type SpanContext struct {
+	// TraceID identifies the causal activity; zero means untraced.
+	TraceID uint64
+	// Origin is the member that started the trace (the root span's member,
+	// not necessarily this message's Label.Origin).
+	Origin string
+}
+
+// Valid reports whether the context names a trace.
+func (c SpanContext) Valid() bool { return c.TraceID != 0 }
+
+// String renders the context as T<id>@origin, or ∅ when untraced.
+func (c SpanContext) String() string {
+	if !c.Valid() {
+		return "∅"
+	}
+	return fmt.Sprintf("T%d@%s", c.TraceID, c.Origin)
+}
+
+// Trailer record tags. Each trailer record is [tag uvarint][len uvarint]
+// [payload], so decoders skip tags they do not understand by length alone.
+const trailerSpan = 1
+
+// encodedSize returns the wire size of the span trailer record, zero when
+// the context is invalid (untraced messages pay no trailer bytes at all,
+// which keeps the encoding byte-identical to pre-trace builds).
+func (c SpanContext) encodedSize() int {
+	if !c.Valid() {
+		return 0
+	}
+	p := spanPayloadSize(c)
+	return uvarintLen(trailerSpan) + uvarintLen(uint64(p)) + p
+}
+
+func spanPayloadSize(c SpanContext) int {
+	return uvarintLen(c.TraceID) + uvarintLen(uint64(len(c.Origin))) + len(c.Origin)
+}
+
+// appendSpanTrailer appends the span trailer record when the context is
+// valid; otherwise it returns buf untouched.
+func appendSpanTrailer(buf []byte, c SpanContext) []byte {
+	if !c.Valid() {
+		return buf
+	}
+	buf = binary.AppendUvarint(buf, trailerSpan)
+	buf = binary.AppendUvarint(buf, uint64(spanPayloadSize(c)))
+	buf = binary.AppendUvarint(buf, c.TraceID)
+	return appendString(buf, c.Origin)
+}
+
+// decodeTrailers parses the optional trailer records that follow the body.
+// Unknown tags are skipped by length — newer encoders may append fields old
+// decoders have never heard of — and a duplicate or malformed span record
+// is rejected outright. d may be nil.
+func decodeTrailers(rest []byte, d *Decoder) (SpanContext, error) {
+	var span SpanContext
+	for len(rest) > 0 {
+		tag, used := binary.Uvarint(rest)
+		if used <= 0 {
+			return SpanContext{}, fmt.Errorf("message: truncated trailer tag")
+		}
+		rest = rest[used:]
+		plen, used := binary.Uvarint(rest)
+		if used <= 0 || uint64(len(rest)-used) < plen {
+			return SpanContext{}, fmt.Errorf("message: truncated trailer payload")
+		}
+		payload := rest[used : used+int(plen)]
+		rest = rest[used+int(plen):]
+		switch tag {
+		case trailerSpan:
+			if span.Valid() {
+				return SpanContext{}, fmt.Errorf("message: duplicate span trailer")
+			}
+			id, used := binary.Uvarint(payload)
+			if used <= 0 || id == 0 {
+				return SpanContext{}, fmt.Errorf("message: invalid span trace id")
+			}
+			origin, tail, err := readStringIn(payload[used:], d)
+			if err != nil {
+				return SpanContext{}, fmt.Errorf("message: span origin: %w", err)
+			}
+			if len(tail) != 0 {
+				return SpanContext{}, fmt.Errorf("message: %d stray span trailer bytes", len(tail))
+			}
+			span = SpanContext{TraceID: id, Origin: origin}
+		default:
+			// Unknown trailer: skipped. Future fields live here.
+		}
+	}
+	return span, nil
+}

@@ -1,0 +1,215 @@
+package message
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+func spanMsg() Message {
+	return Message{
+		Label: Label{"a", 3},
+		Deps:  After(Label{"a", 1}, Label{"b", 2}),
+		Kind:  KindNonCommutative,
+		Op:    "upd",
+		Body:  []byte("k=v"),
+		Span:  SpanContext{TraceID: 42, Origin: "a"},
+	}
+}
+
+func TestSpanRoundTrip(t *testing.T) {
+	m := spanMsg()
+	data, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != m.EncodedSize() {
+		t.Fatalf("EncodedSize = %d, encoded %d bytes", m.EncodedSize(), len(data))
+	}
+	var back Message
+	if err := back.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if back.Span != m.Span {
+		t.Fatalf("span round trip: got %v want %v", back.Span, m.Span)
+	}
+	var viaDec Message
+	if err := NewDecoder().Decode(&viaDec, data); err != nil {
+		t.Fatal(err)
+	}
+	if viaDec.Span != m.Span {
+		t.Fatalf("decoder span round trip: got %v want %v", viaDec.Span, m.Span)
+	}
+}
+
+// TestSpanBackwardCompat pins both directions of wire compatibility: a
+// message without a span encodes byte-identically to the pre-trace codec
+// (so old decoders accept it), and a pre-trace frame — which ends exactly
+// at the body — decodes cleanly with an untraced span.
+func TestSpanBackwardCompat(t *testing.T) {
+	m := spanMsg()
+	m.Span = SpanContext{}
+	data, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reconstruct the pre-trace layout by hand: label, deps, kind, op, body
+	// and nothing after.
+	var legacy []byte
+	legacy = appendLabel(legacy, m.Label)
+	legacy = binary.AppendUvarint(legacy, uint64(m.Deps.Len()))
+	for _, d := range m.Deps.Labels() {
+		legacy = appendLabel(legacy, d)
+	}
+	legacy = binary.AppendUvarint(legacy, uint64(m.Kind))
+	legacy = appendString(legacy, m.Op)
+	legacy = binary.AppendUvarint(legacy, uint64(len(m.Body)))
+	legacy = append(legacy, m.Body...)
+	if !bytes.Equal(data, legacy) {
+		t.Fatalf("untraced encoding diverged from pre-trace layout:\nnew: %x\nold: %x", data, legacy)
+	}
+	var back Message
+	if err := back.UnmarshalBinary(legacy); err != nil {
+		t.Fatalf("pre-trace frame rejected: %v", err)
+	}
+	if back.Span.Valid() {
+		t.Fatalf("pre-trace frame decoded with span %v", back.Span)
+	}
+}
+
+// TestSpanUnknownTrailerSkipped checks forward compatibility: records with
+// tags this build does not know are skipped by length, and a span record
+// around them still decodes.
+func TestSpanUnknownTrailerSkipped(t *testing.T) {
+	m := spanMsg()
+	data, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Append a future trailer record: tag 9, 4-byte payload.
+	data = binary.AppendUvarint(data, 9)
+	data = binary.AppendUvarint(data, 4)
+	data = append(data, 0xDE, 0xAD, 0xBE, 0xEF)
+	var back Message
+	if err := back.UnmarshalBinary(data); err != nil {
+		t.Fatalf("unknown trailer rejected: %v", err)
+	}
+	if back.Span != m.Span {
+		t.Fatalf("span lost around unknown trailer: got %v want %v", back.Span, m.Span)
+	}
+}
+
+func TestSpanMalformedTrailers(t *testing.T) {
+	base, err := spanMsg().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare, err := Message{Label: Label{"a", 1}, Kind: KindCommutative, Op: "inc"}.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	trailer := base[len(base)-spanMsg().Span.encodedSize():]
+	cases := map[string][]byte{
+		// A second span record is a protocol error, not a merge.
+		"duplicate span": append(append([]byte{}, base...), trailer...),
+		// Trace id zero means untraced and must never be encoded.
+		"zero trace id": append(append([]byte{}, bare...), trailerSpan, 2, 0, 0),
+		// Record length runs past the frame.
+		"truncated payload": append(append([]byte{}, bare...), trailerSpan, 200, 1),
+		// Span payload with junk after the origin string.
+		"stray span bytes": append(append([]byte{}, bare...), trailerSpan, 4, 7, 1, 'a', 0xFF),
+		// Tag present but payload length missing.
+		"truncated record": append(append([]byte{}, bare...), trailerSpan),
+	}
+	for name, data := range cases {
+		var m Message
+		if err := m.UnmarshalBinary(data); err == nil {
+			t.Errorf("%s: accepted, span=%v", name, m.Span)
+		}
+	}
+}
+
+// TestSpanDuplicateTrailerBytes builds the duplicate-span case precisely:
+// two well-formed span records back to back.
+func TestSpanDuplicateTrailerBytes(t *testing.T) {
+	m := Message{Label: Label{"a", 1}, Kind: KindCommutative, Op: "inc",
+		Span: SpanContext{TraceID: 7, Origin: "a"}}
+	data, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare := m
+	bare.Span = SpanContext{}
+	prefix, err := bare.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dup := append(append([]byte{}, data...), data[len(prefix):]...)
+	var back Message
+	if err := back.UnmarshalBinary(dup); err == nil {
+		t.Fatalf("duplicate span record accepted: %v", back.Span)
+	}
+}
+
+// FuzzFrameSpanDecode drives the trailer parser with arbitrary bytes after
+// a valid message prefix, plus fully arbitrary frames: never panic, and
+// anything accepted must re-encode to a canonical fixpoint whose size
+// EncodedSize predicts exactly (the same contract FuzzUnmarshalBinary pins
+// for the pre-trace codec).
+func FuzzFrameSpanDecode(f *testing.F) {
+	seeds := []Message{
+		spanMsg(),
+		{Label: Label{"b", 1}, Kind: KindControl, Op: "hb",
+			Span: SpanContext{TraceID: 1, Origin: "b~seq"}},
+		{Label: Label{"c", 9}, Kind: KindRead, Op: "rd"},
+	}
+	for _, m := range seeds {
+		data, err := m.MarshalBinary()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	// A frame with an unknown trailer record after the span.
+	withUnknown, _ := spanMsg().MarshalBinary()
+	withUnknown = append(withUnknown, 5, 2, 1, 2)
+	f.Add(withUnknown)
+	// A pre-trace frame (no trailer at all).
+	legacy, _ := Message{Label: Label{"a", 1}, Kind: KindCommutative, Op: "inc"}.MarshalBinary()
+	f.Add(legacy)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m Message
+		if err := m.UnmarshalBinary(data); err != nil {
+			return
+		}
+		canon, err := m.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if m.EncodedSize() != len(canon) {
+			t.Fatalf("EncodedSize = %d, encoded length = %d", m.EncodedSize(), len(canon))
+		}
+		var again Message
+		if err := again.UnmarshalBinary(canon); err != nil {
+			t.Fatalf("canonical form rejected: %v", err)
+		}
+		if again.Span != m.Span {
+			t.Fatalf("span changed across canonical round trip: %v vs %v", again.Span, m.Span)
+		}
+		canon2, err := again.MarshalBinary()
+		if err != nil {
+			t.Fatalf("second encode failed: %v", err)
+		}
+		if !bytes.Equal(canon, canon2) {
+			t.Fatalf("canonical form not a fixpoint:\n1: %x\n2: %x", canon, canon2)
+		}
+		var viaDec Message
+		if err := NewDecoder().Decode(&viaDec, data); err != nil {
+			t.Fatalf("Decoder rejected input UnmarshalBinary accepted: %v", err)
+		}
+		if viaDec.Span != m.Span {
+			t.Fatalf("Decoder span disagrees: %v vs %v", viaDec.Span, m.Span)
+		}
+	})
+}

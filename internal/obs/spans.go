@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"causalshare/internal/graph"
+	"causalshare/internal/message"
+	"causalshare/internal/trace"
+)
+
+// GraphFromSpans rebuilds the declared dependency graph from a trace
+// collector's span records — the union of every retained activity. Spans
+// carry the OccursAfter predicates verbatim, so the result is exact (the
+// same graph ExtractGraph yields from a full delivery log) regardless of
+// which members' deliveries were observed. Edges pointing at labels the
+// collector never recorded (evicted, unsampled, or cross-activity lineage)
+// are cut, mirroring TraceView.Graph.
+//
+// The second return is false when the collector is nil or retains no
+// spans; callers then fall back to log inference (DependencyGraph does
+// this automatically).
+func GraphFromSpans(c *trace.Collector) (*graph.Graph, bool) {
+	views := c.Traces()
+	g := graph.New()
+	present := make(map[message.Label]bool)
+	for _, v := range views {
+		for _, s := range v.Spans {
+			present[s.Label] = true
+		}
+	}
+	if len(present) == 0 {
+		return nil, false
+	}
+	for _, v := range views {
+		for _, s := range v.Spans {
+			g.AddNode(s.Label)
+			for _, d := range s.Deps {
+				if present[d] {
+					_ = g.AddEdges(s.Label, []message.Label{d})
+				}
+			}
+		}
+	}
+	return g, true
+}
+
+// DependencyGraph recovers the execution's dependency graph from the best
+// evidence available: span records when a collector traced the run, else
+// inference from the delivery logs alone (the §3.2 observation mode for
+// engines whose messages carry no explicit relations). The span path is
+// exact; the inference path is conservative and may add accidental edges
+// that held in this execution by chance.
+func DependencyGraph(t *Trace, c *trace.Collector) (*graph.Graph, error) {
+	if g, ok := GraphFromSpans(c); ok {
+		return g, nil
+	}
+	return t.InferFromObservation()
+}

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"testing"
+
+	"causalshare/internal/message"
+	"causalshare/internal/trace"
+)
+
+// TestSpanAndInferencePathsAgreeOnFigure2 drives the Figure 2 computation
+// (mk -> ||{mi, mj} -> sync) through both evidence paths — span records on
+// a trace collector and plain delivery logs — and requires the recovered
+// graphs to classify every label pair identically: same happens-before
+// relation, same concurrency. The members' logs interleave the concurrent
+// middle differently, so inference has the evidence to separate real
+// dependencies from accidental order.
+func TestSpanAndInferencePathsAgreeOnFigure2(t *testing.T) {
+	mk := message.Message{Label: lbl("ak", 1), Kind: message.KindNonCommutative, Op: "set"}
+	mi := message.Message{Label: lbl("ai", 1), Deps: message.After(mk.Label), Kind: message.KindCommutative, Op: "inc"}
+	mj := message.Message{Label: lbl("aj", 1), Deps: message.After(mk.Label), Kind: message.KindCommutative, Op: "dec"}
+	sync := message.Message{Label: lbl("aj", 2), Deps: message.After(mi.Label, mj.Label), Kind: message.KindRead, Op: "rd"}
+
+	tr := NewTrace()
+	col := trace.NewCollector(trace.Config{})
+	// Each message gets its span context at its origin, as Broadcast does
+	// on the live stack; the context then travels with the message.
+	for _, m := range []*message.Message{&mk, &mi, &mj, &sync} {
+		m.Span = col.Tracer(m.Label.Origin).Broadcast(*m)
+	}
+
+	// Valid causal delivery orders; ai and aj disagree on the middle pair.
+	orders := map[string][]message.Message{
+		"ai": {mk, mi, mj, sync},
+		"aj": {mk, mj, mi, sync},
+		"ak": {mk, mi, mj, sync},
+	}
+	for member, seq := range orders {
+		rec := tr.Observer(member, nil)
+		spans := col.Tracer(member)
+		for _, m := range seq {
+			rec(m)
+			spans.Enqueue(m)
+			spans.Deliver(m)
+		}
+	}
+
+	fromSpans, ok := GraphFromSpans(col)
+	if !ok {
+		t.Fatal("collector retained no spans")
+	}
+	fromLogs, err := tr.InferFromObservation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := []message.Label{mk.Label, mi.Label, mj.Label, sync.Label}
+	for _, a := range labels {
+		for _, b := range labels {
+			if a == b {
+				continue
+			}
+			if sp, inf := fromSpans.HappensBefore(a, b), fromLogs.HappensBefore(a, b); sp != inf {
+				t.Errorf("HappensBefore(%v, %v): spans=%v inference=%v", a, b, sp, inf)
+			}
+			if sp, inf := fromSpans.Concurrent(a, b), fromLogs.Concurrent(a, b); sp != inf {
+				t.Errorf("Concurrent(%v, %v): spans=%v inference=%v", a, b, sp, inf)
+			}
+		}
+	}
+	// Spot-check the figure's relations on the span path.
+	if !fromSpans.HappensBefore(mk.Label, sync.Label) {
+		t.Error("transitive mk -> sync lost on the span path")
+	}
+	if !fromSpans.Concurrent(mi.Label, mj.Label) {
+		t.Error("concurrent middle not classified concurrent on the span path")
+	}
+	if col.ViolationCount() != 0 {
+		t.Errorf("audit flagged a valid causal delivery: %v", col.Violations())
+	}
+}
+
+// TestDependencyGraphFallsBackToInference pins the selection rule: with no
+// collector (or an empty one) DependencyGraph answers from the logs.
+func TestDependencyGraphFallsBackToInference(t *testing.T) {
+	m1 := msg(lbl("a", 1))
+	m2 := msg(lbl("b", 1), m1.Label)
+	tr := NewTrace()
+	for _, member := range []string{"a", "b"} {
+		rec := tr.Observer(member, nil)
+		rec(m1)
+		rec(m2)
+	}
+	for _, col := range []*trace.Collector{nil, trace.NewCollector(trace.Config{})} {
+		g, err := DependencyGraph(tr, col)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g.HappensBefore(m1.Label, m2.Label) {
+			t.Error("fallback inference lost the stable precedence")
+		}
+	}
+}

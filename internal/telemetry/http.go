@@ -102,20 +102,35 @@ type Server struct {
 	ln  net.Listener
 }
 
+// Route is an extra endpoint mounted on a Serve mux. Subsystems above
+// telemetry (the causal-trace collector, for one) contribute their
+// exposition this way without telemetry importing them.
+type Route struct {
+	// Pattern is a net/http mux pattern ("/trace/").
+	Pattern string
+	Handler http.Handler
+}
+
 // Serve starts an HTTP server on addr exposing:
 //
 //	/metrics  Prometheus text
 //	/vars     JSON snapshot
 //	/trace    event-ring dump (404 when ring is nil)
 //
-// Pass addr ":0" to bind an ephemeral port; Addr reports the bound
-// address. The caller owns the returned server and must Close it.
-func Serve(addr string, reg *Registry, ring *Ring) (*Server, error) {
+// plus any extra routes. Pass addr ":0" to bind an ephemeral port; Addr
+// reports the bound address. The caller owns the returned server and must
+// Close it.
+func Serve(addr string, reg *Registry, ring *Ring, extra ...Route) (*Server, error) {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", Handler(reg))
 	mux.Handle("/vars", JSONHandler(reg))
 	if ring != nil {
 		mux.Handle("/trace", TraceHandler(ring))
+	}
+	for _, r := range extra {
+		if r.Handler != nil {
+			mux.Handle(r.Pattern, r.Handler)
+		}
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

@@ -27,6 +27,9 @@ const (
 	// EventElect: a leader election completed at the new leader
 	// (Seq = epoch, Value = re-proposed assignments).
 	EventElect
+	// EventViolation: the online causal auditor flagged an ordering
+	// violation (Value = violation kind).
+	EventViolation
 )
 
 // String returns the kind's wire/debug name.
@@ -48,6 +51,8 @@ func (k EventKind) String() string {
 		return "epoch"
 	case EventElect:
 		return "elect"
+	case EventViolation:
+		return "violation"
 	default:
 		return "unknown"
 	}

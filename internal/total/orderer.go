@@ -10,6 +10,7 @@ import (
 	"causalshare/internal/group"
 	"causalshare/internal/message"
 	"causalshare/internal/telemetry"
+	"causalshare/internal/trace"
 	"causalshare/internal/vclock"
 )
 
@@ -47,6 +48,10 @@ type Config struct {
 	Telemetry *telemetry.Registry
 	// Trace, when non-nil, receives epoch/election events (Sequencer only).
 	Trace *telemetry.Ring
+	// Tracer, when non-nil, records span lifecycle events for the causal
+	// trace collector: total-order apply points, adopted epochs, and ORDER
+	// application (the online epoch-fence audit input). Sequencer only.
+	Tracer *trace.Tracer
 }
 
 // DefaultMaxPending is the sequencer holdback bound used when

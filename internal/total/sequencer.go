@@ -10,6 +10,7 @@ import (
 	"causalshare/internal/group"
 	"causalshare/internal/message"
 	"causalshare/internal/telemetry"
+	"causalshare/internal/trace"
 )
 
 // seqLabelSuffix namespaces sequencer traffic.
@@ -96,6 +97,7 @@ type Sequencer struct {
 	delivered   uint64
 	ins         totalInstruments
 	trace       *telemetry.Ring
+	spans       *trace.Tracer
 
 	done     chan struct{}
 	stopOnce sync.Once
@@ -125,6 +127,7 @@ func NewSequencer(cfg Config) (*Sequencer, error) {
 		labeler:     message.NewLabeler(cfg.Self + seqLabelSuffix),
 		ins:         newTotalInstruments(cfg.Telemetry),
 		trace:       cfg.Trace,
+		spans:       cfg.Tracer,
 		data:        make(map[message.Label]message.Message),
 		seqOf:       make(map[uint64]seqAssign),
 		seqByLabel:  make(map[message.Label]uint64),
@@ -280,9 +283,7 @@ func (s *Sequencer) Resume(snap SyncSnapshot, lastLabel uint64) {
 	for _, m := range orders {
 		_ = b.Broadcast(m)
 	}
-	for _, m := range ready {
-		s.deliver(m)
-	}
+	s.deliverAll(ready)
 }
 
 // ASend broadcasts an operation for totally ordered delivery.
@@ -420,6 +421,7 @@ func (s *Sequencer) setEpochLocked(epoch uint64) {
 	s.acked = nil
 	s.ins.epoch.Set(int64(epoch))
 	s.trace.Record(telemetry.EventEpoch, s.self, "", epoch, 0)
+	s.spans.EpochAdopted(epoch)
 }
 
 // maybeCompleteElectionLocked finishes the campaign once every member
@@ -622,9 +624,7 @@ func (s *Sequencer) ingestData(m message.Message) {
 	s.observeLocked()
 	b := s.bcast
 	s.mu.Unlock()
-	for _, r := range ready {
-		s.deliver(r)
-	}
+	s.deliverAll(ready)
 	for _, a := range announce {
 		_ = b.Broadcast(a) // leader retries are the causal layer's concern
 	}
@@ -680,13 +680,12 @@ func (s *Sequencer) ingestOrder(epoch, seq uint64, label message.Label) {
 	if epoch > s.epoch {
 		s.setEpochLocked(epoch)
 	}
+	s.spans.OrderApplied(epoch, label)
 	s.mergeAssignLocked(epoch, seq, label)
 	ready := s.releaseLocked()
 	s.observeLocked()
 	s.mu.Unlock()
-	for _, r := range ready {
-		s.deliver(r)
-	}
+	s.deliverAll(ready)
 }
 
 func (s *Sequencer) ingestSeqHB(from string, epoch, nextDeliver uint64) {
@@ -764,11 +763,20 @@ func (s *Sequencer) ingestAck(from string, epoch, nextDeliver uint64, assigns ma
 	s.observeLocked()
 	b := s.bcast
 	s.mu.Unlock()
-	for _, r := range ready {
-		s.deliver(r)
-	}
+	s.deliverAll(ready)
 	for _, m := range out {
 		_ = b.Broadcast(m)
+	}
+}
+
+// deliverAll hands released messages to the application in order, marking
+// each one's total-order apply point on the trace collector first so span
+// records show sequencing latency separately from causal delivery. Called
+// without mu held.
+func (s *Sequencer) deliverAll(ready []message.Message) {
+	for _, m := range ready {
+		s.spans.Apply(m.Label)
+		s.deliver(m)
 	}
 }
 

@@ -1,0 +1,159 @@
+package trace
+
+import (
+	"fmt"
+	"time"
+
+	"causalshare/internal/message"
+	"causalshare/internal/telemetry"
+)
+
+// ViolationKind classifies what the online auditor caught.
+type ViolationKind int
+
+const (
+	// ViolationCausalOrder: a message was delivered at a member before one
+	// of its declared OccursAfter dependencies.
+	ViolationCausalOrder ViolationKind = iota + 1
+	// ViolationEpochFence: a member applied an ORDER from an epoch lower
+	// than one it had already adopted.
+	ViolationEpochFence
+	// ViolationStableRead: a deferred read was answered from a stable
+	// cycle earlier than its registration boundary.
+	ViolationStableRead
+	// ViolationStableDiverge: two members reported the same stable cycle
+	// with different closers or state digests.
+	ViolationStableDiverge
+)
+
+var violationNames = map[ViolationKind]string{
+	ViolationCausalOrder:   "causal-order",
+	ViolationEpochFence:    "epoch-fence",
+	ViolationStableRead:    "stable-read",
+	ViolationStableDiverge: "stable-diverge",
+}
+
+// String returns the kind's short name.
+func (k ViolationKind) String() string {
+	if s, ok := violationNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("ViolationKind(%d)", int(k))
+}
+
+// Violation is one snapshot captured when the auditor fired. The bounded
+// snapshot buffer keeps the first MaxViolations; trace_violations_total
+// counts all of them.
+type Violation struct {
+	Kind   ViolationKind `json:"kind"`
+	Member string        `json:"member"`
+	// Label is the message whose handling violated the invariant (zero for
+	// read-boundary violations, which have no carrying message).
+	Label message.Label `json:"label"`
+	// Dep is the violated edge's source for causal-order violations.
+	Dep message.Label `json:"dep,omitempty"`
+	// Trace is the owning trace id when known.
+	Trace uint64 `json:"trace,omitempty"`
+	// At is the collector-clock offset of detection.
+	At time.Duration `json:"at_ns"`
+	// Detail is a human-readable one-liner.
+	Detail string `json:"detail"`
+}
+
+// String renders the violation for logs and failure messages.
+func (v Violation) String() string {
+	return fmt.Sprintf("[%s] %s at %s: %s", v.Kind, v.Label, v.Member, v.Detail)
+}
+
+func (c *Collector) violationLocked(kind ViolationKind, member string, label, dep message.Label, at time.Duration, detail string) {
+	c.violSeen++
+	c.ins.violations.Inc()
+	c.ring.Record(telemetry.EventViolation, member, label.Origin, label.Seq, int64(kind))
+	if len(c.violations) >= c.maxViols {
+		return
+	}
+	var traceID uint64
+	if info, ok := c.byLabel[label]; ok {
+		traceID = info.trace
+	}
+	c.violations = append(c.violations, Violation{
+		Kind:   kind,
+		Member: member,
+		Label:  label,
+		Dep:    dep,
+		Trace:  traceID,
+		At:     at,
+		Detail: detail,
+	})
+}
+
+// auditDeliveryLocked checks every declared edge of m at delivery time at
+// member: each dependency must be delivered there already, or covered by a
+// rejoin watermark. Dependencies the store no longer knows (evicted or
+// unsampled) are skipped — like the post-hoc obs auditor, the check is
+// best-effort under bounded retention, and trace_span_dropped_total says
+// how much coverage was lost.
+func (c *Collector) auditDeliveryLocked(member string, m message.Message, now time.Duration) {
+	var ma *memberAudit
+	if a, ok := c.members[member]; ok {
+		ma = a
+	}
+	for _, dep := range m.Deps.Labels() {
+		if ma != nil && ma.seeded != nil && dep.Seq <= ma.seeded[dep.Origin] {
+			continue
+		}
+		if _, known := c.byLabel[dep]; !known {
+			continue
+		}
+		sr, ok := c.spanIdx[spanKey{dep, member}]
+		if !ok || sr.deliver == 0 {
+			c.violationLocked(ViolationCausalOrder, member, m.Label, dep, now,
+				fmt.Sprintf("delivered before declared dependency %s was delivered here", dep))
+		}
+	}
+}
+
+// auditStableLocked checks cross-member stable-point agreement: the first
+// report of a cycle fixes (closer, digest); any later report of the same
+// cycle must match both. The claim table is bounded FIFO.
+func (c *Collector) auditStableLocked(member string, closer message.Label, cycle uint64, digest string, now time.Duration) {
+	if claim, ok := c.stables[cycle]; ok {
+		if claim.closer != closer || claim.digest != digest {
+			c.violationLocked(ViolationStableDiverge, member, closer, claim.closer, now,
+				fmt.Sprintf("stable cycle %d: %s reported (%s, %q), first report by %s was (%s, %q)",
+					cycle, member, closer, digest, claim.member, claim.closer, claim.digest))
+		}
+		return
+	}
+	c.stables[cycle] = stableClaim{member: member, closer: closer, digest: digest}
+	c.stableQ[(c.sqHead+c.sqLen)%len(c.stableQ)] = cycle
+	c.sqLen++
+	for len(c.stables) > defaultMaxStables {
+		old := c.stableQ[c.sqHead]
+		c.sqHead = (c.sqHead + 1) % len(c.stableQ)
+		c.sqLen--
+		delete(c.stables, old)
+	}
+}
+
+// Violations returns a copy of the captured violation snapshots in
+// detection order.
+func (c *Collector) Violations() []Violation {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Violation(nil), c.violations...)
+}
+
+// ViolationCount returns how many violations were detected in total,
+// including any past the snapshot bound.
+func (c *Collector) ViolationCount() uint64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.violSeen
+}

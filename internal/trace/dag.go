@@ -1,0 +1,343 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"causalshare/internal/graph"
+	"causalshare/internal/message"
+)
+
+// Span is the exported, immutable view of one span record: one message's
+// lifecycle at one member. Zero stage offsets mean the stage was never
+// reached there.
+type Span struct {
+	Trace  uint64        `json:"trace"`
+	Label  message.Label `json:"label"`
+	Member string        `json:"member"`
+	Kind   message.Kind  `json:"kind"`
+	// Deps is the declared OccursAfter predicate.
+	Deps []message.Label `json:"deps,omitempty"`
+	// Lifecycle stages, as offsets from the collector's base clock.
+	Send    time.Duration `json:"send_ns,omitempty"`
+	Enqueue time.Duration `json:"enqueue_ns,omitempty"`
+	Deliver time.Duration `json:"deliver_ns,omitempty"`
+	Apply   time.Duration `json:"apply_ns,omitempty"`
+	Stable  time.Duration `json:"stable_ns,omitempty"`
+	// Waits attributes holdback latency to specific declared edges.
+	Waits []DepWait `json:"waits,omitempty"`
+}
+
+// completed returns the span's latest recorded stage offset.
+func (s Span) completed() time.Duration {
+	max := s.Send
+	for _, d := range []time.Duration{s.Enqueue, s.Deliver, s.Apply, s.Stable} {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// TraceView is the exported snapshot of one causal activity.
+type TraceView struct {
+	ID uint64 `json:"id"`
+	// Parent links a continuation or successor activity to its ancestor.
+	Parent uint64 `json:"parent,omitempty"`
+	// Origin is the member that started the activity.
+	Origin string `json:"origin"`
+	// Spans holds every recorded span, sorted by (label, member).
+	Spans []Span `json:"spans"`
+}
+
+func exportSpan(id uint64, sr *spanRec) Span {
+	s := Span{
+		Trace:   id,
+		Label:   sr.label,
+		Member:  sr.member,
+		Kind:    sr.kind,
+		Send:    sr.send,
+		Enqueue: sr.enqueue,
+		Deliver: sr.deliver,
+		Apply:   sr.apply,
+		Stable:  sr.stable,
+	}
+	if len(sr.deps) > 0 {
+		s.Deps = append([]message.Label(nil), sr.deps...)
+	}
+	if len(sr.waits) > 0 {
+		s.Waits = append([]DepWait(nil), sr.waits...)
+	}
+	return s
+}
+
+func exportTrace(tr *traceRec) TraceView {
+	v := TraceView{ID: tr.id, Parent: tr.parent, Origin: tr.origin,
+		Spans: make([]Span, 0, len(tr.spans))}
+	for _, sr := range tr.spans {
+		v.Spans = append(v.Spans, exportSpan(tr.id, sr))
+	}
+	sort.Slice(v.Spans, func(i, j int) bool {
+		a, b := v.Spans[i], v.Spans[j]
+		if a.Label != b.Label {
+			return a.Label.Less(b.Label)
+		}
+		return a.Member < b.Member
+	})
+	return v
+}
+
+// TraceIDs returns the ids of all retained traces, oldest first.
+func (c *Collector) TraceIDs() []uint64 {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ids := make([]uint64, 0, len(c.traces))
+	for i := 0; i < c.qLen; i++ {
+		id := c.evictQ[(c.qHead+i)%len(c.evictQ)]
+		if _, ok := c.traces[id]; ok {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// Trace returns a snapshot of one retained trace.
+func (c *Collector) Trace(id uint64) (TraceView, bool) {
+	if c == nil {
+		return TraceView{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	tr, ok := c.traces[id]
+	if !ok {
+		return TraceView{}, false
+	}
+	return exportTrace(tr), true
+}
+
+// Traces snapshots every retained trace, oldest first.
+func (c *Collector) Traces() []TraceView {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	views := make([]TraceView, 0, len(c.traces))
+	for i := 0; i < c.qLen; i++ {
+		id := c.evictQ[(c.qHead+i)%len(c.evictQ)]
+		if tr, ok := c.traces[id]; ok {
+			views = append(views, exportTrace(tr))
+		}
+	}
+	return views
+}
+
+// Lookup returns the trace id a label is registered to.
+func (c *Collector) Lookup(l message.Label) (uint64, bool) {
+	if c == nil {
+		return 0, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	info, ok := c.byLabel[l]
+	return info.trace, ok
+}
+
+// Graph rebuilds the declared dependency graph of the activity, restricted
+// to labels recorded in the trace (edges to other activities are cut — the
+// parent link records the lineage).
+func (v TraceView) Graph() *graph.Graph {
+	g := graph.New()
+	present := make(map[message.Label]bool, len(v.Spans))
+	for _, s := range v.Spans {
+		present[s.Label] = true
+	}
+	for _, s := range v.Spans {
+		g.AddNode(s.Label)
+		for _, d := range s.Deps {
+			if present[d] {
+				_ = g.AddEdges(s.Label, []message.Label{d})
+			}
+		}
+	}
+	return g
+}
+
+// labelAgg folds a label's spans across members.
+type labelAgg struct {
+	kind      message.Kind
+	deps      []message.Label
+	completed time.Duration // max completion across members
+	members   int
+	delivered int
+	maxWait   map[message.Label]time.Duration
+}
+
+func (v TraceView) aggregate() map[message.Label]*labelAgg {
+	agg := make(map[message.Label]*labelAgg)
+	for _, s := range v.Spans {
+		a, ok := agg[s.Label]
+		if !ok {
+			a = &labelAgg{kind: s.Kind, deps: s.Deps, maxWait: map[message.Label]time.Duration{}}
+			agg[s.Label] = a
+		}
+		a.members++
+		if s.Deliver > 0 {
+			a.delivered++
+		}
+		if done := s.completed(); done > a.completed {
+			a.completed = done
+		}
+		for _, w := range s.Waits {
+			if w.Wait > a.maxWait[w.Dep] {
+				a.maxWait[w.Dep] = w.Wait
+			}
+		}
+	}
+	return agg
+}
+
+// PathStep is one hop on the critical path, root first. Wait is the
+// largest holdback wait any member attributed to the edge arriving at this
+// step (zero when the dependency was already delivered everywhere).
+type PathStep struct {
+	Label message.Label `json:"label"`
+	Kind  message.Kind  `json:"kind"`
+	// Completed is the latest lifecycle stage offset across members.
+	Completed time.Duration `json:"completed_ns"`
+	Wait      time.Duration `json:"wait_ns,omitempty"`
+}
+
+// CriticalPath returns the slowest declared dependency chain of the
+// activity: starting from the label that completed last, it walks back
+// through the declared edge whose source completed latest, which is the
+// chain that bounded the activity's end-to-end latency.
+func (v TraceView) CriticalPath() []PathStep {
+	agg := v.aggregate()
+	if len(agg) == 0 {
+		return nil
+	}
+	var tip message.Label
+	var tipDone time.Duration
+	for l, a := range agg {
+		if a.completed > tipDone || (a.completed == tipDone && (tip == message.Label{} || l.Less(tip))) {
+			tip, tipDone = l, a.completed
+		}
+	}
+	var rev []PathStep
+	seen := make(map[message.Label]bool)
+	cur := tip
+	for !seen[cur] {
+		seen[cur] = true
+		a := agg[cur]
+		step := PathStep{Label: cur, Kind: a.kind, Completed: a.completed}
+		var next message.Label
+		var nextDone time.Duration
+		found := false
+		for _, d := range a.deps {
+			da, ok := agg[d]
+			if !ok || seen[d] {
+				continue
+			}
+			if !found || da.completed > nextDone {
+				next, nextDone, found = d, da.completed, true
+			}
+		}
+		if found {
+			step.Wait = a.maxWait[next]
+		}
+		rev = append(rev, step)
+		if !found {
+			break
+		}
+		cur = next
+	}
+	path := make([]PathStep, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		path = append(path, rev[i])
+	}
+	return path
+}
+
+// VerifyEdges re-checks every realized delivery against the declared
+// graph after the fact: for each member that delivered a message, every
+// declared dependency recorded in the trace must have delivered there
+// first. It is the offline complement of the online auditor, used by
+// cmd/causaltrace to diff a merged trace.
+func (v TraceView) VerifyEdges() []Violation {
+	byKey := make(map[spanKey]Span, len(v.Spans))
+	for _, s := range v.Spans {
+		byKey[spanKey{s.Label, s.Member}] = s
+	}
+	var out []Violation
+	for _, s := range v.Spans {
+		if s.Deliver == 0 {
+			continue
+		}
+		for _, d := range s.Deps {
+			ds, ok := byKey[spanKey{d, s.Member}]
+			if !ok {
+				continue // dependency outside this trace: lineage edge
+			}
+			if ds.Deliver == 0 || ds.Deliver > s.Deliver {
+				out = append(out, Violation{
+					Kind:   ViolationCausalOrder,
+					Member: s.Member,
+					Label:  s.Label,
+					Dep:    d,
+					Trace:  v.ID,
+					At:     s.Deliver,
+					Detail: fmt.Sprintf("realized delivery order inverts declared edge %s → %s", d, s.Label),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// DOT renders the realized dependency DAG in Graphviz format, one node per
+// message annotated with its end-to-end completion and delivery coverage,
+// edges annotated with the worst attributed holdback wait.
+func (v TraceView) DOT() string {
+	agg := v.aggregate()
+	labels := make([]message.Label, 0, len(agg))
+	for l := range agg {
+		labels = append(labels, l)
+	}
+	sort.Slice(labels, func(i, j int) bool { return labels[i].Less(labels[j]) })
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph trace_%d {\n", v.ID)
+	b.WriteString("  rankdir=BT;\n  node [shape=box, fontsize=10];\n")
+	for _, l := range labels {
+		a := agg[l]
+		shape := ""
+		if closerKind(a.kind) {
+			shape = ", style=bold" // activity closers stand out
+		}
+		fmt.Fprintf(&b, "  %q [label=\"%s\\n%s · %d/%d delivered · %s\"%s];\n",
+			l.String(), l.String(), a.kind, a.delivered, a.members,
+			a.completed.Round(time.Microsecond), shape)
+	}
+	for _, l := range labels {
+		a := agg[l]
+		for _, d := range a.deps {
+			if _, ok := agg[d]; !ok {
+				continue
+			}
+			if w := a.maxWait[d]; w > 0 {
+				fmt.Fprintf(&b, "  %q -> %q [label=\"wait %s\"];\n",
+					l.String(), d.String(), w.Round(time.Microsecond))
+			} else {
+				fmt.Fprintf(&b, "  %q -> %q;\n", l.String(), d.String())
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

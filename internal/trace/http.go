@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"causalshare/internal/telemetry"
+)
+
+// traceSummary is the index row for one retained trace.
+type traceSummary struct {
+	ID     uint64 `json:"id"`
+	Parent uint64 `json:"parent,omitempty"`
+	Origin string `json:"origin"`
+	Spans  int    `json:"spans"`
+	Labels int    `json:"labels"`
+}
+
+// Routes returns the exposition endpoints for c, ready to pass to
+// telemetry.Serve:
+//
+//	/trace/           index of retained traces + violation snapshots
+//	/trace/{id}       one trace's merged span records (JSON)
+//	/trace/{id}.dot   the realized dependency DAG in Graphviz format
+//
+// The exact-match /trace endpoint (the telemetry event ring) is unrelated
+// and keeps working beside these.
+func Routes(c *Collector) []telemetry.Route {
+	return []telemetry.Route{{Pattern: "/trace/", Handler: handler(c)}}
+}
+
+func handler(c *Collector) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rest := strings.TrimPrefix(r.URL.Path, "/trace/")
+		switch {
+		case rest == "":
+			serveIndex(w, c)
+		case strings.HasSuffix(rest, ".dot"):
+			id, err := strconv.ParseUint(strings.TrimSuffix(rest, ".dot"), 10, 64)
+			if err != nil {
+				http.Error(w, "bad trace id", http.StatusBadRequest)
+				return
+			}
+			v, ok := c.Trace(id)
+			if !ok {
+				http.Error(w, "trace not found", http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "text/vnd.graphviz; charset=utf-8")
+			_, _ = w.Write([]byte(v.DOT()))
+		default:
+			id, err := strconv.ParseUint(rest, 10, 64)
+			if err != nil {
+				http.Error(w, "bad trace id", http.StatusBadRequest)
+				return
+			}
+			v, ok := c.Trace(id)
+			if !ok {
+				http.Error(w, "trace not found", http.StatusNotFound)
+				return
+			}
+			writeJSON(w, v)
+		}
+	})
+}
+
+func serveIndex(w http.ResponseWriter, c *Collector) {
+	views := c.Traces()
+	out := struct {
+		Traces     []traceSummary `json:"traces"`
+		Violations []Violation    `json:"violations"`
+	}{Traces: make([]traceSummary, 0, len(views)), Violations: c.Violations()}
+	for _, v := range views {
+		labels := make(map[string]struct{}, len(v.Spans))
+		for _, s := range v.Spans {
+			labels[s.Label.String()] = struct{}{}
+		}
+		out.Traces = append(out.Traces, traceSummary{
+			ID: v.ID, Parent: v.Parent, Origin: v.Origin,
+			Spans: len(v.Spans), Labels: len(labels),
+		})
+	}
+	writeJSON(w, out)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

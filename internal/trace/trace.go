@@ -1,0 +1,677 @@
+// Package trace turns the dependency graph the application declares via
+// OSend(..., OccursAfter(...)) into a first-class runtime artifact. A
+// Collector merges span records from every node of an in-process group
+// into the realized dependency DAG, attributes holdback latency to the
+// specific edge a message waited on, and audits — online, as deliveries
+// happen — that no declared causal edge is ever violated.
+//
+// The design follows the paper's observation that the declared graph is
+// "stable information, reproducible across executions": because every
+// message names its predecessors explicitly, checking causal consistency
+// of one execution needs no vector clocks — a span context of O(1) size
+// (trace id + root member) rides the wire, and the auditor just checks
+// each declared edge at delivery time. Overhead stays constant per message
+// regardless of group size.
+//
+// A trace groups the spans of one causal activity: it is rooted at an
+// application (non-control) message, control traffic (ORDER, heartbeats)
+// attaches to the activity it serves, and a message that depends on a
+// stable-point closer starts a new, parent-linked trace — mirroring the
+// paper's activity structure where a non-commutative request closes the
+// current activity.
+//
+// The store is bounded and pooled: traces evict FIFO past MaxTraces, span
+// records recycle through free lists, and trace_span_dropped_total counts
+// what auditing lost to eviction. The steady-state hot path allocates
+// nothing.
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"causalshare/internal/message"
+	"causalshare/internal/telemetry"
+)
+
+// Config parameterizes a Collector. The zero value is usable: unlimited
+// sampling, default bounds, no telemetry.
+type Config struct {
+	// MaxTraces bounds the trace store; the oldest trace evicts when a new
+	// one would exceed it. Default 1024.
+	MaxTraces int
+	// MaxLabelsPerTrace caps how many distinct messages one trace absorbs
+	// before a continuation trace (parent-linked) is started instead; it
+	// keeps unbounded control chains from growing a single giant trace.
+	// Default 256.
+	MaxLabelsPerTrace int
+	// MaxViolations bounds the violation snapshot buffer (the counter keeps
+	// counting past it). Default 64.
+	MaxViolations int
+	// SampleEvery traces one in every N new root activities; <= 1 traces
+	// all of them. Messages continuing a sampled activity are always
+	// traced; unsampled activities carry no span context at all.
+	SampleEvery int
+	// Telemetry receives the trace_* instruments; nil disables them.
+	Telemetry *telemetry.Registry
+	// Ring receives EventViolation events; nil disables them.
+	Ring *telemetry.Ring
+}
+
+const (
+	defaultMaxTraces  = 1024
+	defaultMaxLabels  = 256
+	defaultMaxViols   = 64
+	defaultMaxStables = 1024
+)
+
+// spanKey identifies one span: labels are globally unique, so (label,
+// member) needs no trace id.
+type spanKey struct {
+	label  message.Label
+	member string
+}
+
+// spanRec is the mutable store-side span. Stage fields are offsets from
+// the collector's base clock; zero means the stage was not reached (the
+// clock reads are taken after at least one nanosecond has passed, so a
+// genuine zero offset cannot occur).
+type spanRec struct {
+	label  message.Label
+	member string
+	kind   message.Kind
+	// deps aliases the message's immutable dependency slice.
+	deps []message.Label
+	send, enqueue, deliver, apply, stable time.Duration
+	waits                                 []DepWait
+}
+
+// DepWait attributes holdback latency to one declared edge: the carrying
+// message sat in the holdback buffer for Wait until Dep was delivered.
+type DepWait struct {
+	Dep  message.Label `json:"dep"`
+	Wait time.Duration `json:"wait_ns"`
+}
+
+// traceRec is one causal activity's record.
+type traceRec struct {
+	id     uint64
+	parent uint64
+	origin string
+	spans  []*spanRec
+	// labels lists the distinct message labels registered to this trace,
+	// for byLabel cleanup at eviction.
+	labels []message.Label
+}
+
+// labelInfo is the per-label index entry: which trace the label belongs to
+// and its kind (closers — non-commutative and read operations — start new
+// downstream activities).
+type labelInfo struct {
+	trace uint64
+	kind  message.Kind
+}
+
+func closerKind(k message.Kind) bool {
+	return k == message.KindNonCommutative || k == message.KindRead
+}
+
+// stableClaim is the first member's report of a stable point at a cycle;
+// later reports must match it.
+type stableClaim struct {
+	member string
+	closer message.Label
+	digest string
+}
+
+type memberAudit struct {
+	// seeded holds per-origin delivered watermarks adopted at rejoin:
+	// dependencies at or below the watermark were delivered by a previous
+	// incarnation and are satisfied by construction.
+	seeded map[string]uint64
+	// maxEpoch is the highest epoch this member adopted.
+	maxEpoch uint64
+	hasEpoch bool
+}
+
+type collectorInstruments struct {
+	spans, spanDropped, traces, tracesEvicted, violations *telemetry.Counter
+	active                                                *telemetry.Gauge
+}
+
+func newCollectorInstruments(reg *telemetry.Registry) collectorInstruments {
+	return collectorInstruments{
+		spans:         reg.Counter("trace_spans_total", "span records created"),
+		spanDropped:   reg.Counter("trace_span_dropped_total", "span records lost to trace-store eviction"),
+		traces:        reg.Counter("trace_traces_total", "traces started"),
+		tracesEvicted: reg.Counter("trace_traces_evicted_total", "traces evicted from the bounded store"),
+		violations:    reg.Counter("trace_violations_total", "causal-order violations detected by the online auditor"),
+		active:        reg.Gauge("trace_active_traces", "traces currently retained"),
+	}
+}
+
+// Collector is the shared per-group trace store and online auditor. One
+// collector serves every member of an in-process group; per-member Tracer
+// handles (see Tracer) feed it. All methods are safe for concurrent use,
+// and a nil *Collector is a valid disabled collector.
+type Collector struct {
+	base time.Time
+
+	maxTraces, maxLabels, maxViols int
+	sampleEvery                    int
+
+	ins  collectorInstruments
+	ring *telemetry.Ring
+
+	mu       sync.Mutex
+	nextID   uint64
+	rootSeen uint64
+
+	traces  map[uint64]*traceRec
+	spanIdx map[spanKey]*spanRec
+	byLabel map[message.Label]labelInfo
+	// evictQ is a fixed circular buffer of live trace ids in creation
+	// order; capacity maxTraces+1 so it never reallocates.
+	evictQ     []uint64
+	qHead, qLen int
+
+	members map[string]*memberAudit
+
+	stables    map[uint64]stableClaim
+	stableQ    []uint64
+	sqHead, sqLen int
+
+	violations []Violation
+	violSeen   uint64
+
+	spanFree  []*spanRec
+	traceFree []*traceRec
+}
+
+// NewCollector builds a collector with cfg's bounds.
+func NewCollector(cfg Config) *Collector {
+	if cfg.MaxTraces <= 0 {
+		cfg.MaxTraces = defaultMaxTraces
+	}
+	if cfg.MaxLabelsPerTrace <= 0 {
+		cfg.MaxLabelsPerTrace = defaultMaxLabels
+	}
+	if cfg.MaxViolations <= 0 {
+		cfg.MaxViolations = defaultMaxViols
+	}
+	return &Collector{
+		base:        time.Now(),
+		maxTraces:   cfg.MaxTraces,
+		maxLabels:   cfg.MaxLabelsPerTrace,
+		maxViols:    cfg.MaxViolations,
+		sampleEvery: cfg.SampleEvery,
+		ins:         newCollectorInstruments(cfg.Telemetry),
+		ring:        cfg.Ring,
+		traces:      make(map[uint64]*traceRec, cfg.MaxTraces),
+		spanIdx:     make(map[spanKey]*spanRec),
+		byLabel:     make(map[message.Label]labelInfo),
+		evictQ:      make([]uint64, cfg.MaxTraces+1),
+		members:     make(map[string]*memberAudit),
+		stables:     make(map[uint64]stableClaim, defaultMaxStables),
+		stableQ:     make([]uint64, defaultMaxStables+1),
+	}
+}
+
+// Tracer returns the member-bound handle engines call their lifecycle
+// hooks on. A nil collector returns a nil tracer; every Tracer method is
+// nil-safe, so engines embed the hook calls unconditionally.
+func (c *Collector) Tracer(member string) *Tracer {
+	if c == nil {
+		return nil
+	}
+	return &Tracer{c: c, member: member}
+}
+
+func (c *Collector) now() time.Duration {
+	d := time.Since(c.base)
+	if d <= 0 {
+		d = 1 // stage fields use zero as "not reached"
+	}
+	return d
+}
+
+// ---- store primitives (all require c.mu) ----
+
+func (c *Collector) newSpanLocked() *spanRec {
+	if n := len(c.spanFree); n > 0 {
+		sr := c.spanFree[n-1]
+		c.spanFree = c.spanFree[:n-1]
+		return sr
+	}
+	return &spanRec{}
+}
+
+func (c *Collector) newTraceRecLocked() *traceRec {
+	if n := len(c.traceFree); n > 0 {
+		tr := c.traceFree[n-1]
+		c.traceFree = c.traceFree[:n-1]
+		return tr
+	}
+	return &traceRec{}
+}
+
+func (c *Collector) startTraceLocked(id uint64, origin string, parent uint64) *traceRec {
+	tr := c.newTraceRecLocked()
+	tr.id, tr.origin, tr.parent = id, origin, parent
+	tr.spans = tr.spans[:0]
+	tr.labels = tr.labels[:0]
+	c.traces[id] = tr
+	c.evictQ[(c.qHead+c.qLen)%len(c.evictQ)] = id
+	c.qLen++
+	c.ins.traces.Inc()
+	c.ins.active.Set(int64(len(c.traces)))
+	for len(c.traces) > c.maxTraces {
+		c.evictOldestLocked()
+	}
+	return tr
+}
+
+func (c *Collector) evictOldestLocked() {
+	for c.qLen > 0 {
+		id := c.evictQ[c.qHead]
+		c.qHead = (c.qHead + 1) % len(c.evictQ)
+		c.qLen--
+		tr, ok := c.traces[id]
+		if !ok {
+			continue // already gone (never happens today, but cheap to tolerate)
+		}
+		delete(c.traces, id)
+		for _, l := range tr.labels {
+			delete(c.byLabel, l)
+		}
+		for _, sr := range tr.spans {
+			delete(c.spanIdx, spanKey{sr.label, sr.member})
+			sr.label, sr.member, sr.kind = message.Label{}, "", 0
+			sr.deps = nil
+			sr.send, sr.enqueue, sr.deliver, sr.apply, sr.stable = 0, 0, 0, 0, 0
+			sr.waits = sr.waits[:0]
+			c.spanFree = append(c.spanFree, sr)
+		}
+		c.ins.spanDropped.Add(uint64(len(tr.spans)))
+		tr.spans = tr.spans[:0]
+		tr.labels = tr.labels[:0]
+		tr.origin = ""
+		c.traceFree = append(c.traceFree, tr)
+		c.ins.tracesEvicted.Inc()
+		c.ins.active.Set(int64(len(c.traces)))
+		return
+	}
+}
+
+// ensureTraceLocked returns the trace for ctx, resurrecting a skeleton if
+// the record was evicted (a remote member can enqueue a span for a trace
+// the store already dropped).
+func (c *Collector) ensureTraceLocked(ctx message.SpanContext) *traceRec {
+	if tr, ok := c.traces[ctx.TraceID]; ok {
+		return tr
+	}
+	return c.startTraceLocked(ctx.TraceID, ctx.Origin, 0)
+}
+
+// ensureSpanLocked returns the span record for (m.Label, member) in ctx's
+// trace, creating and indexing it on first sight.
+func (c *Collector) ensureSpanLocked(ctx message.SpanContext, member string, m message.Message) *spanRec {
+	key := spanKey{m.Label, member}
+	if sr, ok := c.spanIdx[key]; ok {
+		return sr
+	}
+	tr := c.ensureTraceLocked(ctx)
+	sr := c.newSpanLocked()
+	sr.label, sr.member, sr.kind = m.Label, member, m.Kind
+	sr.deps = m.Deps.Labels()
+	tr.spans = append(tr.spans, sr)
+	c.spanIdx[key] = sr
+	if _, ok := c.byLabel[m.Label]; !ok {
+		c.byLabel[m.Label] = labelInfo{trace: ctx.TraceID, kind: m.Kind}
+		tr.labels = append(tr.labels, m.Label)
+	}
+	c.ins.spans.Inc()
+	return sr
+}
+
+// assignLocked picks the span context for a message broadcast without one,
+// applying the activity rules from the package comment.
+func (c *Collector) assignLocked(member string, m message.Message) message.SpanContext {
+	var (
+		joinID   uint64 // first non-control, non-closer dependency's trace
+		ctlID    uint64 // first control dependency's trace
+		closerID uint64 // first closer dependency's trace
+	)
+	for _, d := range m.Deps.Labels() {
+		info, ok := c.byLabel[d]
+		if !ok {
+			continue
+		}
+		switch {
+		case info.kind == message.KindControl:
+			if ctlID == 0 {
+				ctlID = info.trace
+			}
+		case closerKind(info.kind):
+			if closerID == 0 {
+				closerID = info.trace
+			}
+		default:
+			if joinID == 0 {
+				joinID = info.trace
+			}
+		}
+	}
+	join := func(id uint64) message.SpanContext {
+		tr, ok := c.traces[id]
+		if !ok {
+			return message.SpanContext{}
+		}
+		if len(tr.labels) >= c.maxLabels {
+			// Continuation trace: same activity lineage, fresh record.
+			c.nextID++
+			nt := c.startTraceLocked(c.nextID, tr.origin, tr.id)
+			return message.SpanContext{TraceID: nt.id, Origin: nt.origin}
+		}
+		return message.SpanContext{TraceID: tr.id, Origin: tr.origin}
+	}
+	if m.Kind == message.KindControl {
+		// Control traffic attaches to the activity it serves; a control
+		// message ordering a closer joins the closer's trace.
+		for _, id := range []uint64{joinID, closerID, ctlID} {
+			if id != 0 {
+				if ctx := join(id); ctx.Valid() {
+					return ctx
+				}
+			}
+		}
+	} else {
+		if joinID != 0 {
+			if ctx := join(joinID); ctx.Valid() {
+				return ctx
+			}
+		}
+		if closerID != 0 {
+			// The dependency closed an activity: this message begins the
+			// next one, parent-linked for lineage.
+			if tr, ok := c.traces[closerID]; ok {
+				c.nextID++
+				nt := c.startTraceLocked(c.nextID, member, tr.id)
+				return message.SpanContext{TraceID: nt.id, Origin: nt.origin}
+			}
+		}
+		// Data depending only on control traffic roots a new activity
+		// rather than joining the unbounded control chain.
+	}
+	// New root activity: head-based sampling decides here, once, for the
+	// whole activity.
+	c.rootSeen++
+	if c.sampleEvery > 1 && c.rootSeen%uint64(c.sampleEvery) != 0 {
+		return message.SpanContext{}
+	}
+	c.nextID++
+	nt := c.startTraceLocked(c.nextID, member, 0)
+	return message.SpanContext{TraceID: nt.id, Origin: nt.origin}
+}
+
+func (c *Collector) memberLocked(member string) *memberAudit {
+	ma, ok := c.members[member]
+	if !ok {
+		ma = &memberAudit{}
+		c.members[member] = ma
+	}
+	return ma
+}
+
+// ---- hook bodies ----
+
+func (c *Collector) broadcast(member string, m message.Message) message.SpanContext {
+	now := c.now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ctx := m.Span
+	if !ctx.Valid() {
+		ctx = c.assignLocked(member, m)
+		if !ctx.Valid() {
+			return ctx // unsampled activity
+		}
+		m.Span = ctx
+	}
+	sr := c.ensureSpanLocked(ctx, member, m)
+	if sr.send == 0 {
+		sr.send = now
+	}
+	return ctx
+}
+
+func (c *Collector) enqueue(member string, m message.Message) {
+	if !m.Span.Valid() {
+		return
+	}
+	now := c.now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sr := c.ensureSpanLocked(m.Span, member, m)
+	if sr.enqueue == 0 {
+		sr.enqueue = now
+	}
+}
+
+func (c *Collector) depResolved(member string, blocked, dep message.Label, wait time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sr, ok := c.spanIdx[spanKey{blocked, member}]
+	if !ok {
+		return
+	}
+	// Dependency counts are small; the bound only guards a pathological
+	// re-resolution loop.
+	if len(sr.waits) < 64 {
+		sr.waits = append(sr.waits, DepWait{Dep: dep, Wait: wait})
+	}
+}
+
+func (c *Collector) deliver(member string, m message.Message) {
+	if !m.Span.Valid() {
+		return
+	}
+	now := c.now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sr := c.ensureSpanLocked(m.Span, member, m)
+	if sr.deliver == 0 {
+		sr.deliver = now
+	}
+	c.auditDeliveryLocked(member, m, now)
+}
+
+func (c *Collector) apply(member string, l message.Label) {
+	now := c.now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sr, ok := c.spanIdx[spanKey{l, member}]
+	if !ok {
+		return
+	}
+	if sr.apply == 0 {
+		sr.apply = now
+	}
+}
+
+func (c *Collector) stable(member string, closer message.Label, cycle uint64, digest string) {
+	now := c.now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if sr, ok := c.spanIdx[spanKey{closer, member}]; ok && sr.stable == 0 {
+		sr.stable = now
+	}
+	c.auditStableLocked(member, closer, cycle, digest, now)
+}
+
+func (c *Collector) seedDelivered(member string, watermarks map[string]uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ma := c.memberLocked(member)
+	if ma.seeded == nil {
+		ma.seeded = make(map[string]uint64, len(watermarks))
+	}
+	for origin, seq := range watermarks {
+		if seq > ma.seeded[origin] {
+			ma.seeded[origin] = seq
+		}
+	}
+}
+
+func (c *Collector) epochAdopted(member string, epoch uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ma := c.memberLocked(member)
+	if !ma.hasEpoch || epoch > ma.maxEpoch {
+		ma.maxEpoch = epoch
+	}
+	ma.hasEpoch = true
+}
+
+func (c *Collector) orderApplied(member string, epoch uint64, at message.Label) {
+	now := c.now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ma := c.memberLocked(member)
+	if ma.hasEpoch && epoch < ma.maxEpoch {
+		c.violationLocked(ViolationEpochFence, member, at, message.Label{}, now,
+			fmt.Sprintf("order for epoch %d applied after epoch %d was adopted", epoch, ma.maxEpoch))
+	}
+	if !ma.hasEpoch || epoch > ma.maxEpoch {
+		ma.maxEpoch = epoch
+		ma.hasEpoch = true
+	}
+}
+
+func (c *Collector) readServed(member string, served, boundary uint64) {
+	now := c.now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if served < boundary {
+		c.violationLocked(ViolationStableRead, member, message.Label{}, message.Label{}, now,
+			fmt.Sprintf("deferred read served at stable cycle %d before boundary %d", served, boundary))
+	}
+}
+
+// Tracer is a member-bound handle on a Collector. Every method on a nil
+// tracer is a no-op, so engines call hooks unconditionally; methods take
+// messages by value to keep the caller's hot path allocation-free.
+type Tracer struct {
+	c      *Collector
+	member string
+}
+
+// Member returns the member this tracer records for ("" on a nil tracer).
+func (t *Tracer) Member() string {
+	if t == nil {
+		return ""
+	}
+	return t.member
+}
+
+// Collector returns the underlying collector (nil on a nil tracer).
+func (t *Tracer) Collector() *Collector {
+	if t == nil {
+		return nil
+	}
+	return t.c
+}
+
+// Broadcast stamps the send stage and returns the span context the message
+// must carry: the caller's context when already set, an inherited or fresh
+// one otherwise, or the zero context when the activity is unsampled. Call
+// it before sizing the wire frame so the trailer bytes are accounted.
+func (t *Tracer) Broadcast(m message.Message) message.SpanContext {
+	if t == nil {
+		return m.Span
+	}
+	return t.c.broadcast(t.member, m)
+}
+
+// Enqueue stamps the receive stage: the message arrived and entered
+// ordering-layer consideration at this member.
+func (t *Tracer) Enqueue(m message.Message) {
+	if t == nil {
+		return
+	}
+	t.c.enqueue(t.member, m)
+}
+
+// DepResolved attributes holdback latency: blocked waited wait for dep to
+// be delivered at this member.
+func (t *Tracer) DepResolved(blocked, dep message.Label, wait time.Duration) {
+	if t == nil {
+		return
+	}
+	t.c.depResolved(t.member, blocked, dep, wait)
+}
+
+// Deliver stamps the delivery stage and runs the online causal-order
+// audit: every declared dependency must already be delivered (or seeded)
+// at this member.
+func (t *Tracer) Deliver(m message.Message) {
+	if t == nil {
+		return
+	}
+	t.c.deliver(t.member, m)
+}
+
+// Apply stamps the total-order application stage for l at this member.
+func (t *Tracer) Apply(l message.Label) {
+	if t == nil {
+		return
+	}
+	t.c.apply(t.member, l)
+}
+
+// Stable stamps the stable-point stage on the closing message's span and
+// audits cross-member agreement on (cycle → closer, digest).
+func (t *Tracer) Stable(closer message.Label, cycle uint64, digest string) {
+	if t == nil {
+		return
+	}
+	t.c.stable(t.member, closer, cycle, digest)
+}
+
+// ReadServed audits deferred-read consistency: a read registered before
+// stable cycle `boundary` must not be answered from an earlier cycle.
+func (t *Tracer) ReadServed(served, boundary uint64) {
+	if t == nil {
+		return
+	}
+	t.c.readServed(t.member, served, boundary)
+}
+
+// EpochAdopted records that this member adopted epoch (from election or a
+// fenced ORDER/snapshot).
+func (t *Tracer) EpochAdopted(epoch uint64) {
+	if t == nil {
+		return
+	}
+	t.c.epochAdopted(t.member, epoch)
+}
+
+// OrderApplied audits epoch fencing: applying an order from an epoch below
+// the member's adopted maximum is a fence breach. at names the ordered
+// message when known.
+func (t *Tracer) OrderApplied(epoch uint64, at message.Label) {
+	if t == nil {
+		return
+	}
+	t.c.orderApplied(t.member, epoch, at)
+}
+
+// SeedDelivered registers rejoin watermarks: dependencies at or below
+// watermarks[origin] were delivered by this member's previous incarnation
+// and satisfy the delivery audit without local span records.
+func (t *Tracer) SeedDelivered(watermarks map[string]uint64) {
+	if t == nil || len(watermarks) == 0 {
+		return
+	}
+	t.c.seedDelivered(t.member, watermarks)
+}

@@ -1,0 +1,438 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"causalshare/internal/message"
+	"causalshare/internal/telemetry"
+)
+
+func lbl(origin string, seq uint64) message.Label {
+	return message.Label{Origin: origin, Seq: seq}
+}
+
+func msg(l message.Label, k message.Kind, deps ...message.Label) message.Message {
+	return message.Message{Label: l, Deps: message.After(deps...), Kind: k, Op: "op"}
+}
+
+// send pushes one message through the full local lifecycle at every tracer.
+func send(origin *Tracer, m message.Message, at ...*Tracer) message.Message {
+	m.Span = origin.Broadcast(m)
+	for _, t := range at {
+		t.Enqueue(m)
+		t.Deliver(m)
+	}
+	return m
+}
+
+// TestActivityGrouping pins the trace-boundary rules: commutative chains
+// join, control traffic attaches to the activity it serves, and a message
+// depending on a closer starts a new parent-linked activity.
+func TestActivityGrouping(t *testing.T) {
+	c := NewCollector(Config{})
+	ta, tb := c.Tracer("a"), c.Tracer("b")
+
+	m1 := send(ta, msg(lbl("a", 1), message.KindCommutative), ta, tb)
+	if !m1.Span.Valid() {
+		t.Fatal("root message not traced")
+	}
+	m2 := send(tb, msg(lbl("b", 1), message.KindCommutative, m1.Label), ta, tb)
+	if m2.Span.TraceID != m1.Span.TraceID {
+		t.Fatalf("commutative successor split the activity: %v vs %v", m2.Span, m1.Span)
+	}
+	closer := send(ta, msg(lbl("a", 2), message.KindNonCommutative, m1.Label, m2.Label), ta, tb)
+	if closer.Span.TraceID != m1.Span.TraceID {
+		t.Fatalf("closer left its own activity: %v vs %v", closer.Span, m1.Span)
+	}
+	order := send(ta, msg(lbl("a~seq", 1), message.KindControl, closer.Label), ta, tb)
+	if order.Span.TraceID != m1.Span.TraceID {
+		t.Fatalf("control for the closer did not join the activity: %v vs %v", order.Span, m1.Span)
+	}
+	next := send(tb, msg(lbl("b", 2), message.KindCommutative, closer.Label), ta, tb)
+	if next.Span.TraceID == m1.Span.TraceID {
+		t.Fatal("message after the closer stayed in the closed activity")
+	}
+	v, ok := c.Trace(next.Span.TraceID)
+	if !ok {
+		t.Fatal("successor trace missing")
+	}
+	if v.Parent != m1.Span.TraceID {
+		t.Fatalf("successor trace parent = %d, want %d", v.Parent, m1.Span.TraceID)
+	}
+
+	// A control chain with no data dependency stays out of activities; a
+	// data message over it roots a new one.
+	hb := send(ta, msg(lbl("a~seq", 2), message.KindControl), ta)
+	data := send(ta, msg(lbl("a", 3), message.KindCommutative, hb.Label), ta)
+	if data.Span.TraceID == hb.Span.TraceID {
+		t.Fatal("data message joined the pure control chain")
+	}
+
+	if got := c.ViolationCount(); got != 0 {
+		t.Fatalf("clean run produced %d violations: %v", got, c.Violations())
+	}
+}
+
+func TestSpanLifecycleStages(t *testing.T) {
+	c := NewCollector(Config{})
+	ta, tb := c.Tracer("a"), c.Tracer("b")
+	m := send(ta, msg(lbl("a", 1), message.KindNonCommutative), ta, tb)
+	ta.Apply(m.Label)
+	ta.Stable(m.Label, 1, "digest")
+	tb.Apply(m.Label)
+	tb.Stable(m.Label, 1, "digest")
+
+	v, ok := c.Trace(m.Span.TraceID)
+	if !ok {
+		t.Fatal("trace missing")
+	}
+	if len(v.Spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(v.Spans))
+	}
+	for _, s := range v.Spans {
+		if s.Enqueue == 0 || s.Deliver == 0 || s.Apply == 0 || s.Stable == 0 {
+			t.Fatalf("span %s@%s missing stages: %+v", s.Label, s.Member, s)
+		}
+		if s.Member == "a" && s.Send == 0 {
+			t.Fatalf("origin span missing send stage: %+v", s)
+		}
+		if s.Enqueue > s.Deliver || s.Deliver > s.Apply || s.Apply > s.Stable {
+			t.Fatalf("stage order broken: %+v", s)
+		}
+	}
+	if c.ViolationCount() != 0 {
+		t.Fatalf("violations on clean lifecycle: %v", c.Violations())
+	}
+}
+
+func TestDepWaitAttribution(t *testing.T) {
+	c := NewCollector(Config{})
+	ta := c.Tracer("a")
+	m1 := msg(lbl("a", 1), message.KindCommutative)
+	m1.Span = ta.Broadcast(m1)
+	m2 := msg(lbl("a", 2), message.KindCommutative, m1.Label)
+	m2.Span = ta.Broadcast(m2)
+	// m2 arrives first and waits for m1.
+	ta.Enqueue(m2)
+	ta.Enqueue(m1)
+	ta.Deliver(m1)
+	ta.DepResolved(m2.Label, m1.Label, 5*time.Millisecond)
+	ta.Deliver(m2)
+
+	v, _ := c.Trace(m2.Span.TraceID)
+	var found bool
+	for _, s := range v.Spans {
+		if s.Label == m2.Label {
+			for _, w := range s.Waits {
+				if w.Dep == m1.Label && w.Wait == 5*time.Millisecond {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("dep wait not attributed: %+v", v.Spans)
+	}
+	if c.ViolationCount() != 0 {
+		t.Fatalf("unexpected violations: %v", c.Violations())
+	}
+}
+
+// TestInjectedMisordering drives the hooks in a deliberately wrong order —
+// the dependent delivered before its declared dependency — and expects the
+// online auditor to catch it, count it, and capture a snapshot.
+func TestInjectedMisordering(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	ring := telemetry.NewRing(64)
+	c := NewCollector(Config{Telemetry: reg, Ring: ring})
+	ta := c.Tracer("a")
+
+	dep := msg(lbl("a", 1), message.KindCommutative)
+	dep.Span = ta.Broadcast(dep)
+	bad := msg(lbl("a", 2), message.KindCommutative, dep.Label)
+	bad.Span = ta.Broadcast(bad)
+	ta.Enqueue(dep)
+	ta.Enqueue(bad)
+	ta.Deliver(bad) // violation: dep not delivered yet
+	ta.Deliver(dep)
+
+	if got := c.ViolationCount(); got != 1 {
+		t.Fatalf("ViolationCount = %d, want 1 (%v)", got, c.Violations())
+	}
+	snap := reg.Snapshot()
+	var counted uint64
+	for _, cs := range snap.Counters {
+		if cs.Name == "trace_violations_total" {
+			counted = cs.Value
+		}
+	}
+	if counted != 1 {
+		t.Fatalf("trace_violations_total = %d, want 1", counted)
+	}
+	viols := c.Violations()
+	if len(viols) != 1 || viols[0].Kind != ViolationCausalOrder ||
+		viols[0].Label != bad.Label || viols[0].Dep != dep.Label || viols[0].Member != "a" {
+		t.Fatalf("bad snapshot: %+v", viols)
+	}
+	var ringHit bool
+	for _, e := range ring.Snapshot() {
+		if e.Kind == telemetry.EventViolation && e.Origin == "a" && e.Seq == 2 {
+			ringHit = true
+		}
+	}
+	if !ringHit {
+		t.Fatal("violation not recorded in the event ring")
+	}
+}
+
+func TestEpochFenceAndReadViolations(t *testing.T) {
+	c := NewCollector(Config{})
+	ta := c.Tracer("a")
+	ta.EpochAdopted(3)
+	ta.OrderApplied(3, lbl("a~seq", 9)) // fine: current epoch
+	ta.OrderApplied(2, lbl("a~seq", 10))
+	ta.ReadServed(5, 6)
+	ta.ReadServed(6, 6) // fine: at boundary
+	viols := c.Violations()
+	if len(viols) != 2 {
+		t.Fatalf("got %d violations, want 2: %v", len(viols), viols)
+	}
+	if viols[0].Kind != ViolationEpochFence || viols[1].Kind != ViolationStableRead {
+		t.Fatalf("wrong kinds: %v", viols)
+	}
+}
+
+func TestStableDivergence(t *testing.T) {
+	c := NewCollector(Config{})
+	ta, tb := c.Tracer("a"), c.Tracer("b")
+	closer := lbl("a", 1)
+	ta.Stable(closer, 1, "digest-1")
+	tb.Stable(closer, 1, "digest-1") // agrees
+	tb.Stable(closer, 2, "digest-2")
+	ta.Stable(closer, 2, "digest-OTHER") // diverges
+	viols := c.Violations()
+	if len(viols) != 1 || viols[0].Kind != ViolationStableDiverge {
+		t.Fatalf("got %v, want one stable-diverge", viols)
+	}
+}
+
+// TestSeededWatermarkSuppressesAudit mirrors crash/rejoin: the fresh
+// incarnation never delivers pre-crash history, so deliveries depending on
+// it must not be flagged once the watermark is seeded.
+func TestSeededWatermarkSuppressesAudit(t *testing.T) {
+	c := NewCollector(Config{})
+	ta := c.Tracer("a")
+	old := msg(lbl("b", 7), message.KindCommutative)
+	old.Span = ta.Broadcast(old) // known to the store, but never delivered at a
+	ta.SeedDelivered(map[string]uint64{"b": 7})
+	m := send(ta, msg(lbl("a", 1), message.KindCommutative, old.Label), ta)
+	if !m.Span.Valid() {
+		t.Fatal("not traced")
+	}
+	if got := c.ViolationCount(); got != 0 {
+		t.Fatalf("seeded dependency flagged: %v", c.Violations())
+	}
+}
+
+func TestEvictionBoundsAndDropCounter(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c := NewCollector(Config{MaxTraces: 4, Telemetry: reg})
+	ta := c.Tracer("a")
+	var first message.Message
+	for i := 1; i <= 10; i++ {
+		m := send(ta, msg(lbl("a", uint64(i)), message.KindCommutative), ta)
+		if i == 1 {
+			first = m
+		}
+	}
+	if n := len(c.TraceIDs()); n != 4 {
+		t.Fatalf("retained %d traces, want 4", n)
+	}
+	if _, ok := c.Trace(first.Span.TraceID); ok {
+		t.Fatal("oldest trace survived eviction")
+	}
+	if _, ok := c.Lookup(first.Label); ok {
+		t.Fatal("evicted label still indexed")
+	}
+	var dropped, evicted uint64
+	for _, cs := range reg.Snapshot().Counters {
+		switch cs.Name {
+		case "trace_span_dropped_total":
+			dropped = cs.Value
+		case "trace_traces_evicted_total":
+			evicted = cs.Value
+		}
+	}
+	if evicted != 6 || dropped != 6 {
+		t.Fatalf("evicted=%d dropped=%d, want 6/6", evicted, dropped)
+	}
+	// Evicted dependencies degrade the audit to best-effort, not to noise.
+	m := send(ta, msg(lbl("a", 100), message.KindCommutative, first.Label), ta)
+	if !m.Span.Valid() {
+		t.Fatal("not traced")
+	}
+	if c.ViolationCount() != 0 {
+		t.Fatalf("evicted dep flagged: %v", c.Violations())
+	}
+}
+
+func TestSampling(t *testing.T) {
+	c := NewCollector(Config{SampleEvery: 4})
+	ta := c.Tracer("a")
+	traced := 0
+	for i := 1; i <= 40; i++ {
+		m := send(ta, msg(lbl("a", uint64(i)), message.KindCommutative), ta)
+		if m.Span.Valid() {
+			traced++
+		}
+	}
+	if traced != 10 {
+		t.Fatalf("traced %d of 40 roots with SampleEvery=4, want 10", traced)
+	}
+	// Continuations of a sampled activity stay traced.
+	var sampled message.Message
+	for i := uint64(41); ; i++ {
+		sampled = send(ta, msg(lbl("a", i), message.KindCommutative), ta)
+		if sampled.Span.Valid() {
+			break
+		}
+	}
+	cont := send(ta, msg(lbl("a", sampled.Label.Seq+100), message.KindCommutative, sampled.Label), ta)
+	if cont.Span.TraceID != sampled.Span.TraceID {
+		t.Fatalf("continuation of sampled activity not traced: %v vs %v", cont.Span, sampled.Span)
+	}
+}
+
+func TestLabelCapStartsContinuationTrace(t *testing.T) {
+	c := NewCollector(Config{MaxLabelsPerTrace: 3})
+	ta := c.Tracer("a")
+	prev := send(ta, msg(lbl("a", 1), message.KindCommutative), ta)
+	root := prev.Span.TraceID
+	var contID uint64
+	for i := uint64(2); i <= 6; i++ {
+		prev = send(ta, msg(lbl("a", i), message.KindCommutative, prev.Label), ta)
+		if prev.Span.TraceID != root {
+			contID = prev.Span.TraceID
+			break
+		}
+	}
+	if contID == 0 {
+		t.Fatal("label cap never split the chain")
+	}
+	v, ok := c.Trace(contID)
+	if !ok || v.Parent != root {
+		t.Fatalf("continuation trace parent = %d, want %d", v.Parent, root)
+	}
+}
+
+func TestCriticalPathAndDOT(t *testing.T) {
+	c := NewCollector(Config{})
+	ta, tb := c.Tracer("a"), c.Tracer("b")
+	m1 := send(ta, msg(lbl("a", 1), message.KindCommutative), ta, tb)
+	m2 := send(tb, msg(lbl("b", 1), message.KindCommutative), ta, tb)
+	m3 := msg(lbl("a", 2), message.KindNonCommutative, m1.Label, m2.Label)
+	m3.Span = ta.Broadcast(m3)
+	if m3.Span.TraceID != m1.Span.TraceID && m3.Span.TraceID != m2.Span.TraceID {
+		t.Fatalf("closer did not join a dependency activity: %v", m3.Span)
+	}
+	ta.Enqueue(m3)
+	ta.DepResolved(m3.Label, m2.Label, 3*time.Millisecond)
+	ta.Deliver(m3)
+	tb.Enqueue(m3)
+	tb.Deliver(m3)
+
+	v, ok := c.Trace(m3.Span.TraceID)
+	if !ok {
+		t.Fatal("trace missing")
+	}
+	path := v.CriticalPath()
+	if len(path) < 2 {
+		t.Fatalf("critical path too short: %+v", path)
+	}
+	if last := path[len(path)-1]; last.Label != m3.Label {
+		t.Fatalf("critical path does not end at the closer: %+v", path)
+	}
+	for i := 1; i < len(path); i++ {
+		if path[i].Completed < path[i-1].Completed {
+			t.Fatalf("critical path not monotone: %+v", path)
+		}
+	}
+
+	dot := v.DOT()
+	for _, want := range []string{"digraph", m3.Label.String(), "->"} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+
+	g := v.Graph()
+	if !g.HappensBefore(m1.Label, m3.Label) {
+		t.Fatal("declared edge missing from rebuilt graph")
+	}
+	if viols := v.VerifyEdges(); len(viols) != 0 {
+		t.Fatalf("offline verify flagged a clean trace: %v", viols)
+	}
+}
+
+func TestVerifyEdgesCatchesInversion(t *testing.T) {
+	v := TraceView{ID: 1, Origin: "a", Spans: []Span{
+		{Trace: 1, Label: lbl("a", 1), Member: "a", Kind: message.KindCommutative, Deliver: 200},
+		{Trace: 1, Label: lbl("a", 2), Member: "a", Kind: message.KindCommutative,
+			Deps: []message.Label{lbl("a", 1)}, Deliver: 100},
+	}}
+	viols := v.VerifyEdges()
+	if len(viols) != 1 || viols[0].Kind != ViolationCausalOrder {
+		t.Fatalf("got %v, want one causal-order violation", viols)
+	}
+}
+
+func TestNilCollectorAndTracer(t *testing.T) {
+	var c *Collector
+	tr := c.Tracer("a")
+	if tr != nil {
+		t.Fatal("nil collector returned non-nil tracer")
+	}
+	m := msg(lbl("a", 1), message.KindCommutative)
+	m.Span = message.SpanContext{TraceID: 9, Origin: "x"}
+	if got := tr.Broadcast(m); got != m.Span {
+		t.Fatalf("nil tracer rewrote span: %v", got)
+	}
+	tr.Enqueue(m)
+	tr.Deliver(m)
+	tr.Apply(m.Label)
+	tr.Stable(m.Label, 1, "d")
+	tr.ReadServed(1, 2)
+	tr.EpochAdopted(1)
+	tr.OrderApplied(0, m.Label)
+	tr.DepResolved(m.Label, lbl("a", 0), time.Millisecond)
+	tr.SeedDelivered(map[string]uint64{"a": 1})
+	if c.Violations() != nil || c.ViolationCount() != 0 || c.Traces() != nil {
+		t.Fatal("nil collector not inert")
+	}
+}
+
+// TestSteadyStateAllocs drives the full hook lifecycle through a bounded
+// collector long past its eviction horizon: once the free lists and maps
+// are warm, tracing allocates nothing per message.
+func TestSteadyStateAllocs(t *testing.T) {
+	c := NewCollector(Config{MaxTraces: 32})
+	ta, tb := c.Tracer("a"), c.Tracer("b")
+	seq := uint64(0)
+	step := func() {
+		seq++
+		m := msg(lbl("a", seq), message.KindCommutative)
+		m.Span = ta.Broadcast(m)
+		ta.Enqueue(m)
+		ta.Deliver(m)
+		tb.Enqueue(m)
+		tb.Deliver(m)
+	}
+	for i := 0; i < 200; i++ {
+		step() // warm pools, maps, and the eviction ring
+	}
+	if avg := testing.AllocsPerRun(500, step); avg != 0 {
+		t.Fatalf("steady-state tracing allocates %v allocs/op, want 0", avg)
+	}
+}
