@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test race vet bench bench-smoke bench-trace fuzz chaos audit
+.PHONY: check build test race vet bench bench-smoke bench-trace bench-loss fuzz chaos chaos-loss audit
 
 ## check: the tier-1 gate — vet, build, and race-test everything.
 check: vet build race
@@ -36,6 +36,12 @@ bench-smoke:
 bench-trace:
 	$(GO) test -bench=FanoutTraced -benchmem -run '^$$' -json . | tee BENCH_trace.json
 
+## bench-loss: regenerate the E14 loss-tolerance numbers (fan-out pipeline
+## with the reliability sublayer repairing 0–30% sustained frame loss;
+## retransmits/op and nacks/op reported per row) into BENCH_loss.json.
+bench-loss:
+	$(GO) test -bench=ReliableLossSweep -benchmem -run '^$$' -benchtime=3000x -json . | tee BENCH_loss.json
+
 fuzz:
 	$(GO) test -fuzz=FuzzUnmarshalBinary -fuzztime=30s ./internal/message/
 
@@ -44,6 +50,12 @@ fuzz:
 ## nondeterminism bug, not noise.
 chaos:
 	$(GO) test -run 'Chaos|Failover' -count=3 ./...
+
+## chaos-loss: run every sustained-loss scenario (independent, bursty,
+## one-way, and leader-crash-under-loss) three times over on both ChanNet
+## and TCPNet — seeded schedules, so any flake is a determinism bug.
+chaos-loss:
+	$(GO) test -run Loss -count=3 -timeout 600s ./internal/chaos/ ./internal/service/
 
 ## audit: the consistency gate — every chaos seed and figure scenario runs
 ## with the online trace auditor attached (their tests fail on any

@@ -23,6 +23,7 @@ import (
 	"causalshare/internal/graph"
 	"causalshare/internal/group"
 	"causalshare/internal/message"
+	"causalshare/internal/reliable"
 	"causalshare/internal/shareddata"
 	"causalshare/internal/sim"
 	"causalshare/internal/telemetry"
@@ -516,6 +517,144 @@ func BenchmarkBroadcastFanoutTraced(b *testing.B) {
 			if col != nil && col.ViolationCount() != 0 {
 				b.Fatalf("audit flagged the fan-out: %v", col.Violations())
 			}
+		})
+	}
+}
+
+// BenchmarkBroadcastFanoutReliable repeats the fan-out pipeline with the
+// per-link reliability sublayer wrapped around every connection on a
+// lossless link. The "Fanout" name keeps it under the CI bench-smoke
+// zero-alloc gate: sequencing, ack piggybacking and duplicate tracking
+// must ride the pooled-frame hot path without allocating, so reliability
+// costs cycles, never garbage, when the network behaves.
+func BenchmarkBroadcastFanoutReliable(b *testing.B) {
+	for _, n := range []int{2, 8, 16} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			ids := make([]string, n)
+			for i := range ids {
+				ids[i] = fmt.Sprintf("m%02d", i)
+			}
+			grp := group.MustNew("fanout", ids)
+			reg := telemetry.NewRegistry()
+			net := transport.NewChanNetObserved(transport.FaultModel{}, reg)
+			defer func() { _ = net.Close() }()
+			var delivered atomic.Uint64
+			engines := make([]*causal.OSend, 0, n)
+			for _, id := range ids {
+				conn, err := net.Attach(id)
+				if err != nil {
+					b.Fatal(err)
+				}
+				// Lossless link: shed timeouts are pushed out so scheduler
+				// hiccups under -benchtime pressure never drop a peer.
+				rconn := reliable.Wrap(conn, grp.Others(id), reliable.Config{
+					Window:       1024,
+					StallTimeout: time.Hour,
+					ShedAfter:    time.Hour,
+					Seed:         1,
+					Telemetry:    reg,
+				})
+				eng, err := causal.NewOSend(causal.OSendConfig{
+					Self: id, Group: grp, Conn: rconn,
+					Deliver:   func(message.Message) { delivered.Add(1) },
+					Telemetry: reg,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				engines = append(engines, eng)
+			}
+			defer func() {
+				for _, e := range engines {
+					_ = e.Close()
+				}
+			}()
+			lab := message.NewLabeler(ids[0])
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m := message.Message{Label: lab.Next(), Kind: message.KindCommutative, Op: "inc"}
+				if err := engines[0].Broadcast(m); err != nil {
+					b.Fatal(err)
+				}
+			}
+			target := uint64(n) * uint64(b.N)
+			for delivered.Load() < target {
+				time.Sleep(20 * time.Microsecond)
+			}
+		})
+	}
+}
+
+// BenchmarkReliableLossSweep measures the fan-out pipeline with the
+// reliability sublayer repairing sustained independent frame loss: the
+// cost of loss appears as repair traffic and latency, never as missing
+// deliveries. Reported extras: retransmits/op and NACKs/op from the
+// sublayer's own counters. (No "Fanout" in the name: lossy rows cannot
+// promise zero allocations, so it stays off the bench-smoke gate; the
+// bench-loss target publishes it as BENCH_loss.json.)
+func BenchmarkReliableLossSweep(b *testing.B) {
+	const n = 4
+	for _, drop := range []float64{0, 0.1, 0.2, 0.3} {
+		b.Run(fmt.Sprintf("drop=%.2f", drop), func(b *testing.B) {
+			ids := make([]string, n)
+			for i := range ids {
+				ids[i] = fmt.Sprintf("m%02d", i)
+			}
+			grp := group.MustNew("losssweep", ids)
+			reg := telemetry.NewRegistry()
+			net := transport.NewChanNetObserved(transport.FaultModel{DropProb: drop, Seed: 11}, reg)
+			defer func() { _ = net.Close() }()
+			var delivered atomic.Uint64
+			engines := make([]*causal.OSend, 0, n)
+			for _, id := range ids {
+				conn, err := net.Attach(id)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rconn := reliable.Wrap(conn, grp.Others(id), reliable.Config{
+					Window:       128,
+					AckEvery:     8,
+					Tick:         time.Millisecond,
+					StallTimeout: time.Hour,
+					ShedAfter:    time.Hour,
+					Seed:         11,
+					Telemetry:    reg,
+				})
+				eng, err := causal.NewOSend(causal.OSendConfig{
+					Self: id, Group: grp, Conn: rconn,
+					Deliver:   func(message.Message) { delivered.Add(1) },
+					Telemetry: reg,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				engines = append(engines, eng)
+			}
+			defer func() {
+				for _, e := range engines {
+					_ = e.Close()
+				}
+			}()
+			lab := message.NewLabeler(ids[0])
+			before := reg.Snapshot()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m := message.Message{Label: lab.Next(), Kind: message.KindCommutative, Op: "inc"}
+				if err := engines[0].Broadcast(m); err != nil {
+					b.Fatal(err)
+				}
+			}
+			target := uint64(n) * uint64(b.N)
+			for delivered.Load() < target {
+				time.Sleep(20 * time.Microsecond)
+			}
+			b.StopTimer()
+			after := reg.Snapshot()
+			ops := float64(b.N)
+			b.ReportMetric(float64(after.Get("reliable_retransmits_total")-before.Get("reliable_retransmits_total"))/ops, "retransmits/op")
+			b.ReportMetric(float64(after.Get("reliable_nacks_sent_total")-before.Get("reliable_nacks_sent_total"))/ops, "nacks/op")
 		})
 	}
 }

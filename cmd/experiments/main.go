@@ -1,5 +1,5 @@
 // Command experiments regenerates every table of the paper reproduction
-// (experiments E1–E13 of DESIGN.md / EXPERIMENTS.md).
+// (experiments E1–E14 of DESIGN.md / EXPERIMENTS.md).
 //
 // Usage:
 //

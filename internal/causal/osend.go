@@ -91,8 +91,8 @@ type OSend struct {
 	cascade     []message.Message   // BFS scratch for deliverLocked
 	readyFree   [][]message.Message // recycled ready batches
 
-	// retainMu guards retransmission state: own messages kept for
-	// re-fetch, fetch rate-limiting, and peer watermarks.
+	// retainMu guards retransmission state: messages kept for re-fetch,
+	// fetch rate-limiting, and peer watermarks.
 	retainMu  sync.Mutex
 	retained  map[message.Label]message.Message
 	lastFetch map[message.Label]time.Time
@@ -100,6 +100,14 @@ type OSend struct {
 	// advertised; a retained message every peer's watermark covers is
 	// stable and garbage-collected.
 	peerWM map[string]map[string]uint64
+	// down marks peers excluded from the stability quorum (crashed or
+	// shed by the reliability sublayer): a dead member's frozen watermark
+	// must not pin retained history forever. An advert from a down peer
+	// clears the mark — the peer is evidently back.
+	down map[string]bool
+	// fetchSpread rotates dependency fetches across live peers when a
+	// label's origin is down (any retainer can serve it).
+	fetchSpread int
 
 	// reg is the registry ins was registered on (shared or private); trace
 	// is the optional event ring. Instruments and rings are nil-safe, so
@@ -154,6 +162,7 @@ func NewOSend(cfg OSendConfig) (*OSend, error) {
 		retained:  make(map[message.Label]message.Message),
 		lastFetch: make(map[message.Label]time.Time),
 		peerWM:    make(map[string]map[string]uint64),
+		down:      make(map[string]bool),
 		done:      make(chan struct{}),
 	}
 	e.wg.Add(1)
@@ -359,6 +368,17 @@ func (e *OSend) RequestSync() error {
 	return err
 }
 
+// SyncWith asks one peer for a state-sync snapshot — the targeted variant
+// of RequestSync. The reliability sublayer calls it (via its OnResync
+// hook) when the link from peer skipped irrecoverable sequences: only
+// that peer's retained tail needs re-fetching, not the whole group's.
+func (e *OSend) SyncWith(peer string) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	return e.conn.Send(peer, []byte{frameOSendSyncReq})
+}
+
 // serveSync answers a rejoining peer's sync request with this member's
 // retained tail (highest retained seq per origin) and delivered
 // watermarks — the advert payload, sent unicast under the sync-resp tag so
@@ -379,6 +399,23 @@ func (e *OSend) serveSync(requester string) {
 	frame = appendOriginSeqMap(frame, maxSeq)
 	frame = appendOriginSeqMap(frame, wm)
 	_ = e.conn.Send(requester, frame) // best effort; requester retries
+}
+
+// MarkDown sets or clears a peer's down mark. A down peer is excluded
+// from the stability quorum (its frozen watermark would otherwise pin
+// retained history forever) and dependency fetches for labels it
+// originated are spread across live peers instead — with group-wide
+// retention any of them may hold a copy. The failure detector or the
+// reliability sublayer's shed verdicts drive this; an advert arriving
+// from a down peer clears the mark on its own.
+func (e *OSend) MarkDown(peer string, down bool) {
+	e.retainMu.Lock()
+	if down {
+		e.down[peer] = true
+	} else {
+		delete(e.down, peer)
+	}
+	e.retainMu.Unlock()
 }
 
 // handleSyncResp applies one peer's snapshot through the normal advert
@@ -499,6 +536,21 @@ func (e *OSend) putReady(buf []message.Message) {
 func (e *OSend) ingest(m message.Message) {
 	if e.closed.Load() {
 		return
+	}
+	// Group-wide retention: with anti-entropy armed, every member keeps a
+	// serveable copy of every message it sees until stability proves the
+	// whole group delivered it, so a fetch is answerable by ANY retainer
+	// and history survives its origin's crash. (Origin-only retention
+	// strands a dead member's tail: survivors that delivered it could not
+	// serve the ones that did not.) Without patience nothing ever fetches,
+	// so the copies would be pure memory overhead — skip them.
+	if e.patience > 0 {
+		e.retainMu.Lock()
+		if _, ok := e.retained[m.Label]; !ok {
+			e.retained[m.Label] = m
+			e.ins.retainedDepth.Set(int64(len(e.retained)))
+		}
+		e.retainMu.Unlock()
 	}
 	e.deliverMu.Lock()
 	if e.deliveredHas(m.Label) {
@@ -714,6 +766,7 @@ scan:
 		e.trace.Record(telemetry.EventFetch, e.self, l.Origin, l.Seq, 0)
 	}
 	e.peerWM[from] = watermarks
+	delete(e.down, from) // an advertising peer is evidently alive
 	e.pruneStableLocked()
 	e.retainMu.Unlock()
 	for _, l := range fetches {
@@ -738,14 +791,25 @@ func (e *OSend) isPending(l message.Label) bool {
 
 // pruneStableLocked drops retained messages whose sequence every peer's
 // advertised watermark covers: all members delivered them, so no fetch
-// can ever name them again. Caller holds retainMu.
+// can ever name them again. Peers marked down are excluded from the
+// quorum — a crashed member's frozen watermark must not pin the whole
+// group's history; if it returns it recovers by snapshot, not by fetch.
+// Caller holds retainMu.
 func (e *OSend) pruneStableLocked() {
-	if len(e.peerWM) < len(e.others) {
-		return // need evidence from every peer before anything is stable
+	for _, p := range e.others {
+		if e.down[p] {
+			continue
+		}
+		if _, ok := e.peerWM[p]; !ok {
+			return // need evidence from every live peer before anything is stable
+		}
 	}
 	for l := range e.retained {
 		stable := true
 		for _, p := range e.others {
+			if e.down[p] {
+				continue
+			}
 			wm, ok := e.peerWM[p]
 			if !ok || wm[l.Origin] < l.Seq {
 				stable = false
@@ -848,6 +912,13 @@ func (e *OSend) fetchMissing(now time.Time) {
 		if last, ok := e.lastFetch[c.l]; ok && now.Sub(last) < e.patience {
 			continue
 		}
+		if e.down[c.to] {
+			// The origin is down; with group-wide retention any live peer
+			// may hold a copy, so rotate the request across them.
+			if alt := e.altRouteLocked(c.to); alt != "" {
+				c.to = alt
+			}
+		}
 		e.lastFetch[c.l] = now
 		fetches = append(fetches, c)
 		e.ins.fetches.Inc()
@@ -858,6 +929,20 @@ func (e *OSend) fetchMissing(now time.Time) {
 		frame := append([]byte{frameOSendFetch}, encodeLabel(nil, f.l)...)
 		_ = e.conn.Send(f.to, frame) // best effort; retried next tick
 	}
+}
+
+// altRouteLocked picks the next live peer in rotation, skipping avoid.
+// Caller holds retainMu.
+func (e *OSend) altRouteLocked(avoid string) string {
+	n := len(e.others)
+	for i := 0; i < n; i++ {
+		p := e.others[(e.fetchSpread+i)%n]
+		if p != avoid && !e.down[p] {
+			e.fetchSpread = (e.fetchSpread + i + 1) % n
+			return p
+		}
+	}
+	return ""
 }
 
 func (e *OSend) serveFetch(requester string, l message.Label) {

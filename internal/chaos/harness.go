@@ -4,11 +4,13 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"causalshare/internal/causal"
 	"causalshare/internal/group"
 	"causalshare/internal/message"
+	"causalshare/internal/reliable"
 	"causalshare/internal/telemetry"
 	"causalshare/internal/total"
 	"causalshare/internal/trace"
@@ -22,6 +24,7 @@ type Net interface {
 	Attach(id string) (transport.Conn, error)
 	Isolate(id string)
 	Restore(id string)
+	PartitionOneWay(from, to string, block bool)
 }
 
 // Options parameterizes one chaos run.
@@ -53,12 +56,23 @@ type Options struct {
 	// consistency audit over the whole run; Result.Violations reports what
 	// it caught.
 	Collector *trace.Collector
+	// Reliable, when non-nil, is the template config for a per-link
+	// reliability sublayer wrapped around every member's connection
+	// (including rejoined incarnations): lost and reordered frames are
+	// repaired below the causal layer, shed peers feed the sequencer's
+	// failure detector, and reliability RESETs trigger targeted causal
+	// resyncs. Seeds are derived per member; OnSuspect/OnResync are
+	// harness-owned and must be left nil.
+	Reliable *reliable.Config
 }
 
 // MemberResult is one member's view at the end of the run.
 type MemberResult struct {
 	// Order is the member's delivered data messages, in its total order.
-	// For a rejoined member this is the post-rejoin suffix only.
+	// For a rejoined member this is the post-rejoin suffix only. For a
+	// crashed member it stops at the freeze instant: the frozen engines
+	// keep running (stale-frame pressure on survivors) but a dead process
+	// observably delivers nothing.
 	Order []string
 	// Digest is an order-sensitive hash of Order.
 	Digest uint64
@@ -101,11 +115,23 @@ type Result struct {
 type orderLog struct {
 	mu      sync.Mutex
 	entries []string
+	frozen  bool
 }
 
 func (l *orderLog) deliver(m message.Message) {
 	l.mu.Lock()
-	l.entries = append(l.entries, string(m.Body))
+	if !l.frozen {
+		l.entries = append(l.entries, string(m.Body))
+	}
+	l.mu.Unlock()
+}
+
+// freeze stops recording: a crashed member's engines keep running inside
+// the isolation boundary, but anything they "deliver" after the freeze
+// died with the process and must not count as observed output.
+func (l *orderLog) freeze() {
+	l.mu.Lock()
+	l.frozen = true
 	l.mu.Unlock()
 }
 
@@ -202,6 +228,8 @@ func Run(opts Options) (*Result, error) {
 				if err := c.rejoin(c.byID[a.Recover]); err != nil {
 					return nil, fmt.Errorf("chaos: %v: %w", a, err)
 				}
+			case a.PartFrom != "":
+				c.opts.Net.PartitionOneWay(a.PartFrom, a.PartTo, a.Block)
 			}
 		}
 		if !crashedAt.IsZero() && c.allPastEpoch(crashedEpoch) {
@@ -254,11 +282,48 @@ func Run(opts Options) (*Result, error) {
 	return res, nil
 }
 
+// hooks defers the reliability sublayer's callbacks to engines that are
+// only constructed after the connection is wrapped. The sublayer's ticker
+// cannot fire a callback before its timeouts elapse, but the atomics make
+// the construction window race-free by proof rather than by timing.
+type hooks struct {
+	seq atomic.Pointer[total.Sequencer]
+	eng atomic.Pointer[causal.OSend]
+}
+
 // start brings up a (possibly resumed) incarnation of n.
 func (c *cluster) start(n *node, snap *total.SyncSnapshot, wm map[string]uint64, lastLabel uint64) error {
 	conn, err := c.opts.Net.Attach(n.id)
 	if err != nil {
 		return err
+	}
+	var h *hooks
+	if c.opts.Reliable != nil {
+		// Each member (and each incarnation) gets its own sublayer with a
+		// derived jitter seed; shed verdicts accelerate the sequencer's
+		// failure detector and RESETs trigger targeted causal resyncs.
+		rcfg := *c.opts.Reliable
+		rcfg.Seed = rcfg.Seed*int64(len(c.opts.Members)+1) + int64(c.grp.Rank(n.id)) + 1
+		rcfg.Telemetry = c.opts.Telemetry
+		rcfg.Trace = c.opts.Trace
+		h = &hooks{}
+		rcfg.OnSuspect = func(peer string) {
+			if s := h.seq.Load(); s != nil {
+				s.Suspect(peer)
+			}
+			if e := h.eng.Load(); e != nil {
+				// Drop the peer from the stability quorum too: a dead
+				// member's frozen watermark must not pin retained history.
+				e.MarkDown(peer, true)
+			}
+		}
+		rcfg.OnResync = func(peer string) {
+			if e := h.eng.Load(); e != nil {
+				e.MarkDown(peer, false)
+				_ = e.SyncWith(peer)
+			}
+		}
+		conn = reliable.Wrap(conn, c.grp.Others(n.id), rcfg)
 	}
 	n.log = &orderLog{}
 	spans := c.opts.Collector.Tracer(n.id)
@@ -298,6 +363,10 @@ func (c *cluster) start(n *node, snap *total.SyncSnapshot, wm map[string]uint64,
 		// the periodic adverts would get there too, just later.
 		_ = eng.RequestSync()
 	}
+	if h != nil {
+		h.seq.Store(seqr)
+		h.eng.Store(eng)
+	}
 	n.seq = seqr
 	n.eng = eng
 	return nil
@@ -312,6 +381,7 @@ func (c *cluster) crash(n *node) {
 		return
 	}
 	c.opts.Net.Isolate(n.id)
+	n.log.freeze()
 	n.alive = false
 }
 

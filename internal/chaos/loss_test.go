@@ -1,0 +1,162 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+
+	"causalshare/internal/reliable"
+	"causalshare/internal/transport"
+)
+
+// lossNet builds a transport of the given kind with faults armed.
+func lossNet(t *testing.T, kind string, fm transport.FaultModel) netCloser {
+	t.Helper()
+	switch kind {
+	case "channet":
+		return transport.NewChanNet(fm)
+	case "tcpnet":
+		return transport.NewTCPNetWithConfig(transport.TCPConfig{Faults: fm})
+	default:
+		t.Fatalf("unknown net kind %q", kind)
+		return nil
+	}
+}
+
+// lossOptions arms the reliability sublayer over a lossy run. Shed
+// patience is generous relative to gap-repair latency so pure loss never
+// sheds a live member; the shed path is exercised by the crash scenario.
+func lossOptions(net Net, members []string, sched Schedule) Options {
+	opts := chaosOptions(net, members, sched)
+	opts.Timeout = 60 * time.Second
+	// Pure-loss runs keep the fixed sequencer: failover is pointless
+	// without crashes, and heartbeat delivery legitimately stalls for a
+	// few repair round-trips under heavy loss.
+	opts.FailTimeout = 0
+	opts.Reliable = &reliable.Config{
+		Window:       128,
+		AckEvery:     8,
+		Tick:         2 * time.Millisecond,
+		StallTimeout: 300 * time.Millisecond,
+		ShedAfter:    500 * time.Millisecond,
+		Seed:         1,
+	}
+	return opts
+}
+
+func runLoss(t *testing.T, opts Options) *Result {
+	t.Helper()
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatalf("chaos run: %v", err)
+	}
+	if !res.Converged {
+		t.Fatalf("run did not converge in %v (frontier spread persists)", opts.Timeout)
+	}
+	assertSurvivorAgreement(t, res)
+	auditAll(t, res)
+	return res
+}
+
+// TestLossSustainedConverges is the headline robustness scenario: 30%%
+// independent frame loss on every link, no crashes — every member must
+// still converge to the identical total order with zero causal-order
+// violations, purely on the strength of ack/NACK repair.
+func TestLossSustainedConverges(t *testing.T) {
+	members := []string{"a", "b", "c", "d"}
+	for _, kind := range netKinds() {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			for _, seed := range []int64{7, 21, 42} {
+				net := lossNet(t, kind, transport.FaultModel{DropProb: 0.3, Seed: seed})
+				res := runLoss(t, lossOptions(net, members, Schedule{Seed: seed}))
+				_ = net.Close()
+				for id, m := range res.Members {
+					if m.Sent != 25 {
+						t.Fatalf("seed %d: %s sent %d/25", seed, id, m.Sent)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestLossBurstConverges drives the Gilbert–Elliott burst model: long
+// correlated loss episodes (90%% drop while the chain is in its bad
+// state) on top of background loss. Bursts are where NACK backoff and the
+// sender RTO earn their keep — a burst can eat every copy of a frame AND
+// the first several repair attempts.
+func TestLossBurstConverges(t *testing.T) {
+	members := []string{"a", "b", "c", "d"}
+	fm := transport.FaultModel{
+		DropProb:  0.05,
+		BurstProb: 0.02,
+		BurstHeal: 0.2,
+		BurstDrop: 0.9,
+	}
+	for _, kind := range netKinds() {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			for _, seed := range []int64{7, 21, 42} {
+				m := fm
+				m.Seed = seed
+				net := lossNet(t, kind, m)
+				res := runLoss(t, lossOptions(net, members, Schedule{Seed: seed}))
+				_ = net.Close()
+				if res.Violations != 0 {
+					t.Fatalf("seed %d: %d violations", seed, res.Violations)
+				}
+			}
+		})
+	}
+}
+
+// TestLossOneWayPartitions layers scheduled asymmetric link failures over
+// background loss: directions go dark one at a time and heal, and the
+// sublayer must repair each victim's backlog (or resync it) without ever
+// reordering anyone.
+func TestLossOneWayPartitions(t *testing.T) {
+	members := []string{"a", "b", "c", "d"}
+	for _, kind := range netKinds() {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			for _, seed := range []int64{7, 21} {
+				sched := OneWayLossSchedule(seed, members, 800*time.Millisecond, 3)
+				net := lossNet(t, kind, transport.FaultModel{DropProb: 0.1, Seed: seed})
+				res := runLoss(t, lossOptions(net, members, sched))
+				_ = net.Close()
+				if res.Violations != 0 {
+					t.Fatalf("seed %d: %d violations", seed, res.Violations)
+				}
+			}
+		})
+	}
+}
+
+// TestLossLeaderCrashFailover combines loss with a leader crash: the
+// reliability sublayer sheds the dead leader (no acks) and feeds the
+// sequencer's failure detector, so failover completes and the survivors
+// converge even while 10%% of frames are vanishing.
+func TestLossLeaderCrashFailover(t *testing.T) {
+	members := []string{"a", "b", "c", "d"}
+	for _, kind := range netKinds() {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			net := lossNet(t, kind, transport.FaultModel{DropProb: 0.1, Seed: 7})
+			defer net.Close()
+			opts := lossOptions(net, members, KillLeader(members, 60*time.Millisecond))
+			// Failover armed: generous relative to loss-induced heartbeat
+			// stalls, accelerated by the sublayer's shed verdicts.
+			opts.FailTimeout = 250 * time.Millisecond
+			res := runLoss(t, opts)
+			dead := res.Members[members[0]]
+			if dead.Alive {
+				t.Fatal("crashed leader reported alive")
+			}
+			for id, m := range res.Members {
+				if id != members[0] && m.Epoch == 0 {
+					t.Fatalf("%s never moved past epoch 0", id)
+				}
+			}
+		})
+	}
+}

@@ -30,20 +30,32 @@ import (
 	"time"
 )
 
-// Action is one scheduled fault. Exactly one of Crash or Recover names a
-// member; At is the offset from the start of the run.
+// Action is one scheduled fault. Exactly one of Crash, Recover, or the
+// PartFrom/PartTo pair is set; At is the offset from the start of the run.
 type Action struct {
 	At      time.Duration
 	Crash   string
 	Recover string
+	// PartFrom/PartTo name a one-way link: the action blocks (Block true)
+	// or heals (Block false) only the PartFrom→PartTo direction, modelling
+	// asymmetric routing failures — the victim's frames vanish while the
+	// reverse path (and its acks/NACKs) still flows.
+	PartFrom, PartTo string
+	Block            bool
 }
 
 // String renders the action for logs and failure messages.
 func (a Action) String() string {
-	if a.Crash != "" {
+	switch {
+	case a.Crash != "":
 		return fmt.Sprintf("%v crash %s", a.At, a.Crash)
+	case a.Recover != "":
+		return fmt.Sprintf("%v recover %s", a.At, a.Recover)
+	case a.Block:
+		return fmt.Sprintf("%v block %s→%s", a.At, a.PartFrom, a.PartTo)
+	default:
+		return fmt.Sprintf("%v heal %s→%s", a.At, a.PartFrom, a.PartTo)
 	}
-	return fmt.Sprintf("%v recover %s", a.At, a.Recover)
 }
 
 // Schedule is a deterministic fault plan: the seed that generated it plus
@@ -109,6 +121,37 @@ func RandomSchedule(seed int64, members []string, horizon time.Duration, n int) 
 			actions = append(actions, Action{At: at, Crash: m})
 		}
 		at += settle/2 + time.Duration(rng.Int63n(int64(settle)))
+	}
+	return Schedule{Seed: seed, Actions: actions}
+}
+
+// OneWayLossSchedule derives a plan of n sequential one-way partition
+// windows from seed: each window blocks a random directed link for a
+// bounded time, then heals it. Windows never overlap and every link is
+// healed well before horizon, so a run with a reliability sublayer must
+// converge — the schedule only ever makes links temporarily asymmetric,
+// never permanently unreachable. The same (seed, members, horizon, n)
+// always yields the same schedule.
+func OneWayLossSchedule(seed int64, members []string, horizon time.Duration, n int) Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	var actions []Action
+	// Fit n block+heal windows in the first 3/4 of the horizon; the rest
+	// is convergence slack.
+	budget := horizon * 3 / 4
+	slot := budget / time.Duration(n+1)
+	at := slot / 2
+	for i := 0; i < n && at < budget; i++ {
+		from := members[rng.Intn(len(members))]
+		to := members[rng.Intn(len(members))]
+		for to == from {
+			to = members[rng.Intn(len(members))]
+		}
+		width := slot/4 + time.Duration(rng.Int63n(int64(slot/2)))
+		actions = append(actions,
+			Action{At: at, PartFrom: from, PartTo: to, Block: true},
+			Action{At: at + width, PartFrom: from, PartTo: to, Block: false},
+		)
+		at += slot
 	}
 	return Schedule{Seed: seed, Actions: actions}
 }

@@ -1,5 +1,5 @@
 // Package experiments implements the paper-reproduction harness: one
-// runner per experiment in DESIGN.md's index (E1–E13), each returning a
+// runner per experiment in DESIGN.md's index (E1–E14), each returning a
 // Table whose rows reproduce the corresponding claim's shape. The
 // cmd/experiments binary prints all tables; bench_test.go wraps each
 // runner in a testing.B benchmark.
@@ -122,12 +122,13 @@ func All() map[string]Runner {
 		"E11": func() Table { return RunE11(DefaultE11()) },
 		"E12": func() Table { return RunE12(DefaultE12()) },
 		"E13": func() Table { return RunE13(DefaultE13()) },
+		"E14": func() Table { return RunE14(DefaultE14()) },
 	}
 }
 
 // IDs returns experiment ids in run order.
 func IDs() []string {
-	return []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"}
+	return []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14"}
 }
 
 func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }

@@ -74,6 +74,24 @@ func (d *Detector) Observe(peer string, at time.Time) {
 	d.tracker.MarkUp(peer)
 }
 
+// Suspect backdates peer's liveness evidence so the next Tick times it
+// out immediately. Lower layers with direct failure evidence (the
+// reliability sublayer shedding an unresponsive peer) use it to
+// accelerate detection without bypassing the tracker's up/down protocol;
+// a later genuine heartbeat still heals the peer, because Observe keeps
+// the maximum timestamp.
+func (d *Detector) Suspect(peer string, now time.Time) {
+	if peer == d.self {
+		return
+	}
+	stale := now.Add(-d.timeout - time.Nanosecond)
+	d.mu.Lock()
+	if prev, ok := d.lastSeen[peer]; !ok || prev.After(stale) {
+		d.lastSeen[peer] = stale
+	}
+	d.mu.Unlock()
+}
+
 // Tick evaluates timeouts as of now, updating the tracker. It returns the
 // peers newly suspected at this tick.
 func (d *Detector) Tick(now time.Time) []string {

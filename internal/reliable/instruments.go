@@ -1,0 +1,61 @@
+package reliable
+
+import "causalshare/internal/telemetry"
+
+// instruments groups the reliability sublayer's metrics, built from a
+// possibly-nil registry so the hot path updates them unconditionally.
+type instruments struct {
+	dataSent        *telemetry.Counter
+	retransmits     *telemetry.Counter
+	nacksSent       *telemetry.Counter
+	nacksRecv       *telemetry.Counter
+	acksSent        *telemetry.Counter
+	dupSuppressed   *telemetry.Counter
+	windowStalls    *telemetry.Counter
+	sheds           *telemetry.Counter
+	unsheds         *telemetry.Counter
+	resyncs         *telemetry.Counter
+	resetsSent      *telemetry.Counter
+	reorderOverflow *telemetry.Counter
+	staleEpoch      *telemetry.Counter
+	decodeErrors    *telemetry.Counter
+	passthrough     *telemetry.Counter
+	outstanding     *telemetry.Gauge
+}
+
+func newInstruments(reg *telemetry.Registry) *instruments {
+	return &instruments{
+		dataSent: reg.Counter("reliable_data_total",
+			"Sequenced broadcast frames sent through the reliability sublayer."),
+		retransmits: reg.Counter("reliable_retransmits_total",
+			"Frames re-sent from the retransmit buffer (NACK-driven or RTO)."),
+		nacksSent: reg.Counter("reliable_nacks_sent_total",
+			"Gap-repair NACK frames sent."),
+		nacksRecv: reg.Counter("reliable_nacks_recv_total",
+			"NACK frames received and serviced."),
+		acksSent: reg.Counter("reliable_acks_sent_total",
+			"Standalone cumulative ACK frames sent (piggybacked acks are free)."),
+		dupSuppressed: reg.Counter("reliable_dup_suppressed_total",
+			"Frames discarded as link-level duplicates (already delivered or buffered)."),
+		windowStalls: reg.Counter("reliable_window_stalls_total",
+			"Sends that blocked because the retransmit window was full."),
+		sheds: reg.Counter("reliable_sheds_total",
+			"Peers shed to the Suspect state (buffer overflow or unresponsive)."),
+		unsheds: reg.Counter("reliable_unsheds_total",
+			"Shed peers revived by fresh reliability traffic."),
+		resyncs: reg.Counter("reliable_resyncs_total",
+			"RESET jumps that skipped irrecoverable sequences and triggered an upper-layer resync."),
+		resetsSent: reg.Counter("reliable_resets_sent_total",
+			"RESET frames sent to peers requesting history the buffer no longer holds."),
+		reorderOverflow: reg.Counter("reliable_reorder_overflow_total",
+			"Out-of-order frames discarded because the reorder buffer was full."),
+		staleEpoch: reg.Counter("reliable_stale_epoch_total",
+			"Frames discarded as belonging to an older stream incarnation."),
+		decodeErrors: reg.Counter("reliable_decode_errors_total",
+			"Reliability frames that failed to decode (delivered as passthrough)."),
+		passthrough: reg.Counter("reliable_passthrough_total",
+			"Frames crossing the sublayer unsequenced (unicasts, foreign traffic)."),
+		outstanding: reg.Gauge("reliable_outstanding",
+			"Broadcast frames sent but not yet acked by every live peer."),
+	}
+}

@@ -1,0 +1,1024 @@
+// Package reliable is a per-link reliability sublayer that wraps any
+// transport.Conn with sequenced broadcast delivery, cumulative acks
+// piggybacked on outgoing data frames, NACK-driven gap repair with
+// exponential backoff and jitter, sender-side RTO retransmission for tail
+// loss, duplicate suppression, and a bounded retransmit window that
+// exerts backpressure on the broadcast layers instead of buffering
+// unboundedly.
+//
+// The paper's OSend/ASend primitives assume the kernel communication
+// facility eventually delivers every broadcast; this package is that
+// assumption made real over lossy links (cf. ISIS CBCAST's transport and
+// Bayou's anti-entropy, which both place a reliability layer under the
+// ordering protocols).
+//
+// # Design
+//
+// Broadcasts are sequenced per *stream*, not per peer pair: one sequence
+// number per outgoing broadcast shared by every destination, so the
+// encode-once zero-copy fan-out of the hot path survives — the reliability
+// header (including the ack vector) is identical bytes for all receivers.
+// Each receiver tracks the sender's stream independently: next-expected
+// sequence, a reorder ring bounded by the sender's window, and cumulative
+// acks back to the sender. Retransmissions re-send the retained frame's
+// bytes unchanged, so a message's SpanContext (and every other byte)
+// survives loss transparently.
+//
+// Graceful degradation: a peer that stops acking — crashed, partitioned,
+// or simply slower than the window for longer than ShedAfter/StallTimeout
+// tolerates — is shed: excluded from the window so the group is never
+// hostage to its slowest member, and reported via OnSuspect (wired into
+// group.Detector by the layers above). Shedding releases the shed peer's
+// buffer claim; if it later returns and NACKs history the buffer no
+// longer holds, the sender answers with RESET and the receiver jumps
+// forward, reporting the irrecoverable gap via OnResync so the layer
+// above performs a snapshot-based resync instead of a full log replay.
+//
+// Stream incarnations are fenced by an epoch: every Wrap gets a fresh
+// epoch, receivers adopt higher epochs (and discard the dead
+// incarnation's buffered frames) and drop lower ones, so a crashed member
+// that rejoins mid-chaos cannot interleave stale sequences with new ones.
+package reliable
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"causalshare/internal/telemetry"
+	"causalshare/internal/transport"
+)
+
+// Config tunes one wrapped connection. The zero value gets defaults
+// suitable for in-process and loopback links.
+type Config struct {
+	// Window bounds unacknowledged broadcasts: once Window frames are in
+	// flight to the slowest live peer, SendFrame blocks (backpressure on
+	// OSend/the sequencer) until acks free slots or StallTimeout sheds
+	// the laggard. It also sizes each receiver's reorder ring. Default 256.
+	Window int
+	// AckEvery pushes a standalone cumulative ack after this many in-order
+	// deliveries from one stream; between pushes acks ride free on
+	// outgoing data frames and the per-Tick flush. Default 32.
+	AckEvery int
+	// Tick is the background cadence: delayed-ack flush, NACK scans, RTO
+	// retransmission, shed deadlines. Default 2ms.
+	Tick time.Duration
+	// NackDelay is how long a sequence gap must persist before the first
+	// NACK — shorter than the transport's reorder horizon wastes repair
+	// traffic. Backoff doubles from here, jittered, up to BackoffMax.
+	// Default 2*Tick.
+	NackDelay time.Duration
+	// RTO is the sender-side retransmission timeout covering tail loss
+	// (the receiver cannot NACK frames it never saw evidence of). Doubles
+	// with jitter up to BackoffMax while a peer makes no progress.
+	// Default 5*Tick.
+	RTO time.Duration
+	// BackoffMax caps NACK and RTO backoff. Default 50*Tick.
+	BackoffMax time.Duration
+	// StallTimeout bounds how long one SendFrame may block on a full
+	// window before the peers pinning the window are shed. Default 100ms.
+	StallTimeout time.Duration
+	// ShedAfter sheds a peer whose acks make no progress on outstanding
+	// data for this long. Default 400ms.
+	ShedAfter time.Duration
+	// Seed fixes the jitter RNG for reproducible schedules. Zero means 1.
+	Seed int64
+	// OnSuspect is called (from the background ticker) when a peer is
+	// shed; wire it into the failure detector.
+	OnSuspect func(peer string)
+	// OnResync is called when the link from peer skipped irrecoverable
+	// sequences (RESET); the layer above should resync state from peer
+	// (e.g. causal.OSend.SyncWith).
+	OnResync func(peer string)
+	// Telemetry registers the reliable_* instruments. May be nil.
+	Telemetry *telemetry.Registry
+	// Trace records retransmit/nack/shed/resync events. May be nil.
+	Trace *telemetry.Ring
+}
+
+func (cfg *Config) defaults() {
+	if cfg.Window <= 0 {
+		cfg.Window = 256
+	}
+	if cfg.AckEvery <= 0 {
+		cfg.AckEvery = 32
+	}
+	if cfg.Tick <= 0 {
+		cfg.Tick = 2 * time.Millisecond
+	}
+	if cfg.NackDelay <= 0 {
+		cfg.NackDelay = 2 * cfg.Tick
+	}
+	if cfg.RTO <= 0 {
+		cfg.RTO = 5 * cfg.Tick
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 50 * cfg.Tick
+	}
+	if cfg.StallTimeout <= 0 {
+		cfg.StallTimeout = 100 * time.Millisecond
+	}
+	if cfg.ShedAfter <= 0 {
+		cfg.ShedAfter = 400 * time.Millisecond
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+}
+
+// epochCounter hands every Wrap a process-unique, monotonically
+// increasing stream incarnation, so a member that crashes and rejoins
+// (new Wrap over a new attachment) is fenced from its dead incarnation.
+var epochCounter atomic.Uint64
+
+// ackWord packs an in-stream's (epoch, delivered watermark) pair into one
+// atomic so the hot-path ack-vector builder reads a coherent pair without
+// taking stream locks. 24 bits of epoch and 40 bits of sequence bound a
+// process to ~16M rejoins and ~1.1e12 frames per stream — far beyond any
+// run this system makes.
+const ackSeqBits = 40
+
+func packAck(epoch, seq uint64) uint64 { return epoch<<ackSeqBits | seq&(1<<ackSeqBits-1) }
+
+func unpackAck(w uint64) (epoch, seq uint64) { return w >> ackSeqBits, w & (1<<ackSeqBits - 1) }
+
+// outSlot retains one sent broadcast frame until every live peer acks it.
+type outSlot struct {
+	seq uint64
+	f   *transport.Frame
+}
+
+// peerOut is the sender's view of one destination.
+type peerOut struct {
+	id      string
+	unicast [1]string
+
+	acked        uint64 // cumulative ack received from this peer
+	shed         bool
+	lastProgress time.Time // last ack advance (or nothing outstanding)
+	lastRetx     time.Time
+	lastReset    time.Time
+	rto          time.Duration
+}
+
+// outStream is the single sequenced broadcast stream of this connection.
+type outStream struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	next   uint64 // next sequence to assign (first assigned is 1)
+	floor  uint64 // min ack over live peers; slots ≤ floor are released
+	ring   []outSlot
+	peers  map[string]*peerOut
+	plist  []*peerOut
+	closed bool
+
+	notices []string // shed peers awaiting OnSuspect delivery
+}
+
+// inStream is the receiver's view of one peer's broadcast stream.
+type inStream struct {
+	id      string
+	unicast [1]string
+
+	mu       sync.Mutex
+	epoch    uint64
+	next     uint64 // next sequence to deliver
+	maxSeen  uint64 // highest sequence observed this epoch
+	ring     []transport.Envelope
+	occ      []bool
+	buffered int
+
+	sinceAck  int
+	lastAcked uint64
+	ackDirty  bool
+
+	gapSince    time.Time
+	nackAt      time.Time
+	nackBackoff time.Duration
+
+	ackWord atomic.Uint64 // packAck(epoch, next-1), for piggybacking
+}
+
+// Conn wraps an inner transport.Conn with the reliability sublayer. It
+// implements transport.Conn, transport.FrameSender and
+// transport.BatchRecver, so it drops into any stack built on those.
+type Conn struct {
+	inner transport.Conn
+	self  string
+	selfB []byte
+	peers []string
+	cfg   Config
+	ins   *instruments
+	epoch uint64
+
+	out outStream
+
+	streamsMu  sync.RWMutex
+	streams    map[string]*inStream
+	streamList []*inStream
+	vecMax     atomic.Int64 // upper bound on encoded ack-vector bytes
+
+	recvMu   sync.Mutex
+	innerBuf []transport.Envelope
+	one      [1]transport.Envelope
+	pend     []transport.Envelope
+	pendHead int
+
+	rng *rand.Rand // ticker-goroutine only
+
+	done      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+	closeErr  error
+}
+
+var (
+	_ transport.Conn        = (*Conn)(nil)
+	_ transport.FrameSender = (*Conn)(nil)
+	_ transport.BatchRecver = (*Conn)(nil)
+)
+
+// Wrap layers reliability over conn for the broadcast group whose other
+// members are peers (in the group's canonical order — the same order the
+// broadcast layers pass to Multicast). Fan-outs addressed to exactly that
+// set are sequenced; any other destination set passes through unchanged.
+func Wrap(conn transport.Conn, peers []string, cfg Config) *Conn {
+	cfg.defaults()
+	c := &Conn{
+		inner:   conn,
+		self:    conn.LocalID(),
+		peers:   append([]string(nil), peers...),
+		cfg:     cfg,
+		ins:     newInstruments(cfg.Telemetry),
+		epoch:   epochCounter.Add(1),
+		streams: make(map[string]*inStream, len(peers)),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		done:    make(chan struct{}),
+	}
+	c.selfB = []byte(c.self)
+	c.out.next = 1 // first assigned sequence; floor 0 means nothing acked
+	c.out.cond = sync.NewCond(&c.out.mu)
+	c.out.ring = make([]outSlot, cfg.Window)
+	c.out.peers = make(map[string]*peerOut, len(peers))
+	now := time.Now()
+	for _, id := range c.peers {
+		p := &peerOut{id: id, lastProgress: now, rto: cfg.RTO}
+		p.unicast[0] = id
+		c.out.peers[id] = p
+		c.out.plist = append(c.out.plist, p)
+		c.addStreamLocked(id) // no readers yet; lock-free init is fine
+	}
+	c.wg.Add(1)
+	go c.tickLoop()
+	return c
+}
+
+// addStreamLocked creates the in-stream state for id. Callers must hold
+// streamsMu (or be the constructor).
+func (c *Conn) addStreamLocked(id string) *inStream {
+	st := &inStream{
+		id:   id,
+		next: 1,
+		ring: make([]transport.Envelope, c.cfg.Window),
+		occ:  make([]bool, c.cfg.Window),
+	}
+	st.unicast[0] = id
+	c.streams[id] = st
+	c.streamList = append(c.streamList, st)
+	c.vecMax.Add(int64(len(id)) + 3*binary.MaxVarintLen64)
+	return st
+}
+
+func (c *Conn) stream(id string) *inStream {
+	c.streamsMu.RLock()
+	st := c.streams[id]
+	c.streamsMu.RUnlock()
+	if st != nil {
+		return st
+	}
+	c.streamsMu.Lock()
+	defer c.streamsMu.Unlock()
+	if st = c.streams[id]; st != nil {
+		return st
+	}
+	return c.addStreamLocked(id)
+}
+
+// LocalID implements transport.Conn.
+func (c *Conn) LocalID() string { return c.self }
+
+// Epoch returns this connection's stream incarnation (for tests/tooling).
+func (c *Conn) Epoch() uint64 { return c.epoch }
+
+// Send passes a unicast through unsequenced: point-to-point repair
+// traffic (causal fetches, sync snapshots) has its own retry logic above.
+func (c *Conn) Send(to string, payload []byte) error {
+	c.ins.passthrough.Inc()
+	return c.inner.Send(to, payload)
+}
+
+// sequenced reports whether tos is exactly the broadcast peer set.
+func (c *Conn) sequenced(tos []string) bool {
+	if len(tos) != len(c.peers) {
+		return false
+	}
+	for i, t := range tos {
+		if t != c.peers[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SendFrame implements transport.FrameSender. A full-group fan-out is
+// sequenced through the window; anything else passes through.
+func (c *Conn) SendFrame(tos []string, f *transport.Frame) error {
+	if !c.sequenced(tos) {
+		c.ins.passthrough.Inc()
+		return transport.Multicast(c.inner, tos, f)
+	}
+	o := &c.out
+	o.mu.Lock()
+	if o.next-1-o.floor >= uint64(len(o.ring)) {
+		c.ins.windowStalls.Inc()
+		deadline := time.Now().Add(c.cfg.StallTimeout)
+		for o.next-1-o.floor >= uint64(len(o.ring)) && !o.closed {
+			if !time.Now().Before(deadline) {
+				// Retransmit-buffer overflow: shed the peers pinning the
+				// window rather than buffer without bound or block forever.
+				c.shedLaggardsLocked(time.Now())
+				deadline = time.Now().Add(c.cfg.StallTimeout)
+				continue
+			}
+			o.cond.Wait() // the ticker broadcasts every Tick
+		}
+	}
+	if o.closed {
+		o.mu.Unlock()
+		return transport.ErrClosed
+	}
+	seq := o.next
+	o.next++
+	g := transport.NewFrame(2 + 3*binary.MaxVarintLen64 + int(c.vecMax.Load()) + len(f.B))
+	g.B = appendDataPrefix(g.B, c.epoch, seq)
+	g.B = c.appendAckVec(g.B)
+	g.B = append(g.B, f.B...)
+	slot := &o.ring[seq%uint64(len(o.ring))]
+	if slot.f != nil {
+		slot.f.Release() // unreachable when floor accounting holds; defensive
+	}
+	g.Retain()
+	slot.seq, slot.f = seq, g
+	// With every peer shed there is no ack obligation left: the floor
+	// tracks the head so the window never jams on a fully-shed group.
+	c.advanceFloorLocked()
+	c.ins.outstanding.Set(int64(o.next - 1 - o.floor))
+	o.mu.Unlock()
+	err := transport.Multicast(c.inner, tos, g)
+	g.Release()
+	c.ins.dataSent.Inc()
+	return err
+}
+
+// appendAckVec piggybacks every known stream's cumulative ack. Entries
+// with epoch 0 (nothing received yet) are emitted and ignored by
+// receivers, which keeps the single-pass encoding race-free without
+// per-stream locks.
+func (c *Conn) appendAckVec(b []byte) []byte {
+	c.streamsMu.RLock()
+	list := c.streamList
+	b = binary.AppendUvarint(b, uint64(len(list)))
+	for _, st := range list {
+		epoch, seq := unpackAck(st.ackWord.Load())
+		b = appendAckEntry(b, st.id, epoch, seq)
+	}
+	c.streamsMu.RUnlock()
+	return b
+}
+
+// Recv implements transport.Conn.
+func (c *Conn) Recv() (transport.Envelope, error) {
+	c.recvMu.Lock()
+	defer c.recvMu.Unlock()
+	for c.pendHead >= len(c.pend) {
+		c.pend = c.pend[:0]
+		c.pendHead = 0
+		envs, err := c.recvInnerLocked()
+		if err != nil {
+			return transport.Envelope{}, err
+		}
+		for _, e := range envs {
+			c.pend = c.process(e, c.pend)
+		}
+	}
+	e := c.pend[c.pendHead]
+	c.pend[c.pendHead] = transport.Envelope{}
+	c.pendHead++
+	return e, nil
+}
+
+// RecvBatch implements transport.BatchRecver.
+func (c *Conn) RecvBatch(buf []transport.Envelope) ([]transport.Envelope, error) {
+	c.recvMu.Lock()
+	defer c.recvMu.Unlock()
+	out := buf[:0]
+	if c.pendHead < len(c.pend) {
+		out = append(out, c.pend[c.pendHead:]...)
+		c.pend = c.pend[:0]
+		c.pendHead = 0
+		return out, nil
+	}
+	for {
+		envs, err := c.recvInnerLocked()
+		if err != nil {
+			if len(out) > 0 {
+				return out, nil
+			}
+			return nil, err
+		}
+		for _, e := range envs {
+			out = c.process(e, out)
+		}
+		if len(out) > 0 {
+			return out, nil
+		}
+	}
+}
+
+func (c *Conn) recvInnerLocked() ([]transport.Envelope, error) {
+	if br, ok := c.inner.(transport.BatchRecver); ok {
+		envs, err := br.RecvBatch(c.innerBuf)
+		if err != nil {
+			return nil, err
+		}
+		c.innerBuf = envs
+		return envs, nil
+	}
+	env, err := c.inner.Recv()
+	if err != nil {
+		return nil, err
+	}
+	c.one[0] = env
+	return c.one[:1], nil
+}
+
+// process classifies one inbound frame: passthrough traffic is delivered
+// untouched, control frames are consumed, and data frames go through the
+// per-stream sequencing state machine.
+func (c *Conn) process(env transport.Envelope, out []transport.Envelope) []transport.Envelope {
+	b := env.Payload
+	if !isReliable(b) {
+		c.ins.passthrough.Inc()
+		return append(out, env)
+	}
+	body := b[2:]
+	switch b[1] {
+	case kindData:
+		h, err := decodeData(body, c.selfB)
+		if err != nil {
+			c.ins.decodeErrors.Inc()
+			env.Release()
+			return out
+		}
+		if h.ackOK {
+			c.applyAck(env.From, h.ackEpoch, h.ackSeq)
+		}
+		return c.acceptData(env, h, out)
+	case kindAck:
+		if epoch, ack, err := decodeAck(body); err == nil {
+			c.applyAck(env.From, epoch, ack)
+		} else {
+			c.ins.decodeErrors.Inc()
+		}
+	case kindNack:
+		var buf [maxNackSeqs]uint64
+		if epoch, seqs, err := decodeNack(body, buf[:0]); err == nil {
+			c.handleNack(env.From, epoch, seqs)
+		} else {
+			c.ins.decodeErrors.Inc()
+		}
+	case kindReset:
+		if epoch, next, err := decodeReset(body); err == nil {
+			c.handleReset(env.From, epoch, next)
+		} else {
+			c.ins.decodeErrors.Inc()
+		}
+	default:
+		c.ins.decodeErrors.Inc()
+	}
+	env.Release()
+	return out
+}
+
+// acceptData runs the receiver state machine for one stream data frame.
+func (c *Conn) acceptData(env transport.Envelope, h dataHeader, out []transport.Envelope) []transport.Envelope {
+	st := c.stream(env.From)
+	var ackNow bool
+	var ackEpoch, ackSeq uint64
+	st.mu.Lock()
+	if h.epoch < st.epoch {
+		st.mu.Unlock()
+		c.ins.staleEpoch.Inc()
+		env.Release()
+		return out
+	}
+	if h.epoch > st.epoch {
+		// New incarnation of the peer. Every epoch's stream starts at
+		// sequence 1, so adopt from the beginning: if the first frames
+		// were lost (or we joined late) the normal NACK path recovers
+		// them from the sender's buffer, and history the buffer no longer
+		// holds comes back as a RESET + upper-layer resync. Nothing is
+		// ever skipped silently.
+		c.clearStreamLocked(st)
+		st.epoch = h.epoch
+		st.next = 1
+	}
+	if h.seq > st.maxSeen {
+		st.maxSeen = h.seq
+	}
+	switch {
+	case h.seq < st.next:
+		// Duplicate (fault-model dup, or a retransmit that crossed our
+		// ack). Re-ack soon so the sender stops retransmitting.
+		c.ins.dupSuppressed.Inc()
+		st.ackDirty = true
+		env.Release()
+	case h.seq == st.next:
+		env.Payload = h.payload
+		out = append(out, env)
+		st.next++
+		st.sinceAck++
+		for st.buffered > 0 {
+			i := int(st.next % uint64(len(st.ring)))
+			if !st.occ[i] {
+				break
+			}
+			out = append(out, st.ring[i])
+			st.ring[i] = transport.Envelope{}
+			st.occ[i] = false
+			st.buffered--
+			st.next++
+			st.sinceAck++
+		}
+		if st.buffered == 0 {
+			st.gapSince = time.Time{}
+		}
+		st.ackWord.Store(packAck(st.epoch, st.next-1))
+		if st.sinceAck >= c.cfg.AckEvery {
+			ackNow, ackEpoch, ackSeq = true, st.epoch, st.next-1
+			st.sinceAck = 0
+			st.ackDirty = false
+			st.lastAcked = st.next - 1
+		} else {
+			st.ackDirty = true
+		}
+	default: // gap: buffer out-of-order, arm the NACK timer
+		if h.seq-st.next >= uint64(len(st.ring)) {
+			// Beyond the reorder ring (we fell behind by more than one
+			// window, e.g. rejoining after a shed). Drop, but keep the
+			// NACK timer armed: the sender will answer with data or RESET.
+			c.ins.reorderOverflow.Inc()
+			env.Release()
+		} else {
+			i := int(h.seq % uint64(len(st.ring)))
+			if st.occ[i] {
+				c.ins.dupSuppressed.Inc()
+				env.Release()
+			} else {
+				env.Payload = h.payload
+				st.ring[i] = env
+				st.occ[i] = true
+				st.buffered++
+			}
+		}
+		if st.gapSince.IsZero() {
+			now := time.Now()
+			st.gapSince = now
+			st.nackBackoff = c.cfg.NackDelay
+			st.nackAt = now.Add(st.nackBackoff)
+		}
+	}
+	st.mu.Unlock()
+	if ackNow {
+		c.sendAck(st, ackEpoch, ackSeq)
+	}
+	return out
+}
+
+// clearStreamLocked releases buffered envelopes and resets gap/ack state.
+// st.next and st.epoch are left to the caller.
+func (c *Conn) clearStreamLocked(st *inStream) {
+	for i := range st.ring {
+		if st.occ[i] {
+			st.ring[i].Release()
+			st.ring[i] = transport.Envelope{}
+			st.occ[i] = false
+		}
+	}
+	st.buffered = 0
+	st.maxSeen = 0
+	st.sinceAck = 0
+	st.lastAcked = 0
+	st.ackDirty = false
+	st.gapSince = time.Time{}
+	st.nackAt = time.Time{}
+	st.nackBackoff = 0
+}
+
+func (c *Conn) sendAck(st *inStream, epoch, ack uint64) {
+	f := transport.NewFrame(2 + 2*binary.MaxVarintLen64)
+	f.B = appendAck(f.B, epoch, ack)
+	_ = transport.Multicast(c.inner, st.unicast[:], f)
+	f.Release()
+	c.ins.acksSent.Inc()
+}
+
+// applyAck folds a cumulative ack from peer into the send window. Any
+// reliability traffic from a shed peer revives it (the link evidently
+// works again); an unresponsive revenant is simply re-shed by ShedAfter.
+func (c *Conn) applyAck(from string, epoch, ack uint64) {
+	if epoch == 0 {
+		return // placeholder vector entry: peer has not received us yet
+	}
+	if epoch != c.epoch {
+		c.ins.staleEpoch.Inc()
+		return
+	}
+	o := &c.out
+	o.mu.Lock()
+	p := o.peers[from]
+	if p == nil {
+		o.mu.Unlock()
+		return
+	}
+	now := time.Now()
+	if p.shed {
+		c.unshedLocked(p, now)
+	}
+	if ack > p.acked {
+		if max := o.next - 1; ack > max {
+			ack = max
+		}
+		p.acked = ack
+		p.lastProgress = now
+		p.rto = c.cfg.RTO
+		c.advanceFloorLocked()
+	}
+	o.mu.Unlock()
+}
+
+// advanceFloorLocked recomputes the all-live-peers ack floor, releasing
+// retained frames it passes and waking window-stalled senders.
+func (c *Conn) advanceFloorLocked() {
+	o := &c.out
+	newFloor := o.next - 1
+	for _, p := range o.plist {
+		if !p.shed && p.acked < newFloor {
+			newFloor = p.acked
+		}
+	}
+	if newFloor <= o.floor {
+		return
+	}
+	for s := o.floor + 1; s <= newFloor; s++ {
+		slot := &o.ring[s%uint64(len(o.ring))]
+		if slot.f != nil && slot.seq == s {
+			slot.f.Release()
+			slot.f = nil
+		}
+	}
+	o.floor = newFloor
+	c.ins.outstanding.Set(int64(o.next - 1 - o.floor))
+	o.cond.Broadcast()
+}
+
+// unshedLocked revives a shed peer at the current floor: retained frames
+// catch it up via RTO retransmission, older history via RESET+resync.
+func (c *Conn) unshedLocked(p *peerOut, now time.Time) {
+	p.shed = false
+	if p.acked < c.out.floor {
+		p.acked = c.out.floor
+	}
+	p.lastProgress = now
+	p.lastRetx = now
+	p.rto = c.cfg.RTO
+	c.ins.unsheds.Inc()
+}
+
+// shedLocked excludes p from the window and queues the OnSuspect notice.
+func (c *Conn) shedLocked(p *peerOut) {
+	if p.shed {
+		return
+	}
+	p.shed = true
+	c.ins.sheds.Inc()
+	c.out.notices = append(c.out.notices, p.id)
+	c.advanceFloorLocked()
+}
+
+// shedLaggardsLocked sheds every live peer pinning the window at the
+// current floor (retransmit-buffer overflow policy).
+func (c *Conn) shedLaggardsLocked(now time.Time) {
+	o := &c.out
+	floor := o.floor
+	for _, p := range o.plist {
+		if !p.shed && p.acked == floor {
+			c.shedLocked(p)
+		}
+	}
+}
+
+// handleNack retransmits the requested sequences still in the buffer and
+// answers requests below the floor with a RESET.
+func (c *Conn) handleNack(from string, epoch uint64, seqs []uint64) {
+	c.ins.nacksRecv.Inc()
+	if epoch != c.epoch {
+		c.ins.staleEpoch.Inc()
+		return
+	}
+	o := &c.out
+	o.mu.Lock()
+	p := o.peers[from]
+	if p == nil {
+		o.mu.Unlock()
+		return
+	}
+	now := time.Now()
+	if p.shed {
+		c.unshedLocked(p, now)
+	}
+	var frames [maxNackSeqs]*transport.Frame
+	var fseqs [maxNackSeqs]uint64
+	n := 0
+	needReset := false
+	for _, s := range seqs {
+		if s >= o.next {
+			continue // not sent yet; the peer decodes garbage? ignore
+		}
+		slot := &o.ring[s%uint64(len(o.ring))]
+		if slot.f != nil && slot.seq == s {
+			slot.f.Retain()
+			frames[n] = slot.f
+			fseqs[n] = s
+			n++
+		} else {
+			needReset = true
+		}
+	}
+	var resetNext uint64
+	if needReset && now.Sub(p.lastReset) >= c.cfg.Tick {
+		p.lastReset = now
+		resetNext = o.floor + 1
+	}
+	o.mu.Unlock()
+	for i := 0; i < n; i++ {
+		_ = transport.Multicast(c.inner, p.unicast[:], frames[i])
+		frames[i].Release()
+		c.ins.retransmits.Inc()
+		c.cfg.Trace.Record(telemetry.EventRetransmit, c.self, from, fseqs[i], 0)
+	}
+	if resetNext > 0 {
+		c.sendReset(p, resetNext)
+	}
+}
+
+func (c *Conn) sendReset(p *peerOut, next uint64) {
+	f := transport.NewFrame(2 + 2*binary.MaxVarintLen64)
+	f.B = appendReset(f.B, c.epoch, next)
+	_ = transport.Multicast(c.inner, p.unicast[:], f)
+	f.Release()
+	c.ins.resetsSent.Inc()
+}
+
+// handleReset jumps the receiver past sequences the sender can no longer
+// serve and reports the irrecoverable gap upward.
+func (c *Conn) handleReset(from string, epoch, next uint64) {
+	st := c.stream(from)
+	var skipped uint64
+	st.mu.Lock()
+	if epoch < st.epoch {
+		st.mu.Unlock()
+		c.ins.staleEpoch.Inc()
+		return
+	}
+	if epoch > st.epoch {
+		c.clearStreamLocked(st)
+		st.epoch = epoch
+	}
+	if next > st.next {
+		skipped = next - st.next
+		c.clearStreamLocked(st)
+		st.next = next
+		st.maxSeen = next - 1
+		st.ackDirty = true // ack the new watermark so the sender's floor moves
+		st.ackWord.Store(packAck(st.epoch, st.next-1))
+	}
+	st.mu.Unlock()
+	if skipped > 0 {
+		c.ins.resyncs.Inc()
+		c.cfg.Trace.Record(telemetry.EventResync, c.self, from, next, int64(skipped))
+		if c.cfg.OnResync != nil {
+			c.cfg.OnResync(from)
+		}
+	}
+}
+
+// tickLoop is the background pump: delayed acks, NACK scans, sender RTO,
+// shed deadlines, and callback delivery.
+func (c *Conn) tickLoop() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.cfg.Tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.done:
+			return
+		case <-t.C:
+		}
+		now := time.Now()
+		c.flushAcks()
+		c.scanNacks(now)
+		c.pumpSender(now)
+		c.drainNotices()
+	}
+}
+
+// flushAcks pushes standalone acks for streams whose watermark advanced
+// since the last ack (delayed-ack coalescing) or that saw a duplicate.
+func (c *Conn) flushAcks() {
+	c.streamsMu.RLock()
+	list := c.streamList
+	c.streamsMu.RUnlock()
+	for _, st := range list {
+		st.mu.Lock()
+		send := st.epoch != 0 && (st.ackDirty || st.next-1 > st.lastAcked)
+		var epoch, ack uint64
+		if send {
+			epoch, ack = st.epoch, st.next-1
+			st.ackDirty = false
+			st.lastAcked = ack
+			st.sinceAck = 0
+		}
+		st.mu.Unlock()
+		if send {
+			c.sendAck(st, epoch, ack)
+		}
+	}
+}
+
+// scanNacks sends due NACKs for persistent gaps, with doubling jittered
+// backoff per stream.
+func (c *Conn) scanNacks(now time.Time) {
+	c.streamsMu.RLock()
+	list := c.streamList
+	c.streamsMu.RUnlock()
+	for _, st := range list {
+		var seqs [maxNackSeqs]uint64
+		n := 0
+		var epoch uint64
+		st.mu.Lock()
+		if !st.gapSince.IsZero() && !now.Before(st.nackAt) {
+			r := uint64(len(st.ring))
+			for s := st.next; s <= st.maxSeen && n < maxNackSeqs; s++ {
+				if s-st.next < r && st.occ[int(s%r)] {
+					continue
+				}
+				seqs[n] = s
+				n++
+			}
+			if n == 0 {
+				st.gapSince = time.Time{} // gap closed between scans
+			} else {
+				epoch = st.epoch
+				st.nackBackoff = minDuration(2*st.nackBackoff, c.cfg.BackoffMax)
+				st.nackAt = now.Add(c.jitter(st.nackBackoff))
+			}
+		}
+		st.mu.Unlock()
+		if n > 0 {
+			f := transport.NewFrame(2 + (n+2)*binary.MaxVarintLen64)
+			f.B = appendNack(f.B, epoch, seqs[:n])
+			_ = transport.Multicast(c.inner, st.unicast[:], f)
+			f.Release()
+			c.ins.nacksSent.Inc()
+			c.cfg.Trace.Record(telemetry.EventNack, c.self, st.id, seqs[0], int64(n))
+		}
+	}
+}
+
+// rtoBurst caps frames re-sent per peer per RTO firing.
+const rtoBurst = 16
+
+// pumpSender covers tail loss (RTO retransmission toward laggards) and
+// shed deadlines, and wakes any window-stalled sender to re-check its
+// deadline.
+func (c *Conn) pumpSender(now time.Time) {
+	o := &c.out
+	var frames [rtoBurst]*transport.Frame
+	var fseqs [rtoBurst]uint64
+	o.mu.Lock()
+	o.cond.Broadcast()
+	top := o.next - 1
+	n := 0
+	var target *peerOut
+	for _, p := range o.plist {
+		if p.shed {
+			continue
+		}
+		if p.acked >= top {
+			p.lastProgress = now // nothing outstanding: the peer is current
+			continue
+		}
+		if now.Sub(p.lastProgress) > c.cfg.ShedAfter {
+			c.shedLocked(p)
+			continue
+		}
+		if target == nil && now.Sub(p.lastRetx) >= p.rto && now.Sub(p.lastProgress) >= p.rto {
+			for s := p.acked + 1; s <= top && n < rtoBurst; s++ {
+				slot := &o.ring[s%uint64(len(o.ring))]
+				if slot.f != nil && slot.seq == s {
+					slot.f.Retain()
+					frames[n] = slot.f
+					fseqs[n] = s
+					n++
+				}
+			}
+			if n > 0 {
+				target = p
+				p.lastRetx = now
+				p.rto = minDuration(2*p.rto, c.cfg.BackoffMax) + c.jitter(c.cfg.Tick)
+			}
+		}
+	}
+	o.mu.Unlock()
+	for i := 0; i < n; i++ {
+		_ = transport.Multicast(c.inner, target.unicast[:], frames[i])
+		frames[i].Release()
+		c.ins.retransmits.Inc()
+		c.cfg.Trace.Record(telemetry.EventRetransmit, c.self, target.id, fseqs[i], 0)
+	}
+}
+
+// drainNotices delivers queued OnSuspect callbacks outside all locks.
+func (c *Conn) drainNotices() {
+	o := &c.out
+	o.mu.Lock()
+	notices := o.notices
+	o.notices = nil
+	o.mu.Unlock()
+	for _, id := range notices {
+		c.cfg.Trace.Record(telemetry.EventShed, c.self, id, 0, 0)
+		if c.cfg.OnSuspect != nil {
+			c.cfg.OnSuspect(id)
+		}
+	}
+}
+
+// jitter spreads d by ±12.5% so synchronized peers do not retransmit in
+// lockstep. Ticker-goroutine only (the RNG is unsynchronized).
+func (c *Conn) jitter(d time.Duration) time.Duration {
+	q := int64(d) / 4
+	if q <= 0 {
+		return d
+	}
+	return d - time.Duration(q/2) + time.Duration(c.rng.Int63n(q))
+}
+
+func minDuration(a, b time.Duration) time.Duration {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Close stops the ticker, releases retained frames and buffered
+// envelopes, and closes the inner connection.
+func (c *Conn) Close() error {
+	c.closeOnce.Do(func() {
+		close(c.done)
+		c.out.mu.Lock()
+		c.out.closed = true
+		c.out.cond.Broadcast()
+		for i := range c.out.ring {
+			if c.out.ring[i].f != nil {
+				c.out.ring[i].f.Release()
+				c.out.ring[i].f = nil
+			}
+		}
+		c.out.mu.Unlock()
+		c.closeErr = c.inner.Close()
+		c.wg.Wait()
+		c.streamsMu.RLock()
+		list := c.streamList
+		c.streamsMu.RUnlock()
+		for _, st := range list {
+			st.mu.Lock()
+			c.clearStreamLocked(st)
+			st.mu.Unlock()
+		}
+	})
+	return c.closeErr
+}

@@ -1,0 +1,237 @@
+package reliable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Wire format. Every reliability frame starts with a magic byte no other
+// layer emits: causal/total frames start with small kind tags (1..8) and
+// heartbeat frames with ASCII member ids, so sniffing one byte cleanly
+// separates sequenced traffic from passthrough. Frames that do not start
+// with the magic byte cross the sublayer byte-identical (the compat test
+// proves it), which is what keeps the wrapper deployable under existing
+// peers: old frames are simply never sequenced.
+//
+//	DATA  [0xE3][1][epoch][seq][n]{[idLen][id][epoch][ack]}×n [payload…]
+//	ACK   [0xE3][2][epoch][ack]
+//	NACK  [0xE3][3][epoch][n][first]{[delta]}×(n-1)
+//	RESET [0xE3][4][epoch][next]
+//
+// All integers are uvarints. DATA carries the broadcast-stream sequence
+// number plus a piggybacked cumulative-ack vector: one entry per peer
+// stream the sender has received from, keyed by origin id. The vector is
+// identical for every destination — that is what preserves the
+// encode-once zero-copy fan-out — and each receiver reads only the entry
+// keyed by its own id. NACK names explicitly missing sequences as a
+// first value plus positive deltas. RESET tells the receiver the oldest
+// sequence the sender can still serve; everything older is only
+// recoverable by an application-level resync.
+const (
+	magicByte byte = 0xE3
+
+	kindData  byte = 1
+	kindAck   byte = 2
+	kindNack  byte = 3
+	kindReset byte = 4
+)
+
+// Decode hardening bounds. Real encoders stay far below these; the fuzz
+// target proves arbitrary bytes cannot make the decoder allocate huge
+// buffers or loop unboundedly.
+const (
+	maxAckEntries = 1 << 12
+	maxPeerIDLen  = 1 << 8
+	// maxNackSeqs caps the sequences one NACK may carry; wider gaps are
+	// repaired across multiple backoff rounds (or by the sender's RTO).
+	maxNackSeqs = 64
+)
+
+var errTruncated = errors.New("reliable: truncated frame")
+
+// isReliable reports whether b is a reliability frame (vs passthrough).
+func isReliable(b []byte) bool { return len(b) >= 2 && b[0] == magicByte }
+
+// appendDataPrefix starts a DATA frame: magic, kind, epoch, seq.
+func appendDataPrefix(b []byte, epoch, seq uint64) []byte {
+	b = append(b, magicByte, kindData)
+	b = binary.AppendUvarint(b, epoch)
+	return binary.AppendUvarint(b, seq)
+}
+
+// appendAckEntry appends one ack-vector entry for the stream named id.
+func appendAckEntry(b []byte, id string, epoch, ack uint64) []byte {
+	b = binary.AppendUvarint(b, uint64(len(id)))
+	b = append(b, id...)
+	b = binary.AppendUvarint(b, epoch)
+	return binary.AppendUvarint(b, ack)
+}
+
+// dataHeader is a decoded DATA frame. payload aliases the input buffer.
+type dataHeader struct {
+	epoch, seq uint64
+	// ackEpoch/ackSeq are the vector entry keyed by the decoding member's
+	// own id; ackOK reports whether such an entry was present.
+	ackEpoch, ackSeq uint64
+	ackOK            bool
+	payload          []byte
+}
+
+// decodeData parses a DATA frame body (b starts after magic+kind),
+// extracting in one allocation-free pass the stream header, the ack
+// vector entry keyed self, and the payload.
+func decodeData(b []byte, self []byte) (dataHeader, error) {
+	var h dataHeader
+	var used int
+	if h.epoch, used = binary.Uvarint(b); used <= 0 {
+		return h, fmt.Errorf("reliable: data epoch: %w", errTruncated)
+	}
+	b = b[used:]
+	if h.seq, used = binary.Uvarint(b); used <= 0 || h.seq == 0 {
+		return h, fmt.Errorf("reliable: data seq: %w", errTruncated)
+	}
+	b = b[used:]
+	n, used := binary.Uvarint(b)
+	if used <= 0 || n > maxAckEntries {
+		return h, fmt.Errorf("reliable: ack vector count: %w", errTruncated)
+	}
+	b = b[used:]
+	for i := uint64(0); i < n; i++ {
+		idLen, used := binary.Uvarint(b)
+		if used <= 0 || idLen > maxPeerIDLen || uint64(len(b)-used) < idLen {
+			return h, fmt.Errorf("reliable: ack vector id: %w", errTruncated)
+		}
+		id := b[used : used+int(idLen)]
+		b = b[used+int(idLen):]
+		epoch, used := binary.Uvarint(b)
+		if used <= 0 {
+			return h, fmt.Errorf("reliable: ack vector epoch: %w", errTruncated)
+		}
+		b = b[used:]
+		ack, used := binary.Uvarint(b)
+		if used <= 0 {
+			return h, fmt.Errorf("reliable: ack vector ack: %w", errTruncated)
+		}
+		b = b[used:]
+		if !h.ackOK && bytesEqual(id, self) {
+			h.ackEpoch, h.ackSeq, h.ackOK = epoch, ack, true
+		}
+	}
+	h.payload = b
+	return h, nil
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// appendAck encodes a standalone cumulative ACK for one stream.
+func appendAck(b []byte, epoch, ack uint64) []byte {
+	b = append(b, magicByte, kindAck)
+	b = binary.AppendUvarint(b, epoch)
+	return binary.AppendUvarint(b, ack)
+}
+
+func decodeAck(b []byte) (epoch, ack uint64, err error) {
+	var used int
+	if epoch, used = binary.Uvarint(b); used <= 0 {
+		return 0, 0, fmt.Errorf("reliable: ack epoch: %w", errTruncated)
+	}
+	b = b[used:]
+	if ack, used = binary.Uvarint(b); used <= 0 {
+		return 0, 0, fmt.Errorf("reliable: ack seq: %w", errTruncated)
+	}
+	if len(b) != used {
+		return 0, 0, fmt.Errorf("reliable: %d stray ack bytes", len(b)-used)
+	}
+	return epoch, ack, nil
+}
+
+// appendNack encodes the explicitly missing sequences, which must be
+// strictly increasing and non-empty.
+func appendNack(b []byte, epoch uint64, seqs []uint64) []byte {
+	b = append(b, magicByte, kindNack)
+	b = binary.AppendUvarint(b, epoch)
+	b = binary.AppendUvarint(b, uint64(len(seqs)))
+	prev := uint64(0)
+	for i, s := range seqs {
+		if i == 0 {
+			b = binary.AppendUvarint(b, s)
+		} else {
+			b = binary.AppendUvarint(b, s-prev)
+		}
+		prev = s
+	}
+	return b
+}
+
+// decodeNack parses missing sequences into buf (len ≥ maxNackSeqs).
+func decodeNack(b []byte, buf []uint64) (epoch uint64, seqs []uint64, err error) {
+	var used int
+	if epoch, used = binary.Uvarint(b); used <= 0 {
+		return 0, nil, fmt.Errorf("reliable: nack epoch: %w", errTruncated)
+	}
+	b = b[used:]
+	n, used := binary.Uvarint(b)
+	if used <= 0 || n == 0 || n > maxNackSeqs {
+		return 0, nil, fmt.Errorf("reliable: nack count: %w", errTruncated)
+	}
+	b = b[used:]
+	seqs = buf[:0]
+	prev := uint64(0)
+	for i := uint64(0); i < n; i++ {
+		v, used := binary.Uvarint(b)
+		if used <= 0 {
+			return 0, nil, fmt.Errorf("reliable: nack seq %d: %w", i, errTruncated)
+		}
+		b = b[used:]
+		if i == 0 {
+			prev = v
+		} else {
+			if v == 0 || prev+v < prev {
+				return 0, nil, fmt.Errorf("reliable: nack delta %d not increasing", i)
+			}
+			prev += v
+		}
+		if prev == 0 {
+			return 0, nil, errors.New("reliable: nack for seq 0")
+		}
+		seqs = append(seqs, prev)
+	}
+	if len(b) != 0 {
+		return 0, nil, fmt.Errorf("reliable: %d stray nack bytes", len(b))
+	}
+	return epoch, seqs, nil
+}
+
+// appendReset encodes a RESET: the receiver should jump its next-expected
+// sequence to next and recover skipped state above the sublayer.
+func appendReset(b []byte, epoch, next uint64) []byte {
+	b = append(b, magicByte, kindReset)
+	b = binary.AppendUvarint(b, epoch)
+	return binary.AppendUvarint(b, next)
+}
+
+func decodeReset(b []byte) (epoch, next uint64, err error) {
+	var used int
+	if epoch, used = binary.Uvarint(b); used <= 0 {
+		return 0, 0, fmt.Errorf("reliable: reset epoch: %w", errTruncated)
+	}
+	b = b[used:]
+	if next, used = binary.Uvarint(b); used <= 0 || next == 0 {
+		return 0, 0, fmt.Errorf("reliable: reset next: %w", errTruncated)
+	}
+	if len(b) != used {
+		return 0, 0, fmt.Errorf("reliable: %d stray reset bytes", len(b)-used)
+	}
+	return epoch, next, nil
+}

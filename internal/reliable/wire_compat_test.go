@@ -1,0 +1,81 @@
+package reliable
+
+import (
+	"bytes"
+	"testing"
+
+	"causalshare/internal/transport"
+)
+
+// TestWireCompatPassthrough proves the deployability claim on the wire
+// itself: frames without reliability headers cross between a wrapped and
+// an *unwrapped* endpoint byte-identical in both directions. Only
+// full-group broadcasts between wrapped endpoints ever grow a header.
+func TestWireCompatPassthrough(t *testing.T) {
+	net := transport.NewChanNet(transport.FaultModel{})
+	defer net.Close()
+	innerA, _ := net.Attach("a")
+	rawB, _ := net.Attach("b") // never wrapped: a legacy peer
+	a := Wrap(innerA, []string{"b"}, fastConfig())
+	defer a.Close()
+	defer rawB.Close()
+
+	// Frames shaped like every existing layer's traffic: causal kinds
+	// (leading 1..8), heartbeats (ASCII id), and arbitrary app bytes.
+	frames := [][]byte{
+		{1, 0x10, 0x20, 0x30},           // causal data
+		{8, 0xAA},                       // causal sync response
+		[]byte("a|heartbeat|7"),         // heartbeat-shaped
+		{0x00},                          // degenerate single byte
+		bytes.Repeat([]byte{0x7F}, 300), // larger than any header
+	}
+
+	// Wrapped sender → legacy receiver, via unicast Send.
+	for _, want := range frames {
+		if err := a.Send("b", want); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+		env, err := rawB.Recv()
+		if err != nil {
+			t.Fatalf("raw Recv: %v", err)
+		}
+		if !bytes.Equal(env.Payload, want) {
+			t.Fatalf("wrapped→legacy mutated bytes: got % x want % x", env.Payload, want)
+		}
+		env.Release()
+	}
+
+	// Wrapped sender → legacy receiver, via subset SendFrame (not the
+	// full peer set semantics: a's peer set is exactly ["b"], so to force
+	// passthrough use Send above; here prove a full-group SendFrame is
+	// the ONLY path that grows a header).
+	f := transport.NewFrame(4)
+	f.B = append(f.B, 1, 2, 3, 4)
+	if err := a.SendFrame([]string{"b"}, f); err != nil {
+		t.Fatalf("SendFrame: %v", err)
+	}
+	f.Release()
+	env, err := rawB.Recv()
+	if err != nil {
+		t.Fatalf("raw Recv: %v", err)
+	}
+	if !isReliable(env.Payload) {
+		t.Fatalf("full-group broadcast did not grow a reliability header: % x", env.Payload)
+	}
+	env.Release()
+
+	// Legacy sender → wrapped receiver: bytes arrive untouched.
+	for _, want := range frames {
+		if err := rawB.Send("a", want); err != nil {
+			t.Fatalf("raw Send: %v", err)
+		}
+		env, err := a.Recv()
+		if err != nil {
+			t.Fatalf("wrapped Recv: %v", err)
+		}
+		if env.From != "b" || !bytes.Equal(env.Payload, want) {
+			t.Fatalf("legacy→wrapped mutated bytes: got % x want % x", env.Payload, want)
+		}
+		env.Release()
+	}
+}

@@ -1,0 +1,162 @@
+package reliable
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestDataRoundTrip(t *testing.T) {
+	b := appendDataPrefix(nil, 7, 42)
+	// Vector with three entries; the decoder must pick out "me".
+	b = append(b, 3)
+	b = appendAckEntry(b, "other", 5, 100)
+	b = appendAckEntry(b, "me", 7, 41)
+	b = appendAckEntry(b, "late", 0, 0)
+	payloadStart := len(b)
+	b = append(b, []byte("hello causal world")...)
+	if !isReliable(b) {
+		t.Fatal("encoded DATA not recognized as reliable")
+	}
+	h, err := decodeData(b[2:], []byte("me"))
+	if err != nil {
+		t.Fatalf("decodeData: %v", err)
+	}
+	if h.epoch != 7 || h.seq != 42 {
+		t.Fatalf("header = (%d,%d), want (7,42)", h.epoch, h.seq)
+	}
+	if !h.ackOK || h.ackEpoch != 7 || h.ackSeq != 41 {
+		t.Fatalf("ack entry = (%v,%d,%d), want (true,7,41)", h.ackOK, h.ackEpoch, h.ackSeq)
+	}
+	if !bytes.Equal(h.payload, b[payloadStart:]) {
+		t.Fatalf("payload = %q", h.payload)
+	}
+	// A member not in the vector sees no ack.
+	h2, err := decodeData(b[2:], []byte("stranger"))
+	if err != nil {
+		t.Fatalf("decodeData(stranger): %v", err)
+	}
+	if h2.ackOK {
+		t.Fatal("stranger found an ack entry")
+	}
+}
+
+func TestAckNackResetRoundTrip(t *testing.T) {
+	b := appendAck(nil, 3, 99)
+	if e, a, err := decodeAck(b[2:]); err != nil || e != 3 || a != 99 {
+		t.Fatalf("ack round trip = (%d,%d,%v)", e, a, err)
+	}
+	want := []uint64{5, 6, 9, 1000}
+	b = appendNack(nil, 4, want)
+	var buf [maxNackSeqs]uint64
+	e, seqs, err := decodeNack(b[2:], buf[:0])
+	if err != nil || e != 4 {
+		t.Fatalf("nack round trip: epoch=%d err=%v", e, err)
+	}
+	if len(seqs) != len(want) {
+		t.Fatalf("nack seqs = %v, want %v", seqs, want)
+	}
+	for i := range want {
+		if seqs[i] != want[i] {
+			t.Fatalf("nack seqs = %v, want %v", seqs, want)
+		}
+	}
+	b = appendReset(nil, 9, 1234)
+	if e, n, err := decodeReset(b[2:]); err != nil || e != 9 || n != 1234 {
+		t.Fatalf("reset round trip = (%d,%d,%v)", e, n, err)
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	cases := map[string][]byte{
+		"empty data":       nil,
+		"data seq zero":    appendDataPrefix(nil, 1, 1)[2:4], // truncated after epoch
+		"ack stray":        append(appendAck(nil, 1, 2), 0xFF)[2:],
+		"nack empty":       appendNack(nil, 1, []uint64{})[2:],
+		"nack zero delta":  {1, 2, 5, 0}, // epoch=1 n=2 first=5 delta=0
+		"nack seq zero":    {1, 1, 0},    // epoch=1 n=1 first=0
+		"reset next zero":  {1, 0},
+		"reset stray":      append(appendReset(nil, 1, 2), 0xAB)[2:],
+		"huge ack entries": {1, 1, 0xFF, 0xFF, 0xFF, 0x7F}, // count > maxAckEntries
+	}
+	for name, body := range cases {
+		name, body := name, body
+		t.Run(name, func(t *testing.T) {
+			switch {
+			case name == "ack stray":
+				if _, _, err := decodeAck(body); err == nil {
+					t.Fatal("decodeAck accepted malformed input")
+				}
+			case name == "reset next zero" || name == "reset stray":
+				if _, _, err := decodeReset(body); err == nil {
+					t.Fatal("decodeReset accepted malformed input")
+				}
+			case name == "nack empty" || name == "nack zero delta" || name == "nack seq zero":
+				var buf [maxNackSeqs]uint64
+				if _, _, err := decodeNack(body, buf[:0]); err == nil {
+					t.Fatal("decodeNack accepted malformed input")
+				}
+			default:
+				if _, err := decodeData(body, []byte("me")); err == nil {
+					t.Fatal("decodeData accepted malformed input")
+				}
+			}
+		})
+	}
+}
+
+// FuzzReliableHeaderDecode throws arbitrary bytes at every decoder and
+// checks the hardening bounds hold: no panics, no oversized outputs, and
+// payload aliasing stays inside the input buffer.
+func FuzzReliableHeaderDecode(f *testing.F) {
+	f.Add(appendDataPrefix(nil, 1, 1))
+	seed := appendDataPrefix(nil, 7, 42)
+	seed = append(seed, 1)
+	seed = appendAckEntry(seed, "me", 7, 41)
+	seed = append(seed, []byte("payload")...)
+	f.Add(seed)
+	f.Add(appendAck(nil, 3, 99))
+	f.Add(appendNack(nil, 4, []uint64{5, 6, 9}))
+	f.Add(appendReset(nil, 9, 1234))
+	f.Add([]byte{magicByte, kindData})
+	f.Add([]byte{magicByte, 0xFF, 0x00})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		if !isReliable(b) {
+			return
+		}
+		body := b[2:]
+		switch b[1] {
+		case kindData:
+			h, err := decodeData(body, []byte("me"))
+			if err == nil {
+				if h.seq == 0 {
+					t.Fatal("decoded DATA with seq 0")
+				}
+				if len(h.payload) > len(body) {
+					t.Fatal("payload longer than input")
+				}
+			}
+		case kindAck:
+			_, _, _ = decodeAck(body)
+		case kindNack:
+			var buf [maxNackSeqs]uint64
+			_, seqs, err := decodeNack(body, buf[:0])
+			if err == nil {
+				if len(seqs) == 0 || len(seqs) > maxNackSeqs {
+					t.Fatalf("decoded %d nack seqs", len(seqs))
+				}
+				for i := 1; i < len(seqs); i++ {
+					if seqs[i] <= seqs[i-1] {
+						t.Fatal("nack seqs not strictly increasing")
+					}
+				}
+				if seqs[0] == 0 {
+					t.Fatal("nack for seq 0")
+				}
+			}
+		case kindReset:
+			if _, next, err := decodeReset(body); err == nil && next == 0 {
+				t.Fatal("decoded RESET with next 0")
+			}
+		}
+	})
+}

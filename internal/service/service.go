@@ -17,6 +17,7 @@ import (
 	"causalshare/internal/group"
 	"causalshare/internal/message"
 	"causalshare/internal/obs"
+	"causalshare/internal/reliable"
 	"causalshare/internal/transport"
 )
 
@@ -33,6 +34,15 @@ type Options struct {
 	Heartbeat time.Duration
 	// Trace, when true, records every delivery for later analysis.
 	Trace bool
+	// Reliable, when non-nil, is the template config for a per-link
+	// reliability sublayer wrapped around every site's connection: loss,
+	// reordering and duplication are repaired below the causal engine
+	// instead of leaning solely on its anti-entropy. Seeds are derived per
+	// site; OnSuspect/OnResync are service-owned (shed peers mark the
+	// site's Tracker down, RESETs trigger a targeted engine resync) and
+	// must be left nil. The heartbeat plane's own attachment is never
+	// wrapped — failure detection keeps its independent path.
+	Reliable *reliable.Config
 }
 
 func (o Options) withDefaults() Options {
@@ -107,6 +117,31 @@ func (c *Cluster) buildSite(id string, initial core.State, apply core.Transition
 	if err != nil {
 		return nil, err
 	}
+	// Reliability hooks resolve through atomics: the sublayer exists
+	// before the engine and tracker it reports to (see chaos.hooks).
+	var syncer atomic.Pointer[causal.OSend]
+	var tracker atomic.Pointer[group.Tracker]
+	if opts.Reliable != nil {
+		rcfg := *opts.Reliable
+		rcfg.Seed = rcfg.Seed*int64(c.Group.Size()+1) + int64(c.Group.Rank(id)) + 1
+		rcfg.OnSuspect = func(peer string) {
+			if tr := tracker.Load(); tr != nil {
+				tr.MarkDown(peer)
+			}
+			if e := syncer.Load(); e != nil {
+				// Exclude the peer from the engine's stability quorum so a
+				// dead member's frozen watermark cannot pin retained history.
+				e.MarkDown(peer, true)
+			}
+		}
+		rcfg.OnResync = func(peer string) {
+			if e := syncer.Load(); e != nil {
+				e.MarkDown(peer, false)
+				_ = e.SyncWith(peer)
+			}
+		}
+		conn = reliable.Wrap(conn, c.Group.Others(id), rcfg)
+	}
 	site := &Site{ID: id, Replica: rep}
 	// The engine's receive loop may deliver before the front-end below is
 	// constructed; publish it through an atomic pointer so early
@@ -137,6 +172,9 @@ func (c *Cluster) buildSite(id string, initial core.State, apply core.Transition
 	if err != nil {
 		return nil, err
 	}
+	if os, ok := site.Engine.(*causal.OSend); ok {
+		syncer.Store(os)
+	}
 	if site.FrontEnd, err = core.NewFrontEnd("fe", site.Engine); err != nil {
 		return nil, err
 	}
@@ -150,6 +188,7 @@ func (c *Cluster) buildSite(id string, initial core.State, apply core.Transition
 		if err != nil {
 			return nil, err
 		}
+		tracker.Store(site.Tracker)
 	}
 	return site, nil
 }

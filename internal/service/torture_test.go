@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"causalshare/internal/reliable"
 	"causalshare/internal/shareddata"
 	"causalshare/internal/transport"
 )
@@ -78,6 +79,81 @@ func TestTortureCombinedFaults(t *testing.T) {
 				t.Fatalf("delivery sets: %d, %v", n, err)
 			}
 		})
+	}
+}
+
+// TestTortureReliableSustainedLoss is the combined-faults scenario with
+// the loss rate raised past what the engine's anti-entropy alone handles
+// comfortably (20%% drop + duplication + reorder-inducing delay), and the
+// reliability sublayer armed underneath. Every site must converge with
+// identical stable points, a causally valid trace, and the complete
+// delivery set — i.e. the sublayer repairs sustained loss transparently
+// to every layer above it.
+func TestTortureReliableSustainedLoss(t *testing.T) {
+	net := transport.NewChanNet(transport.FaultModel{
+		DropProb: 0.20,
+		DupProb:  0.10,
+		MaxDelay: 3 * time.Millisecond,
+		Seed:     77,
+	})
+	ids := []string{"a", "b", "c", "d"}
+	c, err := New("torture-loss", ids, net,
+		shareddata.NewCounter(0), shareddata.ApplyCounter,
+		Options{
+			Engine:   "osend",
+			Patience: 8 * time.Millisecond,
+			Trace:    true,
+			Reliable: &reliable.Config{
+				Window:   128,
+				AckEvery: 8,
+				Tick:     2 * time.Millisecond,
+				// No member is ever down in this scenario; shedding would
+				// only mean a config error, so give it real patience.
+				StallTimeout: 2 * time.Second,
+				ShedAfter:    5 * time.Second,
+				Seed:         3,
+			},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+
+	const cycles, perCycle = 8, 5
+	total := uint64(0)
+	fe := c.Sites["a"].FrontEnd
+	for r := 0; r < cycles; r++ {
+		for k := 0; k < perCycle; k++ {
+			op := shareddata.Inc()
+			if k%2 == 1 {
+				op = shareddata.Dec()
+			}
+			if _, err := fe.Submit(op.Op, op.Kind, op.Body); err != nil {
+				t.Fatal(err)
+			}
+			total++
+		}
+		rd := shareddata.Read()
+		if _, err := fe.Submit(rd.Op, rd.Kind, rd.Body); err != nil {
+			t.Fatal(err)
+		}
+		total++
+	}
+	if err := c.WaitApplied(total, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	report := c.Audit()
+	if !report.Consistent() {
+		t.Fatalf("divergence under sustained loss: %s", report.Divergence)
+	}
+	if report.Points != cycles {
+		t.Fatalf("stable points = %d, want %d", report.Points, cycles)
+	}
+	if err := c.Trace.VerifyAll(); err != nil {
+		t.Fatalf("causal delivery violated: %v", err)
+	}
+	if n, err := c.Trace.SameDeliverySet(); err != nil || n != int(total) {
+		t.Fatalf("delivery sets: %d, %v", n, err)
 	}
 }
 

@@ -30,6 +30,19 @@ const (
 	// EventViolation: the online causal auditor flagged an ordering
 	// violation (Value = violation kind).
 	EventViolation
+	// EventRetransmit: the reliability sublayer re-sent a frame
+	// (Seq = link sequence number).
+	EventRetransmit
+	// EventNack: the reliability sublayer requested a missing frame
+	// (Seq = first missing link sequence, Value = gap width).
+	EventNack
+	// EventShed: the reliability sublayer shed an unresponsive peer
+	// (Origin = the shed peer).
+	EventShed
+	// EventResync: a receiver skipped irrecoverable link sequences and
+	// asked the layer above to resync (Origin = the link peer,
+	// Value = sequences skipped).
+	EventResync
 )
 
 // String returns the kind's wire/debug name.
@@ -53,6 +66,14 @@ func (k EventKind) String() string {
 		return "elect"
 	case EventViolation:
 		return "violation"
+	case EventRetransmit:
+		return "retransmit"
+	case EventNack:
+		return "nack"
+	case EventShed:
+		return "shed"
+	case EventResync:
+		return "resync"
 	default:
 		return "unknown"
 	}

@@ -357,6 +357,19 @@ func (s *Sequencer) Heartbeat() error {
 	return nil
 }
 
+// Suspect backdates peer's liveness evidence in the failover detector so
+// the next Tick times it out immediately. Lower layers with direct
+// failure evidence — the reliability sublayer shedding an unresponsive
+// peer — feed their verdicts in here rather than waiting out the full
+// heartbeat timeout; a later genuine heartbeat still heals the peer. A
+// no-op when failover is disabled.
+func (s *Sequencer) Suspect(peer string) {
+	if s.detector == nil {
+		return
+	}
+	s.detector.Suspect(peer, time.Now())
+}
+
 // Tick evaluates failure detection and election progress as of now. The
 // heartbeat loop pumps it; deterministic tests call it directly. It is a
 // no-op when failover is disabled.

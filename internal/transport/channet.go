@@ -120,6 +120,13 @@ func (n *ChanNet) IDs() []string {
 // both directions. Frames in flight are unaffected.
 func (n *ChanNet) Partition(a, b string, block bool) { n.parts.set(a, b, block) }
 
+// PartitionOneWay blocks (or heals) only the from→to direction, modelling
+// asymmetric routing failures: from's frames vanish while to's still
+// arrive, so acks flow one way and data the other.
+func (n *ChanNet) PartitionOneWay(from, to string, block bool) {
+	n.parts.setOneWay(from, to, block)
+}
+
 // Heal removes all partitions.
 func (n *ChanNet) Heal() { n.parts.clear() }
 
@@ -136,14 +143,9 @@ func (n *ChanNet) Isolate(id string) {
 }
 
 // Restore removes every partition involving id (rejoin/heal of one
-// member) without touching partitions between other pairs.
-func (n *ChanNet) Restore(id string) {
-	for _, other := range n.IDs() {
-		if other != id {
-			n.parts.set(id, other, false)
-		}
-	}
-}
+// member), one-way blocks included, without touching partitions between
+// other pairs.
+func (n *ChanNet) Restore(id string) { n.parts.clearFor(id) }
 
 // Stats returns a snapshot of frame counters.
 func (n *ChanNet) Stats() Stats {
@@ -184,7 +186,7 @@ func (n *ChanNet) route(dst *chanConn, env Envelope) {
 		env.Release()
 		return // partitions drop silently, like a real network
 	}
-	drop, delay, dup, dupDelay := n.dice.roll(n.faults)
+	drop, delay, dup, dupDelay := n.dice.roll(n.faults, env.From, env.To)
 	if drop {
 		n.dropped.Add(1)
 		n.ins.faultDropped.Inc()

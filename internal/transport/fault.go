@@ -6,6 +6,12 @@ import (
 	"time"
 )
 
+// Link names one direction of a point-to-point link, for per-direction
+// fault overrides (asymmetric loss, one-way partitions).
+type Link struct {
+	From, To string
+}
+
 // FaultModel describes the adversarial behaviour the network injects. The
 // zero value is a perfect network: instant, lossless, FIFO.
 type FaultModel struct {
@@ -16,39 +22,110 @@ type FaultModel struct {
 	MaxDelay time.Duration
 	// DropProb is the probability a frame is silently discarded.
 	DropProb float64
+	// DropLink overrides DropProb for specific directions, so loss can be
+	// asymmetric: DropLink[Link{"a","b"}] = 1 drops every a→b frame while
+	// b→a traffic still flows (a one-way partition expressed as loss).
+	// Directions absent from the map use DropProb.
+	DropLink map[Link]float64
+	// BurstProb, BurstHeal and BurstDrop parameterize a Gilbert–Elliott
+	// two-state loss chain layered over the base drop probability. Each
+	// frame first advances the chain: from the good state it enters the
+	// bad state with probability BurstProb; from the bad state it heals
+	// with probability BurstHeal. While bad, frames drop with probability
+	// BurstDrop (default 1 when BurstProb > 0), producing the correlated
+	// loss bursts real networks exhibit — consecutive gaps that defeat
+	// single-frame repair and force windowed retransmission.
+	BurstProb float64
+	BurstHeal float64
+	BurstDrop float64
 	// DupProb is the probability a frame is delivered twice (the second
-	// copy with an independently sampled delay).
+	// copy with an independently sampled delay). Duplicate decisions draw
+	// from their own derived seed stream, so enabling DupProb does not
+	// perturb the drop/delay fate of later frames.
 	DupProb float64
 	// Seed fixes the fault RNG so runs are reproducible. Zero means 1.
 	Seed int64
 }
 
-// faultDice wraps a seeded RNG behind a mutex so concurrent senders share
-// one reproducible random stream.
+// active reports whether the model injects any fault at all. (FaultModel
+// contains a map, so callers cannot compare against the zero literal.)
+func (m FaultModel) active() bool {
+	return m.MinDelay > 0 || m.MaxDelay > 0 || m.DropProb > 0 ||
+		m.BurstProb > 0 || m.DupProb > 0 || len(m.DropLink) > 0
+}
+
+// dropProb resolves the base drop probability for one direction.
+func (m FaultModel) dropProb(from, to string) float64 {
+	if len(m.DropLink) > 0 {
+		if p, ok := m.DropLink[Link{From: from, To: to}]; ok {
+			return p
+		}
+	}
+	return m.DropProb
+}
+
+// burstDrop is the in-burst drop probability, defaulting to certain loss.
+func (m FaultModel) burstDrop() float64 {
+	if m.BurstDrop > 0 {
+		return m.BurstDrop
+	}
+	return 1
+}
+
+// dupSeedSalt derives the duplicate stream's seed from the primary seed.
+// Any odd constant works; this one is splitmix64's increment, truncated
+// to fit int64.
+const dupSeedSalt int64 = 0x1e3779b97f4a7c15
+
+// faultDice wraps seeded RNGs behind a mutex so concurrent senders share
+// one reproducible random stream. Drop, delay and the Gilbert–Elliott
+// burst chain draw from the primary stream; duplicate decisions (and the
+// duplicate copy's delay) draw from a second stream derived from the same
+// seed, so toggling DupProb never shifts the fate of later frames and
+// chaos seeds stay stable across fault-model tweaks.
 type faultDice struct {
-	mu  sync.Mutex
-	rng *rand.Rand
+	mu    sync.Mutex
+	rng   *rand.Rand
+	dup   *rand.Rand
+	burst bool // Gilbert–Elliott chain state: true = bad (bursting)
 }
 
 func newFaultDice(seed int64) *faultDice {
 	if seed == 0 {
 		seed = 1
 	}
-	return &faultDice{rng: rand.New(rand.NewSource(seed))}
+	return &faultDice{
+		rng: rand.New(rand.NewSource(seed)),
+		dup: rand.New(rand.NewSource(seed ^ dupSeedSalt)),
+	}
 }
 
-// roll samples the fate of one frame: whether it is dropped, how long it is
-// delayed, and whether a duplicate (with its own delay) is produced.
-func (d *faultDice) roll(m FaultModel) (drop bool, delay time.Duration, dup bool, dupDelay time.Duration) {
+// roll samples the fate of one frame on the directed link from→to:
+// whether it is dropped, how long it is delayed, and whether a duplicate
+// (with its own delay) is produced.
+func (d *faultDice) roll(m FaultModel, from, to string) (drop bool, delay time.Duration, dup bool, dupDelay time.Duration) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if m.DropProb > 0 && d.rng.Float64() < m.DropProb {
+	dropP := m.dropProb(from, to)
+	if m.BurstProb > 0 {
+		if d.burst {
+			if d.rng.Float64() < m.BurstHeal {
+				d.burst = false
+			}
+		} else if d.rng.Float64() < m.BurstProb {
+			d.burst = true
+		}
+		if d.burst {
+			dropP = m.burstDrop()
+		}
+	}
+	if dropP > 0 && d.rng.Float64() < dropP {
 		return true, 0, false, 0
 	}
 	delay = sampleDelay(d.rng, m)
-	if m.DupProb > 0 && d.rng.Float64() < m.DupProb {
+	if m.DupProb > 0 && d.dup.Float64() < m.DupProb {
 		dup = true
-		dupDelay = sampleDelay(d.rng, m)
+		dupDelay = sampleDelay(d.dup, m)
 	}
 	return false, delay, dup, dupDelay
 }
@@ -60,14 +137,21 @@ func sampleDelay(rng *rand.Rand, m FaultModel) time.Duration {
 	return m.MinDelay + time.Duration(rng.Int63n(int64(m.MaxDelay-m.MinDelay)))
 }
 
-// partitionSet tracks symmetric unreachability between id pairs.
+// partitionSet tracks unreachability between ids: symmetric pairs (both
+// directions blocked) and directed links (one-way blackouts, which model
+// asymmetric routing failures — the hard case for ack-based protocols,
+// since data flows but acknowledgements die).
 type partitionSet struct {
 	mu      sync.RWMutex
 	blocked map[[2]string]struct{}
+	oneway  map[Link]struct{}
 }
 
 func newPartitionSet() *partitionSet {
-	return &partitionSet{blocked: make(map[[2]string]struct{})}
+	return &partitionSet{
+		blocked: make(map[[2]string]struct{}),
+		oneway:  make(map[Link]struct{}),
+	}
 }
 
 func pairKey(a, b string) [2]string {
@@ -88,12 +172,43 @@ func (p *partitionSet) set(a, b string, block bool) {
 	}
 }
 
-// isBlocked reports whether frames between a and b are discarded.
-func (p *partitionSet) isBlocked(a, b string) bool {
+// setOneWay blocks or unblocks only the from→to direction.
+func (p *partitionSet) setOneWay(from, to string, block bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if block {
+		p.oneway[Link{From: from, To: to}] = struct{}{}
+	} else {
+		delete(p.oneway, Link{From: from, To: to})
+	}
+}
+
+// isBlocked reports whether a from→to frame is discarded.
+func (p *partitionSet) isBlocked(from, to string) bool {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
-	_, ok := p.blocked[pairKey(a, b)]
+	if _, ok := p.blocked[pairKey(from, to)]; ok {
+		return true
+	}
+	_, ok := p.oneway[Link{From: from, To: to}]
 	return ok
+}
+
+// clearFor removes every partition entry involving id (used on Restore,
+// so a rejoining member comes back fully reachable).
+func (p *partitionSet) clearFor(id string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for k := range p.blocked {
+		if k[0] == id || k[1] == id {
+			delete(p.blocked, k)
+		}
+	}
+	for k := range p.oneway {
+		if k.From == id || k.To == id {
+			delete(p.oneway, k)
+		}
+	}
 }
 
 // clear removes all partitions (heal).
@@ -101,4 +216,5 @@ func (p *partitionSet) clear() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.blocked = make(map[[2]string]struct{})
+	p.oneway = make(map[Link]struct{})
 }

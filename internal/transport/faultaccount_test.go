@@ -10,11 +10,11 @@ import (
 
 // replayFaults re-rolls the fault dice with the same seed the network will
 // use and returns the exact expected drop/dup/delay counts for n sends
-// issued by a single sequential sender.
+// issued by a single sequential sender on the a→b direction.
 func replayFaults(m FaultModel, n int) (drops, dups, delayed uint64) {
 	d := newFaultDice(m.Seed)
 	for i := 0; i < n; i++ {
-		drop, delay, dup, _ := d.roll(m)
+		drop, delay, dup, _ := d.roll(m, "a", "b")
 		if drop {
 			drops++
 			continue
@@ -168,5 +168,246 @@ func TestFramePoolStats(t *testing.T) {
 	s := reg.Snapshot()
 	if got := s.Get("transport_frame_pool_hits_total"); got < h1 {
 		t.Fatalf("registered pool hits %d below PoolStats value %d", got, h1)
+	}
+}
+
+// TestFaultDiceDupStreamIsolation is the regression test for the derived
+// duplicate seed stream: toggling DupProb must not perturb the drop/delay
+// fate of any frame, so chaos seeds stay stable across fault-model tweaks.
+func TestFaultDiceDupStreamIsolation(t *testing.T) {
+	base := FaultModel{MaxDelay: 2 * time.Millisecond, DropProb: 0.2, Seed: 7}
+	withDup := base
+	withDup.DupProb = 0.5
+
+	const n = 2000
+	d0 := newFaultDice(base.Seed)
+	d1 := newFaultDice(withDup.Seed)
+	var dups uint64
+	for i := 0; i < n; i++ {
+		drop0, delay0, _, _ := d0.roll(base, "a", "b")
+		drop1, delay1, dup, _ := d1.roll(withDup, "a", "b")
+		if drop0 != drop1 || delay0 != delay1 {
+			t.Fatalf("frame %d: fate diverged with DupProb on: drop %v/%v delay %v/%v",
+				i, drop0, drop1, delay0, delay1)
+		}
+		if dup {
+			dups++
+		}
+	}
+	if dups == 0 {
+		t.Fatal("DupProb=0.5 produced no duplicates in 2000 rolls")
+	}
+}
+
+var burstAccountModel = FaultModel{
+	DropProb:  0.02,
+	BurstProb: 0.05,
+	BurstHeal: 0.3,
+	BurstDrop: 0.9,
+	Seed:      42,
+}
+
+// TestFaultAccountingBurstChanNet mirrors TestFaultAccountingChanNet for
+// the Gilbert–Elliott burst model: the replay predicts every counter, and
+// the predicted drop pattern must actually cluster (a run of consecutive
+// drops longer than independent loss at the same rate plausibly yields).
+func TestFaultAccountingBurstChanNet(t *testing.T) {
+	const n = 400
+	drops, dups, delayed := replayFaults(burstAccountModel, n)
+	if drops == 0 {
+		t.Fatal("burst model dropped nothing in replay; test is vacuous")
+	}
+
+	// Clustering check on the deterministic replay: longest drop run.
+	d := newFaultDice(burstAccountModel.Seed)
+	run, maxRun := 0, 0
+	for i := 0; i < n; i++ {
+		drop, _, _, _ := d.roll(burstAccountModel, "a", "b")
+		if drop {
+			run++
+			if run > maxRun {
+				maxRun = run
+			}
+		} else {
+			run = 0
+		}
+	}
+	if maxRun < 3 {
+		t.Fatalf("longest drop run %d; Gilbert–Elliott chain should produce bursts", maxRun)
+	}
+
+	reg := telemetry.NewRegistry()
+	net := NewChanNetObserved(burstAccountModel, reg)
+	defer func() { _ = net.Close() }()
+	sender, err := net.Attach("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recver, err := net.Attach("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var received atomic.Uint64
+	go func() {
+		for {
+			env, err := recver.Recv()
+			if err != nil {
+				return
+			}
+			env.Release()
+			received.Add(1)
+		}
+	}()
+	for i := 0; i < n; i++ {
+		if err := sender.Send("b", []byte("frame")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitForCount(t, &received, n-drops+dups)
+	checkFaultCounters(t, reg, n, drops, dups, delayed)
+}
+
+// TestFaultAccountingBurstTCPNet runs the same burst accounting over real
+// loopback sockets.
+func TestFaultAccountingBurstTCPNet(t *testing.T) {
+	const n = 400
+	drops, dups, delayed := replayFaults(burstAccountModel, n)
+
+	reg := telemetry.NewRegistry()
+	net := NewTCPNetWithConfig(TCPConfig{Faults: burstAccountModel, Telemetry: reg})
+	defer func() { _ = net.Close() }()
+	sender, err := net.Attach("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recver, err := net.Attach("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var received atomic.Uint64
+	go func() {
+		for {
+			env, err := recver.Recv()
+			if err != nil {
+				return
+			}
+			env.Release()
+			received.Add(1)
+		}
+	}()
+	for i := 0; i < n; i++ {
+		if err := sender.Send("b", []byte("frame")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitForCount(t, &received, n-drops+dups)
+	checkFaultCounters(t, reg, n, drops, dups, delayed)
+}
+
+// TestFaultAccountingOneWayDrop asserts per-direction drop overrides: the
+// a→b direction loses everything while b→a is untouched, the asymmetric
+// loss a one-way routing failure produces.
+func TestFaultAccountingOneWayDrop(t *testing.T) {
+	m := FaultModel{
+		DropLink: map[Link]float64{{From: "a", To: "b"}: 1},
+		Seed:     42,
+	}
+	reg := telemetry.NewRegistry()
+	net := NewChanNetObserved(m, reg)
+	defer func() { _ = net.Close() }()
+	ca, err := net.Attach("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := net.Attach("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var atA atomic.Uint64
+	go func() {
+		for {
+			env, err := ca.Recv()
+			if err != nil {
+				return
+			}
+			env.Release()
+			atA.Add(1)
+		}
+	}()
+	const n = 50
+	for i := 0; i < n; i++ {
+		if err := ca.Send("b", []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		if err := cb.Send("a", []byte("y")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitForCount(t, &atA, n)
+	if got := cb.(*chanConn).Pending(); got != 0 {
+		t.Fatalf("b received %d frames through a fully lossy a→b link", got)
+	}
+	if got := reg.Snapshot().Get("transport_fault_dropped_total"); got != n {
+		t.Fatalf("dropped counter = %d, want %d", got, n)
+	}
+}
+
+// TestPartitionOneWay proves directional partitions block exactly one
+// direction and that Restore clears them.
+func TestPartitionOneWay(t *testing.T) {
+	for _, kind := range []string{"chan", "tcp"} {
+		t.Run(kind, func(t *testing.T) {
+			var net Network
+			var oneWay func(from, to string, block bool)
+			var restore func(id string)
+			switch kind {
+			case "chan":
+				n := NewChanNet(FaultModel{})
+				net, oneWay, restore = n, n.PartitionOneWay, n.Restore
+			default:
+				n := NewTCPNet()
+				net, oneWay, restore = n, n.PartitionOneWay, n.Restore
+			}
+			defer func() { _ = net.Close() }()
+			ca, err := net.Attach("a")
+			if err != nil {
+				t.Fatal(err)
+			}
+			cb, err := net.Attach("b")
+			if err != nil {
+				t.Fatal(err)
+			}
+			var atA, atB atomic.Uint64
+			drain := func(c Conn, ctr *atomic.Uint64) {
+				for {
+					env, err := c.Recv()
+					if err != nil {
+						return
+					}
+					env.Release()
+					ctr.Add(1)
+				}
+			}
+			go drain(ca, &atA)
+			go drain(cb, &atB)
+
+			oneWay("a", "b", true)
+			if err := ca.Send("b", []byte("lost")); err != nil {
+				t.Fatal(err)
+			}
+			if err := cb.Send("a", []byte("arrives")); err != nil {
+				t.Fatal(err)
+			}
+			waitForCount(t, &atA, 1)
+			if got := atB.Load(); got != 0 {
+				t.Fatalf("b received %d frames through a blocked a→b direction", got)
+			}
+
+			restore("a")
+			if err := ca.Send("b", []byte("healed")); err != nil {
+				t.Fatal(err)
+			}
+			waitForCount(t, &atB, 1)
+		})
 	}
 }

@@ -71,7 +71,7 @@ func NewTCPNetWithConfig(cfg TCPConfig) *TCPNet {
 	return &TCPNet{
 		cfg:    cfg,
 		dice:   newFaultDice(cfg.Faults.Seed),
-		faulty: cfg.Faults != FaultModel{},
+		faulty: cfg.Faults.active(),
 		ins:    newNetInstruments(cfg.Telemetry),
 		parts:  newPartitionSet(),
 		nodes:  make(map[string]*tcpConn),
@@ -83,6 +83,12 @@ func NewTCPNetWithConfig(cfg TCPConfig) *TCPNet {
 // block is enforced on the send path, before any bytes hit the wire, so
 // it works identically to ChanNet's for the chaos harness.
 func (n *TCPNet) Partition(a, b string, block bool) { n.parts.set(a, b, block) }
+
+// PartitionOneWay blocks (or heals) only the from→to direction (see
+// ChanNet.PartitionOneWay).
+func (n *TCPNet) PartitionOneWay(from, to string, block bool) {
+	n.parts.setOneWay(from, to, block)
+}
 
 // Heal removes all partitions.
 func (n *TCPNet) Heal() { n.parts.clear() }
@@ -97,14 +103,8 @@ func (n *TCPNet) Isolate(id string) {
 	}
 }
 
-// Restore removes every partition involving id.
-func (n *TCPNet) Restore(id string) {
-	for _, other := range n.IDs() {
-		if other != id {
-			n.parts.set(id, other, false)
-		}
-	}
-}
+// Restore removes every partition involving id, one-way blocks included.
+func (n *TCPNet) Restore(id string) { n.parts.clearFor(id) }
 
 // Attach implements Network: it starts a listener for id.
 func (n *TCPNet) Attach(id string) (Conn, error) {
@@ -391,7 +391,7 @@ func (c *tcpConn) sendOne(to string, payload []byte) error {
 		return nil // partitions drop silently, like a real network
 	}
 	if c.net.faulty {
-		drop, delay, dup, dupDelay := c.net.dice.roll(c.net.cfg.Faults)
+		drop, delay, dup, dupDelay := c.net.dice.roll(c.net.cfg.Faults, c.id, to)
 		if drop {
 			c.net.ins.faultDropped.Inc()
 			return nil
