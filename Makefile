@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test race vet bench bench-smoke bench-trace bench-loss fuzz chaos chaos-loss audit
+.PHONY: check build test race vet bench bench-smoke bench-scale bench-trace bench-loss fuzz chaos chaos-loss audit
 
 ## check: the tier-1 gate — vet, build, and race-test everything.
 check: vet build race
@@ -29,6 +29,16 @@ bench-smoke:
 	$(GO) test -bench=Fanout -benchmem -run '^$$' -benchtime=100000x . | tee /tmp/bench-smoke.out
 	@awk '/allocs\/op/ { if ($$(NF-1) + 0 > 0) { print "FAIL: " $$1 " reports " $$(NF-1) " allocs/op (want 0)"; bad = 1 } } END { exit bad }' /tmp/bench-smoke.out
 	@echo "bench-smoke: 0 allocs/op on every fan-out variant"
+
+## bench-scale: regenerate the E15 metadata-scaling numbers (CBCast vs
+## OSend vs PCCast at n up to 256: fan-out ns/op, ordering-metadata bytes
+## per frame, frames per broadcast) into BENCH_scale.json. Paced per
+## iteration, so 5 iterations keeps the n=256 pccast flood (~65k frames
+## per op) to a few seconds.
+bench-scale:
+	$(GO) test -bench=BroadcastScale -run '^$$' -benchtime=5x -timeout 600s -json . | tee BENCH_scale.json
+	@awk -F'"' '/"Output".*BroadcastScale.*ns\/op/ { ok = 1 } END { if (!ok) { print "FAIL: no BroadcastScale rows in BENCH_scale.json"; exit 1 } }' BENCH_scale.json
+	@echo "bench-scale: BENCH_scale.json regenerated"
 
 ## bench-trace: regenerate the E13 tracing-overhead numbers (fan-out
 ## pipeline with the collector off / sampled / always-on) into

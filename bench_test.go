@@ -11,6 +11,7 @@ package causalshare_test
 
 import (
 	"fmt"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -583,6 +584,185 @@ func BenchmarkBroadcastFanoutReliable(b *testing.B) {
 				time.Sleep(20 * time.Microsecond)
 			}
 		})
+	}
+}
+
+// BenchmarkBroadcastFanoutPCCast repeats the fan-out pipeline under the
+// PC-broadcast engine with the reliability sublayer providing its FIFO
+// links. The "Fanout" name keeps it under the CI bench-smoke zero-alloc
+// gate: the constant-metadata hot path — PC header encode/decode, the
+// outbox hand-off to the sender goroutine, forward-on-first-receipt, and
+// the link-layer sequencing underneath — must ride pooled frames without
+// allocating, so the flood costs cycles and bandwidth, never garbage.
+func BenchmarkBroadcastFanoutPCCast(b *testing.B) {
+	for _, n := range []int{2, 8} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			ids := make([]string, n)
+			for i := range ids {
+				ids[i] = fmt.Sprintf("m%02d", i)
+			}
+			grp := group.MustNew("fanout", ids)
+			reg := telemetry.NewRegistry()
+			net := transport.NewChanNetObserved(transport.FaultModel{}, reg)
+			defer func() { _ = net.Close() }()
+			var delivered atomic.Uint64
+			engines := make([]*causal.PCCast, 0, n)
+			for _, id := range ids {
+				conn, err := net.Attach(id)
+				if err != nil {
+					b.Fatal(err)
+				}
+				// Lossless link: shed timeouts are pushed out so scheduler
+				// hiccups under -benchtime pressure never drop a peer.
+				rconn := reliable.Wrap(conn, grp.Others(id), reliable.Config{
+					Window:       1024,
+					AckEvery:     8,
+					StallTimeout: time.Hour,
+					ShedAfter:    time.Hour,
+					Seed:         1,
+					Telemetry:    reg,
+				})
+				eng, err := causal.NewPCCast(causal.PCCastConfig{
+					Self: id, Group: grp, Conn: rconn,
+					Deliver:   func(message.Message) { delivered.Add(1) },
+					Telemetry: reg,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				engines = append(engines, eng)
+			}
+			defer func() {
+				for _, e := range engines {
+					_ = e.Close()
+				}
+			}()
+			lab := message.NewLabeler(ids[0])
+			// Warm the flood once so link establishment and pool growth
+			// happen outside the timed region.
+			m := message.Message{Label: lab.Next(), Kind: message.KindCommutative, Op: "inc"}
+			if err := engines[0].Broadcast(m); err != nil {
+				b.Fatal(err)
+			}
+			for delivered.Load() < uint64(n) {
+				time.Sleep(20 * time.Microsecond)
+			}
+			base := delivered.Load()
+			b.ReportAllocs()
+			b.ResetTimer()
+			// Paced: each iteration waits for its own flood to deliver
+			// everywhere before the next broadcast, so ns/op is end-to-end
+			// flood latency and in-flight frames stay bounded — an unpaced
+			// burst would pile the whole b.N into the outbox and reliable
+			// windows, starving the frame pool it is here to gate.
+			for i := 0; i < b.N; i++ {
+				m := message.Message{Label: lab.Next(), Kind: message.KindCommutative, Op: "inc"}
+				if err := engines[0].Broadcast(m); err != nil {
+					b.Fatal(err)
+				}
+				target := base + uint64(n)*uint64(i+1)
+				for delivered.Load() < target {
+					runtime.Gosched()
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBroadcastScale measures the fan-out pipeline for all three
+// causal engines across group sizes up to n=256, reporting the E15
+// metadata metrics per row: ordering-metadata bytes per wire frame and
+// wire frames per broadcast. A pre-timer round in which every member
+// broadcasts once populates CBCast's vector clocks with all n origins, so
+// the timed broadcasts carry the steady-state O(n) stamps the scaling
+// claim is about, while the PC header stays constant-size. OSend's
+// metadata is workload-dependent: a single-sender chain declares no
+// OccursAfter labels, so its rows read ~1 B/frame here — its O(n)
+// behaviour under all-to-all causality is E15's job. (No "Fanout" in the
+// name: the n=256 rows are about scaling curves, not the zero-alloc gate
+// — BENCH_scale.json publishes them via the bench-scale target.)
+func BenchmarkBroadcastScale(b *testing.B) {
+	for _, engine := range []string{"cbcast", "osend", "pccast"} {
+		for _, n := range []int{4, 16, 64, 256} {
+			b.Run(fmt.Sprintf("engine=%s/n=%d", engine, n), func(b *testing.B) {
+				ids := make([]string, n)
+				for i := range ids {
+					ids[i] = fmt.Sprintf("m%03d", i)
+				}
+				grp := group.MustNew("scale", ids)
+				reg := telemetry.NewRegistry()
+				net := transport.NewChanNetObserved(transport.FaultModel{}, reg)
+				defer func() { _ = net.Close() }()
+				var delivered atomic.Uint64
+				deliver := func(message.Message) { delivered.Add(1) }
+				engines := make([]causal.Broadcaster, 0, n)
+				for _, id := range ids {
+					conn, err := net.Attach(id)
+					if err != nil {
+						b.Fatal(err)
+					}
+					var eng causal.Broadcaster
+					switch engine {
+					case "cbcast":
+						eng, err = causal.NewCBCast(causal.CBCastConfig{
+							Self: id, Group: grp, Conn: conn, Deliver: deliver, Telemetry: reg,
+						})
+					case "osend":
+						eng, err = causal.NewOSend(causal.OSendConfig{
+							Self: id, Group: grp, Conn: conn, Deliver: deliver, Telemetry: reg,
+						})
+					case "pccast":
+						eng, err = causal.NewPCCast(causal.PCCastConfig{
+							Self: id, Group: grp, Conn: conn, Deliver: deliver, Telemetry: reg,
+						})
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
+					engines = append(engines, eng)
+				}
+				defer func() {
+					for _, e := range engines {
+						_ = e.Close()
+					}
+				}()
+				// All-origin warmup round, outside the timer.
+				for i, e := range engines {
+					m := message.Message{Label: message.Label{Origin: ids[i], Seq: 1}, Kind: message.KindCommutative, Op: "inc"}
+					if err := e.Broadcast(m); err != nil {
+						b.Fatal(err)
+					}
+				}
+				for delivered.Load() < uint64(n)*uint64(n) {
+					time.Sleep(50 * time.Microsecond)
+				}
+				base := delivered.Load()
+				before := reg.Snapshot()
+				b.ResetTimer()
+				// Paced like the fan-out benchmarks: ns/op is one broadcast's
+				// end-to-end delivery latency at size n, and the pccast flood
+				// (65 280 frames per op at n=256) never piles up unbounded.
+				for i := 0; i < b.N; i++ {
+					m := message.Message{Label: message.Label{Origin: ids[0], Seq: uint64(i + 2)}, Kind: message.KindCommutative, Op: "inc"}
+					if err := engines[0].Broadcast(m); err != nil {
+						b.Fatal(err)
+					}
+					target := base + uint64(n)*uint64(i+1)
+					for delivered.Load() < target {
+						runtime.Gosched()
+					}
+				}
+				b.StopTimer()
+				after := reg.Snapshot()
+				frames := float64(after.Get("causal_meta_frames_total") - before.Get("causal_meta_frames_total"))
+				bytes := float64(after.Get("causal_meta_bytes_total") - before.Get("causal_meta_bytes_total"))
+				ops := float64(b.N)
+				if frames > 0 {
+					b.ReportMetric(bytes/frames, "metaB/frame")
+				}
+				b.ReportMetric(frames/ops, "frames/op")
+			})
+		}
 	}
 }
 

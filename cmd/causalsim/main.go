@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	causalsim [-n 5] [-cycles 20] [-fgamma 20] [-engine osend|cbcast]
+//	causalsim [-n 5] [-cycles 20] [-fgamma 20] [-engine osend|cbcast|pccast]
 //	          [-drop 0.1] [-jitter 5ms] [-seed 7]
 package main
 
@@ -21,6 +21,7 @@ import (
 	"causalshare/internal/core"
 	"causalshare/internal/group"
 	"causalshare/internal/obs"
+	"causalshare/internal/reliable"
 	"causalshare/internal/shareddata"
 	"causalshare/internal/telemetry"
 	"causalshare/internal/transport"
@@ -38,7 +39,7 @@ func run(args []string) error {
 	n := fs.Int("n", 5, "group size")
 	cycles := fs.Int("cycles", 20, "causal activities to run")
 	fgamma := fs.Int("fgamma", 20, "commutative operations per activity")
-	engine := fs.String("engine", "osend", "causal engine: osend or cbcast")
+	engine := fs.String("engine", "osend", "causal engine: osend, cbcast or pccast")
 	drop := fs.Float64("drop", 0.1, "frame drop probability")
 	jitter := fs.Duration("jitter", 5*time.Millisecond, "max network latency")
 	seed := fs.Int64("seed", 7, "fault model seed")
@@ -114,6 +115,24 @@ func run(args []string) error {
 				Self: id, Group: grp, Conn: conn, Deliver: deliver,
 				Patience:  10 * time.Millisecond,
 				Telemetry: reg,
+			})
+		case "pccast":
+			// PC-cast needs reliable per-pair FIFO links: repair the lossy
+			// jittery default network below the engine instead of above it.
+			rconn := reliable.Wrap(conn, grp.Others(id), reliable.Config{
+				Window:       512,
+				AckEvery:     8,
+				Tick:         2 * time.Millisecond,
+				StallTimeout: 2 * time.Second,
+				ShedAfter:    5 * time.Second,
+				Seed:         *seed,
+				Telemetry:    reg,
+			})
+			eng, err = causal.NewPCCast(causal.PCCastConfig{
+				Self: id, Group: grp, Conn: rconn, Deliver: deliver,
+				Patience:  10 * time.Millisecond,
+				Telemetry: reg,
+				Trace:     ring,
 			})
 		default:
 			return fmt.Errorf("unknown engine %q", *engine)

@@ -1,11 +1,12 @@
 // Command experiments regenerates every table of the paper reproduction
-// (experiments E1–E14 of DESIGN.md / EXPERIMENTS.md).
+// (experiments E1–E15 of DESIGN.md / EXPERIMENTS.md).
 //
 // Usage:
 //
-//	experiments            # run everything
-//	experiments E1 E7      # run selected experiments
-//	experiments -list      # list experiments
+//	experiments                  # run everything
+//	experiments E1 E7            # run selected experiments
+//	experiments -engine pccast E14  # chaos-backed runners under PC-cast
+//	experiments -list            # list experiments
 package main
 
 import (
@@ -27,9 +28,16 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	list := fs.Bool("list", false, "list experiment ids and exit")
+	engine := fs.String("engine", "osend", "causal engine for chaos-backed runners (E14): osend or pccast; E15 always sweeps all engines")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /vars and /trace on this address while experiments run (e.g. :9090)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	switch *engine {
+	case "osend", "pccast":
+		experiments.SetEngine(*engine)
+	default:
+		return fmt.Errorf("unknown engine %q (chaos-backed runners support osend and pccast)", *engine)
 	}
 	if *metricsAddr != "" {
 		reg := telemetry.NewRegistry()

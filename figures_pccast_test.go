@@ -1,0 +1,472 @@
+// Figure-scenario tests under the PC-broadcast engine: the same F1–F5
+// reproductions as figures_test.go, with the constant-metadata PCCast
+// engine carrying the causal layer instead of OSend. The figure nets keep
+// their jitter (MaxDelay reorders frames, so the raw conns are not FIFO);
+// each member interposes reliable.Wrap to restore per-pair FIFO order —
+// the deployment shape DESIGN.md §11 prescribes for PC-cast over anything
+// but a pristine link. Every scenario runs under the same online causal
+// auditor as the OSend originals.
+package causalshare_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"causalshare/internal/causal"
+	"causalshare/internal/core"
+	"causalshare/internal/group"
+	"causalshare/internal/lockarb"
+	"causalshare/internal/message"
+	"causalshare/internal/obs"
+	"causalshare/internal/reliable"
+	"causalshare/internal/shareddata"
+	"causalshare/internal/total"
+	ctrace "causalshare/internal/trace"
+	"causalshare/internal/transport"
+)
+
+// pccastFigureEngine attaches one member to the jittery figure net behind
+// a reliability shim and starts a PCCast engine on it.
+func pccastFigureEngine(t *testing.T, net *transport.ChanNet, grp *group.Group, id string, seed int64, col *ctrace.Collector, deliver causal.DeliverFunc) *causal.PCCast {
+	t.Helper()
+	conn, err := net.Attach(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rconn := reliable.Wrap(conn, grp.Others(id), reliable.Config{
+		Window:       256,
+		AckEvery:     8,
+		Tick:         time.Millisecond,
+		StallTimeout: time.Minute,
+		ShedAfter:    time.Minute,
+		Seed:         seed,
+	})
+	eng, err := causal.NewPCCast(causal.PCCastConfig{
+		Self: id, Group: grp, Conn: rconn, Deliver: deliver,
+		Patience: 10 * time.Millisecond,
+		Tracer:   col.Tracer(id),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// TestFigure1ScenarioPCCast is Figure 1 under PC-cast: entities sharing a
+// data VAL through broadcast access messages converge on the same value,
+// with causal order carried by the FIFO streams instead of per-message
+// metadata.
+func TestFigure1ScenarioPCCast(t *testing.T) {
+	ids := []string{"e1", "e2", "e3"}
+	grp := group.MustNew("fig1pc", ids)
+	net := transport.NewChanNet(transport.FaultModel{MaxDelay: 3 * time.Millisecond, Seed: 61})
+	defer func() { _ = net.Close() }()
+
+	trace := obs.NewTrace()
+	col := ctrace.NewCollector(ctrace.Config{})
+	replicas := map[string]*core.Replica{}
+	engines := map[string]*causal.PCCast{}
+	defer func() {
+		for _, e := range engines {
+			_ = e.Close()
+		}
+	}()
+	for _, id := range ids {
+		rep, err := core.NewReplica(core.ReplicaConfig{
+			Self: id, Initial: shareddata.NewCounter(0), Apply: shareddata.ApplyCounter,
+			Tracer: col.Tracer(id),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		replicas[id] = rep
+		engines[id] = pccastFigureEngine(t, net, grp, id, 61, col, trace.Observer(id, rep.Deliver))
+	}
+
+	fe, err := core.NewFrontEnd("cli", engines["e1"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		op := shareddata.Inc()
+		if _, err := fe.Submit(op.Op, op.Kind, op.Body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rd := shareddata.Read()
+	if _, err := fe.Submit(rd.Op, rd.Kind, rd.Body); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		done := true
+		for _, rep := range replicas {
+			if rep.Applied() < 7 {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("entities did not converge")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if n, err := trace.SameDeliverySet(); err != nil || n != 7 {
+		t.Fatalf("delivery sets: %d, %v", n, err)
+	}
+	ref, _ := replicas["e1"].ReadStable()
+	for _, id := range ids[1:] {
+		st, _ := replicas[id].ReadStable()
+		if st.Digest() != ref.Digest() {
+			t.Errorf("entity %s VAL %s, want %s", id, st.Digest(), ref.Digest())
+		}
+	}
+	assertAuditClean(t, col)
+}
+
+// TestFigure2ScenarioPCCast is Figure 2's computation under PC-cast. The
+// explicit OccursAfter predicates still gate delivery (PCCast keeps the
+// holdback for exactly the paths that bypass stream order), so the
+// synchronization point agrees at every member.
+func TestFigure2ScenarioPCCast(t *testing.T) {
+	ids := []string{"ai", "aj", "ak"}
+	grp := group.MustNew("fig2pc", ids)
+	net := transport.NewChanNet(transport.FaultModel{MaxDelay: 4 * time.Millisecond, Seed: 67})
+	defer func() { _ = net.Close() }()
+
+	col := ctrace.NewCollector(ctrace.Config{})
+	replicas := map[string]*core.Replica{}
+	engines := map[string]*causal.PCCast{}
+	defer func() {
+		for _, e := range engines {
+			_ = e.Close()
+		}
+	}()
+	for _, id := range ids {
+		rep, err := core.NewReplica(core.ReplicaConfig{
+			Self: id, Initial: shareddata.NewCounter(0), Apply: shareddata.ApplyCounter,
+			Tracer: col.Tracer(id),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		replicas[id] = rep
+		engines[id] = pccastFigureEngine(t, net, grp, id, 67, col, rep.Deliver)
+	}
+
+	mk := message.Message{Label: message.Label{Origin: "ak", Seq: 1}, Kind: message.KindNonCommutative, Op: "set", Body: []byte("10")}
+	mi := message.Message{Label: message.Label{Origin: "ai", Seq: 1}, Deps: message.After(mk.Label), Kind: message.KindCommutative, Op: "inc"}
+	mj := message.Message{Label: message.Label{Origin: "aj", Seq: 1}, Deps: message.After(mk.Label), Kind: message.KindCommutative, Op: "dec"}
+	sync := message.Message{Label: message.Label{Origin: "aj", Seq: 2}, Deps: message.After(mi.Label, mj.Label), Kind: message.KindRead, Op: "rd"}
+	for _, step := range []struct {
+		from string
+		m    message.Message
+	}{{"ak", mk}, {"ai", mi}, {"aj", mj}, {"aj", sync}} {
+		if err := engines[step.from].Broadcast(step.m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		done := true
+		for _, rep := range replicas {
+			if rep.Cycle() < 2 {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("sync point never reached")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	histories := map[string][]core.StablePoint{}
+	for id, rep := range replicas {
+		histories[id] = rep.StablePoints()
+	}
+	audit := obs.AuditStablePoints(histories)
+	if !audit.Consistent() || audit.Points != 2 {
+		t.Fatalf("audit = %+v", audit)
+	}
+	st, _ := replicas["ai"].ReadStable()
+	if st.Digest() != shareddata.NewCounter(10).Digest() {
+		t.Errorf("agreed value %s, want counter:10", st.Digest())
+	}
+	assertAuditClean(t, col)
+}
+
+// TestFigure3GraphFormsPCCast pushes Figure 3's diamond through live
+// PCCast engines (the OSend original drives the tracer directly) and
+// extracts the dependency-graph forms from the observed execution: the
+// concurrent middle pair and the transitive AND-dependency survive the
+// flood's arbitrary arrival orders.
+func TestFigure3GraphFormsPCCast(t *testing.T) {
+	ids := []string{"s", "a", "b"}
+	grp := group.MustNew("fig3pc", ids)
+	net := transport.NewChanNet(transport.FaultModel{MaxDelay: 2 * time.Millisecond, Seed: 71})
+	defer func() { _ = net.Close() }()
+
+	tr := obs.NewTrace()
+	col := ctrace.NewCollector(ctrace.Config{})
+	var mu sync.Mutex
+	applied := map[string]int{}
+	engines := map[string]*causal.PCCast{}
+	defer func() {
+		for _, e := range engines {
+			_ = e.Close()
+		}
+	}()
+	for _, id := range ids {
+		id := id
+		rec := tr.Observer(id, nil)
+		engines[id] = pccastFigureEngine(t, net, grp, id, 71, col, func(m message.Message) {
+			rec(m)
+			mu.Lock()
+			applied[id]++
+			mu.Unlock()
+		})
+	}
+
+	msgNode := message.Message{Label: message.Label{Origin: "s", Seq: 1}, Kind: message.KindNonCommutative, Op: "Msg"}
+	m1 := message.Message{Label: message.Label{Origin: "a", Seq: 1}, Deps: message.After(msgNode.Label), Kind: message.KindCommutative, Op: "m1"}
+	m2 := message.Message{Label: message.Label{Origin: "b", Seq: 1}, Deps: message.After(msgNode.Label), Kind: message.KindCommutative, Op: "m2"}
+	msg2 := message.Message{Label: message.Label{Origin: "s", Seq: 2}, Deps: message.After(m1.Label, m2.Label), Kind: message.KindNonCommutative, Op: "Msg'"}
+	for _, step := range []struct {
+		from string
+		m    message.Message
+	}{{"s", msgNode}, {"a", m1}, {"b", m2}, {"s", msg2}} {
+		if err := engines[step.from].Broadcast(step.m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		done := len(applied) == len(ids)
+		for _, n := range applied {
+			if n < 4 {
+				done = false
+			}
+		}
+		mu.Unlock()
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("diamond never fully delivered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	g, err := tr.ExtractGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Concurrent(m1.Label, m2.Label) {
+		t.Error("many-to-one dependents not concurrent")
+	}
+	if !g.HappensBefore(msgNode.Label, msg2.Label) {
+		t.Error("transitive AND-dependency lost")
+	}
+	if lin := g.CountLinearizations(0); lin != 2 {
+		t.Errorf("diamond admits %d orders, want 2", lin)
+	}
+	assertAuditClean(t, col)
+}
+
+// TestFigure4TotalOrderLayerPCCast is Figure 4 under PC-cast: the
+// total-ordering function sits on the constant-metadata causal layer and
+// still orders spontaneous messages identically at all members.
+func TestFigure4TotalOrderLayerPCCast(t *testing.T) {
+	ids := []string{"a", "b", "c"}
+	grp := group.MustNew("fig4pc", ids)
+	net := transport.NewChanNet(transport.FaultModel{MaxDelay: 3 * time.Millisecond, Seed: 73})
+	defer func() { _ = net.Close() }()
+
+	type member struct {
+		layer  *total.Sequencer
+		engine *causal.PCCast
+		mu     sync.Mutex
+		order  []string
+	}
+	members := map[string]*member{}
+	orderSnapshot := func(mb *member) []string {
+		mb.mu.Lock()
+		defer mb.mu.Unlock()
+		return append([]string(nil), mb.order...)
+	}
+	defer func() {
+		for _, m := range members {
+			_ = m.layer.Close()
+			_ = m.engine.Close()
+		}
+	}()
+	col := ctrace.NewCollector(ctrace.Config{})
+	for _, id := range ids {
+		mb := &member{}
+		sq, err := total.NewSequencer(total.Config{
+			Self: id, Group: grp,
+			Deliver: func(m message.Message) {
+				mb.mu.Lock()
+				mb.order = append(mb.order, m.Op)
+				mb.mu.Unlock()
+			},
+			Tracer: col.Tracer(id),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := pccastFigureEngine(t, net, grp, id, 73, col, sq.Ingest)
+		sq.Bind(eng)
+		mb.layer = sq
+		mb.engine = eng
+		members[id] = mb
+	}
+	for i := 0; i < 5; i++ {
+		for _, id := range ids {
+			op := fmt.Sprintf("spont-%s-%d", id, i)
+			if _, err := members[id].layer.ASend(op, message.KindNonCommutative, nil, message.Unconstrained()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		done := true
+		for _, mb := range members {
+			if len(orderSnapshot(mb)) < 15 {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("total order never completed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ref := orderSnapshot(members[ids[0]])
+	for _, id := range ids[1:] {
+		got := orderSnapshot(members[id])
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("member %s order diverges at %d: %s vs %s", id, i, got[i], ref[i])
+			}
+		}
+	}
+	assertAuditClean(t, col)
+}
+
+// TestFigure5ArbitrationPCCast is Figure 5's LOCK/TFR arbitration over
+// the total order over PC-cast; members agree on every holder.
+func TestFigure5ArbitrationPCCast(t *testing.T) {
+	ids := []string{"A", "B", "C"}
+	grp := group.MustNew("fig5pc", ids)
+	net := transport.NewChanNet(transport.FaultModel{MaxDelay: 2 * time.Millisecond, Seed: 79})
+	defer func() { _ = net.Close() }()
+
+	arbiters := map[string]*lockarb.Arbiter{}
+	var logMu sync.Mutex
+	grantLogs := map[string][]string{}
+	logSnapshot := func(id string) []string {
+		logMu.Lock()
+		defer logMu.Unlock()
+		return append([]string(nil), grantLogs[id]...)
+	}
+	var closers []func()
+	defer func() {
+		for _, c := range closers {
+			c()
+		}
+	}()
+	col := ctrace.NewCollector(ctrace.Config{})
+	for _, id := range ids {
+		id := id
+		var arb *lockarb.Arbiter
+		sq, err := total.NewSequencer(total.Config{
+			Self: id, Group: grp,
+			Deliver: func(m message.Message) { arb.Ingest(m) },
+			Tracer:  col.Tracer(id),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := pccastFigureEngine(t, net, grp, id, 79, col, sq.Ingest)
+		sq.Bind(eng)
+		arb, err = lockarb.NewArbiter(lockarb.Config{
+			Self: id, Group: grp, Layer: sq,
+			OnGrant: func(holder string, cycle uint64) {
+				logMu.Lock()
+				grantLogs[id] = append(grantLogs[id], fmt.Sprintf("%s@%d", holder, cycle))
+				logMu.Unlock()
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		arbiters[id] = arb
+		closers = append(closers, func() { _ = sq.Close(); _ = eng.Close() })
+	}
+	for _, id := range ids {
+		if err := arbiters[id].Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan error, len(ids))
+	for _, id := range ids {
+		go func(id string) {
+			for s := 0; s < 2; s++ {
+				ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+				if _, err := arbiters[id].Acquire(ctx); err != nil {
+					cancel()
+					done <- err
+					return
+				}
+				if err := arbiters[id].Release(); err != nil {
+					cancel()
+					done <- err
+					return
+				}
+				cancel()
+			}
+			done <- nil
+		}(id)
+	}
+	for range ids {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(logSnapshot(ids[0])) >= 6 && len(logSnapshot(ids[1])) >= 6 && len(logSnapshot(ids[2])) >= 6 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ref := logSnapshot(ids[0])
+	if len(ref) < 6 {
+		t.Fatalf("only %d grants observed", len(ref))
+	}
+	for _, id := range ids[1:] {
+		got := logSnapshot(id)
+		limit := len(ref)
+		if len(got) < limit {
+			limit = len(got)
+		}
+		for i := 0; i < limit; i++ {
+			if got[i] != ref[i] {
+				t.Fatalf("member %s grant %d = %s, want %s", id, i, got[i], ref[i])
+			}
+		}
+	}
+	assertAuditClean(t, col)
+}

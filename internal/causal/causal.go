@@ -2,7 +2,7 @@
 // construct at the heart of the paper (§3): delivery of messages M at all
 // group members in the causal order R(M).
 //
-// Two interchangeable engines are provided:
+// Three interchangeable engines are provided:
 //
 //   - OSend — the paper's contribution (§3.3): every message carries an
 //     explicit OccursAfter predicate naming the labels it depends on. A
@@ -14,10 +14,19 @@
 //     classic causal condition. The transport's incidental order is
 //     conservatively folded into causality ("incidental ordering"), so
 //     CBCAST may impose constraints the application never asked for.
+//   - PCCast — the PC-broadcast scaling engine [Nédelec, Molli & Mostéfaoui]:
+//     given reliable per-pair FIFO links (reliable.Wrap, or a fault-free
+//     transport), causal order needs no per-message clock at all. Each
+//     member forwards every message on first receipt into its own FIFO
+//     stream before reacting to it, so wire metadata is constant-size
+//     regardless of group size — the engine that scales to n=256 and
+//     beyond, at the cost of flood amplification.
 //
-// Both run over a transport.Conn, tolerate reordering, duplication and
-// (with retransmission enabled) loss, and report buffering metrics used by
-// experiments E6/E7.
+// All run over a transport.Conn and report buffering metrics used by
+// experiments E6/E7/E15; OSend and CBCast additionally tolerate
+// reordering, duplication and (with retransmission enabled) loss on the
+// raw transport, while PCCast delegates loss repair to the link layer it
+// requires.
 package causal
 
 import (
@@ -74,6 +83,27 @@ type Metrics struct {
 	StablePruned uint64
 }
 
+// Engine is the full surface the recovery and chaos machinery drives: the
+// Broadcaster sending half plus the anti-entropy, failure-marking and
+// rejoin hooks. OSend and PCCast implement it; CBCast (the baseline) stays
+// a plain Broadcaster.
+type Engine interface {
+	Broadcaster
+	// Delivered reports whether l has been delivered locally.
+	Delivered(l message.Label) bool
+	// MarkDown sets or clears a peer's down mark (stability quorum and
+	// fetch routing; see the engines' method docs).
+	MarkDown(peer string, down bool)
+	// SyncWith asks one peer for a state-sync snapshot.
+	SyncWith(peer string) error
+	// RequestSync asks every peer for a state-sync snapshot.
+	RequestSync() error
+	// Frontier returns the delivered watermarks per origin.
+	Frontier() map[string]uint64
+	// SeedFrontier marks everything up to wm[origin] as already delivered.
+	SeedFrontier(wm map[string]uint64)
+}
+
 // frame type tags on the wire.
 const (
 	frameOSendData byte = iota + 1
@@ -84,6 +114,13 @@ const (
 	frameCBCastAdvert
 	frameOSendSyncReq
 	frameOSendSyncResp
+	framePCCastData
+	framePCCastFetch
+	framePCCastAdvert
+	framePCCastSyncReq
+	framePCCastSyncResp
+	framePCCastJoinReq
+	framePCCastJoinResp
 )
 
 func frameError(kind byte, err error) error {

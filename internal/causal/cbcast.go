@@ -61,6 +61,7 @@ type CBCast struct {
 	lastFetch map[string]time.Time
 	metrics   Metrics
 	ins       cbcastInstruments
+	meta      metaInstruments
 	spans     *trace.Tracer
 
 	done chan struct{}
@@ -96,6 +97,7 @@ func NewCBCast(cfg CBCastConfig) (*CBCast, error) {
 		patience:  cfg.Patience,
 		vc:        vclock.New(),
 		ins:       newCBCastInstruments(cfg.Telemetry),
+		meta:      newMetaInstruments(cfg.Telemetry),
 		spans:     cfg.Tracer,
 		retained:  make(map[uint64][]byte),
 		lastFetch: make(map[string]time.Time),
@@ -142,6 +144,8 @@ func (e *CBCast) Broadcast(m message.Message) error {
 	e.metrics.ControlBytes += uint64(len(stampBytes)) * uint64(e.grp.Size()-1)
 	e.metrics.Delivered++
 	e.ins.controlBytes.Add(uint64(len(stampBytes)) * uint64(e.grp.Size()-1))
+	e.meta.add(uint64(len(stampBytes)), uint64(e.grp.Size()-1))
+	e.meta.msgs.Inc()
 	e.ins.delivered.Inc()
 	e.mu.Unlock()
 

@@ -49,6 +49,95 @@ func newOSendInstruments(reg *telemetry.Registry) osendInstruments {
 	}
 }
 
+// pccastInstruments are PCCast's registry-backed instruments.
+type pccastInstruments struct {
+	delivered     *telemetry.Counter
+	duplicates    *telemetry.Counter
+	forwarded     *telemetry.Counter
+	fetches       *telemetry.Counter
+	controlBytes  *telemetry.Counter
+	stablePruned  *telemetry.Counter
+	pendingDepth  *telemetry.Gauge
+	pendingMax    *telemetry.Gauge
+	retainedDepth *telemetry.Gauge
+	linkBuffered  *telemetry.Gauge
+	sendErrors    *telemetry.Counter
+	depWait       *telemetry.Histogram
+	broadcastLat  *telemetry.Histogram
+}
+
+func newPCCastInstruments(reg *telemetry.Registry) pccastInstruments {
+	return pccastInstruments{
+		delivered: reg.Counter("causal_pccast_delivered_total",
+			"Messages delivered in causal (FIFO-stream) order."),
+		duplicates: reg.Counter("causal_pccast_duplicates_total",
+			"Received frames discarded as already delivered or buffered."),
+		forwarded: reg.Counter("causal_pccast_forwarded_total",
+			"Frames re-emitted to the full group on first receipt (flood dissemination)."),
+		fetches: reg.Counter("causal_pccast_fetches_total",
+			"Retransmission requests issued for missing predecessors."),
+		controlBytes: reg.Counter("causal_pccast_control_bytes_total",
+			"Ordering metadata bytes placed on the wire (constant-size PC headers, once per peer)."),
+		stablePruned: reg.Counter("causal_pccast_stable_pruned_total",
+			"Retained messages garbage-collected after every peer's watermark covered them."),
+		pendingDepth: reg.Gauge("causal_pccast_pending_depth",
+			"Messages currently buffered awaiting a missing predecessor."),
+		pendingMax: reg.Gauge("causal_pccast_pending_depth_max",
+			"High-water mark of the pending buffer."),
+		retainedDepth: reg.Gauge("causal_pccast_retained_depth",
+			"Messages retained for retransmission."),
+		linkBuffered: reg.Gauge("causal_pccast_link_buffered",
+			"Data frames buffered on not-yet-established links (join round-trips in flight)."),
+		sendErrors: reg.Counter("causal_pccast_send_errors_total",
+			"Best-effort fan-outs where at least one peer was unreachable."),
+		depWait: reg.Histogram("causal_pccast_dep_wait_seconds",
+			"Time a buffered message waited on missing predecessors before delivery.",
+			telemetry.DurationBuckets),
+		broadcastLat: reg.Histogram("causal_pccast_delivery_seconds",
+			"Broadcast-call-to-local-self-delivery latency (encode, fan-out, ingest).",
+			telemetry.DurationBuckets),
+	}
+}
+
+// metaInstruments aggregate ordering-metadata cost uniformly across all
+// three engines, for the E15 scaling experiment: total metadata bytes, the
+// frames that carried them, and the application messages they amortize
+// over. bytes/frame is the headline comparison — O(n) for vector clocks
+// and dependency lists, constant for PC headers — while bytes/msg folds in
+// PCCast's flood amplification honestly.
+type metaInstruments struct {
+	bytes  *telemetry.Counter
+	frames *telemetry.Counter
+	msgs   *telemetry.Counter
+}
+
+func newMetaInstruments(reg *telemetry.Registry) metaInstruments {
+	m := metaInstruments{
+		bytes: reg.Counter("causal_meta_bytes_total",
+			"Ordering metadata bytes placed on the wire, all engines."),
+		frames: reg.Counter("causal_meta_frames_total",
+			"Wire frames that carried ordering metadata, all engines."),
+		msgs: reg.Counter("causal_meta_msgs_total",
+			"Application messages broadcast (denominator for per-msg metadata cost)."),
+	}
+	reg.GaugeFunc("causal_meta_bytes_per_msg",
+		"Ordering metadata bytes per application message (bytes_total / msgs_total).",
+		func() int64 {
+			n := m.msgs.Value()
+			if n == 0 {
+				return 0
+			}
+			return int64(m.bytes.Value() / n)
+		})
+	return m
+}
+
+// add records one fan-out of meta bytes across frames wire frames.
+func (m metaInstruments) add(metaBytes, frames uint64) {
+	m.bytes.Add(metaBytes * frames)
+	m.frames.Add(frames)
+}
+
 // cbcastInstruments are CBCast's registry-backed instruments, nil (no-op)
 // when the engine was built without a registry.
 type cbcastInstruments struct {

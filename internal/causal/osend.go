@@ -114,6 +114,7 @@ type OSend struct {
 	// the hot paths update them unconditionally.
 	reg   *telemetry.Registry
 	ins   osendInstruments
+	meta  metaInstruments
 	trace *telemetry.Ring
 	spans *trace.Tracer
 
@@ -127,7 +128,10 @@ type pendingEntry struct {
 	since   time.Time
 }
 
-var _ Broadcaster = (*OSend)(nil)
+var (
+	_ Broadcaster = (*OSend)(nil)
+	_ Engine      = (*OSend)(nil)
+)
 
 // NewOSend starts an engine; its receive loop runs until Close.
 func NewOSend(cfg OSendConfig) (*OSend, error) {
@@ -154,6 +158,7 @@ func NewOSend(cfg OSendConfig) (*OSend, error) {
 		onSync:    cfg.OnSync,
 		reg:       reg,
 		ins:       newOSendInstruments(reg),
+		meta:      newMetaInstruments(reg),
 		trace:     cfg.Trace,
 		spans:     cfg.Tracer,
 		delivered: newDeliveredSet(),
@@ -208,6 +213,8 @@ func (e *OSend) Broadcast(m message.Message) error {
 	e.retainMu.Unlock()
 	// Ordering metadata on the wire: the OccursAfter labels, once per peer.
 	e.ins.controlBytes.Add(uint64(m.Deps.EncodedSize()) * uint64(len(e.others)))
+	e.meta.add(uint64(m.Deps.EncodedSize()), uint64(len(e.others)))
+	e.meta.msgs.Inc()
 	e.trace.Record(telemetry.EventSend, e.self, m.Label.Origin, m.Label.Seq, 0)
 
 	err = transport.Multicast(e.conn, e.others, f)
@@ -826,7 +833,13 @@ func (e *OSend) pruneStableLocked() {
 }
 
 func encodeAdvert(retained, watermarks map[string]uint64) []byte {
-	frame := []byte{frameOSendAdvert}
+	return encodeAdvertKind(frameOSendAdvert, retained, watermarks)
+}
+
+// encodeAdvertKind builds an advert frame under any engine's tag; the body
+// layout (two origin→seq maps) is shared across engines.
+func encodeAdvertKind(kind byte, retained, watermarks map[string]uint64) []byte {
+	frame := []byte{kind}
 	frame = appendOriginSeqMap(frame, retained)
 	frame = appendOriginSeqMap(frame, watermarks)
 	return frame

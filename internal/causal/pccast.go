@@ -1,0 +1,1086 @@
+package causal
+
+import (
+	"context"
+	"fmt"
+	"runtime/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"causalshare/internal/group"
+	"causalshare/internal/message"
+	"causalshare/internal/telemetry"
+	"causalshare/internal/trace"
+	"causalshare/internal/transport"
+)
+
+// PCCastConfig parameterizes a PCCast engine.
+type PCCastConfig struct {
+	// Self is the local member id; it must be a member of Group.
+	Self string
+	// Group is the broadcast domain (every Broadcast reaches all members).
+	Group *group.Group
+	// Conn is the transport attachment for Self. It must preserve reliable
+	// per-pair FIFO order (transport.IsFIFO must report true): wrap lossy
+	// transports in reliable.Wrap first. NewPCCast fails fast otherwise —
+	// PC-cast carries no per-message clock, so a link that drops or
+	// reorders silently breaks causal delivery instead of merely slowing
+	// it.
+	Conn transport.Conn
+	// Deliver receives messages in causal order.
+	Deliver DeliverFunc
+	// Patience is how long a message may wait on a missing predecessor
+	// before the engine requests retransmission. Zero disables the
+	// anti-entropy loop (appropriate when the link layer already
+	// guarantees delivery).
+	Patience time.Duration
+	// Telemetry is the registry the engine registers its instruments on;
+	// nil gets a private registry.
+	Telemetry *telemetry.Registry
+	// Trace, when non-nil, receives send/deliver/defer/fetch events.
+	Trace *telemetry.Ring
+	// Tracer, when non-nil, records causal span lifecycles and runs the
+	// online causal-order audit on every delivery.
+	Tracer *trace.Tracer
+	// OnSync, when non-nil, is invoked after a state-sync response from a
+	// peer has been applied (see OSendConfig.OnSync).
+	OnSync func(from string, watermarks map[string]uint64)
+	// Tracker, when non-nil, drives link state from membership edges: a
+	// member going down tears its link, a member coming back triggers the
+	// buffered link-establishment round-trip.
+	Tracker *group.Tracker
+}
+
+// PCCast is the PC-broadcast engine [Nédelec, Molli & Mostéfaoui]: causal
+// order from reliable FIFO links alone, with constant-size wire metadata.
+//
+// The invariant that replaces vector clocks: every member emits or
+// forwards each message into its single FIFO-sequenced outgoing stream
+// BEFORE emitting anything causally later. The origin's Broadcast fans the
+// message out before self-delivery (so replies it triggers land later in
+// the stream); every receiver re-emits the message to the full group on
+// first receipt, before reacting to it. A message therefore precedes, on
+// every link it travels, everything that causally follows it — receivers
+// get causal order for free from link order. The cost is flood
+// amplification: each message crosses every link once, n·(n−1) frames for
+// a group of n, which is the trade the scaling experiment E15 measures
+// against the vector-clock engines' O(n) per-frame metadata.
+//
+// Two paths bypass stream order and therefore need the safety net: refill
+// frames (retransmissions served from retention buffers, marked
+// Refill in the PC header and never forwarded) and post-rejoin catch-up.
+// The engine keeps OSend's dependency holdback for exactly these — a
+// message whose OccursAfter labels are not yet delivered buffers until
+// they are, whatever link it arrived on.
+//
+// Joins and leaves use buffered link establishment: when a peer is marked
+// back up, its data frames are buffered until a join-request/response
+// round-trip completes (the response carries the peer's delivered
+// watermarks, priming anti-entropy), then drain in receipt order.
+//
+// Lock hierarchy: deliverMu | retainMu | linkMu → deliveredMu; sendMu is a
+// leaf taken only around full-group data fan-outs.
+type PCCast struct {
+	self     string
+	grp      *group.Group
+	others   []string // cached fan-out targets (the group is immutable)
+	conn     transport.Conn
+	deliver  DeliverFunc
+	patience time.Duration
+	onSync   func(from string, watermarks map[string]uint64)
+
+	closed atomic.Bool
+
+	// outbox is the engine's outgoing data stream: Broadcast and forward
+	// enqueue encoded frames, and one sender goroutine drains them into
+	// the transport in enqueue order, which makes the stream a single
+	// well-defined sequence. Decoupling emission from the receive loop is
+	// load-bearing, not cosmetic: the reliable sublayer applies inbound
+	// acks inside Recv, so a receive goroutine that forwarded
+	// synchronously could block on a full send window and thereby starve
+	// the very acks that drain it.
+	outMu     sync.Mutex
+	outCond   *sync.Cond
+	outQ      []*transport.Frame
+	outHead   int
+	outClosed bool
+
+	// deliveredMu guards the delivered-label set.
+	deliveredMu sync.RWMutex
+	delivered   *deliveredSet
+
+	// deliverMu guards the delivery buffer and its scratch space.
+	deliverMu   sync.Mutex
+	pending     map[message.Label]*pendingEntry
+	waiting     map[message.Label][]message.Label
+	maxBuffered int
+	cascade     []message.Message
+	readyFree   [][]message.Message
+
+	// retainMu guards retransmission state (see OSend for field docs).
+	retainMu    sync.Mutex
+	retained    map[message.Label]message.Message
+	lastFetch   map[message.Label]time.Time
+	peerWM      map[string]map[string]uint64
+	down        map[string]bool
+	fetchSpread int
+
+	// linkMu guards per-peer link establishment state.
+	linkMu  sync.Mutex
+	links   map[string]*pcLink
+	linkBuf int // total frames buffered across unestablished links
+
+	reg   *telemetry.Registry
+	ins   pccastInstruments
+	meta  metaInstruments
+	trace *telemetry.Ring
+	spans *trace.Tracer
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// pcLink is one inbound link's establishment state. Links are established
+// by default (the group starts connected); MarkDown tears one, MarkUp
+// starts the join round-trip that re-establishes it.
+type pcLink struct {
+	established bool
+	buf         []pcBuffered
+}
+
+// pcBuffered is a data frame held on a not-yet-established link.
+type pcBuffered struct {
+	m   message.Message
+	hdr message.PCHeader
+}
+
+// maxLinkBuffer bounds per-link establishment buffering; overflow drops
+// the newest frame (anti-entropy re-fetches anything that mattered).
+const maxLinkBuffer = 4096
+
+var (
+	_ Broadcaster = (*PCCast)(nil)
+	_ Engine      = (*PCCast)(nil)
+)
+
+// NewPCCast starts an engine; its receive loop runs until Close. It fails
+// fast when the conn does not guarantee reliable FIFO links — the one
+// property the engine's correctness rests on.
+func NewPCCast(cfg PCCastConfig) (*PCCast, error) {
+	if cfg.Group == nil || !cfg.Group.Contains(cfg.Self) {
+		return nil, fmt.Errorf("causal: %q is not a member of the group", cfg.Self)
+	}
+	if cfg.Conn == nil {
+		return nil, fmt.Errorf("causal: nil conn")
+	}
+	if cfg.Deliver == nil {
+		return nil, fmt.Errorf("causal: nil deliver func")
+	}
+	if !transport.IsFIFO(cfg.Conn) {
+		return nil, fmt.Errorf("causal: pccast requires reliable FIFO links; wrap the conn in reliable.Wrap")
+	}
+	reg := cfg.Telemetry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	e := &PCCast{
+		self:      cfg.Self,
+		grp:       cfg.Group,
+		others:    cfg.Group.Others(cfg.Self),
+		conn:      cfg.Conn,
+		deliver:   cfg.Deliver,
+		patience:  cfg.Patience,
+		onSync:    cfg.OnSync,
+		reg:       reg,
+		ins:       newPCCastInstruments(reg),
+		meta:      newMetaInstruments(reg),
+		trace:     cfg.Trace,
+		spans:     cfg.Tracer,
+		delivered: newDeliveredSet(),
+		pending:   make(map[message.Label]*pendingEntry),
+		waiting:   make(map[message.Label][]message.Label),
+		retained:  make(map[message.Label]message.Message),
+		lastFetch: make(map[message.Label]time.Time),
+		peerWM:    make(map[string]map[string]uint64),
+		down:      make(map[string]bool),
+		links:     make(map[string]*pcLink),
+		done:      make(chan struct{}),
+	}
+	e.outCond = sync.NewCond(&e.outMu)
+	if cfg.Tracker != nil {
+		cfg.Tracker.Subscribe(func(id string, up bool) {
+			if id != e.self {
+				e.MarkDown(id, !up)
+			}
+		})
+	}
+	e.wg.Add(2)
+	go e.recvLoop()
+	go e.sendLoop()
+	if e.patience > 0 {
+		e.wg.Add(1)
+		go e.fetchLoop()
+	}
+	return e, nil
+}
+
+// Self implements Broadcaster.
+func (e *PCCast) Self() string { return e.self }
+
+// Broadcast implements Broadcaster. The message goes out under a
+// zero-valued PC header — one byte of ordering metadata regardless of
+// group size — before local delivery, so anything the delivery triggers
+// lands later in this member's FIFO stream.
+func (e *PCCast) Broadcast(m message.Message) error {
+	if err := m.Validate(); err != nil {
+		return fmt.Errorf("causal: broadcast: %w", err)
+	}
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	t0 := time.Now()
+	m.Span = e.spans.Broadcast(m)
+	hdr := message.PCHeader{}
+	f := transport.NewFrame(1 + hdr.EncodedSize() + m.EncodedSize())
+	f.B = append(f.B, framePCCastData)
+	f.B = message.AppendPCHeader(f.B, hdr)
+	var err error
+	f.B, err = m.AppendBinary(f.B)
+	if err != nil {
+		f.Release()
+		return fmt.Errorf("causal: encode %v: %w", m.Label, err)
+	}
+
+	e.retainMu.Lock()
+	e.retained[m.Label] = m
+	e.ins.retainedDepth.Set(int64(len(e.retained)))
+	e.retainMu.Unlock()
+	metaBytes := uint64(hdr.EncodedSize())
+	e.ins.controlBytes.Add(metaBytes * uint64(len(e.others)))
+	e.meta.add(metaBytes, uint64(len(e.others)))
+	e.meta.msgs.Inc()
+	e.trace.Record(telemetry.EventSend, e.self, m.Label.Origin, m.Label.Seq, 0)
+
+	// Into the stream BEFORE self-delivery: anything the delivery
+	// callback broadcasts in response enqueues later, so it follows m on
+	// every link.
+	e.enqueue(f)
+	f.Release()
+	e.ingest(m)
+	e.ins.broadcastLat.ObserveSince(t0)
+	return nil
+}
+
+// forward re-emits a first-receipt message to the full group with the hop
+// count bumped. It MUST target the exact full peer set: the reliable
+// sublayer sequences only complete fan-outs into the FIFO stream, so
+// excluding even the peer the frame came from would silently demote the
+// forward to unordered unicast.
+func (e *PCCast) forward(m message.Message, hdr message.PCHeader) {
+	fh := message.PCHeader{Hops: hdr.Hops + 1}
+	f := transport.NewFrame(1 + fh.EncodedSize() + m.EncodedSize())
+	f.B = append(f.B, framePCCastData)
+	f.B = message.AppendPCHeader(f.B, fh)
+	var err error
+	f.B, err = m.AppendBinary(f.B)
+	if err != nil {
+		f.Release()
+		return
+	}
+	metaBytes := uint64(fh.EncodedSize())
+	e.ins.controlBytes.Add(metaBytes * uint64(len(e.others)))
+	e.meta.add(metaBytes, uint64(len(e.others)))
+	e.ins.forwarded.Inc()
+	e.enqueue(f)
+	f.Release()
+}
+
+// enqueue appends one data frame to the outgoing stream. The frame is
+// retained until the sender goroutine has fanned it out.
+func (e *PCCast) enqueue(f *transport.Frame) {
+	f.Retain()
+	e.outMu.Lock()
+	if e.outClosed {
+		e.outMu.Unlock()
+		f.Release()
+		return
+	}
+	e.outQ = append(e.outQ, f)
+	e.outMu.Unlock()
+	e.outCond.Signal()
+}
+
+// sendLoop drains the outbox in enqueue order. It is the only goroutine
+// that fans data frames out, so enqueue order IS stream order; if the
+// transport applies backpressure (reliable window full) only this
+// goroutine blocks, while the receive loop keeps draining acks.
+func (e *PCCast) sendLoop() {
+	defer e.wg.Done()
+	for {
+		e.outMu.Lock()
+		for e.outHead >= len(e.outQ) && !e.outClosed {
+			e.outQ = e.outQ[:0]
+			e.outHead = 0
+			e.outCond.Wait()
+		}
+		if e.outClosed {
+			for _, f := range e.outQ[e.outHead:] {
+				f.Release()
+			}
+			e.outQ = nil
+			e.outMu.Unlock()
+			return
+		}
+		f := e.outQ[e.outHead]
+		e.outQ[e.outHead] = nil
+		e.outHead++
+		e.outMu.Unlock()
+		err := transport.Multicast(e.conn, e.others, f)
+		f.Release()
+		if err != nil {
+			// Best-effort, as in OSend: retention plus anti-entropy repair
+			// the peers that missed it.
+			e.ins.sendErrors.Inc()
+		}
+	}
+}
+
+// Snapshot returns the engine's registry snapshot.
+func (e *PCCast) Snapshot() telemetry.Snapshot { return e.reg.Snapshot() }
+
+// Metrics is the thin compatibility view over Snapshot.
+func (e *PCCast) Metrics() Metrics {
+	s := e.reg.Snapshot()
+	m := Metrics{
+		Delivered:    s.Get("causal_pccast_delivered_total"),
+		Duplicates:   s.Get("causal_pccast_duplicates_total"),
+		Fetches:      s.Get("causal_pccast_fetches_total"),
+		ControlBytes: s.Get("causal_pccast_control_bytes_total"),
+		StablePruned: s.Get("causal_pccast_stable_pruned_total"),
+	}
+	e.deliverMu.Lock()
+	m.Buffered = len(e.pending)
+	m.MaxBuffered = e.maxBuffered
+	e.deliverMu.Unlock()
+	e.retainMu.Lock()
+	m.Retained = len(e.retained)
+	e.retainMu.Unlock()
+	return m
+}
+
+// Delivered reports whether l has been delivered locally.
+func (e *PCCast) Delivered(l message.Label) bool { return e.deliveredHas(l) }
+
+func (e *PCCast) deliveredHas(l message.Label) bool {
+	e.deliveredMu.RLock()
+	ok := e.delivered.Has(l)
+	e.deliveredMu.RUnlock()
+	return ok
+}
+
+func (e *PCCast) deliveredAdd(l message.Label) bool {
+	e.deliveredMu.Lock()
+	ok := e.delivered.Add(l)
+	e.deliveredMu.Unlock()
+	return ok
+}
+
+// Frontier returns the engine's delivered watermarks (see OSend.Frontier).
+func (e *PCCast) Frontier() map[string]uint64 {
+	e.deliveredMu.RLock()
+	defer e.deliveredMu.RUnlock()
+	return e.delivered.Watermarks()
+}
+
+// SeedFrontier marks every sequence up to wm[origin] as already delivered
+// (see OSend.SeedFrontier).
+func (e *PCCast) SeedFrontier(wm map[string]uint64) {
+	e.deliveredMu.Lock()
+	for origin, seq := range wm {
+		e.delivered.Seed(origin, seq)
+	}
+	e.deliveredMu.Unlock()
+	e.spans.SeedDelivered(wm)
+	e.releaseSeeded()
+}
+
+func (e *PCCast) releaseSeeded() {
+	e.deliverMu.Lock()
+	var freed []message.Message
+	for l, entry := range e.pending {
+		for d := range entry.missing {
+			if e.deliveredHas(d) {
+				delete(entry.missing, d)
+			}
+		}
+		if len(entry.missing) == 0 {
+			delete(e.pending, l)
+			e.ins.depWait.ObserveSince(entry.since)
+			freed = append(freed, entry.msg)
+		}
+	}
+	for d := range e.waiting {
+		if e.deliveredHas(d) {
+			delete(e.waiting, d)
+		}
+	}
+	var ready []message.Message
+	if len(freed) != 0 {
+		ready = e.takeReadyLocked()
+		for _, m := range freed {
+			ready = e.deliverLocked(ready, m)
+		}
+		e.ins.pendingDepth.Set(int64(len(e.pending)))
+	}
+	e.deliverMu.Unlock()
+	for _, r := range ready {
+		e.deliver(r)
+	}
+	if ready != nil {
+		e.pruneFetched(ready)
+		e.putReady(ready)
+	}
+}
+
+// RequestSync asks every peer for a state-sync snapshot (see
+// OSend.RequestSync for why responses never seed the frontier).
+func (e *PCCast) RequestSync() error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	f := transport.StaticFrame([]byte{framePCCastSyncReq})
+	err := transport.Multicast(e.conn, e.others, f)
+	f.Release()
+	return err
+}
+
+// SyncWith asks one peer for a state-sync snapshot.
+func (e *PCCast) SyncWith(peer string) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	return e.conn.Send(peer, []byte{framePCCastSyncReq})
+}
+
+func (e *PCCast) serveSync(requester string) {
+	e.retainMu.Lock()
+	maxSeq := make(map[string]uint64, len(e.retained))
+	for l := range e.retained {
+		if l.Seq > maxSeq[l.Origin] {
+			maxSeq[l.Origin] = l.Seq
+		}
+	}
+	e.retainMu.Unlock()
+	e.deliveredMu.RLock()
+	wm := e.delivered.Watermarks()
+	e.deliveredMu.RUnlock()
+	frame := []byte{framePCCastSyncResp}
+	frame = appendOriginSeqMap(frame, maxSeq)
+	frame = appendOriginSeqMap(frame, wm)
+	_ = e.conn.Send(requester, frame) // best effort; requester retries
+}
+
+func (e *PCCast) handleSyncResp(from string, retained, watermarks map[string]uint64) {
+	e.handleAdvert(from, retained, watermarks)
+	if e.onSync != nil {
+		e.onSync(from, watermarks)
+	}
+}
+
+// MarkDown sets or clears a peer's down mark. Beyond OSend's stability
+// and fetch-routing semantics, PCCast ties link state to it: marking a
+// peer down tears its inbound link (buffered frames from the dead
+// incarnation are discarded); marking it up starts the buffered
+// establishment round-trip — data frames from the peer are held until its
+// join response arrives, then drain in receipt order.
+func (e *PCCast) MarkDown(peer string, down bool) {
+	e.retainMu.Lock()
+	if down {
+		e.down[peer] = true
+	} else {
+		delete(e.down, peer)
+	}
+	e.retainMu.Unlock()
+
+	e.linkMu.Lock()
+	ls := e.links[peer]
+	if down {
+		if ls == nil {
+			ls = &pcLink{}
+			e.links[peer] = ls
+		}
+		ls.established = false
+		e.linkBuf -= len(ls.buf)
+		ls.buf = nil
+		e.ins.linkBuffered.Set(int64(e.linkBuf))
+		e.linkMu.Unlock()
+		return
+	}
+	if ls == nil || ls.established {
+		e.linkMu.Unlock()
+		return
+	}
+	e.linkMu.Unlock()
+	if !e.closed.Load() {
+		_ = e.conn.Send(peer, []byte{framePCCastJoinReq}) // retried each anti-entropy tick
+	}
+}
+
+// establish completes the join round-trip for one link: marks it
+// established and returns the frames buffered while it was pending.
+func (e *PCCast) establish(peer string) []pcBuffered {
+	e.linkMu.Lock()
+	ls := e.links[peer]
+	if ls == nil || ls.established {
+		e.linkMu.Unlock()
+		return nil
+	}
+	ls.established = true
+	buf := ls.buf
+	ls.buf = nil
+	e.linkBuf -= len(buf)
+	e.ins.linkBuffered.Set(int64(e.linkBuf))
+	e.linkMu.Unlock()
+	return buf
+}
+
+// gateLink buffers a data frame when its inbound link is mid-establishment.
+// Returns true when the frame was consumed (buffered or dropped on
+// overflow).
+func (e *PCCast) gateLink(from string, m message.Message, hdr message.PCHeader) bool {
+	e.linkMu.Lock()
+	ls := e.links[from]
+	if ls == nil || ls.established {
+		e.linkMu.Unlock()
+		return false
+	}
+	if len(ls.buf) < maxLinkBuffer {
+		ls.buf = append(ls.buf, pcBuffered{m: m, hdr: hdr})
+		e.linkBuf++
+		e.ins.linkBuffered.Set(int64(e.linkBuf))
+	}
+	e.linkMu.Unlock()
+	return true
+}
+
+// Close implements Broadcaster.
+func (e *PCCast) Close() error {
+	if e.closed.Swap(true) {
+		return nil
+	}
+	close(e.done)
+	e.outMu.Lock()
+	e.outClosed = true
+	e.outMu.Unlock()
+	e.outCond.Broadcast()
+	err := e.conn.Close()
+	e.wg.Wait()
+	return err
+}
+
+func (e *PCCast) recvLoop() {
+	defer e.wg.Done()
+	pprof.Do(context.Background(), pprof.Labels("loop", "pccast-recv", "member", e.self), func(context.Context) {
+		dec := message.NewDecoder()
+		if br, ok := e.conn.(transport.BatchRecver); ok {
+			var batch []transport.Envelope
+			for {
+				var err error
+				batch, err = br.RecvBatch(batch)
+				if err != nil {
+					return
+				}
+				for i := range batch {
+					e.handleFrame(dec, &batch[i])
+					batch[i].Release()
+				}
+			}
+		}
+		for {
+			env, err := e.conn.Recv()
+			if err != nil {
+				return
+			}
+			e.handleFrame(dec, &env)
+			env.Release()
+		}
+	})
+}
+
+func (e *PCCast) handleFrame(dec *message.Decoder, env *transport.Envelope) {
+	if len(env.Payload) == 0 {
+		return
+	}
+	kind, body := env.Payload[0], env.Payload[1:]
+	switch kind {
+	case framePCCastData:
+		hdr, msgBytes, err := message.DecodePCHeader(body)
+		if err != nil {
+			return // malformed header; drop
+		}
+		var m message.Message
+		if err := dec.Decode(&m, msgBytes); err != nil {
+			return
+		}
+		if e.gateLink(env.From, m, hdr) {
+			return // link mid-establishment; frame buffered
+		}
+		e.processData(m, hdr)
+	case framePCCastFetch:
+		l, rest, err := decodeLabel(body)
+		if err != nil || len(rest) != 0 {
+			return
+		}
+		e.serveFetch(env.From, l)
+	case framePCCastAdvert:
+		retained, watermarks, err := decodeAdvert(body)
+		if err != nil {
+			return
+		}
+		e.handleAdvert(env.From, retained, watermarks)
+	case framePCCastSyncReq:
+		if len(body) != 0 {
+			return
+		}
+		e.serveSync(env.From)
+	case framePCCastSyncResp:
+		retained, watermarks, err := decodeAdvert(body)
+		if err != nil {
+			return
+		}
+		e.handleSyncResp(env.From, retained, watermarks)
+	case framePCCastJoinReq:
+		if len(body) != 0 {
+			return
+		}
+		e.serveJoin(env.From)
+	case framePCCastJoinResp:
+		wm, rest, err := readOriginSeqMap(body)
+		if err != nil || len(rest) != 0 {
+			return
+		}
+		e.handleJoinResp(env.From, wm)
+	default:
+		// Unknown frame kinds are ignored for forward compatibility.
+	}
+}
+
+// processData runs the receive path for one data frame: forward on first
+// receipt (into this member's FIFO stream, BEFORE any delivery the frame
+// may trigger), then the holdback delivery algorithm. Refill frames —
+// retransmissions that bypassed the sender's stream — are never
+// forwarded; the holdback alone orders them. Echoes of this member's own
+// messages never forward either: the original emission already occupies
+// this member's stream.
+//
+// Only the receive goroutine calls processData, so first-receipt is
+// race-free for foreign labels without extra locking: every copy of a
+// foreign label arrives here.
+func (e *PCCast) processData(m message.Message, hdr message.PCHeader) {
+	if !hdr.Refill && RouteOrigin(m.Label.Origin) != e.self &&
+		!e.deliveredHas(m.Label) && !e.isPending(m.Label) {
+		e.forward(m, hdr)
+	}
+	e.ingest(m)
+}
+
+// serveJoin answers a peer's link-establishment ping with this member's
+// delivered watermarks. The response is the "cut" in this member's FIFO
+// stream the requester establishes from; the watermarks prime its
+// anti-entropy so history from before the cut is fetched, not awaited.
+func (e *PCCast) serveJoin(requester string) {
+	e.retainMu.Lock()
+	delete(e.down, requester) // an explicit ping is liveness evidence
+	e.retainMu.Unlock()
+	e.deliveredMu.RLock()
+	wm := e.delivered.Watermarks()
+	e.deliveredMu.RUnlock()
+	frame := appendOriginSeqMap([]byte{framePCCastJoinResp}, wm)
+	_ = e.conn.Send(requester, frame) // best effort; requester re-pings
+}
+
+// handleJoinResp completes establishment of the link from the responding
+// peer: its watermarks feed stability bookkeeping, then the frames
+// buffered during the round-trip drain in receipt order.
+func (e *PCCast) handleJoinResp(from string, wm map[string]uint64) {
+	e.handleAdvert(from, nil, wm)
+	for _, b := range e.establish(from) {
+		e.processData(b.m, b.hdr)
+	}
+}
+
+func (e *PCCast) takeReadyLocked() []message.Message {
+	if n := len(e.readyFree); n > 0 {
+		buf := e.readyFree[n-1]
+		e.readyFree = e.readyFree[:n-1]
+		return buf
+	}
+	return nil
+}
+
+func (e *PCCast) putReady(buf []message.Message) {
+	clear(buf)
+	e.deliverMu.Lock()
+	e.readyFree = append(e.readyFree, buf[:0])
+	e.deliverMu.Unlock()
+}
+
+// ingest runs the holdback delivery algorithm on one message (received,
+// drained from a link buffer, or locally broadcast). Identical to OSend's:
+// on FIFO links the OccursAfter predicate is already satisfied in the
+// common case and the holdback is pass-through; it earns its keep on the
+// out-of-stream paths (refills, rejoin catch-up).
+func (e *PCCast) ingest(m message.Message) {
+	if e.closed.Load() {
+		return
+	}
+	// Group-wide retention, as in OSend: any retainer can serve a fetch.
+	if e.patience > 0 {
+		e.retainMu.Lock()
+		if _, ok := e.retained[m.Label]; !ok {
+			e.retained[m.Label] = m
+			e.ins.retainedDepth.Set(int64(len(e.retained)))
+		}
+		e.retainMu.Unlock()
+	}
+	e.deliverMu.Lock()
+	if e.deliveredHas(m.Label) {
+		e.ins.duplicates.Inc()
+		e.deliverMu.Unlock()
+		return
+	}
+	if _, buffered := e.pending[m.Label]; buffered {
+		e.ins.duplicates.Inc()
+		e.deliverMu.Unlock()
+		return
+	}
+	e.spans.Enqueue(m)
+	var missing map[message.Label]struct{}
+	for _, d := range m.Deps.Labels() {
+		if !e.deliveredHas(d) {
+			if missing == nil {
+				missing = make(map[message.Label]struct{}, m.Deps.Len())
+			}
+			missing[d] = struct{}{}
+		}
+	}
+	if missing != nil {
+		e.pending[m.Label] = &pendingEntry{msg: m, missing: missing, since: time.Now()}
+		for d := range missing {
+			e.waiting[d] = append(e.waiting[d], m.Label)
+		}
+		depth := len(e.pending)
+		if depth > e.maxBuffered {
+			e.maxBuffered = depth
+		}
+		e.deliverMu.Unlock()
+		e.ins.pendingDepth.Set(int64(depth))
+		e.ins.pendingMax.SetMax(int64(depth))
+		e.trace.Record(telemetry.EventDefer, e.self, m.Label.Origin, m.Label.Seq, int64(depth))
+		return
+	}
+	ready := e.deliverLocked(e.takeReadyLocked(), m)
+	if len(ready) > 1 {
+		e.ins.pendingDepth.Set(int64(len(e.pending)))
+	}
+	e.deliverMu.Unlock()
+	for _, r := range ready {
+		e.deliver(r)
+	}
+	e.pruneFetched(ready)
+	e.putReady(ready)
+}
+
+func (e *PCCast) deliverLocked(out []message.Message, m message.Message) []message.Message {
+	queue := append(e.cascade[:0], m)
+	for i := 0; i < len(queue); i++ {
+		cur := queue[i]
+		if !e.deliveredAdd(cur.Label) {
+			continue
+		}
+		e.ins.delivered.Inc()
+		e.trace.Record(telemetry.EventDeliver, e.self, cur.Label.Origin, cur.Label.Seq, 0)
+		e.spans.Deliver(cur)
+		out = append(out, cur)
+		blocked, ok := e.waiting[cur.Label]
+		if !ok {
+			continue
+		}
+		delete(e.waiting, cur.Label)
+		for _, bl := range blocked {
+			entry, ok := e.pending[bl]
+			if !ok {
+				continue
+			}
+			delete(entry.missing, cur.Label)
+			if e.spans != nil {
+				e.spans.DepResolved(bl, cur.Label, time.Since(entry.since))
+			}
+			if len(entry.missing) == 0 {
+				delete(e.pending, bl)
+				e.ins.depWait.ObserveSince(entry.since)
+				queue = append(queue, entry.msg)
+			}
+		}
+	}
+	clear(queue)
+	e.cascade = queue[:0]
+	return out
+}
+
+func (e *PCCast) pruneFetched(ready []message.Message) {
+	e.retainMu.Lock()
+	if len(e.lastFetch) != 0 {
+		for i := range ready {
+			delete(e.lastFetch, ready[i].Label)
+		}
+	}
+	e.retainMu.Unlock()
+}
+
+// fetchLoop is the anti-entropy heartbeat: dependency fetches, adverts,
+// stale-state pruning, and join-request retries for links stuck
+// mid-establishment.
+func (e *PCCast) fetchLoop() {
+	defer e.wg.Done()
+	interval := e.patience / 2
+	if interval <= 0 {
+		interval = e.patience
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-e.done:
+			return
+		case now := <-ticker.C:
+			e.fetchMissing(now)
+			e.advertise()
+			e.pruneFetchState()
+			e.repingLinks()
+		}
+	}
+}
+
+// repingLinks re-sends the join ping for every link whose establishment
+// round-trip has not completed — including links to peers still marked
+// down. Pinging a dead peer costs one dropped unicast per tick; pinging
+// it the moment it returns is what re-establishes the link even when the
+// failure detector's recovery signal (OnResync) never fires, e.g. a
+// rejoin on a link that skipped nothing.
+func (e *PCCast) repingLinks() {
+	if e.closed.Load() {
+		return
+	}
+	var stuck []string
+	e.linkMu.Lock()
+	for peer, ls := range e.links {
+		if !ls.established {
+			stuck = append(stuck, peer)
+		}
+	}
+	e.linkMu.Unlock()
+	for _, peer := range stuck {
+		_ = e.conn.Send(peer, []byte{framePCCastJoinReq})
+	}
+}
+
+func (e *PCCast) pruneFetchState() {
+	e.retainMu.Lock()
+	for l := range e.lastFetch {
+		if e.deliveredHas(l) || !e.grp.Contains(RouteOrigin(l.Origin)) {
+			delete(e.lastFetch, l)
+		}
+	}
+	e.retainMu.Unlock()
+}
+
+func (e *PCCast) advertise() {
+	if e.closed.Load() {
+		return
+	}
+	e.retainMu.Lock()
+	maxSeq := make(map[string]uint64)
+	for l := range e.retained {
+		if l.Seq > maxSeq[l.Origin] {
+			maxSeq[l.Origin] = l.Seq
+		}
+	}
+	e.retainMu.Unlock()
+	e.deliveredMu.RLock()
+	wm := e.delivered.Watermarks()
+	e.deliveredMu.RUnlock()
+	if len(maxSeq) == 0 && len(wm) == 0 {
+		return
+	}
+	frame := encodeAdvertKind(framePCCastAdvert, maxSeq, wm)
+	f := transport.StaticFrame(frame)
+	_ = transport.Multicast(e.conn, e.others, f) // best effort; re-sent next tick
+	f.Release()
+}
+
+func (e *PCCast) handleAdvert(from string, retained, watermarks map[string]uint64) {
+	const maxFetchPerAdvert = 32
+	now := time.Now()
+	var candidates []message.Label
+scan:
+	for origin, maxSeq := range retained {
+		for seq := e.deliveredWatermark(origin) + 1; seq <= maxSeq; seq++ {
+			l := message.Label{Origin: origin, Seq: seq}
+			if e.deliveredHas(l) || e.isPending(l) {
+				continue
+			}
+			candidates = append(candidates, l)
+			if len(candidates) >= maxFetchPerAdvert {
+				break scan
+			}
+		}
+	}
+	var fetches []message.Label
+	e.retainMu.Lock()
+	for _, l := range candidates {
+		if last, ok := e.lastFetch[l]; ok && now.Sub(last) < e.patience {
+			continue
+		}
+		e.lastFetch[l] = now
+		fetches = append(fetches, l)
+		e.ins.fetches.Inc()
+		e.trace.Record(telemetry.EventFetch, e.self, l.Origin, l.Seq, 0)
+	}
+	e.peerWM[from] = watermarks
+	delete(e.down, from) // an advertising peer is evidently alive
+	e.pruneStableLocked()
+	e.retainMu.Unlock()
+	for _, l := range fetches {
+		frame := append([]byte{framePCCastFetch}, encodeLabel(nil, l)...)
+		_ = e.conn.Send(from, frame) // best effort; retried next advert
+	}
+}
+
+func (e *PCCast) deliveredWatermark(origin string) uint64 {
+	e.deliveredMu.RLock()
+	wm := e.delivered.Watermark(origin)
+	e.deliveredMu.RUnlock()
+	return wm
+}
+
+func (e *PCCast) isPending(l message.Label) bool {
+	e.deliverMu.Lock()
+	_, ok := e.pending[l]
+	e.deliverMu.Unlock()
+	return ok
+}
+
+// pruneStableLocked — see OSend.pruneStableLocked. Caller holds retainMu.
+func (e *PCCast) pruneStableLocked() {
+	for _, p := range e.others {
+		if e.down[p] {
+			continue
+		}
+		if _, ok := e.peerWM[p]; !ok {
+			return // need evidence from every live peer before anything is stable
+		}
+	}
+	for l := range e.retained {
+		stable := true
+		for _, p := range e.others {
+			if e.down[p] {
+				continue
+			}
+			wm, ok := e.peerWM[p]
+			if !ok || wm[l.Origin] < l.Seq {
+				stable = false
+				break
+			}
+		}
+		if stable {
+			delete(e.retained, l)
+			delete(e.lastFetch, l)
+			e.ins.stablePruned.Inc()
+		}
+	}
+	e.ins.retainedDepth.Set(int64(len(e.retained)))
+}
+
+func (e *PCCast) fetchMissing(now time.Time) {
+	type fetch struct {
+		to string
+		l  message.Label
+	}
+	var candidates []fetch
+	e.deliverMu.Lock()
+	for _, entry := range e.pending {
+		if now.Sub(entry.since) < e.patience {
+			continue
+		}
+		for d := range entry.missing {
+			to := RouteOrigin(d.Origin)
+			if to == e.self || !e.grp.Contains(to) {
+				continue
+			}
+			candidates = append(candidates, fetch{to: to, l: d})
+		}
+	}
+	e.deliverMu.Unlock()
+	var fetches []fetch
+	e.retainMu.Lock()
+	for _, c := range candidates {
+		if last, ok := e.lastFetch[c.l]; ok && now.Sub(last) < e.patience {
+			continue
+		}
+		if e.down[c.to] {
+			if alt := e.altRouteLocked(c.to); alt != "" {
+				c.to = alt
+			}
+		}
+		e.lastFetch[c.l] = now
+		fetches = append(fetches, c)
+		e.ins.fetches.Inc()
+		e.trace.Record(telemetry.EventFetch, e.self, c.l.Origin, c.l.Seq, 0)
+	}
+	e.retainMu.Unlock()
+	for _, f := range fetches {
+		frame := append([]byte{framePCCastFetch}, encodeLabel(nil, f.l)...)
+		_ = e.conn.Send(f.to, frame) // best effort; retried next tick
+	}
+}
+
+// altRouteLocked picks the next live peer in rotation, skipping avoid.
+// Caller holds retainMu.
+func (e *PCCast) altRouteLocked(avoid string) string {
+	n := len(e.others)
+	for i := 0; i < n; i++ {
+		p := e.others[(e.fetchSpread+i)%n]
+		if p != avoid && !e.down[p] {
+			e.fetchSpread = (e.fetchSpread + i + 1) % n
+			return p
+		}
+	}
+	return ""
+}
+
+// serveFetch re-encodes a retained message under a Refill header: the
+// copy bypasses this member's FIFO stream (it is a unicast answer, not a
+// fan-out), so the receiver must not forward it and must order it by its
+// OccursAfter predicate alone.
+func (e *PCCast) serveFetch(requester string, l message.Label) {
+	e.retainMu.Lock()
+	m, ok := e.retained[l]
+	e.retainMu.Unlock()
+	if !ok {
+		return
+	}
+	rh := message.PCHeader{Refill: true}
+	f := transport.NewFrame(1 + rh.EncodedSize() + m.EncodedSize())
+	f.B = append(f.B, framePCCastData)
+	f.B = message.AppendPCHeader(f.B, rh)
+	var err error
+	f.B, err = m.AppendBinary(f.B)
+	if err != nil {
+		f.Release()
+		return
+	}
+	_ = e.conn.Send(requester, f.B) // best effort
+	f.Release()
+}

@@ -1,0 +1,457 @@
+package causal
+
+import (
+	"testing"
+	"time"
+
+	"causalshare/internal/group"
+	"causalshare/internal/message"
+	"causalshare/internal/reliable"
+	"causalshare/internal/telemetry"
+	"causalshare/internal/transport"
+)
+
+// gaugeValue reads one gauge out of a snapshot (Snapshot.Get covers
+// counters only).
+func gaugeValue(s telemetry.Snapshot, name string) int64 {
+	for _, g := range s.Gauges {
+		if g.Name == name {
+			return g.Value
+		}
+	}
+	return 0
+}
+
+func newPCCastCluster(t *testing.T, ids []string, net transport.Network, patience time.Duration, rcfg *reliable.Config) *cluster {
+	t.Helper()
+	grp := group.MustNew("g", ids)
+	c := &cluster{grp: grp, net: net, cols: map[string]*collector{}, bcs: map[string]Broadcaster{}}
+	for _, id := range ids {
+		conn, err := net.Attach(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var tconn transport.Conn = conn
+		if rcfg != nil {
+			tconn = reliable.Wrap(conn, grp.Others(id), *rcfg)
+		}
+		col := &collector{}
+		e, err := NewPCCast(PCCastConfig{
+			Self: id, Group: grp, Conn: tconn, Deliver: col.deliver, Patience: patience,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.cols[id] = col
+		c.bcs[id] = e
+	}
+	return c
+}
+
+func TestPCCastConfigValidation(t *testing.T) {
+	grp := group.MustNew("g", []string{"a"})
+	net := transport.NewChanNet(transport.FaultModel{})
+	defer func() { _ = net.Close() }()
+	conn, _ := net.Attach("a")
+	cb := func(message.Message) {}
+	tests := []struct {
+		name string
+		cfg  PCCastConfig
+	}{
+		{"not a member", PCCastConfig{Self: "x", Group: grp, Conn: conn, Deliver: cb}},
+		{"nil group", PCCastConfig{Self: "a", Conn: conn, Deliver: cb}},
+		{"nil conn", PCCastConfig{Self: "a", Group: grp, Deliver: cb}},
+		{"nil deliver", PCCastConfig{Self: "a", Group: grp, Conn: conn}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewPCCast(tt.cfg); err == nil {
+				t.Error("NewPCCast accepted invalid config")
+			}
+		})
+	}
+}
+
+func TestPCCastRequiresFIFOConn(t *testing.T) {
+	// A lossy transport is not a reliable FIFO link: the capability probe
+	// must make NewPCCast fail fast rather than silently misorder.
+	grp := group.MustNew("g", []string{"a", "b"})
+	net := transport.NewChanNet(transport.FaultModel{DropProb: 0.1, Seed: 7})
+	defer func() { _ = net.Close() }()
+	conn, err := net.Attach("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb := func(message.Message) {}
+	if _, err := NewPCCast(PCCastConfig{Self: "a", Group: grp, Conn: conn, Deliver: cb}); err == nil {
+		t.Fatal("NewPCCast accepted a lossy conn")
+	}
+	// The reliability sublayer upgrades the same conn to FIFO.
+	rconn := reliable.Wrap(conn, grp.Others("a"), reliable.Config{Seed: 1})
+	e, err := NewPCCast(PCCastConfig{Self: "a", Group: grp, Conn: rconn, Deliver: cb})
+	if err != nil {
+		t.Fatalf("NewPCCast rejected a reliable.Wrap conn: %v", err)
+	}
+	_ = e.Close()
+}
+
+func TestPCCastSelfDelivery(t *testing.T) {
+	net := transport.NewChanNet(transport.FaultModel{})
+	c := newPCCastCluster(t, []string{"a", "b"}, net, 0, nil)
+	defer c.close(t)
+	m := message.Message{Label: message.Label{Origin: "a", Seq: 1}, Kind: message.KindCommutative, Op: "inc"}
+	if err := c.bcs["a"].Broadcast(m); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"a", "b"} {
+		got := c.cols[id].waitFor(t, 1, time.Second)
+		if got[0].Label != m.Label {
+			t.Errorf("member %s delivered %v", id, got[0].Label)
+		}
+	}
+}
+
+func TestPCCastCausalOrderWithoutDeps(t *testing.T) {
+	// The headline property: b's m2 is causally after a's m1 (b delivered
+	// m1 before sending m2) yet carries NO dependency metadata. FIFO links
+	// plus forward-on-first-receipt alone must order them at every member.
+	net := transport.NewChanNet(transport.FaultModel{
+		MinDelay: time.Millisecond, MaxDelay: time.Millisecond, Seed: 17,
+	})
+	c := newPCCastCluster(t, []string{"a", "b", "c"}, net, 0, nil)
+	defer c.close(t)
+
+	m1 := message.Message{Label: message.Label{Origin: "a", Seq: 1}, Kind: message.KindNonCommutative, Op: "w1"}
+	if err := c.bcs["a"].Broadcast(m1); err != nil {
+		t.Fatal(err)
+	}
+	c.cols["b"].waitFor(t, 1, time.Second) // b has delivered m1
+	m2 := message.Message{Label: message.Label{Origin: "b", Seq: 1}, Kind: message.KindNonCommutative, Op: "w2"}
+	if err := c.bcs["b"].Broadcast(m2); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"a", "b", "c"} {
+		got := c.cols[id].waitFor(t, 2, 2*time.Second)
+		pos := positions(got)
+		if pos[m1.Label] >= pos[m2.Label] {
+			t.Errorf("member %s violated causal order: %v", id, got)
+		}
+	}
+}
+
+func TestPCCastDependencyHoldback(t *testing.T) {
+	// Explicit OccursAfter predicates still hold messages back — the
+	// safety net for out-of-stream paths.
+	net := transport.NewChanNet(transport.FaultModel{})
+	c := newPCCastCluster(t, []string{"a", "b", "c"}, net, 0, nil)
+	defer c.close(t)
+
+	m1 := message.Message{Label: message.Label{Origin: "a", Seq: 1}, Kind: message.KindNonCommutative, Op: "w1"}
+	m2 := message.Message{
+		Label: message.Label{Origin: "b", Seq: 1},
+		Deps:  message.After(m1.Label),
+		Kind:  message.KindNonCommutative,
+		Op:    "w2",
+	}
+	if err := c.bcs["b"].Broadcast(m2); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond) // let m2 spread and buffer everywhere
+	if err := c.bcs["a"].Broadcast(m1); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"a", "b", "c"} {
+		got := c.cols[id].waitFor(t, 2, 2*time.Second)
+		pos := positions(got)
+		if pos[m1.Label] >= pos[m2.Label] {
+			t.Errorf("member %s delivered %v before its dependency %v", id, m2.Label, m1.Label)
+		}
+	}
+}
+
+func TestPCCastFloodForwardsOnceAndDedups(t *testing.T) {
+	// Flood dissemination: each non-origin member re-emits each message
+	// exactly once, and the n-1 copies every member receives collapse to
+	// one delivery.
+	net := transport.NewChanNet(transport.FaultModel{})
+	c := newPCCastCluster(t, []string{"a", "b", "c"}, net, 0, nil)
+	defer c.close(t)
+
+	const count = 5
+	for i := uint64(1); i <= count; i++ {
+		m := message.Message{Label: message.Label{Origin: "a", Seq: i}, Kind: message.KindCommutative, Op: "inc"}
+		if err := c.bcs["a"].Broadcast(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range []string{"a", "b", "c"} {
+		c.cols[id].waitFor(t, count, 2*time.Second)
+	}
+	time.Sleep(20 * time.Millisecond) // let forwarded copies land
+	for _, id := range []string{"a", "b", "c"} {
+		if got := c.cols[id].snapshot(); len(got) != count {
+			t.Errorf("member %s delivered %d messages, want %d", id, len(got), count)
+		}
+	}
+	for _, id := range []string{"b", "c"} {
+		e := c.bcs[id].(*PCCast)
+		s := e.Snapshot()
+		if f := s.Get("causal_pccast_forwarded_total"); f != count {
+			t.Errorf("member %s forwarded %d frames, want exactly %d", id, f, count)
+		}
+		if d := s.Get("causal_pccast_duplicates_total"); d == 0 {
+			t.Errorf("member %s saw no duplicates despite flood copies", id)
+		}
+	}
+	// The origin never re-forwards echoes of its own messages.
+	if f := c.bcs["a"].(*PCCast).Snapshot().Get("causal_pccast_forwarded_total"); f != 0 {
+		t.Errorf("origin forwarded %d of its own echoes", f)
+	}
+}
+
+func TestPCCastRefillNotForwarded(t *testing.T) {
+	// Refill frames bypass the sender's FIFO stream; receivers must
+	// deliver them via the holdback but never re-flood them.
+	net := transport.NewChanNet(transport.FaultModel{})
+	grp := group.MustNew("g", []string{"a", "b", "c"})
+	connA, _ := net.Attach("a")
+	connC, _ := net.Attach("c")
+	colA := &collector{}
+	ea, err := NewPCCast(PCCastConfig{Self: "a", Group: grp, Conn: connA, Deliver: colA.deliver})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ea.Close() }()
+	colB := &collector{}
+	connB, _ := net.Attach("b")
+	eb, err := NewPCCast(PCCastConfig{Self: "b", Group: grp, Conn: connB, Deliver: colB.deliver})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = eb.Close() }()
+	defer func() { _ = net.Close() }()
+
+	m := message.Message{Label: message.Label{Origin: "c", Seq: 1}, Kind: message.KindCommutative, Op: "inc"}
+	frame := []byte{framePCCastData}
+	frame = message.AppendPCHeader(frame, message.PCHeader{Refill: true})
+	frame, err = m.AppendBinary(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := connC.Send("a", frame); err != nil {
+		t.Fatal(err)
+	}
+	colA.waitFor(t, 1, time.Second)
+	time.Sleep(20 * time.Millisecond)
+	if f := ea.Snapshot().Get("causal_pccast_forwarded_total"); f != 0 {
+		t.Errorf("refill frame was forwarded %d times", f)
+	}
+	if got := colB.snapshot(); len(got) != 0 {
+		t.Errorf("member b received a refill flood: %v", got)
+	}
+
+	// Contrast: the same message without the refill mark IS forwarded.
+	m2 := message.Message{Label: message.Label{Origin: "c", Seq: 2}, Kind: message.KindCommutative, Op: "inc"}
+	frame = []byte{framePCCastData}
+	frame = message.AppendPCHeader(frame, message.PCHeader{})
+	frame, err = m2.AppendBinary(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := connC.Send("a", frame); err != nil {
+		t.Fatal(err)
+	}
+	colB.waitFor(t, 1, time.Second) // b got it only via a's forward
+	if f := ea.Snapshot().Get("causal_pccast_forwarded_total"); f != 1 {
+		t.Errorf("data frame forwarded %d times, want 1", f)
+	}
+}
+
+func TestPCCastLinkEstablishmentBuffers(t *testing.T) {
+	// A peer coming back up must not have its frames processed until the
+	// join round-trip completes; frames received meanwhile buffer and then
+	// drain in receipt order (including their forward).
+	net := transport.NewChanNet(transport.FaultModel{})
+	grp := group.MustNew("g", []string{"a", "b", "c"})
+	tr := group.NewTracker(grp)
+	connA, _ := net.Attach("a")
+	connB, _ := net.Attach("b") // raw: we play b by hand
+	connC, _ := net.Attach("c")
+	colA := &collector{}
+	ea, err := NewPCCast(PCCastConfig{Self: "a", Group: grp, Conn: connA, Deliver: colA.deliver, Tracker: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ea.Close() }()
+	colC := &collector{}
+	ec, err := NewPCCast(PCCastConfig{Self: "c", Group: grp, Conn: connC, Deliver: colC.deliver})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ec.Close() }()
+	defer func() { _ = net.Close() }()
+
+	// b crashes and returns: the tracker edges drive a's link state.
+	tr.MarkDown("b")
+	tr.MarkUp("b") // a sends b a join request; b has not answered yet
+
+	m := message.Message{Label: message.Label{Origin: "b", Seq: 1}, Kind: message.KindCommutative, Op: "inc"}
+	frame := []byte{framePCCastData}
+	frame = message.AppendPCHeader(frame, message.PCHeader{})
+	frame, err = m.AppendBinary(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := connB.Send("a", frame); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	if got := colA.snapshot(); len(got) != 0 {
+		t.Fatalf("frame processed before link establishment: %v", got)
+	}
+	if buffered := gaugeValue(ea.Snapshot(), "causal_pccast_link_buffered"); buffered != 1 {
+		t.Fatalf("link buffer gauge = %d, want 1", buffered)
+	}
+
+	// b answers the join request: the link establishes and the buffer
+	// drains — a delivers, and the drained frame is forwarded on to c.
+	resp := appendOriginSeqMap([]byte{framePCCastJoinResp}, nil)
+	if err := connB.Send("a", resp); err != nil {
+		t.Fatal(err)
+	}
+	colA.waitFor(t, 1, time.Second)
+	colC.waitFor(t, 1, time.Second)
+	if buffered := gaugeValue(ea.Snapshot(), "causal_pccast_link_buffered"); buffered != 0 {
+		t.Errorf("link buffer gauge = %d after establishment, want 0", buffered)
+	}
+}
+
+func TestPCCastChainOverReliableLossyNet(t *testing.T) {
+	// The production shape: lossy transport upgraded by reliable.Wrap,
+	// PCCast on top. A dependency chain must come out in order everywhere.
+	net := transport.NewChanNet(transport.FaultModel{
+		DropProb: 0.2, MinDelay: 0, MaxDelay: 2 * time.Millisecond, Seed: 99,
+	})
+	rcfg := &reliable.Config{Seed: 1}
+	c := newPCCastCluster(t, []string{"a", "b", "c"}, net, 25*time.Millisecond, rcfg)
+	defer c.close(t)
+
+	var prev message.Label
+	const count = 30
+	for i := uint64(1); i <= count; i++ {
+		m := message.Message{
+			Label: message.Label{Origin: "a", Seq: i},
+			Deps:  message.After(prev),
+			Kind:  message.KindNonCommutative,
+			Op:    "w",
+		}
+		if err := c.bcs["a"].Broadcast(m); err != nil {
+			t.Fatal(err)
+		}
+		prev = m.Label
+	}
+	for _, id := range []string{"b", "c"} {
+		got := c.cols[id].waitFor(t, count, 10*time.Second)
+		for i := range got {
+			if got[i].Label.Seq != uint64(i+1) {
+				t.Fatalf("member %s: chain out of order at %d: %v", id, i, got[i].Label)
+			}
+		}
+	}
+}
+
+func TestPCCastSyncServesLateJoiner(t *testing.T) {
+	// A member attaching after history was broadcast catches up through
+	// RequestSync: sync responses prime anti-entropy, fetches pull the
+	// retained tail as refill frames, and the holdback orders them.
+	net := transport.NewChanNet(transport.FaultModel{})
+	grp := group.MustNew("g", []string{"a", "b", "c"})
+	c := &cluster{grp: grp, net: net, cols: map[string]*collector{}, bcs: map[string]Broadcaster{}}
+	defer c.close(t)
+	for _, id := range []string{"a", "b"} {
+		conn, err := net.Attach(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		col := &collector{}
+		e, err := NewPCCast(PCCastConfig{Self: id, Group: grp, Conn: conn, Deliver: col.deliver, Patience: 10 * time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.cols[id] = col
+		c.bcs[id] = e
+	}
+	var prev message.Label
+	const count = 10
+	for i := uint64(1); i <= count; i++ {
+		m := message.Message{
+			Label: message.Label{Origin: "a", Seq: i},
+			Deps:  message.After(prev),
+			Kind:  message.KindNonCommutative,
+			Op:    "w",
+		}
+		if err := c.bcs["a"].Broadcast(m); err != nil {
+			t.Fatal(err)
+		}
+		prev = m.Label
+	}
+	c.cols["b"].waitFor(t, count, 2*time.Second)
+
+	// c attaches only now: everything above was never delivered to it.
+	conn, err := net.Attach("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := &collector{}
+	e, err := NewPCCast(PCCastConfig{Self: "c", Group: grp, Conn: conn, Deliver: col.deliver, Patience: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.cols["c"] = col
+	c.bcs["c"] = e
+	if err := e.RequestSync(); err != nil {
+		t.Fatal(err)
+	}
+	got := col.waitFor(t, count, 10*time.Second)
+	for i := range got {
+		if got[i].Label.Seq != uint64(i+1) {
+			t.Fatalf("late joiner out of order at %d: %v", i, got[i].Label)
+		}
+	}
+}
+
+func TestPCCastMetaBytesFlatInGroupSize(t *testing.T) {
+	// The tentpole claim in miniature: PCCast's per-frame metadata does
+	// not grow with the group, CBCast's does.
+	sizes := []int{3, 8}
+	perFrame := make([]uint64, 0, len(sizes))
+	for _, n := range sizes {
+		ids := make([]string, n)
+		for i := range ids {
+			ids[i] = string(rune('a' + i))
+		}
+		net := transport.NewChanNet(transport.FaultModel{})
+		c := newPCCastCluster(t, ids, net, 0, nil)
+		for i := uint64(1); i <= 4; i++ {
+			m := message.Message{Label: message.Label{Origin: "a", Seq: i}, Kind: message.KindCommutative, Op: "inc"}
+			if err := c.bcs["a"].Broadcast(m); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, id := range ids {
+			c.cols[id].waitFor(t, 4, 2*time.Second)
+		}
+		s := c.bcs["a"].(*PCCast).Snapshot()
+		bytes, frames := s.Get("causal_meta_bytes_total"), s.Get("causal_meta_frames_total")
+		if frames == 0 {
+			t.Fatal("no meta frames recorded")
+		}
+		perFrame = append(perFrame, bytes/frames)
+		c.close(t)
+	}
+	for i := 1; i < len(perFrame); i++ {
+		if perFrame[i] > perFrame[0] {
+			t.Errorf("PCCast meta bytes/frame grew with group size: %v", perFrame)
+		}
+	}
+}

@@ -32,6 +32,12 @@ type Options struct {
 	Members  []string
 	Net      Net
 	Schedule Schedule
+	// Engine selects the causal broadcast engine every member runs:
+	// "osend" (default) or "pccast". PCCast requires Reliable non-nil —
+	// its correctness rests on reliable FIFO links, and chaos schedules
+	// partition and isolate members, which only the reliability sublayer
+	// repairs.
+	Engine string
 	// SendsPerMember is each member's data-message quota; a member paused
 	// by a crash resumes the remainder of its quota after rejoining.
 	SendsPerMember int
@@ -154,7 +160,7 @@ func Digest(order []string) uint64 {
 type node struct {
 	id        string
 	seq       *total.Sequencer
-	eng       *causal.OSend
+	eng       causal.Engine
 	log       *orderLog
 	alive     bool
 	rejoined  bool
@@ -177,6 +183,15 @@ type cluster struct {
 func Run(opts Options) (*Result, error) {
 	if len(opts.Members) < 3 {
 		return nil, fmt.Errorf("chaos: need at least 3 members, got %d", len(opts.Members))
+	}
+	switch opts.Engine {
+	case "", "osend":
+	case "pccast":
+		if opts.Reliable == nil {
+			return nil, fmt.Errorf("chaos: engine pccast requires a reliability sublayer (Options.Reliable)")
+		}
+	default:
+		return nil, fmt.Errorf("chaos: unknown engine %q", opts.Engine)
 	}
 	if opts.Step <= 0 {
 		opts.Step = 2 * time.Millisecond
@@ -288,7 +303,15 @@ func Run(opts Options) (*Result, error) {
 // the construction window race-free by proof rather than by timing.
 type hooks struct {
 	seq atomic.Pointer[total.Sequencer]
-	eng atomic.Pointer[causal.OSend]
+	eng atomic.Value // causal.Engine
+}
+
+// engine returns the installed causal engine, or nil during construction.
+func (h *hooks) engine() causal.Engine {
+	if v := h.eng.Load(); v != nil {
+		return v.(causal.Engine)
+	}
+	return nil
 }
 
 // start brings up a (possibly resumed) incarnation of n.
@@ -311,14 +334,16 @@ func (c *cluster) start(n *node, snap *total.SyncSnapshot, wm map[string]uint64,
 			if s := h.seq.Load(); s != nil {
 				s.Suspect(peer)
 			}
-			if e := h.eng.Load(); e != nil {
+			if e := h.engine(); e != nil {
 				// Drop the peer from the stability quorum too: a dead
 				// member's frozen watermark must not pin retained history.
+				// Under PCCast this also tears the peer's link, arming the
+				// buffered re-establishment round-trip for its return.
 				e.MarkDown(peer, true)
 			}
 		}
 		rcfg.OnResync = func(peer string) {
-			if e := h.eng.Load(); e != nil {
+			if e := h.engine(); e != nil {
 				e.MarkDown(peer, false)
 				_ = e.SyncWith(peer)
 			}
@@ -340,16 +365,31 @@ func (c *cluster) start(n *node, snap *total.SyncSnapshot, wm map[string]uint64,
 		_ = conn.Close()
 		return err
 	}
-	eng, err := causal.NewOSend(causal.OSendConfig{
-		Self:      n.id,
-		Group:     c.grp,
-		Conn:      conn,
-		Deliver:   seqr.Ingest,
-		Patience:  c.opts.Patience,
-		Telemetry: c.opts.Telemetry,
-		Trace:     c.opts.Trace,
-		Tracer:    spans,
-	})
+	var eng causal.Engine
+	switch c.opts.Engine {
+	case "pccast":
+		eng, err = causal.NewPCCast(causal.PCCastConfig{
+			Self:      n.id,
+			Group:     c.grp,
+			Conn:      conn,
+			Deliver:   seqr.Ingest,
+			Patience:  c.opts.Patience,
+			Telemetry: c.opts.Telemetry,
+			Trace:     c.opts.Trace,
+			Tracer:    spans,
+		})
+	default: // "", "osend" — validated in Run
+		eng, err = causal.NewOSend(causal.OSendConfig{
+			Self:      n.id,
+			Group:     c.grp,
+			Conn:      conn,
+			Deliver:   seqr.Ingest,
+			Patience:  c.opts.Patience,
+			Telemetry: c.opts.Telemetry,
+			Trace:     c.opts.Trace,
+			Tracer:    spans,
+		})
+	}
 	if err != nil {
 		_ = seqr.Close()
 		_ = conn.Close()
@@ -386,11 +426,19 @@ func (c *cluster) crash(n *node) {
 }
 
 // rejoin tears the frozen incarnation down and starts a fresh one from a
-// live peer's snapshot: merged causal watermarks seed the new engine's
-// frontier (watermarks first, sequencer snapshot second — see
-// total.SyncState), and the member's own label chain resumes above the
-// highest sequence any live peer delivered from it, so its new traffic is
-// not mistaken for pre-crash duplicates.
+// live peer's snapshot. The donor's causal watermarks seed the new
+// engine's frontier (watermarks first, sequencer snapshot second — see
+// total.SyncState), and they must be the DONOR'S OWN, not a merge across
+// peers: the seeded frontier declares "this history is already reflected
+// in my snapshot", which is only true of labels the donor itself
+// delivered. A merged maximum over-claims — it includes labels a peer
+// self-delivered but never managed to disseminate (e.g. its outbound
+// window was stalled toward the crashed member), and the rejoiner would
+// skip them as old news while holding a snapshot that never contained
+// them; if it later leads, nothing ever sequences them. The donor is the
+// live peer that has delivered furthest along the rejoiner's own label
+// chain, so the chain resumes above every sequence any survivor holds and
+// new traffic cannot collide with retained pre-crash labels.
 func (c *cluster) rejoin(n *node) error {
 	if n == nil || n.alive {
 		return nil
@@ -399,19 +447,16 @@ func (c *cluster) rejoin(n *node) error {
 	_ = n.eng.Close() // closes the old conn, detaching it from the net
 	c.opts.Net.Restore(n.id)
 
+	chain := total.SeqOrigin(n.id)
 	var donor *node
-	wm := make(map[string]uint64)
+	var wm map[string]uint64
 	for _, m := range c.nodes {
 		if !m.alive {
 			continue
 		}
-		if donor == nil {
-			donor = m
-		}
-		for origin, seq := range m.eng.Frontier() {
-			if seq > wm[origin] {
-				wm[origin] = seq
-			}
+		fw := m.eng.Frontier()
+		if donor == nil || fw[chain] > wm[chain] {
+			donor, wm = m, fw
 		}
 	}
 	if donor == nil {

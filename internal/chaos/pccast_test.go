@@ -1,0 +1,191 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+
+	"causalshare/internal/transport"
+)
+
+// pccastOptions arms a run with the PC-cast engine: reliability sublayer
+// mandatory (the engine's FIFO links), auditor always on.
+//
+// The send window is provisioned far above the loss default. PC-cast
+// floods n·(n−1) frames per message through each member's single FIFO
+// stream, and a crashed peer stops acking: the window toward it must
+// absorb the full flood rate for at least the failure-detection window,
+// or every survivor's outbox blocks mid-multicast, heartbeats stall
+// behind data, and live members falsely suspect each other — elections
+// then complete without the blocked members' acks and can re-assign
+// labels those members already delivered. Window ≥ rate × StallTimeout
+// is the deployment rule; DESIGN.md §11 spells it out.
+func pccastOptions(net Net, members []string, sched Schedule) Options {
+	opts := lossOptions(net, members, sched)
+	opts.Engine = "pccast"
+	opts.Reliable.Window = 2048
+	opts.Reliable.StallTimeout = raceScale * 300 * time.Millisecond
+	opts.Reliable.ShedAfter = raceScale * 500 * time.Millisecond
+	return opts
+}
+
+// TestPCCastRequiresReliable pins the fail-fast contract: chaos schedules
+// isolate and partition members, so PCCast without the reliability
+// sublayer would silently lose its ordering guarantee — Run must refuse.
+func TestPCCastRequiresReliable(t *testing.T) {
+	net := makeNet(t, "channet")
+	defer func() { _ = net.Close() }()
+	opts := chaosOptions(net, []string{"a", "b", "c"}, Schedule{})
+	opts.Engine = "pccast"
+	if _, err := Run(opts); err == nil {
+		t.Fatal("Run accepted engine=pccast without a reliability sublayer")
+	}
+	opts.Engine = "no-such-engine"
+	if _, err := Run(opts); err == nil {
+		t.Fatal("Run accepted an unknown engine name")
+	}
+}
+
+// TestPCCastLossConverges is the PC-cast robustness headline: 30%%
+// independent frame loss, repaired into reliable FIFO links below the
+// engine, must still yield the identical total order at every member with
+// zero causal-order violations — while the engine itself spends one byte
+// of ordering metadata per frame.
+func TestPCCastLossConverges(t *testing.T) {
+	members := []string{"a", "b", "c", "d"}
+	for _, kind := range netKinds() {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			for _, seed := range []int64{7, 21, 42} {
+				net := lossNet(t, kind, transport.FaultModel{DropProb: 0.3, Seed: seed})
+				res := runLoss(t, pccastOptions(net, members, Schedule{Seed: seed}))
+				_ = net.Close()
+				for id, m := range res.Members {
+					if m.Sent != 25 {
+						t.Fatalf("seed %d: %s sent %d/25", seed, id, m.Sent)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPCCastBurstLossConverges layers Gilbert–Elliott loss bursts under
+// the engine: correlated gaps stress the link layer's NACK/RTO repair,
+// and the flood's redundant copies must all dedup cleanly.
+func TestPCCastBurstLossConverges(t *testing.T) {
+	members := []string{"a", "b", "c", "d"}
+	fm := transport.FaultModel{
+		DropProb:  0.05,
+		BurstProb: 0.02,
+		BurstHeal: 0.2,
+		BurstDrop: 0.9,
+	}
+	for _, seed := range []int64{7, 21} {
+		m := fm
+		m.Seed = seed
+		net := lossNet(t, "channet", m)
+		res := runLoss(t, pccastOptions(net, members, Schedule{Seed: seed}))
+		_ = net.Close()
+		if res.Violations != 0 {
+			t.Fatalf("seed %d: %d violations", seed, res.Violations)
+		}
+	}
+}
+
+// TestPCCastOneWayPartitionChurn schedules asymmetric link blackouts over
+// background loss: directions go dark and heal while the flood keeps
+// disseminating over the surviving directions.
+func TestPCCastOneWayPartitionChurn(t *testing.T) {
+	members := []string{"a", "b", "c", "d"}
+	for _, seed := range []int64{7, 21} {
+		sched := OneWayLossSchedule(seed, members, 800*time.Millisecond, 3)
+		net := lossNet(t, "channet", transport.FaultModel{DropProb: 0.1, Seed: seed})
+		res := runLoss(t, pccastOptions(net, members, sched))
+		_ = net.Close()
+		if res.Violations != 0 {
+			t.Fatalf("seed %d: %d violations", seed, res.Violations)
+		}
+	}
+}
+
+// TestPCCastCrashRejoinCatchesUp crashes a member and rejoins it: the
+// fresh incarnation seeds frontiers from live peers, the link layer's
+// resync verdicts drive MarkDown/SyncWith, and the rejoined suffix must
+// end exactly at the agreed frontier.
+func TestPCCastCrashRejoinCatchesUp(t *testing.T) {
+	members := []string{"a", "b", "c", "d"}
+	sched := Schedule{Actions: []Action{
+		{At: 30 * time.Millisecond, Crash: "c"},
+		{At: 150 * time.Millisecond, Recover: "c"},
+	}}
+	for _, kind := range netKinds() {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			net := makeNet(t, kind)
+			defer func() { _ = net.Close() }()
+			opts := pccastOptions(net, members, sched)
+			opts.FailTimeout = raceScale * 60 * time.Millisecond
+			res, err := Run(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Converged {
+				t.Fatal("no convergence after rejoin")
+			}
+			assertSurvivorAgreement(t, res)
+			auditAll(t, res)
+			mc := res.Members["c"]
+			if !mc.Alive || !mc.Rejoined {
+				t.Fatalf("member c: alive=%v rejoined=%v", mc.Alive, mc.Rejoined)
+			}
+			if got := mc.ResumedAt + uint64(len(mc.Order)); got != res.Frontier {
+				t.Fatalf("rejoined member stops at %d, frontier is %d", got, res.Frontier)
+			}
+		})
+	}
+}
+
+// TestPCCastLeaderCrashFailover kills the leader under loss: shed
+// verdicts feed the failure detector, failover completes, and the old
+// leader's link is torn at every survivor (quorum exclusion) without
+// stalling convergence.
+func TestPCCastLeaderCrashFailover(t *testing.T) {
+	members := []string{"a", "b", "c", "d"}
+	net := lossNet(t, "channet", transport.FaultModel{DropProb: 0.1, Seed: 7})
+	defer func() { _ = net.Close() }()
+	opts := pccastOptions(net, members, KillLeader(members, 60*time.Millisecond))
+	opts.FailTimeout = raceScale * 250 * time.Millisecond
+	res := runLoss(t, opts)
+	dead := res.Members[members[0]]
+	if dead.Alive {
+		t.Fatal("crashed leader reported alive")
+	}
+	for id, m := range res.Members {
+		if id != members[0] && m.Epoch == 0 {
+			t.Fatalf("%s never moved past epoch 0", id)
+		}
+	}
+}
+
+// TestPCCastRandomChaosConverges runs the randomized crash/partition
+// generator under the PC-cast engine across seeds: whatever the schedule
+// throws, survivors converge with a clean audit.
+func TestPCCastRandomChaosConverges(t *testing.T) {
+	members := []string{"a", "b", "c", "d", "e"}
+	for _, seed := range []int64{3, 11} {
+		sched := RandomSchedule(seed, members, 600*time.Millisecond, 4)
+		net := makeNet(t, "channet")
+		opts := pccastOptions(net, members, sched)
+		opts.FailTimeout = raceScale * 60 * time.Millisecond
+		res, err := Run(opts)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !res.Converged {
+			t.Fatalf("seed %d: no convergence", seed)
+		}
+		assertSurvivorAgreement(t, res)
+		auditAll(t, res)
+		_ = net.Close()
+	}
+}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package chaos
+
+// raceScale is 1 in ordinary builds; see racescale_race.go.
+const raceScale = 1

@@ -1,0 +1,11 @@
+//go:build race
+
+package chaos
+
+// raceScale stretches wall-clock failure-detection knobs when the race
+// detector is armed. Instrumentation slows the driver pump several-fold,
+// so heartbeat intervals stretch with it while suspicion timeouts would
+// not — live members would be falsely suspected and elections would
+// complete without their acks. Scaling the timeouts restores the
+// designed heartbeat-to-detection ratio.
+const raceScale = 4

@@ -27,6 +27,24 @@ var sharedReg *telemetry.Registry
 // it before running experiments; nil restores private per-run registries.
 func SetTelemetry(reg *telemetry.Registry) { sharedReg = reg }
 
+// engineName selects the causal engine chaos-backed runners (E14) drive;
+// E15 always sweeps all three. The default matches the rest of the repo.
+var engineName = "osend"
+
+// SetEngine selects the causal engine for chaos-backed runners: "osend"
+// (default), "cbcast" is not supported by the chaos harness, "pccast"
+// runs the PC-broadcast engine over the reliability sublayer. Empty
+// restores the default.
+func SetEngine(name string) {
+	if name == "" {
+		name = "osend"
+	}
+	engineName = name
+}
+
+// Engine reports the currently selected chaos-runner engine.
+func Engine() string { return engineName }
+
 // runnerRegistry returns the shared registry, or a fresh private one so a
 // runner always has somewhere to register and snapshot from.
 func runnerRegistry() *telemetry.Registry {
@@ -123,12 +141,13 @@ func All() map[string]Runner {
 		"E12": func() Table { return RunE12(DefaultE12()) },
 		"E13": func() Table { return RunE13(DefaultE13()) },
 		"E14": func() Table { return RunE14(DefaultE14()) },
+		"E15": func() Table { return RunE15(DefaultE15()) },
 	}
 }
 
 // IDs returns experiment ids in run order.
 func IDs() []string {
-	return []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14"}
+	return []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15"}
 }
 
 func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }

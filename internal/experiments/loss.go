@@ -81,6 +81,7 @@ func RunE14(cfg E14Config) Table {
 		res, err := chaos.Run(chaos.Options{
 			Members:        ids,
 			Net:            net,
+			Engine:         engineName,
 			SendsPerMember: cfg.SendsPerMember,
 			Step:           2 * time.Millisecond,
 			Patience:       12 * time.Millisecond,

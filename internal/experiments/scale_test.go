@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestE15Shape runs the metadata-scaling sweep at CI-friendly sizes and
+// pins the claim's shape: every row converges, per-frame metadata grows
+// with n for the clocked engines and stays flat for PC-cast, and the
+// flood's frame amplification is visible in frames/msg.
+func TestE15Shape(t *testing.T) {
+	cfg := DefaultE15()
+	cfg.Sizes = []int{4, 16}
+	cfg.Timeout = 30 * time.Second
+	tbl := RunE15(cfg)
+	if len(tbl.Rows) != len(cfg.Sizes)*len(cfg.Engines) {
+		t.Fatalf("rows = %d, want %d", len(tbl.Rows), len(cfg.Sizes)*len(cfg.Engines))
+	}
+	bpf := map[string]map[int]float64{}
+	fpm := map[string]map[int]float64{}
+	for i := range tbl.Rows {
+		if got := cell(t, tbl, i, "converged"); got != "yes" {
+			t.Fatalf("row %d (%s n=%s) converged = %q", i, cell(t, tbl, i, "engine"), cell(t, tbl, i, "n"), got)
+		}
+		eng := cell(t, tbl, i, "engine")
+		n := int(cellF(t, tbl, i, "n"))
+		if bpf[eng] == nil {
+			bpf[eng], fpm[eng] = map[int]float64{}, map[int]float64{}
+		}
+		bpf[eng][n] = cellF(t, tbl, i, "meta B/frame")
+		fpm[eng][n] = cellF(t, tbl, i, "frames/msg")
+	}
+	// Clocked engines: per-frame metadata must grow with n.
+	for _, eng := range []string{"cbcast", "osend"} {
+		if bpf[eng][16] <= bpf[eng][4] {
+			t.Errorf("%s meta B/frame flat: n=4 %.1f, n=16 %.1f", eng, bpf[eng][4], bpf[eng][16])
+		}
+	}
+	// PC-cast: constant-size header, so growth stays within noise (the
+	// header's uvarint fields can add a byte, never a linear term).
+	if bpf["pccast"][16] > bpf["pccast"][4]+2 {
+		t.Errorf("pccast meta B/frame grew: n=4 %.1f, n=16 %.1f", bpf["pccast"][4], bpf["pccast"][16])
+	}
+	// At n=16 the clocked engines already pay more per frame than the
+	// constant header.
+	if bpf["pccast"][16] >= bpf["cbcast"][16] {
+		t.Errorf("pccast per-frame %.1f not below cbcast %.1f at n=16", bpf["pccast"][16], bpf["cbcast"][16])
+	}
+	// Flood amplification: pccast ships ~n(n−1) frames/msg, the clocked
+	// engines n−1.
+	if fpm["pccast"][16] < 10*fpm["cbcast"][16] {
+		t.Errorf("flood amplification missing: pccast %.0f frames/msg vs cbcast %.0f", fpm["pccast"][16], fpm["cbcast"][16])
+	}
+}
+
+// TestSetEngine pins the chaos-runner engine selector used by the
+// -engine flag of cmd/experiments.
+func TestSetEngine(t *testing.T) {
+	defer SetEngine("")
+	if Engine() != "osend" {
+		t.Fatalf("default engine = %q", Engine())
+	}
+	SetEngine("pccast")
+	if Engine() != "pccast" {
+		t.Fatalf("engine after SetEngine = %q", Engine())
+	}
+	SetEngine("")
+	if Engine() != "osend" {
+		t.Fatalf("engine after reset = %q", Engine())
+	}
+}

@@ -120,6 +120,7 @@ type Tracker struct {
 	seq   uint64
 	down  map[string]struct{}
 	watch []chan View
+	subs  []func(id string, up bool)
 }
 
 // NewTracker returns a tracker with every group member alive.
@@ -176,6 +177,7 @@ func (t *Tracker) mark(id string, down bool) bool {
 	t.seq++
 	v := t.viewLocked()
 	watchers := append([]chan View(nil), t.watch...)
+	subs := append([]func(id string, up bool){}, t.subs...)
 	t.mu.Unlock()
 	for _, w := range watchers {
 		select {
@@ -183,7 +185,23 @@ func (t *Tracker) mark(id string, down bool) bool {
 		default: // stale watcher; it will observe the next change
 		}
 	}
+	for _, fn := range subs {
+		fn(id, !down)
+	}
 	return true
+}
+
+// Subscribe registers fn to be called synchronously on every member edge:
+// fn(id, false) when id is marked down, fn(id, true) when it recovers.
+// Unlike Watch — which coalesces under a slow consumer and hands out whole
+// views — Subscribe delivers every individual transition, which link-state
+// machines (e.g. the PC-cast engine's buffered link establishment) need.
+// fn runs on the marking goroutine and must not call back into the
+// tracker.
+func (t *Tracker) Subscribe(fn func(id string, up bool)) {
+	t.mu.Lock()
+	t.subs = append(t.subs, fn)
+	t.mu.Unlock()
 }
 
 // Watch returns a channel receiving view snapshots on every change. The

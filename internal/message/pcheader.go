@@ -1,0 +1,129 @@
+package message
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// PCHeader is the constant-size wire header the PC-cast engine prepends to
+// each data frame. Where the vector-clock engines stamp O(n) ordering
+// metadata per frame, PC-cast needs none at all for ordering — per-link
+// FIFO order plus forward-on-first-receipt carries causality — so the
+// header holds only dissemination bookkeeping:
+//
+//   - Hops counts how many forwarders the frame passed through (0 for the
+//     origin's own emission), observability for the flood depth.
+//   - Refill marks a retransmission served out of a peer's retention
+//     buffer. Refill frames bypass the sender's FIFO stream, so receivers
+//     must not forward them and must rely on the dependency holdback for
+//     ordering instead.
+//
+// The header encodes as a tagged-record sequence — [count uvarint] then
+// count × [tag uvarint][len uvarint][payload] — mirroring the message
+// trailer scheme (span.go): decoders skip tags they do not understand by
+// length alone, so newer builds can add records without breaking old ones.
+// Zero-valued fields are omitted entirely; the common-case header for an
+// origin emission is the single byte 0x00.
+type PCHeader struct {
+	// Hops is the number of forward steps this copy took (0 = from origin).
+	Hops uint32
+	// Refill marks an out-of-stream retransmission; never forward these.
+	Refill bool
+}
+
+// PC header record tags.
+const (
+	pcTagHops   = 1
+	pcTagRefill = 2
+)
+
+// pcMaxRecords bounds the record count a decoder accepts; headers are tiny
+// and a hostile count must not size an attacker-controlled loop.
+const pcMaxRecords = 16
+
+// EncodedSize returns the exact wire size of the header.
+func (h PCHeader) EncodedSize() int {
+	n := 1 // record count always fits one byte (count <= 2 today)
+	if h.Hops > 0 {
+		n += uvarintLen(pcTagHops) + 1 + uvarintLen(uint64(h.Hops))
+	}
+	if h.Refill {
+		n += uvarintLen(pcTagRefill) + 1 // empty payload: presence is the value
+	}
+	return n
+}
+
+// AppendPCHeader appends h's encoding to buf and returns the extended slice.
+func AppendPCHeader(buf []byte, h PCHeader) []byte {
+	var count uint64
+	if h.Hops > 0 {
+		count++
+	}
+	if h.Refill {
+		count++
+	}
+	buf = binary.AppendUvarint(buf, count)
+	if h.Hops > 0 {
+		buf = binary.AppendUvarint(buf, pcTagHops)
+		buf = binary.AppendUvarint(buf, uint64(uvarintLen(uint64(h.Hops))))
+		buf = binary.AppendUvarint(buf, uint64(h.Hops))
+	}
+	if h.Refill {
+		buf = binary.AppendUvarint(buf, pcTagRefill)
+		buf = binary.AppendUvarint(buf, 0)
+	}
+	return buf
+}
+
+// DecodePCHeader parses a header from the front of data and returns the
+// remainder (the encoded message). Unknown record tags are skipped by
+// length; duplicate or malformed known records are rejected.
+func DecodePCHeader(data []byte) (PCHeader, []byte, error) {
+	var h PCHeader
+	count, used := binary.Uvarint(data)
+	if used <= 0 {
+		return h, nil, fmt.Errorf("message: truncated pc header count")
+	}
+	if count > pcMaxRecords {
+		return h, nil, fmt.Errorf("message: pc header record count %d exceeds limit", count)
+	}
+	data = data[used:]
+	var sawHops, sawRefill bool
+	for i := uint64(0); i < count; i++ {
+		tag, used := binary.Uvarint(data)
+		if used <= 0 {
+			return PCHeader{}, nil, fmt.Errorf("message: truncated pc header tag")
+		}
+		data = data[used:]
+		plen, used := binary.Uvarint(data)
+		if used <= 0 || uint64(len(data)-used) < plen {
+			return PCHeader{}, nil, fmt.Errorf("message: truncated pc header payload")
+		}
+		payload := data[used : used+int(plen)]
+		data = data[used+int(plen):]
+		switch tag {
+		case pcTagHops:
+			if sawHops {
+				return PCHeader{}, nil, fmt.Errorf("message: duplicate pc hops record")
+			}
+			sawHops = true
+			hops, used := binary.Uvarint(payload)
+			if used <= 0 || used != len(payload) || hops == 0 || hops > 1<<32-1 {
+				return PCHeader{}, nil, fmt.Errorf("message: invalid pc hops record")
+			}
+			h.Hops = uint32(hops)
+		case pcTagRefill:
+			if sawRefill {
+				return PCHeader{}, nil, fmt.Errorf("message: duplicate pc refill record")
+			}
+			if len(payload) != 0 {
+				return PCHeader{}, nil, fmt.Errorf("message: %d stray pc refill bytes", len(payload))
+			}
+			sawRefill = true
+			h.Refill = true
+		default:
+			// Unknown record: skipped. Future fields live here.
+		}
+	}
+	return h, data, nil
+}

@@ -1,0 +1,156 @@
+package message
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+func TestPCHeaderRoundTrip(t *testing.T) {
+	cases := []PCHeader{
+		{},
+		{Hops: 1},
+		{Hops: 255},
+		{Hops: 1 << 20},
+		{Refill: true},
+		{Hops: 3, Refill: true},
+	}
+	for _, h := range cases {
+		buf := AppendPCHeader(nil, h)
+		if len(buf) != h.EncodedSize() {
+			t.Fatalf("%+v: encoded %d bytes, EncodedSize says %d", h, len(buf), h.EncodedSize())
+		}
+		tail := []byte("message-bytes-follow")
+		got, rest, err := DecodePCHeader(append(buf, tail...))
+		if err != nil {
+			t.Fatalf("%+v: decode: %v", h, err)
+		}
+		if got != h {
+			t.Fatalf("round trip: got %+v want %+v", got, h)
+		}
+		if !bytes.Equal(rest, tail) {
+			t.Fatalf("%+v: remainder %q, want %q", h, rest, tail)
+		}
+	}
+}
+
+func TestPCHeaderZeroIsOneByte(t *testing.T) {
+	buf := AppendPCHeader(nil, PCHeader{})
+	if len(buf) != 1 || buf[0] != 0 {
+		t.Fatalf("zero header encodes as %v, want the single byte 0x00", buf)
+	}
+}
+
+// TestPCHeaderWireCompat proves the header never perturbs the message
+// codec: the bytes after the header are byte-identical to a standalone
+// message encoding, so every existing decode path (old builds, the other
+// engines, the fuzz corpus) reads a headered frame's message unchanged
+// once the header is stripped.
+func TestPCHeaderWireCompat(t *testing.T) {
+	m := Message{
+		Label: Label{Origin: "node-07~cli", Seq: 123456},
+		Deps:  After(Label{Origin: "node-01~cli", Seq: 42}),
+		Kind:  KindCommutative,
+		Op:    "inc",
+		Body:  []byte("payload"),
+		Span:  SpanContext{TraceID: 9, Origin: "node-07"},
+	}
+	plain, err := m.AppendBinary(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range []PCHeader{{}, {Hops: 4, Refill: true}} {
+		framed := AppendPCHeader(nil, h)
+		framed, err = m.AppendBinary(framed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, rest, err := DecodePCHeader(framed)
+		if err != nil {
+			t.Fatalf("%+v: decode header: %v", h, err)
+		}
+		if !bytes.Equal(rest, plain) {
+			t.Fatalf("%+v: message bytes diverge from the standalone encoding", h)
+		}
+		var got Message
+		if err := got.UnmarshalBinary(rest); err != nil {
+			t.Fatalf("%+v: message after header does not decode: %v", h, err)
+		}
+		if got.Label != m.Label || got.Op != m.Op || got.Span != m.Span {
+			t.Fatalf("%+v: decoded %+v, want %+v", h, got, m)
+		}
+	}
+}
+
+// TestPCHeaderSkipsUnknownRecords proves forward compatibility: a header
+// carrying a record tag this build has never heard of decodes cleanly,
+// with the unknown record skipped by length.
+func TestPCHeaderSkipsUnknownRecords(t *testing.T) {
+	buf := binary.AppendUvarint(nil, 2) // two records
+	buf = binary.AppendUvarint(buf, 77) // unknown tag
+	buf = binary.AppendUvarint(buf, 3)
+	buf = append(buf, "xyz"...)
+	buf = binary.AppendUvarint(buf, pcTagHops)
+	buf = binary.AppendUvarint(buf, 1)
+	buf = binary.AppendUvarint(buf, 5)
+	buf = append(buf, "rest"...)
+	h, rest, err := DecodePCHeader(buf)
+	if err != nil {
+		t.Fatalf("decode with unknown record: %v", err)
+	}
+	if h.Hops != 5 || h.Refill {
+		t.Fatalf("got %+v, want Hops=5", h)
+	}
+	if string(rest) != "rest" {
+		t.Fatalf("remainder %q, want %q", rest, "rest")
+	}
+}
+
+func TestPCHeaderRejectsMalformed(t *testing.T) {
+	bad := [][]byte{
+		{},                                   // no count
+		{1},                                  // count without record
+		{1, pcTagHops},                       // tag without length
+		{1, pcTagHops, 5},                    // length past end
+		{1, pcTagHops, 1, 0},                 // zero hops is encoded by omission
+		{2, pcTagHops, 1, 1, pcTagHops, 1, 2}, // duplicate hops
+		{1, pcTagRefill, 1, 1},               // refill with payload
+		{2, pcTagRefill, 0, pcTagRefill, 0},  // duplicate refill
+		binary.AppendUvarint(nil, pcMaxRecords+1), // hostile count
+	}
+	for _, b := range bad {
+		if _, _, err := DecodePCHeader(b); err == nil {
+			t.Fatalf("decode %v: want error, got none", b)
+		}
+	}
+}
+
+// FuzzPCCastHeaderDecode hammers the header decoder with arbitrary bytes:
+// it must never panic, and anything it accepts must re-encode to a header
+// that decodes to the same value (the codec is canonical for known tags).
+func FuzzPCCastHeaderDecode(f *testing.F) {
+	f.Add(AppendPCHeader(nil, PCHeader{}))
+	f.Add(AppendPCHeader(nil, PCHeader{Hops: 3}))
+	f.Add(AppendPCHeader(nil, PCHeader{Hops: 1 << 30, Refill: true}))
+	f.Add([]byte{2, 77, 3, 'x', 'y', 'z', 1, 1, 9})
+	f.Add([]byte{255, 255, 255})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, rest, err := DecodePCHeader(data)
+		if err != nil {
+			return
+		}
+		if len(rest) > len(data) {
+			t.Fatalf("remainder longer than input")
+		}
+		again, rest2, err := DecodePCHeader(append(AppendPCHeader(nil, h), rest...))
+		if err != nil {
+			t.Fatalf("re-encoded header does not decode: %v", err)
+		}
+		if again != h {
+			t.Fatalf("re-encode changed header: %+v -> %+v", h, again)
+		}
+		if !bytes.Equal(rest2, rest) {
+			t.Fatalf("re-encode changed remainder")
+		}
+	})
+}

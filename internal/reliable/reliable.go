@@ -313,6 +313,16 @@ func (c *Conn) LocalID() string { return c.self }
 // Epoch returns this connection's stream incarnation (for tests/tooling).
 func (c *Conn) Epoch() uint64 { return c.epoch }
 
+// FIFO implements transport.FIFOProber: the sublayer's whole job is to
+// upgrade an arbitrary conn to reliable per-pair FIFO for the sequenced
+// broadcast stream (full-group fan-outs through SendFrame). Gaps are
+// NACK-repaired, reorders held back, duplicates suppressed; irrecoverable
+// skips surface through OnResync rather than as silent misordering.
+// Unicast Send passes through unsequenced — point-to-point repair traffic
+// carries its own ordering — so FIFO-dependent layers must disseminate
+// exclusively via full-group Multicast, which the PC-cast engine does.
+func (c *Conn) FIFO() bool { return true }
+
 // Send passes a unicast through unsequenced: point-to-point repair
 // traffic (causal fetches, sync snapshots) has its own retry logic above.
 func (c *Conn) Send(to string, payload []byte) error {

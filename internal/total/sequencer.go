@@ -95,6 +95,10 @@ type Sequencer struct {
 	// nextDeliver is the next sequence number to release locally.
 	nextDeliver uint64
 	delivered   uint64
+	// repairFloor is the min alive frontier observed at the last
+	// heartbeat; a floor that stalls below nextDeliver for two beats
+	// triggers the leader's retained-ORDER re-announcement.
+	repairFloor uint64
 	ins         totalInstruments
 	trace       *telemetry.Ring
 	spans       *trace.Tracer
@@ -216,10 +220,12 @@ func (s *Sequencer) SyncState() SyncSnapshot {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	snap := SyncSnapshot{Epoch: s.epoch, NextDeliver: s.nextDeliver}
+	// ALL retained assignments go into the snapshot, including those below
+	// the local frontier: they are retained precisely because some live
+	// peer has not delivered them yet, and if the rejoiner later leads an
+	// election it must be able to re-announce them or that peer wedges.
 	for seq, a := range s.seqOf {
-		if seq >= s.nextDeliver {
-			snap.Assigns = append(snap.Assigns, SyncAssign{Seq: seq, Epoch: a.epoch, Label: a.label})
-		}
+		snap.Assigns = append(snap.Assigns, SyncAssign{Seq: seq, Epoch: a.epoch, Label: a.label})
 	}
 	sort.Slice(snap.Assigns, func(i, j int) bool { return snap.Assigns[i].Seq < snap.Assigns[j].Seq })
 	for _, m := range s.data {
@@ -350,11 +356,51 @@ func (s *Sequencer) Heartbeat() error {
 	b := s.bcast
 	s.ins.heartbeats.Inc()
 	s.ins.wrapBytes.Add(uint64(len(body)))
+	repair := s.repairStalledLocked()
 	s.mu.Unlock()
 	if err := b.Broadcast(m); err != nil {
 		return fmt.Errorf("total: heartbeat: %w", err)
 	}
+	for _, o := range repair {
+		_ = b.Broadcast(o)
+	}
 	return nil
+}
+
+// repairStalledSeqs caps how many retained ORDERs one heartbeat may
+// re-announce while a peer's frontier stalls; the next beat continues.
+const repairStalledSeqs = 32
+
+// repairStalledLocked is the steady-state safety net behind election-time
+// re-proposal: if a live peer's reported frontier sits below our delivery
+// point for two consecutive heartbeats, the leader re-announces the
+// retained assignments in that gap under the current epoch. A follower
+// can lose an ORDER without any further election happening — it may have
+// fenced the announcement from an epoch it had already moved past — and
+// with a stable leader nothing else would ever re-send it. Caller holds
+// mu; the returned ORDERs are broadcast after unlock.
+func (s *Sequencer) repairStalledLocked() []message.Message {
+	if s.failTimeout <= 0 || s.electing || s.leaderOf(s.epoch) != s.self {
+		return nil
+	}
+	floor := s.minAliveFrontierLocked()
+	stalled := floor == s.repairFloor && floor < s.nextDeliver
+	s.repairFloor = floor
+	if !stalled {
+		return nil
+	}
+	var out []message.Message
+	for seq := floor; seq < s.nextDeliver && len(out) < repairStalledSeqs; seq++ {
+		a, ok := s.seqOf[seq]
+		if !ok {
+			continue
+		}
+		a.epoch = s.epoch
+		s.seqOf[seq] = a
+		out = append(out, s.orderAnnouncementLocked(seq, a.label))
+		s.ins.reproposed.Inc()
+	}
+	return out
 }
 
 // Suspect backdates peer's liveness evidence in the failover detector so
@@ -647,8 +693,15 @@ func (s *Sequencer) ingestData(m message.Message) {
 // conflicts in favor of the higher epoch. Caller holds mu.
 func (s *Sequencer) mergeAssignLocked(epoch, seq uint64, label message.Label) {
 	if seq < s.nextDeliver {
-		if _, ok := s.seqOf[seq]; !ok {
-			return // already delivered and pruned
+		if _, ok := s.seqOf[seq]; !ok && s.failTimeout <= 0 {
+			// Without retention nothing re-proposes old assignments, so a
+			// below-frontier merge is stale by construction. With failover
+			// armed it must be kept: a member resumed from a snapshot
+			// taken above this seq never delivered it, yet as leader it is
+			// the one that must re-announce it to peers still below it.
+			// pruneAssignedLocked drops it once every live frontier is
+			// past.
+			return
 		}
 	}
 	if old, ok := s.seqByLabel[label]; ok && old != seq {
@@ -818,22 +871,49 @@ func (s *Sequencer) releaseLocked() []message.Message {
 	}
 }
 
-// pruneAssignedLocked drops retained assignments every live peer's
-// reported frontier has passed; they can never be needed for a
-// re-proposal again. A rejoining member resumes from a snapshot rather
-// than from old ORDERs, so dead members do not block pruning. Caller
-// holds mu.
+// maxRetainedAssigns bounds how many assignments a suspected peer may pin
+// in retention. Below the cap, pruning honors every member's reported
+// frontier, down-marked ones included — a false suspicion that later
+// heals must still find its missing ORDERs retained somewhere, or the
+// group wedges with the assignments gone from every member. Past the cap
+// a peer that stayed down this long is treated as genuinely dead: pruning
+// falls back to the alive-only floor, and if the peer ever returns it
+// does so through the snapshot rejoin path rather than old ORDERs.
+const maxRetainedAssigns = 4096
+
+// pruneAssignedLocked drops retained assignments every member's reported
+// frontier has passed; they can never be needed for a re-proposal again.
+// Caller holds mu.
 func (s *Sequencer) pruneAssignedLocked() {
 	if s.failTimeout <= 0 {
 		return
 	}
-	floor := s.minAliveFrontierLocked()
+	floor := s.minFrontierLocked()
+	if len(s.seqOf) > maxRetainedAssigns {
+		floor = s.minAliveFrontierLocked()
+	}
 	for seq, a := range s.seqOf {
 		if seq < floor && seq < s.nextDeliver {
 			delete(s.seqOf, seq)
 			delete(s.seqByLabel, a.label)
 		}
 	}
+}
+
+// minFrontierLocked returns the lowest delivery frontier across self and
+// every peer, down-marked ones included (0 if some peer has not reported
+// yet). Caller holds mu.
+func (s *Sequencer) minFrontierLocked() uint64 {
+	floor := s.nextDeliver
+	for _, p := range s.grp.Members() {
+		if p == s.self {
+			continue
+		}
+		if s.frontier[p] < floor {
+			floor = s.frontier[p]
+		}
+	}
+	return floor
 }
 
 // minAliveFrontierLocked returns the lowest delivery frontier across self

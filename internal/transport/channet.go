@@ -428,9 +428,14 @@ var (
 	_ Conn        = (*chanConn)(nil)
 	_ FrameSender = (*chanConn)(nil)
 	_ BatchRecver = (*chanConn)(nil)
+	_ FIFOProber  = (*chanConn)(nil)
 )
 
 func (c *chanConn) LocalID() string { return c.id }
+
+// FIFO implements FIFOProber: the conn is per-pair FIFO exactly when the
+// network's fault model is.
+func (c *chanConn) FIFO() bool { return c.net.faults.FIFO() }
 
 func (c *chanConn) Send(to string, payload []byte) error {
 	return c.net.send(c.id, to, payload)

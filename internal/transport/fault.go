@@ -47,6 +47,19 @@ type FaultModel struct {
 	Seed int64
 }
 
+// FIFO reports whether the model preserves reliable per-pair FIFO
+// delivery: nothing dropped or duplicated, and every frame delayed by the
+// same constant (the delivery scheduler breaks equal-time ties in send
+// order, so a constant delay keeps queue order equal to send order).
+// Unequal delay bounds reorder; any loss or duplication breaks the
+// "reliable" half. Dynamic partitions are outside the model: they drop
+// frames regardless, which is why chaos runs layer reliable.Wrap on top
+// before arming a FIFO-dependent engine.
+func (m FaultModel) FIFO() bool {
+	return m.DropProb == 0 && len(m.DropLink) == 0 && m.BurstProb == 0 &&
+		m.DupProb == 0 && m.MaxDelay <= m.MinDelay
+}
+
 // active reports whether the model injects any fault at all. (FaultModel
 // contains a map, so callers cannot compare against the zero literal.)
 func (m FaultModel) active() bool {

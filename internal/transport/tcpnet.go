@@ -337,9 +337,16 @@ var (
 	_ Conn        = (*tcpConn)(nil)
 	_ FrameSender = (*tcpConn)(nil)
 	_ BatchRecver = (*tcpConn)(nil)
+	_ FIFOProber  = (*tcpConn)(nil)
 )
 
 func (c *tcpConn) LocalID() string { return c.id }
+
+// FIFO implements FIFOProber: TCP gives per-pair FIFO natively, but any
+// active fault model breaks it — delayed and duplicated frames are re-sent
+// from their own timer goroutines, so even a constant injected delay races
+// the direct write path. Only the fault-free config keeps TCP's promise.
+func (c *tcpConn) FIFO() bool { return !c.net.faulty }
 
 func (c *tcpConn) acceptLoop() {
 	defer c.wg.Done()

@@ -68,6 +68,29 @@ type Conn interface {
 	Close() error
 }
 
+// FIFOProber is implemented by connections that can report whether they
+// deliver reliable per-pair FIFO: every frame a sender passes to Send (or
+// SendFrame) for one peer arrives at that peer exactly once, in send
+// order. Layers whose correctness *depends* on link order — the PC-cast
+// causal engine — probe this capability at construction and fail fast
+// rather than silently misorder over a raw lossy conn. The probe describes
+// the conn's configured behaviour, not a runtime guarantee against
+// dynamic partitions; the reliability sublayer (reliable.Wrap) upgrades
+// any conn to a truthful FIFO() == true.
+type FIFOProber interface {
+	// FIFO reports whether the connection preserves reliable per-pair
+	// FIFO delivery order.
+	FIFO() bool
+}
+
+// IsFIFO reports whether c advertises reliable per-pair FIFO delivery. A
+// conn that does not implement FIFOProber makes no promise, so IsFIFO is
+// conservative and returns false for it.
+func IsFIFO(c Conn) bool {
+	p, ok := c.(FIFOProber)
+	return ok && p.FIFO()
+}
+
 // BatchRecver is implemented by connections that can drain every queued
 // inbound frame in one call, amortizing wakeups and lock traffic across a
 // burst. Receive loops should prefer it when available.
