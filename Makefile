@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test race vet bench bench-smoke bench-scale bench-trace bench-loss fuzz chaos chaos-loss audit
+.PHONY: check build test race vet bench bench-smoke bench-scale bench-trace bench-loss bench-obs metrics-doc fuzz chaos chaos-loss audit
 
 ## check: the tier-1 gate — vet, build, and race-test everything.
 check: vet build race
@@ -51,6 +51,23 @@ bench-trace:
 ## retransmits/op and nacks/op reported per row) into BENCH_loss.json.
 bench-loss:
 	$(GO) test -bench=ReliableLossSweep -benchmem -run '^$$' -benchtime=3000x -json . | tee BENCH_loss.json
+
+## bench-obs: regenerate the observability-overhead numbers (fan-out
+## pipeline with the full plane armed: per-member registries, event
+## rings, visibility histograms, per-peer lag funcs) into BENCH_obs.json.
+## The same benchmark runs under bench-smoke's zero-alloc gate ("Fanout"
+## in the name), so this target is about publishing the ns/op overhead,
+## not about catching regressions.
+bench-obs:
+	$(GO) test -bench=FanoutObserved -benchmem -run '^$$' -benchtime=20000x -json . | tee BENCH_obs.json
+
+## metrics-doc: regenerate docs/METRICS.md from a live registry walk over
+## every subsystem's instrument constructors. CI diffs the result against
+## the committed file, so a new or renamed metric that skips the doc
+## fails the build.
+metrics-doc:
+	$(GO) run ./cmd/metricsdoc > docs/METRICS.md
+	@echo "metrics-doc: docs/METRICS.md regenerated"
 
 fuzz:
 	$(GO) test -fuzz=FuzzUnmarshalBinary -fuzztime=30s ./internal/message/

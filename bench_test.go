@@ -433,6 +433,88 @@ func BenchmarkBroadcastFanout(b *testing.B) {
 	}
 }
 
+// BenchmarkBroadcastFanoutObserved repeats the fan-out pipeline with the
+// FULL observability plane armed, in its deployment shape: one registry
+// and one event ring per member (so every engine registers its per-peer
+// lag funcs and visibility histograms without family collisions), plus
+// the observed transport. The measured path therefore includes SentAt
+// stamping, the wire trailer encode/decode, per-peer RouteOrigin
+// resolution, and a visibility-histogram observation at every remote
+// delivery. The "Fanout" name keeps it under the CI bench-smoke
+// zero-alloc gate: watching the cluster must cost cycles, never garbage.
+func BenchmarkBroadcastFanoutObserved(b *testing.B) {
+	for _, n := range []int{2, 8, 16} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			ids := make([]string, n)
+			for i := range ids {
+				ids[i] = fmt.Sprintf("m%02d", i)
+			}
+			grp := group.MustNew("fanout", ids)
+			netReg := telemetry.NewRegistry()
+			net := transport.NewChanNetObserved(transport.FaultModel{}, netReg)
+			defer func() { _ = net.Close() }()
+			var delivered atomic.Uint64
+			regs := make([]*telemetry.Registry, 0, n)
+			engines := make([]*causal.OSend, 0, n)
+			for _, id := range ids {
+				conn, err := net.Attach(id)
+				if err != nil {
+					b.Fatal(err)
+				}
+				reg := telemetry.NewRegistry()
+				eng, err := causal.NewOSend(causal.OSendConfig{
+					Self: id, Group: grp, Conn: conn,
+					Deliver:   func(message.Message) { delivered.Add(1) },
+					Telemetry: reg,
+					Trace:     telemetry.NewRing(1024),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				regs = append(regs, reg)
+				engines = append(engines, eng)
+			}
+			defer func() {
+				for _, e := range engines {
+					_ = e.Close()
+				}
+			}()
+			lab := message.NewLabeler(ids[0])
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m := message.Message{Label: lab.Next(), Kind: message.KindCommutative, Op: "inc"}
+				if err := engines[0].Broadcast(m); err != nil {
+					b.Fatal(err)
+				}
+			}
+			target := uint64(n) * uint64(b.N)
+			for delivered.Load() < target {
+				time.Sleep(20 * time.Microsecond)
+			}
+			b.StopTimer()
+			// Prove the observed path actually ran: every non-sender member
+			// recorded one visibility sample per broadcast from the origin.
+			for i, reg := range regs {
+				if i == 0 {
+					continue
+				}
+				snap := reg.Snapshot()
+				var count uint64
+				for _, h := range snap.Histograms {
+					if h.Name == "causal_visibility_seconds" {
+						count += h.Count
+					}
+				}
+				if count < uint64(b.N) {
+					b.Fatalf("member %s observed %d visibility samples, want >= %d",
+						ids[i], count, b.N)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkBroadcastFanoutTraced repeats the fan-out pipeline with the
 // causal trace collector attached in the three operating modes of E13:
 // off (nil tracer through the same config path), head-based sampling of

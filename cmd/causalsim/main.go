@@ -53,7 +53,8 @@ func run(args []string) error {
 	ring := telemetry.NewRing(4096)
 	transport.RegisterPoolMetrics(reg)
 	if *metricsAddr != "" {
-		srv, err := telemetry.Serve(*metricsAddr, reg, ring)
+		srv, err := telemetry.Serve(*metricsAddr, reg, ring,
+			telemetry.Healthz(fmt.Sprintf("causalsim(%s,n=%d)", *engine, *n)))
 		if err != nil {
 			return err
 		}

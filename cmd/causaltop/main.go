@@ -1,0 +1,172 @@
+// Command causaltop is the cluster observability dashboard: it scrapes
+// every member's telemetry endpoint (/vars, /healthz) and renders the
+// merged view — per-peer causal lag, send-to-deliver visibility
+// quantiles, per-link RTT and occupancy, and the epoch/stability skew
+// across the group.
+//
+// Usage:
+//
+//	causaltop -targets :9090,:9091,:9092            # live dashboard, 2s refresh
+//	causaltop -targets host1:9090,host2:9090 -once  # single snapshot, plain text
+//	causaltop -targets :9090,:9091 -once -json      # single snapshot as JSON
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"causalshare/internal/telemetry"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "causaltop:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("causaltop", flag.ContinueOnError)
+	targetsFlag := fs.String("targets", "", "comma-separated telemetry addresses (host:port or URL), one per member")
+	interval := fs.Duration("interval", 2*time.Second, "refresh interval in live mode")
+	timeout := fs.Duration("timeout", 2*time.Second, "per-scrape HTTP timeout")
+	once := fs.Bool("once", false, "scrape once, print, and exit")
+	asJSON := fs.Bool("json", false, "emit the cluster view as JSON (implies no screen clearing)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	targets := splitTargets(*targetsFlag)
+	if len(targets) == 0 {
+		return fmt.Errorf("no targets (pass -targets host:port,host:port)")
+	}
+
+	scraper := &telemetry.Scraper{Timeout: *timeout}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	emit := func(clear bool) error {
+		view := scraper.ScrapeCluster(ctx, targets)
+		if *asJSON {
+			enc := json.NewEncoder(out)
+			enc.SetIndent("", "  ")
+			return enc.Encode(view)
+		}
+		if clear {
+			fmt.Fprint(out, "\x1b[2J\x1b[H") // clear screen, home cursor
+		}
+		render(out, view)
+		return nil
+	}
+
+	if *once {
+		return emit(false)
+	}
+	tick := time.NewTicker(*interval)
+	defer tick.Stop()
+	for {
+		if err := emit(!*asJSON); err != nil {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-tick.C:
+		}
+	}
+}
+
+func splitTargets(s string) []string {
+	var out []string
+	for _, t := range strings.Split(s, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// render prints the cluster view as a fixed-width dashboard: a summary
+// header, one row per member, then one row per (member, link).
+func render(out io.Writer, v telemetry.ClusterView) {
+	fmt.Fprintf(out, "causaltop  %s  members up %d / down %d\n",
+		v.ScrapedAt.Format("15:04:05"), v.Up, v.Down)
+	fmt.Fprintf(out, "stability cycle [%d..%d] skew %d   epoch [%d..%d] skew %d   shed links %d\n",
+		v.MinStableCycle, v.MaxStableCycle, v.StabilitySkew,
+		v.MinEpoch, v.MaxEpoch, v.EpochSkew, v.ShedLinks)
+	fmt.Fprintf(out, "worst: holdback %s  pending-age %s  frontier-lag %s  rtt %s  vis-p99 %s\n\n",
+		offender(v.MaxHoldback, "%d msgs"),
+		offender(v.MaxPendingAge, "%d ms"),
+		offender(v.MaxFrontier, "%d msgs"),
+		offender(v.MaxRTT, "%d us"),
+		seconds(v.WorstVisibilityP99))
+
+	fmt.Fprintf(out, "%-12s %-5s %6s %6s %9s %8s %9s %10s %10s %10s %6s %8s\n",
+		"MEMBER", "UP", "EPOCH", "CYCLE", "STABLE-MS", "HOLDBACK", "PEND-MS",
+		"VIS-P50", "VIS-P99", "VIS-P999", "GORTN", "HEAP-MB")
+	for _, m := range v.Members {
+		if !m.Up {
+			fmt.Fprintf(out, "%-12s %-5s %s\n", m.Member, "DOWN", m.Err)
+			continue
+		}
+		fmt.Fprintf(out, "%-12s %-5s %6d %6d %9d %8d %9d %10s %10s %10s %6d %8.1f\n",
+			m.Member, "up", m.Epoch, m.StableCycle, m.StableAgeMS,
+			m.MaxHoldbackDepth, m.MaxPendingAgeMS,
+			seconds(m.VisibilityP50), seconds(m.VisibilityP99), seconds(m.VisibilityP999),
+			m.Goroutines, float64(m.HeapInuseBytes)/(1<<20))
+	}
+
+	links := 0
+	for _, m := range v.Members {
+		links += len(m.Links)
+	}
+	if links == 0 {
+		return
+	}
+	fmt.Fprintf(out, "\n%-12s %-12s %9s %6s %8s %5s\n",
+		"MEMBER", "LINK", "RTT-US", "OUTST", "RETX", "SHED")
+	for _, m := range v.Members {
+		for _, l := range m.Links {
+			shed := "-"
+			if l.Shed {
+				shed = "SHED"
+			}
+			fmt.Fprintf(out, "%-12s %-12s %9d %6d %8d %5s\n",
+				m.Member, l.Peer, l.RTTMicros, l.Outstanding, l.Retransmits, shed)
+		}
+	}
+}
+
+// offender renders a cluster-wide worst value with its location, or "-"
+// when the value is zero everywhere.
+func offender(o telemetry.Offender, format string) string {
+	if o.Value == 0 {
+		return "-"
+	}
+	where := o.Member
+	if o.Peer != "" {
+		where += "<-" + o.Peer
+	}
+	return fmt.Sprintf(format+" (%s)", o.Value, where)
+}
+
+// seconds renders a latency with a unit that keeps the mantissa small.
+func seconds(s float64) string {
+	switch {
+	case s == 0:
+		return "-"
+	case s < 1e-3:
+		return fmt.Sprintf("%.0fus", s*1e6)
+	case s < 1:
+		return fmt.Sprintf("%.2fms", s*1e3)
+	default:
+		return fmt.Sprintf("%.2fs", s)
+	}
+}

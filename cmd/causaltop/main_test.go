@@ -1,0 +1,162 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"causalshare/internal/chaos"
+	"causalshare/internal/reliable"
+	"causalshare/internal/telemetry"
+	"causalshare/internal/trace"
+	"causalshare/internal/transport"
+)
+
+// TestCausaltopAgainstChaosRun is the acceptance path end to end: a real
+// chaos run under loss populates one registry per member, each registry
+// is served over HTTP exactly as a deployed member would, and causaltop
+// -once -json against those endpoints must report per-peer causal lag,
+// visibility quantiles, per-link health, and epoch state for every
+// member.
+func TestCausaltopAgainstChaosRun(t *testing.T) {
+	members := []string{"a", "b", "c", "d"}
+	net := transport.NewChanNet(transport.FaultModel{DropProb: 0.2, Seed: 11})
+	defer func() { _ = net.Close() }()
+
+	regs := make(map[string]*telemetry.Registry, len(members))
+	for _, id := range members {
+		regs[id] = telemetry.NewRegistry()
+	}
+	res, err := chaos.Run(chaos.Options{
+		Members:        members,
+		Net:            net,
+		SendsPerMember: 15,
+		Step:           2 * time.Millisecond,
+		Patience:       12 * time.Millisecond,
+		Timeout:        60 * time.Second,
+		Collector:      trace.NewCollector(trace.Config{}),
+		TelemetryFor:   func(member string) *telemetry.Registry { return regs[member] },
+		Reliable: &reliable.Config{
+			Window:       128,
+			AckEvery:     8,
+			Tick:         2 * time.Millisecond,
+			StallTimeout: 300 * time.Millisecond,
+			ShedAfter:    500 * time.Millisecond,
+			Seed:         1,
+		},
+	})
+	if err != nil {
+		t.Fatalf("chaos run: %v", err)
+	}
+	if !res.Converged {
+		t.Fatal("chaos run did not converge")
+	}
+
+	targets := make([]string, 0, len(members))
+	for _, id := range members {
+		srv, err := telemetry.Serve("127.0.0.1:0", regs[id], nil, telemetry.Healthz(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() { _ = srv.Close() }()
+		targets = append(targets, srv.Addr())
+	}
+
+	var out bytes.Buffer
+	args := []string{"-targets", joinTargets(targets), "-once", "-json"}
+	if err := run(args, &out); err != nil {
+		t.Fatalf("causaltop %v: %v", args, err)
+	}
+	var view telemetry.ClusterView
+	if err := json.Unmarshal(out.Bytes(), &view); err != nil {
+		t.Fatalf("causaltop emitted invalid JSON: %v\n%s", err, out.String())
+	}
+
+	if view.Up != len(members) || view.Down != 0 {
+		t.Fatalf("up/down = %d/%d, want %d/0", view.Up, view.Down, len(members))
+	}
+	seen := map[string]bool{}
+	for _, m := range view.Members {
+		seen[m.Member] = true
+		if !m.Up {
+			t.Errorf("member %s reported down: %s", m.Member, m.Err)
+			continue
+		}
+		// Per-peer causal lag: one PeerLag entry per other member.
+		if len(m.PeerLags) != len(members)-1 {
+			t.Errorf("%s: %d peer-lag entries, want %d", m.Member, len(m.PeerLags), len(members)-1)
+		}
+		// Visibility quantiles: the run moved data under loss, so the
+		// histograms filled and the quantile ladder is monotone.
+		if m.VisibilityCount == 0 {
+			t.Errorf("%s: no visibility observations", m.Member)
+		}
+		if m.VisibilityP50 <= 0 || m.VisibilityP99 < m.VisibilityP50 || m.VisibilityP999 < m.VisibilityP99 {
+			t.Errorf("%s: quantiles not monotone: p50=%v p99=%v p999=%v",
+				m.Member, m.VisibilityP50, m.VisibilityP99, m.VisibilityP999)
+		}
+		// Per-link health: RTT samples and occupancy per other member.
+		if len(m.Links) != len(members)-1 {
+			t.Errorf("%s: %d link entries, want %d", m.Member, len(m.Links), len(members)-1)
+		}
+		for _, l := range m.Links {
+			if l.RTTMicros <= 0 {
+				t.Errorf("%s -> %s: no RTT estimate", m.Member, l.Peer)
+			}
+		}
+	}
+	for _, id := range members {
+		if !seen[id] {
+			t.Errorf("member %s missing from cluster view", id)
+		}
+	}
+	// Epoch skew must be coherent (the fixed-sequencer run stays at epoch
+	// 0 everywhere; the point is the skew arithmetic, not the value).
+	if view.EpochSkew != view.MaxEpoch-view.MinEpoch {
+		t.Errorf("epoch skew %d != max-min %d", view.EpochSkew, view.MaxEpoch-view.MinEpoch)
+	}
+	if view.StabilitySkew < 0 {
+		t.Errorf("negative stability skew %d", view.StabilitySkew)
+	}
+}
+
+func joinTargets(ts []string) string {
+	out := ""
+	for i, t := range ts {
+		if i > 0 {
+			out += ","
+		}
+		out += t
+	}
+	return out
+}
+
+// TestRunOnceRendersText covers the human-facing renderer against a live
+// endpoint (no chaos run needed: an empty registry still renders the
+// summary and a member row).
+func TestRunOnceRendersText(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	srv, err := telemetry.Serve("127.0.0.1:0", reg, nil, telemetry.Healthz("solo"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+	var out bytes.Buffer
+	if err := run([]string{"-targets", srv.Addr(), "-once"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"causaltop", "members up 1 / down 0", "solo", "MEMBER"} {
+		if !bytes.Contains([]byte(text), []byte(want)) {
+			t.Errorf("rendered output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestRunNoTargets pins the usage error.
+func TestRunNoTargets(t *testing.T) {
+	if err := run([]string{"-once"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("want error with no targets")
+	}
+}

@@ -42,7 +42,7 @@ func run(args []string) error {
 	if *metricsAddr != "" {
 		reg := telemetry.NewRegistry()
 		experiments.SetTelemetry(reg)
-		srv, err := telemetry.Serve(*metricsAddr, reg, nil)
+		srv, err := telemetry.Serve(*metricsAddr, reg, nil, telemetry.Healthz("experiments("+*engine+")"))
 		if err != nil {
 			return err
 		}

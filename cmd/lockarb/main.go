@@ -47,7 +47,8 @@ func run(args []string) error {
 	ring := telemetry.NewRing(2048)
 	col := trace.NewCollector(trace.Config{Telemetry: reg, Ring: ring})
 	if *metricsAddr != "" {
-		srv, err := telemetry.Serve(*metricsAddr, reg, ring, trace.Routes(col)...)
+		routes := append(trace.Routes(col), telemetry.Healthz(fmt.Sprintf("lockarb(n=%d)", *n)))
+		srv, err := telemetry.Serve(*metricsAddr, reg, ring, routes...)
 		if err != nil {
 			return err
 		}

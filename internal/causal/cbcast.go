@@ -62,6 +62,7 @@ type CBCast struct {
 	metrics   Metrics
 	ins       cbcastInstruments
 	meta      metaInstruments
+	peer      peerInstruments
 	spans     *trace.Tracer
 
 	done chan struct{}
@@ -103,6 +104,8 @@ func NewCBCast(cfg CBCastConfig) (*CBCast, error) {
 		lastFetch: make(map[string]time.Time),
 		done:      make(chan struct{}),
 	}
+	e.peer = newPeerInstruments(cfg.Telemetry)
+	registerPeerLag(cfg.Telemetry, e.others, e.peerLag)
 	e.wg.Add(1)
 	go e.recvLoop()
 	if e.patience > 0 {
@@ -127,8 +130,12 @@ func (e *CBCast) Broadcast(m message.Message) error {
 		e.mu.Unlock()
 		return ErrClosed
 	}
-	// Span assignment precedes encoding so the frame carries the trailer.
+	// Span assignment and the SentAt stamp precede encoding so the frame
+	// carries both trailers.
 	m.Span = e.spans.Broadcast(m)
+	if m.SentAt == 0 {
+		m.SentAt = time.Now().UnixNano()
+	}
 	seq := e.vc.Tick(e.self)
 	stamp := e.vc.Clone()
 	frame, err := encodeCBFrame(e.self, stamp, m)
@@ -288,9 +295,27 @@ func (e *CBCast) ingest(sender string, vc vclock.VC, m message.Message) {
 	ready := e.drainLocked()
 	e.ins.pendingDepth.Set(int64(len(e.pending)))
 	e.mu.Unlock()
+	if len(ready) != 0 {
+		now := time.Now().UnixNano()
+		for i := range ready {
+			e.peer.observe(e.self, &ready[i], now)
+		}
+	}
 	for _, r := range ready {
 		e.deliver(r)
 	}
+}
+
+// peerLag scans the holdback buffer for messages from peer: the
+// snapshot-time feed for the causal_peer_* gauges.
+func (e *CBCast) peerLag(peer string) (depth, ageMS int64) {
+	return scanPendingLag(peer, func(yield func(origin string, since time.Time)) {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		for i := range e.pending {
+			yield(e.pending[i].msg.Label.Origin, e.pending[i].since)
+		}
+	})
 }
 
 // drainLocked repeatedly scans the buffer delivering every causally ready

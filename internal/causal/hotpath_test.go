@@ -83,6 +83,9 @@ func TestOSendEncodeOnce(t *testing.T) {
 				Kind:  message.KindCommutative,
 				Op:    "inc",
 				Body:  []byte("x"),
+				// Pre-stamp so the engine keeps this value and the frame
+				// matches MarshalBinary byte for byte.
+				SentAt: 12345,
 			}
 			if err := e.Broadcast(m); err != nil {
 				t.Fatal(err)
@@ -280,7 +283,7 @@ func TestOSendConcurrentBroadcastRecv(t *testing.T) {
 		}
 		e, err := NewOSend(OSendConfig{
 			Self: id, Group: grp, Conn: conn,
-			Deliver: func(message.Message) { delivered.Add(1) },
+			Deliver:  func(message.Message) { delivered.Add(1) },
 			Patience: 50 * time.Millisecond,
 		})
 		if err != nil {

@@ -1,6 +1,87 @@
 package causal
 
-import "causalshare/internal/telemetry"
+import (
+	"time"
+
+	"causalshare/internal/message"
+	"causalshare/internal/telemetry"
+)
+
+// peerInstruments are the per-peer observability-plane instruments every
+// engine registers under the same names, so the causaltop aggregator is
+// engine-agnostic: a member's causal lag toward each peer reads the same
+// whether OSend, CBCast or PCCast produced it.
+type peerInstruments struct {
+	// visibility is the send→remote-deliver latency toward the peer the
+	// message originated from, computed from the SentAt wall-clock stamp
+	// the origin placed in the wire trailer. Subject to clock skew between
+	// members — on one host (every harness here) that is nanoseconds.
+	visibility *telemetry.HistogramFamily
+}
+
+func newPeerInstruments(reg *telemetry.Registry) peerInstruments {
+	return peerInstruments{
+		visibility: reg.HistogramFamily("causal_visibility_seconds",
+			"Origin-send to local-deliver latency, labeled by the originating peer.",
+			"peer", telemetry.DurationBuckets),
+	}
+}
+
+// observe records one remote delivery's visibility latency. Alloc-free:
+// RouteOrigin is a substring, With is a read-locked map hit, Observe is
+// atomic adds — the fan-out hot path calls this per delivery.
+func (p peerInstruments) observe(self string, m *message.Message, nowNanos int64) {
+	if m.SentAt == 0 {
+		return
+	}
+	origin := RouteOrigin(m.Label.Origin)
+	if origin == self {
+		return
+	}
+	d := float64(nowNanos-m.SentAt) / 1e9
+	if d < 0 {
+		d = 0 // cross-host clock skew must not corrupt the ladder
+	}
+	p.visibility.With(origin).Observe(d)
+}
+
+// registerPeerLag registers the snapshot-time per-peer holdback gauges:
+// how many of peer's messages sit in the holdback buffer and how old the
+// oldest is. scan runs only at snapshot time (under the engine's delivery
+// lock), so the hot path pays nothing. With a registry shared by several
+// engines the last engine to register a peer label wins (a rejoined
+// member's fresh engine takes the series over from its dead
+// incarnation) — per-member registries (the observability-plane
+// deployment) never collide.
+func registerPeerLag(reg *telemetry.Registry, peers []string, scan func(peer string) (depth, ageMS int64)) {
+	depthFam := reg.GaugeFamily("causal_peer_holdback_depth",
+		"Messages from the peer buffered awaiting missing predecessors.",
+		"peer")
+	ageFam := reg.GaugeFamily("causal_peer_pending_age_ms",
+		"Age in milliseconds of the oldest held-back message from the peer (0 when none).",
+		"peer")
+	for _, p := range peers {
+		p := p
+		depthFam.Func(p, func() int64 { d, _ := scan(p); return d })
+		ageFam.Func(p, func() int64 { _, a := scan(p); return a })
+	}
+}
+
+// scanPendingLag is the shared holdback scan: origins route through
+// RouteOrigin so a total-layer label ("b~seq") counts toward member b.
+func scanPendingLag(peer string, each func(yield func(origin string, since time.Time))) (depth, ageMS int64) {
+	now := time.Now()
+	each(func(origin string, since time.Time) {
+		if RouteOrigin(origin) != peer {
+			return
+		}
+		depth++
+		if a := now.Sub(since).Milliseconds(); a > ageMS {
+			ageMS = a
+		}
+	})
+	return depth, ageMS
+}
 
 // osendInstruments are OSend's registry-backed instruments. Engines given
 // the same registry share (and therefore aggregate) them; an engine built

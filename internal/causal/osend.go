@@ -115,6 +115,7 @@ type OSend struct {
 	reg   *telemetry.Registry
 	ins   osendInstruments
 	meta  metaInstruments
+	peer  peerInstruments
 	trace *telemetry.Ring
 	spans *trace.Tracer
 
@@ -170,6 +171,8 @@ func NewOSend(cfg OSendConfig) (*OSend, error) {
 		down:      make(map[string]bool),
 		done:      make(chan struct{}),
 	}
+	e.peer = newPeerInstruments(reg)
+	registerPeerLag(reg, e.others, e.peerLag)
 	e.wg.Add(1)
 	go e.recvLoop()
 	if e.patience > 0 {
@@ -195,9 +198,12 @@ func (e *OSend) Broadcast(m message.Message) error {
 		return ErrClosed
 	}
 	t0 := time.Now()
-	// Span assignment must precede frame sizing: a traced message carries
-	// its span context as a trailer, and EncodedSize accounts for it.
+	// Span assignment and the SentAt stamp must precede frame sizing: both
+	// ride as trailers, and EncodedSize accounts for them.
 	m.Span = e.spans.Broadcast(m)
+	if m.SentAt == 0 {
+		m.SentAt = t0.UnixNano()
+	}
 	f := transport.NewFrame(1 + m.EncodedSize())
 	f.B = append(f.B, frameOSendData)
 	var err error
@@ -346,6 +352,7 @@ func (e *OSend) releaseSeeded() {
 		e.ins.pendingDepth.Set(int64(len(e.pending)))
 	}
 	e.deliverMu.Unlock()
+	e.observeVisibility(ready)
 	for _, r := range ready {
 		e.deliver(r)
 	}
@@ -603,11 +610,36 @@ func (e *OSend) ingest(m message.Message) {
 		e.ins.pendingDepth.Set(int64(len(e.pending)))
 	}
 	e.deliverMu.Unlock()
+	e.observeVisibility(ready)
 	for _, r := range ready {
 		e.deliver(r)
 	}
 	e.pruneFetched(ready)
 	e.putReady(ready)
+}
+
+// observeVisibility records send→deliver latency toward each remote
+// origin in the batch. Alloc-free (see peerInstruments.observe).
+func (e *OSend) observeVisibility(ready []message.Message) {
+	if len(ready) == 0 {
+		return
+	}
+	now := time.Now().UnixNano()
+	for i := range ready {
+		e.peer.observe(e.self, &ready[i], now)
+	}
+}
+
+// peerLag scans the holdback buffer for messages from peer: the
+// snapshot-time feed for the causal_peer_* gauges.
+func (e *OSend) peerLag(peer string) (depth, ageMS int64) {
+	return scanPendingLag(peer, func(yield func(origin string, since time.Time)) {
+		e.deliverMu.Lock()
+		defer e.deliverMu.Unlock()
+		for _, entry := range e.pending {
+			yield(entry.msg.Label.Origin, entry.since)
+		}
+	})
 }
 
 // deliverLocked marks m delivered and appends, in order, m plus every

@@ -134,6 +134,7 @@ type PCCast struct {
 	reg   *telemetry.Registry
 	ins   pccastInstruments
 	meta  metaInstruments
+	peer  peerInstruments
 	trace *telemetry.Ring
 	spans *trace.Tracer
 
@@ -207,6 +208,8 @@ func NewPCCast(cfg PCCastConfig) (*PCCast, error) {
 		links:     make(map[string]*pcLink),
 		done:      make(chan struct{}),
 	}
+	e.peer = newPeerInstruments(reg)
+	registerPeerLag(reg, e.others, e.peerLag)
 	e.outCond = sync.NewCond(&e.outMu)
 	if cfg.Tracker != nil {
 		cfg.Tracker.Subscribe(func(id string, up bool) {
@@ -241,6 +244,9 @@ func (e *PCCast) Broadcast(m message.Message) error {
 	}
 	t0 := time.Now()
 	m.Span = e.spans.Broadcast(m)
+	if m.SentAt == 0 {
+		m.SentAt = t0.UnixNano()
+	}
 	hdr := message.PCHeader{}
 	f := transport.NewFrame(1 + hdr.EncodedSize() + m.EncodedSize())
 	f.B = append(f.B, framePCCastData)
@@ -434,6 +440,7 @@ func (e *PCCast) releaseSeeded() {
 		e.ins.pendingDepth.Set(int64(len(e.pending)))
 	}
 	e.deliverMu.Unlock()
+	e.observeVisibility(ready)
 	for _, r := range ready {
 		e.deliver(r)
 	}
@@ -785,11 +792,36 @@ func (e *PCCast) ingest(m message.Message) {
 		e.ins.pendingDepth.Set(int64(len(e.pending)))
 	}
 	e.deliverMu.Unlock()
+	e.observeVisibility(ready)
 	for _, r := range ready {
 		e.deliver(r)
 	}
 	e.pruneFetched(ready)
 	e.putReady(ready)
+}
+
+// observeVisibility records send→deliver latency toward each remote
+// origin in the batch. Alloc-free (see peerInstruments.observe).
+func (e *PCCast) observeVisibility(ready []message.Message) {
+	if len(ready) == 0 {
+		return
+	}
+	now := time.Now().UnixNano()
+	for i := range ready {
+		e.peer.observe(e.self, &ready[i], now)
+	}
+}
+
+// peerLag scans the holdback buffer for messages from peer: the
+// snapshot-time feed for the causal_peer_* gauges.
+func (e *PCCast) peerLag(peer string) (depth, ageMS int64) {
+	return scanPendingLag(peer, func(yield func(origin string, since time.Time)) {
+		e.deliverMu.Lock()
+		defer e.deliverMu.Unlock()
+		for _, entry := range e.pending {
+			yield(entry.msg.Label.Origin, entry.since)
+		}
+	})
 }
 
 func (e *PCCast) deliverLocked(out []message.Message, m message.Message) []message.Message {

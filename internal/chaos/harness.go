@@ -55,6 +55,14 @@ type Options struct {
 	// Telemetry, when non-nil, is shared by every layer instance, so the
 	// run's counters (elections, re-proposals, failover latency) aggregate.
 	Telemetry *telemetry.Registry
+	// TelemetryFor, when non-nil, supplies a registry per member and
+	// overrides Telemetry: each member's stack (reliability, causal,
+	// total) registers on its own registry, exactly as a real deployment
+	// serves one telemetry endpoint per process. This is what the
+	// observability-plane assertions and causaltop scrape against. Called
+	// once per incarnation; returning the same registry for a member
+	// across rejoins is fine (func gauges are last-wins).
+	TelemetryFor func(member string) *telemetry.Registry
 	// Trace, when non-nil, receives every member's epoch/election events.
 	Trace *telemetry.Ring
 	// Collector, when non-nil, attaches a causal trace tracer to every
@@ -320,6 +328,10 @@ func (c *cluster) start(n *node, snap *total.SyncSnapshot, wm map[string]uint64,
 	if err != nil {
 		return err
 	}
+	reg := c.opts.Telemetry
+	if c.opts.TelemetryFor != nil {
+		reg = c.opts.TelemetryFor(n.id)
+	}
 	var h *hooks
 	if c.opts.Reliable != nil {
 		// Each member (and each incarnation) gets its own sublayer with a
@@ -327,7 +339,7 @@ func (c *cluster) start(n *node, snap *total.SyncSnapshot, wm map[string]uint64,
 		// failure detector and RESETs trigger targeted causal resyncs.
 		rcfg := *c.opts.Reliable
 		rcfg.Seed = rcfg.Seed*int64(len(c.opts.Members)+1) + int64(c.grp.Rank(n.id)) + 1
-		rcfg.Telemetry = c.opts.Telemetry
+		rcfg.Telemetry = reg
 		rcfg.Trace = c.opts.Trace
 		h = &hooks{}
 		rcfg.OnSuspect = func(peer string) {
@@ -357,7 +369,7 @@ func (c *cluster) start(n *node, snap *total.SyncSnapshot, wm map[string]uint64,
 		Group:       c.grp,
 		Deliver:     n.log.deliver,
 		FailTimeout: c.opts.FailTimeout,
-		Telemetry:   c.opts.Telemetry,
+		Telemetry:   reg,
 		Trace:       c.opts.Trace,
 		Tracer:      spans,
 	})
@@ -374,7 +386,7 @@ func (c *cluster) start(n *node, snap *total.SyncSnapshot, wm map[string]uint64,
 			Conn:      conn,
 			Deliver:   seqr.Ingest,
 			Patience:  c.opts.Patience,
-			Telemetry: c.opts.Telemetry,
+			Telemetry: reg,
 			Trace:     c.opts.Trace,
 			Tracer:    spans,
 		})
@@ -385,7 +397,7 @@ func (c *cluster) start(n *node, snap *total.SyncSnapshot, wm map[string]uint64,
 			Conn:      conn,
 			Deliver:   seqr.Ingest,
 			Patience:  c.opts.Patience,
-			Telemetry: c.opts.Telemetry,
+			Telemetry: reg,
 			Trace:     c.opts.Trace,
 			Tracer:    spans,
 		})

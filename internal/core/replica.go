@@ -90,7 +90,7 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 	if cfg.Apply == nil {
 		return nil, fmt.Errorf("core: replica %q: nil transition function", cfg.Self)
 	}
-	return &Replica{
+	r := &Replica{
 		self:       cfg.Self,
 		apply:      cfg.Apply,
 		onStable:   cfg.OnStable,
@@ -100,7 +100,27 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 		state:      cfg.Initial.Clone(),
 		stable:     cfg.Initial.Clone(),
 		lastStable: time.Now(),
-	}, nil
+	}
+	// Observability plane: the stability frontier as snapshot-time gauges,
+	// so the cluster aggregator can compute cross-member stability skew
+	// (max cycle - min cycle) and spot a replica whose stable point has
+	// gone stale. Registered per replica; with a shared registry the first
+	// replica wins (per-member registries are the deployment model).
+	cfg.Telemetry.GaugeFunc("core_stable_cycle",
+		"Index of the replica's latest stable point (the stability frontier).",
+		func() int64 {
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			return int64(r.stableCycle)
+		})
+	cfg.Telemetry.GaugeFunc("core_stable_age_ms",
+		"Milliseconds since the replica's latest stable point.",
+		func() int64 {
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			return time.Since(r.lastStable).Milliseconds()
+		})
+	return r, nil
 }
 
 // Deliver applies one causally delivered message. Non-commutative and read

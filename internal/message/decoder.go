@@ -135,7 +135,7 @@ func decodeMessage(m *Message, data []byte, d *Decoder) error {
 	// Anything after the body is an optional trailer block (span context
 	// today, unknown length-skippable records tomorrow). Pre-trace frames
 	// end exactly at the body, so the loop body never runs for them.
-	span, err := decodeTrailers(rest[bodyLen:], d)
+	span, sentAt, err := decodeTrailers(rest[bodyLen:], d)
 	if err != nil {
 		return err
 	}
@@ -148,12 +148,13 @@ func decodeMessage(m *Message, data []byte, d *Decoder) error {
 		}
 	}
 	*m = Message{
-		Label: label,
-		Deps:  deps,
-		Kind:  Kind(kind),
-		Op:    op,
-		Body:  body,
-		Span:  span,
+		Label:  label,
+		Deps:   deps,
+		Kind:   Kind(kind),
+		Op:     op,
+		Body:   body,
+		Span:   span,
+		SentAt: sentAt,
 	}
 	return m.Validate()
 }

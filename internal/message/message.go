@@ -206,6 +206,13 @@ type Message struct {
 	// costs no wire bytes; a valid one rides in a trailer after the body,
 	// so pre-trace decoders and encoders interoperate cleanly.
 	Span SpanContext
+	// SentAt is the origin's wall clock (unix nanoseconds) at broadcast
+	// time, stamped by the engines so remote members can observe
+	// send→deliver visibility latency. Zero means unstamped and costs no
+	// wire bytes; like Span it rides in a length-skippable trailer, and it
+	// is preserved verbatim across PC-cast forwarding and retransmission
+	// (the origin's stamp, not the forwarder's).
+	SentAt int64
 }
 
 // String renders a compact one-line description for traces.
@@ -259,7 +266,8 @@ func (m Message) AppendBinary(buf []byte) ([]byte, error) {
 	buf = appendString(buf, m.Op)
 	buf = binary.AppendUvarint(buf, uint64(len(m.Body)))
 	buf = append(buf, m.Body...)
-	return appendSpanTrailer(buf, m.Span), nil
+	buf = appendSpanTrailer(buf, m.Span)
+	return appendSentAtTrailer(buf, m.SentAt), nil
 }
 
 // UnmarshalBinary decodes a message encoded by MarshalBinary, replacing m.
@@ -306,6 +314,7 @@ func (m Message) EncodedSize() int {
 	n += uvarintLen(uint64(len(m.Op))) + len(m.Op)
 	n += uvarintLen(uint64(len(m.Body))) + len(m.Body)
 	n += m.Span.encodedSize()
+	n += sentAtEncodedSize(m.SentAt)
 	return n
 }
 

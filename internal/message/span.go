@@ -36,7 +36,31 @@ func (c SpanContext) String() string {
 
 // Trailer record tags. Each trailer record is [tag uvarint][len uvarint]
 // [payload], so decoders skip tags they do not understand by length alone.
-const trailerSpan = 1
+const (
+	trailerSpan   = 1
+	trailerSentAt = 2
+)
+
+// sentAtEncodedSize returns the wire size of the sent-at trailer record,
+// zero when unstamped (so unstamped messages encode byte-identically to
+// pre-observability builds).
+func sentAtEncodedSize(sentAt int64) int {
+	if sentAt == 0 {
+		return 0
+	}
+	p := uvarintLen(uint64(sentAt))
+	return uvarintLen(trailerSentAt) + uvarintLen(uint64(p)) + p
+}
+
+// appendSentAtTrailer appends the sent-at trailer record when stamped.
+func appendSentAtTrailer(buf []byte, sentAt int64) []byte {
+	if sentAt == 0 {
+		return buf
+	}
+	buf = binary.AppendUvarint(buf, trailerSentAt)
+	buf = binary.AppendUvarint(buf, uint64(uvarintLen(uint64(sentAt))))
+	return binary.AppendUvarint(buf, uint64(sentAt))
+}
 
 // encodedSize returns the wire size of the span trailer record, zero when
 // the context is invalid (untraced messages pay no trailer bytes at all,
@@ -69,40 +93,50 @@ func appendSpanTrailer(buf []byte, c SpanContext) []byte {
 // Unknown tags are skipped by length — newer encoders may append fields old
 // decoders have never heard of — and a duplicate or malformed span record
 // is rejected outright. d may be nil.
-func decodeTrailers(rest []byte, d *Decoder) (SpanContext, error) {
+func decodeTrailers(rest []byte, d *Decoder) (SpanContext, int64, error) {
 	var span SpanContext
+	var sentAt int64
 	for len(rest) > 0 {
 		tag, used := binary.Uvarint(rest)
 		if used <= 0 {
-			return SpanContext{}, fmt.Errorf("message: truncated trailer tag")
+			return SpanContext{}, 0, fmt.Errorf("message: truncated trailer tag")
 		}
 		rest = rest[used:]
 		plen, used := binary.Uvarint(rest)
 		if used <= 0 || uint64(len(rest)-used) < plen {
-			return SpanContext{}, fmt.Errorf("message: truncated trailer payload")
+			return SpanContext{}, 0, fmt.Errorf("message: truncated trailer payload")
 		}
 		payload := rest[used : used+int(plen)]
 		rest = rest[used+int(plen):]
 		switch tag {
 		case trailerSpan:
 			if span.Valid() {
-				return SpanContext{}, fmt.Errorf("message: duplicate span trailer")
+				return SpanContext{}, 0, fmt.Errorf("message: duplicate span trailer")
 			}
 			id, used := binary.Uvarint(payload)
 			if used <= 0 || id == 0 {
-				return SpanContext{}, fmt.Errorf("message: invalid span trace id")
+				return SpanContext{}, 0, fmt.Errorf("message: invalid span trace id")
 			}
 			origin, tail, err := readStringIn(payload[used:], d)
 			if err != nil {
-				return SpanContext{}, fmt.Errorf("message: span origin: %w", err)
+				return SpanContext{}, 0, fmt.Errorf("message: span origin: %w", err)
 			}
 			if len(tail) != 0 {
-				return SpanContext{}, fmt.Errorf("message: %d stray span trailer bytes", len(tail))
+				return SpanContext{}, 0, fmt.Errorf("message: %d stray span trailer bytes", len(tail))
 			}
 			span = SpanContext{TraceID: id, Origin: origin}
+		case trailerSentAt:
+			if sentAt != 0 {
+				return SpanContext{}, 0, fmt.Errorf("message: duplicate sent-at trailer")
+			}
+			v, used := binary.Uvarint(payload)
+			if used <= 0 || v == 0 || len(payload) != used {
+				return SpanContext{}, 0, fmt.Errorf("message: invalid sent-at trailer")
+			}
+			sentAt = int64(v)
 		default:
 			// Unknown trailer: skipped. Future fields live here.
 		}
 	}
-	return span, nil
+	return span, sentAt, nil
 }

@@ -21,6 +21,12 @@ type instruments struct {
 	decodeErrors    *telemetry.Counter
 	passthrough     *telemetry.Counter
 	outstanding     *telemetry.Gauge
+
+	// Per-link families (observability plane): smoothed RTT from ack
+	// progress, retransmits toward each peer. Window occupancy and shed
+	// state register as snapshot-time funcs in Wrap.
+	linkRTT  *telemetry.GaugeFamily
+	linkRetx *telemetry.CounterFamily
 }
 
 func newInstruments(reg *telemetry.Registry) *instruments {
@@ -57,5 +63,11 @@ func newInstruments(reg *telemetry.Registry) *instruments {
 			"Frames crossing the sublayer unsequenced (unicasts, foreign traffic)."),
 		outstanding: reg.Gauge("reliable_outstanding",
 			"Broadcast frames sent but not yet acked by every live peer."),
+		linkRTT: reg.GaugeFamily("reliable_link_rtt_us",
+			"Smoothed (EWMA 7/8) send-to-cumulative-ack round trip per link, microseconds.",
+			"peer"),
+		linkRetx: reg.CounterFamily("reliable_link_retransmits_total",
+			"Frames re-sent toward the peer (NACK-driven or RTO).",
+			"peer"),
 	}
 }

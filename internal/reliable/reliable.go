@@ -149,6 +149,7 @@ func unpackAck(w uint64) (epoch, seq uint64) { return w >> ackSeqBits, w & (1<<a
 type outSlot struct {
 	seq uint64
 	f   *transport.Frame
+	at  time.Time // first-send time, for the per-link RTT estimate
 }
 
 // peerOut is the sender's view of one destination.
@@ -162,6 +163,7 @@ type peerOut struct {
 	lastRetx     time.Time
 	lastReset    time.Time
 	rto          time.Duration
+	rtt          time.Duration // EWMA of send→ack round trips (0 = no sample)
 }
 
 // outStream is the single sequenced broadcast stream of this connection.
@@ -271,9 +273,44 @@ func Wrap(conn transport.Conn, peers []string, cfg Config) *Conn {
 		c.out.plist = append(c.out.plist, p)
 		c.addStreamLocked(id) // no readers yet; lock-free init is fine
 	}
+	c.registerLinkGauges(cfg.Telemetry)
 	c.wg.Add(1)
 	go c.tickLoop()
 	return c
+}
+
+// registerLinkGauges registers the snapshot-time per-link health gauges:
+// window occupancy (frames sent but unacked by the peer) and shed state.
+// They scan under o.mu only when a snapshot is taken, so the send path
+// pays nothing. With a registry shared by several Conns the last to
+// register a peer label wins (so a member's fresh incarnation takes the
+// series over); per-member registries never collide.
+func (c *Conn) registerLinkGauges(reg *telemetry.Registry) {
+	occ := reg.GaugeFamily("reliable_link_outstanding",
+		"Broadcast frames sent but not yet acked by the peer.",
+		"peer")
+	shed := reg.GaugeFamily("reliable_link_shed",
+		"1 when the peer is shed from the send window (suspect), else 0.",
+		"peer")
+	for _, p := range c.out.plist {
+		p := p
+		occ.Func(p.id, func() int64 {
+			c.out.mu.Lock()
+			defer c.out.mu.Unlock()
+			if p.shed || c.out.next-1 <= p.acked {
+				return 0
+			}
+			return int64(c.out.next - 1 - p.acked)
+		})
+		shed.Func(p.id, func() int64 {
+			c.out.mu.Lock()
+			defer c.out.mu.Unlock()
+			if p.shed {
+				return 1
+			}
+			return 0
+		})
+	}
 }
 
 // addStreamLocked creates the in-stream state for id. Callers must hold
@@ -381,7 +418,7 @@ func (c *Conn) SendFrame(tos []string, f *transport.Frame) error {
 		slot.f.Release() // unreachable when floor accounting holds; defensive
 	}
 	g.Retain()
-	slot.seq, slot.f = seq, g
+	slot.seq, slot.f, slot.at = seq, g, time.Now()
 	// With every peer shed there is no ack obligation left: the floor
 	// tracks the head so the window never jams on a fully-shed group.
 	c.advanceFloorLocked()
@@ -672,6 +709,23 @@ func (c *Conn) applyAck(from string, epoch, ack uint64) {
 		if max := o.next - 1; ack > max {
 			ack = max
 		}
+		// RTT sample: the newly acked head's first-send time is still in
+		// its ring slot (the floor cannot have passed this peer's own
+		// ack). Retransmitted slots keep their original stamp, so loss
+		// inflates the sample — the EWMA absorbs it, and an inflated RTT
+		// under loss is the honest signal for a dashboard anyway.
+		slot := &o.ring[ack%uint64(len(o.ring))]
+		if slot.f != nil && slot.seq == ack && !slot.at.IsZero() {
+			sample := now.Sub(slot.at)
+			if sample > 0 {
+				if p.rtt == 0 {
+					p.rtt = sample
+				} else {
+					p.rtt = (7*p.rtt + sample) / 8
+				}
+				c.ins.linkRTT.With(from).Set(p.rtt.Microseconds())
+			}
+		}
 		p.acked = ack
 		p.lastProgress = now
 		p.rto = c.cfg.RTO
@@ -788,6 +842,7 @@ func (c *Conn) handleNack(from string, epoch uint64, seqs []uint64) {
 		_ = transport.Multicast(c.inner, p.unicast[:], frames[i])
 		frames[i].Release()
 		c.ins.retransmits.Inc()
+		c.ins.linkRetx.With(from).Inc()
 		c.cfg.Trace.Record(telemetry.EventRetransmit, c.self, from, fseqs[i], 0)
 	}
 	if resetNext > 0 {
@@ -968,6 +1023,7 @@ func (c *Conn) pumpSender(now time.Time) {
 		_ = transport.Multicast(c.inner, target.unicast[:], frames[i])
 		frames[i].Release()
 		c.ins.retransmits.Inc()
+		c.ins.linkRetx.With(target.id).Inc()
 		c.cfg.Trace.Record(telemetry.EventRetransmit, c.self, target.id, fseqs[i], 0)
 	}
 }

@@ -1,0 +1,373 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// This file is the cluster half of the observability plane: a scrape
+// client that pulls /vars and /healthz from every member's telemetry
+// server and folds the per-member snapshots into one ClusterView — the
+// structure causaltop renders and scripts consume as JSON. The member
+// side exposes raw series; everything derived (quantiles, skews, worst
+// offenders) is computed here so members stay allocation-free.
+
+// PeerLag is one member's causal lag toward one origin: how many of
+// that origin's messages sit in the holdback queue and how long the
+// oldest has waited. Both return to zero when the member is caught up.
+type PeerLag struct {
+	Peer          string `json:"peer"`
+	HoldbackDepth int64  `json:"holdback_depth"`
+	PendingAgeMS  int64  `json:"pending_age_ms"`
+}
+
+// LinkHealth is the reliability sublayer's view of one outgoing link.
+type LinkHealth struct {
+	Peer        string `json:"peer"`
+	RTTMicros   int64  `json:"rtt_us"`
+	Outstanding int64  `json:"outstanding"`
+	Retransmits uint64 `json:"retransmits"`
+	Shed        bool   `json:"shed"`
+}
+
+// MemberView is one member's scraped and derived state. Up reports
+// whether the scrape succeeded; when it did not, Err carries the reason
+// and every derived field is zero.
+type MemberView struct {
+	Target        string  `json:"target"`
+	Member        string  `json:"member"`
+	Up            bool    `json:"up"`
+	Err           string  `json:"err,omitempty"`
+	UptimeSeconds float64 `json:"uptime_seconds,omitempty"`
+
+	// Causal plane.
+	PeerLags         []PeerLag `json:"peer_lags,omitempty"`
+	VisibilityP50    float64   `json:"visibility_p50_s"`
+	VisibilityP99    float64   `json:"visibility_p99_s"`
+	VisibilityP999   float64   `json:"visibility_p999_s"`
+	VisibilityCount  uint64    `json:"visibility_count"`
+	MaxHoldbackDepth int64     `json:"max_holdback_depth"`
+	MaxPendingAgeMS  int64     `json:"max_pending_age_ms"`
+
+	// Reliability plane.
+	Links []LinkHealth `json:"links,omitempty"`
+
+	// Ordering and stability plane.
+	Epoch          int64 `json:"epoch"`
+	StableCycle    int64 `json:"stable_cycle"`
+	StableAgeMS    int64 `json:"stable_age_ms"`
+	MaxFrontierLag int64 `json:"max_frontier_lag"`
+
+	// Process health.
+	Goroutines     int64 `json:"goroutines"`
+	HeapInuseBytes int64 `json:"heap_inuse_bytes"`
+
+	// Snapshot retains the raw scrape for callers that need series this
+	// view does not derive. Omitted from JSON: causaltop -json emits the
+	// derived view, not a cluster-wide metrics dump.
+	Snapshot Snapshot `json:"-"`
+}
+
+// Offender names the member (and, when peer-scoped, the peer) behind a
+// cluster-wide worst value.
+type Offender struct {
+	Member string `json:"member,omitempty"`
+	Peer   string `json:"peer,omitempty"`
+	Value  int64  `json:"value"`
+}
+
+// ClusterView merges every member's view into the cluster-level
+// signals the §4 consistency model cares about: is causal delivery
+// keeping up (lag), how stale can a read get (visibility, stability
+// frontier), and is the membership in agreement about epochs.
+type ClusterView struct {
+	ScrapedAt time.Time    `json:"scraped_at"`
+	Members   []MemberView `json:"members"`
+	Up        int          `json:"up"`
+	Down      int          `json:"down"`
+
+	MaxHoldback   Offender `json:"max_holdback"`
+	MaxPendingAge Offender `json:"max_pending_age_ms"`
+	MaxFrontier   Offender `json:"max_frontier_lag"`
+
+	// WorstVisibilityP99 is the slowest member's p99 send-to-deliver
+	// latency in seconds.
+	WorstVisibilityP99 float64 `json:"worst_visibility_p99_s"`
+
+	// Stability frontier across up members: every deferred read is
+	// served from a cycle >= MinStableCycle, and StabilitySkew bounds
+	// how far apart members' agreement points sit.
+	MinStableCycle int64 `json:"min_stable_cycle"`
+	MaxStableCycle int64 `json:"max_stable_cycle"`
+	StabilitySkew  int64 `json:"stability_skew"`
+
+	MinEpoch  int64 `json:"min_epoch"`
+	MaxEpoch  int64 `json:"max_epoch"`
+	EpochSkew int64 `json:"epoch_skew"`
+
+	ShedLinks int      `json:"shed_links"`
+	MaxRTT    Offender `json:"max_rtt_us"`
+}
+
+// healthzBody mirrors the Healthz route's JSON.
+type healthzBody struct {
+	Member        string  `json:"member"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// Scraper pulls member telemetry over HTTP. The zero value is usable.
+type Scraper struct {
+	// Client, when nil, falls back to a private client with Timeout.
+	Client *http.Client
+	// Timeout bounds each scrape when Client is nil (default 2s).
+	Timeout time.Duration
+
+	once sync.Once
+	c    *http.Client
+}
+
+func (s *Scraper) client() *http.Client {
+	s.once.Do(func() {
+		s.c = s.Client
+		if s.c == nil {
+			to := s.Timeout
+			if to <= 0 {
+				to = 2 * time.Second
+			}
+			s.c = &http.Client{Timeout: to}
+		}
+	})
+	return s.c
+}
+
+// normalizeTarget accepts "host:port" or a full URL and returns the
+// base URL without a trailing slash.
+func normalizeTarget(target string) string {
+	t := strings.TrimSuffix(strings.TrimSpace(target), "/")
+	if !strings.Contains(t, "://") {
+		t = "http://" + t
+	}
+	return t
+}
+
+func (s *Scraper) getJSON(ctx context.Context, url string, into any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := s.client().Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: status %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(into)
+}
+
+// ScrapeMember fetches one member's /vars and /healthz and derives its
+// MemberView. A failed scrape returns a view with Up=false and Err set
+// rather than an error: one dead member must not hide the rest of the
+// cluster, which is the very condition the dashboard exists to show.
+func (s *Scraper) ScrapeMember(ctx context.Context, target string) MemberView {
+	base := normalizeTarget(target)
+	mv := MemberView{Target: target, Member: target}
+	var snap Snapshot
+	if err := s.getJSON(ctx, base+"/vars", &snap); err != nil {
+		mv.Err = err.Error()
+		return mv
+	}
+	mv.Up = true
+	mv.Snapshot = snap
+	var hz healthzBody
+	if err := s.getJSON(ctx, base+"/healthz", &hz); err == nil {
+		if hz.Member != "" {
+			mv.Member = hz.Member
+		}
+		mv.UptimeSeconds = hz.UptimeSeconds
+	}
+	deriveMember(&mv)
+	return mv
+}
+
+// ScrapeCluster scrapes all targets concurrently and aggregates.
+func (s *Scraper) ScrapeCluster(ctx context.Context, targets []string) ClusterView {
+	members := make([]MemberView, len(targets))
+	var wg sync.WaitGroup
+	for i, t := range targets {
+		wg.Add(1)
+		go func(i int, t string) {
+			defer wg.Done()
+			members[i] = s.ScrapeMember(ctx, t)
+		}(i, t)
+	}
+	wg.Wait()
+	return Aggregate(members)
+}
+
+// deriveMember fills the derived fields of mv from its raw snapshot.
+func deriveMember(mv *MemberView) {
+	snap := mv.Snapshot
+
+	// Per-peer causal lag: join the two gauge families on peer label.
+	lag := map[string]*PeerLag{}
+	peerOrder := []string{}
+	at := func(peer string) *PeerLag {
+		if p, ok := lag[peer]; ok {
+			return p
+		}
+		p := &PeerLag{Peer: peer}
+		lag[peer] = p
+		peerOrder = append(peerOrder, peer)
+		return p
+	}
+	for _, g := range snap.Gauges {
+		switch g.Name {
+		case "causal_peer_holdback_depth":
+			at(g.Label).HoldbackDepth = g.Value
+		case "causal_peer_pending_age_ms":
+			at(g.Label).PendingAgeMS = g.Value
+		}
+	}
+	sort.Strings(peerOrder)
+	for _, peer := range peerOrder {
+		p := *lag[peer]
+		mv.PeerLags = append(mv.PeerLags, p)
+		if p.HoldbackDepth > mv.MaxHoldbackDepth {
+			mv.MaxHoldbackDepth = p.HoldbackDepth
+		}
+		if p.PendingAgeMS > mv.MaxPendingAgeMS {
+			mv.MaxPendingAgeMS = p.PendingAgeMS
+		}
+	}
+
+	// Visibility quantiles merge every origin's histogram.
+	mv.VisibilityP50 = snap.Quantile("causal_visibility_seconds", 0.50)
+	mv.VisibilityP99 = snap.Quantile("causal_visibility_seconds", 0.99)
+	mv.VisibilityP999 = snap.Quantile("causal_visibility_seconds", 0.999)
+	for _, h := range snap.Histograms {
+		if h.Name == "causal_visibility_seconds" {
+			mv.VisibilityCount += h.Count
+		}
+	}
+
+	// Link health: join RTT/outstanding/shed gauges and the retransmit
+	// counter family on peer label.
+	links := map[string]*LinkHealth{}
+	linkOrder := []string{}
+	link := func(peer string) *LinkHealth {
+		if l, ok := links[peer]; ok {
+			return l
+		}
+		l := &LinkHealth{Peer: peer}
+		links[peer] = l
+		linkOrder = append(linkOrder, peer)
+		return l
+	}
+	for _, g := range snap.Gauges {
+		switch g.Name {
+		case "reliable_link_rtt_us":
+			link(g.Label).RTTMicros = g.Value
+		case "reliable_link_outstanding":
+			link(g.Label).Outstanding = g.Value
+		case "reliable_link_shed":
+			link(g.Label).Shed = g.Value != 0
+		}
+	}
+	for _, c := range snap.Counters {
+		if c.Name == "reliable_link_retransmits_total" {
+			link(c.Label).Retransmits = c.Value
+		}
+	}
+	sort.Strings(linkOrder)
+	for _, peer := range linkOrder {
+		mv.Links = append(mv.Links, *links[peer])
+	}
+
+	if v, ok := snap.GaugeValue("total_epoch", ""); ok {
+		mv.Epoch = v
+	}
+	if v, ok := snap.GaugeValue("core_stable_cycle", ""); ok {
+		mv.StableCycle = v
+	}
+	if v, ok := snap.GaugeValue("core_stable_age_ms", ""); ok {
+		mv.StableAgeMS = v
+	}
+	for _, g := range snap.Gauges {
+		if g.Name == "total_member_frontier_lag" && g.Value > mv.MaxFrontierLag {
+			mv.MaxFrontierLag = g.Value
+		}
+	}
+	if v, ok := snap.GaugeValue("runtime_goroutines", ""); ok {
+		mv.Goroutines = v
+	}
+	if v, ok := snap.GaugeValue("runtime_heap_inuse_bytes", ""); ok {
+		mv.HeapInuseBytes = v
+	}
+}
+
+// Aggregate folds member views into the cluster view. Down members
+// count toward Down but contribute nothing to the derived extrema, so
+// a partitioned member reads as absent, not as healthy.
+func Aggregate(members []MemberView) ClusterView {
+	cv := ClusterView{ScrapedAt: time.Now(), Members: members}
+	first := true
+	for i := range members {
+		m := &members[i]
+		if !m.Up {
+			cv.Down++
+			continue
+		}
+		cv.Up++
+		for _, p := range m.PeerLags {
+			if p.HoldbackDepth > cv.MaxHoldback.Value {
+				cv.MaxHoldback = Offender{Member: m.Member, Peer: p.Peer, Value: p.HoldbackDepth}
+			}
+			if p.PendingAgeMS > cv.MaxPendingAge.Value {
+				cv.MaxPendingAge = Offender{Member: m.Member, Peer: p.Peer, Value: p.PendingAgeMS}
+			}
+		}
+		if m.MaxFrontierLag > cv.MaxFrontier.Value {
+			cv.MaxFrontier = Offender{Member: m.Member, Value: m.MaxFrontierLag}
+		}
+		if m.VisibilityP99 > cv.WorstVisibilityP99 {
+			cv.WorstVisibilityP99 = m.VisibilityP99
+		}
+		for _, l := range m.Links {
+			if l.Shed {
+				cv.ShedLinks++
+			}
+			if l.RTTMicros > cv.MaxRTT.Value {
+				cv.MaxRTT = Offender{Member: m.Member, Peer: l.Peer, Value: l.RTTMicros}
+			}
+		}
+		if first {
+			cv.MinStableCycle, cv.MaxStableCycle = m.StableCycle, m.StableCycle
+			cv.MinEpoch, cv.MaxEpoch = m.Epoch, m.Epoch
+			first = false
+			continue
+		}
+		if m.StableCycle < cv.MinStableCycle {
+			cv.MinStableCycle = m.StableCycle
+		}
+		if m.StableCycle > cv.MaxStableCycle {
+			cv.MaxStableCycle = m.StableCycle
+		}
+		if m.Epoch < cv.MinEpoch {
+			cv.MinEpoch = m.Epoch
+		}
+		if m.Epoch > cv.MaxEpoch {
+			cv.MaxEpoch = m.Epoch
+		}
+	}
+	cv.StabilitySkew = cv.MaxStableCycle - cv.MinStableCycle
+	cv.EpochSkew = cv.MaxEpoch - cv.MinEpoch
+	return cv
+}

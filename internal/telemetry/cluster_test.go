@@ -1,0 +1,140 @@
+package telemetry
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// fakeMemberServer serves a registry populated the way a real member's
+// engine/reliable/total/core stack would populate it.
+func fakeMemberServer(t *testing.T, member string, epoch, cycle int64, holdback map[string]int64, shedPeer string) *Server {
+	t.Helper()
+	reg := NewRegistry()
+	hb := reg.GaugeFamily("causal_peer_holdback_depth", "", "peer")
+	age := reg.GaugeFamily("causal_peer_pending_age_ms", "", "peer")
+	vis := reg.HistogramFamily("causal_visibility_seconds", "", "peer", DurationBuckets)
+	rtt := reg.GaugeFamily("reliable_link_rtt_us", "", "peer")
+	shed := reg.GaugeFamily("reliable_link_shed", "", "peer")
+	retx := reg.CounterFamily("reliable_link_retransmits_total", "", "peer")
+	for peer, depth := range holdback {
+		hb.With(peer).Set(depth)
+		age.With(peer).Set(depth * 10)
+		vis.With(peer).Observe(0.005)
+		vis.With(peer).Observe(0.050)
+		rtt.With(peer).Set(150)
+		retx.With(peer).Add(uint64(depth))
+		if peer == shedPeer {
+			shed.With(peer).Set(1)
+		}
+	}
+	reg.Gauge("total_epoch", "").Set(epoch)
+	reg.Gauge("core_stable_cycle", "").Set(cycle)
+	reg.Gauge("core_stable_age_ms", "").Set(7)
+	fl := reg.GaugeFamily("total_member_frontier_lag", "", "peer")
+	for peer, depth := range holdback {
+		fl.With(peer).Set(depth)
+	}
+	srv, err := Serve("127.0.0.1:0", reg, nil, Healthz(member))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	return srv
+}
+
+// TestScrapeCluster drives the full observability pipeline over real
+// HTTP: two live members, one dead target, aggregated into a cluster
+// view with the skews and worst offenders causaltop renders.
+func TestScrapeCluster(t *testing.T) {
+	a := fakeMemberServer(t, "a", 3, 10, map[string]int64{"b": 4, "c": 1}, "c")
+	b := fakeMemberServer(t, "b", 5, 12, map[string]int64{"a": 2, "c": 9}, "")
+
+	s := &Scraper{Timeout: 2 * time.Second}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	// 127.0.0.1:1 is reserved and refuses connections — the dead member.
+	view := s.ScrapeCluster(ctx, []string{a.Addr(), b.Addr(), "127.0.0.1:1"})
+
+	if view.Up != 2 || view.Down != 1 {
+		t.Fatalf("up/down = %d/%d, want 2/1", view.Up, view.Down)
+	}
+	if len(view.Members) != 3 {
+		t.Fatalf("members = %d, want 3", len(view.Members))
+	}
+	ma, mb, dead := view.Members[0], view.Members[1], view.Members[2]
+	if ma.Member != "a" || mb.Member != "b" {
+		t.Fatalf("healthz identity not applied: %q, %q", ma.Member, mb.Member)
+	}
+	if dead.Up || dead.Err == "" {
+		t.Fatalf("dead target reported up=%v err=%q", dead.Up, dead.Err)
+	}
+
+	if got := len(ma.PeerLags); got != 2 {
+		t.Fatalf("member a peer lags = %d, want 2", got)
+	}
+	if ma.MaxHoldbackDepth != 4 || ma.MaxPendingAgeMS != 40 {
+		t.Fatalf("member a max holdback/age = %d/%d, want 4/40", ma.MaxHoldbackDepth, ma.MaxPendingAgeMS)
+	}
+	// Two observations (5ms, 50ms) per peer: the p50 must land in the
+	// 5ms region and the p99 in the 50ms region of the bucket ladder.
+	if ma.VisibilityCount != 4 {
+		t.Fatalf("member a visibility count = %d, want 4", ma.VisibilityCount)
+	}
+	if ma.VisibilityP50 <= 0 || ma.VisibilityP50 > 0.020 {
+		t.Fatalf("p50 = %v, want in (0, 20ms]", ma.VisibilityP50)
+	}
+	if ma.VisibilityP99 < 0.020 || ma.VisibilityP99 > 0.200 {
+		t.Fatalf("p99 = %v, want in [20ms, 200ms]", ma.VisibilityP99)
+	}
+
+	if view.MaxHoldback.Member != "b" || view.MaxHoldback.Peer != "c" || view.MaxHoldback.Value != 9 {
+		t.Fatalf("max holdback = %+v, want b<-c 9", view.MaxHoldback)
+	}
+	if view.MinStableCycle != 10 || view.MaxStableCycle != 12 || view.StabilitySkew != 2 {
+		t.Fatalf("stability = [%d..%d] skew %d, want [10..12] skew 2",
+			view.MinStableCycle, view.MaxStableCycle, view.StabilitySkew)
+	}
+	if view.MinEpoch != 3 || view.MaxEpoch != 5 || view.EpochSkew != 2 {
+		t.Fatalf("epoch = [%d..%d] skew %d, want [3..5] skew 2",
+			view.MinEpoch, view.MaxEpoch, view.EpochSkew)
+	}
+	if view.ShedLinks != 1 {
+		t.Fatalf("shed links = %d, want 1", view.ShedLinks)
+	}
+	if view.MaxRTT.Value != 150 {
+		t.Fatalf("max rtt = %+v, want 150", view.MaxRTT)
+	}
+	// Serve registers the runtime collector: the scrape must carry it.
+	if ma.Goroutines <= 0 {
+		t.Fatalf("goroutines = %d, want > 0", ma.Goroutines)
+	}
+}
+
+// TestAggregateAllDown pins the degenerate case: no live member means
+// zero-valued extrema, not garbage from the unreachable views.
+func TestAggregateAllDown(t *testing.T) {
+	view := Aggregate([]MemberView{
+		{Target: "x", Err: "refused"},
+		{Target: "y", Err: "refused"},
+	})
+	if view.Up != 0 || view.Down != 2 {
+		t.Fatalf("up/down = %d/%d, want 0/2", view.Up, view.Down)
+	}
+	if view.StabilitySkew != 0 || view.EpochSkew != 0 || view.MaxHoldback.Value != 0 {
+		t.Fatalf("extrema not zero: %+v", view)
+	}
+}
+
+func TestNormalizeTarget(t *testing.T) {
+	for in, want := range map[string]string{
+		"localhost:9090":      "http://localhost:9090",
+		" 10.0.0.1:9090/ ":    "http://10.0.0.1:9090",
+		"https://m1.exa:443":  "https://m1.exa:443",
+		"http://m2.exa:8080/": "http://m2.exa:8080",
+	} {
+		if got := normalizeTarget(in); got != want {
+			t.Errorf("normalizeTarget(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package telemetry
+
+import "sort"
+
+// MetricDesc describes one registered metric for documentation: its
+// name, kind, label key (families only), and help string. Unlike
+// Snapshot it covers registration, not data — a family with no minted
+// children still appears, which is what a metrics reference needs.
+type MetricDesc struct {
+	Name     string
+	Kind     string // "counter" | "gauge" | "histogram"
+	LabelKey string // non-empty for per-label families
+	Help     string
+}
+
+// Describe returns every registered metric, sorted by name. Func-backed
+// metrics report their exposition kind; the doc generator (cmd/metricsdoc,
+// make metrics-doc) walks this to produce docs/METRICS.md.
+func (r *Registry) Describe() []MetricDesc {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]MetricDesc, 0,
+		len(r.counters)+len(r.gauges)+len(r.histograms)+len(r.funcs)+len(r.families))
+	for name, c := range r.counters {
+		out = append(out, MetricDesc{Name: name, Kind: "counter", Help: c.help})
+	}
+	for name, g := range r.gauges {
+		out = append(out, MetricDesc{Name: name, Kind: "gauge", Help: g.help})
+	}
+	for name, h := range r.histograms {
+		out = append(out, MetricDesc{Name: name, Kind: "histogram", Help: h.help})
+	}
+	for name, f := range r.funcs {
+		kind := "gauge"
+		if f.counter != nil {
+			kind = "counter"
+		}
+		out = append(out, MetricDesc{Name: name, Kind: kind, Help: f.help})
+	}
+	for name, f := range r.families {
+		out = append(out, MetricDesc{Name: name, Kind: f.kind, LabelKey: f.key, Help: f.help})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

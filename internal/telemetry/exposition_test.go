@@ -1,0 +1,168 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestWriteTextGolden pins the Prometheus text exposition byte for byte:
+// HELP/TYPE headers once per metric name, stable name-then-label
+// ordering, cumulative buckets ending in +Inf, and _sum/_count lines
+// consistent with the observations. A renderer change that reorders or
+// reformats series breaks real scrape configs, so the expected text is
+// spelled out in full.
+func TestWriteTextGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("zz_last", "Registered first, renders last.").Add(9)
+	reg.Gauge("app_depth", "Queue depth.").Set(-3)
+	h := reg.Histogram("app_wait_seconds", "Wait time.", []float64{0.1, 1})
+	h.Observe(0.05) // first bucket
+	h.Observe(0.5)  // second bucket
+	h.Observe(5)    // +Inf bucket
+	cf := reg.CounterFamily("app_sent_total", "Frames sent per peer.", "peer")
+	cf.With("b").Add(2)
+	cf.With("a").Add(1)
+	hf := reg.HistogramFamily("app_rtt_seconds", "RTT per peer.", "peer", []float64{0.5})
+	hf.With("a").Observe(0.25)
+	hf.With("a").Observe(2)
+
+	var b strings.Builder
+	WriteText(&b, reg.Snapshot())
+	want := `# HELP app_sent_total Frames sent per peer.
+# TYPE app_sent_total counter
+app_sent_total{peer="a"} 1
+app_sent_total{peer="b"} 2
+# HELP zz_last Registered first, renders last.
+# TYPE zz_last counter
+zz_last 9
+# HELP app_depth Queue depth.
+# TYPE app_depth gauge
+app_depth -3
+# HELP app_rtt_seconds RTT per peer.
+# TYPE app_rtt_seconds histogram
+app_rtt_seconds_bucket{peer="a",le="0.5"} 1
+app_rtt_seconds_bucket{peer="a",le="+Inf"} 2
+app_rtt_seconds_sum{peer="a"} 2.25
+app_rtt_seconds_count{peer="a"} 2
+# HELP app_wait_seconds Wait time.
+# TYPE app_wait_seconds histogram
+app_wait_seconds_bucket{le="0.1"} 1
+app_wait_seconds_bucket{le="1"} 2
+app_wait_seconds_bucket{le="+Inf"} 3
+app_wait_seconds_sum 5.55
+app_wait_seconds_count 3
+`
+	if got := b.String(); got != want {
+		t.Fatalf("exposition drifted.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestWriteTextHeaderOncePerFamily: a family with several children must
+// emit its HELP/TYPE header exactly once.
+func TestWriteTextHeaderOncePerFamily(t *testing.T) {
+	reg := NewRegistry()
+	gf := reg.GaugeFamily("fam_depth", "Depth per peer.", "peer")
+	for _, p := range []string{"a", "b", "c", "d"} {
+		gf.With(p).Set(1)
+	}
+	var b strings.Builder
+	WriteText(&b, reg.Snapshot())
+	if got := strings.Count(b.String(), "# TYPE fam_depth gauge"); got != 1 {
+		t.Fatalf("TYPE header emitted %d times, want 1:\n%s", got, b.String())
+	}
+	if got := strings.Count(b.String(), "fam_depth{"); got != 4 {
+		t.Fatalf("%d child series, want 4:\n%s", got, b.String())
+	}
+}
+
+// TestRingConcurrentRecordSnapshot hammers one ring from parallel
+// recorders while snapshots and Dropped reads race them; run under
+// -race this is the regression net for the ring's locking. Accounting
+// must balance exactly: every record is either in the final snapshot or
+// counted dropped.
+func TestRingConcurrentRecordSnapshot(t *testing.T) {
+	const (
+		capacity  = 64
+		writers   = 8
+		perWriter = 500
+	)
+	ring := NewRing(capacity)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				ring.Record(EventDeliver, "m", "origin", uint64(i), int64(w))
+			}
+		}(w)
+	}
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				snap := ring.Snapshot()
+				if len(snap) > capacity {
+					t.Errorf("snapshot holds %d events, cap %d", len(snap), capacity)
+					return
+				}
+				_ = ring.Dropped()
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	snap := ring.Snapshot()
+	if len(snap) != capacity {
+		t.Fatalf("final snapshot holds %d, want full ring of %d", len(snap), capacity)
+	}
+	if got := ring.Dropped() + uint64(len(snap)); got != writers*perWriter {
+		t.Fatalf("dropped+retained = %d, want %d (accounting leak)", got, writers*perWriter)
+	}
+	// Oldest-first: At must be non-decreasing across the snapshot.
+	for i := 1; i < len(snap); i++ {
+		if snap[i].At < snap[i-1].At {
+			t.Fatalf("snapshot out of order at %d: %d < %d", i, snap[i].At, snap[i-1].At)
+		}
+	}
+}
+
+// TestSnapshotEmptyRegistry: Get, GaugeValue, HistogramAt, Quantile and
+// Compact must be well-behaved on a registry with nothing in it, and on
+// the zero Snapshot.
+func TestSnapshotEmptyRegistry(t *testing.T) {
+	snap := NewRegistry().Snapshot()
+	if got := snap.Get("anything"); got != 0 {
+		t.Fatalf("Get on empty = %d, want 0", got)
+	}
+	if _, ok := snap.GaugeValue("anything", ""); ok {
+		t.Fatal("GaugeValue found a series in an empty registry")
+	}
+	if _, ok := snap.HistogramAt("anything", ""); ok {
+		t.Fatal("HistogramAt found a series in an empty registry")
+	}
+	if q := snap.Quantile("anything", 0.99); q != 0 {
+		t.Fatalf("Quantile on empty = %v, want 0", q)
+	}
+	if got := snap.Compact(); got != "" {
+		t.Fatalf("Compact on empty = %q, want empty", got)
+	}
+	var zero Snapshot
+	if got := zero.Compact(); got != "" {
+		t.Fatalf("Compact on zero snapshot = %q, want empty", got)
+	}
+	var b strings.Builder
+	WriteText(&b, zero)
+	if b.Len() != 0 {
+		t.Fatalf("WriteText on zero snapshot emitted %q", b.String())
+	}
+}

@@ -1,0 +1,223 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// family is the registry-side record behind CounterFamily, GaugeFamily
+// and HistogramFamily: one metric name, one label key, lazily minted
+// per-label children. The fast path (With on an already-minted label) is
+// an RLock + map hit — no allocation — so hot paths may call With per
+// event, though engines normally resolve children once at construction.
+type family struct {
+	name   string
+	help   string
+	key    string // label key ("peer", "link", ...)
+	kind   string // "counter" | "gauge" | "histogram"
+	bounds []float64
+
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	funcs    map[string]func() int64 // snapshot-time gauge children
+}
+
+func newFamily(name, help, key, kind string, bounds []float64) *family {
+	return &family{
+		name: name, help: help, key: key, kind: kind, bounds: bounds,
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		funcs:    make(map[string]func() int64),
+	}
+}
+
+// CounterFamily mints per-label counters under one metric name. The zero
+// value and nil are valid "telemetry disabled" families: With returns a
+// nil *Counter whose methods are no-ops.
+type CounterFamily struct{ f *family }
+
+// With returns the counter for label, minting it on first use.
+func (cf *CounterFamily) With(label string) *Counter {
+	if cf == nil || cf.f == nil {
+		return nil
+	}
+	cf.f.mu.RLock()
+	c := cf.f.counters[label]
+	cf.f.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	cf.f.mu.Lock()
+	defer cf.f.mu.Unlock()
+	if c := cf.f.counters[label]; c != nil {
+		return c
+	}
+	c = &Counter{help: cf.f.help}
+	cf.f.counters[label] = c
+	return c
+}
+
+// GaugeFamily mints per-label gauges under one metric name. Nil-safe.
+type GaugeFamily struct{ f *family }
+
+// With returns the gauge for label, minting it on first use.
+func (gf *GaugeFamily) With(label string) *Gauge {
+	if gf == nil || gf.f == nil {
+		return nil
+	}
+	gf.f.mu.RLock()
+	g := gf.f.gauges[label]
+	gf.f.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	gf.f.mu.Lock()
+	defer gf.f.mu.Unlock()
+	if g := gf.f.gauges[label]; g != nil {
+		return g
+	}
+	g = &Gauge{help: gf.f.help}
+	gf.f.gauges[label] = g
+	return g
+}
+
+// Func registers a snapshot-time gauge child for label — the per-peer
+// analogue of Registry.GaugeFunc, for values computed by scanning engine
+// state (holdback depth toward a peer) rather than maintained inline.
+// The LAST registration per label wins: when a member incarnation is
+// torn down and restarted against the same registry (chaos rejoin), the
+// live engine's closure must replace the dead one's, which would
+// otherwise keep reporting the frozen incarnation's state forever. fn
+// runs under the registry snapshot lock; it may take subsystem locks
+// but must not touch the registry.
+func (gf *GaugeFamily) Func(label string, fn func() int64) {
+	if gf == nil || gf.f == nil || fn == nil {
+		return
+	}
+	gf.f.mu.Lock()
+	defer gf.f.mu.Unlock()
+	gf.f.funcs[label] = fn
+}
+
+// HistogramFamily mints per-label histograms (one shared bucket ladder)
+// under one metric name. Nil-safe.
+type HistogramFamily struct{ f *family }
+
+// With returns the histogram for label, minting it on first use.
+func (hf *HistogramFamily) With(label string) *Histogram {
+	if hf == nil || hf.f == nil {
+		return nil
+	}
+	hf.f.mu.RLock()
+	h := hf.f.hists[label]
+	hf.f.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	hf.f.mu.Lock()
+	defer hf.f.mu.Unlock()
+	if h := hf.f.hists[label]; h != nil {
+		return h
+	}
+	h = &Histogram{
+		help:   hf.f.help,
+		bounds: hf.f.bounds,
+		counts: make([]atomic.Uint64, len(hf.f.bounds)+1),
+	}
+	hf.f.hists[label] = h
+	return h
+}
+
+// CounterFamily registers (or returns the existing) per-label counter
+// family. key is the label key every child shares ("peer"). Re-requesting
+// a family name with a different key panics — series under one name must
+// agree on their label key.
+func (r *Registry) CounterFamily(name, help, key string) *CounterFamily {
+	if r == nil {
+		return nil
+	}
+	return &CounterFamily{f: r.family(name, help, key, "counter", nil)}
+}
+
+// GaugeFamily registers (or returns the existing) per-label gauge family.
+func (r *Registry) GaugeFamily(name, help, key string) *GaugeFamily {
+	if r == nil {
+		return nil
+	}
+	return &GaugeFamily{f: r.family(name, help, key, "gauge", nil)}
+}
+
+// HistogramFamily registers (or returns the existing) per-label histogram
+// family. As with Histogram, re-registration keeps the first bucket
+// ladder.
+func (r *Registry) HistogramFamily(name, help, key string, buckets []float64) *HistogramFamily {
+	if r == nil {
+		return nil
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("telemetry: histogram family %q buckets not increasing", name))
+		}
+	}
+	return &HistogramFamily{f: r.family(name, help, key, "histogram", append([]float64(nil), buckets...))}
+}
+
+func (r *Registry) family(name, help, key, kind string, bounds []float64) *family {
+	if !validName(key) {
+		panic(fmt.Sprintf("telemetry: invalid label key %q for family %q", key, name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != kind {
+			panic(fmt.Sprintf("telemetry: family %q already registered as a %s family", name, f.kind))
+		}
+		if f.key != key {
+			panic(fmt.Sprintf("telemetry: family %q already registered with label key %q", name, f.key))
+		}
+		return f
+	}
+	r.checkNameLocked(name, "family")
+	f := newFamily(name, help, key, kind, bounds)
+	r.families[name] = f
+	return f
+}
+
+// snapshotInto appends every child series to the snapshot. Caller holds
+// the registry lock; f.mu orders against concurrent minting.
+func (f *family) snapshotInto(s *Snapshot) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	for label, c := range f.counters {
+		s.Counters = append(s.Counters, CounterSnapshot{
+			Name: f.name, Help: f.help, LabelKey: f.key, Label: label, Value: c.Value(),
+		})
+	}
+	for label, g := range f.gauges {
+		s.Gauges = append(s.Gauges, GaugeSnapshot{
+			Name: f.name, Help: f.help, LabelKey: f.key, Label: label, Value: g.Value(),
+		})
+	}
+	for label, fn := range f.funcs {
+		s.Gauges = append(s.Gauges, GaugeSnapshot{
+			Name: f.name, Help: f.help, LabelKey: f.key, Label: label, Value: fn(),
+		})
+	}
+	for label, h := range f.hists {
+		hs := HistogramSnapshot{
+			Name: f.name, Help: f.help, LabelKey: f.key, Label: label,
+			Bounds: append([]float64(nil), h.bounds...),
+			Counts: make([]uint64, len(h.counts)),
+			Count:  h.Count(),
+			Sum:    h.Sum(),
+		}
+		for i := range h.counts {
+			hs.Counts[i] = h.counts[i].Load()
+		}
+		s.Histograms = append(s.Histograms, hs)
+	}
+}

@@ -5,32 +5,50 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // WriteText renders a snapshot in the Prometheus text exposition format
 // (version 0.0.4): HELP/TYPE comments, plain series for counters and
 // gauges, cumulative le-labelled series plus _sum/_count for histograms.
+// Family children render as name{key="label"} series; HELP/TYPE emit once
+// per metric name (the snapshot is sorted name-then-label, so children of
+// one family are contiguous).
 func WriteText(b *strings.Builder, s Snapshot) {
+	prev := ""
 	for _, c := range s.Counters {
-		writeHeader(b, c.Name, c.Help, "counter")
-		fmt.Fprintf(b, "%s %d\n", c.Name, c.Value)
+		if c.Name != prev {
+			writeHeader(b, c.Name, c.Help, "counter")
+			prev = c.Name
+		}
+		fmt.Fprintf(b, "%s%s %d\n", c.Name, labelSuffix(c.LabelKey, c.Label), c.Value)
 	}
+	prev = ""
 	for _, g := range s.Gauges {
-		writeHeader(b, g.Name, g.Help, "gauge")
-		fmt.Fprintf(b, "%s %d\n", g.Name, g.Value)
+		if g.Name != prev {
+			writeHeader(b, g.Name, g.Help, "gauge")
+			prev = g.Name
+		}
+		fmt.Fprintf(b, "%s%s %d\n", g.Name, labelSuffix(g.LabelKey, g.Label), g.Value)
 	}
+	prev = ""
 	for _, h := range s.Histograms {
-		writeHeader(b, h.Name, h.Help, "histogram")
+		if h.Name != prev {
+			writeHeader(b, h.Name, h.Help, "histogram")
+			prev = h.Name
+		}
+		series := labelSuffix(h.LabelKey, h.Label)
 		var cum uint64
 		for i, bound := range h.Bounds {
 			cum += h.Counts[i]
-			fmt.Fprintf(b, "%s_bucket{le=%q} %d\n", h.Name, formatBound(bound), cum)
+			fmt.Fprintf(b, "%s_bucket%s %d\n", h.Name, bucketSuffix(h.LabelKey, h.Label, formatBound(bound)), cum)
 		}
-		fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", h.Name, h.Count)
-		fmt.Fprintf(b, "%s_sum %s\n", h.Name, strconv.FormatFloat(h.Sum, 'g', -1, 64))
-		fmt.Fprintf(b, "%s_count %d\n", h.Name, h.Count)
+		fmt.Fprintf(b, "%s_bucket%s %d\n", h.Name, bucketSuffix(h.LabelKey, h.Label, "+Inf"), h.Count)
+		fmt.Fprintf(b, "%s_sum%s %s\n", h.Name, series, strconv.FormatFloat(h.Sum, 'g', -1, 64))
+		fmt.Fprintf(b, "%s_count%s %d\n", h.Name, series, h.Count)
 	}
 }
 
@@ -43,6 +61,24 @@ func writeHeader(b *strings.Builder, name, help, kind string) {
 
 func formatBound(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// labelSuffix renders the {key="label"} selector for a family child, or
+// "" for an unlabeled series.
+func labelSuffix(key, label string) string {
+	if key == "" {
+		return ""
+	}
+	return "{" + key + "=" + strconv.Quote(label) + "}"
+}
+
+// bucketSuffix renders the histogram-bucket selector, folding the family
+// label (when present) in front of le.
+func bucketSuffix(key, label, le string) string {
+	if key == "" {
+		return "{le=" + strconv.Quote(le) + "}"
+	}
+	return "{" + key + "=" + strconv.Quote(label) + ",le=" + strconv.Quote(le) + "}"
 }
 
 // Handler serves reg in Prometheus text format.
@@ -111,26 +147,60 @@ type Route struct {
 	Handler http.Handler
 }
 
+// Healthz returns a liveness Route for /healthz reporting the member id,
+// process uptime, and wall-clock time — the identity endpoint causaltop
+// uses to map scrape targets to group members.
+func Healthz(member string) Route {
+	started := time.Now()
+	return Route{Pattern: "/healthz", Handler: http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(struct {
+			Member        string  `json:"member,omitempty"`
+			UptimeSeconds float64 `json:"uptime_seconds"`
+			NowUnixNanos  int64   `json:"now_unix_ns"`
+		}{Member: member, UptimeSeconds: time.Since(started).Seconds(), NowUnixNanos: time.Now().UnixNano()})
+	})}
+}
+
 // Serve starts an HTTP server on addr exposing:
 //
-//	/metrics  Prometheus text
-//	/vars     JSON snapshot
-//	/trace    event-ring dump (404 when ring is nil)
+//	/metrics       Prometheus text
+//	/vars          JSON snapshot
+//	/trace         event-ring dump (empty when ring is nil — the ring is
+//	               nil-safe, so serving without one is not an error)
+//	/healthz       liveness + uptime (pass Healthz(member) as an extra
+//	               route to stamp the member id; a default anonymous one
+//	               mounts otherwise)
+//	/debug/pprof/  the standard runtime profiles (heap, goroutine, CPU,
+//	               execution trace) on this mux, not the default mux
 //
-// plus any extra routes. Pass addr ":0" to bind an ephemeral port; Addr
+// plus any extra routes, and registers the runtime collector (goroutines,
+// heap, GC) on reg. Pass addr ":0" to bind an ephemeral port; Addr
 // reports the bound address. The caller owns the returned server and must
 // Close it.
 func Serve(addr string, reg *Registry, ring *Ring, extra ...Route) (*Server, error) {
+	RegisterRuntime(reg)
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", Handler(reg))
 	mux.Handle("/vars", JSONHandler(reg))
-	if ring != nil {
-		mux.Handle("/trace", TraceHandler(ring))
-	}
+	mux.Handle("/trace", TraceHandler(ring))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	healthz := false
 	for _, r := range extra {
 		if r.Handler != nil {
 			mux.Handle(r.Pattern, r.Handler)
+			if r.Pattern == "/healthz" {
+				healthz = true
+			}
 		}
+	}
+	if !healthz {
+		h := Healthz("")
+		mux.Handle(h.Pattern, h.Handler)
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

@@ -1,0 +1,64 @@
+package telemetry
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// memSampler caches one runtime.ReadMemStats per sampling window so a
+// single Snapshot (which reads several runtime gauges back to back)
+// triggers at most one stop-the-world stats collection.
+type memSampler struct {
+	mu   sync.Mutex
+	at   time.Time
+	ms   runtime.MemStats
+	once bool
+}
+
+const memSampleWindow = 250 * time.Millisecond
+
+func (m *memSampler) read(f func(*runtime.MemStats) int64) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.once || time.Since(m.at) > memSampleWindow {
+		runtime.ReadMemStats(&m.ms)
+		m.at = time.Now()
+		m.once = true
+	}
+	return f(&m.ms)
+}
+
+// RegisterRuntime registers process-level runtime gauges — goroutine
+// count, heap in use, GC pause totals and cycle count — as snapshot-time
+// funcs, so they cost nothing between scrapes. Idempotent (first
+// registration wins, like every func metric); nil registry is a no-op.
+func RegisterRuntime(r *Registry) {
+	if r == nil {
+		return
+	}
+	s := &memSampler{}
+	r.GaugeFunc("runtime_goroutines",
+		"live goroutines in this process",
+		func() int64 { return int64(runtime.NumGoroutine()) })
+	r.GaugeFunc("runtime_heap_inuse_bytes",
+		"bytes in in-use heap spans",
+		func() int64 { return s.read(func(ms *runtime.MemStats) int64 { return int64(ms.HeapInuse) }) })
+	r.GaugeFunc("runtime_heap_objects",
+		"live heap objects",
+		func() int64 { return s.read(func(ms *runtime.MemStats) int64 { return int64(ms.HeapObjects) }) })
+	r.GaugeFunc("runtime_next_gc_bytes",
+		"heap size that triggers the next GC cycle",
+		func() int64 { return s.read(func(ms *runtime.MemStats) int64 { return int64(ms.NextGC) }) })
+	r.CounterFunc("runtime_gc_cycles_total",
+		"completed GC cycles",
+		func() uint64 { return uint64(s.read(func(ms *runtime.MemStats) int64 { return int64(ms.NumGC) })) })
+	r.CounterFunc("runtime_gc_pause_ns_total",
+		"cumulative stop-the-world GC pause nanoseconds",
+		func() uint64 {
+			return uint64(s.read(func(ms *runtime.MemStats) int64 { return int64(ms.PauseTotalNs) }))
+		})
+	r.CounterFunc("runtime_alloc_bytes_total",
+		"cumulative bytes allocated on the heap",
+		func() uint64 { return uint64(s.read(func(ms *runtime.MemStats) int64 { return int64(ms.TotalAlloc) })) })
+}

@@ -46,6 +46,7 @@ type Registry struct {
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
 	funcs      map[string]funcMetric
+	families   map[string]*family
 }
 
 type funcMetric struct {
@@ -61,6 +62,7 @@ func NewRegistry() *Registry {
 		gauges:     make(map[string]*Gauge),
 		histograms: make(map[string]*Histogram),
 		funcs:      make(map[string]funcMetric),
+		families:   make(map[string]*family),
 	}
 }
 
@@ -97,6 +99,7 @@ func (r *Registry) checkNameLocked(name, kind string) {
 		"gauge":     r.gauges[name] != nil,
 		"histogram": r.histograms[name] != nil,
 		"func":      hasFunc(r.funcs, name),
+		"family":    r.families[name] != nil,
 	} {
 		if m && k != kind {
 			panic(fmt.Sprintf("telemetry: %q already registered as a %s", name, k))
@@ -345,30 +348,87 @@ var (
 	ByteBuckets = []float64{64, 256, 1024, 4096, 16384, 65536, 262144, 1048576}
 )
 
-// CounterSnapshot is one counter's value at snapshot time.
+// CounterSnapshot is one counter's value at snapshot time. Label/LabelKey
+// are set only for family children ({LabelKey="Label"} series).
 type CounterSnapshot struct {
-	Name  string `json:"name"`
-	Help  string `json:"help,omitempty"`
-	Value uint64 `json:"value"`
+	Name     string `json:"name"`
+	Help     string `json:"help,omitempty"`
+	LabelKey string `json:"label_key,omitempty"`
+	Label    string `json:"label,omitempty"`
+	Value    uint64 `json:"value"`
 }
 
 // GaugeSnapshot is one gauge's value at snapshot time.
 type GaugeSnapshot struct {
-	Name  string `json:"name"`
-	Help  string `json:"help,omitempty"`
-	Value int64  `json:"value"`
+	Name     string `json:"name"`
+	Help     string `json:"help,omitempty"`
+	LabelKey string `json:"label_key,omitempty"`
+	Label    string `json:"label,omitempty"`
+	Value    int64  `json:"value"`
 }
 
 // HistogramSnapshot is one histogram's state at snapshot time.
 type HistogramSnapshot struct {
-	Name string `json:"name"`
-	Help string `json:"help,omitempty"`
+	Name     string `json:"name"`
+	Help     string `json:"help,omitempty"`
+	LabelKey string `json:"label_key,omitempty"`
+	Label    string `json:"label,omitempty"`
 	// Bounds are the bucket upper bounds; Counts has one extra entry for
 	// the +Inf bucket. Counts are per-bucket (not cumulative).
 	Bounds []float64 `json:"bounds"`
 	Counts []uint64  `json:"counts"`
 	Count  uint64    `json:"count"`
 	Sum    float64   `json:"sum"`
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the bucket counts by
+// linear interpolation inside the bucket the rank lands in. Samples in
+// the +Inf bucket clamp to the last finite bound. Returns 0 on an empty
+// histogram (not NaN — snapshots must stay JSON-encodable).
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 || len(h.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	var cum float64
+	for i, n := range h.Counts {
+		prev := cum
+		cum += float64(n)
+		if cum < rank || n == 0 {
+			continue
+		}
+		if i >= len(h.Bounds) { // +Inf bucket: clamp
+			return h.Bounds[len(h.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.Bounds[i-1]
+		}
+		return lo + (h.Bounds[i]-lo)*((rank-prev)/float64(n))
+	}
+	return h.Bounds[len(h.Bounds)-1]
+}
+
+// merge folds other's buckets into h (same ladder assumed — the shared
+// package-level ladders guarantee it across members).
+func (h *HistogramSnapshot) merge(other HistogramSnapshot) {
+	if len(h.Bounds) == 0 {
+		h.Bounds = append([]float64(nil), other.Bounds...)
+		h.Counts = make([]uint64, len(other.Counts))
+	}
+	for i := range other.Counts {
+		if i < len(h.Counts) {
+			h.Counts[i] += other.Counts[i]
+		}
+	}
+	h.Count += other.Count
+	h.Sum += other.Sum
 }
 
 // Snapshot is a consistent-enough copy of a registry: each instrument is
@@ -416,21 +476,75 @@ func (r *Registry) Snapshot() Snapshot {
 		}
 		s.Histograms = append(s.Histograms, hs)
 	}
-	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
-	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
-	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	for _, f := range r.families {
+		f.snapshotInto(&s)
+	}
+	sort.Slice(s.Counters, func(i, j int) bool {
+		if s.Counters[i].Name != s.Counters[j].Name {
+			return s.Counters[i].Name < s.Counters[j].Name
+		}
+		return s.Counters[i].Label < s.Counters[j].Label
+	})
+	sort.Slice(s.Gauges, func(i, j int) bool {
+		if s.Gauges[i].Name != s.Gauges[j].Name {
+			return s.Gauges[i].Name < s.Gauges[j].Name
+		}
+		return s.Gauges[i].Label < s.Gauges[j].Label
+	})
+	sort.Slice(s.Histograms, func(i, j int) bool {
+		if s.Histograms[i].Name != s.Histograms[j].Name {
+			return s.Histograms[i].Name < s.Histograms[j].Name
+		}
+		return s.Histograms[i].Label < s.Histograms[j].Label
+	})
 	return s
 }
 
 // Get returns the named counter value from the snapshot (0 when absent),
-// for tests and table rendering.
+// for tests and table rendering. Labeled series under the name sum.
 func (s Snapshot) Get(name string) uint64 {
+	var total uint64
 	for _, c := range s.Counters {
 		if c.Name == name {
-			return c.Value
+			total += c.Value
 		}
 	}
-	return 0
+	return total
+}
+
+// GaugeValue returns the named gauge series (label "" selects the
+// unlabeled series) and whether it was present.
+func (s Snapshot) GaugeValue(name, label string) (int64, bool) {
+	for _, g := range s.Gauges {
+		if g.Name == name && g.Label == label {
+			return g.Value, true
+		}
+	}
+	return 0, false
+}
+
+// HistogramAt returns the named histogram series (label "" selects the
+// unlabeled series) and whether it was present.
+func (s Snapshot) HistogramAt(name, label string) (HistogramSnapshot, bool) {
+	for _, h := range s.Histograms {
+		if h.Name == name && h.Label == label {
+			return h, true
+		}
+	}
+	return HistogramSnapshot{}, false
+}
+
+// Quantile estimates the q-quantile of the named histogram, merging every
+// labeled series under the name (so causal_visibility_seconds p99 spans
+// all peers). Returns 0 when the name is absent or empty.
+func (s Snapshot) Quantile(name string, q float64) float64 {
+	var merged HistogramSnapshot
+	for _, h := range s.Histograms {
+		if h.Name == name {
+			merged.merge(h)
+		}
+	}
+	return merged.Quantile(q)
 }
 
 // Compact renders the snapshot as one line of name=value pairs (counters

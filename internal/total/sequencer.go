@@ -145,12 +145,43 @@ func NewSequencer(cfg Config) (*Sequencer, error) {
 		s.detector = group.NewDetector(s.tracker, cfg.Self, cfg.FailTimeout)
 		s.detector.Prime(time.Now())
 	}
+	s.registerFrontierLag(cfg.Telemetry)
 	s.ins.epoch.Set(0)
 	if cfg.HeartbeatEvery > 0 {
 		s.wg.Add(1)
 		go s.heartbeatLoop(cfg.HeartbeatEvery)
 	}
 	return s, nil
+}
+
+// registerFrontierLag registers snapshot-time per-peer gauges exposing
+// how far each peer's reported delivery frontier trails this member's
+// (nextDeliver - frontier[peer]): the cross-member stability-skew signal
+// causaltop merges into a cluster view. Peers that have never reported
+// show the full local frontier — honest, since nothing proves they
+// delivered anything.
+func (s *Sequencer) registerFrontierLag(reg *telemetry.Registry) {
+	fam := reg.GaugeFamily("total_member_frontier_lag",
+		"Sequences this member has delivered that the peer has not yet reported delivering.",
+		"peer")
+	for _, p := range s.grp.Members() {
+		if p == s.self {
+			continue
+		}
+		p := p
+		fam.Func(p, func() int64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			f := s.frontier[p]
+			if f == 0 {
+				f = 1 // never reported: assume the initial frontier
+			}
+			if f < s.nextDeliver {
+				return int64(s.nextDeliver - f)
+			}
+			return 0
+		})
+	}
 }
 
 // Bind attaches the underlying causal broadcaster.
