@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test race vet bench bench-smoke bench-scale bench-trace bench-loss bench-obs metrics-doc fuzz chaos chaos-loss audit
+.PHONY: check build test race vet bench bench-smoke bench-scale bench-trace bench-loss bench-obs bench-check metrics-doc fuzz chaos chaos-loss audit check-consistency
 
 ## check: the tier-1 gate — vet, build, and race-test everything.
 check: vet build race
@@ -61,6 +61,14 @@ bench-loss:
 bench-obs:
 	$(GO) test -bench=FanoutObserved -benchmem -run '^$$' -benchtime=20000x -json . | tee BENCH_obs.json
 
+## bench-check: regenerate the E16 offline-checker numbers (whole-history
+## CC/CCv/CM bad-pattern check over recorded chain-register histories at
+## 256–18k ops, plus recorder materialization cost) into BENCH_check.json.
+bench-check:
+	$(GO) test -bench='ConsistencyCheck|RecorderMaterialize' -benchmem -run '^$$' -timeout 600s -json ./internal/consistency/ | tee BENCH_check.json
+	@awk '/ConsistencyCheck/ && /ns\/op/ { ok = 1 } END { if (!ok) { print "FAIL: no ConsistencyCheck rows in BENCH_check.json"; exit 1 } }' BENCH_check.json
+	@echo "bench-check: BENCH_check.json regenerated"
+
 ## metrics-doc: regenerate docs/METRICS.md from a live registry walk over
 ## every subsystem's instrument constructors. CI diffs the result against
 ## the committed file, so a new or renamed metric that skips the doc
@@ -94,3 +102,20 @@ audit:
 	$(GO) run ./cmd/causaltrace -seed 7 -audit
 	$(GO) run ./cmd/causaltrace -seed 21 -n 4 -sends 12 -audit
 	@echo "audit: converged with zero causal-order violations"
+
+## check-consistency: the offline-checker gate — the consistency
+## package's property tests (checker vs brute-force reference), the
+## mutation self-test matrices (injected violations must downgrade the
+## CC/CCv/CM verdicts exactly as predicted, per engine), the 200-seed
+## sim sweep over cbcast/osend/pccast with every recorded history
+## required differentiated and fully CC/CCv/CM-clean, and a cccheck
+## record/verify round trip through the on-disk history format.
+## Quarantined (engine, seed) pairs live in
+## internal/sim/testdata/quarantine_seeds.txt; SWEEP_SEEDS overrides
+## the sweep width.
+check-consistency:
+	$(GO) test ./internal/consistency/
+	$(GO) test -run 'TestConsistencySweep|TestMutationMatrixAcrossEngines' -timeout 600s ./internal/sim/
+	$(GO) run ./cmd/cccheck -record /tmp/cccheck-history.json -seed 7 -audit
+	$(GO) run ./cmd/cccheck -json -audit /tmp/cccheck-history.json > /dev/null
+	@echo "check-consistency: verdicts hold on every seed; mutations caught"

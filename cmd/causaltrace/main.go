@@ -10,7 +10,7 @@
 // Usage:
 //
 //	causaltrace [-seed 7] [-n 5] [-sends 20] [-horizon 400ms] [-actions 4]
-//	            [-top 5] [-dot] [-audit] [-sample 1]
+//	            [-top 5] [-dot] [-audit] [-sample 1] [-history out.json]
 package main
 
 import (
@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"causalshare/internal/chaos"
+	"causalshare/internal/consistency"
 	"causalshare/internal/telemetry"
 	"causalshare/internal/trace"
 	"causalshare/internal/transport"
@@ -45,6 +46,7 @@ func run(args []string) error {
 	dot := fs.Bool("dot", false, "print each reported activity's DAG in Graphviz dot syntax")
 	audit := fs.Bool("audit", false, "exit non-zero on any consistency violation or non-convergence")
 	sample := fs.Int("sample", 1, "trace one in every N activities (head-based)")
+	history := fs.String("history", "", "write the run's recorded consistency history (causalshare-history/v1) to this file and print its CC/CCv/CM verdicts; cccheck replays it")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -67,6 +69,10 @@ func run(args []string) error {
 		fmt.Printf("  %v\n", a)
 	}
 
+	var rec *consistency.Recorder
+	if *history != "" {
+		rec = consistency.NewDeclaredRecorder()
+	}
 	res, err := chaos.Run(chaos.Options{
 		Members:        members,
 		Net:            net,
@@ -76,9 +82,24 @@ func run(args []string) error {
 		Patience:       12 * time.Millisecond,
 		Telemetry:      reg,
 		Collector:      col,
+		Recorder:       rec,
 	})
 	if err != nil {
 		return err
+	}
+	if rec != nil {
+		f, err := os.Create(*history)
+		if err != nil {
+			return err
+		}
+		werr := rec.History().WriteJSON(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("writing %s: %w", *history, werr)
+		}
+		fmt.Printf("\nhistory: %s (%d events) %s\n", *history, rec.Events(), res.Consistency)
 	}
 	fmt.Printf("\nrun: converged=%v frontier=%d elapsed=%v recoveries=%d\n",
 		res.Converged, res.Frontier, res.Elapsed.Round(time.Millisecond), len(res.Recovery))
@@ -104,6 +125,9 @@ func run(args []string) error {
 		if res.Violations > 0 || len(offline) > 0 {
 			return fmt.Errorf("%d online / %d offline consistency violations (seed %d)",
 				res.Violations, len(offline), *seed)
+		}
+		if res.Consistency != nil && !res.Consistency.AllHold() {
+			return fmt.Errorf("whole-history consistency check failed (seed %d): %s", *seed, res.Consistency)
 		}
 	}
 	return nil

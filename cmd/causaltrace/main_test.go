@@ -1,15 +1,35 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"causalshare/internal/consistency"
+)
 
 // TestRunAuditedReplay smoke-tests the full CLI path: a small seeded
-// chaos replay with the auditor required clean.
+// chaos replay with the auditor required clean, plus the recorded
+// consistency history dumped and re-readable by the checker.
 func TestRunAuditedReplay(t *testing.T) {
 	if testing.Short() {
 		t.Skip("replays a live chaos run")
 	}
-	if err := run([]string{"-seed", "21", "-n", "4", "-sends", "6", "-top", "1", "-dot", "-audit"}); err != nil {
+	hist := filepath.Join(t.TempDir(), "history.json")
+	if err := run([]string{"-seed", "21", "-n", "4", "-sends", "6", "-top", "1", "-dot", "-audit", "-history", hist}); err != nil {
 		t.Fatal(err)
+	}
+	f, err := os.Open(hist)
+	if err != nil {
+		t.Fatalf("history not written: %v", err)
+	}
+	defer f.Close()
+	h, err := consistency.ReadJSON(f)
+	if err != nil {
+		t.Fatalf("history not re-readable: %v", err)
+	}
+	if h.Ops() == 0 {
+		t.Fatal("recorded history is empty")
 	}
 }
 

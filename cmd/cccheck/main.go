@@ -1,0 +1,188 @@
+// Command cccheck replays a recorded history file through the offline
+// causal-consistency checker and renders the CC / CCv / CM verdicts —
+// Bouajjani-style bad-pattern checking over the causalshare-history/v1
+// format the consistency recorder writes. With -audit the process exits
+// non-zero when the gated verdict (default: all three) fails, which is
+// what CI gates on; with -json the full report (including the minimal
+// counterexample) is machine-readable.
+//
+// It can also produce its own input: -record replays a seeded chaos
+// schedule on the live stack with the history recorder attached and writes
+// the recorded history to the given file before checking it, so
+//
+//	cccheck -record h.json -seed 7
+//	cccheck -json -audit h.json
+//
+// is a complete record/verify round trip through the on-disk format.
+//
+// Usage:
+//
+//	cccheck [-json] [-audit] [-level all|cc|ccv|cm] history.json
+//	cccheck -record history.json [-seed 7] [-n 4] [-sends 12]
+//	        [-horizon 300ms] [-actions 2] [-json] [-audit]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"causalshare/internal/chaos"
+	"causalshare/internal/consistency"
+	"causalshare/internal/trace"
+	"causalshare/internal/transport"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "cccheck:", err)
+		os.Exit(1)
+	}
+}
+
+// output is the -json shape: the checker's report plus the human-readable
+// minimal counterexample of the first failing verdict.
+type output struct {
+	History string `json:"history"`
+	*consistency.Report
+	Counterexample []string `json:"counterexample,omitempty"`
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("cccheck", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit the verdict report as JSON")
+	levelFlag := fs.String("level", "all", "verdict gating -audit: all, cc, ccv, or cm")
+	audit := fs.Bool("audit", false, "exit non-zero when the gated verdict fails")
+	record := fs.String("record", "", "replay a seeded chaos schedule and write its recorded history to this file, then check it")
+	seed := fs.Int64("seed", 7, "chaos schedule seed (with -record)")
+	n := fs.Int("n", 4, "group size, minimum 3 (with -record)")
+	sends := fs.Int("sends", 12, "data messages per member (with -record)")
+	horizon := fs.Duration("horizon", 300*time.Millisecond, "schedule horizon (with -record)")
+	actions := fs.Int("actions", 2, "crash/recover actions in the schedule (with -record)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var gate consistency.Level
+	if *levelFlag != "all" {
+		lv, err := consistency.ParseLevel(*levelFlag)
+		if err != nil {
+			return err
+		}
+		gate = lv
+	}
+
+	path := *record
+	if path == "" {
+		if fs.NArg() != 1 {
+			return fmt.Errorf("want exactly one history file (or -record), got %d args", fs.NArg())
+		}
+		path = fs.Arg(0)
+	} else if err := recordHistory(path, *seed, *n, *sends, *horizon, *actions); err != nil {
+		return err
+	}
+
+	h, err := readHistory(path)
+	if err != nil {
+		return err
+	}
+	rep, err := consistency.Check(h)
+	if err != nil {
+		return err
+	}
+
+	counterexample := firstCounterexample(h, rep)
+	if *jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(output{History: path, Report: rep, Counterexample: counterexample}); err != nil {
+			return err
+		}
+	} else {
+		fmt.Fprintf(out, "%s: %s\n", path, rep)
+		for _, line := range counterexample {
+			fmt.Fprintf(out, "  %s\n", line)
+		}
+	}
+
+	if *audit {
+		if gate == 0 {
+			if !rep.AllHold() {
+				return fmt.Errorf("history fails: CC=%v CCv=%v CM=%v", rep.CC.Holds, rep.CCv.Holds, rep.CM.Holds)
+			}
+		} else if o := rep.Outcome(gate); !o.Holds {
+			return fmt.Errorf("history fails %s: %s", gate, o.Detail)
+		}
+	}
+	return nil
+}
+
+// readHistory loads a causalshare-history/v1 file ("-" reads stdin).
+func readHistory(path string) (*consistency.History, error) {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	return consistency.ReadJSON(r)
+}
+
+// firstCounterexample renders the minimal witness of the first failing
+// verdict, CC before CCv before CM.
+func firstCounterexample(h *consistency.History, rep *consistency.Report) []string {
+	for _, o := range []consistency.Outcome{rep.CC, rep.CCv, rep.CM} {
+		if o.Holds || o.Undecided {
+			continue
+		}
+		refs := o.Refs
+		if len(refs) == 0 {
+			refs = o.Cycle
+		}
+		return consistency.DescribeRefs(h, refs)
+	}
+	return nil
+}
+
+// recordHistory replays a seeded chaos schedule on the live stack (the
+// same driver as `make chaos`) with the declared-dependency history
+// recorder attached, and writes the materialized history to path.
+func recordHistory(path string, seed int64, n, sends int, horizon time.Duration, actions int) error {
+	if n < 3 {
+		return fmt.Errorf("need at least 3 members, got %d", n)
+	}
+	members := make([]string, n)
+	for i := range members {
+		members[i] = fmt.Sprintf("m%02d", i)
+	}
+	net := transport.NewChanNet(transport.FaultModel{})
+	defer func() { _ = net.Close() }()
+	rec := consistency.NewDeclaredRecorder()
+	res, err := chaos.Run(chaos.Options{
+		Members:        members,
+		Net:            net,
+		Schedule:       chaos.RandomSchedule(seed, members, horizon, actions),
+		SendsPerMember: sends,
+		FailTimeout:    60 * time.Millisecond,
+		Patience:       12 * time.Millisecond,
+		Collector:      trace.NewCollector(trace.Config{}),
+		Recorder:       rec,
+	})
+	if err != nil {
+		return err
+	}
+	if !res.Converged {
+		return fmt.Errorf("chaos run did not converge (seed %d)", seed)
+	}
+	var buf strings.Builder
+	if err := rec.History().WriteJSON(&buf); err != nil {
+		return err
+	}
+	return os.WriteFile(path, []byte(buf.String()), 0o644)
+}

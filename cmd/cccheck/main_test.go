@@ -1,0 +1,137 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"causalshare/internal/consistency"
+)
+
+// TestRoundTripFromRecordedChaosRun is the acceptance path: record a
+// seeded chaos run on the live stack into a history file, then replay the
+// file through -json -audit and require all three verdicts to hold.
+func TestRoundTripFromRecordedChaosRun(t *testing.T) {
+	f := filepath.Join(t.TempDir(), "chaos.json")
+	if err := run([]string{
+		"-record", f, "-seed", "7", "-n", "4", "-sends", "8",
+		"-horizon", "150ms", "-actions", "1",
+	}, io.Discard); err != nil {
+		t.Fatalf("record: %v", err)
+	}
+
+	var buf bytes.Buffer
+	if err := run([]string{"-json", "-audit", f}, &buf); err != nil {
+		t.Fatalf("audit of a healthy recorded run failed: %v\n%s", err, buf.String())
+	}
+	var out struct {
+		History string `json:"history"`
+		Ops     int    `json:"ops"`
+		CC      struct {
+			Holds bool `json:"holds"`
+		} `json:"cc"`
+		CCv struct {
+			Holds bool `json:"holds"`
+		} `json:"ccv"`
+		CM struct {
+			Holds bool `json:"holds"`
+		} `json:"cm"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("bad -json output: %v\n%s", err, buf.String())
+	}
+	if out.History != f || out.Ops == 0 {
+		t.Fatalf("report did not round-trip the recorded run: %+v", out)
+	}
+	if !out.CC.Holds || !out.CCv.Holds || !out.CM.Holds {
+		t.Fatalf("recorded chaos history fails: %s", buf.String())
+	}
+}
+
+// writeHistory marshals h into a temp file and returns the path.
+func writeHistory(t *testing.T, h *consistency.History) string {
+	t.Helper()
+	f := filepath.Join(t.TempDir(), "h.json")
+	var buf bytes.Buffer
+	if err := h.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(f, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestAuditExitOnViolation: a history with a causal-order violation must
+// fail -audit, name the pattern in -json, and carry a counterexample.
+func TestAuditExitOnViolation(t *testing.T) {
+	h := &consistency.History{Sessions: []consistency.Session{
+		{Member: "w", Ops: []consistency.Op{
+			{Type: consistency.OpWrite, Var: "x", Val: 1},
+			{Type: consistency.OpWrite, Var: "x", Val: 2},
+		}},
+		{Member: "r", Ops: []consistency.Op{
+			{Type: consistency.OpRead, Var: "x", Val: 2},
+			{Type: consistency.OpRead, Var: "x", Val: 1},
+		}},
+	}}
+	f := writeHistory(t, h)
+
+	var buf bytes.Buffer
+	err := run([]string{"-json", "-audit", f}, &buf)
+	if err == nil {
+		t.Fatalf("-audit passed a violating history:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), consistency.PatternWriteCORead) {
+		t.Fatalf("report does not name the pattern:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "counterexample") {
+		t.Fatalf("report carries no counterexample:\n%s", buf.String())
+	}
+
+	// Without -audit the exit is clean: reporting, not gating.
+	if err := run([]string{f}, io.Discard); err != nil {
+		t.Fatalf("reporting run failed: %v", err)
+	}
+}
+
+// TestLevelGate: -level narrows the audit to one rung of the lattice — a
+// CCv-only violation passes -level cc and fails -level ccv.
+func TestLevelGate(t *testing.T) {
+	h := &consistency.History{Sessions: []consistency.Session{
+		{Member: "w1", Ops: []consistency.Op{{Type: consistency.OpWrite, Var: "x", Val: 1}}},
+		{Member: "w2", Ops: []consistency.Op{{Type: consistency.OpWrite, Var: "x", Val: 2}}},
+		{Member: "r1", Ops: []consistency.Op{
+			{Type: consistency.OpRead, Var: "x", Val: 1},
+			{Type: consistency.OpRead, Var: "x", Val: 2},
+		}},
+		{Member: "r2", Ops: []consistency.Op{
+			{Type: consistency.OpRead, Var: "x", Val: 2},
+			{Type: consistency.OpRead, Var: "x", Val: 1},
+		}},
+	}}
+	f := writeHistory(t, h)
+	if err := run([]string{"-audit", "-level", "cc", f}, io.Discard); err != nil {
+		t.Fatalf("fork history fails CC gate: %v", err)
+	}
+	if err := run([]string{"-audit", "-level", "ccv", f}, io.Discard); err == nil {
+		t.Fatal("fork history passed CCv gate")
+	}
+}
+
+// TestBadInput: missing files and malformed flags fail cleanly.
+func TestBadInput(t *testing.T) {
+	if err := run([]string{filepath.Join(t.TempDir(), "nope.json")}, io.Discard); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if err := run([]string{"-level", "bogus", "x.json"}, io.Discard); err == nil {
+		t.Fatal("bogus level accepted")
+	}
+	if err := run([]string{}, io.Discard); err == nil {
+		t.Fatal("no arguments accepted")
+	}
+}

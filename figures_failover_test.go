@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"causalshare/internal/causal"
+	"causalshare/internal/consistency"
 	"causalshare/internal/core"
 	"causalshare/internal/group"
 	"causalshare/internal/message"
@@ -62,6 +63,7 @@ type foStack struct {
 	net     *transport.ChanNet
 	reg     *telemetry.Registry
 	audit   *trace.Collector
+	hist    *consistency.Recorder
 	members []*foMember
 	byID    map[string]*foMember
 }
@@ -72,11 +74,13 @@ type foStack struct {
 // so the crash point is deterministic relative to the workload.
 func newFailoverStack(t *testing.T, ids []string, seed int64, withReplica bool) *foStack {
 	t.Helper()
+	hist := consistency.NewDeclaredRecorder()
 	st := &foStack{
 		t:     t,
 		net:   transport.NewChanNet(transport.FaultModel{MaxDelay: 2 * time.Millisecond, Seed: seed}),
 		reg:   telemetry.NewRegistry(),
-		audit: trace.NewCollector(trace.Config{}),
+		audit: trace.NewCollector(trace.Config{Observer: hist}),
+		hist:  hist,
 		byID:  map[string]*foMember{},
 	}
 	grp := group.MustNew("fig-failover", ids)
@@ -129,6 +133,12 @@ func newFailoverStack(t *testing.T, ids []string, seed int64, withReplica bool) 
 		_ = st.net.Close()
 		if n := st.audit.ViolationCount(); n != 0 {
 			t.Errorf("online trace audit caught %d violations: %v", n, st.audit.Violations())
+		}
+		rep, err := consistency.Check(st.hist.History())
+		if err != nil {
+			t.Errorf("offline consistency check: %v", err)
+		} else if !rep.AllHold() {
+			t.Errorf("offline consistency check over %d recorded ops: %s", rep.Ops, rep)
 		}
 	})
 	return st

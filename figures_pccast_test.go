@@ -66,7 +66,7 @@ func TestFigure1ScenarioPCCast(t *testing.T) {
 	defer func() { _ = net.Close() }()
 
 	trace := obs.NewTrace()
-	col := ctrace.NewCollector(ctrace.Config{})
+	col, hist := newAuditedCollector()
 	replicas := map[string]*core.Replica{}
 	engines := map[string]*causal.PCCast{}
 	defer func() {
@@ -127,7 +127,7 @@ func TestFigure1ScenarioPCCast(t *testing.T) {
 			t.Errorf("entity %s VAL %s, want %s", id, st.Digest(), ref.Digest())
 		}
 	}
-	assertAuditClean(t, col)
+	assertAuditClean(t, col, hist)
 }
 
 // TestFigure2ScenarioPCCast is Figure 2's computation under PC-cast. The
@@ -140,7 +140,7 @@ func TestFigure2ScenarioPCCast(t *testing.T) {
 	net := transport.NewChanNet(transport.FaultModel{MaxDelay: 4 * time.Millisecond, Seed: 67})
 	defer func() { _ = net.Close() }()
 
-	col := ctrace.NewCollector(ctrace.Config{})
+	col, hist := newAuditedCollector()
 	replicas := map[string]*core.Replica{}
 	engines := map[string]*causal.PCCast{}
 	defer func() {
@@ -200,7 +200,7 @@ func TestFigure2ScenarioPCCast(t *testing.T) {
 	if st.Digest() != shareddata.NewCounter(10).Digest() {
 		t.Errorf("agreed value %s, want counter:10", st.Digest())
 	}
-	assertAuditClean(t, col)
+	assertAuditClean(t, col, hist)
 }
 
 // TestFigure3GraphFormsPCCast pushes Figure 3's diamond through live
@@ -215,7 +215,7 @@ func TestFigure3GraphFormsPCCast(t *testing.T) {
 	defer func() { _ = net.Close() }()
 
 	tr := obs.NewTrace()
-	col := ctrace.NewCollector(ctrace.Config{})
+	col, hist := newAuditedCollector()
 	var mu sync.Mutex
 	applied := map[string]int{}
 	engines := map[string]*causal.PCCast{}
@@ -278,7 +278,7 @@ func TestFigure3GraphFormsPCCast(t *testing.T) {
 	if lin := g.CountLinearizations(0); lin != 2 {
 		t.Errorf("diamond admits %d orders, want 2", lin)
 	}
-	assertAuditClean(t, col)
+	assertAuditClean(t, col, hist)
 }
 
 // TestFigure4TotalOrderLayerPCCast is Figure 4 under PC-cast: the
@@ -308,7 +308,7 @@ func TestFigure4TotalOrderLayerPCCast(t *testing.T) {
 			_ = m.engine.Close()
 		}
 	}()
-	col := ctrace.NewCollector(ctrace.Config{})
+	col, hist := newAuditedCollector()
 	for _, id := range ids {
 		mb := &member{}
 		sq, err := total.NewSequencer(total.Config{
@@ -362,7 +362,7 @@ func TestFigure4TotalOrderLayerPCCast(t *testing.T) {
 			}
 		}
 	}
-	assertAuditClean(t, col)
+	assertAuditClean(t, col, hist)
 }
 
 // TestFigure5ArbitrationPCCast is Figure 5's LOCK/TFR arbitration over
@@ -387,7 +387,7 @@ func TestFigure5ArbitrationPCCast(t *testing.T) {
 			c()
 		}
 	}()
-	col := ctrace.NewCollector(ctrace.Config{})
+	col, hist := newAuditedCollector()
 	for _, id := range ids {
 		id := id
 		var arb *lockarb.Arbiter
@@ -468,5 +468,5 @@ func TestFigure5ArbitrationPCCast(t *testing.T) {
 			}
 		}
 	}
-	assertAuditClean(t, col)
+	assertAuditClean(t, col, hist)
 }

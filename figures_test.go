@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"causalshare/internal/causal"
+	"causalshare/internal/consistency"
 	"causalshare/internal/core"
 	"causalshare/internal/group"
 	"causalshare/internal/lockarb"
@@ -22,12 +23,31 @@ import (
 	"causalshare/internal/transport"
 )
 
+// newAuditedCollector pairs a figure scenario's trace collector with an
+// offline consistency history recorder. Declared mode: the scenarios'
+// upper layers (front-end, sequencer, arbiter) chain their own traffic but
+// do not re-declare every delivery they observed, which is exactly the
+// paper's Λ-causality contract.
+func newAuditedCollector() (*ctrace.Collector, *consistency.Recorder) {
+	hist := consistency.NewDeclaredRecorder()
+	return ctrace.NewCollector(ctrace.Config{Observer: hist}), hist
+}
+
 // assertAuditClean fails the test if the online trace auditor caught any
-// consistency violation during the scenario.
-func assertAuditClean(t *testing.T, col *ctrace.Collector) {
+// consistency violation during the scenario, or if the offline checker's
+// whole-history CC/CCv/CM verdicts do not all hold over what the recorder
+// saw.
+func assertAuditClean(t *testing.T, col *ctrace.Collector, hist *consistency.Recorder) {
 	t.Helper()
 	if n := col.ViolationCount(); n != 0 {
 		t.Errorf("online trace audit caught %d violations: %v", n, col.Violations())
+	}
+	rep, err := consistency.Check(hist.History())
+	if err != nil {
+		t.Fatalf("offline consistency check: %v", err)
+	}
+	if !rep.AllHold() {
+		t.Errorf("offline consistency check over %d recorded ops: %s", rep.Ops, rep)
 	}
 }
 
@@ -41,7 +61,7 @@ func TestFigure1Scenario(t *testing.T) {
 	defer func() { _ = net.Close() }()
 
 	trace := obs.NewTrace()
-	col := ctrace.NewCollector(ctrace.Config{})
+	col, hist := newAuditedCollector()
 	replicas := map[string]*core.Replica{}
 	engines := map[string]*causal.OSend{}
 	defer func() {
@@ -114,7 +134,7 @@ func TestFigure1Scenario(t *testing.T) {
 			t.Errorf("entity %s VAL %s, want %s", id, st.Digest(), ref.Digest())
 		}
 	}
-	assertAuditClean(t, col)
+	assertAuditClean(t, col, hist)
 }
 
 // TestFigure2Scenario reproduces Figure 2's computation R(M) =
@@ -127,7 +147,7 @@ func TestFigure2Scenario(t *testing.T) {
 	net := transport.NewChanNet(transport.FaultModel{MaxDelay: 4 * time.Millisecond, Seed: 43})
 	defer func() { _ = net.Close() }()
 
-	col := ctrace.NewCollector(ctrace.Config{})
+	col, hist := newAuditedCollector()
 	replicas := map[string]*core.Replica{}
 	engines := map[string]*causal.OSend{}
 	defer func() {
@@ -199,7 +219,7 @@ func TestFigure2Scenario(t *testing.T) {
 	if st.Digest() != shareddata.NewCounter(10).Digest() {
 		t.Errorf("agreed value %s, want counter:10", st.Digest())
 	}
-	assertAuditClean(t, col)
+	assertAuditClean(t, col, hist)
 }
 
 // TestFigure3GraphForms reproduces Figure 3's dependency-graph forms from
@@ -208,7 +228,7 @@ func TestFigure2Scenario(t *testing.T) {
 func TestFigure3GraphForms(t *testing.T) {
 	tr := obs.NewTrace()
 	rec := tr.Observer("m", nil)
-	col := ctrace.NewCollector(ctrace.Config{})
+	col, hist := newAuditedCollector()
 	spans := col.Tracer("m")
 	msgNode := message.Message{Label: message.Label{Origin: "s", Seq: 1}, Kind: message.KindNonCommutative, Op: "Msg"}
 	m1 := message.Message{Label: message.Label{Origin: "a", Seq: 1}, Deps: message.After(msgNode.Label), Kind: message.KindCommutative, Op: "m1"}
@@ -233,7 +253,7 @@ func TestFigure3GraphForms(t *testing.T) {
 	if lin := g.CountLinearizations(0); lin != 2 {
 		t.Errorf("diamond admits %d orders, want 2", lin)
 	}
-	assertAuditClean(t, col)
+	assertAuditClean(t, col, hist)
 }
 
 // TestFigure4TotalOrderLayer reproduces Figure 4: a total-ordering
@@ -265,7 +285,7 @@ func TestFigure4TotalOrderLayer(t *testing.T) {
 			_ = m.engine.Close()
 		}
 	}()
-	col := ctrace.NewCollector(ctrace.Config{})
+	col, hist := newAuditedCollector()
 	for _, id := range ids {
 		mb := &member{}
 		sq, err := total.NewSequencer(total.Config{
@@ -330,7 +350,7 @@ func TestFigure4TotalOrderLayer(t *testing.T) {
 			}
 		}
 	}
-	assertAuditClean(t, col)
+	assertAuditClean(t, col, hist)
 }
 
 // TestFigure5Arbitration reproduces Figure 5: LOCK/TFR cycles over the
@@ -355,7 +375,7 @@ func TestFigure5Arbitration(t *testing.T) {
 			c()
 		}
 	}()
-	col := ctrace.NewCollector(ctrace.Config{})
+	col, hist := newAuditedCollector()
 	for _, id := range ids {
 		id := id
 		var arb *lockarb.Arbiter
@@ -448,5 +468,5 @@ func TestFigure5Arbitration(t *testing.T) {
 			}
 		}
 	}
-	assertAuditClean(t, col)
+	assertAuditClean(t, col, hist)
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"causalshare/internal/consistency"
 	"causalshare/internal/obs"
 	"causalshare/internal/telemetry"
 	"causalshare/internal/trace"
@@ -43,9 +44,15 @@ func chaosOptions(net Net, members []string, sched Schedule) Options {
 		FailTimeout:    60 * time.Millisecond,
 		Patience:       12 * time.Millisecond,
 		Timeout:        15 * time.Second,
-		// Every chaos run carries the online consistency auditor; auditAll
-		// requires it reported nothing.
+		// Every chaos run carries the online consistency auditor plus the
+		// offline history recorder; auditAll requires the former reported
+		// nothing and the latter's whole-history CC/CCv/CM verdicts hold.
+		// Declared mode: the stack's upper layers chain their own traffic
+		// but do not re-declare every delivery they observed, which is the
+		// paper's Λ-causality — the full-causality model would report
+		// violations OSend never promised to prevent.
 		Collector: trace.NewCollector(trace.Config{}),
+		Recorder:  consistency.NewDeclaredRecorder(),
 	}
 }
 
@@ -114,6 +121,9 @@ func auditAll(t *testing.T, res *Result) {
 	}
 	if res.Violations != 0 {
 		t.Fatalf("online trace audit caught %d violations: %v", res.Violations, res.ViolationLog)
+	}
+	if res.Consistency != nil && !res.Consistency.AllHold() {
+		t.Fatalf("offline consistency check: %s", res.Consistency)
 	}
 }
 

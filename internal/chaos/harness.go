@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"causalshare/internal/causal"
+	"causalshare/internal/consistency"
 	"causalshare/internal/group"
 	"causalshare/internal/message"
 	"causalshare/internal/reliable"
@@ -70,6 +71,12 @@ type Options struct {
 	// consistency audit over the whole run; Result.Violations reports what
 	// it caught.
 	Collector *trace.Collector
+	// Recorder, when non-nil, tees the Collector's lifecycle stream into
+	// an offline consistency history: after the run, the whole recorded
+	// history is checked and Result.Consistency carries the CC/CCv/CM
+	// verdicts. Requires Collector non-nil — the recorder rides its trace
+	// hooks, so it sees exactly the events the online auditor saw.
+	Recorder *consistency.Recorder
 	// Reliable, when non-nil, is the template config for a per-link
 	// reliability sublayer wrapped around every member's connection
 	// (including rejoined incarnations): lost and reordered frames are
@@ -123,6 +130,10 @@ type Result struct {
 	// ViolationLog holds its bounded snapshots for failure messages.
 	Violations   uint64
 	ViolationLog []trace.Violation
+	// Consistency is the offline whole-history verdict report — CC, CCv,
+	// and CM over the run's recorded reads and writes (nil without a
+	// Recorder).
+	Consistency *consistency.Report
 }
 
 // orderLog collects one incarnation's delivered data messages.
@@ -200,6 +211,12 @@ func Run(opts Options) (*Result, error) {
 		}
 	default:
 		return nil, fmt.Errorf("chaos: unknown engine %q", opts.Engine)
+	}
+	if opts.Recorder != nil {
+		if opts.Collector == nil {
+			return nil, fmt.Errorf("chaos: Options.Recorder requires a trace Collector to ride on")
+		}
+		opts.Collector.SetObserver(opts.Recorder)
 	}
 	if opts.Step <= 0 {
 		opts.Step = 2 * time.Millisecond
@@ -290,6 +307,13 @@ func Run(opts Options) (*Result, error) {
 	res.Elapsed = time.Since(begin)
 	res.Violations = opts.Collector.ViolationCount()
 	res.ViolationLog = opts.Collector.Violations()
+	if opts.Recorder != nil {
+		rep, err := consistency.Check(opts.Recorder.History())
+		if err != nil {
+			return nil, fmt.Errorf("chaos: offline consistency check: %w", err)
+		}
+		res.Consistency = rep
+	}
 	for _, n := range c.nodes {
 		order := n.log.snapshot()
 		res.Members[n.id] = &MemberResult{

@@ -1,0 +1,95 @@
+package consistency
+
+import (
+	"fmt"
+	"testing"
+
+	"causalshare/internal/message"
+)
+
+// genRecorded replays a healthy m-member, rounds-deep broadcast schedule
+// through the Recorder: every member chains one send per round depending
+// on its own previous send and every other chain's previous round, and
+// every member delivers every round in order. The resulting history is
+// the recorded shape the checker sees after real runs — chained writes,
+// message reads, and witness reads — and all three verdicts hold.
+func genRecorded(members, rounds int) *History {
+	rec := NewRecorder()
+	genRecordedInto(rec, members, rounds)
+	return rec.History()
+}
+
+// BenchmarkConsistencyCheck measures whole-history verdict time against
+// history length — the E16 sweep. ops/op reports the history size each
+// checked history carries, so BENCH_check.json exposes runtime vs length.
+func BenchmarkConsistencyCheck(b *testing.B) {
+	for _, cfg := range []struct{ members, rounds int }{
+		{4, 4}, {4, 16}, {4, 64}, {8, 32},
+	} {
+		h := genRecorded(cfg.members, cfg.rounds)
+		rep, err := Check(h)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.AllHold() {
+			b.Fatalf("benchmark history unhealthy: %s", rep)
+		}
+		b.Run(fmt.Sprintf("n=%d/ops=%d", cfg.members, h.Ops()), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Check(h); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(h.Ops()), "ops/history")
+		})
+	}
+}
+
+// BenchmarkRecorderMaterialize isolates the recorder's replay cost.
+func BenchmarkRecorderMaterialize(b *testing.B) {
+	rec := NewRecorder()
+	genRecordedInto(rec, 4, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h := rec.History()
+		if h.Ops() == 0 {
+			b.Fatal("empty materialization")
+		}
+	}
+}
+
+// genRecordedInto is genRecorded against a caller-owned recorder.
+func genRecordedInto(rec *Recorder, members, rounds int) {
+	names := make([]string, members)
+	prev := make([]message.Label, members)
+	for i := range names {
+		names[i] = fmt.Sprintf("m%02d", i)
+	}
+	for r := 0; r < rounds; r++ {
+		sent := make([]message.Message, members)
+		for i, name := range names {
+			var deps []message.Label
+			for j := range names {
+				if !prev[j].IsNil() {
+					deps = append(deps, prev[j])
+				}
+			}
+			m := message.Message{
+				Label: message.Label{Origin: name, Seq: uint64(r + 1)},
+				Kind:  message.KindNonCommutative,
+				Deps:  message.After(deps...),
+			}
+			sent[i] = m
+			rec.RecordSend(name, m)
+		}
+		for i := range names {
+			prev[i] = sent[i].Label
+		}
+		for _, name := range names {
+			for _, m := range sent {
+				rec.RecordDeliver(name, m)
+			}
+		}
+	}
+}

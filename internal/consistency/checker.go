@@ -1,0 +1,664 @@
+package consistency
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Bad-pattern names, exactly as in Bouajjani et al.; Outcome.Pattern
+// carries one of these when a verdict fails on the polynomial path.
+const (
+	// PatternCyclicCO: the base causality relation co = (po ∪ rf)+ has a
+	// cycle — no causal order can contain it. Fails CC, CCv, and CM.
+	PatternCyclicCO = "CyclicCO"
+	// PatternThinAirRead: a read returned a non-initial value no write
+	// ever wrote to that variable. Fails CC, CCv, and CM.
+	PatternThinAirRead = "ThinAirRead"
+	// PatternWriteCOInitRead: a read returned the initial value although a
+	// write to the variable is in its causal past. Fails CC, CCv, and CM.
+	PatternWriteCOInitRead = "WriteCOInitRead"
+	// PatternWriteCORead: a read returned a value overwritten in its
+	// causal past (w1 →co w2 →co r, r reads w1). Fails CC, CCv, and CM.
+	PatternWriteCORead = "WriteCORead"
+	// PatternCyclicCF: the conflict relation over same-variable writes,
+	// derived from what reads observed, cycles with co — the members
+	// durably disagree on an arbitration. Fails CCv only.
+	PatternCyclicCF = "CyclicCF"
+	// PatternWriteHBInitRead: within one session's view, a read of the
+	// initial value happens after a write to the variable was already
+	// serialized. Fails CM only.
+	PatternWriteHBInitRead = "WriteHBInitRead"
+	// PatternCyclicHB: some operation's happened-before relation (causal
+	// past plus the write orderings its session's reads force) is cyclic —
+	// no single serialization explains that session's reads. Fails CM only.
+	PatternCyclicHB = "CyclicHB"
+	// PatternBoundedSearch marks verdicts decided by the brute-force
+	// reference semantics (non-differentiated histories).
+	PatternBoundedSearch = "(bounded-search)"
+)
+
+// Level selects a consistency criterion.
+type Level int
+
+const (
+	// LevelCC is causal consistency: every session's reads are explainable
+	// by per-operation serializations of its causal past.
+	LevelCC Level = iota + 1
+	// LevelCCv is causal convergence: one arbitration order explains every
+	// read — eventually-convergent replicas need it.
+	LevelCCv
+	// LevelCM is causal memory: each session's reads up to any point are
+	// explainable by a single serialization of that point's causal past.
+	LevelCM
+)
+
+// String names the level.
+func (l Level) String() string {
+	switch l {
+	case LevelCC:
+		return "CC"
+	case LevelCCv:
+		return "CCv"
+	case LevelCM:
+		return "CM"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// ParseLevel parses "cc", "ccv", or "cm" (case-insensitive).
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(s) {
+	case "cc":
+		return LevelCC, nil
+	case "ccv":
+		return LevelCCv, nil
+	case "cm":
+		return LevelCM, nil
+	default:
+		return 0, fmt.Errorf("consistency: unknown level %q (want cc, ccv, or cm)", s)
+	}
+}
+
+// Outcome is one criterion's verdict over one history.
+type Outcome struct {
+	// Holds reports the criterion is satisfied.
+	Holds bool `json:"holds"`
+	// Undecided reports the checker could not decide (non-differentiated
+	// history beyond the bounded-search budget); Holds is false then.
+	Undecided bool `json:"undecided,omitempty"`
+	// Pattern names the bad pattern when the verdict fails.
+	Pattern string `json:"pattern,omitempty"`
+	// Refs are the offending operations (the minimal witness).
+	Refs []OpRef `json:"refs,omitempty"`
+	// Cycle is the cycle witness for the cyclic patterns, in edge order.
+	Cycle []OpRef `json:"cycle,omitempty"`
+	// Detail is a one-line human-readable explanation.
+	Detail string `json:"detail,omitempty"`
+}
+
+// Report carries all three verdicts over one history.
+type Report struct {
+	Ops            int           `json:"ops"`
+	SessionCount   int           `json:"sessions"`
+	Differentiated bool          `json:"differentiated"`
+	CC             Outcome       `json:"cc"`
+	CCv            Outcome       `json:"ccv"`
+	CM             Outcome       `json:"cm"`
+	Elapsed        time.Duration `json:"elapsed_ns"`
+}
+
+// Outcome returns the verdict for one level.
+func (r *Report) Outcome(l Level) Outcome {
+	switch l {
+	case LevelCCv:
+		return r.CCv
+	case LevelCM:
+		return r.CM
+	default:
+		return r.CC
+	}
+}
+
+// AllHold reports whether every criterion is satisfied.
+func (r *Report) AllHold() bool { return r.CC.Holds && r.CCv.Holds && r.CM.Holds }
+
+// String renders a one-line verdict summary plus counterexample lines.
+func (r *Report) String() string {
+	tick := func(o Outcome) string {
+		switch {
+		case o.Holds:
+			return "ok"
+		case o.Undecided:
+			return "undecided"
+		default:
+			return "FAIL(" + o.Pattern + ")"
+		}
+	}
+	out := fmt.Sprintf("ops=%d sessions=%d CC=%s CCv=%s CM=%s",
+		r.Ops, r.SessionCount, tick(r.CC), tick(r.CCv), tick(r.CM))
+	for _, o := range []Outcome{r.CC, r.CCv, r.CM} {
+		if !o.Holds && o.Detail != "" {
+			out += "\n  " + o.Detail
+		}
+	}
+	return out
+}
+
+// maxBoundedOps bounds the brute-force fallback for non-differentiated
+// histories; larger ones come back Undecided.
+const maxBoundedOps = 10
+
+// Check renders CC, CCv, and CM verdicts over h. Differentiated histories
+// take the polynomial bad-pattern path; others fall back to the bounded
+// reference search.
+func Check(h *History) (*Report, error) {
+	start := time.Now()
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	rep := &Report{Ops: h.Ops(), SessionCount: len(h.Sessions)}
+	if diff, dvar, dval := h.Differentiated(); !diff {
+		if rep.Ops > maxBoundedOps {
+			reason := fmt.Sprintf("value %d written twice to %s: history is not differentiated and %d ops exceed the bounded-search budget (%d)",
+				dval, dvar, rep.Ops, maxBoundedOps)
+			und := Outcome{Undecided: true, Detail: reason}
+			rep.CC, rep.CCv, rep.CM = und, und, und
+			rep.Elapsed = time.Since(start)
+			return rep, nil
+		}
+		ref := Reference(h)
+		rep.CC, rep.CCv, rep.CM = ref.CC, ref.CCv, ref.CM
+		rep.Elapsed = time.Since(start)
+		return rep, nil
+	}
+	rep.Differentiated = true
+
+	ck := newChecker(h)
+	ck.run(rep)
+	rep.Elapsed = time.Since(start)
+	return rep, nil
+}
+
+// ---- bitsets ----
+
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)      { b[i>>6] |= 1 << (uint(i) & 63) }
+func (b bitset) has(i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+func (b bitset) or(o bitset) bool {
+	changed := uint64(0)
+	for i, w := range o {
+		nw := b[i] | w
+		changed |= nw ^ b[i]
+		b[i] = nw
+	}
+	return changed != 0
+}
+
+func (b bitset) and(o bitset) {
+	for i := range b {
+		b[i] &= o[i]
+	}
+}
+
+// ---- the polynomial checker ----
+
+type checker struct {
+	h *History
+	n int
+
+	// op id → location and content.
+	sess, idx []int
+	typ       []OpType
+	varOf     []int
+	val       []uint64
+
+	varNames []string
+	// writesOn[var] lists writer op ids; writerOf[var][val] resolves rf.
+	writesOn [][]int
+	writerOf []map[uint64]int
+
+	// rf[r] is the writer op id, or -1 for an init read. Thin-air reads
+	// are detected during construction.
+	rf      []int
+	thinAir int // op id of the first thin-air read, -1 if none
+
+	// adj holds the direct po-successor and rf edges (for cycle
+	// witnesses); reach holds the strict transitive closure of them.
+	adj   [][]int32
+	reach []bitset
+
+	topo    []int32
+	acyclic bool
+}
+
+func newChecker(h *History) *checker {
+	n := h.Ops()
+	ck := &checker{
+		h: h, n: n,
+		sess: make([]int, n), idx: make([]int, n),
+		typ: make([]OpType, n), varOf: make([]int, n), val: make([]uint64, n),
+		rf: make([]int, n), thinAir: -1,
+		adj: make([][]int32, n),
+	}
+	vars := make(map[string]int)
+	id := 0
+	for si := range h.Sessions {
+		for oi, op := range h.Sessions[si].Ops {
+			v, ok := vars[op.Var]
+			if !ok {
+				v = len(ck.varNames)
+				vars[op.Var] = v
+				ck.varNames = append(ck.varNames, op.Var)
+				ck.writesOn = append(ck.writesOn, nil)
+				ck.writerOf = append(ck.writerOf, make(map[uint64]int))
+			}
+			ck.sess[id], ck.idx[id] = si, oi
+			ck.typ[id], ck.varOf[id], ck.val[id] = op.Type, v, op.Val
+			if op.Type == OpWrite {
+				ck.writesOn[v] = append(ck.writesOn[v], id)
+				ck.writerOf[v][op.Val] = id // unique: history is differentiated
+			}
+			if oi > 0 {
+				ck.adj[id-1] = append(ck.adj[id-1], int32(id))
+			}
+			id++
+		}
+	}
+	for op := 0; op < n; op++ {
+		ck.rf[op] = -1
+		if ck.typ[op] != OpRead || ck.val[op] == InitValue {
+			continue
+		}
+		w, ok := ck.writerOf[ck.varOf[op]][ck.val[op]]
+		if !ok {
+			if ck.thinAir < 0 {
+				ck.thinAir = op
+			}
+			continue
+		}
+		ck.rf[op] = w
+		ck.adj[w] = append(ck.adj[w], int32(op))
+	}
+	return ck
+}
+
+func (ck *checker) ref(op int) OpRef { return OpRef{Session: ck.sess[op], Index: ck.idx[op]} }
+
+func (ck *checker) refs(ops ...int) []OpRef {
+	out := make([]OpRef, len(ops))
+	for i, op := range ops {
+		out[i] = ck.ref(op)
+	}
+	return out
+}
+
+func (ck *checker) describe(op int) string {
+	return fmt.Sprintf("%s[%d]: %s", ck.h.Sessions[ck.sess[op]].Member, ck.idx[op], ck.ref(op).Resolve(ck.h))
+}
+
+// topoSort Kahn-sorts edges; on failure (cycle) the remainder feeds the
+// cycle extractor.
+func topoSort(n int, adj [][]int32) (order []int32, acyclic bool) {
+	indeg := make([]int32, n)
+	for _, succs := range adj {
+		for _, s := range succs {
+			indeg[s]++
+		}
+	}
+	order = make([]int32, 0, n)
+	queue := make([]int32, 0, n)
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			queue = append(queue, int32(v))
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, s := range adj[v] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	return order, len(order) == n
+}
+
+// findCycle extracts one directed cycle via iterative DFS; the graph is
+// known to contain at least one.
+func findCycle(n int, adj [][]int32) []int {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]uint8, n)
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	for root := 0; root < n; root++ {
+		if color[root] != white {
+			continue
+		}
+		// Iterative DFS: stack of (node, next-edge-index).
+		type frame struct {
+			v  int32
+			ei int
+		}
+		stack := []frame{{int32(root), 0}}
+		color[root] = gray
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.ei < len(adj[f.v]) {
+				s := adj[f.v][f.ei]
+				f.ei++
+				switch color[s] {
+				case white:
+					color[s] = gray
+					parent[s] = f.v
+					stack = append(stack, frame{s, 0})
+				case gray:
+					// Back edge f.v → s closes the cycle.
+					cycle := []int{int(f.v)}
+					for at := f.v; at != s; {
+						at = parent[at]
+						cycle = append(cycle, int(at))
+					}
+					// Reverse into edge order s → ... → f.v.
+					for i, j := 0, len(cycle)-1; i < j; i, j = i+1, j-1 {
+						cycle[i], cycle[j] = cycle[j], cycle[i]
+					}
+					return cycle
+				}
+			} else {
+				color[f.v] = black
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	return nil
+}
+
+// closure computes strict reachability over adj in reverse topological
+// order: reach[v] = ∪ over successors s of ({s} ∪ reach[s]).
+func (ck *checker) closure() {
+	ck.reach = make([]bitset, ck.n)
+	words := (ck.n + 63) / 64
+	backing := make([]uint64, ck.n*words)
+	for v := 0; v < ck.n; v++ {
+		ck.reach[v] = bitset(backing[v*words : (v+1)*words])
+	}
+	for i := len(ck.topo) - 1; i >= 0; i-- {
+		v := ck.topo[i]
+		for _, s := range ck.adj[v] {
+			ck.reach[v].set(int(s))
+			ck.reach[v].or(ck.reach[s])
+		}
+	}
+}
+
+// co reports a →co b (strictly).
+func (ck *checker) co(a, b int) bool { return ck.reach[a].has(b) }
+
+func (ck *checker) cycleOutcome(pattern string, cycle []int, detail string) Outcome {
+	return Outcome{
+		Pattern: pattern,
+		Refs:    ck.refs(cycle...),
+		Cycle:   ck.refs(cycle...),
+		Detail:  detail + ": " + ck.cycleString(cycle),
+	}
+}
+
+func (ck *checker) cycleString(cycle []int) string {
+	parts := make([]string, 0, len(cycle)+1)
+	for _, op := range cycle {
+		parts = append(parts, ck.describe(op))
+	}
+	if len(cycle) > 0 {
+		parts = append(parts, "→ back to "+ck.describe(cycle[0]))
+	}
+	return strings.Join(parts, " → ")
+}
+
+// run fills the report. CC's bad patterns are part of CCv's and CM's
+// families, so a CC failure fails all three with the same witness.
+func (ck *checker) run(rep *Report) {
+	ck.topo, ck.acyclic = topoSort(ck.n, ck.adj)
+	if !ck.acyclic {
+		out := ck.cycleOutcome(PatternCyclicCO, findCycle(ck.n, ck.adj), "session order and reads-from cycle")
+		rep.CC, rep.CCv, rep.CM = out, out, out
+		return
+	}
+	ck.closure()
+
+	if cc, ok := ck.checkCC(); !ok {
+		rep.CC, rep.CCv, rep.CM = cc, cc, cc
+		return
+	}
+	rep.CC = Outcome{Holds: true}
+	rep.CCv = ck.checkCCv()
+	rep.CM = ck.checkCM()
+}
+
+// checkCC scans for the four CC bad patterns (CyclicCO was checked by the
+// caller).
+func (ck *checker) checkCC() (Outcome, bool) {
+	if ck.thinAir >= 0 {
+		r := ck.thinAir
+		return Outcome{
+			Pattern: PatternThinAirRead,
+			Refs:    ck.refs(r),
+			Detail: fmt.Sprintf("%s read value %d, which no write to %s ever wrote",
+				ck.describe(r), ck.val[r], ck.varNames[ck.varOf[r]]),
+		}, false
+	}
+	for r := 0; r < ck.n; r++ {
+		if ck.typ[r] != OpRead {
+			continue
+		}
+		v := ck.varOf[r]
+		if ck.rf[r] < 0 {
+			// Initial-value read: no write to v may be causally before it.
+			for _, w := range ck.writesOn[v] {
+				if ck.co(w, r) {
+					return Outcome{
+						Pattern: PatternWriteCOInitRead,
+						Refs:    ck.refs(w, r),
+						Detail: fmt.Sprintf("%s read the initial value of %s although %s is in its causal past",
+							ck.describe(r), ck.varNames[v], ck.describe(w)),
+					}, false
+				}
+			}
+			continue
+		}
+		w1 := ck.rf[r]
+		for _, w2 := range ck.writesOn[v] {
+			if w2 != w1 && ck.co(w1, w2) && ck.co(w2, r) {
+				return Outcome{
+					Pattern: PatternWriteCORead,
+					Refs:    ck.refs(w1, w2, r),
+					Detail: fmt.Sprintf("%s read from %s although it was overwritten by %s in the read's causal past",
+						ck.describe(r), ck.describe(w1), ck.describe(w2)),
+				}, false
+			}
+		}
+	}
+	return Outcome{Holds: true}, true
+}
+
+// checkCCv adds the conflict edges reads force between same-variable
+// writes and looks for a cycle through co ∪ cf.
+func (ck *checker) checkCCv() Outcome {
+	// cf: w1 → w2 when some read of w2 has w1 in its causal past — any
+	// arbitration must then order w1 before w2.
+	combined := make([][]int32, ck.n)
+	for v := range combined {
+		combined[v] = ck.adj[v]
+	}
+	added := false
+	for r := 0; r < ck.n; r++ {
+		if ck.typ[r] != OpRead || ck.rf[r] < 0 {
+			continue
+		}
+		w2 := ck.rf[r]
+		for _, w1 := range ck.writesOn[ck.varOf[r]] {
+			if w1 == w2 || !ck.co(w1, r) {
+				continue
+			}
+			if !added {
+				// Copy-on-write: don't append into ck.adj's backing arrays.
+				for v := range combined {
+					combined[v] = append([]int32(nil), ck.adj[v]...)
+				}
+				added = true
+			}
+			combined[w1] = append(combined[w1], int32(w2))
+		}
+	}
+	if _, ok := topoSort(ck.n, combined); !ok {
+		return ck.cycleOutcome(PatternCyclicCF, findCycle(ck.n, combined),
+			"no single arbitration of concurrent writes explains every read (conflict/causality cycle)")
+	}
+	return Outcome{Holds: true}
+}
+
+// checkCM verifies, for each session's final operation o, that one
+// serialization of o's causal past explains every read the session made
+// up to o. The happened-before relation hb_o starts as co restricted to
+// the past and grows write→write edges forced by the session's reads;
+// a cycle (or a write serialized before an initial-value read of its
+// variable) means no such serialization exists. Checking only each
+// session's po-maximal operation is sound: hb_o grows monotonically with
+// o along the session order.
+func (ck *checker) checkCM() Outcome {
+	for si := range ck.h.Sessions {
+		if len(ck.h.Sessions[si].Ops) == 0 {
+			continue
+		}
+		if out, ok := ck.checkCMAt(si); !ok {
+			return out
+		}
+	}
+	return Outcome{Holds: true}
+}
+
+// checkCMAt runs the hb fixpoint for session si's last operation.
+func (ck *checker) checkCMAt(si int) (Outcome, bool) {
+	// Locate o: the session's last op. Its causal past mask covers every
+	// op with a →co o, plus o itself.
+	o := -1
+	for op := 0; op < ck.n; op++ {
+		if ck.sess[op] == si && ck.idx[op] == len(ck.h.Sessions[si].Ops)-1 {
+			o = op
+			break
+		}
+	}
+	mask := newBitset(ck.n)
+	for a := 0; a < ck.n; a++ {
+		if a == o || ck.co(a, o) {
+			mask.set(a)
+		}
+	}
+
+	// hb rows: co restricted to the past (already transitive). hbAdj holds
+	// the direct edges for cycle witnesses.
+	words := (ck.n + 63) / 64
+	backing := make([]uint64, ck.n*words)
+	hb := make([]bitset, ck.n)
+	for a := 0; a < ck.n; a++ {
+		hb[a] = bitset(backing[a*words : (a+1)*words])
+		if mask.has(a) {
+			copy(hb[a], ck.reach[a])
+			hb[a].and(mask)
+		}
+	}
+	hbAdj := make([][]int32, ck.n)
+	for a := 0; a < ck.n; a++ {
+		if !mask.has(a) {
+			continue
+		}
+		for _, s := range ck.adj[a] {
+			if mask.has(int(s)) {
+				hbAdj[a] = append(hbAdj[a], s)
+			}
+		}
+	}
+
+	// The session's reads up to o (all of them: o is the last op).
+	var sessionReads []int
+	for op := 0; op < ck.n; op++ {
+		if ck.sess[op] == si && ck.typ[op] == OpRead {
+			sessionReads = append(sessionReads, op)
+		}
+	}
+
+	addEdge := func(u, w int) {
+		hbAdj[u] = append(hbAdj[u], int32(w))
+		// Propagate: u now reaches w and w's cone; so does everything
+		// that reaches u.
+		delta := newBitset(ck.n)
+		delta.set(w)
+		delta.or(hb[w])
+		hb[u].or(delta)
+		for a := 0; a < ck.n; a++ {
+			if mask.has(a) && hb[a].has(u) {
+				hb[a].or(delta)
+			}
+		}
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, r := range sessionReads {
+			v := ck.varOf[r]
+			w2 := ck.rf[r]
+			for _, w1 := range ck.writesOn[v] {
+				if !mask.has(w1) || w1 == w2 {
+					continue
+				}
+				if !hb[w1].has(r) {
+					continue
+				}
+				if w2 < 0 {
+					return Outcome{
+						Pattern: PatternWriteHBInitRead,
+						Refs:    ck.refs(w1, r, o),
+						Detail: fmt.Sprintf("no serialization for %s's session: %s must precede %s, which read the initial value of %s",
+							ck.h.Sessions[si].Member, ck.describe(w1), ck.describe(r), ck.varNames[v]),
+					}, false
+				}
+				if !hb[w1].has(w2) {
+					addEdge(w1, w2)
+					changed = true
+					if hb[w1].has(w1) {
+						return ck.cycleWitnessCM(si, hbAdj), false
+					}
+				}
+			}
+		}
+	}
+	// A cycle can only appear through addEdge (checked there), but keep a
+	// final sweep for defense in depth.
+	for a := 0; a < ck.n; a++ {
+		if mask.has(a) && hb[a].has(a) {
+			return ck.cycleWitnessCM(si, hbAdj), false
+		}
+	}
+	return Outcome{}, true
+}
+
+func (ck *checker) cycleWitnessCM(si int, hbAdj [][]int32) Outcome {
+	out := ck.cycleOutcome(PatternCyclicHB, findCycle(ck.n, hbAdj),
+		fmt.Sprintf("no serialization of %s's causal past satisfies all its reads (happened-before cycle)",
+			ck.h.Sessions[si].Member))
+	return out
+}

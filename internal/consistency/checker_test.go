@@ -1,0 +1,248 @@
+package consistency
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// h builds a history from session specs; see ops().
+func hist(sessions ...Session) *History { return &History{Sessions: sessions} }
+
+func sess(member string, ops ...Op) Session { return Session{Member: member, Ops: ops} }
+
+func w(v string, val uint64) Op { return Op{Type: OpWrite, Var: v, Val: val} }
+func rd(v string, val uint64) Op { return Op{Type: OpRead, Var: v, Val: val} }
+
+func mustCheck(t *testing.T, h *History) *Report {
+	t.Helper()
+	rep, err := Check(h)
+	if err != nil {
+		t.Fatalf("Check: %v\n%s", err, h)
+	}
+	return rep
+}
+
+// expect asserts the verdict triple and, where given, the pattern names.
+func expect(t *testing.T, h *History, cc, ccv, cm bool, patterns ...string) *Report {
+	t.Helper()
+	rep := mustCheck(t, h)
+	if rep.CC.Holds != cc || rep.CCv.Holds != ccv || rep.CM.Holds != cm {
+		t.Fatalf("verdicts CC=%v CCv=%v CM=%v, want CC=%v CCv=%v CM=%v\n%s\n%s",
+			rep.CC.Holds, rep.CCv.Holds, rep.CM.Holds, cc, ccv, cm, h, rep)
+	}
+	for i, want := range patterns {
+		if want == "" {
+			continue
+		}
+		got := rep.Outcome(Level(i + 1)).Pattern
+		if got != want {
+			t.Fatalf("%s failed with pattern %q, want %q\n%s", Level(i+1), got, want, rep)
+		}
+	}
+	return rep
+}
+
+// TestLatticeAllHold pins a healthy causal exchange: everything passes.
+func TestLatticeAllHold(t *testing.T) {
+	rep := expect(t, hist(
+		sess("p1", w("x", 1), w("x", 2)),
+		sess("p2", rd("x", 1), rd("x", 2), w("y", 1)),
+		sess("p3", rd("x", 2), rd("y", 1)),
+	), true, true, true)
+	if !rep.Differentiated {
+		t.Fatal("history should take the polynomial path")
+	}
+	if !rep.AllHold() {
+		t.Fatalf("AllHold false: %s", rep)
+	}
+}
+
+// TestLatticeFork pins the classic fork: two writers race, two readers
+// disagree on the winner. Individually causal (CC, CM hold) but no single
+// arbitration explains both readers (CCv fails with CyclicCF).
+func TestLatticeFork(t *testing.T) {
+	rep := expect(t, hist(
+		sess("p1", w("x", 1)),
+		sess("p2", w("x", 2)),
+		sess("p3", rd("x", 1), rd("x", 2)),
+		sess("p4", rd("x", 2), rd("x", 1)),
+	), true, false, true, "", PatternCyclicCF, "")
+	if len(rep.CCv.Cycle) == 0 {
+		t.Fatalf("CyclicCF verdict carries no cycle witness: %s", rep)
+	}
+}
+
+// TestLatticeAlternatingRead pins the CM/CCv-but-not-CC split: one session
+// reads x as 1, 2, then 1 again over concurrent writes. No serialization
+// of its own past explains it (CM fails, CyclicHB) and no arbitration does
+// either (CCv fails), yet each read alone is causal (CC holds).
+func TestLatticeAlternatingRead(t *testing.T) {
+	expect(t, hist(
+		sess("p1", w("x", 1)),
+		sess("p2", w("x", 2)),
+		sess("p3", rd("x", 1), rd("x", 2), rd("x", 1)),
+	), true, false, false, "", PatternCyclicCF, PatternCyclicHB)
+}
+
+// TestLatticeStaleRead pins WriteCORead: the writes are causally ordered
+// and a session still reads the overwritten value after the overwrite.
+func TestLatticeStaleRead(t *testing.T) {
+	h := hist(
+		sess("p1", w("x", 1), w("x", 2)),
+		sess("p2", rd("x", 2), rd("x", 1)),
+	)
+	rep := expect(t, h, false, false, false,
+		PatternWriteCORead, PatternWriteCORead, PatternWriteCORead)
+	if len(rep.CC.Refs) != 3 {
+		t.Fatalf("WriteCORead wants {w1, w2, r} refs, got %v", rep.CC.Refs)
+	}
+	if got := rep.CC.Refs[2].Resolve(h); got != rd("x", 1) {
+		t.Fatalf("witness read is %s, want r(x)=1", got)
+	}
+}
+
+// TestLatticeInitOverwritten pins WriteCOInitRead: a session that causally
+// learned y=1 (written after x=1) still reads x as initial.
+func TestLatticeInitOverwritten(t *testing.T) {
+	expect(t, hist(
+		sess("p1", w("x", 1), w("y", 1)),
+		sess("p2", rd("y", 1), rd("x", 0)),
+	), false, false, false, PatternWriteCOInitRead, "", "")
+}
+
+// TestLatticeThinAir pins ThinAirRead: a value nobody wrote.
+func TestLatticeThinAir(t *testing.T) {
+	expect(t, hist(
+		sess("p1", w("x", 1)),
+		sess("p2", rd("x", 7)),
+	), false, false, false, PatternThinAirRead, "", "")
+}
+
+// TestLatticeCyclicCO pins CyclicCO: two sessions each read the other's
+// later write — causality would have to run backwards.
+func TestLatticeCyclicCO(t *testing.T) {
+	rep := expect(t, hist(
+		sess("p1", rd("y", 1), w("x", 1)),
+		sess("p2", rd("x", 1), w("y", 1)),
+	), false, false, false, PatternCyclicCO, PatternCyclicCO, PatternCyclicCO)
+	if len(rep.CC.Cycle) < 2 {
+		t.Fatalf("CyclicCO verdict carries no cycle: %s", rep)
+	}
+}
+
+// TestCMSubsumptionDeepSession pins that checking only each session's
+// final op is enough: the violation sits early in a long session and must
+// still surface.
+func TestCMSubsumptionDeepSession(t *testing.T) {
+	expect(t, hist(
+		sess("p1", w("x", 1)),
+		sess("p2", w("x", 2)),
+		sess("p3",
+			rd("x", 1), rd("x", 2), rd("x", 1), // the alternation
+			w("z", 1), rd("z", 1), w("z", 2), rd("z", 2), // healthy tail
+		),
+	), true, false, false, "", PatternCyclicCF, PatternCyclicHB)
+}
+
+// TestNonDifferentiatedFallsBack pins the bounded-search path: the same
+// value written twice routes to the reference semantics and still renders
+// correct verdicts.
+func TestNonDifferentiatedFallsBack(t *testing.T) {
+	rep := expect(t, hist(
+		sess("p1", w("x", 1)),
+		sess("p2", w("x", 1)), // duplicate value: not differentiated
+		sess("p3", rd("x", 1)),
+	), true, true, true)
+	if rep.Differentiated {
+		t.Fatal("duplicate write should leave the polynomial fragment")
+	}
+
+	// And a failing one: alternation with duplicate writes elsewhere.
+	rep = mustCheck(t, hist(
+		sess("p1", w("x", 1), w("x", 2)),
+		sess("p2", rd("x", 2), rd("x", 1)),
+		sess("p3", w("y", 5)),
+		sess("p4", w("y", 5)),
+	))
+	if rep.CC.Holds {
+		t.Fatalf("bounded search missed the stale read:\n%s", rep)
+	}
+}
+
+// TestNonDifferentiatedTooBigUndecided pins the budget: a big
+// non-differentiated history comes back Undecided, never a false verdict.
+func TestNonDifferentiatedTooBigUndecided(t *testing.T) {
+	var ops []Op
+	for i := uint64(1); i <= 10; i++ {
+		ops = append(ops, w("x", i))
+	}
+	h := hist(sess("p1", ops...), sess("p2", w("y", 1)), sess("p3", w("y", 1)))
+	rep := mustCheck(t, h)
+	if !rep.CC.Undecided || rep.CC.Holds {
+		t.Fatalf("want Undecided, got %s", rep)
+	}
+}
+
+// TestValidateRejects pins structural validation.
+func TestValidateRejects(t *testing.T) {
+	if _, err := Check(hist(sess("p", Op{Type: OpWrite, Var: "x", Val: 0}))); err == nil {
+		t.Fatal("write of the initial value must be rejected")
+	}
+	if _, err := Check(hist(sess("p", Op{Type: 9, Var: "x", Val: 1}))); err == nil {
+		t.Fatal("unknown op type must be rejected")
+	}
+	if _, err := Check(hist(sess("p", Op{Type: OpWrite, Var: "", Val: 1}))); err == nil {
+		t.Fatal("empty variable must be rejected")
+	}
+}
+
+// TestJSONRoundTrip pins the recorded-history file format.
+func TestJSONRoundTrip(t *testing.T) {
+	h := hist(
+		sess("p1", w("x", 1), w("x", 2)),
+		sess("p2", rd("x", 1), rd("x", 2)),
+	)
+	var buf bytes.Buffer
+	if err := h.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	if got.String() != h.String() {
+		t.Fatalf("round-trip mismatch:\n%s\nvs\n%s", got, h)
+	}
+	// Unknown format tag is rejected, not misread.
+	if _, err := ReadJSON(strings.NewReader(`{"format":"other/v9","sessions":[]}`)); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+// TestReportString pins the summary rendering tests and CLI lean on.
+func TestReportString(t *testing.T) {
+	rep := mustCheck(t, hist(
+		sess("p1", w("x", 1), w("x", 2)),
+		sess("p2", rd("x", 2), rd("x", 1)),
+	))
+	s := rep.String()
+	for _, want := range []string{"CC=FAIL(WriteCORead)", "ops=4", "overwritten"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("report %q missing %q", s, want)
+		}
+	}
+}
+
+// TestParseLevel pins the CLI-facing level parser.
+func TestParseLevel(t *testing.T) {
+	for s, want := range map[string]Level{"cc": LevelCC, "CCv": LevelCCv, "cm": LevelCM} {
+		got, err := ParseLevel(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseLevel(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseLevel("serializable"); err == nil {
+		t.Fatal("bad level accepted")
+	}
+}

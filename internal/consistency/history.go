@@ -1,0 +1,247 @@
+// Package consistency renders whole-history consistency verdicts — CC
+// (causal consistency), CCv (causal convergence), and CM (causal memory)
+// — over recorded single-computation histories, following Bouajjani,
+// Enea, Guerraoui & Hamza, "On Verifying Causal Consistency" (POPL 2017).
+//
+// A History is a set of sessions, each an ordered sequence of register
+// read/write operations (the per-member operation log with read-values
+// and session order). For differentiated histories — every value written
+// at most once per variable, which the Recorder guarantees by
+// construction and the data-independence argument of the paper makes
+// sufficient — each criterion reduces to the absence of a fixed family of
+// bad patterns over the causality relation co = (po ∪ rf)+:
+//
+//	CC  ⇔ none of {CyclicCO, ThinAirRead, WriteCOInitRead, WriteCORead}
+//	CCv ⇔ CC ∧ ¬CyclicCF
+//	CM  ⇔ CC ∧ none of {WriteHBInitRead, CyclicHB}
+//
+// CC is the weakest criterion; CCv (all members converge on one
+// arbitration of concurrent writes) and CM (each session's reads are
+// explainable by one serialization of its causal past) are incomparable
+// strengthenings. The checker reports all three, each with a minimal
+// counterexample (the offending operations, and the cycle for the cyclic
+// patterns) when it fails. Non-differentiated histories fall back to a
+// bounded search against the brute-force reference semantics.
+package consistency
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"causalshare/internal/message"
+)
+
+// OpType distinguishes register reads from writes.
+type OpType uint8
+
+const (
+	// OpWrite assigns Val to Var.
+	OpWrite OpType = iota + 1
+	// OpRead observes Var; Val is the value returned (InitValue if the
+	// session observed the variable's initial state).
+	OpRead
+)
+
+// InitValue is the value a read returns when it observed a variable no
+// write had reached yet — the paper's initial register state.
+const InitValue uint64 = 0
+
+// Op is one register operation in a session.
+type Op struct {
+	Type OpType `json:"type"`
+	Var  string `json:"var"`
+	// Val is the written value, or the value the read returned. Writes
+	// must not write InitValue (0): in a differentiated history every
+	// written value is unique per variable and distinguishable from the
+	// initial state.
+	Val uint64 `json:"val"`
+	// Label optionally names the broadcast message this operation was
+	// recorded from; zero for synthetic histories. It is provenance for
+	// counterexamples, not checker input.
+	Label message.Label `json:"label,omitempty"`
+}
+
+// String renders the op for counterexamples: w(x)=3 or r(x)=3.
+func (o Op) String() string {
+	t := "w"
+	if o.Type == OpRead {
+		t = "r"
+	}
+	s := fmt.Sprintf("%s(%s)=%d", t, o.Var, o.Val)
+	if !o.Label.IsNil() {
+		s += "[" + o.Label.String() + "]"
+	}
+	return s
+}
+
+// Session is one entity's totally ordered operation sequence (the
+// program/session order po). A member that crashed and rejoined from a
+// snapshot contributes one session per incarnation: the snapshot breaks
+// the session edge, because the new incarnation's state is the donor's,
+// not the continuation of its own pre-crash reads.
+type Session struct {
+	// Member names the entity; several sessions may share a member.
+	Member string `json:"member"`
+	Ops    []Op   `json:"ops"`
+}
+
+// History is a recorded single-computation history: the checker's input.
+type History struct {
+	Sessions []Session `json:"sessions"`
+}
+
+// Ops returns the total operation count.
+func (h *History) Ops() int {
+	n := 0
+	for i := range h.Sessions {
+		n += len(h.Sessions[i].Ops)
+	}
+	return n
+}
+
+// Validate checks structural well-formedness: known op types, named
+// variables, and no write of InitValue.
+func (h *History) Validate() error {
+	for si := range h.Sessions {
+		s := &h.Sessions[si]
+		for oi, op := range s.Ops {
+			at := fmt.Sprintf("session %d (%s) op %d", si, s.Member, oi)
+			if op.Type != OpWrite && op.Type != OpRead {
+				return fmt.Errorf("consistency: %s: invalid op type %d", at, op.Type)
+			}
+			if op.Var == "" {
+				return fmt.Errorf("consistency: %s: empty variable", at)
+			}
+			if op.Type == OpWrite && op.Val == InitValue {
+				return fmt.Errorf("consistency: %s: write of the reserved initial value", at)
+			}
+		}
+	}
+	return nil
+}
+
+// Differentiated reports whether every value is written at most once per
+// variable — the polynomial fragment the bad-pattern checker is exact
+// for. It returns the first duplicated (var, val) pair otherwise.
+func (h *History) Differentiated() (bool, string, uint64) {
+	seen := make(map[string]map[uint64]bool)
+	for i := range h.Sessions {
+		for _, op := range h.Sessions[i].Ops {
+			if op.Type != OpWrite {
+				continue
+			}
+			vals := seen[op.Var]
+			if vals == nil {
+				vals = make(map[uint64]bool)
+				seen[op.Var] = vals
+			}
+			if vals[op.Val] {
+				return false, op.Var, op.Val
+			}
+			vals[op.Val] = true
+		}
+	}
+	return true, "", 0
+}
+
+// Clone deep-copies the history; mutations operate on clones so the
+// pristine recording stays checkable.
+func (h *History) Clone() *History {
+	out := &History{Sessions: make([]Session, len(h.Sessions))}
+	for i, s := range h.Sessions {
+		out.Sessions[i] = Session{Member: s.Member, Ops: append([]Op(nil), s.Ops...)}
+	}
+	return out
+}
+
+// String summarizes the history compactly for failure messages.
+func (h *History) String() string {
+	out := ""
+	for i := range h.Sessions {
+		s := &h.Sessions[i]
+		out += s.Member + ":"
+		for _, op := range s.Ops {
+			out += " " + op.String()
+		}
+		out += "\n"
+	}
+	return out
+}
+
+// historyFile is the versioned on-disk form cmd/cccheck replays.
+type historyFile struct {
+	Format   string    `json:"format"`
+	Sessions []Session `json:"sessions"`
+}
+
+// historyFormat tags the JSON encoding; readers reject unknown formats
+// rather than misinterpreting them.
+const historyFormat = "causalshare-history/v1"
+
+// WriteJSON writes the history in the recorded-history file format.
+func (h *History) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(historyFile{Format: historyFormat, Sessions: h.Sessions})
+}
+
+// ReadJSON parses a recorded-history file and validates it.
+func ReadJSON(r io.Reader) (*History, error) {
+	var f historyFile
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("consistency: parse history: %w", err)
+	}
+	if f.Format != historyFormat {
+		return nil, fmt.Errorf("consistency: unknown history format %q (want %q)", f.Format, historyFormat)
+	}
+	h := &History{Sessions: f.Sessions}
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// OpRef points into a history: the counterexample currency.
+type OpRef struct {
+	// Session indexes History.Sessions; Index indexes its Ops.
+	Session int `json:"session"`
+	Index   int `json:"index"`
+}
+
+// Resolve returns the referenced op (zero Op if out of range).
+func (r OpRef) Resolve(h *History) Op {
+	if r.Session < 0 || r.Session >= len(h.Sessions) {
+		return Op{}
+	}
+	s := h.Sessions[r.Session]
+	if r.Index < 0 || r.Index >= len(s.Ops) {
+		return Op{}
+	}
+	return s.Ops[r.Index]
+}
+
+// DescribeRefs renders refs as "member[i]:op" lines for counterexamples.
+func DescribeRefs(h *History, refs []OpRef) []string {
+	out := make([]string, 0, len(refs))
+	for _, r := range refs {
+		member := "?"
+		if r.Session >= 0 && r.Session < len(h.Sessions) {
+			member = h.Sessions[r.Session].Member
+		}
+		out = append(out, fmt.Sprintf("%s[%d]: %s", member, r.Index, r.Resolve(h)))
+	}
+	return out
+}
+
+// sortRefs orders refs deterministically for stable counterexamples.
+func sortRefs(refs []OpRef) {
+	sort.Slice(refs, func(i, j int) bool {
+		if refs[i].Session != refs[j].Session {
+			return refs[i].Session < refs[j].Session
+		}
+		return refs[i].Index < refs[j].Index
+	})
+}

@@ -1,0 +1,328 @@
+package consistency
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Mutation names a class of history perturbation. Each class is built to
+// land on a specific rung of the verdict lattice, so the mutation matrix
+// proves the checker distinguishes the three criteria rather than merely
+// failing everything:
+//
+//	Reorder     → CC ✗ (hence CCv ✗, CM ✗): swaps two reads of
+//	              causally-ordered writes, faking an out-of-causal-order
+//	              delivery (WriteCORead).
+//	ForkRead    → CC ✓, CM ✓, CCv ✗: detaches a register's writes into
+//	              concurrent sessions and forks one reader's view into a
+//	              reversed read-only session, so two members durably
+//	              disagree on arbitration (CyclicCF).
+//	SessionDrop → CC ✓, CCv ✗, CM ✗: detaches the writes and appends a
+//	              stale re-read, dropping the session edge that kept one
+//	              member's view monotone (CyclicHB).
+type Mutation int
+
+const (
+	// MutationReorder swaps two causally-ordered deliveries in one session.
+	MutationReorder Mutation = iota + 1
+	// MutationForkRead forks one reader's view of a register against
+	// another's.
+	MutationForkRead
+	// MutationSessionDrop drops a session's monotonic-read edge by
+	// re-reading an old value after a newer one.
+	MutationSessionDrop
+)
+
+// Mutations lists every class, for matrix tests.
+var Mutations = []Mutation{MutationReorder, MutationForkRead, MutationSessionDrop}
+
+// String names the mutation class.
+func (m Mutation) String() string {
+	switch m {
+	case MutationReorder:
+		return "reorder"
+	case MutationForkRead:
+		return "read-fork"
+	case MutationSessionDrop:
+		return "session-drop"
+	default:
+		return fmt.Sprintf("Mutation(%d)", int(m))
+	}
+}
+
+// Expected returns the verdict triple the class must produce.
+func (m Mutation) Expected() (cc, ccv, cm bool) {
+	switch m {
+	case MutationReorder:
+		return false, false, false
+	case MutationForkRead:
+		return true, false, true
+	case MutationSessionDrop:
+		return true, false, false
+	default:
+		return false, false, false
+	}
+}
+
+// ExpectedPattern returns the bad pattern the class must be caught by.
+func (m Mutation) ExpectedPattern() (cc, ccv, cm string) {
+	switch m {
+	case MutationReorder:
+		p := PatternWriteCORead
+		return p, p, p
+	case MutationForkRead:
+		return "", PatternCyclicCF, ""
+	case MutationSessionDrop:
+		return "", PatternCyclicCF, PatternCyclicHB
+	default:
+		return "", "", ""
+	}
+}
+
+// Mutate returns a perturbed deep copy of h, plus a description of the
+// surgery, choosing the mutation site by seed. It fails when the history
+// offers no site for the class (too few writes or readers).
+func Mutate(h *History, class Mutation, seed int64) (*History, string, error) {
+	out := h.Clone()
+	rng := rand.New(rand.NewSource(seed))
+	switch class {
+	case MutationReorder:
+		return mutateReorder(out, rng)
+	case MutationForkRead:
+		return mutateForkRead(out, rng)
+	case MutationSessionDrop:
+		return mutateSessionDrop(out, rng)
+	default:
+		return nil, "", fmt.Errorf("consistency: unknown mutation class %d", int(class))
+	}
+}
+
+// writeSite locates a variable's writes.
+type writeSite struct {
+	sess, idx int
+	val       uint64
+}
+
+// varWrites maps each variable to its writes in session-scan order.
+func varWrites(h *History) map[string][]writeSite {
+	out := make(map[string][]writeSite)
+	for si := range h.Sessions {
+		for oi, op := range h.Sessions[si].Ops {
+			if op.Type == OpWrite {
+				out[op.Var] = append(out[op.Var], writeSite{si, oi, op.Val})
+			}
+		}
+	}
+	return out
+}
+
+// chainOrdered reports whether all writes sit in one session in ascending
+// value order — i.e. they are causally ordered, as the recorder's chains
+// guarantee.
+func chainOrdered(ws []writeSite) bool {
+	for i := 1; i < len(ws); i++ {
+		if ws[i].sess != ws[0].sess || ws[i].idx <= ws[i-1].idx || ws[i].val <= ws[i-1].val {
+			return false
+		}
+	}
+	return true
+}
+
+// sessionWrites reports whether session si writes v at all.
+func sessionWrites(h *History, si int, v string) bool {
+	for _, op := range h.Sessions[si].Ops {
+		if op.Type == OpWrite && op.Var == v {
+			return true
+		}
+	}
+	return false
+}
+
+// mutateReorder swaps two consecutive same-variable reads whose writes
+// are causally ordered — the recorded session now claims it observed the
+// overwrite before the overwritten value, which no causal delivery order
+// allows (WriteCORead).
+func mutateReorder(h *History, rng *rand.Rand) (*History, string, error) {
+	writes := varWrites(h)
+	type cand struct{ sess, i, j int }
+	var cands []cand
+	for si := range h.Sessions {
+		lastRead := make(map[string]int)
+		for oi, op := range h.Sessions[si].Ops {
+			if op.Type != OpRead || op.Val == InitValue {
+				continue
+			}
+			if prev, ok := lastRead[op.Var]; ok {
+				pv := h.Sessions[si].Ops[prev].Val
+				if pv != InitValue && pv < op.Val &&
+					chainOrdered(writes[op.Var]) && len(writes[op.Var]) >= 2 &&
+					writes[op.Var][0].sess != si {
+					cands = append(cands, cand{si, prev, oi})
+				}
+			}
+			lastRead[op.Var] = oi
+		}
+	}
+	if len(cands) == 0 {
+		return nil, "", fmt.Errorf("consistency: no reorder site (no session reads a causally-ordered register twice)")
+	}
+	c := cands[rng.Intn(len(cands))]
+	ops := h.Sessions[c.sess].Ops
+	desc := fmt.Sprintf("reorder: swapped %s[%d] %s with %s[%d] %s",
+		h.Sessions[c.sess].Member, c.i, ops[c.i], h.Sessions[c.sess].Member, c.j, ops[c.j])
+	ops[c.i], ops[c.j] = ops[c.j], ops[c.i]
+	return h, desc, nil
+}
+
+// detachWrites removes every write of v from its session and re-appends
+// each as its own single-op session: the writes become causally
+// concurrent while their reads-from edges survive.
+func detachWrites(h *History, v string) {
+	var detached []Session
+	for si := range h.Sessions {
+		s := &h.Sessions[si]
+		kept := s.Ops[:0]
+		for _, op := range s.Ops {
+			if op.Type == OpWrite && op.Var == v {
+				detached = append(detached, Session{Member: s.Member, Ops: []Op{op}})
+				continue
+			}
+			kept = append(kept, op)
+		}
+		s.Ops = kept
+	}
+	h.Sessions = append(h.Sessions, detached...)
+}
+
+// readVals returns the distinct non-initial values session si reads from v.
+func readVals(h *History, si int, v string) []uint64 {
+	seen := make(map[uint64]bool)
+	var out []uint64
+	for _, op := range h.Sessions[si].Ops {
+		if op.Type == OpRead && op.Var == v && op.Val != InitValue && !seen[op.Val] {
+			seen[op.Val] = true
+			out = append(out, op.Val)
+		}
+	}
+	return out
+}
+
+// mutateForkRead makes a register's writes concurrent and reverses one
+// reader's observed order, so two sessions durably disagree about which
+// write won — individually causal (CC, CM hold), but no single
+// arbitration explains both (CyclicCF fails CCv).
+func mutateForkRead(h *History, rng *rand.Rand) (*History, string, error) {
+	writes := varWrites(h)
+	type cand struct {
+		v    string
+		a, b int
+	}
+	var cands []cand
+	for v, ws := range writes {
+		if len(ws) < 2 {
+			continue
+		}
+		var readers []int
+		for si := range h.Sessions {
+			if !sessionWrites(h, si, v) && len(readVals(h, si, v)) >= 2 {
+				readers = append(readers, si)
+			}
+		}
+		for i := 0; i < len(readers); i++ {
+			for j := 0; j < len(readers); j++ {
+				if i == j {
+					continue
+				}
+				if commonVals(h, readers[i], readers[j], v) >= 2 {
+					cands = append(cands, cand{v, readers[i], readers[j]})
+				}
+			}
+		}
+	}
+	if len(cands) == 0 {
+		return nil, "", fmt.Errorf("consistency: no read-fork site (no two sessions both read two values of one register)")
+	}
+	c := cands[rng.Intn(len(cands))]
+	detachWrites(h, c.v)
+	// Extract session b's non-initial reads of v and replay them reversed
+	// in a fresh read-only session. The fork must NOT stay inline: b keeps
+	// writing its own chain, and a backwards view sitting po-before those
+	// writes would leak into every other member's causal past and turn the
+	// fork into a genuine CM violation. A read-only session exports no
+	// causality, so only arbitration (CCv) can tell the two views apart.
+	var forked []Op
+	b := &h.Sessions[c.b]
+	kept := b.Ops[:0]
+	for _, op := range b.Ops {
+		if op.Type == OpRead && op.Var == c.v && op.Val != InitValue {
+			forked = append(forked, op)
+			continue
+		}
+		kept = append(kept, op)
+	}
+	b.Ops = kept
+	for i, j := 0, len(forked)-1; i < j; i, j = i+1, j-1 {
+		forked[i], forked[j] = forked[j], forked[i]
+	}
+	h.Sessions = append(h.Sessions, Session{Member: b.Member + "~fork", Ops: forked})
+	desc := fmt.Sprintf("read-fork: detached %d writes of %s and forked %s's view backwards (vs %s)",
+		len(writes[c.v]), c.v, b.Member, h.Sessions[c.a].Member)
+	return h, desc, nil
+}
+
+// commonVals counts distinct non-initial values of v read by both a and b.
+func commonVals(h *History, a, b int, v string) int {
+	av := readVals(h, a, v)
+	bv := readVals(h, b, v)
+	set := make(map[uint64]bool, len(av))
+	for _, x := range av {
+		set[x] = true
+	}
+	n := 0
+	for _, x := range bv {
+		if set[x] {
+			n++
+		}
+	}
+	return n
+}
+
+// mutateSessionDrop makes a register's writes concurrent and appends a
+// stale re-read to one reader: the session claims it saw old, new, old
+// again — each read is individually causal (CC holds), but the session's
+// own order admits no serialization (CyclicHB fails CM) and no
+// arbitration explains the alternation (CyclicCF fails CCv).
+func mutateSessionDrop(h *History, rng *rand.Rand) (*History, string, error) {
+	writes := varWrites(h)
+	type cand struct {
+		v     string
+		sess  int
+		stale uint64
+	}
+	var cands []cand
+	for v, ws := range writes {
+		if len(ws) < 2 {
+			continue
+		}
+		for si := range h.Sessions {
+			if sessionWrites(h, si, v) {
+				continue
+			}
+			if vals := readVals(h, si, v); len(vals) >= 2 {
+				// Re-read the first value the session observed: every
+				// later distinct value it read then alternates with it.
+				cands = append(cands, cand{v, si, vals[0]})
+			}
+		}
+	}
+	if len(cands) == 0 {
+		return nil, "", fmt.Errorf("consistency: no session-drop site (no session reads two values of one register)")
+	}
+	c := cands[rng.Intn(len(cands))]
+	detachWrites(h, c.v)
+	s := &h.Sessions[c.sess]
+	s.Ops = append(s.Ops, Op{Type: OpRead, Var: c.v, Val: c.stale})
+	desc := fmt.Sprintf("session-drop: detached writes of %s and re-read stale value %d at the end of %s",
+		c.v, c.stale, s.Member)
+	return h, desc, nil
+}

@@ -1,0 +1,95 @@
+package consistency
+
+import (
+	"strings"
+	"testing"
+)
+
+// richHistory is a recorded-shape history with sites for every mutation
+// class: one chained writer, two independent readers with full views.
+func richHistory() *History {
+	return hist(
+		sess("o1", w("x", 1), w("x", 2), w("x", 3)),
+		sess("r1", rd("x", 1), rd("x", 2), rd("x", 3)),
+		sess("r2", rd("x", 1), rd("x", 2), rd("x", 3)),
+	)
+}
+
+// TestMutateDeterministic: equal seeds give identical surgery.
+func TestMutateDeterministic(t *testing.T) {
+	for _, class := range Mutations {
+		a, descA, errA := Mutate(richHistory(), class, 42)
+		b, descB, errB := Mutate(richHistory(), class, 42)
+		if errA != nil || errB != nil {
+			t.Fatalf("%s: %v / %v", class, errA, errB)
+		}
+		if descA != descB || a.String() != b.String() {
+			t.Fatalf("%s not deterministic:\n%q\n%q", class, descA, descB)
+		}
+		if descA == "" {
+			t.Fatalf("%s: empty description", class)
+		}
+	}
+}
+
+// TestMutateLeavesOriginalIntact: mutation operates on a clone.
+func TestMutateLeavesOriginalIntact(t *testing.T) {
+	h := richHistory()
+	before := h.String()
+	for _, class := range Mutations {
+		if _, _, err := Mutate(h, class, 7); err != nil {
+			t.Fatalf("%s: %v", class, err)
+		}
+	}
+	if h.String() != before {
+		t.Fatalf("original history mutated in place:\n%s\nvs\n%s", h, before)
+	}
+}
+
+// TestMutateNoSite: histories without a usable site error out rather than
+// silently returning an unmutated (still-passing) history — a mutation
+// that does not happen must not look like a mutation that was caught.
+func TestMutateNoSite(t *testing.T) {
+	trivial := hist(sess("p1", w("x", 1)), sess("p2", rd("x", 1)))
+	for _, class := range Mutations {
+		if _, _, err := Mutate(trivial, class, 1); err == nil {
+			t.Fatalf("%s found a site in a single-write history", class)
+		} else if !strings.Contains(err.Error(), "no "+class.String()) &&
+			!strings.Contains(err.Error(), "site") {
+			t.Fatalf("%s: unhelpful error %v", class, err)
+		}
+	}
+}
+
+// TestMutateExpectedTriples: the synthetic matrix — each class lands on
+// its rung of the lattice with the promised pattern. (The engine-recorded
+// matrix lives in internal/sim.)
+func TestMutateExpectedTriples(t *testing.T) {
+	base := richHistory()
+	if rep := mustCheck(t, base); !rep.AllHold() {
+		t.Fatalf("baseline unhealthy: %s", rep)
+	}
+	for _, class := range Mutations {
+		for seed := int64(0); seed < 10; seed++ {
+			mut, desc, err := Mutate(base, class, seed)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", class, seed, err)
+			}
+			cc, ccv, cm := class.Expected()
+			rep := mustCheck(t, mut)
+			if rep.CC.Holds != cc || rep.CCv.Holds != ccv || rep.CM.Holds != cm {
+				t.Fatalf("%s seed %d (%s): CC=%v CCv=%v CM=%v, want %v/%v/%v\n%s\n%s",
+					class, seed, desc, rep.CC.Holds, rep.CCv.Holds, rep.CM.Holds, cc, ccv, cm, mut, rep)
+			}
+			pc, pv, pm := class.ExpectedPattern()
+			for lv, want := range map[Level]string{LevelCC: pc, LevelCCv: pv, LevelCM: pm} {
+				if want == "" {
+					continue
+				}
+				if got := rep.Outcome(lv).Pattern; got != want {
+					t.Fatalf("%s seed %d: %s pattern %q, want %q\n%s", class, seed, lv, got, want, rep)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package consistency
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// genSC generates a random history by simulating a sequentially
+// consistent execution: one global memory, ops applied in generation
+// order, every read returning the current value. SC implies CM, CCv, and
+// CC, so the checker must pass all three. Writes draw from per-variable
+// counters, keeping the history differentiated (the polynomial path).
+func genSC(rng *rand.Rand) *History {
+	nSess := 2 + rng.Intn(3) // 2..4 sessions
+	nOps := 4 + rng.Intn(5)  // 4..8 ops
+	vars := []string{"x", "y"}[:1+rng.Intn(2)]
+
+	mem := make(map[string]uint64)
+	next := make(map[string]uint64)
+	h := &History{Sessions: make([]Session, nSess)}
+	for i := range h.Sessions {
+		h.Sessions[i].Member = fmt.Sprintf("p%d", i+1)
+	}
+	for i := 0; i < nOps; i++ {
+		si := rng.Intn(nSess)
+		v := vars[rng.Intn(len(vars))]
+		if rng.Intn(2) == 0 {
+			next[v]++
+			mem[v] = next[v]
+			h.Sessions[si].Ops = append(h.Sessions[si].Ops, Op{Type: OpWrite, Var: v, Val: next[v]})
+		} else {
+			h.Sessions[si].Ops = append(h.Sessions[si].Ops, Op{Type: OpRead, Var: v, Val: mem[v]})
+		}
+	}
+	return h
+}
+
+// genAdversarial generates a random differentiated history with
+// unconstrained read values — most are inconsistent in interesting ways
+// (thin-air, stale, forked, alternating), some happen to be valid.
+func genAdversarial(rng *rand.Rand) *History {
+	nSess := 2 + rng.Intn(3)
+	nOps := 4 + rng.Intn(5)
+	vars := []string{"x", "y"}[:1+rng.Intn(2)]
+
+	next := make(map[string]uint64)
+	h := &History{Sessions: make([]Session, nSess)}
+	for i := range h.Sessions {
+		h.Sessions[i].Member = fmt.Sprintf("p%d", i+1)
+	}
+	for i := 0; i < nOps; i++ {
+		si := rng.Intn(nSess)
+		v := vars[rng.Intn(len(vars))]
+		if rng.Intn(3) == 0 {
+			next[v]++
+			h.Sessions[si].Ops = append(h.Sessions[si].Ops, Op{Type: OpWrite, Var: v, Val: next[v]})
+		} else {
+			// Any value in [0, written+1]: 0 is an init read, written+1 is
+			// thin air, the rest may or may not be causally explainable.
+			val := uint64(rng.Intn(int(next[v]) + 2))
+			h.Sessions[si].Ops = append(h.Sessions[si].Ops, Op{Type: OpRead, Var: v, Val: val})
+		}
+	}
+	return h
+}
+
+// agree asserts the polynomial checker and the brute-force reference
+// render identical verdicts on h (which must be within reference bounds).
+func agree(t *testing.T, h *History, seed int64) {
+	t.Helper()
+	rep, err := Check(h)
+	if err != nil {
+		t.Fatalf("seed %d: Check: %v\n%s", seed, err, h)
+	}
+	ref := Reference(h)
+	for _, lv := range []Level{LevelCC, LevelCCv, LevelCM} {
+		got, want := rep.Outcome(lv), ref.CC
+		switch lv {
+		case LevelCCv:
+			want = ref.CCv
+		case LevelCM:
+			want = ref.CM
+		}
+		if want.Undecided {
+			t.Fatalf("seed %d: reference undecided on a property-sized history\n%s", seed, h)
+		}
+		if got.Holds != want.Holds {
+			t.Fatalf("seed %d: %s disagree: checker=%v (%s) reference=%v (%s)\n%s",
+				seed, lv, got.Holds, got.Detail, want.Holds, want.Detail, h)
+		}
+	}
+}
+
+// TestPropertySCHistoriesAllHold: every history generated from a
+// sequentially consistent interleaving must pass CC, CCv, and CM on both
+// checkers.
+func TestPropertySCHistoriesAllHold(t *testing.T) {
+	for seed := int64(0); seed < 300; seed++ {
+		h := genSC(rand.New(rand.NewSource(seed)))
+		rep, err := Check(h)
+		if err != nil {
+			t.Fatalf("seed %d: Check: %v\n%s", seed, err, h)
+		}
+		if !rep.AllHold() {
+			t.Fatalf("seed %d: SC history rejected:\n%s\n%s", seed, h, rep)
+		}
+		if !rep.Differentiated {
+			t.Fatalf("seed %d: generator produced a non-differentiated history\n%s", seed, h)
+		}
+		agree(t, h, seed)
+	}
+}
+
+// TestPropertyAdversarialMatchesReference: on random adversarial
+// histories the polynomial bad-pattern checker must agree with the
+// exhaustive reference on every level. This is the soundness +
+// completeness property pin for the n≤4, ops≤8 fragment.
+func TestPropertyAdversarialMatchesReference(t *testing.T) {
+	holds, fails := 0, 0
+	for seed := int64(0); seed < 500; seed++ {
+		h := genAdversarial(rand.New(rand.NewSource(seed)))
+		agree(t, h, seed)
+		rep, _ := Check(h)
+		if rep.AllHold() {
+			holds++
+		} else {
+			fails++
+		}
+	}
+	// The generator must actually exercise both sides of the verdict.
+	if holds == 0 || fails == 0 {
+		t.Fatalf("generator degenerate: %d holding, %d failing histories", holds, fails)
+	}
+}
+
+// TestPropertyMutatedSCDowngrades: mutations of SC histories that find a
+// site must produce their class's verdict triple — checked against the
+// reference as ground truth, not just the polynomial checker.
+func TestPropertyMutatedSCDowngrades(t *testing.T) {
+	tried, applied := 0, 0
+	for seed := int64(0); seed < 300; seed++ {
+		// Mutations need sites (two readers, two values); grow the history a
+		// little beyond the SC generator's default.
+		rng := rand.New(rand.NewSource(seed))
+		h := &History{Sessions: []Session{
+			{Member: "o1", Ops: []Op{w("x", 1), w("x", 2), w("x", 3)}},
+			{Member: "r1"}, {Member: "r2"},
+		}}
+		for si := 1; si <= 2; si++ {
+			upTo := 2 + rng.Intn(2) // reads 1..2 or 1..3, in order
+			for v := uint64(1); v <= uint64(upTo); v++ {
+				h.Sessions[si].Ops = append(h.Sessions[si].Ops, rd("x", v))
+			}
+		}
+		for _, class := range Mutations {
+			tried++
+			mut, _, err := Mutate(h, class, seed)
+			if err != nil {
+				continue // no site in this shape
+			}
+			applied++
+			cc, ccv, cm := class.Expected()
+			rep, cerr := Check(mut)
+			if cerr != nil {
+				t.Fatalf("seed %d %s: Check: %v\n%s", seed, class, cerr, mut)
+			}
+			if rep.CC.Holds != cc || rep.CCv.Holds != ccv || rep.CM.Holds != cm {
+				t.Fatalf("seed %d %s: verdicts CC=%v CCv=%v CM=%v, want %v/%v/%v\n%s\n%s",
+					seed, class, rep.CC.Holds, rep.CCv.Holds, rep.CM.Holds, cc, ccv, cm, mut, rep)
+			}
+			if mut.Ops() <= 8 {
+				agree(t, mut, seed)
+			}
+		}
+	}
+	if applied < tried/2 {
+		t.Fatalf("mutation sites too rare: %d applied of %d tried", applied, tried)
+	}
+}

@@ -1,0 +1,356 @@
+package consistency
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"causalshare/internal/message"
+)
+
+// Recorder implements trace.Observer: it records every first send, first
+// delivery, and snapshot seed from a live engine (or a sim run) and
+// materializes the execution as a register History the checker can judge.
+//
+// The mapping is the chain-register model. Each origin's sends are cut
+// into chains: a send continues its origin's chain when its dependencies
+// include the origin's immediately-previous label, and starts a new chain
+// otherwise (so the sequencer's everything-chains traffic is one register
+// per origin, while a front-end's deliberately concurrent commutative
+// sends each get their own). A chain is one register; its k-th data
+// message is the write of value k. Deliveries become reads:
+//
+//   - delivering a chain's data message reads its value (self-deliveries
+//     are not recorded — the origin already wrote the value);
+//   - each dependency of a sent or delivered message yields a witness
+//     read of the dependency's register at the member's current view,
+//     pinning the causal floor the protocol promised. Witness reads are
+//     emitted after the message's own read so a missed dependency shows
+//     up as a bad pattern (stale or initial value with the dependency's
+//     write in the causal past).
+//
+// Control traffic shapes chains but emits no operations. A snapshot seed
+// (rejoin) rotates the member to a fresh session — the new incarnation
+// continues the donor's history, not its own pre-crash reads — with its
+// registers primed from the seeded watermarks.
+//
+// Recording is two-phase: hooks only append raw events (cheap, under the
+// recorder's own lock); History() replays them into sessions.
+type Recorder struct {
+	mu       sync.Mutex
+	events   []event
+	declared bool
+}
+
+type evKind uint8
+
+const (
+	evSend evKind = iota + 1
+	evDeliver
+	evSeed
+)
+
+type event struct {
+	kind   evKind
+	member string
+	label  message.Label
+	deps   []message.Label
+	mkind  message.Kind
+	wm     map[string]uint64
+}
+
+// NewRecorder returns an empty recorder; hand it to trace.Config.Observer
+// or Collector.SetObserver, or feed it directly from a sim run.
+//
+// The materialized history treats each member's full session order as
+// causal export: everything a member delivered before sending m is in m's
+// causal past. That is the right model for engines promising full causal
+// order (CBCast, PCCast) and for workloads that declare their complete
+// causal frontier — checking it against an engine that only promises
+// declared-dependency order reports violations the engine never promised
+// to prevent. Those callers want NewDeclaredRecorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// NewDeclaredRecorder returns a recorder that scopes causal export to
+// declared dependencies — the paper's Λ-causality. Each member's writes
+// materialize in a separate session whose only inbound causality is the
+// dependencies the messages themselves declared (witness reads raised to
+// the declared floor), so knowledge a sender held but did not declare does
+// not leak into receivers' causal pasts. This is the sound model for
+// explicit-dependency engines (OSend) and for stacks whose upper layers
+// deliberately under-declare — e.g. a sequencer that chains its ORDERs but
+// does not re-declare every delivery it happened to observe. Detection
+// power for the declared promise is unchanged: a delivery that misses a
+// declared dependency, or breaks a chain's FIFO order, still surfaces as a
+// bad pattern.
+func NewDeclaredRecorder() *Recorder { return &Recorder{declared: true} }
+
+// RecordSend implements trace.Observer.
+func (r *Recorder) RecordSend(member string, m message.Message) {
+	r.mu.Lock()
+	r.events = append(r.events, event{
+		kind: evSend, member: member, label: m.Label,
+		deps: append([]message.Label(nil), m.Deps.Labels()...), mkind: m.Kind,
+	})
+	r.mu.Unlock()
+}
+
+// RecordDeliver implements trace.Observer.
+func (r *Recorder) RecordDeliver(member string, m message.Message) {
+	r.mu.Lock()
+	r.events = append(r.events, event{
+		kind: evDeliver, member: member, label: m.Label,
+		deps: append([]message.Label(nil), m.Deps.Labels()...), mkind: m.Kind,
+	})
+	r.mu.Unlock()
+}
+
+// RecordSeed implements trace.Observer.
+func (r *Recorder) RecordSeed(member string, watermarks map[string]uint64) {
+	wm := make(map[string]uint64, len(watermarks))
+	for k, v := range watermarks {
+		wm[k] = v
+	}
+	r.mu.Lock()
+	r.events = append(r.events, event{kind: evSeed, member: member, wm: wm})
+	r.mu.Unlock()
+}
+
+// Events returns the raw event count (for reporting).
+func (r *Recorder) Events() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// labelMeta is what the chain pass learns about one sent label.
+type labelMeta struct {
+	chain int
+	// val is the message's write value for data sends, and for control
+	// sends the chain's data count it covers (its causal floor).
+	val  uint64
+	data bool
+}
+
+// originEntry records, per origin in send order, the chain and cumulative
+// data value each label reached — the watermark resolution table.
+type originEntry struct {
+	seq   uint64
+	chain int
+	val   uint64
+}
+
+// History materializes the recorded events into a register history. The
+// recorder stays usable; later events extend later materializations.
+func (r *Recorder) History() *History {
+	r.mu.Lock()
+	events := r.events[:len(r.events):len(r.events)]
+	r.mu.Unlock()
+
+	// Chain pass: cut each origin's sends into chains and assign write
+	// values. First send of a label wins; duplicates are ignored.
+	info := make(map[message.Label]labelMeta)
+	lastLabel := make(map[string]message.Label)
+	chainIndex := make(map[string]int) // per-origin chain counter
+	originLog := make(map[string][]originEntry)
+	var chainVar []string
+	var chainData []uint64
+	chainOf := make(map[string]int) // origin → current chain id
+	for _, ev := range events {
+		if ev.kind != evSend {
+			continue
+		}
+		if _, dup := info[ev.label]; dup {
+			continue
+		}
+		origin := ev.label.Origin
+		prev, chained := lastLabel[origin]
+		if chained {
+			chained = containsLabel(ev.deps, prev)
+		}
+		if !chained {
+			chainIndex[origin]++
+			chainOf[origin] = len(chainVar)
+			chainVar = append(chainVar, fmt.Sprintf("%s@%d", origin, chainIndex[origin]))
+			chainData = append(chainData, 0)
+		}
+		lastLabel[origin] = ev.label
+		c := chainOf[origin]
+		meta := labelMeta{chain: c, val: chainData[c]}
+		if ev.mkind != message.KindControl {
+			chainData[c]++
+			meta.val = chainData[c]
+			meta.data = true
+		}
+		info[ev.label] = meta
+		originLog[origin] = append(originLog[origin], originEntry{seq: ev.label.Seq, chain: c, val: chainData[c]})
+	}
+
+	// Session pass: replay sends and deliveries into per-member sessions.
+	type memberState struct {
+		regs map[int]uint64
+		ops  []Op
+		done [][]Op
+	}
+	states := make(map[string]*memberState)
+	var names []string
+	state := func(m string) *memberState {
+		st := states[m]
+		if st == nil {
+			st = &memberState{regs: make(map[int]uint64)}
+			states[m] = st
+			names = append(names, m)
+		}
+		return st
+	}
+	// In declared mode a member's writes live in their own session, keyed
+	// apart from its delivery session; the NUL never appears in member
+	// names and is stripped for display.
+	const wSuffix = "\x00w"
+	writeState := func(m string) *memberState {
+		if r.declared {
+			return state(m + wSuffix)
+		}
+		return state(m)
+	}
+	type delivKey struct {
+		member string
+		label  message.Label
+	}
+	seenSend := make(map[message.Label]bool)
+	seenDeliver := make(map[delivKey]bool)
+
+	witness := func(st *memberState, deps []message.Label) {
+		for _, d := range deps {
+			dm, known := info[d]
+			if !known {
+				continue
+			}
+			cur := st.regs[dm.chain]
+			if cur == 0 && dm.val == 0 {
+				continue // nothing written, nothing promised: no information
+			}
+			st.ops = append(st.ops, Op{Type: OpRead, Var: chainVar[dm.chain], Val: cur, Label: d})
+		}
+	}
+	// witnessDeclared seeds a write session's causal floor from the
+	// message's declared dependencies: each dependency raises the session's
+	// register to the floor it asserts and is read back at the raised
+	// value, creating exactly the w(dep) → w(this) edge the sender
+	// declared — and nothing more.
+	witnessDeclared := func(st *memberState, deps []message.Label) {
+		for _, d := range deps {
+			dm, known := info[d]
+			if !known {
+				continue
+			}
+			if dm.val > st.regs[dm.chain] {
+				st.regs[dm.chain] = dm.val
+			}
+			cur := st.regs[dm.chain]
+			if cur == 0 {
+				continue
+			}
+			st.ops = append(st.ops, Op{Type: OpRead, Var: chainVar[dm.chain], Val: cur, Label: d})
+		}
+	}
+
+	for _, ev := range events {
+		switch ev.kind {
+		case evSend:
+			if seenSend[ev.label] {
+				continue
+			}
+			seenSend[ev.label] = true
+			m := info[ev.label]
+			if !m.data {
+				continue
+			}
+			st := writeState(ev.member)
+			if r.declared {
+				witnessDeclared(st, ev.deps)
+			} else {
+				witness(st, ev.deps)
+			}
+			st.ops = append(st.ops, Op{Type: OpWrite, Var: chainVar[m.chain], Val: m.val, Label: ev.label})
+			if m.val > st.regs[m.chain] {
+				st.regs[m.chain] = m.val
+			}
+		case evDeliver:
+			key := delivKey{ev.member, ev.label}
+			if seenDeliver[key] {
+				continue
+			}
+			seenDeliver[key] = true
+			m, known := info[ev.label]
+			if !known || !m.data {
+				continue
+			}
+			st := state(ev.member)
+			if m.val > st.regs[m.chain] {
+				st.regs[m.chain] = m.val
+			}
+			if ownsOrigin(ev.member, ev.label.Origin) {
+				continue // the origin wrote this value; a self-read adds nothing
+			}
+			st.ops = append(st.ops, Op{Type: OpRead, Var: chainVar[m.chain], Val: m.val, Label: ev.label})
+			witness(st, ev.deps)
+		case evSeed:
+			// The new incarnation's view is the donor's: registers prime
+			// from the seeded watermarks, everything else resets. In
+			// declared mode the member's write session reseeds the same
+			// way — the snapshot is a declared adoption of that floor.
+			reseed := func(st *memberState) {
+				if len(st.ops) > 0 {
+					st.done = append(st.done, st.ops)
+					st.ops = nil
+				}
+				st.regs = make(map[int]uint64)
+				for origin, upto := range ev.wm {
+					for _, e := range originLog[origin] {
+						if e.seq > upto {
+							break
+						}
+						if e.val > st.regs[e.chain] {
+							st.regs[e.chain] = e.val
+						}
+					}
+				}
+			}
+			reseed(state(ev.member))
+			if r.declared {
+				reseed(state(ev.member + wSuffix))
+			}
+		}
+	}
+
+	sort.Strings(names)
+	h := &History{}
+	for _, name := range names {
+		st := states[name]
+		if len(st.ops) > 0 {
+			st.done = append(st.done, st.ops)
+		}
+		member := strings.TrimSuffix(name, wSuffix)
+		for _, ops := range st.done {
+			h.Sessions = append(h.Sessions, Session{Member: member, Ops: ops})
+		}
+	}
+	return h
+}
+
+func containsLabel(deps []message.Label, l message.Label) bool {
+	for _, d := range deps {
+		if d == l {
+			return true
+		}
+	}
+	return false
+}
+
+// ownsOrigin reports whether member is the sender behind origin — the
+// member itself, or one of its front-end identities ("member~id").
+func ownsOrigin(member, origin string) bool {
+	return origin == member || strings.HasPrefix(origin, member+"~")
+}

@@ -1,0 +1,399 @@
+package consistency
+
+import "fmt"
+
+// RefReport carries the reference checker's verdicts.
+type RefReport struct {
+	CC, CCv, CM Outcome
+}
+
+// refMaxAssignments caps the reads-from enumeration for non-differentiated
+// histories; beyond it the reference comes back Undecided.
+const refMaxAssignments = 1 << 12
+
+// Reference decides CC, CCv, and CM by exhaustive search, straight from
+// the definitions: enumerate every reads-from assignment (one candidate
+// per read in differentiated histories, several otherwise), close po ∪ rf
+// into a candidate causal order, and search for the serializations each
+// criterion demands. Exponential — it exists as ground truth for the
+// property tests and as the bounded fallback for small non-differentiated
+// histories; the polynomial bad-pattern checker must agree with it on
+// every history both can decide.
+func Reference(h *History) *RefReport {
+	r := newRef(h)
+	return r.run()
+}
+
+type refChecker struct {
+	h    *History
+	n    int
+	sess []int
+	idx  []int
+	typ  []OpType
+	varOf []int
+	val  []uint64
+
+	varNames []string
+	// cands[r] lists candidate writer ids for read r; nil for init reads.
+	cands [][]int
+	reads []int
+}
+
+func newRef(h *History) *refChecker {
+	n := h.Ops()
+	r := &refChecker{
+		h: h, n: n,
+		sess: make([]int, n), idx: make([]int, n),
+		typ: make([]OpType, n), varOf: make([]int, n), val: make([]uint64, n),
+		cands: make([][]int, n),
+	}
+	vars := make(map[string]int)
+	id := 0
+	for si := range h.Sessions {
+		for oi, op := range h.Sessions[si].Ops {
+			v, ok := vars[op.Var]
+			if !ok {
+				v = len(r.varNames)
+				vars[op.Var] = v
+				r.varNames = append(r.varNames, op.Var)
+			}
+			r.sess[id], r.idx[id] = si, oi
+			r.typ[id], r.varOf[id], r.val[id] = op.Type, v, op.Val
+			id++
+		}
+	}
+	for op := 0; op < n; op++ {
+		if r.typ[op] != OpRead {
+			continue
+		}
+		r.reads = append(r.reads, op)
+		if r.val[op] == InitValue {
+			continue
+		}
+		for w := 0; w < n; w++ {
+			if r.typ[w] == OpWrite && r.varOf[w] == r.varOf[op] && r.val[w] == r.val[op] {
+				r.cands[op] = append(r.cands[op], w)
+			}
+		}
+	}
+	return r
+}
+
+func (r *refChecker) ref(op int) OpRef { return OpRef{Session: r.sess[op], Index: r.idx[op]} }
+
+func (r *refChecker) run() *RefReport {
+	rep := &RefReport{}
+	fail := func(o Outcome) *RefReport {
+		rep.CC, rep.CCv, rep.CM = o, o, o
+		return rep
+	}
+
+	// A read with no candidate writer sinks every assignment.
+	for _, rd := range r.reads {
+		if r.val[rd] != InitValue && len(r.cands[rd]) == 0 {
+			return fail(Outcome{
+				Pattern: PatternThinAirRead,
+				Refs:    []OpRef{r.ref(rd)},
+				Detail: fmt.Sprintf("read of %s returned %d, which was never written",
+					r.varNames[r.varOf[rd]], r.val[rd]),
+			})
+		}
+	}
+
+	total := 1
+	var choose []int // reads with a non-trivial candidate set
+	for _, rd := range r.reads {
+		if len(r.cands[rd]) > 0 {
+			if total *= len(r.cands[rd]); total > refMaxAssignments {
+				return fail(Outcome{
+					Undecided: true,
+					Detail:    fmt.Sprintf("more than %d reads-from assignments", refMaxAssignments),
+				})
+			}
+			choose = append(choose, rd)
+		}
+	}
+
+	rf := make([]int, r.n)
+	for i := range rf {
+		rf[i] = -1
+	}
+	var ccOK, ccvOK, cmOK bool
+	var firstCycle []int
+	var ccWitness, cmWitness, ccvNote string
+	var ccRef, cmRef []OpRef
+	sawAcyclic := false
+
+	pick := make([]int, len(choose))
+	for {
+		for i, rd := range choose {
+			rf[rd] = r.cands[rd][pick[i]]
+		}
+		co, cycle := r.close(rf)
+		if cycle != nil {
+			if firstCycle == nil {
+				firstCycle = cycle
+			}
+		} else {
+			sawAcyclic = true
+			if !ccOK {
+				if bad := r.checkPerOp(co, rf, false); bad < 0 {
+					ccOK = true
+				} else if ccWitness == "" {
+					ccWitness = fmt.Sprintf("no serialization of the causal past explains op %d", bad)
+					ccRef = []OpRef{r.ref(bad)}
+				}
+			}
+			if !cmOK {
+				if bad := r.checkPerOp(co, rf, true); bad < 0 {
+					cmOK = true
+				} else if cmWitness == "" {
+					cmWitness = fmt.Sprintf("no serialization of the causal past satisfies all reads up to op %d", bad)
+					cmRef = []OpRef{r.ref(bad)}
+				}
+			}
+			if !ccvOK {
+				if r.checkCCv(co, rf) {
+					ccvOK = true
+				} else if ccvNote == "" {
+					ccvNote = "no arbitration (total order extending causality) explains every read"
+				}
+			}
+		}
+		if ccOK && ccvOK && cmOK {
+			break
+		}
+		// Next assignment.
+		i := 0
+		for ; i < len(pick); i++ {
+			pick[i]++
+			if pick[i] < len(r.cands[choose[i]]) {
+				break
+			}
+			pick[i] = 0
+		}
+		if i == len(pick) {
+			break
+		}
+	}
+
+	if !sawAcyclic {
+		refs := make([]OpRef, len(firstCycle))
+		for i, op := range firstCycle {
+			refs[i] = r.ref(op)
+		}
+		return fail(Outcome{
+			Pattern: PatternCyclicCO,
+			Refs:    refs,
+			Cycle:   refs,
+			Detail:  "every reads-from assignment makes session order and reads-from cyclic",
+		})
+	}
+	mk := func(ok bool, detail string, refs []OpRef) Outcome {
+		if ok {
+			return Outcome{Holds: true}
+		}
+		return Outcome{Pattern: PatternBoundedSearch, Detail: detail, Refs: refs}
+	}
+	rep.CC = mk(ccOK, ccWitness, ccRef)
+	rep.CCv = mk(ccvOK, ccvNote, nil)
+	rep.CM = mk(cmOK, cmWitness, cmRef)
+	return rep
+}
+
+// close builds co = (po ∪ rf)+ as a dense matrix, returning a cycle
+// witness instead if the relation is cyclic.
+func (r *refChecker) close(rf []int) ([][]bool, []int) {
+	co := make([][]bool, r.n)
+	for a := 0; a < r.n; a++ {
+		co[a] = make([]bool, r.n)
+	}
+	for a := 0; a < r.n; a++ {
+		for b := 0; b < r.n; b++ {
+			if a != b && r.sess[a] == r.sess[b] && r.idx[a] < r.idx[b] {
+				co[a][b] = true
+			}
+		}
+	}
+	for rd, w := range rf {
+		if w >= 0 {
+			co[w][rd] = true
+		}
+	}
+	for k := 0; k < r.n; k++ {
+		for a := 0; a < r.n; a++ {
+			if !co[a][k] {
+				continue
+			}
+			for b := 0; b < r.n; b++ {
+				if co[k][b] {
+					co[a][b] = true
+				}
+			}
+		}
+	}
+	for a := 0; a < r.n; a++ {
+		if co[a][a] {
+			// Recover an explicit cycle through a for the witness.
+			adj := make([][]int32, r.n)
+			for x := 0; x < r.n; x++ {
+				for y := 0; y < r.n; y++ {
+					if x != y && r.sess[x] == r.sess[y] && r.idx[y] == r.idx[x]+1 {
+						adj[x] = append(adj[x], int32(y))
+					}
+				}
+			}
+			for rd, w := range rf {
+				if w >= 0 {
+					adj[w] = append(adj[w], int32(rd))
+				}
+			}
+			return nil, findCycle(r.n, adj)
+		}
+	}
+	return co, nil
+}
+
+// checkPerOp verifies the per-operation serialization obligation. With
+// full=false it is CC: for each op o, some linear extension of o's causal
+// past explains o's own read (writes impose nothing). With full=true it is
+// CM: the extension must satisfy every read the session made up to o.
+// Returns the first op with no valid serialization, or -1.
+func (r *refChecker) checkPerOp(co [][]bool, rf []int, full bool) int {
+	for o := 0; o < r.n; o++ {
+		if !full && r.typ[o] != OpRead {
+			continue
+		}
+		past := r.past(co, o)
+		constrained := make([]bool, r.n)
+		if full {
+			for _, rd := range r.reads {
+				if r.sess[rd] == r.sess[o] && r.idx[rd] <= r.idx[o] {
+					constrained[rd] = true
+				}
+			}
+		} else {
+			constrained[o] = true
+		}
+		if !r.existsSerialization(past, co, rf, constrained) {
+			return o
+		}
+	}
+	return -1
+}
+
+// past returns o's causal past including o.
+func (r *refChecker) past(co [][]bool, o int) []int {
+	out := []int{}
+	for a := 0; a < r.n; a++ {
+		if a == o || co[a][o] {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// existsSerialization searches for a linear extension of co over elems in
+// which every constrained read sees, as the last write to its variable
+// before its own position, exactly its assigned writer (none for init
+// reads). Depth-first with early exit.
+func (r *refChecker) existsSerialization(elems []int, co [][]bool, rf []int, constrained []bool) bool {
+	placed := make([]bool, r.n)
+	lastW := make([]int, len(r.varNames))
+	for i := range lastW {
+		lastW[i] = -1
+	}
+	inSet := make([]bool, r.n)
+	for _, e := range elems {
+		inSet[e] = true
+	}
+	var rec func(k int) bool
+	rec = func(k int) bool {
+		if k == len(elems) {
+			return true
+		}
+		for _, e := range elems {
+			if placed[e] {
+				continue
+			}
+			ready := true
+			for _, p := range elems {
+				if p != e && !placed[p] && co[p][e] {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				continue
+			}
+			if r.typ[e] == OpRead && constrained[e] && lastW[r.varOf[e]] != rf[e] {
+				continue // this read cannot go here; try other elements
+			}
+			placed[e] = true
+			saved := -2
+			if r.typ[e] == OpWrite {
+				saved = lastW[r.varOf[e]]
+				lastW[r.varOf[e]] = e
+			}
+			if rec(k + 1) {
+				return true
+			}
+			placed[e] = false
+			if saved != -2 {
+				lastW[r.varOf[e]] = saved
+			}
+		}
+		return false
+	}
+	return rec(0)
+}
+
+// checkCCv searches for one arbitration — a linear extension of co over
+// every op — in which each read returns the arbitration-maximal write to
+// its variable among the writes in its causal past.
+func (r *refChecker) checkCCv(co [][]bool, rf []int) bool {
+	pos := make([]int, r.n)
+	placed := make([]bool, r.n)
+	var rec func(k int) bool
+	rec = func(k int) bool {
+		if k == r.n {
+			for _, rd := range r.reads {
+				best := -1
+				for w := 0; w < r.n; w++ {
+					if r.typ[w] == OpWrite && r.varOf[w] == r.varOf[rd] && co[w][rd] {
+						if best < 0 || pos[w] > pos[best] {
+							best = w
+						}
+					}
+				}
+				if best != rf[rd] {
+					return false
+				}
+			}
+			return true
+		}
+		for e := 0; e < r.n; e++ {
+			if placed[e] {
+				continue
+			}
+			ready := true
+			for p := 0; p < r.n; p++ {
+				if p != e && !placed[p] && co[p][e] {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				continue
+			}
+			placed[e] = true
+			pos[e] = k
+			if rec(k + 1) {
+				return true
+			}
+			placed[e] = false
+		}
+		return false
+	}
+	return rec(0)
+}

@@ -18,6 +18,13 @@ const (
 	// ISIS-style baseline, which also enforces FIFO per sender and any
 	// incidental causality the sender had observed.
 	RuleCBCast
+	// RulePCCast delivers in per-link FIFO receipt order with
+	// forward-on-first-receipt flooding — the constant-metadata
+	// PC-broadcast rule of the live causal.PCCast engine. Causal safety
+	// comes from the links: every process emits m1 before m2 on every
+	// link whenever it delivered (or sent) m1 before m2, so FIFO receipt
+	// order extends causal order by induction.
+	RulePCCast
 )
 
 // String names the rule for experiment tables.
@@ -27,10 +34,29 @@ func (r OrderRule) String() string {
 		return "osend"
 	case RuleCBCast:
 		return "cbcast"
+	case RulePCCast:
+		return "pccast"
 	default:
 		return fmt.Sprintf("OrderRule(%d)", int(r))
 	}
 }
+
+// ParseRule parses an engine selector ("osend", "cbcast", "pccast").
+func ParseRule(s string) (OrderRule, error) {
+	switch s {
+	case "osend":
+		return RuleOSend, nil
+	case "cbcast":
+		return RuleCBCast, nil
+	case "pccast":
+		return RulePCCast, nil
+	default:
+		return 0, fmt.Errorf("sim: unknown order rule %q (want osend, cbcast, or pccast)", s)
+	}
+}
+
+// Rules lists every delivery rule, for sweeps.
+var Rules = []OrderRule{RuleOSend, RuleCBCast, RulePCCast}
 
 // DeliverFunc receives deliveries at simulated members.
 type DeliverFunc func(member int, m message.Message, at Time)
@@ -63,6 +89,14 @@ type causalNode struct {
 	// CBCast rule state.
 	vc     vclock.VC
 	buffer []cbPending
+	// PCCast rule state: per-peer FIFO link sequencing. sendSeq[d] is the
+	// next stream position this node assigns on its link to d; recvSeq[s]
+	// is the next position it will release from s; linkBuf[s] holds frames
+	// that arrived ahead of the stream.
+	seen    map[message.Label]bool
+	sendSeq []uint64
+	recvSeq []uint64
+	linkBuf []map[uint64]message.Message
 	// metrics
 	maxBuffered int
 }
@@ -85,13 +119,23 @@ func NewCausalCluster(s *Sim, net *Net, rule OrderRule, n int, onDeliver Deliver
 		sentAt: make(map[message.Label]Time),
 	}
 	for i := 0; i < n; i++ {
-		c.nodes = append(c.nodes, &causalNode{
+		node := &causalNode{
 			id:        memberID(i),
 			delivered: make(map[message.Label]bool),
 			pending:   make(map[message.Label]*simPending),
 			waiting:   make(map[message.Label][]message.Label),
 			vc:        vclock.New(),
-		})
+		}
+		if rule == RulePCCast {
+			node.seen = make(map[message.Label]bool)
+			node.sendSeq = make([]uint64, n)
+			node.recvSeq = make([]uint64, n)
+			node.linkBuf = make([]map[uint64]message.Message, n)
+			for j := 0; j < n; j++ {
+				node.linkBuf[j] = make(map[uint64]message.Message)
+			}
+		}
+		c.nodes = append(c.nodes, node)
 	}
 	return c
 }
@@ -133,7 +177,74 @@ func (c *CausalCluster) Broadcast(from int, m message.Message) {
 				c.arriveCBCast(i, node.id, stamp, m)
 			})
 		}
+	case RulePCCast:
+		node := c.nodes[from]
+		node.seen[m.Label] = true
+		c.control += pcHeaderBytes * uint64(c.n-1)
+		// Outbound frames go on the links before the local delivery runs:
+		// anything the delivery callback broadcasts must land after m in
+		// every link's stream, or receipt order would not extend causality.
+		c.floodPCCast(from, -1, m)
+		c.deliverAt(from, m)
 	}
+}
+
+// pcHeaderBytes is the constant per-frame ordering metadata of the
+// PC-broadcast rule (the live engine's tagged PC header).
+const pcHeaderBytes = 4
+
+// floodPCCast sends m on every link out of src except back to except.
+func (c *CausalCluster) floodPCCast(src, except int, m message.Message) {
+	node := c.nodes[src]
+	for i := 0; i < c.n; i++ {
+		if i == src || i == except {
+			continue
+		}
+		i := i
+		seq := node.sendSeq[i]
+		node.sendSeq[i]++
+		c.net.Send(m.EncodedSize()+pcHeaderBytes, func() { c.arrivePCCast(i, src, seq, m) })
+	}
+}
+
+// arrivePCCast buffers a link frame and releases the link's stream in
+// sequence order — the FIFO property everything rests on.
+func (c *CausalCluster) arrivePCCast(member, src int, seq uint64, m message.Message) {
+	node := c.nodes[member]
+	node.linkBuf[src][seq] = m
+	if buffered := c.pcBuffered(node); buffered > node.maxBuffered {
+		node.maxBuffered = buffered
+	}
+	for {
+		next, ok := node.linkBuf[src][node.recvSeq[src]]
+		if !ok {
+			return
+		}
+		delete(node.linkBuf[src], node.recvSeq[src])
+		node.recvSeq[src]++
+		c.receivePCCast(member, src, next)
+	}
+}
+
+// receivePCCast handles an in-stream frame: duplicates drop, first
+// receipts forward to every other link and then deliver locally.
+func (c *CausalCluster) receivePCCast(member, src int, m message.Message) {
+	node := c.nodes[member]
+	if node.seen[m.Label] {
+		return
+	}
+	node.seen[m.Label] = true
+	c.floodPCCast(member, src, m)
+	c.deliverAt(member, m)
+}
+
+// pcBuffered counts frames held back by link sequencing at node.
+func (c *CausalCluster) pcBuffered(node *causalNode) int {
+	out := 0
+	for _, buf := range node.linkBuf {
+		out += len(buf)
+	}
+	return out
 }
 
 func (c *CausalCluster) arriveOSend(member int, m message.Message) {
@@ -244,7 +355,7 @@ func (c *CausalCluster) Size() int { return c.n }
 func (c *CausalCluster) Undelivered() int {
 	out := 0
 	for _, n := range c.nodes {
-		out += len(n.pending) + len(n.buffer)
+		out += len(n.pending) + len(n.buffer) + c.pcBuffered(n)
 	}
 	return out
 }

@@ -1,0 +1,169 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"causalshare/internal/message"
+	"causalshare/internal/telemetry"
+)
+
+// TestStableDivergeCloserMismatch pins the branch where two members agree
+// on the digest but disagree on WHICH message closed the cycle: that is a
+// divergence too (the stable point is the pair, not just the state hash).
+func TestStableDivergeCloserMismatch(t *testing.T) {
+	c := NewCollector(Config{})
+	ta, tb := c.Tracer("a"), c.Tracer("b")
+	ta.Stable(lbl("a", 1), 1, "digest-1")
+	tb.Stable(lbl("b", 9), 1, "digest-1") // same cycle, same digest, other closer
+	viols := c.Violations()
+	if len(viols) != 1 || viols[0].Kind != ViolationStableDiverge {
+		t.Fatalf("got %v, want one stable-diverge", viols)
+	}
+	if !strings.Contains(viols[0].Detail, "first report by a") {
+		t.Fatalf("detail does not name the first reporter: %q", viols[0].Detail)
+	}
+	if viols[0].Dep != lbl("a", 1) {
+		t.Fatalf("violation Dep should carry the first claim's closer, got %s", viols[0].Dep)
+	}
+}
+
+// TestStableClaimTableEvicts pins the bounded-FIFO claim table: once more
+// than defaultMaxStables cycles are claimed, the oldest claims fall out,
+// and a conflicting late report of an evicted cycle is (by design) no
+// longer detectable — the table is bounded, not archival.
+func TestStableClaimTableEvicts(t *testing.T) {
+	c := NewCollector(Config{})
+	ta := c.Tracer("a")
+	for cyc := uint64(1); cyc <= defaultMaxStables+10; cyc++ {
+		ta.Stable(lbl("a", cyc), cyc, "d")
+	}
+	c.mu.Lock()
+	claims := len(c.stables)
+	c.mu.Unlock()
+	if claims != defaultMaxStables {
+		t.Fatalf("claim table holds %d, want bound %d", claims, defaultMaxStables)
+	}
+	// Cycle 1 was evicted: a diverging report of it re-registers instead
+	// of firing, while a diverging report of a retained cycle still fires.
+	c.Tracer("b").Stable(lbl("b", 1), 1, "OTHER")
+	if got := c.ViolationCount(); got != 0 {
+		t.Fatalf("evicted cycle still audited: %d violations", got)
+	}
+	c.Tracer("b").Stable(lbl("b", 2), defaultMaxStables+5, "OTHER")
+	if got := c.ViolationCount(); got != 1 {
+		t.Fatalf("retained cycle not audited: %d violations", got)
+	}
+}
+
+// TestViolationSnapshotBound pins the MaxViolations overflow branch: the
+// bounded snapshot buffer keeps the first K, the counter keeps counting,
+// and the telemetry counter and ring agree with the total.
+func TestViolationSnapshotBound(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	ring := telemetry.NewRing(64)
+	c := NewCollector(Config{MaxViolations: 3, Telemetry: reg, Ring: ring})
+	ta := c.Tracer("a")
+	ta.EpochAdopted(10)
+	for i := 0; i < 5; i++ {
+		ta.OrderApplied(4, lbl("a~seq", uint64(i+1)))
+	}
+	if got := len(c.Violations()); got != 3 {
+		t.Fatalf("snapshot buffer holds %d, want 3", got)
+	}
+	if got := c.ViolationCount(); got != 5 {
+		t.Fatalf("violation count %d, want 5", got)
+	}
+	snap := reg.Snapshot()
+	var counted uint64
+	for _, m := range snap.Counters {
+		if m.Name == "trace_violations_total" {
+			counted = m.Value
+		}
+	}
+	if counted != 5 {
+		t.Fatalf("trace_violations_total = %d, want 5", counted)
+	}
+	events := ring.Snapshot()
+	fired := 0
+	for _, e := range events {
+		if e.Kind == telemetry.EventViolation {
+			fired++
+		}
+	}
+	if fired != 5 {
+		t.Fatalf("ring recorded %d violation events, want 5", fired)
+	}
+}
+
+// TestOrderAppliedAdoptsEpoch pins the adoption side of the fence check:
+// OrderApplied with a HIGHER epoch than any adopted so far must raise the
+// member's fence (exactly as EpochAdopted would), so a later apply at the
+// previously-current epoch is then a breach — and the very first apply at
+// a member with no adopted epoch at all is never a breach.
+func TestOrderAppliedAdoptsEpoch(t *testing.T) {
+	c := NewCollector(Config{})
+	ta := c.Tracer("a")
+	ta.OrderApplied(2, lbl("a~seq", 1)) // no epoch adopted yet: clean, adopts 2
+	if got := c.ViolationCount(); got != 0 {
+		t.Fatalf("first apply flagged: %v", c.Violations())
+	}
+	ta.OrderApplied(5, lbl("a~seq", 2)) // adopts 5 on the way through
+	ta.OrderApplied(2, lbl("a~seq", 3)) // now fenced out
+	viols := c.Violations()
+	if len(viols) != 1 || viols[0].Kind != ViolationEpochFence {
+		t.Fatalf("got %v, want one epoch-fence", viols)
+	}
+	if viols[0].Label != lbl("a~seq", 3) {
+		t.Fatalf("violation names %s, want the fenced order's label", viols[0].Label)
+	}
+	if !strings.Contains(viols[0].Detail, "epoch 2 applied after epoch 5") {
+		t.Fatalf("detail %q does not describe the fence", viols[0].Detail)
+	}
+}
+
+// TestViolationTraceAttribution pins that a causal-order violation is
+// attributed to the owning trace id via the label index, and that the
+// violation's String covers kind, label, and member for failure messages.
+func TestViolationTraceAttribution(t *testing.T) {
+	c := NewCollector(Config{})
+	ta, tb := c.Tracer("a"), c.Tracer("b")
+	dep := send(ta, msg(lbl("a", 1), message.KindCommutative), ta)
+	m := msg(lbl("a", 2), message.KindCommutative, dep.Label)
+	m.Span = ta.Broadcast(m)
+	tb.Deliver(m) // dep never delivered at b
+	viols := c.Violations()
+	if len(viols) != 1 || viols[0].Kind != ViolationCausalOrder {
+		t.Fatalf("got %v, want one causal-order violation", viols)
+	}
+	if viols[0].Trace != m.Span.TraceID {
+		t.Fatalf("violation trace %d, want %d", viols[0].Trace, m.Span.TraceID)
+	}
+	if viols[0].Dep != dep.Label {
+		t.Fatalf("violation dep %s, want %s", viols[0].Dep, dep.Label)
+	}
+	s := viols[0].String()
+	for _, want := range []string{"causal-order", "a#2", "at b"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("violation string %q missing %q", s, want)
+		}
+	}
+}
+
+// TestViolationKindString pins the name table and the unknown fallback.
+func TestViolationKindString(t *testing.T) {
+	names := map[ViolationKind]string{
+		ViolationCausalOrder:   "causal-order",
+		ViolationEpochFence:    "epoch-fence",
+		ViolationStableRead:    "stable-read",
+		ViolationStableDiverge: "stable-diverge",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+	if got := ViolationKind(99).String(); got != "ViolationKind(99)" {
+		t.Fatalf("unknown kind renders %q", got)
+	}
+}

@@ -57,6 +57,28 @@ type Config struct {
 	Telemetry *telemetry.Registry
 	// Ring receives EventViolation events; nil disables them.
 	Ring *telemetry.Ring
+	// Observer, when non-nil, receives a tee of the collector's lifecycle
+	// stream (sends, deliveries, rejoin seeds) for offline consumers such
+	// as the consistency history recorder. Calls are made in collector
+	// order (under the collector lock), so an observer sees a single
+	// globally serialized event sequence. Offline whole-history checking
+	// wants every message, so pair an observer with SampleEvery <= 1.
+	Observer Observer
+}
+
+// Observer receives the collector's serialized lifecycle stream. It is
+// deliberately expressed in message-package types only, so implementations
+// (e.g. internal/consistency.Recorder) need not import this package.
+type Observer interface {
+	// RecordSend fires once per broadcast at the originating member,
+	// before any delivery of the message is recorded.
+	RecordSend(member string, m message.Message)
+	// RecordDeliver fires at each member's causal delivery of m.
+	RecordDeliver(member string, m message.Message)
+	// RecordSeed fires when a rejoined member adopts delivered watermarks
+	// from a snapshot: history at or below watermarks[origin] is already
+	// reflected in the member's state without local delivery events.
+	RecordSeed(member string, watermarks map[string]uint64)
 }
 
 const (
@@ -163,6 +185,7 @@ type Collector struct {
 
 	ins  collectorInstruments
 	ring *telemetry.Ring
+	obs  Observer
 
 	mu       sync.Mutex
 	nextID   uint64
@@ -208,6 +231,7 @@ func NewCollector(cfg Config) *Collector {
 		sampleEvery: cfg.SampleEvery,
 		ins:         newCollectorInstruments(cfg.Telemetry),
 		ring:        cfg.Ring,
+		obs:         cfg.Observer,
 		traces:      make(map[uint64]*traceRec, cfg.MaxTraces),
 		spanIdx:     make(map[spanKey]*spanRec),
 		byLabel:     make(map[message.Label]labelInfo),
@@ -216,6 +240,19 @@ func NewCollector(cfg Config) *Collector {
 		stables:     make(map[uint64]stableClaim, defaultMaxStables),
 		stableQ:     make([]uint64, defaultMaxStables+1),
 	}
+}
+
+// SetObserver installs (or clears) the lifecycle observer after
+// construction. Harnesses that receive an already-built collector use it
+// to attach a history recorder without touching every Config literal.
+// Safe to call before traffic starts; swapping mid-run is not supported.
+func (c *Collector) SetObserver(o Observer) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.obs = o
+	c.mu.Unlock()
 }
 
 // Tracer returns the member-bound handle engines call their lifecycle
@@ -441,6 +478,10 @@ func (c *Collector) broadcast(member string, m message.Message) message.SpanCont
 	sr := c.ensureSpanLocked(ctx, member, m)
 	if sr.send == 0 {
 		sr.send = now
+		if c.obs != nil {
+			m.Span = ctx
+			c.obs.RecordSend(member, m)
+		}
 	}
 	return ctx
 }
@@ -482,6 +523,9 @@ func (c *Collector) deliver(member string, m message.Message) {
 	sr := c.ensureSpanLocked(m.Span, member, m)
 	if sr.deliver == 0 {
 		sr.deliver = now
+		if c.obs != nil {
+			c.obs.RecordDeliver(member, m)
+		}
 	}
 	c.auditDeliveryLocked(member, m, now)
 }
@@ -520,6 +564,9 @@ func (c *Collector) seedDelivered(member string, watermarks map[string]uint64) {
 		if seq > ma.seeded[origin] {
 			ma.seeded[origin] = seq
 		}
+	}
+	if c.obs != nil {
+		c.obs.RecordSeed(member, watermarks)
 	}
 }
 
