@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test race vet bench bench-smoke bench-scale bench-trace bench-loss bench-obs bench-check metrics-doc fuzz chaos chaos-loss audit check-consistency
+.PHONY: check build test race vet bench bench-smoke bench-scale bench-trace bench-loss bench-obs bench-check bench-flightrec metrics-doc fuzz chaos chaos-loss audit check-consistency flightrec
 
 ## check: the tier-1 gate — vet, build, and race-test everything.
 check: vet build race
@@ -22,8 +22,9 @@ vet:
 bench:
 	$(GO) test -bench=Fanout -benchmem -run '^$$' -json . | tee BENCH_hotpath.json
 
-## bench-smoke: run the fan-out benchmark (telemetry enabled) at a fixed
-## iteration count and fail if any variant reports >0 allocs/op. CI runs
+## bench-smoke: run every fan-out benchmark (telemetry, tracing,
+## reliability, observability, and black-box recording variants) at a
+## fixed iteration count and fail if any reports >0 allocs/op. CI runs
 ## this so the zero-allocation hot path cannot silently regress.
 bench-smoke:
 	$(GO) test -bench=Fanout -benchmem -run '^$$' -benchtime=100000x . | tee /tmp/bench-smoke.out
@@ -69,6 +70,32 @@ bench-check:
 	@awk '/ConsistencyCheck/ && /ns\/op/ { ok = 1 } END { if (!ok) { print "FAIL: no ConsistencyCheck rows in BENCH_check.json"; exit 1 } }' BENCH_check.json
 	@echo "bench-check: BENCH_check.json regenerated"
 
+## bench-flightrec: regenerate the forensic-plane overhead numbers (fan-out
+## pipeline with the always-on trace collector AND a per-member black-box
+## flight recorder armed) into BENCH_flightrec.json, and fail if any
+## variant reports >0 allocs/op: a flight recorder too expensive to leave
+## on in production is off during the crash, so recording must cost
+## cycles, never garbage. The same benchmark also runs under bench-smoke
+## ("Fanout" in the name).
+bench-flightrec:
+	$(GO) test -bench=FanoutBlackBox -benchmem -run '^$$' -benchtime=100000x -json . | tee BENCH_flightrec.json
+	@grep -q "allocs/op" BENCH_flightrec.json || { echo "FAIL: no BlackBox rows in BENCH_flightrec.json"; exit 1; }
+	@! grep -E "[1-9][0-9]* allocs/op" BENCH_flightrec.json || { echo "FAIL: a BlackBox variant reports >0 allocs/op (want 0)"; exit 1; }
+	@echo "bench-flightrec: BENCH_flightrec.json regenerated, 0 allocs/op on every variant"
+
+## flightrec: black-box round-trip smoke — replay a seeded chaos schedule
+## with every member's flight recorder armed (causaltrace -flight-dir),
+## then merge the dumped black boxes into one causally-consistent timeline
+## with causalfr, in all three output shapes (text, JSON, DOT). Exercises
+## record → dump → decode → merge end to end on the live stack.
+flightrec:
+	rm -rf /tmp/flightrec-smoke
+	$(GO) run ./cmd/causaltrace -seed 7 -audit -flight-dir /tmp/flightrec-smoke > /dev/null
+	$(GO) run ./cmd/causalfr /tmp/flightrec-smoke
+	$(GO) run ./cmd/causalfr -json /tmp/flightrec-smoke > /dev/null
+	$(GO) run ./cmd/causalfr -dot - /tmp/flightrec-smoke > /dev/null
+	@echo "flightrec: record → dump → merge round trip OK"
+
 ## metrics-doc: regenerate docs/METRICS.md from a live registry walk over
 ## every subsystem's instrument constructors. CI diffs the result against
 ## the committed file, so a new or renamed metric that skips the doc
@@ -97,10 +124,14 @@ chaos-loss:
 ## violation), then causaltrace replays a fresh seeded chaos schedule and
 ## exits non-zero unless the run converged with zero online and offline
 ## violations.
+## When CHAOS_FLIGHT_DIR is set (CI exports it), the chaos tests arm
+## black-box flight recorders that dump there on a bad end, and the
+## causaltrace replays dump theirs unconditionally — the workflow uploads
+## the directory as a failure artifact for causalfr post-mortems.
 audit:
 	$(GO) test -run 'Chaos|Failover|Figure' ./...
-	$(GO) run ./cmd/causaltrace -seed 7 -audit
-	$(GO) run ./cmd/causaltrace -seed 21 -n 4 -sends 12 -audit
+	$(GO) run ./cmd/causaltrace -seed 7 -audit $(if $(CHAOS_FLIGHT_DIR),-flight-dir $(CHAOS_FLIGHT_DIR)/seed7)
+	$(GO) run ./cmd/causaltrace -seed 21 -n 4 -sends 12 -audit $(if $(CHAOS_FLIGHT_DIR),-flight-dir $(CHAOS_FLIGHT_DIR)/seed21)
 	@echo "audit: converged with zero causal-order violations"
 
 ## check-consistency: the offline-checker gate — the consistency

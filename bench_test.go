@@ -21,6 +21,7 @@ import (
 	"causalshare/internal/causal"
 	"causalshare/internal/core"
 	"causalshare/internal/experiments"
+	"causalshare/internal/flightrec"
 	"causalshare/internal/graph"
 	"causalshare/internal/group"
 	"causalshare/internal/message"
@@ -509,6 +510,106 @@ func BenchmarkBroadcastFanoutObserved(b *testing.B) {
 				if count < uint64(b.N) {
 					b.Fatalf("member %s observed %d visibility samples, want >= %d",
 						ids[i], count, b.N)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBroadcastFanoutBlackBox repeats the fan-out pipeline with the
+// full forensic plane armed on every member: the always-on trace
+// collector (SampleEvery 1, so every broadcast gets a span and the
+// delivery auditor runs) plus a per-member flight recorder wired into the
+// engine, so every send, receive, and delivery also lands in the black
+// box's fixed ring. The "Fanout" name keeps it under the CI bench-smoke
+// zero-alloc gate: a flight recorder you cannot leave on in production is
+// a flight recorder that is off during the crash, so recording must cost
+// cycles, never garbage. The pre-timer warmup cycles the trace store past
+// MaxTraces so the timed region runs on recycled span records; the flight
+// ring is preallocated and symbol-interned, so it is steady-state from
+// the first record.
+func BenchmarkBroadcastFanoutBlackBox(b *testing.B) {
+	const maxTraces = 64
+	for _, n := range []int{2, 8, 16} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			ids := make([]string, n)
+			for i := range ids {
+				ids[i] = fmt.Sprintf("m%02d", i)
+			}
+			grp := group.MustNew("fanout", ids)
+			netReg := telemetry.NewRegistry()
+			col := ctrace.NewCollector(ctrace.Config{
+				MaxTraces:   maxTraces,
+				SampleEvery: 1,
+				Telemetry:   netReg,
+			})
+			// The deployment shape: one recorder set, fed by the collector's
+			// hooks (send/recv/deliver) and by each engine directly
+			// (holdback, fetch).
+			flight := flightrec.NewSet(flightrec.Config{})
+			col.SetFlight(flight)
+			net := transport.NewChanNetObserved(transport.FaultModel{}, netReg)
+			defer func() { _ = net.Close() }()
+			var delivered atomic.Uint64
+			boxes := make([]*flightrec.Recorder, 0, n)
+			engines := make([]*causal.OSend, 0, n)
+			for _, id := range ids {
+				conn, err := net.Attach(id)
+				if err != nil {
+					b.Fatal(err)
+				}
+				reg := telemetry.NewRegistry()
+				box := flight.For(id)
+				eng, err := causal.NewOSend(causal.OSendConfig{
+					Self: id, Group: grp, Conn: conn,
+					Deliver:   func(message.Message) { delivered.Add(1) },
+					Telemetry: reg,
+					Tracer:    col.Tracer(id),
+					Flight:    box,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				boxes = append(boxes, box)
+				engines = append(engines, eng)
+			}
+			defer func() {
+				for _, e := range engines {
+					_ = e.Close()
+				}
+			}()
+			lab := message.NewLabeler(ids[0])
+			send := func(count int) {
+				start := delivered.Load()
+				for i := 0; i < count; i++ {
+					m := message.Message{Label: lab.Next(), Kind: message.KindCommutative, Op: "inc"}
+					if err := engines[0].Broadcast(m); err != nil {
+						b.Fatal(err)
+					}
+				}
+				target := start + uint64(n)*uint64(count)
+				for delivered.Load() < target {
+					time.Sleep(20 * time.Microsecond)
+				}
+			}
+			// Warm past the trace-store bound so the timed region runs
+			// entirely on recycled trace and span records.
+			send(3 * maxTraces)
+			b.ReportAllocs()
+			b.ResetTimer()
+			send(b.N)
+			b.StopTimer()
+			if col.ViolationCount() != 0 {
+				b.Fatalf("audit flagged the fan-out: %v", col.Violations())
+			}
+			// Prove the black boxes actually recorded the flight: every
+			// member's ring holds records, and a snapshot decodes.
+			for i, box := range boxes {
+				if box.Len() == 0 {
+					b.Fatalf("member %s flight ring is empty", ids[i])
+				}
+				if d := box.Snapshot(); d.Member != ids[i] || len(d.Records) == 0 {
+					b.Fatalf("member %s snapshot is empty or mislabeled", ids[i])
 				}
 			}
 		})

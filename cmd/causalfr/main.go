@@ -1,0 +1,356 @@
+// Command causalfr is the post-mortem forensics tool for black-box flight
+// recordings: it decodes N member dumps (the .fr files the chaos harness
+// and telemetry endpoints write), merges them into one causally consistent
+// cluster timeline — happened-before rebuilt from send→recv edges,
+// per-member clock skew corrected, genuinely concurrent records marked —
+// and renders the result for a human chasing a violation.
+//
+// The default render is the full merged timeline. With -around N the
+// output focuses a ±window slice around the Nth auditor violation on the
+// timeline, which is the workflow after a chaos run dumps boxes: find the
+// violation, see exactly what every member was doing in the surrounding
+// milliseconds. A delivery diff (expected vs actual per-member delivery
+// order) runs over the whole timeline either way, naming each divergent
+// message and the members that disagree about it.
+//
+// Usage:
+//
+//	causalfr [-around N] [-window 500ms] [-json] [-dot out.dot] <dump.fr ... | dir>
+//	causalfr -version
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"causalshare/internal/flightrec"
+	"causalshare/internal/telemetry"
+	"causalshare/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "causalfr:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("causalfr", flag.ContinueOnError)
+	around := fs.Int("around", -1, "focus the timeline on the Nth violation (0-based; -1 renders everything)")
+	window := fs.Duration("window", 500*time.Millisecond, "half-width of the -around focus window")
+	jsonOut := fs.Bool("json", false, "emit the merged timeline as JSON")
+	dotOut := fs.String("dot", "", "write the rendered window as a DOT graph to this file (\"-\" for stdout)")
+	version := fs.Bool("version", false, "print the binary version and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *version {
+		fmt.Fprintln(out, telemetry.Version())
+		return nil
+	}
+	paths, err := collectDumps(fs.Args())
+	if err != nil {
+		return err
+	}
+
+	dumps := make([]*flightrec.Dump, 0, len(paths))
+	for _, p := range paths {
+		d, err := flightrec.ReadFile(p)
+		if err != nil {
+			return fmt.Errorf("%s: %w", p, err)
+		}
+		dumps = append(dumps, d)
+	}
+	tl := flightrec.Merge(dumps)
+	diffs := tl.DeliveryDiffs()
+
+	lo, hi, err := focus(tl, *around, *window)
+	if err != nil {
+		return err
+	}
+
+	if *dotOut != "" {
+		w := out
+		var f *os.File
+		if *dotOut != "-" {
+			if f, err = os.Create(*dotOut); err != nil {
+				return err
+			}
+			w = f
+		}
+		writeDOT(w, tl, lo, hi)
+		if f != nil {
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+	}
+
+	if *jsonOut {
+		return writeJSON(out, tl, diffs, lo, hi)
+	}
+	render(out, tl, diffs, *around, lo, hi)
+	return nil
+}
+
+// collectDumps expands the positional args: each is either a .fr file or a
+// directory whose *.fr entries are taken (sorted, so the merge input is
+// deterministic regardless of shell glob order).
+func collectDumps(args []string) ([]string, error) {
+	if len(args) == 0 {
+		return nil, fmt.Errorf("want flight dumps (.fr files or a directory of them)")
+	}
+	var paths []string
+	for _, a := range args {
+		st, err := os.Stat(a)
+		if err != nil {
+			return nil, err
+		}
+		if !st.IsDir() {
+			paths = append(paths, a)
+			continue
+		}
+		ents, err := os.ReadDir(a)
+		if err != nil {
+			return nil, err
+		}
+		n := 0
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".fr") {
+				paths = append(paths, filepath.Join(a, e.Name()))
+				n++
+			}
+		}
+		if n == 0 {
+			return nil, fmt.Errorf("%s: no .fr dumps", a)
+		}
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+// focus resolves the -around/-window flags to an entry index range
+// [lo, hi) of the merged timeline.
+func focus(tl *flightrec.Timeline, around int, window time.Duration) (int, int, error) {
+	if around < 0 {
+		return 0, len(tl.Entries), nil
+	}
+	if around >= len(tl.Violations) {
+		return 0, 0, fmt.Errorf("-around %d: timeline has %d violation(s)", around, len(tl.Violations))
+	}
+	center := tl.Entries[tl.Violations[around]].Wall
+	lo, hi := 0, len(tl.Entries)
+	for lo < hi && tl.Entries[lo].Wall < center-int64(window) {
+		lo++
+	}
+	for hi > lo && tl.Entries[hi-1].Wall > center+int64(window) {
+		hi--
+	}
+	return lo, hi, nil
+}
+
+func render(out io.Writer, tl *flightrec.Timeline, diffs []flightrec.Divergence, around, lo, hi int) {
+	total := 0
+	for _, d := range tl.Dumps {
+		total += len(d.Records)
+		if d.Dropped > 0 {
+			fmt.Fprintf(out, "note: %s's ring wrapped, %d oldest records lost\n", d.Member, d.Dropped)
+		}
+	}
+	fmt.Fprintf(out, "flight recordings: %d members (%s), %d records\n",
+		len(tl.Members), strings.Join(tl.Members, ", "), total)
+	var skews []string
+	for i, m := range tl.Members {
+		if tl.Skew[i] != 0 {
+			skews = append(skews, fmt.Sprintf("%s +%v", m, tl.Skew[i]))
+		}
+	}
+	if len(skews) > 0 {
+		fmt.Fprintf(out, "clock skew corrected: %s\n", strings.Join(skews, ", "))
+	}
+
+	fmt.Fprintf(out, "violations: %d\n", len(tl.Violations))
+	for i, vi := range tl.Violations {
+		e := tl.Entries[vi]
+		fmt.Fprintf(out, "  [%d] %s  %s  %s\n", i, stamp(e.Wall), e.Member, describe(tl, e))
+	}
+
+	if around >= 0 {
+		c := tl.Entries[tl.Violations[around]]
+		fmt.Fprintf(out, "\ntimeline around violation %d (%s at %s), %d of %d entries:\n",
+			around, describe(tl, c), c.Member, hi-lo, len(tl.Entries))
+	} else {
+		fmt.Fprintf(out, "\ntimeline (%d entries):\n", len(tl.Entries))
+	}
+	for i := lo; i < hi; i++ {
+		e := tl.Entries[i]
+		mark := " "
+		if e.Rec.Kind == flightrec.KindViolation {
+			mark = "*"
+		}
+		conc := ""
+		if e.Concurrent {
+			conc = "  ⚠ concurrent"
+		}
+		fmt.Fprintf(out, "%s %s  %-8s %s%s\n", mark, stamp(e.Wall), e.Member, describe(tl, e), conc)
+	}
+
+	fmt.Fprintf(out, "\ndelivery divergences: %d\n", len(diffs))
+	for _, d := range diffs {
+		fmt.Fprintf(out, "  %s  members %s: %s\n", d.Label, strings.Join(d.Members, ","), d.Detail)
+	}
+}
+
+// stamp renders a corrected wall-clock estimate at microsecond grain.
+func stamp(wall int64) string {
+	return time.Unix(0, wall).UTC().Format("15:04:05.000000")
+}
+
+// describe renders one record with its symbols resolved, kind by kind.
+func describe(tl *flightrec.Timeline, e flightrec.Entry) string {
+	r := e.Rec
+	a := tl.Label(e, r.A)
+	b := tl.Label(e, r.B)
+	peer := tl.Dumps[e.MemberIdx].Sym(r.B.Org)
+	switch r.Kind {
+	case flightrec.KindFrameSend:
+		return fmt.Sprintf("send %s (%dB)", a, r.Value)
+	case flightrec.KindFrameRecv:
+		return fmt.Sprintf("recv %s", a)
+	case flightrec.KindFrameForward:
+		return fmt.Sprintf("forward %s (hop %d)", a, r.Value)
+	case flightrec.KindHoldback:
+		if r.B.IsZero() {
+			return fmt.Sprintf("holdback %s", a)
+		}
+		return fmt.Sprintf("holdback %s missing %s", a, b)
+	case flightrec.KindDepResolved:
+		return fmt.Sprintf("dep-resolved %s waited %v for %s", a, time.Duration(r.Value), b)
+	case flightrec.KindDeliver:
+		return fmt.Sprintf("deliver %s", a)
+	case flightrec.KindFetch:
+		return fmt.Sprintf("fetch %s from %s", a, peer)
+	case flightrec.KindStable:
+		return fmt.Sprintf("stable cycle %d closed by %s", r.Value, a)
+	case flightrec.KindEpoch:
+		return fmt.Sprintf("epoch %d adopted", r.Value)
+	case flightrec.KindElect:
+		return fmt.Sprintf("elected leader of epoch %d (%d re-proposed)", r.Value, r.B.Seq)
+	case flightrec.KindSuspect:
+		return fmt.Sprintf("suspect %s", peer)
+	case flightrec.KindRetransmit:
+		return fmt.Sprintf("retransmit link seq %d to %s", r.Value, peer)
+	case flightrec.KindNack:
+		return fmt.Sprintf("nack to %s from seq %d (width %d)", peer, r.B.Seq, r.Value)
+	case flightrec.KindShed:
+		return fmt.Sprintf("shed %s", peer)
+	case flightrec.KindResync:
+		return fmt.Sprintf("resync after %s skipped %d", peer, r.Value)
+	case flightrec.KindViolation:
+		return fmt.Sprintf("violation %s on %s (dep %s)", trace.ViolationKind(r.Value), a, b)
+	case flightrec.KindSeed:
+		return fmt.Sprintf("seeded %d rejoin watermarks", r.Value)
+	case flightrec.KindRead:
+		return fmt.Sprintf("deferred read served from cycle %d (boundary %d)", r.Value, r.B.Seq)
+	default:
+		return fmt.Sprintf("%s a=%s b=%s value=%d", r.Kind, a, b, r.Value)
+	}
+}
+
+// jsonEntry is one timeline entry in -json output.
+type jsonEntry struct {
+	Wall       string `json:"wall"`
+	Member     string `json:"member"`
+	Kind       string `json:"kind"`
+	A          string `json:"a,omitempty"`
+	B          string `json:"b,omitempty"`
+	Peer       string `json:"peer,omitempty"`
+	Value      int64  `json:"value"`
+	Text       string `json:"text"`
+	Concurrent bool   `json:"concurrent,omitempty"`
+}
+
+func toJSONEntry(tl *flightrec.Timeline, e flightrec.Entry) jsonEntry {
+	return jsonEntry{
+		Wall:       time.Unix(0, e.Wall).UTC().Format(time.RFC3339Nano),
+		Member:     e.Member,
+		Kind:       e.Rec.Kind.String(),
+		A:          tl.Label(e, e.Rec.A),
+		B:          tl.Label(e, e.Rec.B),
+		Peer:       tl.Dumps[e.MemberIdx].Sym(e.Rec.B.Org),
+		Value:      e.Rec.Value,
+		Text:       describe(tl, e),
+		Concurrent: e.Concurrent,
+	}
+}
+
+func writeJSON(out io.Writer, tl *flightrec.Timeline, diffs []flightrec.Divergence, lo, hi int) error {
+	skew := make(map[string]string, len(tl.Members))
+	for i, m := range tl.Members {
+		skew[m] = tl.Skew[i].String()
+	}
+	viols := make([]jsonEntry, 0, len(tl.Violations))
+	for _, vi := range tl.Violations {
+		viols = append(viols, toJSONEntry(tl, tl.Entries[vi]))
+	}
+	entries := make([]jsonEntry, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		entries = append(entries, toJSONEntry(tl, tl.Entries[i]))
+	}
+	doc := struct {
+		Members     []string               `json:"members"`
+		Skew        map[string]string      `json:"skew"`
+		Violations  []jsonEntry            `json:"violations"`
+		Entries     []jsonEntry            `json:"entries"`
+		Divergences []flightrec.Divergence `json:"divergences"`
+	}{tl.Members, skew, viols, entries, diffs}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// writeDOT renders the [lo, hi) window as a graph: one node per entry,
+// solid edges for each member's program order, dashed edges for the
+// send→recv/deliver message flow. Violations are drawn red; concurrent
+// placements dotted-bordered.
+func writeDOT(out io.Writer, tl *flightrec.Timeline, lo, hi int) {
+	fmt.Fprintln(out, "digraph flight {")
+	fmt.Fprintln(out, "  rankdir=TB; node [shape=box, fontsize=9];")
+	last := make(map[string]int) // member → last node index in window
+	sends := make(map[string]int)
+	for i := lo; i < hi; i++ {
+		e := tl.Entries[i]
+		attrs := ""
+		if e.Rec.Kind == flightrec.KindViolation {
+			attrs = ", color=red, fontcolor=red"
+		} else if e.Concurrent {
+			attrs = ", style=dotted"
+		}
+		fmt.Fprintf(out, "  n%d [label=%q%s];\n", i,
+			fmt.Sprintf("%s\n%s", e.Member, describe(tl, e)), attrs)
+		if p, ok := last[e.Member]; ok {
+			fmt.Fprintf(out, "  n%d -> n%d;\n", p, i)
+		}
+		last[e.Member] = i
+		label := tl.Label(e, e.Rec.A)
+		switch e.Rec.Kind {
+		case flightrec.KindFrameSend:
+			if _, ok := sends[label]; !ok {
+				sends[label] = i
+			}
+		case flightrec.KindFrameRecv, flightrec.KindDeliver:
+			if s, ok := sends[label]; ok && tl.Entries[s].Member != e.Member {
+				fmt.Fprintf(out, "  n%d -> n%d [style=dashed, label=%q];\n", s, i, label)
+			}
+		}
+	}
+	fmt.Fprintln(out, "}")
+}

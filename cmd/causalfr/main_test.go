@@ -1,0 +1,152 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"causalshare/internal/chaos"
+	"causalshare/internal/consistency"
+	"causalshare/internal/trace"
+	"causalshare/internal/transport"
+)
+
+// recordCrimeScene runs a deterministic chaos schedule with an injected
+// causal-order inversion at member b and returns the flight-dump
+// directory the harness wrote.
+func recordCrimeScene(t *testing.T) string {
+	t.Helper()
+	members := []string{"a", "b", "c"}
+	net := transport.NewChanNet(transport.FaultModel{})
+	defer func() { _ = net.Close() }()
+	dir := t.TempDir()
+	res, err := chaos.Run(chaos.Options{
+		Members:        members,
+		Net:            net,
+		Schedule:       chaos.Schedule{Actions: []chaos.Action{{At: 30 * time.Millisecond, Reorder: "b"}}},
+		SendsPerMember: 10,
+		FailTimeout:    60 * time.Millisecond,
+		Patience:       12 * time.Millisecond,
+		Collector:      trace.NewCollector(trace.Config{}),
+		Recorder:       consistency.NewDeclaredRecorder(),
+		FlightDir:      dir,
+	})
+	if err != nil {
+		t.Fatalf("chaos run: %v", err)
+	}
+	if len(res.FlightRecords) == 0 {
+		t.Fatalf("injected violation produced no flight dumps (violations=%d)", res.Violations)
+	}
+	return dir
+}
+
+// TestRoundTripNamesViolationAndMembers is the full forensics loop: chaos
+// run → auto-dumped black boxes → causalfr -around reconstructs the
+// cross-member timeline, naming the violating message and the members
+// whose delivery orders disagree.
+func TestRoundTripNamesViolationAndMembers(t *testing.T) {
+	dir := recordCrimeScene(t)
+
+	var buf strings.Builder
+	if err := run([]string{"-around", "0", "-window", "500ms", dir}, &buf); err != nil {
+		t.Fatalf("causalfr: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"violation causal-order on b!inject:2 (dep b!inject:1)", // the violating message
+		"deliver b!inject:2", // the inverted delivery is inside the window
+		"delivery divergences",
+		"b!inject:1  members b:", // the disagreeing member on the diff line
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Both sides of the disagreement are on the rendered timeline: the
+	// victim's inverted order and the witness's correct one.
+	if !strings.Contains(out, " b ") || !strings.Contains(out, " a ") {
+		t.Errorf("window does not show both disagreeing members:\n%s", out)
+	}
+}
+
+// TestRoundTripJSONAndDOT exercises the machine-readable outputs over the
+// same recording.
+func TestRoundTripJSONAndDOT(t *testing.T) {
+	dir := recordCrimeScene(t)
+
+	var buf strings.Builder
+	if err := run([]string{"-json", dir}, &buf); err != nil {
+		t.Fatalf("causalfr -json: %v", err)
+	}
+	var doc struct {
+		Members    []string `json:"members"`
+		Violations []struct {
+			Member string `json:"member"`
+			A      string `json:"a"`
+			B      string `json:"b"`
+		} `json:"violations"`
+		Entries     []json.RawMessage `json:"entries"`
+		Divergences []struct {
+			Label   string   `json:"Label"`
+			Members []string `json:"Members"`
+		} `json:"divergences"`
+	}
+	if err := json.Unmarshal([]byte(buf.String()), &doc); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.Members) != 3 {
+		t.Fatalf("members = %v, want 3", doc.Members)
+	}
+	if len(doc.Violations) == 0 || doc.Violations[0].Member != "b" ||
+		doc.Violations[0].A != "b!inject:2" || doc.Violations[0].B != "b!inject:1" {
+		t.Fatalf("violations = %+v", doc.Violations)
+	}
+	if len(doc.Entries) == 0 || len(doc.Divergences) == 0 {
+		t.Fatalf("empty entries (%d) or divergences (%d)", len(doc.Entries), len(doc.Divergences))
+	}
+
+	dot := filepath.Join(t.TempDir(), "flight.dot")
+	buf.Reset()
+	if err := run([]string{"-around", "0", "-dot", dot, dir}, &buf); err != nil {
+		t.Fatalf("causalfr -dot: %v", err)
+	}
+	g, err := os.ReadFile(dot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"digraph flight", "color=red", "->"} {
+		if !strings.Contains(string(g), want) {
+			t.Errorf("DOT output missing %q:\n%s", want, g)
+		}
+	}
+}
+
+// TestRunErrors pins the failure modes: no args, a directory without
+// dumps, and -around beyond the violation count.
+func TestRunErrors(t *testing.T) {
+	var buf strings.Builder
+	if err := run(nil, &buf); err == nil {
+		t.Error("no args: want error")
+	}
+	if err := run([]string{t.TempDir()}, &buf); err == nil {
+		t.Error("empty dir: want error")
+	}
+	dir := recordCrimeScene(t)
+	if err := run([]string{"-around", "99", dir}, &buf); err == nil {
+		t.Error("-around out of range: want error")
+	}
+}
+
+// TestVersionFlag pins the -version contract shared by every command.
+func TestVersionFlag(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-version"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(buf.String()) == "" {
+		t.Fatal("-version printed nothing")
+	}
+}

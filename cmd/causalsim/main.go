@@ -19,6 +19,7 @@ import (
 
 	"causalshare/internal/causal"
 	"causalshare/internal/core"
+	"causalshare/internal/flightrec"
 	"causalshare/internal/group"
 	"causalshare/internal/obs"
 	"causalshare/internal/reliable"
@@ -45,16 +46,25 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 7, "fault model seed")
 	dot := fs.Bool("dot", false, "print the extracted dependency graph in Graphviz dot syntax")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /vars and /trace on this address during the run (e.g. :9090)")
+	version := fs.Bool("version", false, "print the binary version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Println(telemetry.Version())
+		return nil
 	}
 
 	reg := telemetry.NewRegistry()
 	ring := telemetry.NewRing(4096)
 	transport.RegisterPoolMetrics(reg)
+	// Every member gets a black-box flight recorder; with -metrics-addr the
+	// boxes are dumpable over /flightrec/<member> while the run is live.
+	flight := flightrec.NewSet(flightrec.Config{Telemetry: reg})
 	if *metricsAddr != "" {
 		srv, err := telemetry.Serve(*metricsAddr, reg, ring,
-			telemetry.Healthz(fmt.Sprintf("causalsim(%s,n=%d)", *engine, *n)))
+			telemetry.Healthz(fmt.Sprintf("causalsim(%s,n=%d)", *engine, *n)),
+			flight.Route())
 		if err != nil {
 			return err
 		}
@@ -86,12 +96,14 @@ func run(args []string) error {
 		}
 	}()
 	for _, id := range ids {
+		box := flight.For(id)
 		rep, err := core.NewReplica(core.ReplicaConfig{
 			Self:      id,
 			Initial:   shareddata.NewCounter(0),
 			Apply:     shareddata.ApplyCounter,
 			Telemetry: reg,
 			Trace:     ring,
+			Flight:    box,
 		})
 		if err != nil {
 			return err
@@ -110,12 +122,14 @@ func run(args []string) error {
 				Patience:  10 * time.Millisecond,
 				Telemetry: reg,
 				Trace:     ring,
+				Flight:    box,
 			})
 		case "cbcast":
 			eng, err = causal.NewCBCast(causal.CBCastConfig{
 				Self: id, Group: grp, Conn: conn, Deliver: deliver,
 				Patience:  10 * time.Millisecond,
 				Telemetry: reg,
+				Flight:    box,
 			})
 		case "pccast":
 			// PC-cast needs reliable per-pair FIFO links: repair the lossy
@@ -128,12 +142,14 @@ func run(args []string) error {
 				ShedAfter:    5 * time.Second,
 				Seed:         *seed,
 				Telemetry:    reg,
+				Flight:       box,
 			})
 			eng, err = causal.NewPCCast(causal.PCCastConfig{
 				Self: id, Group: grp, Conn: rconn, Deliver: deliver,
 				Patience:  10 * time.Millisecond,
 				Telemetry: reg,
 				Trace:     ring,
+				Flight:    box,
 			})
 		default:
 			return fmt.Errorf("unknown engine %q", *engine)

@@ -38,10 +38,15 @@ func run(args []string, out io.Writer) error {
 	targetsFlag := fs.String("targets", "", "comma-separated telemetry addresses (host:port or URL), one per member")
 	interval := fs.Duration("interval", 2*time.Second, "refresh interval in live mode")
 	timeout := fs.Duration("timeout", 2*time.Second, "per-scrape HTTP timeout")
-	once := fs.Bool("once", false, "scrape once, print, and exit")
+	once := fs.Bool("once", false, "scrape once, print, and exit; exits non-zero if any member is down or unhealthy")
 	asJSON := fs.Bool("json", false, "emit the cluster view as JSON (implies no screen clearing)")
+	version := fs.Bool("version", false, "print the binary version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Fprintln(out, telemetry.Version())
+		return nil
 	}
 	targets := splitTargets(*targetsFlag)
 	if len(targets) == 0 {
@@ -52,27 +57,43 @@ func run(args []string, out io.Writer) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	emit := func(clear bool) error {
+	emit := func(clear bool) (telemetry.ClusterView, error) {
 		view := scraper.ScrapeCluster(ctx, targets)
 		if *asJSON {
 			enc := json.NewEncoder(out)
 			enc.SetIndent("", "  ")
-			return enc.Encode(view)
+			return view, enc.Encode(view)
 		}
 		if clear {
 			fmt.Fprint(out, "\x1b[2J\x1b[H") // clear screen, home cursor
 		}
 		render(out, view)
-		return nil
+		return view, nil
 	}
 
 	if *once {
-		return emit(false)
+		// One-shot mode is what scripts and CI probes run; a member that
+		// failed to scrape must fail the probe, not hide in the DOWN row.
+		view, err := emit(false)
+		if err != nil {
+			return err
+		}
+		if view.Down > 0 {
+			var down []string
+			for _, m := range view.Members {
+				if !m.Up {
+					down = append(down, m.Member)
+				}
+			}
+			return fmt.Errorf("%d of %d members down or unhealthy: %s",
+				view.Down, len(view.Members), strings.Join(down, ", "))
+		}
+		return nil
 	}
 	tick := time.NewTicker(*interval)
 	defer tick.Stop()
 	for {
-		if err := emit(!*asJSON); err != nil {
+		if _, err := emit(!*asJSON); err != nil {
 			return err
 		}
 		select {

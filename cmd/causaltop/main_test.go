@@ -160,3 +160,53 @@ func TestRunNoTargets(t *testing.T) {
 		t.Fatal("want error with no targets")
 	}
 }
+
+// TestRunOnceExitsNonzeroWhenMemberDown pins -once as a health probe: a
+// target that cannot be scraped must fail the invocation (scripts and CI
+// gate on the exit code), while the healthy member still renders. The
+// still-running live mode keeps tolerating down members — that is the
+// dashboard's whole point.
+func TestRunOnceExitsNonzeroWhenMemberDown(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	srv, err := telemetry.Serve("127.0.0.1:0", reg, nil, telemetry.Healthz("alive"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+	// A listener that is immediately closed: connection refused, the
+	// cleanest "member down".
+	dead, err := telemetry.Serve("127.0.0.1:0", telemetry.NewRegistry(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.Addr()
+	_ = dead.Close()
+
+	var out bytes.Buffer
+	err = run([]string{"-targets", srv.Addr() + "," + deadAddr, "-once"}, &out)
+	if err == nil {
+		t.Fatalf("-once with a down member returned success:\n%s", out.String())
+	}
+	if !bytes.Contains([]byte(err.Error()), []byte(deadAddr)) {
+		t.Errorf("error %q does not name the down target %s", err, deadAddr)
+	}
+	if !bytes.Contains(out.Bytes(), []byte("alive")) {
+		t.Errorf("healthy member missing from output:\n%s", out.String())
+	}
+	// -json keeps the same gate.
+	out.Reset()
+	if err := run([]string{"-targets", srv.Addr() + "," + deadAddr, "-once", "-json"}, &out); err == nil {
+		t.Fatal("-once -json with a down member returned success")
+	}
+}
+
+// TestVersionFlag pins the -version contract shared by every command.
+func TestVersionFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-version"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() == 0 {
+		t.Fatal("-version printed nothing")
+	}
+}

@@ -47,8 +47,14 @@ func run(args []string) error {
 	audit := fs.Bool("audit", false, "exit non-zero on any consistency violation or non-convergence")
 	sample := fs.Int("sample", 1, "trace one in every N activities (head-based)")
 	history := fs.String("history", "", "write the run's recorded consistency history (causalshare-history/v1) to this file and print its CC/CCv/CM verdicts; cccheck replays it")
+	flightDir := fs.String("flight-dir", "", "arm per-member black-box flight recorders and dump them (<member>.fr) into this directory after the run, clean or not; causalfr merges the dumps")
+	version := fs.Bool("version", false, "print the binary version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Println(telemetry.Version())
+		return nil
 	}
 	if *n < 3 {
 		return fmt.Errorf("need at least 3 members, got %d", *n)
@@ -83,9 +89,15 @@ func run(args []string) error {
 		Telemetry:      reg,
 		Collector:      col,
 		Recorder:       rec,
+		FlightDir:      *flightDir,
+		FlightAlways:   *flightDir != "",
 	})
 	if err != nil {
 		return err
+	}
+	if len(res.FlightRecords) > 0 {
+		fmt.Printf("\nflight: %d black boxes dumped to %s (merge with: causalfr %s)\n",
+			len(res.FlightRecords), *flightDir, *flightDir)
 	}
 	if rec != nil {
 		f, err := os.Create(*history)

@@ -33,6 +33,7 @@ import (
 
 	"causalshare/internal/chaos"
 	"causalshare/internal/consistency"
+	"causalshare/internal/telemetry"
 	"causalshare/internal/trace"
 	"causalshare/internal/transport"
 )
@@ -63,8 +64,13 @@ func run(args []string, out io.Writer) error {
 	sends := fs.Int("sends", 12, "data messages per member (with -record)")
 	horizon := fs.Duration("horizon", 300*time.Millisecond, "schedule horizon (with -record)")
 	actions := fs.Int("actions", 2, "crash/recover actions in the schedule (with -record)")
+	version := fs.Bool("version", false, "print the binary version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Fprintln(out, telemetry.Version())
+		return nil
 	}
 	var gate consistency.Level
 	if *levelFlag != "all" {

@@ -30,8 +30,13 @@ func run(args []string) error {
 	list := fs.Bool("list", false, "list experiment ids and exit")
 	engine := fs.String("engine", "osend", "causal engine for chaos-backed runners (E14): osend or pccast; E15 always sweeps all engines")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /vars and /trace on this address while experiments run (e.g. :9090)")
+	version := fs.Bool("version", false, "print the binary version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Println(telemetry.Version())
+		return nil
 	}
 	switch *engine {
 	case "osend", "pccast":

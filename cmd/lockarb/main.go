@@ -39,8 +39,13 @@ func run(args []string) error {
 	rotations := fs.Int("rotations", 3, "full acquire/release rotations")
 	jitter := fs.Duration("jitter", 2*time.Millisecond, "max network latency")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /vars and /trace on this address during the run (e.g. :9090)")
+	version := fs.Bool("version", false, "print the binary version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Println(telemetry.Version())
+		return nil
 	}
 
 	reg := telemetry.NewRegistry()

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"causalshare/internal/flightrec"
 	"causalshare/internal/group"
 	"causalshare/internal/message"
 	"causalshare/internal/telemetry"
@@ -37,6 +38,10 @@ type CBCastConfig struct {
 	// the audit checks are vacuous, but span context still propagates and
 	// the latency breakdown still applies.
 	Tracer *trace.Tracer
+	// Flight, when non-nil, is this member's black-box flight recorder;
+	// the engine records holdback entry (against the blocking FIFO
+	// predecessor the vector clock names) and gap fetches.
+	Flight *flightrec.Recorder
 }
 
 // CBCast is the ISIS-style causal broadcast baseline: each message
@@ -64,6 +69,7 @@ type CBCast struct {
 	meta      metaInstruments
 	peer      peerInstruments
 	spans     *trace.Tracer
+	flight    *flightrec.Recorder
 
 	done chan struct{}
 	wg   sync.WaitGroup
@@ -100,6 +106,7 @@ func NewCBCast(cfg CBCastConfig) (*CBCast, error) {
 		ins:       newCBCastInstruments(cfg.Telemetry),
 		meta:      newMetaInstruments(cfg.Telemetry),
 		spans:     cfg.Tracer,
+		flight:    cfg.Flight,
 		retained:  make(map[uint64][]byte),
 		lastFetch: make(map[string]time.Time),
 		done:      make(chan struct{}),
@@ -294,6 +301,21 @@ func (e *CBCast) ingest(sender string, vc vclock.VC, m message.Message) {
 	e.ins.pendingMax.SetMax(int64(len(e.pending)))
 	ready := e.drainLocked()
 	e.ins.pendingDepth.Set(int64(len(e.pending)))
+	if e.flight != nil {
+		for i := range e.pending {
+			if e.pending[i].msg.Label != m.Label {
+				continue
+			}
+			// Still held back after the drain: the vector clock names the
+			// FIFO predecessor as (part of) what it waits on.
+			if fifoSeq := vc.Get(sender); fifoSeq > 1 {
+				e.flight.Holdback(m.Label, message.Label{Origin: sender, Seq: fifoSeq - 1})
+			} else {
+				e.flight.Holdback(m.Label, message.Label{})
+			}
+			break
+		}
+	}
 	e.mu.Unlock()
 	if len(ready) != 0 {
 		now := time.Now().UnixNano()
@@ -397,6 +419,7 @@ func (e *CBCast) handleAdvert(from string, latest uint64) {
 		e.lastFetch[from] = time.Now()
 		e.metrics.Fetches++
 		e.ins.fetches.Inc()
+		e.flight.Fetch(message.Label{Origin: from, Seq: want}, from)
 	}
 	e.mu.Unlock()
 	if !stale {
@@ -440,6 +463,7 @@ func (e *CBCast) fetchGaps(now time.Time) {
 			fetches = append(fetches, fetch{to: origin, seq: wantNext})
 			e.metrics.Fetches++
 			e.ins.fetches.Inc()
+			e.flight.Fetch(message.Label{Origin: origin, Seq: wantNext}, origin)
 		}
 	}
 	e.mu.Unlock()

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"causalshare/internal/flightrec"
 	"causalshare/internal/group"
 	"causalshare/internal/message"
 	"causalshare/internal/telemetry"
@@ -44,6 +45,11 @@ type OSendConfig struct {
 	// the online causal-order audit on every delivery. Nil disables span
 	// tracing; messages then carry no span context.
 	Tracer *trace.Tracer
+	// Flight, when non-nil, is this member's black-box flight recorder.
+	// The engine records what the trace collector cannot see from its
+	// hooks: holdback entry with the blocking dependency, and dependency
+	// fetches. Nil disables flight recording at zero cost.
+	Flight *flightrec.Recorder
 	// OnSync, when non-nil, is invoked after a state-sync response from a
 	// peer has been applied: the peer's delivered watermarks have been
 	// seeded locally and fetches for the retained tail issued. A rejoining
@@ -112,12 +118,13 @@ type OSend struct {
 	// reg is the registry ins was registered on (shared or private); trace
 	// is the optional event ring. Instruments and rings are nil-safe, so
 	// the hot paths update them unconditionally.
-	reg   *telemetry.Registry
-	ins   osendInstruments
-	meta  metaInstruments
-	peer  peerInstruments
-	trace *telemetry.Ring
-	spans *trace.Tracer
+	reg    *telemetry.Registry
+	ins    osendInstruments
+	meta   metaInstruments
+	peer   peerInstruments
+	trace  *telemetry.Ring
+	spans  *trace.Tracer
+	flight *flightrec.Recorder
 
 	done chan struct{}
 	wg   sync.WaitGroup
@@ -162,6 +169,7 @@ func NewOSend(cfg OSendConfig) (*OSend, error) {
 		meta:      newMetaInstruments(reg),
 		trace:     cfg.Trace,
 		spans:     cfg.Tracer,
+		flight:    cfg.Flight,
 		delivered: newDeliveredSet(),
 		pending:   make(map[message.Label]*pendingEntry),
 		waiting:   make(map[message.Label][]message.Label),
@@ -593,6 +601,7 @@ func (e *OSend) ingest(m message.Message) {
 		e.pending[m.Label] = &pendingEntry{msg: m, missing: missing, since: time.Now()}
 		for d := range missing {
 			e.waiting[d] = append(e.waiting[d], m.Label)
+			e.flight.Holdback(m.Label, d)
 		}
 		depth := len(e.pending)
 		if depth > e.maxBuffered {
@@ -803,6 +812,7 @@ scan:
 		fetches = append(fetches, l)
 		e.ins.fetches.Inc()
 		e.trace.Record(telemetry.EventFetch, e.self, l.Origin, l.Seq, 0)
+		e.flight.Fetch(l, from)
 	}
 	e.peerWM[from] = watermarks
 	delete(e.down, from) // an advertising peer is evidently alive
@@ -968,6 +978,7 @@ func (e *OSend) fetchMissing(now time.Time) {
 		fetches = append(fetches, c)
 		e.ins.fetches.Inc()
 		e.trace.Record(telemetry.EventFetch, e.self, c.l.Origin, c.l.Seq, 0)
+		e.flight.Fetch(c.l, c.to)
 	}
 	e.retainMu.Unlock()
 	for _, f := range fetches {

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"causalshare/internal/flightrec"
 	"causalshare/internal/group"
 	"causalshare/internal/message"
 	"causalshare/internal/telemetry"
@@ -43,6 +44,10 @@ type PCCastConfig struct {
 	// Tracer, when non-nil, records causal span lifecycles and runs the
 	// online causal-order audit on every delivery.
 	Tracer *trace.Tracer
+	// Flight, when non-nil, is this member's black-box flight recorder;
+	// the engine records holdback entry, dependency fetches, and flood
+	// forwards — the transitions the trace collector cannot see.
+	Flight *flightrec.Recorder
 	// OnSync, when non-nil, is invoked after a state-sync response from a
 	// peer has been applied (see OSendConfig.OnSync).
 	OnSync func(from string, watermarks map[string]uint64)
@@ -131,12 +136,13 @@ type PCCast struct {
 	links   map[string]*pcLink
 	linkBuf int // total frames buffered across unestablished links
 
-	reg   *telemetry.Registry
-	ins   pccastInstruments
-	meta  metaInstruments
-	peer  peerInstruments
-	trace *telemetry.Ring
-	spans *trace.Tracer
+	reg    *telemetry.Registry
+	ins    pccastInstruments
+	meta   metaInstruments
+	peer   peerInstruments
+	trace  *telemetry.Ring
+	spans  *trace.Tracer
+	flight *flightrec.Recorder
 
 	done chan struct{}
 	wg   sync.WaitGroup
@@ -198,6 +204,7 @@ func NewPCCast(cfg PCCastConfig) (*PCCast, error) {
 		meta:      newMetaInstruments(reg),
 		trace:     cfg.Trace,
 		spans:     cfg.Tracer,
+		flight:    cfg.Flight,
 		delivered: newDeliveredSet(),
 		pending:   make(map[message.Label]*pendingEntry),
 		waiting:   make(map[message.Label][]message.Label),
@@ -298,6 +305,7 @@ func (e *PCCast) forward(m message.Message, hdr message.PCHeader) {
 	e.ins.controlBytes.Add(metaBytes * uint64(len(e.others)))
 	e.meta.add(metaBytes, uint64(len(e.others)))
 	e.ins.forwarded.Inc()
+	e.flight.Forward(m.Label, int(fh.Hops))
 	e.enqueue(f)
 	f.Release()
 }
@@ -776,6 +784,7 @@ func (e *PCCast) ingest(m message.Message) {
 		e.pending[m.Label] = &pendingEntry{msg: m, missing: missing, since: time.Now()}
 		for d := range missing {
 			e.waiting[d] = append(e.waiting[d], m.Label)
+			e.flight.Holdback(m.Label, d)
 		}
 		depth := len(e.pending)
 		if depth > e.maxBuffered {
@@ -979,6 +988,7 @@ scan:
 		fetches = append(fetches, l)
 		e.ins.fetches.Inc()
 		e.trace.Record(telemetry.EventFetch, e.self, l.Origin, l.Seq, 0)
+		e.flight.Fetch(l, from)
 	}
 	e.peerWM[from] = watermarks
 	delete(e.down, from) // an advertising peer is evidently alive
@@ -1070,6 +1080,7 @@ func (e *PCCast) fetchMissing(now time.Time) {
 		fetches = append(fetches, c)
 		e.ins.fetches.Inc()
 		e.trace.Record(telemetry.EventFetch, e.self, c.l.Origin, c.l.Seq, 0)
+		e.flight.Fetch(c.l, c.to)
 	}
 	e.retainMu.Unlock()
 	for _, f := range fetches {

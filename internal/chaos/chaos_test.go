@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"os"
 	"reflect"
 	"testing"
 	"time"
@@ -53,6 +54,14 @@ func chaosOptions(net Net, members []string, sched Schedule) Options {
 		// violations OSend never promised to prevent.
 		Collector: trace.NewCollector(trace.Config{}),
 		Recorder:  consistency.NewDeclaredRecorder(),
+		// CHAOS_FLIGHT_DIR (set by CI) arms every member's black-box
+		// flight recorder; a run that ends badly — non-convergence, audit
+		// violations, failed CC/CCv/CM verdicts — dumps all boxes plus the
+		// recorded history there, and the workflow uploads the directory
+		// as a failure artifact for causalfr post-mortems. Unset (the
+		// local default) this is a no-op. Failing runs share the
+		// directory; member files carry the last failure.
+		FlightDir: os.Getenv("CHAOS_FLIGHT_DIR"),
 	}
 }
 

@@ -1,0 +1,163 @@
+package chaos
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"causalshare/internal/flightrec"
+	"causalshare/internal/transport"
+)
+
+// TestFlightRecorderDumpsOnInjectedViolation is the forensics pipeline's
+// end-to-end check: a deterministic run with an injected causal-order
+// inversion must auto-dump every member's black box, and merging those
+// dumps must reconstruct a cross-member timeline that names the violating
+// message and the members whose delivery orders disagree.
+func TestFlightRecorderDumpsOnInjectedViolation(t *testing.T) {
+	members := []string{"a", "b", "c"}
+	net := transport.NewChanNet(transport.FaultModel{})
+	defer func() { _ = net.Close() }()
+	dir := t.TempDir()
+	sched := Schedule{Actions: []Action{{At: 30 * time.Millisecond, Reorder: "b"}}}
+	opts := chaosOptions(net, members, sched)
+	opts.FlightDir = dir
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatalf("chaos run: %v", err)
+	}
+	// The phantoms live only in the observation plane: the real engines
+	// still converge, yet the auditor must have caught the inversion.
+	if !res.Converged {
+		t.Fatal("run did not converge (injection must not disturb the engines)")
+	}
+	if res.Violations == 0 {
+		t.Fatal("injected reorder produced no auditor violation")
+	}
+	if res.Consistency == nil || res.Consistency.AllHold() {
+		t.Fatalf("offline checker passed a history with an injected inversion: %v", res.Consistency)
+	}
+	if len(res.FlightRecords) != len(members) {
+		t.Fatalf("FlightRecords = %v, want one dump per member", res.FlightRecords)
+	}
+	if res.HistoryFile == "" {
+		t.Fatal("no recorded history written alongside the dumps")
+	}
+	if _, err := os.Stat(res.HistoryFile); err != nil {
+		t.Fatalf("history file: %v", err)
+	}
+
+	// Post-mortem: decode the boxes and merge them into one timeline.
+	dumps := make([]*flightrec.Dump, 0, len(res.FlightRecords))
+	for _, p := range res.FlightRecords {
+		d, err := flightrec.ReadFile(p)
+		if err != nil {
+			t.Fatalf("ReadFile(%s): %v", p, err)
+		}
+		if d.Member != strings.TrimSuffix(filepath.Base(p), ".fr") {
+			t.Fatalf("dump %s claims member %q", p, d.Member)
+		}
+		dumps = append(dumps, d)
+	}
+	tl := flightrec.Merge(dumps)
+	if len(tl.Violations) == 0 {
+		t.Fatal("merged timeline carries no violation entry")
+	}
+	ve := tl.Entries[tl.Violations[0]]
+	if ve.Member != "b" {
+		t.Fatalf("violation recorded at %q, want the reorder victim b", ve.Member)
+	}
+	// The violation record names the message delivered before its
+	// dependency (A) and the dependency it jumped (B).
+	if got := tl.Label(ve, ve.Rec.A); got != "b!inject:2" {
+		t.Fatalf("violating message = %q, want b!inject:2", got)
+	}
+	if got := tl.Label(ve, ve.Rec.B); got != "b!inject:1" {
+		t.Fatalf("violated dependency = %q, want b!inject:1", got)
+	}
+
+	// The delivery diff must name the member whose order inverted, and
+	// the witness's correct order must be on the same merged timeline so
+	// the disagreement is visible across members.
+	var named bool
+	for _, d := range tl.DeliveryDiffs() {
+		if d.Origin == "b!inject" && d.Label == "b!inject:1" {
+			for _, m := range d.Members {
+				named = named || m == "b"
+			}
+		}
+	}
+	if !named {
+		t.Fatalf("delivery diffs did not name member b on b!inject:1: %+v", tl.DeliveryDiffs())
+	}
+	var witnessOK bool
+	var hi uint64
+	for _, e := range tl.Entries {
+		if e.Member == "a" && e.Rec.Kind == flightrec.KindDeliver &&
+			tl.Dumps[e.MemberIdx].Sym(e.Rec.A.Org) == "b!inject" {
+			if e.Rec.A.Seq < hi {
+				t.Fatalf("witness a delivered b!inject out of order too")
+			}
+			hi = e.Rec.A.Seq
+			witnessOK = hi == 2
+		}
+	}
+	if !witnessOK {
+		t.Fatal("witness a's correct delivery order is missing from the merged timeline")
+	}
+}
+
+// TestFlightRecorderQuietOnCleanRun pins the trigger logic: a clean run
+// writes nothing (the boxes are post-mortem evidence), and FlightAlways
+// overrides that for smoke pipelines.
+func TestFlightRecorderQuietOnCleanRun(t *testing.T) {
+	members := []string{"a", "b", "c"}
+	net := transport.NewChanNet(transport.FaultModel{})
+	defer func() { _ = net.Close() }()
+	dir := t.TempDir()
+	opts := chaosOptions(net, members, Schedule{})
+	opts.SendsPerMember = 5
+	opts.FlightDir = dir
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatalf("chaos run: %v", err)
+	}
+	if !res.Converged || res.Violations != 0 {
+		t.Fatalf("expected a clean run (converged=%v violations=%d)", res.Converged, res.Violations)
+	}
+	if len(res.FlightRecords) != 0 || res.HistoryFile != "" {
+		t.Fatalf("clean run dumped flight records: %v %q", res.FlightRecords, res.HistoryFile)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("clean run left files in FlightDir: %v", ents)
+	}
+
+	net2 := transport.NewChanNet(transport.FaultModel{})
+	defer func() { _ = net2.Close() }()
+	opts2 := chaosOptions(net2, members, Schedule{})
+	opts2.SendsPerMember = 5
+	opts2.FlightDir = t.TempDir()
+	opts2.FlightAlways = true
+	res2, err := Run(opts2)
+	if err != nil {
+		t.Fatalf("chaos run: %v", err)
+	}
+	if len(res2.FlightRecords) != len(members) {
+		t.Fatalf("FlightAlways run: FlightRecords = %v, want %d dumps", res2.FlightRecords, len(members))
+	}
+	for _, p := range res2.FlightRecords {
+		d, err := flightrec.ReadFile(p)
+		if err != nil {
+			t.Fatalf("ReadFile(%s): %v", p, err)
+		}
+		if d.Member == "" || len(d.Records) == 0 {
+			t.Fatalf("dump %s is empty", p)
+		}
+	}
+}

@@ -3,12 +3,15 @@ package chaos
 import (
 	"fmt"
 	"hash/fnv"
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"causalshare/internal/causal"
 	"causalshare/internal/consistency"
+	"causalshare/internal/flightrec"
 	"causalshare/internal/group"
 	"causalshare/internal/message"
 	"causalshare/internal/reliable"
@@ -77,6 +80,20 @@ type Options struct {
 	// verdicts. Requires Collector non-nil — the recorder rides its trace
 	// hooks, so it sees exactly the events the online auditor saw.
 	Recorder *consistency.Recorder
+	// FlightDir, when non-empty, arms a black-box flight recorder on every
+	// member incarnation (one fixed-capacity box per member, reused across
+	// rejoins) and names the directory where post-mortem dumps land. Dumps
+	// are written only when the run ends badly — auditor violations, a
+	// failed offline CC/CCv/CM verdict, or non-convergence — or always
+	// when FlightAlways is set; Result.FlightRecords lists what was
+	// written. The boxes are fed from the trace Collector (send, recv,
+	// deliver, dep-resolution, epochs, violations) plus direct engine
+	// hooks (holdback, fetches, retransmits, elections), so arming them
+	// without a Collector still records the engine-side story.
+	FlightDir string
+	// FlightAlways forces a dump even from a clean run (smoke tests and
+	// the figure pipeline's provenance trail).
+	FlightAlways bool
 	// Reliable, when non-nil, is the template config for a per-link
 	// reliability sublayer wrapped around every member's connection
 	// (including rejoined incarnations): lost and reordered frames are
@@ -134,6 +151,14 @@ type Result struct {
 	// and CM over the run's recorded reads and writes (nil without a
 	// Recorder).
 	Consistency *consistency.Report
+	// FlightRecords lists the per-member black-box dump files written
+	// under Options.FlightDir (empty when the recorder was disarmed or
+	// the run ended cleanly without FlightAlways).
+	FlightRecords []string
+	// HistoryFile is the recorded-history JSON written alongside the
+	// flight dumps when a Recorder was armed ("" otherwise), the input
+	// cccheck replays.
+	HistoryFile string
 }
 
 // orderLog collects one incarnation's delivered data messages.
@@ -192,6 +217,13 @@ type cluster struct {
 	grp   *group.Group
 	nodes []*node
 	byID  map[string]*node
+	// flight holds the per-member black boxes when Options.FlightDir is
+	// set; Set.For hands a rejoined incarnation its crashed predecessor's
+	// box back, so one file per member covers the whole run.
+	flight *flightrec.Set
+	// injectSeq numbers the phantom labels fabricated by Reorder actions
+	// so repeated injections never collide.
+	injectSeq uint64
 }
 
 // Run executes one chaos schedule to completion (convergence or timeout)
@@ -218,6 +250,11 @@ func Run(opts Options) (*Result, error) {
 		}
 		opts.Collector.SetObserver(opts.Recorder)
 	}
+	for _, a := range opts.Schedule.Actions {
+		if a.Reorder != "" && opts.Collector == nil {
+			return nil, fmt.Errorf("chaos: %v requires a trace Collector (the injection rides its hooks)", a)
+		}
+	}
 	if opts.Step <= 0 {
 		opts.Step = 2 * time.Millisecond
 	}
@@ -228,6 +265,10 @@ func Run(opts Options) (*Result, error) {
 		opts: opts,
 		grp:  group.MustNew("chaos", opts.Members),
 		byID: make(map[string]*node),
+	}
+	if opts.FlightDir != "" {
+		c.flight = flightrec.NewSet(flightrec.Config{Telemetry: opts.Telemetry})
+		opts.Collector.SetFlight(c.flight)
 	}
 	for _, id := range opts.Members {
 		n := &node{id: id, alive: true, resumedAt: 1}
@@ -268,6 +309,8 @@ func Run(opts Options) (*Result, error) {
 				if err := c.rejoin(c.byID[a.Recover]); err != nil {
 					return nil, fmt.Errorf("chaos: %v: %w", a, err)
 				}
+			case a.Reorder != "":
+				c.injectReorder(a.Reorder)
 			case a.PartFrom != "":
 				c.opts.Net.PartitionOneWay(a.PartFrom, a.PartTo, a.Block)
 			}
@@ -314,6 +357,9 @@ func Run(opts Options) (*Result, error) {
 		}
 		res.Consistency = rep
 	}
+	if err := c.persistFlight(res); err != nil {
+		return nil, err
+	}
 	for _, n := range c.nodes {
 		order := n.log.snapshot()
 		res.Members[n.id] = &MemberResult{
@@ -327,6 +373,105 @@ func Run(opts Options) (*Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// persistFlight dumps every member's black box (plus the recorded
+// history, when a Recorder rode along) under Options.FlightDir when the
+// run ended badly — or unconditionally under FlightAlways. A clean run
+// without FlightAlways writes nothing: the boxes are post-mortem
+// evidence, not routine output.
+func (c *cluster) persistFlight(res *Result) error {
+	if c.flight == nil {
+		return nil
+	}
+	bad := res.Violations > 0 || !res.Converged ||
+		(res.Consistency != nil && !res.Consistency.AllHold())
+	if !bad && !c.opts.FlightAlways {
+		return nil
+	}
+	paths, err := c.flight.DumpAll(c.opts.FlightDir)
+	if err != nil {
+		return fmt.Errorf("chaos: flight dump: %w", err)
+	}
+	res.FlightRecords = paths
+	if c.opts.Recorder == nil {
+		return nil
+	}
+	hp := filepath.Join(c.opts.FlightDir, "history.json")
+	f, err := os.Create(hp)
+	if err != nil {
+		return fmt.Errorf("chaos: flight history: %w", err)
+	}
+	if err := c.opts.Recorder.History().WriteJSON(f); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("chaos: flight history: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("chaos: flight history: %w", err)
+	}
+	res.HistoryFile = hp
+	return nil
+}
+
+// injectReorder fabricates a causal-order inversion in the observation
+// plane at the named member: two dep-linked phantom messages are reported
+// delivered dependency-LAST there, while a healthy witness member reports
+// them dependency-first. The real engines never carry the phantoms (the
+// run's convergence is untouched); the trace auditor flags a causal-order
+// violation at the victim, the offline history records the inversion for
+// the CC/CCv/CM checker, and — via the collector's flight tee — every
+// record lands in the members' black boxes, giving the forensics pipeline
+// a deterministic crime scene.
+func (c *cluster) injectReorder(member string) {
+	victim := c.byID[member]
+	if victim == nil || !victim.alive {
+		return
+	}
+	var witness *node
+	for _, n := range c.nodes {
+		if n.alive && n.id != member {
+			witness = n
+			break
+		}
+	}
+	c.injectSeq += 2
+	origin := member + "!inject"
+	now := time.Now().UnixNano()
+	dep := message.Message{
+		Label:  message.Label{Origin: origin, Seq: c.injectSeq - 1},
+		Kind:   message.KindNonCommutative,
+		Op:     "chaos.inject",
+		Body:   []byte("phantom-dep"),
+		SentAt: now,
+	}
+	tail := message.Message{
+		Label:  message.Label{Origin: origin, Seq: c.injectSeq},
+		Deps:   message.After(dep.Label),
+		Kind:   message.KindNonCommutative,
+		Op:     "chaos.inject",
+		Body:   []byte("phantom-tail"),
+		SentAt: now,
+	}
+	// The phantoms carry their span contexts explicitly — enqueue and
+	// deliver hooks ignore spanless messages (unsampled activities).
+	vt := c.opts.Collector.Tracer(member)
+	dep.Span = vt.Broadcast(dep)
+	tail.Span = vt.Broadcast(tail)
+	// The witness observes the legal order first, so the two members'
+	// flight timelines genuinely disagree about the same labels.
+	if witness != nil {
+		wt := c.opts.Collector.Tracer(witness.id)
+		wt.Enqueue(dep)
+		wt.Deliver(dep)
+		wt.Enqueue(tail)
+		wt.Deliver(tail)
+	}
+	// The victim delivers the dependent message before its declared
+	// dependency — the inversion the auditor exists to catch.
+	vt.Enqueue(tail)
+	vt.Deliver(tail)
+	vt.Enqueue(dep)
+	vt.Deliver(dep)
 }
 
 // hooks defers the reliability sublayer's callbacks to engines that are
@@ -356,6 +501,14 @@ func (c *cluster) start(n *node, snap *total.SyncSnapshot, wm map[string]uint64,
 	if c.opts.TelemetryFor != nil {
 		reg = c.opts.TelemetryFor(n.id)
 	}
+	// box is nil when flight recording is disarmed; every Recorder method
+	// is nil-safe, so the layers embed their hook calls unconditionally.
+	// A rejoined incarnation gets the same box back (Set.For interns by
+	// member), so one timeline spans the crash.
+	var box *flightrec.Recorder
+	if c.flight != nil {
+		box = c.flight.For(n.id)
+	}
 	var h *hooks
 	if c.opts.Reliable != nil {
 		// Each member (and each incarnation) gets its own sublayer with a
@@ -365,6 +518,7 @@ func (c *cluster) start(n *node, snap *total.SyncSnapshot, wm map[string]uint64,
 		rcfg.Seed = rcfg.Seed*int64(len(c.opts.Members)+1) + int64(c.grp.Rank(n.id)) + 1
 		rcfg.Telemetry = reg
 		rcfg.Trace = c.opts.Trace
+		rcfg.Flight = box
 		h = &hooks{}
 		rcfg.OnSuspect = func(peer string) {
 			if s := h.seq.Load(); s != nil {
@@ -396,6 +550,7 @@ func (c *cluster) start(n *node, snap *total.SyncSnapshot, wm map[string]uint64,
 		Telemetry:   reg,
 		Trace:       c.opts.Trace,
 		Tracer:      spans,
+		Flight:      box,
 	})
 	if err != nil {
 		_ = conn.Close()
@@ -413,6 +568,7 @@ func (c *cluster) start(n *node, snap *total.SyncSnapshot, wm map[string]uint64,
 			Telemetry: reg,
 			Trace:     c.opts.Trace,
 			Tracer:    spans,
+			Flight:    box,
 		})
 	default: // "", "osend" — validated in Run
 		eng, err = causal.NewOSend(causal.OSendConfig{
@@ -424,6 +580,7 @@ func (c *cluster) start(n *node, snap *total.SyncSnapshot, wm map[string]uint64,
 			Telemetry: reg,
 			Trace:     c.opts.Trace,
 			Tracer:    spans,
+			Flight:    box,
 		})
 	}
 	if err != nil {

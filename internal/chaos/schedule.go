@@ -30,12 +30,23 @@ import (
 	"time"
 )
 
-// Action is one scheduled fault. Exactly one of Crash, Recover, or the
-// PartFrom/PartTo pair is set; At is the offset from the start of the run.
+// Action is one scheduled fault. Exactly one of Crash, Recover, Reorder,
+// or the PartFrom/PartTo pair is set; At is the offset from the start of
+// the run.
 type Action struct {
 	At      time.Duration
 	Crash   string
 	Recover string
+	// Reorder names a member at which the driver injects a fabricated
+	// causal-order inversion into the observation plane: two dep-linked
+	// phantom messages are reported delivered dependency-last at the
+	// victim (and dependency-first at a healthy witness). The real engines
+	// never see them — the run still converges — but the online auditor,
+	// the offline CC/CCv/CM checker, and the flight recorders all witness
+	// a genuine violation, which is exactly what the forensics pipeline
+	// (auto-dump + causalfr) needs a deterministic trigger for. Requires
+	// Options.Collector.
+	Reorder string
 	// PartFrom/PartTo name a one-way link: the action blocks (Block true)
 	// or heals (Block false) only the PartFrom→PartTo direction, modelling
 	// asymmetric routing failures — the victim's frames vanish while the
@@ -51,6 +62,8 @@ func (a Action) String() string {
 		return fmt.Sprintf("%v crash %s", a.At, a.Crash)
 	case a.Recover != "":
 		return fmt.Sprintf("%v recover %s", a.At, a.Recover)
+	case a.Reorder != "":
+		return fmt.Sprintf("%v reorder %s", a.At, a.Reorder)
 	case a.Block:
 		return fmt.Sprintf("%v block %s→%s", a.At, a.PartFrom, a.PartTo)
 	default:

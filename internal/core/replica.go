@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"causalshare/internal/flightrec"
 	"causalshare/internal/message"
 	"causalshare/internal/telemetry"
 	"causalshare/internal/trace"
@@ -49,6 +50,11 @@ type ReplicaConfig struct {
 	// Tracer, when non-nil, records span apply/stable events on the causal
 	// trace collector and feeds its stable-point and deferred-read audits.
 	Tracer *trace.Tracer
+	// Flight, when non-nil, is this member's black-box flight recorder;
+	// the replica records stable-point advances and served deferred reads
+	// there directly (the trace collector audits but does not capture
+	// them).
+	Flight *flightrec.Recorder
 }
 
 // Replica maintains one member's copy of the shared data, applying
@@ -65,6 +71,7 @@ type Replica struct {
 	ins      coreInstruments
 	trace    *telemetry.Ring
 	spans    *trace.Tracer
+	flight   *flightrec.Recorder
 
 	mu          sync.Mutex
 	state       State
@@ -97,6 +104,7 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 		ins:        newCoreInstruments(cfg.Telemetry),
 		trace:      cfg.Trace,
 		spans:      cfg.Tracer,
+		flight:     cfg.Flight,
 		state:      cfg.Initial.Clone(),
 		stable:     cfg.Initial.Clone(),
 		lastStable: time.Now(),
@@ -155,6 +163,7 @@ func (r *Replica) Deliver(m message.Message) {
 		r.lastStable = now
 		r.trace.Record(telemetry.EventStable, r.self, m.Label.Origin, m.Label.Seq, int64(r.stableCycle))
 		r.spans.Stable(m.Label, r.stableCycle, point.Digest)
+		r.flight.Stable(m.Label, r.stableCycle)
 		r.current = 0
 		waiters = r.waiters
 		r.waiters = nil
@@ -190,6 +199,7 @@ func (r *Replica) ReadDeferred(ctx context.Context) (State, uint64, error) {
 		r.mu.Unlock()
 		r.ins.deferredWait.Observe(0)
 		r.spans.ReadServed(cycle, cycle)
+		r.flight.Read(cycle, cycle)
 		return st, cycle, nil
 	}
 	// Mid-activity (or before the first stable point) the read must wait
@@ -203,6 +213,7 @@ func (r *Replica) ReadDeferred(ctx context.Context) (State, uint64, error) {
 	case res := <-ch:
 		r.ins.deferredWait.ObserveSince(t0)
 		r.spans.ReadServed(res.cycle, boundary)
+		r.flight.Read(res.cycle, boundary)
 		return res.state, res.cycle, nil
 	case <-ctx.Done():
 		return nil, 0, fmt.Errorf("core: deferred read at %q: %w", r.self, ctx.Err())

@@ -1,0 +1,324 @@
+package flightrec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Magic heads every binary flight-record snapshot. The trailing version
+// segment bumps on any incompatible layout change.
+const Magic = "causalshare-flightrec/v1"
+
+// Codec errors. Decode must return one of these (wrapped with detail) on
+// any malformed input — truncated, bit-flipped, or adversarial — and must
+// never panic; FuzzFlightRecDecode enforces that.
+var (
+	ErrBadMagic  = errors.New("flightrec: bad magic")
+	ErrTruncated = errors.New("flightrec: truncated snapshot")
+	ErrCorrupt   = errors.New("flightrec: corrupt snapshot")
+	ErrChecksum  = errors.New("flightrec: checksum mismatch")
+)
+
+// Wire layout after the magic string (all integers varint unless noted):
+//
+//	uvarint  len(member) + member bytes
+//	svarint  baseWall (unix nanos at the recorder's monotonic anchor)
+//	uvarint  dropped (records overwritten by ring wrap)
+//	uvarint  nsyms, then per symbol: uvarint len + bytes (index 0, always
+//	         "", is implicit and not encoded)
+//	uvarint  nrecords, then per record:
+//	         uvarint mono delta from previous record (nanos; first record
+//	                 encodes its absolute offset)
+//	         byte    kind
+//	         uvarint A.Org, A.Seq, B.Org, B.Seq
+//	         svarint value
+//	8 bytes  FNV-64a over everything before it, big-endian (bit-flip
+//	         detector; not cryptographic)
+const (
+	maxSymbols   = 1 << 20
+	maxSymbolLen = 1 << 16
+	maxRecords   = 1 << 24
+	maxMemberLen = 1 << 12
+)
+
+// Dump is a decoded snapshot: one member's black box at rest. It is also
+// what Recorder.Snapshot materializes in-process, so the merge tool works
+// identically on live recorders and on files.
+type Dump struct {
+	Member   string
+	BaseWall int64 // wall clock (unix nanos) at the monotonic anchor
+	Dropped  uint64
+	Syms     []string // Syms[0] == ""
+	Records  []Record
+}
+
+// Wall converts a record's monotonic offset to an absolute wall-clock
+// estimate in unix nanos.
+func (d *Dump) Wall(rec Record) int64 { return d.BaseWall + int64(rec.Mono) }
+
+// Sym resolves a symbol index ("" when out of range — decoded dumps are
+// validated, so that only happens for a zero Ref).
+func (d *Dump) Sym(i uint32) string {
+	if int(i) < len(d.Syms) {
+		return d.Syms[i]
+	}
+	return ""
+}
+
+// Label renders a Ref as "origin:seq" ("" for the zero Ref, bare origin
+// when Seq carries no meaning for the kind).
+func (d *Dump) Label(r Ref) string {
+	if r.IsZero() {
+		return ""
+	}
+	org := d.Sym(r.Org)
+	if org == "" {
+		return fmt.Sprintf("?:%d", r.Seq)
+	}
+	return fmt.Sprintf("%s:%d", org, r.Seq)
+}
+
+// Dump writes the recorder's retained records as a versioned binary
+// snapshot and bumps the dump instruments. Nil-safe.
+func (r *Recorder) Dump(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	d := r.Snapshot()
+	n, err := d.encode(w)
+	if err != nil {
+		return err
+	}
+	r.ins.dumps.Inc()
+	r.ins.dumpBytes.Add(uint64(n))
+	return nil
+}
+
+func (d *Dump) encode(w io.Writer) (int, error) {
+	var buf []byte
+	var tmp [binary.MaxVarintLen64]byte
+	putU := func(v uint64) { buf = append(buf, tmp[:binary.PutUvarint(tmp[:], v)]...) }
+	putS := func(v int64) { buf = append(buf, tmp[:binary.PutVarint(tmp[:], v)]...) }
+
+	buf = append(buf, Magic...)
+	putU(uint64(len(d.Member)))
+	buf = append(buf, d.Member...)
+	putS(d.BaseWall)
+	putU(d.Dropped)
+
+	syms := d.Syms
+	if len(syms) == 0 {
+		syms = []string{""}
+	}
+	putU(uint64(len(syms) - 1))
+	for _, s := range syms[1:] {
+		putU(uint64(len(s)))
+		buf = append(buf, s...)
+	}
+
+	putU(uint64(len(d.Records)))
+	prev := time.Duration(0)
+	for _, rec := range d.Records {
+		delta := rec.Mono - prev
+		if delta < 0 {
+			// Clock anomalies shouldn't happen under a monotonic reader,
+			// but a snapshot must always round-trip: clamp rather than
+			// emit an unrepresentable delta.
+			delta = 0
+		}
+		prev = rec.Mono
+		putU(uint64(delta))
+		buf = append(buf, byte(rec.Kind))
+		putU(uint64(rec.A.Org))
+		putU(rec.A.Seq)
+		putU(uint64(rec.B.Org))
+		putU(rec.B.Seq)
+		putS(rec.Value)
+	}
+
+	h := fnv.New64a()
+	h.Write(buf)
+	var sum [8]byte
+	binary.BigEndian.PutUint64(sum[:], h.Sum64())
+	buf = append(buf, sum[:]...)
+	return w.Write(buf)
+}
+
+// Decode parses a binary snapshot produced by Dump. Every length, count,
+// symbol index, and kind is validated; the checksum trailer catches bit
+// flips. Any malformed input returns an error — never a panic.
+func Decode(data []byte) (*Dump, error) {
+	if len(data) < len(Magic)+8 {
+		return nil, ErrTruncated
+	}
+	if string(data[:len(Magic)]) != Magic {
+		return nil, ErrBadMagic
+	}
+	body, trailer := data[:len(data)-8], data[len(data)-8:]
+	h := fnv.New64a()
+	h.Write(body)
+	if binary.BigEndian.Uint64(trailer) != h.Sum64() {
+		return nil, ErrChecksum
+	}
+
+	p := body[len(Magic):]
+	getU := func(what string) (uint64, error) {
+		v, n := binary.Uvarint(p)
+		if n <= 0 {
+			return 0, fmt.Errorf("%w: %s", ErrTruncated, what)
+		}
+		p = p[n:]
+		return v, nil
+	}
+	getS := func(what string) (int64, error) {
+		v, n := binary.Varint(p)
+		if n <= 0 {
+			return 0, fmt.Errorf("%w: %s", ErrTruncated, what)
+		}
+		p = p[n:]
+		return v, nil
+	}
+
+	d := &Dump{}
+	mlen, err := getU("member length")
+	if err != nil {
+		return nil, err
+	}
+	if mlen > maxMemberLen || mlen > uint64(len(p)) {
+		return nil, fmt.Errorf("%w: member length %d", ErrCorrupt, mlen)
+	}
+	d.Member = string(p[:mlen])
+	p = p[mlen:]
+	if d.BaseWall, err = getS("base wall"); err != nil {
+		return nil, err
+	}
+	if d.Dropped, err = getU("dropped"); err != nil {
+		return nil, err
+	}
+
+	nsyms, err := getU("symbol count")
+	if err != nil {
+		return nil, err
+	}
+	if nsyms > maxSymbols {
+		return nil, fmt.Errorf("%w: %d symbols", ErrCorrupt, nsyms)
+	}
+	d.Syms = make([]string, 1, nsyms+1)
+	for i := uint64(0); i < nsyms; i++ {
+		slen, err := getU("symbol length")
+		if err != nil {
+			return nil, err
+		}
+		if slen > maxSymbolLen || slen > uint64(len(p)) {
+			return nil, fmt.Errorf("%w: symbol length %d", ErrCorrupt, slen)
+		}
+		d.Syms = append(d.Syms, string(p[:slen]))
+		p = p[slen:]
+	}
+
+	nrecs, err := getU("record count")
+	if err != nil {
+		return nil, err
+	}
+	if nrecs > maxRecords {
+		return nil, fmt.Errorf("%w: %d records", ErrCorrupt, nrecs)
+	}
+	d.Records = make([]Record, 0, nrecs)
+	mono := time.Duration(0)
+	for i := uint64(0); i < nrecs; i++ {
+		delta, err := getU("record mono")
+		if err != nil {
+			return nil, err
+		}
+		if len(p) == 0 {
+			return nil, fmt.Errorf("%w: record kind", ErrTruncated)
+		}
+		kind := Kind(p[0])
+		p = p[1:]
+		if !kind.Valid() {
+			return nil, fmt.Errorf("%w: record kind %d", ErrCorrupt, kind)
+		}
+		aOrg, err := getU("record A.Org")
+		if err != nil {
+			return nil, err
+		}
+		aSeq, err := getU("record A.Seq")
+		if err != nil {
+			return nil, err
+		}
+		bOrg, err := getU("record B.Org")
+		if err != nil {
+			return nil, err
+		}
+		bSeq, err := getU("record B.Seq")
+		if err != nil {
+			return nil, err
+		}
+		val, err := getS("record value")
+		if err != nil {
+			return nil, err
+		}
+		if aOrg >= uint64(len(d.Syms)) || bOrg >= uint64(len(d.Syms)) {
+			return nil, fmt.Errorf("%w: symbol index out of range", ErrCorrupt)
+		}
+		mono += time.Duration(delta)
+		d.Records = append(d.Records, Record{
+			Mono:  mono,
+			Kind:  kind,
+			A:     Ref{Org: uint32(aOrg), Seq: aSeq},
+			B:     Ref{Org: uint32(bOrg), Seq: bSeq},
+			Value: val,
+		})
+	}
+	if len(p) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(p))
+	}
+	return d, nil
+}
+
+// ReadFile decodes one snapshot file.
+func ReadFile(path string) (*Dump, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	d, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return d, nil
+}
+
+// DumpAll writes every recorder's snapshot into dir as <member>.fr and
+// returns the written paths, sorted. Nil-safe; creates dir.
+func (s *Set) DumpAll(dir string) ([]string, error) {
+	if s == nil {
+		return nil, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var paths []string
+	for _, m := range s.Members() {
+		path := filepath.Join(dir, m+".fr")
+		f, err := os.Create(path)
+		if err != nil {
+			return paths, err
+		}
+		err = s.For(m).Dump(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return paths, err
+		}
+		paths = append(paths, path)
+	}
+	return paths, nil
+}

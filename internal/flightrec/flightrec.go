@@ -1,0 +1,469 @@
+// Package flightrec is the black-box flight recorder: a per-member,
+// fixed-capacity, allocation-free ring of compact tagged records capturing
+// every layer's externally visible transitions — frame send/receive/
+// forward, holdback enter/exit with the blocking dependency, causal
+// delivery, stability advance, epoch and election transitions, the
+// reliability sublayer's retransmit/shed/resync verdicts, and auditor
+// violations. Like an aircraft recorder it is always on and always
+// bounded: recording costs one short mutex section and zero heap
+// allocations in steady state, so the fully armed broadcast hot path
+// stays 0 allocs/op.
+//
+// Records carry a wall/monotonic hybrid clock (the PR 7 SentAt
+// discipline): each recorder stamps records with a monotonic offset from
+// a wall-anchored base, and receive/deliver records additionally carry
+// the origin's SentAt stamp, so a post-mortem merge can both order one
+// member's records exactly and correct cross-member clock skew.
+//
+// Dump persists the ring as a versioned binary snapshot
+// ("causalshare-flightrec/v1", see codec.go); Merge (merge.go)
+// reconstructs one causally consistent cluster timeline from N member
+// dumps — the same happened-before discipline the CBCAST layer enforces
+// online, replayed offline around a failure.
+package flightrec
+
+import (
+	"sync"
+	"time"
+
+	"causalshare/internal/message"
+	"causalshare/internal/telemetry"
+)
+
+// Kind tags one flight record. The wire codec encodes kinds as single
+// bytes; new kinds append, existing values never change.
+type Kind uint8
+
+const (
+	// KindFrameSend: a broadcast left this member (A = label,
+	// Value = encoded frame bytes).
+	KindFrameSend Kind = iota + 1
+	// KindFrameRecv: a frame arrived and entered ordering consideration
+	// (A = label, Value = the origin's SentAt unix nanos, 0 if unstamped).
+	KindFrameRecv
+	// KindFrameForward: PC-cast re-emitted a first-receipt frame to the
+	// group (A = label, Value = hop count).
+	KindFrameForward
+	// KindHoldback: a message entered the holdback buffer blocked on a
+	// missing dependency (A = label, B = the missing dependency).
+	KindHoldback
+	// KindDepResolved: holdback exit attribution — A waited Value
+	// nanoseconds for dependency B to be delivered here.
+	KindDepResolved
+	// KindDeliver: causal delivery to the layer above (A = label,
+	// Value = the origin's SentAt unix nanos, 0 if unstamped).
+	KindDeliver
+	// KindFetch: a retransmission request for missing dependency A was
+	// issued toward peer B.Org.
+	KindFetch
+	// KindStable: a stable point was established (A = closing label,
+	// Value = stable cycle).
+	KindStable
+	// KindEpoch: the total-order layer adopted a new epoch (Value = epoch).
+	KindEpoch
+	// KindElect: an election completed at this member as leader
+	// (Value = epoch, Seq of B = re-proposed assignments).
+	KindElect
+	// KindSuspect: the failure detector suspected peer B.Org.
+	KindSuspect
+	// KindRetransmit: the reliability sublayer re-sent link sequence
+	// Value toward peer B.Org.
+	KindRetransmit
+	// KindNack: the reliability sublayer requested a repair from peer
+	// B.Org starting at link sequence B.Seq (Value = gap width).
+	KindNack
+	// KindShed: the reliability sublayer shed unresponsive peer B.Org.
+	KindShed
+	// KindResync: the link from peer B.Org skipped Value irrecoverable
+	// sequences and the layer above was asked to resync.
+	KindResync
+	// KindViolation: the online auditor flagged A (dep B) with violation
+	// kind Value (trace.ViolationKind numbering).
+	KindViolation
+	// KindSeed: a rejoined member adopted Value delivered watermarks from
+	// a snapshot.
+	KindSeed
+	// KindRead: a deferred read was served (Value = stable cycle served
+	// from, B.Seq = registration boundary).
+	KindRead
+
+	kindMax = KindRead
+)
+
+var kindNames = [...]string{
+	KindFrameSend:    "send",
+	KindFrameRecv:    "recv",
+	KindFrameForward: "forward",
+	KindHoldback:     "holdback",
+	KindDepResolved:  "dep-resolved",
+	KindDeliver:      "deliver",
+	KindFetch:        "fetch",
+	KindStable:       "stable",
+	KindEpoch:        "epoch",
+	KindElect:        "elect",
+	KindSuspect:      "suspect",
+	KindRetransmit:   "retransmit",
+	KindNack:         "nack",
+	KindShed:         "shed",
+	KindResync:       "resync",
+	KindViolation:    "violation",
+	KindSeed:         "seed",
+	KindRead:         "read",
+}
+
+// String returns the kind's stable short name.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// Valid reports whether k is a defined kind.
+func (k Kind) Valid() bool { return k >= KindFrameSend && k <= kindMax }
+
+// Ref is an interned label reference: a symbol-table index for the origin
+// string plus the sequence number. A zero Ref means "no label"; peers and
+// other bare strings are carried as a Ref with Seq 0.
+type Ref struct {
+	Org uint32
+	Seq uint64
+}
+
+// IsZero reports whether the reference names nothing.
+func (r Ref) IsZero() bool { return r.Org == 0 && r.Seq == 0 }
+
+// Record is one flight-recorder entry. It is a fixed-size value — the
+// ring stores records inline, so recording never allocates.
+type Record struct {
+	// Mono is the monotonic offset from the recorder's wall-anchored base.
+	Mono time.Duration
+	// Kind tags the record; A, B, and Value are kind-specific (see the
+	// Kind constants).
+	Kind  Kind
+	A, B  Ref
+	Value int64
+}
+
+// Config parameterizes a Recorder.
+type Config struct {
+	// Member is the member this box records for.
+	Member string
+	// Capacity bounds the ring; the oldest record is overwritten when a
+	// new one would exceed it. Default 16384.
+	Capacity int
+	// Telemetry, when non-nil, registers the flightrec_* instruments.
+	Telemetry *telemetry.Registry
+}
+
+const defaultCapacity = 16384
+
+type recorderInstruments struct {
+	records, dropped, dumps, dumpBytes *telemetry.Counter
+}
+
+func newRecorderInstruments(reg *telemetry.Registry) recorderInstruments {
+	return recorderInstruments{
+		records:   reg.Counter("flightrec_records_total", "flight-recorder records captured"),
+		dropped:   reg.Counter("flightrec_dropped_total", "flight-recorder records overwritten by ring wrap"),
+		dumps:     reg.Counter("flightrec_dumps_total", "flight-recorder binary snapshots written"),
+		dumpBytes: reg.Counter("flightrec_dump_bytes_total", "bytes of flight-recorder snapshots written"),
+	}
+}
+
+// Recorder is one member's black box. All methods are safe for concurrent
+// use, and every method on a nil *Recorder is a no-op, so layers thread a
+// recorder through unconditionally.
+type Recorder struct {
+	member   string
+	base     time.Time // monotonic anchor; records store offsets from it
+	baseWall int64     // wall clock (unix nanos) at the anchor
+
+	ins recorderInstruments
+
+	mu   sync.Mutex
+	buf  []Record
+	next uint64 // total records ever captured
+	// syms interns origin and peer strings; names[0] is always "".
+	syms  map[string]uint32
+	names []string
+}
+
+// NewRecorder builds a flight recorder for cfg.Member.
+func NewRecorder(cfg Config) *Recorder {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = defaultCapacity
+	}
+	now := time.Now()
+	r := &Recorder{
+		member:   cfg.Member,
+		base:     now,
+		baseWall: now.UnixNano(),
+		ins:      newRecorderInstruments(cfg.Telemetry),
+		buf:      make([]Record, cfg.Capacity),
+		syms:     make(map[string]uint32, 64),
+		names:    make([]string, 1, 64),
+	}
+	r.syms[""] = 0
+	return r
+}
+
+// Member returns the member this recorder captures for ("" on nil).
+func (r *Recorder) Member() string {
+	if r == nil {
+		return ""
+	}
+	return r.member
+}
+
+// symLocked interns s. Steady state is a map hit with no allocation; a
+// first-seen string (member ids, label origins — a small, stable set)
+// grows the table once.
+func (r *Recorder) symLocked(s string) uint32 {
+	if s == "" {
+		return 0
+	}
+	if id, ok := r.syms[s]; ok {
+		return id
+	}
+	id := uint32(len(r.names))
+	r.names = append(r.names, s)
+	r.syms[s] = id
+	return id
+}
+
+// record captures one entry. The hybrid-clock read happens outside the
+// lock; ring write and interning inside.
+func (r *Recorder) record(kind Kind, aOrg string, aSeq uint64, bOrg string, bSeq uint64, value int64) {
+	if r == nil {
+		return
+	}
+	at := time.Since(r.base)
+	r.mu.Lock()
+	rec := &r.buf[r.next%uint64(len(r.buf))]
+	rec.Mono = at
+	rec.Kind = kind
+	rec.A = Ref{Org: r.symLocked(aOrg), Seq: aSeq}
+	rec.B = Ref{Org: r.symLocked(bOrg), Seq: bSeq}
+	rec.Value = value
+	r.next++
+	wrapped := r.next > uint64(len(r.buf))
+	r.mu.Unlock()
+	r.ins.records.Inc()
+	if wrapped {
+		r.ins.dropped.Inc()
+	}
+}
+
+// Send records a broadcast leaving this member.
+func (r *Recorder) Send(l message.Label, frameBytes int) {
+	r.record(KindFrameSend, l.Origin, l.Seq, "", 0, int64(frameBytes))
+}
+
+// Recv records a frame entering ordering consideration; sentAt is the
+// origin's wall stamp (0 when unstamped).
+func (r *Recorder) Recv(l message.Label, sentAt int64) {
+	r.record(KindFrameRecv, l.Origin, l.Seq, "", 0, sentAt)
+}
+
+// Forward records a PC-cast first-receipt re-emission.
+func (r *Recorder) Forward(l message.Label, hops int) {
+	r.record(KindFrameForward, l.Origin, l.Seq, "", 0, int64(hops))
+}
+
+// Holdback records holdback entry: l is blocked on missing dep.
+func (r *Recorder) Holdback(l, dep message.Label) {
+	r.record(KindHoldback, l.Origin, l.Seq, dep.Origin, dep.Seq, 0)
+}
+
+// DepResolved records holdback exit attribution: blocked waited wait for
+// dep to be delivered here.
+func (r *Recorder) DepResolved(blocked, dep message.Label, wait time.Duration) {
+	r.record(KindDepResolved, blocked.Origin, blocked.Seq, dep.Origin, dep.Seq, int64(wait))
+}
+
+// Deliver records causal delivery; sentAt is the origin's wall stamp.
+func (r *Recorder) Deliver(l message.Label, sentAt int64) {
+	r.record(KindDeliver, l.Origin, l.Seq, "", 0, sentAt)
+}
+
+// Fetch records a retransmission request for dep toward peer.
+func (r *Recorder) Fetch(dep message.Label, peer string) {
+	r.record(KindFetch, dep.Origin, dep.Seq, peer, 0, 0)
+}
+
+// Stable records a stable-point advance.
+func (r *Recorder) Stable(closer message.Label, cycle uint64) {
+	r.record(KindStable, closer.Origin, closer.Seq, "", 0, int64(cycle))
+}
+
+// Epoch records adoption of a new total-order epoch.
+func (r *Recorder) Epoch(epoch uint64) {
+	r.record(KindEpoch, "", 0, "", 0, int64(epoch))
+}
+
+// Elect records a completed election at this member (the new leader),
+// with the number of re-proposed assignments.
+func (r *Recorder) Elect(epoch uint64, reproposed int) {
+	r.record(KindElect, "", 0, "", uint64(reproposed), int64(epoch))
+}
+
+// Suspect records a failure-detector suspicion of peer.
+func (r *Recorder) Suspect(peer string) {
+	r.record(KindSuspect, "", 0, peer, 0, 0)
+}
+
+// Retransmit records a reliability-sublayer re-send toward peer.
+func (r *Recorder) Retransmit(peer string, linkSeq uint64) {
+	r.record(KindRetransmit, "", 0, peer, 0, int64(linkSeq))
+}
+
+// Nack records a reliability-sublayer repair request from peer.
+func (r *Recorder) Nack(peer string, firstMissing uint64, width int) {
+	r.record(KindNack, "", 0, peer, firstMissing, int64(width))
+}
+
+// Shed records the reliability sublayer shedding peer.
+func (r *Recorder) Shed(peer string) {
+	r.record(KindShed, "", 0, peer, 0, 0)
+}
+
+// Resync records a link RESET from peer that skipped irrecoverable
+// sequences.
+func (r *Recorder) Resync(peer string, skipped int) {
+	r.record(KindResync, "", 0, peer, 0, int64(skipped))
+}
+
+// Violation records an online-auditor violation on l (violated edge from
+// dep; either label may be zero), with the auditor's kind number.
+func (r *Recorder) Violation(kind int, l, dep message.Label) {
+	r.record(KindViolation, l.Origin, l.Seq, dep.Origin, dep.Seq, int64(kind))
+}
+
+// Seed records rejoin watermark adoption (n = origins seeded).
+func (r *Recorder) Seed(n int) {
+	r.record(KindSeed, "", 0, "", 0, int64(n))
+}
+
+// Read records a deferred read served from cycle served with registration
+// boundary.
+func (r *Recorder) Read(served, boundary uint64) {
+	r.record(KindRead, "", 0, "", boundary, int64(served))
+}
+
+// Len returns the number of records currently retained.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.next < uint64(len(r.buf)) {
+		return int(r.next)
+	}
+	return len(r.buf)
+}
+
+// Dropped returns how many records the ring has overwritten.
+func (r *Recorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.droppedLocked()
+}
+
+func (r *Recorder) droppedLocked() uint64 {
+	if r.next <= uint64(len(r.buf)) {
+		return 0
+	}
+	return r.next - uint64(len(r.buf))
+}
+
+// Snapshot materializes the retained records as a Dump — the same
+// structure Decode produces from a binary snapshot, so in-process
+// consumers (tests, the merge tool) need no encode/decode round trip.
+func (r *Recorder) Snapshot() *Dump {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	d := &Dump{
+		Member:   r.member,
+		BaseWall: r.baseWall,
+		Dropped:  r.droppedLocked(),
+		Syms:     append([]string(nil), r.names...),
+	}
+	n := uint64(len(r.buf))
+	if r.next < n {
+		d.Records = append([]Record(nil), r.buf[:r.next]...)
+		return d
+	}
+	d.Records = make([]Record, 0, n)
+	start := r.next % n
+	d.Records = append(d.Records, r.buf[start:]...)
+	d.Records = append(d.Records, r.buf[:start]...)
+	return d
+}
+
+// Set routes per-member recorders, creating them lazily with a shared
+// template config. A nil *Set hands out nil recorders, so harnesses wire
+// a set through unconditionally.
+type Set struct {
+	mu   sync.Mutex
+	cfg  Config
+	recs map[string]*Recorder
+}
+
+// NewSet builds a recorder set; cfg.Member is ignored (each member gets
+// its own), cfg.Telemetry applies to every recorder (shared instruments
+// aggregate; pass nil for none).
+func NewSet(cfg Config) *Set {
+	return &Set{cfg: cfg, recs: make(map[string]*Recorder)}
+}
+
+// For returns member's recorder, creating it on first sight. A rejoined
+// incarnation gets its previous box back: a black box survives the
+// process it records. Nil-safe: a nil set returns a nil recorder.
+func (s *Set) For(member string) *Recorder {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r, ok := s.recs[member]; ok {
+		return r
+	}
+	cfg := s.cfg
+	cfg.Member = member
+	r := NewRecorder(cfg)
+	s.recs[member] = r
+	return r
+}
+
+// Members returns the ids with live recorders, sorted.
+func (s *Set) Members() []string {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.recs))
+	for m := range s.recs {
+		out = append(out, m)
+	}
+	sortStrings(out)
+	return out
+}
+
+// sortStrings is a tiny insertion sort: member sets are small and this
+// keeps the package's import list lean.
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package flightrec
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+
+	"causalshare/internal/telemetry"
+)
+
+// Route exposes one recorder's black box at /flightrec as a binary
+// snapshot download — `curl member:port/flightrec > member.fr` is a
+// live-cluster dump with no coordination.
+func (r *Recorder) Route() telemetry.Route {
+	return telemetry.Route{Pattern: "/flightrec", Handler: http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		serveDump(w, r)
+	})}
+}
+
+// Route exposes a whole set: /flightrec lists members, and
+// /flightrec/<member> downloads that member's snapshot.
+func (s *Set) Route() telemetry.Route {
+	return telemetry.Route{Pattern: "/flightrec/", Handler: http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		member := strings.TrimPrefix(strings.TrimPrefix(req.URL.Path, "/flightrec"), "/")
+		if member == "" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			for _, m := range s.Members() {
+				fmt.Fprintf(w, "/flightrec/%s\n", m)
+			}
+			return
+		}
+		s.mu.Lock()
+		r := s.recs[member]
+		s.mu.Unlock()
+		if r == nil {
+			http.Error(w, "flightrec: no such member", http.StatusNotFound)
+			return
+		}
+		serveDump(w, r)
+	})}
+}
+
+func serveDump(w http.ResponseWriter, r *Recorder) {
+	if r == nil {
+		http.Error(w, "flightrec: recorder not armed", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", r.Member()+".fr"))
+	if err := r.Dump(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

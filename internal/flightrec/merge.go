@@ -1,0 +1,392 @@
+package flightrec
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Merge reconstructs one causally consistent cluster timeline from N
+// member dumps. The happened-before relation is rebuilt offline exactly
+// the way the broadcast layer enforces it online:
+//
+//   - program order: each member's ring is totally ordered by its own
+//     monotonic clock;
+//   - message order: a frame's send record at its origin precedes every
+//     receive and delivery record for the same label elsewhere.
+//
+// Those send→recv edges double as skew constraints: member wall clocks
+// are shifted (per-member offset, iterated to a fixed point) until no
+// receive appears to precede its send, then the partial order is
+// linearized by corrected wall time among causally ready records.
+// Records that the partial order does NOT relate to their timeline
+// predecessor are explicitly marked Concurrent — the rendered order for
+// those is a tiebreak, not a fact.
+func Merge(dumps []*Dump) *Timeline {
+	dumps = append([]*Dump(nil), dumps...)
+	sort.Slice(dumps, func(i, j int) bool { return dumps[i].Member < dumps[j].Member })
+
+	t := &Timeline{Dumps: dumps, Skew: make([]time.Duration, len(dumps))}
+	for _, d := range dumps {
+		t.Members = append(t.Members, d.Member)
+	}
+
+	// Flat node ids: member m's record i is base[m]+i.
+	base := make([]int, len(dumps)+1)
+	for m, d := range dumps {
+		base[m+1] = base[m] + len(d.Records)
+	}
+	total := base[len(dumps)]
+	memberOf := make([]int, total)
+	for m := range dumps {
+		for i := base[m]; i < base[m+1]; i++ {
+			memberOf[i] = m
+		}
+	}
+
+	// Cross-member edges: the send of label L → the first receive-side
+	// record of L at each other member (recv preferred; deliver when the
+	// recv record was overwritten by ring wrap).
+	type labelKey struct {
+		org string
+		seq uint64
+	}
+	sends := make(map[labelKey]int, total/4)
+	firstSeen := make(map[labelKey][]int) // receive-side node per member (-1 none)
+	for m, d := range dumps {
+		for i, rec := range d.Records {
+			key := labelKey{d.Sym(rec.A.Org), rec.A.Seq}
+			switch rec.Kind {
+			case KindFrameSend:
+				if _, ok := sends[key]; !ok {
+					sends[key] = base[m] + i
+				}
+			case KindFrameRecv, KindDeliver:
+				fs, ok := firstSeen[key]
+				if !ok {
+					fs = make([]int, len(dumps))
+					for j := range fs {
+						fs[j] = -1
+					}
+					firstSeen[key] = fs
+				}
+				if fs[m] == -1 {
+					fs[m] = base[m] + i
+				}
+			}
+		}
+	}
+	type edge struct{ from, to int }
+	var cross []edge
+	for key, from := range sends {
+		for m, to := range firstSeen[key] {
+			if to != -1 && m != memberOf[from] {
+				cross = append(cross, edge{from, to})
+			}
+		}
+	}
+
+	// Skew correction to a fixed point (bounded passes): if a corrected
+	// receive precedes its corrected send, the receiver's clock is behind
+	// — shift the whole member forward by the deficit.
+	wall := func(node int) int64 {
+		m := memberOf[node]
+		return dumps[m].Wall(dumps[m].Records[node-base[m]]) + int64(t.Skew[m])
+	}
+	for pass := 0; pass < 4*len(dumps)+4; pass++ {
+		adjusted := false
+		for _, e := range cross {
+			if deficit := wall(e.from) - wall(e.to); deficit > 0 {
+				t.Skew[memberOf[e.to]] += time.Duration(deficit)
+				adjusted = true
+			}
+		}
+		if !adjusted {
+			break
+		}
+	}
+
+	// Kahn linearization over program order + cross edges, releasing the
+	// causally ready record with the smallest corrected wall time
+	// (member name, then ring position, break exact ties — the schedule
+	// is deterministic for identical inputs).
+	indeg := make([]int, total)
+	succ := make([][]int, total)
+	for _, e := range cross {
+		succ[e.from] = append(succ[e.from], e.to)
+		indeg[e.to]++
+	}
+	for m := range dumps {
+		for i := base[m] + 1; i < base[m+1]; i++ {
+			indeg[i]++ // predecessor in program order
+		}
+	}
+	before := func(a, b int) bool {
+		wa, wb := wall(a), wall(b)
+		if wa != wb {
+			return wa < wb
+		}
+		if memberOf[a] != memberOf[b] {
+			return t.Members[memberOf[a]] < t.Members[memberOf[b]]
+		}
+		return a < b
+	}
+	var ready []int
+	push := func(n int) {
+		ready = append(ready, n)
+		for i := len(ready) - 1; i > 0 && before(ready[i], ready[i-1]); i-- {
+			ready[i], ready[i-1] = ready[i-1], ready[i]
+		}
+	}
+	for m := range dumps {
+		if base[m] < base[m+1] {
+			push(base[m])
+		}
+	}
+	release := func(n int) {
+		m := memberOf[n]
+		if n+1 < base[m+1] {
+			if indeg[n+1]--; indeg[n+1] == 0 {
+				push(n + 1)
+			}
+		}
+		for _, s := range succ[n] {
+			if indeg[s]--; indeg[s] == 0 {
+				push(s)
+			}
+		}
+	}
+
+	// Per-node vector clocks drive the Concurrent marking: a timeline
+	// entry unordered with its predecessor is flagged, because its
+	// placement is a wall-clock tiebreak, not happened-before.
+	vc := make([][]uint32, total)
+	t.Entries = make([]Entry, 0, total)
+	emitted := 0
+	prev := -1
+	emit := func(n int) {
+		m := memberOf[n]
+		idx := n - base[m]
+		clock := make([]uint32, len(dumps))
+		if idx > 0 {
+			copy(clock, vc[n-1])
+		}
+		for _, e := range cross {
+			if e.to == n {
+				for k, v := range vc[e.from] {
+					if v > clock[k] {
+						clock[k] = v
+					}
+				}
+			}
+		}
+		clock[m] = uint32(idx + 1)
+		vc[n] = clock
+		concurrent := false
+		if prev >= 0 {
+			pm := memberOf[prev]
+			// prev happened-before n iff n's clock has absorbed prev's
+			// own-component counter.
+			concurrent = clock[pm] < vc[prev][pm]
+		}
+		rec := dumps[m].Records[idx]
+		if rec.Kind == KindViolation {
+			t.Violations = append(t.Violations, len(t.Entries))
+		}
+		t.Entries = append(t.Entries, Entry{
+			Member:     t.Members[m],
+			MemberIdx:  m,
+			Index:      idx,
+			Rec:        rec,
+			Wall:       wall(n),
+			Concurrent: concurrent,
+		})
+		prev = n
+		emitted++
+	}
+	for len(ready) > 0 {
+		n := ready[0]
+		ready = ready[1:]
+		emit(n)
+		release(n)
+	}
+	// A cycle cannot arise from real recordings (sends precede receives
+	// on every clock after correction), but a hand-corrupted dump could
+	// manufacture one; release stuck nodes by wall order rather than
+	// dropping them.
+	for emitted < total {
+		best := -1
+		for n := 0; n < total; n++ {
+			if vc[n] == nil && indeg[n] >= 0 && (best == -1 || before(n, best)) {
+				if m := memberOf[n]; n == base[m] || vc[n-1] != nil {
+					best = n
+				}
+			}
+		}
+		if best == -1 {
+			break
+		}
+		emit(best)
+		release(best)
+	}
+	return t
+}
+
+// Entry is one record placed on the merged timeline.
+type Entry struct {
+	Member    string
+	MemberIdx int
+	// Index is the record's position within its member's dump.
+	Index int
+	Rec   Record
+	// Wall is the skew-corrected wall-clock estimate (unix nanos).
+	Wall int64
+	// Concurrent marks an entry the happened-before relation does not
+	// order against its timeline predecessor: the rendered adjacency is
+	// a clock tiebreak, not causality.
+	Concurrent bool
+}
+
+// Timeline is the merged, causally consistent cluster history.
+type Timeline struct {
+	Members []string
+	// Skew holds the per-member clock correction applied (index-aligned
+	// with Members).
+	Skew    []time.Duration
+	Entries []Entry
+	// Violations indexes the entries carrying auditor violations.
+	Violations []int
+	Dumps      []*Dump
+}
+
+// Label resolves a Ref in e's symbol table.
+func (t *Timeline) Label(e Entry, r Ref) string { return t.Dumps[e.MemberIdx].Label(r) }
+
+// Divergence names a delivery-order disagreement surfaced by comparing
+// expected vs actual per-member delivery sequences.
+type Divergence struct {
+	// Origin is the sending member whose stream the members disagree on.
+	Origin string
+	// Label is the violating message, rendered "origin:seq".
+	Label string
+	// Members lists the disagreeing members.
+	Members []string
+	Detail  string
+}
+
+// DeliveryDiffs replays every member's delivery records and reports where
+// actual order diverges from the expected one: a FIFO inversion inside
+// one member (a later-sequenced message from an origin delivered before
+// an earlier one), or a cross-member gap (one member skipped a message
+// its peers delivered while moving past it). Each divergence names the
+// message and the members that disagree. Members that adopted rejoin
+// watermarks (KindSeed) are excluded from gap analysis: their skipped
+// prefix was seeded, not lost.
+func (t *Timeline) DeliveryDiffs() []Divergence {
+	type seen struct {
+		order []uint64
+		have  map[uint64]bool
+		max   uint64
+	}
+	// origin → member → delivery stream
+	streams := make(map[string]map[string]*seen)
+	// Members that adopted rejoin watermarks (KindSeed): history at or
+	// below the watermark reached their state without local delivery
+	// events, so a missing delivery is not evidence of a skip. The black
+	// box records only the watermark count, not the per-origin values, so
+	// gap analysis is suppressed for these members entirely; FIFO
+	// inversions among the deliveries they did record still report.
+	seeded := make(map[string]bool)
+	for _, e := range t.Entries {
+		if e.Rec.Kind == KindSeed {
+			seeded[e.Member] = true
+		}
+		if e.Rec.Kind != KindDeliver {
+			continue
+		}
+		org := t.Dumps[e.MemberIdx].Sym(e.Rec.A.Org)
+		if org == "" {
+			continue
+		}
+		perMember := streams[org]
+		if perMember == nil {
+			perMember = make(map[string]*seen)
+			streams[org] = perMember
+		}
+		s := perMember[e.Member]
+		if s == nil {
+			s = &seen{have: make(map[uint64]bool)}
+			perMember[e.Member] = s
+		}
+		s.order = append(s.order, e.Rec.A.Seq)
+		s.have[e.Rec.A.Seq] = true
+		if e.Rec.A.Seq > s.max {
+			s.max = e.Rec.A.Seq
+		}
+	}
+
+	origins := make([]string, 0, len(streams))
+	for org := range streams {
+		origins = append(origins, org)
+	}
+	sort.Strings(origins)
+
+	var out []Divergence
+	for _, org := range origins {
+		perMember := streams[org]
+		members := make([]string, 0, len(perMember))
+		for m := range perMember {
+			members = append(members, m)
+		}
+		sort.Strings(members)
+
+		// FIFO inversions within one member.
+		for _, m := range members {
+			s := perMember[m]
+			var hi uint64
+			for _, seq := range s.order {
+				if seq < hi {
+					out = append(out, Divergence{
+						Origin:  org,
+						Label:   fmt.Sprintf("%s:%d", org, seq),
+						Members: []string{m},
+						Detail:  fmt.Sprintf("%s delivered %s:%d after %s:%d — causal/FIFO order inverted", m, org, seq, org, hi),
+					})
+				} else {
+					hi = seq
+				}
+			}
+		}
+
+		// Cross-member gaps: m moved past seq without delivering it while
+		// other members did deliver it.
+		union := make(map[uint64][]string)
+		for _, m := range members {
+			for seq := range perMember[m].have {
+				union[seq] = append(union[seq], m)
+			}
+		}
+		seqs := make([]uint64, 0, len(union))
+		for seq := range union {
+			seqs = append(seqs, seq)
+		}
+		sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+		for _, seq := range seqs {
+			deliveredBy := union[seq]
+			sort.Strings(deliveredBy)
+			for _, m := range members {
+				s := perMember[m]
+				if !s.have[seq] && s.max > seq && !seeded[m] {
+					out = append(out, Divergence{
+						Origin:  org,
+						Label:   fmt.Sprintf("%s:%d", org, seq),
+						Members: append([]string{m}, deliveredBy...),
+						Detail: fmt.Sprintf("%s skipped %s:%d (advanced to %s:%d) while %v delivered it",
+							m, org, seq, org, s.max, deliveredBy),
+					})
+				}
+			}
+		}
+	}
+	return out
+}

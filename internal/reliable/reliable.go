@@ -47,6 +47,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"causalshare/internal/flightrec"
 	"causalshare/internal/telemetry"
 	"causalshare/internal/transport"
 )
@@ -97,6 +98,11 @@ type Config struct {
 	Telemetry *telemetry.Registry
 	// Trace records retransmit/nack/shed/resync events. May be nil.
 	Trace *telemetry.Ring
+	// Flight, when non-nil, is this member's black-box flight recorder:
+	// retransmissions, NACKs, sheds, and resyncs land there with the peer
+	// and link sequence, so a post-mortem can correlate repair traffic
+	// with the ordering stalls above it. May be nil.
+	Flight *flightrec.Recorder
 }
 
 func (cfg *Config) defaults() {
@@ -844,6 +850,7 @@ func (c *Conn) handleNack(from string, epoch uint64, seqs []uint64) {
 		c.ins.retransmits.Inc()
 		c.ins.linkRetx.With(from).Inc()
 		c.cfg.Trace.Record(telemetry.EventRetransmit, c.self, from, fseqs[i], 0)
+		c.cfg.Flight.Retransmit(from, fseqs[i])
 	}
 	if resetNext > 0 {
 		c.sendReset(p, resetNext)
@@ -885,6 +892,7 @@ func (c *Conn) handleReset(from string, epoch, next uint64) {
 	if skipped > 0 {
 		c.ins.resyncs.Inc()
 		c.cfg.Trace.Record(telemetry.EventResync, c.self, from, next, int64(skipped))
+		c.cfg.Flight.Resync(from, int(skipped))
 		if c.cfg.OnResync != nil {
 			c.cfg.OnResync(from)
 		}
@@ -970,6 +978,7 @@ func (c *Conn) scanNacks(now time.Time) {
 			f.Release()
 			c.ins.nacksSent.Inc()
 			c.cfg.Trace.Record(telemetry.EventNack, c.self, st.id, seqs[0], int64(n))
+			c.cfg.Flight.Nack(st.id, seqs[0], n)
 		}
 	}
 }
@@ -1025,6 +1034,7 @@ func (c *Conn) pumpSender(now time.Time) {
 		c.ins.retransmits.Inc()
 		c.ins.linkRetx.With(target.id).Inc()
 		c.cfg.Trace.Record(telemetry.EventRetransmit, c.self, target.id, fseqs[i], 0)
+		c.cfg.Flight.Retransmit(target.id, fseqs[i])
 	}
 }
 
@@ -1037,6 +1047,7 @@ func (c *Conn) drainNotices() {
 	o.mu.Unlock()
 	for _, id := range notices {
 		c.cfg.Trace.Record(telemetry.EventShed, c.self, id, 0, 0)
+		c.cfg.Flight.Shed(id)
 		if c.cfg.OnSuspect != nil {
 			c.cfg.OnSuspect(id)
 		}

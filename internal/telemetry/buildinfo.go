@@ -1,0 +1,58 @@
+package telemetry
+
+import (
+	"runtime/debug"
+	"sync"
+)
+
+// buildVersion caches the answer: ReadBuildInfo walks the embedded module
+// data on every call, and both the -version flags and the build-info gauge
+// want the same string.
+var buildVersion = sync.OnceValue(func() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	if v := info.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	// Module builds from a checkout carry no tag; fall back to the VCS
+	// revision stamped by the toolchain.
+	var rev, dirty string
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "-dirty"
+			}
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		return rev + dirty
+	}
+	return "devel"
+})
+
+// Version reports the running binary's version: the main module's version
+// when tagged, otherwise the VCS revision (short, "-dirty" when the tree
+// was modified), otherwise "devel"/"unknown". Every command's -version
+// flag prints it.
+func Version() string { return buildVersion() }
+
+// RegisterBuildInfo publishes the binary's identity as the conventional
+// constant gauge telemetry_build_info{version="..."} = 1, so a scraper can
+// tell which build is serving each member endpoint. Idempotent; nil
+// registry is a no-op.
+func RegisterBuildInfo(r *Registry) {
+	if r == nil {
+		return
+	}
+	r.GaugeFamily("telemetry_build_info",
+		"constant 1, labeled with the running binary's version",
+		"version").With(Version()).Set(1)
+}

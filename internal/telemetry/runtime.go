@@ -37,6 +37,10 @@ func RegisterRuntime(r *Registry) {
 	if r == nil {
 		return
 	}
+	// Every runtime-instrumented endpoint also identifies its build; the
+	// scraper-facing contract is that /metrics answers "which binary is
+	// this?" without a separate probe.
+	RegisterBuildInfo(r)
 	s := &memSampler{}
 	r.GaugeFunc("runtime_goroutines",
 		"live goroutines in this process",

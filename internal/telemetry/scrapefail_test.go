@@ -1,0 +1,143 @@
+package telemetry
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// These tests pin the scraper's failure paths: whatever a member endpoint
+// does — emit garbage, hang, or serve only half its routes — the scrape
+// must degrade to a Down row that the cluster view surfaces, never to a
+// hidden or fabricated-healthy member.
+
+func TestScrapeMemberMalformedVars(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/vars" {
+			_, _ = w.Write([]byte(`{"counters": [{"name": "x", "value":`)) // truncated JSON
+			return
+		}
+		http.NotFound(w, r)
+	}))
+	defer srv.Close()
+
+	s := &Scraper{}
+	mv := s.ScrapeMember(context.Background(), srv.URL)
+	if mv.Up {
+		t.Fatal("malformed /vars JSON scraped as Up")
+	}
+	if mv.Err == "" {
+		t.Fatal("down member carries no error")
+	}
+	assertDownNotHidden(t, mv)
+}
+
+func TestScrapeMemberTimeout(t *testing.T) {
+	release := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release // hold the scrape past its deadline
+	}))
+	// Unblock the handler before Close: httptest.Server.Close waits for
+	// in-flight handlers, and defers run last-in-first-out.
+	defer srv.Close()
+	defer close(release)
+
+	s := &Scraper{Timeout: 50 * time.Millisecond}
+	start := time.Now()
+	mv := s.ScrapeMember(context.Background(), srv.URL)
+	if mv.Up {
+		t.Fatal("hung endpoint scraped as Up")
+	}
+	if waited := time.Since(start); waited > 2*time.Second {
+		t.Fatalf("scrape blocked %v, want the configured 50ms timeout to bound it", waited)
+	}
+	if mv.Err == "" {
+		t.Fatal("timed-out member carries no error")
+	}
+	assertDownNotHidden(t, mv)
+}
+
+// TestScrapeMemberHalfDead covers the zombie shape: the process answers
+// /healthz but /vars is gone (handler crashed, route misconfigured). A
+// green healthcheck must not make the member look scrapeable.
+func TestScrapeMemberHalfDead(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			_, _ = w.Write([]byte(`{"member":"zombie","uptime_seconds":5}`))
+			return
+		}
+		http.NotFound(w, r)
+	}))
+	defer srv.Close()
+
+	s := &Scraper{}
+	mv := s.ScrapeMember(context.Background(), srv.URL)
+	if mv.Up {
+		t.Fatal("member without /vars scraped as Up")
+	}
+	if !strings.Contains(mv.Err, "status") {
+		t.Fatalf("Err = %q, want the /vars HTTP status", mv.Err)
+	}
+	assertDownNotHidden(t, mv)
+}
+
+// assertDownNotHidden folds the down view into a cluster with one healthy
+// member and asserts the down member stays visible: counted in Down,
+// present in Members, contributing nothing to the derived extrema.
+func assertDownNotHidden(t *testing.T, down MemberView) {
+	t.Helper()
+	healthy := MemberView{Target: "ok:1", Member: "ok", Up: true, Epoch: 3, StableCycle: 7}
+	cv := Aggregate([]MemberView{down, healthy})
+	if cv.Up != 1 || cv.Down != 1 {
+		t.Fatalf("up/down = %d/%d, want 1/1", cv.Up, cv.Down)
+	}
+	if len(cv.Members) != 2 {
+		t.Fatalf("down member dropped from Members: %+v", cv.Members)
+	}
+	var found bool
+	for _, m := range cv.Members {
+		if m.Target == down.Target {
+			found = true
+			if m.Up {
+				t.Fatal("down member flipped to Up in the cluster view")
+			}
+			if m.Err == "" {
+				t.Fatal("down member's error lost in aggregation")
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("down member %q hidden from the cluster view", down.Target)
+	}
+	// Extrema derive from the healthy member alone — a down member must
+	// not zero them out or contribute phantom values.
+	if cv.MinEpoch != 3 || cv.MaxEpoch != 3 || cv.MinStableCycle != 7 {
+		t.Fatalf("down member polluted extrema: %+v", cv)
+	}
+}
+
+// TestBuildInfoGauge pins the satellite contract: RegisterRuntime (and so
+// every telemetry.Serve endpoint) exposes telemetry_build_info{version}=1.
+func TestBuildInfoGauge(t *testing.T) {
+	if Version() == "" {
+		t.Fatal("Version() is empty")
+	}
+	reg := NewRegistry()
+	RegisterRuntime(reg)
+	snap := reg.Snapshot()
+	for _, g := range snap.Gauges {
+		if g.Name == "telemetry_build_info" {
+			if g.Label != Version() {
+				t.Fatalf("build info labeled %q, want Version() %q", g.Label, Version())
+			}
+			if g.Value != 1 {
+				t.Fatalf("telemetry_build_info = %d, want constant 1", g.Value)
+			}
+			return
+		}
+	}
+	t.Fatalf("telemetry_build_info not registered; gauges: %+v", snap.Gauges)
+}

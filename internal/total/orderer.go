@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"causalshare/internal/causal"
+	"causalshare/internal/flightrec"
 	"causalshare/internal/group"
 	"causalshare/internal/message"
 	"causalshare/internal/telemetry"
@@ -52,6 +53,11 @@ type Config struct {
 	// trace collector: total-order apply points, adopted epochs, and ORDER
 	// application (the online epoch-fence audit input). Sequencer only.
 	Tracer *trace.Tracer
+	// Flight, when non-nil, is this member's black-box flight recorder;
+	// the layer records completed elections and failure-detector
+	// suspicions there (epoch adoptions reach the box via the trace
+	// collector). Sequencer only.
+	Flight *flightrec.Recorder
 }
 
 // DefaultMaxPending is the sequencer holdback bound used when

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"causalshare/internal/causal"
+	"causalshare/internal/flightrec"
 	"causalshare/internal/group"
 	"causalshare/internal/message"
 	"causalshare/internal/telemetry"
@@ -102,6 +103,7 @@ type Sequencer struct {
 	ins         totalInstruments
 	trace       *telemetry.Ring
 	spans       *trace.Tracer
+	flight      *flightrec.Recorder
 
 	done     chan struct{}
 	stopOnce sync.Once
@@ -132,6 +134,7 @@ func NewSequencer(cfg Config) (*Sequencer, error) {
 		ins:         newTotalInstruments(cfg.Telemetry),
 		trace:       cfg.Trace,
 		spans:       cfg.Tracer,
+		flight:      cfg.Flight,
 		data:        make(map[message.Label]message.Message),
 		seqOf:       make(map[uint64]seqAssign),
 		seqByLabel:  make(map[message.Label]uint64),
@@ -444,6 +447,7 @@ func (s *Sequencer) Suspect(peer string) {
 	if s.detector == nil {
 		return
 	}
+	s.flight.Suspect(peer)
 	s.detector.Suspect(peer, time.Now())
 }
 
@@ -558,6 +562,7 @@ func (s *Sequencer) maybeCompleteElectionLocked(now time.Time) []message.Message
 		out = append(out, s.assignLocked(l))
 	}
 	s.trace.Record(telemetry.EventElect, s.self, "", s.epoch, int64(len(seqs)))
+	s.flight.Elect(s.epoch, len(seqs))
 	s.acked = nil
 	return out
 }

@@ -69,6 +69,7 @@ func (c *Collector) violationLocked(kind ViolationKind, member string, label, de
 	c.violSeen++
 	c.ins.violations.Inc()
 	c.ring.Record(telemetry.EventViolation, member, label.Origin, label.Seq, int64(kind))
+	c.boxLocked(member).Violation(int(kind), label, dep)
 	if len(c.violations) >= c.maxViols {
 		return
 	}

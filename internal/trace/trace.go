@@ -31,6 +31,7 @@ import (
 	"sync"
 	"time"
 
+	"causalshare/internal/flightrec"
 	"causalshare/internal/message"
 	"causalshare/internal/telemetry"
 )
@@ -64,6 +65,13 @@ type Config struct {
 	// globally serialized event sequence. Offline whole-history checking
 	// wants every message, so pair an observer with SampleEvery <= 1.
 	Observer Observer
+	// Flight, when non-nil, tees the lifecycle stream into per-member
+	// flight recorders: sends, receives, deliveries, holdback-exit
+	// attribution, epoch adoptions, rejoin seeds, and every auditor
+	// violation land in the member's black box. Layers the collector
+	// cannot see (holdback entry, retransmission, elections, stability)
+	// feed the same recorders directly through their own configs.
+	Flight *flightrec.Set
 }
 
 // Observer receives the collector's serialized lifecycle stream. It is
@@ -183,9 +191,10 @@ type Collector struct {
 	maxTraces, maxLabels, maxViols int
 	sampleEvery                    int
 
-	ins  collectorInstruments
-	ring *telemetry.Ring
-	obs  Observer
+	ins    collectorInstruments
+	ring   *telemetry.Ring
+	obs    Observer
+	flight *flightrec.Set
 
 	mu       sync.Mutex
 	nextID   uint64
@@ -200,6 +209,10 @@ type Collector struct {
 	qHead, qLen int
 
 	members map[string]*memberAudit
+	// boxes caches flight.For resolutions: the hooks fire per message
+	// under c.mu, and taking the set's own lock for every event is
+	// measurable at fan-out rates. Cleared by SetFlight.
+	boxes map[string]*flightrec.Recorder
 
 	stables    map[uint64]stableClaim
 	stableQ    []uint64
@@ -232,11 +245,13 @@ func NewCollector(cfg Config) *Collector {
 		ins:         newCollectorInstruments(cfg.Telemetry),
 		ring:        cfg.Ring,
 		obs:         cfg.Observer,
+		flight:      cfg.Flight,
 		traces:      make(map[uint64]*traceRec, cfg.MaxTraces),
 		spanIdx:     make(map[spanKey]*spanRec),
 		byLabel:     make(map[message.Label]labelInfo),
 		evictQ:      make([]uint64, cfg.MaxTraces+1),
 		members:     make(map[string]*memberAudit),
+		boxes:       make(map[string]*flightrec.Recorder),
 		stables:     make(map[uint64]stableClaim, defaultMaxStables),
 		stableQ:     make([]uint64, defaultMaxStables+1),
 	}
@@ -253,6 +268,44 @@ func (c *Collector) SetObserver(o Observer) {
 	c.mu.Lock()
 	c.obs = o
 	c.mu.Unlock()
+}
+
+// SetFlight installs (or clears) the flight-recorder set after
+// construction, mirroring SetObserver: harnesses that receive a built
+// collector arm the black boxes without touching every Config literal.
+// Safe to call before traffic starts; swapping mid-run is not supported.
+func (c *Collector) SetFlight(s *flightrec.Set) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.flight = s
+	clear(c.boxes)
+	c.mu.Unlock()
+}
+
+// boxLocked resolves member's flight recorder through the collector-local
+// cache. A nil flight set yields nil recorders, whose methods no-op.
+func (c *Collector) boxLocked(member string) *flightrec.Recorder {
+	if c.flight == nil {
+		return nil
+	}
+	r, ok := c.boxes[member]
+	if !ok {
+		r = c.flight.For(member)
+		c.boxes[member] = r
+	}
+	return r
+}
+
+// Flight returns the installed flight-recorder set (nil when disarmed).
+func (c *Collector) Flight() *flightrec.Set {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.flight
 }
 
 // Tracer returns the member-bound handle engines call their lifecycle
@@ -482,6 +535,7 @@ func (c *Collector) broadcast(member string, m message.Message) message.SpanCont
 			m.Span = ctx
 			c.obs.RecordSend(member, m)
 		}
+		c.boxLocked(member).Send(m.Label, m.EncodedSize())
 	}
 	return ctx
 }
@@ -496,12 +550,14 @@ func (c *Collector) enqueue(member string, m message.Message) {
 	sr := c.ensureSpanLocked(m.Span, member, m)
 	if sr.enqueue == 0 {
 		sr.enqueue = now
+		c.boxLocked(member).Recv(m.Label, m.SentAt)
 	}
 }
 
 func (c *Collector) depResolved(member string, blocked, dep message.Label, wait time.Duration) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.boxLocked(member).DepResolved(blocked, dep, wait)
 	sr, ok := c.spanIdx[spanKey{blocked, member}]
 	if !ok {
 		return
@@ -526,6 +582,7 @@ func (c *Collector) deliver(member string, m message.Message) {
 		if c.obs != nil {
 			c.obs.RecordDeliver(member, m)
 		}
+		c.boxLocked(member).Deliver(m.Label, m.SentAt)
 	}
 	c.auditDeliveryLocked(member, m, now)
 }
@@ -568,6 +625,7 @@ func (c *Collector) seedDelivered(member string, watermarks map[string]uint64) {
 	if c.obs != nil {
 		c.obs.RecordSeed(member, watermarks)
 	}
+	c.boxLocked(member).Seed(len(watermarks))
 }
 
 func (c *Collector) epochAdopted(member string, epoch uint64) {
@@ -578,6 +636,7 @@ func (c *Collector) epochAdopted(member string, epoch uint64) {
 		ma.maxEpoch = epoch
 	}
 	ma.hasEpoch = true
+	c.boxLocked(member).Epoch(epoch)
 }
 
 func (c *Collector) orderApplied(member string, epoch uint64, at message.Label) {
