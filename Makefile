@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test race vet bench bench-smoke bench-scale bench-trace bench-loss bench-obs bench-check bench-flightrec metrics-doc fuzz chaos chaos-loss audit check-consistency flightrec
+.PHONY: check build test race vet bench bench-smoke bench-scale bench-trace bench-loss bench-obs bench-check bench-flightrec bench-wal metrics-doc fuzz fuzz-wal wal-torture chaos chaos-loss audit check-consistency flightrec
 
 ## check: the tier-1 gate — vet, build, and race-test everything.
 check: vet build race
@@ -62,6 +62,17 @@ bench-loss:
 bench-obs:
 	$(GO) test -bench=FanoutObserved -benchmem -run '^$$' -benchtime=20000x -json . | tee BENCH_obs.json
 
+## bench-wal: regenerate the E17 durability numbers (fsync-policy sweep:
+## n=8 fan-out latency with the WAL armed per policy vs a no-WAL
+## baseline, raw per-record append cost, and restart-from-disk replay
+## time at 1k–100k records) into BENCH_wal.json.
+bench-wal:
+	$(GO) test -bench=DurableBroadcastPolicy -benchmem -run '^$$' -benchtime=2000x -timeout 600s -json . | tee BENCH_wal.json
+	$(GO) test -bench='WALAppendPolicy|WALRecovery' -benchmem -run '^$$' -timeout 600s -json ./internal/wal/ | tee -a BENCH_wal.json
+	@awk '/DurableBroadcastPolicy/ && /ns\/op/ { ok = 1 } END { if (!ok) { print "FAIL: no DurableBroadcastPolicy rows in BENCH_wal.json"; exit 1 } }' BENCH_wal.json
+	@awk '/WALRecovery/ && /ns\/op/ { ok = 1 } END { if (!ok) { print "FAIL: no WALRecovery rows in BENCH_wal.json"; exit 1 } }' BENCH_wal.json
+	@echo "bench-wal: BENCH_wal.json regenerated"
+
 ## bench-check: regenerate the E16 offline-checker numbers (whole-history
 ## CC/CCv/CM bad-pattern check over recorded chain-register histories at
 ## 256–18k ops, plus recorder materialization cost) into BENCH_check.json.
@@ -106,6 +117,23 @@ metrics-doc:
 
 fuzz:
 	$(GO) test -fuzz=FuzzUnmarshalBinary -fuzztime=30s ./internal/message/
+
+## fuzz-wal: fuzz the WAL record scanner — arbitrary bytes must never
+## panic it, and recovery must keep exactly the valid prefix.
+fuzz-wal:
+	$(GO) test -fuzz=FuzzWALDecode -fuzztime=30s ./internal/wal/
+
+## wal-torture: the durability gate — the WAL crash-point/disk-fault
+## torture matrix (torn writes, bit flips, short reads, fsync errors and
+## lies, ENOSPC at every append/flush/rotate boundary) plus every
+## restart-from-disk chaos scenario, under the race detector, three
+## times over (seeded schedules and seeded fault injection: a flake here
+## is real nondeterminism, not noise). When CHAOS_FLIGHT_DIR is set
+## (CI exports it), a chaos run that ends badly dumps every member's WAL
+## segments alongside the black-box flight recorders for post-mortems.
+wal-torture:
+	$(GO) test -race -count=3 -timeout 600s ./internal/wal/
+	$(GO) test -race -run 'DiskRecovery|Durable' -count=3 -timeout 600s ./internal/chaos/
 
 ## chaos: run every failover/chaos scenario three times over — the seeded
 ## schedules must reproduce bit-identically, so a flake here is a real

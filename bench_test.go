@@ -33,6 +33,7 @@ import (
 	ctrace "causalshare/internal/trace"
 	"causalshare/internal/transport"
 	"causalshare/internal/vclock"
+	"causalshare/internal/wal"
 )
 
 // tableCell extracts a float metric from an experiment table.
@@ -511,6 +512,154 @@ func BenchmarkBroadcastFanoutObserved(b *testing.B) {
 					b.Fatalf("member %s observed %d visibility samples, want >= %d",
 						ids[i], count, b.N)
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkBroadcastFanoutDurable repeats the fan-out pipeline with a
+// write-ahead log armed on every member in PolicyAsync — the deployment
+// shape for latency-sensitive groups, where the background loop flushes
+// and the broadcast path only encodes into the WAL's buffer. The "Fanout"
+// name keeps it under the CI bench-smoke zero-alloc gate: durability in
+// async mode must cost cycles, never garbage.
+func BenchmarkBroadcastFanoutDurable(b *testing.B) {
+	for _, n := range []int{2, 8, 16} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			ids := make([]string, n)
+			for i := range ids {
+				ids[i] = fmt.Sprintf("m%02d", i)
+			}
+			grp := group.MustNew("fanout", ids)
+			reg := telemetry.NewRegistry()
+			net := transport.NewChanNetObserved(transport.FaultModel{}, reg)
+			defer func() { _ = net.Close() }()
+			var delivered atomic.Uint64
+			engines := make([]*causal.OSend, 0, n)
+			logs := make([]*wal.WAL, 0, n)
+			for _, id := range ids {
+				conn, err := net.Attach(id)
+				if err != nil {
+					b.Fatal(err)
+				}
+				wlog, err := wal.Open(wal.Options{
+					Dir:    id,
+					FS:     wal.NewMemFS(1, wal.Faults{}),
+					Policy: wal.PolicyAsync,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				logs = append(logs, wlog)
+				eng, err := causal.NewOSend(causal.OSendConfig{
+					Self: id, Group: grp, Conn: conn,
+					Deliver:   func(message.Message) { delivered.Add(1) },
+					Telemetry: reg,
+					Journal:   wlog,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				engines = append(engines, eng)
+			}
+			defer func() {
+				for _, e := range engines {
+					_ = e.Close()
+				}
+				for _, w := range logs {
+					_ = w.Close()
+				}
+			}()
+			lab := message.NewLabeler(ids[0])
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m := message.Message{Label: lab.Next(), Kind: message.KindCommutative, Op: "inc"}
+				if err := engines[0].Broadcast(m); err != nil {
+					b.Fatal(err)
+				}
+			}
+			target := uint64(n) * uint64(b.N)
+			for delivered.Load() < target {
+				time.Sleep(20 * time.Microsecond)
+			}
+		})
+	}
+}
+
+// BenchmarkDurableBroadcastPolicy is the broadcast-latency half of
+// experiment E17 (`make bench-wal`): the n=8 fan-out pipeline with a
+// per-member WAL on the real filesystem under each sync policy, plus a
+// no-WAL baseline. The async and interval rows should sit within noise
+// of the baseline (the append path only encodes into a buffer); the
+// each row pays one fsync per journaled record inside the delivery path
+// and is the price of zero-loss durability.
+func BenchmarkDurableBroadcastPolicy(b *testing.B) {
+	const n = 8
+	for _, row := range []struct {
+		name   string
+		armed  bool
+		policy wal.Policy
+	}{
+		{"off", false, wal.PolicyAsync},
+		{"async", true, wal.PolicyAsync},
+		{"interval", true, wal.PolicyInterval},
+		{"each", true, wal.PolicyEach},
+	} {
+		b.Run("policy="+row.name, func(b *testing.B) {
+			ids := make([]string, n)
+			for i := range ids {
+				ids[i] = fmt.Sprintf("m%02d", i)
+			}
+			grp := group.MustNew("fanout", ids)
+			net := transport.NewChanNet(transport.FaultModel{})
+			defer func() { _ = net.Close() }()
+			var delivered atomic.Uint64
+			engines := make([]*causal.OSend, 0, n)
+			logs := make([]*wal.WAL, 0, n)
+			for _, id := range ids {
+				conn, err := net.Attach(id)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var wlog *wal.WAL
+				if row.armed {
+					wlog, err = wal.Open(wal.Options{Dir: b.TempDir(), Policy: row.policy})
+					if err != nil {
+						b.Fatal(err)
+					}
+					logs = append(logs, wlog)
+				}
+				eng, err := causal.NewOSend(causal.OSendConfig{
+					Self: id, Group: grp, Conn: conn,
+					Deliver: func(message.Message) { delivered.Add(1) },
+					Journal: wlog,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				engines = append(engines, eng)
+			}
+			defer func() {
+				for _, e := range engines {
+					_ = e.Close()
+				}
+				for _, w := range logs {
+					_ = w.Close()
+				}
+			}()
+			lab := message.NewLabeler(ids[0])
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m := message.Message{Label: lab.Next(), Kind: message.KindCommutative, Op: "inc"}
+				if err := engines[0].Broadcast(m); err != nil {
+					b.Fatal(err)
+				}
+			}
+			target := uint64(n) * uint64(b.N)
+			for delivered.Load() < target {
+				time.Sleep(20 * time.Microsecond)
 			}
 		})
 	}

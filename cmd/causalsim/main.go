@@ -9,12 +9,14 @@
 //
 //	causalsim [-n 5] [-cycles 20] [-fgamma 20] [-engine osend|cbcast|pccast]
 //	          [-drop 0.1] [-jitter 5ms] [-seed 7]
+//	          [-wal-dir /tmp/sim-wal] [-wal-sync each|interval|async]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"causalshare/internal/causal"
@@ -26,6 +28,7 @@ import (
 	"causalshare/internal/shareddata"
 	"causalshare/internal/telemetry"
 	"causalshare/internal/transport"
+	"causalshare/internal/wal"
 )
 
 func main() {
@@ -46,6 +49,8 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 7, "fault model seed")
 	dot := fs.Bool("dot", false, "print the extracted dependency graph in Graphviz dot syntax")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /vars and /trace on this address during the run (e.g. :9090)")
+	walDir := fs.String("wal-dir", "", "journal every member's deliveries to a write-ahead log under this directory (one subdirectory per member)")
+	walSync := fs.String("wal-sync", "interval", "WAL sync policy: each, interval or async (with -wal-dir)")
 	version := fs.Bool("version", false, "print the binary version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -87,16 +92,45 @@ func run(args []string) error {
 	}, reg)
 	defer func() { _ = net.Close() }()
 
+	// With -wal-dir every member journals its deliveries to a real on-disk
+	// write-ahead log (one directory per member, DESIGN.md §15); an
+	// existing log is extended, so repeated runs against the same
+	// directory accumulate one continuous history per member.
+	var walPolicy wal.Policy
+	if *walDir != "" {
+		var err error
+		if walPolicy, err = wal.ParsePolicy(*walSync); err != nil {
+			return err
+		}
+	}
+
 	trace := obs.NewTrace()
 	replicas := make(map[string]*core.Replica, *n)
 	var engines []causal.Broadcaster
+	var wlogs []*wal.WAL
 	defer func() {
 		for _, e := range engines {
 			_ = e.Close()
 		}
+		for _, w := range wlogs {
+			_ = w.Close()
+		}
 	}()
 	for _, id := range ids {
 		box := flight.For(id)
+		var wlog *wal.WAL
+		if *walDir != "" {
+			var err error
+			wlog, err = wal.Open(wal.Options{
+				Dir:       filepath.Join(*walDir, id),
+				Policy:    walPolicy,
+				Telemetry: reg,
+			})
+			if err != nil {
+				return err
+			}
+			wlogs = append(wlogs, wlog)
+		}
 		rep, err := core.NewReplica(core.ReplicaConfig{
 			Self:      id,
 			Initial:   shareddata.NewCounter(0),
@@ -123,6 +157,7 @@ func run(args []string) error {
 				Telemetry: reg,
 				Trace:     ring,
 				Flight:    box,
+				Journal:   wlog,
 			})
 		case "cbcast":
 			eng, err = causal.NewCBCast(causal.CBCastConfig{
@@ -130,6 +165,7 @@ func run(args []string) error {
 				Patience:  10 * time.Millisecond,
 				Telemetry: reg,
 				Flight:    box,
+				Journal:   wlog,
 			})
 		case "pccast":
 			// PC-cast needs reliable per-pair FIFO links: repair the lossy
@@ -150,6 +186,7 @@ func run(args []string) error {
 				Telemetry: reg,
 				Trace:     ring,
 				Flight:    box,
+				Journal:   wlog,
 			})
 		default:
 			return fmt.Errorf("unknown engine %q", *engine)
@@ -247,6 +284,19 @@ func run(args []string) error {
 	fmt.Printf("telemetry: frames_sent=%d causal_delivered=%d stable_points=%d trace_events=%d (of %d recorded)\n",
 		snap.Get("transport_frames_sent_total"), snap.Get("causal_osend_delivered_total"),
 		snap.Get("core_stable_points_total"), ring.Len(), ring.Len()+int(ring.Dropped()))
+	if *walDir != "" {
+		// Force the tails to stable storage before reporting: a summary
+		// that precedes the fsync would overstate what a crash keeps.
+		for _, w := range wlogs {
+			if err := w.Sync(); err != nil {
+				return fmt.Errorf("wal sync: %w", err)
+			}
+		}
+		wsnap := reg.Snapshot()
+		fmt.Printf("durability: %d members journaled to %s (sync=%s): appends=%d bytes=%d syncs=%d\n",
+			len(wlogs), *walDir, walPolicy,
+			wsnap.Get("wal_appends_total"), wsnap.Get("wal_append_bytes_total"), wsnap.Get("wal_syncs_total"))
+	}
 	if o, ok := engines[0].(*causal.OSend); ok {
 		m := o.Metrics()
 		fmt.Printf("engine[%s]: delivered=%d maxBuffered=%d duplicates=%d fetches=%d\n",

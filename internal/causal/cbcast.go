@@ -15,6 +15,7 @@ import (
 	"causalshare/internal/trace"
 	"causalshare/internal/transport"
 	"causalshare/internal/vclock"
+	"causalshare/internal/wal"
 )
 
 // CBCastConfig parameterizes a CBCast engine.
@@ -42,6 +43,9 @@ type CBCastConfig struct {
 	// the engine records holdback entry (against the blocking FIFO
 	// predecessor the vector clock names) and gap fetches.
 	Flight *flightrec.Recorder
+	// Journal, when non-nil, is the member's write-ahead log; every
+	// delivery is journaled (see OSendConfig.Journal).
+	Journal *wal.WAL
 }
 
 // CBCast is the ISIS-style causal broadcast baseline: each message
@@ -70,6 +74,7 @@ type CBCast struct {
 	peer      peerInstruments
 	spans     *trace.Tracer
 	flight    *flightrec.Recorder
+	wlog      *wal.WAL
 
 	done chan struct{}
 	wg   sync.WaitGroup
@@ -107,6 +112,7 @@ func NewCBCast(cfg CBCastConfig) (*CBCast, error) {
 		meta:      newMetaInstruments(cfg.Telemetry),
 		spans:     cfg.Tracer,
 		flight:    cfg.Flight,
+		wlog:      cfg.Journal,
 		retained:  make(map[uint64][]byte),
 		lastFetch: make(map[string]time.Time),
 		done:      make(chan struct{}),
@@ -167,6 +173,8 @@ func (e *CBCast) Broadcast(m message.Message) error {
 	e.spans.Enqueue(m)
 	e.spans.Deliver(m)
 	e.deliver(m)
+	// After the callback — see the OSend dispatch loop.
+	e.wlog.Deliver(m.Label)
 	// The frame is retained above for retransmission and never mutated, so
 	// every destination shares the one encoding. StaticFrame keeps it out
 	// of the pools: its lifetime is the retention window, not the send.
@@ -325,6 +333,8 @@ func (e *CBCast) ingest(sender string, vc vclock.VC, m message.Message) {
 	}
 	for _, r := range ready {
 		e.deliver(r)
+		// After the callback — see the OSend dispatch loop.
+		e.wlog.Deliver(r.Label)
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"causalshare/internal/telemetry"
 	"causalshare/internal/trace"
 	"causalshare/internal/transport"
+	"causalshare/internal/wal"
 )
 
 // OSendConfig parameterizes an OSend engine.
@@ -50,6 +51,11 @@ type OSendConfig struct {
 	// hooks: holdback entry with the blocking dependency, and dependency
 	// fetches. Nil disables flight recording at zero cost.
 	Flight *flightrec.Recorder
+	// Journal, when non-nil, is the member's write-ahead log. The engine
+	// journals every delivery (rebuilding the frontier and label chain on
+	// restart) and every membership verdict. A nil journal disables
+	// durability at zero cost.
+	Journal *wal.WAL
 	// OnSync, when non-nil, is invoked after a state-sync response from a
 	// peer has been applied: the peer's delivered watermarks have been
 	// seeded locally and fetches for the retained tail issued. A rejoining
@@ -125,6 +131,7 @@ type OSend struct {
 	trace  *telemetry.Ring
 	spans  *trace.Tracer
 	flight *flightrec.Recorder
+	wlog   *wal.WAL
 
 	done chan struct{}
 	wg   sync.WaitGroup
@@ -170,6 +177,7 @@ func NewOSend(cfg OSendConfig) (*OSend, error) {
 		trace:     cfg.Trace,
 		spans:     cfg.Tracer,
 		flight:    cfg.Flight,
+		wlog:      cfg.Journal,
 		delivered: newDeliveredSet(),
 		pending:   make(map[message.Label]*pendingEntry),
 		waiting:   make(map[message.Label][]message.Label),
@@ -363,6 +371,11 @@ func (e *OSend) releaseSeeded() {
 	e.observeVisibility(ready)
 	for _, r := range ready {
 		e.deliver(r)
+		// Journaled AFTER the callback: a durable delivery claim implies
+		// everything the upper layer journaled for r (e.g. the
+		// sequencer's holdback payload) sits earlier in the log, so a
+		// torn tail can never leave a claim without its payload.
+		e.wlog.Deliver(r.Label)
 	}
 	if ready != nil {
 		e.pruneFetched(ready)
@@ -438,6 +451,7 @@ func (e *OSend) MarkDown(peer string, down bool) {
 		delete(e.down, peer)
 	}
 	e.retainMu.Unlock()
+	e.wlog.Member(peer, down)
 }
 
 // handleSyncResp applies one peer's snapshot through the normal advert
@@ -622,6 +636,11 @@ func (e *OSend) ingest(m message.Message) {
 	e.observeVisibility(ready)
 	for _, r := range ready {
 		e.deliver(r)
+		// Journaled AFTER the callback: a durable delivery claim implies
+		// everything the upper layer journaled for r (e.g. the
+		// sequencer's holdback payload) sits earlier in the log, so a
+		// torn tail can never leave a claim without its payload.
+		e.wlog.Deliver(r.Label)
 	}
 	e.pruneFetched(ready)
 	e.putReady(ready)

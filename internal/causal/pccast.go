@@ -14,6 +14,7 @@ import (
 	"causalshare/internal/telemetry"
 	"causalshare/internal/trace"
 	"causalshare/internal/transport"
+	"causalshare/internal/wal"
 )
 
 // PCCastConfig parameterizes a PCCast engine.
@@ -48,6 +49,10 @@ type PCCastConfig struct {
 	// the engine records holdback entry, dependency fetches, and flood
 	// forwards — the transitions the trace collector cannot see.
 	Flight *flightrec.Recorder
+	// Journal, when non-nil, is the member's write-ahead log; every
+	// delivery and membership verdict is journaled (see
+	// OSendConfig.Journal).
+	Journal *wal.WAL
 	// OnSync, when non-nil, is invoked after a state-sync response from a
 	// peer has been applied (see OSendConfig.OnSync).
 	OnSync func(from string, watermarks map[string]uint64)
@@ -143,6 +148,7 @@ type PCCast struct {
 	trace  *telemetry.Ring
 	spans  *trace.Tracer
 	flight *flightrec.Recorder
+	wlog   *wal.WAL
 
 	done chan struct{}
 	wg   sync.WaitGroup
@@ -205,6 +211,7 @@ func NewPCCast(cfg PCCastConfig) (*PCCast, error) {
 		trace:     cfg.Trace,
 		spans:     cfg.Tracer,
 		flight:    cfg.Flight,
+		wlog:      cfg.Journal,
 		delivered: newDeliveredSet(),
 		pending:   make(map[message.Label]*pendingEntry),
 		waiting:   make(map[message.Label][]message.Label),
@@ -451,6 +458,8 @@ func (e *PCCast) releaseSeeded() {
 	e.observeVisibility(ready)
 	for _, r := range ready {
 		e.deliver(r)
+		// After the callback — see the OSend dispatch loop.
+		e.wlog.Deliver(r.Label)
 	}
 	if ready != nil {
 		e.pruneFetched(ready)
@@ -517,6 +526,7 @@ func (e *PCCast) MarkDown(peer string, down bool) {
 		delete(e.down, peer)
 	}
 	e.retainMu.Unlock()
+	e.wlog.Member(peer, down)
 
 	e.linkMu.Lock()
 	ls := e.links[peer]
@@ -804,6 +814,8 @@ func (e *PCCast) ingest(m message.Message) {
 	e.observeVisibility(ready)
 	for _, r := range ready {
 		e.deliver(r)
+		// After the callback — see the OSend dispatch loop.
+		e.wlog.Deliver(r.Label)
 	}
 	e.pruneFetched(ready)
 	e.putReady(ready)

@@ -1,0 +1,282 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"causalshare/internal/reliable"
+	"causalshare/internal/transport"
+	"causalshare/internal/wal"
+)
+
+// durableOptions arms per-member write-ahead logs on top of the standard
+// chaos gauntlet (online auditor + offline CC/CCv/CM checker).
+func durableOptions(net Net, members []string, sched Schedule, policy wal.Policy) Options {
+	opts := chaosOptions(net, members, sched)
+	opts.Durable = &Durability{Policy: policy, Interval: time.Millisecond}
+	return opts
+}
+
+// dataFrontierDigest digests only the data chains of a frontier: the
+// "~seq" control chains (sequencer heartbeats) tick continuously, so two
+// perfectly consistent members still differ on them at any instant.
+func dataFrontierDigest(wm map[string]uint64) uint64 {
+	data := make(map[string]uint64, len(wm))
+	for o, s := range wm {
+		if !strings.HasSuffix(o, "~seq") {
+			data[o] = s
+		}
+	}
+	return wal.FrontierDigest(data)
+}
+
+// requireDiskRecovery asserts the member actually served its restart from
+// its own log rather than silently falling back to a donor snapshot.
+func requireDiskRecovery(t *testing.T, res *Result, id string) {
+	t.Helper()
+	m := res.Members[id]
+	if !m.Alive || !m.Rejoined {
+		t.Fatalf("member %s: alive=%v rejoined=%v", id, m.Alive, m.Rejoined)
+	}
+	if m.DiskRecoveries == 0 {
+		t.Fatalf("member %s never recovered from disk", id)
+	}
+}
+
+// TestDiskRecoveryCatchesUp is the tentpole scenario: crash a follower
+// mid-activity, restart it from its own write-ahead log, and require it
+// to track the group's frontier again with the whole run passing the
+// auditor and the offline consistency checker. Per-record fsync means
+// the restarted member's log already holds everything it ever delivered.
+func TestDiskRecoveryCatchesUp(t *testing.T) {
+	members := []string{"a", "b", "c", "d"}
+	sched := Schedule{Actions: []Action{
+		{At: 30 * time.Millisecond, Crash: "c"},
+		{At: 150 * time.Millisecond, RecoverDisk: "c"},
+	}}
+	for _, kind := range netKinds() {
+		t.Run(kind, func(t *testing.T) {
+			net := makeNet(t, kind)
+			defer func() { _ = net.Close() }()
+			res, err := Run(durableOptions(net, members, sched, wal.PolicyEach))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Converged {
+				t.Fatal("no convergence after restart-from-disk")
+			}
+			assertSurvivorAgreement(t, res)
+			auditAll(t, res)
+			requireDiskRecovery(t, res, "c")
+			mc := res.Members["c"]
+			if got := mc.ResumedAt + uint64(len(mc.Order)); got != res.Frontier {
+				t.Fatalf("restarted member stops at %d, frontier is %d", got, res.Frontier)
+			}
+			// Every live member agrees on the data-chain frontier, digest-
+			// for-digest — the restarted one included. Control chains
+			// ("~seq" heartbeats) legitimately drift by a tick or two at
+			// the snapshot instant, so they are excluded.
+			var ref uint64
+			var refID string
+			for id, m := range res.Members {
+				if !m.Alive {
+					continue
+				}
+				d := dataFrontierDigest(m.Frontier)
+				if ref == 0 {
+					ref, refID = d, id
+				} else if d != ref {
+					t.Fatalf("data frontier digest diverges: %s=%x %s=%x", refID, ref, id, d)
+				}
+			}
+		})
+	}
+}
+
+// TestDiskRecoveryLeaderCrash restarts the crashed LEADER from its own
+// log: it must come back as a follower of the new epoch, reconcile its
+// replayed assignments with the survivors' re-proposals, and converge.
+func TestDiskRecoveryLeaderCrash(t *testing.T) {
+	members := []string{"a", "b", "c", "d"}
+	sched := Schedule{Actions: []Action{
+		{At: 40 * time.Millisecond, Crash: "a"},
+		{At: 220 * time.Millisecond, RecoverDisk: "a"},
+	}}
+	net := makeNet(t, "channet")
+	defer func() { _ = net.Close() }()
+	res, err := Run(durableOptions(net, members, sched, wal.PolicyEach))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("no convergence after leader restart-from-disk")
+	}
+	assertSurvivorAgreement(t, res)
+	auditAll(t, res)
+	requireDiskRecovery(t, res, "a")
+	if res.Members["a"].Epoch == 0 {
+		t.Error("restarted ex-leader still at epoch 0")
+	}
+}
+
+// TestDiskRecoveryAsyncLosesTailSafely runs the restart under the async
+// sync policy with torn writes armed: the crash throws away an unsynced
+// (and torn) tail, so the restarted member resumes from an EARLIER state
+// than it reached — and must fill the gap from its peers without ever
+// minting a duplicate label on its own chain or failing a consistency
+// verdict. This is the label-chain guard's regression test.
+func TestDiskRecoveryAsyncLosesTailSafely(t *testing.T) {
+	members := []string{"a", "b", "c", "d"}
+	sched := Schedule{Actions: []Action{
+		{At: 60 * time.Millisecond, Crash: "c"},
+		{At: 200 * time.Millisecond, RecoverDisk: "c"},
+	}}
+	for _, seed := range []int64{3, 17, 29} {
+		net := makeNet(t, "channet")
+		opts := durableOptions(net, members, sched, wal.PolicyAsync)
+		opts.Durable.Interval = time.Hour // nothing syncs unless the policy forces it
+		opts.Durable.FSFor = func(member string) wal.FS {
+			return wal.NewMemFS(seed, wal.Faults{TornWrites: true})
+		}
+		res, err := Run(opts)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !res.Converged {
+			t.Fatalf("seed %d: no convergence with a torn async log", seed)
+		}
+		assertSurvivorAgreement(t, res)
+		auditAll(t, res)
+		requireDiskRecovery(t, res, "c")
+		_ = net.Close()
+	}
+}
+
+// TestDiskRecoveryUnderLoss layers the restart over 20% frame loss with
+// the reliability sublayer repairing links: the log replay and the
+// anti-entropy suffix fetch must compose with gap repair.
+func TestDiskRecoveryUnderLoss(t *testing.T) {
+	members := []string{"a", "b", "c", "d"}
+	sched := Schedule{Actions: []Action{
+		{At: 50 * time.Millisecond, Crash: "c"},
+		{At: 400 * time.Millisecond, RecoverDisk: "c"},
+	}}
+	net := lossNet(t, "channet", transport.FaultModel{DropProb: 0.2, Seed: 11})
+	defer func() { _ = net.Close() }()
+	opts := durableOptions(net, members, sched, wal.PolicyInterval)
+	opts.Timeout = 60 * time.Second
+	// The crashed member is a follower, so failover buys nothing here —
+	// but heavy loss stalls heartbeats long enough to trigger it
+	// spuriously. Keep the fixed sequencer, as the pure-loss suite does.
+	opts.FailTimeout = 0
+	opts.Reliable = &reliable.Config{
+		Window:       128,
+		AckEvery:     8,
+		Tick:         2 * time.Millisecond,
+		StallTimeout: 300 * time.Millisecond,
+		ShedAfter:    500 * time.Millisecond,
+		Seed:         11,
+	}
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("no convergence: restart-from-disk under loss")
+	}
+	assertSurvivorAgreement(t, res)
+	auditAll(t, res)
+	requireDiskRecovery(t, res, "c")
+}
+
+// TestDiskRecoveryRandomSchedule runs seeded random crash/restart plans
+// with every recovery served from disk instead of a donor snapshot.
+func TestDiskRecoveryRandomSchedule(t *testing.T) {
+	members := []string{"a", "b", "c", "d", "e"}
+	for _, seed := range []int64{5, 23} {
+		sched := WithDiskRecovery(RandomSchedule(seed, members, 600*time.Millisecond, 4))
+		net := makeNet(t, "channet")
+		res, err := Run(durableOptions(net, members, sched, wal.PolicyInterval))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !res.Converged {
+			t.Fatalf("seed %d: no convergence (schedule %v)", seed, sched.Actions)
+		}
+		assertSurvivorAgreement(t, res)
+		auditAll(t, res)
+		_ = net.Close()
+	}
+}
+
+// TestDiskRecoveryRequiresDurability pins the failure mode: a
+// RecoverDisk action without Options.Durable is a schedule bug and must
+// surface as an error, not a silent snapshot fallback.
+func TestDiskRecoveryRequiresDurability(t *testing.T) {
+	members := []string{"a", "b", "c"}
+	sched := Schedule{Actions: []Action{
+		{At: 20 * time.Millisecond, Crash: "c"},
+		{At: 60 * time.Millisecond, RecoverDisk: "c"},
+	}}
+	net := makeNet(t, "channet")
+	defer func() { _ = net.Close() }()
+	_, err := Run(chaosOptions(net, members, sched))
+	if err == nil || !strings.Contains(err.Error(), "without durability") {
+		t.Fatalf("want durability error, got %v", err)
+	}
+}
+
+// TestDiskRecoveryAfterSnapshotRejoin chains the two recovery paths: a
+// snapshot rejoin (which wipes the log and checkpoints the donated
+// baseline), a second crash, and a restart from disk that must resume
+// from that checkpoint plus whatever journaled on top of it.
+func TestDiskRecoveryAfterSnapshotRejoin(t *testing.T) {
+	members := []string{"a", "b", "c", "d"}
+	sched := Schedule{Actions: []Action{
+		{At: 30 * time.Millisecond, Crash: "c"},
+		{At: 120 * time.Millisecond, Recover: "c"},
+		{At: 240 * time.Millisecond, Crash: "c"},
+		{At: 360 * time.Millisecond, RecoverDisk: "c"},
+	}}
+	net := makeNet(t, "channet")
+	defer func() { _ = net.Close() }()
+	res, err := Run(durableOptions(net, members, sched, wal.PolicyEach))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("no convergence chaining snapshot rejoin and disk restart")
+	}
+	assertSurvivorAgreement(t, res)
+	auditAll(t, res)
+	requireDiskRecovery(t, res, "c")
+}
+
+// TestDurableRunExportsWALSegments: with a flight dir armed and
+// FlightAlways set, a durable run dumps every member's log segments
+// alongside the black boxes — the artifact CI uploads on failures.
+func TestDurableRunExportsWALSegments(t *testing.T) {
+	members := []string{"a", "b", "c"}
+	net := makeNet(t, "channet")
+	defer func() { _ = net.Close() }()
+	opts := durableOptions(net, members, Schedule{}, wal.PolicyEach)
+	opts.FlightDir = t.TempDir()
+	opts.FlightAlways = true
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("clean durable run did not converge")
+	}
+	walFiles := 0
+	for _, p := range res.FlightRecords {
+		if strings.Contains(p, "/wal/") && strings.HasSuffix(p, ".wal") {
+			walFiles++
+		}
+	}
+	if walFiles < len(members) {
+		t.Fatalf("want >= %d exported segments, got %d in %v", len(members), walFiles, res.FlightRecords)
+	}
+}

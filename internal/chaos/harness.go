@@ -19,6 +19,7 @@ import (
 	"causalshare/internal/total"
 	"causalshare/internal/trace"
 	"causalshare/internal/transport"
+	"causalshare/internal/wal"
 )
 
 // Net is the transport surface the harness drives; both ChanNet and TCPNet
@@ -94,6 +95,16 @@ type Options struct {
 	// FlightAlways forces a dump even from a clean run (smoke tests and
 	// the figure pipeline's provenance trail).
 	FlightAlways bool
+	// Durable, when non-nil, arms a write-ahead log on every member: each
+	// incarnation journals its deliveries, holdback payloads, sequence
+	// assignments, epochs, and commit-frontier advances. A crash seals the
+	// log at the crash instant (unsynced tail lost, per the sync policy),
+	// and a RecoverDisk action restarts the member from its own log,
+	// falling back to peer anti-entropy only for the suffix the log
+	// missed. Snapshot rejoins (Recover actions) wipe the member's log and
+	// checkpoint the donated state, so a later disk restart has a durable
+	// baseline.
+	Durable *Durability
 	// Reliable, when non-nil, is the template config for a per-link
 	// reliability sublayer wrapped around every member's connection
 	// (including rejoined incarnations): lost and reordered frames are
@@ -102,6 +113,21 @@ type Options struct {
 	// resyncs. Seeds are derived per member; OnSuspect/OnResync are
 	// harness-owned and must be left nil.
 	Reliable *reliable.Config
+}
+
+// Durability parameterizes the per-member write-ahead logs of a durable
+// chaos run.
+type Durability struct {
+	// FSFor returns the filesystem a member's log lives on. One FS per
+	// member, so crashing a member tears only its own unsynced tail. Nil
+	// defaults to a fresh fault-free MemFS per member (seeded by rank).
+	FSFor func(member string) wal.FS
+	// Dir is the log directory on the member's filesystem ("/wal" when
+	// empty). Each member has its own FS, so the path may repeat.
+	Dir string
+	// Policy and Interval select the sync policy (see wal.Options).
+	Policy   wal.Policy
+	Interval time.Duration
 }
 
 // MemberResult is one member's view at the end of the run.
@@ -125,6 +151,16 @@ type MemberResult struct {
 	Rejoined bool
 	// Sent is how many of the member's quota it actually broadcast.
 	Sent int
+	// Frontier is the member's final causal delivered-watermark map (nil
+	// for members down at the end); FrontierDigest is its order-free hash,
+	// the cheap cross-member equality check the restart figures use.
+	Frontier       map[string]uint64
+	FrontierDigest uint64
+	// DiskRecoveries counts RecoverDisk restarts this member served from
+	// its own log; DiskTruncated reports whether any of those replays had
+	// to cut a torn or corrupt tail.
+	DiskRecoveries int
+	DiskTruncated  bool
 }
 
 // Result is the outcome of one chaos run.
@@ -210,6 +246,13 @@ type node struct {
 	rejoined  bool
 	resumedAt uint64
 	sent      int
+	// wfs/wlog are the member's durable log when Options.Durable is set;
+	// the FS persists across incarnations (it is the member's "disk"),
+	// the WAL handle is per incarnation.
+	wfs           wal.FS
+	wlog          *wal.WAL
+	diskRecovered int
+	diskTruncated bool
 }
 
 type cluster struct {
@@ -272,6 +315,10 @@ func Run(opts Options) (*Result, error) {
 	}
 	for _, id := range opts.Members {
 		n := &node{id: id, alive: true, resumedAt: 1}
+		if err := c.openJournal(n); err != nil {
+			c.stopAll()
+			return nil, err
+		}
 		if err := c.start(n, nil, nil, 0); err != nil {
 			c.stopAll()
 			return nil, err
@@ -307,6 +354,10 @@ func Run(opts Options) (*Result, error) {
 				c.crash(c.byID[a.Crash])
 			case a.Recover != "":
 				if err := c.rejoin(c.byID[a.Recover]); err != nil {
+					return nil, fmt.Errorf("chaos: %v: %w", a, err)
+				}
+			case a.RecoverDisk != "":
+				if err := c.rejoinFromDisk(c.byID[a.RecoverDisk]); err != nil {
 					return nil, fmt.Errorf("chaos: %v: %w", a, err)
 				}
 			case a.Reorder != "":
@@ -362,15 +413,22 @@ func Run(opts Options) (*Result, error) {
 	}
 	for _, n := range c.nodes {
 		order := n.log.snapshot()
-		res.Members[n.id] = &MemberResult{
-			Order:     order,
-			Digest:    Digest(order),
-			Epoch:     n.seq.Epoch(),
-			ResumedAt: n.resumedAt,
-			Alive:     n.alive,
-			Rejoined:  n.rejoined,
-			Sent:      n.sent,
+		mr := &MemberResult{
+			Order:          order,
+			Digest:         Digest(order),
+			Epoch:          n.seq.Epoch(),
+			ResumedAt:      n.resumedAt,
+			Alive:          n.alive,
+			Rejoined:       n.rejoined,
+			Sent:           n.sent,
+			DiskRecoveries: n.diskRecovered,
+			DiskTruncated:  n.diskTruncated,
 		}
+		if n.alive {
+			mr.Frontier = n.eng.Frontier()
+			mr.FrontierDigest = wal.FrontierDigest(mr.Frontier)
+		}
+		res.Members[n.id] = mr
 	}
 	return res, nil
 }
@@ -394,6 +452,22 @@ func (c *cluster) persistFlight(res *Result) error {
 		return fmt.Errorf("chaos: flight dump: %w", err)
 	}
 	res.FlightRecords = paths
+	// The WAL segments are forensic evidence of the same grade as the
+	// flight boxes: dump each member's (in-memory) disk alongside them so
+	// CI uploads both and a post-mortem can replay the logs offline.
+	if c.opts.Durable != nil {
+		for _, n := range c.nodes {
+			mfs, ok := n.wfs.(*wal.MemFS)
+			if !ok {
+				continue
+			}
+			wp, err := mfs.Export(filepath.Join(c.opts.FlightDir, "wal", n.id))
+			if err != nil {
+				return fmt.Errorf("chaos: wal export for %s: %w", n.id, err)
+			}
+			res.FlightRecords = append(res.FlightRecords, wp...)
+		}
+	}
 	if c.opts.Recorder == nil {
 		return nil
 	}
@@ -551,6 +625,7 @@ func (c *cluster) start(n *node, snap *total.SyncSnapshot, wm map[string]uint64,
 		Trace:       c.opts.Trace,
 		Tracer:      spans,
 		Flight:      box,
+		Journal:     n.wlog,
 	})
 	if err != nil {
 		_ = conn.Close()
@@ -569,6 +644,7 @@ func (c *cluster) start(n *node, snap *total.SyncSnapshot, wm map[string]uint64,
 			Trace:     c.opts.Trace,
 			Tracer:    spans,
 			Flight:    box,
+			Journal:   n.wlog,
 		})
 	default: // "", "osend" — validated in Run
 		eng, err = causal.NewOSend(causal.OSendConfig{
@@ -581,6 +657,7 @@ func (c *cluster) start(n *node, snap *total.SyncSnapshot, wm map[string]uint64,
 			Trace:     c.opts.Trace,
 			Tracer:    spans,
 			Flight:    box,
+			Journal:   n.wlog,
 		})
 	}
 	if err != nil {
@@ -616,6 +693,13 @@ func (c *cluster) crash(n *node) {
 	c.opts.Net.Isolate(n.id)
 	n.log.freeze()
 	n.alive = false
+	// Process death seals the log NOW: nothing buffered flushes, and the
+	// member's "disk" drops whatever was never fsynced — the crash point,
+	// not the later restart, decides how much tail is lost.
+	n.wlog.Kill()
+	if cr, ok := n.wfs.(interface{ Crash() }); ok {
+		cr.Crash()
+	}
 }
 
 // rejoin tears the frozen incarnation down and starts a fresh one from a
@@ -656,6 +740,31 @@ func (c *cluster) rejoin(n *node) error {
 		return fmt.Errorf("no live peer to rejoin %s from", n.id)
 	}
 	snap := donor.seq.SyncState()
+	// A snapshot rejoin abandons the member's own history: the donated
+	// state supersedes whatever the log remembers, so the log is wiped
+	// and the new baseline checkpointed before any new traffic journals
+	// on top. A later RecoverDisk then resumes from this incarnation.
+	if c.opts.Durable != nil {
+		if err := c.wipeJournal(n); err != nil {
+			return err
+		}
+		if err := c.openJournal(n); err != nil {
+			return err
+		}
+		ck := wal.Recovered{
+			Frontier:    wm,
+			Epoch:       snap.Epoch,
+			NextDeliver: snap.NextDeliver,
+			Assigns:     make([]wal.Assign, 0, len(snap.Assigns)),
+			Pending:     snap.Data,
+		}
+		for _, a := range snap.Assigns {
+			ck.Assigns = append(ck.Assigns, wal.Assign{Seq: a.Seq, Epoch: a.Epoch, Label: a.Label})
+		}
+		if err := n.wlog.WriteCheckpoint(ck); err != nil {
+			return fmt.Errorf("checkpoint %s after snapshot rejoin: %w", n.id, err)
+		}
+	}
 	if err := c.start(n, &snap, wm, wm[total.SeqOrigin(n.id)]); err != nil {
 		return err
 	}
@@ -663,6 +772,246 @@ func (c *cluster) rejoin(n *node) error {
 	n.rejoined = true
 	n.resumedAt = snap.NextDeliver
 	return nil
+}
+
+// walOpts assembles the member's log options; the telemetry registry is
+// resolved the same way start resolves it, so wal_* metrics land next to
+// the member's other instruments.
+func (c *cluster) walOpts(n *node) wal.Options {
+	d := c.opts.Durable
+	dir := d.Dir
+	if dir == "" {
+		dir = "/wal"
+	}
+	reg := c.opts.Telemetry
+	if c.opts.TelemetryFor != nil {
+		reg = c.opts.TelemetryFor(n.id)
+	}
+	return wal.Options{
+		Dir:       dir,
+		FS:        n.wfs,
+		Policy:    d.Policy,
+		Interval:  d.Interval,
+		Telemetry: reg,
+	}
+}
+
+// openJournal opens a fresh log handle for n's next incarnation (no-op
+// without durability). The member's FS is created on first use and kept
+// across incarnations — it is the member's disk.
+func (c *cluster) openJournal(n *node) error {
+	d := c.opts.Durable
+	if d == nil {
+		return nil
+	}
+	if n.wfs == nil {
+		if d.FSFor != nil {
+			n.wfs = d.FSFor(n.id)
+		} else {
+			n.wfs = wal.NewMemFS(int64(c.grp.Rank(n.id))+1, wal.Faults{})
+		}
+	}
+	w, err := wal.Open(c.walOpts(n))
+	if err != nil {
+		return fmt.Errorf("chaos: open journal for %s: %w", n.id, err)
+	}
+	n.wlog = w
+	return nil
+}
+
+// wipeJournal removes every segment of n's log; the FS itself survives.
+func (c *cluster) wipeJournal(n *node) error {
+	opts := c.walOpts(n)
+	names, err := n.wfs.List(opts.Dir)
+	if err != nil {
+		return fmt.Errorf("chaos: wipe journal for %s: %w", n.id, err)
+	}
+	for _, name := range names {
+		if err := n.wfs.Remove(opts.Dir + "/" + name); err != nil {
+			return fmt.Errorf("chaos: wipe journal for %s: %w", n.id, err)
+		}
+	}
+	return nil
+}
+
+// rejoinFromDisk restarts a crashed member as its own prior incarnation:
+// the frontier, label chain, epoch, retained assignments, and holdback
+// are replayed from the member's own log (truncating any torn tail), and
+// only the suffix the log missed is fetched from peers through the normal
+// anti-entropy path. Contrast rejoin, which takes everything from a
+// donor. One guard matters: with an async or group-commit sync policy the
+// log can run BEHIND the group — the member may have broadcast (and
+// peers delivered) labels on its own chain that its crash threw away — so
+// the resumed chain starts above the maximum of the disk frontier and
+// every live peer's view of it, or the member would mint duplicate
+// labels.
+func (c *cluster) rejoinFromDisk(n *node) error {
+	if n == nil || n.alive {
+		return nil
+	}
+	if c.opts.Durable == nil || n.wfs == nil {
+		return fmt.Errorf("restart-from-disk for %s without durability armed", n.id)
+	}
+	_ = n.seq.Close()
+	_ = n.eng.Close() // closes the old conn, detaching it from the net
+	c.opts.Net.Restore(n.id)
+
+	rec, w, err := wal.Recover(c.walOpts(n))
+	if err != nil {
+		return fmt.Errorf("recover %s from disk: %w", n.id, err)
+	}
+	n.wlog = w
+	n.diskRecovered++
+	if rec.Truncated {
+		n.diskTruncated = true
+	}
+	// The disk decides where the member resumes; the live group decides
+	// three things the disk cannot know. First, the epoch: resuming at a
+	// stale epoch whose leader the member happens to be would have it
+	// assign sequence numbers on a branch the group already abandoned, so
+	// it adopts the highest epoch any live peer reached (its own ORDERs
+	// under older epochs merge in and lose to re-proposals, exactly as if
+	// it had observed the election). Second, the label chain: under an
+	// async or group-commit sync policy peers may have delivered labels
+	// from this member's own chain that its crash threw away, so the
+	// resumed chain must start above every live peer's view of it, or the
+	// member would mint duplicates. Third — the converse — the crash
+	// FORFEITS the own-chain tail the disk is ahead by: labels the member
+	// journaled but no peer ever received cannot be re-offered (the
+	// engine's retained buffer died with the process), so peers would
+	// wedge forever holding back the chain at the gap. Those messages
+	// were never totally ordered — their only trace in the replayed state
+	// is the watermark and the holdback — so capping the watermark and
+	// dropping the forfeited holdback entries reconstructs exactly the
+	// member's state as of the last label a peer saw: an unreplicated
+	// write lost to a crash, never a silent divergence.
+	chain := total.SeqOrigin(n.id)
+	epoch := rec.Epoch
+	var peersView uint64
+	anyPeer := false
+	for _, m := range c.nodes {
+		if !m.alive {
+			continue
+		}
+		anyPeer = true
+		if fw := m.eng.Frontier()[chain]; fw > peersView {
+			peersView = fw
+		}
+		if e := m.seq.Epoch(); e > epoch {
+			epoch = e
+		}
+	}
+	lastLabel := rec.Frontier[chain]
+	if anyPeer {
+		if rec.Frontier[chain] > peersView {
+			wmCap := make(map[string]uint64, len(rec.Frontier))
+			for o, s := range rec.Frontier {
+				wmCap[o] = s
+			}
+			wmCap[chain] = peersView
+			rec.Frontier = wmCap
+			kept := rec.Pending[:0]
+			for _, m := range rec.Pending {
+				if m.Label.Origin == chain && m.Label.Seq > peersView {
+					continue
+				}
+				kept = append(kept, m)
+			}
+			rec.Pending = kept
+		}
+		lastLabel = peersView
+	}
+	snap := total.SyncSnapshot{
+		Epoch:       epoch,
+		NextDeliver: rec.NextDeliver,
+		Assigns:     make([]total.SyncAssign, 0, len(rec.Assigns)),
+		Data:        rec.Pending,
+	}
+	for _, a := range rec.Assigns {
+		snap.Assigns = append(snap.Assigns, total.SyncAssign{Seq: a.Seq, Epoch: a.Epoch, Label: a.Label})
+	}
+	wm := rec.Frontier
+	// Suffix graft: the causal layer's anti-entropy can only refetch what
+	// peers still retain, and history that went stable at every LIVE
+	// member while this one was down has been garbage-collected — the
+	// restarted member can never replay that stretch of any chain. So the
+	// donor's snapshot is grafted on top of the durable prefix
+	// unconditionally: the member keeps everything its own log replayed
+	// (it re-journals nothing), takes the donated assignments and
+	// holdback for the stretch its log missed, and seeds its causal
+	// frontier at the pointwise max of the disk's and the donor's
+	// watermarks. When the log is current — per-record sync, short
+	// outage — the graft degenerates to a no-op; the lazier the policy
+	// and the longer the outage, the more of the restart it serves. The
+	// NextDeliver guard cannot stand in for this: two sequencers at the
+	// same commit frontier can still be thousands of (pruned) control
+	// messages apart on the causal chains, and a watermark left below the
+	// donor's retained floor wedges the member forever.
+	if donor := c.diskDonor(n, chain); donor != nil {
+		dsnap := donor.seq.SyncState()
+		dwm := donor.eng.Frontier()
+		if dsnap.NextDeliver > snap.NextDeliver {
+			snap.NextDeliver = dsnap.NextDeliver
+		}
+		// Donated assignments first: on an epoch tie for the same seq,
+		// Resume keeps the first it merged, and the donor's view is the
+		// group's.
+		snap.Assigns = append(append([]total.SyncAssign(nil), dsnap.Assigns...), snap.Assigns...)
+		// Replayed holdback the donor causally delivered but no longer
+		// holds was released — committed in total order — while this
+		// member was down; its Order/Commit records are exactly what the
+		// torn tail lost. Keeping it would strand it in the holdback
+		// forever (release never revisits committed seqs).
+		donorHolds := make(map[message.Label]bool, len(dsnap.Data))
+		for _, m := range dsnap.Data {
+			donorHolds[m.Label] = true
+		}
+		kept := snap.Data[:0]
+		for _, m := range snap.Data {
+			if dwm[m.Label.Origin] >= m.Label.Seq && !donorHolds[m.Label] {
+				continue
+			}
+			kept = append(kept, m)
+		}
+		snap.Data = append(append([]message.Message(nil), dsnap.Data...), kept...)
+		// The donor's own watermarks are consistent with its snapshot
+		// (see rejoin); the disk frontier is consistent with the replayed
+		// prefix. Their pointwise max is consistent with the merged
+		// state: every label it covers is either reflected in the donated
+		// sequencer state or journaled in the recovered holdback.
+		wm = make(map[string]uint64, len(dwm)+len(rec.Frontier))
+		for o, s := range dwm {
+			wm[o] = s
+		}
+		for o, s := range rec.Frontier {
+			if s > wm[o] {
+				wm[o] = s
+			}
+		}
+	}
+	if err := c.start(n, &snap, wm, lastLabel); err != nil {
+		return err
+	}
+	n.alive = true
+	n.rejoined = true
+	n.resumedAt = snap.NextDeliver
+	return nil
+}
+
+// diskDonor picks the live peer that has delivered furthest along n's own
+// label chain (nil when nobody is up) — the same donor rule rejoin uses.
+func (c *cluster) diskDonor(n *node, chain string) *node {
+	var donor *node
+	var best uint64
+	for _, m := range c.nodes {
+		if !m.alive {
+			continue
+		}
+		if fw := m.eng.Frontier()[chain]; donor == nil || fw > best {
+			donor, best = m, fw
+		}
+	}
+	return donor
 }
 
 // leaderOf maps an epoch to the member leading it (the protocol's
@@ -739,5 +1088,6 @@ func (c *cluster) stopAll() {
 		if n.eng != nil {
 			_ = n.eng.Close()
 		}
+		_ = n.wlog.Close()
 	}
 }

@@ -37,6 +37,12 @@ type Action struct {
 	At      time.Duration
 	Crash   string
 	Recover string
+	// RecoverDisk names a crashed member to restart from its own
+	// write-ahead log (Options.Durable must be armed): volatile state is
+	// replayed from disk — truncating any torn tail — and only the suffix
+	// the log missed is fetched from peers. Contrast Recover, which takes
+	// everything from a live donor's snapshot.
+	RecoverDisk string
 	// Reorder names a member at which the driver injects a fabricated
 	// causal-order inversion into the observation plane: two dep-linked
 	// phantom messages are reported delivered dependency-last at the
@@ -62,6 +68,8 @@ func (a Action) String() string {
 		return fmt.Sprintf("%v crash %s", a.At, a.Crash)
 	case a.Recover != "":
 		return fmt.Sprintf("%v recover %s", a.At, a.Recover)
+	case a.RecoverDisk != "":
+		return fmt.Sprintf("%v restart-from-disk %s", a.At, a.RecoverDisk)
 	case a.Reorder != "":
 		return fmt.Sprintf("%v reorder %s", a.At, a.Reorder)
 	case a.Block:
@@ -136,6 +144,21 @@ func RandomSchedule(seed int64, members []string, horizon time.Duration, n int) 
 		at += settle/2 + time.Duration(rng.Int63n(int64(settle)))
 	}
 	return Schedule{Seed: seed, Actions: actions}
+}
+
+// WithDiskRecovery rewrites every Recover action into a RecoverDisk one:
+// the same deterministic plan, with members restarting from their own
+// logs instead of a donor snapshot. Invariants (quorum, settle gaps) are
+// inherited from the source schedule.
+func WithDiskRecovery(s Schedule) Schedule {
+	out := Schedule{Seed: s.Seed, Actions: append([]Action(nil), s.Actions...)}
+	for i := range out.Actions {
+		if m := out.Actions[i].Recover; m != "" {
+			out.Actions[i].Recover = ""
+			out.Actions[i].RecoverDisk = m
+		}
+	}
+	return out
 }
 
 // OneWayLossSchedule derives a plan of n sequential one-way partition

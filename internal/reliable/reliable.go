@@ -571,6 +571,7 @@ func (c *Conn) acceptData(env transport.Envelope, h dataHeader, out []transport.
 	st := c.stream(env.From)
 	var ackNow bool
 	var ackEpoch, ackSeq uint64
+	newIncarnation := false
 	st.mu.Lock()
 	if h.epoch < st.epoch {
 		st.mu.Unlock()
@@ -579,6 +580,7 @@ func (c *Conn) acceptData(env transport.Envelope, h dataHeader, out []transport.
 		return out
 	}
 	if h.epoch > st.epoch {
+		newIncarnation = true
 		// New incarnation of the peer. Every epoch's stream starts at
 		// sequence 1, so adopt from the beginning: if the first frames
 		// were lost (or we joined late) the normal NACK path recovers
@@ -655,10 +657,35 @@ func (c *Conn) acceptData(env transport.Envelope, h dataHeader, out []transport.
 		}
 	}
 	st.mu.Unlock()
+	if newIncarnation {
+		c.reviveOut(env.From)
+	}
 	if ackNow {
 		c.sendAck(st, ackEpoch, ackSeq)
 	}
 	return out
+}
+
+// reviveOut treats a frame from a peer's NEW incarnation as liveness
+// evidence for the outbound link: the process evidently restarted, so a
+// shed deadline armed against its dead predecessor no longer measures
+// anything real. Without this, a restart racing an almost-expired
+// ShedAfter gets shed moments AFTER it rejoined — the upper layer then
+// down-marks it, one retention prune runs without its watermark in the
+// quorum, and history the rejoiner was seeded to fetch is collected
+// group-wide before its first advert lands: a permanent wedge.
+func (c *Conn) reviveOut(from string) {
+	o := &c.out
+	o.mu.Lock()
+	if p := o.peers[from]; p != nil {
+		now := time.Now()
+		if p.shed {
+			c.unshedLocked(p, now)
+		} else {
+			p.lastProgress = now
+		}
+	}
+	o.mu.Unlock()
 }
 
 // clearStreamLocked releases buffered envelopes and resets gap/ack state.

@@ -8,6 +8,7 @@ import (
 
 	"causalshare/internal/causal"
 	"causalshare/internal/flightrec"
+	"causalshare/internal/wal"
 	"causalshare/internal/group"
 	"causalshare/internal/message"
 	"causalshare/internal/telemetry"
@@ -58,6 +59,11 @@ type Config struct {
 	// suspicions there (epoch adoptions reach the box via the trace
 	// collector). Sequencer only.
 	Flight *flightrec.Recorder
+	// Journal, when non-nil, is the member's write-ahead log. The
+	// sequencer journals enough to rebuild its ordering state on restart:
+	// holdback payloads, sequence assignments, epoch adoptions, and
+	// delivery-frontier advances. Nil disables durability at zero cost.
+	Journal *wal.WAL
 }
 
 // DefaultMaxPending is the sequencer holdback bound used when

@@ -12,6 +12,7 @@ import (
 	"causalshare/internal/message"
 	"causalshare/internal/telemetry"
 	"causalshare/internal/trace"
+	"causalshare/internal/wal"
 )
 
 // seqLabelSuffix namespaces sequencer traffic.
@@ -104,6 +105,7 @@ type Sequencer struct {
 	trace       *telemetry.Ring
 	spans       *trace.Tracer
 	flight      *flightrec.Recorder
+	wlog        *wal.WAL
 
 	done     chan struct{}
 	stopOnce sync.Once
@@ -135,6 +137,7 @@ func NewSequencer(cfg Config) (*Sequencer, error) {
 		trace:       cfg.Trace,
 		spans:       cfg.Tracer,
 		flight:      cfg.Flight,
+		wlog:        cfg.Journal,
 		data:        make(map[message.Label]message.Message),
 		seqOf:       make(map[uint64]seqAssign),
 		seqByLabel:  make(map[message.Label]uint64),
@@ -299,6 +302,16 @@ func (s *Sequencer) Resume(snap SyncSnapshot, lastLabel uint64) {
 	for _, m := range snap.Data {
 		if _, dup := s.data[m.Label]; !dup {
 			s.data[m.Label] = m
+		}
+	}
+	// Data assigned below the resumed frontier was committed group-wide
+	// while this member was down — a disk recovery can replay holdback
+	// whose Commit records were cut off with the log tail. releaseLocked
+	// never revisits those sequence numbers, so without this sweep the
+	// entries sit in the holdback forever.
+	for l, seq := range s.seqByLabel {
+		if seq < s.nextDeliver {
+			delete(s.data, l)
 		}
 	}
 	s.labeler.Resume(lastLabel)
@@ -511,6 +524,7 @@ func (s *Sequencer) startElectionLocked(epoch uint64, now time.Time) message.Mes
 // campaign. Caller holds mu.
 func (s *Sequencer) setEpochLocked(epoch uint64) {
 	s.epoch = epoch
+	s.wlog.Epoch(epoch)
 	s.electing = false
 	s.acked = nil
 	s.ins.epoch.Set(int64(epoch))
@@ -709,6 +723,7 @@ func (s *Sequencer) ingestData(m message.Message) {
 		return
 	}
 	s.data[m.Label] = m
+	s.wlog.Message(&m)
 	var announce []message.Message
 	if s.leaderOf(s.epoch) == s.self && !s.electing {
 		if _, assigned := s.seqByLabel[m.Label]; !assigned {
@@ -728,6 +743,7 @@ func (s *Sequencer) ingestData(m message.Message) {
 // mergeAssignLocked records (seq -> label) made under epoch, resolving
 // conflicts in favor of the higher epoch. Caller holds mu.
 func (s *Sequencer) mergeAssignLocked(epoch, seq uint64, label message.Label) {
+	s.wlog.Order(epoch, seq, label)
 	if seq < s.nextDeliver {
 		if _, ok := s.seqOf[seq]; !ok && s.failTimeout <= 0 {
 			// Without retention nothing re-proposes old assignments, so a
@@ -904,6 +920,7 @@ func (s *Sequencer) releaseLocked() []message.Message {
 		s.delivered++
 		s.ins.delivered.Inc()
 		out = append(out, m)
+		s.wlog.Commit(s.nextDeliver)
 	}
 }
 

@@ -1,0 +1,85 @@
+// Package wal is a segmented, CRC-checksummed append-only log giving a
+// member a durable copy of its causal history: broadcast payloads,
+// deliveries, sequencer assignments, epoch transitions, and membership
+// events, enough to restart as its own prior incarnation from disk and
+// pull only the missed suffix from a live peer (DESIGN.md §15).
+//
+// The package is a leaf dependency (message + telemetry only) so every
+// layer above — the causal engines, the total-order sequencer, the chaos
+// harness — can journal through it without import cycles. All journaling
+// entry points are nil-safe on *WAL, matching the flightrec idiom:
+// callers embed the hook calls unconditionally and a nil journal costs a
+// pointer test.
+package wal
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// FS is the filesystem surface the log runs on. OSFS is the real thing;
+// MemFS is the fault-injecting shim the torture suite crashes on demand.
+// The log only ever appends to the file it created last, truncates a
+// recovered segment's torn tail, and reads whole segments back, so the
+// surface is deliberately tiny.
+type FS interface {
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string) error
+	// List returns the base names of the files in dir, sorted. A missing
+	// dir is an empty listing, not an error.
+	List(dir string) ([]string, error)
+	// Open opens an existing file for reading and truncation.
+	Open(name string) (File, error)
+	// Create creates (or truncates) a file for writing.
+	Create(name string) (File, error)
+	// Remove deletes a file.
+	Remove(name string) error
+}
+
+// File is one log segment's handle.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Sync flushes written bytes to stable storage. What "stable" means is
+	// the FS's business: OSFS fsyncs, MemFS promotes volatile bytes to
+	// crash-surviving ones (unless configured to lie).
+	Sync() error
+	// Truncate discards everything past size bytes.
+	Truncate(size int64) error
+}
+
+// OSFS is the real filesystem.
+type OSFS struct{}
+
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (OSFS) List(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (OSFS) Open(name string) (File, error) {
+	return os.OpenFile(filepath.Clean(name), os.O_RDWR, 0o644)
+}
+
+func (OSFS) Create(name string) (File, error) {
+	return os.OpenFile(filepath.Clean(name), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+}
+
+func (OSFS) Remove(name string) error { return os.Remove(name) }

@@ -1,0 +1,119 @@
+package wal
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"causalshare/internal/message"
+)
+
+var updateGolden = flag.Bool("update-golden", false,
+	"rewrite testdata/golden_v1.wal from the current encoder")
+
+// TestGoldenSegmentV1 freezes the causalshare-wal/v1 on-disk format.
+// The golden file holds one record of every kind, written by the
+// encoder at the time the format shipped. Both directions are pinned:
+// today's encoder must reproduce those bytes exactly, and today's
+// decoder must replay them to the original state. If this test fails,
+// the wire format changed — bump Magic and add a new golden file
+// instead of regenerating this one, or logs written by released
+// binaries become unreadable.
+func TestGoldenSegmentV1(t *testing.T) {
+	got := fixtureSegmentBytes(t)
+	path := filepath.Join("testdata", "golden_v1.wal")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden file (regenerate with -update-golden): %v", err)
+	}
+
+	// Encoder side: byte-identical output.
+	if !bytes.Equal(got, want) {
+		if len(got) != len(want) {
+			t.Fatalf("encoder drifted from v1 format: %d bytes, golden has %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("encoder drifted from v1 format at byte %d: %#02x != %#02x", i, got[i], want[i])
+			}
+		}
+	}
+
+	// Decoder side: the golden bytes replay to the fixture state.
+	var kinds []Kind
+	good, scanErr := ScanSegment(want, func(r Record) error {
+		kinds = append(kinds, r.Kind)
+		return nil
+	})
+	if scanErr != nil || good != len(want) {
+		t.Fatalf("golden segment no longer decodes: prefix %d/%d, %v", good, len(want), scanErr)
+	}
+	wantKinds := []Kind{
+		KindFrontier, KindDeliver, KindDeliver, KindDeliver,
+		KindMessage, KindEpoch, KindOrder, KindCommit,
+		KindMember, KindMember,
+	}
+	if len(kinds) != len(wantKinds) {
+		t.Fatalf("golden record kinds: got %v, want %v", kinds, wantKinds)
+	}
+	for i := range kinds {
+		if kinds[i] != wantKinds[i] {
+			t.Fatalf("golden record %d: got %v, want %v", i, kinds[i], wantKinds[i])
+		}
+	}
+
+	// And the full replay path reconstructs the original state.
+	fs := NewMemFS(1, Faults{})
+	f, err := fs.Create("/w/" + segmentName(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(want); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	_ = f.Close()
+	rec, w, err := Recover(Options{Dir: "/w", FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if rec.Truncated {
+		t.Fatalf("golden segment reported truncated: %v", rec.TruncatedErr)
+	}
+	wantFrontier := map[string]uint64{"a": 5, "b~seq": 7, "c~seq": 2}
+	for o, s := range wantFrontier {
+		if rec.Frontier[o] != s {
+			t.Fatalf("frontier[%s] = %d, want %d (full: %v)", o, rec.Frontier[o], s, rec.Frontier)
+		}
+	}
+	if rec.Epoch != 2 || rec.NextDeliver != 9 {
+		t.Fatalf("epoch/nextDeliver = %d/%d, want 2/9", rec.Epoch, rec.NextDeliver)
+	}
+	if len(rec.Assigns) != 1 || rec.Assigns[0] != (Assign{Seq: 9, Epoch: 2, Label: lbl("a", 5)}) {
+		t.Fatalf("assigns: %+v", rec.Assigns)
+	}
+	if len(rec.Pending) != 1 || rec.Pending[0].Label != lbl("a", 5) ||
+		rec.Pending[0].Op != "chaos.op" || string(rec.Pending[0].Body) != "a/5" ||
+		rec.Pending[0].Kind != message.KindNonCommutative {
+		t.Fatalf("pending: %+v", rec.Pending)
+	}
+	if down, ok := rec.Down["b"]; !ok || down {
+		t.Fatalf("down verdict: %v (last write was up)", rec.Down)
+	}
+	if dig := FrontierDigest(rec.Frontier); dig == 0 {
+		t.Fatal("frontier digest degenerate")
+	}
+}

@@ -1,0 +1,53 @@
+package wal
+
+import "causalshare/internal/telemetry"
+
+// walInstruments are the wal_* metrics. A nil registry yields nil
+// instruments, whose methods are no-ops — the log runs unobserved at
+// zero cost.
+type walInstruments struct {
+	appends      *telemetry.Counter
+	appendBytes  *telemetry.Counter
+	appendErrors *telemetry.Counter
+	appendLat    *telemetry.Histogram
+	syncs        *telemetry.Counter
+	syncErrors   *telemetry.Counter
+	syncLat      *telemetry.Histogram
+	segments     *telemetry.Gauge
+	segmentBytes *telemetry.Gauge
+	replayed     *telemetry.Counter
+	replayLat    *telemetry.Histogram
+	truncations  *telemetry.Counter
+}
+
+func newWALInstruments(reg *telemetry.Registry) walInstruments {
+	return walInstruments{
+		appends: reg.Counter("wal_appends_total",
+			"Records appended to the write-ahead log."),
+		appendBytes: reg.Counter("wal_append_bytes_total",
+			"Bytes appended to the write-ahead log (record framing included)."),
+		appendErrors: reg.Counter("wal_append_errors_total",
+			"Appends dropped because the log is in a degraded state (write failure, ENOSPC)."),
+		appendLat: reg.Histogram("wal_append_seconds",
+			"Latency of one journal append, buffering through the configured sync policy.",
+			telemetry.DurationBuckets),
+		syncs: reg.Counter("wal_syncs_total",
+			"Segment fsyncs issued (per-record, group-commit, rotation, and close)."),
+		syncErrors: reg.Counter("wal_sync_errors_total",
+			"Segment fsyncs that returned an error; the affected bytes may not survive a crash."),
+		syncLat: reg.Histogram("wal_sync_seconds",
+			"Latency of one segment fsync.",
+			telemetry.DurationBuckets),
+		segments: reg.Gauge("wal_segments",
+			"Segment files the log currently spans."),
+		segmentBytes: reg.Gauge("wal_segment_bytes",
+			"Bytes written to the active segment (magic header included)."),
+		replayed: reg.Counter("wal_replay_records_total",
+			"Records replayed from disk during recovery."),
+		replayLat: reg.Histogram("wal_replay_seconds",
+			"Wall time of one recovery replay over all segments.",
+			telemetry.DurationBuckets),
+		truncations: reg.Counter("wal_truncations_total",
+			"Recoveries that truncated a torn or corrupt record tail (later segments dropped with it)."),
+	}
+}

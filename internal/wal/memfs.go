@@ -1,0 +1,306 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrNoSpace is the shim's ENOSPC: appends past the configured budget
+// fail after a (possibly partial) write, exactly like a full disk.
+var ErrNoSpace = errors.New("wal: no space left on device")
+
+// ErrSyncFault is the error MemFS returns from Sync when SyncErrors is
+// armed — the fsync-failed case callers must treat as "those bytes may
+// not survive".
+var ErrSyncFault = errors.New("wal: injected fsync error")
+
+// Faults configures the failure modes MemFS injects. The zero value is a
+// well-behaved filesystem. All probabilities draw from the shim's seeded
+// RNG, so a given (seed, operation sequence) reproduces bit-identically.
+type Faults struct {
+	// TornWrites makes Crash tear the unsynced tail at a random byte
+	// boundary instead of discarding it whole: a prefix of the volatile
+	// bytes survives, modelling a sector-straddling write cut by power
+	// loss. Without it Crash keeps exactly the synced prefix.
+	TornWrites bool
+	// FlipBitOnCrash corrupts one random durable byte (one bit) at the
+	// next Crash, modelling media decay the CRC must catch.
+	FlipBitOnCrash bool
+	// ShortReads makes Read return at most a few bytes per call. Legal
+	// io.Reader behavior that shakes out callers assuming full reads.
+	ShortReads bool
+	// SyncErrors makes every Sync fail with ErrSyncFault without
+	// promoting anything to durable.
+	SyncErrors bool
+	// SyncLies makes Sync report success WITHOUT promoting volatile bytes
+	// to durable — the firmware-lies-about-flush case. A later Crash loses
+	// data the caller was told is safe.
+	SyncLies bool
+	// WriteBudget, when positive, is the total number of bytes the shim
+	// accepts across all files before Write starts failing with ErrNoSpace
+	// (after a partial write of whatever budget remains).
+	WriteBudget int64
+}
+
+// MemFS is an in-memory FS with crash semantics: every write lands
+// volatile, Sync promotes a file's bytes to durable, and Crash discards
+// whatever is not durable (possibly tearing or corrupting what is,
+// per Faults). The torture suite drives it through every crash point the
+// real log can hit.
+type MemFS struct {
+	mu      sync.Mutex
+	files   map[string]*memFile
+	rng     *rand.Rand
+	faults  Faults
+	written int64
+	// crashes and flips count injected events for test assertions.
+	crashes int
+	flips   int
+}
+
+type memFile struct {
+	data   []byte
+	synced int // durable prefix length
+}
+
+// NewMemFS returns a shim whose injected faults draw from seed.
+func NewMemFS(seed int64, faults Faults) *MemFS {
+	return &MemFS{
+		files:  make(map[string]*memFile),
+		rng:    rand.New(rand.NewSource(seed)),
+		faults: faults,
+	}
+}
+
+// Crash simulates power loss: every file's volatile suffix is discarded
+// (torn at a random byte boundary when Faults.TornWrites is set), and one
+// durable bit may flip (Faults.FlipBitOnCrash). Open handles keep working
+// afterwards — the torture suite reuses the FS across incarnations, as a
+// restarted process reuses its disk.
+func (m *MemFS) Crash() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.crashes++
+	names := make([]string, 0, len(m.files))
+	for name := range m.files {
+		names = append(names, name)
+	}
+	sort.Strings(names) // deterministic RNG consumption order
+	for _, name := range names {
+		f := m.files[name]
+		keep := f.synced
+		if m.faults.TornWrites && len(f.data) > f.synced {
+			keep += m.rng.Intn(len(f.data) - f.synced + 1)
+		}
+		f.data = f.data[:keep]
+		if f.synced > keep {
+			f.synced = keep
+		}
+	}
+	if m.faults.FlipBitOnCrash {
+		var candidates []string
+		for _, name := range names {
+			if len(m.files[name].data) > 0 {
+				candidates = append(candidates, name)
+			}
+		}
+		if len(candidates) > 0 {
+			f := m.files[candidates[m.rng.Intn(len(candidates))]]
+			i := m.rng.Intn(len(f.data))
+			f.data[i] ^= 1 << uint(m.rng.Intn(8))
+			m.flips++
+		}
+	}
+}
+
+// FlipBit corrupts one specific bit of a file for targeted fault tests.
+func (m *MemFS) FlipBit(name string, off int, bit uint) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	if !ok || off >= len(f.data) {
+		return fmt.Errorf("wal: flip %s@%d: no such byte", name, off)
+	}
+	f.data[off] ^= 1 << (bit % 8)
+	m.flips++
+	return nil
+}
+
+// Flips returns how many bits have been flipped (by Crash or FlipBit).
+func (m *MemFS) Flips() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.flips
+}
+
+// SetFaults swaps the fault configuration mid-run (e.g. arm SyncErrors
+// for a window, then heal).
+func (m *MemFS) SetFaults(f Faults) {
+	m.mu.Lock()
+	m.faults = f
+	m.mu.Unlock()
+}
+
+// Size returns the current byte size of a file (0 if absent).
+func (m *MemFS) Size(name string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if f, ok := m.files[name]; ok {
+		return int64(len(f.data))
+	}
+	return 0
+}
+
+// Export writes every file's current content under dir on the real
+// filesystem — the artifact hook: when a torture run ends badly the chaos
+// harness dumps the in-memory segments next to the flight-recorder boxes
+// so CI can upload both.
+func (m *MemFS) Export(dir string) ([]string, error) {
+	m.mu.Lock()
+	snap := make(map[string][]byte, len(m.files))
+	for name, f := range m.files {
+		snap[name] = append([]byte(nil), f.data...)
+	}
+	m.mu.Unlock()
+	var out []string
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		dst := filepath.Join(dir, filepath.FromSlash(strings.TrimLeft(name, "/")))
+		if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+			return out, err
+		}
+		if err := os.WriteFile(dst, snap[name], 0o644); err != nil {
+			return out, err
+		}
+		out = append(out, dst)
+	}
+	return out, nil
+}
+
+func (m *MemFS) MkdirAll(string) error { return nil }
+
+func (m *MemFS) List(dir string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	prefix := strings.TrimSuffix(dir, "/") + "/"
+	var names []string
+	for name := range m.files {
+		if strings.HasPrefix(name, prefix) && !strings.Contains(name[len(prefix):], "/") {
+			names = append(names, name[len(prefix):])
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (m *MemFS) Open(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	if !ok {
+		return nil, fmt.Errorf("wal: open %s: %w", name, os.ErrNotExist)
+	}
+	return &memHandle{fs: m, name: name, f: f}, nil
+}
+
+func (m *MemFS) Create(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := &memFile{}
+	m.files[name] = f
+	return &memHandle{fs: m, name: name, f: f}, nil
+}
+
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[name]; !ok {
+		return fmt.Errorf("wal: remove %s: %w", name, os.ErrNotExist)
+	}
+	delete(m.files, name)
+	return nil
+}
+
+// memHandle is one open handle; reads carry their own offset, writes
+// always append (the log's only write pattern).
+type memHandle struct {
+	fs   *MemFS
+	name string
+	f    *memFile
+	off  int
+}
+
+func (h *memHandle) Read(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.off >= len(h.f.data) {
+		return 0, io.EOF
+	}
+	n := len(p)
+	if h.fs.faults.ShortReads && n > 1 {
+		n = 1 + h.fs.rng.Intn(min(n, 7))
+	}
+	n = copy(p[:n], h.f.data[h.off:])
+	h.off += n
+	return n, nil
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	n := len(p)
+	if b := h.fs.faults.WriteBudget; b > 0 {
+		remain := b - h.fs.written
+		if remain <= 0 {
+			return 0, ErrNoSpace
+		}
+		if int64(n) > remain {
+			n = int(remain)
+		}
+	}
+	h.f.data = append(h.f.data, p[:n]...)
+	h.fs.written += int64(n)
+	if n < len(p) {
+		return n, ErrNoSpace
+	}
+	return n, nil
+}
+
+func (h *memHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.fs.faults.SyncErrors {
+		return ErrSyncFault
+	}
+	if h.fs.faults.SyncLies {
+		return nil // reported safe, not actually durable
+	}
+	h.f.synced = len(h.f.data)
+	return nil
+}
+
+func (h *memHandle) Truncate(size int64) error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if size < 0 || size > int64(len(h.f.data)) {
+		return fmt.Errorf("wal: truncate %s to %d: out of range", h.name, size)
+	}
+	h.f.data = h.f.data[:size]
+	if h.f.synced > int(size) {
+		h.f.synced = int(size)
+	}
+	return nil
+}
+
+func (h *memHandle) Close() error { return nil }

@@ -1,0 +1,300 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+	"sort"
+
+	"causalshare/internal/message"
+)
+
+// Magic heads every segment file. The byte format behind it is frozen:
+// the golden byte-compat test pins it, and any incompatible change must
+// bump the version string so old segments are rejected loudly instead of
+// misparsed.
+const Magic = "causalshare-wal/v1"
+
+// Decode/scan failure modes. A scan distinguishes a torn tail (expected
+// after a crash — truncate and continue) from nothing at all; both
+// terminate replay at the last good record.
+var (
+	ErrBadMagic  = errors.New("wal: bad segment magic")
+	ErrTruncated = errors.New("wal: truncated record")
+	ErrCorrupt   = errors.New("wal: corrupt record")
+	ErrChecksum  = errors.New("wal: record checksum mismatch")
+)
+
+// Kind tags a record. New kinds append; existing values never change
+// (the format is versioned by Magic, not by kind renumbering).
+type Kind uint8
+
+const (
+	// KindMessage journals a full broadcast payload (the message wire
+	// encoding): the sequencer's holdback entry for a causally-delivered,
+	// not-yet-released data message.
+	KindMessage Kind = 1
+	// KindDeliver journals one causal delivery (label only); replaying
+	// these rebuilds the delivered-watermark frontier and the label chain.
+	KindDeliver Kind = 2
+	// KindEpoch journals a sequencer epoch adoption.
+	KindEpoch Kind = 3
+	// KindOrder journals one sequence assignment (epoch, seq, label).
+	KindOrder Kind = 4
+	// KindCommit journals the sequencer's delivery frontier advancing to
+	// Seq (the new nextDeliver).
+	KindCommit Kind = 5
+	// KindMember journals a membership verdict (peer marked down or up).
+	KindMember Kind = 6
+	// KindFrontier journals a delivered-watermark checkpoint: the baseline
+	// replay starts from, written at the head of a rejoined incarnation's
+	// log so state adopted from a peer snapshot is durable too.
+	KindFrontier Kind = 7
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindMessage:
+		return "message"
+	case KindDeliver:
+		return "deliver"
+	case KindEpoch:
+		return "epoch"
+	case KindOrder:
+		return "order"
+	case KindCommit:
+		return "commit"
+	case KindMember:
+		return "member"
+	case KindFrontier:
+		return "frontier"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Record is one decoded log entry. Which fields are meaningful depends on
+// Kind; the rest are zero.
+type Record struct {
+	Kind  Kind
+	Label message.Label // Deliver, Order
+	Epoch uint64        // Epoch, Order
+	Seq   uint64        // Order (assigned seq), Commit (new nextDeliver)
+	Peer  string        // Member
+	Down  bool          // Member
+	// Frontier holds the checkpoint watermarks as (Origin, Seq) labels in
+	// origin order.
+	Frontier []message.Label // Frontier
+	// Msg is the journaled payload (Message records only).
+	Msg message.Message
+}
+
+// Record layout, after the segment's magic prefix:
+//
+//	crc32c  uint32 LE  over the length, kind, and payload bytes
+//	length  uint32 LE  payload byte count (kind byte excluded)
+//	kind    uint8
+//	payload length bytes
+//
+// The checksum covers the length field so a bit flip there cannot send
+// the scanner off into the weeds, and it leads the record so a torn
+// header is indistinguishable from a torn payload: both fail the check
+// and truncate the replay at the previous record.
+const recordHeader = 4 + 4 + 1
+
+// maxRecordPayload bounds one record; anything larger is corruption, not
+// data (broadcast payloads are small and frontier checkpoints are one
+// entry per group member).
+const maxRecordPayload = 1 << 24
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// appendLabel appends a label's wire form: uvarint origin length, origin
+// bytes, uvarint seq.
+func appendLabel(buf []byte, l message.Label) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(l.Origin)))
+	buf = append(buf, l.Origin...)
+	return binary.AppendUvarint(buf, l.Seq)
+}
+
+// appendRecord appends the framed record (header + payload) to buf. The
+// header is assembled in place inside buf — a local header array would be
+// moved to the heap (crc32.Update defeats escape analysis), costing one
+// allocation per append on the hot path.
+func appendRecord(buf []byte, kind Kind, payload []byte) []byte {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0) // crc, filled in below
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = append(buf, byte(kind))
+	buf = append(buf, payload...)
+	crc := crc32.Update(0, crcTable, buf[start+4:])
+	binary.LittleEndian.PutUint32(buf[start:start+4], crc)
+	return buf
+}
+
+// ScanSegment walks data (a whole segment, magic included), invoking fn
+// for every valid record in order. It returns the byte offset of the end
+// of the last fully-valid record — the truncation point recovery keeps —
+// and the error that stopped the scan (nil when the segment was consumed
+// exactly). fn's error aborts the scan and is returned verbatim.
+//
+// The scanner never panics on arbitrary input; FuzzWALDecode enforces it.
+func ScanSegment(data []byte, fn func(Record) error) (int, error) {
+	if len(data) < len(Magic) {
+		return 0, ErrBadMagic
+	}
+	if string(data[:len(Magic)]) != Magic {
+		return 0, ErrBadMagic
+	}
+	dec := message.NewDecoder()
+	off := len(Magic)
+	for off < len(data) {
+		rest := data[off:]
+		if len(rest) < recordHeader {
+			return off, fmt.Errorf("%w: %d header bytes", ErrTruncated, len(rest))
+		}
+		wantCRC := binary.LittleEndian.Uint32(rest[0:4])
+		plen := binary.LittleEndian.Uint32(rest[4:8])
+		if plen > maxRecordPayload {
+			return off, fmt.Errorf("%w: payload length %d", ErrCorrupt, plen)
+		}
+		if len(rest) < recordHeader+int(plen) {
+			return off, fmt.Errorf("%w: %d of %d payload bytes", ErrTruncated, len(rest)-recordHeader, plen)
+		}
+		crc := crc32.Update(0, crcTable, rest[4:9])
+		crc = crc32.Update(crc, crcTable, rest[recordHeader:recordHeader+int(plen)])
+		if crc != wantCRC {
+			return off, ErrChecksum
+		}
+		rec, err := decodePayload(dec, Kind(rest[8]), rest[recordHeader:recordHeader+int(plen)])
+		if err != nil {
+			return off, err
+		}
+		if err := fn(rec); err != nil {
+			return off, err
+		}
+		off += recordHeader + int(plen)
+	}
+	return off, nil
+}
+
+// decodePayload parses one checksummed payload into a Record. A checksum
+// already vouched for the bytes, so a parse failure here means an
+// encoder/decoder mismatch, reported as corruption (and reachable by the
+// fuzzer, which can forge valid checksums over garbage).
+func decodePayload(dec *message.Decoder, kind Kind, p []byte) (Record, error) {
+	rec := Record{Kind: kind}
+	switch kind {
+	case KindMessage:
+		if err := dec.Decode(&rec.Msg, p); err != nil {
+			return rec, fmt.Errorf("%w: message payload: %v", ErrCorrupt, err)
+		}
+	case KindDeliver:
+		l, rest, err := readLabel(p)
+		if err != nil || len(rest) != 0 {
+			return rec, fmt.Errorf("%w: deliver payload", ErrCorrupt)
+		}
+		rec.Label = l
+	case KindEpoch:
+		e, rest, err := readUvarint(p)
+		if err != nil || len(rest) != 0 {
+			return rec, fmt.Errorf("%w: epoch payload", ErrCorrupt)
+		}
+		rec.Epoch = e
+	case KindOrder:
+		e, rest, err := readUvarint(p)
+		if err != nil {
+			return rec, fmt.Errorf("%w: order epoch", ErrCorrupt)
+		}
+		s, rest, err := readUvarint(rest)
+		if err != nil {
+			return rec, fmt.Errorf("%w: order seq", ErrCorrupt)
+		}
+		l, rest, err := readLabel(rest)
+		if err != nil || len(rest) != 0 {
+			return rec, fmt.Errorf("%w: order label", ErrCorrupt)
+		}
+		rec.Epoch, rec.Seq, rec.Label = e, s, l
+	case KindCommit:
+		s, rest, err := readUvarint(p)
+		if err != nil || len(rest) != 0 {
+			return rec, fmt.Errorf("%w: commit payload", ErrCorrupt)
+		}
+		rec.Seq = s
+	case KindMember:
+		if len(p) < 1 {
+			return rec, fmt.Errorf("%w: member payload", ErrCorrupt)
+		}
+		switch p[0] {
+		case 0:
+			rec.Down = false
+		case 1:
+			rec.Down = true
+		default:
+			return rec, fmt.Errorf("%w: member verdict %d", ErrCorrupt, p[0])
+		}
+		rec.Peer = string(p[1:])
+	case KindFrontier:
+		n, rest, err := readUvarint(p)
+		if err != nil || n > maxRecordPayload/2 {
+			return rec, fmt.Errorf("%w: frontier count", ErrCorrupt)
+		}
+		rec.Frontier = make([]message.Label, 0, n)
+		for i := uint64(0); i < n; i++ {
+			var l message.Label
+			l, rest, err = readLabel(rest)
+			if err != nil {
+				return rec, fmt.Errorf("%w: frontier entry %d", ErrCorrupt, i)
+			}
+			rec.Frontier = append(rec.Frontier, l)
+		}
+		if len(rest) != 0 {
+			return rec, fmt.Errorf("%w: frontier trailer", ErrCorrupt)
+		}
+	default:
+		return rec, fmt.Errorf("%w: unknown record kind %d", ErrCorrupt, kind)
+	}
+	return rec, nil
+}
+
+func readUvarint(p []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(p)
+	if n <= 0 {
+		return 0, nil, ErrCorrupt
+	}
+	return v, p[n:], nil
+}
+
+func readLabel(p []byte) (message.Label, []byte, error) {
+	n, rest, err := readUvarint(p)
+	if err != nil || n > uint64(len(rest)) {
+		return message.Label{}, nil, ErrCorrupt
+	}
+	l := message.Label{Origin: string(rest[:n])}
+	l.Seq, rest, err = readUvarint(rest[n:])
+	if err != nil {
+		return message.Label{}, nil, ErrCorrupt
+	}
+	return l, rest, nil
+}
+
+// FrontierDigest hashes a delivered-watermark map deterministically
+// (origins in sorted order, FNV-64a over the labels' wire form). Two
+// members whose frontiers digest equal hold byte-identical watermark
+// maps — the restart figure's recovery fidelity check.
+func FrontierDigest(wm map[string]uint64) uint64 {
+	origins := make([]string, 0, len(wm))
+	for o := range wm {
+		origins = append(origins, o)
+	}
+	sort.Strings(origins)
+	h := fnv.New64a()
+	var buf []byte
+	for _, o := range origins {
+		buf = appendLabel(buf[:0], message.Label{Origin: o, Seq: wm[o]})
+		_, _ = h.Write(buf)
+	}
+	return h.Sum64()
+}

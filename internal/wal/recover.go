@@ -1,0 +1,289 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"causalshare/internal/message"
+)
+
+// Assign is one recovered (seq → label) sequencer assignment with the
+// epoch it was made under — wal's view of total.SyncAssign, kept local so
+// the package stays a leaf dependency.
+type Assign struct {
+	Seq   uint64
+	Epoch uint64
+	Label message.Label
+}
+
+// Recovered is the state a replay rebuilds: everything a restarted
+// member needs to resume as its own prior incarnation. The harness turns
+// it into the engine seed (Frontier) and the sequencer snapshot (Epoch,
+// NextDeliver, Assigns, Pending) that a live peer would otherwise have
+// to serve.
+type Recovered struct {
+	// Frontier is the delivered-watermark map (highest delivered seq per
+	// origin) — what SeedFrontier takes.
+	Frontier map[string]uint64
+	// Epoch is the highest sequencer epoch journaled.
+	Epoch uint64
+	// NextDeliver is the sequencer delivery frontier (first unreleased
+	// global sequence number; 1 when nothing was released).
+	NextDeliver uint64
+	// Assigns are the retained sequence assignments, ascending by Seq.
+	Assigns []Assign
+	// Pending is the sequencer holdback: journaled payloads that were
+	// causally delivered but not yet released, in label order.
+	Pending []message.Message
+	// Down is the last journaled membership verdict per peer (true =
+	// down). Stale by definition — the group moved on while this member
+	// was dead — so harnesses treat it as a hint, not truth.
+	Down map[string]bool
+	// Records counts replayed records; Segments counts segment files
+	// replayed (truncated tail included).
+	Records  int
+	Segments int
+	// Truncated reports that replay hit a torn or corrupt record and
+	// dropped it, everything after it, and every later segment.
+	Truncated bool
+	// TruncatedErr is the scan error that stopped replay (nil when the
+	// log was clean).
+	TruncatedErr error
+}
+
+// Recover replays the log in opts.Dir — truncating at the first torn or
+// corrupt record and discarding every segment after it — and reopens the
+// log for appending above what survived. An empty or missing directory
+// recovers the zero state: a first incarnation and a restart share one
+// code path. The returned WAL is ready for use; the caller journals a
+// checkpoint of whatever state it actually resumes with (see
+// WriteCheckpoint) before new traffic.
+func Recover(opts Options) (*Recovered, *WAL, error) {
+	ins := newWALInstruments(opts.Telemetry)
+	fs := opts.FS
+	if fs == nil {
+		fs = OSFS{}
+	}
+	t0 := time.Now()
+	rec, nextIndex, err := replay(fs, opts.Dir, ins)
+	ins.replayLat.ObserveSince(t0)
+	if err != nil {
+		return nil, nil, err
+	}
+	w, _, err := open(opts, ins, nextIndex)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rec, w, nil
+}
+
+// replay walks the segments in order, applying every valid record to a
+// replayState. It returns the recovered state and the index the next
+// fresh segment should use.
+func replay(fs FS, dir string, ins walInstruments) (*Recovered, int, error) {
+	names, err := fs.List(dir)
+	if err != nil {
+		return nil, 0, fmt.Errorf("wal: list %s: %w", dir, err)
+	}
+	segs := segmentIndexes(names)
+	st := newReplayState()
+	rec := &Recovered{}
+	nextIndex := 0
+	for i, idx := range segs {
+		nextIndex = idx + 1
+		name := dir + "/" + segmentName(idx)
+		good, scanErr, err := replaySegment(fs, name, st)
+		if err != nil {
+			return nil, 0, err
+		}
+		rec.Segments++
+		if scanErr == nil {
+			continue
+		}
+		// Torn or corrupt tail: truncate this segment to its valid prefix
+		// and drop every later segment — records past a corruption are
+		// unordered relative to the lost ones and must not resurrect.
+		rec.Truncated = true
+		rec.TruncatedErr = scanErr
+		ins.truncations.Inc()
+		if err := truncateSegment(fs, name, good); err != nil {
+			return nil, 0, err
+		}
+		for _, later := range segs[i+1:] {
+			if err := fs.Remove(dir + "/" + segmentName(later)); err != nil {
+				return nil, 0, fmt.Errorf("wal: drop segment after corruption: %w", err)
+			}
+		}
+		break
+	}
+	st.finish(rec)
+	rec.Records = st.records
+	ins.replayed.Add(uint64(st.records))
+	return rec, nextIndex, nil
+}
+
+// replaySegment scans one segment into st. The first return is the valid
+// prefix length; scanErr is the (recoverable) reason the scan stopped
+// early, err a hard I/O failure.
+func replaySegment(fs FS, name string, st *replayState) (int, error, error) {
+	f, err := fs.Open(name)
+	if err != nil {
+		return 0, nil, fmt.Errorf("wal: open %s: %w", name, err)
+	}
+	data, err := io.ReadAll(f)
+	_ = f.Close()
+	if err != nil {
+		return 0, nil, fmt.Errorf("wal: read %s: %w", name, err)
+	}
+	good, scanErr := ScanSegment(data, st.apply)
+	if scanErr == nil && good != len(data) {
+		scanErr = ErrTruncated
+	}
+	// An empty file (created but never flushed) has no magic; treat it as
+	// an all-torn segment rather than a foreign file.
+	if errors.Is(scanErr, ErrBadMagic) && len(data) < len(Magic) {
+		scanErr = fmt.Errorf("%w: segment header", ErrTruncated)
+		good = 0
+	}
+	return good, scanErr, nil
+}
+
+// truncateSegment cuts name down to size bytes and syncs the result, so
+// a future recovery does not trip over the same torn tail.
+func truncateSegment(fs FS, name string, size int) error {
+	f, err := fs.Open(name)
+	if err != nil {
+		return fmt.Errorf("wal: reopen for truncate %s: %w", name, err)
+	}
+	defer f.Close()
+	if err := f.Truncate(int64(size)); err != nil {
+		return fmt.Errorf("wal: truncate %s: %w", name, err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync truncated %s: %w", name, err)
+	}
+	return nil
+}
+
+// replayState folds records into the sequencer/engine state they encode.
+type replayState struct {
+	frontier    map[string]uint64
+	data        map[message.Label]message.Message
+	seqOf       map[uint64]Assign
+	seqByLabel  map[message.Label]uint64
+	down        map[string]bool
+	epoch       uint64
+	nextDeliver uint64
+	records     int
+}
+
+func newReplayState() *replayState {
+	return &replayState{
+		frontier:    make(map[string]uint64),
+		data:        make(map[message.Label]message.Message),
+		seqOf:       make(map[uint64]Assign),
+		seqByLabel:  make(map[message.Label]uint64),
+		down:        make(map[string]bool),
+		nextDeliver: 1,
+	}
+}
+
+func (st *replayState) apply(r Record) error {
+	st.records++
+	switch r.Kind {
+	case KindDeliver:
+		if r.Label.Seq > st.frontier[r.Label.Origin] {
+			st.frontier[r.Label.Origin] = r.Label.Seq
+		}
+	case KindFrontier:
+		for _, l := range r.Frontier {
+			if l.Seq > st.frontier[l.Origin] {
+				st.frontier[l.Origin] = l.Seq
+			}
+		}
+	case KindMessage:
+		if _, dup := st.data[r.Msg.Label]; !dup {
+			st.data[r.Msg.Label] = r.Msg
+		}
+	case KindEpoch:
+		if r.Epoch > st.epoch {
+			st.epoch = r.Epoch
+		}
+	case KindOrder:
+		st.mergeAssign(Assign{Seq: r.Seq, Epoch: r.Epoch, Label: r.Label})
+	case KindCommit:
+		// Advance the delivery frontier, releasing (forgetting) the
+		// payloads the live sequencer released before journaling this.
+		for s := st.nextDeliver; s < r.Seq; s++ {
+			if a, ok := st.seqOf[s]; ok {
+				delete(st.data, a.Label)
+			}
+		}
+		if r.Seq > st.nextDeliver {
+			st.nextDeliver = r.Seq
+		}
+	case KindMember:
+		st.down[r.Peer] = r.Down
+	}
+	return nil
+}
+
+// mergeAssign mirrors the sequencer's conflict rule: per sequence number
+// (and per label) the higher-epoch assignment wins.
+func (st *replayState) mergeAssign(a Assign) {
+	if old, ok := st.seqByLabel[a.Label]; ok && old != a.Seq {
+		if st.seqOf[old].Epoch > a.Epoch {
+			return
+		}
+		delete(st.seqOf, old)
+		delete(st.seqByLabel, a.Label)
+	}
+	if ex, ok := st.seqOf[a.Seq]; ok {
+		if ex.Label == a.Label {
+			if a.Epoch > ex.Epoch {
+				st.seqOf[a.Seq] = a
+			}
+			return
+		}
+		if ex.Epoch >= a.Epoch {
+			return
+		}
+		delete(st.seqByLabel, ex.Label)
+	}
+	st.seqOf[a.Seq] = a
+	st.seqByLabel[a.Label] = a.Seq
+}
+
+// finish materializes the fold into a Recovered.
+func (st *replayState) finish(rec *Recovered) {
+	// Drop holdback entries whose assigned sequence the commit frontier
+	// already passed: re-seeding them would wedge the sequencer's
+	// holdback with messages nothing will ever release again.
+	for l, seq := range st.seqByLabel {
+		if seq < st.nextDeliver {
+			delete(st.data, l)
+		}
+	}
+	rec.Frontier = st.frontier
+	rec.Epoch = st.epoch
+	rec.NextDeliver = st.nextDeliver
+	rec.Down = st.down
+	rec.Assigns = make([]Assign, 0, len(st.seqOf))
+	for _, a := range st.seqOf {
+		rec.Assigns = append(rec.Assigns, a)
+	}
+	sort.Slice(rec.Assigns, func(i, j int) bool { return rec.Assigns[i].Seq < rec.Assigns[j].Seq })
+	rec.Pending = make([]message.Message, 0, len(st.data))
+	for _, m := range st.data {
+		rec.Pending = append(rec.Pending, m)
+	}
+	sort.Slice(rec.Pending, func(i, j int) bool {
+		if rec.Pending[i].Label.Origin != rec.Pending[j].Label.Origin {
+			return rec.Pending[i].Label.Origin < rec.Pending[j].Label.Origin
+		}
+		return rec.Pending[i].Label.Seq < rec.Pending[j].Label.Seq
+	})
+}

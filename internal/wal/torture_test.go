@@ -1,0 +1,351 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// The torture suite's prefix-consistency contract: a journal of the
+// chain deliver(m,1), deliver(m,2), ... deliver(m,N) must, after ANY
+// crash or disk fault, recover to frontier[m] = f for some f ≤ N with
+// every record below f intact — never a gap, never an invented record,
+// never a panic or replay error. Sync-policy floors tighten the bound:
+// under PolicyEach every append that returned must survive a clean
+// (non-lying, non-torn) crash.
+
+const tortureOrigin = "m"
+
+// tortureAppend journals the i-th chain record.
+func tortureAppend(w *WAL, i uint64) { w.Deliver(lbl(tortureOrigin, i)) }
+
+// checkPrefix asserts the recovered frontier is a clean prefix of the n
+// appended records, within [floor, n].
+func checkPrefix(t *testing.T, rec *Recovered, n, floor uint64, ctx string) {
+	t.Helper()
+	f := rec.Frontier[tortureOrigin]
+	if f > n {
+		t.Fatalf("%s: recovered %d records, only %d were written", ctx, f, n)
+	}
+	if f < floor {
+		t.Fatalf("%s: recovered %d records, sync policy guarantees %d", ctx, f, floor)
+	}
+	if len(rec.Frontier) > 1 {
+		t.Fatalf("%s: invented origins: %v", ctx, rec.Frontier)
+	}
+}
+
+// recoverTwice recovers, then recovers again, asserting the second pass
+// sees the identical state with no further truncation: recovery must be
+// idempotent or a crash during recovery would compound damage.
+func recoverTwice(t *testing.T, opts Options, ctx string) *Recovered {
+	t.Helper()
+	rec, w, err := Recover(opts)
+	if err != nil {
+		t.Fatalf("%s: first recovery: %v", ctx, err)
+	}
+	_ = w.Close()
+	rec2, w2, err := Recover(opts)
+	if err != nil {
+		t.Fatalf("%s: second recovery: %v", ctx, err)
+	}
+	_ = w2.Close()
+	if rec2.Frontier[tortureOrigin] < rec.Frontier[tortureOrigin] {
+		t.Fatalf("%s: second recovery lost records: %d then %d",
+			ctx, rec.Frontier[tortureOrigin], rec2.Frontier[tortureOrigin])
+	}
+	return rec
+}
+
+// TestTortureCrashPoints crashes after every single append, under every
+// sync policy, and requires a clean prefix each time.
+func TestTortureCrashPoints(t *testing.T) {
+	const n = 24
+	for _, policy := range []Policy{PolicyEach, PolicyInterval, PolicyAsync} {
+		for crashAt := uint64(1); crashAt <= n; crashAt++ {
+			ctx := fmt.Sprintf("policy=%v crash-after=%d", policy, crashAt)
+			fs := NewMemFS(int64(crashAt), Faults{})
+			opts := Options{Dir: "/w", FS: fs, Policy: policy, Interval: time.Hour, SegmentBytes: 128}
+			w, err := Open(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := uint64(1); i <= crashAt; i++ {
+				tortureAppend(w, i)
+			}
+			fs.Crash()
+			var floor uint64
+			if policy == PolicyEach {
+				floor = crashAt // every append was fsynced before returning
+			}
+			rec := recoverTwice(t, opts, ctx)
+			checkPrefix(t, rec, crashAt, floor, ctx)
+			_ = w.Close()
+		}
+	}
+}
+
+// TestTortureTornWrites lets every crash tear the unsynced tail at a
+// random byte boundary — mid-header, mid-payload, mid-checksum — across
+// many seeds.
+func TestTortureTornWrites(t *testing.T) {
+	const n = 40
+	for seed := int64(1); seed <= 50; seed++ {
+		ctx := fmt.Sprintf("seed=%d", seed)
+		fs := NewMemFS(seed, Faults{TornWrites: true})
+		opts := Options{Dir: "/w", FS: fs, Policy: PolicyAsync, Interval: time.Millisecond, SegmentBytes: 256}
+		w, err := Open(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := uint64(1); i <= n; i++ {
+			tortureAppend(w, i)
+			if i%9 == 0 {
+				_ = w.Sync()
+			}
+		}
+		fs.Crash()
+		rec := recoverTwice(t, opts, ctx)
+		// The i%9 syncs guarantee at least the last explicit barrier.
+		checkPrefix(t, rec, n, (n/9)*9, ctx)
+		_ = w.Close()
+	}
+}
+
+// TestTortureBitFlips flips every byte of a sealed log (one bit each, a
+// few bit positions) and requires recovery to keep exactly the records
+// before the damaged one.
+func TestTortureBitFlips(t *testing.T) {
+	const n = 12
+	// Build one reference log to learn its size, then rebuild fresh for
+	// every flip position (a flip is permanent on MemFS).
+	build := func() (*MemFS, Options) {
+		fs := NewMemFS(7, Faults{})
+		opts := Options{Dir: "/w", FS: fs, Policy: PolicyEach}
+		w, err := Open(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := uint64(1); i <= n; i++ {
+			tortureAppend(w, i)
+		}
+		_ = w.Close()
+		return fs, opts
+	}
+	fs0, _ := build()
+	names, _ := fs0.List("/w")
+	if len(names) != 1 {
+		t.Fatalf("expected one segment, got %v", names)
+	}
+	seg := "/w/" + names[0]
+	size := int(fs0.Size(seg))
+	for off := 0; off < size; off++ {
+		for _, bit := range []uint{0, 7} {
+			ctx := fmt.Sprintf("flip byte %d bit %d", off, bit)
+			fs, opts := build()
+			if err := fs.FlipBit(seg, off, bit); err != nil {
+				t.Fatal(err)
+			}
+			rec, w, err := Recover(opts)
+			if err != nil {
+				t.Fatalf("%s: %v", ctx, err)
+			}
+			_ = w.Close()
+			checkPrefix(t, rec, n, 0, ctx)
+			if !rec.Truncated && rec.Frontier[tortureOrigin] != n {
+				t.Fatalf("%s: silently lost records: frontier=%d", ctx, rec.Frontier[tortureOrigin])
+			}
+		}
+	}
+}
+
+// TestTortureBitFlipMidChain corrupts an EARLY segment of a multi-segment
+// log: everything from the flipped record on — later segments included —
+// must be dropped, because records after a corruption are unordered
+// relative to the lost ones.
+func TestTortureBitFlipMidChain(t *testing.T) {
+	fs := NewMemFS(3, Faults{})
+	opts := Options{Dir: "/w", FS: fs, Policy: PolicyEach, SegmentBytes: 200}
+	w, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100
+	for i := uint64(1); i <= n; i++ {
+		tortureAppend(w, i)
+	}
+	_ = w.Close()
+	names, _ := fs.List("/w")
+	if len(names) < 3 {
+		t.Fatalf("need several segments, got %v", names)
+	}
+	// Flip a payload byte in the second segment.
+	second := "/w/" + names[1]
+	if err := fs.FlipBit(second, len(Magic)+recordHeader-1, 3); err != nil {
+		t.Fatal(err)
+	}
+	rec := recoverTwice(t, opts, "mid-chain flip")
+	if !rec.Truncated {
+		t.Fatal("corruption not reported")
+	}
+	checkPrefix(t, rec, n, 0, "mid-chain flip")
+	got := rec.Frontier[tortureOrigin]
+	if got >= n {
+		t.Fatalf("records past the corruption resurrected: frontier=%d", got)
+	}
+	// Later segments must be gone from disk, not just skipped. Recovery
+	// reopens the log for appending, so segments after the corrupted one
+	// may exist again — but only fresh (magic-only) ones.
+	after, _ := fs.List("/w")
+	for _, name := range after {
+		if name > names[1] && fs.Size("/w/"+name) > int64(len(Magic)) {
+			t.Fatalf("segment %s survived a mid-chain corruption before it", name)
+		}
+	}
+}
+
+// TestTortureShortReads recovers a healthy log through a reader that
+// returns a few bytes at a time.
+func TestTortureShortReads(t *testing.T) {
+	fs := NewMemFS(5, Faults{})
+	opts := Options{Dir: "/w", FS: fs, Policy: PolicyEach, SegmentBytes: 256}
+	w, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 60
+	for i := uint64(1); i <= n; i++ {
+		tortureAppend(w, i)
+	}
+	_ = w.Close()
+	fs.SetFaults(Faults{ShortReads: true})
+	rec := recoverTwice(t, opts, "short reads")
+	checkPrefix(t, rec, n, n, "short reads")
+}
+
+// TestTortureFsyncErrors: fsync failing must degrade durability, not
+// correctness — appends continue, the error is counted, and a crash
+// recovers a (possibly empty) clean prefix.
+func TestTortureFsyncErrors(t *testing.T) {
+	fs := NewMemFS(11, Faults{SyncErrors: true})
+	opts := Options{Dir: "/w", FS: fs, Policy: PolicyEach}
+	w, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20
+	for i := uint64(1); i <= n; i++ {
+		tortureAppend(w, i)
+	}
+	if err := w.Sync(); err != nil && !errors.Is(err, ErrSyncFault) {
+		t.Fatalf("sync error surfaced wrong: %v", err)
+	}
+	fs.Crash() // nothing was ever promoted durable
+	// While fsync still fails, recovery must refuse to proceed rather
+	// than leave a truncation it cannot make durable.
+	if _, _, err := Recover(opts); !errors.Is(err, ErrSyncFault) {
+		t.Fatalf("recovery with failing fsync: got %v, want ErrSyncFault", err)
+	}
+	fs.SetFaults(Faults{}) // the disk heals before the real restart
+	rec := recoverTwice(t, opts, "fsync errors")
+	checkPrefix(t, rec, n, 0, "fsync errors")
+	if rec.Frontier[tortureOrigin] != 0 {
+		t.Fatalf("failed fsyncs cannot have made records durable, got %d", rec.Frontier[tortureOrigin])
+	}
+	_ = w.Close()
+}
+
+// TestTortureFsyncLies: the firmware acks the flush without doing it. A
+// crash then loses "durable" records — recovery must still produce a
+// clean prefix (possibly empty), never an error or a gap.
+func TestTortureFsyncLies(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		fs := NewMemFS(seed, Faults{SyncLies: true, TornWrites: true})
+		opts := Options{Dir: "/w", FS: fs, Policy: PolicyEach, SegmentBytes: 256}
+		w, err := Open(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 30
+		for i := uint64(1); i <= n; i++ {
+			tortureAppend(w, i)
+		}
+		fs.Crash()
+		ctx := fmt.Sprintf("fsync lies seed=%d", seed)
+		rec := recoverTwice(t, opts, ctx)
+		checkPrefix(t, rec, n, 0, ctx)
+		_ = w.Close()
+	}
+}
+
+// TestTortureENOSPC: a filling disk tears a record mid-write; recovery
+// truncates it and the restarted log can append once space returns.
+func TestTortureENOSPC(t *testing.T) {
+	for _, budget := range []int64{24, 40, 64, 100, 200} {
+		ctx := fmt.Sprintf("budget=%d", budget)
+		fs := NewMemFS(budget, Faults{WriteBudget: budget})
+		opts := Options{Dir: "/w", FS: fs, Policy: PolicyEach}
+		w, err := Open(opts)
+		if err != nil {
+			// The budget could not even fit the segment magic — a full
+			// disk at open is a hard error, which is the right answer.
+			continue
+		}
+		const n = 20
+		for i := uint64(1); i <= n; i++ {
+			tortureAppend(w, i)
+		}
+		_ = w.Close()
+		fs.SetFaults(Faults{}) // space freed before the restart
+		rec := recoverTwice(t, opts, ctx)
+		checkPrefix(t, rec, n, 0, ctx)
+		// And the reopened log must accept appends again.
+		_, w2, err := Recover(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tortureAppend(w2, n+1)
+		if err := w2.Sync(); err != nil {
+			t.Fatalf("%s: append after space freed: %v", ctx, err)
+		}
+		_ = w2.Close()
+	}
+}
+
+// TestTortureCrashDuringRecovery: crash again immediately after a
+// recovery that truncated — the truncation itself must have been synced,
+// so the third recovery sees the same state.
+func TestTortureCrashDuringRecovery(t *testing.T) {
+	fs := NewMemFS(13, Faults{TornWrites: true})
+	opts := Options{Dir: "/w", FS: fs, Policy: PolicyAsync, Interval: time.Hour}
+	w, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 30
+	for i := uint64(1); i <= n; i++ {
+		tortureAppend(w, i)
+		if i == 15 {
+			_ = w.Sync()
+		}
+	}
+	fs.Crash() // tears the tail after record 15
+	rec1, w1, err := Recover(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = w1.Close()
+	fs.Crash() // crash right after recovery
+	rec2, w2, err := Recover(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = w2.Close()
+	if rec2.Frontier[tortureOrigin] != rec1.Frontier[tortureOrigin] {
+		t.Fatalf("recovery state not crash-stable: %d then %d",
+			rec1.Frontier[tortureOrigin], rec2.Frontier[tortureOrigin])
+	}
+	checkPrefix(t, rec2, n, 15, "crash during recovery")
+	_ = w.Close()
+}

@@ -1,0 +1,519 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"causalshare/internal/message"
+	"causalshare/internal/telemetry"
+)
+
+// Policy selects when appended records reach stable storage.
+type Policy int
+
+const (
+	// PolicyInterval (the default) group-commits: appends buffer in
+	// memory and a background loop flushes and fsyncs every
+	// Options.Interval. A crash loses at most one interval of records.
+	PolicyInterval Policy = iota
+	// PolicyEach flushes and fsyncs every record before the append
+	// returns — the strongest guarantee and the slowest path.
+	PolicyEach
+	// PolicyAsync flushes on the interval but never fsyncs outside
+	// segment rotation and Close: the OS (or the MemFS volatile buffer)
+	// owns durability. Cheapest, and the only mode the fan-out alloc
+	// budget is gated on; a crash loses the unsynced tail, which recovery
+	// repairs from a live peer.
+	PolicyAsync
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyInterval:
+		return "interval"
+	case PolicyEach:
+		return "each"
+	case PolicyAsync:
+		return "async"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy maps the flag spellings ("each", "interval", "async") back
+// to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "interval", "group", "group-commit":
+		return PolicyInterval, nil
+	case "each", "record", "per-record":
+		return PolicyEach, nil
+	case "async":
+		return PolicyAsync, nil
+	default:
+		return 0, fmt.Errorf("wal: unknown sync policy %q (want each, interval, or async)", s)
+	}
+}
+
+// Options parameterizes a log.
+type Options struct {
+	// Dir is the directory segments live in; one directory per member.
+	Dir string
+	// FS is the filesystem; nil selects the real one (OSFS).
+	FS FS
+	// SegmentBytes is the rotation threshold; a flush that would push the
+	// active segment past it opens a fresh segment first. Records never
+	// split across segments. Zero selects DefaultSegmentBytes.
+	SegmentBytes int
+	// Policy is the sync policy (see the constants).
+	Policy Policy
+	// Interval is the flush (and, under PolicyInterval, fsync) cadence of
+	// the background loop. Zero selects DefaultInterval. Ignored by
+	// PolicyEach.
+	Interval time.Duration
+	// Telemetry, when non-nil, registers the wal_* instruments there.
+	Telemetry *telemetry.Registry
+}
+
+// DefaultSegmentBytes is the rotation threshold when Options.SegmentBytes
+// is zero.
+const DefaultSegmentBytes = 4 << 20
+
+// DefaultInterval is the flush cadence when Options.Interval is zero.
+const DefaultInterval = 2 * time.Millisecond
+
+// WAL is one member's append-only journal. All journaling methods are
+// safe on a nil receiver (they no-op), so layers embed their hook calls
+// unconditionally, and safe for concurrent use. Append failures (a full
+// or failing disk) degrade the log — recorded in wal_append_errors_total
+// and Err — rather than failing the caller: durability is best-effort
+// below the protocol, and a restart with a short log just leans harder
+// on the peer-sync fallback.
+type WAL struct {
+	opts Options
+	ins  walInstruments
+
+	mu       sync.Mutex
+	closed   bool
+	seg      File
+	segIndex int
+	segCount int
+	segBytes int
+	// buf holds framed records not yet written to seg; scratch assembles
+	// one record payload. Both are reused, so the steady-state append
+	// path allocates nothing.
+	buf     []byte
+	scratch []byte
+	dirty   bool // bytes written to seg since its last fsync
+	err     error
+
+	done     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// Open creates (or extends) the log in opts.Dir and starts the flush
+// loop appropriate for the policy. Existing segments are left untouched;
+// appends go to a fresh segment above them. Use Recover to replay
+// existing segments first.
+func Open(opts Options) (*WAL, error) {
+	w, _, err := open(opts, newWALInstruments(opts.Telemetry), 0)
+	return w, err
+}
+
+func open(opts Options, ins walInstruments, nextIndex int) (*WAL, int, error) {
+	if opts.FS == nil {
+		opts.FS = OSFS{}
+	}
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if opts.Interval <= 0 {
+		opts.Interval = DefaultInterval
+	}
+	if err := opts.FS.MkdirAll(opts.Dir); err != nil {
+		return nil, 0, fmt.Errorf("wal: mkdir %s: %w", opts.Dir, err)
+	}
+	names, err := opts.FS.List(opts.Dir)
+	if err != nil {
+		return nil, 0, fmt.Errorf("wal: list %s: %w", opts.Dir, err)
+	}
+	segs := segmentIndexes(names)
+	count := len(segs)
+	if len(segs) > 0 && segs[len(segs)-1] >= nextIndex {
+		nextIndex = segs[len(segs)-1] + 1
+	}
+	w := &WAL{
+		opts:     opts,
+		ins:      ins,
+		segIndex: nextIndex,
+		segCount: count,
+		done:     make(chan struct{}),
+	}
+	if err := w.openSegmentLocked(); err != nil {
+		return nil, 0, err
+	}
+	if opts.Policy != PolicyEach {
+		w.wg.Add(1)
+		go w.flushLoop()
+	}
+	return w, count, nil
+}
+
+// segmentName renders one segment's base name; lexical order is segment
+// order.
+func segmentName(index int) string { return fmt.Sprintf("%08d.wal", index) }
+
+// segmentIndexes extracts the sorted segment numbers from a directory
+// listing, ignoring foreign files.
+func segmentIndexes(names []string) []int {
+	var out []int
+	for _, n := range names {
+		var idx int
+		if _, err := fmt.Sscanf(n, "%08d.wal", &idx); err == nil && segmentName(idx) == n {
+			out = append(out, idx)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// openSegmentLocked creates the next segment and writes its magic.
+func (w *WAL) openSegmentLocked() error {
+	name := w.opts.Dir + "/" + segmentName(w.segIndex)
+	f, err := w.opts.FS.Create(name)
+	if err != nil {
+		return fmt.Errorf("wal: create %s: %w", name, err)
+	}
+	if _, err := f.Write([]byte(Magic)); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("wal: write magic %s: %w", name, err)
+	}
+	w.seg = f
+	w.segIndex++
+	w.segCount++
+	w.segBytes = len(Magic)
+	w.dirty = true
+	w.ins.segments.Set(int64(w.segCount))
+	w.ins.segmentBytes.Set(int64(w.segBytes))
+	return nil
+}
+
+// append frames one record into the buffer and applies the sync policy.
+func (w *WAL) append(kind Kind, payload []byte) {
+	t0 := time.Now()
+	w.buf = appendRecord(w.buf, kind, payload)
+	w.ins.appends.Inc()
+	w.ins.appendBytes.Add(uint64(recordHeader + len(payload)))
+	if w.opts.Policy == PolicyEach {
+		w.flushLocked()
+		w.syncLocked()
+	}
+	w.ins.appendLat.ObserveSince(t0)
+}
+
+// flushLocked writes the buffered records to the active segment,
+// rotating first when they would overflow it. Caller holds mu.
+func (w *WAL) flushLocked() {
+	if len(w.buf) == 0 || w.err != nil {
+		return
+	}
+	if w.segBytes+len(w.buf) > w.opts.SegmentBytes && w.segBytes > len(Magic) {
+		w.syncLocked()
+		_ = w.seg.Close()
+		if err := w.openSegmentLocked(); err != nil {
+			w.err = err
+			w.ins.appendErrors.Inc()
+			return
+		}
+	}
+	n, err := w.seg.Write(w.buf)
+	w.segBytes += n
+	w.ins.segmentBytes.Set(int64(w.segBytes))
+	w.buf = w.buf[:0]
+	w.dirty = true
+	if err != nil {
+		// A partial write leaves a torn record at the segment tail;
+		// recovery truncates it. The log goes degraded: further appends
+		// are dropped (and counted) rather than stacked behind a dead disk.
+		w.err = fmt.Errorf("wal: segment write: %w", err)
+		w.ins.appendErrors.Inc()
+	}
+}
+
+// syncLocked fsyncs the active segment if it has unflushed bytes. Caller
+// holds mu.
+func (w *WAL) syncLocked() {
+	if !w.dirty || w.seg == nil {
+		return
+	}
+	t0 := time.Now()
+	err := w.seg.Sync()
+	w.ins.syncs.Inc()
+	w.ins.syncLat.ObserveSince(t0)
+	if err != nil {
+		// Failed fsync: those bytes may not survive a crash. The log keeps
+		// appending — durability is degraded, not correctness — and the
+		// counter is the operator's signal.
+		w.ins.syncErrors.Inc()
+	}
+	w.dirty = false
+}
+
+func (w *WAL) flushLoop() {
+	defer w.wg.Done()
+	ticker := time.NewTicker(w.opts.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-w.done:
+			return
+		case <-ticker.C:
+			w.mu.Lock()
+			if !w.closed {
+				w.flushLocked()
+				if w.opts.Policy == PolicyInterval {
+					w.syncLocked()
+				}
+			}
+			w.mu.Unlock()
+		}
+	}
+}
+
+// Message journals a broadcast payload (the sequencer's holdback entry).
+func (w *WAL) Message(m *message.Message) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
+	p, err := m.AppendBinary(w.scratch[:0])
+	if err != nil {
+		w.ins.appendErrors.Inc()
+		w.mu.Unlock()
+		return
+	}
+	w.scratch = p[:0]
+	w.append(KindMessage, p)
+	w.mu.Unlock()
+}
+
+// Deliver journals one causal delivery.
+func (w *WAL) Deliver(l message.Label) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
+	p := appendLabel(w.scratch[:0], l)
+	w.scratch = p[:0]
+	w.append(KindDeliver, p)
+	w.mu.Unlock()
+}
+
+// Epoch journals a sequencer epoch adoption.
+func (w *WAL) Epoch(epoch uint64) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
+	p := binary.AppendUvarint(w.scratch[:0], epoch)
+	w.scratch = p[:0]
+	w.append(KindEpoch, p)
+	w.mu.Unlock()
+}
+
+// Order journals one sequence assignment.
+func (w *WAL) Order(epoch, seq uint64, l message.Label) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
+	p := binary.AppendUvarint(w.scratch[:0], epoch)
+	p = binary.AppendUvarint(p, seq)
+	p = appendLabel(p, l)
+	w.scratch = p[:0]
+	w.append(KindOrder, p)
+	w.mu.Unlock()
+}
+
+// Commit journals the sequencer's delivery frontier advancing to
+// nextDeliver.
+func (w *WAL) Commit(nextDeliver uint64) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
+	p := binary.AppendUvarint(w.scratch[:0], nextDeliver)
+	w.scratch = p[:0]
+	w.append(KindCommit, p)
+	w.mu.Unlock()
+}
+
+// Member journals a membership verdict.
+func (w *WAL) Member(peer string, down bool) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
+	p := w.scratch[:0]
+	if down {
+		p = append(p, 1)
+	} else {
+		p = append(p, 0)
+	}
+	p = append(p, peer...)
+	w.scratch = p[:0]
+	w.append(KindMember, p)
+	w.mu.Unlock()
+}
+
+// Frontier journals a delivered-watermark checkpoint. Unlike the hot-path
+// hooks it allocates (the map is sorted for determinism); it runs once
+// per incarnation, not per message.
+func (w *WAL) Frontier(wm map[string]uint64) {
+	if w == nil {
+		return
+	}
+	origins := make([]string, 0, len(wm))
+	for o := range wm {
+		origins = append(origins, o)
+	}
+	sort.Strings(origins)
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
+	p := binary.AppendUvarint(w.scratch[:0], uint64(len(origins)))
+	for _, o := range origins {
+		p = appendLabel(p, message.Label{Origin: o, Seq: wm[o]})
+	}
+	w.scratch = p[:0]
+	w.append(KindFrontier, p)
+	w.mu.Unlock()
+}
+
+// WriteCheckpoint journals a full recovered (or peer-adopted) state as a
+// baseline — frontier, epoch, retained assignments, pending payloads,
+// and the commit frontier, in that order — then forces it to stable
+// storage regardless of policy. A rejoined incarnation writes one before
+// journaling new traffic, so a later restart-from-disk replays on top of
+// the state the incarnation actually started from.
+func (w *WAL) WriteCheckpoint(st Recovered) error {
+	if w == nil {
+		return nil
+	}
+	w.Frontier(st.Frontier)
+	if st.Epoch > 0 {
+		w.Epoch(st.Epoch)
+	}
+	for _, a := range st.Assigns {
+		w.Order(a.Epoch, a.Seq, a.Label)
+	}
+	for i := range st.Pending {
+		w.Message(&st.Pending[i])
+	}
+	if st.NextDeliver > 1 {
+		w.Commit(st.NextDeliver)
+	}
+	return w.Sync()
+}
+
+// Sync flushes buffered records and fsyncs the active segment, whatever
+// the policy.
+func (w *WAL) Sync() error {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.flushLocked()
+	w.syncLocked()
+	return w.err
+}
+
+// Err returns the sticky degraded-mode error (nil while healthy).
+func (w *WAL) Err() error {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// Close flushes, fsyncs, and closes the active segment.
+// Kill seals the log the way a process death would: the flusher stops,
+// further appends are dropped, and — unlike Close — nothing buffered is
+// flushed or synced. Whatever the OS (or the fault-injecting FS) had
+// already made durable is exactly what a later Recover sees. The chaos
+// harness calls this at the crash instant so the crash point, not the
+// rejoin time, decides how much tail is lost.
+func (w *WAL) Kill() {
+	if w == nil {
+		return
+	}
+	w.stopOnce.Do(func() { close(w.done) })
+	w.wg.Wait()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return
+	}
+	w.closed = true
+	if w.seg != nil {
+		_ = w.seg.Close()
+		w.seg = nil
+	}
+}
+
+func (w *WAL) Close() error {
+	if w == nil {
+		return nil
+	}
+	w.stopOnce.Do(func() { close(w.done) })
+	w.wg.Wait()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return w.err
+	}
+	w.flushLocked()
+	w.syncLocked()
+	w.closed = true
+	if w.seg != nil {
+		_ = w.seg.Close()
+		w.seg = nil
+	}
+	return w.err
+}

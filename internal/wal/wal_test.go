@@ -1,0 +1,389 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"causalshare/internal/message"
+	"causalshare/internal/telemetry"
+)
+
+func lbl(origin string, seq uint64) message.Label {
+	return message.Label{Origin: origin, Seq: seq}
+}
+
+func counterValue(s telemetry.Snapshot, name string) uint64 {
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+func gaugeValue(s telemetry.Snapshot, name string) int64 {
+	for _, g := range s.Gauges {
+		if g.Name == name {
+			return g.Value
+		}
+	}
+	return 0
+}
+
+// journalFixture writes one of every record kind. Tests replay against
+// the state it encodes.
+func journalFixture(w *WAL) {
+	w.Frontier(map[string]uint64{"a": 3, "b~seq": 7})
+	w.Deliver(lbl("a", 4))
+	w.Deliver(lbl("a", 5))
+	w.Deliver(lbl("c~seq", 2))
+	m := message.Message{
+		Label: lbl("a", 5),
+		Deps:  message.After(lbl("a", 4)),
+		Kind:  message.KindNonCommutative,
+		Op:    "chaos.op",
+		Body:  []byte("a/5"),
+	}
+	w.Message(&m)
+	w.Epoch(2)
+	w.Order(2, 9, lbl("a", 5))
+	w.Commit(9)
+	w.Member("b", true)
+	w.Member("b", false)
+}
+
+func TestRecoverRoundTrip(t *testing.T) {
+	for _, policy := range []Policy{PolicyEach, PolicyInterval, PolicyAsync} {
+		t.Run(policy.String(), func(t *testing.T) {
+			fs := NewMemFS(1, Faults{})
+			opts := Options{Dir: "/w", FS: fs, Policy: policy}
+			w, err := Open(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			journalFixture(w)
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+			rec, w2, err := Recover(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer w2.Close()
+			if rec.Truncated {
+				t.Fatalf("clean log reported truncation: %v", rec.TruncatedErr)
+			}
+			if got := rec.Frontier["a"]; got != 5 {
+				t.Fatalf("frontier[a] = %d, want 5", got)
+			}
+			if got := rec.Frontier["b~seq"]; got != 7 {
+				t.Fatalf("frontier[b~seq] = %d, want 7 (checkpoint)", got)
+			}
+			if rec.Epoch != 2 {
+				t.Fatalf("epoch = %d, want 2", rec.Epoch)
+			}
+			if rec.NextDeliver != 9 {
+				t.Fatalf("nextDeliver = %d, want 9", rec.NextDeliver)
+			}
+			if len(rec.Assigns) != 1 || rec.Assigns[0].Seq != 9 || rec.Assigns[0].Label != lbl("a", 5) {
+				t.Fatalf("assigns = %+v", rec.Assigns)
+			}
+			// Seq 9's payload is retained (commit frontier is 9 = first
+			// unreleased), so it must surface as holdback.
+			if len(rec.Pending) != 1 || rec.Pending[0].Op != "chaos.op" {
+				t.Fatalf("pending = %+v", rec.Pending)
+			}
+			if down, ok := rec.Down["b"]; !ok || down {
+				t.Fatalf("down[b] = %v/%v, want false (last verdict wins)", down, ok)
+			}
+		})
+	}
+}
+
+func TestRecoverEmptyDir(t *testing.T) {
+	fs := NewMemFS(1, Faults{})
+	rec, w, err := Recover(Options{Dir: "/fresh", FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if len(rec.Frontier) != 0 || rec.Epoch != 0 || rec.NextDeliver != 1 ||
+		len(rec.Assigns) != 0 || len(rec.Pending) != 0 || rec.Truncated {
+		t.Fatalf("fresh dir recovered non-zero state: %+v", rec)
+	}
+}
+
+func TestCommitReleasesPending(t *testing.T) {
+	fs := NewMemFS(1, Faults{})
+	opts := Options{Dir: "/w", FS: fs, Policy: PolicyEach}
+	w, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 3; i++ {
+		m := message.Message{Label: lbl("a", i), Kind: message.KindNonCommutative, Op: "op", Body: []byte{byte(i)}}
+		w.Message(&m)
+		w.Order(0, i, m.Label)
+	}
+	w.Commit(3) // released seqs 1 and 2
+	_ = w.Close()
+	rec, w2, err := Recover(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if len(rec.Pending) != 1 || rec.Pending[0].Label != lbl("a", 3) {
+		t.Fatalf("pending after commit = %+v, want only a/3", rec.Pending)
+	}
+	if len(rec.Assigns) != 3 {
+		t.Fatalf("assigns retained = %d, want 3 (failover re-announcement needs them)", len(rec.Assigns))
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	fs := NewMemFS(1, Faults{})
+	reg := telemetry.NewRegistry()
+	opts := Options{Dir: "/w", FS: fs, Policy: PolicyEach, SegmentBytes: 256, Telemetry: reg}
+	w, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200
+	for i := uint64(1); i <= n; i++ {
+		w.Deliver(lbl("rotator", i))
+	}
+	_ = w.Close()
+	names, _ := fs.List("/w")
+	if len(names) < 3 {
+		t.Fatalf("expected several segments, got %v", names)
+	}
+	rec, w2, err := Recover(Options{Dir: "/w", FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if rec.Frontier["rotator"] != n {
+		t.Fatalf("frontier = %d, want %d across %d segments", rec.Frontier["rotator"], uint64(n), len(names))
+	}
+	if rec.Segments != len(names) {
+		t.Fatalf("replayed %d segments, dir has %d", rec.Segments, len(names))
+	}
+	if got := gaugeValue(reg.Snapshot(), "wal_segments"); got < 3 {
+		t.Fatalf("wal_segments = %d, want >= 3", got)
+	}
+}
+
+func TestRecoverAppendsAboveOldSegments(t *testing.T) {
+	fs := NewMemFS(1, Faults{})
+	opts := Options{Dir: "/w", FS: fs, Policy: PolicyEach}
+	w, _ := Open(opts)
+	w.Deliver(lbl("a", 1))
+	_ = w.Close()
+	_, w2, err := Recover(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2.Deliver(lbl("a", 2))
+	_ = w2.Close()
+	rec, w3, err := Recover(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w3.Close()
+	if rec.Frontier["a"] != 2 {
+		t.Fatalf("second incarnation's records lost: frontier = %d", rec.Frontier["a"])
+	}
+	names, _ := fs.List("/w")
+	if len(names) < 2 {
+		t.Fatalf("each incarnation should own a segment, got %v", names)
+	}
+}
+
+func TestWriteCheckpointRoundTrip(t *testing.T) {
+	fs := NewMemFS(1, Faults{})
+	opts := Options{Dir: "/w", FS: fs, Policy: PolicyAsync}
+	w, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Recovered{
+		Frontier:    map[string]uint64{"a": 10, "b": 20},
+		Epoch:       3,
+		NextDeliver: 12,
+		Assigns:     []Assign{{Seq: 12, Epoch: 3, Label: lbl("a", 10)}},
+		Pending: []message.Message{
+			{Label: lbl("a", 10), Kind: message.KindNonCommutative, Op: "op", Body: []byte("x")},
+		},
+	}
+	if err := w.WriteCheckpoint(base); err != nil {
+		t.Fatal(err)
+	}
+	fs.Crash() // checkpoint must have been forced durable despite async
+	_ = w.Close()
+	rec, w2, err := Recover(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if rec.Frontier["a"] != 10 || rec.Frontier["b"] != 20 || rec.Epoch != 3 || rec.NextDeliver != 12 {
+		t.Fatalf("checkpoint did not survive crash: %+v", rec)
+	}
+	if len(rec.Pending) != 1 || len(rec.Assigns) != 1 {
+		t.Fatalf("checkpoint holdback lost: %+v", rec)
+	}
+}
+
+func TestPolicyAsyncCrashLosesOnlyTail(t *testing.T) {
+	fs := NewMemFS(1, Faults{})
+	opts := Options{Dir: "/w", FS: fs, Policy: PolicyAsync, Interval: time.Hour}
+	w, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Deliver(lbl("a", 1))
+	if err := w.Sync(); err != nil { // explicit barrier
+		t.Fatal(err)
+	}
+	w.Deliver(lbl("a", 2)) // still buffered: Interval is an hour away
+	fs.Crash()
+	rec, w2, err := Recover(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if rec.Frontier["a"] != 1 {
+		t.Fatalf("frontier = %d, want the synced prefix 1", rec.Frontier["a"])
+	}
+	_ = w.Close()
+}
+
+func TestNilWALIsSafe(t *testing.T) {
+	var w *WAL
+	w.Deliver(lbl("a", 1))
+	m := message.Message{Label: lbl("a", 1)}
+	w.Message(&m)
+	w.Epoch(1)
+	w.Order(1, 1, m.Label)
+	w.Commit(2)
+	w.Member("b", true)
+	w.Frontier(map[string]uint64{"a": 1})
+	if err := w.WriteCheckpoint(Recovered{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for in, want := range map[string]Policy{
+		"each": PolicyEach, "per-record": PolicyEach,
+		"interval": PolicyInterval, "group-commit": PolicyInterval,
+		"async": PolicyAsync,
+	} {
+		got, err := ParsePolicy(in)
+		if err != nil || got != want {
+			t.Fatalf("ParsePolicy(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParsePolicy("yolo"); err == nil {
+		t.Fatal("ParsePolicy accepted garbage")
+	}
+}
+
+func TestFrontierDigest(t *testing.T) {
+	a := map[string]uint64{"x": 1, "y": 2}
+	b := map[string]uint64{"y": 2, "x": 1}
+	if FrontierDigest(a) != FrontierDigest(b) {
+		t.Fatal("digest must be iteration-order independent")
+	}
+	b["x"] = 3
+	if FrontierDigest(a) == FrontierDigest(b) {
+		t.Fatal("digest must be value sensitive")
+	}
+}
+
+func TestOSFSRoundTrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	opts := Options{Dir: dir, Policy: PolicyEach}
+	w, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	journalFixture(w)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec, w2, err := Recover(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if rec.Frontier["a"] != 5 || rec.NextDeliver != 9 {
+		t.Fatalf("OSFS recovery drifted: %+v", rec)
+	}
+	// A torn tail on the real filesystem truncates the same way.
+	names, _ := (OSFS{}).List(dir)
+	last := filepath.Join(dir, names[len(names)-1])
+	data, err := os.ReadFile(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(last, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rec2, w3, err := Recover(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w3.Close()
+	if !rec2.Truncated {
+		t.Fatal("torn tail on OSFS not reported")
+	}
+}
+
+func TestDegradedWriteKeepsLogUsable(t *testing.T) {
+	fs := NewMemFS(1, Faults{WriteBudget: 64})
+	reg := telemetry.NewRegistry()
+	opts := Options{Dir: "/w", FS: fs, Policy: PolicyEach, Telemetry: reg}
+	w, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 50; i++ {
+		w.Deliver(lbl("a", i))
+	}
+	if w.Err() == nil {
+		t.Fatal("64-byte budget never tripped ENOSPC")
+	}
+	if !errors.Is(w.Err(), ErrNoSpace) {
+		t.Fatalf("sticky error = %v, want ErrNoSpace", w.Err())
+	}
+	_ = w.Close()
+	if counterValue(reg.Snapshot(), "wal_append_errors_total") == 0 {
+		t.Fatal("append errors not counted")
+	}
+	// Recovery over the partial log must still yield a clean prefix
+	// (space was freed before the restart).
+	fs.SetFaults(Faults{})
+	rec, w2, err := Recover(Options{Dir: "/w", FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if rec.Frontier["a"] == 0 && !rec.Truncated {
+		t.Fatalf("nothing recovered and no truncation: %+v", rec)
+	}
+	if rec.Frontier["a"] > 50 {
+		t.Fatalf("recovered beyond what was written: %d", rec.Frontier["a"])
+	}
+}
